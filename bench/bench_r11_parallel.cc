@@ -1,0 +1,51 @@
+// Experiment R11 — parallel join extension.
+//
+// Runs the task-decomposed eps-k-d-B self-join at increasing thread counts.
+// Expected shape on multi-core hardware: near-linear speedup until tasks or
+// memory bandwidth run out.  On a single-core host (like this repo's
+// reference environment) the experiment instead documents the decomposition
+// overhead: all thread counts take about as long as the sequential join.
+
+#include <thread>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintExperimentHeader(
+      "R11", "parallel eps-k-d-B self-join scaling",
+      "near-linear speedup with cores; on a single-core host, constant time "
+      "+ small task overhead");
+  std::cout << "hardware_concurrency = " << std::thread::hardware_concurrency()
+            << "\n\n";
+  const size_t n = Scaled(20000, 150000);
+  const size_t dims = 8;
+  auto data = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 20, .sigma = 0.05, .seed = 1101});
+  EkdbConfig config;
+  config.epsilon = 0.05;
+  config.leaf_threshold = 64;
+
+  const RunResult sequential = RunEkdbSelf(*data, config);
+
+  ResultTable table({"threads", "join", "speedup_vs_sequential", "pairs"});
+  table.AddRow({"seq", FmtSecs(sequential.join_seconds), "1.00",
+                std::to_string(sequential.pairs)});
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    const RunResult r = RunEkdbParallel(*data, config, threads);
+    table.AddRow({std::to_string(threads), FmtSecs(r.join_seconds),
+                  FmtDouble(sequential.join_seconds / r.join_seconds, 2),
+                  std::to_string(r.pairs)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

@@ -1,0 +1,149 @@
+// Experiment R12 — micro-kernels (google-benchmark).
+//
+// The primitive costs everything else is built from: distance kernels per
+// metric and dimensionality (full vs early-exit), stripe indexing, tree
+// builds, and leaf sweeps.  These are throughput numbers, not figure
+// reproductions; they calibrate the absolute scale of R1..R11.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/kdtree.h"
+#include "common/metric.h"
+#include "core/ekdb_tree.h"
+#include "rtree/rtree.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace {
+
+Dataset MakePoints(size_t n, size_t dims, uint64_t seed) {
+  return *GenerateUniform({.n = n, .dims = dims, .seed = seed});
+}
+
+void BM_FullDistance(benchmark::State& state) {
+  const auto metric = static_cast<Metric>(state.range(0));
+  const size_t dims = static_cast<size_t>(state.range(1));
+  const Dataset data = MakePoints(1024, dims, 1);
+  DistanceKernel kernel(metric);
+  size_t i = 0;
+  for (auto _ : state) {
+    const PointId a = static_cast<PointId>(i % 1024);
+    const PointId b = static_cast<PointId>((i * 7 + 1) % 1024);
+    benchmark::DoNotOptimize(kernel.Distance(data.Row(a), data.Row(b), dims));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullDistance)
+    ->ArgsProduct({{static_cast<long>(Metric::kL1), static_cast<long>(Metric::kL2),
+                    static_cast<long>(Metric::kLinf)},
+                   {4, 16, 64}});
+
+void BM_WithinEpsilonEarlyExit(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const double eps = 0.05;  // selective: most tests exit early
+  const Dataset data = MakePoints(1024, dims, 2);
+  DistanceKernel kernel(Metric::kL2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const PointId a = static_cast<PointId>(i % 1024);
+    const PointId b = static_cast<PointId>((i * 13 + 3) % 1024);
+    benchmark::DoNotOptimize(
+        kernel.WithinEpsilon(data.Row(a), data.Row(b), dims, eps));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WithinEpsilonEarlyExit)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EkdbBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = MakePoints(n, 8, 3);
+  EkdbConfig config;
+  config.epsilon = 0.05;
+  config.leaf_threshold = 64;
+  for (auto _ : state) {
+    auto tree = EkdbTree::Build(data, config);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EkdbBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_RtreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = MakePoints(n, 8, 4);
+  for (auto _ : state) {
+    auto tree = RTree::BulkLoad(data, RTreeConfig{});
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RtreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = MakePoints(n, 8, 6);
+  for (auto _ : state) {
+    auto tree = KdTree::Build(data, KdTreeConfig{});
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_EkdbRangeQuery(benchmark::State& state) {
+  const Dataset data = MakePoints(20000, 8, 7);
+  EkdbConfig config;
+  config.epsilon = 0.05;
+  auto tree = EkdbTree::Build(data, config);
+  std::vector<PointId> hits;
+  size_t i = 0;
+  for (auto _ : state) {
+    hits.clear();
+    benchmark::DoNotOptimize(
+        tree->RangeQuery(data.Row(static_cast<PointId>(i % data.size())),
+                         0.05, &hits));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EkdbRangeQuery);
+
+void BM_EkdbInsert(benchmark::State& state) {
+  Dataset data = MakePoints(20000, 8, 8);
+  EkdbConfig config;
+  config.epsilon = 0.05;
+  auto tree = EkdbTree::Build(data, config);
+  // Cycle removals + inserts so the tree size stays constant.
+  PointId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Remove(id));
+    benchmark::DoNotOptimize(tree->Insert(id));
+    id = static_cast<PointId>((id + 1) % data.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EkdbInsert);
+
+void BM_StripeIndex(benchmark::State& state) {
+  const Dataset data = MakePoints(2, 2, 5);
+  EkdbConfig config;
+  config.epsilon = 0.03;
+  auto tree = EkdbTree::Build(data, config);
+  float v = 0.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->StripeIndex(v));
+    v += 0.001f;
+    if (v > 1.0f) v = 0.0f;
+  }
+}
+BENCHMARK(BM_StripeIndex);
+
+}  // namespace
+}  // namespace simjoin
+
+BENCHMARK_MAIN();

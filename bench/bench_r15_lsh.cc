@@ -1,0 +1,67 @@
+// Experiment R15 — approximate (LSH) join: recall vs time trade-off.
+//
+// Sweeps the number of LSH tables and reports recall against the exact
+// eps-k-d-B join together with run time.  Expected shape: recall climbs
+// towards 1 as tables are added while cost grows linearly in tables; at
+// moderate recall targets the exact eps-k-d-B join is competitive or
+// better at this scale — approximation only pays off when the exact join's
+// candidate volume explodes (very high intrinsic dimensionality).
+
+#include "bench_util.h"
+#include "approx/lsh_join.h"
+#include "common/timer.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintExperimentHeader(
+      "R15", "LSH approximate join: recall/time vs table count",
+      "recall -> 1 and cost grows ~linearly with tables; exact eps-k-d-B "
+      "shown as the reference point");
+  const size_t n = Scaled(10000, 80000);
+  const size_t dims = 12;
+  const double epsilon = 0.08;
+  auto data = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 15, .sigma = 0.05, .seed = 1501});
+
+  EkdbConfig ekdb;
+  ekdb.epsilon = epsilon;
+  ekdb.leaf_threshold = 64;
+  const RunResult exact = RunEkdbSelf(*data, ekdb);
+
+  ResultTable table({"algorithm", "tables", "total", "pairs", "recall",
+                     "candidates"});
+  table.AddRow({"ekdb (exact)", "-", FmtSecs(exact.total_seconds()),
+                std::to_string(exact.pairs), "1.000",
+                std::to_string(exact.stats.candidate_pairs)});
+  for (size_t tables : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    LshConfig config;
+    config.tables = tables;
+    config.hashes_per_table = 4;
+    config.seed = 7;
+    CountingSink sink;
+    LshJoinReport report;
+    Timer timer;
+    const Status st =
+        LshApproximateSelfJoin(*data, epsilon, config, &sink, &report);
+    SIMJOIN_CHECK(st.ok()) << st.ToString();
+    const double total = timer.Seconds();
+    const double recall =
+        exact.pairs == 0 ? 1.0
+                         : static_cast<double>(sink.count()) /
+                               static_cast<double>(exact.pairs);
+    table.AddRow({"lsh", std::to_string(tables), FmtSecs(total),
+                  std::to_string(sink.count()), FmtDouble(recall, 3),
+                  std::to_string(report.unique_candidates)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

@@ -1,0 +1,104 @@
+// Experiment R16 — planner validation.
+//
+// The rule-based planner encodes the outcomes of R1-R3.  This experiment
+// closes the loop: across a grid of (workload, n, d, epsilon) cells it
+// measures every candidate algorithm, records which one the planner picked,
+// and reports the pick's slowdown relative to the measured best.  Expected
+// shape: the planner's choice is the fastest or within a small factor of it
+// in every cell, with no catastrophic (order-of-magnitude) mispicks.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/planner.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+struct Cell {
+  const char* workload;
+  size_t n;
+  size_t dims;
+  double epsilon;
+};
+
+Dataset MakeWorkload(const Cell& cell, uint64_t seed) {
+  if (std::string(cell.workload) == "uniform") {
+    return *GenerateUniform({.n = cell.n, .dims = cell.dims, .seed = seed});
+  }
+  return *GenerateClustered({.n = cell.n, .dims = cell.dims, .clusters = 16,
+                             .sigma = 0.05, .seed = seed});
+}
+
+double MeasureAlgorithm(const Dataset& data, double epsilon,
+                        JoinAlgorithm algorithm) {
+  JoinPlan plan;
+  plan.algorithm = algorithm;
+  CountingSink sink;
+  Timer timer;
+  const Status st = ExecuteSelfJoin(data, epsilon, Metric::kL2, plan, &sink);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  return timer.Seconds();
+}
+
+void Main() {
+  PrintExperimentHeader(
+      "R16", "planner validation: picked algorithm vs measured best",
+      "the planner's choice is the measured-fastest algorithm or within a "
+      "small factor of it in every cell");
+  const size_t base = Scaled(6000, 40000);
+
+  const Cell cells[] = {
+      {"uniform", 600, 8, 0.05},       // tiny: nested loop should win
+      {"clustered", base, 2, 0.03},    // low-d: grid territory
+      {"uniform", base, 2, 0.05},      // low-d uniform
+      {"clustered", base, 8, 0.05},    // the paper's home turf
+      {"clustered", base, 16, 0.08},   // higher-d clustered
+      {"uniform", base, 8, 0.02},      // selective uniform
+      {"clustered", base / 2, 4, 0.45},  // output-bound: nested loop
+  };
+
+  ResultTable table({"workload", "n", "d", "eps", "picked", "picked_time",
+                     "best", "best_time", "slowdown"});
+  for (const Cell& cell : cells) {
+    const Dataset data = MakeWorkload(cell, 1601);
+    auto plan = PlanSelfJoin(data, cell.epsilon, Metric::kL2);
+    SIMJOIN_CHECK(plan.ok()) << plan.status().ToString();
+
+    const JoinAlgorithm candidates[] = {
+        JoinAlgorithm::kNestedLoop, JoinAlgorithm::kSortMerge,
+        JoinAlgorithm::kGrid,       JoinAlgorithm::kKdTree,
+        JoinAlgorithm::kRTree,      JoinAlgorithm::kEkdb,
+    };
+    double best_time = 1e300;
+    JoinAlgorithm best = JoinAlgorithm::kEkdb;
+    double picked_time = 0.0;
+    for (JoinAlgorithm algorithm : candidates) {
+      // Skip brute force at sizes where it would dominate the run time,
+      // unless the planner picked it.
+      if (algorithm == JoinAlgorithm::kNestedLoop && data.size() > 20000 &&
+          plan->algorithm != JoinAlgorithm::kNestedLoop) {
+        continue;
+      }
+      const double t = MeasureAlgorithm(data, cell.epsilon, algorithm);
+      if (algorithm == plan->algorithm) picked_time = t;
+      if (t < best_time) {
+        best_time = t;
+        best = algorithm;
+      }
+    }
+    table.AddRow({cell.workload, std::to_string(data.size()),
+                  std::to_string(cell.dims), FmtDouble(cell.epsilon, 2),
+                  JoinAlgorithmName(plan->algorithm), FmtSecs(picked_time),
+                  JoinAlgorithmName(best), FmtSecs(best_time),
+                  FmtDouble(picked_time / best_time, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

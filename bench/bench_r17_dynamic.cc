@@ -1,0 +1,135 @@
+// Experiment R17 — dynamic index maintenance throughput.
+//
+// Both dynamic index families (eps-k-d-B tree, R-tree) process the same
+// churn workload — interleaved point insertions, removals, and epsilon
+// range queries over a live set — and report per-operation costs.
+// Expected shape: maintenance stays in the microsecond range for both;
+// the eps-k-d-B tree's stripe descent makes its updates cheaper than the
+// R-tree's choose-subtree/condense machinery, while both answer range
+// queries far faster than a per-query scan of the live set.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "rtree/rtree.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+struct ChurnCosts {
+  double insert_total = 0.0;
+  double remove_total = 0.0;
+  double query_total = 0.0;
+  uint64_t inserts = 0, removes = 0, queries = 0, hits = 0;
+};
+
+/// Drives `ops` churn operations; the callbacks wrap index-specific calls.
+template <typename InsertFn, typename RemoveFn, typename QueryFn>
+ChurnCosts RunChurn(Dataset* data, size_t initial_live, size_t ops,
+                    uint64_t seed, const InsertFn& insert, const RemoveFn& remove,
+                    const QueryFn& query) {
+  Rng rng(seed);
+  std::vector<PointId> live(initial_live);
+  for (size_t i = 0; i < initial_live; ++i) live[i] = static_cast<PointId>(i);
+  ChurnCosts costs;
+  Timer timer;
+  std::vector<float> point(data->dims());
+  for (size_t op = 0; op < ops; ++op) {
+    const uint64_t roll = rng.UniformInt(100u);
+    if (roll < 40 || live.size() < 100) {
+      for (auto& v : point) v = rng.UniformFloat();
+      data->Append(point);
+      const PointId id = static_cast<PointId>(data->size() - 1);
+      timer.Restart();
+      insert(id);
+      costs.insert_total += timer.Seconds();
+      ++costs.inserts;
+      live.push_back(id);
+    } else if (roll < 80) {
+      const size_t victim = rng.UniformInt(live.size());
+      const PointId id = live[victim];
+      timer.Restart();
+      remove(id);
+      costs.remove_total += timer.Seconds();
+      ++costs.removes;
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      // Query at a random live point so neighbourhoods are non-empty.
+      const PointId anchor = live[rng.UniformInt(live.size())];
+      std::copy_n(data->Row(anchor), data->dims(), point.begin());
+      timer.Restart();
+      costs.hits += query(point.data());
+      costs.query_total += timer.Seconds();
+      ++costs.queries;
+    }
+  }
+  return costs;
+}
+
+void Main() {
+  PrintExperimentHeader(
+      "R17", "dynamic maintenance: insert / remove / range-query churn",
+      "microsecond-scale maintenance for both dynamic indexes; eps-k-d-B "
+      "updates cheaper than R-tree choose-subtree/condense");
+  const size_t initial = Scaled(20000, 100000);
+  const size_t ops = Scaled(20000, 100000);
+  const double epsilon = 0.05;
+
+  ResultTable table({"index", "insert_avg", "remove_avg", "query_avg",
+                     "query_hits"});
+  {
+    auto data = GenerateUniform({.n = initial, .dims = 8, .seed = 1701});
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.leaf_threshold = 64;
+    auto tree = EkdbTree::Build(*data, config);
+    SIMJOIN_CHECK(tree.ok());
+    std::vector<PointId> hits;
+    const ChurnCosts costs = RunChurn(
+        &*data, initial, ops, 1702,
+        [&](PointId id) { SIMJOIN_CHECK(tree->Insert(id).ok()); },
+        [&](PointId id) { SIMJOIN_CHECK(tree->Remove(id).ok()); },
+        [&](const float* q) {
+          hits.clear();
+          SIMJOIN_CHECK(tree->RangeQuery(q, epsilon, &hits).ok());
+          return hits.size();
+        });
+    table.AddRow({"ekdb",
+                  FmtSecs(costs.insert_total / static_cast<double>(costs.inserts)),
+                  FmtSecs(costs.remove_total / static_cast<double>(costs.removes)),
+                  FmtSecs(costs.query_total / static_cast<double>(costs.queries)),
+                  std::to_string(costs.hits)});
+  }
+  {
+    auto data = GenerateUniform({.n = initial, .dims = 8, .seed = 1701});
+    auto tree = RTree::BulkLoad(*data, RTreeConfig{});
+    SIMJOIN_CHECK(tree.ok());
+    std::vector<PointId> hits;
+    const ChurnCosts costs = RunChurn(
+        &*data, initial, ops, 1702,
+        [&](PointId id) { SIMJOIN_CHECK(tree->Insert(id).ok()); },
+        [&](PointId id) { SIMJOIN_CHECK(tree->Remove(id).ok()); },
+        [&](const float* q) {
+          hits.clear();
+          SIMJOIN_CHECK(tree->RangeQuery(q, epsilon, Metric::kL2, &hits).ok());
+          return hits.size();
+        });
+    table.AddRow({"rtree",
+                  FmtSecs(costs.insert_total / static_cast<double>(costs.inserts)),
+                  FmtSecs(costs.remove_total / static_cast<double>(costs.removes)),
+                  FmtSecs(costs.query_total / static_cast<double>(costs.queries)),
+                  std::to_string(costs.hits)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

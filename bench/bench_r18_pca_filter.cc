@@ -1,0 +1,74 @@
+// Experiment R18 — PCA-filtered join on correlated high-dimensional data.
+//
+// When the ambient dimensionality is far above the intrinsic one, the
+// eps-k-d-B tree's first few stripe dimensions carry little selectivity,
+// but a handful of principal components carry almost all of it.  This
+// experiment joins a d=32 cloud of intrinsic dimensionality 3 directly and
+// through the exact PCA filter at several component counts.  Expected
+// shape: the filtered join wins on strongly correlated data with a broad
+// optimum around the intrinsic dimensionality; both return identical
+// results; on uniform (uncorrelated) data the filter degrades into extra
+// work — which the explained-variance column makes predictable in advance.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/projected_join.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void RunWorkload(const char* label, const Dataset& data, double epsilon) {
+  std::cout << "--- workload: " << label << " (n=" << data.size()
+            << ", d=" << data.dims() << ", eps=" << epsilon << ") ---\n";
+  EkdbConfig direct_config;
+  direct_config.epsilon = epsilon;
+  direct_config.leaf_threshold = 64;
+  const RunResult direct = RunEkdbSelf(data, direct_config);
+
+  ResultTable table({"method", "total", "pairs", "filter_candidates",
+                     "explained_var"});
+  table.AddRow({"ekdb (direct)", FmtSecs(direct.total_seconds()),
+                std::to_string(direct.pairs),
+                std::to_string(direct.stats.candidate_pairs), "-"});
+  for (size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    if (k > data.dims()) continue;
+    ProjectedJoinConfig config;
+    config.projected_dims = k;
+    CountingSink sink;
+    ProjectedJoinReport report;
+    Timer timer;
+    const Status st =
+        PcaFilteredSelfJoin(data, epsilon, config, &sink, &report);
+    SIMJOIN_CHECK(st.ok()) << st.ToString();
+    table.AddRow({"pca-filter k=" + std::to_string(k),
+                  FmtSecs(timer.Seconds()), std::to_string(sink.count()),
+                  std::to_string(report.candidate_pairs),
+                  FmtDouble(report.explained_variance, 3)});
+    SIMJOIN_CHECK_EQ(sink.count(), direct.pairs) << "filtered join not exact";
+  }
+  table.Print();
+}
+
+void Main() {
+  PrintExperimentHeader(
+      "R18", "PCA-filtered exact join vs direct join",
+      "on correlated data the filter wins with a broad optimum near the "
+      "intrinsic dimensionality; on uniform data it only adds overhead");
+  const size_t n = Scaled(8000, 60000);
+  const double epsilon = 0.05;
+
+  auto correlated = GenerateCorrelated(
+      {.n = n, .dims = 32, .intrinsic_dims = 3, .noise = 0.01, .seed = 1801});
+  RunWorkload("correlated (intrinsic 3 of 32)", *correlated, epsilon);
+
+  auto uniform = GenerateUniform({.n = n, .dims = 16, .seed = 1802});
+  RunWorkload("uniform (control)", *uniform, 0.3);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

@@ -1,0 +1,52 @@
+// Experiment R2 — scalability in the number of points.
+//
+// Doubles the dataset size at fixed epsilon and dimensionality.  Expected
+// shape: brute force grows quadratically; the eps-k-d-B tree grows
+// near-linearly in n (plus output), so its speedup over brute force and the
+// R-tree join widens as n grows.
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintExperimentHeader(
+      "R2", "join cost vs dataset cardinality n",
+      "brute force scales ~n^2; eps-k-d-B near-linear; the gap widens with n");
+  const size_t dims = 8;
+  const double epsilon = 0.05;
+  const size_t max_n = Scaled(32000, 256000);
+  const size_t brute_cap = Scaled(8000, 32000);
+
+  ResultTable table({"n", "algorithm", "build", "join", "total", "pairs"});
+  for (size_t n = 2000; n <= max_n; n *= 2) {
+    auto data = GenerateClustered(
+        {.n = n, .dims = dims, .clusters = 20, .sigma = 0.05, .seed = 201});
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.leaf_threshold = 64;
+    std::vector<RunResult> runs;
+    runs.push_back(RunEkdbSelf(*data, config));
+    runs.push_back(RunRtreeSelf(*data, epsilon, Metric::kL2));
+    runs.push_back(RunKdTreeSelf(*data, epsilon, Metric::kL2));
+    runs.push_back(RunSortMergeSelf(*data, epsilon, Metric::kL2));
+    if (n <= brute_cap) {
+      runs.push_back(RunNestedLoopSelf(*data, epsilon, Metric::kL2));
+    }
+    for (const auto& r : runs) {
+      table.AddRow({std::to_string(n), r.algorithm, FmtSecs(r.build_seconds),
+                    FmtSecs(r.join_seconds), FmtSecs(r.total_seconds()),
+                    std::to_string(r.pairs)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

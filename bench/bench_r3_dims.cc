@@ -1,0 +1,53 @@
+// Experiment R3 — join cost vs dimensionality.
+//
+// Fixes n and epsilon and sweeps the ambient dimensionality of a clustered
+// cloud.  Expected shape: the epsilon grid's 3^d neighbourhood blows up and
+// the R-tree's MBR overlap degrades quickly with d; the eps-k-d-B tree,
+// which consumes one dimension per level and never enumerates
+// cross-products of cells, degrades gracefully and holds its lead at high d
+// (the paper's central "high-dimensional" claim).
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintExperimentHeader(
+      "R3", "join cost vs dimensionality d",
+      "eps-k-d-B degrades gracefully with d; grid and R-tree joins degrade "
+      "much faster; brute force is flat-ish in d but quadratic in n");
+  const size_t n = Scaled(6000, 50000);
+  const double epsilon = 0.1;
+  const size_t brute_cap_dims = 64;
+
+  ResultTable table({"d", "algorithm", "build", "join", "total", "pairs"});
+  for (size_t dims : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto data = GenerateClustered({.n = n, .dims = dims, .clusters = 20,
+                                   .sigma = 0.05, .seed = 301});
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.leaf_threshold = 64;
+    std::vector<RunResult> runs;
+    runs.push_back(RunEkdbSelf(*data, config));
+    runs.push_back(RunRtreeSelf(*data, epsilon, Metric::kL2));
+    runs.push_back(RunGridSelf(*data, epsilon, Metric::kL2));
+    if (dims <= brute_cap_dims) {
+      runs.push_back(RunNestedLoopSelf(*data, epsilon, Metric::kL2));
+    }
+    for (const auto& r : runs) {
+      table.AddRow({std::to_string(dims), r.algorithm,
+                    FmtSecs(r.build_seconds), FmtSecs(r.join_seconds),
+                    FmtSecs(r.total_seconds()), std::to_string(r.pairs)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

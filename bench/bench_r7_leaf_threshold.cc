@@ -1,0 +1,47 @@
+// Experiment R7 — leaf-threshold ablation.
+//
+// The eps-k-d-B tree's only capacity knob: how many points a node may hold
+// before it splits.  Expected shape: a U-curve — tiny leaves inflate build
+// time and traversal overhead, huge leaves degrade the join towards
+// quadratic within-leaf work; a broad optimum sits in the tens-to-hundreds
+// (the paper's page-sized leaves).
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintExperimentHeader(
+      "R7", "eps-k-d-B leaf threshold ablation",
+      "U-shaped total time: overhead-dominated at tiny leaves, quadratic "
+      "leaf joins at huge leaves, broad optimum in between");
+  const size_t n = Scaled(16000, 120000);
+  const size_t dims = 8;
+  const double epsilon = 0.05;
+  auto data = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 20, .sigma = 0.05, .seed = 701});
+
+  ResultTable table({"leaf_threshold", "build", "join", "total", "pairs",
+                     "candidates", "tree_nodes_bytes"});
+  for (size_t threshold : {4u, 16u, 64u, 256u, 1024u, 4096u}) {
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.leaf_threshold = threshold;
+    const RunResult r = RunEkdbSelf(*data, config);
+    table.AddRow({std::to_string(threshold), FmtSecs(r.build_seconds),
+                  FmtSecs(r.join_seconds), FmtSecs(r.total_seconds()),
+                  std::to_string(r.pairs),
+                  std::to_string(r.stats.candidate_pairs),
+                  std::to_string(r.memory_bytes)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

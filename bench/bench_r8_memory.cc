@@ -1,0 +1,96 @@
+// Experiment R8 — index structure and memory footprint.
+//
+// Reports the structural cost of the two index families across n and d:
+// bytes, node counts, depth/height, and build time.  Expected shape: both
+// indexes are linear in n; the eps-k-d-B tree is shallower than d levels
+// (it stops splitting once leaves fit) and its memory stays comparable to
+// the STR-packed R-tree.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintExperimentHeader(
+      "R8", "index structure and memory vs n and d",
+      "both indexes linear in n; eps-k-d-B depth bounded by d and by "
+      "log-ish splitting; memory comparable between the two");
+  const double epsilon = 0.05;
+
+  std::cout << "--- sweep 1: cardinality n (d = 8) ---\n";
+  ResultTable by_n({"n", "index", "build", "bytes", "nodes", "leaves",
+                    "depth/height", "avg_leaf"});
+  const size_t max_n = Scaled(64000, 512000);
+  for (size_t n = 4000; n <= max_n; n *= 4) {
+    auto data = GenerateClustered(
+        {.n = n, .dims = 8, .clusters = 20, .sigma = 0.05, .seed = 801});
+    {
+      EkdbConfig config;
+      config.epsilon = epsilon;
+      config.leaf_threshold = 64;
+      Timer timer;
+      auto tree = EkdbTree::Build(*data, config);
+      const double build = timer.Seconds();
+      const auto stats = tree->ComputeStats();
+      by_n.AddRow({std::to_string(n), "ekdb", FmtSecs(build),
+                   std::to_string(stats.memory_bytes),
+                   std::to_string(stats.nodes), std::to_string(stats.leaves),
+                   std::to_string(stats.max_depth),
+                   FmtDouble(stats.avg_leaf_size, 1)});
+    }
+    {
+      Timer timer;
+      auto tree = RTree::BulkLoad(*data, RTreeConfig{});
+      const double build = timer.Seconds();
+      const auto stats = tree->ComputeStats();
+      by_n.AddRow({std::to_string(n), "rtree", FmtSecs(build),
+                   std::to_string(stats.memory_bytes),
+                   std::to_string(stats.nodes), std::to_string(stats.leaves),
+                   std::to_string(stats.height),
+                   FmtDouble(stats.avg_leaf_fill * 32.0, 1)});
+    }
+  }
+  by_n.Print();
+
+  std::cout << "--- sweep 2: dimensionality d (n = "
+            << Scaled(16000, 100000) << ") ---\n";
+  ResultTable by_d({"d", "index", "build", "bytes", "nodes", "depth/height"});
+  for (size_t dims : {4u, 8u, 16u, 32u, 64u}) {
+    auto data = GenerateClustered({.n = Scaled(16000, 100000), .dims = dims,
+                                   .clusters = 20, .sigma = 0.05,
+                                   .seed = 802});
+    {
+      EkdbConfig config;
+      config.epsilon = epsilon;
+      config.leaf_threshold = 64;
+      Timer timer;
+      auto tree = EkdbTree::Build(*data, config);
+      const double build = timer.Seconds();
+      const auto stats = tree->ComputeStats();
+      by_d.AddRow({std::to_string(dims), "ekdb", FmtSecs(build),
+                   std::to_string(stats.memory_bytes),
+                   std::to_string(stats.nodes),
+                   std::to_string(stats.max_depth)});
+    }
+    {
+      Timer timer;
+      auto tree = RTree::BulkLoad(*data, RTreeConfig{});
+      const double build = timer.Seconds();
+      const auto stats = tree->ComputeStats();
+      by_d.AddRow({std::to_string(dims), "rtree", FmtSecs(build),
+                   std::to_string(stats.memory_bytes),
+                   std::to_string(stats.nodes), std::to_string(stats.height)});
+    }
+  }
+  by_d.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main() { simjoin::bench::Main(); }

@@ -1,0 +1,272 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace simjoin {
+namespace bench {
+
+bool LargeScale() {
+  const char* env = std::getenv("SIMJOIN_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "large";
+}
+
+size_t Scaled(size_t normal, size_t large) {
+  return LargeScale() ? large : normal;
+}
+
+RunResult RunEkdbSelf(const Dataset& data, const EkdbConfig& config) {
+  RunResult result;
+  result.algorithm = "ekdb";
+  Timer timer;
+  auto tree = EkdbTree::Build(data, config);
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = tree->ComputeStats().memory_bytes;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = EkdbSelfJoin(*tree, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunEkdbCross(const Dataset& a, const Dataset& b,
+                       const EkdbConfig& config) {
+  RunResult result;
+  result.algorithm = "ekdb";
+  Timer timer;
+  auto ta = EkdbTree::Build(a, config);
+  auto tb = EkdbTree::Build(b, config);
+  SIMJOIN_CHECK(ta.ok() && tb.ok());
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes =
+      ta->ComputeStats().memory_bytes + tb->ComputeStats().memory_bytes;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = EkdbJoin(*ta, *tb, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunEkdbParallel(const Dataset& data, const EkdbConfig& config,
+                          size_t threads) {
+  RunResult result;
+  result.algorithm = "ekdb-parallel-" + std::to_string(threads);
+  Timer timer;
+  auto tree = EkdbTree::Build(data, config);
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = tree->ComputeStats().memory_bytes;
+  ParallelJoinConfig pcfg;
+  pcfg.num_threads = threads;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = ParallelEkdbSelfJoin(*tree, pcfg, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunRtreeSelf(const Dataset& data, double epsilon, Metric metric,
+                       const RTreeConfig& config) {
+  RunResult result;
+  result.algorithm = "rtree";
+  Timer timer;
+  auto tree = RTree::BulkLoad(data, config);
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = tree->ComputeStats().memory_bytes;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = RTreeSelfJoin(*tree, epsilon, &sink, metric, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunRtreeCross(const Dataset& a, const Dataset& b, double epsilon,
+                        Metric metric, const RTreeConfig& config) {
+  RunResult result;
+  result.algorithm = "rtree";
+  Timer timer;
+  auto ta = RTree::BulkLoad(a, config);
+  auto tb = RTree::BulkLoad(b, config);
+  SIMJOIN_CHECK(ta.ok() && tb.ok());
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes =
+      ta->ComputeStats().memory_bytes + tb->ComputeStats().memory_bytes;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = RTreeJoin(*ta, *tb, epsilon, &sink, metric, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunKdTreeSelf(const Dataset& data, double epsilon, Metric metric) {
+  RunResult result;
+  result.algorithm = "kdtree";
+  Timer timer;
+  auto tree = KdTree::Build(data, KdTreeConfig{});
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = tree->ComputeStats().memory_bytes;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = KdTreeSelfJoin(*tree, epsilon, metric, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunGridSelf(const Dataset& data, double epsilon, Metric metric,
+                      const GridJoinConfig& config) {
+  RunResult result;
+  result.algorithm = "grid";
+  CountingSink sink;
+  Timer timer;
+  const Status st = GridSelfJoin(data, epsilon, metric, config, &sink,
+                                 &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunSortMergeSelf(const Dataset& data, double epsilon, Metric metric) {
+  RunResult result;
+  result.algorithm = "sort-merge";
+  CountingSink sink;
+  Timer timer;
+  const Status st = SortMergeSelfJoin(data, epsilon, metric, SortMergeConfig{},
+                                      &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunNestedLoopSelf(const Dataset& data, double epsilon, Metric metric) {
+  RunResult result;
+  result.algorithm = "nested-loop";
+  CountingSink sink;
+  Timer timer;
+  const Status st =
+      NestedLoopSelfJoin(data, epsilon, metric, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunNestedLoopCross(const Dataset& a, const Dataset& b, double epsilon,
+                             Metric metric) {
+  RunResult result;
+  result.algorithm = "nested-loop";
+  CountingSink sink;
+  Timer timer;
+  const Status st = NestedLoopJoin(a, b, epsilon, metric, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  SIMJOIN_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << "  " << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+
+  os << "\n# CSV\n# ";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ",";
+    os << headers_[c];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "# ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void PrintExperimentHeader(const std::string& id, const std::string& title,
+                           const std::string& paper_claim) {
+  std::cout << "==============================================================="
+               "=================\n";
+  std::cout << "Experiment " << id << ": " << title << "\n";
+  std::cout << "Expected shape: " << paper_claim << "\n";
+  std::cout << "Scale: " << (LargeScale() ? "large (paper-scale)" : "default")
+            << "   [set SIMJOIN_BENCH_SCALE=large for paper-scale runs]\n";
+  std::cout << "==============================================================="
+               "=================\n\n";
+}
+
+std::string FmtSecs(double seconds) { return FormatSeconds(seconds); }
+
+std::string FmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::vector<uint32_t> VarianceDescendingOrder(const Dataset& data) {
+  std::vector<double> variances(data.dims());
+  for (uint32_t d = 0; d < data.dims(); ++d) {
+    RunningStats col;
+    for (size_t i = 0; i < data.size(); ++i) {
+      col.Add(data.Row(static_cast<PointId>(i))[d]);
+    }
+    variances[d] = col.variance();
+  }
+  std::vector<uint32_t> order(data.dims());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&variances](uint32_t a, uint32_t b) {
+    return variances[a] > variances[b];
+  });
+  return order;
+}
+
+}  // namespace bench
+}  // namespace simjoin

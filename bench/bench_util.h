@@ -1,0 +1,108 @@
+// Shared harness for the experiment benchmark binaries (R1..R11).
+//
+// Each binary reproduces one figure/table of the reconstructed evaluation
+// (see DESIGN.md section 4 and EXPERIMENTS.md): it sweeps one axis, runs the
+// relevant algorithms, and prints the series the paper's figure plots as an
+// aligned text table plus a machine-readable CSV block.
+//
+// Sizes default to a laptop-friendly scale so `for b in build/bench/*; do
+// $b; done` finishes in minutes; set SIMJOIN_BENCH_SCALE=large for
+// paper-scale runs.
+
+#ifndef SIMJOIN_BENCH_BENCH_UTIL_H_
+#define SIMJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/grid_join.h"
+#include "baselines/kdtree.h"
+#include "baselines/nested_loop.h"
+#include "baselines/sort_merge.h"
+#include "common/dataset.h"
+#include "common/pair_sink.h"
+#include "core/ekdb_join.h"
+#include "core/parallel_join.h"
+#include "rtree/rtree_join.h"
+
+namespace simjoin {
+namespace bench {
+
+/// True when SIMJOIN_BENCH_SCALE=large: paper-scale problem sizes.
+bool LargeScale();
+
+/// Picks the default or large value of a size parameter.
+size_t Scaled(size_t normal, size_t large);
+
+/// Measured outcome of one (algorithm, configuration) cell.
+struct RunResult {
+  std::string algorithm;
+  double build_seconds = 0.0;
+  double join_seconds = 0.0;
+  uint64_t pairs = 0;
+  uint64_t memory_bytes = 0;
+  JoinStats stats;
+
+  double total_seconds() const { return build_seconds + join_seconds; }
+};
+
+/// eps-k-d-B tree: build + self-join.
+RunResult RunEkdbSelf(const Dataset& data, const EkdbConfig& config);
+/// eps-k-d-B tree: build both trees + cross join.
+RunResult RunEkdbCross(const Dataset& a, const Dataset& b,
+                       const EkdbConfig& config);
+/// Parallel eps-k-d-B self-join with the given thread count.
+RunResult RunEkdbParallel(const Dataset& data, const EkdbConfig& config,
+                          size_t threads);
+/// R-tree (STR bulk load): build + self-join.
+RunResult RunRtreeSelf(const Dataset& data, double epsilon, Metric metric,
+                       const RTreeConfig& config = RTreeConfig{});
+/// R-tree: build both + cross join.
+RunResult RunRtreeCross(const Dataset& a, const Dataset& b, double epsilon,
+                        Metric metric, const RTreeConfig& config = RTreeConfig{});
+/// k-d tree (median split): build + self-join.
+RunResult RunKdTreeSelf(const Dataset& data, double epsilon, Metric metric);
+/// Epsilon-grid hash self-join (build folded into join time).
+RunResult RunGridSelf(const Dataset& data, double epsilon, Metric metric,
+                      const GridJoinConfig& config = GridJoinConfig{});
+/// 1-D sort-merge self-join.
+RunResult RunSortMergeSelf(const Dataset& data, double epsilon, Metric metric);
+/// Brute-force self-join.
+RunResult RunNestedLoopSelf(const Dataset& data, double epsilon, Metric metric);
+/// Brute-force cross join.
+RunResult RunNestedLoopCross(const Dataset& a, const Dataset& b, double epsilon,
+                             Metric metric);
+
+/// Aligned-column table printer with a trailing CSV block for plotting.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints the aligned table followed by "# CSV" lines.
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard experiment banner.
+void PrintExperimentHeader(const std::string& id, const std::string& title,
+                           const std::string& paper_claim);
+
+/// Formatting helpers.
+std::string FmtSecs(double seconds);
+std::string FmtDouble(double v, int precision = 3);
+
+/// Dimension permutation ordering columns by descending variance — the
+/// "most selective dimensions first" build heuristic studied in R10.
+std::vector<uint32_t> VarianceDescendingOrder(const Dataset& data);
+
+}  // namespace bench
+}  // namespace simjoin
+
+#endif  // SIMJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Streaming correlation monitor — a network/operations flavoured use of the
+// sliding-window similarity join.
+//
+// A fleet of "interfaces" emits utilisation measurements; each arriving
+// measurement vector is joined against the last W measurements, and bursts
+// of near-identical measurement vectors (e.g. a fault pattern replicating
+// across devices) surface as result pairs the moment the second occurrence
+// arrives.  Demonstrates StreamingWindowJoin: per-arrival incremental index
+// maintenance with no rebuilds.
+//
+//   ./examples/stream_monitor [--events 20000] [--window 1024] [--dims 8]
+//       [--epsilon 0.03] [--burst-every 500]
+
+#include <iostream>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/streaming_window.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  using namespace simjoin;
+
+  ArgParser args("Monitor a measurement stream for repeating patterns");
+  args.AddFlag("events", "20000", "stream length");
+  args.AddFlag("window", "1024", "sliding window size (points)");
+  args.AddFlag("dims", "8", "measurement vector dimensionality");
+  args.AddFlag("epsilon", "0.03", "similarity radius");
+  args.AddFlag("burst-every", "500", "plant a repeated pattern every k events");
+  if (Status st = args.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+
+  const size_t events = static_cast<size_t>(args.GetInt("events"));
+  const size_t window = static_cast<size_t>(args.GetInt("window"));
+  const size_t dims = static_cast<size_t>(args.GetInt("dims"));
+  const size_t burst_every = static_cast<size_t>(args.GetInt("burst-every"));
+  const double epsilon = args.GetDouble("epsilon");
+
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = 32;
+  auto monitor = StreamingWindowJoin::Create(window, dims, config);
+  if (!monitor.ok()) {
+    std::cerr << monitor.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Stream: background noise plus a planted fault signature repeated
+  // shortly after it first appears.
+  Rng rng(2026);
+  std::vector<float> point(dims), fault(dims);
+  for (auto& v : fault) v = rng.UniformFloat();
+  uint64_t alerts = 0, planted_hits = 0;
+  StreamPos last_fault_pos = 0;
+
+  Timer timer;
+  for (size_t t = 0; t < events; ++t) {
+    const bool is_fault = burst_every > 0 && (t % burst_every) < 2;
+    if (is_fault) {
+      for (size_t d = 0; d < dims; ++d) {
+        point[d] = std::min(1.0f, std::max(0.0f, fault[d] +
+                            static_cast<float>(rng.Uniform(-0.005, 0.005))));
+      }
+    } else {
+      for (auto& v : point) v = rng.UniformFloat();
+    }
+    auto pos = (*monitor)->Feed(
+        point.data(), [&](StreamPos earlier, StreamPos now) {
+          ++alerts;
+          if (is_fault && earlier == last_fault_pos) ++planted_hits;
+          if (alerts <= 5) {
+            std::cout << "  alert: event " << now
+                      << " repeats pattern of event " << earlier << "\n";
+          }
+        });
+    if (!pos.ok()) {
+      std::cerr << pos.status().ToString() << "\n";
+      return 1;
+    }
+    if (is_fault && (t % burst_every) == 0) last_fault_pos = pos.value();
+  }
+  const double total = timer.Seconds();
+
+  std::cout << "\nprocessed " << events << " events (window " << window
+            << ", dims " << dims << ") in " << FormatSeconds(total) << " — "
+            << FormatSeconds(total / static_cast<double>(events))
+            << " per event\n";
+  std::cout << "alerts raised: " << alerts << ", of which " << planted_hits
+            << " matched the planted fault signature\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,140 @@
+// Time-series similarity search — the paper's motivating application.
+//
+// Generates a family of random-walk "price" series with latent co-movement
+// groups (a stand-in for the paper's proprietary stock/mutual-fund feeds),
+// reduces each z-normalised series to its leading DFT coefficients, and runs
+// an eps-k-d-B similarity self-join in feature space to find co-moving
+// pairs.  Reports precision/recall of the discovered pairs against the
+// known group structure, and compares the index join's cost against brute
+// force over the raw series.
+//
+//   ./examples/timeseries_similarity [--series 2000] [--length 256]
+//       [--groups 20] [--coeffs 6] [--epsilon 0.08]
+
+#include <iostream>
+
+#include "common/args.h"
+#include "common/timer.h"
+#include "core/ekdb_join.h"
+#include "workload/timeseries.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  using namespace simjoin;
+
+  ArgParser args("Find co-moving time series via a DFT-feature similarity join");
+  args.AddFlag("series", "2000", "number of series in the family");
+  args.AddFlag("length", "256", "samples per series");
+  args.AddFlag("groups", "20", "latent co-movement groups");
+  args.AddFlag("coeffs", "6", "DFT coefficients kept (feature dims = 2x)");
+  args.AddFlag("epsilon", "0.08", "join radius in normalised feature space");
+  if (Status st = args.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+
+  const size_t num_series = static_cast<size_t>(args.GetInt("series"));
+  const size_t groups = static_cast<size_t>(args.GetInt("groups"));
+
+  // 1. Simulated market: co-moving random-walk families.
+  Timer timer;
+  auto family = GenerateSeriesFamily({.num_series = num_series,
+                                      .length = static_cast<size_t>(args.GetInt("length")),
+                                      .groups = groups,
+                                      .group_weight = 0.85,
+                                      .volatility = 0.02,
+                                      .seed = 42});
+  if (!family.ok()) {
+    std::cerr << family.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "generated " << num_series << " series in " << groups
+            << " co-movement groups (" << FormatSeconds(timer.Seconds())
+            << ")\n";
+
+  // 2. Feature extraction: z-normalise + truncated DFT.
+  timer.Restart();
+  auto features =
+      SeriesToFeatureDataset(*family, static_cast<size_t>(args.GetInt("coeffs")));
+  if (!features.ok()) {
+    std::cerr << features.status().ToString() << "\n";
+    return 1;
+  }
+  features->NormalizeToUnitCube();
+  std::cout << "extracted " << features->dims()
+            << "-dim DFT features per series ("
+            << FormatSeconds(timer.Seconds()) << ")\n";
+
+  // 3. Similarity self-join in feature space.
+  EkdbConfig config;
+  config.epsilon = args.GetDouble("epsilon");
+  config.leaf_threshold = 32;
+  timer.Restart();
+  auto tree = EkdbTree::Build(*features, config);
+  if (!tree.ok()) {
+    std::cerr << tree.status().ToString() << "\n";
+    return 1;
+  }
+  VectorSink sink;
+  if (Status st = EkdbSelfJoin(*tree, &sink); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "feature-space join found " << FormatCount(sink.pairs().size())
+            << " similar pairs (" << FormatSeconds(timer.Seconds())
+            << " incl. build)\n";
+
+  // 4. Score against the known group structure.
+  uint64_t same_group = 0;
+  for (const auto& [a, b] : sink.pairs()) {
+    same_group += (a % groups == b % groups);
+  }
+  const uint64_t total_same_group_pairs = [&] {
+    // Series i belongs to group i % groups; count pairs per group.
+    std::vector<uint64_t> sizes(groups, 0);
+    for (size_t s = 0; s < num_series; ++s) ++sizes[s % groups];
+    uint64_t pairs = 0;
+    for (uint64_t sz : sizes) pairs += sz * (sz - 1) / 2;
+    return pairs;
+  }();
+  const double precision =
+      sink.pairs().empty()
+          ? 0.0
+          : static_cast<double>(same_group) /
+                static_cast<double>(sink.pairs().size());
+  const double recall = total_same_group_pairs == 0
+                            ? 0.0
+                            : static_cast<double>(same_group) /
+                                  static_cast<double>(total_same_group_pairs);
+  std::cout << "co-movement discovery: precision=" << precision
+            << " recall=" << recall << " (vs latent groups)\n";
+
+  // 5. Cost contrast: brute force over raw series.
+  timer.Restart();
+  uint64_t brute_pairs = 0;
+  std::vector<Series> normalized = *family;
+  for (auto& s : normalized) ZNormalize(&s);
+  // The feature join radius corresponds (Parseval, unit-cube scaling) to a
+  // raw-series radius; here we only measure the cost of raw comparison.
+  const double raw_eps = 4.0;
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    for (size_t j = i + 1; j < normalized.size(); ++j) {
+      brute_pairs +=
+          (SeriesEuclideanDistance(normalized[i], normalized[j]) <= raw_eps);
+    }
+  }
+  std::cout << "brute-force raw-series scan: " << FormatCount(brute_pairs)
+            << " pairs within raw radius " << raw_eps << " ("
+            << FormatSeconds(timer.Seconds()) << ") -- the cost the "
+            << "feature-space index join avoids\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs every experiment benchmark and tees the combined output.
+#
+#   scripts/run_all_benches.sh [build_dir] [output_file]
+#   SIMJOIN_BENCH_SCALE=large scripts/run_all_benches.sh   # paper scale
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$b" ]] || continue
+  echo ">>> $(basename "$b")" | tee -a "$OUT"
+  "$b" 2>&1 | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,115 @@
+#include "approx/lsh_join.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metric.h"
+#include "common/rng.h"
+
+namespace simjoin {
+namespace {
+
+/// FNV-style hash of a K-vector of bucket coordinates.
+uint64_t HashKey(const std::vector<int64_t>& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int64_t v : key) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Status LshConfig::Validate() const {
+  if (tables == 0) return Status::InvalidArgument("tables must be positive");
+  if (hashes_per_table == 0) {
+    return Status::InvalidArgument("hashes_per_table must be positive");
+  }
+  if (bucket_width < 0.0) {
+    return Status::InvalidArgument("bucket_width must be non-negative");
+  }
+  if (metric == Metric::kLinf) {
+    return Status::InvalidArgument(
+        "p-stable LSH supports L1 (Cauchy) and L2 (Gaussian), not L-inf");
+  }
+  return Status::OK();
+}
+
+Status LshApproximateSelfJoin(const Dataset& data, double epsilon,
+                              const LshConfig& config, PairSink* sink,
+                              LshJoinReport* report) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least two points to join");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  SIMJOIN_RETURN_NOT_OK(config.Validate());
+
+  const size_t n = data.size();
+  const size_t dims = data.dims();
+  const double w =
+      config.bucket_width > 0.0 ? config.bucket_width : 4.0 * epsilon;
+  Rng rng(config.seed);
+  DistanceKernel kernel(config.metric);
+  LshJoinReport local;
+  // p-stable projection sampler: Gaussian for L2, Cauchy for L1.
+  auto sample_projection = [&rng, &config]() {
+    if (config.metric == Metric::kL1) {
+      // Standard Cauchy via the tangent transform.
+      return std::tan(3.14159265358979323846 * (rng.Uniform() - 0.5));
+    }
+    return rng.Gaussian();
+  };
+
+  // Canonical packed pair -> seen set (dedup across buckets and tables).
+  std::unordered_set<uint64_t> seen;
+  std::vector<int64_t> key(config.hashes_per_table);
+  std::vector<double> projections(config.hashes_per_table * dims);
+  std::vector<double> offsets(config.hashes_per_table);
+
+  for (size_t table = 0; table < config.tables; ++table) {
+    // Fresh projection family per table.
+    for (auto& v : projections) v = sample_projection();
+    for (auto& b : offsets) b = rng.Uniform(0.0, w);
+
+    std::unordered_map<uint64_t, std::vector<PointId>> buckets;
+    buckets.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = data.Row(static_cast<PointId>(i));
+      for (size_t k = 0; k < config.hashes_per_table; ++k) {
+        double dot = offsets[k];
+        const double* a = projections.data() + k * dims;
+        for (size_t d = 0; d < dims; ++d) dot += a[d] * row[d];
+        key[k] = static_cast<int64_t>(std::floor(dot / w));
+      }
+      buckets[HashKey(key)].push_back(static_cast<PointId>(i));
+    }
+
+    for (const auto& [bucket_hash, ids] : buckets) {
+      if (ids.size() < 2) continue;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        for (size_t j = i + 1; j < ids.size(); ++j) {
+          ++local.bucket_candidate_pairs;
+          const PointId a = std::min(ids[i], ids[j]);
+          const PointId b = std::max(ids[i], ids[j]);
+          const uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
+          if (!seen.insert(packed).second) continue;
+          ++local.unique_candidates;
+          if (kernel.WithinEpsilon(data.Row(a), data.Row(b), dims, epsilon)) {
+            ++local.emitted_pairs;
+            sink->Emit(a, b);
+          }
+        }
+      }
+    }
+  }
+  if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
+}  // namespace simjoin

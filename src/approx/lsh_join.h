@@ -1,0 +1,68 @@
+// Approximate epsilon self-join via locality-sensitive hashing (p-stable
+// projections, Datar et al. scheme for L2).
+//
+// The exact algorithms in this library pay for exactness with work that
+// grows as epsilon becomes less selective or the intrinsic dimensionality
+// rises.  The LSH join trades recall for speed: L independent hash tables,
+// each hashing a point with K concatenated projections
+// h(x) = floor((a.x + b) / w), generate candidate pairs from co-located
+// bucket members; candidates are verified with the exact distance test, so
+// *every emitted pair is a true result* (precision 1) while some true pairs
+// may be missed (recall < 1, increasing with L and decreasing with K).
+//
+// This is the natural "approximate variant" extension of the paper's
+// similarity-join toolbox; experiment R15 measures its recall/time
+// trade-off against the exact eps-k-d-B join.
+
+#ifndef SIMJOIN_APPROX_LSH_JOIN_H_
+#define SIMJOIN_APPROX_LSH_JOIN_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Tuning parameters of the LSH join (L1 and L2 metrics).
+struct LshConfig {
+  /// Join metric.  kL2 uses Gaussian (2-stable) projections, kL1 Cauchy
+  /// (1-stable) projections; kLinf is not supported by this scheme.
+  Metric metric = Metric::kL2;
+
+  /// Number of independent hash tables (L).  More tables raise recall and
+  /// cost linearly.
+  size_t tables = 8;
+
+  /// Concatenated projections per table (K).  More hashes sharpen buckets:
+  /// fewer false candidates, lower per-table recall.
+  size_t hashes_per_table = 4;
+
+  /// Quantisation width w of each projection; 0 picks 4 * epsilon, a
+  /// standard operating point for the p-stable scheme.
+  double bucket_width = 0.0;
+
+  /// Seed for the projection directions and offsets.
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Work counters of an LSH join run.
+struct LshJoinReport {
+  uint64_t bucket_candidate_pairs = 0;  ///< within-bucket pairs before dedup
+  uint64_t unique_candidates = 0;       ///< deduped pairs actually verified
+  uint64_t emitted_pairs = 0;           ///< verified true pairs
+};
+
+/// Approximate self-join under L2: emits a subset of the true pair set,
+/// each pair canonical and exactly once.
+Status LshApproximateSelfJoin(const Dataset& data, double epsilon,
+                              const LshConfig& config, PairSink* sink,
+                              LshJoinReport* report = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_APPROX_LSH_JOIN_H_

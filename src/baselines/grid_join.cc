@@ -1,0 +1,172 @@
+#include "baselines/grid_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace simjoin {
+namespace {
+
+constexpr size_t kDefaultGridDimsCap = 6;
+
+using CellKey = std::vector<int32_t>;
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& key) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int32_t v : key) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using CellMap = std::unordered_map<CellKey, std::vector<PointId>, CellKeyHash>;
+
+Status ValidateArgs(const Dataset& a, const Dataset& b, double epsilon,
+                    PairSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("join inputs must be non-empty");
+  }
+  if (a.dims() != b.dims()) {
+    return Status::InvalidArgument("join inputs have different dimensionality");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return Status::OK();
+}
+
+size_t ResolveGridDims(const GridJoinConfig& config, size_t dims) {
+  if (config.grid_dims == 0) return std::min(dims, kDefaultGridDimsCap);
+  return std::min(config.grid_dims, dims);
+}
+
+CellKey KeyOf(const float* row, size_t grid_dims, double epsilon) {
+  CellKey key(grid_dims);
+  for (size_t d = 0; d < grid_dims; ++d) {
+    key[d] = static_cast<int32_t>(std::floor(static_cast<double>(row[d]) / epsilon));
+  }
+  return key;
+}
+
+CellMap BuildGrid(const Dataset& data, size_t grid_dims, double epsilon) {
+  CellMap grid;
+  grid.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    grid[KeyOf(data.Row(static_cast<PointId>(i)), grid_dims, epsilon)]
+        .push_back(static_cast<PointId>(i));
+  }
+  return grid;
+}
+
+/// Invokes fn(neighbor_key) for every cell in the 3^grid_dims neighbourhood
+/// of key (including key itself).
+template <typename Fn>
+void ForEachNeighbor(const CellKey& key, Fn&& fn) {
+  CellKey neighbor = key;
+  const size_t g = key.size();
+  // Enumerate offsets in {-1,0,1}^g by counting in base 3.
+  size_t total = 1;
+  for (size_t i = 0; i < g; ++i) total *= 3;
+  for (size_t code = 0; code < total; ++code) {
+    size_t c = code;
+    for (size_t d = 0; d < g; ++d) {
+      neighbor[d] = key[d] + static_cast<int32_t>(c % 3) - 1;
+      c /= 3;
+    }
+    fn(neighbor);
+  }
+}
+
+}  // namespace
+
+Status GridSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                    const GridJoinConfig& config, PairSink* sink,
+                    JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateArgs(data, data, epsilon, sink));
+  const size_t grid_dims = ResolveGridDims(config, data.dims());
+  const CellMap grid = BuildGrid(data, grid_dims, epsilon);
+  DistanceKernel kernel(metric);
+  JoinStats local;
+  const size_t dims = data.dims();
+
+  for (const auto& [key, ids] : grid) {
+    // Within-cell pairs.
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float* row_i = data.Row(ids[i]);
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        ++local.candidate_pairs;
+        ++local.distance_calls;
+        if (kernel.WithinEpsilon(row_i, data.Row(ids[j]), dims, epsilon)) {
+          ++local.pairs_emitted;
+          sink->Emit(std::min(ids[i], ids[j]), std::max(ids[i], ids[j]));
+        }
+      }
+    }
+    // Cross-cell pairs: only the lexicographically larger neighbour joins,
+    // so each unordered cell pair is processed exactly once.
+    ForEachNeighbor(key, [&](const CellKey& neighbor) {
+      ++local.node_pairs_visited;
+      if (!(key < neighbor)) return;
+      auto it = grid.find(neighbor);
+      if (it == grid.end()) {
+        ++local.node_pairs_pruned;
+        return;
+      }
+      for (PointId a : ids) {
+        const float* row_a = data.Row(a);
+        for (PointId b : it->second) {
+          ++local.candidate_pairs;
+          ++local.distance_calls;
+          if (kernel.WithinEpsilon(row_a, data.Row(b), dims, epsilon)) {
+            ++local.pairs_emitted;
+            sink->Emit(std::min(a, b), std::max(a, b));
+          }
+        }
+      }
+    });
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+Status GridJoin(const Dataset& a, const Dataset& b, double epsilon,
+                Metric metric, const GridJoinConfig& config, PairSink* sink,
+                JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateArgs(a, b, epsilon, sink));
+  const size_t grid_dims = ResolveGridDims(config, a.dims());
+  const CellMap grid = BuildGrid(b, grid_dims, epsilon);
+  DistanceKernel kernel(metric);
+  JoinStats local;
+  const size_t dims = a.dims();
+
+  for (size_t i = 0; i < a.size(); ++i) {
+    const PointId a_id = static_cast<PointId>(i);
+    const float* row_a = a.Row(a_id);
+    const CellKey key = KeyOf(row_a, grid_dims, epsilon);
+    ForEachNeighbor(key, [&](const CellKey& neighbor) {
+      ++local.node_pairs_visited;
+      auto it = grid.find(neighbor);
+      if (it == grid.end()) {
+        ++local.node_pairs_pruned;
+        return;
+      }
+      for (PointId b_id : it->second) {
+        ++local.candidate_pairs;
+        ++local.distance_calls;
+        if (kernel.WithinEpsilon(row_a, b.Row(b_id), dims, epsilon)) {
+          ++local.pairs_emitted;
+          sink->Emit(a_id, b_id);
+        }
+      }
+    });
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+}  // namespace simjoin

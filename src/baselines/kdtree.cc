@@ -1,0 +1,334 @@
+#include "baselines/kdtree.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace simjoin {
+
+Status KdTreeConfig::Validate() const {
+  if (leaf_size == 0) return Status::InvalidArgument("leaf_size must be positive");
+  return Status::OK();
+}
+
+KdTree::KdTree(const Dataset* dataset, KdTreeConfig config)
+    : dataset_(dataset), config_(config) {}
+
+Result<KdTree> KdTree::Build(const Dataset& dataset, const KdTreeConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build k-d tree on empty dataset");
+  }
+  KdTree tree(&dataset, config);
+  std::vector<PointId> ids(dataset.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  tree.root_ = tree.BuildNode(&ids, 0, ids.size(), 0);
+  return tree;
+}
+
+std::unique_ptr<KdTreeNode> KdTree::BuildNode(std::vector<PointId>* ids,
+                                              size_t begin, size_t end,
+                                              uint32_t depth) {
+  auto node = std::make_unique<KdTreeNode>();
+  node->bbox = BoundingBox(dataset_->dims());
+  for (size_t i = begin; i < end; ++i) {
+    node->bbox.ExtendPoint(dataset_->Row((*ids)[i]));
+  }
+
+  const size_t count = end - begin;
+  // Split on the widest bbox side; a zero-width box (all duplicates) cannot
+  // be partitioned and stays a leaf regardless of size.
+  uint32_t widest = 0;
+  double width = -1.0;
+  for (size_t d = 0; d < dataset_->dims(); ++d) {
+    const double side = static_cast<double>(node->bbox.hi(d)) - node->bbox.lo(d);
+    if (side > width) {
+      width = side;
+      widest = static_cast<uint32_t>(d);
+    }
+  }
+  if (count <= config_.leaf_size || width <= 0.0) {
+    node->points.assign(ids->begin() + static_cast<ptrdiff_t>(begin),
+                        ids->begin() + static_cast<ptrdiff_t>(end));
+    const Dataset& data = *dataset_;
+    std::sort(node->points.begin(), node->points.end(),
+              [&data](PointId a, PointId b) {
+                return data.Row(a)[0] < data.Row(b)[0];
+              });
+    return node;
+  }
+
+  const size_t mid = begin + count / 2;
+  const Dataset& data = *dataset_;
+  std::nth_element(ids->begin() + static_cast<ptrdiff_t>(begin),
+                   ids->begin() + static_cast<ptrdiff_t>(mid),
+                   ids->begin() + static_cast<ptrdiff_t>(end),
+                   [&data, widest](PointId a, PointId b) {
+                     return data.Row(a)[widest] < data.Row(b)[widest];
+                   });
+  node->split_dim = widest;
+  node->split_value = data.Row((*ids)[mid])[widest];
+  // Guard against a degenerate partition when many points share the median
+  // coordinate: shift the boundary so both sides are non-empty.
+  size_t split_at = mid;
+  // nth_element only guarantees a partition around mid; move duplicates of
+  // the split value to the left side so the predicate (<= goes left) holds.
+  split_at = static_cast<size_t>(
+      std::partition(ids->begin() + static_cast<ptrdiff_t>(begin),
+                     ids->begin() + static_cast<ptrdiff_t>(end),
+                     [&data, widest, node = node.get()](PointId p) {
+                       return data.Row(p)[widest] <= node->split_value;
+                     }) -
+      ids->begin());
+  if (split_at == begin || split_at == end) {
+    // All points on one side (can happen when split_value is the maximum):
+    // fall back to a leaf; width > 0 makes this rare.
+    node->points.assign(ids->begin() + static_cast<ptrdiff_t>(begin),
+                        ids->begin() + static_cast<ptrdiff_t>(end));
+    std::sort(node->points.begin(), node->points.end(),
+              [&data](PointId a, PointId b) {
+                return data.Row(a)[0] < data.Row(b)[0];
+              });
+    return node;
+  }
+  node->left = BuildNode(ids, begin, split_at, depth + 1);
+  node->right = BuildNode(ids, split_at, end, depth + 1);
+  return node;
+}
+
+Status KdTree::RangeQuery(const float* query, double epsilon, Metric metric,
+                          std::vector<PointId>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+  DistanceKernel kernel(metric);
+  const size_t dims = dataset_->dims();
+  std::vector<const KdTreeNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const KdTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->bbox.MinDistanceToPoint(query, dims, metric) > epsilon) continue;
+    if (node->is_leaf()) {
+      for (PointId p : node->points) {
+        if (kernel.WithinEpsilon(query, dataset_->Row(p), dims, epsilon)) {
+          out->push_back(p);
+        }
+      }
+      continue;
+    }
+    stack.push_back(node->left.get());
+    stack.push_back(node->right.get());
+  }
+  return Status::OK();
+}
+
+Status KdTree::KnnQuery(const float* query, size_t k, Metric metric,
+                        std::vector<Neighbor>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  DistanceKernel kernel(metric);
+  const size_t dims = dataset_->dims();
+
+  // Max-heap of the best k found so far, keyed by (distance, id) so the
+  // result is deterministic under distance ties.
+  using HeapEntry = std::pair<double, PointId>;
+  std::vector<HeapEntry> heap;
+  heap.reserve(k + 1);
+  auto worst = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+
+  // Best-first traversal ordered by bbox min-distance.
+  using QueueEntry = std::pair<double, const KdTreeNode*>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  queue.emplace(root_->bbox.MinDistanceToPoint(query, dims, metric),
+                root_.get());
+  while (!queue.empty()) {
+    const auto [lower_bound, node] = queue.top();
+    queue.pop();
+    if (lower_bound > worst()) break;  // nothing closer remains
+    if (node->is_leaf()) {
+      for (PointId p : node->points) {
+        const HeapEntry cand{kernel.Distance(query, dataset_->Row(p), dims), p};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (cand < heap.front()) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end());
+          std::pop_heap(heap.begin(), heap.end());
+          heap.pop_back();
+        }
+      }
+      continue;
+    }
+    queue.emplace(node->left->bbox.MinDistanceToPoint(query, dims, metric),
+                  node->left.get());
+    queue.emplace(node->right->bbox.MinDistanceToPoint(query, dims, metric),
+                  node->right.get());
+  }
+
+  std::sort(heap.begin(), heap.end());
+  out->clear();
+  out->reserve(heap.size());
+  for (const auto& [dist, id] : heap) out->push_back(Neighbor{id, dist});
+  return Status::OK();
+}
+
+namespace {
+
+void WalkStats(const KdTreeNode* node, uint64_t depth, size_t dims,
+               KdTreeStats* stats) {
+  ++stats->nodes;
+  stats->max_depth = std::max(stats->max_depth, depth);
+  stats->memory_bytes += sizeof(KdTreeNode) +
+                         node->points.capacity() * sizeof(PointId) +
+                         2 * dims * sizeof(float);
+  if (node->is_leaf()) {
+    ++stats->leaves;
+    stats->total_points += node->points.size();
+    return;
+  }
+  WalkStats(node->left.get(), depth + 1, dims, stats);
+  WalkStats(node->right.get(), depth + 1, dims, stats);
+}
+
+/// Shared traversal for self- and cross-joins.
+class KdJoinContext {
+ public:
+  KdJoinContext(const Dataset& a_data, const Dataset& b_data, double epsilon,
+                Metric metric, bool self_mode, PairSink* sink)
+      : a_data_(a_data),
+        b_data_(b_data),
+        kernel_(metric),
+        epsilon_(epsilon),
+        self_mode_(self_mode),
+        sink_(sink) {}
+
+  void SelfJoinNode(const KdTreeNode* node) {
+    if (node->is_leaf()) {
+      LeafSelfJoin(node);
+      return;
+    }
+    SelfJoinNode(node->left.get());
+    SelfJoinNode(node->right.get());
+    JoinNodes(node->left.get(), node->right.get());
+  }
+
+  void JoinNodes(const KdTreeNode* a, const KdTreeNode* b) {
+    ++stats_.node_pairs_visited;
+    if (a->bbox.IsEmpty() || b->bbox.IsEmpty() ||
+        a->bbox.MinDistance(b->bbox, kernel_.metric()) > epsilon_) {
+      ++stats_.node_pairs_pruned;
+      return;
+    }
+    if (a->is_leaf() && b->is_leaf()) {
+      LeafCrossJoin(a, b);
+      return;
+    }
+    // Descend the node with the larger bbox volume (or the internal one).
+    const bool descend_a =
+        !a->is_leaf() && (b->is_leaf() || a->bbox.Volume() >= b->bbox.Volume());
+    if (descend_a) {
+      JoinNodes(a->left.get(), b);
+      JoinNodes(a->right.get(), b);
+    } else {
+      JoinNodes(a, b->left.get());
+      JoinNodes(a, b->right.get());
+    }
+  }
+
+  const JoinStats& stats() const { return stats_; }
+
+ private:
+  void TestAndEmit(PointId a, const float* a_row, PointId b, const float* b_row) {
+    ++stats_.candidate_pairs;
+    ++stats_.distance_calls;
+    if (!kernel_.WithinEpsilon(a_row, b_row, a_data_.dims(), epsilon_)) return;
+    ++stats_.pairs_emitted;
+    if (self_mode_ && a > b) std::swap(a, b);
+    sink_->Emit(a, b);
+  }
+
+  void LeafSelfJoin(const KdTreeNode* leaf) {
+    const auto& ids = leaf->points;  // sorted on dim 0
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float* row_i = a_data_.Row(ids[i]);
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        const float* row_j = a_data_.Row(ids[j]);
+        if (static_cast<double>(row_j[0]) - row_i[0] > epsilon_) break;
+        TestAndEmit(ids[i], row_i, ids[j], row_j);
+      }
+    }
+  }
+
+  void LeafCrossJoin(const KdTreeNode* a, const KdTreeNode* b) {
+    size_t window_start = 0;
+    for (PointId a_id : a->points) {
+      const float* a_row = a_data_.Row(a_id);
+      const double lo = static_cast<double>(a_row[0]) - epsilon_;
+      const double hi = static_cast<double>(a_row[0]) + epsilon_;
+      while (window_start < b->points.size() &&
+             static_cast<double>(b_data_.Row(b->points[window_start])[0]) < lo) {
+        ++window_start;
+      }
+      for (size_t j = window_start; j < b->points.size(); ++j) {
+        const float* b_row = b_data_.Row(b->points[j]);
+        if (static_cast<double>(b_row[0]) > hi) break;
+        TestAndEmit(a_id, a_row, b->points[j], b_row);
+      }
+    }
+  }
+
+  const Dataset& a_data_;
+  const Dataset& b_data_;
+  DistanceKernel kernel_;
+  double epsilon_;
+  bool self_mode_;
+  PairSink* sink_;
+  JoinStats stats_;
+};
+
+Status ValidateJoin(const Dataset& a, const Dataset& b, double epsilon,
+                    PairSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (a.dims() != b.dims()) {
+    return Status::InvalidArgument("joined trees index different dimensionalities");
+  }
+  if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+  return Status::OK();
+}
+
+}  // namespace
+
+KdTreeStats KdTree::ComputeStats() const {
+  KdTreeStats stats;
+  WalkStats(root_.get(), 0, dataset_->dims(), &stats);
+  return stats;
+}
+
+Status KdTreeSelfJoin(const KdTree& tree, double epsilon, Metric metric,
+                      PairSink* sink, JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(
+      ValidateJoin(tree.dataset(), tree.dataset(), epsilon, sink));
+  KdJoinContext ctx(tree.dataset(), tree.dataset(), epsilon, metric,
+                    /*self_mode=*/true, sink);
+  ctx.SelfJoinNode(tree.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status KdTreeJoin(const KdTree& a, const KdTree& b, double epsilon,
+                  Metric metric, PairSink* sink, JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateJoin(a.dataset(), b.dataset(), epsilon, sink));
+  KdJoinContext ctx(a.dataset(), b.dataset(), epsilon, metric,
+                    /*self_mode=*/false, sink);
+  ctx.JoinNodes(a.root(), b.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,108 @@
+// k-d tree baseline: median-split binary space partitioning with epsilon
+// range queries and a synchronised-traversal similarity join.
+//
+// The k-d tree is the other classical main-memory comparator for point
+// data: unlike the eps-k-d-B tree it is epsilon-agnostic (median splits,
+// not epsilon stripes), so the join traversal must rely purely on
+// bounding-box distance pruning — the contrast the paper's index exploits.
+
+#ifndef SIMJOIN_BASELINES_KDTREE_H_
+#define SIMJOIN_BASELINES_KDTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Construction parameters.
+struct KdTreeConfig {
+  /// A node with at most this many points stays a leaf.
+  size_t leaf_size = 32;
+
+  Status Validate() const;
+};
+
+/// One k-d tree node: internal nodes split on (dim, value); leaves hold
+/// point ids sorted on dimension 0 (for the join's window sweep).
+struct KdTreeNode {
+  BoundingBox bbox;
+  uint32_t split_dim = 0;
+  float split_value = 0.0f;
+  std::unique_ptr<KdTreeNode> left;   ///< coords[split_dim] <= split_value
+  std::unique_ptr<KdTreeNode> right;  ///< coords[split_dim] >  split_value
+  std::vector<PointId> points;        ///< leaf payload
+
+  bool is_leaf() const { return left == nullptr && right == nullptr; }
+};
+
+/// Structural statistics.
+struct KdTreeStats {
+  uint64_t nodes = 0;
+  uint64_t leaves = 0;
+  uint64_t max_depth = 0;
+  uint64_t total_points = 0;
+  uint64_t memory_bytes = 0;
+};
+
+/// Median-split k-d tree over a dataset it does not own.
+class KdTree {
+ public:
+  /// Builds by recursive median split on the widest dimension.
+  static Result<KdTree> Build(const Dataset& dataset, const KdTreeConfig& config);
+
+  /// Ids of all points within epsilon of the query under the metric.
+  Status RangeQuery(const float* query, double epsilon, Metric metric,
+                    std::vector<PointId>* out) const;
+
+  /// One k-nearest-neighbours result.
+  struct Neighbor {
+    PointId id;
+    double distance;
+  };
+
+  /// The k nearest indexed points to the query under the metric, ascending
+  /// by distance (ties broken by id).  Returns fewer than k when the tree
+  /// holds fewer points.  Branch-and-bound with bbox min-distance pruning.
+  Status KnnQuery(const float* query, size_t k, Metric metric,
+                  std::vector<Neighbor>* out) const;
+
+  const KdTreeNode* root() const { return root_.get(); }
+  const Dataset& dataset() const { return *dataset_; }
+
+  KdTreeStats ComputeStats() const;
+
+  KdTree(KdTree&&) = default;
+  KdTree& operator=(KdTree&&) = default;
+  KdTree(const KdTree&) = delete;
+  KdTree& operator=(const KdTree&) = delete;
+
+ private:
+  KdTree(const Dataset* dataset, KdTreeConfig config);
+
+  std::unique_ptr<KdTreeNode> BuildNode(std::vector<PointId>* ids, size_t begin,
+                                        size_t end, uint32_t depth);
+
+  const Dataset* dataset_;
+  KdTreeConfig config_;
+  std::unique_ptr<KdTreeNode> root_;
+};
+
+/// Self-join via synchronised traversal with bbox min-distance pruning;
+/// canonical (min, max) pairs, each exactly once.
+Status KdTreeSelfJoin(const KdTree& tree, double epsilon, Metric metric,
+                      PairSink* sink, JoinStats* stats = nullptr);
+
+/// Two-tree join; pairs are (id in a, id in b).
+Status KdTreeJoin(const KdTree& a, const KdTree& b, double epsilon,
+                  Metric metric, PairSink* sink, JoinStats* stats = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_BASELINES_KDTREE_H_

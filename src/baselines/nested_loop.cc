@@ -1,0 +1,70 @@
+#include "baselines/nested_loop.h"
+
+namespace simjoin {
+namespace {
+
+Status ValidateJoinArgs(const Dataset& a, const Dataset& b, double epsilon,
+                        PairSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("join inputs must be non-empty");
+  }
+  if (a.dims() != b.dims()) {
+    return Status::InvalidArgument("join inputs have different dimensionality");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status NestedLoopSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                          PairSink* sink, JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateJoinArgs(data, data, epsilon, sink));
+  DistanceKernel kernel(metric);
+  JoinStats local;
+  const size_t n = data.size();
+  const size_t dims = data.dims();
+  for (size_t i = 0; i < n; ++i) {
+    const float* row_i = data.Row(static_cast<PointId>(i));
+    for (size_t j = i + 1; j < n; ++j) {
+      ++local.candidate_pairs;
+      ++local.distance_calls;
+      if (kernel.WithinEpsilon(row_i, data.Row(static_cast<PointId>(j)), dims,
+                               epsilon)) {
+        ++local.pairs_emitted;
+        sink->Emit(static_cast<PointId>(i), static_cast<PointId>(j));
+      }
+    }
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+Status NestedLoopJoin(const Dataset& a, const Dataset& b, double epsilon,
+                      Metric metric, PairSink* sink, JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateJoinArgs(a, b, epsilon, sink));
+  DistanceKernel kernel(metric);
+  JoinStats local;
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  const size_t dims = a.dims();
+  for (size_t i = 0; i < na; ++i) {
+    const float* row_i = a.Row(static_cast<PointId>(i));
+    for (size_t j = 0; j < nb; ++j) {
+      ++local.candidate_pairs;
+      ++local.distance_calls;
+      if (kernel.WithinEpsilon(row_i, b.Row(static_cast<PointId>(j)), dims,
+                               epsilon)) {
+        ++local.pairs_emitted;
+        sink->Emit(static_cast<PointId>(i), static_cast<PointId>(j));
+      }
+    }
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+}  // namespace simjoin

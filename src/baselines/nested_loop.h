@@ -1,0 +1,25 @@
+// Brute-force (block nested loop) similarity join — the paper's lower
+// baseline and the correctness oracle for every other algorithm's tests.
+
+#ifndef SIMJOIN_BASELINES_NESTED_LOOP_H_
+#define SIMJOIN_BASELINES_NESTED_LOOP_H_
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// All unordered pairs {a, b}, a != b, with dist(a, b) <= epsilon, emitted
+/// once in (min, max) order.  O(n^2) distance tests with early exit.
+Status NestedLoopSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                          PairSink* sink, JoinStats* stats = nullptr);
+
+/// All (a in A, b in B) pairs with dist(a, b) <= epsilon.  O(|A|*|B|).
+Status NestedLoopJoin(const Dataset& a, const Dataset& b, double epsilon,
+                      Metric metric, PairSink* sink, JoinStats* stats = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_BASELINES_NESTED_LOOP_H_

@@ -1,0 +1,120 @@
+#include "baselines/sort_merge.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace simjoin {
+namespace {
+
+Status ValidateArgs(const Dataset& a, const Dataset& b, double epsilon,
+                    PairSink* sink, uint32_t sort_dim) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("join inputs must be non-empty");
+  }
+  if (a.dims() != b.dims()) {
+    return Status::InvalidArgument("join inputs have different dimensionality");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (sort_dim != SortMergeConfig::kAutoDim && sort_dim >= a.dims()) {
+    return Status::InvalidArgument("sort_dim out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<PointId> SortedIds(const Dataset& data, uint32_t dim) {
+  std::vector<PointId> ids(data.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  std::sort(ids.begin(), ids.end(), [&data, dim](PointId a, PointId b) {
+    return data.Row(a)[dim] < data.Row(b)[dim];
+  });
+  return ids;
+}
+
+}  // namespace
+
+uint32_t MaxVarianceDim(const Dataset& data) {
+  uint32_t best_dim = 0;
+  double best_var = -1.0;
+  for (uint32_t d = 0; d < data.dims(); ++d) {
+    RunningStats col;
+    for (size_t i = 0; i < data.size(); ++i) {
+      col.Add(data.Row(static_cast<PointId>(i))[d]);
+    }
+    if (col.variance() > best_var) {
+      best_var = col.variance();
+      best_dim = d;
+    }
+  }
+  return best_dim;
+}
+
+Status SortMergeSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                         const SortMergeConfig& config, PairSink* sink,
+                         JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateArgs(data, data, epsilon, sink, config.sort_dim));
+  const uint32_t dim = config.sort_dim == SortMergeConfig::kAutoDim
+                           ? MaxVarianceDim(data)
+                           : config.sort_dim;
+  const std::vector<PointId> ids = SortedIds(data, dim);
+  DistanceKernel kernel(metric);
+  JoinStats local;
+  const size_t dims = data.dims();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* row_i = data.Row(ids[i]);
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      const float* row_j = data.Row(ids[j]);
+      if (static_cast<double>(row_j[dim]) - row_i[dim] > epsilon) break;
+      ++local.candidate_pairs;
+      ++local.distance_calls;
+      if (kernel.WithinEpsilon(row_i, row_j, dims, epsilon)) {
+        ++local.pairs_emitted;
+        sink->Emit(std::min(ids[i], ids[j]), std::max(ids[i], ids[j]));
+      }
+    }
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+Status SortMergeJoin(const Dataset& a, const Dataset& b, double epsilon,
+                     Metric metric, const SortMergeConfig& config, PairSink* sink,
+                     JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateArgs(a, b, epsilon, sink, config.sort_dim));
+  const uint32_t dim = config.sort_dim == SortMergeConfig::kAutoDim
+                           ? MaxVarianceDim(a)
+                           : config.sort_dim;
+  const std::vector<PointId> a_ids = SortedIds(a, dim);
+  const std::vector<PointId> b_ids = SortedIds(b, dim);
+  DistanceKernel kernel(metric);
+  JoinStats local;
+  const size_t dims = a.dims();
+  size_t window_start = 0;
+  for (PointId a_id : a_ids) {
+    const float* a_row = a.Row(a_id);
+    const double lo = static_cast<double>(a_row[dim]) - epsilon;
+    const double hi = static_cast<double>(a_row[dim]) + epsilon;
+    while (window_start < b_ids.size() &&
+           static_cast<double>(b.Row(b_ids[window_start])[dim]) < lo) {
+      ++window_start;
+    }
+    for (size_t j = window_start; j < b_ids.size(); ++j) {
+      const float* b_row = b.Row(b_ids[j]);
+      if (static_cast<double>(b_row[dim]) > hi) break;
+      ++local.candidate_pairs;
+      ++local.distance_calls;
+      if (kernel.WithinEpsilon(a_row, b_row, dims, epsilon)) {
+        ++local.pairs_emitted;
+        sink->Emit(a_id, b_ids[j]);
+      }
+    }
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,46 @@
+// One-dimensional projection sort-merge (band) join.
+//
+// The classical pre-spatial-index approach: sort all points on a single
+// dimension, then for each point test only the points whose projection lies
+// within epsilon (a sliding window over the sorted order).  The window
+// filter is sound for every L_p metric because a single coordinate
+// difference lower-bounds the full distance — but the filter's selectivity
+// collapses as dimensionality grows, which is precisely the effect the
+// paper's dimensionality experiment (R3) demonstrates.
+
+#ifndef SIMJOIN_BASELINES_SORT_MERGE_H_
+#define SIMJOIN_BASELINES_SORT_MERGE_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Options for the sort-merge join.
+struct SortMergeConfig {
+  /// Dimension to sort on.  kAutoDim picks the column with maximum variance
+  /// (the most selective 1-D filter).
+  static constexpr uint32_t kAutoDim = UINT32_MAX;
+  uint32_t sort_dim = kAutoDim;
+};
+
+/// Self-join via a 1-D sorted sweep; emits canonical (min, max) pairs.
+Status SortMergeSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                         const SortMergeConfig& config, PairSink* sink,
+                         JoinStats* stats = nullptr);
+
+/// Two-dataset join via a shared 1-D sorted sweep; emits (id in A, id in B).
+Status SortMergeJoin(const Dataset& a, const Dataset& b, double epsilon,
+                     Metric metric, const SortMergeConfig& config, PairSink* sink,
+                     JoinStats* stats = nullptr);
+
+/// Picks the dimension with maximum variance (what kAutoDim resolves to).
+uint32_t MaxVarianceDim(const Dataset& data);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_BASELINES_SORT_MERGE_H_

@@ -1,0 +1,86 @@
+#include "common/args.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace simjoin {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::AddFlag(const std::string& name, const std::string& default_value,
+                        const std::string& help) {
+  SIMJOIN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " is missing a value");
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" + Help());
+    }
+    it->second.value = std::move(value);
+  }
+  return Status::OK();
+}
+
+std::string ArgParser::Help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+const ArgParser::Flag& ArgParser::Find(const std::string& name) const {
+  auto it = flags_.find(name);
+  SIMJOIN_CHECK(it != flags_.end()) << "flag --" << name << " was not declared";
+  return it->second;
+}
+
+std::string ArgParser::GetString(const std::string& name) const {
+  return Find(name).value;
+}
+
+int64_t ArgParser::GetInt(const std::string& name) const {
+  return std::stoll(Find(name).value);
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  return std::stod(Find(name).value);
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  std::string v = Find(name).value;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace simjoin

@@ -1,0 +1,61 @@
+// Tiny command-line flag parser used by bench binaries and examples.
+// Flags are of the form --name=value or --name value; unknown flags are an
+// error so typos never silently run the wrong experiment.
+
+#ifndef SIMJOIN_COMMON_ARGS_H_
+#define SIMJOIN_COMMON_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Declarative flag set: declare defaults, Parse(argv), then read values.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Declares a flag with a default and a help string.  Must precede Parse.
+  void AddFlag(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv.  Returns InvalidArgument for unknown flags or missing
+  /// values.  "--help" sets help_requested() instead of failing.
+  Status Parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage text listing every declared flag.
+  std::string Help() const;
+
+  /// Accessors; fatal if the flag was never declared.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& Find(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_ARGS_H_

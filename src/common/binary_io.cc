@@ -1,0 +1,103 @@
+#include "common/binary_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace simjoin {
+namespace {
+
+constexpr uint32_t kMagic = 0x534a4442;  // "SJDB"
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t num_points;
+  uint64_t dims;
+};
+
+}  // namespace
+
+Status WriteBinaryDataset(const Dataset& dataset, const std::string& path) {
+  if (dataset.dims() == 0) {
+    return Status::InvalidArgument("cannot serialise a dimensionless dataset");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  const Header header{kMagic, kVersion, dataset.size(), dataset.dims()};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(dataset.flat().data()),
+            static_cast<std::streamsize>(dataset.flat().size() * sizeof(float)));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinaryDataset(const std::string& path) {
+  BinaryDatasetReader reader;
+  SIMJOIN_RETURN_NOT_OK(reader.Open(path));
+  Dataset all(reader.total_points(), reader.dims());
+  Dataset batch;
+  size_t offset = 0;
+  while (!reader.AtEnd()) {
+    PointId first_id = 0;
+    SIMJOIN_RETURN_NOT_OK(reader.ReadBatch(1 << 16, &batch, &first_id));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::memcpy(all.MutableRow(static_cast<PointId>(offset + i)),
+                  batch.Row(static_cast<PointId>(i)),
+                  reader.dims() * sizeof(float));
+    }
+    offset += batch.size();
+  }
+  return all;
+}
+
+Status BinaryDatasetReader::Open(const std::string& path) {
+  in_.open(path, std::ios::binary);
+  if (!in_) {
+    return Status::IoError("cannot open for reading: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  Header header{};
+  in_.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in_ || header.magic != kMagic) {
+    return Status::InvalidArgument("not a simjoin binary dataset: " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::InvalidArgument("unsupported binary dataset version " +
+                                   std::to_string(header.version));
+  }
+  if (header.dims == 0) {
+    return Status::InvalidArgument("binary dataset has zero dims: " + path);
+  }
+  total_points_ = header.num_points;
+  dims_ = header.dims;
+  points_read_ = 0;
+  return Status::OK();
+}
+
+Status BinaryDatasetReader::ReadBatch(size_t max_points, Dataset* batch,
+                                      PointId* first_id) {
+  if (batch == nullptr || first_id == nullptr) {
+    return Status::InvalidArgument("batch and first_id must not be null");
+  }
+  if (max_points == 0) {
+    return Status::InvalidArgument("max_points must be positive");
+  }
+  const size_t remaining = total_points_ - points_read_;
+  const size_t count = std::min(max_points, remaining);
+  *first_id = static_cast<PointId>(points_read_);
+  batch->Reset(count, dims_);
+  if (count == 0) return Status::OK();
+  in_.read(reinterpret_cast<char*>(batch->MutableRow(0)),
+           static_cast<std::streamsize>(count * dims_ * sizeof(float)));
+  if (!in_) return Status::IoError("truncated binary dataset");
+  points_read_ += count;
+  return Status::OK();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,57 @@
+// Binary dataset persistence and streaming reads — the substrate for the
+// out-of-core join (core/external_join.h).  The format is a fixed header
+// (magic, version, n, dims) followed by row-major float32 payload; it
+// round-trips exactly (unlike CSV) and supports batched sequential reads so
+// datasets larger than memory can be streamed.
+
+#ifndef SIMJOIN_COMMON_BINARY_IO_H_
+#define SIMJOIN_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Writes the dataset in simjoin binary format (exact round-trip).
+Status WriteBinaryDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a whole binary dataset into memory.
+Result<Dataset> ReadBinaryDataset(const std::string& path);
+
+/// Sequential batched reader over a binary dataset file.  Usage:
+///   BinaryDatasetReader reader;
+///   RETURN_NOT_OK(reader.Open(path));
+///   while (!reader.AtEnd()) { reader.ReadBatch(64 << 10, &batch); ... }
+class BinaryDatasetReader {
+ public:
+  /// Opens the file and parses the header.
+  Status Open(const std::string& path);
+
+  /// Total number of points in the file (valid after Open).
+  size_t total_points() const { return total_points_; }
+  /// Point dimensionality (valid after Open).
+  size_t dims() const { return dims_; }
+  /// Number of points consumed so far.
+  size_t points_read() const { return points_read_; }
+  /// True once every point has been returned.
+  bool AtEnd() const { return points_read_ >= total_points_; }
+
+  /// Reads up to max_points into *batch (replacing its contents) and
+  /// appends the corresponding global row indices to *first_id (the id of
+  /// batch row 0); subsequent rows are consecutive.
+  Status ReadBatch(size_t max_points, Dataset* batch, PointId* first_id);
+
+ private:
+  std::ifstream in_;
+  size_t total_points_ = 0;
+  size_t dims_ = 0;
+  size_t points_read_ = 0;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_BINARY_IO_H_

@@ -1,0 +1,150 @@
+#include "common/bounding_box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace simjoin {
+
+BoundingBox::BoundingBox(size_t dims)
+    : lo_(dims, std::numeric_limits<float>::infinity()),
+      hi_(dims, -std::numeric_limits<float>::infinity()) {}
+
+BoundingBox BoundingBox::FromPoint(const float* p, size_t dims) {
+  BoundingBox box(dims);
+  box.ExtendPoint(p);
+  return box;
+}
+
+void BoundingBox::ExtendPoint(const float* p) {
+  SIMJOIN_CHECK_GT(dims(), 0u);
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], p[d]);
+    hi_[d] = std::max(hi_[d], p[d]);
+  }
+  empty_ = false;
+}
+
+void BoundingBox::ExtendBox(const BoundingBox& other) {
+  if (other.empty_) return;
+  SIMJOIN_CHECK_EQ(dims(), other.dims());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+  empty_ = false;
+}
+
+bool BoundingBox::ContainsPoint(const float* p) const {
+  if (empty_) return false;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool BoundingBox::ContainsBox(const BoundingBox& other) const {
+  if (empty_ || other.empty_) return false;
+  SIMJOIN_CHECK_EQ(dims(), other.dims());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  if (empty_ || other.empty_) return false;
+  SIMJOIN_CHECK_EQ(dims(), other.dims());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+double BoundingBox::MinDistance(const BoundingBox& other, Metric metric) const {
+  SIMJOIN_CHECK(!empty_ && !other.empty_) << "MinDistance on empty box";
+  SIMJOIN_CHECK_EQ(dims(), other.dims());
+  double acc = 0.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double gap =
+        std::max({0.0, static_cast<double>(lo_[d]) - other.hi_[d],
+                  static_cast<double>(other.lo_[d]) - hi_[d]});
+    switch (metric) {
+      case Metric::kL1:
+        acc += gap;
+        break;
+      case Metric::kL2:
+        acc += gap * gap;
+        break;
+      case Metric::kLinf:
+        acc = std::max(acc, gap);
+        break;
+    }
+  }
+  return metric == Metric::kL2 ? std::sqrt(acc) : acc;
+}
+
+double BoundingBox::MinDistanceToPoint(const float* p, size_t point_dims,
+                                       Metric metric) const {
+  SIMJOIN_CHECK(!empty_);
+  SIMJOIN_CHECK_EQ(dims(), point_dims);
+  double acc = 0.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double gap = std::max({0.0, static_cast<double>(lo_[d]) - p[d],
+                                 static_cast<double>(p[d]) - hi_[d]});
+    switch (metric) {
+      case Metric::kL1:
+        acc += gap;
+        break;
+      case Metric::kL2:
+        acc += gap * gap;
+        break;
+      case Metric::kLinf:
+        acc = std::max(acc, gap);
+        break;
+    }
+  }
+  return metric == Metric::kL2 ? std::sqrt(acc) : acc;
+}
+
+double BoundingBox::Margin() const {
+  if (empty_) return 0.0;
+  double acc = 0.0;
+  for (size_t d = 0; d < lo_.size(); ++d) acc += static_cast<double>(hi_[d]) - lo_[d];
+  return acc;
+}
+
+double BoundingBox::Volume() const {
+  if (empty_) return 0.0;
+  double acc = 1.0;
+  for (size_t d = 0; d < lo_.size(); ++d) acc *= static_cast<double>(hi_[d]) - lo_[d];
+  return acc;
+}
+
+double BoundingBox::OverlapVolume(const BoundingBox& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  SIMJOIN_CHECK_EQ(dims(), other.dims());
+  double acc = 1.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double side = std::min(static_cast<double>(hi_[d]), static_cast<double>(other.hi_[d])) -
+                        std::max(static_cast<double>(lo_[d]), static_cast<double>(other.lo_[d]));
+    if (side <= 0.0) return 0.0;
+    acc *= side;
+  }
+  return acc;
+}
+
+std::string BoundingBox::ToString() const {
+  if (empty_) return "[empty]";
+  std::ostringstream os;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (d > 0) os << "x";
+    os << "[" << lo_[d] << "," << hi_[d] << "]";
+  }
+  return os.str();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,79 @@
+// Axis-aligned bounding boxes and the box-to-box minimum-distance lower
+// bound used for pruning by both the eps-k-d-B tree and the R-tree join.
+
+#ifndef SIMJOIN_COMMON_BOUNDING_BOX_H_
+#define SIMJOIN_COMMON_BOUNDING_BOX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/metric.h"
+
+namespace simjoin {
+
+/// Axis-aligned box in d dimensions.  An empty box (no points folded in yet)
+/// has inverted bounds and absorbs anything extended into it.
+class BoundingBox {
+ public:
+  BoundingBox() = default;
+
+  /// Empty (inverted) box of the given dimensionality.
+  explicit BoundingBox(size_t dims);
+
+  /// Box spanning exactly one point.
+  static BoundingBox FromPoint(const float* p, size_t dims);
+
+  size_t dims() const { return lo_.size(); }
+  bool IsEmpty() const { return empty_; }
+
+  const std::vector<float>& lo() const { return lo_; }
+  const std::vector<float>& hi() const { return hi_; }
+  float lo(size_t d) const { return lo_[d]; }
+  float hi(size_t d) const { return hi_[d]; }
+
+  /// Grows the box to include the point.
+  void ExtendPoint(const float* p);
+
+  /// Grows the box to include another box.
+  void ExtendBox(const BoundingBox& other);
+
+  /// True iff the point lies inside (closed bounds).
+  bool ContainsPoint(const float* p) const;
+
+  /// True iff other is fully inside this box (closed bounds).
+  bool ContainsBox(const BoundingBox& other) const;
+
+  /// True iff the boxes overlap (closed bounds).
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Lower bound on the distance between any point of this box and any
+  /// point of other, under the given metric.  Returns 0 for overlapping
+  /// boxes.  Comparing MinDistance > eps is a sound prune for the
+  /// similarity-join predicate dist <= eps.
+  double MinDistance(const BoundingBox& other, Metric metric) const;
+
+  /// Lower bound on the distance from a point to this box.
+  double MinDistanceToPoint(const float* p, size_t dims, Metric metric) const;
+
+  /// Sum of side lengths (the "margin"); empty boxes report 0.
+  double Margin() const;
+
+  /// Product of side lengths; empty boxes report 0.
+  double Volume() const;
+
+  /// Volume of the intersection with other (0 when disjoint).
+  double OverlapVolume(const BoundingBox& other) const;
+
+  /// Debug representation "[lo0,hi0]x[lo1,hi1]...".
+  std::string ToString() const;
+
+ private:
+  bool empty_ = true;
+  std::vector<float> lo_;
+  std::vector<float> hi_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_BOUNDING_BOX_H_

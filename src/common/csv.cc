@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace simjoin {
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  out.precision(9);
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = dataset.Row(static_cast<PointId>(i));
+    for (size_t j = 0; j < d; ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  Dataset ds;
+  std::string line;
+  std::vector<float> row;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    row.clear();
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        size_t consumed = 0;
+        const float v = std::stof(cell, &consumed);
+        // Allow trailing whitespace only.
+        for (size_t k = consumed; k < cell.size(); ++k) {
+          if (!std::isspace(static_cast<unsigned char>(cell[k]))) {
+            return Status::InvalidArgument("non-numeric cell '" + cell +
+                                           "' at line " + std::to_string(line_no));
+          }
+        }
+        row.push_back(v);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("non-numeric cell '" + cell +
+                                       "' at line " + std::to_string(line_no));
+      }
+    }
+    if (row.empty()) continue;
+    if (ds.dims() != 0 && row.size() != ds.dims()) {
+      return Status::InvalidArgument(
+          "ragged CSV: line " + std::to_string(line_no) + " has " +
+          std::to_string(row.size()) + " cells, expected " +
+          std::to_string(ds.dims()));
+    }
+    ds.Append(row);
+  }
+  if (ds.empty()) return Status::InvalidArgument("CSV contains no rows: " + path);
+  return ds;
+}
+
+}  // namespace simjoin

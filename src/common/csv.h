@@ -1,0 +1,22 @@
+// Minimal CSV persistence for datasets — enough to round-trip generated
+// workloads and to let examples load user data.
+
+#ifndef SIMJOIN_COMMON_CSV_H_
+#define SIMJOIN_COMMON_CSV_H_
+
+#include <string>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Writes one point per line, coordinates comma-separated, no header.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a headerless numeric CSV; every row must have the same arity.
+Result<Dataset> ReadCsv(const std::string& path);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_CSV_H_

@@ -1,0 +1,106 @@
+#include "common/dataset.h"
+
+#include <algorithm>
+
+namespace simjoin {
+
+Dataset::Dataset(size_t n, size_t dims) : dims_(dims), values_(n * dims, 0.0f) {
+  SIMJOIN_CHECK_GT(dims, 0u) << "Dataset dimensionality must be positive";
+}
+
+Result<Dataset> Dataset::FromFlat(std::vector<float> values, size_t dims) {
+  if (dims == 0) {
+    return Status::InvalidArgument("Dataset dimensionality must be positive");
+  }
+  if (values.size() % dims != 0) {
+    return Status::InvalidArgument(
+        "flat buffer length " + std::to_string(values.size()) +
+        " is not a multiple of dims " + std::to_string(dims));
+  }
+  Dataset ds;
+  ds.dims_ = dims;
+  ds.values_ = std::move(values);
+  return ds;
+}
+
+void Dataset::Append(std::span<const float> row) {
+  if (dims_ == 0) {
+    SIMJOIN_CHECK_GT(row.size(), 0u);
+    dims_ = row.size();
+  }
+  SIMJOIN_CHECK_EQ(row.size(), dims_) << "row dimensionality mismatch";
+  values_.insert(values_.end(), row.begin(), row.end());
+}
+
+void Dataset::Reset(size_t n, size_t dims) {
+  SIMJOIN_CHECK_GT(dims, 0u);
+  dims_ = dims;
+  values_.assign(n * dims, 0.0f);
+}
+
+Dataset Dataset::Select(std::span<const PointId> ids) const {
+  SIMJOIN_CHECK_GT(dims_, 0u);
+  Dataset out(ids.size(), dims_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* src = Row(ids[i]);
+    std::copy(src, src + dims_, out.MutableRow(static_cast<PointId>(i)));
+  }
+  return out;
+}
+
+void Dataset::Concat(const Dataset& other) {
+  if (other.empty()) return;
+  if (dims_ == 0) {
+    dims_ = other.dims_;
+  }
+  SIMJOIN_CHECK_EQ(dims_, other.dims_) << "Concat dimensionality mismatch";
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+std::vector<float> Dataset::ColumnMin() const {
+  if (empty()) return {};
+  std::vector<float> out(Row(0), Row(0) + dims_);
+  const size_t n = size();
+  for (size_t i = 1; i < n; ++i) {
+    const float* row = Row(static_cast<PointId>(i));
+    for (size_t j = 0; j < dims_; ++j) out[j] = std::min(out[j], row[j]);
+  }
+  return out;
+}
+
+std::vector<float> Dataset::ColumnMax() const {
+  if (empty()) return {};
+  std::vector<float> out(Row(0), Row(0) + dims_);
+  const size_t n = size();
+  for (size_t i = 1; i < n; ++i) {
+    const float* row = Row(static_cast<PointId>(i));
+    for (size_t j = 0; j < dims_; ++j) out[j] = std::max(out[j], row[j]);
+  }
+  return out;
+}
+
+Dataset::NormalizationInfo Dataset::NormalizeToUnitCube() {
+  NormalizationInfo info;
+  info.min = ColumnMin();
+  info.max = ColumnMax();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    float* row = MutableRow(static_cast<PointId>(i));
+    for (size_t j = 0; j < dims_; ++j) {
+      const float span = info.max[j] - info.min[j];
+      row[j] = span > 0.0f ? (row[j] - info.min[j]) / span : 0.5f;
+    }
+  }
+  return info;
+}
+
+bool Dataset::AllWithin(float lo, float hi) const {
+  return std::all_of(values_.begin(), values_.end(),
+                     [lo, hi](float v) { return v >= lo && v <= hi; });
+}
+
+uint64_t Dataset::MemoryUsageBytes() const {
+  return sizeof(Dataset) + values_.capacity() * sizeof(float);
+}
+
+}  // namespace simjoin

@@ -1,0 +1,106 @@
+// Dataset: the in-memory point collection every algorithm in the library
+// operates on.  Points are rows of a dense row-major float matrix; a point
+// is identified by its row index (PointId).  Row-major layout keeps one
+// point's coordinates contiguous, which is what the distance kernels and the
+// eps-k-d-B tree leaf sweeps want.
+
+#ifndef SIMJOIN_COMMON_DATASET_H_
+#define SIMJOIN_COMMON_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Identifier of a point within a Dataset (its row index).
+using PointId = uint32_t;
+
+/// Dense row-major collection of d-dimensional float points.
+class Dataset {
+ public:
+  /// Empty dataset with zero dimensions; Reset() before use.
+  Dataset() = default;
+
+  /// n points of dimensionality dims, zero-initialised.
+  Dataset(size_t n, size_t dims);
+
+  /// Builds a dataset from a flat row-major buffer.  Fails if the buffer
+  /// length is not a multiple of dims or dims is zero.
+  static Result<Dataset> FromFlat(std::vector<float> values, size_t dims);
+
+  /// Number of points.
+  size_t size() const { return dims_ == 0 ? 0 : values_.size() / dims_; }
+  /// Dimensionality of each point.
+  size_t dims() const { return dims_; }
+  bool empty() const { return values_.empty(); }
+
+  /// Read-only pointer to the coordinates of point id.
+  const float* Row(PointId id) const {
+    SIMJOIN_CHECK_LT(static_cast<size_t>(id), size());
+    return values_.data() + static_cast<size_t>(id) * dims_;
+  }
+
+  /// Mutable pointer to the coordinates of point id.
+  float* MutableRow(PointId id) {
+    SIMJOIN_CHECK_LT(static_cast<size_t>(id), size());
+    return values_.data() + static_cast<size_t>(id) * dims_;
+  }
+
+  /// Read-only view of the coordinates of point id.
+  std::span<const float> RowSpan(PointId id) const {
+    return std::span<const float>(Row(id), dims_);
+  }
+
+  /// Appends one point; the span length must equal dims() (or, for an empty
+  /// dataset with unset dims, defines the dimensionality).
+  void Append(std::span<const float> row);
+
+  /// Drops all points but keeps the dimensionality.
+  void Clear() { values_.clear(); }
+
+  /// Reinitialises to n zero points of the given dimensionality.
+  void Reset(size_t n, size_t dims);
+
+  /// New dataset holding copies of the given rows, in the given order
+  /// (duplicates allowed).
+  Dataset Select(std::span<const PointId> ids) const;
+
+  /// Appends every row of other; dimensionalities must match (or this
+  /// dataset must be empty with unset dims).
+  void Concat(const Dataset& other);
+
+  /// Raw flat row-major storage.
+  const std::vector<float>& flat() const { return values_; }
+
+  /// Coordinate-wise minimum over all points; empty if the dataset is empty.
+  std::vector<float> ColumnMin() const;
+  /// Coordinate-wise maximum over all points; empty if the dataset is empty.
+  std::vector<float> ColumnMax() const;
+
+  /// Affinely rescales every column to [0, 1] in place (columns with zero
+  /// spread map to 0.5).  Returns the per-column (min, max) used, so callers
+  /// can map query points or epsilon into the normalised space.
+  struct NormalizationInfo {
+    std::vector<float> min;
+    std::vector<float> max;
+  };
+  NormalizationInfo NormalizeToUnitCube();
+
+  /// True if every coordinate lies within [lo, hi].
+  bool AllWithin(float lo, float hi) const;
+
+  /// Approximate heap footprint in bytes.
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  size_t dims_ = 0;
+  std::vector<float> values_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_DATASET_H_

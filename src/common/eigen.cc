@@ -1,0 +1,121 @@
+#include "common/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace simjoin {
+
+Result<EigenDecomposition> JacobiEigenSymmetric(
+    const std::vector<double>& matrix, size_t n, double symmetry_tolerance) {
+  if (n == 0 || matrix.size() != n * n) {
+    return Status::InvalidArgument("matrix must be non-empty and square");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(matrix[i * n + j] - matrix[j * n + i]) >
+          symmetry_tolerance) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  // Work on a copy A; V accumulates the rotations (initially identity).
+  std::vector<double> a = matrix;
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const size_t max_sweeps = 100;
+  const double tol = 1e-24;
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squares of off-diagonal elements.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    }
+    if (off <= tol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        // tan of the rotation angle, the stable small-angle root.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to A (rows/cols p and q).
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate into V.
+        for (size_t k = 0; k < n; ++k) {
+          const double vpk = v[p * n + k];
+          const double vqk = v[q * n + k];
+          v[p * n + k] = c * vpk - s * vqk;
+          v[q * n + k] = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&a, n](size_t x, size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  EigenDecomposition out;
+  out.n = n;
+  out.values.resize(n);
+  out.vectors.resize(n * n);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t src = order[r];
+    out.values[r] = a[src * n + src];
+    for (size_t k = 0; k < n; ++k) out.vectors[r * n + k] = v[src * n + k];
+  }
+  return out;
+}
+
+std::vector<double> CovarianceMatrix(const std::vector<double>& flat, size_t n,
+                                     size_t dims) {
+  std::vector<double> mean(dims, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) mean[d] += flat[i * dims + d];
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+
+  std::vector<double> cov(dims * dims, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d1 = 0; d1 < dims; ++d1) {
+      const double c1 = flat[i * dims + d1] - mean[d1];
+      for (size_t d2 = d1; d2 < dims; ++d2) {
+        cov[d1 * dims + d2] += c1 * (flat[i * dims + d2] - mean[d2]);
+      }
+    }
+  }
+  const double inv = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (size_t d1 = 0; d1 < dims; ++d1) {
+    for (size_t d2 = d1; d2 < dims; ++d2) {
+      cov[d1 * dims + d2] *= inv;
+      cov[d2 * dims + d1] = cov[d1 * dims + d2];
+    }
+  }
+  return cov;
+}
+
+}  // namespace simjoin

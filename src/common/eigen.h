@@ -1,0 +1,39 @@
+// Dense symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Small-matrix substrate for dataset profiling (covariance spectra, the
+// effective-dimensionality estimate that drives the join planner).  Jacobi
+// is slow for large n but simple, numerically robust, and exact enough for
+// the d <= ~128 covariance matrices this library meets.
+
+#ifndef SIMJOIN_COMMON_EIGEN_H_
+#define SIMJOIN_COMMON_EIGEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Eigenvalues (descending) and matching orthonormal eigenvectors
+/// (vectors[i*n .. i*n+n) is the eigenvector of values[i]).
+struct EigenDecomposition {
+  std::vector<double> values;
+  std::vector<double> vectors;  ///< row-major, one eigenvector per row
+  size_t n = 0;
+};
+
+/// Decomposes a symmetric n x n matrix (row-major).  Fails if the matrix is
+/// empty, not square, or not symmetric within `symmetry_tolerance`.
+Result<EigenDecomposition> JacobiEigenSymmetric(
+    const std::vector<double>& matrix, size_t n,
+    double symmetry_tolerance = 1e-9);
+
+/// Row-major covariance matrix (dims x dims) of a flat row-major sample
+/// collection; divisor is the population size n.
+std::vector<double> CovarianceMatrix(const std::vector<double>& flat, size_t n,
+                                     size_t dims);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_EIGEN_H_

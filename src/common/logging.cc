@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace simjoin {
+namespace internal {
+namespace {
+
+std::atomic<int> g_test_override{-1};
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("SIMJOIN_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const int v = std::atoi(env);
+  if (v < 0) return LogLevel::kDebug;
+  if (v > 4) return LogLevel::kFatal;
+  return static_cast<LogLevel>(v);
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  const int override_level = g_test_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) return static_cast<LogLevel>(override_level);
+  static const LogLevel cached = LevelFromEnv();
+  return cached;
+}
+
+void SetMinLogLevelForTesting(int level) {
+  g_test_override.store(level, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LogLevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace simjoin

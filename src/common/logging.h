@@ -1,0 +1,101 @@
+// Minimal logging and assertion facility for the simjoin library.
+//
+// Provides leveled logging (SIMJOIN_LOG) and fatal-on-failure invariants
+// (SIMJOIN_CHECK family).  Checks are enabled in all build types: the library
+// is a research artifact and silent invariant violations would invalidate
+// experimental results, which is worse than the (negligible) branch cost.
+
+#ifndef SIMJOIN_COMMON_LOGGING_H_
+#define SIMJOIN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace simjoin {
+
+/// Severity for log messages.  kFatal messages abort the process after
+/// printing; everything else is advisory.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Returns the minimum level that will actually be emitted.  Controlled by
+/// the SIMJOIN_LOG_LEVEL environment variable (0..4, default 1 = info).
+LogLevel MinLogLevel();
+
+/// Allows tests to override the minimum level without touching the
+/// environment.  Pass a negative value to restore environment control.
+void SetMinLogLevelForTesting(int level);
+
+/// Stream-style log sink.  Instantiated by the SIMJOIN_LOG macro; the
+/// destructor flushes the accumulated message (and aborts for kFatal).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used when a message is compiled in
+/// but filtered out at runtime.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Human-readable name for a log level ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+#define SIMJOIN_LOG(level)                                                  \
+  ::simjoin::internal::LogMessage(::simjoin::LogLevel::k##level, __FILE__, \
+                                  __LINE__)                                 \
+      .stream()
+
+// Fatal invariant checks.  SIMJOIN_CHECK(cond) aborts with a diagnostic when
+// cond is false; the binary comparison forms print both operand values.
+#define SIMJOIN_CHECK(cond)                                             \
+  if (!(cond))                                                          \
+  ::simjoin::internal::LogMessage(::simjoin::LogLevel::kFatal, __FILE__, \
+                                  __LINE__)                             \
+          .stream()                                                     \
+      << "Check failed: " #cond " "
+
+#define SIMJOIN_CHECK_OP(op, a, b)                                       \
+  if (!((a)op(b)))                                                       \
+  ::simjoin::internal::LogMessage(::simjoin::LogLevel::kFatal, __FILE__, \
+                                  __LINE__)                              \
+          .stream()                                                      \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) \
+      << ") "
+
+#define SIMJOIN_CHECK_EQ(a, b) SIMJOIN_CHECK_OP(==, a, b)
+#define SIMJOIN_CHECK_NE(a, b) SIMJOIN_CHECK_OP(!=, a, b)
+#define SIMJOIN_CHECK_LT(a, b) SIMJOIN_CHECK_OP(<, a, b)
+#define SIMJOIN_CHECK_LE(a, b) SIMJOIN_CHECK_OP(<=, a, b)
+#define SIMJOIN_CHECK_GT(a, b) SIMJOIN_CHECK_OP(>, a, b)
+#define SIMJOIN_CHECK_GE(a, b) SIMJOIN_CHECK_OP(>=, a, b)
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,113 @@
+#include "common/metric.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace simjoin {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL1:
+      return "l1";
+    case Metric::kL2:
+      return "l2";
+    case Metric::kLinf:
+      return "linf";
+  }
+  return "unknown";
+}
+
+Result<Metric> ParseMetric(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "l1") return Metric::kL1;
+  if (lower == "l2") return Metric::kL2;
+  if (lower == "linf" || lower == "lmax" || lower == "chebyshev") {
+    return Metric::kLinf;
+  }
+  return Status::InvalidArgument("unknown metric name: " + name);
+}
+
+double L1Distance(const float* a, const float* b, size_t dims) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dims; ++i) acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+  return acc;
+}
+
+double L2DistanceSquared(const float* a, const float* b, size_t dims) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dims; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double L2Distance(const float* a, const float* b, size_t dims) {
+  return std::sqrt(L2DistanceSquared(a, b, dims));
+}
+
+double LinfDistance(const float* a, const float* b, size_t dims) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dims; ++i) {
+    acc = std::max(acc, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return acc;
+}
+
+double DistanceKernel::Distance(const float* a, const float* b,
+                                size_t dims) const {
+  switch (metric_) {
+    case Metric::kL1:
+      return L1Distance(a, b, dims);
+    case Metric::kL2:
+      return L2Distance(a, b, dims);
+    case Metric::kLinf:
+      return LinfDistance(a, b, dims);
+  }
+  return 0.0;
+}
+
+bool DistanceKernel::WithinEpsilon(const float* a, const float* b, size_t dims,
+                                   double eps) const {
+  switch (metric_) {
+    case Metric::kL1: {
+      double acc = 0.0;
+      for (size_t i = 0; i < dims; ++i) {
+        acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+        if (acc > eps) return false;
+      }
+      return true;
+    }
+    case Metric::kL2: {
+      const double eps2 = eps * eps;
+      double acc = 0.0;
+      size_t i = 0;
+      // Check the running sum every kUnrollWidth coordinates: frequent
+      // enough to bail early, sparse enough not to throttle the FP pipeline.
+      for (; i + kUnrollWidth <= dims; i += kUnrollWidth) {
+        for (size_t j = 0; j < kUnrollWidth; ++j) {
+          const double d = static_cast<double>(a[i + j]) - b[i + j];
+          acc += d * d;
+        }
+        if (acc > eps2) return false;
+      }
+      for (; i < dims; ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+      }
+      return acc <= eps2;
+    }
+    case Metric::kLinf: {
+      for (size_t i = 0; i < dims; ++i) {
+        if (std::fabs(static_cast<double>(a[i]) - b[i]) > eps) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace simjoin

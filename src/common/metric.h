@@ -1,0 +1,67 @@
+// L_p distance kernels with early-exit threshold tests.
+//
+// Every join algorithm in the library expresses its final filter as
+// "dist_p(a, b) <= eps".  The kernels here provide (1) full distances for
+// reporting, and (2) WithinEpsilon tests that abandon the accumulation as
+// soon as the partial distance already exceeds the threshold — the classic
+// database trick that makes brute force and candidate verification several
+// times faster at selective thresholds.
+
+#ifndef SIMJOIN_COMMON_METRIC_H_
+#define SIMJOIN_COMMON_METRIC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Supported distance metrics.
+enum class Metric : int {
+  kL1 = 1,    ///< Manhattan distance.
+  kL2 = 2,    ///< Euclidean distance.
+  kLinf = 0,  ///< Chebyshev (maximum-coordinate) distance.
+};
+
+/// Short lowercase name ("l1", "l2", "linf").
+const char* MetricName(Metric metric);
+
+/// Parses a metric name produced by MetricName (case-insensitive).
+Result<Metric> ParseMetric(const std::string& name);
+
+/// Full L1 distance.
+double L1Distance(const float* a, const float* b, size_t dims);
+/// Full squared L2 distance (callers compare against eps^2).
+double L2DistanceSquared(const float* a, const float* b, size_t dims);
+/// Full L2 distance.
+double L2Distance(const float* a, const float* b, size_t dims);
+/// Full L-infinity distance.
+double LinfDistance(const float* a, const float* b, size_t dims);
+
+/// Stateless dispatcher bound to one metric; the hot-path object passed to
+/// all join algorithms.
+class DistanceKernel {
+ public:
+  explicit DistanceKernel(Metric metric) : metric_(metric) {}
+
+  Metric metric() const { return metric_; }
+
+  /// Full distance between two points.
+  double Distance(const float* a, const float* b, size_t dims) const;
+
+  /// True iff dist(a, b) <= eps, abandoning early when possible.
+  bool WithinEpsilon(const float* a, const float* b, size_t dims,
+                     double eps) const;
+
+  /// Number of coordinate comparisons the last-resort full scan would do;
+  /// exposed for micro-benchmarks only.
+  static constexpr size_t kUnrollWidth = 4;
+
+ private:
+  Metric metric_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_METRIC_H_

@@ -1,0 +1,95 @@
+// Result sinks for join algorithms.
+//
+// Every join in the library reports result pairs through a PairSink so that
+// benchmarks can count without materialising, tests can collect and compare
+// exact pair sets, and applications can stream results into their own
+// processing.  Self-joins emit each unordered pair exactly once in canonical
+// (smaller id, larger id) order; A-to-B joins emit (id in A, id in B).
+
+#ifndef SIMJOIN_COMMON_PAIR_SINK_H_
+#define SIMJOIN_COMMON_PAIR_SINK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace simjoin {
+
+/// One result pair of a similarity join.
+using IdPair = std::pair<PointId, PointId>;
+
+/// Consumer of join results.
+class PairSink {
+ public:
+  virtual ~PairSink() = default;
+
+  /// Receives one result pair.  Called once per qualifying pair.
+  virtual void Emit(PointId a, PointId b) = 0;
+};
+
+/// Counts pairs without storing them; the sink used by benchmarks.
+class CountingSink : public PairSink {
+ public:
+  void Emit(PointId, PointId) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Materialises all pairs; the sink used by tests and small applications.
+class VectorSink : public PairSink {
+ public:
+  void Emit(PointId a, PointId b) override { pairs_.emplace_back(a, b); }
+
+  const std::vector<IdPair>& pairs() const { return pairs_; }
+  std::vector<IdPair>& pairs() { return pairs_; }
+
+  /// Returns the pairs sorted lexicographically — a canonical form for
+  /// comparing the output of two algorithms.
+  std::vector<IdPair> Sorted() const {
+    std::vector<IdPair> out = pairs_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::vector<IdPair> pairs_;
+};
+
+/// Forwards each pair to a user callback.
+class CallbackSink : public PairSink {
+ public:
+  using Callback = std::function<void(PointId, PointId)>;
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+  void Emit(PointId a, PointId b) override { cb_(a, b); }
+
+ private:
+  Callback cb_;
+};
+
+/// Work counters filled in by join algorithms; all fields are best-effort
+/// and additive so parallel workers can merge them.
+struct JoinStats {
+  uint64_t candidate_pairs = 0;   ///< pairs reaching the distance test
+  uint64_t distance_calls = 0;    ///< full or early-exit distance evaluations
+  uint64_t node_pairs_visited = 0;  ///< tree-traversal node pairs considered
+  uint64_t node_pairs_pruned = 0;   ///< node pairs cut by bbox/stripe pruning
+  uint64_t pairs_emitted = 0;     ///< qualifying result pairs
+
+  void Merge(const JoinStats& other) {
+    candidate_pairs += other.candidate_pairs;
+    distance_calls += other.distance_calls;
+    node_pairs_visited += other.node_pairs_visited;
+    node_pairs_pruned += other.node_pairs_pruned;
+    pairs_emitted += other.pairs_emitted;
+  }
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_PAIR_SINK_H_

@@ -1,0 +1,83 @@
+#include "common/pca.h"
+
+#include <algorithm>
+
+#include "common/eigen.h"
+
+namespace simjoin {
+
+double PcaModel::ExplainedVarianceRatio() const {
+  if (total_variance <= 0.0) return 0.0;
+  double kept = 0.0;
+  for (double v : eigenvalues) kept += std::max(0.0, v);
+  return kept / total_variance;
+}
+
+void PcaModel::Project(const float* in, float* out) const {
+  for (size_t k = 0; k < output_dims; ++k) {
+    const double* row = components.data() + k * input_dims;
+    double acc = 0.0;
+    for (size_t d = 0; d < input_dims; ++d) {
+      acc += row[d] * (static_cast<double>(in[d]) - mean[d]);
+    }
+    out[k] = static_cast<float>(acc);
+  }
+}
+
+Result<PcaModel> FitPca(const Dataset& data, size_t k, size_t max_fit_points) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (k == 0 || k > data.dims()) {
+    return Status::InvalidArgument("k must be in [1, dims]");
+  }
+  if (max_fit_points == 0) {
+    return Status::InvalidArgument("max_fit_points must be positive");
+  }
+  const size_t dims = data.dims();
+
+  // Strided subsample (deterministic) for the covariance estimate.
+  const size_t stride = std::max<size_t>(1, data.size() / max_fit_points);
+  std::vector<double> flat;
+  size_t rows = 0;
+  for (size_t i = 0; i < data.size(); i += stride) {
+    const float* row = data.Row(static_cast<PointId>(i));
+    for (size_t d = 0; d < dims; ++d) flat.push_back(row[d]);
+    ++rows;
+  }
+
+  PcaModel model;
+  model.input_dims = dims;
+  model.output_dims = k;
+  model.mean.assign(dims, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t d = 0; d < dims; ++d) model.mean[d] += flat[i * dims + d];
+  }
+  for (auto& m : model.mean) m /= static_cast<double>(rows);
+
+  const std::vector<double> cov = CovarianceMatrix(flat, rows, dims);
+  SIMJOIN_ASSIGN_OR_RETURN(auto eigen, JacobiEigenSymmetric(cov, dims));
+
+  model.total_variance = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    model.total_variance += std::max(0.0, cov[d * dims + d]);
+  }
+  model.eigenvalues.assign(eigen.values.begin(),
+                           eigen.values.begin() + static_cast<ptrdiff_t>(k));
+  model.components.assign(eigen.vectors.begin(),
+                          eigen.vectors.begin() + static_cast<ptrdiff_t>(k * dims));
+  return model;
+}
+
+Result<Dataset> ProjectDataset(const PcaModel& model, const Dataset& data) {
+  if (data.dims() != model.input_dims) {
+    return Status::InvalidArgument("dataset dims do not match the PCA model");
+  }
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  Dataset out(data.size(), model.output_dims);
+  for (size_t i = 0; i < data.size(); ++i) {
+    model.Project(data.Row(static_cast<PointId>(i)),
+                  out.MutableRow(static_cast<PointId>(i)));
+  }
+  return out;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,47 @@
+// Principal component analysis on top of the Jacobi eigensolver — the
+// generic dimensionality-reduction counterpart of the time-series DFT
+// reduction: project high-dimensional points onto the top-k principal
+// directions, join in the small space, verify in the full space.
+//
+// Because the projection rows are orthonormal, projected L2 distances never
+// exceed full-space L2 distances, so a projected-space epsilon join yields
+// a candidate superset with no false dismissals (see docs/NOTES.md).
+
+#ifndef SIMJOIN_COMMON_PCA_H_
+#define SIMJOIN_COMMON_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// A fitted PCA projection.
+struct PcaModel {
+  size_t input_dims = 0;
+  size_t output_dims = 0;
+  std::vector<double> mean;        ///< input_dims
+  std::vector<double> components;  ///< output_dims x input_dims, orthonormal rows
+  std::vector<double> eigenvalues; ///< top output_dims covariance eigenvalues
+  double total_variance = 0.0;     ///< trace of the covariance matrix
+
+  /// Fraction of variance captured by the kept components.
+  double ExplainedVarianceRatio() const;
+
+  /// Projects one point: out[k] = components[k] . (in - mean).
+  void Project(const float* in, float* out) const;
+};
+
+/// Fits PCA with k components on (a strided subsample of) the dataset.
+/// k must be in [1, dims].
+Result<PcaModel> FitPca(const Dataset& data, size_t k,
+                        size_t max_fit_points = 20000);
+
+/// Projects every row of the dataset into the model's k-dimensional space.
+Result<Dataset> ProjectDataset(const PcaModel& model, const Dataset& data);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_PCA_H_

@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace simjoin {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+float Rng::UniformFloat() {
+  return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  SIMJOIN_CHECK_GT(n, 0u) << "UniformInt(n) requires n > 0";
+  // Debiased modulo via rejection (Lemire-style threshold).
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r < threshold);
+  return r % n;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SIMJOIN_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi] covers everything.
+  const uint64_t r = (span == 0) ? Next() : UniformInt(span);
+  return lo + static_cast<int64_t>(r);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Polar (Marsaglia) Box-Muller: deterministic given the raw stream.
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double lambda) {
+  SIMJOIN_CHECK_GT(lambda, 0.0);
+  // 1 - Uniform() is in (0, 1]; log of it is finite.
+  return -std::log(1.0 - Uniform()) / lambda;
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  SIMJOIN_CHECK_GT(n, 0u);
+  if (s <= 0.0) return UniformInt(n);
+  // Inverse CDF by linear scan; adequate for the small n used by workload
+  // cluster selection.  Weights: 1 / (i+1)^s.
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) total += std::pow(static_cast<double>(i + 1), -s);
+  double target = Uniform() * total;
+  for (uint64_t i = 0; i < n; ++i) {
+    target -= std::pow(static_cast<double>(i + 1), -s);
+    if (target <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa0761d6478bd642fULL); }
+
+}  // namespace simjoin

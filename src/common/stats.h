@@ -1,0 +1,47 @@
+// Streaming summary statistics (Welford) and small-sample percentile helper,
+// used by the benchmark harness and workload validators.
+
+#ifndef SIMJOIN_COMMON_STATS_H_
+#define SIMJOIN_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace simjoin {
+
+/// Single-pass accumulator for count / mean / variance / min / max using
+/// Welford's numerically stable update.
+class RunningStats {
+ public:
+  /// Folds one observation into the summary.
+  void Add(double x);
+
+  /// Merges another summary into this one (parallel-combine safe).
+  void Merge(const RunningStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two observations.
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-quantile (q in [0,1]) of the values by nearest-rank on a
+/// sorted copy; returns 0 for an empty vector.
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_STATS_H_

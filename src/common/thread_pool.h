@@ -1,0 +1,52 @@
+// Fixed-size worker pool with a simple task queue — the substrate for the
+// parallel eps-k-d-B join driver.  Tasks are void() callables; WaitIdle()
+// gives a barrier without destroying the pool.
+
+#ifndef SIMJOIN_COMMON_THREAD_POOL_H_
+#define SIMJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simjoin {
+
+/// Fixed set of worker threads draining a FIFO of tasks.
+class ThreadPool {
+ public:
+  /// Starts num_threads workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,51 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace simjoin {
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", FormatSeconds(-seconds).c_str());
+  } else if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else if (bytes < (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / (1ULL << 10));
+  } else if (bytes < (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1ULL << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1ULL << 30));
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,45 @@
+// Wall-clock timing utilities for the benchmark harness and examples.
+
+#ifndef SIMJOIN_COMMON_TIMER_H_
+#define SIMJOIN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace simjoin {
+
+/// Monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a short human-readable string
+/// ("731 us", "42.1 ms", "3.52 s").
+std::string FormatSeconds(double seconds);
+
+/// Formats a byte count as a short human-readable string ("1.5 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators ("1,234,567").
+std::string FormatCount(uint64_t count);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_TIMER_H_

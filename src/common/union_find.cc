@@ -1,0 +1,50 @@
+#include "common/union_find.h"
+
+#include "common/logging.h"
+
+namespace simjoin {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), components_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+size_t UnionFind::Find(size_t x) {
+  SIMJOIN_CHECK_LT(x, parent_.size());
+  // Iterative two-pass path compression.
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const size_t next = parent_[x];
+    parent_[x] = static_cast<uint32_t>(root);
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<uint32_t>(ra);
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+size_t UnionFind::ComponentSize(size_t x) { return size_[Find(x)]; }
+
+std::vector<uint32_t> UnionFind::DenseLabels() {
+  std::vector<uint32_t> labels(parent_.size());
+  std::vector<uint32_t> root_to_label(parent_.size(), UINT32_MAX);
+  uint32_t next = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const size_t root = Find(i);
+    if (root_to_label[root] == UINT32_MAX) root_to_label[root] = next++;
+    labels[i] = root_to_label[root];
+  }
+  return labels;
+}
+
+}  // namespace simjoin

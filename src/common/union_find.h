@@ -1,0 +1,44 @@
+// Disjoint-set (union-find) with path compression and union by size —
+// substrate for epsilon-connected-components clustering over join output.
+
+#ifndef SIMJOIN_COMMON_UNION_FIND_H_
+#define SIMJOIN_COMMON_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace simjoin {
+
+/// Disjoint sets over elements 0..n-1.
+class UnionFind {
+ public:
+  /// n singleton sets.
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the sets of a and b; returns true iff they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// Current number of disjoint sets.
+  size_t NumComponents() const { return components_; }
+
+  /// Number of elements in x's set.
+  size_t ComponentSize(size_t x);
+
+  /// Dense labels 0..NumComponents()-1, assigned in order of first
+  /// appearance (deterministic).
+  std::vector<uint32_t> DenseLabels();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t components_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_UNION_FIND_H_

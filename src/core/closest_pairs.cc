@@ -1,0 +1,106 @@
+#include "core/closest_pairs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/kdtree.h"
+#include "common/pair_sink.h"
+#include "common/rng.h"
+
+namespace simjoin {
+namespace {
+
+bool PairLess(const ClosestPair& x, const ClosestPair& y) {
+  if (x.distance != y.distance) return x.distance < y.distance;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// Collects pairs with their distances.
+class DistancePairSink : public PairSink {
+ public:
+  DistancePairSink(const Dataset& data, const DistanceKernel& kernel)
+      : data_(data), kernel_(kernel) {}
+
+  void Emit(PointId a, PointId b) override {
+    pairs_.push_back(ClosestPair{
+        a, b, kernel_.Distance(data_.Row(a), data_.Row(b), data_.dims())});
+  }
+
+  std::vector<ClosestPair>& pairs() { return pairs_; }
+
+ private:
+  const Dataset& data_;
+  const DistanceKernel& kernel_;
+  std::vector<ClosestPair> pairs_;
+};
+
+std::vector<ClosestPair> BruteForceTopK(const Dataset& data, size_t k,
+                                        const DistanceKernel& kernel) {
+  std::vector<ClosestPair> all;
+  const size_t n = data.size();
+  all.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      all.push_back(ClosestPair{static_cast<PointId>(i),
+                                static_cast<PointId>(j),
+                                kernel.Distance(data.Row(static_cast<PointId>(i)),
+                                                data.Row(static_cast<PointId>(j)),
+                                                data.dims())});
+    }
+  }
+  std::sort(all.begin(), all.end(), PairLess);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace
+
+Result<std::vector<ClosestPair>> TopKClosestPairs(const Dataset& data, size_t k,
+                                                  Metric metric,
+                                                  uint64_t seed) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least two points");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  DistanceKernel kernel(metric);
+  const size_t total_pairs = data.size() * (data.size() - 1) / 2;
+
+  // Small problems (or huge k): just enumerate.
+  if (total_pairs <= 4096 || k * 4 >= total_pairs) {
+    return BruteForceTopK(data, std::min(k, total_pairs), kernel);
+  }
+
+  // Seed the radius from sampled nearest-neighbour distances via the
+  // epsilon-agnostic k-d tree, then grow geometrically until the join
+  // returns at least k pairs.
+  SIMJOIN_ASSIGN_OR_RETURN(auto tree, KdTree::Build(data, KdTreeConfig{}));
+  Rng rng(seed);
+  double radius = 0.0;
+  {
+    const size_t samples = std::min<size_t>(32, data.size());
+    std::vector<KdTree::Neighbor> nn;
+    for (size_t s = 0; s < samples; ++s) {
+      const PointId q = static_cast<PointId>(rng.UniformInt(data.size()));
+      nn.clear();
+      // 2 neighbours: the query point itself plus its true neighbour.
+      SIMJOIN_RETURN_NOT_OK(tree.KnnQuery(data.Row(q), 2, metric, &nn));
+      if (nn.size() == 2) radius = std::max(radius, nn[1].distance);
+    }
+    if (radius <= 0.0) radius = 1e-6;  // duplicates everywhere: start tiny
+  }
+
+  for (int round = 0; round < 64; ++round) {
+    DistancePairSink sink(data, kernel);
+    SIMJOIN_RETURN_NOT_OK(KdTreeSelfJoin(tree, radius, metric, &sink));
+    if (sink.pairs().size() >= k) {
+      std::sort(sink.pairs().begin(), sink.pairs().end(), PairLess);
+      sink.pairs().resize(k);
+      return std::move(sink.pairs());
+    }
+    radius *= 2.0;
+  }
+  return Status::Internal("radius search failed to converge");
+}
+
+}  // namespace simjoin

@@ -1,0 +1,39 @@
+// Top-k closest pairs: the epsilon-free companion of the similarity join.
+//
+// When the user knows "how many" rather than "how close", the radius must
+// be discovered: we seed epsilon from sampled nearest-neighbour distances
+// and geometrically enlarge it until the join returns at least k pairs —
+// at that point the k closest pairs provably all lie within the radius
+// (the join reports *every* pair inside it).  The candidate index is the
+// epsilon-agnostic k-d tree so the structure is built once and reused
+// across radius rounds.
+
+#ifndef SIMJOIN_CORE_CLOSEST_PAIRS_H_
+#define SIMJOIN_CORE_CLOSEST_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// One result pair, canonical (a < b).
+struct ClosestPair {
+  PointId a = 0;
+  PointId b = 0;
+  double distance = 0.0;
+};
+
+/// Returns the k closest distinct unordered pairs, ascending by
+/// (distance, a, b).  Returns all C(n,2) pairs when k exceeds that.  The
+/// seed only affects the internal radius guess, never the result.
+Result<std::vector<ClosestPair>> TopKClosestPairs(const Dataset& data, size_t k,
+                                                  Metric metric,
+                                                  uint64_t seed = 1);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_CLOSEST_PAIRS_H_

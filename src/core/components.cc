@@ -1,0 +1,52 @@
+#include "core/components.h"
+
+#include "common/pair_sink.h"
+#include "common/union_find.h"
+#include "core/ekdb_join.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+namespace {
+
+/// Folds join pairs straight into a union-find; nothing is materialised.
+class UnionSink : public PairSink {
+ public:
+  explicit UnionSink(UnionFind* uf) : uf_(uf) {}
+  void Emit(PointId a, PointId b) override {
+    ++pairs_;
+    uf_->Union(a, b);
+  }
+  uint64_t pairs() const { return pairs_; }
+
+ private:
+  UnionFind* uf_;
+  uint64_t pairs_ = 0;
+};
+
+}  // namespace
+
+Result<ComponentsResult> EpsilonConnectedComponents(const Dataset& data,
+                                                    double epsilon,
+                                                    Metric metric,
+                                                    size_t leaf_threshold) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.metric = metric;
+  config.leaf_threshold = leaf_threshold;
+  SIMJOIN_ASSIGN_OR_RETURN(auto tree, EkdbTree::Build(data, config));
+
+  UnionFind uf(data.size());
+  UnionSink sink(&uf);
+  SIMJOIN_RETURN_NOT_OK(EkdbSelfJoin(tree, &sink));
+
+  ComponentsResult result;
+  result.join_pairs = sink.pairs();
+  result.labels = uf.DenseLabels();
+  result.num_components = uf.NumComponents();
+  result.sizes.assign(result.num_components, 0);
+  for (uint32_t label : result.labels) ++result.sizes[label];
+  return result;
+}
+
+}  // namespace simjoin

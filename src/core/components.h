@@ -1,0 +1,45 @@
+// Epsilon-connected components: single-linkage clustering at threshold
+// epsilon, computed by streaming the similarity self-join into a union-find
+// — one of the data-mining applications the paper motivates (the join is
+// the expensive primitive; the clustering is a linear-time fold over it).
+//
+// Two points land in the same component iff they are connected by a chain
+// of points with consecutive distances <= epsilon (transitive closure of
+// the join graph).
+
+#ifndef SIMJOIN_CORE_COMPONENTS_H_
+#define SIMJOIN_CORE_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/status.h"
+#include "core/ekdb_config.h"
+
+namespace simjoin {
+
+/// Clustering outcome.
+struct ComponentsResult {
+  /// Dense component label per point (0..num_components-1, first-appearance
+  /// order — deterministic for a given dataset).
+  std::vector<uint32_t> labels;
+  size_t num_components = 0;
+  /// Size of each component, indexed by label.
+  std::vector<uint32_t> sizes;
+  /// Number of join pairs folded into the union-find.
+  uint64_t join_pairs = 0;
+};
+
+/// Computes the epsilon-connected components of the (unit-cube normalised)
+/// dataset under the metric, using the eps-k-d-B join as the edge producer.
+/// leaf_threshold tunes the underlying tree.
+Result<ComponentsResult> EpsilonConnectedComponents(const Dataset& data,
+                                                    double epsilon,
+                                                    Metric metric,
+                                                    size_t leaf_threshold = 64);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_COMPONENTS_H_

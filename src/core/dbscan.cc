@@ -1,0 +1,117 @@
+#include "core/dbscan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/pair_sink.h"
+#include "common/union_find.h"
+#include "core/ekdb_join.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+namespace {
+
+/// First pass: per-point degrees (open neighbourhood sizes).
+class DegreeSink : public PairSink {
+ public:
+  explicit DegreeSink(std::vector<uint32_t>* degrees) : degrees_(degrees) {}
+  void Emit(PointId a, PointId b) override {
+    ++(*degrees_)[a];
+    ++(*degrees_)[b];
+  }
+
+ private:
+  std::vector<uint32_t>* degrees_;
+};
+
+/// Second pass: union core-core edges; track each non-core point's best
+/// (lowest-id) core neighbour for border assignment.
+class StructureSink : public PairSink {
+ public:
+  StructureSink(const std::vector<bool>& is_core, UnionFind* cores,
+                std::vector<PointId>* border_anchor)
+      : is_core_(is_core), cores_(cores), border_anchor_(border_anchor) {}
+
+  void Emit(PointId a, PointId b) override {
+    const bool core_a = is_core_[a];
+    const bool core_b = is_core_[b];
+    if (core_a && core_b) {
+      cores_->Union(a, b);
+      return;
+    }
+    if (core_a && !core_b) {
+      (*border_anchor_)[b] = std::min((*border_anchor_)[b], a);
+    } else if (core_b && !core_a) {
+      (*border_anchor_)[a] = std::min((*border_anchor_)[a], b);
+    }
+  }
+
+ private:
+  const std::vector<bool>& is_core_;
+  UnionFind* cores_;
+  std::vector<PointId>* border_anchor_;
+};
+
+}  // namespace
+
+Result<DbscanResult> Dbscan(const Dataset& data, const DbscanConfig& config) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (config.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be positive");
+  }
+  EkdbConfig ekdb;
+  ekdb.epsilon = config.epsilon;
+  ekdb.metric = config.metric;
+  ekdb.leaf_threshold = config.leaf_threshold;
+  SIMJOIN_ASSIGN_OR_RETURN(auto tree, EkdbTree::Build(data, ekdb));
+
+  const size_t n = data.size();
+  DbscanResult result;
+
+  // Pass 1: degrees -> core points.  The closed neighbourhood includes the
+  // point itself, so core means degree + 1 >= min_pts.
+  std::vector<uint32_t> degrees(n, 0);
+  {
+    DegreeSink sink(&degrees);
+    SIMJOIN_RETURN_NOT_OK(EkdbSelfJoin(tree, &sink));
+  }
+  result.is_core.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    result.is_core[i] = degrees[i] + 1 >= config.min_pts;
+  }
+
+  // Pass 2: cluster structure.
+  UnionFind cores(n);
+  std::vector<PointId> border_anchor(n, std::numeric_limits<PointId>::max());
+  {
+    StructureSink sink(result.is_core, &cores, &border_anchor);
+    SIMJOIN_RETURN_NOT_OK(EkdbSelfJoin(tree, &sink));
+  }
+
+  // Dense cluster labels over core-point components, in order of the
+  // lowest core id per component (deterministic).
+  result.labels.assign(n, kDbscanNoise);
+  std::vector<int32_t> root_label(n, kDbscanNoise);
+  int32_t next_label = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.is_core[i]) continue;
+    const size_t root = cores.Find(i);
+    if (root_label[root] == kDbscanNoise) root_label[root] = next_label++;
+    result.labels[i] = root_label[root];
+  }
+  result.num_clusters = static_cast<size_t>(next_label);
+
+  // Border assignment.
+  for (size_t i = 0; i < n; ++i) {
+    if (result.is_core[i]) continue;
+    if (border_anchor[i] != std::numeric_limits<PointId>::max()) {
+      result.labels[i] = result.labels[border_anchor[i]];
+    }
+  }
+  for (int32_t label : result.labels) {
+    result.noise_points += (label == kDbscanNoise);
+  }
+  return result;
+}
+
+}  // namespace simjoin

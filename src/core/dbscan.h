@@ -1,0 +1,55 @@
+// DBSCAN density-based clustering, built on the epsilon similarity
+// self-join — the flagship data-mining consumer of the paper's primitive:
+// the neighbourhood graph IS the join output.
+//
+// Definitions (Ester et al.): a point is a *core* point if its closed
+// epsilon-neighbourhood (including itself) holds at least min_pts points;
+// clusters are the connected components of core points under the epsilon
+// relation; a non-core point within epsilon of a core point is a *border*
+// point of that core's cluster; everything else is noise.
+//
+// Border points adjacent to several clusters are ambiguous in the classic
+// formulation (first-come order dependence); here they are assigned to the
+// cluster of their lowest-labelled core neighbour, making the output
+// deterministic.
+
+#ifndef SIMJOIN_CORE_DBSCAN_H_
+#define SIMJOIN_CORE_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// DBSCAN parameters.
+struct DbscanConfig {
+  double epsilon = 0.05;     ///< neighbourhood radius
+  size_t min_pts = 5;        ///< density threshold (closed neighbourhood)
+  Metric metric = Metric::kL2;
+  size_t leaf_threshold = 64;  ///< underlying eps-k-d-B tree knob
+};
+
+/// Label constant for noise points.
+inline constexpr int32_t kDbscanNoise = -1;
+
+/// Clustering outcome.
+struct DbscanResult {
+  /// Per point: cluster label in [0, num_clusters) or kDbscanNoise.
+  std::vector<int32_t> labels;
+  size_t num_clusters = 0;
+  /// Per point: true iff the point is a core point.
+  std::vector<bool> is_core;
+  /// Points labelled noise.
+  size_t noise_points = 0;
+};
+
+/// Runs DBSCAN over the (unit-cube normalised) dataset.
+Result<DbscanResult> Dbscan(const Dataset& data, const DbscanConfig& config);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_DBSCAN_H_

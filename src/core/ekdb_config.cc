@@ -1,0 +1,49 @@
+#include "core/ekdb_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simjoin {
+
+Status EkdbConfig::Validate(size_t dims) const {
+  if (dims == 0) {
+    return Status::InvalidArgument("dataset dimensionality must be positive");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "epsilon must be in (0, 1); got " + std::to_string(epsilon));
+  }
+  if (leaf_threshold == 0) {
+    return Status::InvalidArgument("leaf_threshold must be positive");
+  }
+  if (!dim_order.empty()) {
+    if (dim_order.size() != dims) {
+      return Status::InvalidArgument(
+          "dim_order has " + std::to_string(dim_order.size()) +
+          " entries, dataset has " + std::to_string(dims) + " dims");
+    }
+    std::vector<bool> seen(dims, false);
+    for (uint32_t d : dim_order) {
+      if (d >= dims || seen[d]) {
+        return Status::InvalidArgument("dim_order is not a permutation of 0..d-1");
+      }
+      seen[d] = true;
+    }
+  }
+  return Status::OK();
+}
+
+size_t EkdbConfig::NumStripes() const {
+  const double f = std::floor(1.0 / epsilon);
+  if (f < 1.0) return 1;
+  return static_cast<size_t>(f);
+}
+
+std::vector<uint32_t> EkdbConfig::ResolvedDimOrder(size_t dims) const {
+  if (!dim_order.empty()) return dim_order;
+  std::vector<uint32_t> order(dims);
+  for (size_t i = 0; i < dims; ++i) order[i] = static_cast<uint32_t>(i);
+  return order;
+}
+
+}  // namespace simjoin

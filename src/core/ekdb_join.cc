@@ -1,0 +1,237 @@
+#include "core/ekdb_join.h"
+
+#include <algorithm>
+
+namespace simjoin {
+namespace internal {
+
+EkdbJoinContext::EkdbJoinContext(const EkdbTree& tree, PairSink* sink)
+    : a_data_(tree.dataset()),
+      b_data_(tree.dataset()),
+      kernel_(tree.config().metric),
+      epsilon_(tree.config().epsilon),
+      bbox_pruning_(tree.config().bbox_pruning),
+      sliding_window_(tree.config().sliding_window_leaf_join),
+      self_mode_(true),
+      sink_(sink) {}
+
+EkdbJoinContext::EkdbJoinContext(const EkdbTree& a, const EkdbTree& b,
+                                 PairSink* sink)
+    : a_data_(a.dataset()),
+      b_data_(b.dataset()),
+      kernel_(a.config().metric),
+      epsilon_(a.config().epsilon),
+      bbox_pruning_(a.config().bbox_pruning && b.config().bbox_pruning),
+      sliding_window_(a.config().sliding_window_leaf_join &&
+                      b.config().sliding_window_leaf_join),
+      self_mode_(false),
+      sink_(sink) {}
+
+void EkdbJoinContext::TestAndEmit(PointId a, const float* a_row, PointId b,
+                                  const float* b_row) {
+  ++stats_.candidate_pairs;
+  ++stats_.distance_calls;
+  if (!kernel_.WithinEpsilon(a_row, b_row, a_data_.dims(), epsilon_)) return;
+  ++stats_.pairs_emitted;
+  if (self_mode_ && a > b) std::swap(a, b);
+  sink_->Emit(a, b);
+}
+
+void EkdbJoinContext::LeafSelfJoin(const EkdbNode* leaf) {
+  const auto& ids = leaf->points;
+  const size_t dims = a_data_.dims();
+  const uint32_t dim = leaf->sort_dim;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* row_i = a_data_.Row(ids[i]);
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      const float* row_j = a_data_.Row(ids[j]);
+      // Point lists are sorted on sort_dim, so once the gap in that
+      // coordinate exceeds epsilon no later j can qualify either.
+      if (sliding_window_ &&
+          static_cast<double>(row_j[dim]) - row_i[dim] > epsilon_) {
+        break;
+      }
+      (void)dims;
+      TestAndEmit(ids[i], row_i, ids[j], row_j);
+    }
+  }
+}
+
+void EkdbJoinContext::SweepLists(const std::vector<PointId>& a_ids,
+                                 const Dataset& a_data,
+                                 const std::vector<PointId>& b_ids,
+                                 const Dataset& b_data, uint32_t dim) {
+  size_t window_start = 0;
+  for (PointId a_id : a_ids) {
+    const float* a_row = a_data.Row(a_id);
+    const double lo = static_cast<double>(a_row[dim]) - epsilon_;
+    const double hi = static_cast<double>(a_row[dim]) + epsilon_;
+    while (window_start < b_ids.size() &&
+           static_cast<double>(b_data.Row(b_ids[window_start])[dim]) < lo) {
+      ++window_start;
+    }
+    for (size_t j = window_start; j < b_ids.size(); ++j) {
+      const float* b_row = b_data.Row(b_ids[j]);
+      if (static_cast<double>(b_row[dim]) > hi) break;
+      // SweepLists is only reached from cross joins, where the (a, b) sides
+      // are distinct subtrees: ids never coincide in self mode.
+      TestAndEmit(a_id, a_row, b_ids[j], b_row);
+    }
+  }
+}
+
+void EkdbJoinContext::LeafCrossJoin(const EkdbNode* a, const EkdbNode* b) {
+  if (!sliding_window_) {
+    for (PointId a_id : a->points) {
+      const float* a_row = a_data_.Row(a_id);
+      for (PointId b_id : b->points) {
+        TestAndEmit(a_id, a_row, b_id, b_data_.Row(b_id));
+      }
+    }
+    return;
+  }
+  if (a->sort_dim == b->sort_dim) {
+    SweepLists(a->points, a_data_, b->points, b_data_, a->sort_dim);
+    return;
+  }
+  // Sort dimensions differ (the leaves sit at different depths).  Re-sort
+  // the smaller side on the other's sort dimension in scratch space.
+  if (a->points.size() <= b->points.size()) {
+    scratch_.assign(a->points.begin(), a->points.end());
+    const uint32_t dim = b->sort_dim;
+    const Dataset& data = a_data_;
+    std::sort(scratch_.begin(), scratch_.end(), [&data, dim](PointId x, PointId y) {
+      return data.Row(x)[dim] < data.Row(y)[dim];
+    });
+    SweepLists(scratch_, a_data_, b->points, b_data_, dim);
+  } else {
+    scratch_.assign(b->points.begin(), b->points.end());
+    const uint32_t dim = a->sort_dim;
+    const Dataset& data = b_data_;
+    std::sort(scratch_.begin(), scratch_.end(), [&data, dim](PointId x, PointId y) {
+      return data.Row(x)[dim] < data.Row(y)[dim];
+    });
+    SweepLists(a->points, a_data_, scratch_, b_data_, dim);
+  }
+}
+
+void EkdbJoinContext::SelfJoinNode(const EkdbNode* node) {
+  SIMJOIN_CHECK(self_mode_) << "SelfJoinNode on a two-tree context";
+  if (node->is_leaf()) {
+    LeafSelfJoin(node);
+    return;
+  }
+  const auto& kids = node->children;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    SelfJoinNode(kids[i].second.get());
+    // Only the immediately adjacent stripe can hold joining partners.
+    if (i + 1 < kids.size() && kids[i + 1].first == kids[i].first + 1) {
+      JoinNodes(kids[i].second.get(), kids[i + 1].second.get());
+    }
+  }
+}
+
+void EkdbJoinContext::JoinNodes(const EkdbNode* a, const EkdbNode* b) {
+  ++stats_.node_pairs_visited;
+  if (bbox_pruning_ &&
+      a->bbox.MinDistance(b->bbox, kernel_.metric()) > epsilon_) {
+    ++stats_.node_pairs_pruned;
+    return;
+  }
+  if (a->is_leaf() && b->is_leaf()) {
+    LeafCrossJoin(a, b);
+    return;
+  }
+  if (a->is_leaf()) {
+    for (const auto& [stripe, child] : b->children) {
+      JoinNodes(a, child.get());
+    }
+    return;
+  }
+  if (b->is_leaf()) {
+    for (const auto& [stripe, child] : a->children) {
+      JoinNodes(child.get(), b);
+    }
+    return;
+  }
+  // Both internal.  They sit at the same depth (the traversal only descends
+  // both sides together), so they split on the same dimension and share the
+  // global stripe grid: pair children whose stripe indices differ by <= 1.
+  const auto& ka = a->children;
+  const auto& kb = b->children;
+  size_t j_lo = 0;
+  for (const auto& [sa, ca] : ka) {
+    const uint32_t lo = sa == 0 ? 0 : sa - 1;
+    while (j_lo < kb.size() && kb[j_lo].first < lo) ++j_lo;
+    for (size_t j = j_lo; j < kb.size() && kb[j].first <= sa + 1; ++j) {
+      JoinNodes(ca.get(), kb[j].second.get());
+    }
+  }
+}
+
+}  // namespace internal
+
+Status EkdbSelfJoin(const EkdbTree& tree, PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  internal::EkdbJoinContext ctx(tree, sink);
+  ctx.SelfJoinNode(tree.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status EkdbJoin(const EkdbTree& a, const EkdbTree& b, PairSink* sink,
+                JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (!EkdbTree::JoinCompatible(a, b)) {
+    return Status::InvalidArgument(
+        "trees are not join-compatible (epsilon, metric, dims, and dim order "
+        "must match)");
+  }
+  internal::EkdbJoinContext ctx(a, b, sink);
+  ctx.JoinNodes(a.root(), b.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateEpsilonOverride(double eps_query, double build_epsilon) {
+  if (!(eps_query > 0.0) || eps_query > build_epsilon) {
+    return Status::InvalidArgument(
+        "eps_query must be in (0, built epsilon]; the stripe grid only "
+        "supports radii up to the build epsilon");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EkdbSelfJoinWithEpsilon(const EkdbTree& tree, double eps_query,
+                               PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(
+      ValidateEpsilonOverride(eps_query, tree.config().epsilon));
+  internal::EkdbJoinContext ctx(tree, sink);
+  ctx.OverrideEpsilon(eps_query);
+  ctx.SelfJoinNode(tree.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status EkdbJoinWithEpsilon(const EkdbTree& a, const EkdbTree& b,
+                           double eps_query, PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (!EkdbTree::JoinCompatible(a, b)) {
+    return Status::InvalidArgument(
+        "trees are not join-compatible (epsilon, metric, dims, and dim order "
+        "must match)");
+  }
+  SIMJOIN_RETURN_NOT_OK(ValidateEpsilonOverride(eps_query, a.config().epsilon));
+  internal::EkdbJoinContext ctx(a, b, sink);
+  ctx.OverrideEpsilon(eps_query);
+  ctx.JoinNodes(a.root(), b.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,95 @@
+// Similarity-join traversals over eps-k-d-B trees.
+//
+// SelfJoin(T) reports every unordered pair {a, b}, a != b, of points of T's
+// dataset with dist(a, b) <= epsilon, each exactly once in (min, max) order.
+// Join(A, B) reports every (a in A, b in B) pair within epsilon.
+//
+// Both exploit the tree's global stripe grid: two internal nodes only ever
+// pair children whose stripe indices differ by at most one, and (optionally)
+// any node pair whose bounding boxes are more than epsilon apart is pruned.
+// Leaf pairs are processed with a sliding-window sort-merge sweep on a
+// shared sort dimension.
+
+#ifndef SIMJOIN_CORE_EKDB_JOIN_H_
+#define SIMJOIN_CORE_EKDB_JOIN_H_
+
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+
+/// Self-join of the tree's dataset.  Pairs are emitted in canonical
+/// (smaller id, larger id) order, each exactly once.
+Status EkdbSelfJoin(const EkdbTree& tree, PairSink* sink,
+                    JoinStats* stats = nullptr);
+
+/// Join between two datasets indexed by join-compatible trees (same epsilon,
+/// metric, dimensionality, dimension order).  Pairs are (id in a, id in b).
+Status EkdbJoin(const EkdbTree& a, const EkdbTree& b, PairSink* sink,
+                JoinStats* stats = nullptr);
+
+/// Self-join at a *smaller* radius than the tree was built for: eps_query
+/// must be in (0, config().epsilon].  A tree built once for the largest
+/// radius of interest can thus serve a whole family of query radii — the
+/// stripe grid stays sound because stripes are at least build-epsilon wide.
+Status EkdbSelfJoinWithEpsilon(const EkdbTree& tree, double eps_query,
+                               PairSink* sink, JoinStats* stats = nullptr);
+
+/// Two-tree join at a smaller radius (same constraint as above).
+Status EkdbJoinWithEpsilon(const EkdbTree& a, const EkdbTree& b,
+                           double eps_query, PairSink* sink,
+                           JoinStats* stats = nullptr);
+
+namespace internal {
+
+/// Join engine shared by the sequential entry points above and the parallel
+/// driver.  Exposed in internal:: so parallel_join.cc can drive single node
+/// pairs as tasks; not part of the public API surface.
+class EkdbJoinContext {
+ public:
+  /// Self-join context over one tree.
+  explicit EkdbJoinContext(const EkdbTree& tree, PairSink* sink);
+
+  /// Two-tree context; trees must be join-compatible (checked by callers).
+  EkdbJoinContext(const EkdbTree& a, const EkdbTree& b, PairSink* sink);
+
+  /// Narrows the join radius below the build epsilon (callers must have
+  /// validated 0 < eps <= build epsilon).
+  void OverrideEpsilon(double eps) { epsilon_ = eps; }
+
+  /// Joins a subtree with itself (self-join contexts only).
+  void SelfJoinNode(const EkdbNode* node);
+
+  /// Joins two distinct subtrees (node a from tree A / the left side, node b
+  /// from tree B / the right side).
+  void JoinNodes(const EkdbNode* a, const EkdbNode* b);
+
+  const JoinStats& stats() const { return stats_; }
+
+ private:
+  void LeafSelfJoin(const EkdbNode* leaf);
+  void LeafCrossJoin(const EkdbNode* a, const EkdbNode* b);
+  /// Sweeps two id lists sorted ascending on coordinate `dim`.
+  void SweepLists(const std::vector<PointId>& a_ids, const Dataset& a_data,
+                  const std::vector<PointId>& b_ids, const Dataset& b_data,
+                  uint32_t dim);
+  void TestAndEmit(PointId a, const float* a_row, PointId b, const float* b_row);
+
+  const Dataset& a_data_;
+  const Dataset& b_data_;
+  DistanceKernel kernel_;
+  double epsilon_;
+  bool bbox_pruning_;
+  bool sliding_window_;
+  bool self_mode_;
+  PairSink* sink_;
+  JoinStats stats_;
+  std::vector<PointId> scratch_;
+};
+
+}  // namespace internal
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_EKDB_JOIN_H_

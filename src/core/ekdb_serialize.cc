@@ -1,0 +1,200 @@
+// Binary persistence of the eps-k-d-B tree structure (EkdbTree::Save/Load).
+//
+// Layout: header (magic, version, dims, config, dimension order) followed
+// by a preorder node stream.  Bounding boxes are not stored; Load recomputes
+// them from the dataset, which both shrinks the file and revalidates that
+// the structure matches the data it is being bound to.
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+namespace {
+
+constexpr uint32_t kMagic = 0x534a4554;  // "SJET"
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kLeafTag = 0;
+constexpr uint8_t kInternalTag = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void SaveNode(std::ofstream& out, const EkdbNode& node) {
+  if (node.is_leaf()) {
+    WritePod(out, kLeafTag);
+    WritePod(out, node.depth);
+    WritePod(out, node.sort_dim);
+    WritePod(out, static_cast<uint64_t>(node.points.size()));
+    out.write(reinterpret_cast<const char*>(node.points.data()),
+              static_cast<std::streamsize>(node.points.size() * sizeof(PointId)));
+    return;
+  }
+  WritePod(out, kInternalTag);
+  WritePod(out, node.depth);
+  WritePod(out, static_cast<uint64_t>(node.children.size()));
+  for (const auto& [stripe, child] : node.children) {
+    WritePod(out, stripe);
+    SaveNode(out, *child);
+  }
+}
+
+/// Recursively reads one node; recomputes its bounding box from the data.
+Status LoadNode(std::ifstream& in, const Dataset& data, size_t max_depth,
+                std::unique_ptr<EkdbNode>* out) {
+  uint8_t tag;
+  uint32_t depth;
+  if (!ReadPod(in, &tag) || !ReadPod(in, &depth)) {
+    return Status::IoError("truncated tree file (node header)");
+  }
+  if (depth > max_depth) {
+    return Status::InvalidArgument("corrupt tree file: depth out of range");
+  }
+  auto node = std::make_unique<EkdbNode>();
+  node->depth = depth;
+  node->bbox = BoundingBox(data.dims());
+
+  if (tag == kLeafTag) {
+    uint64_t count;
+    if (!ReadPod(in, &node->sort_dim) || !ReadPod(in, &count)) {
+      return Status::IoError("truncated tree file (leaf header)");
+    }
+    if (node->sort_dim >= data.dims() || count > data.size()) {
+      return Status::InvalidArgument("corrupt tree file: leaf metadata");
+    }
+    node->points.resize(count);
+    in.read(reinterpret_cast<char*>(node->points.data()),
+            static_cast<std::streamsize>(count * sizeof(PointId)));
+    if (!in) return Status::IoError("truncated tree file (leaf points)");
+    for (PointId id : node->points) {
+      if (static_cast<size_t>(id) >= data.size()) {
+        return Status::InvalidArgument(
+            "tree file references point ids beyond the bound dataset");
+      }
+      node->bbox.ExtendPoint(data.Row(id));
+    }
+  } else if (tag == kInternalTag) {
+    uint64_t count;
+    if (!ReadPod(in, &count)) {
+      return Status::IoError("truncated tree file (internal header)");
+    }
+    if (count == 0 || count > data.size()) {
+      return Status::InvalidArgument("corrupt tree file: child count");
+    }
+    uint32_t prev_stripe = 0;
+    for (uint64_t c = 0; c < count; ++c) {
+      uint32_t stripe;
+      if (!ReadPod(in, &stripe)) {
+        return Status::IoError("truncated tree file (stripe)");
+      }
+      if (c > 0 && stripe <= prev_stripe) {
+        return Status::InvalidArgument(
+            "corrupt tree file: children not stripe-sorted");
+      }
+      prev_stripe = stripe;
+      std::unique_ptr<EkdbNode> child;
+      SIMJOIN_RETURN_NOT_OK(LoadNode(in, data, max_depth, &child));
+      if (child->depth != depth + 1) {
+        return Status::InvalidArgument("corrupt tree file: child depth");
+      }
+      node->bbox.ExtendBox(child->bbox);
+      node->children.emplace_back(stripe, std::move(child));
+    }
+  } else {
+    return Status::InvalidArgument("corrupt tree file: unknown node tag");
+  }
+  *out = std::move(node);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EkdbTree::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(dataset_->size()));
+  WritePod(out, static_cast<uint64_t>(dataset_->dims()));
+  WritePod(out, config_.epsilon);
+  WritePod(out, static_cast<uint64_t>(config_.leaf_threshold));
+  WritePod(out, static_cast<int32_t>(config_.metric));
+  WritePod(out, static_cast<uint8_t>(config_.bbox_pruning));
+  WritePod(out, static_cast<uint8_t>(config_.sliding_window_leaf_join));
+  WritePod(out, static_cast<uint64_t>(dim_order_.size()));
+  out.write(reinterpret_cast<const char*>(dim_order_.data()),
+            static_cast<std::streamsize>(dim_order_.size() * sizeof(uint32_t)));
+  SaveNode(out, *root_);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EkdbTree> EkdbTree::Load(const Dataset& dataset, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  uint32_t magic, version;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("not a simjoin tree file: " + path);
+  }
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported tree file version");
+  }
+  uint64_t n, dims;
+  if (!ReadPod(in, &n) || !ReadPod(in, &dims)) {
+    return Status::IoError("truncated tree file (header)");
+  }
+  if (n != dataset.size() || dims != dataset.dims()) {
+    return Status::InvalidArgument(
+        "tree file was built over a different dataset (size or dims differ)");
+  }
+
+  EkdbConfig config;
+  uint64_t leaf_threshold;
+  int32_t metric;
+  uint8_t bbox_pruning, sliding;
+  uint64_t order_len;
+  if (!ReadPod(in, &config.epsilon) || !ReadPod(in, &leaf_threshold) ||
+      !ReadPod(in, &metric) || !ReadPod(in, &bbox_pruning) ||
+      !ReadPod(in, &sliding) || !ReadPod(in, &order_len)) {
+    return Status::IoError("truncated tree file (config)");
+  }
+  config.leaf_threshold = leaf_threshold;
+  config.metric = static_cast<Metric>(metric);
+  config.bbox_pruning = bbox_pruning != 0;
+  config.sliding_window_leaf_join = sliding != 0;
+  if (order_len != dims) {
+    return Status::InvalidArgument("corrupt tree file: dim order arity");
+  }
+  config.dim_order.resize(order_len);
+  in.read(reinterpret_cast<char*>(config.dim_order.data()),
+          static_cast<std::streamsize>(order_len * sizeof(uint32_t)));
+  if (!in) return Status::IoError("truncated tree file (dim order)");
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
+
+  EkdbTree tree(&dataset, config);
+  SIMJOIN_RETURN_NOT_OK(
+      LoadNode(in, dataset, dataset.dims(), &tree.root_));
+  if (tree.root_->depth != 0) {
+    return Status::InvalidArgument("corrupt tree file: root depth");
+  }
+  return tree;
+}
+
+}  // namespace simjoin

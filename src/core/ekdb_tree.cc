@@ -1,0 +1,346 @@
+#include "core/ekdb_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace simjoin {
+
+size_t EkdbNode::SubtreeSize() const {
+  if (is_leaf()) return points.size();
+  size_t total = 0;
+  for (const auto& [stripe, child] : children) total += child->SubtreeSize();
+  return total;
+}
+
+EkdbTree::EkdbTree(const Dataset* dataset, EkdbConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  dim_order_ = config_.ResolvedDimOrder(dataset_->dims());
+  num_stripes_ = config_.NumStripes();
+  stripe_width_ = config_.StripeWidth();
+}
+
+uint32_t EkdbTree::StripeIndex(float value) const {
+  if (value <= 0.0f) return 0;
+  const auto idx = static_cast<size_t>(static_cast<double>(value) / stripe_width_);
+  return static_cast<uint32_t>(std::min(idx, num_stripes_ - 1));
+}
+
+Result<EkdbTree> EkdbTree::Build(const Dataset& dataset, const EkdbConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build eps-k-d-B tree on empty dataset");
+  }
+  if (!dataset.AllWithin(0.0f, 1.0f)) {
+    return Status::InvalidArgument(
+        "dataset coordinates must lie in [0, 1]; call NormalizeToUnitCube()");
+  }
+  EkdbTree tree(&dataset, config);
+  std::vector<PointId> all(dataset.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
+  tree.root_ = tree.BuildNode(std::move(all), 0);
+  return tree;
+}
+
+std::unique_ptr<EkdbNode> EkdbTree::BuildNode(std::vector<PointId> ids,
+                                              uint32_t depth) {
+  auto node = std::make_unique<EkdbNode>();
+  node->depth = depth;
+  node->bbox = BoundingBox(dataset_->dims());
+  for (PointId id : ids) node->bbox.ExtendPoint(dataset_->Row(id));
+
+  const size_t dims = dataset_->dims();
+  const bool can_split =
+      ids.size() > config_.leaf_threshold && depth < dims && num_stripes_ >= 2;
+
+  if (!can_split) {
+    node->sort_dim = dim_order_[depth % dims];
+    node->points = std::move(ids);
+    const uint32_t sd = node->sort_dim;
+    std::sort(node->points.begin(), node->points.end(),
+              [this, sd](PointId a, PointId b) {
+                return dataset_->Row(a)[sd] < dataset_->Row(b)[sd];
+              });
+    return node;
+  }
+
+  // Partition point ids into global stripes of dimension dim_order_[depth].
+  const uint32_t split_dim = dim_order_[depth];
+  std::vector<std::vector<PointId>> buckets(num_stripes_);
+  for (PointId id : ids) {
+    buckets[StripeIndex(dataset_->Row(id)[split_dim])].push_back(id);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+
+  for (uint32_t stripe = 0; stripe < buckets.size(); ++stripe) {
+    if (buckets[stripe].empty()) continue;
+    node->children.emplace_back(stripe,
+                                BuildNode(std::move(buckets[stripe]), depth + 1));
+  }
+  return node;
+}
+
+Result<EkdbTree> EkdbTree::BuildParallel(const Dataset& dataset,
+                                         const EkdbConfig& config,
+                                         size_t num_threads) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build eps-k-d-B tree on empty dataset");
+  }
+  if (!dataset.AllWithin(0.0f, 1.0f)) {
+    return Status::InvalidArgument(
+        "dataset coordinates must lie in [0, 1]; call NormalizeToUnitCube()");
+  }
+  EkdbTree tree(&dataset, config);
+  std::vector<PointId> all(dataset.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
+
+  // Mirror BuildNode's root-level decision so the structure is identical.
+  const size_t dims = dataset.dims();
+  const bool can_split = all.size() > config.leaf_threshold && dims > 0 &&
+                         tree.num_stripes_ >= 2;
+  if (!can_split) {
+    tree.root_ = tree.BuildNode(std::move(all), 0);
+    return tree;
+  }
+
+  auto root = std::make_unique<EkdbNode>();
+  root->depth = 0;
+  root->bbox = BoundingBox(dims);
+  for (PointId id : all) root->bbox.ExtendPoint(dataset.Row(id));
+
+  const uint32_t split_dim = tree.dim_order_[0];
+  std::vector<std::vector<PointId>> buckets(tree.num_stripes_);
+  for (PointId id : all) {
+    buckets[tree.StripeIndex(dataset.Row(id)[split_dim])].push_back(id);
+  }
+  all.clear();
+  all.shrink_to_fit();
+
+  // One build task per non-empty stripe; results land in fixed slots, so
+  // the final child order is deterministic.
+  std::vector<std::pair<uint32_t, std::unique_ptr<EkdbNode>>> slots;
+  std::vector<std::vector<PointId>*> slot_buckets;
+  for (uint32_t stripe = 0; stripe < buckets.size(); ++stripe) {
+    if (buckets[stripe].empty()) continue;
+    slots.emplace_back(stripe, nullptr);
+    slot_buckets.push_back(&buckets[stripe]);
+  }
+  {
+    const size_t threads =
+        num_threads != 0 ? num_threads
+                         : std::max<size_t>(1, std::thread::hardware_concurrency());
+    ThreadPool pool(threads);
+    for (size_t s = 0; s < slots.size(); ++s) {
+      pool.Submit([&tree, &slots, &slot_buckets, s] {
+        slots[s].second = tree.BuildNode(std::move(*slot_buckets[s]), 1);
+      });
+    }
+    pool.WaitIdle();
+  }
+  root->children = std::move(slots);
+  tree.root_ = std::move(root);
+  return tree;
+}
+
+Status EkdbTree::Insert(PointId id) {
+  if (static_cast<size_t>(id) >= dataset_->size()) {
+    return Status::OutOfRange("point id " + std::to_string(id) +
+                              " out of range");
+  }
+  const float* row = dataset_->Row(id);
+  const size_t dims = dataset_->dims();
+  for (size_t d = 0; d < dims; ++d) {
+    if (row[d] < 0.0f || row[d] > 1.0f) {
+      return Status::InvalidArgument(
+          "inserted point coordinates must lie in [0, 1]");
+    }
+  }
+
+  EkdbNode* node = root_.get();
+  for (;;) {
+    node->bbox.ExtendPoint(row);
+    if (node->is_leaf()) break;
+    const uint32_t split_dim = dim_order_[node->depth];
+    const uint32_t stripe = StripeIndex(row[split_dim]);
+    // Children are sorted by stripe index; find or create the slot.
+    auto it = std::lower_bound(
+        node->children.begin(), node->children.end(), stripe,
+        [](const auto& entry, uint32_t s) { return entry.first < s; });
+    if (it == node->children.end() || it->first != stripe) {
+      auto leaf = std::make_unique<EkdbNode>();
+      leaf->depth = node->depth + 1;
+      leaf->sort_dim = dim_order_[leaf->depth % dims];
+      leaf->bbox = BoundingBox(dims);
+      it = node->children.emplace(it, stripe, std::move(leaf));
+    }
+    node = it->second.get();
+  }
+
+  // Sorted insert into the leaf.
+  const uint32_t sd = node->sort_dim;
+  const Dataset& data = *dataset_;
+  auto pos = std::lower_bound(node->points.begin(), node->points.end(),
+                              row[sd], [&data, sd](PointId p, float v) {
+                                return data.Row(p)[sd] < v;
+                              });
+  node->points.insert(pos, id);
+
+  // Split an overflowing leaf by rebuilding the subtree in place; the
+  // subtree is at most leaf_threshold + 1 points, so this is cheap.
+  if (node->points.size() > config_.leaf_threshold &&
+      node->depth < dims && num_stripes_ >= 2) {
+    std::vector<PointId> ids = std::move(node->points);
+    std::unique_ptr<EkdbNode> rebuilt = BuildNode(std::move(ids), node->depth);
+    *node = std::move(*rebuilt);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Recursive removal.  Returns true if the id was found and removed below
+/// node; on success node's bbox is exact again and empty children are
+/// unlinked.
+bool RemoveFromSubtree(EkdbNode* node, PointId id, const float* row,
+                       const Dataset& data,
+                       const std::vector<uint32_t>& dim_order,
+                       const EkdbTree& tree) {
+  if (node->is_leaf()) {
+    // Leaf points are sorted on sort_dim; scan the equal-coordinate run.
+    const uint32_t sd = node->sort_dim;
+    auto it = std::lower_bound(node->points.begin(), node->points.end(),
+                               row[sd], [&data, sd](PointId p, float v) {
+                                 return data.Row(p)[sd] < v;
+                               });
+    while (it != node->points.end() && data.Row(*it)[sd] == row[sd]) {
+      if (*it == id) {
+        node->points.erase(it);
+        node->bbox = BoundingBox(data.dims());
+        for (PointId p : node->points) node->bbox.ExtendPoint(data.Row(p));
+        return true;
+      }
+      ++it;
+    }
+    return false;
+  }
+  const uint32_t split_dim = dim_order[node->depth];
+  const uint32_t stripe = tree.StripeIndex(row[split_dim]);
+  auto it = std::lower_bound(
+      node->children.begin(), node->children.end(), stripe,
+      [](const auto& entry, uint32_t s) { return entry.first < s; });
+  if (it == node->children.end() || it->first != stripe) return false;
+  if (!RemoveFromSubtree(it->second.get(), id, row, data, dim_order, tree)) {
+    return false;
+  }
+  const EkdbNode* child = it->second.get();
+  const bool child_empty = child->is_leaf() ? child->points.empty()
+                                            : child->children.empty();
+  if (child_empty) node->children.erase(it);
+  node->bbox = BoundingBox(data.dims());
+  for (const auto& [s, c] : node->children) node->bbox.ExtendBox(c->bbox);
+  return true;
+}
+
+}  // namespace
+
+Status EkdbTree::Remove(PointId id) {
+  if (static_cast<size_t>(id) >= dataset_->size()) {
+    return Status::OutOfRange("point id " + std::to_string(id) +
+                              " out of range");
+  }
+  const float* row = dataset_->Row(id);
+  if (!RemoveFromSubtree(root_.get(), id, row, *dataset_, dim_order_, *this)) {
+    return Status::NotFound("point id " + std::to_string(id) +
+                            " is not in the tree");
+  }
+  return Status::OK();
+}
+
+Status EkdbTree::RangeQuery(const float* query, double eps_query,
+                            std::vector<PointId>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (!(eps_query > 0.0) || eps_query > config_.epsilon) {
+    return Status::InvalidArgument(
+        "eps_query must be in (0, built epsilon]; the stripe grid only "
+        "supports radii up to the build epsilon");
+  }
+  const size_t dims = dataset_->dims();
+  DistanceKernel kernel(config_.metric);
+  std::vector<const EkdbNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const EkdbNode* node = stack.back();
+    stack.pop_back();
+    if (node->bbox.IsEmpty() ||
+        node->bbox.MinDistanceToPoint(query, dims, config_.metric) > eps_query) {
+      continue;
+    }
+    if (node->is_leaf()) {
+      // Leaf points are sorted on sort_dim: window the scan.
+      const uint32_t sd = node->sort_dim;
+      for (PointId p : node->points) {
+        const float* row = dataset_->Row(p);
+        if (static_cast<double>(row[sd]) < query[sd] - eps_query) continue;
+        if (static_cast<double>(row[sd]) > query[sd] + eps_query) break;
+        if (kernel.WithinEpsilon(query, row, dims, eps_query)) {
+          out->push_back(p);
+        }
+      }
+      continue;
+    }
+    // Only the query's stripe and its two neighbours can hold matches.
+    const uint32_t split_dim = dim_order_[node->depth];
+    const uint32_t stripe = StripeIndex(query[split_dim]);
+    const uint32_t lo = stripe == 0 ? 0 : stripe - 1;
+    for (const auto& [s, child] : node->children) {
+      if (s < lo) continue;
+      if (s > stripe + 1) break;
+      stack.push_back(child.get());
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void Walk(const EkdbNode* node, EkdbTreeStats* stats) {
+  ++stats->nodes;
+  stats->max_depth = std::max<uint64_t>(stats->max_depth, node->depth);
+  stats->memory_bytes += sizeof(EkdbNode);
+  stats->memory_bytes += node->points.capacity() * sizeof(PointId);
+  stats->memory_bytes +=
+      node->children.capacity() *
+      sizeof(std::pair<uint32_t, std::unique_ptr<EkdbNode>>);
+  // Bounding box payload: two float vectors of length d.
+  stats->memory_bytes += 2 * node->bbox.dims() * sizeof(float);
+  if (node->is_leaf()) {
+    ++stats->leaves;
+    stats->total_points += node->points.size();
+    stats->max_leaf_size = std::max<uint64_t>(stats->max_leaf_size, node->points.size());
+    return;
+  }
+  for (const auto& [stripe, child] : node->children) Walk(child.get(), stats);
+}
+
+}  // namespace
+
+EkdbTreeStats EkdbTree::ComputeStats() const {
+  EkdbTreeStats stats;
+  Walk(root_.get(), &stats);
+  stats.avg_leaf_size = stats.leaves > 0 ? static_cast<double>(stats.total_points) /
+                                               static_cast<double>(stats.leaves)
+                                         : 0.0;
+  return stats;
+}
+
+bool EkdbTree::JoinCompatible(const EkdbTree& a, const EkdbTree& b) {
+  return a.dataset().dims() == b.dataset().dims() &&
+         a.config().epsilon == b.config().epsilon &&
+         a.config().metric == b.config().metric &&
+         a.num_stripes() == b.num_stripes() && a.dim_order() == b.dim_order();
+}
+
+}  // namespace simjoin

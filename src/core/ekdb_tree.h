@@ -1,0 +1,158 @@
+// The eps-k-d-B tree: the paper's main-memory index for high-dimensional
+// similarity joins.
+//
+// Construction: a node at depth k that holds more than leaf_threshold points
+// splits them on dimension order[k] into *global* stripes of width
+// w = 1/floor(1/eps) >= eps.  Because stripes are global (the grid is the
+// same in every subtree and in every tree built with the same epsilon), the
+// join traversal only ever has to pair a child stripe with itself and its
+// two index-neighbours — points two or more stripes apart differ by more
+// than w >= eps in that coordinate and can never join under any L_p metric.
+// Leaves keep their point ids sorted on the first dimension unused on their
+// root-to-leaf path, which is what the sliding-window leaf join sweeps on.
+
+#ifndef SIMJOIN_CORE_EKDB_TREE_H_
+#define SIMJOIN_CORE_EKDB_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "common/dataset.h"
+#include "common/status.h"
+#include "core/ekdb_config.h"
+
+namespace simjoin {
+
+/// One node of an eps-k-d-B tree.  Leaves own point ids; internal nodes own
+/// a sparse, stripe-sorted child list.  Every node carries the exact
+/// bounding box of the points below it (used for join pruning).
+struct EkdbNode {
+  /// Stripe-index-sorted children; only non-empty stripes are materialised.
+  std::vector<std::pair<uint32_t, std::unique_ptr<EkdbNode>>> children;
+
+  /// Leaf payload: point ids sorted ascending by coordinate sort_dim.
+  std::vector<PointId> points;
+
+  /// Exact bounding box of all points in this subtree.
+  BoundingBox bbox;
+
+  /// Depth of this node (root = 0); equals the number of dimensions already
+  /// consumed on the path from the root.
+  uint32_t depth = 0;
+
+  /// Leaf only: the dimension its point list is sorted on.
+  uint32_t sort_dim = 0;
+
+  bool is_leaf() const { return children.empty(); }
+
+  /// Number of points in the subtree.
+  size_t SubtreeSize() const;
+};
+
+/// Aggregate structural statistics of a tree.
+struct EkdbTreeStats {
+  uint64_t nodes = 0;
+  uint64_t leaves = 0;
+  uint64_t max_depth = 0;
+  uint64_t total_points = 0;
+  double avg_leaf_size = 0.0;
+  uint64_t max_leaf_size = 0;
+  uint64_t memory_bytes = 0;
+};
+
+/// An eps-k-d-B tree over a dataset it does not own.  The dataset must stay
+/// alive and unmodified for the lifetime of the tree.
+class EkdbTree {
+ public:
+  /// Builds a tree.  Fails if the config is invalid or any coordinate lies
+  /// outside [0, 1] (normalise with Dataset::NormalizeToUnitCube first).
+  static Result<EkdbTree> Build(const Dataset& dataset, const EkdbConfig& config);
+
+  /// Builds the identical tree using a thread pool: the root's stripes are
+  /// partitioned sequentially, then each child subtree builds as a task.
+  /// num_threads == 0 uses hardware concurrency.  The resulting structure
+  /// is bit-identical to Build()'s.
+  static Result<EkdbTree> BuildParallel(const Dataset& dataset,
+                                        const EkdbConfig& config,
+                                        size_t num_threads = 0);
+
+  const EkdbNode* root() const { return root_.get(); }
+  const Dataset& dataset() const { return *dataset_; }
+  const EkdbConfig& config() const { return config_; }
+
+  /// Resolved dimension consumption order.
+  const std::vector<uint32_t>& dim_order() const { return dim_order_; }
+
+  /// Stripe grid parameters (identical for all trees with equal epsilon).
+  size_t num_stripes() const { return num_stripes_; }
+  double stripe_width() const { return stripe_width_; }
+
+  /// Global stripe index of a coordinate value in [0, 1].
+  uint32_t StripeIndex(float value) const;
+
+  /// Inserts one point of the dataset (by row id) into the tree,
+  /// maintaining every structural invariant (stripe containment, bounding
+  /// boxes, leaf sort order, splitting).  Intended for incremental
+  /// maintenance: append the point to the dataset first, then Insert its
+  /// id.  Fails if the id is out of range, already beyond [0,1]^d, or was
+  /// already inserted (not checked — inserting an id twice is a caller
+  /// bug that double-reports pairs).
+  Status Insert(PointId id);
+
+  /// Removes one previously inserted point (by row id).  The dataset row
+  /// must still hold the point's coordinates when Remove is called (they
+  /// are needed to locate it); overwrite the row only afterwards.  Bounding
+  /// boxes along the path are recomputed exactly and emptied nodes are
+  /// unlinked.  Returns NotFound if the id is not in the tree.
+  Status Remove(PointId id);
+
+  /// Collects the ids of all indexed points within eps_query of the query
+  /// point under the tree's metric.  eps_query must be in
+  /// (0, config().epsilon]: the stripe grid only supports radii up to the
+  /// epsilon the tree was built for.
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out) const;
+
+  /// Persists the index structure (config, dimension order, nodes, point
+  /// ids) to a binary file.  The dataset itself is NOT stored — persist it
+  /// separately (e.g. WriteBinaryDataset) and pass it to Load.
+  Status Save(const std::string& path) const;
+
+  /// Reconstructs a tree previously Save()d, re-bound to the given dataset
+  /// (which must be the dataset the tree was built over: same size and
+  /// dimensionality; point ids are validated, bounding boxes are recomputed
+  /// from the data).  The dataset must outlive the returned tree.
+  static Result<EkdbTree> Load(const Dataset& dataset, const std::string& path);
+
+  /// Walks the tree and gathers structural statistics.
+  EkdbTreeStats ComputeStats() const;
+
+  /// True iff the two trees were built with join-compatible configurations
+  /// (same epsilon grid, metric, dimensionality, and dimension order).
+  static bool JoinCompatible(const EkdbTree& a, const EkdbTree& b);
+
+  // Movable, not copyable (owns the node arena).
+  EkdbTree(EkdbTree&&) = default;
+  EkdbTree& operator=(EkdbTree&&) = default;
+  EkdbTree(const EkdbTree&) = delete;
+  EkdbTree& operator=(const EkdbTree&) = delete;
+
+ private:
+  EkdbTree(const Dataset* dataset, EkdbConfig config);
+
+  std::unique_ptr<EkdbNode> BuildNode(std::vector<PointId> ids, uint32_t depth);
+
+  const Dataset* dataset_;
+  EkdbConfig config_;
+  std::vector<uint32_t> dim_order_;
+  size_t num_stripes_ = 1;
+  double stripe_width_ = 1.0;
+  std::unique_ptr<EkdbNode> root_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_EKDB_TREE_H_

@@ -1,0 +1,410 @@
+#include "core/external_join.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+#include "core/ekdb_join.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One loaded partition: the points plus their original file row ids.
+struct Partition {
+  Dataset points;
+  std::vector<PointId> original_ids;
+};
+
+/// Sink adaptor translating partition-local ids back to original row ids.
+/// In canonical mode (self-joins) the pair is reordered (min, max).
+class TranslatingSink : public PairSink {
+ public:
+  TranslatingSink(const std::vector<PointId>& a_ids,
+                  const std::vector<PointId>& b_ids, bool canonicalize,
+                  PairSink* target)
+      : a_ids_(a_ids),
+        b_ids_(b_ids),
+        canonicalize_(canonicalize),
+        target_(target) {}
+
+  void Emit(PointId a, PointId b) override {
+    PointId oa = a_ids_[a];
+    PointId ob = b_ids_[b];
+    if (canonicalize_ && oa > ob) std::swap(oa, ob);
+    target_->Emit(oa, ob);
+  }
+
+ private:
+  const std::vector<PointId>& a_ids_;
+  const std::vector<PointId>& b_ids_;
+  bool canonicalize_;
+  PairSink* target_;
+};
+
+/// Spill-record layout: original row id followed by the coordinates.
+size_t RecordBytes(size_t dims) { return sizeof(PointId) + dims * sizeof(float); }
+
+/// Shared stripe geometry derived from the config.
+struct StripeGrid {
+  uint32_t split_dim = 0;
+  size_t num_stripes = 1;
+  double stripe_width = 1.0;
+
+  size_t StripeOf(float v) const {
+    if (v <= 0.0f) return 0;
+    return std::min(static_cast<size_t>(static_cast<double>(v) / stripe_width),
+                    num_stripes - 1);
+  }
+};
+
+/// Streams a binary dataset accumulating per-stripe counts; also validates
+/// the [0,1] range.  *dims is set from the file (and checked for equality
+/// when already set).
+Status StripeHistogram(const std::string& path, const ExternalJoinConfig& config,
+                       const StripeGrid& grid, size_t* dims,
+                       std::vector<size_t>* counts) {
+  BinaryDatasetReader reader;
+  SIMJOIN_RETURN_NOT_OK(reader.Open(path));
+  if (*dims == 0) {
+    *dims = reader.dims();
+  } else if (*dims != reader.dims()) {
+    return Status::InvalidArgument("joined inputs have different dims");
+  }
+  if (reader.total_points() == 0) {
+    return Status::InvalidArgument("input dataset is empty: " + path);
+  }
+  Dataset batch;
+  PointId first_id = 0;
+  while (!reader.AtEnd()) {
+    SIMJOIN_RETURN_NOT_OK(
+        reader.ReadBatch(config.io_batch_points, &batch, &first_id));
+    if (!batch.AllWithin(0.0f, 1.0f)) {
+      return Status::InvalidArgument(
+          "input coordinates must lie in [0, 1]; normalise before spilling");
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++(*counts)[grid.StripeOf(batch.Row(static_cast<PointId>(i))[grid.split_dim])];
+    }
+  }
+  return Status::OK();
+}
+
+/// Streams a binary dataset scattering (id, coords) records into one spill
+/// file per partition.
+Status ScatterToPartitions(const std::string& path,
+                           const ExternalJoinConfig& config,
+                           const StripeGrid& grid, size_t dims,
+                           const std::vector<size_t>& stripe_to_partition,
+                           const std::vector<std::string>& spill_paths) {
+  std::vector<std::ofstream> spills(spill_paths.size());
+  for (size_t p = 0; p < spill_paths.size(); ++p) {
+    spills[p].open(spill_paths[p], std::ios::binary | std::ios::trunc);
+    if (!spills[p]) {
+      return Status::IoError("cannot create spill file: " + spill_paths[p]);
+    }
+  }
+  BinaryDatasetReader reader;
+  SIMJOIN_RETURN_NOT_OK(reader.Open(path));
+  Dataset batch;
+  PointId first_id = 0;
+  std::vector<char> record(RecordBytes(dims));
+  while (!reader.AtEnd()) {
+    SIMJOIN_RETURN_NOT_OK(
+        reader.ReadBatch(config.io_batch_points, &batch, &first_id));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const PointId id = static_cast<PointId>(first_id + i);
+      const float* row = batch.Row(static_cast<PointId>(i));
+      const size_t p = stripe_to_partition[grid.StripeOf(row[grid.split_dim])];
+      std::memcpy(record.data(), &id, sizeof(PointId));
+      std::memcpy(record.data() + sizeof(PointId), row, dims * sizeof(float));
+      spills[p].write(record.data(),
+                      static_cast<std::streamsize>(record.size()));
+    }
+  }
+  for (auto& s : spills) {
+    s.flush();
+    if (!s) return Status::IoError("spill write failed");
+  }
+  return Status::OK();
+}
+
+Status LoadPartition(const std::string& path, size_t dims, size_t count,
+                     Partition* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open spill file: " + path);
+  out->points.Reset(count, dims);
+  out->original_ids.resize(count);
+  std::vector<char> record(RecordBytes(dims));
+  for (size_t i = 0; i < count; ++i) {
+    in.read(record.data(), static_cast<std::streamsize>(record.size()));
+    if (!in) return Status::IoError("truncated spill file: " + path);
+    std::memcpy(&out->original_ids[i], record.data(), sizeof(PointId));
+    std::memcpy(out->points.MutableRow(static_cast<PointId>(i)),
+                record.data() + sizeof(PointId), dims * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status ValidateConfig(const ExternalJoinConfig& config) {
+  if (config.temp_dir.empty() || !fs::is_directory(config.temp_dir)) {
+    return Status::InvalidArgument("temp_dir must be an existing directory: " +
+                                   config.temp_dir);
+  }
+  if (config.memory_budget_points < 2 || config.io_batch_points == 0) {
+    return Status::InvalidArgument(
+        "memory_budget_points must be >= 2 and io_batch_points positive");
+  }
+  return Status::OK();
+}
+
+/// Groups stripes into contiguous partitions with at most `budget` combined
+/// occupancy each (single over-dense stripes may exceed it).
+void GreedyPartition(const std::vector<size_t>& stripe_counts, size_t budget,
+                     std::vector<size_t>* stripe_to_partition,
+                     std::vector<size_t>* partition_of_stripe_counts) {
+  stripe_to_partition->assign(stripe_counts.size(), 0);
+  partition_of_stripe_counts->clear();
+  partition_of_stripe_counts->push_back(0);
+  size_t current = 0;
+  for (size_t s = 0; s < stripe_counts.size(); ++s) {
+    if ((*partition_of_stripe_counts)[current] > 0 &&
+        (*partition_of_stripe_counts)[current] + stripe_counts[s] > budget) {
+      ++current;
+      partition_of_stripe_counts->push_back(0);
+    }
+    (*stripe_to_partition)[s] = current;
+    (*partition_of_stripe_counts)[current] += stripe_counts[s];
+  }
+}
+
+std::vector<std::string> SpillPaths(const std::string& temp_dir,
+                                    const std::string& tag,
+                                    size_t num_partitions) {
+  std::vector<std::string> paths(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    paths[p] = (fs::path(temp_dir) /
+                ("simjoin_" + tag + "_" + std::to_string(p) + ".spill"))
+                   .string();
+  }
+  return paths;
+}
+
+void RemoveAll(const std::vector<std::string>& paths) {
+  for (const auto& path : paths) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+}
+
+/// Per-input partition counts derived from a shared stripe->partition map.
+std::vector<size_t> PartitionCounts(const std::vector<size_t>& stripe_counts,
+                                    const std::vector<size_t>& stripe_to_partition,
+                                    size_t num_partitions) {
+  std::vector<size_t> counts(num_partitions, 0);
+  for (size_t s = 0; s < stripe_counts.size(); ++s) {
+    counts[stripe_to_partition[s]] += stripe_counts[s];
+  }
+  return counts;
+}
+
+}  // namespace
+
+Status ExternalSelfJoin(const std::string& input_path,
+                        const ExternalJoinConfig& config, PairSink* sink,
+                        JoinStats* stats, ExternalJoinReport* report) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(ValidateConfig(config));
+
+  size_t dims = 0;
+  {
+    BinaryDatasetReader reader;
+    SIMJOIN_RETURN_NOT_OK(reader.Open(input_path));
+    dims = reader.dims();
+    SIMJOIN_RETURN_NOT_OK(config.ekdb.Validate(dims));
+  }
+  StripeGrid grid;
+  grid.split_dim = config.ekdb.ResolvedDimOrder(dims)[0];
+  grid.num_stripes = config.ekdb.NumStripes();
+  grid.stripe_width = config.ekdb.StripeWidth();
+
+  // Pass 1: histogram + validation.
+  std::vector<size_t> stripe_counts(grid.num_stripes, 0);
+  size_t seen_dims = dims;
+  SIMJOIN_RETURN_NOT_OK(
+      StripeHistogram(input_path, config, grid, &seen_dims, &stripe_counts));
+
+  // Partition and scatter.
+  std::vector<size_t> stripe_to_partition, partition_counts;
+  GreedyPartition(stripe_counts, std::max<size_t>(1, config.memory_budget_points / 2),
+                  &stripe_to_partition, &partition_counts);
+  const size_t num_partitions = partition_counts.size();
+  const std::vector<std::string> spill_paths =
+      SpillPaths(config.temp_dir, "self", num_partitions);
+  Status status = ScatterToPartitions(input_path, config, grid, dims,
+                                      stripe_to_partition, spill_paths);
+
+  ExternalJoinReport local_report;
+  local_report.partitions = num_partitions;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    local_report.total_points += partition_counts[p];
+    local_report.max_partition_points =
+        std::max(local_report.max_partition_points, partition_counts[p]);
+    local_report.bytes_spilled += partition_counts[p] * RecordBytes(dims);
+  }
+
+  // Join phase: partition p self-join + (p-1, p) cross join.
+  if (status.ok()) {
+    Partition prev, current;
+    bool have_prev = false;
+    for (size_t p = 0; p < num_partitions && status.ok(); ++p) {
+      if (partition_counts[p] == 0) {
+        have_prev = false;
+        continue;
+      }
+      status = LoadPartition(spill_paths[p], dims, partition_counts[p], &current);
+      if (!status.ok()) break;
+      auto current_tree = EkdbTree::Build(current.points, config.ekdb);
+      if (!current_tree.ok()) {
+        status = current_tree.status();
+        break;
+      }
+      size_t resident = current.points.size();
+      if (have_prev) {
+        resident += prev.points.size();
+        auto prev_tree = EkdbTree::Build(prev.points, config.ekdb);
+        if (!prev_tree.ok()) {
+          status = prev_tree.status();
+          break;
+        }
+        TranslatingSink cross_sink(prev.original_ids, current.original_ids,
+                                   /*canonicalize=*/true, sink);
+        status = EkdbJoin(*prev_tree, *current_tree, &cross_sink, stats);
+        if (!status.ok()) break;
+      }
+      local_report.peak_resident_points =
+          std::max(local_report.peak_resident_points, resident);
+
+      TranslatingSink self_sink(current.original_ids, current.original_ids,
+                                /*canonicalize=*/true, sink);
+      status = EkdbSelfJoin(*current_tree, &self_sink, stats);
+      if (!status.ok()) break;
+
+      prev = std::move(current);
+      have_prev = true;
+    }
+  }
+
+  RemoveAll(spill_paths);
+  if (report != nullptr) *report = local_report;
+  return status;
+}
+
+Status ExternalJoin(const std::string& input_a, const std::string& input_b,
+                    const ExternalJoinConfig& config, PairSink* sink,
+                    JoinStats* stats, ExternalJoinReport* report) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(ValidateConfig(config));
+
+  size_t dims = 0;
+  {
+    BinaryDatasetReader reader;
+    SIMJOIN_RETURN_NOT_OK(reader.Open(input_a));
+    dims = reader.dims();
+    SIMJOIN_RETURN_NOT_OK(config.ekdb.Validate(dims));
+  }
+  StripeGrid grid;
+  grid.split_dim = config.ekdb.ResolvedDimOrder(dims)[0];
+  grid.num_stripes = config.ekdb.NumStripes();
+  grid.stripe_width = config.ekdb.StripeWidth();
+
+  // Pass 1: per-input stripe histograms (shared grid).
+  std::vector<size_t> counts_a(grid.num_stripes, 0);
+  std::vector<size_t> counts_b(grid.num_stripes, 0);
+  SIMJOIN_RETURN_NOT_OK(
+      StripeHistogram(input_a, config, grid, &dims, &counts_a));
+  SIMJOIN_RETURN_NOT_OK(
+      StripeHistogram(input_b, config, grid, &dims, &counts_b));
+
+  // Shared partition boundaries sized by combined occupancy so that one
+  // partition from each side fits together in the budget.
+  std::vector<size_t> combined(grid.num_stripes);
+  for (size_t s = 0; s < grid.num_stripes; ++s) {
+    combined[s] = counts_a[s] + counts_b[s];
+  }
+  std::vector<size_t> stripe_to_partition, combined_counts;
+  GreedyPartition(combined, std::max<size_t>(1, config.memory_budget_points / 2),
+                  &stripe_to_partition, &combined_counts);
+  const size_t num_partitions = combined_counts.size();
+  const std::vector<size_t> parts_a =
+      PartitionCounts(counts_a, stripe_to_partition, num_partitions);
+  const std::vector<size_t> parts_b =
+      PartitionCounts(counts_b, stripe_to_partition, num_partitions);
+
+  const std::vector<std::string> spills_a =
+      SpillPaths(config.temp_dir, "a", num_partitions);
+  const std::vector<std::string> spills_b =
+      SpillPaths(config.temp_dir, "b", num_partitions);
+  Status status = ScatterToPartitions(input_a, config, grid, dims,
+                                      stripe_to_partition, spills_a);
+  if (status.ok()) {
+    status = ScatterToPartitions(input_b, config, grid, dims,
+                                 stripe_to_partition, spills_b);
+  }
+
+  ExternalJoinReport local_report;
+  local_report.partitions = num_partitions;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    local_report.total_points += parts_a[p] + parts_b[p];
+    local_report.max_partition_points = std::max(
+        {local_report.max_partition_points, parts_a[p], parts_b[p]});
+    local_report.bytes_spilled +=
+        (parts_a[p] + parts_b[p]) * RecordBytes(dims);
+  }
+
+  // Join phase: A_p against B_{p-1}, B_p, B_{p+1} (two resident at a time).
+  if (status.ok()) {
+    Partition part_a, part_b;
+    for (size_t p = 0; p < num_partitions && status.ok(); ++p) {
+      if (parts_a[p] == 0) continue;
+      status = LoadPartition(spills_a[p], dims, parts_a[p], &part_a);
+      if (!status.ok()) break;
+      auto tree_a = EkdbTree::Build(part_a.points, config.ekdb);
+      if (!tree_a.ok()) {
+        status = tree_a.status();
+        break;
+      }
+      const size_t q_lo = p == 0 ? 0 : p - 1;
+      const size_t q_hi = std::min(num_partitions - 1, p + 1);
+      for (size_t q = q_lo; q <= q_hi && status.ok(); ++q) {
+        if (parts_b[q] == 0) continue;
+        status = LoadPartition(spills_b[q], dims, parts_b[q], &part_b);
+        if (!status.ok()) break;
+        auto tree_b = EkdbTree::Build(part_b.points, config.ekdb);
+        if (!tree_b.ok()) {
+          status = tree_b.status();
+          break;
+        }
+        local_report.peak_resident_points =
+            std::max(local_report.peak_resident_points,
+                     part_a.points.size() + part_b.points.size());
+        TranslatingSink cross_sink(part_a.original_ids, part_b.original_ids,
+                                   /*canonicalize=*/false, sink);
+        status = EkdbJoin(*tree_a, *tree_b, &cross_sink, stats);
+      }
+    }
+  }
+
+  RemoveAll(spills_a);
+  RemoveAll(spills_b);
+  if (report != nullptr) *report = local_report;
+  return status;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,78 @@
+// Out-of-core eps-k-d-B similarity self-join.
+//
+// The paper's in-memory index assumes the window of data fits in RAM; for
+// larger inputs it prescribes the natural stripe decomposition: partition
+// the input on the first split dimension into runs of whole epsilon-stripes,
+// spill each partition to disk, and then join each partition with itself and
+// with its immediate successor — stripe adjacency guarantees no pair spans
+// non-adjacent partitions, so two partitions resident at a time suffice.
+//
+// The input is a simjoin binary dataset file (common/binary_io.h) streamed
+// in batches, so the full input is never materialised: pass 1 histograms
+// the stripe occupancy to choose memory-sized partitions, pass 2 scatters
+// points into per-partition spill files, and the join phase loads at most
+// two partitions, builds eps-k-d-B trees over them, and emits pairs in the
+// original file row ids.
+
+#ifndef SIMJOIN_CORE_EXTERNAL_JOIN_H_
+#define SIMJOIN_CORE_EXTERNAL_JOIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/ekdb_config.h"
+
+namespace simjoin {
+
+/// Parameters of the out-of-core join.
+struct ExternalJoinConfig {
+  /// Index/join parameters (epsilon, metric, leaf threshold, ...).
+  EkdbConfig ekdb;
+
+  /// Directory for partition spill files; must exist and be writable.
+  /// Spill files are removed on completion.
+  std::string temp_dir;
+
+  /// Target maximum number of points resident in memory at once.  Each
+  /// partition is sized to at most half of this so that a partition and its
+  /// successor fit together.  A single over-dense stripe can exceed the
+  /// target (stripes are indivisible); the report records the actual peak.
+  size_t memory_budget_points = 1 << 17;
+
+  /// Batch size (points) for streaming passes.
+  size_t io_batch_points = 1 << 14;
+};
+
+/// What the out-of-core run actually did; useful for tests and benchmarks.
+struct ExternalJoinReport {
+  size_t total_points = 0;
+  size_t partitions = 0;
+  size_t max_partition_points = 0;   ///< largest single partition
+  size_t peak_resident_points = 0;   ///< max points loaded simultaneously
+  uint64_t bytes_spilled = 0;        ///< total spill-file volume
+};
+
+/// Self-join of the binary dataset at input_path.  Pairs are emitted in
+/// canonical (smaller row id, larger row id) order, exactly once, and the
+/// pair set equals the in-memory EkdbSelfJoin on the same data.
+Status ExternalSelfJoin(const std::string& input_path,
+                        const ExternalJoinConfig& config, PairSink* sink,
+                        JoinStats* stats = nullptr,
+                        ExternalJoinReport* report = nullptr);
+
+/// Out-of-core join between two binary dataset files of equal
+/// dimensionality.  Both inputs are partitioned on the same stripe grid
+/// (boundaries sized by their combined occupancy); partition p of A is
+/// joined with partitions p-1, p, p+1 of B — stripe adjacency guarantees no
+/// other combination can hold pairs — with two partitions resident at a
+/// time.  Pairs are (row id in A, row id in B), exactly once.
+Status ExternalJoin(const std::string& input_a, const std::string& input_b,
+                    const ExternalJoinConfig& config, PairSink* sink,
+                    JoinStats* stats = nullptr,
+                    ExternalJoinReport* report = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_EXTERNAL_JOIN_H_

@@ -1,0 +1,166 @@
+#include "core/parallel_join.h"
+
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/ekdb_join.h"
+
+namespace simjoin {
+namespace {
+
+/// One unit of traversal work: either a subtree self-join (b == nullptr) or
+/// a cross join of two disjoint subtrees.
+struct JoinTask {
+  const EkdbNode* a = nullptr;
+  const EkdbNode* b = nullptr;  // nullptr => self-join of a
+};
+
+/// Recursively expands self-join tasks: a large internal node becomes one
+/// self task per child plus one cross task per adjacent-stripe child pair.
+/// Cross tasks are not expanded further — they are already small relative to
+/// the self tasks they flank.
+void ExpandSelfTask(const EkdbNode* node, size_t min_points,
+                    std::vector<JoinTask>* tasks) {
+  if (node->is_leaf() || node->SubtreeSize() <= min_points) {
+    tasks->push_back(JoinTask{node, nullptr});
+    return;
+  }
+  const auto& kids = node->children;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    ExpandSelfTask(kids[i].second.get(), min_points, tasks);
+    if (i + 1 < kids.size() && kids[i + 1].first == kids[i].first + 1) {
+      tasks->push_back(JoinTask{kids[i].second.get(), kids[i + 1].second.get()});
+    }
+  }
+}
+
+/// Thread-safe fan-in: buffers pairs locally, flushes under a lock.
+class LockedSink : public PairSink {
+ public:
+  LockedSink(PairSink* target, std::mutex* mu) : target_(target), mu_(mu) {}
+
+  void Emit(PointId a, PointId b) override {
+    buffer_.emplace_back(a, b);
+    if (buffer_.size() >= kFlushThreshold) Flush();
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (const auto& [a, b] : buffer_) target_->Emit(a, b);
+    buffer_.clear();
+  }
+
+ private:
+  static constexpr size_t kFlushThreshold = 4096;
+  PairSink* target_;
+  std::mutex* mu_;
+  std::vector<IdPair> buffer_;
+};
+
+/// Expands a cross-join task over two subtrees, mirroring the recursion of
+/// EkdbJoinContext::JoinNodes: once either side is a leaf, or the combined
+/// size is small, the pair stays one task; otherwise stripe-adjacent child
+/// pairs recurse.
+void ExpandCrossTask(const EkdbNode* a, const EkdbNode* b, size_t min_points,
+                     std::vector<JoinTask>* tasks) {
+  if (a->is_leaf() || b->is_leaf() ||
+      a->SubtreeSize() + b->SubtreeSize() <= min_points) {
+    tasks->push_back(JoinTask{a, b});
+    return;
+  }
+  const auto& ka = a->children;
+  const auto& kb = b->children;
+  size_t j_lo = 0;
+  for (const auto& [sa, ca] : ka) {
+    const uint32_t lo = sa == 0 ? 0 : sa - 1;
+    while (j_lo < kb.size() && kb[j_lo].first < lo) ++j_lo;
+    for (size_t j = j_lo; j < kb.size() && kb[j].first <= sa + 1; ++j) {
+      ExpandCrossTask(ca.get(), kb[j].second.get(), min_points, tasks);
+    }
+  }
+}
+
+/// Runs a task list across the pool, fanning results into sink/stats.
+Status RunTasks(const std::vector<JoinTask>& tasks, size_t threads,
+                const std::function<internal::EkdbJoinContext(PairSink*)>&
+                    make_context,
+                PairSink* sink, JoinStats* stats) {
+  std::mutex sink_mu;
+  std::mutex stats_mu;
+  JoinStats merged;
+
+  ThreadPool pool(threads);
+  for (const JoinTask& task : tasks) {
+    pool.Submit([&make_context, &sink_mu, &stats_mu, &merged, sink, task] {
+      LockedSink local_sink(sink, &sink_mu);
+      internal::EkdbJoinContext ctx = make_context(&local_sink);
+      if (task.b == nullptr) {
+        ctx.SelfJoinNode(task.a);
+      } else {
+        ctx.JoinNodes(task.a, task.b);
+      }
+      local_sink.Flush();
+      std::lock_guard<std::mutex> lock(stats_mu);
+      merged.Merge(ctx.stats());
+    });
+  }
+  pool.WaitIdle();
+
+  if (stats != nullptr) stats->Merge(merged);
+  return Status::OK();
+}
+
+size_t ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Status ParallelEkdbSelfJoin(const EkdbTree& tree, const ParallelJoinConfig& config,
+                            PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  size_t threads = ResolveThreads(config.num_threads);
+  if (config.min_task_points == 0) {
+    return Status::InvalidArgument("min_task_points must be positive");
+  }
+
+  std::vector<JoinTask> tasks;
+  ExpandSelfTask(tree.root(), config.min_task_points, &tasks);
+  return RunTasks(
+      tasks, threads,
+      [&tree](PairSink* task_sink) {
+        return internal::EkdbJoinContext(tree, task_sink);
+      },
+      sink, stats);
+}
+
+Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
+                        const ParallelJoinConfig& config, PairSink* sink,
+                        JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (!EkdbTree::JoinCompatible(a, b)) {
+    return Status::InvalidArgument(
+        "trees are not join-compatible (epsilon, metric, dims, and dim order "
+        "must match)");
+  }
+  const size_t threads = ResolveThreads(config.num_threads);
+  if (config.min_task_points == 0) {
+    return Status::InvalidArgument("min_task_points must be positive");
+  }
+
+  std::vector<JoinTask> tasks;
+  ExpandCrossTask(a.root(), b.root(), config.min_task_points, &tasks);
+  return RunTasks(
+      tasks, threads,
+      [&a, &b](PairSink* task_sink) {
+        return internal::EkdbJoinContext(a, b, task_sink);
+      },
+      sink, stats);
+}
+
+}  // namespace simjoin

@@ -1,0 +1,45 @@
+// Parallel eps-k-d-B self-join: decomposes the join traversal into
+// independent subtree tasks (per-child self-joins plus adjacent-stripe cross
+// joins) and runs them on a thread pool.  Result pairs are buffered per task
+// and flushed into the caller's sink under a lock, so any PairSink works
+// unchanged; the emitted pair *set* is identical to the sequential join
+// (ordering may differ).
+//
+// This is the "parallel similarity join" direction the paper points to; on
+// a single-core host it degenerates to sequential execution plus measurable
+// task overhead, which experiment R11 documents.
+
+#ifndef SIMJOIN_CORE_PARALLEL_JOIN_H_
+#define SIMJOIN_CORE_PARALLEL_JOIN_H_
+
+#include <cstddef>
+
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+
+/// Tuning knobs for the parallel driver.
+struct ParallelJoinConfig {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+
+  /// Task-generation keeps splitting self-join tasks while a subtree holds
+  /// more than this many points, to balance load across workers.
+  size_t min_task_points = 4096;
+};
+
+/// Parallel self-join.  Emits the same pair set as EkdbSelfJoin.
+Status ParallelEkdbSelfJoin(const EkdbTree& tree, const ParallelJoinConfig& config,
+                            PairSink* sink, JoinStats* stats = nullptr);
+
+/// Parallel two-tree join.  Emits the same pair set as EkdbJoin; the trees
+/// must be join-compatible.
+Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
+                        const ParallelJoinConfig& config, PairSink* sink,
+                        JoinStats* stats = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_PARALLEL_JOIN_H_

@@ -1,0 +1,137 @@
+#include "core/planner.h"
+
+#include "baselines/grid_join.h"
+#include "baselines/kdtree.h"
+#include "baselines/nested_loop.h"
+#include "baselines/sort_merge.h"
+#include "core/ekdb_join.h"
+#include "core/selectivity.h"
+#include "rtree/rtree_join.h"
+
+namespace simjoin {
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kNestedLoop:
+      return "nested-loop";
+    case JoinAlgorithm::kSortMerge:
+      return "sort-merge";
+    case JoinAlgorithm::kGrid:
+      return "grid";
+    case JoinAlgorithm::kKdTree:
+      return "kdtree";
+    case JoinAlgorithm::kRTree:
+      return "rtree";
+    case JoinAlgorithm::kEkdb:
+      return "ekdb";
+  }
+  return "unknown";
+}
+
+Result<JoinPlan> PlanSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                              const PlannerOptions& options) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least two points to plan a join");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.selectivity_samples == 0) {
+    return Status::InvalidArgument("selectivity_samples must be positive");
+  }
+
+  JoinPlan plan;
+  const double possible_pairs = 0.5 * static_cast<double>(data.size()) *
+                                static_cast<double>(data.size() - 1);
+
+  if (data.size() <= options.nested_loop_cutoff) {
+    plan.algorithm = JoinAlgorithm::kNestedLoop;
+    plan.rationale = "tiny input (n <= " +
+                     std::to_string(options.nested_loop_cutoff) +
+                     "): index build overhead would dominate";
+    // Selectivity is cheap to estimate even when unused for the decision.
+    SIMJOIN_ASSIGN_OR_RETURN(
+        auto estimate,
+        EstimatePairsByPairSampling(data, epsilon, metric,
+                                    options.selectivity_samples, options.seed));
+    plan.estimated_pairs = estimate.estimated_pairs;
+    plan.estimated_density = estimate.estimated_pairs / possible_pairs;
+    return plan;
+  }
+
+  SIMJOIN_ASSIGN_OR_RETURN(
+      auto estimate,
+      EstimatePairsByPairSampling(data, epsilon, metric,
+                                  options.selectivity_samples, options.seed));
+  plan.estimated_pairs = estimate.estimated_pairs;
+  plan.estimated_density = estimate.estimated_pairs / possible_pairs;
+
+  if (plan.estimated_density >= options.output_bound_density) {
+    plan.algorithm = JoinAlgorithm::kNestedLoop;
+    plan.rationale = "output-bound join (estimated density " +
+                     std::to_string(plan.estimated_density) +
+                     "): every algorithm must enumerate most pairs anyway";
+    return plan;
+  }
+  if (epsilon >= 1.0) {
+    // The stripe grid needs epsilon < 1 on unit-cube data; the k-d tree is
+    // epsilon-agnostic and handles outsized radii gracefully.
+    plan.algorithm = JoinAlgorithm::kKdTree;
+    plan.rationale =
+        "epsilon >= 1 exceeds the eps-k-d-B stripe limit; k-d tree is "
+        "epsilon-agnostic";
+    return plan;
+  }
+  if (data.dims() <= options.grid_max_dims && epsilon < 0.5) {
+    plan.algorithm = JoinAlgorithm::kGrid;
+    plan.rationale = "low dimensionality (d <= " +
+                     std::to_string(options.grid_max_dims) +
+                     "): epsilon-grid neighbourhoods stay small";
+    return plan;
+  }
+  plan.algorithm = JoinAlgorithm::kEkdb;
+  plan.rationale =
+      "default: eps-k-d-B tree dominates at this size/dimensionality "
+      "(experiments R1-R3)";
+  return plan;
+}
+
+Status ExecuteSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                       const JoinPlan& plan, PairSink* sink, JoinStats* stats) {
+  switch (plan.algorithm) {
+    case JoinAlgorithm::kNestedLoop:
+      return NestedLoopSelfJoin(data, epsilon, metric, sink, stats);
+    case JoinAlgorithm::kSortMerge:
+      return SortMergeSelfJoin(data, epsilon, metric, SortMergeConfig{}, sink,
+                               stats);
+    case JoinAlgorithm::kGrid:
+      return GridSelfJoin(data, epsilon, metric, GridJoinConfig{}, sink, stats);
+    case JoinAlgorithm::kKdTree: {
+      SIMJOIN_ASSIGN_OR_RETURN(auto tree, KdTree::Build(data, KdTreeConfig{}));
+      return KdTreeSelfJoin(tree, epsilon, metric, sink, stats);
+    }
+    case JoinAlgorithm::kRTree: {
+      SIMJOIN_ASSIGN_OR_RETURN(auto tree, RTree::BulkLoad(data, RTreeConfig{}));
+      return RTreeSelfJoin(tree, epsilon, sink, metric, stats);
+    }
+    case JoinAlgorithm::kEkdb: {
+      EkdbConfig config;
+      config.epsilon = epsilon;
+      config.metric = metric;
+      SIMJOIN_ASSIGN_OR_RETURN(auto tree, EkdbTree::Build(data, config));
+      return EkdbSelfJoin(tree, sink, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm in plan");
+}
+
+Status PlanAndRunSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                          PairSink* sink, JoinPlan* plan_out, JoinStats* stats,
+                          const PlannerOptions& options) {
+  SIMJOIN_ASSIGN_OR_RETURN(JoinPlan plan,
+                           PlanSelfJoin(data, epsilon, metric, options));
+  if (plan_out != nullptr) *plan_out = plan;
+  return ExecuteSelfJoin(data, epsilon, metric, plan, sink, stats);
+}
+
+}  // namespace simjoin

@@ -1,0 +1,77 @@
+// Rule-based join planner: picks a join algorithm from cheap dataset
+// statistics and a sampled selectivity estimate, the way a query optimizer
+// would, then executes it.  The rules encode the outcome of the evaluation
+// experiments (EXPERIMENTS.md): brute force wins only for tiny inputs or
+// output-bound joins; the epsilon grid wins at very low dimensionality;
+// the eps-k-d-B tree is the default everywhere else.
+
+#ifndef SIMJOIN_CORE_PLANNER_H_
+#define SIMJOIN_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// The algorithms the planner can choose between.
+enum class JoinAlgorithm {
+  kNestedLoop,
+  kSortMerge,
+  kGrid,
+  kKdTree,
+  kRTree,
+  kEkdb,
+};
+
+/// Short stable name ("ekdb", "nested-loop", ...).
+const char* JoinAlgorithmName(JoinAlgorithm algorithm);
+
+/// Planner knobs.
+struct PlannerOptions {
+  /// Random pairs sampled for the selectivity estimate.
+  size_t selectivity_samples = 2000;
+  /// Below this cardinality brute force wins outright.  Tuned via
+  /// experiment R16: the eps-k-d-B build is cheap enough that the index
+  /// pays off from a few hundred points up.
+  size_t nested_loop_cutoff = 200;
+  /// Estimated result density (pairs / possible pairs) above which the join
+  /// is output-bound and brute force is chosen.
+  double output_bound_density = 0.2;
+  /// Dimensionality at or below which the epsilon grid is chosen.
+  size_t grid_max_dims = 3;
+  uint64_t seed = 17;
+};
+
+/// A planning decision.
+struct JoinPlan {
+  JoinAlgorithm algorithm = JoinAlgorithm::kEkdb;
+  double estimated_pairs = 0.0;
+  double estimated_density = 0.0;  ///< estimated pairs / C(n, 2)
+  std::string rationale;
+};
+
+/// Chooses an algorithm for a self-join over the (unit-cube normalised)
+/// dataset.  Cost: one sampled selectivity pass, no index builds.
+Result<JoinPlan> PlanSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                              const PlannerOptions& options = {});
+
+/// Runs the planned algorithm.  The emitted pair set is exact regardless of
+/// the plan (every candidate algorithm is exact).
+Status ExecuteSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                       const JoinPlan& plan, PairSink* sink,
+                       JoinStats* stats = nullptr);
+
+/// Convenience: plan, then execute; optionally reports the plan used.
+Status PlanAndRunSelfJoin(const Dataset& data, double epsilon, Metric metric,
+                          PairSink* sink, JoinPlan* plan_out = nullptr,
+                          JoinStats* stats = nullptr,
+                          const PlannerOptions& options = {});
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_PLANNER_H_

@@ -1,0 +1,110 @@
+#include "core/projected_join.h"
+
+#include <algorithm>
+
+#include "common/metric.h"
+#include "common/pca.h"
+#include "core/ekdb_join.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+namespace {
+
+/// Verifies projected-space candidates in the full space.
+class VerifyingSink : public PairSink {
+ public:
+  VerifyingSink(const Dataset& full, double epsilon, PairSink* target,
+                ProjectedJoinReport* report)
+      : full_(full),
+        kernel_(Metric::kL2),
+        epsilon_(epsilon),
+        target_(target),
+        report_(report) {}
+
+  void Emit(PointId a, PointId b) override {
+    ++report_->candidate_pairs;
+    if (kernel_.WithinEpsilon(full_.Row(a), full_.Row(b), full_.dims(),
+                              epsilon_)) {
+      ++report_->emitted_pairs;
+      target_->Emit(a, b);
+    }
+  }
+
+ private:
+  const Dataset& full_;
+  DistanceKernel kernel_;
+  double epsilon_;
+  PairSink* target_;
+  ProjectedJoinReport* report_;
+};
+
+}  // namespace
+
+Status PcaFilteredSelfJoin(const Dataset& data, double epsilon,
+                           const ProjectedJoinConfig& config, PairSink* sink,
+                           ProjectedJoinReport* report) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least two points to join");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (config.projected_dims == 0 || config.projected_dims > data.dims()) {
+    return Status::InvalidArgument("projected_dims must be in [1, dims]");
+  }
+
+  ProjectedJoinReport local;
+  SIMJOIN_ASSIGN_OR_RETURN(
+      PcaModel model, FitPca(data, config.projected_dims, config.max_fit_points));
+  local.explained_variance = model.ExplainedVarianceRatio();
+  SIMJOIN_ASSIGN_OR_RETURN(Dataset projected, ProjectDataset(model, data));
+
+  // Map the projected space into the unit cube with ONE uniform scale so L2
+  // distances scale by exactly 1/scale and the join radius stays metric-true.
+  const std::vector<float> mins = projected.ColumnMin();
+  const std::vector<float> maxs = projected.ColumnMax();
+  double scale = 0.0;
+  for (size_t d = 0; d < projected.dims(); ++d) {
+    scale = std::max(scale, static_cast<double>(maxs[d]) - mins[d]);
+  }
+  VerifyingSink verifier(data, epsilon, sink, &local);
+  // Inflate the filter radius slightly: float projection/rescaling rounding
+  // must never push a true pair past the filter (verification keeps the
+  // output exact regardless).
+  const double scaled_eps =
+      scale > 0.0 ? (epsilon / scale) * 1.001 + 1e-6 : 1.0;
+  if (scale <= 0.0 || scaled_eps >= 1.0) {
+    // Degenerate projection (all points coincide) or a radius spanning the
+    // whole projected range: the filter cannot discriminate, so verify all
+    // pairs directly.
+    const size_t n = projected.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        verifier.Emit(static_cast<PointId>(i), static_cast<PointId>(j));
+      }
+    }
+    if (report != nullptr) *report = local;
+    return Status::OK();
+  }
+
+  for (size_t i = 0; i < projected.size(); ++i) {
+    float* row = projected.MutableRow(static_cast<PointId>(i));
+    for (size_t d = 0; d < projected.dims(); ++d) {
+      row[d] = static_cast<float>(
+          std::min(1.0, std::max(0.0, (static_cast<double>(row[d]) - mins[d]) /
+                                          scale)));
+    }
+  }
+
+  EkdbConfig ekdb;
+  ekdb.epsilon = scaled_eps;
+  ekdb.metric = Metric::kL2;
+  ekdb.leaf_threshold = config.leaf_threshold;
+  SIMJOIN_ASSIGN_OR_RETURN(auto tree, EkdbTree::Build(projected, ekdb));
+  SIMJOIN_RETURN_NOT_OK(EkdbSelfJoin(tree, &verifier));
+  if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
+}  // namespace simjoin

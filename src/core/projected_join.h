@@ -1,0 +1,53 @@
+// PCA-filtered similarity self-join (exact, L2 only).
+//
+// The GEMINI recipe generalised beyond time series: project the points onto
+// the top-k principal components, run the cheap eps-k-d-B join in the
+// k-dimensional space, and verify every candidate with the full-dimensional
+// distance.  Orthonormal projection contracts L2 distances, so the
+// projected join's candidate set is a superset of the true result — the
+// filter has no false dismissals and the final answer is exact.
+//
+// Pays off when the data's intrinsic dimensionality is far below its
+// ambient dimensionality (correlated features), which is exactly the regime
+// the dataset profiler's effective_dims detects; experiment R18 measures
+// the trade-off.
+
+#ifndef SIMJOIN_CORE_PROJECTED_JOIN_H_
+#define SIMJOIN_CORE_PROJECTED_JOIN_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Parameters of the PCA-filtered join.
+struct ProjectedJoinConfig {
+  /// Principal components kept (the filter dimensionality).
+  size_t projected_dims = 4;
+  /// Leaf threshold of the eps-k-d-B tree run in the projected space.
+  size_t leaf_threshold = 64;
+  /// Rows used to fit the PCA model.
+  size_t max_fit_points = 20000;
+};
+
+/// Work counters of a filtered join run.
+struct ProjectedJoinReport {
+  uint64_t candidate_pairs = 0;   ///< pairs surviving the projected filter
+  uint64_t emitted_pairs = 0;     ///< verified full-space pairs
+  double explained_variance = 0;  ///< variance captured by the projection
+};
+
+/// Exact L2 self-join at radius epsilon via the PCA filter.  Emits
+/// canonical (min, max) pairs exactly once — the same set as
+/// NestedLoopSelfJoin(data, epsilon, kL2).  The input need NOT be
+/// unit-cube normalised (the projected space is rescaled internally).
+Status PcaFilteredSelfJoin(const Dataset& data, double epsilon,
+                           const ProjectedJoinConfig& config, PairSink* sink,
+                           ProjectedJoinReport* report = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_PROJECTED_JOIN_H_

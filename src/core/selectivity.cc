@@ -1,0 +1,118 @@
+#include "core/selectivity.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace simjoin {
+
+Result<SelectivityEstimate> EstimatePairsByPairSampling(
+    const Dataset& data, double epsilon, Metric metric, size_t samples,
+    uint64_t seed) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least two points to estimate");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (samples == 0) return Status::InvalidArgument("samples must be positive");
+
+  Rng rng(seed);
+  DistanceKernel kernel(metric);
+  const size_t n = data.size();
+  const size_t dims = data.dims();
+  uint64_t hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    const PointId a = static_cast<PointId>(rng.UniformInt(n));
+    PointId b;
+    do {
+      b = static_cast<PointId>(rng.UniformInt(n));
+    } while (b == a);
+    hits += kernel.WithinEpsilon(data.Row(a), data.Row(b), dims, epsilon);
+  }
+  const double total_pairs =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  SelectivityEstimate estimate;
+  estimate.samples = samples;
+  estimate.estimated_pairs =
+      total_pairs * static_cast<double>(hits) / static_cast<double>(samples);
+  return estimate;
+}
+
+Result<SelectivityEstimate> EstimatePairsByPointSampling(const EkdbTree& tree,
+                                                         size_t samples,
+                                                         uint64_t seed) {
+  if (samples == 0) return Status::InvalidArgument("samples must be positive");
+  const Dataset& data = tree.dataset();
+  const size_t n = data.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two points to estimate");
+  }
+  const size_t m = std::min(samples, n);
+
+  // Sample point ids without replacement (partial Fisher-Yates).
+  Rng rng(seed);
+  std::vector<PointId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.UniformInt(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+
+  uint64_t neighbour_total = 0;
+  std::vector<PointId> hits;
+  for (size_t i = 0; i < m; ++i) {
+    hits.clear();
+    SIMJOIN_RETURN_NOT_OK(
+        tree.RangeQuery(data.Row(ids[i]), tree.config().epsilon, &hits));
+    // A still-indexed query point reports itself; exclude it explicitly so
+    // trees with removed points stay safe.
+    for (PointId h : hits) neighbour_total += (h != ids[i]);
+  }
+
+  SelectivityEstimate estimate;
+  estimate.samples = m;
+  // E[neighbours of a uniform point] = 2 * pairs / n.
+  estimate.estimated_pairs = 0.5 * static_cast<double>(n) *
+                             (static_cast<double>(neighbour_total) /
+                              static_cast<double>(m));
+  return estimate;
+}
+
+Result<double> SuggestEpsilonForTargetPairs(const Dataset& data,
+                                            uint64_t target_pairs,
+                                            Metric metric, size_t samples,
+                                            uint64_t seed) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("need at least two points");
+  }
+  if (samples == 0) return Status::InvalidArgument("samples must be positive");
+  const double total_pairs = 0.5 * static_cast<double>(data.size()) *
+                             static_cast<double>(data.size() - 1);
+  if (target_pairs == 0 || static_cast<double>(target_pairs) > total_pairs) {
+    return Status::InvalidArgument(
+        "target_pairs must be in [1, C(n,2)]");
+  }
+
+  Rng rng(seed);
+  DistanceKernel kernel(metric);
+  std::vector<double> distances;
+  distances.reserve(samples);
+  for (size_t s = 0; s < samples; ++s) {
+    const PointId a = static_cast<PointId>(rng.UniformInt(data.size()));
+    PointId b;
+    do {
+      b = static_cast<PointId>(rng.UniformInt(data.size()));
+    } while (b == a);
+    distances.push_back(kernel.Distance(data.Row(a), data.Row(b), data.dims()));
+  }
+  const double quantile = static_cast<double>(target_pairs) / total_pairs;
+  const double suggestion = Percentile(std::move(distances), quantile);
+  // Guard against a degenerate zero radius (duplicate-heavy samples).
+  return std::max(suggestion, 1e-9);
+}
+
+}  // namespace simjoin

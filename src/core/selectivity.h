@@ -1,0 +1,60 @@
+// Join-size (selectivity) estimation for epsilon similarity self-joins.
+//
+// A query processor wants the expected result cardinality *before* paying
+// for the join — to choose algorithms, allocate memory, or refuse runaway
+// radii.  Two estimators are provided:
+//
+//  * Pair sampling: test m uniformly random point pairs and scale the hit
+//    fraction by C(n, 2).  Unbiased, trivially cheap, but high-variance
+//    when the join is very selective (hit probability ~ pairs / C(n,2)).
+//
+//  * Point sampling: for m sampled points, count their exact epsilon
+//    neighbours with an eps-k-d-B range query and scale the mean neighbour
+//    count by n/2.  Unbiased with far lower variance on selective joins
+//    because every sample contributes its full neighbourhood; when
+//    m == n (all points, sampled without replacement) the estimate is the
+//    exact pair count.
+
+#ifndef SIMJOIN_CORE_SELECTIVITY_H_
+#define SIMJOIN_CORE_SELECTIVITY_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/status.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+
+/// Result of a selectivity estimate.
+struct SelectivityEstimate {
+  double estimated_pairs = 0.0;  ///< expected self-join result size
+  size_t samples = 0;            ///< samples actually drawn
+};
+
+/// Pair-sampling estimator over the raw dataset.
+Result<SelectivityEstimate> EstimatePairsByPairSampling(
+    const Dataset& data, double epsilon, Metric metric, size_t samples,
+    uint64_t seed);
+
+/// Point-sampling estimator over an existing eps-k-d-B tree (samples are
+/// drawn without replacement; samples >= n degenerates to the exact count).
+Result<SelectivityEstimate> EstimatePairsByPointSampling(const EkdbTree& tree,
+                                                         size_t samples,
+                                                         uint64_t seed);
+
+/// Inverse problem: suggest a join radius whose self-join is expected to
+/// return roughly target_pairs results, by sampling random pair distances
+/// and reading off the target quantile.  Useful when the user knows "how
+/// many" rather than "how close" but wants a radius (e.g. to feed the
+/// eps-k-d-B build) instead of the exact TopKClosestPairs answer.
+Result<double> SuggestEpsilonForTargetPairs(const Dataset& data,
+                                            uint64_t target_pairs,
+                                            Metric metric,
+                                            size_t samples = 4096,
+                                            uint64_t seed = 1);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_SELECTIVITY_H_

@@ -1,0 +1,73 @@
+#include "core/streaming_window.h"
+
+#include <span>
+
+namespace simjoin {
+
+StreamingWindowJoin::StreamingWindowJoin(size_t window, size_t dims,
+                                         EkdbConfig config)
+    : window_(window), dims_(dims), config_(std::move(config)) {}
+
+Result<std::unique_ptr<StreamingWindowJoin>> StreamingWindowJoin::Create(
+    size_t window, size_t dims, const EkdbConfig& config) {
+  if (window < 2) {
+    return Status::InvalidArgument("window must hold at least 2 points");
+  }
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dims));
+  return std::unique_ptr<StreamingWindowJoin>(
+      new StreamingWindowJoin(window, dims, config));
+}
+
+Result<StreamPos> StreamingWindowJoin::Feed(const float* point,
+                                            const StreamPairCallback& on_pair) {
+  for (size_t d = 0; d < dims_; ++d) {
+    if (point[d] < 0.0f || point[d] > 1.0f) {
+      return Status::InvalidArgument(
+          "stream point coordinates must lie in [0, 1]");
+    }
+  }
+  const StreamPos pos = next_pos_;
+
+  PointId slot;
+  if (slot_pos_.size() < window_) {
+    // Growth phase: new slot at the end.
+    slots_.Append(std::span<const float>(point, dims_));
+    slot = static_cast<PointId>(slots_.size() - 1);
+  } else {
+    // Steady state: evict the expiring resident, reuse its slot.
+    slot = static_cast<PointId>(pos % window_);
+    SIMJOIN_RETURN_NOT_OK(tree_->Remove(slot));
+    std::copy_n(point, dims_, slots_.MutableRow(slot));
+  }
+
+  // Report pairs with the surviving residents.  The query runs before the
+  // new point is inserted, so it never pairs with itself; during the growth
+  // phase the freshly appended slot is not yet indexed either.
+  if (tree_ != nullptr) {
+    std::vector<PointId> hits;
+    SIMJOIN_RETURN_NOT_OK(
+        tree_->RangeQuery(point, config_.epsilon, &hits));
+    for (PointId hit : hits) {
+      on_pair(slot_pos_[hit], pos);
+    }
+  }
+
+  // Index the new arrival.
+  if (tree_ == nullptr) {
+    auto built = EkdbTree::Build(slots_, config_);
+    if (!built.ok()) return built.status();
+    tree_ = std::make_unique<EkdbTree>(std::move(built).value());
+  } else {
+    SIMJOIN_RETURN_NOT_OK(tree_->Insert(slot));
+  }
+
+  if (static_cast<size_t>(slot) < slot_pos_.size()) {
+    slot_pos_[slot] = pos;
+  } else {
+    slot_pos_.push_back(pos);
+  }
+  ++next_pos_;
+  return pos;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,72 @@
+// Sliding-window similarity join over a point stream.
+//
+// Maintains the last `window` points of a stream in an eps-k-d-B tree and,
+// for every arriving point, reports the pairs it forms with the points
+// co-resident in the window — the incremental, fixed-window flavour of the
+// similarity join.  A pair of stream positions is reported exactly once
+// (when its later point arrives) iff both points fit in one window state,
+// i.e. their positions differ by at most window - 1.
+//
+// Internally a ring of `window` dataset slots is recycled: the expiring
+// resident is Remove()d from the tree, its slot is overwritten, the new
+// point is range-queried against the remaining residents, then Insert()ed.
+// Per-arrival cost is the tree's query + maintenance cost, not a rebuild.
+
+#ifndef SIMJOIN_CORE_STREAMING_WINDOW_H_
+#define SIMJOIN_CORE_STREAMING_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+
+/// Identifier of a stream element: its 0-based arrival position.
+using StreamPos = uint64_t;
+
+/// Receives one result pair (earlier position, current position).
+using StreamPairCallback = std::function<void(StreamPos, StreamPos)>;
+
+/// Sliding-window epsilon join over a stream of d-dimensional points.
+class StreamingWindowJoin {
+ public:
+  /// Creates a window of the given capacity over dims-dimensional points.
+  /// The config's epsilon/metric/leaf threshold apply to every window
+  /// state.  Fails on invalid config, window < 2, or zero dims.
+  static Result<std::unique_ptr<StreamingWindowJoin>> Create(
+      size_t window, size_t dims, const EkdbConfig& config);
+
+  /// Feeds the next stream point (coordinates in [0,1]^dims).  Every
+  /// co-resident point within epsilon is reported as
+  /// (earlier position, this position).  Returns the arrival position
+  /// assigned to the point.
+  Result<StreamPos> Feed(const float* point, const StreamPairCallback& on_pair);
+
+  /// Number of points currently resident (min(arrivals, window)).
+  size_t resident() const { return slot_pos_.size(); }
+
+  /// Total points fed so far.
+  StreamPos arrivals() const { return next_pos_; }
+
+  size_t window() const { return window_; }
+  size_t dims() const { return dims_; }
+
+ private:
+  StreamingWindowJoin(size_t window, size_t dims, EkdbConfig config);
+
+  size_t window_;
+  size_t dims_;
+  EkdbConfig config_;
+  Dataset slots_;                      ///< ring of up to window rows
+  std::vector<StreamPos> slot_pos_;    ///< arrival position held by each slot
+  std::unique_ptr<EkdbTree> tree_;     ///< tree over slots_ (slot ids)
+  StreamPos next_pos_ = 0;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_STREAMING_WINDOW_H_

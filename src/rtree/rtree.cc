@@ -1,0 +1,739 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+namespace simjoin {
+namespace {
+
+/// Recursively applies Sort-Tile-Recursive partitioning: items[begin, end)
+/// are sorted by coord(item, dim) and cut into slabs, each slab recursing on
+/// the next dimension, until runs of at most `cap` items remain.  Emits the
+/// [begin, end) bounds of each final group.
+template <typename Item, typename CoordFn>
+void StrTile(std::vector<Item>* items, size_t begin, size_t end, size_t dim,
+             size_t dims, size_t cap, const CoordFn& coord,
+             std::vector<std::pair<size_t, size_t>>* groups) {
+  const size_t n = end - begin;
+  if (n <= cap) {
+    groups->emplace_back(begin, end);
+    return;
+  }
+  std::sort(items->begin() + static_cast<ptrdiff_t>(begin),
+            items->begin() + static_cast<ptrdiff_t>(end),
+            [&](const Item& a, const Item& b) { return coord(a, dim) < coord(b, dim); });
+  if (dim + 1 >= dims) {
+    for (size_t g = begin; g < end; g += cap) {
+      groups->emplace_back(g, std::min(g + cap, end));
+    }
+    return;
+  }
+  const auto pages = static_cast<double>((n + cap - 1) / cap);
+  const auto dims_left = static_cast<double>(dims - dim);
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::pow(pages, 1.0 / dims_left))));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t s = begin; s < end; s += slab_size) {
+    StrTile(items, s, std::min(s + slab_size, end), dim + 1, dims, cap, coord,
+            groups);
+  }
+}
+
+}  // namespace
+
+Status RTreeConfig::Validate() const {
+  if (max_entries < 2) {
+    return Status::InvalidArgument("max_entries must be at least 2");
+  }
+  if (min_entries < 1 || min_entries > max_entries / 2) {
+    return Status::InvalidArgument(
+        "min_entries must be in [1, max_entries/2]");
+  }
+  if (reinsert_fraction <= 0.0 || reinsert_fraction >= 1.0) {
+    return Status::InvalidArgument("reinsert_fraction must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+RTree::RTree(const Dataset* dataset, RTreeConfig config)
+    : dataset_(dataset), config_(config) {}
+
+BoundingBox RTree::PointBox(PointId id) const {
+  return BoundingBox::FromPoint(dataset_->Row(id), dataset_->dims());
+}
+
+void RTree::RecomputeMbr(RTreeNode* node) const {
+  node->mbr = BoundingBox(dataset_->dims());
+  if (node->is_leaf()) {
+    for (PointId id : node->entries) node->mbr.ExtendPoint(dataset_->Row(id));
+  } else {
+    for (const auto& child : node->children) node->mbr.ExtendBox(child->mbr);
+  }
+}
+
+Result<RTree> RTree::BulkLoad(const Dataset& dataset, const RTreeConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot bulk-load an empty dataset");
+  }
+  RTree tree(&dataset, config);
+  const size_t dims = dataset.dims();
+  const size_t cap = config.max_entries;
+
+  // Pack points into leaves.
+  std::vector<PointId> ids(dataset.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  std::vector<std::pair<size_t, size_t>> groups;
+  StrTile(&ids, 0, ids.size(), 0, dims, cap,
+          [&dataset](PointId id, size_t d) { return dataset.Row(id)[d]; },
+          &groups);
+
+  std::vector<std::unique_ptr<RTreeNode>> level;
+  level.reserve(groups.size());
+  for (const auto& [begin, end] : groups) {
+    auto leaf = std::make_unique<RTreeNode>();
+    leaf->level = 0;
+    leaf->entries.assign(ids.begin() + static_cast<ptrdiff_t>(begin),
+                         ids.begin() + static_cast<ptrdiff_t>(end));
+    // Keep leaf entries sorted on dimension 0 so the join sweep can window.
+    std::sort(leaf->entries.begin(), leaf->entries.end(),
+              [&dataset](PointId a, PointId b) {
+                return dataset.Row(a)[0] < dataset.Row(b)[0];
+              });
+    tree.RecomputeMbr(leaf.get());
+    level.push_back(std::move(leaf));
+  }
+
+  // Pack nodes upward until one root remains.
+  uint32_t current_level = 0;
+  while (level.size() > 1) {
+    ++current_level;
+    std::vector<uint32_t> order(level.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+    groups.clear();
+    StrTile(&order, 0, order.size(), 0, dims, cap,
+            [&level](uint32_t idx, size_t d) {
+              const BoundingBox& mbr = level[idx]->mbr;
+              return 0.5 * (static_cast<double>(mbr.lo(d)) + mbr.hi(d));
+            },
+            &groups);
+    std::vector<std::unique_ptr<RTreeNode>> next;
+    next.reserve(groups.size());
+    for (const auto& [begin, end] : groups) {
+      auto node = std::make_unique<RTreeNode>();
+      node->level = current_level;
+      for (size_t i = begin; i < end; ++i) {
+        node->children.push_back(std::move(level[order[i]]));
+      }
+      tree.RecomputeMbr(node.get());
+      next.push_back(std::move(node));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+Result<RTree> RTree::BuildByInsertion(const Dataset& dataset,
+                                      const RTreeConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build on an empty dataset");
+  }
+  RTree tree(&dataset, config);
+  tree.root_ = std::make_unique<RTreeNode>();
+  tree.root_->level = 0;
+  tree.root_->mbr = BoundingBox(dataset.dims());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    SIMJOIN_RETURN_NOT_OK(tree.Insert(static_cast<PointId>(i)));
+  }
+  return tree;
+}
+
+Status RTree::Insert(PointId id) {
+  if (root_ == nullptr) {
+    return Status::Internal("Insert requires an insertion-built tree");
+  }
+  if (static_cast<size_t>(id) >= dataset_->size()) {
+    return Status::OutOfRange("point id out of range");
+  }
+  // Forced reinsertion fires at most once per public insert; entries it
+  // evicts are re-driven through the normal path (and may split).
+  reinsert_used_ = false;
+  InsertTopLevel(id);
+  while (!pending_reinserts_.empty()) {
+    const PointId evicted = pending_reinserts_.back();
+    pending_reinserts_.pop_back();
+    InsertTopLevel(evicted);
+  }
+  return Status::OK();
+}
+
+void RTree::InsertTopLevel(PointId id) {
+  std::unique_ptr<RTreeNode> sibling = InsertRecursive(root_.get(), id);
+  if (sibling != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<RTreeNode>();
+    new_root->level = root_->level + 1;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    RecomputeMbr(new_root.get());
+    root_ = std::move(new_root);
+  }
+}
+
+std::unique_ptr<RTreeNode> RTree::InsertRecursive(RTreeNode* node, PointId id) {
+  const float* row = dataset_->Row(id);
+  if (node->is_leaf()) {
+    node->entries.push_back(id);
+    if (node->mbr.IsEmpty()) node->mbr = BoundingBox(dataset_->dims());
+    node->mbr.ExtendPoint(row);
+    if (node->entries.size() <= config_.max_entries) return nullptr;
+    if (config_.forced_reinsert && !reinsert_used_ && node != root_.get()) {
+      // Evict the entries farthest from the leaf centre instead of
+      // splitting; they re-enter through Insert()'s drain loop.
+      reinsert_used_ = true;
+      const size_t dims = dataset_->dims();
+      std::vector<double> centre(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        centre[d] = 0.5 * (static_cast<double>(node->mbr.lo(d)) + node->mbr.hi(d));
+      }
+      auto centre_dist = [&](PointId p) {
+        const float* r = dataset_->Row(p);
+        double acc = 0.0;
+        for (size_t d = 0; d < dims; ++d) {
+          const double g = r[d] - centre[d];
+          acc += g * g;
+        }
+        return acc;
+      };
+      std::sort(node->entries.begin(), node->entries.end(),
+                [&](PointId a, PointId b) { return centre_dist(a) < centre_dist(b); });
+      const size_t evict = std::max<size_t>(
+          1, static_cast<size_t>(config_.reinsert_fraction *
+                                 static_cast<double>(node->entries.size())));
+      pending_reinserts_.insert(
+          pending_reinserts_.end(),
+          node->entries.end() - static_cast<ptrdiff_t>(evict),
+          node->entries.end());
+      node->entries.resize(node->entries.size() - evict);
+      RecomputeMbr(node);
+      return nullptr;
+    }
+    return SplitNode(node);
+  }
+
+  // ChooseSubtree.  R* at the level above the leaves: least *overlap*
+  // enlargement (ties: least volume enlargement).  Otherwise (and for the
+  // classic variant): least volume enlargement, ties by smallest volume.
+  size_t best = 0;
+  if (config_.split == RTreeSplitAlgorithm::kRStar && node->level == 1) {
+    double best_overlap_delta = std::numeric_limits<double>::infinity();
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const BoundingBox& mbr = node->children[i]->mbr;
+      BoundingBox enlarged = mbr;
+      enlarged.ExtendPoint(row);
+      double overlap_delta = 0.0;
+      for (size_t j = 0; j < node->children.size(); ++j) {
+        if (j == i) continue;
+        const BoundingBox& other = node->children[j]->mbr;
+        overlap_delta +=
+            enlarged.OverlapVolume(other) - mbr.OverlapVolume(other);
+      }
+      const double enlargement = enlarged.Volume() - mbr.Volume();
+      if (overlap_delta < best_overlap_delta ||
+          (overlap_delta == best_overlap_delta &&
+           enlargement < best_enlargement)) {
+        best = i;
+        best_overlap_delta = overlap_delta;
+        best_enlargement = enlargement;
+      }
+    }
+  } else {
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const BoundingBox& mbr = node->children[i]->mbr;
+      BoundingBox enlarged = mbr;
+      enlarged.ExtendPoint(row);
+      const double enlargement = enlarged.Volume() - mbr.Volume();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && mbr.Volume() < best_volume)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_volume = mbr.Volume();
+      }
+    }
+  }
+
+  std::unique_ptr<RTreeNode> child_sibling =
+      InsertRecursive(node->children[best].get(), id);
+  if (child_sibling != nullptr) {
+    node->children.push_back(std::move(child_sibling));
+  }
+  if (config_.forced_reinsert) {
+    // A forced reinsert below may have *shrunk* the child; keep ancestor
+    // MBRs exact rather than only growing them.
+    RecomputeMbr(node);
+  } else {
+    node->mbr.ExtendPoint(row);
+  }
+  if (node->children.size() > config_.max_entries) return SplitNode(node);
+  return nullptr;
+}
+
+namespace {
+
+/// Guttman's quadratic split over abstract items.  Returns the item indices
+/// assigned to the new sibling; the rest stay in the original node.
+template <typename BoxFn>
+std::vector<size_t> QuadraticSplitAssign(size_t count, size_t min_entries,
+                                         const BoxFn& box_of) {
+  // PickSeeds: pair with the most dead space when covered together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      BoundingBox joint = box_of(i);
+      joint.ExtendBox(box_of(j));
+      const double dead = joint.Volume() - box_of(i).Volume() - box_of(j).Volume();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  BoundingBox group_a = box_of(seed_a);
+  BoundingBox group_b = box_of(seed_b);
+  std::vector<size_t> in_b;
+  std::vector<bool> assigned(count, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  in_b.push_back(seed_b);
+  size_t count_a = 1, count_b = 1;
+  size_t remaining = count - 2;
+
+  while (remaining > 0) {
+    // If one group must take everything left to reach min_entries, do so.
+    if (count_a + remaining == min_entries) {
+      for (size_t i = 0; i < count; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          group_a.ExtendBox(box_of(i));
+          ++count_a;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (count_b + remaining == min_entries) {
+      for (size_t i = 0; i < count; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          in_b.push_back(i);
+          group_b.ExtendBox(box_of(i));
+          ++count_b;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: the item with the largest preference between groups.
+    size_t next = count;
+    double best_diff = -1.0;
+    double next_enlarge_a = 0.0, next_enlarge_b = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      if (assigned[i]) continue;
+      BoundingBox ea = group_a;
+      ea.ExtendBox(box_of(i));
+      BoundingBox eb = group_b;
+      eb.ExtendBox(box_of(i));
+      const double da = ea.Volume() - group_a.Volume();
+      const double db = eb.Volume() - group_b.Volume();
+      const double diff = std::fabs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        next = i;
+        next_enlarge_a = da;
+        next_enlarge_b = db;
+      }
+    }
+    // Assign to the group needing less enlargement; ties to smaller volume,
+    // then to fewer entries.
+    bool to_a;
+    if (next_enlarge_a != next_enlarge_b) {
+      to_a = next_enlarge_a < next_enlarge_b;
+    } else if (group_a.Volume() != group_b.Volume()) {
+      to_a = group_a.Volume() < group_b.Volume();
+    } else {
+      to_a = count_a <= count_b;
+    }
+    assigned[next] = true;
+    if (to_a) {
+      group_a.ExtendBox(box_of(next));
+      ++count_a;
+    } else {
+      in_b.push_back(next);
+      group_b.ExtendBox(box_of(next));
+      ++count_b;
+    }
+    --remaining;
+  }
+  return in_b;
+}
+
+/// R*-style split over abstract items: pick the axis whose candidate
+/// distributions have the smallest summed margin, then on that axis the
+/// distribution with the least overlap (ties: least combined volume).
+/// Returns the item indices assigned to the new sibling.
+template <typename BoxFn>
+std::vector<size_t> RStarSplitAssign(size_t count, size_t min_entries,
+                                     size_t dims, const BoxFn& box_of) {
+  // Precompute item boxes once.
+  std::vector<BoundingBox> boxes;
+  boxes.reserve(count);
+  for (size_t i = 0; i < count; ++i) boxes.push_back(box_of(i));
+
+  struct Candidate {
+    std::vector<size_t> order;  // item indices in sort order
+    size_t split_at = 0;        // first `split_at` go to group A
+    double overlap = 0.0;
+    double volume = 0.0;
+  };
+  Candidate best;
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+
+  std::vector<size_t> order(count);
+  for (size_t axis = 0; axis < dims; ++axis) {
+    // Two sort keys per axis (R* uses both lower and upper bounds).
+    for (int key = 0; key < 2; ++key) {
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return key == 0 ? boxes[a].lo(axis) < boxes[b].lo(axis)
+                        : boxes[a].hi(axis) < boxes[b].hi(axis);
+      });
+      // Prefix/suffix bounding boxes.
+      std::vector<BoundingBox> prefix(count, BoundingBox(dims));
+      std::vector<BoundingBox> suffix(count, BoundingBox(dims));
+      prefix[0] = boxes[order[0]];
+      for (size_t i = 1; i < count; ++i) {
+        prefix[i] = prefix[i - 1];
+        prefix[i].ExtendBox(boxes[order[i]]);
+      }
+      suffix[count - 1] = boxes[order[count - 1]];
+      for (size_t i = count - 1; i-- > 0;) {
+        suffix[i] = suffix[i + 1];
+        suffix[i].ExtendBox(boxes[order[i]]);
+      }
+      double margin_sum = 0.0;
+      Candidate axis_best;
+      double axis_best_overlap = std::numeric_limits<double>::infinity();
+      double axis_best_volume = std::numeric_limits<double>::infinity();
+      for (size_t k = min_entries; k + min_entries <= count; ++k) {
+        const BoundingBox& a = prefix[k - 1];
+        const BoundingBox& b = suffix[k];
+        margin_sum += a.Margin() + b.Margin();
+        const double overlap = a.OverlapVolume(b);
+        const double volume = a.Volume() + b.Volume();
+        if (overlap < axis_best_overlap ||
+            (overlap == axis_best_overlap && volume < axis_best_volume)) {
+          axis_best_overlap = overlap;
+          axis_best_volume = volume;
+          axis_best.order = order;
+          axis_best.split_at = k;
+          axis_best.overlap = overlap;
+          axis_best.volume = volume;
+        }
+      }
+      if (margin_sum < best_axis_margin) {
+        best_axis_margin = margin_sum;
+        best = std::move(axis_best);
+      }
+    }
+  }
+
+  std::vector<size_t> in_b(best.order.begin() +
+                               static_cast<ptrdiff_t>(best.split_at),
+                           best.order.end());
+  return in_b;
+}
+
+}  // namespace
+
+std::unique_ptr<RTreeNode> RTree::SplitNode(RTreeNode* node) {
+  auto sibling = std::make_unique<RTreeNode>();
+  sibling->level = node->level;
+  const size_t dims = dataset_->dims();
+
+  const bool rstar = config_.split == RTreeSplitAlgorithm::kRStar;
+  if (node->is_leaf()) {
+    const std::vector<PointId> items = std::move(node->entries);
+    node->entries.clear();
+    auto box_of = [&](size_t i) {
+      return BoundingBox::FromPoint(dataset_->Row(items[i]), dims);
+    };
+    std::vector<size_t> to_b =
+        rstar ? RStarSplitAssign(items.size(), config_.min_entries, dims, box_of)
+              : QuadraticSplitAssign(items.size(), config_.min_entries, box_of);
+    std::vector<bool> is_b(items.size(), false);
+    for (size_t i : to_b) is_b[i] = true;
+    for (size_t i = 0; i < items.size(); ++i) {
+      (is_b[i] ? sibling->entries : node->entries).push_back(items[i]);
+    }
+  } else {
+    std::vector<std::unique_ptr<RTreeNode>> items = std::move(node->children);
+    node->children.clear();
+    auto box_of = [&](size_t i) { return items[i]->mbr; };
+    std::vector<size_t> to_b =
+        rstar ? RStarSplitAssign(items.size(), config_.min_entries, dims, box_of)
+              : QuadraticSplitAssign(items.size(), config_.min_entries, box_of);
+    std::vector<bool> is_b(items.size(), false);
+    for (size_t i : to_b) is_b[i] = true;
+    for (size_t i = 0; i < items.size(); ++i) {
+      (is_b[i] ? sibling->children : node->children).push_back(std::move(items[i]));
+    }
+  }
+  RecomputeMbr(node);
+  RecomputeMbr(sibling.get());
+  return sibling;
+}
+
+namespace {
+
+/// Appends every point id below node to *out.
+void CollectPoints(const RTreeNode* node, std::vector<PointId>* out) {
+  if (node->is_leaf()) {
+    out->insert(out->end(), node->entries.begin(), node->entries.end());
+    return;
+  }
+  for (const auto& child : node->children) CollectPoints(child.get(), out);
+}
+
+}  // namespace
+
+bool RTree::RemoveRecursive(RTreeNode* node, PointId id, const float* row,
+                            std::vector<PointId>* orphans) {
+  if (node->is_leaf()) {
+    auto it = std::find(node->entries.begin(), node->entries.end(), id);
+    if (it == node->entries.end()) return false;
+    node->entries.erase(it);
+    RecomputeMbr(node);
+    return true;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    RTreeNode* child = node->children[i].get();
+    if (child->mbr.IsEmpty() || !child->mbr.ContainsPoint(row)) continue;
+    if (!RemoveRecursive(child, id, row, orphans)) continue;
+    const size_t child_fill =
+        child->is_leaf() ? child->entries.size() : child->children.size();
+    if (child_fill < config_.min_entries) {
+      // Condense: dissolve the underflowing child, reinsert its points.
+      CollectPoints(child, orphans);
+      node->children.erase(node->children.begin() +
+                           static_cast<ptrdiff_t>(i));
+    }
+    RecomputeMbr(node);
+    return true;
+  }
+  return false;
+}
+
+Status RTree::Remove(PointId id) {
+  if (root_ == nullptr) return Status::Internal("tree has no root");
+  if (static_cast<size_t>(id) >= dataset_->size()) {
+    return Status::OutOfRange("point id out of range");
+  }
+  std::vector<PointId> orphans;
+  if (!RemoveRecursive(root_.get(), id, dataset_->Row(id), &orphans)) {
+    return Status::NotFound("point id " + std::to_string(id) +
+                            " is not in the tree");
+  }
+  // Collapse a chain of single-child internal roots.
+  while (!root_->is_leaf() && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  // An internal root that lost every child degenerates to an empty leaf.
+  if (!root_->is_leaf() && root_->children.empty()) {
+    root_->level = 0;
+    root_->mbr = BoundingBox(dataset_->dims());
+  }
+  for (PointId orphan : orphans) {
+    SIMJOIN_RETURN_NOT_OK(Insert(orphan));
+  }
+  return Status::OK();
+}
+
+Status RTree::RangeQuery(const float* query, double epsilon, Metric metric,
+                         std::vector<PointId>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+  if (root_ == nullptr) return Status::Internal("tree has no root");
+  DistanceKernel kernel(metric);
+  const size_t dims = dataset_->dims();
+
+  std::vector<const RTreeNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const RTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->mbr.IsEmpty() ||
+        node->mbr.MinDistanceToPoint(query, dims, metric) > epsilon) {
+      continue;
+    }
+    if (node->is_leaf()) {
+      for (PointId id : node->entries) {
+        if (kernel.WithinEpsilon(query, dataset_->Row(id), dims, epsilon)) {
+          out->push_back(id);
+        }
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::KnnQuery(const float* query, size_t k, Metric metric,
+                       std::vector<Neighbor>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (root_ == nullptr) return Status::Internal("tree has no root");
+  DistanceKernel kernel(metric);
+  const size_t dims = dataset_->dims();
+
+  using HeapEntry = std::pair<double, PointId>;  // max-heap of best k
+  std::vector<HeapEntry> heap;
+  using QueueEntry = std::pair<double, const RTreeNode*>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  if (!root_->mbr.IsEmpty()) {
+    queue.emplace(root_->mbr.MinDistanceToPoint(query, dims, metric),
+                  root_.get());
+  }
+  while (!queue.empty()) {
+    const auto [lower_bound, node] = queue.top();
+    queue.pop();
+    if (heap.size() == k && lower_bound > heap.front().first) break;
+    if (node->is_leaf()) {
+      for (PointId p : node->entries) {
+        const HeapEntry cand{kernel.Distance(query, dataset_->Row(p), dims), p};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (cand < heap.front()) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end());
+          std::pop_heap(heap.begin(), heap.end());
+          heap.pop_back();
+        }
+      }
+      continue;
+    }
+    for (const auto& child : node->children) {
+      if (child->mbr.IsEmpty()) continue;
+      queue.emplace(child->mbr.MinDistanceToPoint(query, dims, metric),
+                    child.get());
+    }
+  }
+  std::sort(heap.begin(), heap.end());
+  out->clear();
+  out->reserve(heap.size());
+  for (const auto& [dist, id] : heap) out->push_back(Neighbor{id, dist});
+  return Status::OK();
+}
+
+namespace {
+
+void WalkStats(const RTreeNode* node, size_t max_entries, size_t dims,
+               RTreeStats* stats, double* fill_sum) {
+  ++stats->nodes;
+  stats->height = std::max<uint64_t>(stats->height, node->level + 1);
+  stats->memory_bytes += sizeof(RTreeNode);
+  stats->memory_bytes += node->entries.capacity() * sizeof(PointId);
+  stats->memory_bytes +=
+      node->children.capacity() * sizeof(std::unique_ptr<RTreeNode>);
+  stats->memory_bytes += 2 * dims * sizeof(float);
+  if (node->is_leaf()) {
+    ++stats->leaves;
+    stats->total_points += node->entries.size();
+    *fill_sum += static_cast<double>(node->entries.size()) /
+                 static_cast<double>(max_entries);
+    return;
+  }
+  for (const auto& child : node->children) {
+    WalkStats(child.get(), max_entries, dims, stats, fill_sum);
+  }
+}
+
+Status CheckNode(const RTreeNode* node, const Dataset& data,
+                 const RTreeConfig& config, bool is_root) {
+  if (node->is_leaf()) {
+    if (!node->children.empty()) {
+      return Status::Internal("leaf node has children");
+    }
+    if (!is_root && node->entries.empty()) {
+      return Status::Internal("non-root leaf is empty");
+    }
+    BoundingBox exact(data.dims());
+    for (PointId id : node->entries) {
+      if (static_cast<size_t>(id) >= data.size()) {
+        return Status::Internal("leaf entry id out of range");
+      }
+      exact.ExtendPoint(data.Row(id));
+    }
+    if (!node->entries.empty() &&
+        (!node->mbr.ContainsBox(exact) || !exact.ContainsBox(node->mbr))) {
+      return Status::Internal("leaf MBR is not exact");
+    }
+    if (node->entries.size() > config.max_entries) {
+      return Status::Internal("leaf exceeds max_entries");
+    }
+    return Status::OK();
+  }
+  if (!node->entries.empty()) {
+    return Status::Internal("internal node has point entries");
+  }
+  if (node->children.empty()) {
+    return Status::Internal("internal node has no children");
+  }
+  if (node->children.size() > config.max_entries) {
+    return Status::Internal("internal node exceeds max_entries");
+  }
+  BoundingBox exact(data.dims());
+  for (const auto& child : node->children) {
+    if (child->level + 1 != node->level) {
+      return Status::Internal("child level mismatch");
+    }
+    exact.ExtendBox(child->mbr);
+    SIMJOIN_RETURN_NOT_OK(CheckNode(child.get(), data, config, false));
+  }
+  if (!node->mbr.ContainsBox(exact) || !exact.ContainsBox(node->mbr)) {
+    return Status::Internal("internal MBR is not exact");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RTreeStats RTree::ComputeStats() const {
+  RTreeStats stats;
+  double fill_sum = 0.0;
+  WalkStats(root_.get(), config_.max_entries, dataset_->dims(), &stats, &fill_sum);
+  stats.avg_leaf_fill =
+      stats.leaves > 0 ? fill_sum / static_cast<double>(stats.leaves) : 0.0;
+  return stats;
+}
+
+Status RTree::CheckInvariants() const {
+  if (root_ == nullptr) return Status::Internal("tree has no root");
+  return CheckNode(root_.get(), *dataset_, config_, /*is_root=*/true);
+}
+
+}  // namespace simjoin

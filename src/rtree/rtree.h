@@ -1,0 +1,164 @@
+// R-tree over a point dataset — the spatial-index comparator family of the
+// paper's evaluation.
+//
+// Two construction paths are provided:
+//   * BulkLoad: Sort-Tile-Recursive (STR) packing.  For a static point set
+//     STR yields tightly packed, near-disjoint leaves — the behaviour the
+//     paper sought from the R+-tree — and is the variant the benchmark
+//     harness uses as the "R-tree join" comparator.
+//   * BuildByInsertion / Insert: classic Guttman insertion with quadratic
+//     split, provided for dynamic workloads and to exercise the textbook
+//     algorithms in tests.
+//
+// The tree indexes points of a Dataset it does not own; entries are point
+// ids, node MBRs are exact bounding boxes.
+
+#ifndef SIMJOIN_RTREE_RTREE_H_
+#define SIMJOIN_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "common/dataset.h"
+#include "common/metric.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Node-split algorithm used by the insertion path.
+enum class RTreeSplitAlgorithm {
+  kQuadratic,  ///< Guttman's quadratic split (the classic R-tree).
+  kRStar,      ///< R*-style topological split: margin-minimal axis, then
+               ///< overlap-minimal distribution.
+};
+
+/// Capacity parameters of an R-tree.
+struct RTreeConfig {
+  /// Maximum entries per node (leaf points or internal children).
+  size_t max_entries = 32;
+  /// Minimum entries per node after a split (Guttman's m); must satisfy
+  /// 1 <= min_entries <= max_entries / 2.
+  size_t min_entries = 8;
+  /// Split algorithm for dynamic insertion (BulkLoad never splits).
+  RTreeSplitAlgorithm split = RTreeSplitAlgorithm::kQuadratic;
+
+  /// R*-style forced reinsertion: the first leaf overflow of each insert
+  /// evicts the `reinsert_fraction` entries farthest from the leaf centre
+  /// and re-inserts them instead of splitting, letting entries migrate to
+  /// better-fitting leaves.
+  bool forced_reinsert = false;
+
+  /// Fraction of a leaf evicted by forced reinsertion (R* recommends 0.3).
+  double reinsert_fraction = 0.3;
+
+  Status Validate() const;
+};
+
+/// One R-tree node.  level == 0 is a leaf holding point ids; higher levels
+/// hold child nodes.
+struct RTreeNode {
+  BoundingBox mbr;
+  uint32_t level = 0;
+  std::vector<std::unique_ptr<RTreeNode>> children;  ///< level > 0
+  std::vector<PointId> entries;                      ///< level == 0
+
+  bool is_leaf() const { return level == 0; }
+};
+
+/// Aggregate structural statistics.
+struct RTreeStats {
+  uint64_t nodes = 0;
+  uint64_t leaves = 0;
+  uint64_t height = 0;  ///< root level + 1
+  uint64_t total_points = 0;
+  double avg_leaf_fill = 0.0;  ///< mean leaf entries / max_entries
+  uint64_t memory_bytes = 0;
+};
+
+/// R-tree over a dataset that must outlive the tree.
+class RTree {
+ public:
+  /// STR bulk load of the full dataset.
+  static Result<RTree> BulkLoad(const Dataset& dataset, const RTreeConfig& config);
+
+  /// Builds by repeated insertion (Guttman, quadratic split).
+  static Result<RTree> BuildByInsertion(const Dataset& dataset,
+                                        const RTreeConfig& config);
+
+  /// Inserts one point of the dataset (by id) into the tree.
+  Status Insert(PointId id);
+
+  /// Removes one indexed point (by id), Guttman-style: the entry is deleted
+  /// from its leaf, underflowing nodes are dissolved and their points
+  /// reinserted (condense-tree), and a single-child root is collapsed.  The
+  /// dataset row must still hold the point's coordinates.  Returns NotFound
+  /// if the id is not in the tree.
+  Status Remove(PointId id);
+
+  /// Collects ids of all points within epsilon of the query point under the
+  /// metric (an epsilon-range query).
+  Status RangeQuery(const float* query, double epsilon, Metric metric,
+                    std::vector<PointId>* out) const;
+
+  /// One k-nearest-neighbours result.
+  struct Neighbor {
+    PointId id;
+    double distance;
+  };
+
+  /// The k nearest indexed points to the query, ascending by
+  /// (distance, id); fewer than k when the tree holds fewer points.
+  /// Best-first branch-and-bound over MBR min-distances.
+  Status KnnQuery(const float* query, size_t k, Metric metric,
+                  std::vector<Neighbor>* out) const;
+
+  const RTreeNode* root() const { return root_.get(); }
+  const Dataset& dataset() const { return *dataset_; }
+  const RTreeConfig& config() const { return config_; }
+
+  RTreeStats ComputeStats() const;
+
+  /// Verifies structural invariants (exact MBRs, level consistency, entry
+  /// bounds); used by tests.
+  Status CheckInvariants() const;
+
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+ private:
+  RTree(const Dataset* dataset, RTreeConfig config);
+
+  BoundingBox PointBox(PointId id) const;
+
+  /// Recursive insert; returns a split-off sibling when the child overflowed.
+  std::unique_ptr<RTreeNode> InsertRecursive(RTreeNode* node, PointId id);
+
+  /// Recursive delete; collects points of dissolved (underflowing) nodes
+  /// into *orphans.  Returns true iff the id was found and removed below.
+  bool RemoveRecursive(RTreeNode* node, PointId id, const float* row,
+                       std::vector<PointId>* orphans);
+
+  /// Quadratic split of an overflowing node; returns the new sibling.
+  std::unique_ptr<RTreeNode> SplitNode(RTreeNode* node);
+
+  /// Recomputes node->mbr from its children/entries.
+  void RecomputeMbr(RTreeNode* node) const;
+
+  /// Runs one id through ChooseSubtree + overflow handling + root split.
+  void InsertTopLevel(PointId id);
+
+  const Dataset* dataset_;
+  RTreeConfig config_;
+  std::unique_ptr<RTreeNode> root_;
+  // Forced-reinsertion state, only live inside one public Insert() call.
+  bool reinsert_used_ = false;
+  std::vector<PointId> pending_reinserts_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_RTREE_RTREE_H_

@@ -1,0 +1,155 @@
+#include "rtree/rtree_join.h"
+
+#include <algorithm>
+
+namespace simjoin {
+namespace {
+
+/// Traversal state shared by the self- and cross-join entry points.
+class RTreeJoinContext {
+ public:
+  RTreeJoinContext(const Dataset& a_data, const Dataset& b_data, double epsilon,
+                   Metric metric, bool self_mode, PairSink* sink)
+      : a_data_(a_data),
+        b_data_(b_data),
+        kernel_(metric),
+        epsilon_(epsilon),
+        self_mode_(self_mode),
+        sink_(sink) {}
+
+  void SelfJoinNode(const RTreeNode* node) {
+    if (node->is_leaf()) {
+      LeafSelfJoin(node);
+      return;
+    }
+    const auto& kids = node->children;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      SelfJoinNode(kids[i].get());
+      for (size_t j = i + 1; j < kids.size(); ++j) {
+        JoinNodes(kids[i].get(), kids[j].get());
+      }
+    }
+  }
+
+  void JoinNodes(const RTreeNode* a, const RTreeNode* b) {
+    ++stats_.node_pairs_visited;
+    if (a->mbr.IsEmpty() || b->mbr.IsEmpty() ||
+        a->mbr.MinDistance(b->mbr, kernel_.metric()) > epsilon_) {
+      ++stats_.node_pairs_pruned;
+      return;
+    }
+    if (a->is_leaf() && b->is_leaf()) {
+      LeafCrossJoin(a, b);
+      return;
+    }
+    // Descend the taller side (or the internal side) so levels converge.
+    if (!a->is_leaf() && (b->is_leaf() || a->level >= b->level)) {
+      for (const auto& child : a->children) JoinNodes(child.get(), b);
+    } else {
+      for (const auto& child : b->children) JoinNodes(a, child.get());
+    }
+  }
+
+  const JoinStats& stats() const { return stats_; }
+
+ private:
+  void TestAndEmit(PointId a, const float* a_row, PointId b, const float* b_row) {
+    ++stats_.candidate_pairs;
+    ++stats_.distance_calls;
+    if (!kernel_.WithinEpsilon(a_row, b_row, a_data_.dims(), epsilon_)) return;
+    ++stats_.pairs_emitted;
+    if (self_mode_ && a > b) std::swap(a, b);
+    sink_->Emit(a, b);
+  }
+
+  void LeafSelfJoin(const RTreeNode* leaf) {
+    const auto& ids = leaf->entries;
+    const bool sorted = IsSortedOnDim0(ids, a_data_);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float* row_i = a_data_.Row(ids[i]);
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        const float* row_j = a_data_.Row(ids[j]);
+        if (sorted && static_cast<double>(row_j[0]) - row_i[0] > epsilon_) break;
+        TestAndEmit(ids[i], row_i, ids[j], row_j);
+      }
+    }
+  }
+
+  void LeafCrossJoin(const RTreeNode* a, const RTreeNode* b) {
+    const bool sweep = IsSortedOnDim0(a->entries, a_data_) &&
+                       IsSortedOnDim0(b->entries, b_data_);
+    if (!sweep) {
+      for (PointId a_id : a->entries) {
+        const float* a_row = a_data_.Row(a_id);
+        for (PointId b_id : b->entries) {
+          TestAndEmit(a_id, a_row, b_id, b_data_.Row(b_id));
+        }
+      }
+      return;
+    }
+    size_t window_start = 0;
+    for (PointId a_id : a->entries) {
+      const float* a_row = a_data_.Row(a_id);
+      const double lo = static_cast<double>(a_row[0]) - epsilon_;
+      const double hi = static_cast<double>(a_row[0]) + epsilon_;
+      while (window_start < b->entries.size() &&
+             static_cast<double>(b_data_.Row(b->entries[window_start])[0]) < lo) {
+        ++window_start;
+      }
+      for (size_t j = window_start; j < b->entries.size(); ++j) {
+        const float* b_row = b_data_.Row(b->entries[j]);
+        if (static_cast<double>(b_row[0]) > hi) break;
+        TestAndEmit(a_id, a_row, b->entries[j], b_row);
+      }
+    }
+  }
+
+  static bool IsSortedOnDim0(const std::vector<PointId>& ids, const Dataset& data) {
+    return std::is_sorted(ids.begin(), ids.end(), [&data](PointId x, PointId y) {
+      return data.Row(x)[0] < data.Row(y)[0];
+    });
+  }
+
+  const Dataset& a_data_;
+  const Dataset& b_data_;
+  DistanceKernel kernel_;
+  double epsilon_;
+  bool self_mode_;
+  PairSink* sink_;
+  JoinStats stats_;
+};
+
+Status ValidateJoin(const Dataset& a, const Dataset& b, double epsilon,
+                    PairSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (a.dims() != b.dims()) {
+    return Status::InvalidArgument("joined trees index different dimensionalities");
+  }
+  if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be positive");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RTreeSelfJoin(const RTree& tree, double epsilon, PairSink* sink,
+                     Metric metric, JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(
+      ValidateJoin(tree.dataset(), tree.dataset(), epsilon, sink));
+  RTreeJoinContext ctx(tree.dataset(), tree.dataset(), epsilon, metric,
+                       /*self_mode=*/true, sink);
+  ctx.SelfJoinNode(tree.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status RTreeJoin(const RTree& a, const RTree& b, double epsilon, PairSink* sink,
+                 Metric metric, JoinStats* stats) {
+  SIMJOIN_RETURN_NOT_OK(ValidateJoin(a.dataset(), b.dataset(), epsilon, sink));
+  RTreeJoinContext ctx(a.dataset(), b.dataset(), epsilon, metric,
+                       /*self_mode=*/false, sink);
+  ctx.JoinNodes(a.root(), b.root());
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+}  // namespace simjoin

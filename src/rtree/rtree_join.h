@@ -1,0 +1,30 @@
+// Epsilon-similarity joins over R-trees via synchronised MBR traversal —
+// the spatial-join comparator of the paper's evaluation.
+//
+// Two subtrees are joined only if the minimum distance between their MBRs
+// is at most epsilon; leaf pairs sweep their (dimension-0 sorted, when bulk
+// loaded) entry lists with a window filter plus the early-exit distance
+// test.  The algorithm is the point-data specialisation of the classic
+// R-tree spatial join of Brinkhoff et al.
+
+#ifndef SIMJOIN_RTREE_RTREE_JOIN_H_
+#define SIMJOIN_RTREE_RTREE_JOIN_H_
+
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace simjoin {
+
+/// Self-join of the tree's dataset: canonical (min, max) pairs, each once.
+Status RTreeSelfJoin(const RTree& tree, double epsilon, PairSink* sink,
+                     Metric metric = Metric::kL2, JoinStats* stats = nullptr);
+
+/// Join across two trees (which may index different datasets of equal
+/// dimensionality).  Pairs are (id in a, id in b).
+Status RTreeJoin(const RTree& a, const RTree& b, double epsilon, PairSink* sink,
+                 Metric metric = Metric::kL2, JoinStats* stats = nullptr);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_RTREE_RTREE_JOIN_H_

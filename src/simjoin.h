@@ -1,0 +1,62 @@
+// Umbrella header: the full public API of the simjoin library.
+//
+// Most applications only need core/ekdb_join.h (index + joins) and
+// workload/generators.h (synthetic data); this header pulls in everything
+// for convenience.
+
+#ifndef SIMJOIN_SIMJOIN_H_
+#define SIMJOIN_SIMJOIN_H_
+
+// Substrate.
+#include "common/args.h"            // IWYU pragma: export
+#include "common/binary_io.h"       // IWYU pragma: export
+#include "common/bounding_box.h"    // IWYU pragma: export
+#include "common/csv.h"             // IWYU pragma: export
+#include "common/dataset.h"         // IWYU pragma: export
+#include "common/eigen.h"           // IWYU pragma: export
+#include "common/logging.h"         // IWYU pragma: export
+#include "common/metric.h"          // IWYU pragma: export
+#include "common/pair_sink.h"       // IWYU pragma: export
+#include "common/pca.h"             // IWYU pragma: export
+#include "common/rng.h"             // IWYU pragma: export
+#include "common/stats.h"           // IWYU pragma: export
+#include "common/status.h"          // IWYU pragma: export
+#include "common/thread_pool.h"     // IWYU pragma: export
+#include "common/timer.h"           // IWYU pragma: export
+#include "common/union_find.h"      // IWYU pragma: export
+
+// Core contribution: the eps-k-d-B tree and its joins.
+#include "core/closest_pairs.h"     // IWYU pragma: export
+#include "core/components.h"        // IWYU pragma: export
+#include "core/dbscan.h"            // IWYU pragma: export
+#include "core/ekdb_config.h"       // IWYU pragma: export
+#include "core/ekdb_join.h"         // IWYU pragma: export
+#include "core/ekdb_tree.h"         // IWYU pragma: export
+#include "core/external_join.h"     // IWYU pragma: export
+#include "core/parallel_join.h"     // IWYU pragma: export
+#include "core/planner.h"           // IWYU pragma: export
+#include "core/projected_join.h"    // IWYU pragma: export
+#include "core/selectivity.h"       // IWYU pragma: export
+#include "core/streaming_window.h"  // IWYU pragma: export
+
+// Approximate extension.
+#include "approx/lsh_join.h"     // IWYU pragma: export
+
+// Baselines.
+#include "baselines/grid_join.h"    // IWYU pragma: export
+#include "baselines/kdtree.h"       // IWYU pragma: export
+#include "baselines/nested_loop.h"  // IWYU pragma: export
+#include "baselines/sort_merge.h"   // IWYU pragma: export
+
+// R-tree comparator family.
+#include "rtree/rtree.h"            // IWYU pragma: export
+#include "rtree/rtree_join.h"       // IWYU pragma: export
+
+// Workloads.
+#include "workload/fft.h"             // IWYU pragma: export
+#include "workload/generators.h"      // IWYU pragma: export
+#include "workload/image_features.h"  // IWYU pragma: export
+#include "workload/profile.h"         // IWYU pragma: export
+#include "workload/timeseries.h"      // IWYU pragma: export
+
+#endif  // SIMJOIN_SIMJOIN_H_

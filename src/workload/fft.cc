@@ -1,0 +1,72 @@
+#include "workload/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace simjoin {
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Core in-place iterative radix-2 transform; sign = -1 forward, +1 inverse.
+void Transform(std::vector<std::complex<double>>* data, double sign) {
+  auto& a = *data;
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status Fft(std::vector<std::complex<double>>* data) {
+  if (data == nullptr || data->empty() || !IsPowerOfTwo(data->size())) {
+    return Status::InvalidArgument("FFT length must be a non-zero power of two");
+  }
+  Transform(data, -1.0);
+  return Status::OK();
+}
+
+Status InverseFft(std::vector<std::complex<double>>* data) {
+  if (data == nullptr || data->empty() || !IsPowerOfTwo(data->size())) {
+    return Status::InvalidArgument("FFT length must be a non-zero power of two");
+  }
+  Transform(data, +1.0);
+  const double inv = 1.0 / static_cast<double>(data->size());
+  for (auto& v : *data) v *= inv;
+  return Status::OK();
+}
+
+Result<std::vector<std::complex<double>>> RealDft(const std::vector<double>& series) {
+  if (series.empty()) return Status::InvalidArgument("series is empty");
+  std::vector<std::complex<double>> buf(NextPowerOfTwo(series.size()));
+  for (size_t i = 0; i < series.size(); ++i) buf[i] = series[i];
+  SIMJOIN_RETURN_NOT_OK(Fft(&buf));
+  return buf;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,31 @@
+// Radix-2 Cooley-Tukey FFT — the transform behind the paper's motivating
+// application of time-series similarity: sequences are reduced to their
+// leading DFT coefficients and the similarity join runs in that feature
+// space (the classic GEMINI / F-index reduction).
+
+#ifndef SIMJOIN_WORKLOAD_FFT_H_
+#define SIMJOIN_WORKLOAD_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+/// In-place iterative radix-2 FFT.  The length of data must be a power of
+/// two (and non-zero).
+Status Fft(std::vector<std::complex<double>>* data);
+
+/// In-place inverse FFT (same length constraint); output is scaled by 1/N.
+Status InverseFft(std::vector<std::complex<double>>* data);
+
+/// Smallest power of two that is >= n (n must be non-zero).
+size_t NextPowerOfTwo(size_t n);
+
+/// DFT of a real series, zero-padded to the next power of two.
+Result<std::vector<std::complex<double>>> RealDft(const std::vector<double>& series);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_WORKLOAD_FFT_H_

@@ -1,0 +1,147 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace simjoin {
+namespace {
+
+Status ValidateSize(size_t n, size_t dims) {
+  if (n == 0) return Status::InvalidArgument("generator requires n > 0");
+  if (dims == 0) return Status::InvalidArgument("generator requires dims > 0");
+  return Status::OK();
+}
+
+inline float Clamp01(double v) {
+  return static_cast<float>(std::min(1.0, std::max(0.0, v)));
+}
+
+}  // namespace
+
+Result<Dataset> GenerateUniform(const UniformConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(ValidateSize(config.n, config.dims));
+  Rng rng(config.seed);
+  Dataset ds(config.n, config.dims);
+  for (size_t i = 0; i < config.n; ++i) {
+    float* row = ds.MutableRow(static_cast<PointId>(i));
+    for (size_t j = 0; j < config.dims; ++j) row[j] = rng.UniformFloat();
+  }
+  return ds;
+}
+
+Result<Dataset> GenerateClustered(const ClusteredConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(ValidateSize(config.n, config.dims));
+  if (config.clusters == 0) {
+    return Status::InvalidArgument("clustered generator requires clusters > 0");
+  }
+  if (config.sigma < 0.0) {
+    return Status::InvalidArgument("sigma must be non-negative");
+  }
+  if (config.noise_fraction < 0.0 || config.noise_fraction > 1.0) {
+    return Status::InvalidArgument("noise_fraction must be in [0, 1]");
+  }
+  Rng rng(config.seed);
+  // Cluster centres away from the walls so clusters are not clipped flat.
+  std::vector<float> centres(config.clusters * config.dims);
+  for (auto& c : centres) c = static_cast<float>(rng.Uniform(0.1, 0.9));
+
+  Dataset ds(config.n, config.dims);
+  for (size_t i = 0; i < config.n; ++i) {
+    float* row = ds.MutableRow(static_cast<PointId>(i));
+    if (rng.Bernoulli(config.noise_fraction)) {
+      for (size_t j = 0; j < config.dims; ++j) row[j] = rng.UniformFloat();
+      continue;
+    }
+    const uint64_t k = config.zipf_skew > 0.0
+                           ? rng.Zipf(config.clusters, config.zipf_skew)
+                           : rng.UniformInt(config.clusters);
+    const float* centre = centres.data() + k * config.dims;
+    for (size_t j = 0; j < config.dims; ++j) {
+      row[j] = Clamp01(centre[j] + rng.Gaussian(0.0, config.sigma));
+    }
+  }
+  return ds;
+}
+
+Result<Dataset> GenerateCorrelated(const CorrelatedConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(ValidateSize(config.n, config.dims));
+  if (config.intrinsic_dims == 0 || config.intrinsic_dims > config.dims) {
+    return Status::InvalidArgument(
+        "intrinsic_dims must be in [1, dims]");
+  }
+  if (config.noise < 0.0) {
+    return Status::InvalidArgument("noise must be non-negative");
+  }
+  Rng rng(config.seed);
+  // Random linear embedding: dims x intrinsic_dims matrix with N(0,1)
+  // entries; latent coordinates are uniform in [0,1].
+  std::vector<double> embed(config.dims * config.intrinsic_dims);
+  for (auto& e : embed) e = rng.Gaussian();
+
+  Dataset ds(config.n, config.dims);
+  std::vector<double> latent(config.intrinsic_dims);
+  for (size_t i = 0; i < config.n; ++i) {
+    for (auto& l : latent) l = rng.Uniform();
+    float* row = ds.MutableRow(static_cast<PointId>(i));
+    for (size_t j = 0; j < config.dims; ++j) {
+      double v = 0.0;
+      for (size_t k = 0; k < config.intrinsic_dims; ++k) {
+        v += embed[j * config.intrinsic_dims + k] * latent[k];
+      }
+      row[j] = static_cast<float>(v + rng.Gaussian(0.0, config.noise));
+    }
+  }
+  ds.NormalizeToUnitCube();
+  return ds;
+}
+
+Result<Dataset> GenerateGridPerturbed(const GridPerturbedConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(ValidateSize(config.n, config.dims));
+  if (config.cell <= 0.0 || config.cell > 1.0) {
+    return Status::InvalidArgument("cell pitch must be in (0, 1]");
+  }
+  if (config.perturbation < 0.0) {
+    return Status::InvalidArgument("perturbation must be non-negative");
+  }
+  Rng rng(config.seed);
+  const long cells_per_dim =
+      std::max<long>(1, static_cast<long>(std::floor(1.0 / config.cell)));
+  Dataset ds(config.n, config.dims);
+  for (size_t i = 0; i < config.n; ++i) {
+    float* row = ds.MutableRow(static_cast<PointId>(i));
+    for (size_t j = 0; j < config.dims; ++j) {
+      const double lattice =
+          (static_cast<double>(rng.UniformInt(static_cast<uint64_t>(cells_per_dim))) + 0.5) *
+          config.cell;
+      const double jitter = rng.Uniform(-config.perturbation, config.perturbation);
+      row[j] = Clamp01(lattice + jitter);
+    }
+  }
+  return ds;
+}
+
+Result<Dataset> PlantNearDuplicates(const Dataset& base, size_t pairs_to_plant,
+                                    double max_displacement, uint64_t seed) {
+  if (base.empty()) return Status::InvalidArgument("base dataset is empty");
+  if (max_displacement < 0.0) {
+    return Status::InvalidArgument("max_displacement must be non-negative");
+  }
+  Rng rng(seed);
+  Dataset out = base;
+  std::vector<float> row(base.dims());
+  for (size_t p = 0; p < pairs_to_plant; ++p) {
+    const PointId src = static_cast<PointId>(rng.UniformInt(base.size()));
+    const float* src_row = base.Row(src);
+    for (size_t j = 0; j < base.dims(); ++j) {
+      const double jitter = rng.Uniform(-max_displacement, max_displacement);
+      row[j] = Clamp01(src_row[j] + jitter);
+    }
+    out.Append(row);
+  }
+  return out;
+}
+
+}  // namespace simjoin

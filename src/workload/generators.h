@@ -1,0 +1,79 @@
+// Synthetic point-cloud generators reproducing the data regimes of the
+// paper's evaluation: uniform noise, Gaussian cluster mixtures (the "real
+// data is skewed" regime), low-intrinsic-dimensionality correlated clouds,
+// and grid-perturbed points.  All generators are deterministic in the seed
+// and emit points in [0, 1]^d.
+
+#ifndef SIMJOIN_WORKLOAD_GENERATORS_H_
+#define SIMJOIN_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Parameters for uniform noise in the unit cube.
+struct UniformConfig {
+  size_t n = 0;        ///< number of points
+  size_t dims = 0;     ///< dimensionality
+  uint64_t seed = 1;   ///< RNG seed
+};
+
+/// i.i.d. uniform points in [0, 1]^d.
+Result<Dataset> GenerateUniform(const UniformConfig& config);
+
+/// Parameters for a Gaussian-mixture cloud.
+struct ClusteredConfig {
+  size_t n = 0;          ///< number of points
+  size_t dims = 0;       ///< dimensionality
+  size_t clusters = 10;  ///< number of mixture components
+  double sigma = 0.05;   ///< per-coordinate std-dev inside a cluster
+  double zipf_skew = 0.0;  ///< 0 = equal-size clusters; >0 = Zipf-sized
+  double noise_fraction = 0.0;  ///< fraction of points drawn uniformly instead
+  uint64_t seed = 1;
+};
+
+/// Mixture of isotropic Gaussians with centres uniform in [0.1, 0.9]^d;
+/// coordinates are clamped to [0, 1].  Models the clustered/skewed real
+/// feature data (stock DFT features, image histograms) the paper stresses.
+Result<Dataset> GenerateClustered(const ClusteredConfig& config);
+
+/// Parameters for a correlated (low intrinsic dimensionality) cloud.
+struct CorrelatedConfig {
+  size_t n = 0;
+  size_t dims = 0;           ///< ambient dimensionality
+  size_t intrinsic_dims = 2; ///< dimensionality of the latent subspace
+  double noise = 0.01;       ///< per-coordinate additive noise std-dev
+  uint64_t seed = 1;
+};
+
+/// Points on a random intrinsic_dims-dimensional affine subspace embedded in
+/// [0, 1]^dims plus small noise, then min-max normalised.  Models correlated
+/// attributes where most ambient dimensions carry little information.
+Result<Dataset> GenerateCorrelated(const CorrelatedConfig& config);
+
+/// Parameters for perturbed lattice points.
+struct GridPerturbedConfig {
+  size_t n = 0;
+  size_t dims = 0;
+  double cell = 0.1;        ///< lattice pitch
+  double perturbation = 0.01;  ///< uniform jitter half-width per coordinate
+  uint64_t seed = 1;
+};
+
+/// Points snapped to a lattice of the given pitch and jittered; produces
+/// exactly-known near-duplicate structure for adversarial boundary tests.
+Result<Dataset> GenerateGridPerturbed(const GridPerturbedConfig& config);
+
+/// Takes `pairs_to_plant` random points of base and appends a copy displaced
+/// by at most max_displacement (L-inf) — the standard way to plant known
+/// join results into any cloud.  Returns the augmented dataset; planted
+/// copies occupy ids [base.size(), base.size()+pairs_to_plant).
+Result<Dataset> PlantNearDuplicates(const Dataset& base, size_t pairs_to_plant,
+                                    double max_displacement, uint64_t seed);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_WORKLOAD_GENERATORS_H_

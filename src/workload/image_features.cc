@@ -1,0 +1,104 @@
+#include "workload/image_features.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace simjoin {
+namespace {
+
+// Samples a point from a symmetric Dirichlet-like distribution by drawing
+// Gamma(shape) per bin (via the sum of `shape` exponentials for integer
+// shape, else Johnk-free simple approximation using exponent of gaussian)
+// and normalising.  For our purposes a ratio-of-exponentials mixture is
+// adequate and fully deterministic under Rng.
+void SampleHistogram(Rng* rng, const std::vector<double>& prototype,
+                     double concentration, float* out, size_t bins) {
+  double total = 0.0;
+  std::vector<double> raw(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    // Gamma(k) with k = concentration * prototype[b]: approximate with a
+    // log-normal matched to the Gamma mean/variance (mean k, var k).  This
+    // keeps the sampler simple and deterministic while giving the right
+    // "peaked around the prototype" behaviour.
+    const double k = std::max(1e-3, concentration * prototype[b]);
+    const double sigma2 = std::log(1.0 + 1.0 / k);
+    const double mu = std::log(k) - 0.5 * sigma2;
+    raw[b] = std::exp(rng->Gaussian(mu, std::sqrt(sigma2)));
+    total += raw[b];
+  }
+  for (size_t b = 0; b < bins; ++b) {
+    out[b] = static_cast<float>(raw[b] / total);
+  }
+}
+
+}  // namespace
+
+Result<ImageArchive> GenerateImageArchive(const ImageArchiveConfig& config) {
+  if (config.num_images == 0 || config.bins == 0) {
+    return Status::InvalidArgument("archive requires num_images > 0 and bins > 0");
+  }
+  if (config.prototypes == 0) {
+    return Status::InvalidArgument("archive requires prototypes > 0");
+  }
+  if (config.concentration <= 0.0) {
+    return Status::InvalidArgument("concentration must be positive");
+  }
+  Rng rng(config.seed);
+
+  // Scene prototypes: sparse-ish histograms with a few dominant bins.
+  std::vector<std::vector<double>> prototypes(config.prototypes,
+                                              std::vector<double>(config.bins));
+  for (auto& proto : prototypes) {
+    double total = 0.0;
+    for (auto& v : proto) {
+      v = rng.Exponential(1.0);
+      // Square to sharpen dominance of a few bins.
+      v *= v;
+      total += v;
+    }
+    for (auto& v : proto) v /= total;
+  }
+
+  ImageArchive archive;
+  archive.histograms.Reset(config.num_images + config.near_duplicates, config.bins);
+  for (size_t i = 0; i < config.num_images; ++i) {
+    const size_t p = rng.UniformInt(config.prototypes);
+    SampleHistogram(&rng, prototypes[p], config.concentration,
+                    archive.histograms.MutableRow(static_cast<PointId>(i)),
+                    config.bins);
+  }
+
+  archive.duplicate_of.reserve(config.near_duplicates);
+  std::vector<double> noisy(config.bins);
+  for (size_t dup = 0; dup < config.near_duplicates; ++dup) {
+    const PointId src = static_cast<PointId>(rng.UniformInt(config.num_images));
+    archive.duplicate_of.push_back(src);
+    const float* src_row = archive.histograms.Row(src);
+    double total = 0.0;
+    for (size_t b = 0; b < config.bins; ++b) {
+      const double jitter = 1.0 + rng.Uniform(-config.duplicate_noise,
+                                              config.duplicate_noise);
+      noisy[b] = std::max(0.0, static_cast<double>(src_row[b]) * jitter);
+      total += noisy[b];
+    }
+    float* dst =
+        archive.histograms.MutableRow(static_cast<PointId>(config.num_images + dup));
+    for (size_t b = 0; b < config.bins; ++b) {
+      dst[b] = static_cast<float>(total > 0.0 ? noisy[b] / total : 0.0);
+    }
+  }
+  return archive;
+}
+
+bool IsNormalizedHistogram(const float* row, size_t bins, double tolerance) {
+  double total = 0.0;
+  for (size_t b = 0; b < bins; ++b) {
+    if (row[b] < 0.0f) return false;
+    total += row[b];
+  }
+  return std::fabs(total - 1.0) <= tolerance;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,47 @@
+// Colour-histogram image features — the paper's multimedia workload.
+//
+// Real image archives are proprietary; this module simulates the statistical
+// shape that matters for join behaviour: each "image" is a colour histogram
+// drawn from one of a few scene prototypes (beach, forest, night, ...) with
+// per-image variation, and a configurable number of near-duplicate images
+// (crops / re-encodes) is planted so the join has true positives to find.
+// Histograms are non-negative and L1-normalised (they sum to 1), just like
+// real colour-histogram descriptors.
+
+#ifndef SIMJOIN_WORKLOAD_IMAGE_FEATURES_H_
+#define SIMJOIN_WORKLOAD_IMAGE_FEATURES_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Parameters for the synthetic image-histogram archive.
+struct ImageArchiveConfig {
+  size_t num_images = 0;      ///< archive size (before planted duplicates)
+  size_t bins = 32;           ///< histogram dimensionality
+  size_t prototypes = 8;      ///< number of scene prototypes
+  double concentration = 60;  ///< higher = images closer to their prototype
+  size_t near_duplicates = 0; ///< planted near-duplicate images appended
+  double duplicate_noise = 0.02;  ///< per-bin relative noise for duplicates
+  uint64_t seed = 1;
+};
+
+/// Generates the archive.  Planted duplicates occupy the final
+/// near_duplicates rows; row i duplicates some original row recorded in
+/// duplicate_of (size near_duplicates).
+struct ImageArchive {
+  Dataset histograms;              ///< num_images + near_duplicates rows
+  std::vector<PointId> duplicate_of;  ///< source id of each planted duplicate
+};
+
+Result<ImageArchive> GenerateImageArchive(const ImageArchiveConfig& config);
+
+/// True iff the row is a valid histogram: non-negative, sums to 1 within tol.
+bool IsNormalizedHistogram(const float* row, size_t bins, double tolerance);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_WORKLOAD_IMAGE_FEATURES_H_

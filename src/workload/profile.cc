@@ -1,0 +1,153 @@
+#include "workload/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/eigen.h"
+#include "common/metric.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace simjoin {
+
+std::string DatasetProfile::ToString() const {
+  std::ostringstream os;
+  os << "points: " << n << ", dims: " << dims << "\n";
+  os << "effective dims (participation ratio): " << effective_dims << "\n";
+  os << "mean pairwise L2 distance (sampled): " << mean_pairwise_distance
+     << "\n";
+  os << "mean nearest-neighbour L2 distance (sampled): " << mean_nn_distance
+     << "\n";
+  os << "top covariance eigenvalues:";
+  for (size_t i = 0; i < std::min<size_t>(8, covariance_eigenvalues.size());
+       ++i) {
+    os << " " << covariance_eigenvalues[i];
+  }
+  os << "\n";
+  return os.str();
+}
+
+Result<std::vector<uint32_t>> ColumnHistogram(const Dataset& data,
+                                              uint32_t dim, size_t bins) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (bins == 0) return Status::InvalidArgument("bins must be positive");
+  if (dim >= data.dims()) return Status::InvalidArgument("dim out of range");
+  float lo = data.Row(0)[dim];
+  float hi = lo;
+  for (size_t i = 1; i < data.size(); ++i) {
+    const float v = data.Row(static_cast<PointId>(i))[dim];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<uint32_t> counts(bins, 0);
+  const double span = static_cast<double>(hi) - lo;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double v = data.Row(static_cast<PointId>(i))[dim];
+    const size_t bin =
+        span > 0.0
+            ? std::min(bins - 1, static_cast<size_t>((v - lo) / span *
+                                                     static_cast<double>(bins)))
+            : 0;
+    ++counts[bin];
+  }
+  return counts;
+}
+
+std::string HistogramSparkline(const std::vector<uint32_t>& bins) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr size_t kLevels = sizeof(kRamp) - 2;  // highest index into kRamp
+  if (bins.empty()) return "";
+  uint32_t peak = 0;
+  for (uint32_t b : bins) peak = std::max(peak, b);
+  std::string out;
+  out.reserve(bins.size());
+  for (uint32_t b : bins) {
+    const size_t level =
+        peak == 0 ? 0
+                  : (b == 0 ? 0
+                            : 1 + static_cast<size_t>(
+                                      (static_cast<double>(b) / peak) *
+                                      static_cast<double>(kLevels - 1)));
+    out.push_back(kRamp[std::min(level, kLevels)]);
+  }
+  return out;
+}
+
+Result<DatasetProfile> ProfileDataset(const Dataset& data,
+                                      size_t distance_samples, uint64_t seed,
+                                      size_t max_cov_points) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (max_cov_points == 0) {
+    return Status::InvalidArgument("max_cov_points must be positive");
+  }
+  DatasetProfile profile;
+  profile.n = data.size();
+  profile.dims = data.dims();
+
+  // Column moments.
+  profile.mean.resize(data.dims());
+  profile.variance.resize(data.dims());
+  for (uint32_t d = 0; d < data.dims(); ++d) {
+    RunningStats col;
+    for (size_t i = 0; i < data.size(); ++i) {
+      col.Add(data.Row(static_cast<PointId>(i))[d]);
+    }
+    profile.mean[d] = col.mean();
+    profile.variance[d] = col.variance();
+  }
+
+  // Covariance spectrum on a strided subsample.
+  const size_t stride = std::max<size_t>(1, data.size() / max_cov_points);
+  std::vector<double> flat;
+  size_t rows = 0;
+  for (size_t i = 0; i < data.size(); i += stride) {
+    const float* row = data.Row(static_cast<PointId>(i));
+    for (size_t d = 0; d < data.dims(); ++d) flat.push_back(row[d]);
+    ++rows;
+  }
+  const std::vector<double> cov = CovarianceMatrix(flat, rows, data.dims());
+  SIMJOIN_ASSIGN_OR_RETURN(auto eigen, JacobiEigenSymmetric(cov, data.dims()));
+  profile.covariance_eigenvalues = eigen.values;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : eigen.values) {
+    const double clamped = std::max(0.0, v);
+    sum += clamped;
+    sum_sq += clamped * clamped;
+  }
+  profile.effective_dims = sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
+
+  // Distance scales (sampled).
+  Rng rng(seed);
+  DistanceKernel l2(Metric::kL2);
+  if (data.size() >= 2 && distance_samples > 0) {
+    RunningStats pairwise;
+    for (size_t s = 0; s < distance_samples; ++s) {
+      const PointId a = static_cast<PointId>(rng.UniformInt(data.size()));
+      PointId b;
+      do {
+        b = static_cast<PointId>(rng.UniformInt(data.size()));
+      } while (b == a);
+      pairwise.Add(l2.Distance(data.Row(a), data.Row(b), data.dims()));
+    }
+    profile.mean_pairwise_distance = pairwise.mean();
+
+    RunningStats nn;
+    const size_t nn_samples = std::min<size_t>(distance_samples, 64);
+    for (size_t s = 0; s < nn_samples; ++s) {
+      const PointId q = static_cast<PointId>(rng.UniformInt(data.size()));
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (static_cast<PointId>(i) == q) continue;
+        best = std::min(best, l2.Distance(data.Row(q),
+                                          data.Row(static_cast<PointId>(i)),
+                                          data.dims()));
+      }
+      nn.Add(best);
+    }
+    profile.mean_nn_distance = nn.mean();
+  }
+  return profile;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,63 @@
+// Dataset profiling: the statistics a join planner (or a curious user)
+// wants before committing to an algorithm — per-column moments, the
+// covariance spectrum with an effective-dimensionality estimate, and
+// sampled distance scales.
+
+#ifndef SIMJOIN_WORKLOAD_PROFILE_H_
+#define SIMJOIN_WORKLOAD_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Summary statistics of a point dataset.
+struct DatasetProfile {
+  size_t n = 0;
+  size_t dims = 0;
+  std::vector<double> mean;      ///< per column
+  std::vector<double> variance;  ///< per column (population)
+
+  /// Covariance eigenvalues, descending.
+  std::vector<double> covariance_eigenvalues;
+
+  /// Participation ratio (sum λ)^2 / sum λ^2 of the covariance spectrum —
+  /// an effective (intrinsic) dimensionality estimate: d for isotropic
+  /// clouds, ~k when the data concentrates on a k-dimensional subspace.
+  double effective_dims = 0.0;
+
+  /// Mean L2 distance of sampled random pairs.
+  double mean_pairwise_distance = 0.0;
+
+  /// Mean L2 distance of each sampled point to its nearest neighbour.
+  double mean_nn_distance = 0.0;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+/// Profiles the dataset.  Covariance uses at most `max_cov_points` rows (a
+/// deterministic prefix-stride subsample); distance statistics use
+/// `distance_samples` random pairs / query points.
+Result<DatasetProfile> ProfileDataset(const Dataset& data,
+                                      size_t distance_samples = 256,
+                                      uint64_t seed = 1,
+                                      size_t max_cov_points = 20000);
+
+/// Equi-width histogram of one column over the column's [min, max] range;
+/// bins must be positive, dim in range.  A constant column puts everything
+/// in bin 0.
+Result<std::vector<uint32_t>> ColumnHistogram(const Dataset& data,
+                                              uint32_t dim, size_t bins);
+
+/// Renders bin counts as a one-line ASCII sparkline (" .:-=+*#%@" ramp,
+/// scaled to the largest bin).  Empty input gives an empty string.
+std::string HistogramSparkline(const std::vector<uint32_t>& bins);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_WORKLOAD_PROFILE_H_

@@ -1,0 +1,102 @@
+#include "workload/timeseries.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "workload/fft.h"
+
+namespace simjoin {
+
+Result<std::vector<Series>> GenerateSeriesFamily(const SeriesFamilyConfig& config) {
+  if (config.num_series == 0 || config.length < 2) {
+    return Status::InvalidArgument(
+        "series family requires num_series > 0 and length >= 2");
+  }
+  if (config.groups == 0) {
+    return Status::InvalidArgument("series family requires groups > 0");
+  }
+  if (config.group_weight < 0.0 || config.group_weight > 1.0) {
+    return Status::InvalidArgument("group_weight must be in [0, 1]");
+  }
+  Rng rng(config.seed);
+
+  // One shared driver walk per group.
+  std::vector<Series> drivers(config.groups, Series(config.length, 0.0));
+  for (auto& driver : drivers) {
+    double level = 0.0;
+    for (size_t t = 0; t < config.length; ++t) {
+      level += rng.Gaussian(0.0, config.volatility);
+      driver[t] = level;
+    }
+  }
+
+  std::vector<Series> family(config.num_series, Series(config.length, 0.0));
+  for (size_t s = 0; s < config.num_series; ++s) {
+    const Series& driver = drivers[s % config.groups];
+    double own = 0.0;
+    for (size_t t = 0; t < config.length; ++t) {
+      own += rng.Gaussian(0.0, config.volatility);
+      family[s][t] = config.group_weight * driver[t] +
+                     (1.0 - config.group_weight) * own;
+    }
+  }
+  return family;
+}
+
+void ZNormalize(Series* series) {
+  if (series == nullptr || series->empty()) return;
+  const double n = static_cast<double>(series->size());
+  double mean = 0.0;
+  for (double v : *series) mean += v;
+  mean /= n;
+  double var = 0.0;
+  for (double v : *series) var += (v - mean) * (v - mean);
+  var /= n;
+  const double stddev = std::sqrt(var);
+  for (double& v : *series) {
+    v = stddev > 0.0 ? (v - mean) / stddev : 0.0;
+  }
+}
+
+Result<std::vector<float>> DftFeatures(const Series& series, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (series.size() < 2 * k + 1) {
+    return Status::InvalidArgument(
+        "series too short for k=" + std::to_string(k) +
+        " coefficients (need length >= 2k+1)");
+  }
+  SIMJOIN_ASSIGN_OR_RETURN(auto spectrum, RealDft(series));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(spectrum.size()));
+  std::vector<float> features;
+  features.reserve(2 * k);
+  // Coefficient 0 (DC) is dropped: z-normalisation makes it ~0 anyway.
+  for (size_t c = 1; c <= k; ++c) {
+    features.push_back(static_cast<float>(spectrum[c].real() * scale));
+    features.push_back(static_cast<float>(spectrum[c].imag() * scale));
+  }
+  return features;
+}
+
+Result<Dataset> SeriesToFeatureDataset(const std::vector<Series>& family, size_t k) {
+  if (family.empty()) return Status::InvalidArgument("empty series family");
+  Dataset ds;
+  for (const Series& raw : family) {
+    Series s = raw;
+    ZNormalize(&s);
+    SIMJOIN_ASSIGN_OR_RETURN(auto features, DftFeatures(s, k));
+    ds.Append(features);
+  }
+  return ds;
+}
+
+double SeriesEuclideanDistance(const Series& a, const Series& b) {
+  SIMJOIN_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace simjoin

@@ -1,0 +1,60 @@
+// Time-series workload: random-walk sequence families with planted
+// co-moving groups, and DFT-coefficient feature extraction.
+//
+// The paper's headline real workload is stock/mutual-fund time-series
+// similarity: each sequence is z-normalised, its first few DFT coefficients
+// are kept, and "similar sequences" become "close feature points" joined
+// with the eps-k-d-B tree.  The real feeds are proprietary; this module
+// simulates them with geometric-random-walk families where a configurable
+// fraction of series share a latent driver (so true similar pairs exist),
+// exactly the clustered / correlated structure the real data exhibits.
+
+#ifndef SIMJOIN_WORKLOAD_TIMESERIES_H_
+#define SIMJOIN_WORKLOAD_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// One real-valued sequence.
+using Series = std::vector<double>;
+
+/// Parameters for a family of random-walk series.
+struct SeriesFamilyConfig {
+  size_t num_series = 0;   ///< how many sequences
+  size_t length = 256;     ///< samples per sequence
+  size_t groups = 10;      ///< latent co-movement groups
+  double group_weight = 0.7;  ///< share of each series driven by its group walk
+  double volatility = 0.01;   ///< per-step idiosyncratic std-dev
+  uint64_t seed = 1;
+};
+
+/// Generates num_series random walks; series in the same group share a
+/// common driver walk mixed with idiosyncratic noise.
+Result<std::vector<Series>> GenerateSeriesFamily(const SeriesFamilyConfig& config);
+
+/// Subtracts the mean and divides by the standard deviation in place
+/// (constant series become all-zero).
+void ZNormalize(Series* series);
+
+/// Extracts a 2k-dimensional feature vector from a series: the real and
+/// imaginary parts of DFT coefficients 1..k (the DC term is dropped because
+/// z-normalisation zeroes it), scaled by 1/sqrt(length) so that feature
+/// distance lower-bounds sequence distance (Parseval).
+Result<std::vector<float>> DftFeatures(const Series& series, size_t k);
+
+/// Applies ZNormalize + DftFeatures to every series and stacks the feature
+/// vectors into a Dataset (not yet normalised to the unit cube).
+Result<Dataset> SeriesToFeatureDataset(const std::vector<Series>& family, size_t k);
+
+/// Euclidean distance between two equal-length series (used by tests to
+/// validate the lower-bounding property of the feature reduction).
+double SeriesEuclideanDistance(const Series& a, const Series& b);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_WORKLOAD_TIMESERIES_H_

@@ -1,0 +1,146 @@
+#include "approx/lsh_join.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/nested_loop.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::OracleSelfJoin;
+
+LshConfig Config(size_t tables, size_t hashes = 4, uint64_t seed = 1) {
+  LshConfig config;
+  config.tables = tables;
+  config.hashes_per_table = hashes;
+  config.seed = seed;
+  return config;
+}
+
+TEST(LshConfigTest, Validation) {
+  EXPECT_TRUE(Config(8).Validate().ok());
+  EXPECT_FALSE(Config(0).Validate().ok());
+  EXPECT_FALSE(Config(8, 0).Validate().ok());
+  LshConfig bad = Config(8);
+  bad.bucket_width = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(LshJoinTest, RejectsBadInputs) {
+  Dataset one;
+  one.Append(std::vector<float>{0.5f});
+  CountingSink sink;
+  EXPECT_FALSE(LshApproximateSelfJoin(one, 0.1, Config(2), &sink).ok());
+  auto data = GenerateUniform({.n = 20, .dims = 3, .seed = 1});
+  EXPECT_FALSE(LshApproximateSelfJoin(*data, 0.0, Config(2), &sink).ok());
+  EXPECT_FALSE(LshApproximateSelfJoin(*data, 0.1, Config(2), nullptr).ok());
+}
+
+TEST(LshJoinTest, EmittedPairsAreAllTruePositivesAndUnique) {
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 6, .clusters = 6, .sigma = 0.04, .seed = 2});
+  ASSERT_TRUE(data.ok());
+  VectorSink sink;
+  LshJoinReport report;
+  ASSERT_TRUE(
+      LshApproximateSelfJoin(*data, 0.1, Config(6), &sink, &report).ok());
+  const auto truth_vec = OracleSelfJoin(*data, 0.1, Metric::kL2);
+  const std::set<IdPair> truth(truth_vec.begin(), truth_vec.end());
+  std::set<IdPair> emitted;
+  for (const auto& p : sink.pairs()) {
+    EXPECT_LT(p.first, p.second) << "canonical order required";
+    EXPECT_TRUE(truth.count(p)) << "false positive (" << p.first << ","
+                                << p.second << ")";
+    EXPECT_TRUE(emitted.insert(p).second) << "duplicate pair";
+  }
+  EXPECT_EQ(report.emitted_pairs, sink.pairs().size());
+  EXPECT_GE(report.unique_candidates, report.emitted_pairs);
+  EXPECT_GE(report.bucket_candidate_pairs, report.unique_candidates);
+}
+
+TEST(LshJoinTest, HighTableCountReachesHighRecall) {
+  auto data = GenerateClustered(
+      {.n = 1000, .dims = 6, .clusters = 8, .sigma = 0.05, .seed = 3});
+  ASSERT_TRUE(data.ok());
+  const auto truth = OracleSelfJoin(*data, 0.08, Metric::kL2);
+  ASSERT_GT(truth.size(), 50u);
+  VectorSink sink;
+  ASSERT_TRUE(
+      LshApproximateSelfJoin(*data, 0.08, Config(24, 3, 7), &sink).ok());
+  const double recall = static_cast<double>(sink.pairs().size()) /
+                        static_cast<double>(truth.size());
+  EXPECT_GE(recall, 0.9) << "recall " << recall << " with 24 tables";
+}
+
+TEST(LshJoinTest, MoreTablesNeverReduceRecallForNestedFamilies) {
+  // With the same seed the first L tables of a larger configuration are
+  // identical to the smaller configuration, so the candidate set is a
+  // superset and recall is monotone.
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 5, .clusters = 5, .sigma = 0.05, .seed = 4});
+  ASSERT_TRUE(data.ok());
+  size_t prev = 0;
+  for (size_t tables : {1u, 4u, 16u}) {
+    VectorSink sink;
+    ASSERT_TRUE(LshApproximateSelfJoin(*data, 0.08, Config(tables, 4, 11),
+                                       &sink)
+                    .ok());
+    EXPECT_GE(sink.pairs().size(), prev) << tables << " tables";
+    prev = sink.pairs().size();
+  }
+}
+
+TEST(LshJoinTest, DeterministicInSeed) {
+  auto data = GenerateUniform({.n = 400, .dims = 4, .seed = 5});
+  VectorSink a, b;
+  ASSERT_TRUE(LshApproximateSelfJoin(*data, 0.15, Config(4, 4, 9), &a).ok());
+  ASSERT_TRUE(LshApproximateSelfJoin(*data, 0.15, Config(4, 4, 9), &b).ok());
+  EXPECT_EQ(a.Sorted(), b.Sorted());
+}
+
+TEST(LshJoinTest, LinfMetricRejected) {
+  auto data = GenerateUniform({.n = 50, .dims = 3, .seed = 20});
+  LshConfig config = Config(2);
+  config.metric = Metric::kLinf;
+  CountingSink sink;
+  EXPECT_FALSE(LshApproximateSelfJoin(*data, 0.1, config, &sink).ok());
+}
+
+TEST(LshJoinTest, L1MetricIsExactInPrecisionAndReachesRecall) {
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 5, .clusters = 6, .sigma = 0.04, .seed = 21});
+  ASSERT_TRUE(data.ok());
+  LshConfig config = Config(24, 3, 31);
+  config.metric = Metric::kL1;
+  VectorSink sink;
+  ASSERT_TRUE(LshApproximateSelfJoin(*data, 0.15, config, &sink).ok());
+  const auto truth_vec = OracleSelfJoin(*data, 0.15, Metric::kL1);
+  ASSERT_GT(truth_vec.size(), 20u);
+  const std::set<IdPair> truth(truth_vec.begin(), truth_vec.end());
+  for (const auto& p : sink.pairs()) {
+    EXPECT_TRUE(truth.count(p)) << "L1 false positive";
+  }
+  const double recall = static_cast<double>(sink.pairs().size()) /
+                        static_cast<double>(truth_vec.size());
+  EXPECT_GE(recall, 0.85) << "L1 recall " << recall;
+}
+
+TEST(LshJoinTest, MoreHashesPerTableShrinkCandidateSet) {
+  auto data = GenerateClustered(
+      {.n = 1200, .dims = 5, .clusters = 4, .sigma = 0.08, .seed = 6});
+  ASSERT_TRUE(data.ok());
+  LshJoinReport wide, sharp;
+  CountingSink s1, s2;
+  ASSERT_TRUE(
+      LshApproximateSelfJoin(*data, 0.05, Config(4, 1, 13), &s1, &wide).ok());
+  ASSERT_TRUE(
+      LshApproximateSelfJoin(*data, 0.05, Config(4, 8, 13), &s2, &sharp).ok());
+  EXPECT_LT(sharp.unique_candidates, wide.unique_candidates);
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,90 @@
+#include "baselines/grid_join.h"
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleJoin;
+using testing_util::OracleSelfJoin;
+
+class GridSelfJoinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t, Metric>> {};
+
+TEST_P(GridSelfJoinPropertyTest, MatchesOracle) {
+  const auto [epsilon, grid_dims, metric] = GetParam();
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 5, .clusters = 6, .sigma = 0.04, .seed = 16});
+  ASSERT_TRUE(data.ok());
+  GridJoinConfig config;
+  config.grid_dims = grid_dims;
+  VectorSink sink;
+  ASSERT_TRUE(GridSelfJoin(*data, epsilon, metric, config, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, epsilon, metric), sink.Sorted(),
+                  "grid self");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridSelfJoinPropertyTest,
+    ::testing::Combine(::testing::Values(0.04, 0.11, 0.3),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{3},
+                                         size_t{5}),
+                       ::testing::Values(Metric::kL2, Metric::kLinf)),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 1000)) +
+             "_g" + std::to_string(std::get<1>(info.param)) + "_" +
+             MetricName(std::get<2>(info.param));
+    });
+
+TEST(GridSelfJoinTest, GridDimsLargerThanDataDimsIsClamped) {
+  auto data = GenerateUniform({.n = 200, .dims = 2, .seed = 17});
+  ASSERT_TRUE(data.ok());
+  GridJoinConfig config;
+  config.grid_dims = 10;
+  VectorSink sink;
+  ASSERT_TRUE(GridSelfJoin(*data, 0.1, Metric::kL2, config, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.1, Metric::kL2), sink.Sorted(),
+                  "clamped grid");
+}
+
+TEST(GridJoinTest, CrossJoinMatchesOracle) {
+  auto a = GenerateUniform({.n = 300, .dims = 4, .seed = 18});
+  auto b = GenerateClustered(
+      {.n = 250, .dims = 4, .clusters = 3, .sigma = 0.05, .seed = 19});
+  ASSERT_TRUE(a.ok() && b.ok());
+  VectorSink sink;
+  ASSERT_TRUE(GridJoin(*a, *b, 0.08, Metric::kL2, GridJoinConfig{}, &sink).ok());
+  ExpectSamePairs(OracleJoin(*a, *b, 0.08, Metric::kL2), sink.Sorted(),
+                  "grid cross");
+}
+
+TEST(GridJoinTest, InvalidInputsRejected) {
+  Dataset empty;
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  CountingSink sink;
+  EXPECT_FALSE(
+      GridSelfJoin(empty, 0.1, Metric::kL2, GridJoinConfig{}, &sink).ok());
+  EXPECT_FALSE(
+      GridSelfJoin(*data, -0.1, Metric::kL2, GridJoinConfig{}, &sink).ok());
+  EXPECT_FALSE(
+      GridJoin(*data, *data, 0.1, Metric::kL2, GridJoinConfig{}, nullptr).ok());
+}
+
+TEST(GridJoinTest, NegativeCoordinatesStillCorrect) {
+  // The grid must handle points outside the unit cube (negative cells).
+  Dataset ds;
+  ds.Append(std::vector<float>{-0.05f, 0.3f});
+  ds.Append(std::vector<float>{0.02f, 0.3f});
+  ds.Append(std::vector<float>{-0.5f, 0.3f});
+  VectorSink sink;
+  ASSERT_TRUE(GridSelfJoin(ds, 0.1, Metric::kL2, GridJoinConfig{}, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(ds, 0.1, Metric::kL2), sink.Sorted(),
+                  "negative coords");
+}
+
+}  // namespace
+}  // namespace simjoin

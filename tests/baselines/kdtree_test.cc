@@ -1,0 +1,238 @@
+#include "baselines/kdtree.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleJoin;
+using testing_util::OracleSelfJoin;
+
+KdTreeConfig Config(size_t leaf_size = 16) {
+  KdTreeConfig config;
+  config.leaf_size = leaf_size;
+  return config;
+}
+
+TEST(KdTreeBuildTest, RejectsEmptyAndBadConfig) {
+  Dataset empty;
+  EXPECT_FALSE(KdTree::Build(empty, Config()).ok());
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  EXPECT_FALSE(KdTree::Build(*data, Config(0)).ok());
+}
+
+// Structural invariant: every left point's split coordinate <= split_value,
+// every right point's > split_value, bboxes exact and nested.
+void CheckSubtree(const KdTree& tree, const KdTreeNode* node) {
+  const Dataset& data = tree.dataset();
+  if (node->is_leaf()) {
+    ASSERT_FALSE(node->points.empty());
+    for (PointId p : node->points) {
+      EXPECT_TRUE(node->bbox.ContainsPoint(data.Row(p)));
+    }
+    EXPECT_TRUE(std::is_sorted(node->points.begin(), node->points.end(),
+                               [&data](PointId a, PointId b) {
+                                 return data.Row(a)[0] < data.Row(b)[0];
+                               }));
+    return;
+  }
+  ASSERT_NE(node->left, nullptr);
+  ASSERT_NE(node->right, nullptr);
+  EXPECT_TRUE(node->bbox.ContainsBox(node->left->bbox));
+  EXPECT_TRUE(node->bbox.ContainsBox(node->right->bbox));
+  std::function<void(const KdTreeNode*, bool)> check_side =
+      [&](const KdTreeNode* n, bool left_side) {
+        for (PointId p : n->points) {
+          if (left_side) {
+            EXPECT_LE(data.Row(p)[node->split_dim], node->split_value);
+          } else {
+            EXPECT_GT(data.Row(p)[node->split_dim], node->split_value);
+          }
+        }
+        if (!n->is_leaf()) {
+          check_side(n->left.get(), left_side);
+          check_side(n->right.get(), left_side);
+        }
+      };
+  check_side(node->left.get(), true);
+  check_side(node->right.get(), false);
+  CheckSubtree(tree, node->left.get());
+  CheckSubtree(tree, node->right.get());
+}
+
+TEST(KdTreeBuildTest, InvariantsHoldAcrossWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto data = GenerateClustered(
+        {.n = 900, .dims = 5, .clusters = 4, .sigma = 0.05, .seed = seed});
+    ASSERT_TRUE(data.ok());
+    auto tree = KdTree::Build(*data, Config(8));
+    ASSERT_TRUE(tree.ok());
+    CheckSubtree(*tree, tree->root());
+    EXPECT_EQ(tree->ComputeStats().total_points, 900u);
+  }
+}
+
+TEST(KdTreeBuildTest, AllDuplicatePointsStayOneLeaf) {
+  Dataset ds;
+  for (int i = 0; i < 200; ++i) ds.Append(std::vector<float>{0.5f, 0.5f});
+  auto tree = KdTree::Build(ds, Config(8));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->root()->is_leaf());
+  EXPECT_EQ(tree->root()->points.size(), 200u);
+}
+
+TEST(KdTreeRangeQueryTest, MatchesLinearScan) {
+  auto data = GenerateClustered(
+      {.n = 700, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 4});
+  ASSERT_TRUE(data.ok());
+  auto tree = KdTree::Build(*data, Config(16));
+  ASSERT_TRUE(tree.ok());
+  for (Metric metric : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+    DistanceKernel kernel(metric);
+    for (PointId q = 0; q < 15; ++q) {
+      std::vector<PointId> got;
+      ASSERT_TRUE(tree->RangeQuery(data->Row(q), 0.1, metric, &got).ok());
+      std::vector<PointId> expected;
+      for (size_t i = 0; i < data->size(); ++i) {
+        if (kernel.WithinEpsilon(data->Row(q),
+                                 data->Row(static_cast<PointId>(i)), 4, 0.1)) {
+          expected.push_back(static_cast<PointId>(i));
+        }
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << MetricName(metric) << " q=" << q;
+    }
+  }
+}
+
+class KdTreeJoinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t, Metric>> {};
+
+TEST_P(KdTreeJoinPropertyTest, SelfJoinMatchesOracle) {
+  const auto [epsilon, leaf_size, metric] = GetParam();
+  auto data = GenerateClustered(
+      {.n = 700, .dims = 5, .clusters = 6, .sigma = 0.04, .seed = 5});
+  ASSERT_TRUE(data.ok());
+  auto tree = KdTree::Build(*data, Config(leaf_size));
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(KdTreeSelfJoin(*tree, epsilon, metric, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, epsilon, metric), sink.Sorted(),
+                  "kdtree self");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeJoinPropertyTest,
+    ::testing::Combine(::testing::Values(0.04, 0.12, 0.3),
+                       ::testing::Values(size_t{1}, size_t{16}, size_t{256}),
+                       ::testing::Values(Metric::kL2, Metric::kLinf)),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 1000)) +
+             "_leaf" + std::to_string(std::get<1>(info.param)) + "_" +
+             MetricName(std::get<2>(info.param));
+    });
+
+TEST(KdTreeJoinTest, CrossJoinMatchesOracle) {
+  auto a = GenerateUniform({.n = 400, .dims = 4, .seed = 6});
+  auto b = GenerateClustered(
+      {.n = 350, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 7});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = KdTree::Build(*a, Config(8));
+  auto tb = KdTree::Build(*b, Config(64));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  VectorSink sink;
+  ASSERT_TRUE(KdTreeJoin(*ta, *tb, 0.09, Metric::kL2, &sink).ok());
+  ExpectSamePairs(OracleJoin(*a, *b, 0.09, Metric::kL2), sink.Sorted(),
+                  "kdtree cross");
+}
+
+TEST(KdTreeJoinTest, InvalidArgsRejected) {
+  auto a = GenerateUniform({.n = 10, .dims = 2, .seed = 8});
+  auto b = GenerateUniform({.n = 10, .dims = 3, .seed = 9});
+  auto ta = KdTree::Build(*a, Config());
+  auto tb = KdTree::Build(*b, Config());
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  CountingSink sink;
+  EXPECT_FALSE(KdTreeJoin(*ta, *tb, 0.1, Metric::kL2, &sink).ok());
+  EXPECT_FALSE(KdTreeSelfJoin(*ta, 0.0, Metric::kL2, &sink).ok());
+  EXPECT_FALSE(KdTreeSelfJoin(*ta, 0.1, Metric::kL2, nullptr).ok());
+  std::vector<PointId> out;
+  EXPECT_FALSE(ta->RangeQuery(a->Row(0), 0.1, Metric::kL2, nullptr).ok());
+}
+
+TEST(KdTreeKnnTest, MatchesBruteForceAcrossMetricsAndK) {
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 4, .sigma = 0.06, .seed = 11});
+  ASSERT_TRUE(data.ok());
+  auto tree = KdTree::Build(*data, Config(8));
+  ASSERT_TRUE(tree.ok());
+  for (Metric metric : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+    DistanceKernel kernel(metric);
+    for (size_t k : {1u, 5u, 20u}) {
+      for (PointId q = 0; q < 10; ++q) {
+        std::vector<KdTree::Neighbor> got;
+        ASSERT_TRUE(tree->KnnQuery(data->Row(q), k, metric, &got).ok());
+        ASSERT_EQ(got.size(), k);
+        // Brute-force: sort all (distance, id) pairs.
+        std::vector<std::pair<double, PointId>> all;
+        for (size_t i = 0; i < data->size(); ++i) {
+          all.emplace_back(kernel.Distance(data->Row(q),
+                                           data->Row(static_cast<PointId>(i)),
+                                           4),
+                           static_cast<PointId>(i));
+        }
+        std::sort(all.begin(), all.end());
+        for (size_t i = 0; i < k; ++i) {
+          EXPECT_EQ(got[i].id, all[i].second)
+              << MetricName(metric) << " k=" << k << " q=" << q << " rank " << i;
+          EXPECT_DOUBLE_EQ(got[i].distance, all[i].first);
+        }
+      }
+    }
+  }
+}
+
+TEST(KdTreeKnnTest, KLargerThanDatasetReturnsAll) {
+  auto data = GenerateUniform({.n = 30, .dims = 2, .seed = 12});
+  auto tree = KdTree::Build(*data, Config(4));
+  ASSERT_TRUE(tree.ok());
+  std::vector<KdTree::Neighbor> got;
+  ASSERT_TRUE(tree->KnnQuery(data->Row(0), 100, Metric::kL2, &got).ok());
+  EXPECT_EQ(got.size(), 30u);
+  EXPECT_EQ(got[0].id, 0u);  // the query point itself at distance 0
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i].distance, got[i - 1].distance);
+  }
+}
+
+TEST(KdTreeKnnTest, RejectsBadArgs) {
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 13});
+  auto tree = KdTree::Build(*data, Config());
+  ASSERT_TRUE(tree.ok());
+  std::vector<KdTree::Neighbor> out;
+  EXPECT_FALSE(tree->KnnQuery(data->Row(0), 0, Metric::kL2, &out).ok());
+  EXPECT_FALSE(tree->KnnQuery(data->Row(0), 3, Metric::kL2, nullptr).ok());
+}
+
+TEST(KdTreeJoinTest, PruningCutsWorkOnSeparatedClusters) {
+  auto data = GenerateClustered(
+      {.n = 2000, .dims = 5, .clusters = 10, .sigma = 0.02, .seed = 10});
+  ASSERT_TRUE(data.ok());
+  auto tree = KdTree::Build(*data, Config(32));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  JoinStats stats;
+  ASSERT_TRUE(KdTreeSelfJoin(*tree, 0.05, Metric::kL2, &sink, &stats).ok());
+  EXPECT_GT(stats.node_pairs_pruned, 0u);
+  EXPECT_LT(stats.candidate_pairs, 2000u * 1999u / 2u);
+}
+
+}  // namespace
+}  // namespace simjoin

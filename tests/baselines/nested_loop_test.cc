@@ -1,0 +1,97 @@
+#include "baselines/nested_loop.h"
+
+#include <cmath>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::MakeDataset;
+
+TEST(NestedLoopSelfJoinTest, HandComputedPairs) {
+  // 1-D points: 0.0, 0.05, 0.2, 0.21.
+  const Dataset ds = MakeDataset({{0.0f}, {0.05f}, {0.2f}, {0.21f}});
+  VectorSink sink;
+  ASSERT_TRUE(NestedLoopSelfJoin(ds, 0.06, Metric::kL2, &sink).ok());
+  const auto pairs = sink.Sorted();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (IdPair{0, 1}));
+  EXPECT_EQ(pairs[1], (IdPair{2, 3}));
+}
+
+TEST(NestedLoopSelfJoinTest, InclusiveAtExactlyEpsilon) {
+  // 0.25 is exactly representable in float, so the distance is exactly the
+  // threshold and the <= predicate must accept the pair.
+  const Dataset ds = MakeDataset({{0.0f}, {0.25f}});
+  VectorSink sink;
+  ASSERT_TRUE(NestedLoopSelfJoin(ds, 0.25, Metric::kL2, &sink).ok());
+  EXPECT_EQ(sink.pairs().size(), 1u) << "predicate is dist <= eps";
+}
+
+TEST(NestedLoopSelfJoinTest, PairsAreCanonicalAndUnique) {
+  auto data = GenerateUniform({.n = 200, .dims = 3, .seed = 1});
+  VectorSink sink;
+  ASSERT_TRUE(NestedLoopSelfJoin(*data, 0.2, Metric::kL2, &sink).ok());
+  auto pairs = sink.Sorted();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].first, pairs[i].second);
+    if (i > 0) EXPECT_NE(pairs[i], pairs[i - 1]);
+  }
+}
+
+TEST(NestedLoopSelfJoinTest, StatsCountAllPairs) {
+  auto data = GenerateUniform({.n = 100, .dims = 2, .seed = 2});
+  CountingSink sink;
+  JoinStats stats;
+  ASSERT_TRUE(NestedLoopSelfJoin(*data, 0.1, Metric::kL2, &sink, &stats).ok());
+  EXPECT_EQ(stats.candidate_pairs, 100u * 99u / 2u);
+  EXPECT_EQ(stats.pairs_emitted, sink.count());
+}
+
+TEST(NestedLoopSelfJoinTest, InvalidInputsRejected) {
+  Dataset empty;
+  CountingSink sink;
+  EXPECT_FALSE(NestedLoopSelfJoin(empty, 0.1, Metric::kL2, &sink).ok());
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  EXPECT_FALSE(NestedLoopSelfJoin(*data, 0.0, Metric::kL2, &sink).ok());
+  EXPECT_FALSE(NestedLoopSelfJoin(*data, -1.0, Metric::kL2, &sink).ok());
+  EXPECT_FALSE(NestedLoopSelfJoin(*data, 0.1, Metric::kL2, nullptr).ok());
+}
+
+TEST(NestedLoopJoinTest, CrossJoinCountsOrderedPairs) {
+  const Dataset a = MakeDataset({{0.0f}, {0.5f}});
+  const Dataset b = MakeDataset({{0.01f}, {0.49f}, {0.51f}});
+  VectorSink sink;
+  ASSERT_TRUE(NestedLoopJoin(a, b, 0.02, Metric::kL2, &sink).ok());
+  const auto pairs = sink.Sorted();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (IdPair{0, 0}));
+  EXPECT_EQ(pairs[1], (IdPair{1, 1}));
+  EXPECT_EQ(pairs[2], (IdPair{1, 2}));
+}
+
+TEST(NestedLoopJoinTest, DimensionMismatchRejected) {
+  const Dataset a = MakeDataset({{0.0f, 0.0f}});
+  const Dataset b = MakeDataset({{0.0f}});
+  CountingSink sink;
+  EXPECT_FALSE(NestedLoopJoin(a, b, 0.1, Metric::kL2, &sink).ok());
+}
+
+TEST(NestedLoopJoinTest, MetricChangesResults) {
+  // Distance between the points: L1 = 0.18, L2 = ~0.127, Linf = 0.09.
+  const Dataset a = MakeDataset({{0.0f, 0.0f}});
+  const Dataset b = MakeDataset({{0.09f, 0.09f}});
+  for (const auto& [metric, expected] :
+       std::vector<std::pair<Metric, uint64_t>>{
+           {Metric::kL1, 0}, {Metric::kL2, 0}, {Metric::kLinf, 1}}) {
+    CountingSink sink;
+    ASSERT_TRUE(NestedLoopJoin(a, b, 0.1, metric, &sink).ok());
+    EXPECT_EQ(sink.count(), expected) << MetricName(metric);
+  }
+}
+
+}  // namespace
+}  // namespace simjoin

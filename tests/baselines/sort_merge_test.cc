@@ -1,0 +1,115 @@
+#include "baselines/sort_merge.h"
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::MakeDataset;
+using testing_util::OracleJoin;
+using testing_util::OracleSelfJoin;
+
+TEST(MaxVarianceDimTest, PicksTheSpreadColumn) {
+  Dataset ds;
+  ds.Append(std::vector<float>{0.5f, 0.0f});
+  ds.Append(std::vector<float>{0.5f, 1.0f});
+  ds.Append(std::vector<float>{0.5f, 0.5f});
+  EXPECT_EQ(MaxVarianceDim(ds), 1u);
+}
+
+class SortMergeSelfJoinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, Metric>> {};
+
+TEST_P(SortMergeSelfJoinPropertyTest, MatchesOracleOnClusteredData) {
+  const auto [epsilon, metric] = GetParam();
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 11});
+  ASSERT_TRUE(data.ok());
+  VectorSink sink;
+  ASSERT_TRUE(
+      SortMergeSelfJoin(*data, epsilon, metric, SortMergeConfig{}, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, epsilon, metric), sink.Sorted(),
+                  "sort-merge self");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortMergeSelfJoinPropertyTest,
+    ::testing::Combine(::testing::Values(0.03, 0.1, 0.25),
+                       ::testing::Values(Metric::kL1, Metric::kL2,
+                                         Metric::kLinf)),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 1000)) +
+             "_" + MetricName(std::get<1>(info.param));
+    });
+
+TEST(SortMergeSelfJoinTest, ExplicitSortDimStaysExact) {
+  auto data = GenerateUniform({.n = 400, .dims = 3, .seed = 12});
+  ASSERT_TRUE(data.ok());
+  for (uint32_t dim = 0; dim < 3; ++dim) {
+    SortMergeConfig config;
+    config.sort_dim = dim;
+    VectorSink sink;
+    ASSERT_TRUE(
+        SortMergeSelfJoin(*data, 0.1, Metric::kL2, config, &sink).ok());
+    ExpectSamePairs(OracleSelfJoin(*data, 0.1, Metric::kL2), sink.Sorted(),
+                    "explicit dim");
+  }
+}
+
+TEST(SortMergeSelfJoinTest, RejectsOutOfRangeSortDim) {
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  SortMergeConfig config;
+  config.sort_dim = 5;
+  CountingSink sink;
+  EXPECT_FALSE(
+      SortMergeSelfJoin(*data, 0.1, Metric::kL2, config, &sink).ok());
+}
+
+TEST(SortMergeJoinTest, CrossJoinMatchesOracle) {
+  auto a = GenerateClustered(
+      {.n = 300, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 13});
+  auto b = GenerateClustered(
+      {.n = 350, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 14});
+  ASSERT_TRUE(a.ok() && b.ok());
+  VectorSink sink;
+  ASSERT_TRUE(
+      SortMergeJoin(*a, *b, 0.1, Metric::kL2, SortMergeConfig{}, &sink).ok());
+  ExpectSamePairs(OracleJoin(*a, *b, 0.1, Metric::kL2), sink.Sorted(),
+                  "sort-merge cross");
+}
+
+TEST(SortMergeJoinTest, InvalidInputsRejected) {
+  Dataset empty;
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  CountingSink sink;
+  EXPECT_FALSE(SortMergeJoin(empty, *data, 0.1, Metric::kL2, SortMergeConfig{},
+                             &sink)
+                   .ok());
+  EXPECT_FALSE(
+      SortMergeJoin(*data, *data, 0.0, Metric::kL2, SortMergeConfig{}, &sink)
+          .ok());
+  EXPECT_FALSE(
+      SortMergeJoin(*data, *data, 0.1, Metric::kL2, SortMergeConfig{}, nullptr)
+          .ok());
+}
+
+TEST(SortMergeSelfJoinTest, WindowFilterCountsShrinkWithEpsilon) {
+  auto data = GenerateUniform({.n = 500, .dims = 4, .seed = 15});
+  ASSERT_TRUE(data.ok());
+  JoinStats tight, loose;
+  CountingSink s1, s2;
+  ASSERT_TRUE(SortMergeSelfJoin(*data, 0.02, Metric::kL2, SortMergeConfig{},
+                                &s1, &tight)
+                  .ok());
+  ASSERT_TRUE(SortMergeSelfJoin(*data, 0.3, Metric::kL2, SortMergeConfig{},
+                                &s2, &loose)
+                  .ok());
+  EXPECT_LT(tight.candidate_pairs, loose.candidate_pairs);
+}
+
+}  // namespace
+}  // namespace simjoin

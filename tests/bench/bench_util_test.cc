@@ -1,0 +1,98 @@
+// Tests for the benchmark harness utilities (table printing, scaling,
+// dimension ordering, and the algorithm runner wrappers).
+
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+TEST(ScaledTest, FollowsEnvironmentVariable) {
+  unsetenv("SIMJOIN_BENCH_SCALE");
+  EXPECT_FALSE(LargeScale());
+  EXPECT_EQ(Scaled(10, 100), 10u);
+  setenv("SIMJOIN_BENCH_SCALE", "large", 1);
+  EXPECT_TRUE(LargeScale());
+  EXPECT_EQ(Scaled(10, 100), 100u);
+  unsetenv("SIMJOIN_BENCH_SCALE");
+}
+
+TEST(ResultTableTest, PrintsAlignedColumnsAndCsvBlock) {
+  ResultTable table({"x", "algorithm", "time"});
+  table.AddRow({"1", "ekdb", "5 ms"});
+  table.AddRow({"2", "nested-loop", "100 ms"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("nested-loop"), std::string::npos);
+  EXPECT_NE(out.find("# CSV"), std::string::npos);
+  EXPECT_NE(out.find("# 1,ekdb,5 ms"), std::string::npos);
+  EXPECT_NE(out.find("# 2,nested-loop,100 ms"), std::string::npos);
+}
+
+TEST(ResultTableDeathTest, RowArityMismatchAborts) {
+  ResultTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(FmtTest, Formatting) {
+  EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtDouble(2.0, 0), "2");
+  EXPECT_FALSE(FmtSecs(0.001).empty());
+}
+
+TEST(VarianceDescendingOrderTest, OrdersBySpread) {
+  Dataset ds;
+  // dim0 narrow, dim1 wide, dim2 medium.
+  ds.Append(std::vector<float>{0.50f, 0.0f, 0.3f});
+  ds.Append(std::vector<float>{0.51f, 1.0f, 0.6f});
+  ds.Append(std::vector<float>{0.49f, 0.5f, 0.0f});
+  const auto order = VarianceDescendingOrder(ds);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(RunnersTest, AllSelfJoinRunnersAgreeOnPairCount) {
+  auto data = GenerateClustered(
+      {.n = 400, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 1});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.1;
+  EkdbConfig config;
+  config.epsilon = eps;
+  const RunResult ekdb = RunEkdbSelf(*data, config);
+  for (const RunResult& r :
+       {RunRtreeSelf(*data, eps, Metric::kL2),
+        RunKdTreeSelf(*data, eps, Metric::kL2),
+        RunGridSelf(*data, eps, Metric::kL2),
+        RunSortMergeSelf(*data, eps, Metric::kL2),
+        RunNestedLoopSelf(*data, eps, Metric::kL2),
+        RunEkdbParallel(*data, config, 2)}) {
+    EXPECT_EQ(r.pairs, ekdb.pairs) << r.algorithm;
+    EXPECT_GE(r.total_seconds(), 0.0);
+  }
+}
+
+TEST(RunnersTest, CrossRunnersAgreeOnPairCount) {
+  auto a = GenerateUniform({.n = 300, .dims = 3, .seed = 2});
+  auto b = GenerateUniform({.n = 250, .dims = 3, .seed = 3});
+  EkdbConfig config;
+  config.epsilon = 0.12;
+  const RunResult ekdb = RunEkdbCross(*a, *b, config);
+  const RunResult rtree = RunRtreeCross(*a, *b, 0.12, Metric::kL2);
+  const RunResult nested = RunNestedLoopCross(*a, *b, 0.12, Metric::kL2);
+  EXPECT_EQ(ekdb.pairs, nested.pairs);
+  EXPECT_EQ(rtree.pairs, nested.pairs);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin

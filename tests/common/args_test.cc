@@ -1,0 +1,91 @@
+#include "common/args.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+ArgParser MakeParser() {
+  ArgParser parser("test program");
+  parser.AddFlag("n", "100", "point count");
+  parser.AddFlag("epsilon", "0.1", "join radius");
+  parser.AddFlag("name", "uniform", "workload name");
+  parser.AddFlag("verbose", "false", "chatty output");
+  return parser;
+}
+
+TEST(ArgParserTest, DefaultsApplyWithoutArgs) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_EQ(parser.GetInt("n"), 100);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("epsilon"), 0.1);
+  EXPECT_EQ(parser.GetString("name"), "uniform");
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog", "--n=250", "--epsilon=0.05"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_EQ(parser.GetInt("n"), 250);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("epsilon"), 0.05);
+}
+
+TEST(ArgParserTest, SpaceSeparatedSyntax) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog", "--name", "clustered"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_EQ(parser.GetString("name"), "clustered");
+}
+
+TEST(ArgParserTest, BoolAcceptsManySpellings) {
+  for (const char* spelling : {"1", "true", "YES", "On"}) {
+    ArgParser parser = MakeParser();
+    const std::string arg = std::string("--verbose=") + spelling;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(parser.Parse(2, argv).ok());
+    EXPECT_TRUE(parser.GetBool("verbose")) << spelling;
+  }
+}
+
+TEST(ArgParserTest, UnknownFlagFails) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  const Status st = parser.Parse(2, argv);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArgParserTest, MissingValueFails) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(parser.Parse(2, argv).ok());
+}
+
+TEST(ArgParserTest, HelpRequested) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_TRUE(parser.help_requested());
+  EXPECT_NE(parser.Help().find("epsilon"), std::string::npos);
+}
+
+TEST(ArgParserTest, PositionalArgumentsCollected) {
+  ArgParser parser = MakeParser();
+  const char* argv[] = {"prog", "input.csv", "--n=5", "output.csv"};
+  ASSERT_TRUE(parser.Parse(4, argv).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.csv");
+  EXPECT_EQ(parser.positional()[1], "output.csv");
+}
+
+TEST(ArgParserDeathTest, UndeclaredFlagAccessAborts) {
+  ArgParser parser = MakeParser();
+  EXPECT_DEATH(parser.GetString("nope"), "was not declared");
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,113 @@
+#include "common/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripIsExact) {
+  auto ds = GenerateUniform({.n = 1234, .dims = 7, .seed = 1});
+  ASSERT_TRUE(ds.ok());
+  const std::string path = TempPath("roundtrip.sjdb");
+  ASSERT_TRUE(WriteBinaryDataset(*ds, path).ok());
+  auto loaded = ReadBinaryDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), ds->size());
+  EXPECT_EQ(loaded->dims(), ds->dims());
+  EXPECT_EQ(loaded->flat(), ds->flat());  // bit-exact, unlike CSV
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, WriteRejectsDimensionlessDataset) {
+  Dataset empty;
+  EXPECT_FALSE(WriteBinaryDataset(empty, TempPath("x.sjdb")).ok());
+}
+
+TEST(BinaryIoTest, ReadRejectsMissingAndCorruptFiles) {
+  EXPECT_EQ(ReadBinaryDataset(TempPath("missing.sjdb")).status().code(),
+            StatusCode::kIoError);
+  const std::string path = TempPath("corrupt.sjdb");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset";
+  }
+  EXPECT_EQ(ReadBinaryDataset(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReaderStreamsInBatches) {
+  auto ds = GenerateUniform({.n = 1000, .dims = 3, .seed = 2});
+  const std::string path = TempPath("batched.sjdb");
+  ASSERT_TRUE(WriteBinaryDataset(*ds, path).ok());
+
+  BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.total_points(), 1000u);
+  EXPECT_EQ(reader.dims(), 3u);
+
+  Dataset batch;
+  PointId first_id = 0;
+  size_t total = 0;
+  size_t batches = 0;
+  while (!reader.AtEnd()) {
+    ASSERT_TRUE(reader.ReadBatch(64, &batch, &first_id).ok());
+    EXPECT_EQ(first_id, total);
+    // Batch contents match the original rows.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(0, std::memcmp(batch.Row(static_cast<PointId>(i)),
+                               ds->Row(static_cast<PointId>(total + i)),
+                               3 * sizeof(float)));
+    }
+    total += batch.size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(batches, (1000u + 63) / 64);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReaderRejectsBadBatchArgs) {
+  auto ds = GenerateUniform({.n = 10, .dims = 2, .seed = 3});
+  const std::string path = TempPath("args.sjdb");
+  ASSERT_TRUE(WriteBinaryDataset(*ds, path).ok());
+  BinaryDatasetReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Dataset batch;
+  PointId first_id;
+  EXPECT_FALSE(reader.ReadBatch(0, &batch, &first_id).ok());
+  EXPECT_FALSE(reader.ReadBatch(5, nullptr, &first_id).ok());
+  EXPECT_FALSE(reader.ReadBatch(5, &batch, nullptr).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, TruncatedPayloadIsIoError) {
+  auto ds = GenerateUniform({.n = 100, .dims = 4, .seed = 4});
+  const std::string path = TempPath("truncated.sjdb");
+  ASSERT_TRUE(WriteBinaryDataset(*ds, path).ok());
+  // Chop the file in half (keeping the header).
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = ReadBinaryDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace simjoin

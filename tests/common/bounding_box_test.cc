@@ -1,0 +1,160 @@
+#include "common/bounding_box.h"
+
+#include <vector>
+
+#include "common/metric.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+BoundingBox MakeBox(std::vector<float> lo, std::vector<float> hi) {
+  BoundingBox box(lo.size());
+  box.ExtendPoint(lo.data());
+  box.ExtendPoint(hi.data());
+  return box;
+}
+
+TEST(BoundingBoxTest, EmptyBoxBehaviour) {
+  BoundingBox box(3);
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_EQ(box.dims(), 3u);
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_EQ(box.Margin(), 0.0);
+  const float p[] = {0.0f, 0.0f, 0.0f};
+  EXPECT_FALSE(box.ContainsPoint(p));
+  EXPECT_EQ(box.ToString(), "[empty]");
+}
+
+TEST(BoundingBoxTest, FromPointIsDegenerate) {
+  const float p[] = {0.25f, 0.75f};
+  const BoundingBox box = BoundingBox::FromPoint(p, 2);
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.ContainsPoint(p));
+  EXPECT_EQ(box.Volume(), 0.0);
+}
+
+TEST(BoundingBoxTest, ExtendPointGrowsBounds) {
+  BoundingBox box(2);
+  const float a[] = {0.2f, 0.8f};
+  const float b[] = {0.6f, 0.1f};
+  box.ExtendPoint(a);
+  box.ExtendPoint(b);
+  EXPECT_FLOAT_EQ(box.lo(0), 0.2f);
+  EXPECT_FLOAT_EQ(box.hi(0), 0.6f);
+  EXPECT_FLOAT_EQ(box.lo(1), 0.1f);
+  EXPECT_FLOAT_EQ(box.hi(1), 0.8f);
+}
+
+TEST(BoundingBoxTest, ExtendBoxAbsorbsAndIgnoresEmpty) {
+  BoundingBox box = MakeBox({0.0f, 0.0f}, {0.5f, 0.5f});
+  box.ExtendBox(MakeBox({0.4f, 0.4f}, {0.9f, 0.6f}));
+  EXPECT_FLOAT_EQ(box.hi(0), 0.9f);
+  BoundingBox empty(2);
+  box.ExtendBox(empty);
+  EXPECT_FLOAT_EQ(box.hi(0), 0.9f);
+  // Extending an empty box with a non-empty one adopts its bounds.
+  BoundingBox fresh(2);
+  fresh.ExtendBox(box);
+  EXPECT_FALSE(fresh.IsEmpty());
+  EXPECT_FLOAT_EQ(fresh.lo(0), 0.0f);
+}
+
+TEST(BoundingBoxTest, ContainsBoxAndIntersects) {
+  const BoundingBox outer = MakeBox({0.0f, 0.0f}, {1.0f, 1.0f});
+  const BoundingBox inner = MakeBox({0.2f, 0.2f}, {0.4f, 0.4f});
+  const BoundingBox disjoint = MakeBox({2.0f, 2.0f}, {3.0f, 3.0f});
+  const BoundingBox touching = MakeBox({1.0f, 0.0f}, {2.0f, 1.0f});
+  EXPECT_TRUE(outer.ContainsBox(inner));
+  EXPECT_FALSE(inner.ContainsBox(outer));
+  EXPECT_TRUE(outer.Intersects(inner));
+  EXPECT_FALSE(outer.Intersects(disjoint));
+  EXPECT_TRUE(outer.Intersects(touching));  // closed bounds
+}
+
+TEST(BoundingBoxTest, MinDistanceZeroWhenOverlapping) {
+  const BoundingBox a = MakeBox({0.0f, 0.0f}, {0.5f, 0.5f});
+  const BoundingBox b = MakeBox({0.4f, 0.4f}, {0.9f, 0.9f});
+  for (Metric m : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+    EXPECT_EQ(a.MinDistance(b, m), 0.0);
+  }
+}
+
+TEST(BoundingBoxTest, MinDistanceKnownGaps) {
+  const BoundingBox a = MakeBox({0.0f, 0.0f}, {1.0f, 1.0f});
+  const BoundingBox b = MakeBox({4.0f, 5.0f}, {6.0f, 7.0f});
+  // Gaps: 3 along dim0, 4 along dim1.
+  EXPECT_DOUBLE_EQ(a.MinDistance(b, Metric::kL1), 7.0);
+  EXPECT_DOUBLE_EQ(a.MinDistance(b, Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(a.MinDistance(b, Metric::kLinf), 4.0);
+  EXPECT_DOUBLE_EQ(b.MinDistance(a, Metric::kL2), 5.0);  // symmetric
+}
+
+TEST(BoundingBoxTest, MinDistanceToPointMatchesBoxOfPoint) {
+  Rng rng(55);
+  const size_t dims = 4;
+  std::vector<float> lo(dims), hi(dims), p(dims);
+  for (int trial = 0; trial < 500; ++trial) {
+    BoundingBox box(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = rng.UniformFloat();
+      hi[d] = lo[d] + rng.UniformFloat() * 0.3f;
+      p[d] = rng.UniformFloat() * 2.0f - 0.5f;
+    }
+    box.ExtendPoint(lo.data());
+    box.ExtendPoint(hi.data());
+    const BoundingBox point_box = BoundingBox::FromPoint(p.data(), dims);
+    for (Metric m : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+      EXPECT_NEAR(box.MinDistanceToPoint(p.data(), dims, m),
+                  box.MinDistance(point_box, m), 1e-9);
+    }
+  }
+}
+
+TEST(BoundingBoxTest, MinDistanceLowerBoundsPointDistances) {
+  // The pruning soundness property: for random boxes built from point sets,
+  // MinDistance never exceeds the distance of any cross pair.
+  Rng rng(77);
+  const size_t dims = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<float>> pa(4, std::vector<float>(dims));
+    std::vector<std::vector<float>> pb(4, std::vector<float>(dims));
+    BoundingBox ba(dims), bb(dims);
+    for (auto& p : pa) {
+      for (auto& v : p) v = rng.UniformFloat();
+      ba.ExtendPoint(p.data());
+    }
+    for (auto& p : pb) {
+      for (auto& v : p) v = rng.UniformFloat() + 0.5f;
+      bb.ExtendPoint(p.data());
+    }
+    for (Metric m : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+      const double lower = ba.MinDistance(bb, m);
+      DistanceKernel kernel(m);
+      for (const auto& x : pa) {
+        for (const auto& y : pb) {
+          EXPECT_LE(lower, kernel.Distance(x.data(), y.data(), dims) + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(BoundingBoxTest, MarginVolumeOverlap) {
+  const BoundingBox a = MakeBox({0.0f, 0.0f}, {2.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(a.Margin(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Volume(), 6.0);
+  const BoundingBox b = MakeBox({1.0f, 1.0f}, {3.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  const BoundingBox c = MakeBox({5.0f, 5.0f}, {6.0f, 6.0f});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+}
+
+TEST(BoundingBoxTest, ToStringFormatsBounds) {
+  const BoundingBox a = MakeBox({0.0f}, {1.0f});
+  EXPECT_EQ(a.ToString(), "[0,1]");
+}
+
+}  // namespace
+}  // namespace simjoin

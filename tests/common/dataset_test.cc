@@ -1,0 +1,177 @@
+#include "common/dataset.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(DatasetTest, DefaultIsEmpty) {
+  Dataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_EQ(ds.dims(), 0u);
+}
+
+TEST(DatasetTest, SizedConstructorZeroInitialises) {
+  Dataset ds(3, 4);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.dims(), 4u);
+  for (PointId i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(ds.Row(i)[j], 0.0f);
+  }
+}
+
+TEST(DatasetTest, FromFlatHappyPath) {
+  auto r = Dataset::FromFlat({1, 2, 3, 4, 5, 6}, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->Row(1)[2], 6.0f);
+}
+
+TEST(DatasetTest, FromFlatRejectsBadShapes) {
+  EXPECT_FALSE(Dataset::FromFlat({1, 2, 3}, 2).ok());
+  EXPECT_FALSE(Dataset::FromFlat({1, 2}, 0).ok());
+}
+
+TEST(DatasetTest, AppendDefinesDimsOnFirstRow) {
+  Dataset ds;
+  const std::vector<float> row{0.1f, 0.2f};
+  ds.Append(row);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_EQ(ds.size(), 1u);
+  ds.Append(std::vector<float>{0.3f, 0.4f});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.Row(1)[0], 0.3f);
+}
+
+TEST(DatasetTest, MutableRowWritesThrough) {
+  Dataset ds(2, 2);
+  ds.MutableRow(1)[1] = 9.0f;
+  EXPECT_EQ(ds.Row(1)[1], 9.0f);
+}
+
+TEST(DatasetTest, RowSpanHasCorrectExtent) {
+  Dataset ds(1, 5);
+  EXPECT_EQ(ds.RowSpan(0).size(), 5u);
+}
+
+TEST(DatasetTest, ColumnMinMax) {
+  Dataset ds;
+  ds.Append(std::vector<float>{1.0f, 5.0f});
+  ds.Append(std::vector<float>{3.0f, 2.0f});
+  ds.Append(std::vector<float>{-1.0f, 4.0f});
+  const auto mins = ds.ColumnMin();
+  const auto maxs = ds.ColumnMax();
+  EXPECT_EQ(mins, (std::vector<float>{-1.0f, 2.0f}));
+  EXPECT_EQ(maxs, (std::vector<float>{3.0f, 5.0f}));
+}
+
+TEST(DatasetTest, ColumnMinMaxEmpty) {
+  Dataset ds;
+  EXPECT_TRUE(ds.ColumnMin().empty());
+  EXPECT_TRUE(ds.ColumnMax().empty());
+}
+
+TEST(DatasetTest, NormalizeToUnitCubeRescalesColumns) {
+  Dataset ds;
+  ds.Append(std::vector<float>{0.0f, 10.0f});
+  ds.Append(std::vector<float>{5.0f, 20.0f});
+  ds.Append(std::vector<float>{10.0f, 30.0f});
+  const auto info = ds.NormalizeToUnitCube();
+  EXPECT_TRUE(ds.AllWithin(0.0f, 1.0f));
+  EXPECT_FLOAT_EQ(ds.Row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.Row(1)[0], 0.5f);
+  EXPECT_FLOAT_EQ(ds.Row(2)[1], 1.0f);
+  EXPECT_EQ(info.min, (std::vector<float>{0.0f, 10.0f}));
+  EXPECT_EQ(info.max, (std::vector<float>{10.0f, 30.0f}));
+}
+
+TEST(DatasetTest, NormalizeConstantColumnMapsToCenter) {
+  Dataset ds;
+  ds.Append(std::vector<float>{7.0f, 1.0f});
+  ds.Append(std::vector<float>{7.0f, 2.0f});
+  ds.NormalizeToUnitCube();
+  EXPECT_FLOAT_EQ(ds.Row(0)[0], 0.5f);
+  EXPECT_FLOAT_EQ(ds.Row(1)[0], 0.5f);
+}
+
+TEST(DatasetTest, AllWithinDetectsOutliers) {
+  Dataset ds;
+  ds.Append(std::vector<float>{0.5f, 1.5f});
+  EXPECT_FALSE(ds.AllWithin(0.0f, 1.0f));
+  EXPECT_TRUE(ds.AllWithin(0.0f, 2.0f));
+}
+
+TEST(DatasetTest, ResetReplacesContents) {
+  Dataset ds(2, 3);
+  ds.Reset(5, 2);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.dims(), 2u);
+}
+
+TEST(DatasetTest, ClearKeepsDims) {
+  Dataset ds(2, 3);
+  ds.Clear();
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.dims(), 3u);
+}
+
+TEST(DatasetTest, SelectCopiesRowsInOrder) {
+  Dataset ds;
+  ds.Append(std::vector<float>{1.0f, 2.0f});
+  ds.Append(std::vector<float>{3.0f, 4.0f});
+  ds.Append(std::vector<float>{5.0f, 6.0f});
+  const std::vector<PointId> ids{2, 0, 2};
+  const Dataset subset = ds.Select(ids);
+  ASSERT_EQ(subset.size(), 3u);
+  EXPECT_EQ(subset.Row(0)[0], 5.0f);
+  EXPECT_EQ(subset.Row(1)[0], 1.0f);
+  EXPECT_EQ(subset.Row(2)[1], 6.0f);
+}
+
+TEST(DatasetTest, ConcatAppendsAllRows) {
+  Dataset a;
+  a.Append(std::vector<float>{1.0f, 2.0f});
+  Dataset b;
+  b.Append(std::vector<float>{3.0f, 4.0f});
+  b.Append(std::vector<float>{5.0f, 6.0f});
+  a.Concat(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Row(2)[1], 6.0f);
+  // Concat into an empty dataset adopts dims.
+  Dataset empty;
+  empty.Concat(b);
+  EXPECT_EQ(empty.size(), 2u);
+  EXPECT_EQ(empty.dims(), 2u);
+  // Concat of an empty dataset is a no-op.
+  Dataset before = a;
+  a.Concat(Dataset{});
+  EXPECT_EQ(a.size(), before.size());
+}
+
+TEST(DatasetDeathTest, ConcatDimsMismatchAborts) {
+  Dataset a(1, 2), b(1, 3);
+  EXPECT_DEATH(a.Concat(b), "mismatch");
+}
+
+TEST(DatasetTest, MemoryUsageGrowsWithData) {
+  Dataset small(10, 4);
+  Dataset big(1000, 4);
+  EXPECT_GT(big.MemoryUsageBytes(), small.MemoryUsageBytes());
+}
+
+TEST(DatasetDeathTest, RowOutOfRangeAborts) {
+  Dataset ds(2, 2);
+  EXPECT_DEATH(ds.Row(2), "Check failed");
+}
+
+TEST(DatasetDeathTest, AppendDimensionMismatchAborts) {
+  Dataset ds(1, 2);
+  EXPECT_DEATH(ds.Append(std::vector<float>{1.0f, 2.0f, 3.0f}),
+               "dimensionality mismatch");
+}
+
+}  // namespace
+}  // namespace simjoin

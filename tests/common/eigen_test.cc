@@ -1,0 +1,115 @@
+#include "common/eigen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(JacobiEigenTest, RejectsBadShapesAndAsymmetry) {
+  EXPECT_FALSE(JacobiEigenSymmetric({}, 0).ok());
+  EXPECT_FALSE(JacobiEigenSymmetric({1.0, 2.0, 3.0}, 2).ok());
+  EXPECT_FALSE(JacobiEigenSymmetric({1.0, 2.0, 3.0, 4.0}, 2).ok());  // 2 != 3
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnSpectrum) {
+  const std::vector<double> m{3.0, 0.0, 0.0,  //
+                              0.0, 7.0, 0.0,  //
+                              0.0, 0.0, 1.0};
+  auto eigen = JacobiEigenSymmetric(m, 3);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 7.0, 1e-12);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eigen->values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  auto eigen = JacobiEigenSymmetric({2.0, 1.0, 1.0, 2.0}, 2);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eigen->values[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(eigen->vectors[0]), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::fabs(eigen->vectors[1]), inv_sqrt2, 1e-10);
+}
+
+TEST(JacobiEigenTest, RandomMatricesReconstructAndAreOrthonormal) {
+  Rng rng(42);
+  for (size_t n : {2u, 3u, 5u, 8u, 16u}) {
+    // Random symmetric matrix.
+    std::vector<double> m(n * n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        m[i * n + j] = m[j * n + i] = rng.Uniform(-2.0, 2.0);
+      }
+    }
+    auto eigen = JacobiEigenSymmetric(m, n);
+    ASSERT_TRUE(eigen.ok()) << "n=" << n;
+
+    // Eigenvalues descending.
+    for (size_t i = 1; i < n; ++i) {
+      EXPECT_GE(eigen->values[i - 1], eigen->values[i] - 1e-12);
+    }
+    // Rows orthonormal.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        double dot = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+          dot += eigen->vectors[i * n + k] * eigen->vectors[j * n + k];
+        }
+        EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9)
+            << "n=" << n << " rows " << i << "," << j;
+      }
+    }
+    // Reconstruction: A == sum_i lambda_i v_i v_i^T.
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        double acc = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          acc += eigen->values[i] * eigen->vectors[i * n + r] *
+                 eigen->vectors[i * n + c];
+        }
+        EXPECT_NEAR(acc, m[r * n + c], 1e-6) << "n=" << n;
+      }
+    }
+    // Eigen equation: A v = lambda v for the top eigenpair.
+    for (size_t r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (size_t c = 0; c < n; ++c) av += m[r * n + c] * eigen->vectors[c];
+      EXPECT_NEAR(av, eigen->values[0] * eigen->vectors[r], 1e-6);
+    }
+  }
+}
+
+TEST(CovarianceMatrixTest, KnownTwoColumnCase) {
+  // Columns: x = {0, 2}, y = {0, 4} -> var(x)=1, var(y)=4, cov=2.
+  const std::vector<double> flat{0.0, 0.0, 2.0, 4.0};
+  const auto cov = CovarianceMatrix(flat, 2, 2);
+  EXPECT_NEAR(cov[0], 1.0, 1e-12);
+  EXPECT_NEAR(cov[1], 2.0, 1e-12);
+  EXPECT_NEAR(cov[2], 2.0, 1e-12);
+  EXPECT_NEAR(cov[3], 4.0, 1e-12);
+}
+
+TEST(CovarianceMatrixTest, IndependentColumnsGiveDiagonal) {
+  Rng rng(7);
+  const size_t n = 50000, dims = 3;
+  std::vector<double> flat(n * dims);
+  for (auto& v : flat) v = rng.Uniform();
+  const auto cov = CovarianceMatrix(flat, n, dims);
+  for (size_t i = 0; i < dims; ++i) {
+    EXPECT_NEAR(cov[i * dims + i], 1.0 / 12.0, 3e-3);  // var of U(0,1)
+    for (size_t j = 0; j < dims; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(cov[i * dims + j], 0.0, 3e-3);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,138 @@
+#include "common/metric.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(MetricNameTest, RoundTripsThroughParse) {
+  for (Metric m : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+    const auto parsed = ParseMetric(MetricName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+  }
+}
+
+TEST(MetricNameTest, ParseIsCaseInsensitiveAndAcceptsAliases) {
+  EXPECT_EQ(ParseMetric("L2").value(), Metric::kL2);
+  EXPECT_EQ(ParseMetric("Chebyshev").value(), Metric::kLinf);
+  EXPECT_EQ(ParseMetric("LMAX").value(), Metric::kLinf);
+}
+
+TEST(MetricNameTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseMetric("l3").ok());
+  EXPECT_FALSE(ParseMetric("").ok());
+}
+
+TEST(DistanceTest, KnownValues) {
+  const float a[] = {0.0f, 0.0f, 0.0f};
+  const float b[] = {1.0f, 2.0f, -2.0f};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b, 3), 5.0);
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b, 3), 9.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b, 3), 3.0);
+  EXPECT_DOUBLE_EQ(LinfDistance(a, b, 3), 2.0);
+}
+
+TEST(DistanceTest, ZeroForIdenticalPoints) {
+  const float a[] = {0.5f, -1.25f, 3.0f, 7.5f};
+  EXPECT_DOUBLE_EQ(L1Distance(a, a, 4), 0.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, a, 4), 0.0);
+  EXPECT_DOUBLE_EQ(LinfDistance(a, a, 4), 0.0);
+}
+
+TEST(DistanceKernelTest, DispatchMatchesFreeFunctions) {
+  const float a[] = {0.1f, 0.9f, 0.4f};
+  const float b[] = {0.7f, 0.2f, 0.3f};
+  EXPECT_DOUBLE_EQ(DistanceKernel(Metric::kL1).Distance(a, b, 3),
+                   L1Distance(a, b, 3));
+  EXPECT_DOUBLE_EQ(DistanceKernel(Metric::kL2).Distance(a, b, 3),
+                   L2Distance(a, b, 3));
+  EXPECT_DOUBLE_EQ(DistanceKernel(Metric::kLinf).Distance(a, b, 3),
+                   LinfDistance(a, b, 3));
+}
+
+class WithinEpsilonPropertyTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(WithinEpsilonPropertyTest, AgreesWithFullDistanceOnRandomPoints) {
+  const Metric metric = GetParam();
+  DistanceKernel kernel(metric);
+  Rng rng(1234);
+  for (size_t dims : {1u, 2u, 4u, 7u, 16u, 33u}) {
+    std::vector<float> a(dims), b(dims);
+    for (int trial = 0; trial < 500; ++trial) {
+      for (size_t i = 0; i < dims; ++i) {
+        a[i] = rng.UniformFloat();
+        b[i] = rng.UniformFloat();
+      }
+      const double dist = kernel.Distance(a.data(), b.data(), dims);
+      // Probe thresholds straddling the true distance.
+      for (double eps : {dist * 0.9, dist * 1.1, dist + 1e-9}) {
+        if (eps <= 0.0) continue;
+        EXPECT_EQ(kernel.WithinEpsilon(a.data(), b.data(), dims, eps),
+                  dist <= eps)
+            << MetricName(metric) << " dims=" << dims << " dist=" << dist
+            << " eps=" << eps;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, WithinEpsilonPropertyTest,
+                         ::testing::Values(Metric::kL1, Metric::kL2,
+                                           Metric::kLinf),
+                         [](const auto& info) { return MetricName(info.param); });
+
+class MetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricAxiomsTest, SymmetryAndTriangleInequalityOnRandomTriples) {
+  DistanceKernel kernel(GetParam());
+  Rng rng(777);
+  const size_t dims = 8;
+  std::vector<float> a(dims), b(dims), c(dims);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (size_t i = 0; i < dims; ++i) {
+      a[i] = rng.UniformFloat();
+      b[i] = rng.UniformFloat();
+      c[i] = rng.UniformFloat();
+    }
+    const double ab = kernel.Distance(a.data(), b.data(), dims);
+    const double ba = kernel.Distance(b.data(), a.data(), dims);
+    const double bc = kernel.Distance(b.data(), c.data(), dims);
+    const double ac = kernel.Distance(a.data(), c.data(), dims);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+    EXPECT_GE(ab, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(Metric::kL1, Metric::kL2,
+                                           Metric::kLinf),
+                         [](const auto& info) { return MetricName(info.param); });
+
+TEST(MetricOrderingTest, CoordinateDiffLowerBoundsEveryMetric) {
+  // |x_i - y_i| <= dist_p(x, y): the property the stripe grid and the sweep
+  // window filters rely on.
+  Rng rng(4242);
+  const size_t dims = 6;
+  std::vector<float> a(dims), b(dims);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (size_t i = 0; i < dims; ++i) {
+      a[i] = rng.UniformFloat();
+      b[i] = rng.UniformFloat();
+    }
+    for (Metric m : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+      const double dist = DistanceKernel(m).Distance(a.data(), b.data(), dims);
+      for (size_t i = 0; i < dims; ++i) {
+        EXPECT_LE(std::fabs(static_cast<double>(a[i]) - b[i]), dist + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simjoin

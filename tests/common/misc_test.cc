@@ -1,0 +1,112 @@
+// Tests for timers, formatting helpers, logging, and pair sinks.
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/pair_sink.h"
+#include "common/timer.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1e3, 1.0);
+}
+
+TEST(TimerTest, RestartResetsOrigin) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(FormatSecondsTest, PicksUnitByMagnitude) {
+  EXPECT_EQ(FormatSeconds(2.6e-9), "3 ns");
+  EXPECT_EQ(FormatSeconds(5e-6), "5.0 us");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatSeconds(3.5), "3.500 s");
+}
+
+TEST(FormatBytesTest, PicksUnitByMagnitude) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(FormatBytes(2ULL << 30), "2.00 GiB");
+}
+
+TEST(FormatCountTest, InsertsThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SIMJOIN_CHECK(1 == 2) << "impossible", "Check failed: 1 == 2");
+  EXPECT_DEATH(SIMJOIN_CHECK_EQ(3, 4), "3 vs 4");
+  EXPECT_DEATH(SIMJOIN_CHECK_LT(5, 5), "Check failed");
+}
+
+TEST(LoggingTest, PassingChecksDoNothing) {
+  SIMJOIN_CHECK(true);
+  SIMJOIN_CHECK_EQ(1, 1);
+  SIMJOIN_CHECK_NE(1, 2);
+  SIMJOIN_CHECK_LE(1, 1);
+  SIMJOIN_CHECK_GE(2, 1);
+  SIMJOIN_CHECK_GT(2, 1);
+  SUCCEED();
+}
+
+TEST(PairSinkTest, CountingSinkCounts) {
+  CountingSink sink;
+  sink.Emit(1, 2);
+  sink.Emit(3, 4);
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(PairSinkTest, VectorSinkCollectsAndSorts) {
+  VectorSink sink;
+  sink.Emit(5, 6);
+  sink.Emit(1, 2);
+  ASSERT_EQ(sink.pairs().size(), 2u);
+  const auto sorted = sink.Sorted();
+  EXPECT_EQ(sorted.front(), (IdPair{1, 2}));
+  EXPECT_EQ(sorted.back(), (IdPair{5, 6}));
+}
+
+TEST(PairSinkTest, CallbackSinkForwards) {
+  int calls = 0;
+  CallbackSink sink([&calls](PointId a, PointId b) {
+    ++calls;
+    EXPECT_EQ(a + 1, b);
+  });
+  sink.Emit(1, 2);
+  sink.Emit(7, 8);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(JoinStatsTest, MergeIsAdditive) {
+  JoinStats a, b;
+  a.candidate_pairs = 10;
+  a.pairs_emitted = 3;
+  b.candidate_pairs = 5;
+  b.node_pairs_pruned = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.candidate_pairs, 15u);
+  EXPECT_EQ(a.pairs_emitted, 3u);
+  EXPECT_EQ(a.node_pairs_pruned, 2u);
+}
+
+}  // namespace
+}  // namespace simjoin

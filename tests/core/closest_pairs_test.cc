@@ -1,0 +1,124 @@
+#include "core/closest_pairs.h"
+
+#include <cmath>
+
+#include "common/metric.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::MakeDataset;
+
+// Brute-force oracle with identical tie-breaking.
+std::vector<ClosestPair> OracleTopK(const Dataset& data, size_t k,
+                                    Metric metric) {
+  DistanceKernel kernel(metric);
+  std::vector<ClosestPair> all;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      all.push_back(
+          ClosestPair{static_cast<PointId>(i), static_cast<PointId>(j),
+                      kernel.Distance(data.Row(static_cast<PointId>(i)),
+                                      data.Row(static_cast<PointId>(j)),
+                                      data.dims())});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const ClosestPair& x, const ClosestPair& y) {
+    if (x.distance != y.distance) return x.distance < y.distance;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void ExpectSameTopK(const std::vector<ClosestPair>& expected,
+                    const std::vector<ClosestPair>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].a, actual[i].a) << "rank " << i;
+    EXPECT_EQ(expected[i].b, actual[i].b) << "rank " << i;
+    EXPECT_DOUBLE_EQ(expected[i].distance, actual[i].distance) << "rank " << i;
+  }
+}
+
+TEST(TopKClosestPairsTest, RejectsBadArgs) {
+  Dataset one;
+  one.Append(std::vector<float>{0.5f});
+  EXPECT_FALSE(TopKClosestPairs(one, 3, Metric::kL2).ok());
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  EXPECT_FALSE(TopKClosestPairs(*data, 0, Metric::kL2).ok());
+}
+
+TEST(TopKClosestPairsTest, PlantedClosestPairIsRankOne) {
+  auto base = GenerateUniform({.n = 500, .dims = 4, .seed = 2});
+  Dataset data = *base;
+  // Plant two nearly identical points.
+  std::vector<float> twin(data.Row(42), data.Row(42) + 4);
+  twin[0] += 1e-5f;
+  data.Append(twin);
+  auto result = TopKClosestPairs(data, 1, Metric::kL2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].a, 42u);
+  EXPECT_EQ((*result)[0].b, 500u);
+  EXPECT_LT((*result)[0].distance, 1e-4);
+}
+
+class TopKPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, Metric>> {};
+
+TEST_P(TopKPropertyTest, MatchesOracleOnClusteredData) {
+  const auto [k, metric] = GetParam();
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 4, .clusters = 6, .sigma = 0.05, .seed = 3});
+  ASSERT_TRUE(data.ok());
+  auto result = TopKClosestPairs(*data, k, metric);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameTopK(OracleTopK(*data, k, metric), *result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKPropertyTest,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{10}, size_t{100},
+                                         size_t{5000}),
+                       ::testing::Values(Metric::kL1, Metric::kL2,
+                                         Metric::kLinf)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             MetricName(std::get<1>(info.param));
+    });
+
+TEST(TopKClosestPairsTest, KBeyondAllPairsReturnsEverything) {
+  auto data = GenerateUniform({.n = 20, .dims = 2, .seed = 4});
+  auto result = TopKClosestPairs(*data, 1000000, Metric::kL2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 20u * 19u / 2u);
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i].distance, (*result)[i - 1].distance);
+  }
+}
+
+TEST(TopKClosestPairsTest, AllDuplicatePointsHandled) {
+  Dataset data;
+  for (int i = 0; i < 300; ++i) data.Append(std::vector<float>{0.5f, 0.5f});
+  auto result = TopKClosestPairs(data, 5, Metric::kL2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 5u);
+  for (const auto& p : *result) EXPECT_EQ(p.distance, 0.0);
+}
+
+TEST(TopKClosestPairsTest, SeedDoesNotChangeResult) {
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 3, .clusters = 4, .sigma = 0.04, .seed = 5});
+  auto a = TopKClosestPairs(*data, 25, Metric::kL2, 1);
+  auto b = TopKClosestPairs(*data, 25, Metric::kL2, 999);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectSameTopK(*a, *b);
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,167 @@
+// Tests for union-find and epsilon-connected components clustering.
+
+#include "core/components.h"
+
+#include <map>
+#include <queue>
+
+#include "common/union_find.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UnionFind.
+// ---------------------------------------------------------------------------
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumComponents(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.ComponentSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 2));
+  EXPECT_FALSE(uf.Union(1, 3)) << "already connected";
+  EXPECT_EQ(uf.NumComponents(), 3u);
+  EXPECT_EQ(uf.ComponentSize(3), 4u);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(UnionFindTest, DenseLabelsAreCanonical) {
+  UnionFind uf(5);
+  uf.Union(3, 4);
+  uf.Union(0, 2);
+  const auto labels = uf.DenseLabels();
+  // First-appearance order: 0 -> 0, 1 -> 1, 2 -> 0, 3 -> 2, 4 -> 2.
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[3], 2u);
+}
+
+TEST(UnionFindDeathTest, OutOfRangeAborts) {
+  UnionFind uf(3);
+  EXPECT_DEATH(uf.Find(3), "Check failed");
+}
+
+// ---------------------------------------------------------------------------
+// EpsilonConnectedComponents.
+// ---------------------------------------------------------------------------
+
+// Oracle: BFS over the brute-force epsilon graph.
+std::vector<uint32_t> OracleComponents(const Dataset& data, double eps,
+                                       Metric metric) {
+  DistanceKernel kernel(metric);
+  const size_t n = data.size();
+  std::vector<uint32_t> labels(n, UINT32_MAX);
+  uint32_t next = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (labels[s] != UINT32_MAX) continue;
+    const uint32_t label = next++;
+    std::queue<size_t> frontier;
+    frontier.push(s);
+    labels[s] = label;
+    while (!frontier.empty()) {
+      const size_t u = frontier.front();
+      frontier.pop();
+      for (size_t v = 0; v < n; ++v) {
+        if (labels[v] != UINT32_MAX) continue;
+        if (kernel.WithinEpsilon(data.Row(static_cast<PointId>(u)),
+                                 data.Row(static_cast<PointId>(v)),
+                                 data.dims(), eps)) {
+          labels[v] = label;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+// Two labelings describe the same partition iff their label pairs biject.
+void ExpectSamePartition(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::map<uint32_t, uint32_t> fwd, bwd;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [it1, fresh1] = fwd.emplace(a[i], b[i]);
+    EXPECT_EQ(it1->second, b[i]) << "point " << i;
+    auto [it2, fresh2] = bwd.emplace(b[i], a[i]);
+    EXPECT_EQ(it2->second, a[i]) << "point " << i;
+  }
+}
+
+TEST(ComponentsTest, RejectsEmptyDataset) {
+  Dataset empty;
+  EXPECT_FALSE(EpsilonConnectedComponents(empty, 0.1, Metric::kL2).ok());
+}
+
+TEST(ComponentsTest, SeparatedClustersGetDistinctLabels) {
+  // Two tight groups far apart.
+  Dataset ds;
+  for (int i = 0; i < 20; ++i) {
+    ds.Append(std::vector<float>{0.1f + 0.001f * static_cast<float>(i), 0.1f});
+    ds.Append(std::vector<float>{0.9f - 0.001f * static_cast<float>(i), 0.9f});
+  }
+  auto result = EpsilonConnectedComponents(ds, 0.05, Metric::kL2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 2u);
+  EXPECT_EQ(result->sizes[0], 20u);
+  EXPECT_EQ(result->sizes[1], 20u);
+}
+
+TEST(ComponentsTest, ChainTransitivityLinksDistantEndpoints) {
+  // A 1-D chain with spacing just under epsilon: one component even though
+  // the endpoints are far apart.
+  Dataset ds;
+  for (int i = 0; i < 50; ++i) {
+    ds.Append(std::vector<float>{0.018f * static_cast<float>(i), 0.5f});
+  }
+  auto result = EpsilonConnectedComponents(ds, 0.02, Metric::kL2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 1u);
+
+  // Spacing just over epsilon: all singletons.
+  Dataset sparse;
+  for (int i = 0; i < 40; ++i) {
+    sparse.Append(std::vector<float>{0.022f * static_cast<float>(i), 0.5f});
+  }
+  auto singletons = EpsilonConnectedComponents(sparse, 0.02, Metric::kL2);
+  ASSERT_TRUE(singletons.ok());
+  EXPECT_EQ(singletons->num_components, 40u);
+}
+
+TEST(ComponentsTest, MatchesBfsOracleOnRandomWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto data = GenerateClustered(
+        {.n = 400, .dims = 3, .clusters = 6, .sigma = 0.03, .seed = seed});
+    ASSERT_TRUE(data.ok());
+    for (double eps : {0.03, 0.1}) {
+      auto result = EpsilonConnectedComponents(*data, eps, Metric::kL2);
+      ASSERT_TRUE(result.ok());
+      ExpectSamePartition(OracleComponents(*data, eps, Metric::kL2),
+                          result->labels);
+      // Sizes sum to n.
+      uint64_t total = 0;
+      for (uint32_t s : result->sizes) total += s;
+      EXPECT_EQ(total, data->size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simjoin

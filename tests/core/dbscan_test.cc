@@ -1,0 +1,177 @@
+#include "core/dbscan.h"
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/rng.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+DbscanConfig Config(double epsilon, size_t min_pts) {
+  DbscanConfig config;
+  config.epsilon = epsilon;
+  config.min_pts = min_pts;
+  return config;
+}
+
+// Reference DBSCAN: brute-force neighbourhoods + BFS over core points,
+// with the same deterministic border rule (lowest-id core neighbour).
+DbscanResult ReferenceDbscan(const Dataset& data, const DbscanConfig& config) {
+  DistanceKernel kernel(config.metric);
+  const size_t n = data.size();
+  std::vector<std::vector<PointId>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (kernel.WithinEpsilon(data.Row(static_cast<PointId>(i)),
+                               data.Row(static_cast<PointId>(j)), data.dims(),
+                               config.epsilon)) {
+        neighbors[i].push_back(static_cast<PointId>(j));
+        neighbors[j].push_back(static_cast<PointId>(i));
+      }
+    }
+  }
+  DbscanResult result;
+  result.is_core.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    result.is_core[i] = neighbors[i].size() + 1 >= config.min_pts;
+  }
+  result.labels.assign(n, kDbscanNoise);
+  int32_t next = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (!result.is_core[s] || result.labels[s] != kDbscanNoise) continue;
+    const int32_t label = next++;
+    std::queue<size_t> frontier;
+    frontier.push(s);
+    result.labels[s] = label;
+    while (!frontier.empty()) {
+      const size_t u = frontier.front();
+      frontier.pop();
+      for (PointId v : neighbors[u]) {
+        if (!result.is_core[v] || result.labels[v] != kDbscanNoise) continue;
+        result.labels[v] = label;
+        frontier.push(v);
+      }
+    }
+  }
+  result.num_clusters = static_cast<size_t>(next);
+  for (size_t i = 0; i < n; ++i) {
+    if (result.is_core[i]) continue;
+    PointId anchor = UINT32_MAX;
+    for (PointId v : neighbors[i]) {
+      if (result.is_core[v]) anchor = std::min(anchor, v);
+    }
+    if (anchor != UINT32_MAX) result.labels[i] = result.labels[anchor];
+  }
+  for (int32_t label : result.labels) {
+    result.noise_points += (label == kDbscanNoise);
+  }
+  return result;
+}
+
+void ExpectSameClustering(const DbscanResult& expected,
+                          const DbscanResult& actual) {
+  ASSERT_EQ(expected.labels.size(), actual.labels.size());
+  EXPECT_EQ(expected.num_clusters, actual.num_clusters);
+  EXPECT_EQ(expected.noise_points, actual.noise_points);
+  EXPECT_EQ(expected.is_core, actual.is_core);
+  // Labels must match up to a bijection (both are deterministic dense
+  // labelings but may enumerate components in different orders).
+  std::map<int32_t, int32_t> fwd, bwd;
+  for (size_t i = 0; i < expected.labels.size(); ++i) {
+    const int32_t e = expected.labels[i];
+    const int32_t a = actual.labels[i];
+    EXPECT_EQ(e == kDbscanNoise, a == kDbscanNoise) << "point " << i;
+    if (e == kDbscanNoise) continue;
+    auto [it1, unused1] = fwd.emplace(e, a);
+    EXPECT_EQ(it1->second, a) << "point " << i;
+    auto [it2, unused2] = bwd.emplace(a, e);
+    EXPECT_EQ(it2->second, e) << "point " << i;
+  }
+}
+
+TEST(DbscanTest, RejectsBadArgs) {
+  Dataset empty;
+  EXPECT_FALSE(Dbscan(empty, Config(0.1, 3)).ok());
+  auto data = GenerateUniform({.n = 50, .dims = 2, .seed = 1});
+  EXPECT_FALSE(Dbscan(*data, Config(0.1, 0)).ok());
+  EXPECT_FALSE(Dbscan(*data, Config(0.0, 3)).ok());
+}
+
+TEST(DbscanTest, TwoBlobsAndNoiseSeparate) {
+  // Two tight blobs plus isolated points.
+  Dataset ds;
+  Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    ds.Append(std::vector<float>{0.2f + static_cast<float>(rng.Gaussian(0, 0.01)),
+                                 0.2f + static_cast<float>(rng.Gaussian(0, 0.01))});
+  }
+  for (int i = 0; i < 60; ++i) {
+    ds.Append(std::vector<float>{0.8f + static_cast<float>(rng.Gaussian(0, 0.01)),
+                                 0.8f + static_cast<float>(rng.Gaussian(0, 0.01))});
+  }
+  ds.Append(std::vector<float>{0.5f, 0.05f});  // isolated
+  ds.Append(std::vector<float>{0.05f, 0.9f});  // isolated
+  for (size_t i = 0; i < ds.size(); ++i) {
+    float* row = ds.MutableRow(static_cast<PointId>(i));
+    for (int d = 0; d < 2; ++d) row[d] = std::min(1.0f, std::max(0.0f, row[d]));
+  }
+  auto result = Dbscan(ds, Config(0.05, 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2u);
+  EXPECT_EQ(result->noise_points, 2u);
+  EXPECT_EQ(result->labels[0], result->labels[30]);
+  EXPECT_EQ(result->labels[60], result->labels[90]);
+  EXPECT_NE(result->labels[0], result->labels[60]);
+  EXPECT_EQ(result->labels[120], kDbscanNoise);
+  EXPECT_EQ(result->labels[121], kDbscanNoise);
+}
+
+TEST(DbscanTest, MinPtsOneMakesEverythingCore) {
+  auto data = GenerateUniform({.n = 100, .dims = 3, .seed = 3});
+  auto result = Dbscan(*data, Config(0.05, 1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->noise_points, 0u);
+  for (bool core : result->is_core) EXPECT_TRUE(core);
+}
+
+TEST(DbscanTest, HugeMinPtsMakesEverythingNoise) {
+  auto data = GenerateUniform({.n = 100, .dims = 3, .seed = 4});
+  auto result = Dbscan(*data, Config(0.05, 1000));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0u);
+  EXPECT_EQ(result->noise_points, 100u);
+}
+
+class DbscanPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(DbscanPropertyTest, MatchesReferenceImplementation) {
+  const auto [epsilon, min_pts] = GetParam();
+  for (uint64_t seed : {5u, 6u}) {
+    auto data = GenerateClustered({.n = 400, .dims = 3, .clusters = 5,
+                                   .sigma = 0.03, .noise_fraction = 0.15,
+                                   .seed = seed});
+    ASSERT_TRUE(data.ok());
+    const DbscanConfig config = Config(epsilon, min_pts);
+    auto result = Dbscan(*data, config);
+    ASSERT_TRUE(result.ok());
+    ExpectSameClustering(ReferenceDbscan(*data, config), *result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DbscanPropertyTest,
+    ::testing::Combine(::testing::Values(0.03, 0.08), ::testing::Values(3u, 8u)),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 1000)) +
+             "_minpts" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace simjoin

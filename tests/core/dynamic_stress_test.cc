@@ -1,0 +1,99 @@
+// Randomized stress test of dynamic eps-k-d-B tree maintenance: a long
+// interleaving of inserts, removals, range queries, and full self-joins is
+// checked against a naive mirror (a set of live ids + brute force).
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/ekdb_join.h"
+#include "core/ekdb_tree.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+class DynamicStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicStressTest, RandomOpSequencesStayConsistent) {
+  Rng rng(GetParam());
+  const size_t dims = 1 + rng.UniformInt(5u);
+  const double epsilon = rng.Uniform(0.03, 0.25);
+  DistanceKernel kernel(Metric::kL2);
+
+  // Backing dataset grows append-only; `live` tracks which ids are in the
+  // tree right now.
+  Dataset data;
+  data.Append(std::vector<float>(dims, 0.5f));
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = 1 + rng.UniformInt(32u);
+  auto tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(tree.ok());
+  std::set<PointId> live{0};
+
+  const int ops = 600;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t roll = rng.UniformInt(100u);
+    if (roll < 45 || live.size() < 3) {
+      // Insert a fresh point.
+      std::vector<float> row(dims);
+      for (auto& v : row) v = rng.UniformFloat();
+      data.Append(row);
+      const PointId id = static_cast<PointId>(data.size() - 1);
+      ASSERT_TRUE(tree->Insert(id).ok());
+      live.insert(id);
+    } else if (roll < 75) {
+      // Remove a random live point.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(live.size())));
+      ASSERT_TRUE(tree->Remove(*it).ok());
+      live.erase(it);
+    } else if (roll < 90) {
+      // Range query from a random location vs linear scan over live ids.
+      std::vector<float> query(dims);
+      for (auto& v : query) v = rng.UniformFloat();
+      const double radius = rng.Uniform(0.2, 1.0) * epsilon;
+      std::vector<PointId> got;
+      ASSERT_TRUE(tree->RangeQuery(query.data(), radius, &got).ok());
+      std::sort(got.begin(), got.end());
+      std::vector<PointId> expected;
+      for (PointId id : live) {
+        if (kernel.WithinEpsilon(query.data(), data.Row(id), dims, radius)) {
+          expected.push_back(id);
+        }
+      }
+      ASSERT_EQ(got, expected) << "op " << op;
+    } else {
+      // Full self-join vs brute force over live ids.
+      VectorSink sink;
+      ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+      std::vector<IdPair> expected;
+      for (auto i = live.begin(); i != live.end(); ++i) {
+        for (auto j = std::next(i); j != live.end(); ++j) {
+          if (kernel.WithinEpsilon(data.Row(*i), data.Row(*j), dims, epsilon)) {
+            expected.emplace_back(*i, *j);
+          }
+        }
+      }
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(sink.Sorted(), expected) << "op " << op;
+    }
+    // Structural bookkeeping must track the live set exactly.
+    if (op % 100 == 0) {
+      ASSERT_EQ(tree->ComputeStats().total_points, live.size()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(tree->ComputeStats().total_points, live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicStressTest,
+                         ::testing::Values(101, 202, 303, 404),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,74 @@
+#include "core/ekdb_config.h"
+
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(EkdbConfigTest, DefaultIsValid) {
+  EkdbConfig config;
+  EXPECT_TRUE(config.Validate(8).ok());
+}
+
+TEST(EkdbConfigTest, RejectsBadEpsilon) {
+  EkdbConfig config;
+  config.epsilon = 0.0;
+  EXPECT_FALSE(config.Validate(4).ok());
+  config.epsilon = -0.1;
+  EXPECT_FALSE(config.Validate(4).ok());
+  config.epsilon = 1.0;
+  EXPECT_FALSE(config.Validate(4).ok());
+  config.epsilon = 1.5;
+  EXPECT_FALSE(config.Validate(4).ok());
+}
+
+TEST(EkdbConfigTest, RejectsZeroLeafThresholdAndZeroDims) {
+  EkdbConfig config;
+  config.leaf_threshold = 0;
+  EXPECT_FALSE(config.Validate(4).ok());
+  EkdbConfig ok_config;
+  EXPECT_FALSE(ok_config.Validate(0).ok());
+}
+
+TEST(EkdbConfigTest, ValidatesDimOrderPermutation) {
+  EkdbConfig config;
+  config.dim_order = {2, 0, 1};
+  EXPECT_TRUE(config.Validate(3).ok());
+  config.dim_order = {0, 1};
+  EXPECT_FALSE(config.Validate(3).ok());  // wrong arity
+  config.dim_order = {0, 0, 1};
+  EXPECT_FALSE(config.Validate(3).ok());  // duplicate
+  config.dim_order = {0, 1, 3};
+  EXPECT_FALSE(config.Validate(3).ok());  // out of range
+}
+
+TEST(EkdbConfigTest, NumStripesIsFloorOfInverseEpsilon) {
+  EkdbConfig config;
+  config.epsilon = 0.1;
+  EXPECT_EQ(config.NumStripes(), 10u);
+  config.epsilon = 0.3;
+  EXPECT_EQ(config.NumStripes(), 3u);
+  config.epsilon = 0.6;
+  EXPECT_EQ(config.NumStripes(), 1u);
+  config.epsilon = 0.25;
+  EXPECT_EQ(config.NumStripes(), 4u);
+}
+
+TEST(EkdbConfigTest, StripeWidthAtLeastEpsilon) {
+  for (double eps : {0.01, 0.03, 0.07, 0.1, 0.15, 0.33, 0.49}) {
+    EkdbConfig config;
+    config.epsilon = eps;
+    EXPECT_GE(config.StripeWidth(), eps)
+        << "stripe width must dominate epsilon for adjacency soundness";
+  }
+}
+
+TEST(EkdbConfigTest, ResolvedDimOrderDefaultsToIdentity) {
+  EkdbConfig config;
+  EXPECT_EQ(config.ResolvedDimOrder(3), (std::vector<uint32_t>{0, 1, 2}));
+  config.dim_order = {1, 2, 0};
+  EXPECT_EQ(config.ResolvedDimOrder(3), (std::vector<uint32_t>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,207 @@
+// Tests for incremental maintenance (EkdbTree::Insert), epsilon-range
+// queries, and radius-override joins on the eps-k-d-B tree.
+
+#include <algorithm>
+
+#include "core/ekdb_join.h"
+#include "core/ekdb_tree.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleSelfJoin;
+
+EkdbConfig Config(double epsilon, size_t leaf_threshold = 16) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = leaf_threshold;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Insert.
+// ---------------------------------------------------------------------------
+
+TEST(EkdbInsertTest, AppendThenInsertKeepsJoinsExact) {
+  // The real incremental workflow: build on n points, append m more to the
+  // dataset, Insert their ids, and verify the join equals a from-scratch
+  // build over all n+m points.
+  auto base = GenerateClustered(
+      {.n = 600, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 2});
+  ASSERT_TRUE(base.ok());
+  auto extra = GenerateClustered(
+      {.n = 400, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 3});
+  ASSERT_TRUE(extra.ok());
+
+  Dataset data = *base;
+  auto tree = EkdbTree::Build(data, Config(0.08, 8));
+  ASSERT_TRUE(tree.ok());
+
+  for (size_t i = 0; i < extra->size(); ++i) {
+    data.Append(extra->RowSpan(static_cast<PointId>(i)));
+    ASSERT_TRUE(tree->Insert(static_cast<PointId>(data.size() - 1)).ok());
+  }
+
+  VectorSink incremental;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &incremental).ok());
+  ExpectSamePairs(OracleSelfJoin(data, 0.08, Metric::kL2),
+                  incremental.Sorted(), "append+insert");
+
+  // Structural sanity after heavy insertion.
+  const auto stats = tree->ComputeStats();
+  EXPECT_EQ(stats.total_points, 1000u);
+}
+
+TEST(EkdbInsertTest, InsertTriggersLeafSplits) {
+  Dataset data;
+  Rng rng(4);
+  for (int i = 0; i < 4; ++i) {
+    data.Append(std::vector<float>{rng.UniformFloat(), rng.UniformFloat()});
+  }
+  auto tree = EkdbTree::Build(data, Config(0.1, 4));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->root()->is_leaf());
+  for (int i = 0; i < 200; ++i) {
+    data.Append(std::vector<float>{rng.UniformFloat(), rng.UniformFloat()});
+    ASSERT_TRUE(tree->Insert(static_cast<PointId>(data.size() - 1)).ok());
+  }
+  EXPECT_FALSE(tree->root()->is_leaf()) << "inserts must split the root leaf";
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(data, 0.1, Metric::kL2), sink.Sorted(),
+                  "post-split joins");
+}
+
+TEST(EkdbInsertTest, RejectsOutOfRangeAndUnnormalisedPoints) {
+  Dataset data;
+  data.Append(std::vector<float>{0.5f, 0.5f});
+  auto tree = EkdbTree::Build(data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Insert(static_cast<PointId>(5)).code(),
+            StatusCode::kOutOfRange);
+  data.Append(std::vector<float>{0.5f, 1.5f});
+  EXPECT_EQ(tree->Insert(static_cast<PointId>(1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// RangeQuery.
+// ---------------------------------------------------------------------------
+
+TEST(EkdbRangeQueryTest, MatchesLinearScanAcrossMetrics) {
+  for (Metric metric : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+    auto data = GenerateClustered(
+        {.n = 700, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 5});
+    ASSERT_TRUE(data.ok());
+    EkdbConfig config = Config(0.1, 8);
+    config.metric = metric;
+    auto tree = EkdbTree::Build(*data, config);
+    ASSERT_TRUE(tree.ok());
+    DistanceKernel kernel(metric);
+    for (PointId q = 0; q < 25; ++q) {
+      std::vector<PointId> got;
+      ASSERT_TRUE(tree->RangeQuery(data->Row(q), 0.08, &got).ok());
+      std::vector<PointId> expected;
+      for (size_t i = 0; i < data->size(); ++i) {
+        if (kernel.WithinEpsilon(data->Row(q),
+                                 data->Row(static_cast<PointId>(i)), 4, 0.08)) {
+          expected.push_back(static_cast<PointId>(i));
+        }
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << MetricName(metric) << " query " << q;
+    }
+  }
+}
+
+TEST(EkdbRangeQueryTest, QueryPointNeedNotBeIndexed) {
+  auto data = GenerateUniform({.n = 300, .dims = 3, .seed = 6});
+  auto tree = EkdbTree::Build(*data, Config(0.15, 8));
+  ASSERT_TRUE(tree.ok());
+  const float external_query[] = {0.51f, 0.49f, 0.5f};
+  std::vector<PointId> got;
+  ASSERT_TRUE(tree->RangeQuery(external_query, 0.15, &got).ok());
+  DistanceKernel kernel(Metric::kL2);
+  size_t expected = 0;
+  for (size_t i = 0; i < data->size(); ++i) {
+    expected += kernel.WithinEpsilon(external_query,
+                                     data->Row(static_cast<PointId>(i)), 3,
+                                     0.15);
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+TEST(EkdbRangeQueryTest, RejectsRadiusAboveBuildEpsilon) {
+  auto data = GenerateUniform({.n = 50, .dims = 2, .seed = 7});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  std::vector<PointId> out;
+  EXPECT_FALSE(tree->RangeQuery(data->Row(0), 0.2, &out).ok());
+  EXPECT_FALSE(tree->RangeQuery(data->Row(0), 0.0, &out).ok());
+  EXPECT_FALSE(tree->RangeQuery(data->Row(0), 0.05, nullptr).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Epsilon-override joins.
+// ---------------------------------------------------------------------------
+
+TEST(EkdbEpsilonOverrideTest, SelfJoinAtSmallerRadiusIsExact) {
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 5, .clusters = 6, .sigma = 0.05, .seed = 8});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.2, 16));
+  ASSERT_TRUE(tree.ok());
+  for (double eps_query : {0.02, 0.07, 0.15, 0.2}) {
+    VectorSink sink;
+    ASSERT_TRUE(EkdbSelfJoinWithEpsilon(*tree, eps_query, &sink).ok());
+    ExpectSamePairs(OracleSelfJoin(*data, eps_query, Metric::kL2),
+                    sink.Sorted(),
+                    ("override eps " + std::to_string(eps_query)).c_str());
+  }
+}
+
+TEST(EkdbEpsilonOverrideTest, CrossJoinAtSmallerRadiusIsExact) {
+  auto a = GenerateClustered(
+      {.n = 400, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 9});
+  auto b = GenerateClustered(
+      {.n = 350, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 10});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = EkdbTree::Build(*a, Config(0.15, 16));
+  auto tb = EkdbTree::Build(*b, Config(0.15, 16));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  VectorSink sink;
+  ASSERT_TRUE(EkdbJoinWithEpsilon(*ta, *tb, 0.05, &sink).ok());
+  ExpectSamePairs(testing_util::OracleJoin(*a, *b, 0.05, Metric::kL2),
+                  sink.Sorted(), "cross override");
+}
+
+TEST(EkdbEpsilonOverrideTest, RejectsRadiusAboveBuildEpsilon) {
+  auto data = GenerateUniform({.n = 50, .dims = 2, .seed = 11});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  EXPECT_FALSE(EkdbSelfJoinWithEpsilon(*tree, 0.3, &sink).ok());
+  EXPECT_FALSE(EkdbSelfJoinWithEpsilon(*tree, 0.0, &sink).ok());
+  EXPECT_FALSE(EkdbSelfJoinWithEpsilon(*tree, 0.05, nullptr).ok());
+}
+
+TEST(EkdbEpsilonOverrideTest, SmallerRadiusDoesLessWork) {
+  auto data = GenerateClustered(
+      {.n = 2000, .dims = 4, .clusters = 8, .sigma = 0.05, .seed = 12});
+  auto tree = EkdbTree::Build(*data, Config(0.2, 32));
+  ASSERT_TRUE(tree.ok());
+  JoinStats tight, loose;
+  CountingSink s1, s2;
+  ASSERT_TRUE(EkdbSelfJoinWithEpsilon(*tree, 0.02, &s1, &tight).ok());
+  ASSERT_TRUE(EkdbSelfJoinWithEpsilon(*tree, 0.2, &s2, &loose).ok());
+  EXPECT_LT(tight.candidate_pairs, loose.candidate_pairs);
+  EXPECT_LE(s1.count(), s2.count());
+}
+
+}  // namespace
+}  // namespace simjoin

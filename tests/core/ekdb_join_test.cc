@@ -1,0 +1,310 @@
+#include "core/ekdb_join.h"
+
+#include <tuple>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::MakeDataset;
+using testing_util::OracleJoin;
+using testing_util::OracleSelfJoin;
+
+EkdbConfig Config(double epsilon, size_t leaf_threshold = 16,
+                  Metric metric = Metric::kL2) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = leaf_threshold;
+  config.metric = metric;
+  return config;
+}
+
+TEST(EkdbSelfJoinTest, HandMadeTinyCase) {
+  // Points: three within 0.1 of each other, one far away.
+  const Dataset ds = MakeDataset({{0.10f, 0.10f},
+                                  {0.15f, 0.10f},
+                                  {0.10f, 0.17f},
+                                  {0.90f, 0.90f}});
+  auto tree = EkdbTree::Build(ds, Config(0.1, 2));
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  const auto pairs = sink.Sorted();
+  // dist(0,1)=0.05, dist(0,2)=0.07, dist(1,2)=~0.086 => three pairs.
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (IdPair{0, 1}));
+  EXPECT_EQ(pairs[1], (IdPair{0, 2}));
+  EXPECT_EQ(pairs[2], (IdPair{1, 2}));
+}
+
+TEST(EkdbSelfJoinTest, NullSinkRejected) {
+  const Dataset ds = MakeDataset({{0.5f}});
+  auto tree = EkdbTree::Build(ds, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(EkdbSelfJoin(*tree, nullptr).ok());
+}
+
+TEST(EkdbSelfJoinTest, SinglePointHasNoPairs) {
+  const Dataset ds = MakeDataset({{0.5f, 0.5f}});
+  auto tree = EkdbTree::Build(ds, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(EkdbSelfJoinTest, DuplicatePointsAllPair) {
+  Dataset ds;
+  for (int i = 0; i < 20; ++i) ds.Append(std::vector<float>{0.3f, 0.7f});
+  auto tree = EkdbTree::Build(ds, Config(0.05, 4));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  EXPECT_EQ(sink.count(), 20u * 19u / 2u);
+}
+
+TEST(EkdbSelfJoinTest, BoundaryPairsAcrossStripesAreFound) {
+  // Points straddling a stripe boundary at exactly epsilon apart (L-inf):
+  // the adjacency rule must still find them.
+  const double eps = 0.1;
+  const Dataset ds = MakeDataset({{0.0999f, 0.5f},
+                                  {0.1001f, 0.5f},    // adjacent stripes 0|1
+                                  {0.0500f, 0.5f},
+                                  {0.1500f, 0.5f}});  // exactly eps apart
+  EkdbConfig config = Config(eps, 1, Metric::kLinf);
+  auto tree = EkdbTree::Build(ds, config);
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(ds, eps, Metric::kLinf), sink.Sorted(),
+                  "boundary");
+}
+
+TEST(EkdbSelfJoinTest, StatsAreFilledIn) {
+  auto data = GenerateUniform({.n = 500, .dims = 4, .seed = 1});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.1, 8));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  JoinStats stats;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink, &stats).ok());
+  EXPECT_EQ(stats.pairs_emitted, sink.count());
+  EXPECT_GE(stats.candidate_pairs, stats.pairs_emitted);
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: the eps-k-d-B self-join must return exactly the oracle
+// pair set across workloads, metrics, epsilons, and leaf thresholds.
+// ---------------------------------------------------------------------------
+
+struct SelfJoinCase {
+  const char* workload;
+  double epsilon;
+  size_t leaf_threshold;
+  Metric metric;
+};
+
+class EkdbSelfJoinPropertyTest : public ::testing::TestWithParam<SelfJoinCase> {
+ protected:
+  Dataset MakeWorkload(const char* name) {
+    if (std::string(name) == "uniform") {
+      return *GenerateUniform({.n = 700, .dims = 5, .seed = 42});
+    }
+    if (std::string(name) == "clustered") {
+      return *GenerateClustered(
+          {.n = 700, .dims = 5, .clusters = 6, .sigma = 0.03, .seed = 42});
+    }
+    if (std::string(name) == "grid") {
+      return *GenerateGridPerturbed(
+          {.n = 700, .dims = 5, .cell = 0.2, .perturbation = 0.02, .seed = 42});
+    }
+    return *GenerateCorrelated(
+        {.n = 700, .dims = 5, .intrinsic_dims = 2, .noise = 0.02, .seed = 42});
+  }
+};
+
+TEST_P(EkdbSelfJoinPropertyTest, MatchesBruteForceOracle) {
+  const SelfJoinCase& c = GetParam();
+  const Dataset data = MakeWorkload(c.workload);
+  auto tree = EkdbTree::Build(data, Config(c.epsilon, c.leaf_threshold, c.metric));
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(data, c.epsilon, c.metric), sink.Sorted(),
+                  c.workload);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SelfJoinCase>& info) {
+  const auto& c = info.param;
+  std::string eps = std::to_string(static_cast<int>(c.epsilon * 1000));
+  return std::string(c.workload) + "_eps" + eps + "_leaf" +
+         std::to_string(c.leaf_threshold) + "_" + MetricName(c.metric);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EkdbSelfJoinPropertyTest,
+    ::testing::Values(
+        SelfJoinCase{"uniform", 0.05, 16, Metric::kL2},
+        SelfJoinCase{"uniform", 0.15, 16, Metric::kL2},
+        SelfJoinCase{"uniform", 0.35, 16, Metric::kL2},
+        SelfJoinCase{"uniform", 0.1, 1, Metric::kL2},
+        SelfJoinCase{"uniform", 0.1, 64, Metric::kL2},
+        SelfJoinCase{"uniform", 0.1, 2048, Metric::kL2},  // single leaf
+        SelfJoinCase{"uniform", 0.1, 16, Metric::kL1},
+        SelfJoinCase{"uniform", 0.1, 16, Metric::kLinf},
+        SelfJoinCase{"clustered", 0.05, 16, Metric::kL2},
+        SelfJoinCase{"clustered", 0.12, 8, Metric::kL1},
+        SelfJoinCase{"clustered", 0.3, 32, Metric::kLinf},
+        SelfJoinCase{"grid", 0.07, 16, Metric::kL2},
+        SelfJoinCase{"grid", 0.2, 4, Metric::kLinf},
+        SelfJoinCase{"correlated", 0.08, 16, Metric::kL2},
+        SelfJoinCase{"correlated", 0.25, 16, Metric::kL1}),
+    CaseName);
+
+// Ablated variants must stay exact (they only change speed, never results).
+class EkdbAblationTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(EkdbAblationTest, AblationsPreserveExactness) {
+  const auto [bbox_pruning, sliding_window] = GetParam();
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 4, .clusters = 5, .sigma = 0.04, .seed = 9});
+  ASSERT_TRUE(data.ok());
+  EkdbConfig config = Config(0.09, 12);
+  config.bbox_pruning = bbox_pruning;
+  config.sliding_window_leaf_join = sliding_window;
+  auto tree = EkdbTree::Build(*data, config);
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.09, Metric::kL2), sink.Sorted(),
+                  "ablation");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, EkdbAblationTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+                         [](const auto& info) {
+                           return std::string(std::get<0>(info.param) ? "bbox"
+                                                                      : "nobbox") +
+                                  (std::get<1>(info.param) ? "_sweep" : "_naive");
+                         });
+
+TEST(EkdbSelfJoinTest, CustomDimOrderStaysExact) {
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 10});
+  ASSERT_TRUE(data.ok());
+  EkdbConfig config = Config(0.1, 8);
+  config.dim_order = {3, 2, 1, 0};
+  auto tree = EkdbTree::Build(*data, config);
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.1, Metric::kL2), sink.Sorted(),
+                  "dim order");
+}
+
+// ---------------------------------------------------------------------------
+// Two-tree join.
+// ---------------------------------------------------------------------------
+
+TEST(EkdbJoinTest, RejectsIncompatibleTrees) {
+  auto d1 = GenerateUniform({.n = 50, .dims = 3, .seed = 1});
+  auto d2 = GenerateUniform({.n = 50, .dims = 3, .seed = 2});
+  auto t1 = EkdbTree::Build(*d1, Config(0.1));
+  auto t2 = EkdbTree::Build(*d2, Config(0.2));
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  CountingSink sink;
+  const Status st = EkdbJoin(*t1, *t2, &sink);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EkdbJoinTest, NullSinkRejected) {
+  auto d = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  auto t = EkdbTree::Build(*d, Config(0.1));
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(EkdbJoin(*t, *t, nullptr).ok());
+}
+
+struct CrossJoinCase {
+  double epsilon;
+  size_t leaf_a;
+  size_t leaf_b;
+  Metric metric;
+};
+
+class EkdbCrossJoinPropertyTest
+    : public ::testing::TestWithParam<CrossJoinCase> {};
+
+TEST_P(EkdbCrossJoinPropertyTest, MatchesBruteForceOracle) {
+  const auto& c = GetParam();
+  auto a = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 5, .sigma = 0.04, .seed = 20});
+  auto b = GenerateClustered(
+      {.n = 400, .dims = 4, .clusters = 5, .sigma = 0.04, .seed = 21});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EkdbConfig ca = Config(c.epsilon, c.leaf_a, c.metric);
+  EkdbConfig cb = Config(c.epsilon, c.leaf_b, c.metric);
+  auto ta = EkdbTree::Build(*a, ca);
+  auto tb = EkdbTree::Build(*b, cb);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  VectorSink sink;
+  ASSERT_TRUE(EkdbJoin(*ta, *tb, &sink).ok());
+  ExpectSamePairs(OracleJoin(*a, *b, c.epsilon, c.metric), sink.Sorted(),
+                  "cross join");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EkdbCrossJoinPropertyTest,
+    ::testing::Values(CrossJoinCase{0.05, 16, 16, Metric::kL2},
+                      CrossJoinCase{0.12, 16, 16, Metric::kL2},
+                      // Mismatched leaf thresholds force leaf-vs-internal
+                      // descents and mismatched sort dimensions.
+                      CrossJoinCase{0.1, 2, 128, Metric::kL2},
+                      CrossJoinCase{0.1, 128, 2, Metric::kL1},
+                      CrossJoinCase{0.22, 8, 512, Metric::kLinf},
+                      CrossJoinCase{0.07, 1024, 1024, Metric::kL2}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "eps" + std::to_string(static_cast<int>(c.epsilon * 1000)) +
+             "_la" + std::to_string(c.leaf_a) + "_lb" +
+             std::to_string(c.leaf_b) + "_" + MetricName(c.metric);
+    });
+
+TEST(EkdbJoinTest, DisjointCloudsProduceNoPairs) {
+  // Clouds confined to opposite corners with a gap much larger than epsilon.
+  Dataset a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.Append(std::vector<float>{0.05f + 0.001f * static_cast<float>(i), 0.05f});
+    b.Append(std::vector<float>{0.95f - 0.001f * static_cast<float>(i), 0.95f});
+  }
+  auto ta = EkdbTree::Build(a, Config(0.1, 8));
+  auto tb = EkdbTree::Build(b, Config(0.1, 8));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  CountingSink sink;
+  JoinStats stats;
+  ASSERT_TRUE(EkdbJoin(*ta, *tb, &sink, &stats).ok());
+  EXPECT_EQ(sink.count(), 0u);
+  // And the traversal should have pruned, not enumerated, the space.
+  EXPECT_LT(stats.candidate_pairs, 50u * 50u);
+}
+
+TEST(EkdbJoinTest, JoinWithSelfAsTwoTreesMatchesSelfJoinPlusDiagonal) {
+  auto data = GenerateUniform({.n = 300, .dims = 3, .seed = 30});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.1, 8));
+  ASSERT_TRUE(tree.ok());
+  CountingSink self_sink, cross_sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &self_sink).ok());
+  ASSERT_TRUE(EkdbJoin(*tree, *tree, &cross_sink).ok());
+  // Cross join counts ordered pairs plus the diagonal: n + 2 * self.
+  EXPECT_EQ(cross_sink.count(), data->size() + 2 * self_sink.count());
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,257 @@
+#include "core/ekdb_tree.h"
+
+#include <functional>
+#include <limits>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::MakeDataset;
+
+EkdbConfig SmallConfig(double epsilon = 0.1, size_t leaf_threshold = 4) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = leaf_threshold;
+  return config;
+}
+
+TEST(EkdbTreeBuildTest, RejectsEmptyDataset) {
+  Dataset empty;
+  EXPECT_FALSE(EkdbTree::Build(empty, SmallConfig()).ok());
+}
+
+TEST(EkdbTreeBuildTest, RejectsUnnormalisedData) {
+  const Dataset ds = MakeDataset({{0.5f, 2.0f}});
+  auto tree = EkdbTree::Build(ds, SmallConfig());
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EkdbTreeBuildTest, RejectsNonFiniteCoordinates) {
+  const Dataset nan_ds =
+      MakeDataset({{0.5f, std::numeric_limits<float>::quiet_NaN()}});
+  EXPECT_FALSE(EkdbTree::Build(nan_ds, SmallConfig()).ok());
+  const Dataset inf_ds =
+      MakeDataset({{0.5f, std::numeric_limits<float>::infinity()}});
+  EXPECT_FALSE(EkdbTree::Build(inf_ds, SmallConfig()).ok());
+}
+
+TEST(EkdbTreeBuildTest, RejectsInvalidConfig) {
+  const Dataset ds = MakeDataset({{0.5f, 0.5f}});
+  EkdbConfig config = SmallConfig();
+  config.epsilon = 0.0;
+  EXPECT_FALSE(EkdbTree::Build(ds, config).ok());
+}
+
+TEST(EkdbTreeBuildTest, TinyDatasetStaysSingleLeaf) {
+  const Dataset ds = MakeDataset({{0.1f, 0.2f}, {0.9f, 0.8f}});
+  auto tree = EkdbTree::Build(ds, SmallConfig());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->root()->is_leaf());
+  EXPECT_EQ(tree->root()->points.size(), 2u);
+}
+
+TEST(EkdbTreeBuildTest, SplitsWhenOverThreshold) {
+  auto data = GenerateUniform({.n = 200, .dims = 4, .seed = 1});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, SmallConfig(0.1, 16));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->root()->is_leaf());
+  const auto stats = tree->ComputeStats();
+  EXPECT_EQ(stats.total_points, 200u);
+  EXPECT_GT(stats.leaves, 1u);
+}
+
+TEST(EkdbTreeBuildTest, StripeIndexClampsAndBuckets) {
+  const Dataset ds = MakeDataset({{0.5f}});
+  auto tree = EkdbTree::Build(ds, SmallConfig(0.1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_stripes(), 10u);
+  EXPECT_EQ(tree->StripeIndex(0.0f), 0u);
+  EXPECT_EQ(tree->StripeIndex(0.05f), 0u);
+  EXPECT_EQ(tree->StripeIndex(0.15f), 1u);
+  EXPECT_EQ(tree->StripeIndex(0.999f), 9u);
+  EXPECT_EQ(tree->StripeIndex(1.0f), 9u);  // clamp at the top edge
+}
+
+// Structural invariant: every point of a subtree lies inside the node's
+// bounding box, leaf point lists are sorted on sort_dim, children are
+// stripe-sorted, and each child's points fall in its stripe of the split
+// dimension.
+void CheckSubtree(const EkdbTree& tree, const EkdbNode* node) {
+  const Dataset& data = tree.dataset();
+  if (node->is_leaf()) {
+    ASSERT_FALSE(node->points.empty());
+    float prev = -1.0f;
+    for (PointId id : node->points) {
+      EXPECT_TRUE(node->bbox.ContainsPoint(data.Row(id)));
+      const float v = data.Row(id)[node->sort_dim];
+      EXPECT_GE(v, prev) << "leaf not sorted on sort_dim";
+      prev = v;
+    }
+    return;
+  }
+  ASSERT_LT(node->depth, data.dims());
+  const uint32_t split_dim = tree.dim_order()[node->depth];
+  uint32_t prev_stripe = 0;
+  bool first = true;
+  for (const auto& [stripe, child] : node->children) {
+    if (!first) EXPECT_GT(stripe, prev_stripe) << "children not stripe-sorted";
+    first = false;
+    prev_stripe = stripe;
+    EXPECT_EQ(child->depth, node->depth + 1);
+    EXPECT_TRUE(node->bbox.ContainsBox(child->bbox));
+    // Every point in the child hashes to the child's stripe.
+    std::function<void(const EkdbNode*)> check_points =
+        [&](const EkdbNode* n) {
+          for (PointId id : n->points) {
+            EXPECT_EQ(tree.StripeIndex(data.Row(id)[split_dim]), stripe);
+          }
+          for (const auto& [s, c] : n->children) check_points(c.get());
+        };
+    check_points(child.get());
+    CheckSubtree(tree, child.get());
+  }
+}
+
+TEST(EkdbTreeInvariantTest, UniformCloud) {
+  auto data = GenerateUniform({.n = 600, .dims = 5, .seed = 2});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, SmallConfig(0.15, 8));
+  ASSERT_TRUE(tree.ok());
+  CheckSubtree(*tree, tree->root());
+}
+
+TEST(EkdbTreeInvariantTest, ClusteredCloudWithCustomDimOrder) {
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 3, .sigma = 0.02, .seed = 3});
+  ASSERT_TRUE(data.ok());
+  EkdbConfig config = SmallConfig(0.08, 10);
+  config.dim_order = {3, 1, 0, 2};
+  auto tree = EkdbTree::Build(*data, config);
+  ASSERT_TRUE(tree.ok());
+  CheckSubtree(*tree, tree->root());
+}
+
+TEST(EkdbTreeBuildTest, DepthNeverExceedsDims) {
+  // All points identical: splitting puts everything in one stripe at every
+  // level; the build must terminate at depth == dims with one big leaf.
+  Dataset ds;
+  for (int i = 0; i < 100; ++i) ds.Append(std::vector<float>{0.42f, 0.42f});
+  auto tree = EkdbTree::Build(ds, SmallConfig(0.1, 4));
+  ASSERT_TRUE(tree.ok());
+  const auto stats = tree->ComputeStats();
+  EXPECT_LE(stats.max_depth, 2u);
+  EXPECT_EQ(stats.total_points, 100u);
+}
+
+TEST(EkdbTreeBuildTest, LargeEpsilonSingleStripeStaysLeaf) {
+  // epsilon > 0.5 gives one stripe per dimension: no split is useful and the
+  // tree must degenerate to a single leaf rather than recurse forever.
+  auto data = GenerateUniform({.n = 300, .dims = 3, .seed = 4});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, SmallConfig(0.7, 8));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->root()->is_leaf());
+  EXPECT_EQ(tree->root()->points.size(), 300u);
+}
+
+TEST(EkdbTreeStatsTest, CountsAreConsistent) {
+  auto data = GenerateUniform({.n = 1000, .dims = 6, .seed = 5});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, SmallConfig(0.12, 20));
+  ASSERT_TRUE(tree.ok());
+  const auto stats = tree->ComputeStats();
+  EXPECT_EQ(stats.total_points, 1000u);
+  EXPECT_GE(stats.nodes, stats.leaves);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_GT(stats.avg_leaf_size, 0.0);
+  EXPECT_LE(stats.max_depth, 6u);
+  EXPECT_EQ(tree->root()->SubtreeSize(), 1000u);
+}
+
+TEST(EkdbTreeTest, JoinCompatibleRequiresMatchingGrid) {
+  auto d1 = GenerateUniform({.n = 50, .dims = 3, .seed = 6});
+  auto d2 = GenerateUniform({.n = 60, .dims = 3, .seed = 7});
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  auto t1 = EkdbTree::Build(*d1, SmallConfig(0.1));
+  auto t2 = EkdbTree::Build(*d2, SmallConfig(0.1));
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_TRUE(EkdbTree::JoinCompatible(*t1, *t2));
+
+  auto t3 = EkdbTree::Build(*d2, SmallConfig(0.2));
+  ASSERT_TRUE(t3.ok());
+  EXPECT_FALSE(EkdbTree::JoinCompatible(*t1, *t3));
+
+  EkdbConfig reordered = SmallConfig(0.1);
+  reordered.dim_order = {2, 1, 0};
+  auto t4 = EkdbTree::Build(*d2, reordered);
+  ASSERT_TRUE(t4.ok());
+  EXPECT_FALSE(EkdbTree::JoinCompatible(*t1, *t4));
+}
+
+// Recursively compares two trees for structural identity.
+void ExpectSameStructure(const EkdbNode* a, const EkdbNode* b) {
+  ASSERT_EQ(a->is_leaf(), b->is_leaf());
+  EXPECT_EQ(a->depth, b->depth);
+  if (a->is_leaf()) {
+    EXPECT_EQ(a->sort_dim, b->sort_dim);
+    EXPECT_EQ(a->points, b->points);
+    return;
+  }
+  ASSERT_EQ(a->children.size(), b->children.size());
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    EXPECT_EQ(a->children[i].first, b->children[i].first);
+    ExpectSameStructure(a->children[i].second.get(),
+                        b->children[i].second.get());
+  }
+}
+
+TEST(EkdbTreeParallelBuildTest, IdenticalToSequentialBuild) {
+  for (uint64_t seed : {10u, 11u}) {
+    auto data = GenerateClustered(
+        {.n = 3000, .dims = 5, .clusters = 6, .sigma = 0.05, .seed = seed});
+    ASSERT_TRUE(data.ok());
+    for (size_t threads : {1u, 4u}) {
+      auto sequential = EkdbTree::Build(*data, SmallConfig(0.07, 16));
+      auto parallel = EkdbTree::BuildParallel(*data, SmallConfig(0.07, 16),
+                                              threads);
+      ASSERT_TRUE(sequential.ok() && parallel.ok());
+      ExpectSameStructure(sequential->root(), parallel->root());
+      const auto s1 = sequential->ComputeStats();
+      const auto s2 = parallel->ComputeStats();
+      EXPECT_EQ(s1.nodes, s2.nodes);
+      EXPECT_EQ(s1.total_points, s2.total_points);
+    }
+  }
+}
+
+TEST(EkdbTreeParallelBuildTest, SingleLeafCaseWorks) {
+  auto data = GenerateUniform({.n = 50, .dims = 3, .seed = 12});
+  auto tree = EkdbTree::BuildParallel(*data, SmallConfig(0.1, 1000), 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->root()->is_leaf());
+}
+
+TEST(EkdbTreeParallelBuildTest, RejectsSameInvalidInputsAsSequential) {
+  Dataset empty;
+  EXPECT_FALSE(EkdbTree::BuildParallel(empty, SmallConfig(), 2).ok());
+  const Dataset bad = MakeDataset({{0.5f, 1.5f}});
+  EXPECT_FALSE(EkdbTree::BuildParallel(bad, SmallConfig(), 2).ok());
+}
+
+TEST(EkdbTreeTest, LeafThresholdControlsLeafSizes) {
+  auto data = GenerateUniform({.n = 2000, .dims = 8, .seed = 8});
+  ASSERT_TRUE(data.ok());
+  auto coarse = EkdbTree::Build(*data, SmallConfig(0.1, 256));
+  auto fine = EkdbTree::Build(*data, SmallConfig(0.1, 16));
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LT(coarse->ComputeStats().leaves, fine->ComputeStats().leaves);
+}
+
+}  // namespace
+}  // namespace simjoin

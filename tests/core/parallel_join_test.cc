@@ -1,0 +1,135 @@
+#include "core/parallel_join.h"
+
+#include "core/ekdb_join.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleSelfJoin;
+
+EkdbConfig Config(double epsilon, size_t leaf_threshold = 16) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = leaf_threshold;
+  return config;
+}
+
+TEST(ParallelJoinTest, NullSinkRejected) {
+  auto data = GenerateUniform({.n = 20, .dims = 2, .seed = 1});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(ParallelEkdbSelfJoin(*tree, {}, nullptr).ok());
+}
+
+TEST(ParallelJoinTest, ZeroMinTaskPointsRejected) {
+  auto data = GenerateUniform({.n = 20, .dims = 2, .seed = 1});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  ParallelJoinConfig cfg;
+  cfg.min_task_points = 0;
+  EXPECT_FALSE(ParallelEkdbSelfJoin(*tree, cfg, &sink).ok());
+}
+
+class ParallelJoinThreadsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelJoinThreadsTest, MatchesSequentialPairSet) {
+  auto data = GenerateClustered(
+      {.n = 1500, .dims = 5, .clusters = 8, .sigma = 0.03, .seed = 5});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.08, 16));
+  ASSERT_TRUE(tree.ok());
+
+  VectorSink sequential;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sequential).ok());
+
+  ParallelJoinConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.min_task_points = 100;
+  VectorSink parallel;
+  JoinStats stats;
+  ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &parallel, &stats).ok());
+
+  ExpectSamePairs(sequential.Sorted(), parallel.Sorted(), "parallel");
+  EXPECT_EQ(stats.pairs_emitted, parallel.pairs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelJoinThreadsTest,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+class ParallelCrossJoinTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelCrossJoinTest, MatchesSequentialCrossJoin) {
+  auto a = GenerateClustered(
+      {.n = 900, .dims = 4, .clusters = 6, .sigma = 0.04, .seed = 20});
+  auto b = GenerateClustered(
+      {.n = 700, .dims = 4, .clusters = 6, .sigma = 0.04, .seed = 21});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = EkdbTree::Build(*a, Config(0.07, 16));
+  auto tb = EkdbTree::Build(*b, Config(0.07, 16));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+
+  VectorSink sequential;
+  ASSERT_TRUE(EkdbJoin(*ta, *tb, &sequential).ok());
+
+  ParallelJoinConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.min_task_points = 150;
+  VectorSink parallel;
+  JoinStats stats;
+  ASSERT_TRUE(ParallelEkdbJoin(*ta, *tb, cfg, &parallel, &stats).ok());
+  ExpectSamePairs(sequential.Sorted(), parallel.Sorted(), "parallel cross");
+  EXPECT_EQ(stats.pairs_emitted, parallel.pairs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelCrossJoinTest,
+                         ::testing::Values(1, 3, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelCrossJoinTest, RejectsIncompatibleTrees) {
+  auto a = GenerateUniform({.n = 50, .dims = 3, .seed = 22});
+  auto b = GenerateUniform({.n = 50, .dims = 3, .seed = 23});
+  auto ta = EkdbTree::Build(*a, Config(0.1));
+  auto tb = EkdbTree::Build(*b, Config(0.2));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  CountingSink sink;
+  EXPECT_FALSE(ParallelEkdbJoin(*ta, *tb, {}, &sink).ok());
+}
+
+TEST(ParallelJoinTest, SingleLeafTreeStillWorks) {
+  auto data = GenerateUniform({.n = 200, .dims = 3, .seed = 6});
+  auto tree = EkdbTree::Build(*data, Config(0.1, 100000));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->root()->is_leaf());
+  VectorSink sink;
+  ParallelJoinConfig cfg;
+  cfg.num_threads = 4;
+  ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.1, Metric::kL2), sink.Sorted(),
+                  "single leaf");
+}
+
+TEST(ParallelJoinTest, TinyTaskGranularityStaysExact) {
+  auto data = GenerateUniform({.n = 800, .dims = 4, .seed = 7});
+  auto tree = EkdbTree::Build(*data, Config(0.12, 8));
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ParallelJoinConfig cfg;
+  cfg.num_threads = 3;
+  cfg.min_task_points = 1;  // maximally fragmented task list
+  ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &sink).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.12, Metric::kL2), sink.Sorted(),
+                  "fragmented");
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,118 @@
+#include "core/planner.h"
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleSelfJoin;
+
+TEST(PlannerTest, NamesAreStable) {
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kEkdb), "ekdb");
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kNestedLoop), "nested-loop");
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kGrid), "grid");
+}
+
+TEST(PlannerTest, RejectsBadInputs) {
+  Dataset one;
+  one.Append(std::vector<float>{0.5f});
+  EXPECT_FALSE(PlanSelfJoin(one, 0.1, Metric::kL2).ok());
+  auto data = GenerateUniform({.n = 100, .dims = 2, .seed = 1});
+  EXPECT_FALSE(PlanSelfJoin(*data, 0.0, Metric::kL2).ok());
+  PlannerOptions bad;
+  bad.selectivity_samples = 0;
+  EXPECT_FALSE(PlanSelfJoin(*data, 0.1, Metric::kL2, bad).ok());
+}
+
+TEST(PlannerTest, TinyInputPicksNestedLoop) {
+  auto data = GenerateUniform({.n = 150, .dims = 8, .seed = 2});
+  auto plan = PlanSelfJoin(*data, 0.1, Metric::kL2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithm::kNestedLoop);
+  EXPECT_NE(plan->rationale.find("tiny"), std::string::npos);
+}
+
+TEST(PlannerTest, FewHundredPointsAlreadyPreferIndex) {
+  // Tuned by experiment R16: at n=600 the eps-k-d-B tree beats brute force
+  // by ~8x, so the cutoff must sit below that.
+  auto data = GenerateUniform({.n = 600, .dims = 8, .seed = 22});
+  auto plan = PlanSelfJoin(*data, 0.05, Metric::kL2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithm::kEkdb);
+}
+
+TEST(PlannerTest, OutputBoundJoinPicksNestedLoop) {
+  // One tight cluster and a huge radius: nearly every pair joins.
+  auto data = GenerateClustered(
+      {.n = 5000, .dims = 4, .clusters = 1, .sigma = 0.01, .seed = 3});
+  auto plan = PlanSelfJoin(*data, 0.5, Metric::kL2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithm::kNestedLoop);
+  EXPECT_GT(plan->estimated_density, 0.2);
+}
+
+TEST(PlannerTest, LowDimensionalityPicksGrid) {
+  auto data = GenerateUniform({.n = 5000, .dims = 2, .seed = 4});
+  auto plan = PlanSelfJoin(*data, 0.03, Metric::kL2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithm::kGrid);
+}
+
+TEST(PlannerTest, HighDimensionalSelectiveJoinPicksEkdb) {
+  auto data = GenerateClustered(
+      {.n = 5000, .dims = 10, .clusters = 20, .sigma = 0.05, .seed = 5});
+  auto plan = PlanSelfJoin(*data, 0.05, Metric::kL2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithm::kEkdb);
+  EXPECT_GE(plan->estimated_pairs, 0.0);
+}
+
+TEST(PlannerTest, OversizedEpsilonFallsBackToKdTree) {
+  // In 32 uniform dims the mean pairwise L2 distance is ~2.3, so a radius
+  // just above 1 is still selective — but too large for the stripe grid.
+  auto data = GenerateUniform({.n = 5000, .dims = 32, .seed = 6});
+  auto plan = PlanSelfJoin(*data, 1.05, Metric::kL2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithm::kKdTree);
+}
+
+TEST(PlannerTest, EveryExecutablePlanMatchesOracle) {
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 7});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.08;
+  const auto expected = OracleSelfJoin(*data, eps, Metric::kL2);
+  for (JoinAlgorithm algorithm :
+       {JoinAlgorithm::kNestedLoop, JoinAlgorithm::kSortMerge,
+        JoinAlgorithm::kGrid, JoinAlgorithm::kKdTree, JoinAlgorithm::kRTree,
+        JoinAlgorithm::kEkdb}) {
+    JoinPlan plan;
+    plan.algorithm = algorithm;
+    VectorSink sink;
+    ASSERT_TRUE(ExecuteSelfJoin(*data, eps, Metric::kL2, plan, &sink).ok())
+        << JoinAlgorithmName(algorithm);
+    ExpectSamePairs(expected, sink.Sorted(), JoinAlgorithmName(algorithm));
+  }
+}
+
+TEST(PlannerTest, PlanAndRunEndToEnd) {
+  auto data = GenerateClustered(
+      {.n = 3000, .dims = 6, .clusters = 8, .sigma = 0.05, .seed = 8});
+  ASSERT_TRUE(data.ok());
+  VectorSink sink;
+  JoinPlan used;
+  JoinStats stats;
+  ASSERT_TRUE(
+      PlanAndRunSelfJoin(*data, 0.06, Metric::kL2, &sink, &used, &stats).ok());
+  EXPECT_EQ(used.algorithm, JoinAlgorithm::kEkdb);
+  ExpectSamePairs(OracleSelfJoin(*data, 0.06, Metric::kL2), sink.Sorted(),
+                  "planned run");
+  EXPECT_EQ(stats.pairs_emitted, sink.pairs().size());
+  EXPECT_FALSE(used.rationale.empty());
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,176 @@
+// Tests for PCA (fit/project) and the PCA-filtered exact join.
+
+#include "core/projected_join.h"
+
+#include <cmath>
+
+#include "common/metric.h"
+#include "common/pca.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleSelfJoin;
+
+// ---------------------------------------------------------------------------
+// PCA.
+// ---------------------------------------------------------------------------
+
+TEST(PcaTest, RejectsBadArgs) {
+  Dataset empty;
+  EXPECT_FALSE(FitPca(empty, 1).ok());
+  auto data = GenerateUniform({.n = 50, .dims = 4, .seed = 1});
+  EXPECT_FALSE(FitPca(*data, 0).ok());
+  EXPECT_FALSE(FitPca(*data, 5).ok());
+  EXPECT_FALSE(FitPca(*data, 2, 0).ok());
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  auto data = GenerateClustered(
+      {.n = 2000, .dims = 6, .clusters = 4, .sigma = 0.05, .seed = 2});
+  auto model = FitPca(*data, 4);
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) {
+      double dot = 0.0;
+      for (size_t d = 0; d < 6; ++d) {
+        dot += model->components[i * 6 + d] * model->components[j * 6 + d];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+  EXPECT_GT(model->ExplainedVarianceRatio(), 0.0);
+  EXPECT_LE(model->ExplainedVarianceRatio(), 1.0 + 1e-9);
+}
+
+TEST(PcaTest, RankKCloudIsFullyExplainedByKComponents) {
+  auto data = GenerateCorrelated(
+      {.n = 4000, .dims = 12, .intrinsic_dims = 2, .noise = 0.0, .seed = 3});
+  ASSERT_TRUE(data.ok());
+  auto model = FitPca(*data, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->ExplainedVarianceRatio(), 0.999)
+      << "a rank-2 cloud must be captured by 2 components";
+}
+
+TEST(PcaTest, ProjectionContractsL2Distances) {
+  // The exactness of the filtered join rests on this property.
+  auto data = GenerateClustered(
+      {.n = 300, .dims = 8, .clusters = 5, .sigma = 0.06, .seed = 4});
+  auto model = FitPca(*data, 3);
+  ASSERT_TRUE(model.ok());
+  auto projected = ProjectDataset(*model, *data);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->dims(), 3u);
+  EXPECT_EQ(projected->size(), data->size());
+  DistanceKernel l2(Metric::kL2);
+  for (PointId a = 0; a < 50; ++a) {
+    for (PointId b = a + 1; b < 50; ++b) {
+      const double full = l2.Distance(data->Row(a), data->Row(b), 8);
+      const double proj = l2.Distance(projected->Row(a), projected->Row(b), 3);
+      EXPECT_LE(proj, full + 1e-5) << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(PcaTest, ProjectDatasetRejectsDimsMismatch) {
+  auto data = GenerateUniform({.n = 20, .dims = 4, .seed = 5});
+  auto model = FitPca(*data, 2);
+  ASSERT_TRUE(model.ok());
+  auto other = GenerateUniform({.n = 20, .dims = 5, .seed = 6});
+  EXPECT_FALSE(ProjectDataset(*model, *other).ok());
+}
+
+// ---------------------------------------------------------------------------
+// PCA-filtered join.
+// ---------------------------------------------------------------------------
+
+TEST(PcaFilteredJoinTest, RejectsBadArgs) {
+  Dataset one;
+  one.Append(std::vector<float>{0.5f, 0.5f});
+  CountingSink sink;
+  EXPECT_FALSE(PcaFilteredSelfJoin(one, 0.1, {}, &sink).ok());
+  auto data = GenerateUniform({.n = 50, .dims = 4, .seed = 7});
+  EXPECT_FALSE(PcaFilteredSelfJoin(*data, 0.0, {}, &sink).ok());
+  EXPECT_FALSE(PcaFilteredSelfJoin(*data, 0.1, {}, nullptr).ok());
+  ProjectedJoinConfig bad;
+  bad.projected_dims = 9;
+  EXPECT_FALSE(PcaFilteredSelfJoin(*data, 0.1, bad, &sink).ok());
+}
+
+class PcaFilteredJoinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(PcaFilteredJoinPropertyTest, ExactOnCorrelatedData) {
+  const auto [k, epsilon] = GetParam();
+  auto data = GenerateCorrelated(
+      {.n = 800, .dims = 16, .intrinsic_dims = 3, .noise = 0.01, .seed = 8});
+  ASSERT_TRUE(data.ok());
+  ProjectedJoinConfig config;
+  config.projected_dims = k;
+  VectorSink sink;
+  ProjectedJoinReport report;
+  ASSERT_TRUE(
+      PcaFilteredSelfJoin(*data, epsilon, config, &sink, &report).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, epsilon, Metric::kL2), sink.Sorted(),
+                  "pca filtered");
+  EXPECT_GE(report.candidate_pairs, report.emitted_pairs);
+  EXPECT_EQ(report.emitted_pairs, sink.pairs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PcaFilteredJoinPropertyTest,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{3}, size_t{8},
+                                         size_t{16}),
+                       ::testing::Values(0.03, 0.1)),
+    [](const auto& param_info) {
+      return "k" + std::to_string(std::get<0>(param_info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param) * 1000));
+    });
+
+TEST(PcaFilteredJoinTest, ExactOnUniformAndClusteredData) {
+  // Even when PCA explains little (uniform data), the join must stay exact.
+  for (uint64_t seed : {9u, 10u}) {
+    auto uniform = GenerateUniform({.n = 500, .dims = 6, .seed = seed});
+    ASSERT_TRUE(uniform.ok());
+    ProjectedJoinConfig config;
+    config.projected_dims = 2;
+    VectorSink sink;
+    ASSERT_TRUE(PcaFilteredSelfJoin(*uniform, 0.25, config, &sink).ok());
+    ExpectSamePairs(OracleSelfJoin(*uniform, 0.25, Metric::kL2), sink.Sorted(),
+                    "uniform");
+  }
+}
+
+TEST(PcaFilteredJoinTest, DegenerateAllDuplicatePointsHandled) {
+  Dataset ds;
+  for (int i = 0; i < 80; ++i) ds.Append(std::vector<float>{0.4f, 0.6f, 0.1f});
+  ProjectedJoinConfig config;
+  config.projected_dims = 2;
+  CountingSink sink;
+  ASSERT_TRUE(PcaFilteredSelfJoin(ds, 0.05, config, &sink).ok());
+  EXPECT_EQ(sink.count(), 80u * 79u / 2u);
+}
+
+TEST(PcaFilteredJoinTest, MoreComponentsTightenTheFilter) {
+  auto data = GenerateCorrelated(
+      {.n = 1500, .dims = 24, .intrinsic_dims = 4, .noise = 0.02, .seed = 11});
+  ASSERT_TRUE(data.ok());
+  ProjectedJoinReport coarse, fine;
+  CountingSink s1, s2;
+  ProjectedJoinConfig c1, c2;
+  c1.projected_dims = 1;
+  c2.projected_dims = 6;
+  ASSERT_TRUE(PcaFilteredSelfJoin(*data, 0.05, c1, &s1, &coarse).ok());
+  ASSERT_TRUE(PcaFilteredSelfJoin(*data, 0.05, c2, &s2, &fine).ok());
+  EXPECT_EQ(s1.count(), s2.count());  // exact either way
+  EXPECT_LE(fine.candidate_pairs, coarse.candidate_pairs);
+  EXPECT_GE(fine.explained_variance, coarse.explained_variance);
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,164 @@
+#include "core/selectivity.h"
+
+#include <cmath>
+
+#include "baselines/nested_loop.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+EkdbConfig Config(double epsilon) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = 16;
+  return config;
+}
+
+uint64_t ExactPairs(const Dataset& data, double epsilon, Metric metric) {
+  CountingSink sink;
+  const Status st = NestedLoopSelfJoin(data, epsilon, metric, &sink);
+  EXPECT_TRUE(st.ok());
+  return sink.count();
+}
+
+TEST(PairSamplingTest, RejectsBadArgs) {
+  Dataset tiny;
+  tiny.Append(std::vector<float>{0.5f});
+  EXPECT_FALSE(
+      EstimatePairsByPairSampling(tiny, 0.1, Metric::kL2, 10, 1).ok());
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  EXPECT_FALSE(
+      EstimatePairsByPairSampling(*data, 0.0, Metric::kL2, 10, 1).ok());
+  EXPECT_FALSE(
+      EstimatePairsByPairSampling(*data, 0.1, Metric::kL2, 0, 1).ok());
+}
+
+TEST(PairSamplingTest, ConvergesOnDenseJoin) {
+  // Use a radius where the hit probability is large so pair sampling has
+  // reasonable variance.
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 3, .clusters = 3, .sigma = 0.05, .seed = 2});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.2;
+  const uint64_t exact = ExactPairs(*data, eps, Metric::kL2);
+  ASSERT_GT(exact, 1000u);
+  auto estimate =
+      EstimatePairsByPairSampling(*data, eps, Metric::kL2, 50000, 3);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->estimated_pairs, static_cast<double>(exact),
+              0.15 * static_cast<double>(exact));
+}
+
+TEST(PointSamplingTest, FullSampleIsExact) {
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 4});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.08));
+  ASSERT_TRUE(tree.ok());
+  const uint64_t exact = ExactPairs(*data, 0.08, Metric::kL2);
+  auto estimate = EstimatePairsByPointSampling(*tree, data->size(), 5);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->samples, data->size());
+  EXPECT_DOUBLE_EQ(estimate->estimated_pairs, static_cast<double>(exact));
+}
+
+TEST(PointSamplingTest, PartialSampleIsClose) {
+  auto data = GenerateClustered(
+      {.n = 2000, .dims = 4, .clusters = 6, .sigma = 0.05, .seed = 6});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.06));
+  ASSERT_TRUE(tree.ok());
+  const uint64_t exact = ExactPairs(*data, 0.06, Metric::kL2);
+  ASSERT_GT(exact, 100u);
+  auto estimate = EstimatePairsByPointSampling(*tree, 500, 7);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->samples, 500u);
+  EXPECT_NEAR(estimate->estimated_pairs, static_cast<double>(exact),
+              0.5 * static_cast<double>(exact));
+}
+
+TEST(PointSamplingTest, MoreSamplesReduceAverageError) {
+  auto data = GenerateClustered(
+      {.n = 1500, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 8});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.07));
+  ASSERT_TRUE(tree.ok());
+  const double exact =
+      static_cast<double>(ExactPairs(*data, 0.07, Metric::kL2));
+  ASSERT_GT(exact, 0.0);
+  // Average relative error over several seeds at two sample sizes.
+  auto avg_error = [&](size_t samples) {
+    double total = 0.0;
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      auto est = EstimatePairsByPointSampling(*tree, samples, 100 + seed);
+      EXPECT_TRUE(est.ok());
+      total += std::fabs(est->estimated_pairs - exact) / exact;
+    }
+    return total / 10.0;
+  };
+  EXPECT_LT(avg_error(750), avg_error(30) + 1e-9);
+}
+
+TEST(PointSamplingTest, RejectsZeroSamples) {
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 9});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(EstimatePairsByPointSampling(*tree, 0, 1).ok());
+}
+
+TEST(SuggestEpsilonTest, RejectsBadArgs) {
+  Dataset one;
+  one.Append(std::vector<float>{0.5f});
+  EXPECT_FALSE(SuggestEpsilonForTargetPairs(one, 1, Metric::kL2).ok());
+  auto data = GenerateUniform({.n = 100, .dims = 2, .seed = 20});
+  EXPECT_FALSE(SuggestEpsilonForTargetPairs(*data, 0, Metric::kL2).ok());
+  EXPECT_FALSE(
+      SuggestEpsilonForTargetPairs(*data, 1u << 30, Metric::kL2).ok());
+  EXPECT_FALSE(
+      SuggestEpsilonForTargetPairs(*data, 10, Metric::kL2, 0).ok());
+}
+
+TEST(SuggestEpsilonTest, SuggestedRadiusHitsTargetWithinFactor) {
+  auto data = GenerateClustered(
+      {.n = 1500, .dims = 4, .clusters = 5, .sigma = 0.08, .seed = 21});
+  ASSERT_TRUE(data.ok());
+  for (uint64_t target : {500u, 5000u, 50000u}) {
+    auto eps = SuggestEpsilonForTargetPairs(*data, target, Metric::kL2,
+                                            20000, 22);
+    ASSERT_TRUE(eps.ok());
+    const uint64_t actual = ExactPairs(*data, eps.value(), Metric::kL2);
+    EXPECT_GT(actual, target / 4) << "target " << target << " eps " << *eps;
+    EXPECT_LT(actual, target * 4) << "target " << target << " eps " << *eps;
+  }
+}
+
+TEST(SuggestEpsilonTest, MonotoneInTarget) {
+  auto data = GenerateUniform({.n = 800, .dims = 3, .seed = 23});
+  auto small = SuggestEpsilonForTargetPairs(*data, 100, Metric::kL2, 8000, 24);
+  auto large = SuggestEpsilonForTargetPairs(*data, 50000, Metric::kL2, 8000, 24);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small.value(), large.value());
+}
+
+TEST(SuggestEpsilonTest, DuplicateHeavyDataStaysPositive) {
+  Dataset data;
+  for (int i = 0; i < 200; ++i) data.Append(std::vector<float>{0.5f, 0.5f});
+  auto eps = SuggestEpsilonForTargetPairs(data, 10, Metric::kL2, 500, 25);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_GT(eps.value(), 0.0);
+}
+
+TEST(PointSamplingTest, EstimateIsDeterministicInSeed) {
+  auto data = GenerateUniform({.n = 500, .dims = 3, .seed = 10});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  auto a = EstimatePairsByPointSampling(*tree, 100, 77);
+  auto b = EstimatePairsByPointSampling(*tree, 100, 77);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->estimated_pairs, b->estimated_pairs);
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,224 @@
+// Tests for EkdbTree::Remove and the sliding-window streaming join.
+
+#include "core/streaming_window.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/ekdb_join.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+
+EkdbConfig Config(double epsilon, size_t leaf_threshold = 8) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = leaf_threshold;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Remove.
+// ---------------------------------------------------------------------------
+
+TEST(EkdbRemoveTest, RemovedPointsStopJoiningAndQuerying) {
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 1});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.08));
+  ASSERT_TRUE(tree.ok());
+
+  // Remove every third point.
+  std::set<PointId> removed;
+  for (PointId id = 0; id < data->size(); id += 3) {
+    ASSERT_TRUE(tree->Remove(id).ok()) << "id " << id;
+    removed.insert(id);
+  }
+
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  // Expected: oracle pairs with both endpoints surviving.
+  VectorSink oracle;
+  ASSERT_TRUE(NestedLoopSelfJoin(*data, 0.08, Metric::kL2, &oracle).ok());
+  std::vector<IdPair> expected;
+  for (const auto& p : oracle.Sorted()) {
+    if (!removed.count(p.first) && !removed.count(p.second)) {
+      expected.push_back(p);
+    }
+  }
+  ExpectSamePairs(expected, sink.Sorted(), "post-remove join");
+
+  EXPECT_EQ(tree->ComputeStats().total_points, data->size() - removed.size());
+}
+
+TEST(EkdbRemoveTest, RemoveThenReinsertRestoresJoin) {
+  auto data = GenerateUniform({.n = 300, .dims = 3, .seed = 2});
+  auto tree = EkdbTree::Build(*data, Config(0.12));
+  ASSERT_TRUE(tree.ok());
+  VectorSink before;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &before).ok());
+
+  for (PointId id = 10; id < 60; ++id) ASSERT_TRUE(tree->Remove(id).ok());
+  for (PointId id = 10; id < 60; ++id) ASSERT_TRUE(tree->Insert(id).ok());
+
+  VectorSink after;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &after).ok());
+  ExpectSamePairs(before.Sorted(), after.Sorted(), "remove+reinsert");
+}
+
+TEST(EkdbRemoveTest, RemoveAllThenTreeIsEmptyButUsable) {
+  auto data = GenerateUniform({.n = 50, .dims = 2, .seed = 3});
+  auto tree = EkdbTree::Build(*data, Config(0.1, 4));
+  ASSERT_TRUE(tree.ok());
+  for (PointId id = 0; id < 50; ++id) ASSERT_TRUE(tree->Remove(id).ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 0u);
+  CountingSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  EXPECT_EQ(sink.count(), 0u);
+  // Reinserting works after a full drain.
+  ASSERT_TRUE(tree->Insert(0).ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 1u);
+}
+
+TEST(EkdbRemoveTest, ErrorsOnMissingAndOutOfRangeIds) {
+  auto data = GenerateUniform({.n = 20, .dims = 2, .seed = 4});
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Remove(static_cast<PointId>(99)).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(tree->Remove(5).ok());
+  EXPECT_EQ(tree->Remove(5).code(), StatusCode::kNotFound);
+}
+
+TEST(EkdbRemoveTest, DuplicateCoordinatesRemoveExactId) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.Append(std::vector<float>{0.5f, 0.5f});
+  auto tree = EkdbTree::Build(data, Config(0.1, 4));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Remove(7).ok());
+  EXPECT_EQ(tree->Remove(7).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree->ComputeStats().total_points, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingWindowJoin.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingWindowJoinTest, CreateRejectsBadArgs) {
+  EXPECT_FALSE(StreamingWindowJoin::Create(1, 4, Config(0.1)).ok());
+  EXPECT_FALSE(StreamingWindowJoin::Create(10, 0, Config(0.1)).ok());
+  EXPECT_FALSE(StreamingWindowJoin::Create(10, 4, Config(0.0)).ok());
+}
+
+TEST(StreamingWindowJoinTest, FeedRejectsUnnormalisedPoints) {
+  auto join = StreamingWindowJoin::Create(8, 2, Config(0.1));
+  ASSERT_TRUE(join.ok());
+  const float bad[] = {0.5f, 1.5f};
+  EXPECT_FALSE((*join)->Feed(bad, [](StreamPos, StreamPos) {}).ok());
+}
+
+// Oracle: all pairs (i, j), i < j, j - i <= window - 1, dist <= eps.
+std::vector<std::pair<StreamPos, StreamPos>> WindowOracle(
+    const Dataset& stream, size_t window, double eps, Metric metric) {
+  DistanceKernel kernel(metric);
+  std::vector<std::pair<StreamPos, StreamPos>> out;
+  for (size_t j = 0; j < stream.size(); ++j) {
+    const size_t lo = j + 1 >= window ? j + 1 - window : 0;
+    for (size_t i = lo; i < j; ++i) {
+      if (kernel.WithinEpsilon(stream.Row(static_cast<PointId>(i)),
+                               stream.Row(static_cast<PointId>(j)),
+                               stream.dims(), eps)) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class StreamingWindowPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(StreamingWindowPropertyTest, MatchesWindowOracle) {
+  const auto [window, epsilon] = GetParam();
+  auto stream = GenerateClustered(
+      {.n = 900, .dims = 4, .clusters = 4, .sigma = 0.06, .seed = 5});
+  ASSERT_TRUE(stream.ok());
+
+  auto join = StreamingWindowJoin::Create(window, 4, Config(epsilon));
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  std::vector<std::pair<StreamPos, StreamPos>> got;
+  for (size_t i = 0; i < stream->size(); ++i) {
+    auto pos = (*join)->Feed(stream->Row(static_cast<PointId>(i)),
+                             [&got](StreamPos a, StreamPos b) {
+                               got.emplace_back(a, b);
+                             });
+    ASSERT_TRUE(pos.ok());
+    EXPECT_EQ(pos.value(), i);
+  }
+  std::sort(got.begin(), got.end());
+  const auto expected =
+      WindowOracle(*stream, window, epsilon, Metric::kL2);
+  EXPECT_EQ(got, expected) << "window=" << window << " eps=" << epsilon;
+  EXPECT_EQ((*join)->resident(), std::min<size_t>(window, stream->size()));
+  EXPECT_EQ((*join)->arrivals(), stream->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamingWindowPropertyTest,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{5}, size_t{64},
+                                         size_t{500}, size_t{2000}),
+                       ::testing::Values(0.05, 0.15)),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(StreamingWindowJoinTest, NonDefaultMetricsStayExact) {
+  for (Metric metric : {Metric::kL1, Metric::kLinf}) {
+    auto stream = GenerateClustered(
+        {.n = 500, .dims = 3, .clusters = 3, .sigma = 0.06, .seed = 7});
+    ASSERT_TRUE(stream.ok());
+    EkdbConfig config = Config(0.1);
+    config.metric = metric;
+    auto join = StreamingWindowJoin::Create(100, 3, config);
+    ASSERT_TRUE(join.ok());
+    std::vector<std::pair<StreamPos, StreamPos>> got;
+    for (size_t i = 0; i < stream->size(); ++i) {
+      ASSERT_TRUE((*join)
+                      ->Feed(stream->Row(static_cast<PointId>(i)),
+                             [&got](StreamPos a, StreamPos b) {
+                               got.emplace_back(a, b);
+                             })
+                      .ok());
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, WindowOracle(*stream, 100, 0.1, metric))
+        << MetricName(metric);
+  }
+}
+
+TEST(StreamingWindowJoinTest, WindowLargerThanStreamActsAgglomerative) {
+  auto stream = GenerateUniform({.n = 100, .dims = 3, .seed = 6});
+  auto join = StreamingWindowJoin::Create(1000, 3, Config(0.2));
+  ASSERT_TRUE(join.ok());
+  uint64_t pairs = 0;
+  for (size_t i = 0; i < stream->size(); ++i) {
+    ASSERT_TRUE((*join)
+                    ->Feed(stream->Row(static_cast<PointId>(i)),
+                           [&pairs](StreamPos, StreamPos) { ++pairs; })
+                    .ok());
+  }
+  VectorSink oracle;
+  ASSERT_TRUE(NestedLoopSelfJoin(*stream, 0.2, Metric::kL2, &oracle).ok());
+  EXPECT_EQ(pairs, oracle.pairs().size());
+}
+
+}  // namespace
+}  // namespace simjoin

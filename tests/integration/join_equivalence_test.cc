@@ -1,0 +1,217 @@
+// Cross-algorithm equivalence: every join implementation in the library must
+// produce exactly the same pair set on the same inputs.  This is the
+// library's strongest end-to-end property test: randomised workloads sweep
+// generators, sizes, dimensionalities, epsilons, and metrics, and the five
+// implementations (brute force, sort-merge, grid, R-tree, eps-k-d-B tree,
+// plus the parallel driver) are compared pairwise via the brute-force
+// oracle.
+
+#include <string>
+
+#include "baselines/grid_join.h"
+#include "baselines/nested_loop.h"
+#include "baselines/sort_merge.h"
+#include "core/ekdb_join.h"
+#include "core/parallel_join.h"
+#include "common/rng.h"
+#include "rtree/rtree_join.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+
+struct FuzzCase {
+  uint64_t seed;
+};
+
+Dataset RandomWorkload(Rng* rng) {
+  const size_t n = 100 + rng->UniformInt(900u);
+  const size_t dims = 1 + rng->UniformInt(10u);
+  switch (rng->UniformInt(4u)) {
+    case 0:
+      return *GenerateUniform({.n = n, .dims = dims, .seed = rng->Next()});
+    case 1:
+      return *GenerateClustered({.n = n,
+                                 .dims = dims,
+                                 .clusters = 1 + rng->UniformInt(8u),
+                                 .sigma = rng->Uniform(0.005, 0.1),
+                                 .zipf_skew = rng->Uniform(0.0, 1.5),
+                                 .noise_fraction = rng->Uniform(0.0, 0.3),
+                                 .seed = rng->Next()});
+    case 2:
+      return *GenerateGridPerturbed({.n = n,
+                                     .dims = dims,
+                                     .cell = rng->Uniform(0.1, 0.5),
+                                     .perturbation = rng->Uniform(0.0, 0.05),
+                                     .seed = rng->Next()});
+    default:
+      return *GenerateCorrelated(
+          {.n = n,
+           .dims = dims,
+           .intrinsic_dims = 1 + rng->UniformInt(std::min<uint64_t>(dims, 3)),
+           .noise = rng->Uniform(0.0, 0.05),
+           .seed = rng->Next()});
+  }
+}
+
+class JoinEquivalenceFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(JoinEquivalenceFuzzTest, AllSelfJoinAlgorithmsAgree) {
+  Rng rng(GetParam().seed);
+  const Dataset data = RandomWorkload(&rng);
+  const double epsilon = rng.Uniform(0.02, 0.4);
+  const Metric metric = static_cast<Metric>(rng.UniformInt(3u));
+
+  VectorSink oracle;
+  ASSERT_TRUE(NestedLoopSelfJoin(data, epsilon, metric, &oracle).ok());
+  const auto expected = oracle.Sorted();
+
+  {
+    VectorSink sink;
+    ASSERT_TRUE(SortMergeSelfJoin(data, epsilon, metric, SortMergeConfig{},
+                                  &sink)
+                    .ok());
+    ExpectSamePairs(expected, sink.Sorted(), "sort-merge");
+  }
+  {
+    VectorSink sink;
+    ASSERT_TRUE(GridSelfJoin(data, epsilon, metric, GridJoinConfig{}, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "grid");
+  }
+  {
+    RTreeConfig config;
+    config.max_entries = static_cast<size_t>(4 + rng.UniformInt(60u));
+    config.min_entries = std::max<size_t>(1, config.max_entries / 4);
+    auto tree = RTree::BulkLoad(data, config);
+    ASSERT_TRUE(tree.ok());
+    VectorSink sink;
+    ASSERT_TRUE(RTreeSelfJoin(*tree, epsilon, &sink, metric).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "rtree");
+  }
+  {
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.metric = metric;
+    config.leaf_threshold = static_cast<size_t>(1 + rng.UniformInt(128u));
+    auto tree = EkdbTree::Build(data, config);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    VectorSink sink;
+    ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "ekdb");
+
+    ParallelJoinConfig pcfg;
+    pcfg.num_threads = 1 + rng.UniformInt(4u);
+    pcfg.min_task_points = 1 + rng.UniformInt(500u);
+    VectorSink psink;
+    ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, pcfg, &psink).ok());
+    ExpectSamePairs(expected, psink.Sorted(), "ekdb parallel");
+  }
+  {
+    // Radius-override joins: build a tree for a larger radius, query at the
+    // fuzzed epsilon; result must still match the oracle exactly.
+    EkdbConfig config;
+    config.epsilon = std::min(0.9, epsilon * rng.Uniform(1.0, 3.0));
+    config.metric = metric;
+    config.leaf_threshold = static_cast<size_t>(1 + rng.UniformInt(64u));
+    auto tree = EkdbTree::Build(data, config);
+    ASSERT_TRUE(tree.ok());
+    VectorSink sink;
+    ASSERT_TRUE(EkdbSelfJoinWithEpsilon(*tree, epsilon, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "ekdb epsilon override");
+  }
+  {
+    // Dynamic maintenance: rebuild the tree by inserting every point into a
+    // seed tree, then join; must match the oracle.
+    Dataset copy = data;
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.metric = metric;
+    config.leaf_threshold = static_cast<size_t>(1 + rng.UniformInt(64u));
+    // Build over the first point only, then insert the rest.
+    Dataset seed_data;
+    seed_data.Append(copy.RowSpan(0));
+    // Trees index a dataset by reference, so grow a dataset in place.
+    Dataset growing;
+    growing.Append(copy.RowSpan(0));
+    auto tree = EkdbTree::Build(growing, config);
+    ASSERT_TRUE(tree.ok());
+    for (size_t i = 1; i < copy.size(); ++i) {
+      growing.Append(copy.RowSpan(static_cast<PointId>(i)));
+      ASSERT_TRUE(tree->Insert(static_cast<PointId>(i)).ok());
+    }
+    VectorSink sink;
+    ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "ekdb insert-built");
+  }
+}
+
+TEST_P(JoinEquivalenceFuzzTest, AllCrossJoinAlgorithmsAgree) {
+  Rng rng(GetParam().seed ^ 0xabcdef);
+  Dataset a = RandomWorkload(&rng);
+  // Build b with the same dimensionality.
+  Dataset b = *GenerateClustered({.n = 150 + rng.UniformInt(500u),
+                                  .dims = a.dims(),
+                                  .clusters = 1 + rng.UniformInt(6u),
+                                  .sigma = rng.Uniform(0.01, 0.1),
+                                  .seed = rng.Next()});
+  const double epsilon = rng.Uniform(0.02, 0.35);
+  const Metric metric = static_cast<Metric>(rng.UniformInt(3u));
+
+  VectorSink oracle;
+  ASSERT_TRUE(NestedLoopJoin(a, b, epsilon, metric, &oracle).ok());
+  const auto expected = oracle.Sorted();
+
+  {
+    VectorSink sink;
+    ASSERT_TRUE(
+        SortMergeJoin(a, b, epsilon, metric, SortMergeConfig{}, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "sort-merge cross");
+  }
+  {
+    VectorSink sink;
+    ASSERT_TRUE(GridJoin(a, b, epsilon, metric, GridJoinConfig{}, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "grid cross");
+  }
+  {
+    RTreeConfig config;
+    auto ta = RTree::BulkLoad(a, config);
+    auto tb = RTree::BulkLoad(b, config);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    VectorSink sink;
+    ASSERT_TRUE(RTreeJoin(*ta, *tb, epsilon, &sink, metric).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "rtree cross");
+  }
+  {
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.metric = metric;
+    config.leaf_threshold = static_cast<size_t>(1 + rng.UniformInt(100u));
+    auto ta = EkdbTree::Build(a, config);
+    EkdbConfig config_b = config;
+    config_b.leaf_threshold = static_cast<size_t>(1 + rng.UniformInt(100u));
+    auto tb = EkdbTree::Build(b, config_b);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+    VectorSink sink;
+    ASSERT_TRUE(EkdbJoin(*ta, *tb, &sink).ok());
+    ExpectSamePairs(expected, sink.Sorted(), "ekdb cross");
+  }
+}
+
+std::vector<FuzzCase> MakeFuzzCases() {
+  std::vector<FuzzCase> cases;
+  for (uint64_t s = 1; s <= 12; ++s) cases.push_back(FuzzCase{s * 7919});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, JoinEquivalenceFuzzTest,
+                         ::testing::ValuesIn(MakeFuzzCases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace simjoin

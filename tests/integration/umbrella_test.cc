@@ -1,0 +1,58 @@
+// Compilation/linkage test of the umbrella header: one translation unit
+// includes simjoin.h and touches a symbol from every module.
+
+#include "simjoin.h"
+
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(UmbrellaHeaderTest, EveryModuleIsReachable) {
+  // common
+  Rng rng(1);
+  Dataset data = *GenerateClustered(
+      {.n = 300, .dims = 4, .clusters = 3, .sigma = 0.05, .seed = rng.Next()});
+  EXPECT_TRUE(data.AllWithin(0.0f, 1.0f));
+  BoundingBox box = BoundingBox::FromPoint(data.Row(0), data.dims());
+  EXPECT_FALSE(box.IsEmpty());
+  RunningStats stats_acc;
+  stats_acc.Add(1.0);
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  EXPECT_EQ(uf.NumComponents(), 3u);
+  EXPECT_FALSE(FormatSeconds(0.5).empty());
+
+  // core: tree + join + range query + selectivity + components + dbscan.
+  EkdbConfig config;
+  config.epsilon = 0.1;
+  auto tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(tree.ok());
+  CountingSink count_sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &count_sink).ok());
+  ASSERT_TRUE(EstimatePairsByPointSampling(*tree, 10, 1).ok());
+  ASSERT_TRUE(EpsilonConnectedComponents(data, 0.1, Metric::kL2).ok());
+  ASSERT_TRUE(Dbscan(data, {.epsilon = 0.1, .min_pts = 3}).ok());
+  ASSERT_TRUE(TopKClosestPairs(data, 3, Metric::kL2).ok());
+  ASSERT_TRUE(PlanSelfJoin(data, 0.1, Metric::kL2).ok());
+
+  // baselines + rtree + approx.
+  CountingSink nested;
+  ASSERT_TRUE(NestedLoopSelfJoin(data, 0.1, Metric::kL2, &nested).ok());
+  EXPECT_EQ(nested.count(), count_sink.count());
+  auto kd = KdTree::Build(data, KdTreeConfig{});
+  ASSERT_TRUE(kd.ok());
+  auto rt = RTree::BulkLoad(data, RTreeConfig{});
+  ASSERT_TRUE(rt.ok());
+  CountingSink lsh_sink;
+  ASSERT_TRUE(
+      LshApproximateSelfJoin(data, 0.1, LshConfig{}, &lsh_sink).ok());
+  EXPECT_LE(lsh_sink.count(), nested.count());
+
+  // workload extras.
+  ASSERT_TRUE(ProfileDataset(data, 16, 1).ok());
+  ASSERT_TRUE(RealDft({1.0, 2.0, 3.0}).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

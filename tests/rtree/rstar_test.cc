@@ -1,0 +1,174 @@
+// Tests for the R*-style split/choose-subtree insertion variant.
+
+#include "rtree/rtree.h"
+#include "rtree/rtree_join.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleSelfJoin;
+
+RTreeConfig RStarConfig(size_t max_entries = 16) {
+  RTreeConfig config;
+  config.max_entries = max_entries;
+  config.min_entries = max_entries / 4;
+  config.split = RTreeSplitAlgorithm::kRStar;
+  return config;
+}
+
+TEST(RStarTest, InvariantsHoldAfterInsertionBuild) {
+  for (size_t dims : {2u, 4u, 9u}) {
+    auto data = GenerateClustered({.n = 800, .dims = dims, .clusters = 5,
+                                   .sigma = 0.05, .seed = 41 + dims});
+    ASSERT_TRUE(data.ok());
+    auto tree = RTree::BuildByInsertion(*data, RStarConfig());
+    ASSERT_TRUE(tree.ok());
+    const Status st = tree->CheckInvariants();
+    EXPECT_TRUE(st.ok()) << "dims=" << dims << ": " << st.ToString();
+    EXPECT_EQ(tree->ComputeStats().total_points, 800u);
+  }
+}
+
+TEST(RStarTest, JoinsAndQueriesStayExact) {
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 4, .clusters = 6, .sigma = 0.05, .seed = 42});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BuildByInsertion(*data, RStarConfig(8));
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(RTreeSelfJoin(*tree, 0.08, &sink, Metric::kL2).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.08, Metric::kL2), sink.Sorted(),
+                  "rstar join");
+
+  DistanceKernel kernel(Metric::kL2);
+  std::vector<PointId> hits;
+  ASSERT_TRUE(tree->RangeQuery(data->Row(3), 0.1, Metric::kL2, &hits).ok());
+  size_t expected = 0;
+  for (size_t i = 0; i < data->size(); ++i) {
+    expected += kernel.WithinEpsilon(data->Row(3),
+                                     data->Row(static_cast<PointId>(i)), 4, 0.1);
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+TEST(RStarTest, DuplicatePointsStillSplit) {
+  Dataset ds;
+  for (int i = 0; i < 150; ++i) ds.Append(std::vector<float>{0.4f, 0.6f});
+  auto tree = RTree::BuildByInsertion(ds, RStarConfig(4));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 150u);
+}
+
+// Aggregate leaf-MBR overlap volume of a tree; the quality metric R* aims
+// to improve over the quadratic split.
+double TotalLeafOverlap(const RTreeNode* node, std::vector<const RTreeNode*>* leaves) {
+  if (node->is_leaf()) {
+    leaves->push_back(node);
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& child : node->children) {
+    acc += TotalLeafOverlap(child.get(), leaves);
+  }
+  return acc;
+}
+
+TEST(RStarTest, ProducesNoMoreLeafOverlapThanQuadraticOnClusteredData) {
+  auto data = GenerateClustered(
+      {.n = 2500, .dims = 3, .clusters = 8, .sigma = 0.06, .seed = 43});
+  ASSERT_TRUE(data.ok());
+  auto measure = [&](RTreeSplitAlgorithm split) {
+    RTreeConfig config;
+    config.max_entries = 16;
+    config.min_entries = 4;
+    config.split = split;
+    auto tree = RTree::BuildByInsertion(*data, config);
+    EXPECT_TRUE(tree.ok());
+    std::vector<const RTreeNode*> leaves;
+    TotalLeafOverlap(tree->root(), &leaves);
+    double overlap = 0.0;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      for (size_t j = i + 1; j < leaves.size(); ++j) {
+        overlap += leaves[i]->mbr.OverlapVolume(leaves[j]->mbr);
+      }
+    }
+    return overlap;
+  };
+  const double quadratic = measure(RTreeSplitAlgorithm::kQuadratic);
+  const double rstar = measure(RTreeSplitAlgorithm::kRStar);
+  // R* should not be (much) worse; on clustered data it is typically far
+  // better.  Allow 10% slack to keep the test robust.
+  EXPECT_LE(rstar, quadratic * 1.1)
+      << "rstar overlap " << rstar << " vs quadratic " << quadratic;
+}
+
+RTreeConfig ReinsertConfig(size_t max_entries = 16) {
+  RTreeConfig config = RStarConfig(max_entries);
+  config.forced_reinsert = true;
+  return config;
+}
+
+TEST(RStarForcedReinsertTest, InvariantsAndJoinsStayExact) {
+  auto data = GenerateClustered(
+      {.n = 700, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 50});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BuildByInsertion(*data, ReinsertConfig(8));
+  ASSERT_TRUE(tree.ok());
+  const Status st = tree->CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(tree->ComputeStats().total_points, 700u);
+  VectorSink sink;
+  ASSERT_TRUE(RTreeSelfJoin(*tree, 0.08, &sink, Metric::kL2).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, 0.08, Metric::kL2), sink.Sorted(),
+                  "forced reinsert join");
+}
+
+TEST(RStarForcedReinsertTest, DuplicateHeavyDataTerminates) {
+  Dataset ds;
+  for (int i = 0; i < 200; ++i) ds.Append(std::vector<float>{0.5f, 0.5f});
+  auto tree = RTree::BuildByInsertion(ds, ReinsertConfig(4));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 200u);
+}
+
+TEST(RStarForcedReinsertTest, RemoveStillWorksAfterReinsertBuild) {
+  auto data = GenerateUniform({.n = 300, .dims = 3, .seed = 51});
+  auto tree = RTree::BuildByInsertion(*data, ReinsertConfig(8));
+  ASSERT_TRUE(tree.ok());
+  for (PointId id = 0; id < 150; ++id) ASSERT_TRUE(tree->Remove(id).ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 150u);
+}
+
+TEST(RStarForcedReinsertTest, ConfigValidation) {
+  RTreeConfig config = ReinsertConfig();
+  config.reinsert_fraction = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.reinsert_fraction = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.reinsert_fraction = 0.3;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(RStarTest, CrossJoinAgainstStrTreeIsExact) {
+  auto a = GenerateUniform({.n = 400, .dims = 3, .seed = 44});
+  auto b = GenerateClustered(
+      {.n = 300, .dims = 3, .clusters = 3, .sigma = 0.05, .seed = 45});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = RTree::BuildByInsertion(*a, RStarConfig(8));
+  auto tb = RTree::BulkLoad(*b, RTreeConfig{});
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  VectorSink sink;
+  ASSERT_TRUE(RTreeJoin(*ta, *tb, 0.1, &sink, Metric::kL2).ok());
+  ExpectSamePairs(testing_util::OracleJoin(*a, *b, 0.1, Metric::kL2),
+                  sink.Sorted(), "rstar cross");
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,117 @@
+#include "rtree/rtree_join.h"
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::ExpectSamePairs;
+using testing_util::OracleJoin;
+using testing_util::OracleSelfJoin;
+
+RTreeConfig Config(size_t max_entries = 16, size_t min_entries = 4) {
+  RTreeConfig config;
+  config.max_entries = max_entries;
+  config.min_entries = min_entries;
+  return config;
+}
+
+struct RTreeJoinCase {
+  double epsilon;
+  Metric metric;
+  size_t max_entries;
+  bool insertion_built;
+};
+
+class RTreeSelfJoinPropertyTest
+    : public ::testing::TestWithParam<RTreeJoinCase> {};
+
+TEST_P(RTreeSelfJoinPropertyTest, MatchesOracle) {
+  const auto& c = GetParam();
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 31});
+  ASSERT_TRUE(data.ok());
+  auto tree = c.insertion_built
+                  ? RTree::BuildByInsertion(*data, Config(c.max_entries,
+                                                          c.max_entries / 4))
+                  : RTree::BulkLoad(*data, Config(c.max_entries,
+                                                  c.max_entries / 4));
+  ASSERT_TRUE(tree.ok());
+  VectorSink sink;
+  ASSERT_TRUE(RTreeSelfJoin(*tree, c.epsilon, &sink, c.metric).ok());
+  ExpectSamePairs(OracleSelfJoin(*data, c.epsilon, c.metric), sink.Sorted(),
+                  "rtree self");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeSelfJoinPropertyTest,
+    ::testing::Values(RTreeJoinCase{0.05, Metric::kL2, 16, false},
+                      RTreeJoinCase{0.15, Metric::kL2, 16, false},
+                      RTreeJoinCase{0.1, Metric::kL1, 8, false},
+                      RTreeJoinCase{0.1, Metric::kLinf, 32, false},
+                      RTreeJoinCase{0.08, Metric::kL2, 8, true},
+                      RTreeJoinCase{0.2, Metric::kLinf, 16, true}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return std::string(c.insertion_built ? "ins" : "str") + "_eps" +
+             std::to_string(static_cast<int>(c.epsilon * 1000)) + "_" +
+             MetricName(c.metric) + "_cap" + std::to_string(c.max_entries);
+    });
+
+TEST(RTreeJoinTest, CrossJoinMatchesOracle) {
+  auto a = GenerateClustered(
+      {.n = 400, .dims = 5, .clusters = 4, .sigma = 0.04, .seed = 32});
+  auto b = GenerateUniform({.n = 300, .dims = 5, .seed = 33});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = RTree::BulkLoad(*a, Config());
+  auto tb = RTree::BulkLoad(*b, Config(8, 2));  // different fanouts / heights
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  VectorSink sink;
+  ASSERT_TRUE(RTreeJoin(*ta, *tb, 0.1, &sink, Metric::kL2).ok());
+  ExpectSamePairs(OracleJoin(*a, *b, 0.1, Metric::kL2), sink.Sorted(),
+                  "rtree cross");
+}
+
+TEST(RTreeJoinTest, MixedConstructionCrossJoin) {
+  auto a = GenerateUniform({.n = 350, .dims = 3, .seed = 34});
+  auto b = GenerateUniform({.n = 200, .dims = 3, .seed = 35});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = RTree::BulkLoad(*a, Config());
+  auto tb = RTree::BuildByInsertion(*b, Config(8, 3));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  VectorSink sink;
+  ASSERT_TRUE(RTreeJoin(*ta, *tb, 0.12, &sink, Metric::kL2).ok());
+  ExpectSamePairs(OracleJoin(*a, *b, 0.12, Metric::kL2), sink.Sorted(),
+                  "mixed construction");
+}
+
+TEST(RTreeJoinTest, InvalidArgsRejected) {
+  auto a = GenerateUniform({.n = 10, .dims = 2, .seed = 36});
+  auto b = GenerateUniform({.n = 10, .dims = 3, .seed = 37});
+  auto ta = RTree::BulkLoad(*a, Config());
+  auto tb = RTree::BulkLoad(*b, Config());
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  CountingSink sink;
+  EXPECT_FALSE(RTreeJoin(*ta, *tb, 0.1, &sink).ok());  // dims mismatch
+  EXPECT_FALSE(RTreeSelfJoin(*ta, 0.0, &sink).ok());
+  EXPECT_FALSE(RTreeSelfJoin(*ta, 0.1, nullptr).ok());
+}
+
+TEST(RTreeJoinTest, PruningActuallyCutsWork) {
+  auto data = GenerateClustered(
+      {.n = 2000, .dims = 6, .clusters = 10, .sigma = 0.02, .seed = 38});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BulkLoad(*data, Config(32, 8));
+  ASSERT_TRUE(tree.ok());
+  CountingSink sink;
+  JoinStats stats;
+  ASSERT_TRUE(RTreeSelfJoin(*tree, 0.05, &sink, Metric::kL2, &stats).ok());
+  EXPECT_GT(stats.node_pairs_pruned, 0u);
+  EXPECT_LT(stats.candidate_pairs, 2000u * 1999u / 2u)
+      << "join should not degenerate to all-pairs";
+}
+
+}  // namespace
+}  // namespace simjoin

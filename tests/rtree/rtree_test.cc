@@ -1,0 +1,252 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+using testing_util::MakeDataset;
+
+RTreeConfig SmallConfig(size_t max_entries = 8, size_t min_entries = 3) {
+  RTreeConfig config;
+  config.max_entries = max_entries;
+  config.min_entries = min_entries;
+  return config;
+}
+
+TEST(RTreeConfigTest, Validation) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  EXPECT_FALSE(SmallConfig(1, 1).Validate().ok());
+  EXPECT_FALSE(SmallConfig(8, 0).Validate().ok());
+  EXPECT_FALSE(SmallConfig(8, 5).Validate().ok());  // min > max/2
+}
+
+TEST(RTreeBulkLoadTest, RejectsEmptyDataset) {
+  Dataset empty;
+  EXPECT_FALSE(RTree::BulkLoad(empty, SmallConfig()).ok());
+}
+
+TEST(RTreeBulkLoadTest, SmallDatasetSingleLeaf) {
+  const Dataset ds = MakeDataset({{0.1f, 0.1f}, {0.9f, 0.9f}});
+  auto tree = RTree::BulkLoad(ds, SmallConfig());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->root()->is_leaf());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(RTreeBulkLoadTest, InvariantsHoldAcrossSizesAndDims) {
+  for (size_t n : {10u, 100u, 777u, 3000u}) {
+    for (size_t dims : {2u, 5u, 12u}) {
+      auto data = GenerateUniform({.n = n, .dims = dims, .seed = n + dims});
+      ASSERT_TRUE(data.ok());
+      auto tree = RTree::BulkLoad(*data, SmallConfig(16, 4));
+      ASSERT_TRUE(tree.ok());
+      const Status st = tree->CheckInvariants();
+      EXPECT_TRUE(st.ok()) << "n=" << n << " dims=" << dims << ": "
+                           << st.ToString();
+      const auto stats = tree->ComputeStats();
+      EXPECT_EQ(stats.total_points, n);
+      EXPECT_GT(stats.avg_leaf_fill, 0.2);
+    }
+  }
+}
+
+TEST(RTreeBulkLoadTest, StrPackingYieldsHighLeafFill) {
+  auto data = GenerateUniform({.n = 5000, .dims = 4, .seed = 1});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BulkLoad(*data, SmallConfig(32, 8));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->ComputeStats().avg_leaf_fill, 0.8)
+      << "STR should pack leaves nearly full";
+}
+
+TEST(RTreeInsertionTest, InvariantsHoldAfterEveryGrowthPhase) {
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 3, .clusters = 4, .sigma = 0.05, .seed = 2});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BuildByInsertion(*data, SmallConfig(8, 3));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 600u);
+  EXPECT_GT(tree->ComputeStats().height, 1u);
+}
+
+TEST(RTreeInsertionTest, RejectsOutOfRangeId) {
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 3});
+  auto tree = RTree::BuildByInsertion(*data, SmallConfig());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->Insert(static_cast<PointId>(99)).ok());
+}
+
+TEST(RTreeInsertionTest, DuplicatePointsSplitWithoutInfiniteLoop) {
+  Dataset ds;
+  for (int i = 0; i < 200; ++i) ds.Append(std::vector<float>{0.5f, 0.5f});
+  auto tree = RTree::BuildByInsertion(ds, SmallConfig(4, 2));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 200u);
+}
+
+TEST(RTreeRangeQueryTest, MatchesLinearScan) {
+  auto data = GenerateClustered(
+      {.n = 800, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 4});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BulkLoad(*data, SmallConfig(16, 4));
+  ASSERT_TRUE(tree.ok());
+  DistanceKernel kernel(Metric::kL2);
+  for (PointId q = 0; q < 20; ++q) {
+    const float* query = data->Row(q);
+    std::vector<PointId> got;
+    ASSERT_TRUE(tree->RangeQuery(query, 0.1, Metric::kL2, &got).ok());
+    std::vector<PointId> expected;
+    for (size_t i = 0; i < data->size(); ++i) {
+      if (kernel.WithinEpsilon(query, data->Row(static_cast<PointId>(i)), 4,
+                               0.1)) {
+        expected.push_back(static_cast<PointId>(i));
+      }
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST(RTreeRangeQueryTest, WorksOnInsertionBuiltTree) {
+  auto data = GenerateUniform({.n = 400, .dims = 3, .seed = 5});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BuildByInsertion(*data, SmallConfig(8, 3));
+  ASSERT_TRUE(tree.ok());
+  DistanceKernel kernel(Metric::kLinf);
+  const float* query = data->Row(7);
+  std::vector<PointId> got;
+  ASSERT_TRUE(tree->RangeQuery(query, 0.15, Metric::kLinf, &got).ok());
+  uint64_t expected = 0;
+  for (size_t i = 0; i < data->size(); ++i) {
+    expected += kernel.WithinEpsilon(query, data->Row(static_cast<PointId>(i)),
+                                     3, 0.15);
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+TEST(RTreeRangeQueryTest, InvalidArgsRejected) {
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 6});
+  auto tree = RTree::BulkLoad(*data, SmallConfig());
+  ASSERT_TRUE(tree.ok());
+  std::vector<PointId> out;
+  EXPECT_FALSE(tree->RangeQuery(data->Row(0), 0.0, Metric::kL2, &out).ok());
+  EXPECT_FALSE(tree->RangeQuery(data->Row(0), 0.1, Metric::kL2, nullptr).ok());
+}
+
+TEST(RTreeKnnTest, MatchesBruteForceAcrossConstructionsAndMetrics) {
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 4, .sigma = 0.06, .seed = 30});
+  ASSERT_TRUE(data.ok());
+  auto bulk = RTree::BulkLoad(*data, SmallConfig(16, 4));
+  auto inserted = RTree::BuildByInsertion(*data, SmallConfig(8, 3));
+  ASSERT_TRUE(bulk.ok() && inserted.ok());
+  for (const RTree* tree : {&*bulk, &*inserted}) {
+    for (Metric metric : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+      DistanceKernel kernel(metric);
+      for (PointId q = 0; q < 8; ++q) {
+        std::vector<RTree::Neighbor> got;
+        ASSERT_TRUE(tree->KnnQuery(data->Row(q), 7, metric, &got).ok());
+        ASSERT_EQ(got.size(), 7u);
+        std::vector<std::pair<double, PointId>> all;
+        for (size_t i = 0; i < data->size(); ++i) {
+          all.emplace_back(kernel.Distance(data->Row(q),
+                                           data->Row(static_cast<PointId>(i)),
+                                           4),
+                           static_cast<PointId>(i));
+        }
+        std::sort(all.begin(), all.end());
+        for (size_t i = 0; i < 7; ++i) {
+          EXPECT_EQ(got[i].id, all[i].second)
+              << MetricName(metric) << " q=" << q << " rank " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RTreeKnnTest, RejectsBadArgsAndHandlesSmallTrees) {
+  auto data = GenerateUniform({.n = 5, .dims = 2, .seed = 31});
+  auto tree = RTree::BulkLoad(*data, SmallConfig());
+  ASSERT_TRUE(tree.ok());
+  std::vector<RTree::Neighbor> out;
+  EXPECT_FALSE(tree->KnnQuery(data->Row(0), 0, Metric::kL2, &out).ok());
+  EXPECT_FALSE(tree->KnnQuery(data->Row(0), 3, Metric::kL2, nullptr).ok());
+  ASSERT_TRUE(tree->KnnQuery(data->Row(0), 100, Metric::kL2, &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].id, 0u);
+  EXPECT_EQ(out[0].distance, 0.0);
+}
+
+TEST(RTreeRemoveTest, RemovedPointsDisappearFromQueries) {
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 3, .clusters = 4, .sigma = 0.05, .seed = 20});
+  ASSERT_TRUE(data.ok());
+  auto tree = RTree::BuildByInsertion(*data, SmallConfig(8, 3));
+  ASSERT_TRUE(tree.ok());
+  for (PointId id = 0; id < 250; ++id) {
+    ASSERT_TRUE(tree->Remove(id).ok()) << "id " << id;
+    const Status st = tree->CheckInvariants();
+    ASSERT_TRUE(st.ok()) << "after removing " << id << ": " << st.ToString();
+  }
+  EXPECT_EQ(tree->ComputeStats().total_points, 250u);
+  // A wide range query sees exactly the survivors.
+  std::vector<PointId> hits;
+  const float centre[] = {0.5f, 0.5f, 0.5f};
+  ASSERT_TRUE(tree->RangeQuery(centre, 0.95, Metric::kLinf, &hits).ok());
+  for (PointId h : hits) EXPECT_GE(h, 250u);
+  EXPECT_EQ(hits.size(), 250u);
+}
+
+TEST(RTreeRemoveTest, RemoveFromBulkLoadedTree) {
+  auto data = GenerateUniform({.n = 300, .dims = 4, .seed = 21});
+  auto tree = RTree::BulkLoad(*data, SmallConfig(16, 4));
+  ASSERT_TRUE(tree.ok());
+  for (PointId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(tree->Remove(id).ok());
+  }
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 200u);
+}
+
+TEST(RTreeRemoveTest, RemoveAllThenReinsert) {
+  auto data = GenerateUniform({.n = 60, .dims = 2, .seed = 22});
+  auto tree = RTree::BuildByInsertion(*data, SmallConfig(4, 2));
+  ASSERT_TRUE(tree.ok());
+  for (PointId id = 0; id < 60; ++id) ASSERT_TRUE(tree->Remove(id).ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 0u);
+  for (PointId id = 0; id < 60; ++id) ASSERT_TRUE(tree->Insert(id).ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->ComputeStats().total_points, 60u);
+}
+
+TEST(RTreeRemoveTest, ErrorsOnMissingAndOutOfRange) {
+  auto data = GenerateUniform({.n = 20, .dims = 2, .seed = 23});
+  auto tree = RTree::BulkLoad(*data, SmallConfig());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Remove(static_cast<PointId>(99)).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(tree->Remove(7).ok());
+  EXPECT_EQ(tree->Remove(7).code(), StatusCode::kNotFound);
+}
+
+TEST(RTreeStatsTest, MemoryAndHeightGrowWithData) {
+  auto small_data = GenerateUniform({.n = 100, .dims = 3, .seed = 7});
+  auto big_data = GenerateUniform({.n = 10000, .dims = 3, .seed = 7});
+  auto small_tree = RTree::BulkLoad(*small_data, SmallConfig(16, 4));
+  auto big_tree = RTree::BulkLoad(*big_data, SmallConfig(16, 4));
+  ASSERT_TRUE(small_tree.ok() && big_tree.ok());
+  EXPECT_GT(big_tree->ComputeStats().memory_bytes,
+            small_tree->ComputeStats().memory_bytes);
+  EXPECT_GT(big_tree->ComputeStats().height,
+            small_tree->ComputeStats().height);
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,119 @@
+#include "workload/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+using Complex = std::complex<double>;
+
+TEST(NextPowerOfTwoTest, KnownValues) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwoAndEmpty) {
+  std::vector<Complex> bad(3);
+  EXPECT_FALSE(Fft(&bad).ok());
+  std::vector<Complex> empty;
+  EXPECT_FALSE(Fft(&empty).ok());
+  EXPECT_FALSE(InverseFft(&bad).ok());
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  std::vector<Complex> data(8, 0.0);
+  data[0] = 1.0;
+  ASSERT_TRUE(Fft(&data).ok());
+  for (const Complex& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneConcentratesInOneBin) {
+  const size_t n = 64;
+  const size_t tone = 5;
+  std::vector<Complex> data(n);
+  for (size_t t = 0; t < n; ++t) {
+    data[t] = std::cos(2.0 * std::numbers::pi * static_cast<double>(tone * t) /
+                       static_cast<double>(n));
+  }
+  ASSERT_TRUE(Fft(&data).ok());
+  for (size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(data[k]);
+    if (k == tone || k == n - tone) {
+      EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-9) << "bin " << k;
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(FftTest, InverseRecoversInput) {
+  Rng rng(123);
+  std::vector<Complex> data(128);
+  for (auto& v : data) v = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  const std::vector<Complex> original = data;
+  ASSERT_TRUE(Fft(&data).ok());
+  ASSERT_TRUE(InverseFft(&data).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  Rng rng(321);
+  std::vector<Complex> data(256);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = Complex(rng.Gaussian(), 0.0);
+    time_energy += std::norm(v);
+  }
+  ASSERT_TRUE(Fft(&data).ok());
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(FftTest, MatchesNaiveDftOnRandomInput) {
+  Rng rng(555);
+  const size_t n = 32;
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  std::vector<Complex> naive(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      naive[k] += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  ASSERT_TRUE(Fft(&data).ok());
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), naive[k].real(), 1e-9);
+    EXPECT_NEAR(data[k].imag(), naive[k].imag(), 1e-9);
+  }
+}
+
+TEST(RealDftTest, PadsToPowerOfTwo) {
+  std::vector<double> series(100, 1.0);
+  auto spectrum = RealDft(series);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_EQ(spectrum->size(), 128u);
+}
+
+TEST(RealDftTest, RejectsEmptySeries) {
+  EXPECT_FALSE(RealDft({}).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,188 @@
+#include "workload/generators.h"
+
+#include <cmath>
+
+#include "common/metric.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(GenerateUniformTest, ShapeAndRange) {
+  auto ds = GenerateUniform({.n = 500, .dims = 6, .seed = 1});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 500u);
+  EXPECT_EQ(ds->dims(), 6u);
+  EXPECT_TRUE(ds->AllWithin(0.0f, 1.0f));
+}
+
+TEST(GenerateUniformTest, DeterministicInSeed) {
+  auto a = GenerateUniform({.n = 50, .dims = 3, .seed = 9});
+  auto b = GenerateUniform({.n = 50, .dims = 3, .seed = 9});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->flat(), b->flat());
+  auto c = GenerateUniform({.n = 50, .dims = 3, .seed = 10});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->flat(), c->flat());
+}
+
+TEST(GenerateUniformTest, MeanNearHalfPerColumn) {
+  auto ds = GenerateUniform({.n = 20000, .dims = 3, .seed = 2});
+  ASSERT_TRUE(ds.ok());
+  for (size_t d = 0; d < 3; ++d) {
+    RunningStats col;
+    for (size_t i = 0; i < ds->size(); ++i) {
+      col.Add(ds->Row(static_cast<PointId>(i))[d]);
+    }
+    EXPECT_NEAR(col.mean(), 0.5, 0.02);
+  }
+}
+
+TEST(GenerateUniformTest, RejectsDegenerateConfigs) {
+  EXPECT_FALSE(GenerateUniform({.n = 0, .dims = 3}).ok());
+  EXPECT_FALSE(GenerateUniform({.n = 3, .dims = 0}).ok());
+}
+
+TEST(GenerateClusteredTest, ShapeRangeAndDeterminism) {
+  const ClusteredConfig cfg{.n = 1000, .dims = 8, .clusters = 5, .sigma = 0.03,
+                            .zipf_skew = 0.0, .noise_fraction = 0.0, .seed = 3};
+  auto a = GenerateClustered(cfg);
+  auto b = GenerateClustered(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(), 1000u);
+  EXPECT_TRUE(a->AllWithin(0.0f, 1.0f));
+  EXPECT_EQ(a->flat(), b->flat());
+}
+
+TEST(GenerateClusteredTest, ClusteredIsDenserThanUniform) {
+  // Average nearest-neighbour-ish density proxy: count of pairs within a
+  // small radius should be far higher for the clustered cloud.
+  const size_t n = 800, dims = 4;
+  auto uniform = GenerateUniform({.n = n, .dims = dims, .seed = 4});
+  auto clustered = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 4, .sigma = 0.02, .seed = 4});
+  ASSERT_TRUE(uniform.ok() && clustered.ok());
+  DistanceKernel kernel(Metric::kL2);
+  auto count_close = [&](const Dataset& ds) {
+    uint64_t close = 0;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (size_t j = i + 1; j < ds.size(); ++j) {
+        close += kernel.WithinEpsilon(ds.Row(static_cast<PointId>(i)),
+                                      ds.Row(static_cast<PointId>(j)), dims, 0.05);
+      }
+    }
+    return close;
+  };
+  EXPECT_GT(count_close(*clustered), 10 * count_close(*uniform));
+}
+
+TEST(GenerateClusteredTest, NoiseFractionAddsBackground) {
+  auto pure = GenerateClustered(
+      {.n = 500, .dims = 2, .clusters = 2, .sigma = 0.01, .seed = 5});
+  auto noisy = GenerateClustered({.n = 500, .dims = 2, .clusters = 2,
+                                  .sigma = 0.01, .noise_fraction = 0.5,
+                                  .seed = 5});
+  ASSERT_TRUE(pure.ok() && noisy.ok());
+  // Column variance grows when half the mass is uniform background.
+  RunningStats pure_col, noisy_col;
+  for (size_t i = 0; i < 500; ++i) {
+    pure_col.Add(pure->Row(static_cast<PointId>(i))[0]);
+    noisy_col.Add(noisy->Row(static_cast<PointId>(i))[0]);
+  }
+  EXPECT_GT(noisy_col.variance(), pure_col.variance());
+}
+
+TEST(GenerateClusteredTest, RejectsBadConfigs) {
+  EXPECT_FALSE(GenerateClustered({.n = 10, .dims = 2, .clusters = 0}).ok());
+  EXPECT_FALSE(GenerateClustered({.n = 10, .dims = 2, .sigma = -1.0}).ok());
+  EXPECT_FALSE(
+      GenerateClustered({.n = 10, .dims = 2, .noise_fraction = 1.5}).ok());
+}
+
+TEST(GenerateCorrelatedTest, ShapeAndNormalization) {
+  auto ds = GenerateCorrelated(
+      {.n = 400, .dims = 10, .intrinsic_dims = 2, .noise = 0.01, .seed = 6});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dims(), 10u);
+  EXPECT_TRUE(ds->AllWithin(0.0f, 1.0f));
+}
+
+TEST(GenerateCorrelatedTest, ColumnsAreCorrelated) {
+  auto ds = GenerateCorrelated(
+      {.n = 3000, .dims = 6, .intrinsic_dims = 1, .noise = 0.0, .seed = 7});
+  ASSERT_TRUE(ds.ok());
+  // With one latent factor and no noise, |corr(col0, col1)| must be ~1.
+  RunningStats c0, c1;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    c0.Add(ds->Row(static_cast<PointId>(i))[0]);
+    c1.Add(ds->Row(static_cast<PointId>(i))[1]);
+  }
+  double cov = 0.0;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    cov += (ds->Row(static_cast<PointId>(i))[0] - c0.mean()) *
+           (ds->Row(static_cast<PointId>(i))[1] - c1.mean());
+  }
+  cov /= static_cast<double>(ds->size());
+  const double corr = cov / (c0.stddev() * c1.stddev());
+  EXPECT_GT(std::fabs(corr), 0.99);
+}
+
+TEST(GenerateCorrelatedTest, RejectsBadIntrinsicDims) {
+  EXPECT_FALSE(
+      GenerateCorrelated({.n = 10, .dims = 4, .intrinsic_dims = 0}).ok());
+  EXPECT_FALSE(
+      GenerateCorrelated({.n = 10, .dims = 4, .intrinsic_dims = 5}).ok());
+}
+
+TEST(GenerateGridPerturbedTest, PointsNearLattice) {
+  const double cell = 0.25, jitter = 0.01;
+  auto ds = GenerateGridPerturbed(
+      {.n = 300, .dims = 3, .cell = cell, .perturbation = jitter, .seed = 8});
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    for (size_t d = 0; d < 3; ++d) {
+      const double v = ds->Row(static_cast<PointId>(i))[d];
+      // Distance to the nearest lattice centre (k + 0.5) * cell.
+      const double scaled = v / cell - 0.5;
+      const double frac = std::fabs(scaled - std::round(scaled)) * cell;
+      EXPECT_LE(frac, jitter + 1e-5);
+    }
+  }
+}
+
+TEST(GenerateGridPerturbedTest, RejectsBadCell) {
+  EXPECT_FALSE(GenerateGridPerturbed({.n = 10, .dims = 2, .cell = 0.0}).ok());
+  EXPECT_FALSE(GenerateGridPerturbed({.n = 10, .dims = 2, .cell = 2.0}).ok());
+  EXPECT_FALSE(GenerateGridPerturbed(
+                   {.n = 10, .dims = 2, .cell = 0.1, .perturbation = -0.1})
+                   .ok());
+}
+
+TEST(PlantNearDuplicatesTest, AppendsDisplacedCopies) {
+  auto base = GenerateUniform({.n = 100, .dims = 4, .seed = 9});
+  ASSERT_TRUE(base.ok());
+  auto planted = PlantNearDuplicates(*base, 10, 0.005, 99);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_EQ(planted->size(), 110u);
+  // Every planted point is within 0.005 (L-inf) of SOME base point.
+  DistanceKernel kernel(Metric::kLinf);
+  for (PointId p = 100; p < 110; ++p) {
+    bool close_to_any = false;
+    for (PointId b = 0; b < 100; ++b) {
+      close_to_any |= kernel.WithinEpsilon(planted->Row(p), planted->Row(b), 4,
+                                           0.005 + 1e-6);
+    }
+    EXPECT_TRUE(close_to_any) << "planted point " << p;
+  }
+}
+
+TEST(PlantNearDuplicatesTest, RejectsEmptyBaseAndNegativeDisplacement) {
+  Dataset empty;
+  EXPECT_FALSE(PlantNearDuplicates(empty, 1, 0.01, 1).ok());
+  auto base = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  EXPECT_FALSE(PlantNearDuplicates(*base, 1, -0.01, 1).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

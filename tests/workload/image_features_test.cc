@@ -1,0 +1,100 @@
+#include "workload/image_features.h"
+
+#include "common/metric.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(GenerateImageArchiveTest, ShapeAndHistogramValidity) {
+  auto archive = GenerateImageArchive({.num_images = 200, .bins = 16,
+                                       .prototypes = 4, .concentration = 50,
+                                       .near_duplicates = 20, .seed = 1});
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->histograms.size(), 220u);
+  EXPECT_EQ(archive->histograms.dims(), 16u);
+  EXPECT_EQ(archive->duplicate_of.size(), 20u);
+  for (size_t i = 0; i < archive->histograms.size(); ++i) {
+    EXPECT_TRUE(IsNormalizedHistogram(
+        archive->histograms.Row(static_cast<PointId>(i)), 16, 1e-4))
+        << "row " << i;
+  }
+}
+
+TEST(GenerateImageArchiveTest, Deterministic) {
+  const ImageArchiveConfig cfg{.num_images = 50, .bins = 8, .prototypes = 3,
+                               .concentration = 40, .near_duplicates = 5,
+                               .seed = 7};
+  auto a = GenerateImageArchive(cfg);
+  auto b = GenerateImageArchive(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->histograms.flat(), b->histograms.flat());
+  EXPECT_EQ(a->duplicate_of, b->duplicate_of);
+}
+
+TEST(GenerateImageArchiveTest, DuplicatesAreCloseToSources) {
+  auto archive = GenerateImageArchive({.num_images = 100, .bins = 32,
+                                       .prototypes = 5, .concentration = 60,
+                                       .near_duplicates = 15,
+                                       .duplicate_noise = 0.02, .seed = 2});
+  ASSERT_TRUE(archive.ok());
+  DistanceKernel l1(Metric::kL1);
+  for (size_t d = 0; d < archive->duplicate_of.size(); ++d) {
+    const PointId dup = static_cast<PointId>(100 + d);
+    const PointId src = archive->duplicate_of[d];
+    // Per-bin relative noise of 2% bounds the L1 gap of two unit-mass
+    // histograms well below typical cross-prototype distances.
+    EXPECT_LE(l1.Distance(archive->histograms.Row(dup),
+                          archive->histograms.Row(src), 32),
+              0.1)
+        << "duplicate " << d;
+  }
+}
+
+TEST(GenerateImageArchiveTest, PrototypeStructureSeparatesImages) {
+  // Images of the same prototype should on average be closer than images of
+  // different prototypes; check via the planted duplicate distances being
+  // far smaller than typical random-pair distances.
+  auto archive = GenerateImageArchive({.num_images = 150, .bins = 24,
+                                       .prototypes = 6, .concentration = 80,
+                                       .near_duplicates = 10, .seed = 3});
+  ASSERT_TRUE(archive.ok());
+  DistanceKernel l1(Metric::kL1);
+  double dup_sum = 0.0;
+  for (size_t d = 0; d < 10; ++d) {
+    dup_sum += l1.Distance(archive->histograms.Row(static_cast<PointId>(150 + d)),
+                           archive->histograms.Row(archive->duplicate_of[d]), 24);
+  }
+  double rand_sum = 0.0;
+  int rand_pairs = 0;
+  for (PointId i = 0; i < 50; ++i) {
+    for (PointId j = 50; j < 100; j += 10) {
+      rand_sum += l1.Distance(archive->histograms.Row(i),
+                              archive->histograms.Row(j), 24);
+      ++rand_pairs;
+    }
+  }
+  EXPECT_LT(dup_sum / 10.0, 0.3 * (rand_sum / rand_pairs));
+}
+
+TEST(GenerateImageArchiveTest, RejectsBadConfigs) {
+  EXPECT_FALSE(GenerateImageArchive({.num_images = 0, .bins = 8}).ok());
+  EXPECT_FALSE(GenerateImageArchive({.num_images = 8, .bins = 0}).ok());
+  EXPECT_FALSE(
+      GenerateImageArchive({.num_images = 8, .bins = 8, .prototypes = 0}).ok());
+  EXPECT_FALSE(GenerateImageArchive(
+                   {.num_images = 8, .bins = 8, .concentration = 0.0})
+                   .ok());
+}
+
+TEST(IsNormalizedHistogramTest, DetectsViolations) {
+  const float good[] = {0.5f, 0.5f};
+  EXPECT_TRUE(IsNormalizedHistogram(good, 2, 1e-6));
+  const float negative[] = {1.5f, -0.5f};
+  EXPECT_FALSE(IsNormalizedHistogram(negative, 2, 1e-6));
+  const float off_mass[] = {0.6f, 0.6f};
+  EXPECT_FALSE(IsNormalizedHistogram(off_mass, 2, 1e-6));
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,118 @@
+#include "workload/profile.h"
+
+#include <cmath>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(ProfileTest, RejectsEmptyDatasetAndBadArgs) {
+  Dataset empty;
+  EXPECT_FALSE(ProfileDataset(empty).ok());
+  auto data = GenerateUniform({.n = 10, .dims = 2, .seed = 1});
+  EXPECT_FALSE(ProfileDataset(*data, 16, 1, 0).ok());
+}
+
+TEST(ProfileTest, UniformCloudHasFullEffectiveDims) {
+  for (size_t dims : {2u, 6u, 12u}) {
+    auto data = GenerateUniform({.n = 8000, .dims = dims, .seed = 2});
+    ASSERT_TRUE(data.ok());
+    auto profile = ProfileDataset(*data, 128, 3);
+    ASSERT_TRUE(profile.ok());
+    EXPECT_NEAR(profile->effective_dims, static_cast<double>(dims),
+                0.15 * static_cast<double>(dims))
+        << "dims=" << dims;
+  }
+}
+
+TEST(ProfileTest, CorrelatedCloudHasLowEffectiveDims) {
+  auto data = GenerateCorrelated(
+      {.n = 6000, .dims = 16, .intrinsic_dims = 2, .noise = 0.001, .seed = 4});
+  ASSERT_TRUE(data.ok());
+  auto profile = ProfileDataset(*data, 128, 5);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_LT(profile->effective_dims, 4.0)
+      << "a rank-2 cloud must not look 16-dimensional";
+}
+
+TEST(ProfileTest, MomentsMatchKnownDistribution) {
+  auto data = GenerateUniform({.n = 60000, .dims = 2, .seed = 6});
+  ASSERT_TRUE(data.ok());
+  auto profile = ProfileDataset(*data, 64, 7);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_NEAR(profile->mean[0], 0.5, 0.01);
+  EXPECT_NEAR(profile->variance[0], 1.0 / 12.0, 0.005);
+}
+
+TEST(ProfileTest, PairwiseDistanceMatchesTheory1D) {
+  // E|X - Y| for X,Y ~ U(0,1) is 1/3.
+  auto data = GenerateUniform({.n = 20000, .dims = 1, .seed = 8});
+  ASSERT_TRUE(data.ok());
+  auto profile = ProfileDataset(*data, 4000, 9);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_NEAR(profile->mean_pairwise_distance, 1.0 / 3.0, 0.02);
+}
+
+TEST(ProfileTest, NnDistanceBelowPairwiseDistance) {
+  auto data = GenerateClustered(
+      {.n = 3000, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 10});
+  ASSERT_TRUE(data.ok());
+  auto profile = ProfileDataset(*data, 256, 11);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_GT(profile->mean_nn_distance, 0.0);
+  EXPECT_LT(profile->mean_nn_distance, profile->mean_pairwise_distance);
+}
+
+TEST(ColumnHistogramTest, CountsSumToNAndFollowDistribution) {
+  Dataset ds;
+  // 30 points at 0.1, 10 at 0.9.
+  for (int i = 0; i < 30; ++i) ds.Append(std::vector<float>{0.1f});
+  for (int i = 0; i < 10; ++i) ds.Append(std::vector<float>{0.9f});
+  auto histogram = ColumnHistogram(ds, 0, 4);
+  ASSERT_TRUE(histogram.ok());
+  ASSERT_EQ(histogram->size(), 4u);
+  EXPECT_EQ((*histogram)[0], 30u);
+  EXPECT_EQ((*histogram)[3], 10u);
+  EXPECT_EQ((*histogram)[1] + (*histogram)[2], 0u);
+}
+
+TEST(ColumnHistogramTest, ConstantColumnLandsInBinZero) {
+  Dataset ds;
+  for (int i = 0; i < 5; ++i) ds.Append(std::vector<float>{0.7f});
+  auto histogram = ColumnHistogram(ds, 0, 8);
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ((*histogram)[0], 5u);
+}
+
+TEST(ColumnHistogramTest, RejectsBadArgs) {
+  Dataset empty;
+  EXPECT_FALSE(ColumnHistogram(empty, 0, 4).ok());
+  Dataset ds(3, 2);
+  EXPECT_FALSE(ColumnHistogram(ds, 5, 4).ok());
+  EXPECT_FALSE(ColumnHistogram(ds, 0, 0).ok());
+}
+
+TEST(HistogramSparklineTest, ScalesToPeakAndHandlesEdges) {
+  EXPECT_EQ(HistogramSparkline({}), "");
+  EXPECT_EQ(HistogramSparkline({0, 0}), "  ");
+  const std::string line = HistogramSparkline({1, 50, 100, 0});
+  ASSERT_EQ(line.size(), 4u);
+  EXPECT_EQ(line[3], ' ');         // zero bin renders blank
+  EXPECT_EQ(line[2], '@');         // peak renders the top ramp char
+  EXPECT_NE(line[0], ' ');         // non-zero bin never blank
+  EXPECT_LT(line.find(line[1]), line.find('@')); // mid < peak position holds
+}
+
+TEST(ProfileTest, ToStringMentionsKeyFields) {
+  auto data = GenerateUniform({.n = 500, .dims = 3, .seed = 12});
+  auto profile = ProfileDataset(*data, 64, 13);
+  ASSERT_TRUE(profile.ok());
+  const std::string s = profile->ToString();
+  EXPECT_NE(s.find("effective dims"), std::string::npos);
+  EXPECT_NE(s.find("points: 500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simjoin

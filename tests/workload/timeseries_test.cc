@@ -1,0 +1,139 @@
+#include "workload/timeseries.h"
+
+#include <cmath>
+
+#include "common/metric.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TEST(GenerateSeriesFamilyTest, ShapeAndDeterminism) {
+  const SeriesFamilyConfig cfg{.num_series = 20, .length = 128, .groups = 4,
+                               .group_weight = 0.7, .volatility = 0.01,
+                               .seed = 1};
+  auto a = GenerateSeriesFamily(cfg);
+  auto b = GenerateSeriesFamily(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), 20u);
+  EXPECT_EQ((*a)[0].size(), 128u);
+  EXPECT_EQ((*a)[7], (*b)[7]);
+}
+
+TEST(GenerateSeriesFamilyTest, RejectsDegenerateConfigs) {
+  EXPECT_FALSE(GenerateSeriesFamily({.num_series = 0, .length = 10}).ok());
+  EXPECT_FALSE(GenerateSeriesFamily({.num_series = 5, .length = 1}).ok());
+  EXPECT_FALSE(
+      GenerateSeriesFamily({.num_series = 5, .length = 10, .groups = 0}).ok());
+  EXPECT_FALSE(GenerateSeriesFamily(
+                   {.num_series = 5, .length = 10, .group_weight = 1.5})
+                   .ok());
+}
+
+TEST(GenerateSeriesFamilyTest, SameGroupSeriesMoreSimilar) {
+  auto family = GenerateSeriesFamily({.num_series = 40, .length = 256,
+                                      .groups = 4, .group_weight = 0.85,
+                                      .volatility = 0.01, .seed = 2});
+  ASSERT_TRUE(family.ok());
+  // Series s and s+groups share a group; s and s+1 do not.
+  double same_group = 0.0, cross_group = 0.0;
+  int pairs = 0;
+  for (size_t s = 0; s + 5 < family->size(); s += 5) {
+    Series a = (*family)[s], b = (*family)[s + 4], c = (*family)[s + 1];
+    ZNormalize(&a);
+    ZNormalize(&b);
+    ZNormalize(&c);
+    same_group += SeriesEuclideanDistance(a, b);  // s and s+4 share group (4 groups)
+    cross_group += SeriesEuclideanDistance(a, c);
+    ++pairs;
+  }
+  EXPECT_LT(same_group / pairs, cross_group / pairs);
+}
+
+TEST(ZNormalizeTest, ZeroMeanUnitVariance) {
+  Series s{1.0, 2.0, 3.0, 4.0, 5.0};
+  ZNormalize(&s);
+  double mean = 0.0, var = 0.0;
+  for (double v : s) mean += v;
+  mean /= static_cast<double>(s.size());
+  for (double v : s) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(s.size());
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesBecomesZero) {
+  Series s{3.0, 3.0, 3.0};
+  ZNormalize(&s);
+  for (double v : s) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ZNormalizeTest, HandlesEmptyAndNull) {
+  Series empty;
+  ZNormalize(&empty);
+  ZNormalize(nullptr);
+  SUCCEED();
+}
+
+TEST(DftFeaturesTest, DimensionalityIsTwoK) {
+  Series s(64, 0.0);
+  for (size_t i = 0; i < s.size(); ++i) s[i] = std::sin(0.3 * static_cast<double>(i));
+  auto f = DftFeatures(s, 4);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), 8u);
+}
+
+TEST(DftFeaturesTest, RejectsBadArgs) {
+  Series s(64, 1.0);
+  EXPECT_FALSE(DftFeatures(s, 0).ok());
+  Series tiny(5, 1.0);
+  EXPECT_FALSE(DftFeatures(tiny, 4).ok());
+}
+
+TEST(DftFeaturesTest, FeatureDistanceLowerBoundsSeriesDistance) {
+  // The GEMINI guarantee: Euclidean distance in truncated-DFT feature space
+  // never exceeds Euclidean distance between the (z-normalised) series when
+  // both have power-of-two length.
+  auto family = GenerateSeriesFamily({.num_series = 12, .length = 256,
+                                      .groups = 3, .group_weight = 0.6,
+                                      .volatility = 0.02, .seed = 3});
+  ASSERT_TRUE(family.ok());
+  std::vector<Series> normalized = *family;
+  for (auto& s : normalized) ZNormalize(&s);
+  const size_t k = 6;
+  DistanceKernel l2(Metric::kL2);
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    auto fi = DftFeatures(normalized[i], k);
+    ASSERT_TRUE(fi.ok());
+    for (size_t j = i + 1; j < normalized.size(); ++j) {
+      auto fj = DftFeatures(normalized[j], k);
+      ASSERT_TRUE(fj.ok());
+      const double feature_dist =
+          l2.Distance(fi->data(), fj->data(), fi->size());
+      const double series_dist =
+          SeriesEuclideanDistance(normalized[i], normalized[j]);
+      // Conjugate symmetry means keeping only positive-frequency bins can
+      // undercount by at most sqrt(2); the *scaled* feature distance is the
+      // lower bound.
+      EXPECT_LE(feature_dist, series_dist + 1e-9)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SeriesToFeatureDatasetTest, StacksAllSeries) {
+  auto family = GenerateSeriesFamily(
+      {.num_series = 15, .length = 128, .groups = 3, .seed = 4});
+  ASSERT_TRUE(family.ok());
+  auto ds = SeriesToFeatureDataset(*family, 5);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 15u);
+  EXPECT_EQ(ds->dims(), 10u);
+}
+
+TEST(SeriesToFeatureDatasetTest, RejectsEmptyFamily) {
+  EXPECT_FALSE(SeriesToFeatureDataset({}, 3).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,207 @@
+// fuzz_joins — unbounded randomized differential tester.
+//
+// The gtest suite fuzzes a fixed set of seeds; this tool runs the same
+// cross-algorithm equivalence check for as many iterations as asked (or
+// forever), printing a reproducer line on the first mismatch.  Use it to
+// soak-test changes to any join algorithm:
+//
+//   ./tools/fuzz_joins --iterations 1000 --seed 42
+//   ./tools/fuzz_joins --iterations 0       # run until interrupted
+
+#include <algorithm>
+#include <iostream>
+
+#include "approx/lsh_join.h"
+#include "baselines/grid_join.h"
+#include "baselines/kdtree.h"
+#include "baselines/nested_loop.h"
+#include "baselines/sort_merge.h"
+#include "common/args.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/ekdb_join.h"
+#include "core/parallel_join.h"
+#include "rtree/rtree_join.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace {
+
+Dataset RandomWorkload(Rng* rng) {
+  const size_t n = 50 + rng->UniformInt(1200u);
+  const size_t dims = 1 + rng->UniformInt(12u);
+  switch (rng->UniformInt(4u)) {
+    case 0:
+      return *GenerateUniform({.n = n, .dims = dims, .seed = rng->Next()});
+    case 1:
+      return *GenerateClustered({.n = n,
+                                 .dims = dims,
+                                 .clusters = 1 + rng->UniformInt(10u),
+                                 .sigma = rng->Uniform(0.003, 0.12),
+                                 .zipf_skew = rng->Uniform(0.0, 2.0),
+                                 .noise_fraction = rng->Uniform(0.0, 0.4),
+                                 .seed = rng->Next()});
+    case 2:
+      return *GenerateGridPerturbed({.n = n,
+                                     .dims = dims,
+                                     .cell = rng->Uniform(0.05, 0.5),
+                                     .perturbation = rng->Uniform(0.0, 0.06),
+                                     .seed = rng->Next()});
+    default:
+      return *GenerateCorrelated(
+          {.n = n,
+           .dims = dims,
+           .intrinsic_dims = 1 + rng->UniformInt(std::min<uint64_t>(dims, 4)),
+           .noise = rng->Uniform(0.0, 0.06),
+           .seed = rng->Next()});
+  }
+}
+
+/// Returns an empty string on agreement, else a description.
+std::string CheckOneConfig(uint64_t seed) {
+  Rng rng(seed);
+  const Dataset data = RandomWorkload(&rng);
+  const double epsilon = rng.Uniform(0.01, 0.45);
+  const Metric metric = static_cast<Metric>(rng.UniformInt(3u));
+
+  VectorSink oracle;
+  if (Status st = NestedLoopSelfJoin(data, epsilon, metric, &oracle); !st.ok()) {
+    return "oracle failed: " + st.ToString();
+  }
+  const auto expected = oracle.Sorted();
+
+  auto check = [&](const char* name, const std::vector<IdPair>& got) {
+    return got == expected
+               ? std::string()
+               : std::string(name) + " mismatch: " + std::to_string(got.size()) +
+                     " pairs vs oracle " + std::to_string(expected.size());
+  };
+
+  {
+    VectorSink s;
+    if (Status st =
+            SortMergeSelfJoin(data, epsilon, metric, SortMergeConfig{}, &s);
+        !st.ok()) {
+      return st.ToString();
+    }
+    if (auto err = check("sort-merge", s.Sorted()); !err.empty()) return err;
+  }
+  {
+    VectorSink s;
+    if (Status st = GridSelfJoin(data, epsilon, metric, GridJoinConfig{}, &s);
+        !st.ok()) {
+      return st.ToString();
+    }
+    if (auto err = check("grid", s.Sorted()); !err.empty()) return err;
+  }
+  {
+    KdTreeConfig config;
+    config.leaf_size = 1 + rng.UniformInt(100u);
+    auto tree = KdTree::Build(data, config);
+    if (!tree.ok()) return tree.status().ToString();
+    VectorSink s;
+    if (Status st = KdTreeSelfJoin(*tree, epsilon, metric, &s); !st.ok()) {
+      return st.ToString();
+    }
+    if (auto err = check("kdtree", s.Sorted()); !err.empty()) return err;
+  }
+  {
+    RTreeConfig config;
+    config.max_entries = 4 + rng.UniformInt(60u);
+    config.min_entries = std::max<size_t>(1, config.max_entries / 4);
+    config.split = rng.Bernoulli(0.5) ? RTreeSplitAlgorithm::kQuadratic
+                                      : RTreeSplitAlgorithm::kRStar;
+    config.forced_reinsert = rng.Bernoulli(0.3);
+    auto tree = rng.Bernoulli(0.5) ? RTree::BulkLoad(data, config)
+                                   : RTree::BuildByInsertion(data, config);
+    if (!tree.ok()) return tree.status().ToString();
+    VectorSink s;
+    if (Status st = RTreeSelfJoin(*tree, epsilon, &s, metric); !st.ok()) {
+      return st.ToString();
+    }
+    if (auto err = check("rtree", s.Sorted()); !err.empty()) return err;
+  }
+  {
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.metric = metric;
+    config.leaf_threshold = 1 + rng.UniformInt(200u);
+    config.bbox_pruning = rng.Bernoulli(0.8);
+    config.sliding_window_leaf_join = rng.Bernoulli(0.8);
+    auto tree = EkdbTree::Build(data, config);
+    if (!tree.ok()) return tree.status().ToString();
+    VectorSink s;
+    if (Status st = EkdbSelfJoin(*tree, &s); !st.ok()) return st.ToString();
+    if (auto err = check("ekdb", s.Sorted()); !err.empty()) return err;
+
+    ParallelJoinConfig pcfg;
+    pcfg.num_threads = 1 + rng.UniformInt(4u);
+    pcfg.min_task_points = 1 + rng.UniformInt(800u);
+    VectorSink p;
+    if (Status st = ParallelEkdbSelfJoin(*tree, pcfg, &p); !st.ok()) {
+      return st.ToString();
+    }
+    if (auto err = check("ekdb-parallel", p.Sorted()); !err.empty()) return err;
+  }
+  {
+    // LSH must be a subset of the oracle (never a false positive).
+    LshConfig config;
+    config.tables = 1 + rng.UniformInt(6u);
+    config.hashes_per_table = 1 + rng.UniformInt(6u);
+    config.seed = rng.Next();
+    if (metric != Metric::kLinf) {
+      config.metric = metric;
+      VectorSink s;
+      if (Status st = LshApproximateSelfJoin(data, epsilon, config, &s);
+          !st.ok()) {
+        return st.ToString();
+      }
+      const auto got = s.Sorted();
+      if (!std::includes(expected.begin(), expected.end(), got.begin(),
+                         got.end())) {
+        return "lsh produced a false positive";
+      }
+    }
+  }
+  return std::string();
+}
+
+int Main(int argc, char** argv) {
+  ArgParser args("Randomized differential tester for all join algorithms");
+  args.AddFlag("iterations", "200", "number of random configs (0 = forever)");
+  args.AddFlag("seed", "1", "base seed");
+  if (Status st = args.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  const uint64_t iterations = static_cast<uint64_t>(args.GetInt("iterations"));
+  const uint64_t base = static_cast<uint64_t>(args.GetInt("seed"));
+
+  Timer timer;
+  for (uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    const uint64_t seed = base + i;
+    const std::string err = CheckOneConfig(seed);
+    if (!err.empty()) {
+      std::cerr << "FAIL at seed " << seed << ": " << err << "\n"
+                << "reproduce with: fuzz_joins --iterations 1 --seed " << seed
+                << "\n";
+      return 1;
+    }
+    if ((i + 1) % 50 == 0) {
+      std::cout << (i + 1) << " configs OK (" << FormatSeconds(timer.Seconds())
+                << ")" << std::endl;
+    }
+  }
+  std::cout << "all configs agree with the brute-force oracle ("
+            << FormatSeconds(timer.Seconds()) << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace simjoin
+
+int main(int argc, char** argv) { return simjoin::Main(argc, argv); }

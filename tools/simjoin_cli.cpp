@@ -1,0 +1,446 @@
+// simjoin_cli — command-line front end to the library.
+//
+//   simjoin_cli generate --workload clustered --n 10000 --dims 8 --out pts.csv
+//   simjoin_cli join     --input pts.csv --epsilon 0.05 --algo ekdb --out pairs.csv
+//   simjoin_cli join     --input a.csv --input2 b.csv --epsilon 0.05
+//   simjoin_cli info     --input pts.csv --epsilon 0.05
+//
+// Input/output files ending in .sjdb use the exact binary format; anything
+// else is treated as CSV.  Joins normalise inputs to the unit cube first
+// (two-input joins are normalised jointly so distances stay comparable).
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "approx/lsh_join.h"
+#include "baselines/grid_join.h"
+#include "baselines/kdtree.h"
+#include "baselines/nested_loop.h"
+#include "baselines/sort_merge.h"
+#include "common/args.h"
+#include "common/binary_io.h"
+#include "common/csv.h"
+#include "common/timer.h"
+#include "core/components.h"
+#include "core/ekdb_join.h"
+#include "core/planner.h"
+#include "rtree/rtree_join.h"
+#include "workload/generators.h"
+#include "workload/image_features.h"
+#include "workload/profile.h"
+#include "workload/timeseries.h"
+
+namespace simjoin {
+namespace {
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 5 && path.substr(path.size() - 5) == ".sjdb";
+}
+
+Result<Dataset> LoadAny(const std::string& path) {
+  if (IsBinaryPath(path)) return ReadBinaryDataset(path);
+  return ReadCsv(path);
+}
+
+Status SaveAny(const Dataset& data, const std::string& path) {
+  if (IsBinaryPath(path)) return WriteBinaryDataset(data, path);
+  return WriteCsv(data, path);
+}
+
+int Fail(const Status& st) {
+  std::cerr << "error: " << st.ToString() << "\n";
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+int CmdGenerate(int argc, char** argv) {
+  ArgParser args("simjoin_cli generate: synthesise a workload dataset");
+  args.AddFlag("workload", "clustered",
+               "uniform | clustered | correlated | grid | timeseries | images");
+  args.AddFlag("n", "10000", "number of points / series / images");
+  args.AddFlag("dims", "8", "dimensionality (bins for images; 2*coeffs for timeseries)");
+  args.AddFlag("clusters", "16", "clusters (clustered) / groups (timeseries) / prototypes (images)");
+  args.AddFlag("sigma", "0.05", "cluster spread (clustered)");
+  args.AddFlag("seed", "1", "RNG seed");
+  args.AddFlag("out", "points.csv", "output path (.csv or .sjdb)");
+  if (Status st = args.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+
+  const size_t n = static_cast<size_t>(args.GetInt("n"));
+  const size_t dims = static_cast<size_t>(args.GetInt("dims"));
+  const size_t clusters = static_cast<size_t>(args.GetInt("clusters"));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed"));
+  const std::string workload = args.GetString("workload");
+
+  Result<Dataset> data = Status::InvalidArgument("unknown workload: " + workload);
+  if (workload == "uniform") {
+    data = GenerateUniform({.n = n, .dims = dims, .seed = seed});
+  } else if (workload == "clustered") {
+    data = GenerateClustered({.n = n, .dims = dims, .clusters = clusters,
+                              .sigma = args.GetDouble("sigma"), .seed = seed});
+  } else if (workload == "correlated") {
+    data = GenerateCorrelated(
+        {.n = n, .dims = dims, .intrinsic_dims = std::max<size_t>(1, dims / 4),
+         .noise = 0.02, .seed = seed});
+  } else if (workload == "grid") {
+    data = GenerateGridPerturbed(
+        {.n = n, .dims = dims, .cell = 0.1, .perturbation = 0.02, .seed = seed});
+  } else if (workload == "timeseries") {
+    auto family = GenerateSeriesFamily({.num_series = n, .length = 256,
+                                        .groups = clusters, .group_weight = 0.8,
+                                        .volatility = 0.02, .seed = seed});
+    if (!family.ok()) return Fail(family.status());
+    data = SeriesToFeatureDataset(*family, std::max<size_t>(1, dims / 2));
+  } else if (workload == "images") {
+    auto archive = GenerateImageArchive(
+        {.num_images = n, .bins = dims, .prototypes = clusters,
+         .concentration = 70, .near_duplicates = n / 100, .seed = seed});
+    if (!archive.ok()) return Fail(archive.status());
+    data = std::move(archive->histograms);
+  }
+  if (!data.ok()) return Fail(data.status());
+
+  const std::string out = args.GetString("out");
+  if (Status st = SaveAny(*data, out); !st.ok()) return Fail(st);
+  std::cout << "wrote " << data->size() << " points x " << data->dims()
+            << " dims to " << out << "\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+int CmdJoin(int argc, char** argv) {
+  ArgParser args("simjoin_cli join: epsilon similarity join");
+  args.AddFlag("input", "", "dataset to join (.csv or .sjdb)");
+  args.AddFlag("input2", "", "optional second dataset (cross join)");
+  args.AddFlag("epsilon", "0.05", "join radius after unit-cube normalisation");
+  args.AddFlag("metric", "l2", "l1 | l2 | linf");
+  args.AddFlag("algo", "ekdb",
+               "ekdb | rtree | kdtree | grid | sortmerge | nested | lsh");
+  args.AddFlag("leaf", "64", "ekdb leaf threshold");
+  args.AddFlag("lsh-tables", "8", "LSH tables (algo=lsh; self-join only)");
+  args.AddFlag("out", "", "optional CSV of result pairs (id_a,id_b)");
+  if (Status st = args.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  if (args.GetString("input").empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+
+  auto a = LoadAny(args.GetString("input"));
+  if (!a.ok()) return Fail(a.status());
+  std::optional<Dataset> b;
+  if (!args.GetString("input2").empty()) {
+    auto loaded = LoadAny(args.GetString("input2"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    if (loaded->dims() != a->dims()) {
+      return Fail(Status::InvalidArgument("inputs have different dims"));
+    }
+    b = std::move(loaded).value();
+  }
+
+  // Joint normalisation: stack, normalise, unstack — the epsilon then means
+  // the same thing on both sides.
+  if (b.has_value()) {
+    Dataset stacked = *a;
+    for (size_t i = 0; i < b->size(); ++i) {
+      stacked.Append(b->RowSpan(static_cast<PointId>(i)));
+    }
+    stacked.NormalizeToUnitCube();
+    Dataset na(a->size(), a->dims()), nb(b->size(), b->dims());
+    for (size_t i = 0; i < a->size(); ++i) {
+      std::copy_n(stacked.Row(static_cast<PointId>(i)), a->dims(),
+                  na.MutableRow(static_cast<PointId>(i)));
+    }
+    for (size_t i = 0; i < b->size(); ++i) {
+      std::copy_n(stacked.Row(static_cast<PointId>(a->size() + i)), b->dims(),
+                  nb.MutableRow(static_cast<PointId>(i)));
+    }
+    *a = std::move(na);
+    *b = std::move(nb);
+  } else {
+    a->NormalizeToUnitCube();
+  }
+
+  auto metric = ParseMetric(args.GetString("metric"));
+  if (!metric.ok()) return Fail(metric.status());
+  const double epsilon = args.GetDouble("epsilon");
+  const std::string algo = args.GetString("algo");
+
+  VectorSink sink;
+  JoinStats stats;
+  Timer timer;
+  Status st = Status::InvalidArgument("unknown algorithm: " + algo);
+  if (algo == "ekdb") {
+    EkdbConfig config;
+    config.epsilon = epsilon;
+    config.metric = metric.value();
+    config.leaf_threshold = static_cast<size_t>(args.GetInt("leaf"));
+    auto ta = EkdbTree::Build(*a, config);
+    if (!ta.ok()) return Fail(ta.status());
+    if (b.has_value()) {
+      auto tb = EkdbTree::Build(*b, config);
+      if (!tb.ok()) return Fail(tb.status());
+      st = EkdbJoin(*ta, *tb, &sink, &stats);
+    } else {
+      st = EkdbSelfJoin(*ta, &sink, &stats);
+    }
+  } else if (algo == "rtree") {
+    auto ta = RTree::BulkLoad(*a, RTreeConfig{});
+    if (!ta.ok()) return Fail(ta.status());
+    if (b.has_value()) {
+      auto tb = RTree::BulkLoad(*b, RTreeConfig{});
+      if (!tb.ok()) return Fail(tb.status());
+      st = RTreeJoin(*ta, *tb, epsilon, &sink, metric.value(), &stats);
+    } else {
+      st = RTreeSelfJoin(*ta, epsilon, &sink, metric.value(), &stats);
+    }
+  } else if (algo == "kdtree") {
+    auto ta = KdTree::Build(*a, KdTreeConfig{});
+    if (!ta.ok()) return Fail(ta.status());
+    if (b.has_value()) {
+      auto tb = KdTree::Build(*b, KdTreeConfig{});
+      if (!tb.ok()) return Fail(tb.status());
+      st = KdTreeJoin(*ta, *tb, epsilon, metric.value(), &sink, &stats);
+    } else {
+      st = KdTreeSelfJoin(*ta, epsilon, metric.value(), &sink, &stats);
+    }
+  } else if (algo == "lsh") {
+    if (b.has_value()) {
+      return Fail(Status::Unimplemented("lsh supports self-joins only"));
+    }
+    LshConfig lsh;
+    lsh.metric = metric.value();
+    lsh.tables = static_cast<size_t>(args.GetInt("lsh-tables"));
+    LshJoinReport lsh_report;
+    st = LshApproximateSelfJoin(*a, epsilon, lsh, &sink, &lsh_report);
+    stats.candidate_pairs = lsh_report.unique_candidates;
+    stats.pairs_emitted = lsh_report.emitted_pairs;
+  } else if (algo == "grid") {
+    st = b.has_value() ? GridJoin(*a, *b, epsilon, metric.value(),
+                                  GridJoinConfig{}, &sink, &stats)
+                       : GridSelfJoin(*a, epsilon, metric.value(),
+                                      GridJoinConfig{}, &sink, &stats);
+  } else if (algo == "sortmerge") {
+    st = b.has_value() ? SortMergeJoin(*a, *b, epsilon, metric.value(),
+                                       SortMergeConfig{}, &sink, &stats)
+                       : SortMergeSelfJoin(*a, epsilon, metric.value(),
+                                           SortMergeConfig{}, &sink, &stats);
+  } else if (algo == "nested") {
+    st = b.has_value()
+             ? NestedLoopJoin(*a, *b, epsilon, metric.value(), &sink, &stats)
+             : NestedLoopSelfJoin(*a, epsilon, metric.value(), &sink, &stats);
+  }
+  if (!st.ok()) return Fail(st);
+
+  std::cout << (b.has_value() ? "cross" : "self") << " join (" << algo
+            << ", eps=" << epsilon << ", " << MetricName(metric.value())
+            << "): " << FormatCount(sink.pairs().size()) << " pairs in "
+            << FormatSeconds(timer.Seconds()) << " ("
+            << FormatCount(stats.candidate_pairs) << " candidates)\n";
+
+  if (const std::string out = args.GetString("out"); !out.empty()) {
+    std::ofstream os(out);
+    if (!os) return Fail(Status::IoError("cannot open " + out));
+    for (const auto& [x, y] : sink.pairs()) os << x << ',' << y << '\n';
+    std::cout << "wrote pairs to " << out << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// info
+// ---------------------------------------------------------------------------
+
+int CmdInfo(int argc, char** argv) {
+  ArgParser args("simjoin_cli info: dataset and index statistics");
+  args.AddFlag("input", "", "dataset to inspect (.csv or .sjdb)");
+  args.AddFlag("epsilon", "0.05", "epsilon for the trial index build");
+  args.AddFlag("leaf", "64", "ekdb leaf threshold");
+  if (Status st = args.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  if (args.GetString("input").empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+  auto data = LoadAny(args.GetString("input"));
+  if (!data.ok()) return Fail(data.status());
+
+  std::cout << "points: " << data->size() << "\ndims:   " << data->dims()
+            << "\nmemory: " << FormatBytes(data->MemoryUsageBytes()) << "\n";
+  const auto mins = data->ColumnMin();
+  const auto maxs = data->ColumnMax();
+  std::cout << "columns (range + distribution):\n";
+  for (uint32_t d = 0; d < data->dims(); ++d) {
+    auto histogram = ColumnHistogram(*data, d, 32);
+    std::cout << "  dim " << d << ": [" << mins[d] << ", " << maxs[d] << "]  |"
+              << (histogram.ok() ? HistogramSparkline(*histogram) : "") << "|\n";
+  }
+
+  data->NormalizeToUnitCube();
+  EkdbConfig config;
+  config.epsilon = args.GetDouble("epsilon");
+  config.leaf_threshold = static_cast<size_t>(args.GetInt("leaf"));
+  Timer timer;
+  auto tree = EkdbTree::Build(*data, config);
+  if (!tree.ok()) return Fail(tree.status());
+  const auto stats = tree->ComputeStats();
+  std::cout << "\neps-k-d-B index (eps=" << config.epsilon << "):\n"
+            << "  build:      " << FormatSeconds(timer.Seconds()) << "\n"
+            << "  nodes:      " << stats.nodes << " (" << stats.leaves
+            << " leaves)\n"
+            << "  max depth:  " << stats.max_depth << "\n"
+            << "  avg leaf:   " << stats.avg_leaf_size << " points\n"
+            << "  memory:     " << FormatBytes(stats.memory_bytes) << "\n"
+            << "  stripes:    " << tree->num_stripes() << " per dimension\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// plan
+// ---------------------------------------------------------------------------
+
+int CmdPlan(int argc, char** argv) {
+  ArgParser args(
+      "simjoin_cli plan: profile a dataset and pick a join algorithm");
+  args.AddFlag("input", "", "dataset to plan for (.csv or .sjdb)");
+  args.AddFlag("epsilon", "0.05", "join radius after normalisation");
+  args.AddFlag("metric", "l2", "l1 | l2 | linf");
+  args.AddFlag("run", "false", "execute the planned join as well");
+  if (Status st = args.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  if (args.GetString("input").empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+  auto data = LoadAny(args.GetString("input"));
+  if (!data.ok()) return Fail(data.status());
+  data->NormalizeToUnitCube();
+  auto metric = ParseMetric(args.GetString("metric"));
+  if (!metric.ok()) return Fail(metric.status());
+
+  auto profile = ProfileDataset(*data);
+  if (!profile.ok()) return Fail(profile.status());
+  std::cout << profile->ToString() << "\n";
+
+  const double epsilon = args.GetDouble("epsilon");
+  auto plan = PlanSelfJoin(*data, epsilon, metric.value());
+  if (!plan.ok()) return Fail(plan.status());
+  std::cout << "plan: " << JoinAlgorithmName(plan->algorithm) << "\n"
+            << "  rationale:           " << plan->rationale << "\n"
+            << "  estimated pairs:     " << FormatCount(static_cast<uint64_t>(
+                                                plan->estimated_pairs))
+            << "\n"
+            << "  estimated density:   " << plan->estimated_density << "\n";
+
+  if (args.GetBool("run")) {
+    CountingSink sink;
+    Timer timer;
+    if (Status st = ExecuteSelfJoin(*data, epsilon, metric.value(), *plan,
+                                    &sink);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::cout << "executed: " << FormatCount(sink.count()) << " pairs in "
+              << FormatSeconds(timer.Seconds()) << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// cluster
+// ---------------------------------------------------------------------------
+
+int CmdCluster(int argc, char** argv) {
+  ArgParser args(
+      "simjoin_cli cluster: epsilon-connected components (single-linkage "
+      "clustering at threshold epsilon)");
+  args.AddFlag("input", "", "dataset to cluster (.csv or .sjdb)");
+  args.AddFlag("epsilon", "0.05", "linkage radius after normalisation");
+  args.AddFlag("metric", "l2", "l1 | l2 | linf");
+  args.AddFlag("out", "", "optional CSV of per-point component labels");
+  args.AddFlag("top", "10", "how many largest components to print");
+  if (Status st = args.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  if (args.GetString("input").empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+  auto data = LoadAny(args.GetString("input"));
+  if (!data.ok()) return Fail(data.status());
+  data->NormalizeToUnitCube();
+  auto metric = ParseMetric(args.GetString("metric"));
+  if (!metric.ok()) return Fail(metric.status());
+
+  Timer timer;
+  auto result = EpsilonConnectedComponents(*data, args.GetDouble("epsilon"),
+                                           metric.value());
+  if (!result.ok()) return Fail(result.status());
+  std::cout << "clustered " << data->size() << " points into "
+            << result->num_components << " components in "
+            << FormatSeconds(timer.Seconds()) << " ("
+            << FormatCount(result->join_pairs) << " join pairs)\n";
+
+  // Largest components.
+  std::vector<std::pair<uint32_t, uint32_t>> by_size;  // (size, label)
+  for (uint32_t label = 0; label < result->sizes.size(); ++label) {
+    by_size.emplace_back(result->sizes[label], label);
+  }
+  std::sort(by_size.rbegin(), by_size.rend());
+  const size_t top = std::min<size_t>(by_size.size(),
+                                      static_cast<size_t>(args.GetInt("top")));
+  std::cout << "largest components:\n";
+  for (size_t i = 0; i < top; ++i) {
+    std::cout << "  label " << by_size[i].second << ": " << by_size[i].first
+              << " points\n";
+  }
+
+  if (const std::string out = args.GetString("out"); !out.empty()) {
+    std::ofstream os(out);
+    if (!os) return Fail(Status::IoError("cannot open " + out));
+    for (uint32_t label : result->labels) os << label << '\n';
+    std::cout << "wrote labels to " << out << "\n";
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const std::string usage =
+      "usage: simjoin_cli <generate|join|plan|cluster|info> [flags]\n"
+      "       simjoin_cli <command> --help for per-command flags\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each command parser sees its own flags.
+  if (command == "generate") return CmdGenerate(argc - 1, argv + 1);
+  if (command == "join") return CmdJoin(argc - 1, argv + 1);
+  if (command == "plan") return CmdPlan(argc - 1, argv + 1);
+  if (command == "cluster") return CmdCluster(argc - 1, argv + 1);
+  if (command == "info") return CmdInfo(argc - 1, argv + 1);
+  std::cerr << "unknown command: " << command << "\n" << usage;
+  return 1;
+}
+
+}  // namespace
+}  // namespace simjoin
+
+int main(int argc, char** argv) { return simjoin::Main(argc, argv); }
