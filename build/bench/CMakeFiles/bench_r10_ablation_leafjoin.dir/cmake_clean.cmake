@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r10_ablation_leafjoin.dir/bench_r10_ablation_leafjoin.cc.o"
+  "CMakeFiles/bench_r10_ablation_leafjoin.dir/bench_r10_ablation_leafjoin.cc.o.d"
+  "bench_r10_ablation_leafjoin"
+  "bench_r10_ablation_leafjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r10_ablation_leafjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

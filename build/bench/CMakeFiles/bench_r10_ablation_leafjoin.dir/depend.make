@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r10_ablation_leafjoin.
+# This may be replaced when dependencies are built.

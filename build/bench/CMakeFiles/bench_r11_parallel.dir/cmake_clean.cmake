@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r11_parallel.dir/bench_r11_parallel.cc.o"
+  "CMakeFiles/bench_r11_parallel.dir/bench_r11_parallel.cc.o.d"
+  "bench_r11_parallel"
+  "bench_r11_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r11_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

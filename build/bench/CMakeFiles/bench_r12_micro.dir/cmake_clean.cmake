@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r12_micro.dir/bench_r12_micro.cc.o"
+  "CMakeFiles/bench_r12_micro.dir/bench_r12_micro.cc.o.d"
+  "bench_r12_micro"
+  "bench_r12_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r12_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r13_outofcore.dir/bench_r13_outofcore.cc.o"
+  "CMakeFiles/bench_r13_outofcore.dir/bench_r13_outofcore.cc.o.d"
+  "bench_r13_outofcore"
+  "bench_r13_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r13_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

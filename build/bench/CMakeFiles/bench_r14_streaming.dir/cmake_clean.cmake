@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r14_streaming.dir/bench_r14_streaming.cc.o"
+  "CMakeFiles/bench_r14_streaming.dir/bench_r14_streaming.cc.o.d"
+  "bench_r14_streaming"
+  "bench_r14_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r14_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r15_lsh.dir/bench_r15_lsh.cc.o"
+  "CMakeFiles/bench_r15_lsh.dir/bench_r15_lsh.cc.o.d"
+  "bench_r15_lsh"
+  "bench_r15_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r15_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

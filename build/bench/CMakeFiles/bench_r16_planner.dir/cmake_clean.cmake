@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r16_planner.dir/bench_r16_planner.cc.o"
+  "CMakeFiles/bench_r16_planner.dir/bench_r16_planner.cc.o.d"
+  "bench_r16_planner"
+  "bench_r16_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r16_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r17_dynamic.dir/bench_r17_dynamic.cc.o"
+  "CMakeFiles/bench_r17_dynamic.dir/bench_r17_dynamic.cc.o.d"
+  "bench_r17_dynamic"
+  "bench_r17_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r17_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r18_pca_filter.dir/bench_r18_pca_filter.cc.o"
+  "CMakeFiles/bench_r18_pca_filter.dir/bench_r18_pca_filter.cc.o.d"
+  "bench_r18_pca_filter"
+  "bench_r18_pca_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r18_pca_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r1_epsilon.dir/bench_r1_epsilon.cc.o"
+  "CMakeFiles/bench_r1_epsilon.dir/bench_r1_epsilon.cc.o.d"
+  "bench_r1_epsilon"
+  "bench_r1_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r1_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r2_scale_n.dir/bench_r2_scale_n.cc.o"
+  "CMakeFiles/bench_r2_scale_n.dir/bench_r2_scale_n.cc.o.d"
+  "bench_r2_scale_n"
+  "bench_r2_scale_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r2_scale_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r3_dims.dir/bench_r3_dims.cc.o"
+  "CMakeFiles/bench_r3_dims.dir/bench_r3_dims.cc.o.d"
+  "bench_r3_dims"
+  "bench_r3_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r3_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r4_skew.dir/bench_r4_skew.cc.o"
+  "CMakeFiles/bench_r4_skew.dir/bench_r4_skew.cc.o.d"
+  "bench_r4_skew"
+  "bench_r4_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r4_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

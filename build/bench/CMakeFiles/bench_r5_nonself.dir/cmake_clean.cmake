@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r5_nonself.dir/bench_r5_nonself.cc.o"
+  "CMakeFiles/bench_r5_nonself.dir/bench_r5_nonself.cc.o.d"
+  "bench_r5_nonself"
+  "bench_r5_nonself.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r5_nonself.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

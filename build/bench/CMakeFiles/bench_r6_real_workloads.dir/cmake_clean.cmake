@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r6_real_workloads.dir/bench_r6_real_workloads.cc.o"
+  "CMakeFiles/bench_r6_real_workloads.dir/bench_r6_real_workloads.cc.o.d"
+  "bench_r6_real_workloads"
+  "bench_r6_real_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r6_real_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r7_leaf_threshold.dir/bench_r7_leaf_threshold.cc.o"
+  "CMakeFiles/bench_r7_leaf_threshold.dir/bench_r7_leaf_threshold.cc.o.d"
+  "bench_r7_leaf_threshold"
+  "bench_r7_leaf_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r7_leaf_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r9_metrics.dir/bench_r9_metrics.cc.o"
+  "CMakeFiles/bench_r9_metrics.dir/bench_r9_metrics.cc.o.d"
+  "bench_r9_metrics"
+  "bench_r9_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r9_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

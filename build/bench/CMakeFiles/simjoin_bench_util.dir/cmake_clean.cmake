@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/simjoin_bench_util.dir/bench_util.cc.o.d"
+  "libsimjoin_bench_util.a"
+  "libsimjoin_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

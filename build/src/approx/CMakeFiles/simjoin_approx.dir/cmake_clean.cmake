@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_approx.dir/lsh_join.cc.o"
+  "CMakeFiles/simjoin_approx.dir/lsh_join.cc.o.d"
+  "libsimjoin_approx.a"
+  "libsimjoin_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimjoin_approx.a"
+)

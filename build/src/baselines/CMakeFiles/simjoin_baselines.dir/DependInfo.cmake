@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/grid_join.cc" "src/baselines/CMakeFiles/simjoin_baselines.dir/grid_join.cc.o" "gcc" "src/baselines/CMakeFiles/simjoin_baselines.dir/grid_join.cc.o.d"
+  "/root/repo/src/baselines/kdtree.cc" "src/baselines/CMakeFiles/simjoin_baselines.dir/kdtree.cc.o" "gcc" "src/baselines/CMakeFiles/simjoin_baselines.dir/kdtree.cc.o.d"
+  "/root/repo/src/baselines/nested_loop.cc" "src/baselines/CMakeFiles/simjoin_baselines.dir/nested_loop.cc.o" "gcc" "src/baselines/CMakeFiles/simjoin_baselines.dir/nested_loop.cc.o.d"
+  "/root/repo/src/baselines/sort_merge.cc" "src/baselines/CMakeFiles/simjoin_baselines.dir/sort_merge.cc.o" "gcc" "src/baselines/CMakeFiles/simjoin_baselines.dir/sort_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

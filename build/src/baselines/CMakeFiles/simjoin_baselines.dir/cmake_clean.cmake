@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_baselines.dir/grid_join.cc.o"
+  "CMakeFiles/simjoin_baselines.dir/grid_join.cc.o.d"
+  "CMakeFiles/simjoin_baselines.dir/kdtree.cc.o"
+  "CMakeFiles/simjoin_baselines.dir/kdtree.cc.o.d"
+  "CMakeFiles/simjoin_baselines.dir/nested_loop.cc.o"
+  "CMakeFiles/simjoin_baselines.dir/nested_loop.cc.o.d"
+  "CMakeFiles/simjoin_baselines.dir/sort_merge.cc.o"
+  "CMakeFiles/simjoin_baselines.dir/sort_merge.cc.o.d"
+  "libsimjoin_baselines.a"
+  "libsimjoin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

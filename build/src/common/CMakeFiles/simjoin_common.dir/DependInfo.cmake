@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/args.cc" "src/common/CMakeFiles/simjoin_common.dir/args.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/args.cc.o.d"
+  "/root/repo/src/common/binary_io.cc" "src/common/CMakeFiles/simjoin_common.dir/binary_io.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/binary_io.cc.o.d"
+  "/root/repo/src/common/bounding_box.cc" "src/common/CMakeFiles/simjoin_common.dir/bounding_box.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/bounding_box.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/simjoin_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/dataset.cc" "src/common/CMakeFiles/simjoin_common.dir/dataset.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/dataset.cc.o.d"
+  "/root/repo/src/common/eigen.cc" "src/common/CMakeFiles/simjoin_common.dir/eigen.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/eigen.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/simjoin_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/metric.cc" "src/common/CMakeFiles/simjoin_common.dir/metric.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/metric.cc.o.d"
+  "/root/repo/src/common/pca.cc" "src/common/CMakeFiles/simjoin_common.dir/pca.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/pca.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/simjoin_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/simjoin_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/simjoin_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/simjoin_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/common/CMakeFiles/simjoin_common.dir/timer.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/timer.cc.o.d"
+  "/root/repo/src/common/union_find.cc" "src/common/CMakeFiles/simjoin_common.dir/union_find.cc.o" "gcc" "src/common/CMakeFiles/simjoin_common.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

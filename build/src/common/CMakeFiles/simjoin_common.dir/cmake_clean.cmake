@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_common.dir/args.cc.o"
+  "CMakeFiles/simjoin_common.dir/args.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/binary_io.cc.o"
+  "CMakeFiles/simjoin_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/bounding_box.cc.o"
+  "CMakeFiles/simjoin_common.dir/bounding_box.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/csv.cc.o"
+  "CMakeFiles/simjoin_common.dir/csv.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/dataset.cc.o"
+  "CMakeFiles/simjoin_common.dir/dataset.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/eigen.cc.o"
+  "CMakeFiles/simjoin_common.dir/eigen.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/logging.cc.o"
+  "CMakeFiles/simjoin_common.dir/logging.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/metric.cc.o"
+  "CMakeFiles/simjoin_common.dir/metric.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/pca.cc.o"
+  "CMakeFiles/simjoin_common.dir/pca.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/rng.cc.o"
+  "CMakeFiles/simjoin_common.dir/rng.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/stats.cc.o"
+  "CMakeFiles/simjoin_common.dir/stats.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/status.cc.o"
+  "CMakeFiles/simjoin_common.dir/status.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/thread_pool.cc.o"
+  "CMakeFiles/simjoin_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/timer.cc.o"
+  "CMakeFiles/simjoin_common.dir/timer.cc.o.d"
+  "CMakeFiles/simjoin_common.dir/union_find.cc.o"
+  "CMakeFiles/simjoin_common.dir/union_find.cc.o.d"
+  "libsimjoin_common.a"
+  "libsimjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

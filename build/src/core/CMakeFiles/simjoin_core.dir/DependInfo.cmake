@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/components.cc" "src/core/CMakeFiles/simjoin_core.dir/components.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/components.cc.o.d"
+  "/root/repo/src/core/dbscan.cc" "src/core/CMakeFiles/simjoin_core.dir/dbscan.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/dbscan.cc.o.d"
+  "/root/repo/src/core/ekdb_config.cc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_config.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_config.cc.o.d"
+  "/root/repo/src/core/ekdb_join.cc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_join.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_join.cc.o.d"
+  "/root/repo/src/core/ekdb_serialize.cc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_serialize.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_serialize.cc.o.d"
+  "/root/repo/src/core/ekdb_tree.cc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_tree.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/ekdb_tree.cc.o.d"
+  "/root/repo/src/core/external_join.cc" "src/core/CMakeFiles/simjoin_core.dir/external_join.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/external_join.cc.o.d"
+  "/root/repo/src/core/parallel_join.cc" "src/core/CMakeFiles/simjoin_core.dir/parallel_join.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/parallel_join.cc.o.d"
+  "/root/repo/src/core/projected_join.cc" "src/core/CMakeFiles/simjoin_core.dir/projected_join.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/projected_join.cc.o.d"
+  "/root/repo/src/core/selectivity.cc" "src/core/CMakeFiles/simjoin_core.dir/selectivity.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/selectivity.cc.o.d"
+  "/root/repo/src/core/streaming_window.cc" "src/core/CMakeFiles/simjoin_core.dir/streaming_window.cc.o" "gcc" "src/core/CMakeFiles/simjoin_core.dir/streaming_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_core.dir/components.cc.o"
+  "CMakeFiles/simjoin_core.dir/components.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/dbscan.cc.o"
+  "CMakeFiles/simjoin_core.dir/dbscan.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/ekdb_config.cc.o"
+  "CMakeFiles/simjoin_core.dir/ekdb_config.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/ekdb_join.cc.o"
+  "CMakeFiles/simjoin_core.dir/ekdb_join.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/ekdb_serialize.cc.o"
+  "CMakeFiles/simjoin_core.dir/ekdb_serialize.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/ekdb_tree.cc.o"
+  "CMakeFiles/simjoin_core.dir/ekdb_tree.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/external_join.cc.o"
+  "CMakeFiles/simjoin_core.dir/external_join.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/parallel_join.cc.o"
+  "CMakeFiles/simjoin_core.dir/parallel_join.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/projected_join.cc.o"
+  "CMakeFiles/simjoin_core.dir/projected_join.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/selectivity.cc.o"
+  "CMakeFiles/simjoin_core.dir/selectivity.cc.o.d"
+  "CMakeFiles/simjoin_core.dir/streaming_window.cc.o"
+  "CMakeFiles/simjoin_core.dir/streaming_window.cc.o.d"
+  "libsimjoin_core.a"
+  "libsimjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_planner.dir/closest_pairs.cc.o"
+  "CMakeFiles/simjoin_planner.dir/closest_pairs.cc.o.d"
+  "CMakeFiles/simjoin_planner.dir/planner.cc.o"
+  "CMakeFiles/simjoin_planner.dir/planner.cc.o.d"
+  "libsimjoin_planner.a"
+  "libsimjoin_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_rtree.dir/rtree.cc.o"
+  "CMakeFiles/simjoin_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/simjoin_rtree.dir/rtree_join.cc.o"
+  "CMakeFiles/simjoin_rtree.dir/rtree_join.cc.o.d"
+  "libsimjoin_rtree.a"
+  "libsimjoin_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

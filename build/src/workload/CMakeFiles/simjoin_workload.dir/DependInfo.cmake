@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fft.cc" "src/workload/CMakeFiles/simjoin_workload.dir/fft.cc.o" "gcc" "src/workload/CMakeFiles/simjoin_workload.dir/fft.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/simjoin_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/simjoin_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/image_features.cc" "src/workload/CMakeFiles/simjoin_workload.dir/image_features.cc.o" "gcc" "src/workload/CMakeFiles/simjoin_workload.dir/image_features.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/simjoin_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/simjoin_workload.dir/profile.cc.o.d"
+  "/root/repo/src/workload/timeseries.cc" "src/workload/CMakeFiles/simjoin_workload.dir/timeseries.cc.o" "gcc" "src/workload/CMakeFiles/simjoin_workload.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

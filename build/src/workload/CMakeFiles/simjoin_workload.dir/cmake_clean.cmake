@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_workload.dir/fft.cc.o"
+  "CMakeFiles/simjoin_workload.dir/fft.cc.o.d"
+  "CMakeFiles/simjoin_workload.dir/generators.cc.o"
+  "CMakeFiles/simjoin_workload.dir/generators.cc.o.d"
+  "CMakeFiles/simjoin_workload.dir/image_features.cc.o"
+  "CMakeFiles/simjoin_workload.dir/image_features.cc.o.d"
+  "CMakeFiles/simjoin_workload.dir/profile.cc.o"
+  "CMakeFiles/simjoin_workload.dir/profile.cc.o.d"
+  "CMakeFiles/simjoin_workload.dir/timeseries.cc.o"
+  "CMakeFiles/simjoin_workload.dir/timeseries.cc.o.d"
+  "libsimjoin_workload.a"
+  "libsimjoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_tests.dir/approx/lsh_join_test.cc.o"
+  "CMakeFiles/approx_tests.dir/approx/lsh_join_test.cc.o.d"
+  "approx_tests"
+  "approx_tests.pdb"
+  "approx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

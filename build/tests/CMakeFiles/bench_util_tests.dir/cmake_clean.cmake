@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_util_tests.dir/bench/bench_util_test.cc.o"
+  "CMakeFiles/bench_util_tests.dir/bench/bench_util_test.cc.o.d"
+  "bench_util_tests"
+  "bench_util_tests.pdb"
+  "bench_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/args_test.cc" "tests/CMakeFiles/common_tests.dir/common/args_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/args_test.cc.o.d"
+  "/root/repo/tests/common/binary_io_test.cc" "tests/CMakeFiles/common_tests.dir/common/binary_io_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/binary_io_test.cc.o.d"
+  "/root/repo/tests/common/bounding_box_test.cc" "tests/CMakeFiles/common_tests.dir/common/bounding_box_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/bounding_box_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/common_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/dataset_test.cc" "tests/CMakeFiles/common_tests.dir/common/dataset_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/dataset_test.cc.o.d"
+  "/root/repo/tests/common/eigen_test.cc" "tests/CMakeFiles/common_tests.dir/common/eigen_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/eigen_test.cc.o.d"
+  "/root/repo/tests/common/metric_test.cc" "tests/CMakeFiles/common_tests.dir/common/metric_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/metric_test.cc.o.d"
+  "/root/repo/tests/common/misc_test.cc" "tests/CMakeFiles/common_tests.dir/common/misc_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/misc_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/simjoin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/simjoin_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/simjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

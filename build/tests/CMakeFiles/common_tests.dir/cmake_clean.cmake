@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/args_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/args_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/binary_io_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/binary_io_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/bounding_box_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/bounding_box_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/csv_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/dataset_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/dataset_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/eigen_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/eigen_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/metric_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/metric_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/misc_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/misc_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/stats_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

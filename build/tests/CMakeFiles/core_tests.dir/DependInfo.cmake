@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/closest_pairs_test.cc" "tests/CMakeFiles/core_tests.dir/core/closest_pairs_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/closest_pairs_test.cc.o.d"
+  "/root/repo/tests/core/components_test.cc" "tests/CMakeFiles/core_tests.dir/core/components_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/components_test.cc.o.d"
+  "/root/repo/tests/core/dbscan_test.cc" "tests/CMakeFiles/core_tests.dir/core/dbscan_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dbscan_test.cc.o.d"
+  "/root/repo/tests/core/dynamic_stress_test.cc" "tests/CMakeFiles/core_tests.dir/core/dynamic_stress_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dynamic_stress_test.cc.o.d"
+  "/root/repo/tests/core/ekdb_config_test.cc" "tests/CMakeFiles/core_tests.dir/core/ekdb_config_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ekdb_config_test.cc.o.d"
+  "/root/repo/tests/core/ekdb_dynamic_test.cc" "tests/CMakeFiles/core_tests.dir/core/ekdb_dynamic_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ekdb_dynamic_test.cc.o.d"
+  "/root/repo/tests/core/ekdb_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/ekdb_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ekdb_join_test.cc.o.d"
+  "/root/repo/tests/core/ekdb_serialize_test.cc" "tests/CMakeFiles/core_tests.dir/core/ekdb_serialize_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ekdb_serialize_test.cc.o.d"
+  "/root/repo/tests/core/ekdb_tree_test.cc" "tests/CMakeFiles/core_tests.dir/core/ekdb_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ekdb_tree_test.cc.o.d"
+  "/root/repo/tests/core/external_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/external_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/external_join_test.cc.o.d"
+  "/root/repo/tests/core/parallel_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/parallel_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/parallel_join_test.cc.o.d"
+  "/root/repo/tests/core/planner_test.cc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cc.o.d"
+  "/root/repo/tests/core/projected_join_test.cc" "tests/CMakeFiles/core_tests.dir/core/projected_join_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/projected_join_test.cc.o.d"
+  "/root/repo/tests/core/selectivity_test.cc" "tests/CMakeFiles/core_tests.dir/core/selectivity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/selectivity_test.cc.o.d"
+  "/root/repo/tests/core/streaming_window_test.cc" "tests/CMakeFiles/core_tests.dir/core/streaming_window_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/streaming_window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/simjoin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/simjoin_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/simjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simjoin_planner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_tests.dir/rtree/rstar_test.cc.o"
+  "CMakeFiles/rtree_tests.dir/rtree/rstar_test.cc.o.d"
+  "CMakeFiles/rtree_tests.dir/rtree/rtree_join_test.cc.o"
+  "CMakeFiles/rtree_tests.dir/rtree/rtree_join_test.cc.o.d"
+  "CMakeFiles/rtree_tests.dir/rtree/rtree_test.cc.o"
+  "CMakeFiles/rtree_tests.dir/rtree/rtree_test.cc.o.d"
+  "rtree_tests"
+  "rtree_tests.pdb"
+  "rtree_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

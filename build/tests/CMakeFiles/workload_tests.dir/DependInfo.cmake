@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/fft_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/fft_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/fft_test.cc.o.d"
+  "/root/repo/tests/workload/generators_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/generators_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/generators_test.cc.o.d"
+  "/root/repo/tests/workload/image_features_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/image_features_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/image_features_test.cc.o.d"
+  "/root/repo/tests/workload/profile_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/profile_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/profile_test.cc.o.d"
+  "/root/repo/tests/workload/timeseries_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/timeseries_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/timeseries_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/simjoin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/simjoin_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/simjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtree_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/approx_tests[1]_include.cmake")
+include("/root/repo/build/tests/bench_util_tests[1]_include.cmake")
+add_test(cli_generate "/root/repo/build/tools/simjoin_cli" "generate" "--workload" "clustered" "--n" "800" "--dims" "4" "--out" "/root/repo/build/cli_smoke_points.sjdb")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_data" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/simjoin_cli" "info" "--input" "/root/repo/build/cli_smoke_points.sjdb")
+set_tests_properties(cli_info PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;90;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_join "/root/repo/build/tools/simjoin_cli" "join" "--input" "/root/repo/build/cli_smoke_points.sjdb" "--epsilon" "0.08" "--algo" "ekdb")
+set_tests_properties(cli_join PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_join_rtree "/root/repo/build/tools/simjoin_cli" "join" "--input" "/root/repo/build/cli_smoke_points.sjdb" "--epsilon" "0.08" "--algo" "rtree")
+set_tests_properties(cli_join_rtree PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;93;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/tools/simjoin_cli" "plan" "--input" "/root/repo/build/cli_smoke_points.sjdb" "--epsilon" "0.08" "--run" "true")
+set_tests_properties(cli_plan PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_unknown_command "/root/repo/build/tools/simjoin_cli" "frobnicate")
+set_tests_properties(cli_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;99;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_join_missing_input "/root/repo/build/tools/simjoin_cli" "join" "--epsilon" "0.1")
+set_tests_properties(cli_join_missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;101;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_cluster "/root/repo/build/tools/simjoin_cli" "cluster" "--input" "/root/repo/build/cli_smoke_points.sjdb" "--epsilon" "0.08")
+set_tests_properties(cli_cluster PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;103;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_joins.dir/fuzz_joins.cpp.o"
+  "CMakeFiles/fuzz_joins.dir/fuzz_joins.cpp.o.d"
+  "fuzz_joins"
+  "fuzz_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_cli.dir/simjoin_cli.cpp.o"
+  "CMakeFiles/simjoin_cli.dir/simjoin_cli.cpp.o.d"
+  "simjoin_cli"
+  "simjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
