@@ -9,6 +9,7 @@
 
 #include "baselines/kdtree.h"
 #include "common/metric.h"
+#include "common/simd_kernel.h"
 #include "core/ekdb_tree.h"
 #include "rtree/rtree.h"
 #include "workload/generators.h"
@@ -55,6 +56,101 @@ void BM_WithinEpsilonEarlyExit(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_WithinEpsilonEarlyExit)->Arg(4)->Arg(16)->Arg(64);
+
+// --- Batch kernel filter: scalar reference vs the tiled SIMD layer. ---
+//
+// Both variants filter the same tile of kTileCapacity candidate rows against
+// one query point per iteration; items processed = candidate tests, so the
+// items/s ratio between BM_KernelFilterBatch and BM_KernelFilterScalar is
+// the kernel-filter speedup the join hot paths inherit.
+
+constexpr size_t kFilterTile = BatchDistanceKernel::kTileCapacity;
+
+struct FilterFixture {
+  Dataset data;
+  std::vector<const float*> rows;
+  FilterFixture(size_t dims, uint64_t seed) : data(MakePoints(1024, dims, seed)) {
+    rows.reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      rows.push_back(data.Row(static_cast<PointId>(i)));
+    }
+  }
+};
+
+void BM_KernelFilterScalar(benchmark::State& state) {
+  const auto metric = static_cast<Metric>(state.range(0));
+  const size_t dims = static_cast<size_t>(state.range(1));
+  const double eps = 0.5;  // selective at d >= 16, so the scalar baseline
+                           // keeps its early-exit advantage
+  const FilterFixture fx(dims, 11);
+  DistanceKernel kernel(metric);
+  uint8_t mask[kFilterTile];
+  size_t base = 0;
+  for (auto _ : state) {
+    const float* query = fx.rows[base % 1024];
+    const float* const* tile = fx.rows.data() + (base * 7 + 1) % (1024 - kFilterTile);
+    size_t kept = 0;
+    for (size_t i = 0; i < kFilterTile; ++i) {
+      mask[i] = kernel.WithinEpsilon(query, tile[i], dims, eps) ? 1 : 0;
+      kept += mask[i];
+    }
+    benchmark::DoNotOptimize(kept);
+    ++base;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFilterTile));
+}
+BENCHMARK(BM_KernelFilterScalar)
+    ->ArgsProduct({{static_cast<long>(Metric::kL1), static_cast<long>(Metric::kL2),
+                    static_cast<long>(Metric::kLinf)},
+                   {4, 16, 64}});
+
+void BM_KernelFilterBatch(benchmark::State& state) {
+  const auto metric = static_cast<Metric>(state.range(0));
+  const size_t dims = static_cast<size_t>(state.range(1));
+  const double eps = 0.5;
+  const FilterFixture fx(dims, 11);
+  BatchDistanceKernel kernel(metric, dims, eps);
+  uint8_t mask[kFilterTile];
+  size_t base = 0;
+  for (auto _ : state) {
+    const float* query = fx.rows[base % 1024];
+    const float* const* tile = fx.rows.data() + (base * 7 + 1) % (1024 - kFilterTile);
+    benchmark::DoNotOptimize(
+        kernel.FilterWithinEpsilon(query, tile, kFilterTile, mask));
+    ++base;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFilterTile));
+  state.counters["simd_batches"] = static_cast<double>(kernel.simd_batches());
+  state.counters["scalar_fallbacks"] =
+      static_cast<double>(kernel.scalar_fallbacks());
+}
+BENCHMARK(BM_KernelFilterBatch)
+    ->ArgsProduct({{static_cast<long>(Metric::kL1), static_cast<long>(Metric::kL2),
+                    static_cast<long>(Metric::kLinf)},
+                   {4, 16, 64}});
+
+// Portable (auto-vectorized baseline ISA) variant, so the bench JSON also
+// separates "float batching" from "AVX2 dispatch" gains.
+void BM_KernelFilterPortable(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const double eps = 0.5;
+  const FilterFixture fx(dims, 11);
+  BatchDistanceKernel kernel(Metric::kL2, dims, eps, KernelPath::kPortable);
+  uint8_t mask[kFilterTile];
+  size_t base = 0;
+  for (auto _ : state) {
+    const float* query = fx.rows[base % 1024];
+    const float* const* tile = fx.rows.data() + (base * 7 + 1) % (1024 - kFilterTile);
+    benchmark::DoNotOptimize(
+        kernel.FilterWithinEpsilon(query, tile, kFilterTile, mask));
+    ++base;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFilterTile));
+}
+BENCHMARK(BM_KernelFilterPortable)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_EkdbBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

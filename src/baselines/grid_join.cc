@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/simd_kernel.h"
+
 namespace simjoin {
 namespace {
 
@@ -90,22 +92,24 @@ Status GridSelfJoin(const Dataset& data, double epsilon, Metric metric,
   SIMJOIN_RETURN_NOT_OK(ValidateArgs(data, data, epsilon, sink));
   const size_t grid_dims = ResolveGridDims(config, data.dims());
   const CellMap grid = BuildGrid(data, grid_dims, epsilon);
-  DistanceKernel kernel(metric);
+  BatchDistanceKernel batch(metric, data.dims(), epsilon);
+  BufferedSink buffered(sink);
+  CandidateTile tile;
   JoinStats local;
-  const size_t dims = data.dims();
 
   for (const auto& [key, ids] : grid) {
     // Within-cell pairs.
     for (size_t i = 0; i < ids.size(); ++i) {
       const float* row_i = data.Row(ids[i]);
       for (size_t j = i + 1; j < ids.size(); ++j) {
-        ++local.candidate_pairs;
-        ++local.distance_calls;
-        if (kernel.WithinEpsilon(row_i, data.Row(ids[j]), dims, epsilon)) {
-          ++local.pairs_emitted;
-          sink->Emit(std::min(ids[i], ids[j]), std::max(ids[i], ids[j]));
+        tile.Add(ids[j], data.Row(ids[j]));
+        if (tile.full()) {
+          FilterTileAndEmit(batch, ids[i], row_i, tile,
+                            /*canonical_order=*/true, buffered, local);
         }
       }
+      FilterTileAndEmit(batch, ids[i], row_i, tile, /*canonical_order=*/true,
+                        buffered, local);
     }
     // Cross-cell pairs: only the lexicographically larger neighbour joins,
     // so each unordered cell pair is processed exactly once.
@@ -120,16 +124,20 @@ Status GridSelfJoin(const Dataset& data, double epsilon, Metric metric,
       for (PointId a : ids) {
         const float* row_a = data.Row(a);
         for (PointId b : it->second) {
-          ++local.candidate_pairs;
-          ++local.distance_calls;
-          if (kernel.WithinEpsilon(row_a, data.Row(b), dims, epsilon)) {
-            ++local.pairs_emitted;
-            sink->Emit(std::min(a, b), std::max(a, b));
+          tile.Add(b, data.Row(b));
+          if (tile.full()) {
+            FilterTileAndEmit(batch, a, row_a, tile, /*canonical_order=*/true,
+                              buffered, local);
           }
         }
+        FilterTileAndEmit(batch, a, row_a, tile, /*canonical_order=*/true,
+                          buffered, local);
       }
     });
   }
+  buffered.Flush();
+  local.simd_batches = batch.simd_batches();
+  local.scalar_fallbacks = batch.scalar_fallbacks();
   if (stats != nullptr) stats->Merge(local);
   return Status::OK();
 }
@@ -140,9 +148,10 @@ Status GridJoin(const Dataset& a, const Dataset& b, double epsilon,
   SIMJOIN_RETURN_NOT_OK(ValidateArgs(a, b, epsilon, sink));
   const size_t grid_dims = ResolveGridDims(config, a.dims());
   const CellMap grid = BuildGrid(b, grid_dims, epsilon);
-  DistanceKernel kernel(metric);
+  BatchDistanceKernel batch(metric, a.dims(), epsilon);
+  BufferedSink buffered(sink);
+  CandidateTile tile;
   JoinStats local;
-  const size_t dims = a.dims();
 
   for (size_t i = 0; i < a.size(); ++i) {
     const PointId a_id = static_cast<PointId>(i);
@@ -156,15 +165,19 @@ Status GridJoin(const Dataset& a, const Dataset& b, double epsilon,
         return;
       }
       for (PointId b_id : it->second) {
-        ++local.candidate_pairs;
-        ++local.distance_calls;
-        if (kernel.WithinEpsilon(row_a, b.Row(b_id), dims, epsilon)) {
-          ++local.pairs_emitted;
-          sink->Emit(a_id, b_id);
+        tile.Add(b_id, b.Row(b_id));
+        if (tile.full()) {
+          FilterTileAndEmit(batch, a_id, row_a, tile,
+                            /*canonical_order=*/false, buffered, local);
         }
       }
+      FilterTileAndEmit(batch, a_id, row_a, tile, /*canonical_order=*/false,
+                        buffered, local);
     });
   }
+  buffered.Flush();
+  local.simd_batches = batch.simd_batches();
+  local.scalar_fallbacks = batch.scalar_fallbacks();
   if (stats != nullptr) stats->Merge(local);
   return Status::OK();
 }

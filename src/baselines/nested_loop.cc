@@ -1,5 +1,7 @@
 #include "baselines/nested_loop.h"
 
+#include "common/simd_kernel.h"
+
 namespace simjoin {
 namespace {
 
@@ -23,22 +25,27 @@ Status ValidateJoinArgs(const Dataset& a, const Dataset& b, double epsilon,
 Status NestedLoopSelfJoin(const Dataset& data, double epsilon, Metric metric,
                           PairSink* sink, JoinStats* stats) {
   SIMJOIN_RETURN_NOT_OK(ValidateJoinArgs(data, data, epsilon, sink));
-  DistanceKernel kernel(metric);
+  BatchDistanceKernel batch(metric, data.dims(), epsilon);
+  BufferedSink buffered(sink);
+  CandidateTile tile;
   JoinStats local;
   const size_t n = data.size();
-  const size_t dims = data.dims();
   for (size_t i = 0; i < n; ++i) {
-    const float* row_i = data.Row(static_cast<PointId>(i));
+    const PointId a_id = static_cast<PointId>(i);
+    const float* row_i = data.Row(a_id);
     for (size_t j = i + 1; j < n; ++j) {
-      ++local.candidate_pairs;
-      ++local.distance_calls;
-      if (kernel.WithinEpsilon(row_i, data.Row(static_cast<PointId>(j)), dims,
-                               epsilon)) {
-        ++local.pairs_emitted;
-        sink->Emit(static_cast<PointId>(i), static_cast<PointId>(j));
+      tile.Add(static_cast<PointId>(j), data.Row(static_cast<PointId>(j)));
+      if (tile.full()) {
+        FilterTileAndEmit(batch, a_id, row_i, tile, /*canonical_order=*/true,
+                          buffered, local);
       }
     }
+    FilterTileAndEmit(batch, a_id, row_i, tile, /*canonical_order=*/true,
+                      buffered, local);
   }
+  buffered.Flush();
+  local.simd_batches = batch.simd_batches();
+  local.scalar_fallbacks = batch.scalar_fallbacks();
   if (stats != nullptr) stats->Merge(local);
   return Status::OK();
 }
@@ -46,23 +53,28 @@ Status NestedLoopSelfJoin(const Dataset& data, double epsilon, Metric metric,
 Status NestedLoopJoin(const Dataset& a, const Dataset& b, double epsilon,
                       Metric metric, PairSink* sink, JoinStats* stats) {
   SIMJOIN_RETURN_NOT_OK(ValidateJoinArgs(a, b, epsilon, sink));
-  DistanceKernel kernel(metric);
+  BatchDistanceKernel batch(metric, a.dims(), epsilon);
+  BufferedSink buffered(sink);
+  CandidateTile tile;
   JoinStats local;
   const size_t na = a.size();
   const size_t nb = b.size();
-  const size_t dims = a.dims();
   for (size_t i = 0; i < na; ++i) {
-    const float* row_i = a.Row(static_cast<PointId>(i));
+    const PointId a_id = static_cast<PointId>(i);
+    const float* row_i = a.Row(a_id);
     for (size_t j = 0; j < nb; ++j) {
-      ++local.candidate_pairs;
-      ++local.distance_calls;
-      if (kernel.WithinEpsilon(row_i, b.Row(static_cast<PointId>(j)), dims,
-                               epsilon)) {
-        ++local.pairs_emitted;
-        sink->Emit(static_cast<PointId>(i), static_cast<PointId>(j));
+      tile.Add(static_cast<PointId>(j), b.Row(static_cast<PointId>(j)));
+      if (tile.full()) {
+        FilterTileAndEmit(batch, a_id, row_i, tile, /*canonical_order=*/false,
+                          buffered, local);
       }
     }
+    FilterTileAndEmit(batch, a_id, row_i, tile, /*canonical_order=*/false,
+                      buffered, local);
   }
+  buffered.Flush();
+  local.simd_batches = batch.simd_batches();
+  local.scalar_fallbacks = batch.scalar_fallbacks();
   if (stats != nullptr) stats->Merge(local);
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/simd_kernel.h"
 #include "common/stats.h"
 
 namespace simjoin {
@@ -61,22 +62,27 @@ Status SortMergeSelfJoin(const Dataset& data, double epsilon, Metric metric,
                            ? MaxVarianceDim(data)
                            : config.sort_dim;
   const std::vector<PointId> ids = SortedIds(data, dim);
-  DistanceKernel kernel(metric);
+  BatchDistanceKernel batch(metric, data.dims(), epsilon);
+  BufferedSink buffered(sink);
+  CandidateTile tile;
   JoinStats local;
-  const size_t dims = data.dims();
   for (size_t i = 0; i < ids.size(); ++i) {
     const float* row_i = data.Row(ids[i]);
     for (size_t j = i + 1; j < ids.size(); ++j) {
       const float* row_j = data.Row(ids[j]);
       if (static_cast<double>(row_j[dim]) - row_i[dim] > epsilon) break;
-      ++local.candidate_pairs;
-      ++local.distance_calls;
-      if (kernel.WithinEpsilon(row_i, row_j, dims, epsilon)) {
-        ++local.pairs_emitted;
-        sink->Emit(std::min(ids[i], ids[j]), std::max(ids[i], ids[j]));
+      tile.Add(ids[j], row_j);
+      if (tile.full()) {
+        FilterTileAndEmit(batch, ids[i], row_i, tile, /*canonical_order=*/true,
+                          buffered, local);
       }
     }
+    FilterTileAndEmit(batch, ids[i], row_i, tile, /*canonical_order=*/true,
+                      buffered, local);
   }
+  buffered.Flush();
+  local.simd_batches = batch.simd_batches();
+  local.scalar_fallbacks = batch.scalar_fallbacks();
   if (stats != nullptr) stats->Merge(local);
   return Status::OK();
 }
@@ -90,9 +96,10 @@ Status SortMergeJoin(const Dataset& a, const Dataset& b, double epsilon,
                            : config.sort_dim;
   const std::vector<PointId> a_ids = SortedIds(a, dim);
   const std::vector<PointId> b_ids = SortedIds(b, dim);
-  DistanceKernel kernel(metric);
+  BatchDistanceKernel batch(metric, a.dims(), epsilon);
+  BufferedSink buffered(sink);
+  CandidateTile tile;
   JoinStats local;
-  const size_t dims = a.dims();
   size_t window_start = 0;
   for (PointId a_id : a_ids) {
     const float* a_row = a.Row(a_id);
@@ -105,14 +112,18 @@ Status SortMergeJoin(const Dataset& a, const Dataset& b, double epsilon,
     for (size_t j = window_start; j < b_ids.size(); ++j) {
       const float* b_row = b.Row(b_ids[j]);
       if (static_cast<double>(b_row[dim]) > hi) break;
-      ++local.candidate_pairs;
-      ++local.distance_calls;
-      if (kernel.WithinEpsilon(a_row, b_row, dims, epsilon)) {
-        ++local.pairs_emitted;
-        sink->Emit(a_id, b_ids[j]);
+      tile.Add(b_ids[j], b_row);
+      if (tile.full()) {
+        FilterTileAndEmit(batch, a_id, a_row, tile, /*canonical_order=*/false,
+                          buffered, local);
       }
     }
+    FilterTileAndEmit(batch, a_id, a_row, tile, /*canonical_order=*/false,
+                      buffered, local);
   }
+  buffered.Flush();
+  local.simd_batches = batch.simd_batches();
+  local.scalar_fallbacks = batch.scalar_fallbacks();
   if (stats != nullptr) stats->Merge(local);
   return Status::OK();
 }

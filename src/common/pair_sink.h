@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -29,12 +30,22 @@ class PairSink {
 
   /// Receives one result pair.  Called once per qualifying pair.
   virtual void Emit(PointId a, PointId b) = 0;
+
+  /// Receives a batch of result pairs.  The tiled join hot paths report one
+  /// batch per candidate tile, so sinks that override this see one virtual
+  /// call per tile instead of one per pair.  The default forwards to Emit.
+  virtual void EmitBatch(std::span<const IdPair> pairs) {
+    for (const IdPair& p : pairs) Emit(p.first, p.second);
+  }
 };
 
 /// Counts pairs without storing them; the sink used by benchmarks.
 class CountingSink : public PairSink {
  public:
   void Emit(PointId, PointId) override { ++count_; }
+  void EmitBatch(std::span<const IdPair> pairs) override {
+    count_ += pairs.size();
+  }
   uint64_t count() const { return count_; }
 
  private:
@@ -45,6 +56,9 @@ class CountingSink : public PairSink {
 class VectorSink : public PairSink {
  public:
   void Emit(PointId a, PointId b) override { pairs_.emplace_back(a, b); }
+  void EmitBatch(std::span<const IdPair> pairs) override {
+    pairs_.insert(pairs_.end(), pairs.begin(), pairs.end());
+  }
 
   const std::vector<IdPair>& pairs() const { return pairs_; }
   std::vector<IdPair>& pairs() { return pairs_; }
@@ -72,6 +86,46 @@ class CallbackSink : public PairSink {
   Callback cb_;
 };
 
+/// Buffering adapter in front of another sink: accumulates pairs (from Emit
+/// or EmitBatch) and forwards them as one EmitBatch on the target per full
+/// buffer, so join inner loops pay one virtual call per buffer instead of
+/// one per pair.  Owners must call Flush() (or destroy the adapter) before
+/// reading results from the target.
+class BufferedSink : public PairSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit BufferedSink(PairSink* target, size_t capacity = kDefaultCapacity)
+      : target_(target), capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.reserve(capacity_);
+  }
+  BufferedSink(const BufferedSink&) = default;
+  BufferedSink& operator=(const BufferedSink&) = delete;
+  ~BufferedSink() override { Flush(); }
+
+  void Emit(PointId a, PointId b) override {
+    buffer_.emplace_back(a, b);
+    if (buffer_.size() >= capacity_) Flush();
+  }
+
+  void EmitBatch(std::span<const IdPair> pairs) override {
+    buffer_.insert(buffer_.end(), pairs.begin(), pairs.end());
+    if (buffer_.size() >= capacity_) Flush();
+  }
+
+  /// Forwards everything buffered so far to the target sink.
+  void Flush() {
+    if (buffer_.empty()) return;
+    target_->EmitBatch(std::span<const IdPair>(buffer_));
+    buffer_.clear();
+  }
+
+ private:
+  PairSink* target_;
+  size_t capacity_;
+  std::vector<IdPair> buffer_;
+};
+
 /// Work counters filled in by join algorithms; all fields are best-effort
 /// and additive so parallel workers can merge them.
 struct JoinStats {
@@ -80,6 +134,8 @@ struct JoinStats {
   uint64_t node_pairs_visited = 0;  ///< tree-traversal node pairs considered
   uint64_t node_pairs_pruned = 0;   ///< node pairs cut by bbox/stripe pruning
   uint64_t pairs_emitted = 0;     ///< qualifying result pairs
+  uint64_t simd_batches = 0;      ///< batch-kernel invocations on a SIMD path
+  uint64_t scalar_fallbacks = 0;  ///< candidates decided by the exact scalar kernel
 
   void Merge(const JoinStats& other) {
     candidate_pairs += other.candidate_pairs;
@@ -87,6 +143,8 @@ struct JoinStats {
     node_pairs_visited += other.node_pairs_visited;
     node_pairs_pruned += other.node_pairs_pruned;
     pairs_emitted += other.pairs_emitted;
+    simd_batches += other.simd_batches;
+    scalar_fallbacks += other.scalar_fallbacks;
   }
 };
 

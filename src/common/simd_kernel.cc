@@ -1,0 +1,454 @@
+#include "common/simd_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SIMJOIN_X86 1
+#include <immintrin.h>
+#else
+#define SIMJOIN_X86 0
+#endif
+
+namespace simjoin {
+namespace {
+
+// Per-candidate relative rounding bound of the float score versus the exact
+// value.  Each subtraction/square rounds at 2^-24 relative and a dims-term
+// float sum accumulates at most dims more roundings; (dims + 4) * 2^-22 is a
+// >2x over-cover of the worst case (FMA paths round strictly less), so any
+// candidate whose exact score and float score straddle the threshold is
+// guaranteed to land inside the rescue band.
+float RescueMargin(size_t dims) {
+  return (static_cast<float>(dims) + 4.0f) * 2.384185791e-7f;  // 2^-22
+}
+
+// ---------------------------------------------------------------------------
+// Portable float scoring: plain loops the compiler can auto-vectorize with
+// the baseline instruction set.  Scores are: L1 sum, L2 squared sum, Linf max.
+
+float ScorePortableL1(const float* q, const float* r, size_t dims) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    s0 += std::fabs(q[i] - r[i]);
+    s1 += std::fabs(q[i + 1] - r[i + 1]);
+    s2 += std::fabs(q[i + 2] - r[i + 2]);
+    s3 += std::fabs(q[i + 3] - r[i + 3]);
+  }
+  for (; i < dims; ++i) s0 += std::fabs(q[i] - r[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+float ScorePortableL2(const float* q, const float* r, size_t dims) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    const float d0 = q[i] - r[i];
+    const float d1 = q[i + 1] - r[i + 1];
+    const float d2 = q[i + 2] - r[i + 2];
+    const float d3 = q[i + 3] - r[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < dims; ++i) {
+    const float d = q[i] - r[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float ScorePortableLinf(const float* q, const float* r, size_t dims) {
+  float m = 0.0f;
+  for (size_t i = 0; i < dims; ++i) m = std::max(m, std::fabs(q[i] - r[i]));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA scoring: 8 floats per step, scalar float tail for dims % 8.
+
+#if SIMJOIN_X86 && (defined(__GNUC__) || defined(__clang__))
+#define SIMJOIN_HAVE_AVX2_PATH 1
+
+__attribute__((target("avx2,fma"))) float HorizontalSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+__attribute__((target("avx2,fma"))) float HorizontalMax(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_max_ps(lo, hi);
+  lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+// Scores one whole batch per call, four candidates interleaved so the
+// independent FMA/add chains hide each other's latency and the query loads
+// are shared.  One call per tile keeps the target-attribute function-call
+// overhead off the per-candidate cost.
+
+__attribute__((target("avx2,fma"))) void ScoreBatchAvx2L1(
+    const float* q, const float* const* rows, size_t count, size_t dims,
+    float* scores) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows[i];
+    const float* r1 = rows[i + 1];
+    const float* r2 = rows[i + 2];
+    const float* r3 = rows[i + 3];
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dims; d += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + d);
+      a0 = _mm256_add_ps(
+          a0, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r0 + d)), abs_mask));
+      a1 = _mm256_add_ps(
+          a1, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r1 + d)), abs_mask));
+      a2 = _mm256_add_ps(
+          a2, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r2 + d)), abs_mask));
+      a3 = _mm256_add_ps(
+          a3, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r3 + d)), abs_mask));
+    }
+    float s0 = HorizontalSum(a0), s1 = HorizontalSum(a1);
+    float s2 = HorizontalSum(a2), s3 = HorizontalSum(a3);
+    for (; d < dims; ++d) {
+      s0 += std::fabs(q[d] - r0[d]);
+      s1 += std::fabs(q[d] - r1[d]);
+      s2 += std::fabs(q[d] - r2[d]);
+      s3 += std::fabs(q[d] - r3[d]);
+    }
+    scores[i] = s0;
+    scores[i + 1] = s1;
+    scores[i + 2] = s2;
+    scores[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* r = rows[i];
+    __m256 acc = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dims; d += 8) {
+      const __m256 diff =
+          _mm256_sub_ps(_mm256_loadu_ps(q + d), _mm256_loadu_ps(r + d));
+      acc = _mm256_add_ps(acc, _mm256_and_ps(diff, abs_mask));
+    }
+    float s = HorizontalSum(acc);
+    for (; d < dims; ++d) s += std::fabs(q[d] - r[d]);
+    scores[i] = s;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScoreBatchAvx2L2(
+    const float* q, const float* const* rows, size_t count, size_t dims,
+    float* scores) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows[i];
+    const float* r1 = rows[i + 1];
+    const float* r2 = rows[i + 2];
+    const float* r3 = rows[i + 3];
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dims; d += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + d);
+      const __m256 d0 = _mm256_sub_ps(qv, _mm256_loadu_ps(r0 + d));
+      const __m256 d1 = _mm256_sub_ps(qv, _mm256_loadu_ps(r1 + d));
+      const __m256 d2 = _mm256_sub_ps(qv, _mm256_loadu_ps(r2 + d));
+      const __m256 d3 = _mm256_sub_ps(qv, _mm256_loadu_ps(r3 + d));
+      a0 = _mm256_fmadd_ps(d0, d0, a0);
+      a1 = _mm256_fmadd_ps(d1, d1, a1);
+      a2 = _mm256_fmadd_ps(d2, d2, a2);
+      a3 = _mm256_fmadd_ps(d3, d3, a3);
+    }
+    float s0 = HorizontalSum(a0), s1 = HorizontalSum(a1);
+    float s2 = HorizontalSum(a2), s3 = HorizontalSum(a3);
+    for (; d < dims; ++d) {
+      const float e0 = q[d] - r0[d], e1 = q[d] - r1[d];
+      const float e2 = q[d] - r2[d], e3 = q[d] - r3[d];
+      s0 += e0 * e0;
+      s1 += e1 * e1;
+      s2 += e2 * e2;
+      s3 += e3 * e3;
+    }
+    scores[i] = s0;
+    scores[i + 1] = s1;
+    scores[i + 2] = s2;
+    scores[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* r = rows[i];
+    __m256 acc = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dims; d += 8) {
+      const __m256 diff =
+          _mm256_sub_ps(_mm256_loadu_ps(q + d), _mm256_loadu_ps(r + d));
+      acc = _mm256_fmadd_ps(diff, diff, acc);
+    }
+    float s = HorizontalSum(acc);
+    for (; d < dims; ++d) {
+      const float e = q[d] - r[d];
+      s += e * e;
+    }
+    scores[i] = s;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScoreBatchAvx2Linf(
+    const float* q, const float* const* rows, size_t count, size_t dims,
+    float* scores) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows[i];
+    const float* r1 = rows[i + 1];
+    const float* r2 = rows[i + 2];
+    const float* r3 = rows[i + 3];
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dims; d += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + d);
+      a0 = _mm256_max_ps(
+          a0, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r0 + d)), abs_mask));
+      a1 = _mm256_max_ps(
+          a1, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r1 + d)), abs_mask));
+      a2 = _mm256_max_ps(
+          a2, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r2 + d)), abs_mask));
+      a3 = _mm256_max_ps(
+          a3, _mm256_and_ps(_mm256_sub_ps(qv, _mm256_loadu_ps(r3 + d)), abs_mask));
+    }
+    float s0 = HorizontalMax(a0), s1 = HorizontalMax(a1);
+    float s2 = HorizontalMax(a2), s3 = HorizontalMax(a3);
+    for (; d < dims; ++d) {
+      s0 = std::max(s0, std::fabs(q[d] - r0[d]));
+      s1 = std::max(s1, std::fabs(q[d] - r1[d]));
+      s2 = std::max(s2, std::fabs(q[d] - r2[d]));
+      s3 = std::max(s3, std::fabs(q[d] - r3[d]));
+    }
+    scores[i] = s0;
+    scores[i + 1] = s1;
+    scores[i + 2] = s2;
+    scores[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* r = rows[i];
+    __m256 acc = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dims; d += 8) {
+      const __m256 diff =
+          _mm256_sub_ps(_mm256_loadu_ps(q + d), _mm256_loadu_ps(r + d));
+      acc = _mm256_max_ps(acc, _mm256_and_ps(diff, abs_mask));
+    }
+    float m = HorizontalMax(acc);
+    for (; d < dims; ++d) m = std::max(m, std::fabs(q[d] - r[d]));
+    scores[i] = m;
+  }
+}
+#else
+#define SIMJOIN_HAVE_AVX2_PATH 0
+#endif  // SIMJOIN_X86 && (GNUC || clang)
+
+}  // namespace
+
+bool BatchDistanceKernel::CpuHasAvx2() {
+#if SIMJOIN_HAVE_AVX2_PATH
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool BatchDistanceKernel::ForceScalarEnv() {
+  const char* v = std::getenv("SIMJOIN_FORCE_SCALAR");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+namespace {
+
+KernelPath ResolvePath(KernelPath preferred) {
+  if (preferred == KernelPath::kAuto) {
+    if (BatchDistanceKernel::ForceScalarEnv()) return KernelPath::kScalar;
+    return BatchDistanceKernel::CpuHasAvx2() ? KernelPath::kAvx2
+                                             : KernelPath::kPortable;
+  }
+  if (preferred == KernelPath::kAvx2 && !BatchDistanceKernel::CpuHasAvx2()) {
+    return KernelPath::kPortable;
+  }
+  return preferred;
+}
+
+}  // namespace
+
+BatchDistanceKernel::BatchDistanceKernel(Metric metric, size_t dims, double eps,
+                                         KernelPath preferred)
+    : scalar_(metric),
+      dims_(dims),
+      eps_(eps),
+      margin_(RescueMargin(dims)),
+      path_(ResolvePath(preferred)) {
+  SetEpsilon(eps);
+}
+
+void BatchDistanceKernel::SetEpsilon(double eps) {
+  eps_ = eps;
+  // L2 scores are squared sums, so the float threshold is eps^2; the scalar
+  // reference compares the same way, so the rescue band covers the rounding
+  // of both the score and this conversion.
+  threshold_ = metric() == Metric::kL2 ? static_cast<float>(eps * eps)
+                                       : static_cast<float>(eps);
+}
+
+bool BatchDistanceKernel::Rescue(const float* query, const float* row) {
+  ++scalar_fallbacks_;
+  return scalar_.WithinEpsilon(query, row, dims_, eps_);
+}
+
+size_t BatchDistanceKernel::FilterScalar(const float* query,
+                                         const float* const* rows, size_t count,
+                                         uint8_t* out_mask) {
+  size_t kept = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t in = Rescue(query, rows[i]) ? 1 : 0;
+    out_mask[i] = in;
+    kept += in;
+  }
+  return kept;
+}
+
+size_t BatchDistanceKernel::FilterPortable(const float* query,
+                                           const float* const* rows,
+                                           size_t count, uint8_t* out_mask) {
+  size_t kept = 0;
+  for (size_t i = 0; i < count; ++i) {
+    float score = 0.0f;
+    switch (metric()) {
+      case Metric::kL1:
+        score = ScorePortableL1(query, rows[i], dims_);
+        break;
+      case Metric::kL2:
+        score = ScorePortableL2(query, rows[i], dims_);
+        break;
+      case Metric::kLinf:
+        score = ScorePortableLinf(query, rows[i], dims_);
+        break;
+    }
+    uint8_t in;
+    if (std::fabs(score - threshold_) <= margin_ * (score + threshold_)) {
+      in = Rescue(query, rows[i]) ? 1 : 0;
+    } else {
+      in = score <= threshold_ ? 1 : 0;
+    }
+    out_mask[i] = in;
+    kept += in;
+  }
+  return kept;
+}
+
+size_t BatchDistanceKernel::FilterAvx2(const float* query,
+                                       const float* const* rows, size_t count,
+                                       uint8_t* out_mask) {
+#if SIMJOIN_HAVE_AVX2_PATH
+  constexpr size_t kChunk = 128;
+  float scores[kChunk];
+  size_t kept = 0;
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t n = std::min(kChunk, count - base);
+    switch (metric()) {
+      case Metric::kL1:
+        ScoreBatchAvx2L1(query, rows + base, n, dims_, scores);
+        break;
+      case Metric::kL2:
+        ScoreBatchAvx2L2(query, rows + base, n, dims_, scores);
+        break;
+      case Metric::kLinf:
+        ScoreBatchAvx2Linf(query, rows + base, n, dims_, scores);
+        break;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const float score = scores[i];
+      uint8_t in;
+      if (std::fabs(score - threshold_) <= margin_ * (score + threshold_)) {
+        in = Rescue(query, rows[base + i]) ? 1 : 0;
+      } else {
+        in = score <= threshold_ ? 1 : 0;
+      }
+      out_mask[base + i] = in;
+      kept += in;
+    }
+  }
+  return kept;
+#else
+  return FilterPortable(query, rows, count, out_mask);
+#endif
+}
+
+size_t BatchDistanceKernel::FilterWithinEpsilon(const float* query,
+                                                const float* const* rows,
+                                                size_t count,
+                                                uint8_t* out_mask) {
+  if (count == 0) return 0;
+  switch (path_) {
+    case KernelPath::kScalar:
+      return FilterScalar(query, rows, count, out_mask);
+    case KernelPath::kAvx2:
+      ++simd_batches_;
+      return FilterAvx2(query, rows, count, out_mask);
+    case KernelPath::kAuto:
+    case KernelPath::kPortable:
+      ++simd_batches_;
+      return FilterPortable(query, rows, count, out_mask);
+  }
+  return 0;
+}
+
+size_t BatchDistanceKernel::CountWithinEpsilon(const float* query,
+                                               const float* const* rows,
+                                               size_t count) {
+  uint8_t mask[kTileCapacity];
+  size_t kept = 0;
+  for (size_t i = 0; i < count; i += kTileCapacity) {
+    const size_t chunk = std::min(kTileCapacity, count - i);
+    kept += FilterWithinEpsilon(query, rows + i, chunk, mask);
+  }
+  return kept;
+}
+
+size_t FilterTileAndEmit(BatchDistanceKernel& kernel, PointId query_id,
+                         const float* query_row, CandidateTile& tile,
+                         bool canonical_order, PairSink& sink,
+                         JoinStats& stats) {
+  if (tile.empty()) return 0;
+  const size_t n = tile.size();
+  uint8_t mask[CandidateTile::kCapacity];
+  stats.candidate_pairs += n;
+  stats.distance_calls += n;
+  const size_t kept = kernel.FilterWithinEpsilon(query_row, tile.rows(), n, mask);
+  if (kept != 0) {
+    stats.pairs_emitted += kept;
+    IdPair out[CandidateTile::kCapacity];
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!mask[i]) continue;
+      PointId a = query_id;
+      PointId b = tile.ids()[i];
+      if (canonical_order && a > b) std::swap(a, b);
+      out[m++] = IdPair(a, b);
+    }
+    sink.EmitBatch(std::span<const IdPair>(out, m));
+  }
+  tile.Clear();
+  return kept;
+}
+
+}  // namespace simjoin

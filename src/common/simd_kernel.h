@@ -1,0 +1,139 @@
+// Batched one-vs-many epsilon filters — the vectorized inner layer every
+// join hot path is built on.
+//
+// The scalar DistanceKernel tests one candidate at a time, widening each
+// float coordinate to double.  The BatchDistanceKernel here filters a whole
+// tile of candidate rows against one query point in a single call, using
+// float accumulation (unrolled portable loop, or AVX2 when the CPU has it)
+// compared against the threshold in float space.  Exactness is preserved by
+// a rescue band: a candidate whose float score lands within the accumulated
+// rounding-error margin of the threshold is re-tested with the exact
+// double-precision scalar kernel, so the surviving pair set is bit-identical
+// to DistanceKernel::WithinEpsilon for every input.
+//
+// Set SIMJOIN_FORCE_SCALAR=1 in the environment to route every test through
+// the scalar reference kernel (for debugging and differential testing).
+
+#ifndef SIMJOIN_COMMON_SIMD_KERNEL_H_
+#define SIMJOIN_COMMON_SIMD_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/metric.h"
+#include "common/pair_sink.h"
+
+namespace simjoin {
+
+/// Which filter implementation a BatchDistanceKernel uses.
+enum class KernelPath {
+  kAuto,      ///< env override, then the best the CPU supports
+  kScalar,    ///< per-candidate exact DistanceKernel reference
+  kPortable,  ///< unrolled float loop (compiler auto-vectorization)
+  kAvx2,      ///< 8-wide AVX2+FMA float loop (falls back if unsupported)
+};
+
+/// One-vs-many epsilon filter bound to (metric, dims, eps).
+///
+/// Stateful only in its work counters, so each join context owns one and
+/// folds the counters into its JoinStats when done.
+class BatchDistanceKernel {
+ public:
+  /// Tile width the join hot loops gather candidates into.  32 keeps the
+  /// id/pointer/mask arrays inside one cache line each while amortising the
+  /// dispatch and mask-compaction overhead over enough distance tests.
+  static constexpr size_t kTileCapacity = 32;
+
+  BatchDistanceKernel(Metric metric, size_t dims, double eps,
+                      KernelPath preferred = KernelPath::kAuto);
+
+  /// Sets out_mask[i] = 1 iff dist(query, rows[i]) <= eps (0 otherwise) for
+  /// i in [0, count).  Returns the number of surviving candidates.  The
+  /// result is bit-identical to calling the scalar WithinEpsilon per row.
+  size_t FilterWithinEpsilon(const float* query, const float* const* rows,
+                             size_t count, uint8_t* out_mask);
+
+  /// Counts candidates within eps without producing a mask.
+  size_t CountWithinEpsilon(const float* query, const float* const* rows,
+                            size_t count);
+
+  /// Narrows the threshold (the eps-k-d-B query-epsilon override path).
+  void SetEpsilon(double eps);
+
+  Metric metric() const { return scalar_.metric(); }
+  size_t dims() const { return dims_; }
+  double epsilon() const { return eps_; }
+  /// Path actually selected after CPU detection and env overrides.
+  KernelPath path() const { return path_; }
+
+  /// Batch filter invocations that ran on a vector path.
+  uint64_t simd_batches() const { return simd_batches_; }
+  /// Candidates decided by the exact scalar kernel: boundary-band rescues
+  /// plus every test made while the scalar path is forced.
+  uint64_t scalar_fallbacks() const { return scalar_fallbacks_; }
+
+  /// True when the CPU reports AVX2 support at runtime.
+  static bool CpuHasAvx2();
+  /// True when SIMJOIN_FORCE_SCALAR=1 is set in the environment.
+  static bool ForceScalarEnv();
+
+ private:
+  size_t FilterScalar(const float* query, const float* const* rows,
+                      size_t count, uint8_t* out_mask);
+  size_t FilterPortable(const float* query, const float* const* rows,
+                        size_t count, uint8_t* out_mask);
+  size_t FilterAvx2(const float* query, const float* const* rows, size_t count,
+                    uint8_t* out_mask);
+  /// Resolves one candidate whose float score fell inside the rescue band.
+  bool Rescue(const float* query, const float* row);
+
+  DistanceKernel scalar_;
+  size_t dims_;
+  double eps_;
+  float threshold_;  ///< eps in float space (eps^2 for L2)
+  float margin_;     ///< half-width of the rescue band around threshold_
+  KernelPath path_;
+  uint64_t simd_batches_ = 0;
+  uint64_t scalar_fallbacks_ = 0;
+};
+
+/// Fixed-capacity gather buffer for the leaf-join hot loops: candidate row
+/// pointers and ids accumulated until full, then filtered with one
+/// batch-kernel call.
+class CandidateTile {
+ public:
+  static constexpr size_t kCapacity = BatchDistanceKernel::kTileCapacity;
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == kCapacity; }
+
+  void Add(PointId id, const float* row) {
+    ids_[count_] = id;
+    rows_[count_] = row;
+    ++count_;
+  }
+  void Clear() { count_ = 0; }
+
+  const PointId* ids() const { return ids_; }
+  const float* const* rows() const { return rows_; }
+
+ private:
+  PointId ids_[kCapacity];
+  const float* rows_[kCapacity];
+  size_t count_ = 0;
+};
+
+/// Filters the tile against one query point, emits the survivors to the sink
+/// as one EmitBatch, updates candidate/distance/emitted counters, and clears
+/// the tile.  With canonical_order set (self-joins) each pair is emitted as
+/// (min id, max id); otherwise as (query_id, candidate_id).  Returns the
+/// number of pairs emitted.
+size_t FilterTileAndEmit(BatchDistanceKernel& kernel, PointId query_id,
+                         const float* query_row, CandidateTile& tile,
+                         bool canonical_order, PairSink& sink,
+                         JoinStats& stats);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_SIMD_KERNEL_H_

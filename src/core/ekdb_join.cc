@@ -13,7 +13,9 @@ EkdbJoinContext::EkdbJoinContext(const EkdbTree& tree, PairSink* sink)
       bbox_pruning_(tree.config().bbox_pruning),
       sliding_window_(tree.config().sliding_window_leaf_join),
       self_mode_(true),
-      sink_(sink) {}
+      batch_(tree.config().metric, tree.dataset().dims(),
+             tree.config().epsilon),
+      buffered_(sink) {}
 
 EkdbJoinContext::EkdbJoinContext(const EkdbTree& a, const EkdbTree& b,
                                  PairSink* sink)
@@ -25,21 +27,11 @@ EkdbJoinContext::EkdbJoinContext(const EkdbTree& a, const EkdbTree& b,
       sliding_window_(a.config().sliding_window_leaf_join &&
                       b.config().sliding_window_leaf_join),
       self_mode_(false),
-      sink_(sink) {}
-
-void EkdbJoinContext::TestAndEmit(PointId a, const float* a_row, PointId b,
-                                  const float* b_row) {
-  ++stats_.candidate_pairs;
-  ++stats_.distance_calls;
-  if (!kernel_.WithinEpsilon(a_row, b_row, a_data_.dims(), epsilon_)) return;
-  ++stats_.pairs_emitted;
-  if (self_mode_ && a > b) std::swap(a, b);
-  sink_->Emit(a, b);
-}
+      batch_(a.config().metric, a.dataset().dims(), a.config().epsilon),
+      buffered_(sink) {}
 
 void EkdbJoinContext::LeafSelfJoin(const EkdbNode* leaf) {
   const auto& ids = leaf->points;
-  const size_t dims = a_data_.dims();
   const uint32_t dim = leaf->sort_dim;
   for (size_t i = 0; i < ids.size(); ++i) {
     const float* row_i = a_data_.Row(ids[i]);
@@ -51,9 +43,10 @@ void EkdbJoinContext::LeafSelfJoin(const EkdbNode* leaf) {
           static_cast<double>(row_j[dim]) - row_i[dim] > epsilon_) {
         break;
       }
-      (void)dims;
-      TestAndEmit(ids[i], row_i, ids[j], row_j);
+      tile_.Add(ids[j], row_j);
+      if (tile_.full()) FlushTile(ids[i], row_i);
     }
+    FlushTile(ids[i], row_i);
   }
 }
 
@@ -70,13 +63,15 @@ void EkdbJoinContext::SweepLists(const std::vector<PointId>& a_ids,
            static_cast<double>(b_data.Row(b_ids[window_start])[dim]) < lo) {
       ++window_start;
     }
+    // SweepLists is only reached from cross joins, where the (a, b) sides
+    // are distinct subtrees: ids never coincide in self mode.
     for (size_t j = window_start; j < b_ids.size(); ++j) {
       const float* b_row = b_data.Row(b_ids[j]);
       if (static_cast<double>(b_row[dim]) > hi) break;
-      // SweepLists is only reached from cross joins, where the (a, b) sides
-      // are distinct subtrees: ids never coincide in self mode.
-      TestAndEmit(a_id, a_row, b_ids[j], b_row);
+      tile_.Add(b_ids[j], b_row);
+      if (tile_.full()) FlushTile(a_id, a_row);
     }
+    FlushTile(a_id, a_row);
   }
 }
 
@@ -85,8 +80,10 @@ void EkdbJoinContext::LeafCrossJoin(const EkdbNode* a, const EkdbNode* b) {
     for (PointId a_id : a->points) {
       const float* a_row = a_data_.Row(a_id);
       for (PointId b_id : b->points) {
-        TestAndEmit(a_id, a_row, b_id, b_data_.Row(b_id));
+        tile_.Add(b_id, b_data_.Row(b_id));
+        if (tile_.full()) FlushTile(a_id, a_row);
       }
+      FlushTile(a_id, a_row);
     }
     return;
   }
@@ -175,6 +172,7 @@ Status EkdbSelfJoin(const EkdbTree& tree, PairSink* sink, JoinStats* stats) {
   if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
   internal::EkdbJoinContext ctx(tree, sink);
   ctx.SelfJoinNode(tree.root());
+  ctx.Flush();
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -189,6 +187,7 @@ Status EkdbJoin(const EkdbTree& a, const EkdbTree& b, PairSink* sink,
   }
   internal::EkdbJoinContext ctx(a, b, sink);
   ctx.JoinNodes(a.root(), b.root());
+  ctx.Flush();
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -214,6 +213,7 @@ Status EkdbSelfJoinWithEpsilon(const EkdbTree& tree, double eps_query,
   internal::EkdbJoinContext ctx(tree, sink);
   ctx.OverrideEpsilon(eps_query);
   ctx.SelfJoinNode(tree.root());
+  ctx.Flush();
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -230,6 +230,7 @@ Status EkdbJoinWithEpsilon(const EkdbTree& a, const EkdbTree& b,
   internal::EkdbJoinContext ctx(a, b, sink);
   ctx.OverrideEpsilon(eps_query);
   ctx.JoinNodes(a.root(), b.root());
+  ctx.Flush();
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }

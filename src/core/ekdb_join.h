@@ -14,6 +14,7 @@
 #define SIMJOIN_CORE_EKDB_JOIN_H_
 
 #include "common/pair_sink.h"
+#include "common/simd_kernel.h"
 #include "common/status.h"
 #include "core/ekdb_tree.h"
 
@@ -56,7 +57,10 @@ class EkdbJoinContext {
 
   /// Narrows the join radius below the build epsilon (callers must have
   /// validated 0 < eps <= build epsilon).
-  void OverrideEpsilon(double eps) { epsilon_ = eps; }
+  void OverrideEpsilon(double eps) {
+    epsilon_ = eps;
+    batch_.SetEpsilon(eps);
+  }
 
   /// Joins a subtree with itself (self-join contexts only).
   void SelfJoinNode(const EkdbNode* node);
@@ -65,7 +69,17 @@ class EkdbJoinContext {
   /// from tree B / the right side).
   void JoinNodes(const EkdbNode* a, const EkdbNode* b);
 
-  const JoinStats& stats() const { return stats_; }
+  /// Pushes buffered result pairs through to the sink.  Must be called after
+  /// the last SelfJoinNode/JoinNodes call and before results are consumed.
+  void Flush() { buffered_.Flush(); }
+
+  /// Work counters, including the batch kernel's SIMD/fallback tallies.
+  JoinStats stats() const {
+    JoinStats s = stats_;
+    s.simd_batches = batch_.simd_batches();
+    s.scalar_fallbacks = batch_.scalar_fallbacks();
+    return s;
+  }
 
  private:
   void LeafSelfJoin(const EkdbNode* leaf);
@@ -74,7 +88,12 @@ class EkdbJoinContext {
   void SweepLists(const std::vector<PointId>& a_ids, const Dataset& a_data,
                   const std::vector<PointId>& b_ids, const Dataset& b_data,
                   uint32_t dim);
-  void TestAndEmit(PointId a, const float* a_row, PointId b, const float* b_row);
+  /// Filters the gathered candidate tile against one query row and emits the
+  /// survivors (in canonical order for self-joins).
+  void FlushTile(PointId query_id, const float* query_row) {
+    FilterTileAndEmit(batch_, query_id, query_row, tile_, self_mode_,
+                      buffered_, stats_);
+  }
 
   const Dataset& a_data_;
   const Dataset& b_data_;
@@ -83,7 +102,9 @@ class EkdbJoinContext {
   bool bbox_pruning_;
   bool sliding_window_;
   bool self_mode_;
-  PairSink* sink_;
+  BatchDistanceKernel batch_;
+  BufferedSink buffered_;
+  CandidateTile tile_;
   JoinStats stats_;
   std::vector<PointId> scratch_;
 };

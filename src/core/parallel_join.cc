@@ -47,10 +47,15 @@ class LockedSink : public PairSink {
     if (buffer_.size() >= kFlushThreshold) Flush();
   }
 
+  void EmitBatch(std::span<const IdPair> pairs) override {
+    buffer_.insert(buffer_.end(), pairs.begin(), pairs.end());
+    if (buffer_.size() >= kFlushThreshold) Flush();
+  }
+
   void Flush() {
     if (buffer_.empty()) return;
     std::lock_guard<std::mutex> lock(*mu_);
-    for (const auto& [a, b] : buffer_) target_->Emit(a, b);
+    target_->EmitBatch(std::span<const IdPair>(buffer_));
     buffer_.clear();
   }
 
@@ -103,6 +108,9 @@ Status RunTasks(const std::vector<JoinTask>& tasks, size_t threads,
       } else {
         ctx.JoinNodes(task.a, task.b);
       }
+      // Drain the context's pair buffer into local_sink before local_sink
+      // itself flushes to the shared sink.
+      ctx.Flush();
       local_sink.Flush();
       std::lock_guard<std::mutex> lock(stats_mu);
       merged.Merge(ctx.stats());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/simd_kernel.h"
+
 namespace simjoin {
 namespace {
 
@@ -15,7 +17,8 @@ class RTreeJoinContext {
         kernel_(metric),
         epsilon_(epsilon),
         self_mode_(self_mode),
-        sink_(sink) {}
+        batch_(metric, a_data.dims(), epsilon),
+        buffered_(sink) {}
 
   void SelfJoinNode(const RTreeNode* node) {
     if (node->is_leaf()) {
@@ -50,16 +53,24 @@ class RTreeJoinContext {
     }
   }
 
-  const JoinStats& stats() const { return stats_; }
+  /// Pushes buffered result pairs through to the sink.  Must be called after
+  /// the last traversal call and before results are consumed.
+  void Flush() { buffered_.Flush(); }
+
+  /// Work counters, including the batch kernel's SIMD/fallback tallies.
+  JoinStats stats() const {
+    JoinStats s = stats_;
+    s.simd_batches = batch_.simd_batches();
+    s.scalar_fallbacks = batch_.scalar_fallbacks();
+    return s;
+  }
 
  private:
-  void TestAndEmit(PointId a, const float* a_row, PointId b, const float* b_row) {
-    ++stats_.candidate_pairs;
-    ++stats_.distance_calls;
-    if (!kernel_.WithinEpsilon(a_row, b_row, a_data_.dims(), epsilon_)) return;
-    ++stats_.pairs_emitted;
-    if (self_mode_ && a > b) std::swap(a, b);
-    sink_->Emit(a, b);
+  /// Filters the gathered candidate tile against one query row and emits the
+  /// survivors (in canonical order for self-joins).
+  void FlushTile(PointId query_id, const float* query_row) {
+    FilterTileAndEmit(batch_, query_id, query_row, tile_, self_mode_,
+                      buffered_, stats_);
   }
 
   void LeafSelfJoin(const RTreeNode* leaf) {
@@ -70,8 +81,10 @@ class RTreeJoinContext {
       for (size_t j = i + 1; j < ids.size(); ++j) {
         const float* row_j = a_data_.Row(ids[j]);
         if (sorted && static_cast<double>(row_j[0]) - row_i[0] > epsilon_) break;
-        TestAndEmit(ids[i], row_i, ids[j], row_j);
+        tile_.Add(ids[j], row_j);
+        if (tile_.full()) FlushTile(ids[i], row_i);
       }
+      FlushTile(ids[i], row_i);
     }
   }
 
@@ -82,8 +95,10 @@ class RTreeJoinContext {
       for (PointId a_id : a->entries) {
         const float* a_row = a_data_.Row(a_id);
         for (PointId b_id : b->entries) {
-          TestAndEmit(a_id, a_row, b_id, b_data_.Row(b_id));
+          tile_.Add(b_id, b_data_.Row(b_id));
+          if (tile_.full()) FlushTile(a_id, a_row);
         }
+        FlushTile(a_id, a_row);
       }
       return;
     }
@@ -99,8 +114,10 @@ class RTreeJoinContext {
       for (size_t j = window_start; j < b->entries.size(); ++j) {
         const float* b_row = b_data_.Row(b->entries[j]);
         if (static_cast<double>(b_row[0]) > hi) break;
-        TestAndEmit(a_id, a_row, b->entries[j], b_row);
+        tile_.Add(b->entries[j], b_row);
+        if (tile_.full()) FlushTile(a_id, a_row);
       }
+      FlushTile(a_id, a_row);
     }
   }
 
@@ -115,7 +132,9 @@ class RTreeJoinContext {
   DistanceKernel kernel_;
   double epsilon_;
   bool self_mode_;
-  PairSink* sink_;
+  BatchDistanceKernel batch_;
+  BufferedSink buffered_;
+  CandidateTile tile_;
   JoinStats stats_;
 };
 
@@ -138,6 +157,7 @@ Status RTreeSelfJoin(const RTree& tree, double epsilon, PairSink* sink,
   RTreeJoinContext ctx(tree.dataset(), tree.dataset(), epsilon, metric,
                        /*self_mode=*/true, sink);
   ctx.SelfJoinNode(tree.root());
+  ctx.Flush();
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -148,6 +168,7 @@ Status RTreeJoin(const RTree& a, const RTree& b, double epsilon, PairSink* sink,
   RTreeJoinContext ctx(a.dataset(), b.dataset(), epsilon, metric,
                        /*self_mode=*/false, sink);
   ctx.JoinNodes(a.root(), b.root());
+  ctx.Flush();
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }

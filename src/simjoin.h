@@ -18,6 +18,7 @@
 #include "common/metric.h"          // IWYU pragma: export
 #include "common/pair_sink.h"       // IWYU pragma: export
 #include "common/pca.h"             // IWYU pragma: export
+#include "common/simd_kernel.h"     // IWYU pragma: export
 #include "common/rng.h"             // IWYU pragma: export
 #include "common/stats.h"           // IWYU pragma: export
 #include "common/status.h"          // IWYU pragma: export

@@ -1,0 +1,181 @@
+#include "common/simd_kernel.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metric.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+struct KernelCase {
+  Metric metric;
+  size_t dims;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<KernelCase>& info) {
+  return std::string(MetricName(info.param.metric)) + "_d" +
+         std::to_string(info.param.dims);
+}
+
+class BatchKernelDifferentialTest : public ::testing::TestWithParam<KernelCase> {};
+
+/// Every implementation path must emit exactly the same within/without
+/// decision as the scalar double-precision reference, for every candidate.
+TEST_P(BatchKernelDifferentialTest, MatchesScalarReferenceOnRandomData) {
+  const auto [metric, dims] = GetParam();
+  Rng rng(0x5eed + dims);
+  DistanceKernel reference(metric);
+
+  const size_t n = 512;
+  Dataset data(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = data.MutableRow(static_cast<PointId>(i));
+    for (size_t d = 0; d < dims; ++d) {
+      row[d] = static_cast<float>(rng.Uniform());
+    }
+  }
+
+  const KernelPath paths[] = {KernelPath::kScalar, KernelPath::kPortable,
+                              KernelPath::kAvx2};
+  for (double eps : {0.05, 0.2, 0.7}) {
+    for (KernelPath path : paths) {
+      BatchDistanceKernel batch(metric, dims, eps, path);
+      std::vector<const float*> rows;
+      for (size_t i = 0; i < n; ++i) {
+        rows.push_back(data.Row(static_cast<PointId>(i)));
+      }
+      std::vector<uint8_t> mask(n);
+      for (size_t q = 0; q < 64; ++q) {
+        const float* query = data.Row(static_cast<PointId>(q * 7 % n));
+        size_t expected_kept = 0;
+        batch.FilterWithinEpsilon(query, rows.data(), n, mask.data());
+        for (size_t i = 0; i < n; ++i) {
+          const bool expected = reference.WithinEpsilon(query, rows[i], dims, eps);
+          expected_kept += expected;
+          ASSERT_EQ(expected, mask[i] != 0)
+              << "path=" << static_cast<int>(path)
+              << " metric=" << MetricName(metric) << " dims=" << dims
+              << " eps=" << eps << " candidate=" << i;
+        }
+        EXPECT_EQ(expected_kept,
+                  batch.CountWithinEpsilon(query, rows.data(), n));
+      }
+    }
+  }
+}
+
+/// Candidates sitting exactly on the epsilon boundary must be classified
+/// "within" (the predicate is <=), on every path.  eps = 0.25 and axis-offset
+/// constructions keep the true distance exactly representable, so any float
+/// rounding inside a vector path would flip the answer if the exact-rescue
+/// band failed to catch it.
+TEST_P(BatchKernelDifferentialTest, ExactBoundaryPointsStayWithin) {
+  const auto [metric, dims] = GetParam();
+  const double eps = 0.25;
+  DistanceKernel reference(metric);
+
+  std::vector<float> query(dims, 0.5f);
+  // Candidate 0: offset eps along one axis (dist == eps in every metric).
+  // Candidate 1: offset just beyond.  Candidate 2: identical point.
+  // Candidate 3: for L1/L2, spread across axes keeping the distance == eps:
+  //   L1: four axes offset eps/4; L2: four axes offset eps/2 (sum of squares
+  //   = 4 * eps^2/4 = eps^2).  Falls back to the axis construction at d < 4.
+  std::vector<std::vector<float>> cands(4, std::vector<float>(dims, 0.5f));
+  cands[0][0] += 0.25f;
+  cands[1][0] += 0.2500152587890625f;  // 0.25 + 2^-16, exactly representable
+  if (dims >= 4) {
+    const float step = metric == Metric::kL2   ? 0.125f
+                       : metric == Metric::kL1 ? 0.0625f
+                                               : 0.25f;
+    for (size_t d = 0; d < 4; ++d) cands[3][d] += (d % 2 ? -step : step);
+    if (metric == Metric::kLinf) {
+      // Only one axis may reach eps for Linf; damp the others.
+      cands[3][1] = 0.5f + 0.125f;
+      cands[3][2] = 0.5f - 0.0625f;
+      cands[3][3] = 0.5f;
+    }
+  } else {
+    cands[3][0] += 0.25f;
+  }
+
+  const float* rows[4] = {cands[0].data(), cands[1].data(), cands[2].data(),
+                          cands[3].data()};
+  for (KernelPath path :
+       {KernelPath::kScalar, KernelPath::kPortable, KernelPath::kAvx2}) {
+    BatchDistanceKernel batch(metric, dims, eps, path);
+    uint8_t mask[4];
+    batch.FilterWithinEpsilon(query.data(), rows, 4, mask);
+    for (size_t i = 0; i < 4; ++i) {
+      const bool expected =
+          reference.WithinEpsilon(query.data(), rows[i], dims, eps);
+      EXPECT_EQ(expected, mask[i] != 0)
+          << "path=" << static_cast<int>(path) << " candidate=" << i;
+    }
+    EXPECT_EQ(1u, mask[0]) << "on-boundary pair must be within";
+    EXPECT_EQ(0u, mask[1]) << "just-outside pair must be excluded";
+    EXPECT_EQ(1u, mask[2]) << "identical point must be within";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, BatchKernelDifferentialTest,
+    ::testing::Values(KernelCase{Metric::kL1, 4}, KernelCase{Metric::kL1, 16},
+                      KernelCase{Metric::kL1, 64}, KernelCase{Metric::kL2, 4},
+                      KernelCase{Metric::kL2, 16}, KernelCase{Metric::kL2, 64},
+                      KernelCase{Metric::kLinf, 4},
+                      KernelCase{Metric::kLinf, 16},
+                      KernelCase{Metric::kLinf, 64}),
+    CaseName);
+
+TEST(BatchKernelTest, CountersTallyBatchesAndFallbacks) {
+  BatchDistanceKernel scalar(Metric::kL2, 8, 0.1, KernelPath::kScalar);
+  Dataset data(64, 8);
+  std::vector<const float*> rows;
+  for (size_t i = 0; i < 64; ++i) rows.push_back(data.Row(static_cast<PointId>(i)));
+  uint8_t mask[64];
+  scalar.FilterWithinEpsilon(rows[0], rows.data(), 64, mask);
+  EXPECT_EQ(0u, scalar.simd_batches());
+  EXPECT_EQ(64u, scalar.scalar_fallbacks());
+
+  BatchDistanceKernel portable(Metric::kL2, 8, 0.1, KernelPath::kPortable);
+  portable.FilterWithinEpsilon(rows[0], rows.data(), 64, mask);
+  EXPECT_EQ(1u, portable.simd_batches());
+}
+
+TEST(BufferedSinkTest, FlushesOnCapacityAndExplicitly) {
+  VectorSink target;
+  BufferedSink buffered(&target, /*capacity=*/4);
+  for (PointId i = 0; i < 5; ++i) buffered.Emit(i, i + 1);
+  EXPECT_EQ(4u, target.pairs().size());  // one capacity flush happened
+  buffered.Flush();
+  EXPECT_EQ(5u, target.pairs().size());
+  EXPECT_EQ(IdPair(4, 5), target.pairs().back());
+}
+
+TEST(BufferedSinkTest, EmitBatchAppendsAndDestructorFlushes) {
+  VectorSink target;
+  {
+    BufferedSink buffered(&target, /*capacity=*/16);
+    const IdPair batch[3] = {{1, 2}, {3, 4}, {5, 6}};
+    buffered.EmitBatch(std::span<const IdPair>(batch, 3));
+    EXPECT_TRUE(target.pairs().empty());
+  }
+  EXPECT_EQ(3u, target.pairs().size());
+}
+
+TEST(PairSinkTest, DefaultEmitBatchForwardsToEmit) {
+  std::vector<IdPair> got;
+  CallbackSink sink([&got](PointId a, PointId b) { got.emplace_back(a, b); });
+  const IdPair batch[2] = {{7, 8}, {9, 10}};
+  sink.EmitBatch(std::span<const IdPair>(batch, 2));
+  EXPECT_EQ(2u, got.size());
+  EXPECT_EQ(IdPair(9, 10), got[1]);
+}
+
+}  // namespace
+}  // namespace simjoin
