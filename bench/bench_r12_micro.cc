@@ -131,6 +131,35 @@ BENCHMARK(BM_KernelFilterBatch)
                     static_cast<long>(Metric::kLinf)},
                    {4, 16, 64}});
 
+// Strided variant: candidates are consecutive rows of a packed arena
+// (base + i * stride), the layout the flat eps-k-d-B leaf arena feeds the
+// kernels.  Compare items/s against BM_KernelFilterBatch to isolate the
+// gather-elimination + prefetch win of the flat layout.
+void BM_KernelFilterStrided(benchmark::State& state) {
+  const auto metric = static_cast<Metric>(state.range(0));
+  const size_t dims = static_cast<size_t>(state.range(1));
+  const double eps = 0.5;
+  const FilterFixture fx(dims, 11);
+  BatchDistanceKernel kernel(metric, dims, eps);
+  uint8_t mask[kFilterTile];
+  size_t base = 0;
+  for (auto _ : state) {
+    const float* query = fx.rows[base % 1024];
+    const size_t start = (base * 7 + 1) % (1024 - kFilterTile);
+    const float* tile = fx.rows[start];
+    benchmark::DoNotOptimize(kernel.FilterWithinEpsilonStrided(
+        query, tile, dims, kFilterTile, mask, tile + kFilterTile * dims));
+    ++base;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFilterTile));
+  state.counters["simd_batches"] = static_cast<double>(kernel.simd_batches());
+}
+BENCHMARK(BM_KernelFilterStrided)
+    ->ArgsProduct({{static_cast<long>(Metric::kL1), static_cast<long>(Metric::kL2),
+                    static_cast<long>(Metric::kLinf)},
+                   {4, 16, 64}});
+
 // Portable (auto-vectorized baseline ISA) variant, so the bench JSON also
 // separates "float batching" from "AVX2 dispatch" gains.
 void BM_KernelFilterPortable(benchmark::State& state) {

@@ -41,6 +41,17 @@ void Main() {
                    std::to_string(stats.nodes), std::to_string(stats.leaves),
                    std::to_string(stats.max_depth),
                    FmtDouble(stats.avg_leaf_size, 1)});
+      // Flat (cache-conscious) representation of the same tree: build column
+      // is the flatten cost alone, bytes are the packed node array + arena.
+      timer.Restart();
+      auto flat = FlatEkdbTree::FromTree(*tree);
+      const double flatten = timer.Seconds();
+      by_n.AddRow({std::to_string(n), "ekdb-flat", FmtSecs(flatten),
+                   std::to_string(flat->total_bytes()),
+                   std::to_string(flat->num_nodes()),
+                   std::to_string(stats.leaves),
+                   std::to_string(stats.max_depth),
+                   FmtDouble(stats.avg_leaf_size, 1)});
     }
     {
       Timer timer;
@@ -74,6 +85,13 @@ void Main() {
       by_d.AddRow({std::to_string(dims), "ekdb", FmtSecs(build),
                    std::to_string(stats.memory_bytes),
                    std::to_string(stats.nodes),
+                   std::to_string(stats.max_depth)});
+      timer.Restart();
+      auto flat = FlatEkdbTree::FromTree(*tree);
+      const double flatten = timer.Seconds();
+      by_d.AddRow({std::to_string(dims), "ekdb-flat", FmtSecs(flatten),
+                   std::to_string(flat->total_bytes()),
+                   std::to_string(flat->num_nodes()),
                    std::to_string(stats.max_depth)});
     }
     {

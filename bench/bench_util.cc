@@ -78,6 +78,69 @@ RunResult RunEkdbParallel(const Dataset& data, const EkdbConfig& config,
   return result;
 }
 
+RunResult RunEkdbFlatSelf(const Dataset& data, const EkdbConfig& config) {
+  RunResult result;
+  result.algorithm = "ekdb-flat";
+  Timer timer;
+  auto tree = EkdbTree::Build(data, config);
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  auto flat = FlatEkdbTree::FromTree(*tree);
+  SIMJOIN_CHECK(flat.ok()) << flat.status().ToString();
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = flat->total_bytes();
+  CountingSink sink;
+  timer.Restart();
+  const Status st = FlatEkdbSelfJoin(*flat, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunEkdbFlatCross(const Dataset& a, const Dataset& b,
+                           const EkdbConfig& config) {
+  RunResult result;
+  result.algorithm = "ekdb-flat";
+  Timer timer;
+  auto ta = EkdbTree::Build(a, config);
+  auto tb = EkdbTree::Build(b, config);
+  SIMJOIN_CHECK(ta.ok() && tb.ok());
+  auto fa = FlatEkdbTree::FromTree(*ta);
+  auto fb = FlatEkdbTree::FromTree(*tb);
+  SIMJOIN_CHECK(fa.ok() && fb.ok());
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = fa->total_bytes() + fb->total_bytes();
+  CountingSink sink;
+  timer.Restart();
+  const Status st = FlatEkdbJoin(*fa, *fb, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
+RunResult RunEkdbFlatParallel(const Dataset& data, const EkdbConfig& config,
+                              size_t threads) {
+  RunResult result;
+  result.algorithm = "ekdb-flat-parallel-" + std::to_string(threads);
+  Timer timer;
+  auto tree = EkdbTree::Build(data, config);
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  auto flat = FlatEkdbTree::FromTree(*tree);
+  SIMJOIN_CHECK(flat.ok()) << flat.status().ToString();
+  result.build_seconds = timer.Seconds();
+  result.memory_bytes = flat->total_bytes();
+  ParallelJoinConfig pcfg;
+  pcfg.num_threads = threads;
+  CountingSink sink;
+  timer.Restart();
+  const Status st = ParallelFlatEkdbSelfJoin(*flat, pcfg, &sink, &result.stats);
+  SIMJOIN_CHECK(st.ok()) << st.ToString();
+  result.join_seconds = timer.Seconds();
+  result.pairs = sink.count();
+  return result;
+}
+
 RunResult RunRtreeSelf(const Dataset& data, double epsilon, Metric metric,
                        const RTreeConfig& config) {
   RunResult result;

@@ -23,6 +23,8 @@
 #include "baselines/sort_merge.h"
 #include "common/dataset.h"
 #include "common/pair_sink.h"
+#include "core/ekdb_flat.h"
+#include "core/ekdb_flat_join.h"
 #include "core/ekdb_join.h"
 #include "core/parallel_join.h"
 #include "rtree/rtree_join.h"
@@ -56,6 +58,16 @@ RunResult RunEkdbCross(const Dataset& a, const Dataset& b,
 /// Parallel eps-k-d-B self-join with the given thread count.
 RunResult RunEkdbParallel(const Dataset& data, const EkdbConfig& config,
                           size_t threads);
+/// Flat (cache-conscious) eps-k-d-B tree: pointer build + flatten + self-join
+/// over the leaf-packed arena.  build_seconds covers build + flatten;
+/// memory_bytes is the flat representation's footprint.
+RunResult RunEkdbFlatSelf(const Dataset& data, const EkdbConfig& config);
+/// Flat eps-k-d-B tree: build + flatten both sides + cross join.
+RunResult RunEkdbFlatCross(const Dataset& a, const Dataset& b,
+                           const EkdbConfig& config);
+/// Parallel flat eps-k-d-B self-join with the given thread count.
+RunResult RunEkdbFlatParallel(const Dataset& data, const EkdbConfig& config,
+                              size_t threads);
 /// R-tree (STR bulk load): build + self-join.
 RunResult RunRtreeSelf(const Dataset& data, double epsilon, Metric metric,
                        const RTreeConfig& config = RTreeConfig{});

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Guards the two join-hot-path benchmarks against performance regressions.
+#
+# Runs the kernel-filter micro-benchmarks (bench_r12_micro) and the
+# flat-vs-pointer leaf-join ablation (bench_r10_ablation_leafjoin), writes
+# machine-readable snapshots next to the repo root:
+#
+#   BENCH_micro.json     google-benchmark JSON for BM_KernelFilter*
+#   BENCH_leafjoin.json  ablation-3 throughputs + flat/pointer ratio
+#
+# and compares them against the checked-in baselines
+# (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json) when present:
+# any tracked throughput that drops more than SIMJOIN_BENCH_TOLERANCE
+# (default 0.30 = 30%, benchmarks are noisy) below baseline fails the run.
+#
+# Usage:
+#   scripts/check_bench_regression.sh [build-dir] [--update-baseline]
+#
+#   --update-baseline   re-run and promote the fresh snapshots to baselines
+#   SIMJOIN_BENCH_TOLERANCE=0.15   tighten/loosen the allowed slowdown
+#   SIMJOIN_BENCH_FILTER='BM_KernelFilter'   micro-benchmark name filter
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="build"
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+TOLERANCE="${SIMJOIN_BENCH_TOLERANCE:-0.30}"
+FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
+MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
+ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
+
+for bin in "$MICRO_BIN" "$ABLATION_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found; build with benchmarks first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+done
+
+echo ">>> $MICRO_BIN (filter: $FILTER)"
+"$MICRO_BIN" --benchmark_filter="$FILTER" \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+
+echo ">>> $ABLATION_BIN"
+ABLATION_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT"' EXIT
+"$ABLATION_BIN" | tee "$ABLATION_TXT"
+
+# Distill ablation 3's CSV block + ratio line into BENCH_leafjoin.json.
+python3 - "$ABLATION_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+rows = {}
+for m in re.finditer(r"^# (ekdb[a-z-]*),.*?,([0-9.]+),(\d+),(\d+),(\d+)$",
+                     text, re.M):
+    rows[m.group(1)] = {
+        "cand_per_sec_millions": float(m.group(2)),
+        "candidates": int(m.group(3)),
+        "pairs": int(m.group(4)),
+        "bytes": int(m.group(5)),
+    }
+ratio = re.search(r"ratio: ([0-9.]+)x", text)
+out = {
+    "pointer": rows.get("ekdb"),
+    "flat": rows.get("ekdb-flat"),
+    "flat_vs_pointer_ratio": float(ratio.group(1)) if ratio else None,
+}
+if out["pointer"] is None or out["flat"] is None:
+    sys.exit("error: could not parse ablation-3 CSV rows from bench output")
+json.dump(out, open("BENCH_leafjoin.json", "w"), indent=2)
+print("wrote BENCH_leafjoin.json")
+PY
+
+if [[ "$UPDATE_BASELINE" == 1 ]]; then
+  cp BENCH_micro.json BENCH_micro.baseline.json
+  cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
+  echo "baselines updated (BENCH_*.baseline.json)"
+  exit 0
+fi
+
+python3 - "$TOLERANCE" <<'PY'
+import json, os, sys
+
+tol = float(sys.argv[1])
+failures = []
+
+
+def compare(name, current, baseline):
+    drop = (baseline - current) / baseline if baseline > 0 else 0.0
+    status = "FAIL" if drop > tol else "ok"
+    print(f"  [{status}] {name}: {current:.3g} vs baseline {baseline:.3g} "
+          f"({-drop:+.1%})")
+    if drop > tol:
+        failures.append(name)
+
+
+have_baseline = False
+if os.path.exists("BENCH_micro.baseline.json"):
+    have_baseline = True
+    cur = {b["name"]: b for b in json.load(open("BENCH_micro.json"))["benchmarks"]}
+    base = {b["name"]: b
+            for b in json.load(open("BENCH_micro.baseline.json"))["benchmarks"]}
+    print("micro-kernel items/s vs baseline "
+          f"(tolerance {tol:.0%}):")
+    for name in sorted(set(cur) & set(base)):
+        compare(name, cur[name].get("items_per_second", 0.0),
+                base[name].get("items_per_second", 0.0))
+
+if os.path.exists("BENCH_leafjoin.baseline.json"):
+    have_baseline = True
+    cur = json.load(open("BENCH_leafjoin.json"))
+    base = json.load(open("BENCH_leafjoin.baseline.json"))
+    print("leaf-join throughput vs baseline:")
+    for layout in ("pointer", "flat"):
+        compare(f"leafjoin/{layout}",
+                cur[layout]["cand_per_sec_millions"],
+                base[layout]["cand_per_sec_millions"])
+    compare("leafjoin/flat_vs_pointer_ratio",
+            cur["flat_vs_pointer_ratio"], base["flat_vs_pointer_ratio"])
+
+if not have_baseline:
+    print("no BENCH_*.baseline.json found; snapshots written. To seed the")
+    print("baselines: scripts/check_bench_regression.sh --update-baseline")
+    sys.exit(0)
+
+if failures:
+    sys.exit("bench regression: " + ", ".join(failures))
+print("no bench regressions")
+PY

@@ -67,11 +67,23 @@ bool BoundingBox::Intersects(const BoundingBox& other) const {
 double BoundingBox::MinDistance(const BoundingBox& other, Metric metric) const {
   SIMJOIN_CHECK(!empty_ && !other.empty_) << "MinDistance on empty box";
   SIMJOIN_CHECK_EQ(dims(), other.dims());
+  return BoxMinDistance(lo_.data(), hi_.data(), other.lo_.data(),
+                        other.hi_.data(), lo_.size(), metric);
+}
+
+double BoundingBox::MinDistanceToPoint(const float* p, size_t point_dims,
+                                       Metric metric) const {
+  SIMJOIN_CHECK(!empty_);
+  SIMJOIN_CHECK_EQ(dims(), point_dims);
+  return BoxMinDistanceToPoint(lo_.data(), hi_.data(), p, lo_.size(), metric);
+}
+
+double BoxMinDistance(const float* a_lo, const float* a_hi, const float* b_lo,
+                      const float* b_hi, size_t dims, Metric metric) {
   double acc = 0.0;
-  for (size_t d = 0; d < lo_.size(); ++d) {
-    const double gap =
-        std::max({0.0, static_cast<double>(lo_[d]) - other.hi_[d],
-                  static_cast<double>(other.lo_[d]) - hi_[d]});
+  for (size_t d = 0; d < dims; ++d) {
+    const double gap = std::max({0.0, static_cast<double>(a_lo[d]) - b_hi[d],
+                                 static_cast<double>(b_lo[d]) - a_hi[d]});
     switch (metric) {
       case Metric::kL1:
         acc += gap;
@@ -87,14 +99,12 @@ double BoundingBox::MinDistance(const BoundingBox& other, Metric metric) const {
   return metric == Metric::kL2 ? std::sqrt(acc) : acc;
 }
 
-double BoundingBox::MinDistanceToPoint(const float* p, size_t point_dims,
-                                       Metric metric) const {
-  SIMJOIN_CHECK(!empty_);
-  SIMJOIN_CHECK_EQ(dims(), point_dims);
+double BoxMinDistanceToPoint(const float* lo, const float* hi, const float* p,
+                             size_t dims, Metric metric) {
   double acc = 0.0;
-  for (size_t d = 0; d < lo_.size(); ++d) {
-    const double gap = std::max({0.0, static_cast<double>(lo_[d]) - p[d],
-                                 static_cast<double>(p[d]) - hi_[d]});
+  for (size_t d = 0; d < dims; ++d) {
+    const double gap = std::max({0.0, static_cast<double>(lo[d]) - p[d],
+                                 static_cast<double>(p[d]) - hi[d]});
     switch (metric) {
       case Metric::kL1:
         acc += gap;

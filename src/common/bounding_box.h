@@ -74,6 +74,17 @@ class BoundingBox {
   std::vector<float> hi_;
 };
 
+/// Box-to-box minimum distance on raw lo/hi coordinate arrays — the form the
+/// flat (pointer-free) indexes store boxes in.  Both boxes must be non-empty.
+/// BoundingBox::MinDistance delegates here, so the two forms prune
+/// identically.
+double BoxMinDistance(const float* a_lo, const float* a_hi, const float* b_lo,
+                      const float* b_hi, size_t dims, Metric metric);
+
+/// Point-to-box minimum distance on raw lo/hi coordinate arrays.
+double BoxMinDistanceToPoint(const float* lo, const float* hi, const float* p,
+                             size_t dims, Metric metric);
+
 }  // namespace simjoin
 
 #endif  // SIMJOIN_COMMON_BOUNDING_BOX_H_

@@ -25,6 +25,38 @@ float RescueMargin(size_t dims) {
 }
 
 // ---------------------------------------------------------------------------
+// Row accessors: how a batch finds candidate row i.  The scorers below are
+// templated over these, so the gathered-pointer and contiguous-stride entry
+// points execute identical arithmetic (and therefore identical rounding).
+
+/// Tile described by an array of row pointers (the PR-1 gather layout).
+struct GatheredRows {
+  const float* const* rows;
+  const float* row(size_t i) const { return rows[i]; }
+  GatheredRows Skip(size_t n) const { return GatheredRows{rows + n}; }
+};
+
+/// Tile described by a base pointer + fixed stride (the flat-arena layout);
+/// row i is a straight streaming load from base + i * stride.
+struct StridedRows {
+  const float* base;
+  size_t stride;
+  const float* row(size_t i) const { return base + i * stride; }
+  StridedRows Skip(size_t n) const { return StridedRows{base + n * stride, stride}; }
+};
+
+/// Software-prefetches the first few cache lines at p (the next tile).
+/// Prefetch instructions never fault, so p may point past the end of the
+/// arena on the final tile.
+inline void PrefetchTile(const float* p) {
+  if (p == nullptr) return;
+  const char* c = reinterpret_cast<const char*>(p);
+  for (size_t line = 0; line < 8; ++line) {
+    __builtin_prefetch(c + line * 64, /*rw=*/0, /*locality=*/3);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Portable float scoring: plain loops the compiler can auto-vectorize with
 // the baseline instruction set.  Scores are: L1 sum, L2 squared sum, Linf max.
 
@@ -94,18 +126,19 @@ __attribute__((target("avx2,fma"))) float HorizontalMax(__m256 v) {
 // Scores one whole batch per call, four candidates interleaved so the
 // independent FMA/add chains hide each other's latency and the query loads
 // are shared.  One call per tile keeps the target-attribute function-call
-// overhead off the per-candidate cost.
+// overhead off the per-candidate cost.  Templated over the row accessor;
+// both instantiations run byte-for-byte the same arithmetic.
 
+template <typename Rows>
 __attribute__((target("avx2,fma"))) void ScoreBatchAvx2L1(
-    const float* q, const float* const* rows, size_t count, size_t dims,
-    float* scores) {
+    const float* q, Rows rows, size_t count, size_t dims, float* scores) {
   const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
   size_t i = 0;
   for (; i + 4 <= count; i += 4) {
-    const float* r0 = rows[i];
-    const float* r1 = rows[i + 1];
-    const float* r2 = rows[i + 2];
-    const float* r3 = rows[i + 3];
+    const float* r0 = rows.row(i);
+    const float* r1 = rows.row(i + 1);
+    const float* r2 = rows.row(i + 2);
+    const float* r3 = rows.row(i + 3);
     __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
     __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
     size_t d = 0;
@@ -134,7 +167,7 @@ __attribute__((target("avx2,fma"))) void ScoreBatchAvx2L1(
     scores[i + 3] = s3;
   }
   for (; i < count; ++i) {
-    const float* r = rows[i];
+    const float* r = rows.row(i);
     __m256 acc = _mm256_setzero_ps();
     size_t d = 0;
     for (; d + 8 <= dims; d += 8) {
@@ -148,15 +181,15 @@ __attribute__((target("avx2,fma"))) void ScoreBatchAvx2L1(
   }
 }
 
+template <typename Rows>
 __attribute__((target("avx2,fma"))) void ScoreBatchAvx2L2(
-    const float* q, const float* const* rows, size_t count, size_t dims,
-    float* scores) {
+    const float* q, Rows rows, size_t count, size_t dims, float* scores) {
   size_t i = 0;
   for (; i + 4 <= count; i += 4) {
-    const float* r0 = rows[i];
-    const float* r1 = rows[i + 1];
-    const float* r2 = rows[i + 2];
-    const float* r3 = rows[i + 3];
+    const float* r0 = rows.row(i);
+    const float* r1 = rows.row(i + 1);
+    const float* r2 = rows.row(i + 2);
+    const float* r3 = rows.row(i + 3);
     __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
     __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
     size_t d = 0;
@@ -187,7 +220,7 @@ __attribute__((target("avx2,fma"))) void ScoreBatchAvx2L2(
     scores[i + 3] = s3;
   }
   for (; i < count; ++i) {
-    const float* r = rows[i];
+    const float* r = rows.row(i);
     __m256 acc = _mm256_setzero_ps();
     size_t d = 0;
     for (; d + 8 <= dims; d += 8) {
@@ -204,16 +237,16 @@ __attribute__((target("avx2,fma"))) void ScoreBatchAvx2L2(
   }
 }
 
+template <typename Rows>
 __attribute__((target("avx2,fma"))) void ScoreBatchAvx2Linf(
-    const float* q, const float* const* rows, size_t count, size_t dims,
-    float* scores) {
+    const float* q, Rows rows, size_t count, size_t dims, float* scores) {
   const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
   size_t i = 0;
   for (; i + 4 <= count; i += 4) {
-    const float* r0 = rows[i];
-    const float* r1 = rows[i + 1];
-    const float* r2 = rows[i + 2];
-    const float* r3 = rows[i + 3];
+    const float* r0 = rows.row(i);
+    const float* r1 = rows.row(i + 1);
+    const float* r2 = rows.row(i + 2);
+    const float* r3 = rows.row(i + 3);
     __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
     __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
     size_t d = 0;
@@ -242,7 +275,7 @@ __attribute__((target("avx2,fma"))) void ScoreBatchAvx2Linf(
     scores[i + 3] = s3;
   }
   for (; i < count; ++i) {
-    const float* r = rows[i];
+    const float* r = rows.row(i);
     __m256 acc = _mm256_setzero_ps();
     size_t d = 0;
     for (; d + 8 <= dims; d += 8) {
@@ -314,38 +347,39 @@ bool BatchDistanceKernel::Rescue(const float* query, const float* row) {
   return scalar_.WithinEpsilon(query, row, dims_, eps_);
 }
 
-size_t BatchDistanceKernel::FilterScalar(const float* query,
-                                         const float* const* rows, size_t count,
-                                         uint8_t* out_mask) {
+template <typename Rows>
+size_t BatchDistanceKernel::FilterScalarT(const float* query, Rows rows,
+                                          size_t count, uint8_t* out_mask) {
   size_t kept = 0;
   for (size_t i = 0; i < count; ++i) {
-    const uint8_t in = Rescue(query, rows[i]) ? 1 : 0;
+    const uint8_t in = Rescue(query, rows.row(i)) ? 1 : 0;
     out_mask[i] = in;
     kept += in;
   }
   return kept;
 }
 
-size_t BatchDistanceKernel::FilterPortable(const float* query,
-                                           const float* const* rows,
-                                           size_t count, uint8_t* out_mask) {
+template <typename Rows>
+size_t BatchDistanceKernel::FilterPortableT(const float* query, Rows rows,
+                                            size_t count, uint8_t* out_mask) {
   size_t kept = 0;
   for (size_t i = 0; i < count; ++i) {
+    const float* row = rows.row(i);
     float score = 0.0f;
     switch (metric()) {
       case Metric::kL1:
-        score = ScorePortableL1(query, rows[i], dims_);
+        score = ScorePortableL1(query, row, dims_);
         break;
       case Metric::kL2:
-        score = ScorePortableL2(query, rows[i], dims_);
+        score = ScorePortableL2(query, row, dims_);
         break;
       case Metric::kLinf:
-        score = ScorePortableLinf(query, rows[i], dims_);
+        score = ScorePortableLinf(query, row, dims_);
         break;
     }
     uint8_t in;
     if (std::fabs(score - threshold_) <= margin_ * (score + threshold_)) {
-      in = Rescue(query, rows[i]) ? 1 : 0;
+      in = Rescue(query, row) ? 1 : 0;
     } else {
       in = score <= threshold_ ? 1 : 0;
     }
@@ -355,31 +389,32 @@ size_t BatchDistanceKernel::FilterPortable(const float* query,
   return kept;
 }
 
-size_t BatchDistanceKernel::FilterAvx2(const float* query,
-                                       const float* const* rows, size_t count,
-                                       uint8_t* out_mask) {
+template <typename Rows>
+size_t BatchDistanceKernel::FilterAvx2T(const float* query, Rows rows,
+                                        size_t count, uint8_t* out_mask) {
 #if SIMJOIN_HAVE_AVX2_PATH
   constexpr size_t kChunk = 128;
   float scores[kChunk];
   size_t kept = 0;
   for (size_t base = 0; base < count; base += kChunk) {
     const size_t n = std::min(kChunk, count - base);
+    const Rows chunk = rows.Skip(base);
     switch (metric()) {
       case Metric::kL1:
-        ScoreBatchAvx2L1(query, rows + base, n, dims_, scores);
+        ScoreBatchAvx2L1(query, chunk, n, dims_, scores);
         break;
       case Metric::kL2:
-        ScoreBatchAvx2L2(query, rows + base, n, dims_, scores);
+        ScoreBatchAvx2L2(query, chunk, n, dims_, scores);
         break;
       case Metric::kLinf:
-        ScoreBatchAvx2Linf(query, rows + base, n, dims_, scores);
+        ScoreBatchAvx2Linf(query, chunk, n, dims_, scores);
         break;
     }
     for (size_t i = 0; i < n; ++i) {
       const float score = scores[i];
       uint8_t in;
       if (std::fabs(score - threshold_) <= margin_ * (score + threshold_)) {
-        in = Rescue(query, rows[base + i]) ? 1 : 0;
+        in = Rescue(query, chunk.row(i)) ? 1 : 0;
       } else {
         in = score <= threshold_ ? 1 : 0;
       }
@@ -389,27 +424,40 @@ size_t BatchDistanceKernel::FilterAvx2(const float* query,
   }
   return kept;
 #else
-  return FilterPortable(query, rows, count, out_mask);
+  return FilterPortableT(query, rows, count, out_mask);
 #endif
+}
+
+template <typename Rows>
+size_t BatchDistanceKernel::FilterDispatch(const float* query, Rows rows,
+                                           size_t count, uint8_t* out_mask) {
+  if (count == 0) return 0;
+  switch (path_) {
+    case KernelPath::kScalar:
+      return FilterScalarT(query, rows, count, out_mask);
+    case KernelPath::kAvx2:
+      ++simd_batches_;
+      return FilterAvx2T(query, rows, count, out_mask);
+    case KernelPath::kAuto:
+    case KernelPath::kPortable:
+      ++simd_batches_;
+      return FilterPortableT(query, rows, count, out_mask);
+  }
+  return 0;
 }
 
 size_t BatchDistanceKernel::FilterWithinEpsilon(const float* query,
                                                 const float* const* rows,
                                                 size_t count,
                                                 uint8_t* out_mask) {
-  if (count == 0) return 0;
-  switch (path_) {
-    case KernelPath::kScalar:
-      return FilterScalar(query, rows, count, out_mask);
-    case KernelPath::kAvx2:
-      ++simd_batches_;
-      return FilterAvx2(query, rows, count, out_mask);
-    case KernelPath::kAuto:
-    case KernelPath::kPortable:
-      ++simd_batches_;
-      return FilterPortable(query, rows, count, out_mask);
-  }
-  return 0;
+  return FilterDispatch(query, GatheredRows{rows}, count, out_mask);
+}
+
+size_t BatchDistanceKernel::FilterWithinEpsilonStrided(
+    const float* query, const float* base, size_t stride, size_t count,
+    uint8_t* out_mask, const float* prefetch) {
+  PrefetchTile(prefetch);
+  return FilterDispatch(query, StridedRows{base, stride}, count, out_mask);
 }
 
 size_t BatchDistanceKernel::CountWithinEpsilon(const float* query,
@@ -449,6 +497,42 @@ size_t FilterTileAndEmit(BatchDistanceKernel& kernel, PointId query_id,
   }
   tile.Clear();
   return kept;
+}
+
+size_t FilterStridedRunAndEmit(BatchDistanceKernel& kernel, PointId query_id,
+                               const float* query_row, const float* base,
+                               size_t stride, const PointId* cand_ids,
+                               size_t count, bool canonical_order,
+                               PairSink& sink, JoinStats& stats) {
+  constexpr size_t kTile = BatchDistanceKernel::kTileCapacity;
+  uint8_t mask[kTile];
+  IdPair out[kTile];
+  size_t emitted = 0;
+  stats.candidate_pairs += count;
+  stats.distance_calls += count;
+  for (size_t lo = 0; lo < count; lo += kTile) {
+    const size_t n = std::min(kTile, count - lo);
+    const float* tile_base = base + lo * stride;
+    // The next tile of this run — and, on the last tile, whatever follows
+    // the run in the arena (the upcoming window) — is prefetched while this
+    // tile is being scored.
+    const float* next = tile_base + n * stride;
+    const size_t kept = kernel.FilterWithinEpsilonStrided(
+        query_row, tile_base, stride, n, mask, next);
+    if (kept == 0) continue;
+    stats.pairs_emitted += kept;
+    emitted += kept;
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!mask[i]) continue;
+      PointId a = query_id;
+      PointId b = cand_ids[lo + i];
+      if (canonical_order && a > b) std::swap(a, b);
+      out[m++] = IdPair(a, b);
+    }
+    sink.EmitBatch(std::span<const IdPair>(out, m));
+  }
+  return emitted;
 }
 
 }  // namespace simjoin

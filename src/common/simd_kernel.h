@@ -53,6 +53,19 @@ class BatchDistanceKernel {
   size_t FilterWithinEpsilon(const float* query, const float* const* rows,
                              size_t count, uint8_t* out_mask);
 
+  /// Same filter for candidates laid out at a fixed stride: candidate i is
+  /// the row at base + i * stride (stride in floats; stride == dims for a
+  /// densely packed arena).  The tile is read with straight streaming loads
+  /// — no per-candidate pointer gather — and the scoring arithmetic is the
+  /// exact code the gathered path runs, so the mask is bit-identical to
+  /// FilterWithinEpsilon over the same rows.  If prefetch is non-null the
+  /// first cache lines at that address (typically the next tile,
+  /// base + count * stride) are software-prefetched before scoring.
+  size_t FilterWithinEpsilonStrided(const float* query, const float* base,
+                                    size_t stride, size_t count,
+                                    uint8_t* out_mask,
+                                    const float* prefetch = nullptr);
+
   /// Counts candidates within eps without producing a mask.
   size_t CountWithinEpsilon(const float* query, const float* const* rows,
                             size_t count);
@@ -78,12 +91,22 @@ class BatchDistanceKernel {
   static bool ForceScalarEnv();
 
  private:
-  size_t FilterScalar(const float* query, const float* const* rows,
-                      size_t count, uint8_t* out_mask);
-  size_t FilterPortable(const float* query, const float* const* rows,
-                        size_t count, uint8_t* out_mask);
-  size_t FilterAvx2(const float* query, const float* const* rows, size_t count,
-                    uint8_t* out_mask);
+  // The filter stages are templated over a row accessor (gathered pointer
+  // array vs contiguous base + stride), so both public entry points run the
+  // same scoring arithmetic and stay bit-identical by construction.  The
+  // templates are defined and instantiated in simd_kernel.cc only.
+  template <typename Rows>
+  size_t FilterScalarT(const float* query, Rows rows, size_t count,
+                       uint8_t* out_mask);
+  template <typename Rows>
+  size_t FilterPortableT(const float* query, Rows rows, size_t count,
+                         uint8_t* out_mask);
+  template <typename Rows>
+  size_t FilterAvx2T(const float* query, Rows rows, size_t count,
+                     uint8_t* out_mask);
+  template <typename Rows>
+  size_t FilterDispatch(const float* query, Rows rows, size_t count,
+                        uint8_t* out_mask);
   /// Resolves one candidate whose float score fell inside the rescue band.
   bool Rescue(const float* query, const float* row);
 
@@ -133,6 +156,19 @@ size_t FilterTileAndEmit(BatchDistanceKernel& kernel, PointId query_id,
                          const float* query_row, CandidateTile& tile,
                          bool canonical_order, PairSink& sink,
                          JoinStats& stats);
+
+/// Filters a contiguous run of candidate rows (candidate i at
+/// base + i * stride, id cand_ids[i]) against one query point, tile by
+/// tile, emitting survivors and updating counters exactly like
+/// FilterTileAndEmit.  This is the flat-arena hot path: a sliding window
+/// over a leaf is one contiguous run, so no per-candidate gather happens at
+/// all, and each tile prefetches the next.  Returns the number of pairs
+/// emitted.
+size_t FilterStridedRunAndEmit(BatchDistanceKernel& kernel, PointId query_id,
+                               const float* query_row, const float* base,
+                               size_t stride, const PointId* cand_ids,
+                               size_t count, bool canonical_order,
+                               PairSink& sink, JoinStats& stats);
 
 }  // namespace simjoin
 

@@ -1,0 +1,235 @@
+#include "core/ekdb_flat.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/simd_kernel.h"
+
+namespace simjoin {
+
+namespace {
+
+using ArenaRange = std::pair<uint32_t, uint32_t>;
+
+/// DFS pass: appends every leaf's points (in the leaf's sort order) to the
+/// arena and records each node's arena range.  DFS order makes every
+/// subtree's points a contiguous arena run, which is what gives internal
+/// nodes O(1) subtree size and lets the parallel driver split work by range.
+void FillArena(const EkdbNode* node, const Dataset& data,
+               std::vector<float>* arena, std::vector<PointId>* ids,
+               std::unordered_map<const EkdbNode*, ArenaRange>* ranges) {
+  const auto begin = static_cast<uint32_t>(ids->size());
+  if (node->is_leaf()) {
+    for (PointId p : node->points) {
+      const float* row = data.Row(p);
+      arena->insert(arena->end(), row, row + data.dims());
+      ids->push_back(p);
+    }
+  } else {
+    for (const auto& [stripe, child] : node->children) {
+      FillArena(child.get(), data, arena, ids, ranges);
+    }
+  }
+  ranges->emplace(node, ArenaRange{begin, static_cast<uint32_t>(ids->size())});
+}
+
+/// First position in [begin, end) whose coordinate `dim` is >= lo.  The
+/// arena range must be sorted ascending on that coordinate.
+uint32_t LowerBoundPos(const float* arena, size_t dims, uint32_t begin,
+                       uint32_t end, uint32_t dim, double lo) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    const double v = arena[static_cast<size_t>(mid) * dims + dim];
+    if (v < lo) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+/// First position in [begin, end) whose coordinate `dim` is > hi.
+uint32_t UpperBoundPos(const float* arena, size_t dims, uint32_t begin,
+                       uint32_t end, uint32_t dim, double hi) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    const double v = arena[static_cast<size_t>(mid) * dims + dim];
+    if (v <= hi) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+}  // namespace
+
+Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree) {
+  if (tree.root() == nullptr) {
+    return Status::InvalidArgument("cannot flatten a tree without a root");
+  }
+  const Dataset& data = tree.dataset();
+
+  FlatEkdbTree flat;
+  flat.dataset_ = &data;
+  flat.config_ = tree.config();
+  flat.dim_order_ = tree.dim_order();
+  flat.num_stripes_ = tree.num_stripes();
+  flat.stripe_width_ = tree.stripe_width();
+  flat.dims_ = data.dims();
+
+  // Arena pass (DFS).
+  std::unordered_map<const EkdbNode*, ArenaRange> ranges;
+  flat.arena_.reserve(data.size() * flat.dims_);
+  flat.arena_ids_.reserve(data.size());
+  FillArena(tree.root(), data, &flat.arena_, &flat.arena_ids_, &ranges);
+
+  // Node layout pass (BFS): when node i is visited, the children of nodes
+  // 0..i-1 are already appended, so node i's children start at the current
+  // tail and land contiguously, stripe-sorted (the pointer tree keeps its
+  // child lists stripe-sorted).
+  std::vector<std::pair<const EkdbNode*, uint32_t>> order;  // node, stripe
+  std::vector<uint32_t> kid_begin;
+  order.emplace_back(tree.root(), 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const EkdbNode* pn = order[i].first;
+    kid_begin.push_back(static_cast<uint32_t>(order.size()));
+    for (const auto& [stripe, child] : pn->children) {
+      order.emplace_back(child.get(), stripe);
+    }
+  }
+  if (order.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("tree has too many nodes to flatten");
+  }
+
+  const size_t n = order.size();
+  flat.nodes_.resize(n);
+  flat.bbox_lo_.resize(n * flat.dims_);
+  flat.bbox_hi_.resize(n * flat.dims_);
+  for (size_t i = 0; i < n; ++i) {
+    const EkdbNode* pn = order[i].first;
+    FlatEkdbNode& fn = flat.nodes_[i];
+    fn.children_begin = pn->is_leaf() ? 0 : kid_begin[i];
+    fn.children_count = static_cast<uint32_t>(pn->children.size());
+    const ArenaRange& range = ranges.at(pn);
+    fn.arena_begin = range.first;
+    fn.arena_end = range.second;
+    fn.stripe = order[i].second;
+    fn.depth = pn->depth;
+    fn.sort_dim = pn->sort_dim;
+    std::memcpy(flat.bbox_lo_.data() + i * flat.dims_, pn->bbox.lo().data(),
+                flat.dims_ * sizeof(float));
+    std::memcpy(flat.bbox_hi_.data() + i * flat.dims_, pn->bbox.hi().data(),
+                flat.dims_ * sizeof(float));
+  }
+  return flat;
+}
+
+Result<FlatEkdbTree> FlatEkdbTree::Load(const Dataset& dataset,
+                                        const std::string& path) {
+  SIMJOIN_ASSIGN_OR_RETURN(EkdbTree tree, EkdbTree::Load(dataset, path));
+  return FromTree(tree);
+}
+
+uint32_t FlatEkdbTree::StripeIndex(float value) const {
+  if (value <= 0.0f) return 0;
+  const auto idx =
+      static_cast<size_t>(static_cast<double>(value) / stripe_width_);
+  return static_cast<uint32_t>(std::min(idx, num_stripes_ - 1));
+}
+
+bool FlatEkdbTree::JoinCompatible(const FlatEkdbTree& a,
+                                  const FlatEkdbTree& b) {
+  return a.dims() == b.dims() && a.config().epsilon == b.config().epsilon &&
+         a.config().metric == b.config().metric &&
+         a.num_stripes() == b.num_stripes() && a.dim_order() == b.dim_order();
+}
+
+Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
+                                std::vector<PointId>* out,
+                                JoinStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (!(eps_query > 0.0) || eps_query > config_.epsilon) {
+    return Status::InvalidArgument(
+        "eps_query must be in (0, built epsilon]; the stripe grid only "
+        "supports radii up to the build epsilon");
+  }
+  BatchDistanceKernel kernel(config_.metric, dims_, eps_query);
+  uint8_t mask[BatchDistanceKernel::kTileCapacity];
+  uint64_t candidates = 0;
+  const size_t emitted_before = out->size();
+
+  std::vector<uint32_t> stack = {kRoot};
+  while (!stack.empty()) {
+    const uint32_t idx = stack.back();
+    stack.pop_back();
+    const FlatEkdbNode& node = nodes_[idx];
+    if (node.arena_begin == node.arena_end) continue;
+    if (BoxMinDistanceToPoint(bbox_lo(idx), bbox_hi(idx), query, dims_,
+                              config_.metric) > eps_query) {
+      continue;
+    }
+    if (node.is_leaf()) {
+      // The leaf's arena run is sorted on sort_dim: binary-search the
+      // window, then filter it as contiguous strided tiles.
+      const uint32_t sd = node.sort_dim;
+      const double lo = static_cast<double>(query[sd]) - eps_query;
+      const double hi = static_cast<double>(query[sd]) + eps_query;
+      const uint32_t wb = LowerBoundPos(arena_.data(), dims_, node.arena_begin,
+                                        node.arena_end, sd, lo);
+      const uint32_t we = UpperBoundPos(arena_.data(), dims_, wb,
+                                        node.arena_end, sd, hi);
+      for (uint32_t pos = wb; pos < we;) {
+        const auto count = std::min<uint32_t>(
+            static_cast<uint32_t>(BatchDistanceKernel::kTileCapacity),
+            we - pos);
+        const float* next =
+            pos + count < we ? arena_row(pos + count) : nullptr;
+        kernel.FilterWithinEpsilonStrided(query, arena_row(pos), dims_, count,
+                                          mask, next);
+        for (uint32_t i = 0; i < count; ++i) {
+          if (mask[i]) out->push_back(arena_ids_[pos + i]);
+        }
+        candidates += count;
+        pos += count;
+      }
+      continue;
+    }
+    // Only the query's stripe and its two neighbours can hold matches.
+    const uint32_t split_dim = dim_order_[node.depth];
+    const uint32_t stripe = StripeIndex(query[split_dim]);
+    const uint32_t slo = stripe == 0 ? 0 : stripe - 1;
+    const uint32_t end = node.children_begin + node.children_count;
+    for (uint32_t c = node.children_begin; c < end; ++c) {
+      const uint32_t s = nodes_[c].stripe;
+      if (s < slo) continue;
+      if (s > stripe + 1) break;
+      stack.push_back(c);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->candidate_pairs += candidates;
+    stats->distance_calls += candidates;
+    stats->pairs_emitted += out->size() - emitted_before;
+    stats->simd_batches += kernel.simd_batches();
+    stats->scalar_fallbacks += kernel.scalar_fallbacks();
+  }
+  return Status::OK();
+}
+
+void FlatEkdbTree::FillStats(EkdbTreeStats* stats) const {
+  stats->flat_node_bytes = node_bytes();
+  stats->flat_arena_bytes = arena_bytes();
+  stats->flat_bytes_per_point =
+      arena_ids_.empty() ? 0.0
+                         : static_cast<double>(total_bytes()) /
+                               static_cast<double>(arena_ids_.size());
+}
+
+}  // namespace simjoin

@@ -1,0 +1,170 @@
+// Cache-conscious flat form of the eps-k-d-B tree.
+//
+// The pointer tree (EkdbTree) is the build / incremental-maintenance
+// representation: nodes are heap objects linked by unique_ptr, leaves hold
+// point ids into the (insertion-ordered) Dataset.  That layout is right for
+// Insert/Remove but wrong for the join hot path, where every candidate row
+// is a data-dependent pointer chase.
+//
+// FlatEkdbTree linearises a built tree into three contiguous arrays:
+//
+//  - a node array: children as index ranges (each node's children occupy a
+//    contiguous run, BFS order), with stripe / depth / sort_dim inline;
+//  - bbox planes: per-node lo/hi coordinate rows in two dense arrays;
+//  - a leaf-major coordinate arena: every leaf's points copied into
+//    row-major storage in leaf sweep order (DFS leaf order, each leaf's
+//    rows sorted on its sort_dim), plus an arena-position -> original
+//    PointId remap applied only when a pair is emitted.
+//
+// A sliding-window leaf sweep over the arena is therefore a straight
+// streaming scan — candidate tiles are contiguous rows fed to the strided
+// BatchDistanceKernel entry points — instead of a per-candidate gather
+// through 32 row pointers.  Joins over the flat form emit pair sets
+// bit-identical to the pointer-tree joins (see ekdb_flat_join.h and the
+// differential tests).  See docs/layout.md for the full story.
+
+#ifndef SIMJOIN_CORE_EKDB_FLAT_H_
+#define SIMJOIN_CORE_EKDB_FLAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/ekdb_config.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+
+/// One node of the flat tree: 28 bytes, no pointers.  Children of a node are
+/// the contiguous index range [children_begin, children_begin +
+/// children_count) of the node array, sorted by stripe.  Every node owns the
+/// contiguous arena range [arena_begin, arena_end) covering its subtree's
+/// points, so subtree size is O(1).
+struct FlatEkdbNode {
+  uint32_t children_begin = 0;
+  uint32_t children_count = 0;  ///< 0 means leaf
+  uint32_t arena_begin = 0;
+  uint32_t arena_end = 0;
+  uint32_t stripe = 0;    ///< stripe index within the parent (root: 0)
+  uint32_t depth = 0;
+  uint32_t sort_dim = 0;  ///< leaves: dimension the arena range is sorted on
+
+  bool is_leaf() const { return children_count == 0; }
+  uint32_t subtree_points() const { return arena_end - arena_begin; }
+};
+
+/// Pointer-free eps-k-d-B tree over a dataset it does not own.  Immutable:
+/// rebuild (or re-flatten an updated pointer tree) after Insert/Remove
+/// batches.  The dataset must stay alive and unmodified for the lifetime of
+/// this object.
+class FlatEkdbTree {
+ public:
+  /// Linearises a built pointer tree.  The flat tree joins against the same
+  /// dataset the pointer tree was built over.
+  static Result<FlatEkdbTree> FromTree(const EkdbTree& tree);
+
+  /// Convenience: EkdbTree::Load followed by FromTree (the pointer tree is
+  /// discarded).
+  static Result<FlatEkdbTree> Load(const Dataset& dataset,
+                                   const std::string& path);
+
+  // -- structure ----------------------------------------------------------
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  const FlatEkdbNode& node(uint32_t idx) const { return nodes_[idx]; }
+  const std::vector<FlatEkdbNode>& nodes() const { return nodes_; }
+  static constexpr uint32_t kRoot = 0;
+
+  /// Per-node bounding-box planes (dims floats each).
+  const float* bbox_lo(uint32_t idx) const {
+    return bbox_lo_.data() + static_cast<size_t>(idx) * dims_;
+  }
+  const float* bbox_hi(uint32_t idx) const {
+    return bbox_hi_.data() + static_cast<size_t>(idx) * dims_;
+  }
+
+  // -- arena --------------------------------------------------------------
+
+  /// Number of points in the arena (== points indexed by the tree).
+  uint32_t arena_size() const {
+    return static_cast<uint32_t>(arena_ids_.size());
+  }
+  /// Row-major coordinates of arena position pos.
+  const float* arena_row(uint32_t pos) const {
+    return arena_.data() + static_cast<size_t>(pos) * dims_;
+  }
+  const float* arena_data() const { return arena_.data(); }
+  /// Original dataset id of arena position pos (the emit-time remap).
+  PointId arena_id(uint32_t pos) const { return arena_ids_[pos]; }
+  const PointId* arena_ids_data() const { return arena_ids_.data(); }
+
+  // -- configuration ------------------------------------------------------
+
+  const Dataset& dataset() const { return *dataset_; }
+  const EkdbConfig& config() const { return config_; }
+  size_t dims() const { return dims_; }
+  const std::vector<uint32_t>& dim_order() const { return dim_order_; }
+  size_t num_stripes() const { return num_stripes_; }
+  double stripe_width() const { return stripe_width_; }
+
+  /// Global stripe index of a coordinate value in [0, 1]; identical to
+  /// EkdbTree::StripeIndex for equal epsilon.
+  uint32_t StripeIndex(float value) const;
+
+  /// True iff the two flat trees were built with join-compatible
+  /// configurations (same epsilon grid, metric, dimensionality, dim order).
+  static bool JoinCompatible(const FlatEkdbTree& a, const FlatEkdbTree& b);
+
+  // -- queries ------------------------------------------------------------
+
+  /// Collects the ids of all indexed points within eps_query of the query
+  /// point (eps_query in (0, config().epsilon]).  Same id set as
+  /// EkdbTree::RangeQuery; leaf scans run through the strided batch kernel
+  /// and are tallied into stats (simd_batches etc.) when provided.
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out,
+                    JoinStats* stats = nullptr) const;
+
+  // -- memory accounting --------------------------------------------------
+
+  /// Bytes of the node array plus the bbox planes.
+  uint64_t node_bytes() const {
+    return static_cast<uint64_t>(nodes_.capacity()) * sizeof(FlatEkdbNode) +
+           static_cast<uint64_t>(bbox_lo_.capacity() + bbox_hi_.capacity()) *
+               sizeof(float);
+  }
+  /// Bytes of the coordinate arena plus the id remap.
+  uint64_t arena_bytes() const {
+    return static_cast<uint64_t>(arena_.capacity()) * sizeof(float) +
+           static_cast<uint64_t>(arena_ids_.capacity()) * sizeof(PointId);
+  }
+  uint64_t total_bytes() const { return node_bytes() + arena_bytes(); }
+
+  /// Fills the flat-representation fields of an EkdbTreeStats (the pointer
+  /// fields are ComputeStats()'s job), so the R8 memory experiment reports
+  /// both forms side by side.
+  void FillStats(EkdbTreeStats* stats) const;
+
+ private:
+  FlatEkdbTree() = default;
+
+  const Dataset* dataset_ = nullptr;
+  EkdbConfig config_;
+  std::vector<uint32_t> dim_order_;
+  size_t num_stripes_ = 1;
+  double stripe_width_ = 1.0;
+  size_t dims_ = 0;
+
+  std::vector<FlatEkdbNode> nodes_;
+  std::vector<float> bbox_lo_;
+  std::vector<float> bbox_hi_;
+  std::vector<float> arena_;
+  std::vector<PointId> arena_ids_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_EKDB_FLAT_H_

@@ -1,0 +1,290 @@
+#include "core/ekdb_flat_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace simjoin {
+namespace internal {
+
+namespace {
+
+/// First arena position in [begin, end) whose coordinate `dim` is >= lo; the
+/// range must be sorted ascending on that coordinate.
+uint32_t LowerBoundPos(const float* arena, size_t dims, uint32_t begin,
+                       uint32_t end, uint32_t dim, double lo) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    if (static_cast<double>(arena[static_cast<size_t>(mid) * dims + dim]) <
+        lo) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+/// First arena position in [begin, end) whose coordinate `dim` is > hi.
+uint32_t UpperBoundPos(const float* arena, size_t dims, uint32_t begin,
+                       uint32_t end, uint32_t dim, double hi) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    if (static_cast<double>(arena[static_cast<size_t>(mid) * dims + dim]) <=
+        hi) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+/// First arena position in [begin, end) whose coordinate `dim` exceeds vi by
+/// more than eps — the same break predicate the pointer-tree self-join
+/// window uses, evaluated with identical arithmetic.
+uint32_t SelfWindowEnd(const float* arena, size_t dims, uint32_t begin,
+                       uint32_t end, uint32_t dim, double vi, double eps) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    if (static_cast<double>(arena[static_cast<size_t>(mid) * dims + dim]) -
+            vi >
+        eps) {
+      end = mid;
+    } else {
+      begin = mid + 1;
+    }
+  }
+  return begin;
+}
+
+}  // namespace
+
+FlatEkdbJoinContext::FlatEkdbJoinContext(const FlatEkdbTree& tree,
+                                         PairSink* sink)
+    : a_tree_(tree),
+      b_tree_(tree),
+      dims_(tree.dims()),
+      epsilon_(tree.config().epsilon),
+      bbox_pruning_(tree.config().bbox_pruning),
+      sliding_window_(tree.config().sliding_window_leaf_join),
+      self_mode_(true),
+      batch_(tree.config().metric, tree.dims(), tree.config().epsilon),
+      buffered_(sink) {}
+
+FlatEkdbJoinContext::FlatEkdbJoinContext(const FlatEkdbTree& a,
+                                         const FlatEkdbTree& b,
+                                         PairSink* sink)
+    : a_tree_(a),
+      b_tree_(b),
+      dims_(a.dims()),
+      epsilon_(a.config().epsilon),
+      bbox_pruning_(a.config().bbox_pruning && b.config().bbox_pruning),
+      sliding_window_(a.config().sliding_window_leaf_join &&
+                      b.config().sliding_window_leaf_join),
+      self_mode_(false),
+      batch_(a.config().metric, a.dims(), a.config().epsilon),
+      buffered_(sink) {}
+
+void FlatEkdbJoinContext::LeafSelfJoin(const FlatEkdbNode& leaf) {
+  const float* arena = a_tree_.arena_data();
+  const PointId* ids = a_tree_.arena_ids_data();
+  const uint32_t sd = leaf.sort_dim;
+  for (uint32_t i = leaf.arena_begin; i < leaf.arena_end; ++i) {
+    const float* row_i = a_tree_.arena_row(i);
+    // The arena run is sorted on sort_dim, so every partner of i within the
+    // epsilon window on that coordinate is one contiguous run starting at
+    // i + 1 — stream it straight into the strided kernel.
+    uint32_t run_end = leaf.arena_end;
+    if (sliding_window_) {
+      run_end = SelfWindowEnd(arena, dims_, i + 1, leaf.arena_end, sd,
+                              static_cast<double>(row_i[sd]), epsilon_);
+    }
+    if (run_end <= i + 1) continue;
+    FilterStridedRunAndEmit(batch_, ids[i], row_i, a_tree_.arena_row(i + 1),
+                            dims_, ids + i + 1, run_end - (i + 1),
+                            /*canonical_order=*/true, buffered_, stats_);
+  }
+}
+
+void FlatEkdbJoinContext::LeafCrossJoin(const FlatEkdbNode& a,
+                                        const FlatEkdbNode& b) {
+  const float* b_arena = b_tree_.arena_data();
+  const PointId* b_ids = b_tree_.arena_ids_data();
+  if (!sliding_window_) {
+    const uint32_t count = b.arena_end - b.arena_begin;
+    if (count == 0) return;
+    for (uint32_t i = a.arena_begin; i < a.arena_end; ++i) {
+      FilterStridedRunAndEmit(batch_, a_tree_.arena_id(i),
+                              a_tree_.arena_row(i),
+                              b_tree_.arena_row(b.arena_begin), dims_,
+                              b_ids + b.arena_begin, count, self_mode_,
+                              buffered_, stats_);
+    }
+    return;
+  }
+  // Window on the candidate side's sort dimension, so the window is always a
+  // contiguous run of b's arena range.  When the query side happens to be
+  // sorted on the same dimension the window start advances monotonically;
+  // otherwise (leaves at different depths) each query row binary-searches
+  // its window — no re-sorting of either side is needed, unlike the
+  // pointer-tree path.
+  const uint32_t dim = b.sort_dim;
+  const bool same_dim = a.sort_dim == b.sort_dim;
+  uint32_t window_start = b.arena_begin;
+  for (uint32_t i = a.arena_begin; i < a.arena_end; ++i) {
+    const float* a_row = a_tree_.arena_row(i);
+    const double lo = static_cast<double>(a_row[dim]) - epsilon_;
+    const double hi = static_cast<double>(a_row[dim]) + epsilon_;
+    uint32_t wb;
+    if (same_dim) {
+      while (window_start < b.arena_end &&
+             static_cast<double>(
+                 b_arena[static_cast<size_t>(window_start) * dims_ + dim]) <
+                 lo) {
+        ++window_start;
+      }
+      wb = window_start;
+    } else {
+      wb = LowerBoundPos(b_arena, dims_, b.arena_begin, b.arena_end, dim, lo);
+    }
+    const uint32_t we = UpperBoundPos(b_arena, dims_, wb, b.arena_end, dim, hi);
+    if (we <= wb) continue;
+    FilterStridedRunAndEmit(batch_, a_tree_.arena_id(i), a_row,
+                            b_tree_.arena_row(wb), dims_, b_ids + wb, we - wb,
+                            self_mode_, buffered_, stats_);
+  }
+}
+
+void FlatEkdbJoinContext::SelfJoinNode(uint32_t node_idx) {
+  SIMJOIN_CHECK(self_mode_) << "SelfJoinNode on a two-tree context";
+  const FlatEkdbNode& node = a_tree_.node(node_idx);
+  if (node.is_leaf()) {
+    LeafSelfJoin(node);
+    return;
+  }
+  const uint32_t cb = node.children_begin;
+  const uint32_t ce = cb + node.children_count;
+  for (uint32_t c = cb; c < ce; ++c) {
+    SelfJoinNode(c);
+    // Only the immediately adjacent stripe can hold joining partners.
+    if (c + 1 < ce &&
+        a_tree_.node(c + 1).stripe == a_tree_.node(c).stripe + 1) {
+      JoinNodes(c, c + 1);
+    }
+  }
+}
+
+void FlatEkdbJoinContext::JoinNodes(uint32_t a_idx, uint32_t b_idx) {
+  ++stats_.node_pairs_visited;
+  const FlatEkdbNode& a = a_tree_.node(a_idx);
+  const FlatEkdbNode& b = b_tree_.node(b_idx);
+  if (bbox_pruning_ &&
+      BoxMinDistance(a_tree_.bbox_lo(a_idx), a_tree_.bbox_hi(a_idx),
+                     b_tree_.bbox_lo(b_idx), b_tree_.bbox_hi(b_idx), dims_,
+                     batch_.metric()) > epsilon_) {
+    ++stats_.node_pairs_pruned;
+    return;
+  }
+  if (a.is_leaf() && b.is_leaf()) {
+    LeafCrossJoin(a, b);
+    return;
+  }
+  if (a.is_leaf()) {
+    const uint32_t end = b.children_begin + b.children_count;
+    for (uint32_t c = b.children_begin; c < end; ++c) JoinNodes(a_idx, c);
+    return;
+  }
+  if (b.is_leaf()) {
+    const uint32_t end = a.children_begin + a.children_count;
+    for (uint32_t c = a.children_begin; c < end; ++c) JoinNodes(c, b_idx);
+    return;
+  }
+  // Both internal: same depth, same split dimension, shared global stripe
+  // grid — pair children whose stripe indices differ by at most one.
+  const uint32_t ae = a.children_begin + a.children_count;
+  const uint32_t be = b.children_begin + b.children_count;
+  uint32_t j_lo = b.children_begin;
+  for (uint32_t ci = a.children_begin; ci < ae; ++ci) {
+    const uint32_t sa = a_tree_.node(ci).stripe;
+    const uint32_t lo = sa == 0 ? 0 : sa - 1;
+    while (j_lo < be && b_tree_.node(j_lo).stripe < lo) ++j_lo;
+    for (uint32_t cj = j_lo; cj < be && b_tree_.node(cj).stripe <= sa + 1;
+         ++cj) {
+      JoinNodes(ci, cj);
+    }
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+Status ValidateEpsilonOverride(double eps_query, double build_epsilon) {
+  if (!(eps_query > 0.0) || eps_query > build_epsilon) {
+    return Status::InvalidArgument(
+        "eps_query must be in (0, built epsilon]; the stripe grid only "
+        "supports radii up to the build epsilon");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FlatEkdbSelfJoin(const FlatEkdbTree& tree, PairSink* sink,
+                        JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  internal::FlatEkdbJoinContext ctx(tree, sink);
+  ctx.SelfJoinNode(FlatEkdbTree::kRoot);
+  ctx.Flush();
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status FlatEkdbJoin(const FlatEkdbTree& a, const FlatEkdbTree& b,
+                    PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (!FlatEkdbTree::JoinCompatible(a, b)) {
+    return Status::InvalidArgument(
+        "trees are not join-compatible (epsilon, metric, dims, and dim order "
+        "must match)");
+  }
+  internal::FlatEkdbJoinContext ctx(a, b, sink);
+  ctx.JoinNodes(FlatEkdbTree::kRoot, FlatEkdbTree::kRoot);
+  ctx.Flush();
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status FlatEkdbSelfJoinWithEpsilon(const FlatEkdbTree& tree, double eps_query,
+                                   PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(
+      ValidateEpsilonOverride(eps_query, tree.config().epsilon));
+  internal::FlatEkdbJoinContext ctx(tree, sink);
+  ctx.OverrideEpsilon(eps_query);
+  ctx.SelfJoinNode(FlatEkdbTree::kRoot);
+  ctx.Flush();
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+Status FlatEkdbJoinWithEpsilon(const FlatEkdbTree& a, const FlatEkdbTree& b,
+                               double eps_query, PairSink* sink,
+                               JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (!FlatEkdbTree::JoinCompatible(a, b)) {
+    return Status::InvalidArgument(
+        "trees are not join-compatible (epsilon, metric, dims, and dim order "
+        "must match)");
+  }
+  SIMJOIN_RETURN_NOT_OK(ValidateEpsilonOverride(eps_query, a.config().epsilon));
+  internal::FlatEkdbJoinContext ctx(a, b, sink);
+  ctx.OverrideEpsilon(eps_query);
+  ctx.JoinNodes(FlatEkdbTree::kRoot, FlatEkdbTree::kRoot);
+  ctx.Flush();
+  if (stats != nullptr) stats->Merge(ctx.stats());
+  return Status::OK();
+}
+
+}  // namespace simjoin

@@ -92,24 +92,32 @@ void EkdbJoinContext::LeafCrossJoin(const EkdbNode* a, const EkdbNode* b) {
     return;
   }
   // Sort dimensions differ (the leaves sit at different depths).  Re-sort
-  // the smaller side on the other's sort dimension in scratch space.
+  // the smaller side on the other's sort dimension; the order is memoized
+  // per (leaf, dim) so repeated neighbour-stripe visits don't re-pay it.
   if (a->points.size() <= b->points.size()) {
-    scratch_.assign(a->points.begin(), a->points.end());
     const uint32_t dim = b->sort_dim;
-    const Dataset& data = a_data_;
-    std::sort(scratch_.begin(), scratch_.end(), [&data, dim](PointId x, PointId y) {
-      return data.Row(x)[dim] < data.Row(y)[dim];
-    });
-    SweepLists(scratch_, a_data_, b->points, b_data_, dim);
+    SweepLists(ResortedLeaf(a, dim, a_data_), a_data_, b->points, b_data_,
+               dim);
   } else {
-    scratch_.assign(b->points.begin(), b->points.end());
     const uint32_t dim = a->sort_dim;
-    const Dataset& data = b_data_;
-    std::sort(scratch_.begin(), scratch_.end(), [&data, dim](PointId x, PointId y) {
+    SweepLists(a->points, a_data_, ResortedLeaf(b, dim, b_data_), b_data_,
+               dim);
+  }
+}
+
+const std::vector<PointId>& EkdbJoinContext::ResortedLeaf(const EkdbNode* leaf,
+                                                          uint32_t dim,
+                                                          const Dataset& data) {
+  auto [it, inserted] = resort_memo_.try_emplace(ResortKey{leaf, dim});
+  if (inserted) {
+    std::vector<PointId>& ids = it->second;
+    ids.reserve(leaf->points.size());
+    ids.assign(leaf->points.begin(), leaf->points.end());
+    std::sort(ids.begin(), ids.end(), [&data, dim](PointId x, PointId y) {
       return data.Row(x)[dim] < data.Row(y)[dim];
     });
-    SweepLists(a->points, a_data_, scratch_, b_data_, dim);
   }
+  return it->second;
 }
 
 void EkdbJoinContext::SelfJoinNode(const EkdbNode* node) {

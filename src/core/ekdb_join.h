@@ -13,6 +13,9 @@
 #ifndef SIMJOIN_CORE_EKDB_JOIN_H_
 #define SIMJOIN_CORE_EKDB_JOIN_H_
 
+#include <unordered_map>
+#include <vector>
+
 #include "common/pair_sink.h"
 #include "common/simd_kernel.h"
 #include "common/status.h"
@@ -43,6 +46,23 @@ Status EkdbJoinWithEpsilon(const EkdbTree& a, const EkdbTree& b,
                            JoinStats* stats = nullptr);
 
 namespace internal {
+
+/// Key of a memoized re-sorted leaf order: which leaf, sorted on which
+/// dimension.
+struct ResortKey {
+  const EkdbNode* leaf = nullptr;
+  uint32_t dim = 0;
+  bool operator==(const ResortKey& other) const {
+    return leaf == other.leaf && dim == other.dim;
+  }
+};
+
+struct ResortKeyHash {
+  size_t operator()(const ResortKey& k) const {
+    return std::hash<const void*>()(k.leaf) ^
+           (static_cast<size_t>(k.dim) * 0x9e3779b97f4a7c15ULL);
+  }
+};
 
 /// Join engine shared by the sequential entry points above and the parallel
 /// driver.  Exposed in internal:: so parallel_join.cc can drive single node
@@ -84,6 +104,11 @@ class EkdbJoinContext {
  private:
   void LeafSelfJoin(const EkdbNode* leaf);
   void LeafCrossJoin(const EkdbNode* a, const EkdbNode* b);
+  /// The leaf's point ids re-sorted on `dim`, memoized for the lifetime of
+  /// the join: neighbour-stripe traversal revisits the same leaf once per
+  /// adjacent partner, and without the memo each visit re-paid the sort.
+  const std::vector<PointId>& ResortedLeaf(const EkdbNode* leaf, uint32_t dim,
+                                           const Dataset& data);
   /// Sweeps two id lists sorted ascending on coordinate `dim`.
   void SweepLists(const std::vector<PointId>& a_ids, const Dataset& a_data,
                   const std::vector<PointId>& b_ids, const Dataset& b_data,
@@ -106,7 +131,8 @@ class EkdbJoinContext {
   BufferedSink buffered_;
   CandidateTile tile_;
   JoinStats stats_;
-  std::vector<PointId> scratch_;
+  std::unordered_map<ResortKey, std::vector<PointId>, ResortKeyHash>
+      resort_memo_;
 };
 
 }  // namespace internal

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "common/simd_kernel.h"
 #include "common/thread_pool.h"
 
 namespace simjoin {
@@ -261,7 +262,8 @@ Status EkdbTree::Remove(PointId id) {
 }
 
 Status EkdbTree::RangeQuery(const float* query, double eps_query,
-                            std::vector<PointId>* out) const {
+                            std::vector<PointId>* out,
+                            JoinStats* stats) const {
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
   if (!(eps_query > 0.0) || eps_query > config_.epsilon) {
     return Status::InvalidArgument(
@@ -269,7 +271,21 @@ Status EkdbTree::RangeQuery(const float* query, double eps_query,
         "supports radii up to the build epsilon");
   }
   const size_t dims = dataset_->dims();
-  DistanceKernel kernel(config_.metric);
+  BatchDistanceKernel batch(config_.metric, dims, eps_query);
+  CandidateTile tile;
+  uint8_t mask[CandidateTile::kCapacity];
+  uint64_t candidates = 0;
+  const size_t emitted_before = out->size();
+  // Filters the gathered tile against the query and appends survivors.
+  const auto flush_tile = [&] {
+    if (tile.empty()) return;
+    batch.FilterWithinEpsilon(query, tile.rows(), tile.size(), mask);
+    for (size_t i = 0; i < tile.size(); ++i) {
+      if (mask[i]) out->push_back(tile.ids()[i]);
+    }
+    candidates += tile.size();
+    tile.Clear();
+  };
   std::vector<const EkdbNode*> stack = {root_.get()};
   while (!stack.empty()) {
     const EkdbNode* node = stack.back();
@@ -279,16 +295,17 @@ Status EkdbTree::RangeQuery(const float* query, double eps_query,
       continue;
     }
     if (node->is_leaf()) {
-      // Leaf points are sorted on sort_dim: window the scan.
+      // Leaf points are sorted on sort_dim: window the scan, batching the
+      // windowed candidates into tiles for the vectorized filter.
       const uint32_t sd = node->sort_dim;
       for (PointId p : node->points) {
         const float* row = dataset_->Row(p);
         if (static_cast<double>(row[sd]) < query[sd] - eps_query) continue;
         if (static_cast<double>(row[sd]) > query[sd] + eps_query) break;
-        if (kernel.WithinEpsilon(query, row, dims, eps_query)) {
-          out->push_back(p);
-        }
+        tile.Add(p, row);
+        if (tile.full()) flush_tile();
       }
+      flush_tile();
       continue;
     }
     // Only the query's stripe and its two neighbours can hold matches.
@@ -300,6 +317,13 @@ Status EkdbTree::RangeQuery(const float* query, double eps_query,
       if (s > stripe + 1) break;
       stack.push_back(child.get());
     }
+  }
+  if (stats != nullptr) {
+    stats->candidate_pairs += candidates;
+    stats->distance_calls += candidates;
+    stats->pairs_emitted += out->size() - emitted_before;
+    stats->simd_batches += batch.simd_batches();
+    stats->scalar_fallbacks += batch.scalar_fallbacks();
   }
   return Status::OK();
 }
@@ -333,6 +357,10 @@ EkdbTreeStats EkdbTree::ComputeStats() const {
   stats.avg_leaf_size = stats.leaves > 0 ? static_cast<double>(stats.total_points) /
                                                static_cast<double>(stats.leaves)
                                          : 0.0;
+  stats.bytes_per_point =
+      stats.total_points > 0 ? static_cast<double>(stats.memory_bytes) /
+                                   static_cast<double>(stats.total_points)
+                             : 0.0;
   return stats;
 }
 

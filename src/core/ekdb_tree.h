@@ -26,6 +26,8 @@
 
 namespace simjoin {
 
+struct JoinStats;
+
 /// One node of an eps-k-d-B tree.  Leaves own point ids; internal nodes own
 /// a sparse, stripe-sorted child list.  Every node carries the exact
 /// bounding box of the points below it (used for join pruning).
@@ -52,7 +54,10 @@ struct EkdbNode {
   size_t SubtreeSize() const;
 };
 
-/// Aggregate structural statistics of a tree.
+/// Aggregate structural statistics of a tree.  The pointer-representation
+/// fields are filled by EkdbTree::ComputeStats; the flat_* fields by
+/// FlatEkdbTree::FillStats, so the R8 memory experiment can report both
+/// representations of the same index side by side.
 struct EkdbTreeStats {
   uint64_t nodes = 0;
   uint64_t leaves = 0;
@@ -60,7 +65,12 @@ struct EkdbTreeStats {
   uint64_t total_points = 0;
   double avg_leaf_size = 0.0;
   uint64_t max_leaf_size = 0;
-  uint64_t memory_bytes = 0;
+  uint64_t memory_bytes = 0;      ///< pointer tree: nodes + id lists + boxes
+  double bytes_per_point = 0.0;   ///< memory_bytes / total_points
+
+  uint64_t flat_node_bytes = 0;   ///< flat tree: node array + bbox planes
+  uint64_t flat_arena_bytes = 0;  ///< flat tree: coordinate arena + id remap
+  double flat_bytes_per_point = 0.0;  ///< (node + arena bytes) / points
 };
 
 /// An eps-k-d-B tree over a dataset it does not own.  The dataset must stay
@@ -112,9 +122,13 @@ class EkdbTree {
   /// Collects the ids of all indexed points within eps_query of the query
   /// point under the tree's metric.  eps_query must be in
   /// (0, config().epsilon]: the stripe grid only supports radii up to the
-  /// epsilon the tree was built for.
+  /// epsilon the tree was built for.  Leaf scans run through the batched
+  /// epsilon filter (BatchDistanceKernel) a candidate tile at a time; when
+  /// stats is provided the work counters — including simd_batches and
+  /// scalar_fallbacks — are accumulated into it.
   Status RangeQuery(const float* query, double eps_query,
-                    std::vector<PointId>* out) const;
+                    std::vector<PointId>* out,
+                    JoinStats* stats = nullptr) const;
 
   /// Persists the index structure (config, dimension order, nodes, point
   /// ids) to a binary file.  The dataset itself is NOT stored — persist it

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/ekdb_flat_join.h"
 #include "core/ekdb_join.h"
 
 namespace simjoin {
@@ -127,6 +128,89 @@ size_t ResolveThreads(size_t requested) {
   return std::max<size_t>(1, std::thread::hardware_concurrency());
 }
 
+/// Flat-tree unit of work: node indices instead of pointers.  self marks a
+/// subtree self-join of a (b is ignored then).
+struct FlatJoinTask {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  bool self = false;
+};
+
+/// Flat mirror of ExpandSelfTask.  Subtree sizes are O(1) reads off the
+/// arena ranges, so expansion never walks subtrees.
+void ExpandFlatSelfTask(const FlatEkdbTree& tree, uint32_t idx,
+                        size_t min_points, std::vector<FlatJoinTask>* tasks) {
+  const FlatEkdbNode& node = tree.node(idx);
+  if (node.is_leaf() || node.subtree_points() <= min_points) {
+    tasks->push_back(FlatJoinTask{idx, 0, true});
+    return;
+  }
+  const uint32_t end = node.children_begin + node.children_count;
+  for (uint32_t c = node.children_begin; c < end; ++c) {
+    ExpandFlatSelfTask(tree, c, min_points, tasks);
+    if (c + 1 < end && tree.node(c + 1).stripe == tree.node(c).stripe + 1) {
+      tasks->push_back(FlatJoinTask{c, c + 1, false});
+    }
+  }
+}
+
+/// Flat mirror of ExpandCrossTask.
+void ExpandFlatCrossTask(const FlatEkdbTree& a_tree, uint32_t a_idx,
+                         const FlatEkdbTree& b_tree, uint32_t b_idx,
+                         size_t min_points, std::vector<FlatJoinTask>* tasks) {
+  const FlatEkdbNode& a = a_tree.node(a_idx);
+  const FlatEkdbNode& b = b_tree.node(b_idx);
+  if (a.is_leaf() || b.is_leaf() ||
+      a.subtree_points() + b.subtree_points() <= min_points) {
+    tasks->push_back(FlatJoinTask{a_idx, b_idx, false});
+    return;
+  }
+  const uint32_t ae = a.children_begin + a.children_count;
+  const uint32_t be = b.children_begin + b.children_count;
+  uint32_t j_lo = b.children_begin;
+  for (uint32_t ci = a.children_begin; ci < ae; ++ci) {
+    const uint32_t sa = a_tree.node(ci).stripe;
+    const uint32_t lo = sa == 0 ? 0 : sa - 1;
+    while (j_lo < be && b_tree.node(j_lo).stripe < lo) ++j_lo;
+    for (uint32_t cj = j_lo; cj < be && b_tree.node(cj).stripe <= sa + 1;
+         ++cj) {
+      ExpandFlatCrossTask(a_tree, ci, b_tree, cj, min_points, tasks);
+    }
+  }
+}
+
+/// Runs a flat task list across the pool, fanning results into sink/stats.
+Status RunFlatTasks(
+    const std::vector<FlatJoinTask>& tasks, size_t threads,
+    const std::function<internal::FlatEkdbJoinContext(PairSink*)>&
+        make_context,
+    PairSink* sink, JoinStats* stats) {
+  std::mutex sink_mu;
+  std::mutex stats_mu;
+  JoinStats merged;
+
+  ThreadPool pool(threads);
+  for (const FlatJoinTask& task : tasks) {
+    pool.Submit([&make_context, &sink_mu, &stats_mu, &merged, sink, task] {
+      LockedSink local_sink(sink, &sink_mu);
+      internal::FlatEkdbJoinContext ctx = make_context(&local_sink);
+      if (task.self) {
+        ctx.SelfJoinNode(task.a);
+      } else {
+        ctx.JoinNodes(task.a, task.b);
+      }
+      ctx.Flush();
+      local_sink.Flush();
+      std::lock_guard<std::mutex> lock(stats_mu);
+      merged.Merge(ctx.stats());
+    });
+  }
+  pool.WaitIdle();
+
+  if (stats != nullptr) stats->Merge(merged);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status ParallelEkdbSelfJoin(const EkdbTree& tree, const ParallelJoinConfig& config,
@@ -167,6 +251,51 @@ Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
       tasks, threads,
       [&a, &b](PairSink* task_sink) {
         return internal::EkdbJoinContext(a, b, task_sink);
+      },
+      sink, stats);
+}
+
+Status ParallelFlatEkdbSelfJoin(const FlatEkdbTree& tree,
+                                const ParallelJoinConfig& config,
+                                PairSink* sink, JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  const size_t threads = ResolveThreads(config.num_threads);
+  if (config.min_task_points == 0) {
+    return Status::InvalidArgument("min_task_points must be positive");
+  }
+
+  std::vector<FlatJoinTask> tasks;
+  ExpandFlatSelfTask(tree, FlatEkdbTree::kRoot, config.min_task_points,
+                     &tasks);
+  return RunFlatTasks(
+      tasks, threads,
+      [&tree](PairSink* task_sink) {
+        return internal::FlatEkdbJoinContext(tree, task_sink);
+      },
+      sink, stats);
+}
+
+Status ParallelFlatEkdbJoin(const FlatEkdbTree& a, const FlatEkdbTree& b,
+                            const ParallelJoinConfig& config, PairSink* sink,
+                            JoinStats* stats) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (!FlatEkdbTree::JoinCompatible(a, b)) {
+    return Status::InvalidArgument(
+        "trees are not join-compatible (epsilon, metric, dims, and dim order "
+        "must match)");
+  }
+  const size_t threads = ResolveThreads(config.num_threads);
+  if (config.min_task_points == 0) {
+    return Status::InvalidArgument("min_task_points must be positive");
+  }
+
+  std::vector<FlatJoinTask> tasks;
+  ExpandFlatCrossTask(a, FlatEkdbTree::kRoot, b, FlatEkdbTree::kRoot,
+                      config.min_task_points, &tasks);
+  return RunFlatTasks(
+      tasks, threads,
+      [&a, &b](PairSink* task_sink) {
+        return internal::FlatEkdbJoinContext(a, b, task_sink);
       },
       sink, stats);
 }

@@ -16,6 +16,7 @@
 
 #include "common/pair_sink.h"
 #include "common/status.h"
+#include "core/ekdb_flat.h"
 #include "core/ekdb_tree.h"
 
 namespace simjoin {
@@ -39,6 +40,20 @@ Status ParallelEkdbSelfJoin(const EkdbTree& tree, const ParallelJoinConfig& conf
 Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
                         const ParallelJoinConfig& config, PairSink* sink,
                         JoinStats* stats = nullptr);
+
+/// Parallel self-join over the flat (pointer-free) representation.  Task
+/// decomposition mirrors ParallelEkdbSelfJoin — subtree sizes come straight
+/// from arena ranges, so splitting is O(1) per node — and each task streams
+/// its leaf sweeps from the coordinate arena.  Emits the same pair set as
+/// FlatEkdbSelfJoin (and hence EkdbSelfJoin).
+Status ParallelFlatEkdbSelfJoin(const FlatEkdbTree& tree,
+                                const ParallelJoinConfig& config,
+                                PairSink* sink, JoinStats* stats = nullptr);
+
+/// Parallel two-tree join over flat trees; same pair set as FlatEkdbJoin.
+Status ParallelFlatEkdbJoin(const FlatEkdbTree& a, const FlatEkdbTree& b,
+                            const ParallelJoinConfig& config, PairSink* sink,
+                            JoinStats* stats = nullptr);
 
 }  // namespace simjoin
 

@@ -31,6 +31,8 @@
 #include "core/components.h"        // IWYU pragma: export
 #include "core/dbscan.h"            // IWYU pragma: export
 #include "core/ekdb_config.h"       // IWYU pragma: export
+#include "core/ekdb_flat.h"         // IWYU pragma: export
+#include "core/ekdb_flat_join.h"    // IWYU pragma: export
 #include "core/ekdb_join.h"         // IWYU pragma: export
 #include "core/ekdb_tree.h"         // IWYU pragma: export
 #include "core/external_join.h"     // IWYU pragma: export

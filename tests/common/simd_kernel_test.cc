@@ -69,6 +69,104 @@ TEST_P(BatchKernelDifferentialTest, MatchesScalarReferenceOnRandomData) {
   }
 }
 
+/// The strided entry point must produce byte-identical masks to the gathered
+/// one over the same rows, on every path: both are instantiations of the same
+/// templated scoring code, and this pins that equivalence down.
+TEST_P(BatchKernelDifferentialTest, StridedMatchesGatheredExactly) {
+  const auto [metric, dims] = GetParam();
+  Rng rng(0xa11e + dims);
+
+  const size_t n = 300;
+  Dataset data(n, dims);  // contiguous row-major: stride == dims
+  for (size_t i = 0; i < n; ++i) {
+    float* row = data.MutableRow(static_cast<PointId>(i));
+    for (size_t d = 0; d < dims; ++d) {
+      row[d] = static_cast<float>(rng.Uniform());
+    }
+  }
+  std::vector<const float*> rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(data.Row(static_cast<PointId>(i)));
+  }
+
+  for (double eps : {0.05, 0.2, 0.7}) {
+    for (KernelPath path : {KernelPath::kScalar, KernelPath::kPortable,
+                            KernelPath::kAvx2}) {
+      BatchDistanceKernel gathered(metric, dims, eps, path);
+      BatchDistanceKernel strided(metric, dims, eps, path);
+      std::vector<uint8_t> gathered_mask(n), strided_mask(n);
+      for (size_t q = 0; q < 32; ++q) {
+        const float* query = data.Row(static_cast<PointId>(q * 11 % n));
+        const size_t kept_g =
+            gathered.FilterWithinEpsilon(query, rows.data(), n,
+                                         gathered_mask.data());
+        // Exercise both the no-prefetch default and an explicit prefetch
+        // target (the next tile in a real sweep).
+        const size_t kept_s = strided.FilterWithinEpsilonStrided(
+            query, data.Row(0), dims, n, strided_mask.data(),
+            q % 2 == 0 ? data.Row(0) : nullptr);
+        EXPECT_EQ(kept_g, kept_s);
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(gathered_mask[i], strided_mask[i])
+              << "path=" << static_cast<int>(path)
+              << " metric=" << MetricName(metric) << " dims=" << dims
+              << " eps=" << eps << " candidate=" << i;
+        }
+      }
+      EXPECT_EQ(gathered.scalar_fallbacks(), strided.scalar_fallbacks());
+    }
+  }
+}
+
+/// FilterStridedRunAndEmit must report the same pairs and counters as the
+/// equivalent gathered-tile loop over the same candidate run.
+TEST_P(BatchKernelDifferentialTest, StridedRunEmitsSamePairsAsTiles) {
+  const auto [metric, dims] = GetParam();
+  Rng rng(0xbeef + dims);
+
+  const size_t n = 100;
+  Dataset data(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = data.MutableRow(static_cast<PointId>(i));
+    for (size_t d = 0; d < dims; ++d) {
+      row[d] = static_cast<float>(rng.Uniform() * 0.3);
+    }
+  }
+  std::vector<PointId> cand_ids;
+  for (size_t i = 0; i < n; ++i) cand_ids.push_back(static_cast<PointId>(i));
+
+  const double eps = 0.2;
+  for (const bool canonical : {false, true}) {
+    BatchDistanceKernel tile_kernel(metric, dims, eps);
+    BatchDistanceKernel run_kernel(metric, dims, eps);
+    VectorSink tile_sink, run_sink;
+    JoinStats tile_stats, run_stats;
+    const PointId query_id = 55;
+    const float* query = data.Row(query_id);
+
+    CandidateTile tile;
+    for (size_t i = 0; i < n; ++i) {
+      tile.Add(cand_ids[i], data.Row(cand_ids[i]));
+      if (tile.full()) {
+        FilterTileAndEmit(tile_kernel, query_id, query, tile, canonical,
+                          tile_sink, tile_stats);
+      }
+    }
+    FilterTileAndEmit(tile_kernel, query_id, query, tile, canonical,
+                      tile_sink, tile_stats);
+
+    const size_t emitted = FilterStridedRunAndEmit(
+        run_kernel, query_id, query, data.Row(0), dims, cand_ids.data(), n,
+        canonical, run_sink, run_stats);
+
+    EXPECT_EQ(emitted, tile_sink.pairs().size());
+    EXPECT_EQ(tile_sink.Sorted(), run_sink.Sorted());
+    EXPECT_EQ(tile_stats.candidate_pairs, run_stats.candidate_pairs);
+    EXPECT_EQ(tile_stats.distance_calls, run_stats.distance_calls);
+    EXPECT_EQ(tile_stats.pairs_emitted, run_stats.pairs_emitted);
+  }
+}
+
 /// Candidates sitting exactly on the epsilon boundary must be classified
 /// "within" (the predicate is <=), on every path.  eps = 0.25 and axis-offset
 /// constructions keep the true distance exactly representable, so any float
