@@ -1,14 +1,24 @@
-// Experiment R11 — parallel join extension.
+// Experiment R11 — parallel join and build scaling.
 //
-// Runs the task-decomposed eps-k-d-B self-join at increasing thread counts.
-// Expected shape on multi-core hardware: near-linear speedup until tasks or
-// memory bandwidth run out.  On a single-core host (like this repo's
-// reference environment) the experiment instead documents the decomposition
-// overhead: all thread counts take about as long as the sequential join.
+// Sweeps the work-stealing parallel flat self-join and the parallel tree
+// construction (BuildParallel + parallel FromTree) over thread counts
+// 1..max, against sequential baselines.  Expected shape on multi-core
+// hardware: near-linear join speedup until tasks or memory bandwidth run
+// out, with build scaling limited by the sequential partition prefix.  On a
+// single-core host (like this repo's reference environment) the experiment
+// instead documents the decomposition overhead: all thread counts take
+// about as long as the sequential runs.
+//
+// Emits a trailing "# PARALLEL_JSON {...}" line consumed by
+// scripts/check_bench_regression.sh, which snapshots it into
+// BENCH_parallel.json.
 
+#include <algorithm>
+#include <sstream>
 #include <thread>
 
 #include "bench_util.h"
+#include "core/ekdb_flat.h"
 #include "workload/generators.h"
 
 namespace simjoin {
@@ -17,35 +27,92 @@ namespace {
 
 void Main() {
   PrintExperimentHeader(
-      "R11", "parallel eps-k-d-B self-join scaling",
-      "near-linear speedup with cores; on a single-core host, constant time "
-      "+ small task overhead");
-  std::cout << "hardware_concurrency = " << std::thread::hardware_concurrency()
-            << "\n\n";
-  const size_t n = Scaled(20000, 150000);
-  const size_t dims = 8;
+      "R11", "parallel eps-k-d-B join + build scaling",
+      "near-linear join speedup with cores; on a single-core host, constant "
+      "time + small task overhead");
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t max_threads = BenchThreads() != 0 ? BenchThreads() : hw;
+  std::cout << "hardware_concurrency = " << hw
+            << ", sweeping threads 1.." << max_threads << "\n\n";
+
+  // The acceptance configuration: d=16, n=100k, L2, clustered data.
+  const size_t n = Scaled(100000, 400000);
+  const size_t dims = 16;
   auto data = GenerateClustered(
       {.n = n, .dims = dims, .clusters = 20, .sigma = 0.05, .seed = 1101});
   EkdbConfig config;
-  config.epsilon = 0.05;
+  config.epsilon = 0.1;
+  config.metric = Metric::kL2;
   config.leaf_threshold = 64;
 
-  const RunResult sequential = RunEkdbSelf(*data, config);
+  // Sequential baselines: flat self-join, and pointer build + flatten.
+  const RunResult seq = RunEkdbFlatSelf(*data, config);
 
-  ResultTable table({"threads", "join", "speedup_vs_sequential", "pairs"});
-  table.AddRow({"seq", FmtSecs(sequential.join_seconds), "1.00",
-                std::to_string(sequential.pairs)});
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
-    const RunResult r = RunEkdbParallel(*data, config, threads);
-    table.AddRow({std::to_string(threads), FmtSecs(r.join_seconds),
-                  FmtDouble(sequential.join_seconds / r.join_seconds, 2),
+  ResultTable table({"threads", "build", "build_speedup", "join",
+                     "join_speedup", "efficiency", "pairs"});
+  table.AddRow({"seq", FmtSecs(seq.build_seconds), "1.00",
+                FmtSecs(seq.join_seconds), "1.00", "-",
+                std::to_string(seq.pairs)});
+
+  std::vector<size_t> threads_axis;
+  std::vector<double> join_secs;
+  std::vector<double> join_speedups;
+  std::vector<double> build_secs;
+  std::vector<double> build_speedups;
+  double best_join_speedup = 0.0;
+  for (size_t threads = 1; threads <= max_threads; ++threads) {
+    const RunResult r = RunEkdbFlatParallel(*data, config, threads);
+    const double join_speedup = seq.join_seconds / r.join_seconds;
+    const double build_speedup = seq.build_seconds / r.build_seconds;
+    best_join_speedup = std::max(best_join_speedup, join_speedup);
+    threads_axis.push_back(threads);
+    join_secs.push_back(r.join_seconds);
+    join_speedups.push_back(join_speedup);
+    build_secs.push_back(r.build_seconds);
+    build_speedups.push_back(build_speedup);
+    table.AddRow({std::to_string(threads), FmtSecs(r.build_seconds),
+                  FmtDouble(build_speedup, 2), FmtSecs(r.join_seconds),
+                  FmtDouble(join_speedup, 2),
+                  FmtDouble(join_speedup / static_cast<double>(threads), 2),
                   std::to_string(r.pairs)});
   }
   table.Print();
+
+  auto join_list = [](const std::vector<double>& v) {
+    std::ostringstream os;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << FmtDouble(v[i], 4);
+    }
+    return os.str();
+  };
+  std::ostringstream threads_list;
+  for (size_t i = 0; i < threads_axis.size(); ++i) {
+    if (i != 0) threads_list << ", ";
+    threads_list << threads_axis[i];
+  }
+  std::cout << "\n# PARALLEL_JSON {"
+            << "\"hardware_concurrency\": " << hw << ", \"n\": " << n
+            << ", \"dims\": " << dims << ", \"metric\": \"L2\""
+            << ", \"epsilon\": " << FmtDouble(config.epsilon, 3)
+            << ", \"pairs\": " << seq.pairs
+            << ", \"seq_join_seconds\": " << FmtDouble(seq.join_seconds, 4)
+            << ", \"seq_build_seconds\": " << FmtDouble(seq.build_seconds, 4)
+            << ", \"threads\": [" << threads_list.str() << "]"
+            << ", \"join_seconds\": [" << join_list(join_secs) << "]"
+            << ", \"join_speedup\": [" << join_list(join_speedups) << "]"
+            << ", \"build_seconds\": [" << join_list(build_secs) << "]"
+            << ", \"build_speedup\": [" << join_list(build_speedups) << "]"
+            << ", \"best_join_speedup\": " << FmtDouble(best_join_speedup, 3)
+            << "}\n";
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace simjoin
 
-int main() { simjoin::bench::Main(); }
+int main(int argc, char** argv) {
+  if (!simjoin::bench::InitBenchArgs(argc, argv)) return 1;
+  simjoin::bench::Main();
+  return 0;
+}

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/kdtree.h"
 #include "common/metric.h"
 #include "common/simd_kernel.h"
@@ -271,4 +273,12 @@ BENCHMARK(BM_StripeIndex);
 }  // namespace
 }  // namespace simjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // benchmark::Initialize consumes the --benchmark_* flags first, leaving the
+  // shared bench flags (--threads) for InitBenchArgs.
+  benchmark::Initialize(&argc, argv);
+  if (!simjoin::bench::InitBenchArgs(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

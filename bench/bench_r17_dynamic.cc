@@ -132,4 +132,8 @@ void Main() {
 }  // namespace bench
 }  // namespace simjoin
 
-int main() { simjoin::bench::Main(); }
+int main(int argc, char** argv) {
+  if (!simjoin::bench::InitBenchArgs(argc, argv)) return 1;
+  simjoin::bench::Main();
+  return 0;
+}

@@ -5,12 +5,43 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "common/args.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/timer.h"
 
 namespace simjoin {
 namespace bench {
+
+namespace {
+size_t g_bench_threads = 0;  // 0 = hardware_concurrency
+}  // namespace
+
+bool InitBenchArgs(int argc, const char* const* argv) {
+  ArgParser parser(
+      "Shared benchmark flags (sizes scale via SIMJOIN_BENCH_SCALE=large).");
+  parser.AddFlag("threads", "0",
+                 "worker threads for parallel build/join runs "
+                 "(0 = hardware concurrency)");
+  const Status st = parser.Parse(argc, argv);
+  if (parser.help_requested()) {
+    std::cout << parser.Help();
+    return false;
+  }
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << parser.Help();
+    return false;
+  }
+  const int64_t threads = parser.GetInt("threads");
+  if (threads < 0) {
+    std::cerr << "--threads must be >= 0\n";
+    return false;
+  }
+  g_bench_threads = static_cast<size_t>(threads);
+  return true;
+}
+
+size_t BenchThreads() { return g_bench_threads; }
 
 bool LargeScale() {
   const char* env = std::getenv("SIMJOIN_BENCH_SCALE");
@@ -63,7 +94,7 @@ RunResult RunEkdbParallel(const Dataset& data, const EkdbConfig& config,
   RunResult result;
   result.algorithm = "ekdb-parallel-" + std::to_string(threads);
   Timer timer;
-  auto tree = EkdbTree::Build(data, config);
+  auto tree = EkdbTree::BuildParallel(data, config, threads);
   SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
   result.build_seconds = timer.Seconds();
   result.memory_bytes = tree->ComputeStats().memory_bytes;
@@ -124,9 +155,9 @@ RunResult RunEkdbFlatParallel(const Dataset& data, const EkdbConfig& config,
   RunResult result;
   result.algorithm = "ekdb-flat-parallel-" + std::to_string(threads);
   Timer timer;
-  auto tree = EkdbTree::Build(data, config);
+  auto tree = EkdbTree::BuildParallel(data, config, threads);
   SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
-  auto flat = FlatEkdbTree::FromTree(*tree);
+  auto flat = FlatEkdbTree::FromTree(*tree, threads);
   SIMJOIN_CHECK(flat.ok()) << flat.status().ToString();
   result.build_seconds = timer.Seconds();
   result.memory_bytes = flat->total_bytes();

@@ -32,6 +32,17 @@
 namespace simjoin {
 namespace bench {
 
+/// Parses the shared bench command line (--threads, --help).  Returns false
+/// when the binary should exit immediately (help printed or bad flag); call
+/// it first thing in every bench main.  Binaries built on google-benchmark
+/// must run benchmark::Initialize first so --benchmark_* flags are consumed
+/// before this parser sees them.
+bool InitBenchArgs(int argc, const char* const* argv);
+
+/// Value of --threads: worker threads for parallel build/join runs.
+/// 0 (the default) means std::thread::hardware_concurrency().
+size_t BenchThreads();
+
 /// True when SIMJOIN_BENCH_SCALE=large: paper-scale problem sizes.
 bool LargeScale();
 

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Guards the two join-hot-path benchmarks against performance regressions.
 #
-# Runs the kernel-filter micro-benchmarks (bench_r12_micro) and the
-# flat-vs-pointer leaf-join ablation (bench_r10_ablation_leafjoin), writes
-# machine-readable snapshots next to the repo root:
+# Runs the kernel-filter micro-benchmarks (bench_r12_micro), the
+# flat-vs-pointer leaf-join ablation (bench_r10_ablation_leafjoin), and the
+# parallel thread-scaling sweep (bench_r11_parallel), writes machine-readable
+# snapshots next to the repo root:
 #
 #   BENCH_micro.json     google-benchmark JSON for BM_KernelFilter*
 #   BENCH_leafjoin.json  ablation-3 throughputs + flat/pointer ratio
+#   BENCH_parallel.json  R11 thread-scaling sweep (speedups per thread count)
 #
 # and compares them against the checked-in baselines
-# (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json) when present:
+# (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json /
+# BENCH_parallel.baseline.json) when present:
 # any tracked throughput that drops more than SIMJOIN_BENCH_TOLERANCE
 # (default 0.30 = 30%, benchmarks are noisy) below baseline fails the run.
 #
@@ -35,8 +38,9 @@ TOLERANCE="${SIMJOIN_BENCH_TOLERANCE:-0.30}"
 FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
 MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
 ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
+PARALLEL_BIN="$BUILD_DIR/bench/bench_r11_parallel"
 
-for bin in "$MICRO_BIN" "$ABLATION_BIN"; do
+for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build with benchmarks first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -80,9 +84,27 @@ json.dump(out, open("BENCH_leafjoin.json", "w"), indent=2)
 print("wrote BENCH_leafjoin.json")
 PY
 
+echo ">>> $PARALLEL_BIN"
+PARALLEL_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT" "$PARALLEL_TXT"' EXIT
+"$PARALLEL_BIN" | tee "$PARALLEL_TXT"
+
+# Extract the machine-readable PARALLEL_JSON line into BENCH_parallel.json.
+python3 - "$PARALLEL_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"^# PARALLEL_JSON (\{.*\})$", text, re.M)
+if m is None:
+    sys.exit("error: bench_r11_parallel emitted no PARALLEL_JSON line")
+json.dump(json.loads(m.group(1)), open("BENCH_parallel.json", "w"), indent=2)
+print("wrote BENCH_parallel.json")
+PY
+
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_micro.json BENCH_micro.baseline.json
   cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
+  cp BENCH_parallel.json BENCH_parallel.baseline.json
   echo "baselines updated (BENCH_*.baseline.json)"
   exit 0
 fi
@@ -126,6 +148,21 @@ if os.path.exists("BENCH_leafjoin.baseline.json"):
                 base[layout]["cand_per_sec_millions"])
     compare("leafjoin/flat_vs_pointer_ratio",
             cur["flat_vs_pointer_ratio"], base["flat_vs_pointer_ratio"])
+
+if os.path.exists("BENCH_parallel.baseline.json"):
+    have_baseline = True
+    cur = json.load(open("BENCH_parallel.json"))
+    base = json.load(open("BENCH_parallel.baseline.json"))
+    # Speedups are only comparable when the host core count matches the
+    # baseline's; a different machine gets a fresh snapshot, not a failure.
+    if cur.get("hardware_concurrency") == base.get("hardware_concurrency"):
+        print("parallel join best speedup vs baseline:")
+        compare("parallel/best_join_speedup",
+                cur["best_join_speedup"], base["best_join_speedup"])
+    else:
+        print("parallel baseline from a different core count "
+              f"({base.get('hardware_concurrency')} vs "
+              f"{cur.get('hardware_concurrency')}); skipping comparison")
 
 if not have_baseline:
     print("no BENCH_*.baseline.json found; snapshots written. To seed the")

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the library and tests under ThreadSanitizer and runs the
+# concurrency-sensitive test targets (thread pool, parallel joins, parallel
+# tree construction and flattening), so the work-stealing deque, the sleep /
+# wake protocol, and the sharded pair emission get exercised with full race
+# checking.
+#
+# Usage: scripts/check_tsan.sh [build-dir] [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+shift || true
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMJOIN_ENABLE_TSAN=ON \
+  -DSIMJOIN_BUILD_BENCHMARKS=OFF \
+  -DSIMJOIN_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'ThreadPool|TaskGroup|Parallel' "$@"

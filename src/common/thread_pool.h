@@ -1,23 +1,43 @@
-// Fixed-size worker pool with a simple task queue — the substrate for the
-// parallel eps-k-d-B join driver.  Tasks are void() callables; WaitIdle()
-// gives a barrier without destroying the pool.
+// Work-stealing worker pool — the substrate for the parallel eps-k-d-B
+// builders and join drivers.
+//
+// Each worker owns a fixed-capacity Chase-Lev-style deque: the owner pushes
+// and pops at the bottom, idle workers steal from the top, and a shared
+// mutex-protected injection queue takes submissions from non-worker threads
+// (and deque overflow).  Workers sleep on a condition variable when no work
+// is visible anywhere, so an idle pool costs nothing; ThreadPool::Shared()
+// hands out persistent process-lifetime pools so repeated joins don't pay
+// thread spawn/teardown per call.
+//
+// Tasks are void() callables.  WaitIdle() is a reusable barrier over *all*
+// outstanding work; TaskGroup scopes completion to one job so independent
+// jobs can share a pool.  HasIdleWorkers() is the cheap load-balance signal
+// the adaptive task splitter keys off.
 
 #ifndef SIMJOIN_COMMON_THREAD_POOL_H_
 #define SIMJOIN_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace simjoin {
 
-/// Fixed set of worker threads draining a FIFO of tasks.
+/// Fixed set of worker threads draining per-worker work-stealing deques plus
+/// a shared injection queue.
 class ThreadPool {
  public:
+  /// Returned by CurrentWorkerIndex() on threads that are not workers of
+  /// this pool.
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
   /// Starts num_threads workers (minimum 1).
   explicit ThreadPool(size_t num_threads);
 
@@ -27,24 +47,108 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.  Never blocks.
+  /// Process-lifetime pool with the given thread count (0 means
+  /// hardware_concurrency), created on first use.  Sharing one persistent
+  /// pool across joins avoids per-call thread spawn/teardown.
+  static ThreadPool& Shared(size_t num_threads = 0);
+
+  /// Enqueues a task.  Never blocks: a worker submits into its own deque
+  /// (stealable by the others); any other thread — and deque overflow —
+  /// goes through the shared injection queue.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until every submitted task (including tasks submitted by tasks)
+  /// has finished.  Reusable barrier.  Note: on a pool shared between
+  /// concurrent jobs this waits for *all* of them; use TaskGroup to wait for
+  /// one job's tasks only.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
 
- private:
-  void WorkerLoop();
+  /// True when at least one worker is asleep with nothing to do — the
+  /// signal adaptive task splitting uses to decide whether finer-grained
+  /// tasks would actually buy parallelism.  Racy by nature; callers only
+  /// use it as a heuristic.
+  bool HasIdleWorkers() const {
+    return num_sleeping_.load(std::memory_order_relaxed) > 0;
+  }
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  /// Index of the calling thread within this pool's workers, or kNotAWorker
+  /// when called from any other thread.
+  size_t CurrentWorkerIndex() const;
+
+  /// Runs one pending task inline if any is available (own deque, injection
+  /// queue, or stolen).  Returns false when no task was found.  Lets
+  /// blocked waiters help instead of deadlocking the pool.
+  bool TryRunOneTask();
+
+ private:
+  /// Fixed-capacity Chase-Lev-style deque of task pointers.  The owner
+  /// pushes/pops at the bottom; thieves CAS the top.  Control words use
+  /// seq_cst operations (no standalone fences — ThreadSanitizer models
+  /// atomics precisely but not fences).  On overflow Push fails and the
+  /// caller falls back to the injection queue.
+  struct Deque {
+    static constexpr size_t kCapacity = 1 << 13;  // must be a power of two
+
+    alignas(64) std::atomic<int64_t> top{0};
+    alignas(64) std::atomic<int64_t> bottom{0};
+    std::unique_ptr<std::atomic<std::function<void()>*>[]> slots;
+
+    Deque();
+    bool Push(std::function<void()>* task);  // owner only
+    std::function<void()>* Pop();            // owner only
+    std::function<void()>* Steal();          // any thread
+    bool LooksEmpty() const;
+  };
+
+  void WorkerLoop(size_t index);
+  std::function<void()>* TryAcquire(size_t self);
+  void RunTask(std::function<void()>* task);
+  void NotifyWorkAvailable();
+  bool WorkVisible() const;  // requires mu_ held (reads injection_)
+
+  std::vector<std::unique_ptr<Deque>> deques_;
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>*> injection_;  // guarded by mu_
+  std::atomic<size_t> num_sleeping_{0};           // modified under mu_
+  std::atomic<size_t> pending_{0};  // submitted but not yet finished
+  bool shutting_down_ = false;      // guarded by mu_
+};
+
+/// Completion scope for one job's tasks on a (possibly shared) pool.  Run()
+/// submits a task counted against this group; Wait() blocks until all of
+/// them finished.  When Wait() is called from a worker of the same pool it
+/// helps — running pending pool tasks inline — instead of deadlocking, so
+/// tasks can fan out subtasks and wait on them.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Waits for any still-outstanding tasks.
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits fn to the pool, counted against this group.  The group must
+  /// outlive the task (Wait() / the destructor guarantees it).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task Run() so far has completed.
+  void Wait();
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<size_t> outstanding_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
 };
 
 }  // namespace simjoin

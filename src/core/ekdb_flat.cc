@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/simd_kernel.h"
+#include "common/thread_pool.h"
 
 namespace simjoin {
 
@@ -14,27 +16,36 @@ namespace {
 
 using ArenaRange = std::pair<uint32_t, uint32_t>;
 
-/// DFS pass: appends every leaf's points (in the leaf's sort order) to the
-/// arena and records each node's arena range.  DFS order makes every
-/// subtree's points a contiguous arena run, which is what gives internal
-/// nodes O(1) subtree size and lets the parallel driver split work by range.
-void FillArena(const EkdbNode* node, const Dataset& data,
-               std::vector<float>* arena, std::vector<PointId>* ids,
-               std::unordered_map<const EkdbNode*, ArenaRange>* ranges) {
-  const auto begin = static_cast<uint32_t>(ids->size());
+/// One leaf's slot in the arena: where its points land.
+struct LeafRef {
+  const EkdbNode* leaf = nullptr;
+  uint32_t arena_begin = 0;
+};
+
+/// DFS sizing pass: assigns every node its arena range (each leaf's points
+/// occupy [arena_begin, arena_begin + |points|) in DFS leaf order) without
+/// touching any coordinate data.  DFS order makes every subtree's points a
+/// contiguous arena run, which is what gives internal nodes O(1) subtree
+/// size and lets the parallel driver split work by range; the actual copy
+/// happens afterwards — per leaf, into disjoint ranges — so it can chunk
+/// across workers.
+void ComputeArenaRanges(
+    const EkdbNode* node, uint32_t* offset, std::vector<LeafRef>* leaves,
+    std::unordered_map<const EkdbNode*, ArenaRange>* ranges) {
+  const uint32_t begin = *offset;
   if (node->is_leaf()) {
-    for (PointId p : node->points) {
-      const float* row = data.Row(p);
-      arena->insert(arena->end(), row, row + data.dims());
-      ids->push_back(p);
-    }
+    leaves->push_back(LeafRef{node, begin});
+    *offset += static_cast<uint32_t>(node->points.size());
   } else {
     for (const auto& [stripe, child] : node->children) {
-      FillArena(child.get(), data, arena, ids, ranges);
+      ComputeArenaRanges(child.get(), offset, leaves, ranges);
     }
   }
-  ranges->emplace(node, ArenaRange{begin, static_cast<uint32_t>(ids->size())});
+  ranges->emplace(node, ArenaRange{begin, *offset});
 }
+
+/// Point-count threshold below which the fill passes stay sequential.
+constexpr size_t kParallelFillMin = size_t{1} << 15;
 
 /// First position in [begin, end) whose coordinate `dim` is >= lo.  The
 /// arena range must be sorted ascending on that coordinate.
@@ -69,7 +80,8 @@ uint32_t UpperBoundPos(const float* arena, size_t dims, uint32_t begin,
 
 }  // namespace
 
-Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree) {
+Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
+                                            size_t num_threads) {
   if (tree.root() == nullptr) {
     return Status::InvalidArgument("cannot flatten a tree without a root");
   }
@@ -83,11 +95,14 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree) {
   flat.stripe_width_ = tree.stripe_width();
   flat.dims_ = data.dims();
 
-  // Arena pass (DFS).
+  // Arena sizing pass (DFS, no data touched): every node's range and every
+  // leaf's destination offset.
   std::unordered_map<const EkdbNode*, ArenaRange> ranges;
-  flat.arena_.reserve(data.size() * flat.dims_);
-  flat.arena_ids_.reserve(data.size());
-  FillArena(tree.root(), data, &flat.arena_, &flat.arena_ids_, &ranges);
+  std::vector<LeafRef> leaves;
+  uint32_t total = 0;
+  ComputeArenaRanges(tree.root(), &total, &leaves, &ranges);
+  flat.arena_.resize(static_cast<size_t>(total) * flat.dims_);
+  flat.arena_ids_.resize(total);
 
   // Node layout pass (BFS): when node i is visited, the children of nodes
   // 0..i-1 are already appended, so node i's children start at the current
@@ -106,26 +121,76 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree) {
   if (order.size() > std::numeric_limits<uint32_t>::max()) {
     return Status::InvalidArgument("tree has too many nodes to flatten");
   }
-
   const size_t n = order.size();
   flat.nodes_.resize(n);
   flat.bbox_lo_.resize(n * flat.dims_);
   flat.bbox_hi_.resize(n * flat.dims_);
-  for (size_t i = 0; i < n; ++i) {
-    const EkdbNode* pn = order[i].first;
-    FlatEkdbNode& fn = flat.nodes_[i];
-    fn.children_begin = pn->is_leaf() ? 0 : kid_begin[i];
-    fn.children_count = static_cast<uint32_t>(pn->children.size());
-    const ArenaRange& range = ranges.at(pn);
-    fn.arena_begin = range.first;
-    fn.arena_end = range.second;
-    fn.stripe = order[i].second;
-    fn.depth = pn->depth;
-    fn.sort_dim = pn->sort_dim;
-    std::memcpy(flat.bbox_lo_.data() + i * flat.dims_, pn->bbox.lo().data(),
-                flat.dims_ * sizeof(float));
-    std::memcpy(flat.bbox_hi_.data() + i * flat.dims_, pn->bbox.hi().data(),
-                flat.dims_ * sizeof(float));
+
+  // Fill passes.  Every chunk writes a disjoint slice of preallocated
+  // arrays at offsets fixed by the passes above, so the parallel fill is
+  // trivially identical to the sequential one.
+  auto fill_nodes = [&flat, &order, &kid_begin, &ranges](size_t lo,
+                                                         size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const EkdbNode* pn = order[i].first;
+      FlatEkdbNode& fn = flat.nodes_[i];
+      fn.children_begin = pn->is_leaf() ? 0 : kid_begin[i];
+      fn.children_count = static_cast<uint32_t>(pn->children.size());
+      const ArenaRange& range = ranges.at(pn);
+      fn.arena_begin = range.first;
+      fn.arena_end = range.second;
+      fn.stripe = order[i].second;
+      fn.depth = pn->depth;
+      fn.sort_dim = pn->sort_dim;
+      std::memcpy(flat.bbox_lo_.data() + i * flat.dims_, pn->bbox.lo().data(),
+                  flat.dims_ * sizeof(float));
+      std::memcpy(flat.bbox_hi_.data() + i * flat.dims_, pn->bbox.hi().data(),
+                  flat.dims_ * sizeof(float));
+    }
+  };
+  auto fill_leaves = [&flat, &leaves, &data](size_t lo, size_t hi) {
+    for (size_t l = lo; l < hi; ++l) {
+      const EkdbNode* leaf = leaves[l].leaf;
+      size_t pos = leaves[l].arena_begin;
+      for (PointId p : leaf->points) {
+        std::memcpy(flat.arena_.data() + pos * flat.dims_, data.Row(p),
+                    flat.dims_ * sizeof(float));
+        flat.arena_ids_[pos] = p;
+        ++pos;
+      }
+    }
+  };
+
+  const size_t threads =
+      num_threads != 0
+          ? num_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (threads <= 1 || total < kParallelFillMin) {
+    fill_nodes(0, n);
+    fill_leaves(0, leaves.size());
+  } else {
+    ThreadPool& pool = ThreadPool::Shared(threads);
+    TaskGroup group(&pool);
+    const size_t node_chunks =
+        std::min(threads * 2, std::max<size_t>(1, n / 1024));
+    for (size_t c = 0; c < node_chunks; ++c) {
+      const size_t lo = n * c / node_chunks;
+      const size_t hi = n * (c + 1) / node_chunks;
+      group.Run([&fill_nodes, lo, hi] { fill_nodes(lo, hi); });
+    }
+    // Leaf chunks balanced by point count, since leaf sizes vary.
+    const size_t target = std::max<size_t>(4096, total / (threads * 4));
+    size_t start = 0;
+    size_t acc = 0;
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      acc += leaves[l].leaf->points.size();
+      if (acc >= target || l + 1 == leaves.size()) {
+        group.Run([&fill_leaves, start, l] { fill_leaves(start, l + 1); });
+        start = l + 1;
+        acc = 0;
+      }
+    }
+    group.Wait();
   }
   return flat;
 }

@@ -63,8 +63,13 @@ struct FlatEkdbNode {
 class FlatEkdbTree {
  public:
   /// Linearises a built pointer tree.  The flat tree joins against the same
-  /// dataset the pointer tree was built over.
-  static Result<FlatEkdbTree> FromTree(const EkdbTree& tree);
+  /// dataset the pointer tree was built over.  With num_threads > 1 the
+  /// arena copy and node-metadata fill run as chunked tasks on the shared
+  /// work-stealing pool over precomputed subtree offsets (disjoint output
+  /// ranges, so the result is identical to the sequential fill);
+  /// num_threads == 0 uses hardware concurrency.
+  static Result<FlatEkdbTree> FromTree(const EkdbTree& tree,
+                                       size_t num_threads = 1);
 
   /// Convenience: EkdbTree::Load followed by FromTree (the pointer tree is
   /// discarded).

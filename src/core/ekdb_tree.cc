@@ -84,6 +84,106 @@ std::unique_ptr<EkdbNode> EkdbTree::BuildNode(std::vector<PointId> ids,
   return node;
 }
 
+namespace {
+
+/// Subtree build tasks at or below this many points run inline: task
+/// submission overhead would outweigh the build work.
+constexpr size_t kMinSpawnPoints = 2048;
+
+/// Nodes with at least this many points chunk their stripe partition across
+/// workers instead of scanning sequentially.
+constexpr size_t kParallelPartitionMin = size_t{1} << 15;
+
+}  // namespace
+
+std::unique_ptr<EkdbNode> EkdbTree::BuildNodeParallel(std::vector<PointId> ids,
+                                                      uint32_t depth,
+                                                      ThreadPool& pool,
+                                                      TaskGroup& group) {
+  const size_t dims = dataset_->dims();
+  const bool can_split =
+      ids.size() > config_.leaf_threshold && depth < dims && num_stripes_ >= 2;
+  // Leaves (and any node BuildNode would not split) take the sequential
+  // path wholesale, so the produced node is identical by construction.
+  if (!can_split) return BuildNode(std::move(ids), depth);
+
+  auto node = std::make_unique<EkdbNode>();
+  node->depth = depth;
+  node->bbox = BoundingBox(dims);
+
+  const uint32_t split_dim = dim_order_[depth];
+  std::vector<std::vector<PointId>> buckets(num_stripes_);
+  if (ids.size() >= kParallelPartitionMin && pool.HasIdleWorkers()) {
+    // Chunked partition.  Per-chunk buckets concatenated in chunk order
+    // reproduce the sequential bucket contents exactly (same ids, same
+    // order), and min/max bbox merging is order-independent on floats, so
+    // the node comes out bit-identical.
+    const size_t chunks = std::min(
+        pool.num_threads() * 2,
+        std::max<size_t>(2, ids.size() / (kParallelPartitionMin / 4)));
+    struct ChunkOut {
+      BoundingBox bbox;
+      std::vector<std::vector<PointId>> buckets;
+    };
+    std::vector<ChunkOut> outs(chunks);
+    {
+      TaskGroup part(&pool);
+      for (size_t c = 0; c < chunks; ++c) {
+        const size_t lo = ids.size() * c / chunks;
+        const size_t hi = ids.size() * (c + 1) / chunks;
+        part.Run([this, &ids, &outs, c, lo, hi, split_dim, dims] {
+          ChunkOut& out = outs[c];
+          out.bbox = BoundingBox(dims);
+          out.buckets.resize(num_stripes_);
+          for (size_t i = lo; i < hi; ++i) {
+            const float* row = dataset_->Row(ids[i]);
+            out.bbox.ExtendPoint(row);
+            out.buckets[StripeIndex(row[split_dim])].push_back(ids[i]);
+          }
+        });
+      }
+      part.Wait();
+    }
+    for (const ChunkOut& out : outs) {
+      node->bbox.ExtendBox(out.bbox);
+      for (size_t s = 0; s < buckets.size(); ++s) {
+        buckets[s].insert(buckets[s].end(), out.buckets[s].begin(),
+                          out.buckets[s].end());
+      }
+    }
+  } else {
+    for (PointId id : ids) {
+      const float* row = dataset_->Row(id);
+      node->bbox.ExtendPoint(row);
+      buckets[StripeIndex(row[split_dim])].push_back(id);
+    }
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+
+  // Create every child slot before spawning any subtree task: tasks hold
+  // pointers into the children vector, which must not grow afterwards.
+  std::vector<uint32_t> slot_stripes;
+  for (uint32_t stripe = 0; stripe < buckets.size(); ++stripe) {
+    if (buckets[stripe].empty()) continue;
+    node->children.emplace_back(stripe, nullptr);
+    slot_stripes.push_back(stripe);
+  }
+  for (size_t k = 0; k < node->children.size(); ++k) {
+    std::vector<PointId>& bucket = buckets[slot_stripes[k]];
+    std::unique_ptr<EkdbNode>* slot = &node->children[k].second;
+    if (bucket.size() > kMinSpawnPoints && pool.HasIdleWorkers()) {
+      group.Run([this, slot, b = std::move(bucket), depth, &pool,
+                 &group]() mutable {
+        *slot = BuildNodeParallel(std::move(b), depth + 1, pool, group);
+      });
+    } else {
+      *slot = BuildNodeParallel(std::move(bucket), depth + 1, pool, group);
+    }
+  }
+  return node;
+}
+
 Result<EkdbTree> EkdbTree::BuildParallel(const Dataset& dataset,
                                          const EkdbConfig& config,
                                          size_t num_threads) {
@@ -99,51 +199,22 @@ Result<EkdbTree> EkdbTree::BuildParallel(const Dataset& dataset,
   std::vector<PointId> all(dataset.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
 
-  // Mirror BuildNode's root-level decision so the structure is identical.
-  const size_t dims = dataset.dims();
-  const bool can_split = all.size() > config.leaf_threshold && dims > 0 &&
-                         tree.num_stripes_ >= 2;
-  if (!can_split) {
+  const size_t threads =
+      num_threads != 0 ? num_threads
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (threads <= 1) {
     tree.root_ = tree.BuildNode(std::move(all), 0);
     return tree;
   }
 
-  auto root = std::make_unique<EkdbNode>();
-  root->depth = 0;
-  root->bbox = BoundingBox(dims);
-  for (PointId id : all) root->bbox.ExtendPoint(dataset.Row(id));
-
-  const uint32_t split_dim = tree.dim_order_[0];
-  std::vector<std::vector<PointId>> buckets(tree.num_stripes_);
-  for (PointId id : all) {
-    buckets[tree.StripeIndex(dataset.Row(id)[split_dim])].push_back(id);
-  }
-  all.clear();
-  all.shrink_to_fit();
-
-  // One build task per non-empty stripe; results land in fixed slots, so
-  // the final child order is deterministic.
-  std::vector<std::pair<uint32_t, std::unique_ptr<EkdbNode>>> slots;
-  std::vector<std::vector<PointId>*> slot_buckets;
-  for (uint32_t stripe = 0; stripe < buckets.size(); ++stripe) {
-    if (buckets[stripe].empty()) continue;
-    slots.emplace_back(stripe, nullptr);
-    slot_buckets.push_back(&buckets[stripe]);
-  }
+  ThreadPool& pool = ThreadPool::Shared(threads);
   {
-    const size_t threads =
-        num_threads != 0 ? num_threads
-                         : std::max<size_t>(1, std::thread::hardware_concurrency());
-    ThreadPool pool(threads);
-    for (size_t s = 0; s < slots.size(); ++s) {
-      pool.Submit([&tree, &slots, &slot_buckets, s] {
-        slots[s].second = tree.BuildNode(std::move(*slot_buckets[s]), 1);
-      });
-    }
-    pool.WaitIdle();
+    TaskGroup group(&pool);
+    // The recursive build spawns subtree tasks into `group`; the root node
+    // (and thus every slot tasks write into) stays alive until Wait().
+    tree.root_ = tree.BuildNodeParallel(std::move(all), 0, pool, group);
+    group.Wait();
   }
-  root->children = std::move(slots);
-  tree.root_ = std::move(root);
   return tree;
 }
 

@@ -27,6 +27,8 @@
 namespace simjoin {
 
 struct JoinStats;
+class TaskGroup;
+class ThreadPool;
 
 /// One node of an eps-k-d-B tree.  Leaves own point ids; internal nodes own
 /// a sparse, stripe-sorted child list.  Every node carries the exact
@@ -81,10 +83,12 @@ class EkdbTree {
   /// outside [0, 1] (normalise with Dataset::NormalizeToUnitCube first).
   static Result<EkdbTree> Build(const Dataset& dataset, const EkdbConfig& config);
 
-  /// Builds the identical tree using a thread pool: the root's stripes are
-  /// partitioned sequentially, then each child subtree builds as a task.
-  /// num_threads == 0 uses hardware concurrency.  The resulting structure
-  /// is bit-identical to Build()'s.
+  /// Builds the identical tree using the shared work-stealing pool: large
+  /// nodes partition their points into stripes in parallel chunks (merged
+  /// in chunk order, so bucket contents match the sequential pass exactly)
+  /// and child subtrees build as recursive tasks that keep splitting while
+  /// idle workers exist.  num_threads == 0 uses hardware concurrency.  The
+  /// resulting structure is bit-identical to Build()'s.
   static Result<EkdbTree> BuildParallel(const Dataset& dataset,
                                         const EkdbConfig& config,
                                         size_t num_threads = 0);
@@ -158,6 +162,13 @@ class EkdbTree {
   EkdbTree(const Dataset* dataset, EkdbConfig config);
 
   std::unique_ptr<EkdbNode> BuildNode(std::vector<PointId> ids, uint32_t depth);
+
+  /// Parallel mirror of BuildNode: same structure, but the stripe partition
+  /// chunks across workers for large nodes and child subtrees become pool
+  /// tasks (counted against `group`) while idle workers exist.
+  std::unique_ptr<EkdbNode> BuildNodeParallel(std::vector<PointId> ids,
+                                              uint32_t depth, ThreadPool& pool,
+                                              TaskGroup& group);
 
   const Dataset* dataset_;
   EkdbConfig config_;

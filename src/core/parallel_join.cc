@@ -1,10 +1,13 @@
 #include "core/parallel_join.h"
 
-#include <functional>
-#include <mutex>
-#include <thread>
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "common/bounding_box.h"
 #include "common/thread_pool.h"
 #include "core/ekdb_flat_join.h"
 #include "core/ekdb_join.h"
@@ -12,292 +15,515 @@
 namespace simjoin {
 namespace {
 
-/// One unit of traversal work: either a subtree self-join (b == nullptr) or
-/// a cross join of two disjoint subtrees.
-struct JoinTask {
-  const EkdbNode* a = nullptr;
-  const EkdbNode* b = nullptr;  // nullptr => self-join of a
+// ---------------------------------------------------------------------------
+// Deterministic sharded emission
+// ---------------------------------------------------------------------------
+
+/// Position of a task in the sequential traversal.  Every split extends the
+/// parent's path with the subtask's enumeration rank, and splits enumerate
+/// subtasks in exactly the order the sequential recursion visits them; leaf
+/// tasks sorted lexicographically by path therefore reproduce the sequential
+/// traversal order — no matter how tasks were split or which worker ran
+/// them, so the merged output is identical for every thread count.
+using TaskPath = std::vector<uint32_t>;
+
+/// One executed task's output: its traversal path plus the pairs it emitted.
+struct Segment {
+  TaskPath path;
+  std::vector<IdPair> pairs;
 };
 
-/// Recursively expands self-join tasks: a large internal node becomes one
-/// self task per child plus one cross task per adjacent-stripe child pair.
-/// Cross tasks are not expanded further — they are already small relative to
-/// the self tasks they flank.
-void ExpandSelfTask(const EkdbNode* node, size_t min_points,
-                    std::vector<JoinTask>* tasks) {
-  if (node->is_leaf() || node->SubtreeSize() <= min_points) {
-    tasks->push_back(JoinTask{node, nullptr});
-    return;
-  }
-  const auto& kids = node->children;
-  for (size_t i = 0; i < kids.size(); ++i) {
-    ExpandSelfTask(kids[i].second.get(), min_points, tasks);
-    if (i + 1 < kids.size() && kids[i + 1].first == kids[i].first + 1) {
-      tasks->push_back(JoinTask{kids[i].second.get(), kids[i + 1].second.get()});
-    }
-  }
-}
-
-/// Thread-safe fan-in: buffers pairs locally, flushes under a lock.
-class LockedSink : public PairSink {
+/// Worker-private sink redirecting into the current task's segment.  No
+/// locks, no sharing: each worker writes only its own shards, which are
+/// merged in path order after all tasks finish.
+class SegmentSink : public PairSink {
  public:
-  LockedSink(PairSink* target, std::mutex* mu) : target_(target), mu_(mu) {}
-
-  void Emit(PointId a, PointId b) override {
-    buffer_.emplace_back(a, b);
-    if (buffer_.size() >= kFlushThreshold) Flush();
-  }
-
+  void SetTarget(std::vector<IdPair>* out) { out_ = out; }
+  void Emit(PointId a, PointId b) override { out_->emplace_back(a, b); }
   void EmitBatch(std::span<const IdPair> pairs) override {
-    buffer_.insert(buffer_.end(), pairs.begin(), pairs.end());
-    if (buffer_.size() >= kFlushThreshold) Flush();
-  }
-
-  void Flush() {
-    if (buffer_.empty()) return;
-    std::lock_guard<std::mutex> lock(*mu_);
-    target_->EmitBatch(std::span<const IdPair>(buffer_));
-    buffer_.clear();
+    out_->insert(out_->end(), pairs.begin(), pairs.end());
   }
 
  private:
-  static constexpr size_t kFlushThreshold = 4096;
-  PairSink* target_;
-  std::mutex* mu_;
-  std::vector<IdPair> buffer_;
+  std::vector<IdPair>* out_ = nullptr;
 };
 
-/// Expands a cross-join task over two subtrees, mirroring the recursion of
-/// EkdbJoinContext::JoinNodes: once either side is a leaf, or the combined
-/// size is small, the pair stays one task; otherwise stripe-adjacent child
-/// pairs recurse.
-void ExpandCrossTask(const EkdbNode* a, const EkdbNode* b, size_t min_points,
-                     std::vector<JoinTask>* tasks) {
-  if (a->is_leaf() || b->is_leaf() ||
-      a->SubtreeSize() + b->SubtreeSize() <= min_points) {
-    tasks->push_back(JoinTask{a, b});
-    return;
-  }
-  const auto& ka = a->children;
-  const auto& kb = b->children;
-  size_t j_lo = 0;
-  for (const auto& [sa, ca] : ka) {
-    const uint32_t lo = sa == 0 ? 0 : sa - 1;
-    while (j_lo < kb.size() && kb[j_lo].first < lo) ++j_lo;
-    for (size_t j = j_lo; j < kb.size() && kb[j].first <= sa + 1; ++j) {
-      ExpandCrossTask(ca.get(), kb[j].second.get(), min_points, tasks);
+// ---------------------------------------------------------------------------
+// Work-stealing join engine
+// ---------------------------------------------------------------------------
+
+/// Runs a join decomposed into tasks over a work-stealing pool.  Traits
+/// abstracts the tree representation (pointer vs flat): it defines the task
+/// type, the per-worker join context, task sizes, and how a task splits into
+/// the exact subtask sequence of the sequential recursion.
+///
+/// Splitting is adaptive: tasks above a coarse threshold (enough chunks to
+/// spread over all workers) always split; between the coarse threshold and
+/// config.min_task_points they split only while some worker is idle, so a
+/// balanced run keeps tasks fat and an imbalanced one refines them.
+template <typename Traits>
+class WorkStealingJoinEngine {
+ public:
+  using Task = typename Traits::Task;
+  using Context = typename Traits::Context;
+
+  WorkStealingJoinEngine(const Traits& traits, ThreadPool& pool,
+                         size_t min_task_points, size_t total_points)
+      : traits_(traits),
+        pool_(pool),
+        group_(&pool),
+        min_task_points_(min_task_points),
+        coarse_points_(std::max(
+            min_task_points,
+            total_points / (8 * std::max<size_t>(1, pool.num_threads())))),
+        slots_(pool.num_threads() + 1) {}
+
+  Status Run(const Task& root, PairSink* sink, JoinStats* stats) {
+    Spawn(root, TaskPath{});
+    group_.Wait();
+
+    // Deterministic lock-free merge: concatenate segments in traversal
+    // order.  Workers are done, so all shards are safe to read.
+    std::vector<const Segment*> ordered;
+    for (const Slot& slot : slots_) {
+      for (const Segment& seg : slot.segments) ordered.push_back(&seg);
     }
-  }
-}
-
-/// Runs a task list across the pool, fanning results into sink/stats.
-Status RunTasks(const std::vector<JoinTask>& tasks, size_t threads,
-                const std::function<internal::EkdbJoinContext(PairSink*)>&
-                    make_context,
-                PairSink* sink, JoinStats* stats) {
-  std::mutex sink_mu;
-  std::mutex stats_mu;
-  JoinStats merged;
-
-  ThreadPool pool(threads);
-  for (const JoinTask& task : tasks) {
-    pool.Submit([&make_context, &sink_mu, &stats_mu, &merged, sink, task] {
-      LockedSink local_sink(sink, &sink_mu);
-      internal::EkdbJoinContext ctx = make_context(&local_sink);
-      if (task.b == nullptr) {
-        ctx.SelfJoinNode(task.a);
-      } else {
-        ctx.JoinNodes(task.a, task.b);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Segment* a, const Segment* b) { return a->path < b->path; });
+    for (const Segment* seg : ordered) {
+      if (!seg->pairs.empty()) {
+        sink->EmitBatch(std::span<const IdPair>(seg->pairs));
       }
-      // Drain the context's pair buffer into local_sink before local_sink
-      // itself flushes to the shared sink.
-      ctx.Flush();
-      local_sink.Flush();
-      std::lock_guard<std::mutex> lock(stats_mu);
-      merged.Merge(ctx.stats());
+    }
+
+    if (stats != nullptr) {
+      // Exact merge of per-worker locals; split-time counters mirror what
+      // the sequential recursion would have counted at the split levels.
+      for (const Slot& slot : slots_) {
+        stats->Merge(slot.split_stats);
+        if (slot.ctx.has_value()) stats->Merge(slot.ctx->stats());
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Per-worker state, cacheline-separated: a lazily-built join context
+  /// (reused across this worker's tasks), its segment shards, and the stats
+  /// accumulated by split steps it performed.
+  struct alignas(64) Slot {
+    std::optional<Context> ctx;
+    SegmentSink sink;
+    std::vector<Segment> segments;
+    JoinStats split_stats;
+  };
+
+  void Spawn(const Task& task, TaskPath path) {
+    group_.Run([this, task, path = std::move(path)]() mutable {
+      Execute(task, std::move(path));
     });
   }
-  pool.WaitIdle();
 
-  if (stats != nullptr) stats->Merge(merged);
-  return Status::OK();
-}
+  void Execute(const Task& task, TaskPath path) {
+    Slot& slot = SlotForThisThread();
+    const size_t size = Traits::TaskPoints(task);
+    const bool want_split =
+        size > coarse_points_ ||
+        (size > min_task_points_ && pool_.HasIdleWorkers());
+    if (want_split && traits_.CanSplit(task)) {
+      uint32_t rank = 0;
+      traits_.Split(task, &slot.split_stats, [&](const Task& sub) {
+        TaskPath sub_path = path;
+        sub_path.push_back(rank++);
+        Spawn(sub, std::move(sub_path));
+      });
+      return;
+    }
+    if (!slot.ctx.has_value()) traits_.EmplaceContext(&slot.ctx, &slot.sink);
+    slot.segments.push_back(Segment{std::move(path), {}});
+    slot.sink.SetTarget(&slot.segments.back().pairs);
+    Traits::Run(*slot.ctx, task);
+    slot.ctx->Flush();
+  }
 
-size_t ResolveThreads(size_t requested) {
-  if (requested != 0) return requested;
-  return std::max<size_t>(1, std::thread::hardware_concurrency());
-}
+  Slot& SlotForThisThread() {
+    const size_t idx = pool_.CurrentWorkerIndex();
+    return slots_[idx == ThreadPool::kNotAWorker ? slots_.size() - 1 : idx];
+  }
 
-/// Flat-tree unit of work: node indices instead of pointers.  self marks a
-/// subtree self-join of a (b is ignored then).
-struct FlatJoinTask {
+  const Traits& traits_;
+  ThreadPool& pool_;
+  TaskGroup group_;
+  const size_t min_task_points_;
+  const size_t coarse_points_;
+  std::vector<Slot> slots_;
+};
+
+// ---------------------------------------------------------------------------
+// Pointer-tree traits
+// ---------------------------------------------------------------------------
+
+/// One unit of pointer-tree work: a subtree self-join (b == nullptr) or a
+/// cross join of two subtrees.  points caches the combined subtree size so
+/// split decisions don't re-walk subtrees.
+struct PtrTask {
+  const EkdbNode* a = nullptr;
+  const EkdbNode* b = nullptr;
+  size_t points = 0;
+};
+
+class PtrTraits {
+ public:
+  using Task = PtrTask;
+  using Context = internal::EkdbJoinContext;
+
+  explicit PtrTraits(const EkdbTree& tree)
+      : a_(&tree),
+        b_(nullptr),
+        bbox_pruning_(tree.config().bbox_pruning),
+        metric_(tree.config().metric),
+        epsilon_(tree.config().epsilon) {}
+
+  PtrTraits(const EkdbTree& a, const EkdbTree& b)
+      : a_(&a),
+        b_(&b),
+        bbox_pruning_(a.config().bbox_pruning && b.config().bbox_pruning),
+        metric_(a.config().metric),
+        epsilon_(a.config().epsilon) {}
+
+  Task RootTask() const {
+    if (b_ == nullptr) {
+      return Task{a_->root(), nullptr, a_->root()->SubtreeSize()};
+    }
+    return Task{a_->root(), b_->root(),
+                a_->root()->SubtreeSize() + b_->root()->SubtreeSize()};
+  }
+
+  void EmplaceContext(std::optional<Context>* ctx, PairSink* sink) const {
+    if (b_ == nullptr) {
+      ctx->emplace(*a_, sink);
+    } else {
+      ctx->emplace(*a_, *b_, sink);
+    }
+  }
+
+  static size_t TaskPoints(const Task& t) { return t.points; }
+
+  static bool CanSplit(const Task& t) {
+    if (t.b == nullptr) return !t.a->is_leaf();
+    return !(t.a->is_leaf() && t.b->is_leaf());
+  }
+
+  static void Run(Context& ctx, const Task& t) {
+    if (t.b == nullptr) {
+      ctx.SelfJoinNode(t.a);
+    } else {
+      ctx.JoinNodes(t.a, t.b);
+    }
+  }
+
+  /// Replaces a task with the exact subtask sequence the sequential
+  /// recursion would visit, mirroring its stats side effects.
+  template <typename Emit>
+  void Split(const Task& t, JoinStats* stats, Emit&& emit) const {
+    if (t.b == nullptr) {
+      SplitSelf(t.a, emit);
+    } else {
+      SplitCross(t.a, t.b, stats, emit);
+    }
+  }
+
+ private:
+  /// Mirrors EkdbJoinContext::SelfJoinNode's internal-node step: one self
+  /// task per child interleaved with adjacent-stripe cross tasks.  The
+  /// sequential recursion counts nothing at this level.
+  template <typename Emit>
+  static void SplitSelf(const EkdbNode* node, Emit& emit) {
+    const auto& kids = node->children;
+    std::vector<size_t> sizes(kids.size());
+    for (size_t i = 0; i < kids.size(); ++i) {
+      sizes[i] = kids[i].second->SubtreeSize();
+    }
+    for (size_t i = 0; i < kids.size(); ++i) {
+      emit(Task{kids[i].second.get(), nullptr, sizes[i]});
+      if (i + 1 < kids.size() && kids[i + 1].first == kids[i].first + 1) {
+        emit(Task{kids[i].second.get(), kids[i + 1].second.get(),
+                  sizes[i] + sizes[i + 1]});
+      }
+    }
+  }
+
+  /// Mirrors EkdbJoinContext::JoinNodes' pre-descent step — visit count,
+  /// bbox prune, then the stripe-window child pairing — so merged stats
+  /// match the sequential join exactly.
+  template <typename Emit>
+  void SplitCross(const EkdbNode* a, const EkdbNode* b, JoinStats* stats,
+                  Emit& emit) const {
+    ++stats->node_pairs_visited;
+    if (bbox_pruning_ && a->bbox.MinDistance(b->bbox, metric_) > epsilon_) {
+      ++stats->node_pairs_pruned;
+      return;
+    }
+    if (a->is_leaf()) {
+      const size_t a_points = a->points.size();
+      for (const auto& [stripe, child] : b->children) {
+        emit(Task{a, child.get(), a_points + child->SubtreeSize()});
+      }
+      return;
+    }
+    if (b->is_leaf()) {
+      const size_t b_points = b->points.size();
+      for (const auto& [stripe, child] : a->children) {
+        emit(Task{child.get(), b, child->SubtreeSize() + b_points});
+      }
+      return;
+    }
+    const auto& ka = a->children;
+    const auto& kb = b->children;
+    std::vector<size_t> b_sizes(kb.size());
+    for (size_t j = 0; j < kb.size(); ++j) {
+      b_sizes[j] = kb[j].second->SubtreeSize();
+    }
+    size_t j_lo = 0;
+    for (const auto& [sa, ca] : ka) {
+      const size_t ca_size = ca->SubtreeSize();
+      const uint32_t lo = sa == 0 ? 0 : sa - 1;
+      while (j_lo < kb.size() && kb[j_lo].first < lo) ++j_lo;
+      for (size_t j = j_lo; j < kb.size() && kb[j].first <= sa + 1; ++j) {
+        emit(Task{ca.get(), kb[j].second.get(), ca_size + b_sizes[j]});
+      }
+    }
+  }
+
+  const EkdbTree* a_;
+  const EkdbTree* b_;
+  bool bbox_pruning_;
+  Metric metric_;
+  double epsilon_;
+};
+
+// ---------------------------------------------------------------------------
+// Flat-tree traits
+// ---------------------------------------------------------------------------
+
+/// Flat unit of work: node indices instead of pointers; self marks a
+/// subtree self-join of a (b is ignored then).  Sizes are O(1) reads off
+/// the arena ranges, so split decisions never walk subtrees.
+struct FlatTask {
   uint32_t a = 0;
   uint32_t b = 0;
   bool self = false;
+  uint32_t points = 0;
 };
 
-/// Flat mirror of ExpandSelfTask.  Subtree sizes are O(1) reads off the
-/// arena ranges, so expansion never walks subtrees.
-void ExpandFlatSelfTask(const FlatEkdbTree& tree, uint32_t idx,
-                        size_t min_points, std::vector<FlatJoinTask>* tasks) {
-  const FlatEkdbNode& node = tree.node(idx);
-  if (node.is_leaf() || node.subtree_points() <= min_points) {
-    tasks->push_back(FlatJoinTask{idx, 0, true});
-    return;
+class FlatTraits {
+ public:
+  using Task = FlatTask;
+  using Context = internal::FlatEkdbJoinContext;
+
+  explicit FlatTraits(const FlatEkdbTree& tree)
+      : a_(&tree),
+        b_(&tree),
+        self_mode_(true),
+        bbox_pruning_(tree.config().bbox_pruning),
+        metric_(tree.config().metric),
+        epsilon_(tree.config().epsilon),
+        dims_(tree.dims()) {}
+
+  FlatTraits(const FlatEkdbTree& a, const FlatEkdbTree& b)
+      : a_(&a),
+        b_(&b),
+        self_mode_(false),
+        bbox_pruning_(a.config().bbox_pruning && b.config().bbox_pruning),
+        metric_(a.config().metric),
+        epsilon_(a.config().epsilon),
+        dims_(a.dims()) {}
+
+  Task RootTask() const {
+    if (self_mode_) {
+      return Task{FlatEkdbTree::kRoot, 0, true,
+                  a_->node(FlatEkdbTree::kRoot).subtree_points()};
+    }
+    return Task{FlatEkdbTree::kRoot, FlatEkdbTree::kRoot, false,
+                a_->node(FlatEkdbTree::kRoot).subtree_points() +
+                    b_->node(FlatEkdbTree::kRoot).subtree_points()};
   }
-  const uint32_t end = node.children_begin + node.children_count;
-  for (uint32_t c = node.children_begin; c < end; ++c) {
-    ExpandFlatSelfTask(tree, c, min_points, tasks);
-    if (c + 1 < end && tree.node(c + 1).stripe == tree.node(c).stripe + 1) {
-      tasks->push_back(FlatJoinTask{c, c + 1, false});
+
+  void EmplaceContext(std::optional<Context>* ctx, PairSink* sink) const {
+    if (self_mode_) {
+      ctx->emplace(*a_, sink);
+    } else {
+      ctx->emplace(*a_, *b_, sink);
     }
   }
-}
 
-/// Flat mirror of ExpandCrossTask.
-void ExpandFlatCrossTask(const FlatEkdbTree& a_tree, uint32_t a_idx,
-                         const FlatEkdbTree& b_tree, uint32_t b_idx,
-                         size_t min_points, std::vector<FlatJoinTask>* tasks) {
-  const FlatEkdbNode& a = a_tree.node(a_idx);
-  const FlatEkdbNode& b = b_tree.node(b_idx);
-  if (a.is_leaf() || b.is_leaf() ||
-      a.subtree_points() + b.subtree_points() <= min_points) {
-    tasks->push_back(FlatJoinTask{a_idx, b_idx, false});
-    return;
+  static size_t TaskPoints(const Task& t) { return t.points; }
+
+  bool CanSplit(const Task& t) const {
+    if (t.self) return !a_->node(t.a).is_leaf();
+    return !(a_->node(t.a).is_leaf() && b_->node(t.b).is_leaf());
   }
-  const uint32_t ae = a.children_begin + a.children_count;
-  const uint32_t be = b.children_begin + b.children_count;
-  uint32_t j_lo = b.children_begin;
-  for (uint32_t ci = a.children_begin; ci < ae; ++ci) {
-    const uint32_t sa = a_tree.node(ci).stripe;
-    const uint32_t lo = sa == 0 ? 0 : sa - 1;
-    while (j_lo < be && b_tree.node(j_lo).stripe < lo) ++j_lo;
-    for (uint32_t cj = j_lo; cj < be && b_tree.node(cj).stripe <= sa + 1;
-         ++cj) {
-      ExpandFlatCrossTask(a_tree, ci, b_tree, cj, min_points, tasks);
+
+  static void Run(Context& ctx, const Task& t) {
+    if (t.self) {
+      ctx.SelfJoinNode(t.a);
+    } else {
+      ctx.JoinNodes(t.a, t.b);
     }
   }
-}
 
-/// Runs a flat task list across the pool, fanning results into sink/stats.
-Status RunFlatTasks(
-    const std::vector<FlatJoinTask>& tasks, size_t threads,
-    const std::function<internal::FlatEkdbJoinContext(PairSink*)>&
-        make_context,
-    PairSink* sink, JoinStats* stats) {
-  std::mutex sink_mu;
-  std::mutex stats_mu;
-  JoinStats merged;
+  template <typename Emit>
+  void Split(const Task& t, JoinStats* stats, Emit&& emit) const {
+    if (t.self) {
+      SplitSelf(t.a, emit);
+    } else {
+      SplitCross(t.a, t.b, stats, emit);
+    }
+  }
 
-  ThreadPool pool(threads);
-  for (const FlatJoinTask& task : tasks) {
-    pool.Submit([&make_context, &sink_mu, &stats_mu, &merged, sink, task] {
-      LockedSink local_sink(sink, &sink_mu);
-      internal::FlatEkdbJoinContext ctx = make_context(&local_sink);
-      if (task.self) {
-        ctx.SelfJoinNode(task.a);
-      } else {
-        ctx.JoinNodes(task.a, task.b);
+ private:
+  /// Mirrors FlatEkdbJoinContext::SelfJoinNode's internal-node step.
+  template <typename Emit>
+  void SplitSelf(uint32_t idx, Emit& emit) const {
+    const FlatEkdbNode& node = a_->node(idx);
+    const uint32_t cb = node.children_begin;
+    const uint32_t ce = cb + node.children_count;
+    for (uint32_t c = cb; c < ce; ++c) {
+      emit(Task{c, 0, true, a_->node(c).subtree_points()});
+      if (c + 1 < ce && a_->node(c + 1).stripe == a_->node(c).stripe + 1) {
+        emit(Task{c, c + 1, false,
+                  a_->node(c).subtree_points() +
+                      a_->node(c + 1).subtree_points()});
       }
-      ctx.Flush();
-      local_sink.Flush();
-      std::lock_guard<std::mutex> lock(stats_mu);
-      merged.Merge(ctx.stats());
-    });
+    }
   }
-  pool.WaitIdle();
 
-  if (stats != nullptr) stats->Merge(merged);
+  /// Mirrors FlatEkdbJoinContext::JoinNodes' pre-descent step, including
+  /// its stats side effects.
+  template <typename Emit>
+  void SplitCross(uint32_t a_idx, uint32_t b_idx, JoinStats* stats,
+                  Emit& emit) const {
+    ++stats->node_pairs_visited;
+    const FlatEkdbNode& a = a_->node(a_idx);
+    const FlatEkdbNode& b = b_->node(b_idx);
+    if (bbox_pruning_ &&
+        BoxMinDistance(a_->bbox_lo(a_idx), a_->bbox_hi(a_idx),
+                       b_->bbox_lo(b_idx), b_->bbox_hi(b_idx), dims_,
+                       metric_) > epsilon_) {
+      ++stats->node_pairs_pruned;
+      return;
+    }
+    if (a.is_leaf()) {
+      const uint32_t end = b.children_begin + b.children_count;
+      for (uint32_t c = b.children_begin; c < end; ++c) {
+        emit(Task{a_idx, c, false,
+                  a.subtree_points() + b_->node(c).subtree_points()});
+      }
+      return;
+    }
+    if (b.is_leaf()) {
+      const uint32_t end = a.children_begin + a.children_count;
+      for (uint32_t c = a.children_begin; c < end; ++c) {
+        emit(Task{c, b_idx, false,
+                  a_->node(c).subtree_points() + b.subtree_points()});
+      }
+      return;
+    }
+    const uint32_t ae = a.children_begin + a.children_count;
+    const uint32_t be = b.children_begin + b.children_count;
+    uint32_t j_lo = b.children_begin;
+    for (uint32_t ci = a.children_begin; ci < ae; ++ci) {
+      const uint32_t sa = a_->node(ci).stripe;
+      const uint32_t lo = sa == 0 ? 0 : sa - 1;
+      while (j_lo < be && b_->node(j_lo).stripe < lo) ++j_lo;
+      for (uint32_t cj = j_lo; cj < be && b_->node(cj).stripe <= sa + 1;
+           ++cj) {
+        emit(Task{ci, cj, false,
+                  a_->node(ci).subtree_points() +
+                      b_->node(cj).subtree_points()});
+      }
+    }
+  }
+
+  const FlatEkdbTree* a_;
+  const FlatEkdbTree* b_;
+  bool self_mode_;
+  bool bbox_pruning_;
+  Metric metric_;
+  double epsilon_;
+  size_t dims_;
+};
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+Status ValidateCommon(const ParallelJoinConfig& config, PairSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  if (config.min_task_points == 0) {
+    return Status::InvalidArgument("min_task_points must be positive");
+  }
   return Status::OK();
+}
+
+ThreadPool& ResolvePool(const ParallelJoinConfig& config) {
+  if (config.pool != nullptr) return *config.pool;
+  return ThreadPool::Shared(config.num_threads);
+}
+
+template <typename Traits>
+Status RunEngine(const Traits& traits, const ParallelJoinConfig& config,
+                 size_t total_points, PairSink* sink, JoinStats* stats) {
+  ThreadPool& pool = ResolvePool(config);
+  WorkStealingJoinEngine<Traits> engine(traits, pool, config.min_task_points,
+                                        total_points);
+  return engine.Run(traits.RootTask(), sink, stats);
 }
 
 }  // namespace
 
 Status ParallelEkdbSelfJoin(const EkdbTree& tree, const ParallelJoinConfig& config,
                             PairSink* sink, JoinStats* stats) {
-  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
-  size_t threads = ResolveThreads(config.num_threads);
-  if (config.min_task_points == 0) {
-    return Status::InvalidArgument("min_task_points must be positive");
-  }
-
-  std::vector<JoinTask> tasks;
-  ExpandSelfTask(tree.root(), config.min_task_points, &tasks);
-  return RunTasks(
-      tasks, threads,
-      [&tree](PairSink* task_sink) {
-        return internal::EkdbJoinContext(tree, task_sink);
-      },
-      sink, stats);
+  SIMJOIN_RETURN_NOT_OK(ValidateCommon(config, sink));
+  PtrTraits traits(tree);
+  return RunEngine(traits, config, tree.dataset().size(), sink, stats);
 }
 
 Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
                         const ParallelJoinConfig& config, PairSink* sink,
                         JoinStats* stats) {
-  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(ValidateCommon(config, sink));
   if (!EkdbTree::JoinCompatible(a, b)) {
     return Status::InvalidArgument(
         "trees are not join-compatible (epsilon, metric, dims, and dim order "
         "must match)");
   }
-  const size_t threads = ResolveThreads(config.num_threads);
-  if (config.min_task_points == 0) {
-    return Status::InvalidArgument("min_task_points must be positive");
-  }
-
-  std::vector<JoinTask> tasks;
-  ExpandCrossTask(a.root(), b.root(), config.min_task_points, &tasks);
-  return RunTasks(
-      tasks, threads,
-      [&a, &b](PairSink* task_sink) {
-        return internal::EkdbJoinContext(a, b, task_sink);
-      },
-      sink, stats);
+  PtrTraits traits(a, b);
+  return RunEngine(traits, config, a.dataset().size() + b.dataset().size(),
+                   sink, stats);
 }
 
 Status ParallelFlatEkdbSelfJoin(const FlatEkdbTree& tree,
                                 const ParallelJoinConfig& config,
                                 PairSink* sink, JoinStats* stats) {
-  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
-  const size_t threads = ResolveThreads(config.num_threads);
-  if (config.min_task_points == 0) {
-    return Status::InvalidArgument("min_task_points must be positive");
-  }
-
-  std::vector<FlatJoinTask> tasks;
-  ExpandFlatSelfTask(tree, FlatEkdbTree::kRoot, config.min_task_points,
-                     &tasks);
-  return RunFlatTasks(
-      tasks, threads,
-      [&tree](PairSink* task_sink) {
-        return internal::FlatEkdbJoinContext(tree, task_sink);
-      },
-      sink, stats);
+  SIMJOIN_RETURN_NOT_OK(ValidateCommon(config, sink));
+  FlatTraits traits(tree);
+  return RunEngine(traits, config, tree.arena_size(), sink, stats);
 }
 
 Status ParallelFlatEkdbJoin(const FlatEkdbTree& a, const FlatEkdbTree& b,
                             const ParallelJoinConfig& config, PairSink* sink,
                             JoinStats* stats) {
-  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(ValidateCommon(config, sink));
   if (!FlatEkdbTree::JoinCompatible(a, b)) {
     return Status::InvalidArgument(
         "trees are not join-compatible (epsilon, metric, dims, and dim order "
         "must match)");
   }
-  const size_t threads = ResolveThreads(config.num_threads);
-  if (config.min_task_points == 0) {
-    return Status::InvalidArgument("min_task_points must be positive");
-  }
-
-  std::vector<FlatJoinTask> tasks;
-  ExpandFlatCrossTask(a, FlatEkdbTree::kRoot, b, FlatEkdbTree::kRoot,
-                      config.min_task_points, &tasks);
-  return RunFlatTasks(
-      tasks, threads,
-      [&a, &b](PairSink* task_sink) {
-        return internal::FlatEkdbJoinContext(a, b, task_sink);
-      },
-      sink, stats);
+  FlatTraits traits(a, b);
+  return RunEngine(traits, config,
+                   static_cast<size_t>(a.arena_size()) + b.arena_size(), sink,
+                   stats);
 }
 
 }  // namespace simjoin

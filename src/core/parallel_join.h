@@ -1,13 +1,17 @@
-// Parallel eps-k-d-B self-join: decomposes the join traversal into
-// independent subtree tasks (per-child self-joins plus adjacent-stripe cross
-// joins) and runs them on a thread pool.  Result pairs are buffered per task
-// and flushed into the caller's sink under a lock, so any PairSink works
-// unchanged; the emitted pair *set* is identical to the sequential join
-// (ordering may differ).
+// Parallel eps-k-d-B similarity joins on a work-stealing thread pool.
 //
-// This is the "parallel similarity join" direction the paper points to; on
-// a single-core host it degenerates to sequential execution plus measurable
-// task overhead, which experiment R11 documents.
+// The join traversal decomposes into independent tasks — per-child subtree
+// self-joins plus adjacent-stripe cross joins — that workers re-split
+// adaptively while idle workers exist (subtree sizes are O(1) on the flat
+// representation).  Each worker buffers result pairs into private shards
+// tagged with the task's position in the sequential traversal; at join end
+// the shards are concatenated in traversal order without any locking on the
+// hot path.  The emitted pair *sequence* is therefore identical to the
+// sequential join — same pairs, same order — for every thread count, and
+// merged JoinStats equal the sequential counters exactly.
+//
+// This is the "parallel similarity join" direction the paper points to; see
+// docs/parallel.md for the engine design and R11 for measurements.
 
 #ifndef SIMJOIN_CORE_PARALLEL_JOIN_H_
 #define SIMJOIN_CORE_PARALLEL_JOIN_H_
@@ -21,22 +25,32 @@
 
 namespace simjoin {
 
+class ThreadPool;
+
 /// Tuning knobs for the parallel driver.
 struct ParallelJoinConfig {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads; 0 means std::thread::hardware_concurrency().  Ignored
+  /// when `pool` is set.
   size_t num_threads = 0;
 
-  /// Task-generation keeps splitting self-join tasks while a subtree holds
-  /// more than this many points, to balance load across workers.
+  /// Floor on task granularity: tasks whose subtree point count is at or
+  /// below this are never split further.  Above the floor, splitting is
+  /// adaptive — coarse chunks are always split, and mid-sized tasks
+  /// re-split only while idle workers exist.
   size_t min_task_points = 4096;
+
+  /// Pool to run on.  Defaults to the persistent process-wide pool with
+  /// num_threads workers (ThreadPool::Shared), so repeated joins reuse
+  /// threads instead of spawning them per call.
+  ThreadPool* pool = nullptr;
 };
 
-/// Parallel self-join.  Emits the same pair set as EkdbSelfJoin.
+/// Parallel self-join.  Emits the same pair sequence as EkdbSelfJoin.
 Status ParallelEkdbSelfJoin(const EkdbTree& tree, const ParallelJoinConfig& config,
                             PairSink* sink, JoinStats* stats = nullptr);
 
-/// Parallel two-tree join.  Emits the same pair set as EkdbJoin; the trees
-/// must be join-compatible.
+/// Parallel two-tree join.  Emits the same pair sequence as EkdbJoin; the
+/// trees must be join-compatible.
 Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
                         const ParallelJoinConfig& config, PairSink* sink,
                         JoinStats* stats = nullptr);
@@ -44,13 +58,14 @@ Status ParallelEkdbJoin(const EkdbTree& a, const EkdbTree& b,
 /// Parallel self-join over the flat (pointer-free) representation.  Task
 /// decomposition mirrors ParallelEkdbSelfJoin — subtree sizes come straight
 /// from arena ranges, so splitting is O(1) per node — and each task streams
-/// its leaf sweeps from the coordinate arena.  Emits the same pair set as
-/// FlatEkdbSelfJoin (and hence EkdbSelfJoin).
+/// its leaf sweeps from the coordinate arena.  Emits the same pair sequence
+/// as FlatEkdbSelfJoin (and hence EkdbSelfJoin).
 Status ParallelFlatEkdbSelfJoin(const FlatEkdbTree& tree,
                                 const ParallelJoinConfig& config,
                                 PairSink* sink, JoinStats* stats = nullptr);
 
-/// Parallel two-tree join over flat trees; same pair set as FlatEkdbJoin.
+/// Parallel two-tree join over flat trees; same pair sequence as
+/// FlatEkdbJoin.
 Status ParallelFlatEkdbJoin(const FlatEkdbTree& a, const FlatEkdbTree& b,
                             const ParallelJoinConfig& config, PairSink* sink,
                             JoinStats* stats = nullptr);

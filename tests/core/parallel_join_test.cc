@@ -1,5 +1,10 @@
 #include "core/parallel_join.h"
 
+#include <random>
+
+#include "common/thread_pool.h"
+#include "core/ekdb_flat.h"
+#include "core/ekdb_flat_join.h"
 #include "core/ekdb_join.h"
 #include "workload/generators.h"
 #include "gtest/gtest.h"
@@ -116,6 +121,200 @@ TEST(ParallelJoinTest, SingleLeafTreeStillWorks) {
   ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &sink).ok());
   ExpectSamePairs(OracleSelfJoin(*data, 0.1, Metric::kL2), sink.Sorted(),
                   "single leaf");
+}
+
+void ExpectSameStats(const JoinStats& expected, const JoinStats& actual,
+                     const std::string& label) {
+  EXPECT_EQ(expected.candidate_pairs, actual.candidate_pairs) << label;
+  EXPECT_EQ(expected.distance_calls, actual.distance_calls) << label;
+  EXPECT_EQ(expected.node_pairs_visited, actual.node_pairs_visited) << label;
+  EXPECT_EQ(expected.node_pairs_pruned, actual.node_pairs_pruned) << label;
+  EXPECT_EQ(expected.pairs_emitted, actual.pairs_emitted) << label;
+  EXPECT_EQ(expected.simd_batches, actual.simd_batches) << label;
+  EXPECT_EQ(expected.scalar_fallbacks, actual.scalar_fallbacks) << label;
+}
+
+class ParallelFlatJoinThreadsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelFlatJoinThreadsTest, FlatSelfJoinMatchesSequentialExactly) {
+  auto data = GenerateClustered(
+      {.n = 1800, .dims = 6, .clusters = 10, .sigma = 0.03, .seed = 31});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.07, 24));
+  ASSERT_TRUE(tree.ok());
+  auto flat = FlatEkdbTree::FromTree(*tree);
+  ASSERT_TRUE(flat.ok());
+
+  VectorSink sequential;
+  JoinStats seq_stats;
+  ASSERT_TRUE(FlatEkdbSelfJoin(*flat, &sequential, &seq_stats).ok());
+
+  ParallelJoinConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.min_task_points = 120;
+  VectorSink parallel;
+  JoinStats stats;
+  ASSERT_TRUE(ParallelFlatEkdbSelfJoin(*flat, cfg, &parallel, &stats).ok());
+
+  // Not just the same set: the path-ordered merge reproduces the sequential
+  // emission sequence for every thread count.
+  EXPECT_EQ(sequential.pairs(), parallel.pairs());
+  ExpectSameStats(seq_stats, stats, "flat self");
+}
+
+TEST_P(ParallelFlatJoinThreadsTest, FlatCrossJoinMatchesSequentialExactly) {
+  auto a = GenerateClustered(
+      {.n = 1100, .dims = 5, .clusters = 7, .sigma = 0.04, .seed = 32});
+  auto b = GenerateClustered(
+      {.n = 900, .dims = 5, .clusters = 7, .sigma = 0.04, .seed = 33});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = EkdbTree::Build(*a, Config(0.06, 24));
+  auto tb = EkdbTree::Build(*b, Config(0.06, 24));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  auto fa = FlatEkdbTree::FromTree(*ta);
+  auto fb = FlatEkdbTree::FromTree(*tb);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+
+  VectorSink sequential;
+  JoinStats seq_stats;
+  ASSERT_TRUE(FlatEkdbJoin(*fa, *fb, &sequential, &seq_stats).ok());
+
+  ParallelJoinConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.min_task_points = 90;
+  VectorSink parallel;
+  JoinStats stats;
+  ASSERT_TRUE(ParallelFlatEkdbJoin(*fa, *fb, cfg, &parallel, &stats).ok());
+
+  EXPECT_EQ(sequential.pairs(), parallel.pairs());
+  ExpectSameStats(seq_stats, stats, "flat cross");
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelFlatJoinThreadsTest,
+                         ::testing::Values(1, 2, 3, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelDeterminismTest, PointerJoinEmitsSequentialOrder) {
+  auto data = GenerateClustered(
+      {.n = 1600, .dims = 5, .clusters = 9, .sigma = 0.03, .seed = 41});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.08, 16));
+  ASSERT_TRUE(tree.ok());
+
+  VectorSink sequential;
+  JoinStats seq_stats;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sequential, &seq_stats).ok());
+
+  ParallelJoinConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.min_task_points = 64;
+  VectorSink parallel;
+  JoinStats stats;
+  ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &parallel, &stats).ok());
+
+  EXPECT_EQ(sequential.pairs(), parallel.pairs());
+  ExpectSameStats(seq_stats, stats, "pointer self");
+
+  // Repeat runs with the same thread count reproduce the same sequence.
+  VectorSink again;
+  ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &again).ok());
+  EXPECT_EQ(parallel.pairs(), again.pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDeterminismTest,
+                         ::testing::Values(1, 2, 3, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelJoinTest, CrossJoinStatsMatchSequentialExactly) {
+  auto a = GenerateClustered(
+      {.n = 800, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 42});
+  auto b = GenerateClustered(
+      {.n = 650, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 43});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = EkdbTree::Build(*a, Config(0.07, 16));
+  auto tb = EkdbTree::Build(*b, Config(0.07, 16));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+
+  VectorSink sequential;
+  JoinStats seq_stats;
+  ASSERT_TRUE(EkdbJoin(*ta, *tb, &sequential, &seq_stats).ok());
+
+  for (size_t threads : {size_t{2}, size_t{5}}) {
+    ParallelJoinConfig cfg;
+    cfg.num_threads = threads;
+    cfg.min_task_points = 70;
+    VectorSink parallel;
+    JoinStats stats;
+    ASSERT_TRUE(ParallelEkdbJoin(*ta, *tb, cfg, &parallel, &stats).ok());
+    EXPECT_EQ(sequential.pairs(), parallel.pairs()) << threads << " threads";
+    ExpectSameStats(seq_stats, stats,
+                    std::to_string(threads) + " thread cross");
+  }
+}
+
+TEST(ParallelJoinTest, ExplicitPoolOverrideIsUsed) {
+  auto data = GenerateClustered(
+      {.n = 1200, .dims = 4, .clusters = 6, .sigma = 0.04, .seed = 44});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.08, 16));
+  ASSERT_TRUE(tree.ok());
+
+  VectorSink sequential;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sequential).ok());
+
+  ThreadPool pool(3);
+  ParallelJoinConfig cfg;
+  cfg.num_threads = 99;  // must be ignored in favour of the explicit pool
+  cfg.min_task_points = 100;
+  cfg.pool = &pool;
+  VectorSink parallel;
+  ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &parallel).ok());
+  EXPECT_EQ(sequential.pairs(), parallel.pairs());
+}
+
+TEST(ParallelJoinTest, RandomizedDifferentialSweep) {
+  std::mt19937 rng(2026);
+  for (int round = 0; round < 6; ++round) {
+    const size_t n = 300 + rng() % 900;
+    const size_t dims = 2 + rng() % 5;
+    const double epsilon = 0.04 + 0.01 * static_cast<double>(rng() % 8);
+    const size_t leaf = 8 + rng() % 40;
+    auto data = GenerateClustered({.n = n,
+                                   .dims = dims,
+                                   .clusters = 4 + rng() % 6,
+                                   .sigma = 0.03,
+                                   .seed = 100 + static_cast<uint64_t>(round)});
+    ASSERT_TRUE(data.ok());
+    auto tree = EkdbTree::Build(*data, Config(epsilon, leaf));
+    ASSERT_TRUE(tree.ok());
+    auto flat = FlatEkdbTree::FromTree(*tree);
+    ASSERT_TRUE(flat.ok());
+
+    VectorSink seq_ptr;
+    ASSERT_TRUE(EkdbSelfJoin(*tree, &seq_ptr).ok());
+    VectorSink seq_flat;
+    ASSERT_TRUE(FlatEkdbSelfJoin(*flat, &seq_flat).ok());
+
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+      ParallelJoinConfig cfg;
+      cfg.num_threads = threads;
+      cfg.min_task_points = 16 + rng() % 200;
+      const std::string label = "round " + std::to_string(round) + ", " +
+                                std::to_string(threads) + " threads";
+      VectorSink par_ptr;
+      ASSERT_TRUE(ParallelEkdbSelfJoin(*tree, cfg, &par_ptr).ok());
+      EXPECT_EQ(seq_ptr.pairs(), par_ptr.pairs()) << "pointer, " << label;
+      VectorSink par_flat;
+      ASSERT_TRUE(ParallelFlatEkdbSelfJoin(*flat, cfg, &par_flat).ok());
+      EXPECT_EQ(seq_flat.pairs(), par_flat.pairs()) << "flat, " << label;
+    }
+  }
 }
 
 TEST(ParallelJoinTest, TinyTaskGranularityStaysExact) {
