@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# Guards the two join-hot-path benchmarks against performance regressions.
+# Guards the join-hot-path benchmarks against performance regressions.
 #
 # Runs the kernel-filter micro-benchmarks (bench_r12_micro), the
-# flat-vs-pointer leaf-join ablation (bench_r10_ablation_leafjoin), and the
-# parallel thread-scaling sweep (bench_r11_parallel), writes machine-readable
-# snapshots next to the repo root:
+# flat-vs-pointer leaf-join ablation (bench_r10_ablation_leafjoin), the
+# parallel thread-scaling sweep (bench_r11_parallel), and the query-service
+# loopback load test (bench_r19_service), writes machine-readable snapshots
+# next to the repo root:
 #
 #   BENCH_micro.json     google-benchmark JSON for BM_KernelFilter*
 #   BENCH_leafjoin.json  ablation-3 throughputs + flat/pointer ratio
 #   BENCH_parallel.json  R11 thread-scaling sweep (speedups per thread count)
+#   BENCH_service.json   R19 service QPS + latency percentiles over loopback
 #
 # and compares them against the checked-in baselines
 # (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json /
-# BENCH_parallel.baseline.json) when present:
+# BENCH_parallel.baseline.json / BENCH_service.baseline.json) when present:
 # any tracked throughput that drops more than SIMJOIN_BENCH_TOLERANCE
 # (default 0.30 = 30%, benchmarks are noisy) below baseline fails the run.
 #
@@ -39,8 +41,9 @@ FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
 MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
 ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
 PARALLEL_BIN="$BUILD_DIR/bench/bench_r11_parallel"
+SERVICE_BIN="$BUILD_DIR/bench/bench_r19_service"
 
-for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN"; do
+for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN" "$SERVICE_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build with benchmarks first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -101,10 +104,28 @@ json.dump(json.loads(m.group(1)), open("BENCH_parallel.json", "w"), indent=2)
 print("wrote BENCH_parallel.json")
 PY
 
+echo ">>> $SERVICE_BIN"
+SERVICE_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT" "$PARALLEL_TXT" "$SERVICE_TXT"' EXIT
+"$SERVICE_BIN" --seconds 2 | tee "$SERVICE_TXT"
+
+# Extract the machine-readable SERVICE_JSON line into BENCH_service.json.
+python3 - "$SERVICE_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"^# SERVICE_JSON (\{.*\})$", text, re.M)
+if m is None:
+    sys.exit("error: bench_r19_service emitted no SERVICE_JSON line")
+json.dump(json.loads(m.group(1)), open("BENCH_service.json", "w"), indent=2)
+print("wrote BENCH_service.json")
+PY
+
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_micro.json BENCH_micro.baseline.json
   cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
   cp BENCH_parallel.json BENCH_parallel.baseline.json
+  cp BENCH_service.json BENCH_service.baseline.json
   echo "baselines updated (BENCH_*.baseline.json)"
   exit 0
 fi
@@ -161,6 +182,25 @@ if os.path.exists("BENCH_parallel.baseline.json"):
                 cur["best_join_speedup"], base["best_join_speedup"])
     else:
         print("parallel baseline from a different core count "
+              f"({base.get('hardware_concurrency')} vs "
+              f"{cur.get('hardware_concurrency')}); skipping comparison")
+
+if os.path.exists("BENCH_service.baseline.json"):
+    have_baseline = True
+    cur = json.load(open("BENCH_service.json"))
+    base = json.load(open("BENCH_service.baseline.json"))
+    # Loopback QPS is bound by the host's core count; a different machine
+    # gets a fresh snapshot, not a failure.
+    if cur.get("hardware_concurrency") == base.get("hardware_concurrency"):
+        print("service loopback throughput vs baseline:")
+        compare("service/qps", cur["qps"], base["qps"])
+        if cur.get("dropped_connections", 0) or cur.get("request_errors", 0):
+            failures.append("service/errors")
+            print("  [FAIL] service/errors: "
+                  f"{cur.get('request_errors', 0)} request errors, "
+                  f"{cur.get('dropped_connections', 0)} dropped connections")
+    else:
+        print("service baseline from a different core count "
               f"({base.get('hardware_concurrency')} vs "
               f"{cur.get('hardware_concurrency')}); skipping comparison")
 

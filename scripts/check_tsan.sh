@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the library and tests under ThreadSanitizer and runs the
 # concurrency-sensitive test targets (thread pool, parallel joins, parallel
-# tree construction and flattening), so the work-stealing deque, the sleep /
-# wake protocol, and the sharded pair emission get exercised with full race
-# checking.
+# tree construction and flattening, the service's index registry and the
+# loopback server), so the work-stealing deque, the sleep / wake protocol,
+# the sharded pair emission, registry refcounting/eviction, and the io-thread
+# <-> worker handoff get exercised with full race checking.
 #
 # Usage: scripts/check_tsan.sh [build-dir] [extra ctest args...]
 set -euo pipefail
@@ -21,4 +22,4 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ThreadPool|TaskGroup|Parallel' "$@"
+  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server' "$@"

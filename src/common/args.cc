@@ -69,11 +69,31 @@ std::string ArgParser::GetString(const std::string& name) const {
 }
 
 int64_t ArgParser::GetInt(const std::string& name) const {
-  return std::stoll(Find(name).value);
+  const std::string& v = Find(name).value;
+  size_t used = 0;
+  int64_t out = 0;
+  try {
+    out = std::stoll(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  SIMJOIN_CHECK(!v.empty() && used == v.size())
+      << "flag --" << name << " expects an integer, got '" << v << "'";
+  return out;
 }
 
 double ArgParser::GetDouble(const std::string& name) const {
-  return std::stod(Find(name).value);
+  const std::string& v = Find(name).value;
+  size_t used = 0;
+  double out = 0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  SIMJOIN_CHECK(!v.empty() && used == v.size())
+      << "flag --" << name << " expects a number, got '" << v << "'";
+  return out;
 }
 
 bool ArgParser::GetBool(const std::string& name) const {

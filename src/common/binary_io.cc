@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 namespace simjoin {
@@ -9,6 +10,9 @@ namespace {
 
 constexpr uint32_t kMagic = 0x534a4442;  // "SJDB"
 constexpr uint32_t kVersion = 1;
+// Dimensionality ceiling for deserialised datasets; far beyond anything the
+// library handles, but small enough that dims-derived products cannot wrap.
+constexpr uint64_t kMaxDims = 1 << 16;
 
 struct Header {
   uint32_t magic;
@@ -73,6 +77,39 @@ Status BinaryDatasetReader::Open(const std::string& path) {
   }
   if (header.dims == 0) {
     return Status::InvalidArgument("binary dataset has zero dims: " + path);
+  }
+  if (header.dims > kMaxDims) {
+    return Status::InvalidArgument(
+        "binary dataset declares " + std::to_string(header.dims) +
+        " dims (limit " + std::to_string(kMaxDims) + "): " + path);
+  }
+  // Validate the declared sizes against the actual file length before any
+  // caller allocates num_points * dims floats off them.  The product is
+  // computed with an explicit overflow guard: both fields are attacker- or
+  // corruption-controlled u64s.
+  if (header.num_points > std::numeric_limits<uint64_t>::max() /
+                              (header.dims * sizeof(float))) {
+    return Status::InvalidArgument("binary dataset size overflows: " + path);
+  }
+  const uint64_t payload_bytes = header.num_points * header.dims * sizeof(float);
+  in_.seekg(0, std::ios::end);
+  const std::streamoff end = in_.tellg();
+  in_.seekg(static_cast<std::streamoff>(sizeof(header)), std::ios::beg);
+  if (!in_ || end < static_cast<std::streamoff>(sizeof(header))) {
+    return Status::IoError("cannot determine file size: " + path);
+  }
+  const uint64_t actual_bytes =
+      static_cast<uint64_t>(end) - sizeof(header);
+  if (actual_bytes < payload_bytes) {
+    return Status::IoError(
+        "truncated binary dataset: " + path + " holds " +
+        std::to_string(actual_bytes) + " payload bytes but the header " +
+        "declares " + std::to_string(payload_bytes));
+  }
+  if (actual_bytes > payload_bytes) {
+    return Status::InvalidArgument(
+        "binary dataset has " + std::to_string(actual_bytes - payload_bytes) +
+        " trailing bytes beyond the declared points: " + path);
   }
   total_points_ = header.num_points;
   dims_ = header.dims;

@@ -1,0 +1,242 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace simjoin {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status ResolveIpv4(const std::string& host, uint16_t port,
+                   sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string ip = (host == "localhost" || host.empty())
+                             ? std::string("127.0.0.1")
+                             : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  SIMJOIN_RETURN_NOT_OK(ResolveIpv4(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpSocket sock(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("connect to " + host + ":" + std::to_string(port));
+  }
+  SIMJOIN_RETURN_NOT_OK(sock.SetNoDelay(true));
+  return sock;
+}
+
+Status TcpSocket::SendAll(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = len;
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::RecvAll(void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t left = len;
+  while (left > 0) {
+    const ssize_t n = ::recv(fd_, p, left, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::IoError("connection closed");
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::RecvSome(void* data, size_t cap, size_t* n, bool* eof) {
+  *n = 0;
+  *eof = false;
+  const ssize_t got = ::recv(fd_, data, cap, 0);
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Status::OK();
+    }
+    return Errno("recv");
+  }
+  if (got == 0) {
+    *eof = true;
+    return Status::OK();
+  }
+  *n = static_cast<size_t>(got);
+  return Status::OK();
+}
+
+Status TcpSocket::SendSome(const void* data, size_t len, size_t* sent) {
+  *sent = 0;
+  const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Status::OK();
+    }
+    return Errno("send");
+  }
+  *sent = static_cast<size_t>(n);
+  return Status::OK();
+}
+
+Status TcpSocket::SetNonBlocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status TcpSocket::SetNoDelay(bool on) {
+  const int v = on ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpListener::Listen(const std::string& host, uint16_t port,
+                           int backlog) {
+  Close();
+  sockaddr_in addr;
+  SIMJOIN_RETURN_NOT_OK(ResolveIpv4(host, port, &addr));
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Errno("bind " + host + ":" + std::to_string(port));
+    Close();
+    return st;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const Status st = Errno("listen");
+    Close();
+    return st;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status st = Errno("getsockname");
+    Close();
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    const Status st = Errno("fcntl(O_NONBLOCK)");
+    Close();
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return TcpSocket();  // nothing pending
+    }
+    return Errno("accept");
+  }
+  TcpSocket sock(fd);
+  SIMJOIN_RETURN_NOT_OK(sock.SetNonBlocking(true));
+  SIMJOIN_RETURN_NOT_OK(sock.SetNoDelay(true));
+  return sock;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Status WakePipe::Open() {
+  Close();
+  if (::pipe(fds_) != 0) return Errno("pipe");
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds_[i], F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fds_[i], F_SETFL, flags | O_NONBLOCK) != 0) {
+      const Status st = Errno("fcntl(O_NONBLOCK)");
+      Close();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void WakePipe::Notify() {
+  if (fds_[1] < 0) return;
+  const char byte = 1;
+  // Non-blocking: if the pipe is full the reader is already signalled.
+  [[maybe_unused]] ssize_t n = ::write(fds_[1], &byte, 1);
+}
+
+void WakePipe::Drain() {
+  if (fds_[0] < 0) return;
+  char buf[256];
+  while (::read(fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+void WakePipe::Close() {
+  for (int i = 0; i < 2; ++i) {
+    if (fds_[i] >= 0) {
+      ::close(fds_[i]);
+      fds_[i] = -1;
+    }
+  }
+}
+
+}  // namespace simjoin

@@ -1,0 +1,126 @@
+// Thin Status-returning wrappers over POSIX TCP sockets — the substrate for
+// the similarity-join query service (src/service/).  Nothing here knows
+// about frames or protocols: TcpSocket moves bytes, TcpListener accepts
+// connections, WakePipe lets another thread interrupt a poll() loop.
+//
+// Blocking helpers (Connect/SendAll/RecvAll) serve the synchronous client;
+// the non-blocking pair (RecvSome/SendSome) serves the server's poll loops,
+// where "would block" is a normal outcome, not an error.  All sends suppress
+// SIGPIPE (MSG_NOSIGNAL), so a peer hanging up surfaces as a Status, never a
+// signal.
+
+#ifndef SIMJOIN_COMMON_NET_H_
+#define SIMJOIN_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Movable owner of one connected TCP socket.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  /// Takes ownership of an already-open descriptor.
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Blocking connect to host:port (host is a dotted-quad or "localhost").
+  /// The returned socket has TCP_NODELAY set: the wire protocol is
+  /// request/response and Nagle would serialise round-trips.
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Blocking: sends the whole buffer (retrying on EINTR / partial sends).
+  Status SendAll(const void* data, size_t len);
+
+  /// Blocking: reads exactly len bytes.  A clean peer close mid-read is an
+  /// IoError ("connection closed"), since callers ask for framed data.
+  Status RecvAll(void* data, size_t len);
+
+  /// Non-blocking read of up to cap bytes.  On success *n is the byte count
+  /// (0 together with *eof == false means the read would block) and *eof
+  /// reports an orderly peer close.  Requires SetNonBlocking(true).
+  Status RecvSome(void* data, size_t cap, size_t* n, bool* eof);
+
+  /// Non-blocking write of up to len bytes; *sent receives how many were
+  /// accepted (possibly 0 when the send buffer is full).
+  Status SendSome(const void* data, size_t len, size_t* sent);
+
+  Status SetNonBlocking(bool on);
+  Status SetNoDelay(bool on);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to one address.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port.  port 0 picks an ephemeral port;
+  /// the bound port is available from port() afterwards.  The listener is
+  /// non-blocking so Accept can be driven from a poll loop.
+  Status Listen(const std::string& host, uint16_t port, int backlog = 128);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Port actually bound (resolves ephemeral port 0).
+  uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, returned non-blocking with
+  /// TCP_NODELAY set.  When no connection is pending (the listener is
+  /// non-blocking) returns an invalid socket with OK status.
+  Result<TcpSocket> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Self-pipe that wakes a poll() loop from another thread: poll the
+/// read_fd() for POLLIN, Notify() from anywhere, Drain() before re-polling.
+class WakePipe {
+ public:
+  WakePipe() = default;
+  ~WakePipe() { Close(); }
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  Status Open();
+  int read_fd() const { return fds_[0]; }
+
+  /// Makes the read end readable.  Non-blocking and coalescing: notifying
+  /// an already-signalled pipe is a no-op, so callers can Notify freely.
+  void Notify();
+
+  /// Consumes every pending notification byte.
+  void Drain();
+
+  void Close();
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_COMMON_NET_H_

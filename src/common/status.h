@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kIoError = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  kUnavailable = 7,        ///< transient overload; retry later
+  kDeadlineExceeded = 8,   ///< request deadline elapsed before completion
 };
 
 /// Human-readable name for a status code.
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

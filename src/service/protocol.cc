@@ -1,0 +1,720 @@
+#include "service/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace simjoin {
+namespace {
+
+// Hard caps on repeated elements, under the per-frame payload cap, so a
+// hostile count field cannot trigger a huge allocation before the byte
+// bounds check catches it: every cap is checked against remaining() first.
+
+constexpr uint32_t kWireDimOrderMax = 4096;
+
+uint64_t ToBits(double v) { return std::bit_cast<uint64_t>(v); }
+double FromBits(uint64_t v) { return std::bit_cast<double>(v); }
+
+Status ParseMetricTag(uint8_t tag, Metric* out) {
+  switch (tag) {
+    case static_cast<uint8_t>(Metric::kL1):
+      *out = Metric::kL1;
+      return Status::OK();
+    case static_cast<uint8_t>(Metric::kL2):
+      *out = Metric::kL2;
+      return Status::OK();
+    case static_cast<uint8_t>(Metric::kLinf):
+      *out = Metric::kLinf;
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("unknown metric tag " +
+                                     std::to_string(tag));
+  }
+}
+
+Status ParseStatusCodeTag(uint16_t tag, StatusCode* out) {
+  if (tag > static_cast<uint16_t>(StatusCode::kDeadlineExceeded) ||
+      tag == static_cast<uint16_t>(StatusCode::kOk)) {
+    // Unknown or nonsensical (an error frame carrying OK) collapses to
+    // kInternal rather than being rejected: the message text survives.
+    *out = StatusCode::kInternal;
+    return Status::OK();
+  }
+  *out = static_cast<StatusCode>(tag);
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t tag) {
+  switch (static_cast<FrameType>(tag)) {
+    case FrameType::kBuildIndex:
+    case FrameType::kRangeQuery:
+    case FrameType::kSimilarityJoin:
+    case FrameType::kStats:
+    case FrameType::kShutdown:
+    case FrameType::kDropIndex:
+    case FrameType::kPing:
+    case FrameType::kBuildIndexOk:
+    case FrameType::kRangeQueryResult:
+    case FrameType::kJoinChunk:
+    case FrameType::kJoinDone:
+    case FrameType::kStatsResult:
+    case FrameType::kShutdownOk:
+    case FrameType::kDropIndexOk:
+    case FrameType::kPong:
+    case FrameType::kError:
+    case FrameType::kRetryAfter:
+      return true;
+  }
+  return false;
+}
+
+bool IsRequestFrameType(FrameType type) {
+  return static_cast<uint8_t>(type) < 64;
+}
+
+// --------------------------------------------------------------------------
+// WireWriter
+// --------------------------------------------------------------------------
+
+void WireWriter::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::F32(float v) { U32(std::bit_cast<uint32_t>(v)); }
+
+void WireWriter::F64(double v) { U64(ToBits(v)); }
+
+void WireWriter::Bytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void WireWriter::String(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Bytes(s.data(), s.size());
+}
+
+void WireWriter::FloatArray(std::span<const float> values) {
+  // Floats go on the wire as little-endian u32 bit patterns; on LE hosts
+  // this is a straight memcpy.
+  if (values.empty()) return;  // empty span's data() may be null
+  const size_t start = buf_.size();
+  buf_.resize(start + values.size() * 4);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(buf_.data() + start, values.data(), values.size() * 4);
+  } else {
+    uint8_t* out = buf_.data() + start;
+    for (const float v : values) {
+      const uint32_t bits = std::bit_cast<uint32_t>(v);
+      for (int i = 0; i < 4; ++i) *out++ = static_cast<uint8_t>(bits >> (8 * i));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// WireReader
+// --------------------------------------------------------------------------
+
+Status WireReader::Need(size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return Status::OutOfRange("payload truncated: need " + std::to_string(n) +
+                              " bytes, have " +
+                              std::to_string(data_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Status WireReader::U8(uint8_t* v) {
+  SIMJOIN_RETURN_NOT_OK(Need(1));
+  *v = data_[pos_++];
+  return Status::OK();
+}
+
+Status WireReader::U16(uint16_t* v) {
+  SIMJOIN_RETURN_NOT_OK(Need(2));
+  *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status WireReader::U32(uint32_t* v) {
+  SIMJOIN_RETURN_NOT_OK(Need(4));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::U64(uint64_t* v) {
+  SIMJOIN_RETURN_NOT_OK(Need(8));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::F32(float* v) {
+  uint32_t bits = 0;
+  SIMJOIN_RETURN_NOT_OK(U32(&bits));
+  *v = std::bit_cast<float>(bits);
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  uint64_t bits = 0;
+  SIMJOIN_RETURN_NOT_OK(U64(&bits));
+  *v = FromBits(bits);
+  return Status::OK();
+}
+
+Status WireReader::String(std::string* s, uint32_t max_len) {
+  uint32_t len = 0;
+  SIMJOIN_RETURN_NOT_OK(U32(&len));
+  if (len > max_len) {
+    return Status::OutOfRange("string length " + std::to_string(len) +
+                              " exceeds limit " + std::to_string(max_len));
+  }
+  SIMJOIN_RETURN_NOT_OK(Need(len));
+  s->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WireReader::FloatArray(size_t count, std::vector<float>* out) {
+  // Divide instead of multiplying so a hostile count cannot wrap the
+  // byte-size computation.
+  if (count > (data_.size() - pos_) / 4) {
+    return Status::OutOfRange("float array of " + std::to_string(count) +
+                              " elements exceeds payload");
+  }
+  out->resize(count);
+  if (count == 0) return Status::OK();  // out->data() may be null when empty
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out->data(), data_.data() + pos_, count * 4);
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t bits = 0;
+      for (int b = 0; b < 4; ++b) {
+        bits |= static_cast<uint32_t>(data_[pos_ + i * 4 + b]) << (8 * b);
+      }
+      (*out)[i] = std::bit_cast<float>(bits);
+    }
+  }
+  pos_ += count * 4;
+  return Status::OK();
+}
+
+Status WireReader::ExpectEnd() const {
+  if (pos_ != data_.size()) {
+    return Status::InvalidArgument(
+        std::to_string(data_.size() - pos_) +
+        " trailing bytes after a complete message");
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Frame encode / decode
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t request_id,
+                                 uint32_t deadline_ms,
+                                 std::span<const uint8_t> payload) {
+  WireWriter w;
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U16(0);  // reserved
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(deadline_ms);
+  w.U64(request_id);
+  w.Bytes(payload.data(), payload.size());
+  return w.Take();
+}
+
+Status DecodeFrameHeader(std::span<const uint8_t> bytes, uint32_t max_payload,
+                         FrameHeader* out) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::OutOfRange("frame header needs " +
+                              std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  WireReader r(bytes.subspan(0, kFrameHeaderSize));
+  uint32_t magic = 0;
+  uint8_t version = 0, type = 0;
+  uint16_t reserved = 0;
+  // Header reads from a 24-byte span cannot fail; statuses folded away.
+  (void)r.U32(&magic);
+  (void)r.U8(&version);
+  (void)r.U8(&type);
+  (void)r.U16(&reserved);
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("reserved header bits set");
+  }
+  out->type = static_cast<FrameType>(type);
+  (void)r.U32(&out->payload_size);
+  (void)r.U32(&out->deadline_ms);
+  (void)r.U64(&out->request_id);
+  if (out->payload_size > max_payload) {
+    return Status::OutOfRange("frame payload " +
+                              std::to_string(out->payload_size) +
+                              " exceeds limit " + std::to_string(max_payload));
+  }
+  return Status::OK();
+}
+
+void FrameDecoder::Append(const uint8_t* data, size_t len) {
+  if (!error_.ok()) return;  // stream already condemned
+  // Compact the consumed prefix before growing, so long-lived connections
+  // don't accumulate every frame they ever received.
+  if (consumed_ > 0 && consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10) && consumed_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Status FrameDecoder::Next(Frame* out, bool* got) {
+  *got = false;
+  if (!error_.ok()) return error_;
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderSize) return Status::OK();
+  FrameHeader header;
+  const Status st = DecodeFrameHeader(
+      std::span<const uint8_t>(buf_.data() + consumed_, kFrameHeaderSize),
+      max_payload_, &header);
+  if (!st.ok()) {
+    error_ = st;
+    return error_;
+  }
+  if (avail < kFrameHeaderSize + header.payload_size) return Status::OK();
+  out->header = header;
+  const uint8_t* body = buf_.data() + consumed_ + kFrameHeaderSize;
+  out->payload.assign(body, body + header.payload_size);
+  consumed_ += kFrameHeaderSize + header.payload_size;
+  *got = true;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// JoinStats
+// --------------------------------------------------------------------------
+
+void EncodeJoinStats(const JoinStats& stats, WireWriter* w) {
+  w->U64(stats.candidate_pairs);
+  w->U64(stats.distance_calls);
+  w->U64(stats.node_pairs_visited);
+  w->U64(stats.node_pairs_pruned);
+  w->U64(stats.pairs_emitted);
+  w->U64(stats.simd_batches);
+  w->U64(stats.scalar_fallbacks);
+}
+
+Status ParseJoinStats(WireReader* r, JoinStats* out) {
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->candidate_pairs));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->distance_calls));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->node_pairs_visited));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->node_pairs_pruned));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->pairs_emitted));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->simd_batches));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->scalar_fallbacks));
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// BuildIndex
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeBuildIndexRequest(const BuildIndexRequest& req) {
+  WireWriter w;
+  w.String(req.name);
+  w.F64(req.config.epsilon);
+  w.U8(static_cast<uint8_t>(req.config.metric));
+  w.U32(static_cast<uint32_t>(req.config.leaf_threshold));
+  w.U8(req.config.bbox_pruning ? 1 : 0);
+  w.U8(req.config.sliding_window_leaf_join ? 1 : 0);
+  w.U32(static_cast<uint32_t>(req.config.dim_order.size()));
+  for (const uint32_t d : req.config.dim_order) w.U32(d);
+  w.U32(req.num_threads);
+  w.U32(req.dims);
+  w.U32(req.dims == 0 ? 0
+                      : static_cast<uint32_t>(req.points.size() / req.dims));
+  w.FloatArray(req.points);
+  return w.Take();
+}
+
+Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
+                              BuildIndexRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
+  if (out->name.empty()) {
+    return Status::InvalidArgument("index name must not be empty");
+  }
+  SIMJOIN_RETURN_NOT_OK(r.F64(&out->config.epsilon));
+  uint8_t metric_tag = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U8(&metric_tag));
+  SIMJOIN_RETURN_NOT_OK(ParseMetricTag(metric_tag, &out->config.metric));
+  uint32_t leaf_threshold = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&leaf_threshold));
+  out->config.leaf_threshold = leaf_threshold;
+  uint8_t bbox = 0, sliding = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U8(&bbox));
+  SIMJOIN_RETURN_NOT_OK(r.U8(&sliding));
+  out->config.bbox_pruning = bbox != 0;
+  out->config.sliding_window_leaf_join = sliding != 0;
+  uint32_t order_len = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&order_len));
+  if (order_len > kWireDimOrderMax) {
+    return Status::OutOfRange("dim_order length " +
+                              std::to_string(order_len) + " exceeds limit");
+  }
+  out->config.dim_order.clear();
+  out->config.dim_order.reserve(order_len);
+  for (uint32_t i = 0; i < order_len; ++i) {
+    uint32_t d = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U32(&d));
+    out->config.dim_order.push_back(d);
+  }
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->num_threads));
+  uint32_t n = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->dims));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&n));
+  if (out->dims == 0) {
+    return Status::InvalidArgument("BuildIndex dims must be positive");
+  }
+  // The float payload must match n * dims exactly (division keeps the
+  // comparison overflow-safe against hostile n / dims fields).
+  const uint64_t want = static_cast<uint64_t>(n) * out->dims;
+  if (r.remaining() % 4 != 0 || want != r.remaining() / 4) {
+    return Status::InvalidArgument(
+        "BuildIndex point payload mismatch: header says " +
+        std::to_string(want) + " floats, payload holds " +
+        std::to_string(r.remaining() / 4));
+  }
+  SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->points));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeBuildIndexResponse(const BuildIndexResponse& resp) {
+  WireWriter w;
+  w.U32(resp.num_points);
+  w.U32(resp.dims);
+  w.U64(resp.index_bytes);
+  w.U64(resp.registry_bytes);
+  w.U32(resp.evicted);
+  w.F64(resp.build_seconds);
+  return w.Take();
+}
+
+Status ParseBuildIndexResponse(std::span<const uint8_t> payload,
+                               BuildIndexResponse* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->num_points));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->dims));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->index_bytes));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->registry_bytes));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->evicted));
+  SIMJOIN_RETURN_NOT_OK(r.F64(&out->build_seconds));
+  return r.ExpectEnd();
+}
+
+// --------------------------------------------------------------------------
+// RangeQuery
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req) {
+  WireWriter w;
+  w.String(req.name);
+  w.F64(req.epsilon);
+  w.U32(req.dims);
+  w.U32(req.dims == 0 ? 0
+                      : static_cast<uint32_t>(req.queries.size() / req.dims));
+  w.FloatArray(req.queries);
+  return w.Take();
+}
+
+Status ParseRangeQueryRequest(std::span<const uint8_t> payload,
+                              RangeQueryRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
+  SIMJOIN_RETURN_NOT_OK(r.F64(&out->epsilon));
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->dims));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&count));
+  if (out->dims == 0) {
+    return Status::InvalidArgument("RangeQuery dims must be positive");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("RangeQuery needs at least one query");
+  }
+  const uint64_t want = static_cast<uint64_t>(count) * out->dims;
+  if (r.remaining() % 4 != 0 || want != r.remaining() / 4) {
+    return Status::InvalidArgument(
+        "RangeQuery payload mismatch: header says " + std::to_string(want) +
+        " floats, payload holds " + std::to_string(r.remaining() / 4));
+  }
+  SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->queries));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(resp.results.size()));
+  for (const auto& ids : resp.results) {
+    w.U32(static_cast<uint32_t>(ids.size()));
+    for (const PointId id : ids) w.U32(id);
+  }
+  EncodeJoinStats(resp.stats, &w);
+  return w.Take();
+}
+
+Status ParseRangeQueryResponse(std::span<const uint8_t> payload,
+                               RangeQueryResponse* out) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&count));
+  if (static_cast<uint64_t>(count) * 4 > r.remaining()) {
+    return Status::OutOfRange("result count exceeds payload");
+  }
+  out->results.clear();
+  out->results.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t m = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U32(&m));
+    if (static_cast<uint64_t>(m) * 4 > r.remaining()) {
+      return Status::OutOfRange("id list exceeds payload");
+    }
+    out->results[i].resize(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      SIMJOIN_RETURN_NOT_OK(r.U32(&out->results[i][j]));
+    }
+  }
+  SIMJOIN_RETURN_NOT_OK(ParseJoinStats(&r, &out->stats));
+  return r.ExpectEnd();
+}
+
+// --------------------------------------------------------------------------
+// SimilarityJoin
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeSimilarityJoinRequest(
+    const SimilarityJoinRequest& req) {
+  WireWriter w;
+  w.String(req.name_a);
+  w.String(req.name_b);
+  w.F64(req.epsilon);
+  w.U32(req.num_threads);
+  w.U32(req.chunk_pairs);
+  return w.Take();
+}
+
+Status ParseSimilarityJoinRequest(std::span<const uint8_t> payload,
+                                  SimilarityJoinRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name_a, kMaxIndexNameLen));
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name_b, kMaxIndexNameLen));
+  if (out->name_a.empty()) {
+    return Status::InvalidArgument("join needs a left index name");
+  }
+  SIMJOIN_RETURN_NOT_OK(r.F64(&out->epsilon));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->num_threads));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->chunk_pairs));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeJoinChunk(std::span<const IdPair> pairs) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(pairs.size()));
+  for (const IdPair& p : pairs) {
+    w.U32(p.first);
+    w.U32(p.second);
+  }
+  return w.Take();
+}
+
+Status ParseJoinChunk(std::span<const uint8_t> payload, JoinChunk* out) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&count));
+  if (r.remaining() % 8 != 0 ||
+      static_cast<uint64_t>(count) != r.remaining() / 8) {
+    return Status::InvalidArgument("join chunk count/payload mismatch");
+  }
+  out->pairs.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SIMJOIN_RETURN_NOT_OK(r.U32(&out->pairs[i].first));
+    SIMJOIN_RETURN_NOT_OK(r.U32(&out->pairs[i].second));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeJoinDone(const JoinDone& done) {
+  WireWriter w;
+  w.U64(done.total_pairs);
+  EncodeJoinStats(done.stats, &w);
+  return w.Take();
+}
+
+Status ParseJoinDone(std::span<const uint8_t> payload, JoinDone* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->total_pairs));
+  SIMJOIN_RETURN_NOT_OK(ParseJoinStats(&r, &out->stats));
+  return r.ExpectEnd();
+}
+
+// --------------------------------------------------------------------------
+// DropIndex / Stats / Error / RetryAfter
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeDropIndexRequest(const DropIndexRequest& req) {
+  WireWriter w;
+  w.String(req.name);
+  return w.Take();
+}
+
+Status ParseDropIndexRequest(std::span<const uint8_t> payload,
+                             DropIndexRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
+  if (out->name.empty()) {
+    return Status::InvalidArgument("index name must not be empty");
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeDropIndexResponse(const DropIndexResponse& resp) {
+  WireWriter w;
+  w.U8(resp.found ? 1 : 0);
+  return w.Take();
+}
+
+Status ParseDropIndexResponse(std::span<const uint8_t> payload,
+                              DropIndexResponse* out) {
+  WireReader r(payload);
+  uint8_t found = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U8(&found));
+  out->found = found != 0;
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
+  WireWriter w;
+  w.U64(resp.accepted_connections);
+  w.U64(resp.active_connections);
+  w.U64(resp.requests_admitted);
+  w.U64(resp.requests_rejected);
+  w.U64(resp.deadline_expired);
+  w.U64(resp.decode_errors);
+  w.U64(resp.pairs_streamed);
+  w.U64(resp.registry_byte_budget);
+  w.U64(resp.registry_bytes);
+  w.U64(resp.registry_evictions);
+  w.U32(static_cast<uint32_t>(resp.indexes.size()));
+  for (const IndexInfo& info : resp.indexes) {
+    w.String(info.name);
+    w.U32(info.num_points);
+    w.U32(info.dims);
+    w.U64(info.bytes);
+    w.U64(info.hits);
+    w.F64(info.epsilon);
+    w.U8(static_cast<uint8_t>(info.metric));
+  }
+  return w.Take();
+}
+
+Status ParseStatsResponse(std::span<const uint8_t> payload,
+                          StatsResponse* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->accepted_connections));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->active_connections));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->requests_admitted));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->requests_rejected));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->deadline_expired));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->decode_errors));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->pairs_streamed));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->registry_byte_budget));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->registry_bytes));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->registry_evictions));
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&count));
+  if (static_cast<uint64_t>(count) * 4 > r.remaining()) {
+    return Status::OutOfRange("index count exceeds payload");
+  }
+  out->indexes.clear();
+  out->indexes.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    IndexInfo& info = out->indexes[i];
+    SIMJOIN_RETURN_NOT_OK(r.String(&info.name, kMaxIndexNameLen));
+    SIMJOIN_RETURN_NOT_OK(r.U32(&info.num_points));
+    SIMJOIN_RETURN_NOT_OK(r.U32(&info.dims));
+    SIMJOIN_RETURN_NOT_OK(r.U64(&info.bytes));
+    SIMJOIN_RETURN_NOT_OK(r.U64(&info.hits));
+    SIMJOIN_RETURN_NOT_OK(r.F64(&info.epsilon));
+    uint8_t metric_tag = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U8(&metric_tag));
+    SIMJOIN_RETURN_NOT_OK(ParseMetricTag(metric_tag, &info.metric));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  WireWriter w;
+  w.U16(static_cast<uint16_t>(status.code()));
+  w.String(status.message());
+  return w.Take();
+}
+
+Status ParseErrorResponse(std::span<const uint8_t> payload, Status* out) {
+  WireReader r(payload);
+  uint16_t code_tag = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U16(&code_tag));
+  std::string message;
+  SIMJOIN_RETURN_NOT_OK(r.String(&message, 64 << 10));
+  SIMJOIN_RETURN_NOT_OK(r.ExpectEnd());
+  StatusCode code = StatusCode::kInternal;
+  SIMJOIN_RETURN_NOT_OK(ParseStatusCodeTag(code_tag, &code));
+  *out = Status(code, std::move(message));
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeRetryAfterResponse(uint32_t retry_after_ms) {
+  WireWriter w;
+  w.U32(retry_after_ms);
+  return w.Take();
+}
+
+Status ParseRetryAfterResponse(std::span<const uint8_t> payload,
+                               RetryAfterResponse* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->retry_after_ms));
+  return r.ExpectEnd();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,337 @@
+// Wire protocol of the similarity-join query service.
+//
+// Every message is one length-prefixed frame: a fixed 24-byte header
+// (magic, version, type, payload size, deadline, request id) followed by a
+// type-specific little-endian payload.  The codec is defensive by design —
+// it is the part of the server that touches attacker-controlled bytes — so
+// every read goes through the bounds-checked WireReader cursor and every
+// malformed input returns a Status; nothing in this file CHECKs, throws, or
+// over-reads (tools/fuzz_protocol.cpp soaks exactly this property).
+//
+//   frame  := header payload
+//   header := magic:u32 version:u8 type:u8 reserved:u16
+//             payload_size:u32 deadline_ms:u32 request_id:u64
+//
+// Integers are little-endian; f32/f64 are IEEE-754 bit patterns carried as
+// u32/u64.  Requests stream client -> server; a request is answered by
+// exactly one terminal response frame with the same request_id, optionally
+// preceded by zero or more kJoinChunk frames (SimilarityJoin streams its
+// result pairs).  See docs/service.md for the full layout of every payload.
+
+#ifndef SIMJOIN_SERVICE_PROTOCOL_H_
+#define SIMJOIN_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/ekdb_config.h"
+
+namespace simjoin {
+
+/// First four bytes of every frame: "SJWP" (simjoin wire protocol).
+inline constexpr uint32_t kWireMagic = 0x53'4a'57'50;
+/// Protocol revision; bumped on any incompatible layout change.
+inline constexpr uint8_t kWireVersion = 1;
+/// Bytes of the fixed frame header.
+inline constexpr size_t kFrameHeaderSize = 24;
+/// Default ceiling on one frame's payload (guards the decoder against
+/// hostile length fields; BuildIndex of 100k x 16 floats is ~6.4 MB).
+inline constexpr uint32_t kDefaultMaxFramePayload = 256u << 20;
+
+/// Frame type tags.  Requests are < 64, responses >= 64, so each side can
+/// reject frames from the wrong direction outright.
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kBuildIndex = 1,      ///< upload points, build + register a named index
+  kRangeQuery = 2,      ///< batched eps-range queries against one index
+  kSimilarityJoin = 3,  ///< self- or cross-join, result pairs streamed
+  kStats = 4,           ///< server + registry counters
+  kShutdown = 5,        ///< orderly server stop
+  kDropIndex = 6,       ///< evict one named index
+  kPing = 7,            ///< liveness probe
+
+  // Responses (server -> client).
+  kBuildIndexOk = 64,
+  kRangeQueryResult = 65,
+  kJoinChunk = 66,  ///< non-terminal: one run of result pairs
+  kJoinDone = 67,   ///< terminal: pair total + JoinStats
+  kStatsResult = 68,
+  kShutdownOk = 69,
+  kDropIndexOk = 70,
+  kPong = 71,
+  kError = 126,      ///< terminal failure: wire StatusCode + message
+  kRetryAfter = 127, ///< admission queue full; retry after the given delay
+};
+
+/// True for tags a conforming peer may put on the wire.
+bool IsKnownFrameType(uint8_t tag);
+/// True for request tags (client -> server direction).
+bool IsRequestFrameType(FrameType type);
+
+/// Decoded fixed header of one frame.
+struct FrameHeader {
+  FrameType type = FrameType::kPing;
+  uint32_t payload_size = 0;
+  uint32_t deadline_ms = 0;  ///< 0 = no deadline
+  uint64_t request_id = 0;
+};
+
+/// One complete frame.
+struct Frame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Primitive codec
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian serialiser.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F32(float v);
+  void F64(double v);
+  void Bytes(const void* data, size_t len);
+  /// u32 length prefix + raw bytes.
+  void String(const std::string& s);
+  /// Raw float array, no length prefix (callers encode counts themselves).
+  void FloatArray(std::span<const float> values);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian cursor over one payload.  Every accessor
+/// fails with OutOfRange instead of reading past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F32(float* v);
+  Status F64(double* v);
+  /// u32 length prefix + bytes; lengths above max_len are rejected.
+  Status String(std::string* s, uint32_t max_len = 4096);
+  /// Reads exactly count floats.
+  Status FloatArray(size_t count, std::vector<float>* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  /// Fails unless the cursor consumed the payload exactly — trailing bytes
+  /// in a parsed message are a framing bug, not padding.
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Frame encode / decode
+// ---------------------------------------------------------------------------
+
+/// Serialises one complete frame (header + payload) ready to send.
+std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t request_id,
+                                 uint32_t deadline_ms,
+                                 std::span<const uint8_t> payload);
+
+/// Parses and validates one fixed header from exactly kFrameHeaderSize
+/// bytes (magic, version, known type, payload bound).
+Status DecodeFrameHeader(std::span<const uint8_t> bytes, uint32_t max_payload,
+                         FrameHeader* out);
+
+/// Incremental frame extractor over a byte stream.  Feed arbitrary chunks
+/// with Append, then call Next until it reports "no complete frame yet".
+/// Any error is sticky: the stream is corrupt and the connection should be
+/// closed (frame boundaries can no longer be trusted).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Append(const uint8_t* data, size_t len);
+
+  /// Extracts the next complete frame into *out.  *got is false when more
+  /// bytes are needed.  Returns the sticky decode error, if any.
+  Status Next(Frame* out, bool* got);
+
+  /// Bytes buffered but not yet consumed by complete frames.
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  uint32_t max_payload_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // prefix of buf_ already handed out as frames
+  Status error_;
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Longest accepted index name.
+inline constexpr uint32_t kMaxIndexNameLen = 256;
+
+struct BuildIndexRequest {
+  std::string name;
+  EkdbConfig config;
+  uint32_t num_threads = 1;  ///< build parallelism; 0 = server default
+  uint32_t dims = 0;
+  std::vector<float> points;  ///< row-major, points.size() == n * dims
+};
+
+struct BuildIndexResponse {
+  uint32_t num_points = 0;
+  uint32_t dims = 0;
+  uint64_t index_bytes = 0;   ///< dataset + flat tree footprint
+  uint64_t registry_bytes = 0;
+  uint32_t evicted = 0;       ///< LRU entries evicted to admit this index
+  double build_seconds = 0.0;
+};
+
+struct RangeQueryRequest {
+  std::string name;
+  double epsilon = 0.0;  ///< 0 = the index's build epsilon
+  uint32_t dims = 0;
+  std::vector<float> queries;  ///< row-major, queries.size() == count * dims
+};
+
+struct RangeQueryResponse {
+  /// results[i] = ids within epsilon of query i, in index traversal order
+  /// (identical to FlatEkdbTree::RangeQuery on the same snapshot).
+  std::vector<std::vector<PointId>> results;
+  JoinStats stats;  ///< summed over the batch
+};
+
+struct SimilarityJoinRequest {
+  std::string name_a;
+  std::string name_b;        ///< empty = self-join of name_a
+  double epsilon = 0.0;      ///< 0 = build epsilon
+  uint32_t num_threads = 1;  ///< join parallelism; 0 = server default
+  uint32_t chunk_pairs = 0;  ///< pairs per kJoinChunk frame; 0 = server default
+};
+
+struct JoinChunk {
+  std::vector<IdPair> pairs;
+};
+
+struct JoinDone {
+  uint64_t total_pairs = 0;
+  JoinStats stats;
+};
+
+struct DropIndexRequest {
+  std::string name;
+};
+
+struct DropIndexResponse {
+  bool found = false;
+};
+
+/// One registry entry in a stats response.
+struct IndexInfo {
+  std::string name;
+  uint32_t num_points = 0;
+  uint32_t dims = 0;
+  uint64_t bytes = 0;
+  uint64_t hits = 0;
+  double epsilon = 0.0;
+  Metric metric = Metric::kL2;
+};
+
+struct StatsResponse {
+  uint64_t accepted_connections = 0;
+  uint64_t active_connections = 0;
+  uint64_t requests_admitted = 0;
+  uint64_t requests_rejected = 0;   ///< backpressure (kRetryAfter) rejections
+  uint64_t deadline_expired = 0;
+  uint64_t decode_errors = 0;
+  uint64_t pairs_streamed = 0;
+  uint64_t registry_byte_budget = 0;
+  uint64_t registry_bytes = 0;
+  uint64_t registry_evictions = 0;
+  std::vector<IndexInfo> indexes;
+};
+
+struct ErrorResponse {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+struct RetryAfterResponse {
+  uint32_t retry_after_ms = 0;
+};
+
+// Payload encoders (frame body only; wrap with EncodeFrame) and parsers.
+// Parsers validate structure — string bounds, float-count consistency,
+// exact payload consumption — but not semantics (unknown index names etc.
+// are the server's job).
+std::vector<uint8_t> EncodeBuildIndexRequest(const BuildIndexRequest& req);
+Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
+                              BuildIndexRequest* out);
+
+std::vector<uint8_t> EncodeBuildIndexResponse(const BuildIndexResponse& resp);
+Status ParseBuildIndexResponse(std::span<const uint8_t> payload,
+                               BuildIndexResponse* out);
+
+std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req);
+Status ParseRangeQueryRequest(std::span<const uint8_t> payload,
+                              RangeQueryRequest* out);
+
+std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp);
+Status ParseRangeQueryResponse(std::span<const uint8_t> payload,
+                               RangeQueryResponse* out);
+
+std::vector<uint8_t> EncodeSimilarityJoinRequest(
+    const SimilarityJoinRequest& req);
+Status ParseSimilarityJoinRequest(std::span<const uint8_t> payload,
+                                  SimilarityJoinRequest* out);
+
+std::vector<uint8_t> EncodeJoinChunk(std::span<const IdPair> pairs);
+Status ParseJoinChunk(std::span<const uint8_t> payload, JoinChunk* out);
+
+std::vector<uint8_t> EncodeJoinDone(const JoinDone& done);
+Status ParseJoinDone(std::span<const uint8_t> payload, JoinDone* out);
+
+std::vector<uint8_t> EncodeDropIndexRequest(const DropIndexRequest& req);
+Status ParseDropIndexRequest(std::span<const uint8_t> payload,
+                             DropIndexRequest* out);
+
+std::vector<uint8_t> EncodeDropIndexResponse(const DropIndexResponse& resp);
+Status ParseDropIndexResponse(std::span<const uint8_t> payload,
+                              DropIndexResponse* out);
+
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
+Status ParseStatsResponse(std::span<const uint8_t> payload,
+                          StatsResponse* out);
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status);
+/// Reconstructs the Status an ErrorResponse carries.
+Status ParseErrorResponse(std::span<const uint8_t> payload, Status* out);
+
+std::vector<uint8_t> EncodeRetryAfterResponse(uint32_t retry_after_ms);
+Status ParseRetryAfterResponse(std::span<const uint8_t> payload,
+                               RetryAfterResponse* out);
+
+/// JoinStats as 7 u64 fields (shared by several responses).
+void EncodeJoinStats(const JoinStats& stats, WireWriter* w);
+Status ParseJoinStats(WireReader* r, JoinStats* out);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_SERVICE_PROTOCOL_H_

@@ -1,0 +1,128 @@
+#include "service/registry.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/ekdb_tree.h"
+
+namespace simjoin {
+
+Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
+    std::string name, Dataset dataset, const EkdbConfig& config,
+    size_t num_threads) {
+  Timer timer;
+  auto owned = std::make_unique<Dataset>(std::move(dataset));
+  SIMJOIN_ASSIGN_OR_RETURN(
+      EkdbTree tree, num_threads == 1
+                         ? EkdbTree::Build(*owned, config)
+                         : EkdbTree::BuildParallel(*owned, config, num_threads));
+  SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
+                           FlatEkdbTree::FromTree(tree, num_threads));
+  // The pointer tree is build scaffolding; only the flat form is served.
+  auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+  snapshot->name_ = std::move(name);
+  snapshot->dataset_ = std::move(owned);
+  snapshot->tree_.emplace(std::move(flat));
+  snapshot->memory_bytes_ =
+      snapshot->dataset_->MemoryUsageBytes() + snapshot->tree_->total_bytes();
+  snapshot->build_seconds_ = timer.Seconds();
+  return std::shared_ptr<const IndexSnapshot>(std::move(snapshot));
+}
+
+Status IndexRegistry::Put(std::shared_ptr<const IndexSnapshot> snapshot,
+                          size_t* evicted) {
+  if (evicted != nullptr) *evicted = 0;
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("null snapshot");
+  }
+  if (snapshot->memory_bytes() > byte_budget_) {
+    return Status::InvalidArgument(
+        "index '" + snapshot->name() + "' (" +
+        std::to_string(snapshot->memory_bytes()) +
+        " bytes) exceeds the registry budget of " +
+        std::to_string(byte_budget_) + " bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = snapshot->name();
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    bytes_in_use_ -= it->second->snapshot->memory_bytes();
+    lru_.erase(it->second);
+    by_name_.erase(it);
+  }
+  bytes_in_use_ += snapshot->memory_bytes();
+  const IndexSnapshot* keep = snapshot.get();
+  lru_.push_front(Entry{std::move(snapshot), 0});
+  by_name_[name] = lru_.begin();
+  EvictLocked(keep, evicted);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const IndexSnapshot>> IndexRegistry::Get(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no index named '" + name + "'");
+  }
+  ++it->second->hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // iterator stays valid
+  return it->second->snapshot;
+}
+
+bool IndexRegistry::Erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return false;
+  bytes_in_use_ -= it->second->snapshot->memory_bytes();
+  lru_.erase(it->second);
+  by_name_.erase(it);
+  return true;
+}
+
+std::vector<RegistryEntryInfo> IndexRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RegistryEntryInfo> out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    const IndexSnapshot& snap = *entry.snapshot;
+    out.push_back(RegistryEntryInfo{snap.name(), snap.memory_bytes(),
+                                    entry.hits, snap.dataset().size(),
+                                    snap.dataset().dims(),
+                                    snap.config().epsilon,
+                                    snap.config().metric});
+  }
+  return out;
+}
+
+uint64_t IndexRegistry::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_in_use_;
+}
+
+uint64_t IndexRegistry::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t IndexRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void IndexRegistry::EvictLocked(const IndexSnapshot* keep, size_t* evicted) {
+  auto it = lru_.end();
+  while (bytes_in_use_ > byte_budget_ && it != lru_.begin()) {
+    --it;  // back of the list = least recently used
+    if (it->snapshot.get() == keep) continue;  // never the new arrival
+    bytes_in_use_ -= it->snapshot->memory_bytes();
+    by_name_.erase(it->snapshot->name());
+    // Dropping the shared_ptr here only releases the registry's reference;
+    // requests still holding the snapshot keep it alive and queryable.
+    it = lru_.erase(it);
+    ++evictions_;
+    if (evicted != nullptr) ++*evicted;
+  }
+}
+
+}  // namespace simjoin

@@ -1,0 +1,128 @@
+// Named, immutable index snapshots behind shared_ptr refcounts, with
+// byte-budgeted LRU eviction — the state the query service serves from.
+//
+// The concurrency contract is copy-out, not lock-across: Get() returns a
+// shared_ptr<const IndexSnapshot> under a brief registry lock, and queries
+// then run against that snapshot with no lock held at all.  Builds insert
+// *new* snapshots (Put replaces the name atomically), and eviction merely
+// drops the registry's own reference — a snapshot stays fully queryable for
+// as long as any in-flight request still holds it.  Concurrent const access
+// to a FlatEkdbTree is safe (it is immutable after construction), so readers
+// never block builders and builders never invalidate readers.
+
+#ifndef SIMJOIN_SERVICE_REGISTRY_H_
+#define SIMJOIN_SERVICE_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "core/ekdb_flat.h"
+
+namespace simjoin {
+
+/// One immutable, self-contained index: the dataset (owned, at a stable
+/// heap address) plus the flat eps-k-d-B tree built over it.  Construct via
+/// Build; after that every member is const and safe to share across threads.
+class IndexSnapshot {
+ public:
+  /// Builds the pointer tree (parallel when num_threads != 1), flattens it,
+  /// and wraps both with the dataset into an immutable snapshot.  Fails if
+  /// the config is invalid for the data or coordinates leave [0, 1].
+  static Result<std::shared_ptr<const IndexSnapshot>> Build(
+      std::string name, Dataset dataset, const EkdbConfig& config,
+      size_t num_threads = 1);
+
+  const std::string& name() const { return name_; }
+  const Dataset& dataset() const { return *dataset_; }
+  const FlatEkdbTree& tree() const { return *tree_; }
+  const EkdbConfig& config() const { return tree_->config(); }
+
+  /// Heap footprint charged against the registry budget: dataset rows plus
+  /// the flat tree's node array, bbox planes, arena, and id remap.
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  double build_seconds() const { return build_seconds_; }
+
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
+
+ private:
+  IndexSnapshot() = default;
+
+  std::string name_;
+  // unique_ptr keeps the Dataset at a stable address: tree_ points into it.
+  std::unique_ptr<Dataset> dataset_;
+  std::optional<FlatEkdbTree> tree_;
+  uint64_t memory_bytes_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+/// Listing row for one registry entry.
+struct RegistryEntryInfo {
+  std::string name;
+  uint64_t bytes = 0;
+  uint64_t hits = 0;
+  size_t num_points = 0;
+  size_t dims = 0;
+  double epsilon = 0.0;
+  Metric metric = Metric::kL2;
+};
+
+/// Thread-safe name -> snapshot map with LRU eviction against a byte
+/// budget.  All operations take one short mutex; nothing blocks while an
+/// index is being built or queried.
+class IndexRegistry {
+ public:
+  explicit IndexRegistry(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  /// Inserts (or atomically replaces) the snapshot under its name, then
+  /// evicts least-recently-used *other* entries until the budget holds.
+  /// A snapshot that alone exceeds the whole budget is rejected with
+  /// InvalidArgument.  *evicted (optional) receives how many entries were
+  /// dropped to admit it.
+  Status Put(std::shared_ptr<const IndexSnapshot> snapshot,
+             size_t* evicted = nullptr);
+
+  /// Looks up a snapshot and marks it most-recently-used.  The returned
+  /// reference stays valid after any later eviction or replacement.
+  Result<std::shared_ptr<const IndexSnapshot>> Get(const std::string& name);
+
+  /// Removes one entry; false when the name is unknown.
+  bool Erase(const std::string& name);
+
+  /// Entries in most-recently-used-first order.
+  std::vector<RegistryEntryInfo> List() const;
+
+  uint64_t byte_budget() const { return byte_budget_; }
+  uint64_t bytes_in_use() const;
+  uint64_t evictions() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    uint64_t hits = 0;
+  };
+
+  /// Drops LRU entries (back of lru_) until bytes_in_use_ <= byte_budget_,
+  /// never evicting `keep`.  Requires mu_ held.
+  void EvictLocked(const IndexSnapshot* keep, size_t* evicted);
+
+  const uint64_t byte_budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_name_;
+  uint64_t bytes_in_use_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_SERVICE_REGISTRY_H_

@@ -1,0 +1,676 @@
+#include "service/server.h"
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/net.h"
+#include "common/thread_pool.h"
+#include "core/ekdb_flat_join.h"
+#include "core/parallel_join.h"
+
+namespace simjoin {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint32_t ElapsedMs(Clock::time_point since) {
+  return static_cast<uint32_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // One client connection.  The socket, decoder, and membership in an io
+  // thread's connection list belong to that io thread alone; the write
+  // queue is the cross-thread handoff point (workers append response
+  // frames, the io thread drains them to the socket).
+  struct Conn {
+    TcpSocket sock;
+    FrameDecoder decoder;
+    size_t io_index = 0;
+
+    std::mutex write_mu;
+    std::deque<std::vector<uint8_t>> write_queue;  // guarded by write_mu
+    size_t write_offset = 0;   // sent bytes of write_queue.front()
+    bool dead = false;         // guarded by write_mu: drop further writes
+    bool close_after_flush = false;  // io thread only
+
+    explicit Conn(TcpSocket s, uint32_t max_payload)
+        : sock(std::move(s)), decoder(max_payload) {}
+  };
+
+  struct IoThread {
+    WakePipe wake;
+    std::thread thread;
+    std::mutex incoming_mu;
+    std::vector<std::shared_ptr<Conn>> incoming;  // guarded by incoming_mu
+  };
+
+  ServerConfig config;
+  TcpListener listener;
+  IndexRegistry registry;
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<TaskGroup> group;
+  std::vector<std::unique_ptr<IoThread>> io;
+  std::atomic<size_t> next_io{0};
+
+  std::atomic<bool> stop{false};
+  /// Admission gate: slots are freed just BEFORE the terminal response is
+  /// enqueued, so a client that pipelines its next request the instant it
+  /// reads a response can never be falsely rejected by a stale count.
+  std::atomic<size_t> inflight{0};
+  /// Dispatched-but-not-fully-finished requests; unlike inflight this only
+  /// drops AFTER the terminal response is queued, which is what the
+  /// shutdown drain condition needs (pending == 0 => every response byte
+  /// is visible to the io threads).
+  std::atomic<size_t> pending{0};
+
+  std::atomic<uint64_t> accepted_connections{0};
+  std::atomic<uint64_t> active_connections{0};
+  std::atomic<uint64_t> requests_admitted{0};
+  std::atomic<uint64_t> requests_rejected{0};
+  std::atomic<uint64_t> deadline_expired{0};
+  std::atomic<uint64_t> decode_errors{0};
+  std::atomic<uint64_t> pairs_streamed{0};
+
+  std::mutex join_mu;
+  bool joined = false;
+
+  explicit Impl(const ServerConfig& cfg)
+      : config(cfg), registry(cfg.registry_byte_budget) {}
+
+  // -- response plumbing ----------------------------------------------------
+
+  /// Queues one encoded frame on the connection and wakes its io thread.
+  /// Callable from any thread; silently drops frames for dead connections.
+  void EnqueueFrame(const std::shared_ptr<Conn>& conn,
+                    std::vector<uint8_t> frame) {
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->dead) return;
+      conn->write_queue.push_back(std::move(frame));
+    }
+    io[conn->io_index]->wake.Notify();
+  }
+
+  void Reply(const std::shared_ptr<Conn>& conn, FrameType type,
+             uint64_t request_id, std::span<const uint8_t> payload) {
+    EnqueueFrame(conn, EncodeFrame(type, request_id, 0, payload));
+  }
+
+  void ReplyError(const std::shared_ptr<Conn>& conn, uint64_t request_id,
+                  const Status& status) {
+    Reply(conn, FrameType::kError, request_id, EncodeErrorResponse(status));
+  }
+
+  // -- request execution (worker pool) --------------------------------------
+
+  /// Streams join result pairs as kJoinChunk frames while the join runs.
+  class ChunkSink : public PairSink {
+   public:
+    ChunkSink(Impl* impl, std::shared_ptr<Conn> conn, uint64_t request_id,
+              size_t chunk_pairs)
+        : impl_(impl),
+          conn_(std::move(conn)),
+          request_id_(request_id),
+          chunk_pairs_(chunk_pairs == 0 ? 1 : chunk_pairs) {
+      buffer_.reserve(chunk_pairs_);
+    }
+
+    void Emit(PointId a, PointId b) override {
+      buffer_.emplace_back(a, b);
+      if (buffer_.size() >= chunk_pairs_) FlushChunk();
+    }
+
+    void EmitBatch(std::span<const IdPair> pairs) override {
+      buffer_.insert(buffer_.end(), pairs.begin(), pairs.end());
+      if (buffer_.size() >= chunk_pairs_) FlushChunk();
+    }
+
+    /// Sends any buffered tail.  Must precede the kJoinDone frame.
+    void FlushChunk() {
+      if (buffer_.empty()) return;
+      total_ += buffer_.size();
+      impl_->pairs_streamed.fetch_add(buffer_.size(),
+                                      std::memory_order_relaxed);
+      impl_->Reply(conn_, FrameType::kJoinChunk, request_id_,
+                   EncodeJoinChunk(buffer_));
+      buffer_.clear();
+    }
+
+    uint64_t total_pairs() const { return total_; }
+
+   private:
+    Impl* impl_;
+    std::shared_ptr<Conn> conn_;
+    uint64_t request_id_;
+    size_t chunk_pairs_;
+    std::vector<IdPair> buffer_;
+    uint64_t total_ = 0;
+  };
+
+  /// Terminal response of one request, built by the handler and sent by
+  /// ExecuteRequest's tail (after the admission slot is released).
+  struct Terminal {
+    FrameType type = FrameType::kError;
+    std::vector<uint8_t> payload;
+  };
+
+  size_t ResolveThreads(uint32_t requested) const {
+    if (requested != 0) return requested;
+    if (config.worker_threads != 0) return config.worker_threads;
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  Status HandleBuildIndex(const Frame& frame, Terminal* out) {
+    BuildIndexRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseBuildIndexRequest(frame.payload, &req));
+    SIMJOIN_ASSIGN_OR_RETURN(Dataset data,
+                             Dataset::FromFlat(std::move(req.points), req.dims));
+    SIMJOIN_ASSIGN_OR_RETURN(
+        std::shared_ptr<const IndexSnapshot> snapshot,
+        IndexSnapshot::Build(req.name, std::move(data), req.config,
+                             ResolveThreads(req.num_threads)));
+    size_t evicted = 0;
+    SIMJOIN_RETURN_NOT_OK(registry.Put(snapshot, &evicted));
+    BuildIndexResponse resp;
+    resp.num_points = static_cast<uint32_t>(snapshot->dataset().size());
+    resp.dims = static_cast<uint32_t>(snapshot->dataset().dims());
+    resp.index_bytes = snapshot->memory_bytes();
+    resp.registry_bytes = registry.bytes_in_use();
+    resp.evicted = static_cast<uint32_t>(evicted);
+    resp.build_seconds = snapshot->build_seconds();
+    out->type = FrameType::kBuildIndexOk;
+    out->payload = EncodeBuildIndexResponse(resp);
+    return Status::OK();
+  }
+
+  Status HandleRangeQuery(const Frame& frame, Terminal* out) {
+    RangeQueryRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseRangeQueryRequest(frame.payload, &req));
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
+                             registry.Get(req.name));
+    const FlatEkdbTree& tree = snapshot->tree();
+    if (req.dims != tree.dims()) {
+      return Status::InvalidArgument(
+          "query dims " + std::to_string(req.dims) + " != index dims " +
+          std::to_string(tree.dims()));
+    }
+    const double eps =
+        req.epsilon == 0.0 ? tree.config().epsilon : req.epsilon;
+    const size_t count = req.queries.size() / req.dims;
+    RangeQueryResponse resp;
+    resp.results.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      SIMJOIN_RETURN_NOT_OK(tree.RangeQuery(req.queries.data() + i * req.dims,
+                                            eps, &resp.results[i],
+                                            &resp.stats));
+    }
+    out->type = FrameType::kRangeQueryResult;
+    out->payload = EncodeRangeQueryResponse(resp);
+    return Status::OK();
+  }
+
+  Status HandleSimilarityJoin(const std::shared_ptr<Conn>& conn,
+                              const Frame& frame, Terminal* out) {
+    SimilarityJoinRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseSimilarityJoinRequest(frame.payload, &req));
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> a,
+                             registry.Get(req.name_a));
+    std::shared_ptr<const IndexSnapshot> b;
+    if (!req.name_b.empty() && req.name_b != req.name_a) {
+      SIMJOIN_ASSIGN_OR_RETURN(b, registry.Get(req.name_b));
+      if (!FlatEkdbTree::JoinCompatible(a->tree(), b->tree())) {
+        return Status::InvalidArgument(
+            "indexes '" + req.name_a + "' and '" + req.name_b +
+            "' are not join-compatible (epsilon/metric/dims/dim order)");
+      }
+    }
+    const double build_eps = a->tree().config().epsilon;
+    const double eps = req.epsilon == 0.0 ? build_eps : req.epsilon;
+    const size_t threads = ResolveThreads(req.num_threads);
+    const size_t chunk = req.chunk_pairs != 0 ? req.chunk_pairs
+                                              : config.join_chunk_pairs;
+    ChunkSink sink(this, conn, frame.header.request_id, chunk);
+    JoinStats stats;
+    Status st;
+    // The parallel driver joins at build epsilon; narrower radii take the
+    // sequential radius-override path.  Either way the emitted pair
+    // sequence is the sequential sequence (the parallel engine's
+    // deterministic-merge guarantee), so clients cannot tell the difference.
+    const bool parallel = threads > 1 && eps == build_eps;
+    ParallelJoinConfig pcfg;
+    pcfg.num_threads = threads;
+    if (b == nullptr) {
+      st = parallel ? ParallelFlatEkdbSelfJoin(a->tree(), pcfg, &sink, &stats)
+           : eps == build_eps ? FlatEkdbSelfJoin(a->tree(), &sink, &stats)
+                              : FlatEkdbSelfJoinWithEpsilon(a->tree(), eps,
+                                                            &sink, &stats);
+    } else {
+      st = parallel
+               ? ParallelFlatEkdbJoin(a->tree(), b->tree(), pcfg, &sink,
+                                      &stats)
+           : eps == build_eps
+               ? FlatEkdbJoin(a->tree(), b->tree(), &sink, &stats)
+               : FlatEkdbJoinWithEpsilon(a->tree(), b->tree(), eps, &sink,
+                                         &stats);
+    }
+    SIMJOIN_RETURN_NOT_OK(st);
+    sink.FlushChunk();
+    JoinDone done;
+    done.total_pairs = sink.total_pairs();
+    done.stats = stats;
+    out->type = FrameType::kJoinDone;
+    out->payload = EncodeJoinDone(done);
+    return Status::OK();
+  }
+
+  Status HandleStats(Terminal* out) {
+    StatsResponse resp;
+    resp.accepted_connections =
+        accepted_connections.load(std::memory_order_relaxed);
+    resp.active_connections =
+        active_connections.load(std::memory_order_relaxed);
+    resp.requests_admitted = requests_admitted.load(std::memory_order_relaxed);
+    resp.requests_rejected = requests_rejected.load(std::memory_order_relaxed);
+    resp.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
+    resp.decode_errors = decode_errors.load(std::memory_order_relaxed);
+    resp.pairs_streamed = pairs_streamed.load(std::memory_order_relaxed);
+    resp.registry_byte_budget = registry.byte_budget();
+    resp.registry_bytes = registry.bytes_in_use();
+    resp.registry_evictions = registry.evictions();
+    for (const RegistryEntryInfo& entry : registry.List()) {
+      IndexInfo info;
+      info.name = entry.name;
+      info.num_points = static_cast<uint32_t>(entry.num_points);
+      info.dims = static_cast<uint32_t>(entry.dims);
+      info.bytes = entry.bytes;
+      info.hits = entry.hits;
+      info.epsilon = entry.epsilon;
+      info.metric = entry.metric;
+      resp.indexes.push_back(std::move(info));
+    }
+    out->type = FrameType::kStatsResult;
+    out->payload = EncodeStatsResponse(resp);
+    return Status::OK();
+  }
+
+  Status HandleDropIndex(const Frame& frame, Terminal* out) {
+    DropIndexRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseDropIndexRequest(frame.payload, &req));
+    DropIndexResponse resp;
+    resp.found = registry.Erase(req.name);
+    out->type = FrameType::kDropIndexOk;
+    out->payload = EncodeDropIndexResponse(resp);
+    return Status::OK();
+  }
+
+  /// Runs one admitted request on a worker thread.
+  void ExecuteRequest(const std::shared_ptr<Conn>& conn, const Frame& frame,
+                      Clock::time_point admitted_at) {
+    if (config.handler_delay_ms_for_testing > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.handler_delay_ms_for_testing));
+    }
+    Terminal term;
+    const uint32_t deadline = frame.header.deadline_ms;
+    if (deadline > 0 && ElapsedMs(admitted_at) > deadline) {
+      deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      term.payload = EncodeErrorResponse(Status::DeadlineExceeded(
+          "deadline of " + std::to_string(deadline) + " ms expired after " +
+          std::to_string(ElapsedMs(admitted_at)) + " ms"));
+    } else {
+      Status st;
+      switch (frame.header.type) {
+        case FrameType::kBuildIndex:
+          st = HandleBuildIndex(frame, &term);
+          break;
+        case FrameType::kRangeQuery:
+          st = HandleRangeQuery(frame, &term);
+          break;
+        case FrameType::kSimilarityJoin:
+          st = HandleSimilarityJoin(conn, frame, &term);
+          break;
+        case FrameType::kStats:
+          st = HandleStats(&term);
+          break;
+        case FrameType::kDropIndex:
+          st = HandleDropIndex(frame, &term);
+          break;
+        default:
+          st = Status::Internal("request type routed to worker unexpectedly");
+          break;
+      }
+      if (!st.ok()) {
+        term.type = FrameType::kError;
+        term.payload = EncodeErrorResponse(st);
+      }
+    }
+    std::vector<uint8_t> bytes =
+        EncodeFrame(term.type, frame.header.request_id, 0, term.payload);
+    // Free the admission slot BEFORE the response becomes visible: a client
+    // that sends its next request the moment it reads this response must
+    // find the slot open, not a stale count (false kRetryAfter).
+    inflight.fetch_sub(1, std::memory_order_acq_rel);
+    EnqueueFrame(conn, std::move(bytes));
+  }
+
+  // -- frame routing (io threads) --------------------------------------------
+
+  /// Decides what to do with one complete request frame: answer inline
+  /// (ping/shutdown), reject (overload / stopping / wrong direction), or
+  /// admit and dispatch to the worker pool.
+  void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
+    const FrameHeader& h = frame.header;
+    if (!IsRequestFrameType(h.type)) {
+      ReplyError(conn, h.request_id,
+                 Status::InvalidArgument("response-type frame sent to server"));
+      conn->close_after_flush = true;
+      return;
+    }
+    switch (h.type) {
+      case FrameType::kPing:
+        Reply(conn, FrameType::kPong, h.request_id, {});
+        return;
+      case FrameType::kShutdown:
+        Reply(conn, FrameType::kShutdownOk, h.request_id, {});
+        RequestStop();
+        return;
+      default:
+        break;
+    }
+    if (stop.load(std::memory_order_relaxed)) {
+      ReplyError(conn, h.request_id,
+                 Status::Unavailable("server is shutting down"));
+      return;
+    }
+    // Admission gate: bounded in-flight requests; beyond the bound the
+    // client gets an immediate retry hint instead of a queue slot.
+    if (inflight.fetch_add(1, std::memory_order_acq_rel) >=
+        config.max_inflight) {
+      inflight.fetch_sub(1, std::memory_order_acq_rel);
+      requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      Reply(conn, FrameType::kRetryAfter, h.request_id,
+            EncodeRetryAfterResponse(config.retry_after_ms));
+      return;
+    }
+    requests_admitted.fetch_add(1, std::memory_order_relaxed);
+    pending.fetch_add(1, std::memory_order_acq_rel);
+    const Clock::time_point admitted_at = Clock::now();
+    group->Run([this, conn, frame = std::move(frame), admitted_at]() {
+      ExecuteRequest(conn, frame, admitted_at);
+      // pending drops strictly after the terminal response is queued, so
+      // the drain-on-shutdown condition (pending == 0 and empty write
+      // queues) can never exit with a response still unqueued.
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+      io[conn->io_index]->wake.Notify();
+    });
+  }
+
+  // -- io loop ----------------------------------------------------------------
+
+  bool HasPendingWrites(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    return !conn->write_queue.empty();
+  }
+
+  /// Drains as much of the write queue as the socket accepts.  Returns
+  /// false on a hard socket error (caller closes the connection).
+  bool FlushWrites(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    while (!conn->write_queue.empty()) {
+      const std::vector<uint8_t>& front = conn->write_queue.front();
+      size_t sent = 0;
+      const Status st = conn->sock.SendSome(
+          front.data() + conn->write_offset, front.size() - conn->write_offset,
+          &sent);
+      if (!st.ok()) return false;
+      if (sent == 0) break;  // kernel buffer full; wait for POLLOUT
+      conn->write_offset += sent;
+      if (conn->write_offset == front.size()) {
+        conn->write_queue.pop_front();
+        conn->write_offset = 0;
+      }
+    }
+    return true;
+  }
+
+  void CloseConn(const std::shared_ptr<Conn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      conn->dead = true;
+      conn->write_queue.clear();
+    }
+    conn->sock.Close();
+    active_connections.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void RequestStop() {
+    stop.store(true, std::memory_order_seq_cst);
+    for (auto& t : io) t->wake.Notify();
+  }
+
+  /// Accepts every pending connection and hands each to an io thread
+  /// round-robin.  Only io thread 0 calls this.
+  void AcceptPending(std::vector<std::shared_ptr<Conn>>* own_conns) {
+    while (true) {
+      Result<TcpSocket> accepted = listener.Accept();
+      if (!accepted.ok()) {
+        SIMJOIN_LOG(Warning) << "accept: " << accepted.status().ToString();
+        return;
+      }
+      if (!accepted->valid()) return;  // drained
+      accepted_connections.fetch_add(1, std::memory_order_relaxed);
+      active_connections.fetch_add(1, std::memory_order_relaxed);
+      const size_t target =
+          next_io.fetch_add(1, std::memory_order_relaxed) % io.size();
+      auto conn = std::make_shared<Conn>(std::move(*accepted),
+                                         config.max_frame_payload);
+      conn->io_index = target;
+      if (target == 0) {
+        own_conns->push_back(std::move(conn));
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(io[target]->incoming_mu);
+          io[target]->incoming.push_back(std::move(conn));
+        }
+        io[target]->wake.Notify();
+      }
+    }
+  }
+
+  /// Reads whatever the socket has, feeds the decoder, and routes complete
+  /// frames.  Returns false when the connection should close (EOF, socket
+  /// error, or a poisoned frame stream).
+  bool DrainReadable(const std::shared_ptr<Conn>& conn) {
+    if (conn->close_after_flush) return true;  // stream already poisoned
+    uint8_t buf[64 << 10];
+    bool keep_open = true;
+    while (true) {
+      size_t n = 0;
+      bool eof = false;
+      if (!conn->sock.RecvSome(buf, sizeof(buf), &n, &eof).ok()) {
+        return false;
+      }
+      if (n > 0) conn->decoder.Append(buf, n);
+      if (eof) keep_open = false;
+      if (n == 0) break;
+    }
+    while (true) {
+      Frame frame;
+      bool got = false;
+      const Status st = conn->decoder.Next(&frame, &got);
+      if (!st.ok()) {
+        // Corrupt stream: frame boundaries are gone, so report once and
+        // hang up (flushing the error frame first).
+        decode_errors.fetch_add(1, std::memory_order_relaxed);
+        ReplyError(conn, 0, st);
+        conn->close_after_flush = true;
+        return true;
+      }
+      if (!got) break;
+      HandleFrame(conn, std::move(frame));
+    }
+    return keep_open;
+  }
+
+  void IoLoop(size_t index) {
+    IoThread& self = *io[index];
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<pollfd> fds;
+    bool listener_open = index == 0;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(self.incoming_mu);
+        for (auto& c : self.incoming) conns.push_back(std::move(c));
+        self.incoming.clear();
+      }
+      const bool stopping = stop.load(std::memory_order_seq_cst);
+      if (listener_open && stopping) {
+        listener.Close();
+        listener_open = false;
+      }
+
+      fds.clear();
+      fds.push_back(pollfd{self.wake.read_fd(), POLLIN, 0});
+      if (listener_open) fds.push_back(pollfd{listener.fd(), POLLIN, 0});
+      const size_t first_conn = fds.size();
+      for (const auto& conn : conns) {
+        short events = POLLIN;
+        if (HasPendingWrites(conn)) events |= POLLOUT;
+        fds.push_back(pollfd{conn->sock.fd(), events, 0});
+      }
+
+      ::poll(fds.data(), fds.size(), 25);
+      self.wake.Drain();
+      if (listener_open && (fds[1].revents & POLLIN) != 0) {
+        AcceptPending(&conns);
+      }
+
+      for (size_t i = 0; i < conns.size();) {
+        const std::shared_ptr<Conn>& conn = conns[i];
+        const short revents =
+            first_conn + i < fds.size() ? fds[first_conn + i].revents : 0;
+        bool keep = true;
+        if ((revents & (POLLERR | POLLNVAL)) != 0) keep = false;
+        if (keep && (revents & (POLLIN | POLLHUP)) != 0) {
+          keep = DrainReadable(conn);
+        }
+        if (!FlushWrites(conn)) keep = false;
+        if (keep && conn->close_after_flush && !HasPendingWrites(conn)) {
+          keep = false;
+        }
+        // A peer that half-closed (EOF) still gets its queued responses.
+        if (!keep && DrainFinished(conn)) {
+          CloseConn(conn);
+          conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+          // fds indexes are stale for the rest of this sweep; the next
+          // loop iteration rebuilds them.  Treat remaining conns as
+          // event-free this round.
+          fds.resize(first_conn);
+          continue;
+        }
+        if (!keep) conn->close_after_flush = true;
+        ++i;
+      }
+
+      if (stopping && pending.load(std::memory_order_seq_cst) == 0) {
+        bool all_flushed = true;
+        for (const auto& conn : conns) {
+          if (HasPendingWrites(conn)) {
+            all_flushed = false;
+            break;
+          }
+        }
+        if (all_flushed) break;
+      }
+    }
+    for (const auto& conn : conns) CloseConn(conn);
+    conns.clear();
+  }
+
+  /// True when it is safe to drop the connection: nothing queued, or the
+  /// socket already failed (queue cleared on error paths via dead flag).
+  bool DrainFinished(const std::shared_ptr<Conn>& conn) {
+    return !HasPendingWrites(conn);
+  }
+};
+
+Server::Server() = default;
+
+Server::~Server() {
+  Shutdown();
+  Wait();
+}
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerConfig& config) {
+  std::unique_ptr<Server> server(new Server());
+  server->impl_ = std::make_unique<Impl>(config);
+  Impl& impl = *server->impl_;
+  if (impl.config.io_threads == 0) impl.config.io_threads = 1;
+  SIMJOIN_RETURN_NOT_OK(
+      impl.listener.Listen(impl.config.host, impl.config.port));
+  impl.pool = &ThreadPool::Shared(impl.config.worker_threads);
+  impl.group = std::make_unique<TaskGroup>(impl.pool);
+  for (size_t i = 0; i < impl.config.io_threads; ++i) {
+    auto t = std::make_unique<Impl::IoThread>();
+    SIMJOIN_RETURN_NOT_OK(t->wake.Open());
+    impl.io.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < impl.io.size(); ++i) {
+    impl.io[i]->thread = std::thread([&impl, i]() { impl.IoLoop(i); });
+  }
+  return server;
+}
+
+uint16_t Server::port() const { return impl_->listener.port(); }
+
+void Server::Shutdown() {
+  if (impl_ != nullptr) impl_->RequestStop();
+}
+
+void Server::Wait() {
+  if (impl_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(impl_->join_mu);
+  if (impl_->joined) return;
+  for (auto& t : impl_->io) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+  // Io threads only exit once inflight hit zero, so this returns promptly.
+  impl_->group->Wait();
+  impl_->listener.Close();
+  impl_->joined = true;
+}
+
+ServerCounters Server::counters() const {
+  const Impl& impl = *impl_;
+  ServerCounters c;
+  c.accepted_connections =
+      impl.accepted_connections.load(std::memory_order_relaxed);
+  c.active_connections =
+      impl.active_connections.load(std::memory_order_relaxed);
+  c.requests_admitted =
+      impl.requests_admitted.load(std::memory_order_relaxed);
+  c.requests_rejected =
+      impl.requests_rejected.load(std::memory_order_relaxed);
+  c.deadline_expired = impl.deadline_expired.load(std::memory_order_relaxed);
+  c.decode_errors = impl.decode_errors.load(std::memory_order_relaxed);
+  c.pairs_streamed = impl.pairs_streamed.load(std::memory_order_relaxed);
+  return c;
+}
+
+IndexRegistry& Server::registry() { return impl_->registry; }
+
+}  // namespace simjoin

@@ -1,0 +1,115 @@
+// Poll-based TCP server for the similarity-join query service.
+//
+// Architecture (see docs/service.md for the ops view):
+//
+//   accept -> io threads -> admission gate -> worker pool -> io threads
+//
+// A small set of I/O threads each own a poll() loop over a disjoint subset
+// of connections: they read bytes, run the frame decoder, and flush queued
+// response bytes.  Complete request frames pass an admission gate — a
+// bounded count of in-flight requests — and are dispatched as tasks onto the
+// shared work-stealing ThreadPool, which executes them against immutable
+// IndexRegistry snapshots and enqueues response frames back on the
+// connection (waking its io thread through a self-pipe).  When the gate is
+// full the io thread answers kRetryAfter immediately instead of queueing —
+// overload sheds load in O(1) with a client-visible retry hint rather than
+// by letting latency grow without bound.  Each request may carry a deadline;
+// a request that expires while queued is answered kError/DEADLINE_EXCEEDED
+// without touching the index.
+//
+// Query execution never locks the registry for longer than a map lookup:
+// handlers copy out a shared_ptr snapshot and run lock-free against it, so
+// concurrent BuildIndex requests (which insert new snapshots) neither block
+// nor are blocked by running queries.  Responses are bit-identical to the
+// in-process FlatEkdbTree APIs — same id order, same pair sequence, same
+// JoinStats — which the loopback differential tests assert.
+
+#ifndef SIMJOIN_SERVICE_SERVER_H_
+#define SIMJOIN_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "service/protocol.h"
+#include "service/registry.h"
+
+namespace simjoin {
+
+/// Server tuning knobs.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;      ///< 0 = ephemeral; read back via Server::port()
+  size_t io_threads = 1;  ///< poll loops decoding frames / flushing writes
+  size_t worker_threads = 0;  ///< request executors; 0 = hardware concurrency
+
+  /// Admission gate: at most this many requests dispatched-but-unanswered.
+  /// Requests arriving beyond the bound get kRetryAfter instead of queueing.
+  size_t max_inflight = 256;
+  /// Retry hint sent with kRetryAfter rejections.
+  uint32_t retry_after_ms = 20;
+
+  /// Byte budget of the index registry (LRU-evicted beyond it).
+  uint64_t registry_byte_budget = 4ull << 30;
+
+  /// Ceiling on one request frame's payload.
+  uint32_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Result pairs per streamed kJoinChunk frame (when the request does not
+  /// choose its own chunking).
+  uint32_t join_chunk_pairs = 8192;
+
+  /// Test hook: sleep this long at the start of every worker-side request,
+  /// so deadline and backpressure paths can be exercised deterministically.
+  uint32_t handler_delay_ms_for_testing = 0;
+};
+
+/// Counter snapshot (monotonic except active_connections).
+struct ServerCounters {
+  uint64_t accepted_connections = 0;
+  uint64_t active_connections = 0;
+  uint64_t requests_admitted = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t decode_errors = 0;
+  uint64_t pairs_streamed = 0;
+};
+
+/// Running service instance.  Start() binds and spins up the io threads;
+/// the server runs until a kShutdown frame arrives or Shutdown() is called
+/// locally; Wait() blocks until fully drained (all io threads joined, all
+/// dispatched requests finished).
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(const ServerConfig& config);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Port actually bound (resolves an ephemeral request).
+  uint16_t port() const;
+
+  /// Initiates an orderly stop: stop accepting, answer nothing new, flush
+  /// pending responses, then tear down.  Idempotent, callable from any
+  /// thread (including request handlers).
+  void Shutdown();
+
+  /// Blocks until the server has fully stopped.
+  void Wait();
+
+  /// Point-in-time counters.
+  ServerCounters counters() const;
+
+  /// The index registry (pre-loading indexes before serving is fine).
+  IndexRegistry& registry();
+
+ private:
+  Server();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_SERVICE_SERVER_H_

@@ -13,6 +13,7 @@
 #include "common/bounding_box.h"    // IWYU pragma: export
 #include "common/csv.h"             // IWYU pragma: export
 #include "common/dataset.h"         // IWYU pragma: export
+#include "common/net.h"             // IWYU pragma: export
 #include "common/eigen.h"           // IWYU pragma: export
 #include "common/logging.h"         // IWYU pragma: export
 #include "common/metric.h"          // IWYU pragma: export
@@ -54,6 +55,12 @@
 // R-tree comparator family.
 #include "rtree/rtree.h"            // IWYU pragma: export
 #include "rtree/rtree_join.h"       // IWYU pragma: export
+
+// Query service: wire protocol, TCP server, index registry, client.
+#include "service/client.h"    // IWYU pragma: export
+#include "service/protocol.h"  // IWYU pragma: export
+#include "service/registry.h"  // IWYU pragma: export
+#include "service/server.h"    // IWYU pragma: export
 
 // Workloads.
 #include "workload/fft.h"             // IWYU pragma: export

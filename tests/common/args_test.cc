@@ -87,5 +87,25 @@ TEST(ArgParserDeathTest, UndeclaredFlagAccessAborts) {
   EXPECT_DEATH(parser.GetString("nope"), "was not declared");
 }
 
+TEST(ArgParserDeathTest, MalformedIntegerAborts) {
+  for (const char* bad : {"abc", "", "12x", "1.5"}) {
+    ArgParser parser = MakeParser();
+    const std::string arg = std::string("--n=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(parser.Parse(2, argv).ok());
+    EXPECT_DEATH(parser.GetInt("n"), "expects an integer") << bad;
+  }
+}
+
+TEST(ArgParserDeathTest, MalformedDoubleAborts) {
+  for (const char* bad : {"abc", "", "0.5q"}) {
+    ArgParser parser = MakeParser();
+    const std::string arg = std::string("--epsilon=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(parser.Parse(2, argv).ok());
+    EXPECT_DEATH(parser.GetDouble("epsilon"), "expects a number") << bad;
+  }
+}
+
 }  // namespace
 }  // namespace simjoin

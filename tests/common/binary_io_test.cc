@@ -109,5 +109,68 @@ TEST(BinaryIoTest, TruncatedPayloadIsIoError) {
   std::remove(path.c_str());
 }
 
+// Builds a file with an arbitrary header and payload size, bypassing the
+// writer's invariants, to probe the reader's validation.
+void WriteRawFile(const std::string& path, uint64_t num_points, uint64_t dims,
+                  size_t payload_bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const uint32_t magic = 0x534a4442;
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&num_points), sizeof(num_points));
+  out.write(reinterpret_cast<const char*>(&dims), sizeof(dims));
+  const std::vector<char> payload(payload_bytes, 0);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+TEST(BinaryIoTest, ShortPayloadRejectedAtOpen) {
+  // The size check must fire at Open, before anything allocates
+  // num_points * dims floats from the (lying) header.
+  const std::string path = TempPath("short.sjdb");
+  WriteRawFile(path, /*num_points=*/100, /*dims=*/4, /*payload_bytes=*/64);
+  BinaryDatasetReader reader;
+  EXPECT_EQ(reader.Open(path).code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, TrailingBytesRejectedAtOpen) {
+  const std::string path = TempPath("long.sjdb");
+  WriteRawFile(path, /*num_points=*/2, /*dims=*/2, /*payload_bytes=*/17);
+  BinaryDatasetReader reader;
+  EXPECT_EQ(reader.Open(path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, HostileHeaderSizesRejected) {
+  const std::string path = TempPath("hostile.sjdb");
+  // num_points * dims * 4 wraps around u64; must not turn into a small
+  // (seemingly satisfiable) expectation.
+  WriteRawFile(path, ~uint64_t{0} / 4, 8, 32);
+  {
+    BinaryDatasetReader reader;
+    EXPECT_EQ(reader.Open(path).code(), StatusCode::kInvalidArgument);
+  }
+
+  // Absurd dimensionality is rejected outright.
+  WriteRawFile(path, 1, uint64_t{1} << 40, 32);
+  {
+    BinaryDatasetReader reader;
+    EXPECT_EQ(reader.Open(path).code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, EmptyDatasetWithDimsRoundTrips) {
+  Dataset empty(0, 5);
+  const std::string path = TempPath("empty.sjdb");
+  ASSERT_TRUE(WriteBinaryDataset(empty, path).ok());
+  auto loaded = ReadBinaryDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->dims(), 5u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace simjoin

@@ -1,0 +1,303 @@
+#include "service/protocol.h"
+
+#include <cstring>
+
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+Frame MustDecodeOne(std::span<const uint8_t> bytes) {
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool got = false;
+  const Status st = decoder.Next(&frame, &got);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(ProtocolTest, FrameHeaderRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> bytes =
+      EncodeFrame(FrameType::kRangeQuery, 42, 750, payload);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + payload.size());
+  const Frame frame = MustDecodeOne(bytes);
+  EXPECT_EQ(frame.header.type, FrameType::kRangeQuery);
+  EXPECT_EQ(frame.header.request_id, 42u);
+  EXPECT_EQ(frame.header.deadline_ms, 750u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ProtocolTest, DecoderReassemblesByteAtATime) {
+  const std::vector<uint8_t> payload(300, 0xab);
+  const std::vector<uint8_t> bytes =
+      EncodeFrame(FrameType::kJoinChunk, 7, 0, payload);
+  FrameDecoder decoder;
+  Frame frame;
+  bool got = false;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    decoder.Append(&bytes[i], 1);
+    ASSERT_TRUE(decoder.Next(&frame, &got).ok());
+    EXPECT_EQ(got, i + 1 == bytes.size());
+  }
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ProtocolTest, DecoderSplitsConcatenatedFrames) {
+  std::vector<uint8_t> stream;
+  for (uint64_t id = 0; id < 5; ++id) {
+    const std::vector<uint8_t> payload(id * 10, static_cast<uint8_t>(id));
+    const auto f = EncodeFrame(FrameType::kPing, id, 0, payload);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder decoder;
+  decoder.Append(stream.data(), stream.size());
+  for (uint64_t id = 0; id < 5; ++id) {
+    Frame frame;
+    bool got = false;
+    ASSERT_TRUE(decoder.Next(&frame, &got).ok());
+    ASSERT_TRUE(got);
+    EXPECT_EQ(frame.header.request_id, id);
+    EXPECT_EQ(frame.payload.size(), id * 10);
+  }
+  bool got = true;
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(ProtocolTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes = EncodeFrame(FrameType::kPing, 1, 0, {});
+  bytes[0] ^= 0xff;
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool got = false;
+  EXPECT_FALSE(decoder.Next(&frame, &got).ok());
+  // The error is sticky: the stream cannot be resynchronised.
+  EXPECT_FALSE(decoder.Next(&frame, &got).ok());
+}
+
+TEST(ProtocolTest, WrongVersionRejected) {
+  std::vector<uint8_t> bytes = EncodeFrame(FrameType::kPing, 1, 0, {});
+  bytes[4] = kWireVersion + 1;
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool got = false;
+  EXPECT_FALSE(decoder.Next(&frame, &got).ok());
+}
+
+TEST(ProtocolTest, UnknownTypeRejected) {
+  std::vector<uint8_t> bytes = EncodeFrame(FrameType::kPing, 1, 0, {});
+  bytes[5] = 40;  // not a defined FrameType
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool got = false;
+  EXPECT_FALSE(decoder.Next(&frame, &got).ok());
+}
+
+TEST(ProtocolTest, OversizedPayloadRejectedBeforeBuffering) {
+  // Header declares 2 MB against a 1 MB decoder bound; the decoder must
+  // fail on the header alone, not wait for (or allocate) the payload.
+  const std::vector<uint8_t> payload;
+  std::vector<uint8_t> bytes = EncodeFrame(FrameType::kPing, 1, 0, payload);
+  const uint32_t huge = 2u << 20;
+  std::memcpy(&bytes[8], &huge, sizeof(huge));
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool got = false;
+  EXPECT_FALSE(decoder.Next(&frame, &got).ok());
+}
+
+TEST(ProtocolTest, BuildIndexRequestRoundTrip) {
+  BuildIndexRequest req;
+  req.name = "fleet";
+  req.config.epsilon = 0.125;
+  req.config.metric = Metric::kLinf;
+  req.config.leaf_threshold = 48;
+  req.config.bbox_pruning = false;
+  req.config.dim_order = {2, 0, 1};
+  req.num_threads = 3;
+  req.dims = 3;
+  req.points = {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f};
+  BuildIndexRequest out;
+  ASSERT_TRUE(ParseBuildIndexRequest(EncodeBuildIndexRequest(req), &out).ok());
+  EXPECT_EQ(out.name, req.name);
+  EXPECT_EQ(out.config.epsilon, req.config.epsilon);
+  EXPECT_EQ(out.config.metric, req.config.metric);
+  EXPECT_EQ(out.config.leaf_threshold, req.config.leaf_threshold);
+  EXPECT_EQ(out.config.bbox_pruning, req.config.bbox_pruning);
+  EXPECT_EQ(out.config.dim_order, req.config.dim_order);
+  EXPECT_EQ(out.num_threads, req.num_threads);
+  EXPECT_EQ(out.dims, req.dims);
+  EXPECT_EQ(out.points, req.points);
+}
+
+TEST(ProtocolTest, BuildIndexRequestPointCountMismatchRejected) {
+  BuildIndexRequest req;
+  req.name = "x";
+  req.dims = 4;
+  req.points = {0.1f, 0.2f, 0.3f};  // not a multiple of dims
+  BuildIndexRequest out;
+  EXPECT_FALSE(
+      ParseBuildIndexRequest(EncodeBuildIndexRequest(req), &out).ok());
+}
+
+TEST(ProtocolTest, RangeQueryRoundTrip) {
+  RangeQueryRequest req;
+  req.name = "idx";
+  req.epsilon = 0.07;
+  req.dims = 2;
+  req.queries = {0.5f, 0.5f, 0.9f, 0.1f};
+  RangeQueryRequest out;
+  ASSERT_TRUE(ParseRangeQueryRequest(EncodeRangeQueryRequest(req), &out).ok());
+  EXPECT_EQ(out.name, req.name);
+  EXPECT_EQ(out.epsilon, req.epsilon);
+  EXPECT_EQ(out.queries, req.queries);
+
+  RangeQueryResponse resp;
+  resp.results = {{1, 5, 9}, {}, {1u << 30}};
+  resp.stats.distance_calls = 77;
+  resp.stats.simd_batches = 3;
+  RangeQueryResponse parsed;
+  ASSERT_TRUE(
+      ParseRangeQueryResponse(EncodeRangeQueryResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.results, resp.results);
+  EXPECT_EQ(parsed.stats.distance_calls, 77u);
+  EXPECT_EQ(parsed.stats.simd_batches, 3u);
+}
+
+TEST(ProtocolTest, JoinMessagesRoundTrip) {
+  SimilarityJoinRequest req;
+  req.name_a = "a";
+  req.name_b = "b";
+  req.epsilon = 0.3;
+  req.num_threads = 4;
+  req.chunk_pairs = 1000;
+  SimilarityJoinRequest out;
+  ASSERT_TRUE(
+      ParseSimilarityJoinRequest(EncodeSimilarityJoinRequest(req), &out).ok());
+  EXPECT_EQ(out.name_a, "a");
+  EXPECT_EQ(out.name_b, "b");
+  EXPECT_EQ(out.chunk_pairs, 1000u);
+
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 3}, {1u << 20, 5}};
+  JoinChunk chunk;
+  ASSERT_TRUE(ParseJoinChunk(EncodeJoinChunk(pairs), &chunk).ok());
+  EXPECT_EQ(chunk.pairs, pairs);
+
+  JoinDone done;
+  done.total_pairs = 3;
+  done.stats.candidate_pairs = 9;
+  done.stats.pairs_emitted = 3;
+  done.stats.scalar_fallbacks = 1;
+  JoinDone parsed;
+  ASSERT_TRUE(ParseJoinDone(EncodeJoinDone(done), &parsed).ok());
+  EXPECT_EQ(parsed.total_pairs, 3u);
+  EXPECT_EQ(parsed.stats.candidate_pairs, 9u);
+  EXPECT_EQ(parsed.stats.scalar_fallbacks, 1u);
+}
+
+TEST(ProtocolTest, StatsRoundTrip) {
+  StatsResponse resp;
+  resp.requests_admitted = 10;
+  resp.requests_rejected = 2;
+  resp.registry_bytes = 12345;
+  IndexInfo info;
+  info.name = "base";
+  info.num_points = 100;
+  info.dims = 16;
+  info.bytes = 6400;
+  info.hits = 9;
+  info.epsilon = 0.1;
+  info.metric = Metric::kL1;
+  resp.indexes.push_back(info);
+  StatsResponse parsed;
+  ASSERT_TRUE(ParseStatsResponse(EncodeStatsResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.requests_admitted, 10u);
+  ASSERT_EQ(parsed.indexes.size(), 1u);
+  EXPECT_EQ(parsed.indexes[0].name, "base");
+  EXPECT_EQ(parsed.indexes[0].metric, Metric::kL1);
+  EXPECT_EQ(parsed.indexes[0].epsilon, 0.1);
+}
+
+TEST(ProtocolTest, ErrorStatusRoundTrip) {
+  const Status original = Status::NotFound("no index named 'zap'");
+  Status parsed = Status::OK();
+  ASSERT_TRUE(ParseErrorResponse(EncodeErrorResponse(original), &parsed).ok());
+  EXPECT_EQ(parsed.code(), StatusCode::kNotFound);
+  EXPECT_EQ(parsed.message(), original.message());
+}
+
+TEST(ProtocolTest, RetryAfterRoundTrip) {
+  RetryAfterResponse parsed;
+  ASSERT_TRUE(
+      ParseRetryAfterResponse(EncodeRetryAfterResponse(35), &parsed).ok());
+  EXPECT_EQ(parsed.retry_after_ms, 35u);
+}
+
+TEST(ProtocolTest, TruncatedPayloadsRejected) {
+  BuildIndexRequest req;
+  req.name = "idx";
+  req.dims = 2;
+  req.points = {0.1f, 0.2f};
+  const std::vector<uint8_t> full = EncodeBuildIndexRequest(req);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    BuildIndexRequest out;
+    EXPECT_FALSE(
+        ParseBuildIndexRequest(std::span(full.data(), cut), &out).ok())
+        << "accepted a payload truncated to " << cut << " bytes";
+  }
+}
+
+TEST(ProtocolTest, TrailingGarbageRejected) {
+  DropIndexRequest req;
+  req.name = "idx";
+  std::vector<uint8_t> payload = EncodeDropIndexRequest(req);
+  payload.push_back(0);
+  DropIndexRequest out;
+  EXPECT_FALSE(ParseDropIndexRequest(payload, &out).ok());
+}
+
+TEST(ProtocolTest, HostileStringLengthRejected) {
+  // A name length field of 0xffffffff must fail cleanly, not allocate 4 GB.
+  WireWriter w;
+  w.U32(0xffffffffu);
+  const std::vector<uint8_t>& payload = w.buffer();
+  DropIndexRequest out;
+  EXPECT_FALSE(ParseDropIndexRequest(payload, &out).ok());
+}
+
+TEST(ProtocolTest, WireReaderBounds) {
+  const uint8_t bytes[] = {1, 2, 3};
+  WireReader r(bytes);
+  uint32_t v32 = 0;
+  EXPECT_FALSE(r.U32(&v32).ok());  // only 3 bytes left
+  uint8_t v8 = 0;
+  ASSERT_TRUE(r.U8(&v8).ok());
+  EXPECT_EQ(v8, 1);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.ExpectEnd().ok());
+  uint16_t v16 = 0;
+  ASSERT_TRUE(r.U16(&v16).ok());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(ProtocolTest, FloatArrayOverflowGuard) {
+  // Request more floats than the payload could hold; the count * 4
+  // multiplication must not wrap into a small allocation.
+  WireWriter w;
+  w.U32(7);
+  WireReader r(w.buffer());
+  std::vector<float> out;
+  EXPECT_FALSE(r.FloatArray(static_cast<size_t>(1) << 62, &out).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

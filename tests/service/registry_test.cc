@@ -1,0 +1,216 @@
+#include "service/registry.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+EkdbConfig Config(double epsilon = 0.1) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = 16;
+  return config;
+}
+
+std::shared_ptr<const IndexSnapshot> MustBuild(const std::string& name,
+                                               size_t n, uint64_t seed,
+                                               size_t threads = 1) {
+  auto data = GenerateUniform({.n = n, .dims = 4, .seed = seed});
+  EXPECT_TRUE(data.ok());
+  auto snapshot =
+      IndexSnapshot::Build(name, std::move(*data), Config(), threads);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return *snapshot;
+}
+
+TEST(RegistryTest, PutGetErase) {
+  IndexRegistry registry(64 << 20);
+  auto snap = MustBuild("alpha", 200, 1);
+  ASSERT_TRUE(registry.Put(snap).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.bytes_in_use(), snap->memory_bytes());
+
+  auto got = registry.Get("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->get(), snap.get());
+  EXPECT_FALSE(registry.Get("beta").ok());
+
+  EXPECT_TRUE(registry.Erase("alpha"));
+  EXPECT_FALSE(registry.Erase("alpha"));
+  EXPECT_EQ(registry.bytes_in_use(), 0u);
+}
+
+TEST(RegistryTest, PutReplacesSameName) {
+  IndexRegistry registry(64 << 20);
+  auto first = MustBuild("idx", 100, 1);
+  auto second = MustBuild("idx", 300, 2);
+  ASSERT_TRUE(registry.Put(first).ok());
+  ASSERT_TRUE(registry.Put(second).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  auto got = registry.Get("idx");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->dataset().size(), 300u);
+  EXPECT_EQ(registry.bytes_in_use(), second->memory_bytes());
+}
+
+TEST(RegistryTest, LruEvictionUnderByteBudget) {
+  auto a = MustBuild("a", 200, 1);
+  auto b = MustBuild("b", 200, 2);
+  auto c = MustBuild("c", 200, 3);
+  // Budget fits roughly two of the three same-sized indexes.
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() +
+                         c->memory_bytes() / 2);
+  ASSERT_TRUE(registry.Put(a).ok());
+  ASSERT_TRUE(registry.Put(b).ok());
+  // Touch "a" so "b" is the LRU entry when "c" arrives.
+  ASSERT_TRUE(registry.Get("a").ok());
+  size_t evicted = 0;
+  ASSERT_TRUE(registry.Put(c, &evicted).ok());
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(registry.evictions(), 1u);
+  EXPECT_TRUE(registry.Get("a").ok());
+  EXPECT_FALSE(registry.Get("b").ok());
+  EXPECT_TRUE(registry.Get("c").ok());
+  EXPECT_LE(registry.bytes_in_use(), registry.byte_budget());
+}
+
+TEST(RegistryTest, NewestEntryNeverEvicted) {
+  auto a = MustBuild("a", 200, 1);
+  auto b = MustBuild("b", 200, 2);
+  // Budget below one index would reject; budget between one and two must
+  // keep exactly the new arrival.
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2);
+  ASSERT_TRUE(registry.Put(a).ok());
+  size_t evicted = 0;
+  ASSERT_TRUE(registry.Put(b, &evicted).ok());
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_FALSE(registry.Get("a").ok());
+  EXPECT_TRUE(registry.Get("b").ok());
+}
+
+TEST(RegistryTest, OverBudgetSnapshotRejected) {
+  auto a = MustBuild("a", 200, 1);
+  IndexRegistry registry(a->memory_bytes() - 1);
+  EXPECT_FALSE(registry.Put(a).ok());
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.bytes_in_use(), 0u);
+}
+
+TEST(RegistryTest, ListIsMruFirst) {
+  IndexRegistry registry(256 << 20);
+  ASSERT_TRUE(registry.Put(MustBuild("one", 100, 1)).ok());
+  ASSERT_TRUE(registry.Put(MustBuild("two", 100, 2)).ok());
+  ASSERT_TRUE(registry.Get("one").ok());
+  const std::vector<RegistryEntryInfo> list = registry.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].name, "one");
+  EXPECT_EQ(list[1].name, "two");
+  EXPECT_EQ(list[0].hits, 1u);
+  EXPECT_EQ(list[0].num_points, 100u);
+}
+
+TEST(RegistryTest, EvictedSnapshotStaysQueryable) {
+  auto a = MustBuild("a", 300, 1);
+  auto b = MustBuild("b", 300, 2);
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2);
+  ASSERT_TRUE(registry.Put(a).ok());
+  auto held = registry.Get("a");
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(registry.Put(b).ok());  // evicts "a" from the registry
+  EXPECT_FALSE(registry.Get("a").ok());
+  // The held reference is unaffected by eviction.
+  std::vector<PointId> out;
+  const float* q = (*held)->dataset().Row(0);
+  EXPECT_TRUE((*held)->tree().RangeQuery(q, 0.05, &out).ok());
+}
+
+// -- concurrency (exercised under scripts/check_tsan.sh) --------------------
+
+TEST(RegistryConcurrencyTest, BuildWhileQuerying) {
+  IndexRegistry registry(512 << 20);
+  ASSERT_TRUE(registry.Put(MustBuild("serve", 400, 7)).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+  std::thread reader([&]() {
+    while (!done.load()) {
+      auto snap = registry.Get("serve");
+      ASSERT_TRUE(snap.ok());
+      std::vector<PointId> out;
+      const float* q = (*snap)->dataset().Row(0);
+      ASSERT_TRUE((*snap)->tree().RangeQuery(q, 0.08, &out).ok());
+      EXPECT_FALSE(out.empty());  // the query point itself is in range
+      queries.fetch_add(1);
+    }
+  });
+  // Keep replacing the snapshot the reader is querying.
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(registry.Put(MustBuild("serve", 400, 100 + i)).ok());
+  }
+  // On a loaded single-core host the reader may not have been scheduled at
+  // all yet; hold the overlap window open until it ran at least once.
+  while (queries.load() == 0) std::this_thread::yield();
+  done.store(true);
+  reader.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryConcurrencyTest, EvictionWhileQuerying) {
+  auto first = MustBuild("hot-0", 300, 1);
+  // Budget of ~2 indexes, with a writer cycling through 6 names: entries
+  // are constantly evicted while readers hold and query them.
+  IndexRegistry registry(2 * first->memory_bytes() +
+                         first->memory_bytes() / 2);
+  ASSERT_TRUE(registry.Put(first).ok());
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      while (!done.load()) {
+        for (int i = 0; i < 6; ++i) {
+          auto snap = registry.Get("hot-" + std::to_string(i));
+          if (!snap.ok()) continue;  // evicted; fine
+          std::vector<PointId> out;
+          const float* q = (*snap)->dataset().Row(0);
+          ASSERT_TRUE((*snap)->tree().RangeQuery(q, 0.05, &out).ok());
+        }
+      }
+    });
+  }
+  for (int i = 1; i < 12; ++i) {
+    ASSERT_TRUE(
+        registry.Put(MustBuild("hot-" + std::to_string(i % 6), 300, 40 + i))
+            .ok());
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(registry.evictions(), 0u);
+  EXPECT_LE(registry.bytes_in_use(), registry.byte_budget());
+}
+
+TEST(RegistryConcurrencyTest, ReleaseOrderingFreesEvictedSnapshots) {
+  auto probe = MustBuild("n0", 200, 1);
+  std::weak_ptr<const IndexSnapshot> watch = probe;
+  IndexRegistry registry(probe->memory_bytes() + probe->memory_bytes() / 2);
+  ASSERT_TRUE(registry.Put(std::move(probe)).ok());
+
+  // Hold the snapshot from another thread across its eviction, then drop
+  // the reference; the snapshot must be destroyed exactly then.
+  auto held = registry.Get("n0");
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(registry.Put(MustBuild("n1", 200, 2)).ok());  // evicts n0
+  EXPECT_FALSE(watch.expired());
+  std::thread releaser([held = std::move(*held)]() mutable { held.reset(); });
+  releaser.join();
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,366 @@
+// Differential loopback tests: every result that crosses the wire must be
+// bit-identical to the in-process FlatEkdbTree APIs on the same data —
+// same neighbour id order, same join pair sequence, same JoinStats — at
+// every thread count.  The service adds transport, not semantics.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/ekdb_flat.h"
+#include "core/ekdb_flat_join.h"
+#include "core/ekdb_tree.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+EkdbConfig Config(double epsilon = 0.1) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = 16;
+  return config;
+}
+
+Dataset MakeData(size_t n, size_t dims, uint64_t seed) {
+  auto data = GenerateUniform({.n = n, .dims = dims, .seed = seed});
+  EXPECT_TRUE(data.ok());
+  return std::move(*data);
+}
+
+BuildIndexRequest BuildRequestFor(const std::string& name,
+                                  const Dataset& data,
+                                  const EkdbConfig& config) {
+  BuildIndexRequest req;
+  req.name = name;
+  req.config = config;
+  req.dims = static_cast<uint32_t>(data.dims());
+  req.points = data.flat();
+  return req;
+}
+
+struct LiveServer {
+  std::unique_ptr<Server> server;
+  Client client;
+};
+
+LiveServer StartWithClient(ServerConfig config = {}) {
+  auto server = Server::Start(config);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  ClientConfig client_config;
+  client_config.port = (*server)->port();
+  auto client = Client::Connect(client_config);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return LiveServer{std::move(*server), std::move(*client)};
+}
+
+void ExpectStatsEqual(const JoinStats& a, const JoinStats& b) {
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs);
+  EXPECT_EQ(a.distance_calls, b.distance_calls);
+  EXPECT_EQ(a.node_pairs_visited, b.node_pairs_visited);
+  EXPECT_EQ(a.node_pairs_pruned, b.node_pairs_pruned);
+  EXPECT_EQ(a.pairs_emitted, b.pairs_emitted);
+  EXPECT_EQ(a.simd_batches, b.simd_batches);
+  EXPECT_EQ(a.scalar_fallbacks, b.scalar_fallbacks);
+}
+
+TEST(ServerLoopbackTest, PingAndStats) {
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(live.client.Ping().ok());
+  auto stats = live.client.GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->accepted_connections, 1u);
+  EXPECT_EQ(stats->indexes.size(), 0u);
+}
+
+TEST(ServerLoopbackTest, RangeQueryMatchesInProcessBitForBit) {
+  const Dataset data = MakeData(500, 8, 11);
+  const EkdbConfig config = Config(0.2);
+
+  // In-process reference.
+  auto ref_tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(ref_tree.ok());
+  auto ref_flat = FlatEkdbTree::FromTree(*ref_tree);
+  ASSERT_TRUE(ref_flat.ok());
+
+  LiveServer live = StartWithClient();
+  auto built = live.client.BuildIndex(BuildRequestFor("d", data, config));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built->num_points, 500u);
+
+  RangeQueryRequest req;
+  req.name = "d";
+  req.epsilon = 0.15;
+  req.dims = static_cast<uint32_t>(data.dims());
+  const size_t batch = 40;
+  req.queries.assign(data.flat().begin(),
+                     data.flat().begin() + batch * data.dims());
+  auto resp = live.client.RangeQuery(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->results.size(), batch);
+
+  JoinStats ref_stats;
+  for (size_t i = 0; i < batch; ++i) {
+    std::vector<PointId> expected;
+    ASSERT_TRUE(
+        ref_flat->RangeQuery(data.Row(i), 0.15, &expected, &ref_stats).ok());
+    EXPECT_EQ(resp->results[i], expected) << "query " << i;
+  }
+  ExpectStatsEqual(resp->stats, ref_stats);
+}
+
+TEST(ServerLoopbackTest, SelfJoinMatchesInProcessAtEveryThreadCount) {
+  const Dataset data = MakeData(600, 6, 23);
+  const EkdbConfig config = Config(0.15);
+
+  auto ref_tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(ref_tree.ok());
+  auto ref_flat = FlatEkdbTree::FromTree(*ref_tree);
+  ASSERT_TRUE(ref_flat.ok());
+  VectorSink expected;
+  JoinStats ref_stats;
+  ASSERT_TRUE(FlatEkdbSelfJoin(*ref_flat, &expected, &ref_stats).ok());
+
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, config)).ok());
+
+  for (const uint32_t threads : {1u, 2u, 4u}) {
+    SimilarityJoinRequest req;
+    req.name_a = "d";
+    req.num_threads = threads;
+    req.chunk_pairs = 97;  // force many chunks so reassembly is exercised
+    VectorSink got;
+    auto done = live.client.SimilarityJoin(req, &got);
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    // Exact sequence, not just the same set: the wire preserves the
+    // deterministic emission order of the join engine.
+    EXPECT_EQ(got.pairs(), expected.pairs()) << "threads=" << threads;
+    EXPECT_EQ(done->total_pairs, expected.pairs().size());
+    ExpectStatsEqual(done->stats, ref_stats);
+  }
+}
+
+TEST(ServerLoopbackTest, CrossJoinAndNarrowedEpsilonMatch) {
+  const Dataset a = MakeData(300, 5, 31);
+  const Dataset b = MakeData(250, 5, 37);
+  const EkdbConfig config = Config(0.2);
+
+  auto ta = EkdbTree::Build(a, config);
+  auto tb = EkdbTree::Build(b, config);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  auto fa = FlatEkdbTree::FromTree(*ta);
+  auto fb = FlatEkdbTree::FromTree(*tb);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  VectorSink expected;
+  JoinStats ref_stats;
+  ASSERT_TRUE(
+      FlatEkdbJoinWithEpsilon(*fa, *fb, 0.12, &expected, &ref_stats).ok());
+
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(live.client.BuildIndex(BuildRequestFor("a", a, config)).ok());
+  ASSERT_TRUE(live.client.BuildIndex(BuildRequestFor("b", b, config)).ok());
+
+  SimilarityJoinRequest req;
+  req.name_a = "a";
+  req.name_b = "b";
+  req.epsilon = 0.12;  // narrower than the build epsilon
+  VectorSink got;
+  auto done = live.client.SimilarityJoin(req, &got);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(got.pairs(), expected.pairs());
+  ExpectStatsEqual(done->stats, ref_stats);
+}
+
+TEST(ServerLoopbackTest, ParallelClientsGetConsistentAnswers) {
+  const Dataset data = MakeData(400, 4, 43);
+  const EkdbConfig config = Config(0.1);
+  auto ref_tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(ref_tree.ok());
+  auto ref_flat = FlatEkdbTree::FromTree(*ref_tree);
+  ASSERT_TRUE(ref_flat.ok());
+
+  ServerConfig server_config;
+  server_config.io_threads = 2;
+  LiveServer live = StartWithClient(server_config);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, config)).ok());
+
+  const uint16_t port = live.server->port();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t]() {
+      ClientConfig cc;
+      cc.port = port;
+      auto client = Client::Connect(cc);
+      ASSERT_TRUE(client.ok());
+      for (int i = 0; i < 20; ++i) {
+        const size_t qi = static_cast<size_t>(t * 20 + i) % data.size();
+        auto ids = client->RangeQueryOne("d", data.RowSpan(qi), 0.08);
+        ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+        std::vector<PointId> expected;
+        ASSERT_TRUE(
+            ref_flat->RangeQuery(data.Row(qi), 0.08, &expected).ok());
+        EXPECT_EQ(*ids, expected);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(live.server->counters().decode_errors, 0u);
+}
+
+TEST(ServerLoopbackTest, ErrorPaths) {
+  LiveServer live = StartWithClient();
+
+  // Unknown index.
+  auto ids = live.client.RangeQueryOne("ghost", std::vector<float>{0.5f});
+  EXPECT_EQ(ids.status().code(), StatusCode::kNotFound);
+
+  // Dimension mismatch.
+  const Dataset data = MakeData(50, 3, 5);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config())).ok());
+  auto wrong = live.client.RangeQueryOne("d", std::vector<float>{0.5f, 0.5f});
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+
+  // Malformed points payload (count not a multiple of dims).
+  BuildIndexRequest bad = BuildRequestFor("bad", data, Config());
+  bad.points.pop_back();
+  EXPECT_FALSE(live.client.BuildIndex(bad).ok());
+
+  // Radius beyond the build epsilon.
+  RangeQueryRequest req;
+  req.name = "d";
+  req.epsilon = 0.9;
+  req.dims = 3;
+  req.queries = {0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(live.client.RangeQuery(req).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Drop, then the index really is gone.
+  auto dropped = live.client.DropIndex("d");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(dropped->found);
+  EXPECT_EQ(live.client.DropIndex("d")->found, false);
+  EXPECT_EQ(live.client.RangeQueryOne("d", std::vector<float>{0.0f, 0.0f,
+                                                              0.0f})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  // The connection survived every error above.
+  EXPECT_TRUE(live.client.Ping().ok());
+}
+
+TEST(ServerLoopbackTest, BackpressureRejectsThenRecovers) {
+  ServerConfig config;
+  config.max_inflight = 1;
+  config.handler_delay_ms_for_testing = 100;
+  LiveServer live = StartWithClient(config);
+
+  const Dataset data = MakeData(60, 3, 5);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config())).ok());
+
+  // Saturate the single slot from several connections at once.  With
+  // max_retries = 0 the rejected requests surface as Unavailable.
+  std::atomic<int> ok{0}, unavailable{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      ClientConfig cc;
+      cc.port = live.server->port();
+      cc.max_retries = 0;
+      auto client = Client::Connect(cc);
+      ASSERT_TRUE(client.ok());
+      auto ids = client->RangeQueryOne("d", data.RowSpan(0), 0.05);
+      if (ids.ok()) {
+        ok.fetch_add(1);
+      } else {
+        ASSERT_EQ(ids.status().code(), StatusCode::kUnavailable)
+            << ids.status().ToString();
+        unavailable.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(unavailable.load(), 0);
+  EXPECT_GT(live.server->counters().requests_rejected, 0u);
+
+  // With retries enabled the same burst fully succeeds.
+  std::atomic<int> retried_ok{0};
+  std::vector<std::thread> retry_threads;
+  for (int t = 0; t < 4; ++t) {
+    retry_threads.emplace_back([&]() {
+      ClientConfig cc;
+      cc.port = live.server->port();
+      cc.max_retries = 100;
+      auto client = Client::Connect(cc);
+      ASSERT_TRUE(client.ok());
+      auto ids = client->RangeQueryOne("d", data.RowSpan(0), 0.05);
+      ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+      retried_ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : retry_threads) t.join();
+  EXPECT_EQ(retried_ok.load(), 4);
+}
+
+TEST(ServerLoopbackTest, DeadlineExpiryReported) {
+  ServerConfig config;
+  config.handler_delay_ms_for_testing = 50;  // emulates queueing delay
+  LiveServer live = StartWithClient(config);
+  const Dataset data = MakeData(60, 3, 5);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config())).ok());
+
+  ClientConfig cc;
+  cc.port = live.server->port();
+  cc.deadline_ms = 1;
+  auto deadline_client = Client::Connect(cc);
+  ASSERT_TRUE(deadline_client.ok());
+  auto ids = deadline_client->RangeQueryOne("d", data.RowSpan(0), 0.05);
+  EXPECT_EQ(ids.status().code(), StatusCode::kDeadlineExceeded)
+      << ids.status().ToString();
+  EXPECT_GE(live.server->counters().deadline_expired, 1u);
+}
+
+TEST(ServerLoopbackTest, MalformedBytesGetErrorFrameAndClose) {
+  LiveServer live = StartWithClient();
+  auto raw = TcpSocket::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(raw.ok());
+  const uint8_t garbage[32] = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(raw->SendAll(garbage, sizeof(garbage)).ok());
+  // The server answers with one kError frame, then hangs up.
+  uint8_t header[kFrameHeaderSize];
+  ASSERT_TRUE(raw->RecvAll(header, sizeof(header)).ok());
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(header, kDefaultMaxFramePayload, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kError);
+  std::vector<uint8_t> payload(h.payload_size);
+  ASSERT_TRUE(raw->RecvAll(payload.data(), payload.size()).ok());
+  uint8_t one_more;
+  EXPECT_FALSE(raw->RecvAll(&one_more, 1).ok());  // EOF: connection closed
+  EXPECT_EQ(live.server->counters().decode_errors, 1u);
+
+  // Other connections are unaffected.
+  EXPECT_TRUE(live.client.Ping().ok());
+}
+
+TEST(ServerLoopbackTest, ShutdownDrainsCleanly) {
+  LiveServer live = StartWithClient();
+  const Dataset data = MakeData(100, 3, 5);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config())).ok());
+  ASSERT_TRUE(live.client.Shutdown().ok());
+  live.server->Wait();
+  // After the drain, new connections are refused.
+  EXPECT_FALSE(Client::Connect({.port = live.server->port()}).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -1,0 +1,308 @@
+// fuzz_protocol — randomized robustness tester for the service wire codec.
+//
+// The decoder is the one component that parses attacker-controlled bytes, so
+// its contract is absolute: any byte stream, fed in any chunking, either
+// yields valid frames or a Status — never a crash, hang, or out-of-bounds
+// read.  This tool soaks that contract four ways per iteration:
+//
+//   1. pure noise      — random bytes through the FrameDecoder
+//   2. round-trips     — random valid messages encode -> parse -> compare
+//   3. bit flips       — valid frame streams with random mutations
+//   4. truncations     — valid frames cut off at every kind of boundary
+//
+// Payloads of frames the decoder does produce are handed to the matching
+// Parse* function, which must also only ever return a Status.  Run it under
+// ASan/UBSan (scripts/check_asan_ubsan.sh) to turn silent over-reads into
+// hard failures:
+//
+//   ./tools/fuzz_protocol --iterations 2000 --seed 1
+//   ./tools/fuzz_protocol --iterations 0      # run until interrupted
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "service/protocol.h"
+
+namespace simjoin {
+namespace {
+
+std::string RandomName(Rng* rng, size_t max_len = 24) {
+  std::string s(rng->UniformInt(max_len + 1), 'x');
+  for (char& c : s) c = static_cast<char>('a' + rng->UniformInt(26u));
+  return s;
+}
+
+std::vector<float> RandomFloats(Rng* rng, size_t count) {
+  std::vector<float> v(count);
+  for (float& f : v) f = rng->UniformFloat();
+  return v;
+}
+
+/// Encodes one random, structurally valid frame.
+std::vector<uint8_t> RandomValidFrame(Rng* rng) {
+  const uint64_t id = rng->Next();
+  const uint32_t deadline = static_cast<uint32_t>(rng->UniformInt(1000u));
+  switch (rng->UniformInt(10u)) {
+    case 0: {
+      BuildIndexRequest req;
+      req.name = RandomName(rng);
+      req.config.epsilon = rng->Uniform(0.01, 0.5);
+      req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
+      req.num_threads = static_cast<uint32_t>(rng->UniformInt(5u));
+      req.points = RandomFloats(rng, req.dims * rng->UniformInt(64u));
+      return EncodeFrame(FrameType::kBuildIndex, id, deadline,
+                         EncodeBuildIndexRequest(req));
+    }
+    case 1: {
+      RangeQueryRequest req;
+      req.name = RandomName(rng);
+      req.epsilon = rng->Uniform(0.0, 0.5);
+      req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
+      req.queries = RandomFloats(rng, req.dims * rng->UniformInt(16u));
+      return EncodeFrame(FrameType::kRangeQuery, id, deadline,
+                         EncodeRangeQueryRequest(req));
+    }
+    case 2: {
+      SimilarityJoinRequest req;
+      req.name_a = RandomName(rng);
+      if (rng->Bernoulli(0.5)) req.name_b = RandomName(rng);
+      req.epsilon = rng->Uniform(0.0, 0.5);
+      req.num_threads = static_cast<uint32_t>(rng->UniformInt(9u));
+      req.chunk_pairs = static_cast<uint32_t>(rng->UniformInt(10000u));
+      return EncodeFrame(FrameType::kSimilarityJoin, id, deadline,
+                         EncodeSimilarityJoinRequest(req));
+    }
+    case 3: {
+      std::vector<IdPair> pairs(rng->UniformInt(200u));
+      for (IdPair& p : pairs) {
+        p.first = static_cast<PointId>(rng->UniformInt(1u << 20));
+        p.second = static_cast<PointId>(rng->UniformInt(1u << 20));
+      }
+      return EncodeFrame(FrameType::kJoinChunk, id, deadline,
+                         EncodeJoinChunk(pairs));
+    }
+    case 4: {
+      JoinDone done;
+      done.total_pairs = rng->Next();
+      done.stats.candidate_pairs = rng->Next();
+      done.stats.pairs_emitted = rng->Next();
+      return EncodeFrame(FrameType::kJoinDone, id, deadline,
+                         EncodeJoinDone(done));
+    }
+    case 5: {
+      RangeQueryResponse resp;
+      resp.results.resize(rng->UniformInt(8u));
+      for (auto& ids : resp.results) {
+        ids.resize(rng->UniformInt(32u));
+        for (PointId& p : ids) p = static_cast<PointId>(rng->Next() >> 40);
+      }
+      return EncodeFrame(FrameType::kRangeQueryResult, id, deadline,
+                         EncodeRangeQueryResponse(resp));
+    }
+    case 6: {
+      StatsResponse resp;
+      resp.requests_admitted = rng->Next();
+      resp.indexes.resize(rng->UniformInt(4u));
+      for (IndexInfo& info : resp.indexes) {
+        info.name = RandomName(rng);
+        info.bytes = rng->Next();
+      }
+      return EncodeFrame(FrameType::kStatsResult, id, deadline,
+                         EncodeStatsResponse(resp));
+    }
+    case 7:
+      return EncodeFrame(FrameType::kError, id, deadline,
+                         EncodeErrorResponse(Status::NotFound(
+                             "fuzz " + RandomName(rng, 64))));
+    case 8: {
+      DropIndexRequest req;
+      req.name = RandomName(rng);
+      return EncodeFrame(FrameType::kDropIndex, id, deadline,
+                         EncodeDropIndexRequest(req));
+    }
+    default:
+      return EncodeFrame(rng->Bernoulli(0.5) ? FrameType::kPing
+                                             : FrameType::kStats,
+                         id, deadline, {});
+  }
+}
+
+/// Routes a decoded frame's payload to its Parse function.  Statuses are
+/// fine; crashing is the only way to fail.
+void ParseByType(const Frame& frame) {
+  switch (frame.header.type) {
+    case FrameType::kBuildIndex: {
+      BuildIndexRequest m;
+      (void)ParseBuildIndexRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kRangeQuery: {
+      RangeQueryRequest m;
+      (void)ParseRangeQueryRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kSimilarityJoin: {
+      SimilarityJoinRequest m;
+      (void)ParseSimilarityJoinRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kDropIndex: {
+      DropIndexRequest m;
+      (void)ParseDropIndexRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kBuildIndexOk: {
+      BuildIndexResponse m;
+      (void)ParseBuildIndexResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kRangeQueryResult: {
+      RangeQueryResponse m;
+      (void)ParseRangeQueryResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kJoinChunk: {
+      JoinChunk m;
+      (void)ParseJoinChunk(frame.payload, &m);
+      break;
+    }
+    case FrameType::kJoinDone: {
+      JoinDone m;
+      (void)ParseJoinDone(frame.payload, &m);
+      break;
+    }
+    case FrameType::kStatsResult: {
+      StatsResponse m;
+      (void)ParseStatsResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kDropIndexOk: {
+      DropIndexResponse m;
+      (void)ParseDropIndexResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kError: {
+      Status m = Status::OK();
+      (void)ParseErrorResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kRetryAfter: {
+      RetryAfterResponse m;
+      (void)ParseRetryAfterResponse(frame.payload, &m);
+      break;
+    }
+    default:
+      break;  // ping/pong/shutdown frames carry no payload contract
+  }
+}
+
+/// Feeds bytes to a decoder in random chunk sizes and parses whatever comes
+/// out.  Exercises the incremental reassembly path.
+void Soak(Rng* rng, std::span<const uint8_t> bytes) {
+  FrameDecoder decoder(1u << 20);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const size_t chunk =
+        std::min<size_t>(1 + rng->UniformInt(97u), bytes.size() - off);
+    decoder.Append(bytes.data() + off, chunk);
+    off += chunk;
+    while (true) {
+      Frame frame;
+      bool got = false;
+      if (!decoder.Next(&frame, &got).ok() || !got) break;
+      ParseByType(frame);
+    }
+  }
+}
+
+int Run(uint64_t iterations, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t frames_ok = 0;
+  for (uint64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    // 1. Pure noise.
+    std::vector<uint8_t> noise(rng.UniformInt(512u));
+    for (uint8_t& b : noise) b = static_cast<uint8_t>(rng.Next());
+    Soak(&rng, noise);
+
+    // 2. Round-trip a stream of valid frames; they must all decode.
+    std::vector<uint8_t> stream;
+    const size_t num_frames = 1 + rng.UniformInt(4u);
+    for (size_t i = 0; i < num_frames; ++i) {
+      const std::vector<uint8_t> frame = RandomValidFrame(&rng);
+      stream.insert(stream.end(), frame.begin(), frame.end());
+    }
+    {
+      FrameDecoder decoder;
+      decoder.Append(stream.data(), stream.size());
+      size_t decoded = 0;
+      while (true) {
+        Frame frame;
+        bool got = false;
+        const Status st = decoder.Next(&frame, &got);
+        if (!st.ok()) {
+          std::cerr << "FAIL: valid stream rejected (seed=" << seed
+                    << " iter=" << iter << "): " << st.ToString() << "\n";
+          return 1;
+        }
+        if (!got) break;
+        ParseByType(frame);
+        ++decoded;
+      }
+      if (decoded != num_frames || decoder.buffered_bytes() != 0) {
+        std::cerr << "FAIL: decoded " << decoded << "/" << num_frames
+                  << " frames, " << decoder.buffered_bytes()
+                  << " bytes stranded (seed=" << seed << " iter=" << iter
+                  << ")\n";
+        return 1;
+      }
+      frames_ok += decoded;
+    }
+
+    // 3. Bit flips over the same stream.
+    std::vector<uint8_t> mutated = stream;
+    const size_t flips = 1 + rng.UniformInt(8u);
+    for (size_t i = 0; i < flips && !mutated.empty(); ++i) {
+      mutated[rng.UniformInt(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.UniformInt(8u));
+    }
+    Soak(&rng, mutated);
+
+    // 4. Truncation at a random offset.
+    if (!stream.empty()) {
+      Soak(&rng, std::span<const uint8_t>(stream.data(),
+                                          rng.UniformInt(stream.size())));
+    }
+
+    if ((iter + 1) % 500 == 0) {
+      std::cout << "iter " << (iter + 1) << ": " << frames_ok
+                << " valid frames round-tripped\n";
+    }
+  }
+  std::cout << "OK: " << frames_ok << " valid frames round-tripped, no "
+            << "decoder crashes\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace simjoin
+
+int main(int argc, char** argv) {
+  simjoin::ArgParser args(
+      "Randomized robustness fuzzer for the service wire protocol");
+  args.AddFlag("iterations", "2000", "fuzz iterations; 0 = run forever");
+  args.AddFlag("seed", "1", "rng seed");
+  const simjoin::Status st = args.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << args.Help();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  return simjoin::Run(static_cast<uint64_t>(args.GetInt("iterations")),
+                      static_cast<uint64_t>(args.GetInt("seed")));
+}

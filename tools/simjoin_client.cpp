@@ -1,0 +1,197 @@
+// simjoin_client — command-line client for the similarity-join service.
+//
+//   ./tools/simjoin_client ping
+//   ./tools/simjoin_client build --name base --data pts.bin --epsilon 0.1
+//   ./tools/simjoin_client query --name base --point 0.2,0.3,0.4
+//   ./tools/simjoin_client join --name base --limit 20
+//   ./tools/simjoin_client stats
+//   ./tools/simjoin_client drop --name base
+//   ./tools/simjoin_client shutdown
+//
+// One subcommand per invocation; --host/--port select the server.  join
+// streams its result pairs to stdout (capped by --limit; 0 = all).
+
+#include <iostream>
+#include <sstream>
+
+#include "common/args.h"
+#include "common/binary_io.h"
+#include "service/client.h"
+
+namespace simjoin {
+namespace {
+
+std::vector<float> ParsePoint(const std::string& csv) {
+  std::vector<float> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stof(tok));
+  }
+  return out;
+}
+
+/// PairSink that prints up to `limit` pairs and counts the rest.
+class PrintSink : public PairSink {
+ public:
+  explicit PrintSink(uint64_t limit) : limit_(limit) {}
+  void Emit(PointId a, PointId b) override {
+    if (limit_ == 0 || printed_ < limit_) {
+      std::cout << a << "\t" << b << "\n";
+      ++printed_;
+    }
+    ++total_;
+  }
+  uint64_t total() const { return total_; }
+
+ private:
+  uint64_t limit_;
+  uint64_t printed_ = 0;
+  uint64_t total_ = 0;
+};
+
+int Run(const ArgParser& args) {
+  if (args.positional().size() != 1) {
+    std::cerr << "exactly one subcommand expected: ping | build | query | "
+                 "join | stats | drop | shutdown\n";
+    return 2;
+  }
+  const std::string& cmd = args.positional()[0];
+
+  ClientConfig config;
+  config.host = args.GetString("host");
+  config.port = static_cast<uint16_t>(args.GetInt("port"));
+  config.deadline_ms = static_cast<uint32_t>(args.GetInt("deadline-ms"));
+  auto client = Client::Connect(config);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status().ToString() << "\n";
+    return 1;
+  }
+
+  Status st;
+  if (cmd == "ping") {
+    st = client->Ping();
+    if (st.ok()) std::cout << "pong\n";
+  } else if (cmd == "build") {
+    auto data = ReadBinaryDataset(args.GetString("data"));
+    if (!data.ok()) {
+      std::cerr << data.status().ToString() << "\n";
+      return 1;
+    }
+    auto metric = ParseMetric(args.GetString("metric"));
+    if (!metric.ok()) {
+      std::cerr << metric.status().ToString() << "\n";
+      return 1;
+    }
+    BuildIndexRequest req;
+    req.name = args.GetString("name");
+    req.config.epsilon = args.GetDouble("epsilon");
+    req.config.metric = *metric;
+    req.num_threads = static_cast<uint32_t>(args.GetInt("threads"));
+    req.dims = static_cast<uint32_t>(data->dims());
+    req.points = data->flat();
+    auto resp = client->BuildIndex(req);
+    st = resp.status();
+    if (resp.ok()) {
+      std::cout << "built '" << req.name << "': " << resp->num_points
+                << " points, dims=" << resp->dims << ", "
+                << resp->index_bytes << " bytes, " << resp->build_seconds
+                << " s (evicted " << resp->evicted << ")\n";
+    }
+  } else if (cmd == "query") {
+    const std::vector<float> point = ParsePoint(args.GetString("point"));
+    if (point.empty()) {
+      std::cerr << "--point must be a comma-separated float list\n";
+      return 2;
+    }
+    auto ids = client->RangeQueryOne(args.GetString("name"), point,
+                                     args.GetDouble("epsilon"));
+    st = ids.status();
+    if (ids.ok()) {
+      std::cout << ids->size() << " neighbours:";
+      for (PointId id : *ids) std::cout << " " << id;
+      std::cout << "\n";
+    }
+  } else if (cmd == "join") {
+    SimilarityJoinRequest req;
+    req.name_a = args.GetString("name");
+    req.name_b = args.GetString("name-b");
+    req.epsilon = args.GetDouble("epsilon");
+    req.num_threads = static_cast<uint32_t>(args.GetInt("threads"));
+    PrintSink sink(static_cast<uint64_t>(args.GetInt("limit")));
+    auto done = client->SimilarityJoin(req, &sink);
+    st = done.status();
+    if (done.ok()) {
+      std::cout << done->total_pairs << " pairs ("
+                << done->stats.distance_calls << " distance calls, "
+                << done->stats.node_pairs_pruned << " node pairs pruned)\n";
+    }
+  } else if (cmd == "stats") {
+    auto resp = client->GetStats();
+    st = resp.status();
+    if (resp.ok()) {
+      std::cout << "connections: " << resp->accepted_connections
+                << " accepted, " << resp->active_connections << " active\n"
+                << "requests: " << resp->requests_admitted << " admitted, "
+                << resp->requests_rejected << " rejected, "
+                << resp->deadline_expired << " deadline-expired, "
+                << resp->decode_errors << " decode errors\n"
+                << "pairs streamed: " << resp->pairs_streamed << "\n"
+                << "registry: " << resp->registry_bytes << "/"
+                << resp->registry_byte_budget << " bytes, "
+                << resp->registry_evictions << " evictions\n";
+      for (const IndexInfo& info : resp->indexes) {
+        std::cout << "  index '" << info.name << "': " << info.num_points
+                  << " points, dims=" << info.dims << ", eps="
+                  << info.epsilon << ", " << MetricName(info.metric) << ", "
+                  << info.bytes << " bytes, " << info.hits << " hits\n";
+      }
+    }
+  } else if (cmd == "drop") {
+    auto resp = client->DropIndex(args.GetString("name"));
+    st = resp.status();
+    if (resp.ok()) {
+      std::cout << (resp->found ? "dropped\n" : "not found\n");
+    }
+  } else if (cmd == "shutdown") {
+    st = client->Shutdown();
+    if (st.ok()) std::cout << "server stopping\n";
+  } else {
+    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    return 2;
+  }
+
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace simjoin
+
+int main(int argc, char** argv) {
+  simjoin::ArgParser args("Client for the similarity-join query service");
+  args.AddFlag("host", "127.0.0.1", "server address");
+  args.AddFlag("port", "7411", "server port");
+  args.AddFlag("deadline-ms", "0", "per-request deadline; 0 = none");
+  args.AddFlag("name", "base", "index name");
+  args.AddFlag("name-b", "", "second index for a cross-join");
+  args.AddFlag("data", "", "binary dataset file (build)");
+  args.AddFlag("epsilon", "0", "epsilon; 0 = index build epsilon");
+  args.AddFlag("metric", "l2", "metric for build: l2 | l1 | linf");
+  args.AddFlag("threads", "0", "build/join parallelism; 0 = server default");
+  args.AddFlag("point", "", "comma-separated query point (query)");
+  args.AddFlag("limit", "20", "join pairs printed; 0 = all");
+  const simjoin::Status st = args.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << args.Help();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  return simjoin::Run(args);
+}

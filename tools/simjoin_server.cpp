@@ -1,0 +1,117 @@
+// simjoin_server — runs the similarity-join query service.
+//
+//   ./tools/simjoin_server --port 7411
+//   ./tools/simjoin_server --port 0            # ephemeral; port is printed
+//   ./tools/simjoin_server --preload data.bin --preload-name base --epsilon 0.1
+//
+// The process serves until a client sends Shutdown (or SIGINT/SIGTERM
+// arrives), then drains in-flight requests and exits.  --preload builds an
+// index from a binary dataset file before accepting connections, so a
+// fleet of read-only clients can start querying immediately.
+
+#include <csignal>
+#include <iostream>
+
+#include "common/args.h"
+#include "common/binary_io.h"
+#include "service/server.h"
+
+namespace {
+
+simjoin::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using simjoin::Status;
+  simjoin::ArgParser args("Similarity-join query service");
+  args.AddFlag("host", "127.0.0.1", "bind address");
+  args.AddFlag("port", "7411", "tcp port; 0 = ephemeral (printed)");
+  args.AddFlag("io-threads", "1", "poll loops");
+  args.AddFlag("workers", "0", "request executor threads; 0 = hardware");
+  args.AddFlag("max-inflight", "256", "admission gate bound");
+  args.AddFlag("retry-after-ms", "20", "backpressure retry hint");
+  args.AddFlag("registry-mb", "4096", "index registry byte budget in MiB");
+  args.AddFlag("preload", "", "binary dataset file to index at startup");
+  args.AddFlag("preload-name", "base", "registry name for --preload");
+  args.AddFlag("epsilon", "0.1", "build epsilon for --preload");
+  args.AddFlag("metric", "l2", "metric for --preload: l2 | l1 | linf");
+  const Status parse = args.Parse(argc, argv);
+  if (!parse.ok()) {
+    std::cerr << parse.ToString() << "\n" << args.Help();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+
+  simjoin::ServerConfig config;
+  config.host = args.GetString("host");
+  config.port = static_cast<uint16_t>(args.GetInt("port"));
+  config.io_threads = static_cast<size_t>(args.GetInt("io-threads"));
+  config.worker_threads = static_cast<size_t>(args.GetInt("workers"));
+  config.max_inflight = static_cast<size_t>(args.GetInt("max-inflight"));
+  config.retry_after_ms =
+      static_cast<uint32_t>(args.GetInt("retry-after-ms"));
+  config.registry_byte_budget =
+      static_cast<uint64_t>(args.GetInt("registry-mb")) << 20;
+
+  auto server = simjoin::Server::Start(config);
+  if (!server.ok()) {
+    std::cerr << "start failed: " << server.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::string preload = args.GetString("preload");
+  if (!preload.empty()) {
+    auto data = simjoin::ReadBinaryDataset(preload);
+    if (!data.ok()) {
+      std::cerr << "preload failed: " << data.status().ToString() << "\n";
+      return 1;
+    }
+    simjoin::EkdbConfig ekdb;
+    ekdb.epsilon = args.GetDouble("epsilon");
+    auto metric = simjoin::ParseMetric(args.GetString("metric"));
+    if (!metric.ok()) {
+      std::cerr << metric.status().ToString() << "\n";
+      return 1;
+    }
+    ekdb.metric = *metric;
+    auto snapshot = simjoin::IndexSnapshot::Build(
+        args.GetString("preload-name"), std::move(*data), ekdb);
+    if (!snapshot.ok()) {
+      std::cerr << "preload build failed: " << snapshot.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const Status put = (*server)->registry().Put(*snapshot);
+    if (!put.ok()) {
+      std::cerr << "preload register failed: " << put.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "preloaded '" << args.GetString("preload-name") << "': "
+              << (*snapshot)->dataset().size() << " points, "
+              << (*snapshot)->memory_bytes() << " bytes\n";
+  }
+
+  g_server = server->get();
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::cout << "serving on " << config.host << ":" << (*server)->port()
+            << " (io=" << config.io_threads
+            << ", max-inflight=" << config.max_inflight << ")" << std::endl;
+  (*server)->Wait();
+
+  const simjoin::ServerCounters c = (*server)->counters();
+  std::cout << "stopped: " << c.accepted_connections << " connections, "
+            << c.requests_admitted << " admitted, " << c.requests_rejected
+            << " rejected, " << c.pairs_streamed << " pairs streamed\n";
+  g_server = nullptr;
+  return 0;
+}
