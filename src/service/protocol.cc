@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace simjoin {
 namespace {
 
@@ -233,6 +235,11 @@ Status WireReader::ExpectEnd() const {
 std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t request_id,
                                  uint32_t deadline_ms,
                                  std::span<const uint8_t> payload) {
+  // The size field is u32; silently truncating it would desync the stream
+  // while still writing every payload byte.  Callers bound payloads first
+  // (the server caps responses at max_frame_payload), so tripping this is
+  // a local logic bug, not an attacker-reachable path.
+  SIMJOIN_CHECK_LE(payload.size(), UINT32_MAX) << "frame payload too large";
   WireWriter w;
   w.U32(kWireMagic);
   w.U8(kWireVersion);

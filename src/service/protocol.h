@@ -5,8 +5,11 @@
 // type-specific little-endian payload.  The codec is defensive by design —
 // it is the part of the server that touches attacker-controlled bytes — so
 // every read goes through the bounds-checked WireReader cursor and every
-// malformed input returns a Status; nothing in this file CHECKs, throws, or
-// over-reads (tools/fuzz_protocol.cpp soaks exactly this property).
+// malformed input returns a Status; no parser CHECKs, throws, or over-reads
+// (tools/fuzz_protocol.cpp soaks exactly this property).  The one CHECK in
+// this file sits on the *encode* side: EncodeFrame refuses to truncate a
+// payload past the u32 size field, which only local logic bugs can reach
+// (the server caps response payloads at max_frame_payload first).
 //
 //   frame  := header payload
 //   header := magic:u32 version:u8 type:u8 reserved:u16

@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -44,7 +45,11 @@ struct Server::Impl {
     std::mutex write_mu;
     std::deque<std::vector<uint8_t>> write_queue;  // guarded by write_mu
     size_t write_offset = 0;   // sent bytes of write_queue.front()
+    size_t queued_bytes = 0;   // guarded by write_mu: sum of queued frames
     bool dead = false;         // guarded by write_mu: drop further writes
+    /// Signalled whenever queued_bytes drops or the conn dies; streaming
+    /// workers block on it for write backpressure.
+    std::condition_variable write_cv;
     bool close_after_flush = false;  // io thread only
 
     explicit Conn(TcpSocket s, uint32_t max_payload)
@@ -84,6 +89,7 @@ struct Server::Impl {
   std::atomic<uint64_t> deadline_expired{0};
   std::atomic<uint64_t> decode_errors{0};
   std::atomic<uint64_t> pairs_streamed{0};
+  std::atomic<uint64_t> write_stall_disconnects{0};
 
   std::mutex join_mu;
   bool joined = false;
@@ -95,14 +101,55 @@ struct Server::Impl {
 
   /// Queues one encoded frame on the connection and wakes its io thread.
   /// Callable from any thread; silently drops frames for dead connections.
+  /// Never blocks — io threads use it too, and an io thread waiting on its
+  /// own drain would deadlock.
   void EnqueueFrame(const std::shared_ptr<Conn>& conn,
                     std::vector<uint8_t> frame) {
     {
       std::lock_guard<std::mutex> lock(conn->write_mu);
       if (conn->dead) return;
+      conn->queued_bytes += frame.size();
       conn->write_queue.push_back(std::move(frame));
     }
     io[conn->io_index]->wake.Notify();
+  }
+
+  /// Backpressured variant for streamed join chunks (worker threads only):
+  /// blocks while the connection already has max_conn_queued_bytes queued,
+  /// so a slow reader throttles the join instead of buffering its entire
+  /// result set.  At least one frame is always admitted when the queue is
+  /// empty.  A client that stalls past write_stall_timeout_ms is declared
+  /// dead (queue discarded, connection closed by its io thread).  Returns
+  /// false when the connection is dead and the frame was dropped.
+  bool EnqueueStreamFrame(const std::shared_ptr<Conn>& conn,
+                          std::vector<uint8_t> frame) {
+    {
+      std::unique_lock<std::mutex> lock(conn->write_mu);
+      const auto give_up =
+          Clock::now() + std::chrono::milliseconds(config.write_stall_timeout_ms);
+      while (!conn->dead && conn->queued_bytes != 0 &&
+             conn->queued_bytes + frame.size() > config.max_conn_queued_bytes) {
+        if (conn->write_cv.wait_until(lock, give_up) ==
+            std::cv_status::timeout) {
+          write_stall_disconnects.fetch_add(1, std::memory_order_relaxed);
+          conn->dead = true;
+          conn->write_queue.clear();
+          conn->write_offset = 0;
+          conn->queued_bytes = 0;
+          break;
+        }
+      }
+      if (conn->dead) {
+        lock.unlock();
+        conn->write_cv.notify_all();
+        io[conn->io_index]->wake.Notify();
+        return false;
+      }
+      conn->queued_bytes += frame.size();
+      conn->write_queue.push_back(std::move(frame));
+    }
+    io[conn->io_index]->wake.Notify();
+    return true;
   }
 
   void Reply(const std::shared_ptr<Conn>& conn, FrameType type,
@@ -125,7 +172,7 @@ struct Server::Impl {
         : impl_(impl),
           conn_(std::move(conn)),
           request_id_(request_id),
-          chunk_pairs_(chunk_pairs == 0 ? 1 : chunk_pairs) {
+          chunk_pairs_(std::clamp<size_t>(chunk_pairs, 1, kMaxJoinChunkPairs)) {
       buffer_.reserve(chunk_pairs_);
     }
 
@@ -139,14 +186,24 @@ struct Server::Impl {
       if (buffer_.size() >= chunk_pairs_) FlushChunk();
     }
 
-    /// Sends any buffered tail.  Must precede the kJoinDone frame.
+    /// Sends any buffered tail.  Must precede the kJoinDone frame.  Blocks
+    /// on write backpressure when the client reads slower than the join
+    /// emits; once the connection dies, remaining chunks are discarded
+    /// (the join still runs to completion — PairSink has no abort channel —
+    /// but its memory stays bounded by one chunk).
     void FlushChunk() {
       if (buffer_.empty()) return;
-      total_ += buffer_.size();
-      impl_->pairs_streamed.fetch_add(buffer_.size(),
-                                      std::memory_order_relaxed);
-      impl_->Reply(conn_, FrameType::kJoinChunk, request_id_,
-                   EncodeJoinChunk(buffer_));
+      if (!dropped_) {
+        if (impl_->EnqueueStreamFrame(
+                conn_, EncodeFrame(FrameType::kJoinChunk, request_id_, 0,
+                                   EncodeJoinChunk(buffer_)))) {
+          total_ += buffer_.size();
+          impl_->pairs_streamed.fetch_add(buffer_.size(),
+                                          std::memory_order_relaxed);
+        } else {
+          dropped_ = true;
+        }
+      }
       buffer_.clear();
     }
 
@@ -159,6 +216,7 @@ struct Server::Impl {
     size_t chunk_pairs_;
     std::vector<IdPair> buffer_;
     uint64_t total_ = 0;
+    bool dropped_ = false;  ///< connection died mid-stream; stop encoding
   };
 
   /// Terminal response of one request, built by the handler and sent by
@@ -168,10 +226,18 @@ struct Server::Impl {
     std::vector<uint8_t> payload;
   };
 
+  /// Maps a client-requested thread count onto the server's resources.
+  /// The request is a hint, never a grant: counts are clamped to the
+  /// worker-pool size (ThreadPool::Shared keeps a persistent pool per
+  /// distinct count, so an unclamped u32 would let one request spawn
+  /// millions of OS threads).
   size_t ResolveThreads(uint32_t requested) const {
-    if (requested != 0) return requested;
-    if (config.worker_threads != 0) return config.worker_threads;
-    return std::max<size_t>(1, std::thread::hardware_concurrency());
+    const size_t ceiling =
+        config.worker_threads != 0
+            ? config.worker_threads
+            : std::max<size_t>(1, std::thread::hardware_concurrency());
+    if (requested == 0) return ceiling;
+    return std::min<size_t>(requested, ceiling);
   }
 
   Status HandleBuildIndex(const Frame& frame, Terminal* out) {
@@ -241,8 +307,9 @@ struct Server::Impl {
     const double build_eps = a->tree().config().epsilon;
     const double eps = req.epsilon == 0.0 ? build_eps : req.epsilon;
     const size_t threads = ResolveThreads(req.num_threads);
-    const size_t chunk = req.chunk_pairs != 0 ? req.chunk_pairs
-                                              : config.join_chunk_pairs;
+    const size_t chunk = std::min<size_t>(
+        req.chunk_pairs != 0 ? req.chunk_pairs : config.join_chunk_pairs,
+        kMaxJoinChunkPairs);
     ChunkSink sink(this, conn, frame.header.request_id, chunk);
     JoinStats stats;
     Status st;
@@ -358,6 +425,16 @@ struct Server::Impl {
         term.payload = EncodeErrorResponse(st);
       }
     }
+    // A response the peer would reject (or that would overflow the u32
+    // size field) must fail loudly here, not desync the stream: replace it
+    // with an error telling the client to split its batch.
+    if (term.payload.size() > config.max_frame_payload) {
+      term.type = FrameType::kError;
+      term.payload = EncodeErrorResponse(Status::OutOfRange(
+          "response payload of " + std::to_string(term.payload.size()) +
+          " bytes exceeds the " + std::to_string(config.max_frame_payload) +
+          "-byte frame limit; split the request into smaller batches"));
+    }
     std::vector<uint8_t> bytes =
         EncodeFrame(term.type, frame.header.request_id, 0, term.payload);
     // Free the admission slot BEFORE the response becomes visible: a client
@@ -426,33 +503,65 @@ struct Server::Impl {
     return !conn->write_queue.empty();
   }
 
-  /// Drains as much of the write queue as the socket accepts.  Returns
-  /// false on a hard socket error (caller closes the connection).
+  /// Drains as much of the write queue as the socket accepts.  On a hard
+  /// socket error the connection is marked dead and its queue discarded —
+  /// nothing can reach the peer any more, and a retained queue would wedge
+  /// both DrainFinished and the shutdown drain (and any worker blocked on
+  /// write backpressure).  Returns false on that error (caller closes).
   bool FlushWrites(const std::shared_ptr<Conn>& conn) {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    while (!conn->write_queue.empty()) {
-      const std::vector<uint8_t>& front = conn->write_queue.front();
-      size_t sent = 0;
-      const Status st = conn->sock.SendSome(
-          front.data() + conn->write_offset, front.size() - conn->write_offset,
-          &sent);
-      if (!st.ok()) return false;
-      if (sent == 0) break;  // kernel buffer full; wait for POLLOUT
-      conn->write_offset += sent;
-      if (conn->write_offset == front.size()) {
-        conn->write_queue.pop_front();
-        conn->write_offset = 0;
+    bool ok = true;
+    bool freed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      while (!conn->write_queue.empty()) {
+        const std::vector<uint8_t>& front = conn->write_queue.front();
+        size_t sent = 0;
+        const Status st = conn->sock.SendSome(
+            front.data() + conn->write_offset,
+            front.size() - conn->write_offset, &sent);
+        if (!st.ok()) {
+          conn->dead = true;
+          conn->write_queue.clear();
+          conn->write_offset = 0;
+          conn->queued_bytes = 0;
+          ok = false;
+          freed = true;
+          break;
+        }
+        if (sent == 0) break;  // kernel buffer full; wait for POLLOUT
+        conn->write_offset += sent;
+        if (conn->write_offset == front.size()) {
+          conn->queued_bytes -= front.size();
+          conn->write_queue.pop_front();
+          conn->write_offset = 0;
+          freed = true;
+        }
       }
     }
-    return true;
+    if (freed) conn->write_cv.notify_all();
+    return ok;
   }
 
-  void CloseConn(const std::shared_ptr<Conn>& conn) {
+  /// Poisons a connection whose socket failed: further writes are dropped,
+  /// queued bytes discarded, and any worker blocked on backpressure woken.
+  void MarkDead(const std::shared_ptr<Conn>& conn) {
     {
       std::lock_guard<std::mutex> lock(conn->write_mu);
       conn->dead = true;
       conn->write_queue.clear();
+      conn->write_offset = 0;
+      conn->queued_bytes = 0;
     }
+    conn->write_cv.notify_all();
+  }
+
+  bool IsDead(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    return conn->dead;
+  }
+
+  void CloseConn(const std::shared_ptr<Conn>& conn) {
+    MarkDead(conn);
     conn->sock.Close();
     active_connections.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -502,6 +611,7 @@ struct Server::Impl {
       size_t n = 0;
       bool eof = false;
       if (!conn->sock.RecvSome(buf, sizeof(buf), &n, &eof).ok()) {
+        MarkDead(conn);  // hard error, not EOF: queued bytes are undeliverable
         return false;
       }
       if (n > 0) conn->decoder.Append(buf, n);
@@ -564,11 +674,17 @@ struct Server::Impl {
         const short revents =
             first_conn + i < fds.size() ? fds[first_conn + i].revents : 0;
         bool keep = true;
-        if ((revents & (POLLERR | POLLNVAL)) != 0) keep = false;
+        if ((revents & (POLLERR | POLLNVAL)) != 0) {
+          MarkDead(conn);
+          keep = false;
+        }
         if (keep && (revents & (POLLIN | POLLHUP)) != 0) {
           keep = DrainReadable(conn);
         }
         if (!FlushWrites(conn)) keep = false;
+        // A stalled stream reader is killed by EnqueueStreamFrame (dead set
+        // from a worker thread); notice it here so the conn gets closed.
+        if (keep && IsDead(conn)) keep = false;
         if (keep && conn->close_after_flush && !HasPendingWrites(conn)) {
           keep = false;
         }
@@ -601,8 +717,10 @@ struct Server::Impl {
     conns.clear();
   }
 
-  /// True when it is safe to drop the connection: nothing queued, or the
-  /// socket already failed (queue cleared on error paths via dead flag).
+  /// True when it is safe to drop the connection: nothing queued.  Error
+  /// paths (FlushWrites/DrainReadable failures, POLLERR, stream stalls)
+  /// clear the queue when they set the dead flag, so a failed socket never
+  /// lingers with undeliverable bytes.
   bool DrainFinished(const std::shared_ptr<Conn>& conn) {
     return !HasPendingWrites(conn);
   }
@@ -649,7 +767,9 @@ void Server::Wait() {
     if (t->thread.joinable()) t->thread.join();
   }
   // Io threads only exit once inflight hit zero, so this returns promptly.
-  impl_->group->Wait();
+  // group is null when Start() failed before creating it (e.g. the bind
+  // failed) and its partially built Server is being destroyed.
+  if (impl_->group != nullptr) impl_->group->Wait();
   impl_->listener.Close();
   impl_->joined = true;
 }
@@ -668,6 +788,8 @@ ServerCounters Server::counters() const {
   c.deadline_expired = impl.deadline_expired.load(std::memory_order_relaxed);
   c.decode_errors = impl.decode_errors.load(std::memory_order_relaxed);
   c.pairs_streamed = impl.pairs_streamed.load(std::memory_order_relaxed);
+  c.write_stall_disconnects =
+      impl.write_stall_disconnects.load(std::memory_order_relaxed);
   return c;
 }
 

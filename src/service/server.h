@@ -17,6 +17,16 @@
 // a request that expires while queued is answered kError/DEADLINE_EXCEEDED
 // without touching the index.
 //
+// Client-supplied resource parameters are clamped server-side: thread
+// counts to the worker-pool size, chunk sizes to kMaxJoinChunkPairs, and
+// response payloads to max_frame_payload — a hostile request can make the
+// server do bounded work, never spawn unbounded threads or allocations.
+// Streamed join chunks obey per-connection write backpressure: once
+// max_conn_queued_bytes of responses are queued unsent, the producing
+// worker blocks until the client drains (or the stall timeout declares the
+// connection dead and discards its queue), so a slow reader bounds server
+// memory instead of buffering its whole result set.
+//
 // Query execution never locks the registry for longer than a map lookup:
 // handlers copy out a shared_ptr snapshot and run lock-free against it, so
 // concurrent BuildIndex requests (which insert new snapshots) neither block
@@ -37,6 +47,11 @@
 
 namespace simjoin {
 
+/// Hard ceiling on pairs per streamed kJoinChunk frame.  Client requests
+/// beyond it are clamped, which bounds the per-chunk buffer no matter what
+/// a hostile SimilarityJoinRequest asks for (2^20 pairs = 8 MB on the wire).
+inline constexpr size_t kMaxJoinChunkPairs = 1u << 20;
+
 /// Server tuning knobs.
 struct ServerConfig {
   std::string host = "127.0.0.1";
@@ -53,11 +68,23 @@ struct ServerConfig {
   /// Byte budget of the index registry (LRU-evicted beyond it).
   uint64_t registry_byte_budget = 4ull << 30;
 
-  /// Ceiling on one request frame's payload.
+  /// Ceiling on one request frame's payload.  Also enforced on responses:
+  /// a terminal response larger than this is replaced by kError/OUT_OF_RANGE
+  /// telling the client to split its batch (never a truncated frame).
   uint32_t max_frame_payload = kDefaultMaxFramePayload;
   /// Result pairs per streamed kJoinChunk frame (when the request does not
-  /// choose its own chunking).
+  /// choose its own chunking).  Clamped to kMaxJoinChunkPairs either way.
   uint32_t join_chunk_pairs = 8192;
+
+  /// Per-connection ceiling on queued-but-unsent response bytes.  Streamed
+  /// join chunks block the producing worker at the ceiling until the client
+  /// drains; at least one frame is always admitted so oversized single
+  /// responses still flow.
+  size_t max_conn_queued_bytes = 64u << 20;
+  /// How long a streamed join may block on a client that has stopped
+  /// reading before the connection is declared dead and its queued bytes
+  /// are discarded (counted in write_stall_disconnects).
+  uint32_t write_stall_timeout_ms = 30'000;
 
   /// Test hook: sleep this long at the start of every worker-side request,
   /// so deadline and backpressure paths can be exercised deterministically.
@@ -73,6 +100,7 @@ struct ServerCounters {
   uint64_t deadline_expired = 0;
   uint64_t decode_errors = 0;
   uint64_t pairs_streamed = 0;
+  uint64_t write_stall_disconnects = 0;
 };
 
 /// Running service instance.  Start() binds and spins up the io threads;

@@ -3,6 +3,7 @@
 // same neighbour id order, same join pair sequence, same JoinStats — at
 // every thread count.  The service adds transport, not semantics.
 
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -349,6 +350,132 @@ TEST(ServerLoopbackTest, MalformedBytesGetErrorFrameAndClose) {
 
   // Other connections are unaffected.
   EXPECT_TRUE(live.client.Ping().ok());
+}
+
+// A hostile request may ask for u32-max threads and u32-max chunk pairs;
+// the server must clamp both (not spawn a million OS threads or reserve a
+// 34 GB chunk buffer) and still answer the exact join result.
+TEST(ServerLoopbackTest, HostileResourceParamsAreClamped) {
+  const Dataset data = MakeData(300, 4, 7);
+  const EkdbConfig config = Config(0.15);
+  auto ref_tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(ref_tree.ok());
+  auto ref_flat = FlatEkdbTree::FromTree(*ref_tree);
+  ASSERT_TRUE(ref_flat.ok());
+  VectorSink expected;
+  ASSERT_TRUE(FlatEkdbSelfJoin(*ref_flat, &expected).ok());
+
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, config)).ok());
+
+  SimilarityJoinRequest req;
+  req.name_a = "d";
+  req.num_threads = 0xFFFFFFFFu;
+  req.chunk_pairs = 0xFFFFFFFFu;
+  VectorSink got;
+  auto done = live.client.SimilarityJoin(req, &got);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(got.pairs(), expected.pairs());
+
+  // BuildIndex carries the same unvalidated thread count.
+  BuildIndexRequest build = BuildRequestFor("d2", data, config);
+  build.num_threads = 0xFFFFFFFFu;
+  EXPECT_TRUE(live.client.BuildIndex(build).ok());
+}
+
+// A peer that resets mid join-stream must not leave undeliverable bytes
+// queued forever: the connection is marked dead, its queue discarded, and
+// shutdown still drains (the pre-fix server hung in Wait() here).
+TEST(ServerLoopbackTest, AbruptDisconnectMidJoinDoesNotWedgeShutdown) {
+  const Dataset data = MakeData(2000, 2, 13);
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config(0.3))).ok());
+
+  {
+    auto raw = TcpSocket::Connect("127.0.0.1", live.server->port());
+    ASSERT_TRUE(raw.ok());
+    SimilarityJoinRequest req;
+    req.name_a = "d";
+    req.chunk_pairs = 1024;  // many frames, well past the socket buffers
+    const std::vector<uint8_t> frame = EncodeFrame(
+        FrameType::kSimilarityJoin, 1, 0, EncodeSimilarityJoinRequest(req));
+    ASSERT_TRUE(raw->SendAll(frame.data(), frame.size()).ok());
+    // Scope exit closes the socket while the join is still streaming.
+  }
+
+  ASSERT_TRUE(live.client.Shutdown().ok());
+  live.server->Wait();  // regression: must return, not spin on the dead conn
+}
+
+// A connected client that stops reading must not buffer its entire result
+// set in server memory: the stream blocks at max_conn_queued_bytes and the
+// stall timeout disconnects it, leaving the server responsive.
+TEST(ServerLoopbackTest, StalledStreamReaderIsDisconnected) {
+  ServerConfig config;
+  config.max_conn_queued_bytes = 64u << 10;
+  config.write_stall_timeout_ms = 250;
+  LiveServer live = StartWithClient(config);
+  const Dataset data = MakeData(4000, 2, 17);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config(0.5))).ok());
+
+  // Raw connection that requests a multi-megabyte pair stream and never
+  // reads a byte of it.
+  auto raw = TcpSocket::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(raw.ok());
+  SimilarityJoinRequest req;
+  req.name_a = "d";
+  const std::vector<uint8_t> frame = EncodeFrame(
+      FrameType::kSimilarityJoin, 1, 0, EncodeSimilarityJoinRequest(req));
+  ASSERT_TRUE(raw->SendAll(frame.data(), frame.size()).ok());
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (live.server->counters().write_stall_disconnects == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(live.server->counters().write_stall_disconnects, 1u);
+  // The server shed the stalled connection and stayed responsive.
+  EXPECT_TRUE(live.client.Ping().ok());
+}
+
+// A response that would overflow the frame limit is replaced by a clear
+// error, never a size-field-truncated frame that desyncs the stream.
+TEST(ServerLoopbackTest, OversizedResponseRejectedNotTruncated) {
+  ServerConfig config;
+  config.max_frame_payload = 4096;
+  LiveServer live = StartWithClient(config);
+  const Dataset data = MakeData(80, 3, 19);
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("d", data, Config(0.9))).ok());
+
+  // 50 queries at a radius that matches most of the index: the result
+  // payload exceeds 4096 bytes and must come back as OUT_OF_RANGE.
+  RangeQueryRequest big;
+  big.name = "d";
+  big.epsilon = 0.9;
+  big.dims = 3;
+  big.queries.assign(data.flat().begin(), data.flat().begin() + 50 * 3);
+  EXPECT_EQ(live.client.RangeQuery(big).status().code(),
+            StatusCode::kOutOfRange);
+
+  // The connection survived and a small batch still works.
+  auto one = live.client.RangeQueryOne("d", data.RowSpan(0), 0.05);
+  EXPECT_TRUE(one.ok()) << one.status().ToString();
+}
+
+// A failed Start (here: port already bound) must surface as a Status; the
+// pre-fix destructor of the partially built Server dereferenced the
+// never-created task group and crashed.
+TEST(ServerLoopbackTest, StartOnOccupiedPortFailsCleanly) {
+  LiveServer live = StartWithClient();
+  ServerConfig conflict;
+  conflict.port = live.server->port();
+  auto second = Server::Start(conflict);
+  EXPECT_FALSE(second.ok());
 }
 
 TEST(ServerLoopbackTest, ShutdownDrainsCleanly) {

@@ -111,7 +111,8 @@ int main(int argc, char** argv) {
   const simjoin::ServerCounters c = (*server)->counters();
   std::cout << "stopped: " << c.accepted_connections << " connections, "
             << c.requests_admitted << " admitted, " << c.requests_rejected
-            << " rejected, " << c.pairs_streamed << " pairs streamed\n";
+            << " rejected, " << c.pairs_streamed << " pairs streamed, "
+            << c.write_stall_disconnects << " stalled readers dropped\n";
   g_server = nullptr;
   return 0;
 }
