@@ -1,0 +1,170 @@
+// Experiment R20 — observability overhead.
+//
+// The obs layer stays compiled into release hot paths, so its cost with
+// collection *disabled* must be near-zero and its cost *enabled* must be
+// understood.  This benchmark measures both:
+//
+//   1. primitive costs: a disabled TraceSpan, Counter::Add,
+//      Histogram::Record, and Gauge::Set, in ns/op — and FAILS (exit 1)
+//      if the disabled span or a counter add exceeds a hard ceiling, so
+//      a regression that sneaks a lock or a shared cache line onto the
+//      hot path is caught mechanically, not by eyeballing numbers;
+//   2. end-to-end: the flat eps-k-d-B self-join with tracing disabled
+//      (the production default — metric histograms still live) vs the
+//      same join with a trace being collected.
+//
+// Emits a trailing "# OBS_JSON {...}" line consumed by
+// scripts/check_bench_regression.sh, which snapshots it into
+// BENCH_obs.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+/// Keeps the loop body from being collapsed without adding memory traffic.
+inline void KeepLoop() { asm volatile("" ::: "memory"); }
+
+/// ns per iteration of `body` over `iters` runs.
+template <typename Fn>
+double NsPerOp(uint64_t iters, Fn body) {
+  Timer timer;
+  for (uint64_t i = 0; i < iters; ++i) {
+    body();
+    KeepLoop();
+  }
+  return timer.Seconds() * 1e9 / static_cast<double>(iters);
+}
+
+void Main() {
+  PrintExperimentHeader(
+      "R20", "observability overhead (metrics + tracing)",
+      "disabled spans and counter adds in low single-digit ns; tracing "
+      "enabled adds a bounded per-leaf cost");
+
+  // --- 1. Primitive costs -------------------------------------------------
+  constexpr uint64_t kIters = 4'000'000;
+  obs::MetricRegistry reg;
+  obs::Counter* counter = reg.GetCounter("bench.counter");
+  obs::Gauge* gauge = reg.GetGauge("bench.gauge");
+  obs::Histogram* hist = reg.GetHistogram("bench.hist");
+
+  const double span_disabled_ns =
+      NsPerOp(kIters, [] { SIMJOIN_TRACE_SPAN("bench.noop"); });
+  const double counter_add_ns = NsPerOp(kIters, [&] { counter->Add(); });
+  const double gauge_set_ns =
+      NsPerOp(kIters, [&] { gauge->Set(static_cast<int64_t>(7)); });
+  uint64_t v = 0;
+  const double histogram_record_ns = NsPerOp(kIters, [&] {
+    hist->Record(static_cast<double>(v = (v * 2862933555777941757ULL + 3) >> 44));
+  });
+
+  ResultTable prim({"primitive", "ns/op"});
+  prim.AddRow({"TraceSpan (disabled)", FmtDouble(span_disabled_ns, 2)});
+  prim.AddRow({"Counter::Add", FmtDouble(counter_add_ns, 2)});
+  prim.AddRow({"Gauge::Set", FmtDouble(gauge_set_ns, 2)});
+  prim.AddRow({"Histogram::Record", FmtDouble(histogram_record_ns, 2)});
+  prim.Print();
+
+  // --- 2. End-to-end: join with tracing off vs on ------------------------
+  const size_t n = Scaled(20000, 100000);
+  const size_t dims = 8;
+  auto data = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 16, .sigma = 0.05, .seed = 2001});
+  EkdbConfig config;
+  config.epsilon = 0.1;
+  config.metric = Metric::kL2;
+
+  // Two runs each, keep the faster (first run also warms caches).
+  double join_plain = 1e100;
+  for (int rep = 0; rep < 2; ++rep) {
+    join_plain = std::min(join_plain, RunEkdbFlatSelf(*data, config).join_seconds);
+  }
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string trace_path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/bench_r20.trace.json";
+  double join_traced = 1e100;
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    if (!obs::StartTracing(trace_path).ok()) {
+      std::cout << "could not start tracing; skipping traced run\n";
+      break;
+    }
+    join_traced = std::min(join_traced, RunEkdbFlatSelf(*data, config).join_seconds);
+    trace_events = obs::TraceEventCount();
+    trace_dropped = obs::TraceDroppedEventCount();
+    (void)obs::StopTracing();
+  }
+  std::remove(trace_path.c_str());
+
+  const double trace_ratio = join_traced < 1e99 ? join_traced / join_plain : 0.0;
+  ResultTable e2e({"mode", "join", "ratio", "events"});
+  e2e.AddRow({"tracing off", FmtSecs(join_plain), "1.00", "0"});
+  e2e.AddRow({"tracing on", FmtSecs(join_traced), FmtDouble(trace_ratio, 2),
+              std::to_string(trace_events) +
+                  (trace_dropped != 0
+                       ? " (+" + std::to_string(trace_dropped) + " dropped)"
+                       : "")});
+  e2e.Print();
+
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::cout << "\n# OBS_JSON {"
+            << "\"hardware_concurrency\": " << hw << ", \"n\": " << n
+            << ", \"dims\": " << dims
+            << ", \"span_disabled_ns\": " << FmtDouble(span_disabled_ns, 3)
+            << ", \"counter_add_ns\": " << FmtDouble(counter_add_ns, 3)
+            << ", \"gauge_set_ns\": " << FmtDouble(gauge_set_ns, 3)
+            << ", \"histogram_record_ns\": " << FmtDouble(histogram_record_ns, 3)
+            << ", \"join_seconds_plain\": " << FmtDouble(join_plain, 5)
+            << ", \"join_seconds_traced\": " << FmtDouble(join_traced, 5)
+            << ", \"traced_over_plain_ratio\": " << FmtDouble(trace_ratio, 3)
+            << ", \"trace_events\": " << trace_events
+            << ", \"trace_dropped\": " << trace_dropped << "}\n";
+
+  // --- 3. Hard assertion: disabled instrumentation is near-zero ----------
+  // Generous ceilings (a contended mutex or shared-line bounce costs far
+  // more than this even on slow hardware); a clean run is single-digit ns.
+  constexpr double kMaxDisabledNs = 100.0;
+  bool ok = true;
+  if (span_disabled_ns > kMaxDisabledNs) {
+    std::cout << "FAIL: disabled TraceSpan costs " << span_disabled_ns
+              << " ns/op (ceiling " << kMaxDisabledNs << ")\n";
+    ok = false;
+  }
+  if (counter_add_ns > kMaxDisabledNs) {
+    std::cout << "FAIL: Counter::Add costs " << counter_add_ns
+              << " ns/op (ceiling " << kMaxDisabledNs << ")\n";
+    ok = false;
+  }
+  if (histogram_record_ns > 4 * kMaxDisabledNs) {
+    std::cout << "FAIL: Histogram::Record costs " << histogram_record_ns
+              << " ns/op (ceiling " << 4 * kMaxDisabledNs << ")\n";
+    ok = false;
+  }
+  std::cout << (ok ? "overhead assertion: PASS\n"
+                   : "overhead assertion: FAIL\n");
+  if (!ok) std::exit(1);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main(int argc, char** argv) {
+  if (!simjoin::bench::InitBenchArgs(argc, argv)) return 1;
+  simjoin::bench::Main();
+  return 0;
+}

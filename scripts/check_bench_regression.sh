@@ -11,18 +11,27 @@
 #   BENCH_leafjoin.json  ablation-3 throughputs + flat/pointer ratio
 #   BENCH_parallel.json  R11 thread-scaling sweep (speedups per thread count)
 #   BENCH_service.json   R19 service QPS + latency percentiles over loopback
+#   BENCH_obs.json       R20 observability primitive costs + trace overhead
 #
 # and compares them against the checked-in baselines
 # (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json /
-# BENCH_parallel.baseline.json / BENCH_service.baseline.json) when present:
-# any tracked throughput that drops more than SIMJOIN_BENCH_TOLERANCE
-# (default 0.30 = 30%, benchmarks are noisy) below baseline fails the run.
+# BENCH_parallel.baseline.json / BENCH_service.baseline.json /
+# BENCH_obs.baseline.json) when present: any tracked throughput that drops
+# more than SIMJOIN_BENCH_TOLERANCE (default 0.30 = 30%, benchmarks are
+# noisy) below baseline fails the run.
+#
+# The R20 run doubles as the metrics-overhead gate: bench_r20_obs_overhead
+# exits nonzero if disabled-instrumentation primitives exceed their hard
+# ns ceilings, and SIMJOIN_BENCH_OBS_TOLERANCE (default 0.03 = 3%) bounds
+# how far the instrumented R19 service QPS may sit below its baseline and
+# how much the R20 tracing-on/off join ratio may grow before the run fails.
 #
 # Usage:
 #   scripts/check_bench_regression.sh [build-dir] [--update-baseline]
 #
 #   --update-baseline   re-run and promote the fresh snapshots to baselines
 #   SIMJOIN_BENCH_TOLERANCE=0.15   tighten/loosen the allowed slowdown
+#   SIMJOIN_BENCH_OBS_TOLERANCE=0.05   loosen the metrics-overhead gate
 #   SIMJOIN_BENCH_FILTER='BM_KernelFilter'   micro-benchmark name filter
 set -euo pipefail
 
@@ -37,13 +46,16 @@ for arg in "$@"; do
 done
 
 TOLERANCE="${SIMJOIN_BENCH_TOLERANCE:-0.30}"
+OBS_TOLERANCE="${SIMJOIN_BENCH_OBS_TOLERANCE:-0.03}"
 FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
 MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
 ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
 PARALLEL_BIN="$BUILD_DIR/bench/bench_r11_parallel"
 SERVICE_BIN="$BUILD_DIR/bench/bench_r19_service"
+OBS_BIN="$BUILD_DIR/bench/bench_r20_obs_overhead"
 
-for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN" "$SERVICE_BIN"; do
+for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN" "$SERVICE_BIN" \
+           "$OBS_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build with benchmarks first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -121,19 +133,40 @@ json.dump(json.loads(m.group(1)), open("BENCH_service.json", "w"), indent=2)
 print("wrote BENCH_service.json")
 PY
 
+# The R20 binary asserts its own hard ceilings on disabled-instrumentation
+# cost and exits nonzero on failure (set -e propagates it).
+echo ">>> $OBS_BIN"
+OBS_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT" "$PARALLEL_TXT" "$SERVICE_TXT" "$OBS_TXT"' EXIT
+"$OBS_BIN" | tee "$OBS_TXT"
+
+# Extract the machine-readable OBS_JSON line into BENCH_obs.json.
+python3 - "$OBS_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"^# OBS_JSON (\{.*\})$", text, re.M)
+if m is None:
+    sys.exit("error: bench_r20_obs_overhead emitted no OBS_JSON line")
+json.dump(json.loads(m.group(1)), open("BENCH_obs.json", "w"), indent=2)
+print("wrote BENCH_obs.json")
+PY
+
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_micro.json BENCH_micro.baseline.json
   cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
   cp BENCH_parallel.json BENCH_parallel.baseline.json
   cp BENCH_service.json BENCH_service.baseline.json
+  cp BENCH_obs.json BENCH_obs.baseline.json
   echo "baselines updated (BENCH_*.baseline.json)"
   exit 0
 fi
 
-python3 - "$TOLERANCE" <<'PY'
+python3 - "$TOLERANCE" "$OBS_TOLERANCE" <<'PY'
 import json, os, sys
 
 tol = float(sys.argv[1])
+obs_tol = float(sys.argv[2])
 failures = []
 
 
@@ -203,6 +236,67 @@ if os.path.exists("BENCH_service.baseline.json"):
         print("service baseline from a different core count "
               f"({base.get('hardware_concurrency')} vs "
               f"{cur.get('hardware_concurrency')}); skipping comparison")
+
+if os.path.exists("BENCH_obs.baseline.json"):
+    have_baseline = True
+    cur = json.load(open("BENCH_obs.json"))
+    base = json.load(open("BENCH_obs.baseline.json"))
+    # Primitive ns/op costs swing far more than any sane relative tolerance
+    # run-to-run (a disabled span is sub-ns), so they are gated by absolute
+    # ceilings inside bench_r20_obs_overhead itself (it exits non-zero on
+    # breach, which fails this script at the run step above).  Here they are
+    # reported informationally next to the baseline.
+    print("obs primitive costs (gated by absolute ceilings in the bench):")
+    for key in ("span_disabled_ns", "counter_add_ns", "gauge_set_ns",
+                "histogram_record_ns"):
+        print(f"  [info] obs/{key}: {cur.get(key, 0.0):.3g} ns "
+              f"(baseline {base.get(key, 0.0):.3g} ns)")
+
+# Metrics-overhead gate: instrumentation cost on the end-to-end hot paths
+# must sit within obs_tol of the baseline — a much tighter bound than the
+# general regression tolerance, because instrumentation drift is systematic,
+# not noise.  It is applied only to signals that are both instrumented and
+# stable enough to gate tightly: the R19 loopback QPS (the full service
+# request path, per-opcode histograms included) and the R20 tracing-on/off
+# join ratio (the per-phase span cost).  The raw SIMD kernels (R12) are
+# deliberately excluded: their inner loops carry no instrumentation, and 3%
+# is below run-to-run noise there.  Skipped when the host core count differs
+# from the baseline's.
+obs_failures = []
+
+
+def obs_compare(name, current, baseline):
+    drop = (baseline - current) / baseline if baseline > 0 else 0.0
+    status = "FAIL" if drop > obs_tol else "ok"
+    print(f"  [{status}] {name}: {current:.3g} vs baseline {baseline:.3g} "
+          f"({-drop:+.1%})")
+    if drop > obs_tol:
+        obs_failures.append(name)
+
+
+if os.path.exists("BENCH_service.baseline.json"):
+    cur = json.load(open("BENCH_service.json"))
+    base = json.load(open("BENCH_service.baseline.json"))
+    if cur.get("hardware_concurrency") == base.get("hardware_concurrency"):
+        print(f"metrics-overhead gate, R19 service (tolerance {obs_tol:.0%}):")
+        obs_compare("service/qps", cur["qps"], base["qps"])
+if os.path.exists("BENCH_obs.baseline.json"):
+    cur = json.load(open("BENCH_obs.json"))
+    base = json.load(open("BENCH_obs.baseline.json"))
+    ratio_cur = cur.get("traced_over_plain_ratio", 0.0)
+    ratio_base = base.get("traced_over_plain_ratio", 0.0)
+    if ratio_cur > 0 and ratio_base > 0:
+        # Lower is better here: growth beyond obs_tol of the baseline ratio
+        # means new per-span tracing cost crept into the join hot path.
+        growth = (ratio_cur - ratio_base) / ratio_base
+        status = "FAIL" if growth > obs_tol else "ok"
+        print(f"metrics-overhead gate, R20 tracing (tolerance {obs_tol:.0%}):")
+        print(f"  [{status}] obs/traced_over_plain_ratio: {ratio_cur:.3f} vs "
+              f"baseline {ratio_base:.3f} ({growth:+.1%})")
+        if growth > obs_tol:
+            obs_failures.append("obs/traced_over_plain_ratio")
+if obs_failures:
+    failures.extend("obs-gate:" + f for f in obs_failures)
 
 if not have_baseline:
     print("no BENCH_*.baseline.json found; snapshots written. To seed the")

@@ -13,7 +13,14 @@ ArgParser::ArgParser(std::string program_description)
 void ArgParser::AddFlag(const std::string& name, const std::string& default_value,
                         const std::string& help) {
   SIMJOIN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
-  flags_[name] = Flag{default_value, default_value, help};
+  flags_[name] = Flag{default_value, default_value, help, /*is_bool=*/false};
+}
+
+void ArgParser::AddBoolFlag(const std::string& name, bool default_value,
+                            const std::string& help) {
+  SIMJOIN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  const std::string def = default_value ? "true" : "false";
+  flags_[name] = Flag{def, def, help, /*is_bool=*/true};
 }
 
 Status ArgParser::Parse(int argc, const char* const* argv) {
@@ -29,19 +36,27 @@ Status ArgParser::Parse(int argc, const char* const* argv) {
     }
     std::string name = arg.substr(2);
     std::string value;
+    bool have_value = false;
     const size_t eq = name.find('=');
     if (eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
-    } else {
-      if (i + 1 >= argc) {
-        return Status::InvalidArgument("flag --" + name + " is missing a value");
-      }
-      value = argv[++i];
+      have_value = true;
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
       return Status::InvalidArgument("unknown flag --" + name + "\n" + Help());
+    }
+    if (!have_value) {
+      if (it->second.is_bool) {
+        value = "true";  // bare boolean; never consumes the next token
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " is missing a value");
+        }
+        value = argv[++i];
+      }
     }
     it->second.value = std::move(value);
   }

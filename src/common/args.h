@@ -23,6 +23,12 @@ class ArgParser {
   void AddFlag(const std::string& name, const std::string& default_value,
                const std::string& help);
 
+  /// Declares a boolean flag usable in bare form: `--name` means true and
+  /// `--name=false` (or 0/no/off) means false.  Unlike value flags, a bare
+  /// boolean never consumes the following argv token.
+  void AddBoolFlag(const std::string& name, bool default_value,
+                   const std::string& help);
+
   /// Parses argv.  Returns InvalidArgument for unknown flags or missing
   /// values.  "--help" sets help_requested() instead of failing.
   Status Parse(int argc, const char* const* argv);
@@ -46,6 +52,7 @@ class ArgParser {
     std::string value;
     std::string default_value;
     std::string help;
+    bool is_bool = false;  ///< bare `--name` allowed, never eats a token
   };
 
   const Flag& Find(const std::string& name) const;

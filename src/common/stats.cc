@@ -50,4 +50,16 @@ double Percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double PercentileNearestRank(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  SIMJOIN_CHECK_GE(q, 0.0);
+  SIMJOIN_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  // Classical nearest-rank: rank = ceil(q * n), clamped to [1, n].
+  const double n = static_cast<double>(values.size());
+  const size_t rank = static_cast<size_t>(std::ceil(q * n));
+  const size_t idx = rank == 0 ? 0 : std::min(rank - 1, values.size() - 1);
+  return values[idx];
+}
+
 }  // namespace simjoin

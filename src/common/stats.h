@@ -38,9 +38,17 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Returns the q-quantile (q in [0,1]) of the values by nearest-rank on a
-/// sorted copy; returns 0 for an empty vector.
+/// Returns the q-quantile (q in [0,1]) of the values by linear interpolation
+/// between the two closest ranks of a sorted copy (the "exclusive" estimator
+/// used by numpy's default); returns 0 for an empty vector.
 double Percentile(std::vector<double> values, double q);
+
+/// Nearest-rank q-quantile: always returns an element of `values` (the
+/// smallest value with cumulative frequency >= q), so it never invents a
+/// number that was not observed.  Returns 0 for an empty vector.  Agrees with
+/// Percentile() at q = 0 and q = 1 and differs by at most one inter-sample
+/// gap in between.
+double PercentileNearestRank(std::vector<double> values, double q);
 
 }  // namespace simjoin
 

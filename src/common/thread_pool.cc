@@ -1,8 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace simjoin {
 
@@ -12,6 +15,29 @@ namespace {
 /// A worker thread belongs to exactly one pool for its whole lifetime.
 thread_local ThreadPool* tls_pool = nullptr;
 thread_local size_t tls_worker_index = 0;
+
+/// Pool instrumentation, aggregated across all pools in the process (the
+/// common case is the single Shared() pool).  Counters cost one relaxed RMW
+/// per *task*, never per pair, so they stay on unconditionally.
+struct PoolMetrics {
+  obs::Counter* tasks_executed;
+  obs::Counter* tasks_stolen;
+  obs::Counter* tasks_injected;
+  obs::Counter* worker_idle_us;
+  obs::Gauge* injection_depth;
+};
+
+const PoolMetrics& GetPoolMetrics() {
+  static const PoolMetrics metrics = [] {
+    obs::MetricRegistry& reg = obs::GlobalMetrics();
+    return PoolMetrics{reg.GetCounter("pool.tasks_executed"),
+                       reg.GetCounter("pool.tasks_stolen"),
+                       reg.GetCounter("pool.tasks_injected"),
+                       reg.GetCounter("pool.worker_idle_us"),
+                       reg.GetGauge("pool.injection_depth")};
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -126,10 +152,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   // Non-worker thread, or the owner deque is full: shared injection queue.
+  const PoolMetrics& metrics = GetPoolMetrics();
   {
     std::lock_guard<std::mutex> lock(mu_);
     injection_.push_back(t);
+    metrics.injection_depth->Set(static_cast<int64_t>(injection_.size()));
   }
+  metrics.tasks_injected->Add();
   cv_work_.notify_one();
 }
 
@@ -159,6 +188,8 @@ std::function<void()>* ThreadPool::TryAcquire(size_t self) {
     if (!injection_.empty()) {
       std::function<void()>* t = injection_.front();
       injection_.pop_front();
+      GetPoolMetrics().injection_depth->Set(
+          static_cast<int64_t>(injection_.size()));
       return t;
     }
   }
@@ -167,7 +198,10 @@ std::function<void()>* ThreadPool::TryAcquire(size_t self) {
   for (size_t k = 0; k < n; ++k) {
     const size_t victim = (start + k) % n;
     if (victim == self) continue;
-    if (std::function<void()>* t = deques_[victim]->Steal()) return t;
+    if (std::function<void()>* t = deques_[victim]->Steal()) {
+      GetPoolMetrics().tasks_stolen->Add();
+      return t;
+    }
   }
   return nullptr;
 }
@@ -175,6 +209,7 @@ std::function<void()>* ThreadPool::TryAcquire(size_t self) {
 void ThreadPool::RunTask(std::function<void()>* task) {
   (*task)();
   delete task;
+  GetPoolMetrics().tasks_executed->Add();
   if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
     bool wake_workers;
     {
@@ -215,8 +250,13 @@ void ThreadPool::WorkerLoop(size_t index) {
     };
     if (should_exit()) return;
     num_sleeping_.fetch_add(1, std::memory_order_seq_cst);
+    const auto idle_start = std::chrono::steady_clock::now();
     cv_work_.wait(lock, [&] { return should_exit() || WorkVisible(); });
     num_sleeping_.fetch_sub(1, std::memory_order_seq_cst);
+    GetPoolMetrics().worker_idle_us->Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - idle_start)
+            .count()));
     if (should_exit()) return;
   }
 }

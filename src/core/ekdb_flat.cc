@@ -9,10 +9,19 @@
 
 #include "common/simd_kernel.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simjoin {
 
 namespace {
+
+/// Flatten (tree -> cache-conscious arena) phase timing.
+obs::Histogram* FlattenHistogram() {
+  static obs::Histogram* const hist =
+      obs::GlobalMetrics().GetHistogram("join.phase.flatten_us");
+  return hist;
+}
 
 using ArenaRange = std::pair<uint32_t, uint32_t>;
 
@@ -85,6 +94,8 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
   if (tree.root() == nullptr) {
     return Status::InvalidArgument("cannot flatten a tree without a root");
   }
+  SIMJOIN_TRACE_SPAN("tree.flatten");
+  obs::ScopedLatencyTimer timer(FlattenHistogram());
   const Dataset& data = tree.dataset();
 
   FlatEkdbTree flat;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simjoin {
 namespace internal {
@@ -87,6 +89,7 @@ FlatEkdbJoinContext::FlatEkdbJoinContext(const FlatEkdbTree& a,
       buffered_(sink) {}
 
 void FlatEkdbJoinContext::LeafSelfJoin(const FlatEkdbNode& leaf) {
+  SIMJOIN_TRACE_SPAN("join.simd_filter");
   const float* arena = a_tree_.arena_data();
   const PointId* ids = a_tree_.arena_ids_data();
   const uint32_t sd = leaf.sort_dim;
@@ -109,6 +112,7 @@ void FlatEkdbJoinContext::LeafSelfJoin(const FlatEkdbNode& leaf) {
 
 void FlatEkdbJoinContext::LeafCrossJoin(const FlatEkdbNode& a,
                                         const FlatEkdbNode& b) {
+  SIMJOIN_TRACE_SPAN("join.simd_filter");
   const float* b_arena = b_tree_.arena_data();
   const PointId* b_ids = b_tree_.arena_ids_data();
   if (!sliding_window_) {
@@ -229,14 +233,31 @@ Status ValidateEpsilonOverride(double eps_query, double build_epsilon) {
   return Status::OK();
 }
 
+/// Phase timing shared by the sequential flat drivers: traversal covers the
+/// tree walk including the SIMD filter; emit covers the final sink flush.
+/// Instrumentation never touches JoinStats or the pair sequence, so
+/// sequential/parallel outputs stay bit-identical.
+obs::Histogram* TraversalHistogram() {
+  static obs::Histogram* const hist =
+      obs::GlobalMetrics().GetHistogram("join.phase.traversal_us");
+  return hist;
+}
+
 }  // namespace
 
 Status FlatEkdbSelfJoin(const FlatEkdbTree& tree, PairSink* sink,
                         JoinStats* stats) {
   if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
   internal::FlatEkdbJoinContext ctx(tree, sink);
-  ctx.SelfJoinNode(FlatEkdbTree::kRoot);
-  ctx.Flush();
+  {
+    SIMJOIN_TRACE_SPAN("join.traversal");
+    obs::ScopedLatencyTimer timer(TraversalHistogram());
+    ctx.SelfJoinNode(FlatEkdbTree::kRoot);
+  }
+  {
+    SIMJOIN_TRACE_SPAN("join.emit");
+    ctx.Flush();
+  }
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -250,8 +271,15 @@ Status FlatEkdbJoin(const FlatEkdbTree& a, const FlatEkdbTree& b,
         "must match)");
   }
   internal::FlatEkdbJoinContext ctx(a, b, sink);
-  ctx.JoinNodes(FlatEkdbTree::kRoot, FlatEkdbTree::kRoot);
-  ctx.Flush();
+  {
+    SIMJOIN_TRACE_SPAN("join.traversal");
+    obs::ScopedLatencyTimer timer(TraversalHistogram());
+    ctx.JoinNodes(FlatEkdbTree::kRoot, FlatEkdbTree::kRoot);
+  }
+  {
+    SIMJOIN_TRACE_SPAN("join.emit");
+    ctx.Flush();
+  }
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -263,8 +291,15 @@ Status FlatEkdbSelfJoinWithEpsilon(const FlatEkdbTree& tree, double eps_query,
       ValidateEpsilonOverride(eps_query, tree.config().epsilon));
   internal::FlatEkdbJoinContext ctx(tree, sink);
   ctx.OverrideEpsilon(eps_query);
-  ctx.SelfJoinNode(FlatEkdbTree::kRoot);
-  ctx.Flush();
+  {
+    SIMJOIN_TRACE_SPAN("join.traversal");
+    obs::ScopedLatencyTimer timer(TraversalHistogram());
+    ctx.SelfJoinNode(FlatEkdbTree::kRoot);
+  }
+  {
+    SIMJOIN_TRACE_SPAN("join.emit");
+    ctx.Flush();
+  }
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }
@@ -281,8 +316,15 @@ Status FlatEkdbJoinWithEpsilon(const FlatEkdbTree& a, const FlatEkdbTree& b,
   SIMJOIN_RETURN_NOT_OK(ValidateEpsilonOverride(eps_query, a.config().epsilon));
   internal::FlatEkdbJoinContext ctx(a, b, sink);
   ctx.OverrideEpsilon(eps_query);
-  ctx.JoinNodes(FlatEkdbTree::kRoot, FlatEkdbTree::kRoot);
-  ctx.Flush();
+  {
+    SIMJOIN_TRACE_SPAN("join.traversal");
+    obs::ScopedLatencyTimer timer(TraversalHistogram());
+    ctx.JoinNodes(FlatEkdbTree::kRoot, FlatEkdbTree::kRoot);
+  }
+  {
+    SIMJOIN_TRACE_SPAN("join.emit");
+    ctx.Flush();
+  }
   if (stats != nullptr) stats->Merge(ctx.stats());
   return Status::OK();
 }

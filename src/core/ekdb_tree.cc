@@ -6,8 +6,22 @@
 
 #include "common/simd_kernel.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simjoin {
+
+namespace {
+
+/// Partition/build phase timing (sequential and parallel share one
+/// histogram; the trace span name tells them apart).
+obs::Histogram* BuildHistogram() {
+  static obs::Histogram* const hist =
+      obs::GlobalMetrics().GetHistogram("join.phase.build_us");
+  return hist;
+}
+
+}  // namespace
 
 size_t EkdbNode::SubtreeSize() const {
   if (is_leaf()) return points.size();
@@ -38,6 +52,8 @@ Result<EkdbTree> EkdbTree::Build(const Dataset& dataset, const EkdbConfig& confi
     return Status::InvalidArgument(
         "dataset coordinates must lie in [0, 1]; call NormalizeToUnitCube()");
   }
+  SIMJOIN_TRACE_SPAN("tree.build");
+  obs::ScopedLatencyTimer timer(BuildHistogram());
   EkdbTree tree(&dataset, config);
   std::vector<PointId> all(dataset.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
@@ -187,6 +203,8 @@ std::unique_ptr<EkdbNode> EkdbTree::BuildNodeParallel(std::vector<PointId> ids,
 Result<EkdbTree> EkdbTree::BuildParallel(const Dataset& dataset,
                                          const EkdbConfig& config,
                                          size_t num_threads) {
+  SIMJOIN_TRACE_SPAN("tree.build_parallel");
+  obs::ScopedLatencyTimer timer(BuildHistogram());
   SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
   if (dataset.empty()) {
     return Status::InvalidArgument("cannot build eps-k-d-B tree on empty dataset");

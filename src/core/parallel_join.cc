@@ -11,9 +11,28 @@
 #include "common/thread_pool.h"
 #include "core/ekdb_flat_join.h"
 #include "core/ekdb_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simjoin {
 namespace {
+
+/// Parallel phase timing: traversal covers spawn-through-wait (all worker
+/// tasks, including their SIMD filtering); merge covers the deterministic
+/// path-ordered segment concatenation.  Both record wall time of the
+/// calling thread only — JoinStats and the emitted pair sequence are not
+/// touched, preserving bit-identical sequential/parallel output.
+obs::Histogram* ParallelTraversalHistogram() {
+  static obs::Histogram* const hist =
+      obs::GlobalMetrics().GetHistogram("join.phase.parallel_traversal_us");
+  return hist;
+}
+
+obs::Histogram* ParallelMergeHistogram() {
+  static obs::Histogram* const hist =
+      obs::GlobalMetrics().GetHistogram("join.phase.merge_us");
+  return hist;
+}
 
 // ---------------------------------------------------------------------------
 // Deterministic sharded emission
@@ -79,11 +98,17 @@ class WorkStealingJoinEngine {
         slots_(pool.num_threads() + 1) {}
 
   Status Run(const Task& root, PairSink* sink, JoinStats* stats) {
-    Spawn(root, TaskPath{});
-    group_.Wait();
+    {
+      SIMJOIN_TRACE_SPAN("join.traversal");
+      obs::ScopedLatencyTimer timer(ParallelTraversalHistogram());
+      Spawn(root, TaskPath{});
+      group_.Wait();
+    }
 
     // Deterministic lock-free merge: concatenate segments in traversal
     // order.  Workers are done, so all shards are safe to read.
+    SIMJOIN_TRACE_SPAN("join.merge");
+    obs::ScopedLatencyTimer merge_timer(ParallelMergeHistogram());
     std::vector<const Segment*> ordered;
     for (const Slot& slot : slots_) {
       for (const Segment& seg : slot.segments) ordered.push_back(&seg);

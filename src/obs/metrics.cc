@@ -1,0 +1,306 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace simjoin {
+namespace obs {
+
+namespace internal {
+
+size_t ThreadShardSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Counter / Histogram
+// ---------------------------------------------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::span<const double> Histogram::DefaultLatencyBoundsUs() {
+  static const double kBounds[] = {
+      1,     2,     5,     10,    20,    50,    100,   200,   500,
+      1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,   2e5,   5e5,
+      1e6,   2e6,   5e6,   1e7};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  if (boundaries_.empty()) {
+    const std::span<const double> def = DefaultLatencyBoundsUs();
+    boundaries_.assign(def.begin(), def.end());
+  }
+  for (size_t i = 0; i < boundaries_.size(); ++i) {
+    SIMJOIN_CHECK(std::isfinite(boundaries_[i]))
+        << "histogram boundaries must be finite";
+    if (i > 0) {
+      SIMJOIN_CHECK_LT(boundaries_[i - 1], boundaries_[i])
+          << "histogram boundaries must be strictly ascending";
+    }
+  }
+  shards_.reserve(kMetricShards);
+  for (size_t i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(boundaries_.size() + 1));
+  }
+}
+
+void Histogram::Record(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // clamps negatives and NaN
+  // Inclusive upper bounds: the first boundary >= value owns it; anything
+  // past the last boundary lands in the overflow bucket.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value) -
+      boundaries_.begin());
+  Shard& shard = *shards_[internal::ShardIndex()];
+  shard.counts[idx].fetch_add(1, std::memory_order_relaxed);
+  shard.scaled_sum.fetch_add(
+      static_cast<uint64_t>(std::llround(value * kSumScale)),
+      std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSample / MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+double HistogramSample::Quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t prev = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (b >= boundaries.size()) {
+      // Overflow bucket: no upper bound to interpolate against.
+      return boundaries.empty() ? 0.0 : boundaries.back();
+    }
+    const double lo = b == 0 ? 0.0 : boundaries[b - 1];
+    const double hi = boundaries[b];
+    const double within =
+        (target - static_cast<double>(prev)) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+  }
+  return boundaries.empty() ? 0.0 : boundaries.back();
+}
+
+namespace {
+
+/// Sorted-vector lookup shared by the Find* accessors and DeltaSince.
+template <typename Sample>
+const Sample* FindByName(const std::vector<Sample>& samples,
+                         std::string_view name) {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const Sample& s, std::string_view n) { return s.name < n; });
+  return it != samples.end() && it->name == name ? &*it : nullptr;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::FindCounter(std::string_view name) const {
+  return FindByName(counters, name);
+}
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name) const {
+  return FindByName(gauges, name);
+}
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  return FindByName(histograms, name);
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& prev) const {
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (const CounterSample& cur : counters) {
+    const CounterSample* old = FindByName(prev.counters, cur.name);
+    const uint64_t before = old != nullptr ? old->value : 0;
+    out.counters.push_back(
+        {cur.name, cur.value >= before ? cur.value - before : cur.value});
+  }
+  out.gauges = gauges;  // gauges are levels, not rates
+  out.histograms.reserve(histograms.size());
+  for (const HistogramSample& cur : histograms) {
+    const HistogramSample* old = FindByName(prev.histograms, cur.name);
+    HistogramSample d = cur;
+    if (old != nullptr && old->boundaries == cur.boundaries &&
+        old->counts.size() == cur.counts.size() && old->count <= cur.count) {
+      for (size_t b = 0; b < d.counts.size(); ++b) d.counts[b] -= old->counts[b];
+      d.count -= old->count;
+      d.sum = std::max(0.0, d.sum - old->sum);
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::RenderText() const {
+  std::ostringstream os;
+  for (const CounterSample& c : counters) {
+    os << "counter " << c.name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : gauges) {
+    os << "gauge " << g.name << " " << g.value << "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    os << "histogram " << h.name << " count=" << h.count;
+    if (h.count > 0) {
+      os << " mean=" << h.mean() << " p50=" << h.Quantile(0.50)
+         << " p95=" << h.Quantile(0.95) << " p99=" << h.Quantile(0.99);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+struct MetricRegistry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: pointers into the mapped values stay valid across
+  // inserts, which is what makes the returned handles cacheable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricRegistry::Impl* MetricRegistry::impl() {
+  // Registration is rare; a lock-protected lazy init keeps the registry
+  // usable from static initialisers in any order.
+  static std::mutex init_mu;
+  std::lock_guard<std::mutex> lock(init_mu);
+  if (impl_ == nullptr) impl_ = new Impl();
+  return impl_;
+}
+
+MetricRegistry::~MetricRegistry() { delete impl_; }
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->counters.find(name);
+  if (it == i->counters.end()) {
+    it = i->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->gauges.find(name);
+  if (it == i->gauges.end()) {
+    it = i->gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        std::span<const double> boundaries) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->histograms.find(name);
+  if (it == i->histograms.end()) {
+    it = i->histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          boundaries.begin(), boundaries.end())))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  Impl* i = const_cast<MetricRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  out.counters.reserve(i->counters.size());
+  for (const auto& [name, counter] : i->counters) {
+    out.counters.push_back({name, counter->Value()});
+  }
+  out.gauges.reserve(i->gauges.size());
+  for (const auto& [name, gauge] : i->gauges) {
+    out.gauges.push_back({name, gauge->Value()});
+  }
+  out.histograms.reserve(i->histograms.size());
+  for (const auto& [name, hist] : i->histograms) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.boundaries = hist->boundaries_;
+    sample.counts.assign(hist->boundaries_.size() + 1, 0);
+    uint64_t scaled_sum = 0;
+    for (const auto& shard : hist->shards_) {
+      for (size_t b = 0; b < sample.counts.size(); ++b) {
+        sample.counts[b] +=
+            shard->counts[b].load(std::memory_order_relaxed);
+      }
+      scaled_sum += shard->scaled_sum.load(std::memory_order_relaxed);
+    }
+    for (const uint64_t c : sample.counts) sample.count += c;
+    sample.sum = static_cast<double>(scaled_sum) / Histogram::kSumScale;
+    out.histograms.push_back(std::move(sample));
+  }
+  // std::map iteration is already name-sorted; keep that as the documented
+  // snapshot order so equal registry states give equal snapshots.
+  return out;
+}
+
+MetricRegistry& GlobalMetrics() {
+  // Intentionally never destroyed: worker threads of process-lifetime pools
+  // may record metrics during static teardown, after function-local static
+  // destructors would have run.  The pointer stays reachable, so leak
+  // checkers treat it as a live global, not a leak.
+  static MetricRegistry* const global = new MetricRegistry();
+  return *global;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedLatencyTimer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* hist)
+    : hist_(hist), start_ns_(MonotonicNanos()) {}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (hist_ != nullptr) {
+    hist_->Record(static_cast<double>(MonotonicNanos() - start_ns_) * 1e-3);
+  }
+}
+
+}  // namespace obs
+}  // namespace simjoin

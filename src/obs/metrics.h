@@ -1,0 +1,239 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-boundary latency histograms, lock-free on the hot path.
+//
+// Hot-path writes never take a lock and never touch shared cache lines
+// under normal operation: every Counter and Histogram is sharded into
+// kMetricShards cache-line-padded cells, and each thread hashes to one
+// shard (relaxed fetch_add on an atomic it effectively owns).  Two threads
+// can collide on a shard — the atomic add keeps totals exact either way —
+// so the fast path is one relaxed RMW on an almost-always-private line.
+// Registration (GetCounter / GetGauge / GetHistogram) is the slow path: it
+// takes the registry mutex once and returns a stable pointer callers cache
+// for the process lifetime.
+//
+// Snapshot() merges the shards into plain value structs (the same
+// parallel-combine idiom as RunningStats::Merge in common/stats.h): a
+// snapshot is an ordinary value object — sortable, diffable (DeltaSince),
+// serialisable by the service wire protocol — with percentile extraction
+// for histograms via linear interpolation inside the owning bucket.
+//
+// Counters/histograms are monotonic; concurrent snapshots may therefore be
+// torn only *forward* (a later shard read sees newer adds), never report a
+// value that was never true of any prefix of the add sequence.
+
+#ifndef SIMJOIN_OBS_METRICS_H_
+#define SIMJOIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simjoin {
+namespace obs {
+
+/// Shard count for counters and histograms; power of two.  16 padded cells
+/// = 1 KiB per counter, small enough to register hundreds of metrics and
+/// wide enough that an 8..16-thread pool rarely collides.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+/// One cache-line-padded accumulator cell.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Stable small integer id of the calling thread, assigned on first use.
+/// Shared by every metric so one thread always lands on the same shard.
+size_t ThreadShardSlot();
+
+inline size_t ShardIndex() { return ThreadShardSlot() & (kMetricShards - 1); }
+
+}  // namespace internal
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[internal::ShardIndex()].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (snapshot read; exact once writers are quiescent).
+  uint64_t Value() const;
+
+ private:
+  internal::ShardCell cells_[kMetricShards];
+};
+
+/// Point-in-time signed value (queue depths, occupancy).  Unsharded: gauges
+/// sit on admission/queue paths that already pay an atomic, not in per-pair
+/// loops.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram.  boundaries() holds ascending bucket upper
+/// bounds; values land in the first bucket whose bound is >= the value,
+/// with one implicit overflow bucket past the last bound (so there are
+/// boundaries().size() + 1 buckets).  The value sum is accumulated in
+/// nanoscaled integer form so shard merging stays a pure integer add.
+class Histogram {
+ public:
+  /// Bucket upper bounds tuned for microsecond latencies: 1 us .. 10 s in
+  /// a 1-2-5 progression.
+  static std::span<const double> DefaultLatencyBoundsUs();
+
+  explicit Histogram(std::vector<double> boundaries);
+
+  /// Records one observation (clamped to >= 0).
+  void Record(double value);
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+ private:
+  friend class MetricRegistry;
+
+  /// Per-shard accumulator: bucket hit counts plus the value sum in
+  /// kSumScale-ths (fixed point) so totals merge with integer adds.
+  struct Shard {
+    explicit Shard(size_t buckets)
+        : counts(new std::atomic<uint64_t>[buckets]()) {}
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    alignas(64) std::atomic<uint64_t> scaled_sum{0};
+  };
+
+  static constexpr double kSumScale = 1024.0;
+
+  std::vector<double> boundaries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+  bool operator==(const CounterSample&) const = default;
+};
+
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+  bool operator==(const GaugeSample&) const = default;
+};
+
+/// Merged histogram state.  counts.size() == boundaries.size() + 1 (the
+/// trailing bucket counts overflow past the last bound).
+struct HistogramSample {
+  std::string name;
+  std::vector<double> boundaries;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramSample&) const = default;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// q-quantile (q in [0,1]) by linear interpolation inside the bucket that
+  /// holds the target rank — the histogram analogue of Percentile() in
+  /// common/stats.h.  The overflow bucket has no upper bound, so ranks that
+  /// land there report the last finite boundary.  0 when empty.
+  double Quantile(double q) const;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name within
+/// each kind (registration order never matters, so snapshots of the same
+/// state compare equal).
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// Counter/histogram deltas since `prev` (names missing from prev count
+  /// from zero); gauges keep their current value.  Used by the client's
+  /// `stats --watch` to render per-interval rates and latency quantiles.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& prev) const;
+
+  /// Multi-line human-readable dump (one metric per line; histograms with
+  /// count/mean/p50/p95/p99/max-bucket).
+  std::string RenderText() const;
+
+  /// Looks up one sample by name; nullptr when absent.
+  const CounterSample* FindCounter(std::string_view name) const;
+  const GaugeSample* FindGauge(std::string_view name) const;
+  const HistogramSample* FindHistogram(std::string_view name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Named metric registry.  Get* registers on first use and returns a stable
+/// pointer (cache it; lookup takes the registry mutex).  Separate instances
+/// are independent — tests use their own; the library instruments
+/// GlobalMetrics().
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+  ~MetricRegistry();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Registers a histogram with the given ascending bucket upper bounds
+  /// (DefaultLatencyBoundsUs() when empty).  A second Get with the same
+  /// name returns the existing histogram regardless of boundaries.
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> boundaries = {});
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Impl;
+  Impl* impl();  // lazily constructed under a local static mutex
+  Impl* impl_ = nullptr;
+};
+
+/// The process-wide registry every built-in instrumentation point uses.
+MetricRegistry& GlobalMetrics();
+
+/// Convenience RAII timer: records elapsed microseconds into a histogram
+/// on destruction.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist);
+  ~ScopedLatencyTimer();
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace simjoin
+
+#endif  // SIMJOIN_OBS_METRICS_H_

@@ -1,0 +1,241 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace simjoin {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t end_ns;
+  uint32_t tid;
+};
+
+/// Bounds memory for runaway traces: ~1M events/thread ≈ 24 MB/thread.
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+/// Per-thread event buffer.  Owned by the global list (not the thread) so
+/// events survive thread exit and can be merged after pool shutdown.  The
+/// per-buffer mutex is only ever contended during StopTracing's merge.
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards buffers list membership + path + start/stop
+  std::vector<std::unique_ptr<EventBuffer>> buffers;
+  std::string out_path;
+};
+
+TraceState& State() {
+  // Never destroyed for the same reason as GlobalMetrics(): threads may
+  // record spans during static teardown.
+  static TraceState* const state = new TraceState();
+  return *state;
+}
+
+EventBuffer& ThreadBuffer() {
+  thread_local EventBuffer* buffer = [] {
+    auto owned = std::make_unique<EventBuffer>();
+    EventBuffer* raw = owned.get();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+void JsonEscape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+void AppendTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  EventBuffer& buffer = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      {name, start_ns, end_ns,
+       static_cast<uint32_t>(internal::ThreadShardSlot())});
+}
+
+}  // namespace internal
+
+Status StartTracing(const std::string& path) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("tracing already active (writing to '" +
+                                   state.out_path + "')");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("trace output path must not be empty");
+  }
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+  state.out_path = path;
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void WriteTraceJson(std::ostream& os) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    for (const TraceEvent& ev : buffer->events) {
+      if (!first) os << ",";
+      first = false;
+      // Complete event ("ph":"X"): timestamps and durations are in
+      // microseconds per the Chrome trace format.
+      os << "\n{\"name\":\"";
+      JsonEscape(os, ev.name);
+      os << "\",\"cat\":\"simjoin\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(ev.start_ns) * 1e-3
+         << ",\"dur\":" << static_cast<double>(ev.end_ns - ev.start_ns) * 1e-3
+         << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+Status StopTracing() {
+  if (!internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+  TraceState& state = State();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    path = state.out_path;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open trace output file '" + path + "'");
+  }
+  WriteTraceJson(out);
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing trace output file '" + path + "'");
+  }
+  const uint64_t events = TraceEventCount();
+  const uint64_t dropped = TraceDroppedEventCount();
+  SIMJOIN_LOG(Info) << "wrote " << events << " trace events to '" << path
+                    << "'" << (dropped > 0
+                                   ? " (" + std::to_string(dropped) +
+                                         " dropped at per-thread cap)"
+                                   : "");
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+  state.out_path.clear();
+  return Status::OK();
+}
+
+uint64_t TraceEventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+uint64_t TraceDroppedEventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+namespace {
+
+/// SIMJOIN_TRACE=<path> starts a process-lifetime trace flushed at normal
+/// exit, mirroring the tools' --trace-out flag for code paths without one.
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* path = std::getenv("SIMJOIN_TRACE");
+    if (path == nullptr || path[0] == '\0') return;
+    const Status st = StartTracing(path);
+    if (!st.ok()) {
+      SIMJOIN_LOG(Warning) << "SIMJOIN_TRACE: " << st.ToString();
+      return;
+    }
+    std::atexit([] {
+      const Status stop = StopTracing();
+      if (!stop.ok()) {
+        SIMJOIN_LOG(Warning) << "SIMJOIN_TRACE flush: " << stop.ToString();
+      }
+    });
+  }
+};
+const EnvTraceInit g_env_trace_init;
+
+}  // namespace
+
+}  // namespace obs
+}  // namespace simjoin

@@ -653,7 +653,90 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
     w.F64(info.epsilon);
     w.U8(static_cast<uint8_t>(info.metric));
   }
+  // Rev 2: metrics block appended after the index list (rev-1 parsers stop
+  // at ExpectEnd and treat its absence as legacy; see StatsResponse).
+  EncodeMetricsSnapshot(resp.metrics, &w);
   return w.Take();
+}
+
+void EncodeMetricsSnapshot(const obs::MetricsSnapshot& snapshot,
+                           WireWriter* w) {
+  w->U32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const obs::CounterSample& c : snapshot.counters) {
+    w->String(c.name);
+    w->U64(c.value);
+  }
+  w->U32(static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const obs::GaugeSample& g : snapshot.gauges) {
+    w->String(g.name);
+    w->U64(static_cast<uint64_t>(g.value));  // two's-complement bit pattern
+  }
+  w->U32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const obs::HistogramSample& h : snapshot.histograms) {
+    w->String(h.name);
+    w->U32(static_cast<uint32_t>(h.boundaries.size()));
+    for (const double b : h.boundaries) w->F64(b);
+    w->U64(h.count);
+    w->F64(h.sum);
+    for (const uint64_t c : h.counts) w->U64(c);
+  }
+}
+
+Status ParseMetricsSnapshot(WireReader* r, obs::MetricsSnapshot* out) {
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r->U32(&count));
+  if (count > kMaxMetricsPerKind ||
+      static_cast<uint64_t>(count) * 12 > r->remaining()) {
+    return Status::OutOfRange("counter count exceeds payload");
+  }
+  out->counters.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SIMJOIN_RETURN_NOT_OK(
+        r->String(&out->counters[i].name, kMaxMetricNameLen));
+    SIMJOIN_RETURN_NOT_OK(r->U64(&out->counters[i].value));
+  }
+  SIMJOIN_RETURN_NOT_OK(r->U32(&count));
+  if (count > kMaxMetricsPerKind ||
+      static_cast<uint64_t>(count) * 12 > r->remaining()) {
+    return Status::OutOfRange("gauge count exceeds payload");
+  }
+  out->gauges.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SIMJOIN_RETURN_NOT_OK(r->String(&out->gauges[i].name, kMaxMetricNameLen));
+    uint64_t bits = 0;
+    SIMJOIN_RETURN_NOT_OK(r->U64(&bits));
+    out->gauges[i].value = static_cast<int64_t>(bits);
+  }
+  SIMJOIN_RETURN_NOT_OK(r->U32(&count));
+  if (count > kMaxMetricsPerKind ||
+      static_cast<uint64_t>(count) * 24 > r->remaining()) {
+    return Status::OutOfRange("histogram count exceeds payload");
+  }
+  out->histograms.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::HistogramSample& h = out->histograms[i];
+    SIMJOIN_RETURN_NOT_OK(r->String(&h.name, kMaxMetricNameLen));
+    uint32_t num_bounds = 0;
+    SIMJOIN_RETURN_NOT_OK(r->U32(&num_bounds));
+    if (num_bounds > kMaxHistogramBoundaries ||
+        static_cast<uint64_t>(num_bounds) * 16 + 16 > r->remaining()) {
+      return Status::OutOfRange("histogram boundary count exceeds payload");
+    }
+    h.boundaries.resize(num_bounds);
+    for (uint32_t b = 0; b < num_bounds; ++b) {
+      SIMJOIN_RETURN_NOT_OK(r->F64(&h.boundaries[b]));
+    }
+    SIMJOIN_RETURN_NOT_OK(r->U64(&h.count));
+    SIMJOIN_RETURN_NOT_OK(r->F64(&h.sum));
+    h.counts.resize(static_cast<size_t>(num_bounds) + 1);
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      SIMJOIN_RETURN_NOT_OK(r->U64(&h.counts[b]));
+    }
+  }
+  return Status::OK();
 }
 
 Status ParseStatsResponse(std::span<const uint8_t> payload,
@@ -687,6 +770,13 @@ Status ParseStatsResponse(std::span<const uint8_t> payload,
     uint8_t metric_tag = 0;
     SIMJOIN_RETURN_NOT_OK(r.U8(&metric_tag));
     SIMJOIN_RETURN_NOT_OK(ParseMetricTag(metric_tag, &info.metric));
+  }
+  // Rev 1 payloads end here; rev 2 appends a metrics snapshot.
+  out->has_metrics = r.remaining() > 0;
+  if (out->has_metrics) {
+    SIMJOIN_RETURN_NOT_OK(ParseMetricsSnapshot(&r, &out->metrics));
+  } else {
+    out->metrics = obs::MetricsSnapshot{};
   }
   return r.ExpectEnd();
 }

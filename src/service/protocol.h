@@ -32,6 +32,7 @@
 #include "common/pair_sink.h"
 #include "common/status.h"
 #include "core/ekdb_config.h"
+#include "obs/metrics.h"
 
 namespace simjoin {
 
@@ -269,6 +270,12 @@ struct StatsResponse {
   uint64_t registry_bytes = 0;
   uint64_t registry_evictions = 0;
   std::vector<IndexInfo> indexes;
+  /// Payload rev 2: full metrics-registry snapshot appended after the index
+  /// list.  A rev-1 payload simply ends after the indexes, so old clients
+  /// ignore the block and new clients parse rev-1 responses with
+  /// has_metrics == false — no frame-version bump needed.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
 };
 
 struct ErrorResponse {
@@ -334,6 +341,18 @@ Status ParseRetryAfterResponse(std::span<const uint8_t> payload,
 /// JoinStats as 7 u64 fields (shared by several responses).
 void EncodeJoinStats(const JoinStats& stats, WireWriter* w);
 Status ParseJoinStats(WireReader* r, JoinStats* out);
+
+// Defensive bounds for the Stats metrics block (hostile peers can claim
+// arbitrary counts; parsers reject anything beyond these before allocating).
+inline constexpr uint32_t kMaxMetricNameLen = 256;
+inline constexpr uint32_t kMaxMetricsPerKind = 4096;
+inline constexpr uint32_t kMaxHistogramBoundaries = 512;
+
+/// Metrics snapshot as the rev-2 Stats block (also usable standalone; the
+/// parser enforces the kMaxMetric* bounds above).
+void EncodeMetricsSnapshot(const obs::MetricsSnapshot& snapshot,
+                           WireWriter* w);
+Status ParseMetricsSnapshot(WireReader* r, obs::MetricsSnapshot* out);
 
 }  // namespace simjoin
 

@@ -17,6 +17,8 @@
 #include "common/thread_pool.h"
 #include "core/ekdb_flat_join.h"
 #include "core/parallel_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simjoin {
 namespace {
@@ -28,6 +30,82 @@ uint32_t ElapsedMs(Clock::time_point since) {
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                             since)
           .count());
+}
+
+double ElapsedUs(Clock::time_point since) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 Clock::now() - since)
+                 .count()) *
+         1e-3;
+}
+
+/// Service-layer registry handles, resolved once.  The per-opcode latency
+/// histograms cover admission to terminal-response enqueue; the counters
+/// mirror the Impl atomics (which remain the wire-compatible rev-1 fields)
+/// so `stats --watch` sees everything through one snapshot.
+struct ServiceMetrics {
+  obs::Histogram* latency_build_index;
+  obs::Histogram* latency_range_query;
+  obs::Histogram* latency_similarity_join;
+  obs::Histogram* latency_stats;
+  obs::Histogram* latency_drop_index;
+  obs::Gauge* inflight;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* requests_admitted;
+  obs::Counter* retry_after;
+  obs::Counter* deadline_expired;
+  obs::Counter* decode_errors;
+  obs::Counter* pairs_streamed;
+  obs::Counter* write_stall_disconnects;
+
+  obs::Histogram* LatencyFor(FrameType type) const {
+    switch (type) {
+      case FrameType::kBuildIndex: return latency_build_index;
+      case FrameType::kRangeQuery: return latency_range_query;
+      case FrameType::kSimilarityJoin: return latency_similarity_join;
+      case FrameType::kStats: return latency_stats;
+      case FrameType::kDropIndex: return latency_drop_index;
+      default: return nullptr;
+    }
+  }
+};
+
+const ServiceMetrics& GetServiceMetrics() {
+  static const ServiceMetrics metrics = [] {
+    obs::MetricRegistry& reg = obs::GlobalMetrics();
+    return ServiceMetrics{
+        reg.GetHistogram("service.latency_us.build_index"),
+        reg.GetHistogram("service.latency_us.range_query"),
+        reg.GetHistogram("service.latency_us.similarity_join"),
+        reg.GetHistogram("service.latency_us.stats"),
+        reg.GetHistogram("service.latency_us.drop_index"),
+        reg.GetGauge("service.inflight"),
+        reg.GetCounter("service.bytes_in"),
+        reg.GetCounter("service.bytes_out"),
+        reg.GetCounter("service.requests_admitted"),
+        reg.GetCounter("service.retry_after"),
+        reg.GetCounter("service.deadline_expired"),
+        reg.GetCounter("service.decode_errors"),
+        reg.GetCounter("service.pairs_streamed"),
+        reg.GetCounter("service.write_stall_disconnects"),
+    };
+  }();
+  return metrics;
+}
+
+/// Trace-span label for one request opcode (string literals only: TraceSpan
+/// keeps the pointer).
+const char* RequestSpanName(FrameType type) {
+  switch (type) {
+    case FrameType::kBuildIndex: return "service.build_index";
+    case FrameType::kRangeQuery: return "service.range_query";
+    case FrameType::kSimilarityJoin: return "service.similarity_join";
+    case FrameType::kStats: return "service.stats";
+    case FrameType::kDropIndex: return "service.drop_index";
+    default: return "service.request";
+  }
 }
 
 }  // namespace
@@ -132,6 +210,7 @@ struct Server::Impl {
         if (conn->write_cv.wait_until(lock, give_up) ==
             std::cv_status::timeout) {
           write_stall_disconnects.fetch_add(1, std::memory_order_relaxed);
+          GetServiceMetrics().write_stall_disconnects->Add();
           conn->dead = true;
           conn->write_queue.clear();
           conn->write_offset = 0;
@@ -200,6 +279,7 @@ struct Server::Impl {
           total_ += buffer_.size();
           impl_->pairs_streamed.fetch_add(buffer_.size(),
                                           std::memory_order_relaxed);
+          GetServiceMetrics().pairs_streamed->Add(buffer_.size());
         } else {
           dropped_ = true;
         }
@@ -369,6 +449,9 @@ struct Server::Impl {
       info.metric = entry.metric;
       resp.indexes.push_back(std::move(info));
     }
+    // Rev 2: the full registry snapshot (pool, join-phase, and service
+    // metrics) rides along after the index list.
+    resp.metrics = obs::GlobalMetrics().Snapshot();
     out->type = FrameType::kStatsResult;
     out->payload = EncodeStatsResponse(resp);
     return Status::OK();
@@ -391,10 +474,12 @@ struct Server::Impl {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config.handler_delay_ms_for_testing));
     }
+    SIMJOIN_TRACE_SPAN(RequestSpanName(frame.header.type));
     Terminal term;
     const uint32_t deadline = frame.header.deadline_ms;
     if (deadline > 0 && ElapsedMs(admitted_at) > deadline) {
       deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      GetServiceMetrics().deadline_expired->Add();
       term.payload = EncodeErrorResponse(Status::DeadlineExceeded(
           "deadline of " + std::to_string(deadline) + " ms expired after " +
           std::to_string(ElapsedMs(admitted_at)) + " ms"));
@@ -441,6 +526,11 @@ struct Server::Impl {
     // that sends its next request the moment it reads this response must
     // find the slot open, not a stale count (false kRetryAfter).
     inflight.fetch_sub(1, std::memory_order_acq_rel);
+    const ServiceMetrics& metrics = GetServiceMetrics();
+    metrics.inflight->Add(-1);
+    if (obs::Histogram* hist = metrics.LatencyFor(frame.header.type)) {
+      hist->Record(ElapsedUs(admitted_at));
+    }
     EnqueueFrame(conn, std::move(bytes));
   }
 
@@ -479,11 +569,14 @@ struct Server::Impl {
         config.max_inflight) {
       inflight.fetch_sub(1, std::memory_order_acq_rel);
       requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      GetServiceMetrics().retry_after->Add();
       Reply(conn, FrameType::kRetryAfter, h.request_id,
             EncodeRetryAfterResponse(config.retry_after_ms));
       return;
     }
     requests_admitted.fetch_add(1, std::memory_order_relaxed);
+    GetServiceMetrics().requests_admitted->Add();
+    GetServiceMetrics().inflight->Add(1);
     pending.fetch_add(1, std::memory_order_acq_rel);
     const Clock::time_point admitted_at = Clock::now();
     group->Run([this, conn, frame = std::move(frame), admitted_at]() {
@@ -529,6 +622,7 @@ struct Server::Impl {
           break;
         }
         if (sent == 0) break;  // kernel buffer full; wait for POLLOUT
+        GetServiceMetrics().bytes_out->Add(sent);
         conn->write_offset += sent;
         if (conn->write_offset == front.size()) {
           conn->queued_bytes -= front.size();
@@ -614,7 +708,10 @@ struct Server::Impl {
         MarkDead(conn);  // hard error, not EOF: queued bytes are undeliverable
         return false;
       }
-      if (n > 0) conn->decoder.Append(buf, n);
+      if (n > 0) {
+        conn->decoder.Append(buf, n);
+        GetServiceMetrics().bytes_in->Add(n);
+      }
       if (eof) keep_open = false;
       if (n == 0) break;
     }
@@ -626,6 +723,7 @@ struct Server::Impl {
         // Corrupt stream: frame boundaries are gone, so report once and
         // hang up (flushing the error frame first).
         decode_errors.fetch_add(1, std::memory_order_relaxed);
+        GetServiceMetrics().decode_errors->Add();
         ReplyError(conn, 0, st);
         conn->close_after_flush = true;
         return true;

@@ -1,5 +1,6 @@
 // Tests for timers, formatting helpers, logging, and pair sinks.
 
+#include <regex>
 #include <thread>
 
 #include "common/logging.h"
@@ -50,6 +51,35 @@ TEST(FormatCountTest, InsertsThousandsSeparators) {
 TEST(LoggingTest, LevelNames) {
   EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
   EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, PrefixHasIso8601TimeAndThreadTag) {
+  testing::internal::CaptureStderr();
+  SIMJOIN_LOG(Error) << "format probe";
+  const std::string line = testing::internal::GetCapturedStderr();
+  // "[2026-08-06T12:34:56.789Z t07 ERROR file.cc:123] format probe"
+  EXPECT_TRUE(std::regex_search(
+      line,
+      std::regex(R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z t\d{2} )"
+                 R"(ERROR [^ ]+:\d+\] format probe)")))
+      << "unexpected log line: " << line;
+}
+
+TEST(LoggingTest, ThreadTagIsStablePerThread) {
+  auto tag_of = [] {
+    testing::internal::CaptureStderr();
+    SIMJOIN_LOG(Error) << "x";
+    const std::string line = testing::internal::GetCapturedStderr();
+    std::smatch m;
+    EXPECT_TRUE(std::regex_search(line, m, std::regex(R"( (t\d{2}) )")));
+    return m.size() > 1 ? m[1].str() : std::string();
+  };
+  const std::string first = tag_of();
+  const std::string again = tag_of();
+  EXPECT_EQ(first, again);  // same thread keeps its tag
+  std::string other;
+  std::thread([&] { other = tag_of(); }).join();
+  EXPECT_NE(other, first);  // a fresh thread gets a different tag
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {

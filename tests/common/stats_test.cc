@@ -1,6 +1,8 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "gtest/gtest.h"
 
@@ -80,6 +82,43 @@ TEST(PercentileTest, InterpolatesBetweenRanks) {
   std::vector<double> v{0.0, 10.0};
   EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
   EXPECT_DOUBLE_EQ(Percentile(v, 0.75), 7.5);
+}
+
+TEST(PercentileNearestRankTest, ReturnsObservedValues) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 0.25), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 0.51), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 1.0), 10.0);
+  EXPECT_EQ(PercentileNearestRank({}, 0.5), 0.0);
+}
+
+TEST(PercentileNearestRankTest, AgreesWithInterpolationOnRandomData) {
+  std::mt19937 gen(42);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(1 + static_cast<size_t>(gen() % 200));
+    for (double& x : v) x = dist(gen);
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    double max_gap = 0.0;
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      max_gap = std::max(max_gap, sorted[i] - sorted[i - 1]);
+    }
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      const double interp = Percentile(v, q);
+      const double nearest = PercentileNearestRank(v, q);
+      // Nearest-rank must pick an actual sample...
+      EXPECT_TRUE(std::binary_search(sorted.begin(), sorted.end(), nearest))
+          << "q=" << q << " n=" << v.size();
+      // ...and the two estimators can differ by at most one sample gap.
+      EXPECT_LE(std::abs(interp - nearest), max_gap + 1e-12)
+          << "q=" << q << " n=" << v.size();
+    }
+    // The extremes are exact for both estimators.
+    EXPECT_DOUBLE_EQ(Percentile(v, 0.0), sorted.front());
+    EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 1.0), sorted.back());
+  }
 }
 
 }  // namespace

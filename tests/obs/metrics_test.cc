@@ -1,0 +1,239 @@
+// Tests for the lock-free metrics registry: exactness under concurrent
+// hammering, snapshot/merge determinism, quantile math, and delta rendering.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("hammered");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) c->Add(i % 3 + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  uint64_t per_thread = 0;
+  for (uint64_t i = 0; i < kAddsPerThread; ++i) per_thread += i % 3 + 1;
+  EXPECT_EQ(c->Value(), kThreads * per_thread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricRegistry reg;
+  Gauge* g = reg.GetGauge("depth");
+  g->Set(7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+  g->Add(-10);
+  EXPECT_EQ(g->Value(), -6);  // gauges are signed
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepExactCountAndSum) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("lat", std::vector<double>{1, 10, 100});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<double>(i % 200));  // spans all four buckets
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSample* s = snap.FindHistogram("lat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s->count);
+  // Sum of i%200 over kPerThread iterations, times kThreads; the fixed-point
+  // accumulator is exact for integers.
+  const double expected_sum =
+      kThreads * (kPerThread / 200.0) * (199.0 * 200.0 / 2.0);
+  EXPECT_DOUBLE_EQ(s->sum, expected_sum);
+}
+
+TEST(HistogramTest, BucketAssignmentUsesInclusiveUpperBounds) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("b", std::vector<double>{1, 10});
+  h->Record(0.5);   // bucket 0 (<= 1)
+  h->Record(1.0);   // bucket 0 (inclusive bound)
+  h->Record(5.0);   // bucket 1
+  h->Record(11.0);  // overflow bucket
+  h->Record(-3.0);  // clamped to 0 -> bucket 0
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSample* s = snap.FindHistogram("b");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->counts.size(), 3u);
+  EXPECT_EQ(s->counts[0], 3u);
+  EXPECT_EQ(s->counts[1], 1u);
+  EXPECT_EQ(s->counts[2], 1u);
+}
+
+TEST(HistogramSampleTest, QuantileInterpolatesAndClampsOverflow) {
+  HistogramSample s;
+  s.boundaries = {10.0, 20.0};
+  s.counts = {10, 10, 0};
+  s.count = 20;
+  // Median sits at the boundary between the two buckets.
+  EXPECT_NEAR(s.Quantile(0.5), 10.0, 1.0);
+  // Inside the first bucket the estimate interpolates from 0 to 10.
+  EXPECT_NEAR(s.Quantile(0.25), 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+
+  // Ranks landing in the overflow bucket report the last finite bound.
+  HistogramSample o;
+  o.boundaries = {10.0};
+  o.counts = {0, 5};
+  o.count = 5;
+  EXPECT_DOUBLE_EQ(o.Quantile(0.99), 10.0);
+
+  HistogramSample empty;
+  empty.boundaries = {10.0};
+  empty.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  MetricRegistry reg;
+  Counter* c1 = reg.GetCounter("same");
+  Counter* c2 = reg.GetCounter("same");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = reg.GetHistogram("h", std::vector<double>{1, 2});
+  Histogram* h2 = reg.GetHistogram("h");  // boundaries ignored on re-get
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->boundaries().size(), 2u);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 100; ++i) {
+        reg.GetCounter("shared.counter")->Add();
+        reg.GetGauge("shared.gauge")->Add(1);
+        reg.GetHistogram("shared.hist")->Record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_NE(snap.FindCounter("shared.counter"), nullptr);
+  EXPECT_EQ(snap.FindCounter("shared.counter")->value, 800u);
+  EXPECT_EQ(snap.FindGauge("shared.gauge")->value, 800);
+  EXPECT_EQ(snap.FindHistogram("shared.hist")->count, 800u);
+}
+
+TEST(SnapshotTest, SortedByNameAndDeterministic) {
+  MetricRegistry reg;
+  reg.GetCounter("zeta")->Add(1);
+  reg.GetCounter("alpha")->Add(2);
+  reg.GetGauge("mid")->Set(3);
+  reg.GetHistogram("h2")->Record(5);
+  reg.GetHistogram("h1")->Record(7);
+
+  const MetricsSnapshot a = reg.Snapshot();
+  const MetricsSnapshot b = reg.Snapshot();
+  EXPECT_EQ(a, b);  // same state -> identical snapshots
+  ASSERT_EQ(a.counters.size(), 2u);
+  EXPECT_EQ(a.counters[0].name, "alpha");
+  EXPECT_EQ(a.counters[1].name, "zeta");
+  ASSERT_EQ(a.histograms.size(), 2u);
+  EXPECT_EQ(a.histograms[0].name, "h1");
+  EXPECT_EQ(a.histograms[1].name, "h2");
+}
+
+TEST(SnapshotTest, DeltaSinceSubtractsMonotonicsKeepsGauges) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h", std::vector<double>{10});
+  c->Add(5);
+  g->Set(100);
+  h->Record(1);
+  const MetricsSnapshot before = reg.Snapshot();
+  c->Add(7);
+  g->Set(42);
+  h->Record(2);
+  h->Record(3);
+  const MetricsSnapshot after = reg.Snapshot();
+
+  const MetricsSnapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.FindCounter("c")->value, 7u);
+  EXPECT_EQ(delta.FindGauge("g")->value, 42);  // level, not difference
+  EXPECT_EQ(delta.FindHistogram("h")->count, 2u);
+  EXPECT_DOUBLE_EQ(delta.FindHistogram("h")->sum, 5.0);
+}
+
+TEST(SnapshotTest, DeltaSinceEmptyPrevIsIdentity) {
+  MetricRegistry reg;
+  reg.GetCounter("c")->Add(3);
+  reg.GetHistogram("h")->Record(1.0);
+  const MetricsSnapshot cur = reg.Snapshot();
+  EXPECT_EQ(cur.DeltaSince(MetricsSnapshot{}), cur);
+}
+
+TEST(SnapshotTest, RenderTextMentionsEveryMetric) {
+  MetricRegistry reg;
+  reg.GetCounter("requests")->Add(9);
+  reg.GetGauge("inflight")->Set(2);
+  reg.GetHistogram("latency_us")->Record(50.0);
+  const std::string text = reg.Snapshot().RenderText();
+  EXPECT_NE(text.find("requests"), std::string::npos);
+  EXPECT_NE(text.find("inflight"), std::string::npos);
+  EXPECT_NE(text.find("latency_us"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(GlobalMetricsTest, IsASingleton) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+}
+
+TEST(ScopedLatencyTimerTest, RecordsOnDestruction) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("t");
+  { ScopedLatencyTimer timer(h); }
+  EXPECT_EQ(reg.Snapshot().FindHistogram("t")->count, 1u);
+}
+
+TEST(DefaultBoundsTest, AscendingMicrosecondLadder) {
+  const std::span<const double> bounds = Histogram::DefaultLatencyBoundsUs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_GE(bounds.back(), 1e6);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simjoin

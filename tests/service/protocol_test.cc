@@ -225,6 +225,65 @@ TEST(ProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(parsed.indexes[0].name, "base");
   EXPECT_EQ(parsed.indexes[0].metric, Metric::kL1);
   EXPECT_EQ(parsed.indexes[0].epsilon, 0.1);
+  EXPECT_TRUE(parsed.has_metrics);  // rev-2 encoder always appends the block
+}
+
+TEST(ProtocolTest, StatsMetricsRoundTripEveryKind) {
+  StatsResponse resp;
+  resp.metrics.counters = {{"a.count", 7}, {"b.count", 1ull << 60}};
+  resp.metrics.gauges = {{"depth", -12}, {"inflight", 3}};
+  obs::HistogramSample h;
+  h.name = "latency_us";
+  h.boundaries = {1.0, 10.0, 100.0};
+  h.counts = {4, 3, 2, 1};
+  h.count = 10;
+  h.sum = 256.5;
+  resp.metrics.histograms = {h};
+
+  StatsResponse parsed;
+  ASSERT_TRUE(ParseStatsResponse(EncodeStatsResponse(resp), &parsed).ok());
+  ASSERT_TRUE(parsed.has_metrics);
+  EXPECT_EQ(parsed.metrics, resp.metrics);  // field-exact, all three kinds
+  // Quantiles survive the trip because bucket structure is preserved.
+  EXPECT_DOUBLE_EQ(parsed.metrics.histograms[0].Quantile(0.5),
+                   resp.metrics.histograms[0].Quantile(0.5));
+}
+
+TEST(ProtocolTest, StatsLegacyPayloadWithoutMetricsStillParses) {
+  // A rev-1 peer ends the payload right after the index list; the parser
+  // must accept it and report has_metrics = false.
+  StatsResponse resp;
+  resp.requests_admitted = 5;
+  IndexInfo info;
+  info.name = "old";
+  info.metric = Metric::kL2;
+  resp.indexes.push_back(info);
+  std::vector<uint8_t> payload = EncodeStatsResponse(resp);
+  // Strip the trailing metrics block (three empty sections = 12 bytes).
+  ASSERT_GE(payload.size(), 12u);
+  payload.resize(payload.size() - 12);
+
+  StatsResponse parsed;
+  ASSERT_TRUE(ParseStatsResponse(payload, &parsed).ok());
+  EXPECT_FALSE(parsed.has_metrics);
+  EXPECT_EQ(parsed.requests_admitted, 5u);
+  ASSERT_EQ(parsed.indexes.size(), 1u);
+  EXPECT_EQ(parsed.indexes[0].name, "old");
+}
+
+TEST(ProtocolTest, StatsMetricsRejectsOversizedCounts) {
+  // A counter count far beyond the remaining payload must fail cleanly
+  // before any allocation.
+  StatsResponse resp;
+  std::vector<uint8_t> payload = EncodeStatsResponse(resp);
+  ASSERT_GE(payload.size(), 12u);
+  const size_t counter_count_off = payload.size() - 12;
+  payload[counter_count_off] = 0xff;
+  payload[counter_count_off + 1] = 0xff;
+  payload[counter_count_off + 2] = 0xff;
+  payload[counter_count_off + 3] = 0xff;
+  StatsResponse parsed;
+  EXPECT_FALSE(ParseStatsResponse(payload, &parsed).ok());
 }
 
 TEST(ProtocolTest, ErrorStatusRoundTrip) {

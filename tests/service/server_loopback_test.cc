@@ -77,6 +77,62 @@ TEST(ServerLoopbackTest, PingAndStats) {
   EXPECT_EQ(stats->indexes.size(), 0u);
 }
 
+TEST(ServerLoopbackTest, StatsRpcRoundTripsEveryRegisteredMetric) {
+  const Dataset data = MakeData(300, 6, 17);
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("m", data, Config(0.15))).ok());
+  SimilarityJoinRequest req;
+  req.name_a = "m";
+  VectorSink sink;
+  ASSERT_TRUE(live.client.SimilarityJoin(req, &sink).ok());
+
+  // The server runs in-process, so the RPC must export (a superset of) the
+  // same registry this test can snapshot locally: every metric registered
+  // before the call comes back by name, counters no smaller than the local
+  // reading (they are monotonic and traffic only moves them forward).
+  const obs::MetricsSnapshot before = obs::GlobalMetrics().Snapshot();
+  auto stats = live.client.GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(stats->has_metrics);
+  const obs::MetricsSnapshot& wire = stats->metrics;
+  for (const obs::CounterSample& c : before.counters) {
+    const obs::CounterSample* got = wire.FindCounter(c.name);
+    ASSERT_NE(got, nullptr) << "counter " << c.name << " missing from RPC";
+    EXPECT_GE(got->value, c.value) << c.name;
+  }
+  for (const obs::GaugeSample& g : before.gauges) {
+    EXPECT_NE(wire.FindGauge(g.name), nullptr)
+        << "gauge " << g.name << " missing from RPC";
+  }
+  for (const obs::HistogramSample& h : before.histograms) {
+    const obs::HistogramSample* got = wire.FindHistogram(h.name);
+    ASSERT_NE(got, nullptr) << "histogram " << h.name << " missing from RPC";
+    EXPECT_EQ(got->boundaries, h.boundaries) << h.name;
+    EXPECT_GE(got->count, h.count) << h.name;
+  }
+
+  // Spot-check the service instrumentation itself made the trip.
+  const obs::CounterSample* admitted =
+      wire.FindCounter("service.requests_admitted");
+  ASSERT_NE(admitted, nullptr);
+  EXPECT_GE(admitted->value, 3u);  // build + join + this stats request
+  const obs::CounterSample* streamed =
+      wire.FindCounter("service.pairs_streamed");
+  ASSERT_NE(streamed, nullptr);
+  EXPECT_EQ(streamed->value, sink.pairs().size());
+  const obs::HistogramSample* join_lat =
+      wire.FindHistogram("service.latency_us.similarity_join");
+  ASSERT_NE(join_lat, nullptr);
+  EXPECT_GE(join_lat->count, 1u);
+  const obs::CounterSample* bytes_in = wire.FindCounter("service.bytes_in");
+  const obs::CounterSample* bytes_out = wire.FindCounter("service.bytes_out");
+  ASSERT_NE(bytes_in, nullptr);
+  ASSERT_NE(bytes_out, nullptr);
+  EXPECT_GT(bytes_in->value, 0u);
+  EXPECT_GT(bytes_out->value, 0u);
+}
+
 TEST(ServerLoopbackTest, RangeQueryMatchesInProcessBitForBit) {
   const Dataset data = MakeData(500, 8, 11);
   const EkdbConfig config = Config(0.2);

@@ -110,6 +110,34 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
         info.name = RandomName(rng);
         info.bytes = rng->Next();
       }
+      // Rev-2 metrics block: random counters, gauges, and histograms so the
+      // extended Stats payload is soaked through the same mutation and
+      // truncation passes as everything else.
+      resp.has_metrics = true;
+      resp.metrics.counters.resize(rng->UniformInt(6u));
+      for (obs::CounterSample& c : resp.metrics.counters) {
+        c.name = RandomName(rng);
+        c.value = rng->Next();
+      }
+      resp.metrics.gauges.resize(rng->UniformInt(6u));
+      for (obs::GaugeSample& g : resp.metrics.gauges) {
+        g.name = RandomName(rng);
+        g.value = static_cast<int64_t>(rng->Next());
+      }
+      resp.metrics.histograms.resize(rng->UniformInt(4u));
+      for (obs::HistogramSample& h : resp.metrics.histograms) {
+        h.name = RandomName(rng);
+        h.boundaries.resize(rng->UniformInt(8u));
+        double bound = 0.0;
+        for (double& b : h.boundaries) b = (bound += rng->Uniform(0.1, 10.0));
+        h.counts.assign(h.boundaries.size() + 1, 0);
+        h.count = 0;
+        for (uint64_t& c : h.counts) {
+          c = rng->UniformInt(1u << 16);
+          h.count += c;
+        }
+        h.sum = rng->Uniform(0.0, 1e6);
+      }
       return EncodeFrame(FrameType::kStatsResult, id, deadline,
                          EncodeStatsResponse(resp));
     }

@@ -23,8 +23,12 @@
 #include "common/csv.h"
 #include "common/timer.h"
 #include "core/components.h"
+#include "core/ekdb_flat.h"
+#include "core/ekdb_flat_join.h"
 #include "core/ekdb_join.h"
+#include "core/parallel_join.h"
 #include "core/planner.h"
+#include "obs/trace.h"
 #include "rtree/rtree_join.h"
 #include "workload/generators.h"
 #include "workload/image_features.h"
@@ -129,6 +133,12 @@ int CmdJoin(int argc, char** argv) {
   args.AddFlag("leaf", "64", "ekdb leaf threshold");
   args.AddFlag("lsh-tables", "8", "LSH tables (algo=lsh; self-join only)");
   args.AddFlag("out", "", "optional CSV of result pairs (id_a,id_b)");
+  args.AddFlag("threads", "1",
+               "ekdb only: run the flat parallel join with this many "
+               "threads; 0 = hardware");
+  args.AddFlag("trace-out", "",
+               "write a Chrome/Perfetto trace of build/traversal/filter "
+               "phases to this file");
   if (Status st = args.Parse(argc, argv); !st.ok()) return Fail(st);
   if (args.help_requested()) {
     std::cout << args.Help();
@@ -136,6 +146,10 @@ int CmdJoin(int argc, char** argv) {
   }
   if (args.GetString("input").empty()) {
     return Fail(Status::InvalidArgument("--input is required"));
+  }
+  const std::string trace_out = args.GetString("trace-out");
+  if (!trace_out.empty()) {
+    if (Status st = obs::StartTracing(trace_out); !st.ok()) return Fail(st);
   }
 
   auto a = LoadAny(args.GetString("input"));
@@ -187,9 +201,26 @@ int CmdJoin(int argc, char** argv) {
     config.epsilon = epsilon;
     config.metric = metric.value();
     config.leaf_threshold = static_cast<size_t>(args.GetInt("leaf"));
+    const size_t threads = static_cast<size_t>(args.GetInt("threads"));
     auto ta = EkdbTree::Build(*a, config);
     if (!ta.ok()) return Fail(ta.status());
-    if (b.has_value()) {
+    if (threads != 1) {
+      // Parallel path: flatten and run the work-stealing flat join (same
+      // pair sequence as the sequential drivers).
+      ParallelJoinConfig par;
+      par.num_threads = threads;
+      auto fa = FlatEkdbTree::FromTree(*ta);
+      if (!fa.ok()) return Fail(fa.status());
+      if (b.has_value()) {
+        auto tb = EkdbTree::Build(*b, config);
+        if (!tb.ok()) return Fail(tb.status());
+        auto fb = FlatEkdbTree::FromTree(*tb);
+        if (!fb.ok()) return Fail(fb.status());
+        st = ParallelFlatEkdbJoin(*fa, *fb, par, &sink, &stats);
+      } else {
+        st = ParallelFlatEkdbSelfJoin(*fa, par, &sink, &stats);
+      }
+    } else if (b.has_value()) {
       auto tb = EkdbTree::Build(*b, config);
       if (!tb.ok()) return Fail(tb.status());
       st = EkdbJoin(*ta, *tb, &sink, &stats);
@@ -241,6 +272,13 @@ int CmdJoin(int argc, char** argv) {
     st = b.has_value()
              ? NestedLoopJoin(*a, *b, epsilon, metric.value(), &sink, &stats)
              : NestedLoopSelfJoin(*a, epsilon, metric.value(), &sink, &stats);
+  }
+  if (!trace_out.empty()) {
+    if (Status flush = obs::StopTracing(); !flush.ok()) {
+      std::cerr << "trace flush: " << flush.ToString() << "\n";
+    } else {
+      std::cout << "wrote trace to " << trace_out << "\n";
+    }
   }
   if (!st.ok()) return Fail(st);
 

@@ -5,18 +5,24 @@
 //   ./tools/simjoin_client query --name base --point 0.2,0.3,0.4
 //   ./tools/simjoin_client join --name base --limit 20
 //   ./tools/simjoin_client stats
+//   ./tools/simjoin_client stats --watch --interval-ms 1000
 //   ./tools/simjoin_client drop --name base
 //   ./tools/simjoin_client shutdown
 //
 // One subcommand per invocation; --host/--port select the server.  join
 // streams its result pairs to stdout (capped by --limit; 0 = all).
 
+#include <chrono>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "common/args.h"
 #include "common/binary_io.h"
 #include "service/client.h"
+#include "workload/profile.h"
 
 namespace simjoin {
 namespace {
@@ -49,6 +55,87 @@ class PrintSink : public PairSink {
   uint64_t printed_ = 0;
   uint64_t total_ = 0;
 };
+
+void PrintServerCounters(const StatsResponse& resp) {
+  std::cout << "connections: " << resp.accepted_connections << " accepted, "
+            << resp.active_connections << " active\n"
+            << "requests: " << resp.requests_admitted << " admitted, "
+            << resp.requests_rejected << " rejected, "
+            << resp.deadline_expired << " deadline-expired, "
+            << resp.decode_errors << " decode errors\n"
+            << "pairs streamed: " << resp.pairs_streamed << "\n"
+            << "registry: " << resp.registry_bytes << "/"
+            << resp.registry_byte_budget << " bytes, "
+            << resp.registry_evictions << " evictions\n";
+  for (const IndexInfo& info : resp.indexes) {
+    std::cout << "  index '" << info.name << "': " << info.num_points
+              << " points, dims=" << info.dims << ", eps=" << info.epsilon
+              << ", " << MetricName(info.metric) << ", " << info.bytes
+              << " bytes, " << info.hits << " hits\n";
+  }
+}
+
+/// Renders one metrics snapshot (absolute or interval delta): counters and
+/// gauges one per line, histograms with quantiles and a bucket sparkline.
+void PrintMetrics(const obs::MetricsSnapshot& snap) {
+  for (const obs::CounterSample& c : snap.counters) {
+    std::cout << "  " << c.name << " " << c.value << "\n";
+  }
+  for (const obs::GaugeSample& g : snap.gauges) {
+    std::cout << "  " << g.name << " " << g.value << "\n";
+  }
+  for (const obs::HistogramSample& h : snap.histograms) {
+    std::vector<uint32_t> bins;
+    bins.reserve(h.counts.size());
+    for (const uint64_t c : h.counts) {
+      bins.push_back(static_cast<uint32_t>(
+          std::min<uint64_t>(c, std::numeric_limits<uint32_t>::max())));
+    }
+    std::cout << "  " << h.name << " n=" << h.count;
+    if (h.count > 0) {
+      std::cout << std::fixed << std::setprecision(1) << " mean="
+                << h.mean() << " p50=" << h.Quantile(0.50)
+                << " p95=" << h.Quantile(0.95)
+                << " p99=" << h.Quantile(0.99)
+                << std::defaultfloat << std::setprecision(6);
+    }
+    std::cout << "  " << HistogramSparkline(bins) << "\n";
+  }
+}
+
+/// `stats --watch`: polls GetStats every interval and renders per-interval
+/// counter/histogram deltas (gauges stay levels), so latency quantiles
+/// reflect only the traffic of the last window.
+int WatchStats(Client& client, int64_t interval_ms, int64_t count) {
+  obs::MetricsSnapshot prev;
+  bool have_prev = false;
+  for (int64_t tick = 0; count == 0 || tick < count; ++tick) {
+    auto resp = client.GetStats();
+    if (!resp.ok()) {
+      std::cerr << resp.status().ToString() << "\n";
+      return 1;
+    }
+    if (!resp->has_metrics) {
+      std::cerr << "server does not export metrics (pre-rev-2 Stats "
+                   "payload); upgrade the server or use plain `stats`\n";
+      return 1;
+    }
+    std::cout << "=== stats"
+              << (have_prev
+                      ? " (delta over " + std::to_string(interval_ms) + " ms)"
+                      : " (absolute)")
+              << " ===\n";
+    PrintServerCounters(*resp);
+    PrintMetrics(have_prev ? resp->metrics.DeltaSince(prev) : resp->metrics);
+    std::cout << std::flush;
+    prev = std::move(resp->metrics);
+    have_prev = true;
+    if (count == 0 || tick + 1 < count) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
 
 int Run(const ArgParser& args) {
   if (args.positional().size() != 1) {
@@ -127,24 +214,17 @@ int Run(const ArgParser& args) {
                 << done->stats.node_pairs_pruned << " node pairs pruned)\n";
     }
   } else if (cmd == "stats") {
+    if (args.GetBool("watch")) {
+      return WatchStats(*client, args.GetInt("interval-ms"),
+                        args.GetInt("count"));
+    }
     auto resp = client->GetStats();
     st = resp.status();
     if (resp.ok()) {
-      std::cout << "connections: " << resp->accepted_connections
-                << " accepted, " << resp->active_connections << " active\n"
-                << "requests: " << resp->requests_admitted << " admitted, "
-                << resp->requests_rejected << " rejected, "
-                << resp->deadline_expired << " deadline-expired, "
-                << resp->decode_errors << " decode errors\n"
-                << "pairs streamed: " << resp->pairs_streamed << "\n"
-                << "registry: " << resp->registry_bytes << "/"
-                << resp->registry_byte_budget << " bytes, "
-                << resp->registry_evictions << " evictions\n";
-      for (const IndexInfo& info : resp->indexes) {
-        std::cout << "  index '" << info.name << "': " << info.num_points
-                  << " points, dims=" << info.dims << ", eps="
-                  << info.epsilon << ", " << MetricName(info.metric) << ", "
-                  << info.bytes << " bytes, " << info.hits << " hits\n";
+      PrintServerCounters(*resp);
+      if (resp->has_metrics) {
+        std::cout << "metrics:\n";
+        PrintMetrics(resp->metrics);
       }
     }
   } else if (cmd == "drop") {
@@ -184,6 +264,10 @@ int main(int argc, char** argv) {
   args.AddFlag("threads", "0", "build/join parallelism; 0 = server default");
   args.AddFlag("point", "", "comma-separated query point (query)");
   args.AddFlag("limit", "20", "join pairs printed; 0 = all");
+  args.AddBoolFlag("watch", false,
+                   "stats only: poll repeatedly, rendering interval deltas");
+  args.AddFlag("interval-ms", "1000", "polling interval for --watch");
+  args.AddFlag("count", "0", "number of --watch ticks; 0 = until killed");
   const simjoin::Status st = args.Parse(argc, argv);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n" << args.Help();

@@ -9,11 +9,18 @@
 // index from a binary dataset file before accepting connections, so a
 // fleet of read-only clients can start querying immediately.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <iostream>
+#include <mutex>
+#include <thread>
 
 #include "common/args.h"
 #include "common/binary_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/server.h"
 
 namespace {
@@ -23,6 +30,45 @@ simjoin::Server* g_server = nullptr;
 void HandleSignal(int) {
   if (g_server != nullptr) g_server->Shutdown();
 }
+
+/// Dumps the global metrics registry to stdout every interval until asked
+/// to stop (condvar wait, so shutdown is prompt).
+class MetricsDumper {
+ public:
+  explicit MetricsDumper(int interval_ms) : interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsDumper() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      std::cout << "--- metrics ---\n"
+                << simjoin::obs::GlobalMetrics().Snapshot().RenderText()
+                << std::flush;
+    }
+  }
+
+  int interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -40,6 +86,11 @@ int main(int argc, char** argv) {
   args.AddFlag("preload-name", "base", "registry name for --preload");
   args.AddFlag("epsilon", "0.1", "build epsilon for --preload");
   args.AddFlag("metric", "l2", "metric for --preload: l2 | l1 | linf");
+  args.AddFlag("metrics-interval-ms", "0",
+               "dump the metrics registry to stdout every N ms; 0 = off");
+  args.AddFlag("trace-out", "",
+               "collect phase trace spans and write Chrome/Perfetto JSON "
+               "here on shutdown");
   const Status parse = args.Parse(argc, argv);
   if (!parse.ok()) {
     std::cerr << parse.ToString() << "\n" << args.Help();
@@ -60,6 +111,15 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(args.GetInt("retry-after-ms"));
   config.registry_byte_budget =
       static_cast<uint64_t>(args.GetInt("registry-mb")) << 20;
+
+  const std::string trace_out = args.GetString("trace-out");
+  if (!trace_out.empty()) {
+    const Status st = simjoin::obs::StartTracing(trace_out);
+    if (!st.ok()) {
+      std::cerr << "trace-out: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
 
   auto server = simjoin::Server::Start(config);
   if (!server.ok()) {
@@ -106,7 +166,15 @@ int main(int argc, char** argv) {
   std::cout << "serving on " << config.host << ":" << (*server)->port()
             << " (io=" << config.io_threads
             << ", max-inflight=" << config.max_inflight << ")" << std::endl;
-  (*server)->Wait();
+  {
+    MetricsDumper dumper(
+        static_cast<int>(args.GetInt("metrics-interval-ms")));
+    (*server)->Wait();
+  }
+  if (!trace_out.empty()) {
+    const Status st = simjoin::obs::StopTracing();
+    if (!st.ok()) std::cerr << "trace flush: " << st.ToString() << "\n";
+  }
 
   const simjoin::ServerCounters c = (*server)->counters();
   std::cout << "stopped: " << c.accepted_connections << " connections, "
