@@ -59,6 +59,9 @@ int Run(const ArgParser& args) {
       static_cast<size_t>(args.GetInt("max-inflight")) != 0
           ? static_cast<size_t>(args.GetInt("max-inflight"))
           : clients;
+  // This bench tracks the per-request dispatch path; the fused path (which
+  // trades a wait budget for batch amortisation) has its own bench, r21.
+  server_config.fusion_enabled = false;
   auto server = Server::Start(server_config);
   if (!server.ok()) {
     std::cerr << "server start failed: " << server.status().ToString() << "\n";
@@ -75,7 +78,10 @@ int Run(const ArgParser& args) {
   std::cout << "R19: service loopback load (n=" << n << ", d=" << dims
             << ", L2, eps=" << epsilon << ", batch=" << batch
             << ", clients=" << clients << ", max-inflight="
-            << server_config.max_inflight << ")\n";
+            << server_config.max_inflight << ")\n"
+            << "  cores detected: " << std::thread::hardware_concurrency()
+            << " (client threads and server share them; single-core hosts "
+               "serialise everything)\n";
 
   // Build the index through the wire, like a real deployment would.
   {

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Builds the library and tests under ThreadSanitizer and runs the
 # concurrency-sensitive test targets (thread pool, parallel joins, parallel
-# tree construction and flattening, the service's index registry and the
-# loopback server, and the obs metrics/trace layer), so the work-stealing
-# deque, the sleep / wake protocol, the sharded pair emission, registry
-# refcounting/eviction, the io-thread <-> worker handoff, and the lock-free
+# tree construction and flattening, the service's index registry, the
+# loopback server and its cross-connection fusion engine, and the obs
+# metrics/trace layer), so the work-stealing deque, the sleep / wake
+# protocol, the sharded pair emission, registry refcounting/eviction, the
+# io-thread <-> fusion-collector <-> worker handoff, and the lock-free
 # metric shards get exercised with full race checking.
 #
 # Usage: scripts/check_tsan.sh [build-dir] [extra ctest args...]
@@ -23,4 +24,4 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Counter|Histogram|Snapshot|Trace' "$@"
+  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Counter|Histogram|Snapshot|Trace' "$@"

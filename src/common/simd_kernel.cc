@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(__x86_64__) || defined(__i386__)
 #define SIMJOIN_X86 1
@@ -292,6 +293,211 @@ __attribute__((target("avx2,fma"))) void ScoreBatchAvx2Linf(
 #define SIMJOIN_HAVE_AVX2_PATH 0
 #endif  // SIMJOIN_X86 && (GNUC || clang)
 
+// ---------------------------------------------------------------------------
+// AVX-512F scoring: 16 floats per step — at d=16 one whole candidate per
+// vector — with the same 4-candidate interleave as the AVX2 tier.  The
+// horizontal reductions order additions differently from the AVX2/portable
+// paths, so raw float scores can differ in the last bits; the rescue band
+// re-tests every near-threshold candidate with the exact scalar kernel, so
+// the *mask* stays bit-identical across all tiers (asserted by the
+// differential tests).
+
+#if SIMJOIN_HAVE_AVX2_PATH
+#define SIMJOIN_HAVE_AVX512_PATH 1
+
+// GCC's AVX-512 intrinsics expand through _mm512_undefined_ps(), which GCC
+// 12 itself flags as maybe-uninitialized (GCC bug 105593).  The "undefined"
+// operand is the ignored pass-through lane source of an unmasked operation,
+// so the warning is a false positive; silence it for this block only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f"))) inline __m512 Abs512(__m512 v) {
+  return _mm512_abs_ps(v);
+}
+
+// Manual horizontal reductions: fold the four 128-bit lanes together with
+// cross-lane shuffles, then finish inside one SSE register.  (GCC's
+// _mm512_reduce_*_ps helpers expand through _mm256_undefined_pd and trip
+// -Wmaybe-uninitialized; these are the same instruction count.)
+
+__attribute__((target("avx512f"))) float Sum512(__m512 v) {
+  v = _mm512_add_ps(v, _mm512_shuffle_f32x4(v, v, 0x4E));  // swap 256 halves
+  v = _mm512_add_ps(v, _mm512_shuffle_f32x4(v, v, 0xB1));  // swap 128 lanes
+  __m128 x = _mm512_castps512_ps128(v);
+  x = _mm_add_ps(x, _mm_movehl_ps(x, x));
+  x = _mm_add_ss(x, _mm_shuffle_ps(x, x, 1));
+  return _mm_cvtss_f32(x);
+}
+
+__attribute__((target("avx512f"))) float Max512(__m512 v) {
+  v = _mm512_max_ps(v, _mm512_shuffle_f32x4(v, v, 0x4E));
+  v = _mm512_max_ps(v, _mm512_shuffle_f32x4(v, v, 0xB1));
+  __m128 x = _mm512_castps512_ps128(v);
+  x = _mm_max_ps(x, _mm_movehl_ps(x, x));
+  x = _mm_max_ss(x, _mm_shuffle_ps(x, x, 1));
+  return _mm_cvtss_f32(x);
+}
+
+template <typename Rows>
+__attribute__((target("avx512f"))) void ScoreBatchAvx512L1(
+    const float* q, Rows rows, size_t count, size_t dims, float* scores) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows.row(i);
+    const float* r1 = rows.row(i + 1);
+    const float* r2 = rows.row(i + 2);
+    const float* r3 = rows.row(i + 3);
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dims; d += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + d);
+      a0 = _mm512_add_ps(a0, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r0 + d))));
+      a1 = _mm512_add_ps(a1, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r1 + d))));
+      a2 = _mm512_add_ps(a2, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r2 + d))));
+      a3 = _mm512_add_ps(a3, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r3 + d))));
+    }
+    float s0 = Sum512(a0), s1 = Sum512(a1);
+    float s2 = Sum512(a2), s3 = Sum512(a3);
+    for (; d < dims; ++d) {
+      s0 += std::fabs(q[d] - r0[d]);
+      s1 += std::fabs(q[d] - r1[d]);
+      s2 += std::fabs(q[d] - r2[d]);
+      s3 += std::fabs(q[d] - r3[d]);
+    }
+    scores[i] = s0;
+    scores[i + 1] = s1;
+    scores[i + 2] = s2;
+    scores[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* r = rows.row(i);
+    __m512 acc = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dims; d += 16) {
+      acc = _mm512_add_ps(
+          acc, Abs512(_mm512_sub_ps(_mm512_loadu_ps(q + d),
+                                    _mm512_loadu_ps(r + d))));
+    }
+    float s = Sum512(acc);
+    for (; d < dims; ++d) s += std::fabs(q[d] - r[d]);
+    scores[i] = s;
+  }
+}
+
+template <typename Rows>
+__attribute__((target("avx512f"))) void ScoreBatchAvx512L2(
+    const float* q, Rows rows, size_t count, size_t dims, float* scores) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows.row(i);
+    const float* r1 = rows.row(i + 1);
+    const float* r2 = rows.row(i + 2);
+    const float* r3 = rows.row(i + 3);
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dims; d += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + d);
+      const __m512 d0 = _mm512_sub_ps(qv, _mm512_loadu_ps(r0 + d));
+      const __m512 d1 = _mm512_sub_ps(qv, _mm512_loadu_ps(r1 + d));
+      const __m512 d2 = _mm512_sub_ps(qv, _mm512_loadu_ps(r2 + d));
+      const __m512 d3 = _mm512_sub_ps(qv, _mm512_loadu_ps(r3 + d));
+      a0 = _mm512_fmadd_ps(d0, d0, a0);
+      a1 = _mm512_fmadd_ps(d1, d1, a1);
+      a2 = _mm512_fmadd_ps(d2, d2, a2);
+      a3 = _mm512_fmadd_ps(d3, d3, a3);
+    }
+    float s0 = Sum512(a0), s1 = Sum512(a1);
+    float s2 = Sum512(a2), s3 = Sum512(a3);
+    for (; d < dims; ++d) {
+      const float e0 = q[d] - r0[d], e1 = q[d] - r1[d];
+      const float e2 = q[d] - r2[d], e3 = q[d] - r3[d];
+      s0 += e0 * e0;
+      s1 += e1 * e1;
+      s2 += e2 * e2;
+      s3 += e3 * e3;
+    }
+    scores[i] = s0;
+    scores[i + 1] = s1;
+    scores[i + 2] = s2;
+    scores[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* r = rows.row(i);
+    __m512 acc = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dims; d += 16) {
+      const __m512 diff =
+          _mm512_sub_ps(_mm512_loadu_ps(q + d), _mm512_loadu_ps(r + d));
+      acc = _mm512_fmadd_ps(diff, diff, acc);
+    }
+    float s = Sum512(acc);
+    for (; d < dims; ++d) {
+      const float e = q[d] - r[d];
+      s += e * e;
+    }
+    scores[i] = s;
+  }
+}
+
+template <typename Rows>
+__attribute__((target("avx512f"))) void ScoreBatchAvx512Linf(
+    const float* q, Rows rows, size_t count, size_t dims, float* scores) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = rows.row(i);
+    const float* r1 = rows.row(i + 1);
+    const float* r2 = rows.row(i + 2);
+    const float* r3 = rows.row(i + 3);
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dims; d += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + d);
+      a0 = _mm512_max_ps(a0, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r0 + d))));
+      a1 = _mm512_max_ps(a1, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r1 + d))));
+      a2 = _mm512_max_ps(a2, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r2 + d))));
+      a3 = _mm512_max_ps(a3, Abs512(_mm512_sub_ps(qv, _mm512_loadu_ps(r3 + d))));
+    }
+    float s0 = Max512(a0), s1 = Max512(a1);
+    float s2 = Max512(a2), s3 = Max512(a3);
+    for (; d < dims; ++d) {
+      s0 = std::max(s0, std::fabs(q[d] - r0[d]));
+      s1 = std::max(s1, std::fabs(q[d] - r1[d]));
+      s2 = std::max(s2, std::fabs(q[d] - r2[d]));
+      s3 = std::max(s3, std::fabs(q[d] - r3[d]));
+    }
+    scores[i] = s0;
+    scores[i + 1] = s1;
+    scores[i + 2] = s2;
+    scores[i + 3] = s3;
+  }
+  for (; i < count; ++i) {
+    const float* r = rows.row(i);
+    __m512 acc = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dims; d += 16) {
+      acc = _mm512_max_ps(
+          acc, Abs512(_mm512_sub_ps(_mm512_loadu_ps(q + d),
+                                    _mm512_loadu_ps(r + d))));
+    }
+    float m = Max512(acc);
+    for (; d < dims; ++d) m = std::max(m, std::fabs(q[d] - r[d]));
+    scores[i] = m;
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+#define SIMJOIN_HAVE_AVX512_PATH 0
+#endif  // SIMJOIN_HAVE_AVX2_PATH
+
 }  // namespace
 
 bool BatchDistanceKernel::CpuHasAvx2() {
@@ -302,9 +508,27 @@ bool BatchDistanceKernel::CpuHasAvx2() {
 #endif
 }
 
+bool BatchDistanceKernel::CpuHasAvx512() {
+#if SIMJOIN_HAVE_AVX512_PATH
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
 bool BatchDistanceKernel::ForceScalarEnv() {
   const char* v = std::getenv("SIMJOIN_FORCE_SCALAR");
   return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+KernelPath BatchDistanceKernel::EnvKernelPath() {
+  const char* v = std::getenv("SIMJOIN_KERNEL_PATH");
+  if (v == nullptr) return KernelPath::kAuto;
+  if (std::strcmp(v, "scalar") == 0) return KernelPath::kScalar;
+  if (std::strcmp(v, "portable") == 0) return KernelPath::kPortable;
+  if (std::strcmp(v, "avx2") == 0) return KernelPath::kAvx2;
+  if (std::strcmp(v, "avx512") == 0) return KernelPath::kAvx512;
+  return KernelPath::kAuto;
 }
 
 namespace {
@@ -312,8 +536,18 @@ namespace {
 KernelPath ResolvePath(KernelPath preferred) {
   if (preferred == KernelPath::kAuto) {
     if (BatchDistanceKernel::ForceScalarEnv()) return KernelPath::kScalar;
+    preferred = BatchDistanceKernel::EnvKernelPath();
+  }
+  if (preferred == KernelPath::kAuto) {
+    if (BatchDistanceKernel::CpuHasAvx512()) return KernelPath::kAvx512;
     return BatchDistanceKernel::CpuHasAvx2() ? KernelPath::kAvx2
                                              : KernelPath::kPortable;
+  }
+  // Explicit (or env-pinned) requests the CPU cannot honour degrade one tier
+  // at a time: avx512 -> avx2 -> portable.
+  if (preferred == KernelPath::kAvx512 &&
+      !BatchDistanceKernel::CpuHasAvx512()) {
+    preferred = KernelPath::kAvx2;
   }
   if (preferred == KernelPath::kAvx2 && !BatchDistanceKernel::CpuHasAvx2()) {
     return KernelPath::kPortable;
@@ -429,12 +663,54 @@ size_t BatchDistanceKernel::FilterAvx2T(const float* query, Rows rows,
 }
 
 template <typename Rows>
+size_t BatchDistanceKernel::FilterAvx512T(const float* query, Rows rows,
+                                          size_t count, uint8_t* out_mask) {
+#if SIMJOIN_HAVE_AVX512_PATH
+  constexpr size_t kChunk = 128;
+  float scores[kChunk];
+  size_t kept = 0;
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t n = std::min(kChunk, count - base);
+    const Rows chunk = rows.Skip(base);
+    switch (metric()) {
+      case Metric::kL1:
+        ScoreBatchAvx512L1(query, chunk, n, dims_, scores);
+        break;
+      case Metric::kL2:
+        ScoreBatchAvx512L2(query, chunk, n, dims_, scores);
+        break;
+      case Metric::kLinf:
+        ScoreBatchAvx512Linf(query, chunk, n, dims_, scores);
+        break;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const float score = scores[i];
+      uint8_t in;
+      if (std::fabs(score - threshold_) <= margin_ * (score + threshold_)) {
+        in = Rescue(query, chunk.row(i)) ? 1 : 0;
+      } else {
+        in = score <= threshold_ ? 1 : 0;
+      }
+      out_mask[base + i] = in;
+      kept += in;
+    }
+  }
+  return kept;
+#else
+  return FilterAvx2T(query, rows, count, out_mask);
+#endif
+}
+
+template <typename Rows>
 size_t BatchDistanceKernel::FilterDispatch(const float* query, Rows rows,
                                            size_t count, uint8_t* out_mask) {
   if (count == 0) return 0;
   switch (path_) {
     case KernelPath::kScalar:
       return FilterScalarT(query, rows, count, out_mask);
+    case KernelPath::kAvx512:
+      ++simd_batches_;
+      return FilterAvx512T(query, rows, count, out_mask);
     case KernelPath::kAvx2:
       ++simd_batches_;
       return FilterAvx2T(query, rows, count, out_mask);

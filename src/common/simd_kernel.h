@@ -4,15 +4,18 @@
 // The scalar DistanceKernel tests one candidate at a time, widening each
 // float coordinate to double.  The BatchDistanceKernel here filters a whole
 // tile of candidate rows against one query point in a single call, using
-// float accumulation (unrolled portable loop, or AVX2 when the CPU has it)
-// compared against the threshold in float space.  Exactness is preserved by
-// a rescue band: a candidate whose float score lands within the accumulated
-// rounding-error margin of the threshold is re-tested with the exact
-// double-precision scalar kernel, so the surviving pair set is bit-identical
-// to DistanceKernel::WithinEpsilon for every input.
+// float accumulation (unrolled portable loop, AVX2+FMA, or AVX-512 — the
+// widest tier the CPU supports is picked at runtime) compared against the
+// threshold in float space.  Exactness is preserved by a rescue band: a
+// candidate whose float score lands within the accumulated rounding-error
+// margin of the threshold is re-tested with the exact double-precision
+// scalar kernel, so the surviving pair set is bit-identical to
+// DistanceKernel::WithinEpsilon for every input — on every dispatch tier,
+// which is what lets fused execution mix hosts and paths freely.
 //
 // Set SIMJOIN_FORCE_SCALAR=1 in the environment to route every test through
-// the scalar reference kernel (for debugging and differential testing).
+// the scalar reference kernel, or SIMJOIN_KERNEL_PATH=scalar|portable|avx2|
+// avx512 to pin a specific tier (for debugging and differential testing).
 
 #ifndef SIMJOIN_COMMON_SIMD_KERNEL_H_
 #define SIMJOIN_COMMON_SIMD_KERNEL_H_
@@ -31,6 +34,7 @@ enum class KernelPath {
   kScalar,    ///< per-candidate exact DistanceKernel reference
   kPortable,  ///< unrolled float loop (compiler auto-vectorization)
   kAvx2,      ///< 8-wide AVX2+FMA float loop (falls back if unsupported)
+  kAvx512,    ///< 16-wide AVX-512F float loop (falls back if unsupported)
 };
 
 /// One-vs-many epsilon filter bound to (metric, dims, eps).
@@ -87,8 +91,16 @@ class BatchDistanceKernel {
 
   /// True when the CPU reports AVX2 support at runtime.
   static bool CpuHasAvx2();
+  /// True when the CPU reports AVX-512F support at runtime.
+  static bool CpuHasAvx512();
   /// True when SIMJOIN_FORCE_SCALAR=1 is set in the environment.
   static bool ForceScalarEnv();
+  /// Path requested by SIMJOIN_KERNEL_PATH (scalar | portable | avx2 |
+  /// avx512), or kAuto when unset/unrecognised.  Consulted only when a
+  /// kernel is constructed with KernelPath::kAuto; an explicit constructor
+  /// argument always wins.  Requests the CPU cannot honour degrade exactly
+  /// like an explicit constructor request (avx512 -> avx2 -> portable).
+  static KernelPath EnvKernelPath();
 
  private:
   // The filter stages are templated over a row accessor (gathered pointer
@@ -104,6 +116,9 @@ class BatchDistanceKernel {
   template <typename Rows>
   size_t FilterAvx2T(const float* query, Rows rows, size_t count,
                      uint8_t* out_mask);
+  template <typename Rows>
+  size_t FilterAvx512T(const float* query, Rows rows, size_t count,
+                       uint8_t* out_mask);
   template <typename Rows>
   size_t FilterDispatch(const float* query, Rows rows, size_t count,
                         uint8_t* out_mask);

@@ -9,6 +9,7 @@
 
 #include "common/simd_kernel.h"
 #include "common/thread_pool.h"
+#include "core/ekdb_flat_internal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,37 +56,6 @@ void ComputeArenaRanges(
 
 /// Point-count threshold below which the fill passes stay sequential.
 constexpr size_t kParallelFillMin = size_t{1} << 15;
-
-/// First position in [begin, end) whose coordinate `dim` is >= lo.  The
-/// arena range must be sorted ascending on that coordinate.
-uint32_t LowerBoundPos(const float* arena, size_t dims, uint32_t begin,
-                       uint32_t end, uint32_t dim, double lo) {
-  while (begin < end) {
-    const uint32_t mid = begin + (end - begin) / 2;
-    const double v = arena[static_cast<size_t>(mid) * dims + dim];
-    if (v < lo) {
-      begin = mid + 1;
-    } else {
-      end = mid;
-    }
-  }
-  return begin;
-}
-
-/// First position in [begin, end) whose coordinate `dim` is > hi.
-uint32_t UpperBoundPos(const float* arena, size_t dims, uint32_t begin,
-                       uint32_t end, uint32_t dim, double hi) {
-  while (begin < end) {
-    const uint32_t mid = begin + (end - begin) / 2;
-    const double v = arena[static_cast<size_t>(mid) * dims + dim];
-    if (v <= hi) {
-      begin = mid + 1;
-    } else {
-      end = mid;
-    }
-  }
-  return begin;
-}
 
 }  // namespace
 
@@ -226,15 +196,20 @@ bool FlatEkdbTree::JoinCompatible(const FlatEkdbTree& a,
          a.num_stripes() == b.num_stripes() && a.dim_order() == b.dim_order();
 }
 
-Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
-                                std::vector<PointId>* out,
-                                JoinStats* stats) const {
-  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+Status FlatEkdbTree::ValidateQueryEpsilon(double eps_query) const {
   if (!(eps_query > 0.0) || eps_query > config_.epsilon) {
     return Status::InvalidArgument(
         "eps_query must be in (0, built epsilon]; the stripe grid only "
         "supports radii up to the build epsilon");
   }
+  return Status::OK();
+}
+
+Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
+                                std::vector<PointId>* out,
+                                JoinStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (Status st = ValidateQueryEpsilon(eps_query); !st.ok()) return st;
   BatchDistanceKernel kernel(config_.metric, dims_, eps_query);
   uint8_t mask[BatchDistanceKernel::kTileCapacity];
   uint64_t candidates = 0;
@@ -256,10 +231,11 @@ Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
       const uint32_t sd = node.sort_dim;
       const double lo = static_cast<double>(query[sd]) - eps_query;
       const double hi = static_cast<double>(query[sd]) + eps_query;
-      const uint32_t wb = LowerBoundPos(arena_.data(), dims_, node.arena_begin,
-                                        node.arena_end, sd, lo);
-      const uint32_t we = UpperBoundPos(arena_.data(), dims_, wb,
-                                        node.arena_end, sd, hi);
+      const uint32_t wb = flat_internal::LowerBoundPos(
+          arena_.data(), dims_, node.arena_begin, node.arena_end, sd, lo);
+      const uint32_t we = flat_internal::UpperBoundPos(arena_.data(), dims_,
+                                                       wb, node.arena_end, sd,
+                                                       hi);
       for (uint32_t pos = wb; pos < we;) {
         const auto count = std::min<uint32_t>(
             static_cast<uint32_t>(BatchDistanceKernel::kTileCapacity),

@@ -56,6 +56,14 @@ struct FlatEkdbNode {
   uint32_t subtree_points() const { return arena_end - arena_begin; }
 };
 
+/// One query of a fused batch: a point (dims floats, borrowed) and its
+/// radius.  The pointed-to coordinates must stay alive until the batch call
+/// returns.
+struct RangeQuerySpec {
+  const float* query = nullptr;
+  double epsilon = 0.0;
+};
+
 /// Pointer-free eps-k-d-B tree over a dataset it does not own.  Immutable:
 /// rebuild (or re-flatten an updated pointer tree) after Insert/Remove
 /// batches.  The dataset must stay alive and unmodified for the lifetime of
@@ -132,6 +140,28 @@ class FlatEkdbTree {
   Status RangeQuery(const float* query, double eps_query,
                     std::vector<PointId>* out,
                     JoinStats* stats = nullptr) const;
+
+  /// Checks a query radius against the built epsilon without running the
+  /// query — exactly the validation RangeQuery performs, factored out so
+  /// batch schedulers can reject a bad request up front with the identical
+  /// error and keep the rest of the batch alive.
+  Status ValidateQueryEpsilon(double eps_query) const;
+
+  /// Answers `count` range queries in one fused arena pass: every query is
+  /// planned against the tree (identical traversal to RangeQuery), the
+  /// surviving leaf windows of all queries are sorted by arena position, and
+  /// the arena is swept once front to back with a single strided batch
+  /// kernel.  (*results)[i] receives exactly the ids — in exactly the order —
+  /// that RangeQuery(specs[i]) would have produced, and (*stats)[i], when
+  /// stats is non-null, receives exactly the JoinStats delta that solo query
+  /// would have recorded; both are resized to `count` and overwritten.  Any
+  /// invalid spec epsilon fails the whole batch up front (use
+  /// ValidateQueryEpsilon to pre-screen when per-query error isolation is
+  /// needed).  Runs on the calling thread only, so results do not depend on
+  /// any pool configuration.
+  Status RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
+                         std::vector<std::vector<PointId>>* results,
+                         std::vector<JoinStats>* stats = nullptr) const;
 
   // -- memory accounting --------------------------------------------------
 

@@ -1,0 +1,47 @@
+// Internal helpers shared by the flat-tree query paths (ekdb_flat.cc and
+// ekdb_flat_batch.cc).  Not part of the public surface.
+
+#ifndef SIMJOIN_CORE_EKDB_FLAT_INTERNAL_H_
+#define SIMJOIN_CORE_EKDB_FLAT_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simjoin {
+namespace flat_internal {
+
+/// First position in [begin, end) whose coordinate `dim` is >= lo.  The
+/// arena range must be sorted ascending on that coordinate.
+inline uint32_t LowerBoundPos(const float* arena, size_t dims, uint32_t begin,
+                              uint32_t end, uint32_t dim, double lo) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    const double v = arena[static_cast<size_t>(mid) * dims + dim];
+    if (v < lo) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+/// First position in [begin, end) whose coordinate `dim` is > hi.
+inline uint32_t UpperBoundPos(const float* arena, size_t dims, uint32_t begin,
+                              uint32_t end, uint32_t dim, double hi) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    const double v = arena[static_cast<size_t>(mid) * dims + dim];
+    if (v <= hi) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+}  // namespace flat_internal
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_EKDB_FLAT_INTERNAL_H_

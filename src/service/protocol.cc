@@ -374,6 +374,9 @@ std::vector<uint8_t> EncodeBuildIndexRequest(const BuildIndexRequest& req) {
   w.U32(req.dims == 0 ? 0
                       : static_cast<uint32_t>(req.points.size() / req.dims));
   w.FloatArray(req.points);
+  if (req.backend != IndexBackend::kEkdbFlat) {
+    w.U8(static_cast<uint8_t>(req.backend));
+  }
   return w.Take();
 }
 
@@ -417,15 +420,25 @@ Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
     return Status::InvalidArgument("BuildIndex dims must be positive");
   }
   // The float payload must match n * dims exactly (division keeps the
-  // comparison overflow-safe against hostile n / dims fields).
+  // comparison overflow-safe against hostile n / dims fields), modulo one
+  // optional trailing backend byte appended by newer clients for
+  // non-default backends.
+  const bool has_backend_byte = r.remaining() % 4 == 1;
+  const size_t float_bytes = r.remaining() - (has_backend_byte ? 1 : 0);
   const uint64_t want = static_cast<uint64_t>(n) * out->dims;
-  if (r.remaining() % 4 != 0 || want != r.remaining() / 4) {
+  if (float_bytes % 4 != 0 || want != float_bytes / 4) {
     return Status::InvalidArgument(
         "BuildIndex point payload mismatch: header says " +
         std::to_string(want) + " floats, payload holds " +
-        std::to_string(r.remaining() / 4));
+        std::to_string(float_bytes / 4));
   }
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->points));
+  out->backend = IndexBackend::kEkdbFlat;
+  if (has_backend_byte) {
+    uint8_t backend_byte = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U8(&backend_byte));
+    SIMJOIN_ASSIGN_OR_RETURN(out->backend, IndexBackendFromWire(backend_byte));
+  }
   return r.ExpectEnd();
 }
 

@@ -32,6 +32,7 @@
 #include "common/pair_sink.h"
 #include "common/status.h"
 #include "core/ekdb_config.h"
+#include "core/epsilon_grid.h"
 #include "obs/metrics.h"
 
 namespace simjoin {
@@ -197,6 +198,11 @@ struct BuildIndexRequest {
   uint32_t num_threads = 1;  ///< build parallelism; 0 = server default
   uint32_t dims = 0;
   std::vector<float> points;  ///< row-major, points.size() == n * dims
+  /// Index structure to build.  Encoded as one trailing byte only when not
+  /// the default, so default builds keep the original wire shape (and old
+  /// servers keep accepting them); old servers reject grid builds with a
+  /// payload-mismatch error instead of misbuilding them.
+  IndexBackend backend = IndexBackend::kEkdbFlat;
 };
 
 struct BuildIndexResponse {

@@ -9,24 +9,55 @@ namespace simjoin {
 
 Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
     std::string name, Dataset dataset, const EkdbConfig& config,
-    size_t num_threads) {
+    size_t num_threads, IndexBackend backend) {
   Timer timer;
   auto owned = std::make_unique<Dataset>(std::move(dataset));
-  SIMJOIN_ASSIGN_OR_RETURN(
-      EkdbTree tree, num_threads == 1
-                         ? EkdbTree::Build(*owned, config)
-                         : EkdbTree::BuildParallel(*owned, config, num_threads));
-  SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
-                           FlatEkdbTree::FromTree(tree, num_threads));
-  // The pointer tree is build scaffolding; only the flat form is served.
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   snapshot->name_ = std::move(name);
+  snapshot->backend_ = backend;
+  uint64_t index_bytes = 0;
+  if (backend == IndexBackend::kEpsilonGrid) {
+    SIMJOIN_ASSIGN_OR_RETURN(EpsilonGrid grid,
+                             EpsilonGrid::Build(*owned, config));
+    index_bytes = grid.total_bytes();
+    snapshot->grid_.emplace(std::move(grid));
+  } else {
+    SIMJOIN_ASSIGN_OR_RETURN(
+        EkdbTree tree,
+        num_threads == 1 ? EkdbTree::Build(*owned, config)
+                         : EkdbTree::BuildParallel(*owned, config,
+                                                   num_threads));
+    SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
+                             FlatEkdbTree::FromTree(tree, num_threads));
+    // The pointer tree is build scaffolding; only the flat form is served.
+    index_bytes = flat.total_bytes();
+    snapshot->tree_.emplace(std::move(flat));
+  }
   snapshot->dataset_ = std::move(owned);
-  snapshot->tree_.emplace(std::move(flat));
-  snapshot->memory_bytes_ =
-      snapshot->dataset_->MemoryUsageBytes() + snapshot->tree_->total_bytes();
+  snapshot->memory_bytes_ = snapshot->dataset_->MemoryUsageBytes() + index_bytes;
   snapshot->build_seconds_ = timer.Seconds();
   return std::shared_ptr<const IndexSnapshot>(std::move(snapshot));
+}
+
+Status IndexSnapshot::ValidateQueryEpsilon(double eps_query) const {
+  return tree_.has_value() ? tree_->ValidateQueryEpsilon(eps_query)
+                           : grid_->ValidateQueryEpsilon(eps_query);
+}
+
+Status IndexSnapshot::RangeQuery(const float* query, double eps_query,
+                                 std::vector<PointId>* out,
+                                 JoinStats* stats) const {
+  return tree_.has_value() ? tree_->RangeQuery(query, eps_query, out, stats)
+                           : grid_->RangeQuery(query, eps_query, out, stats);
+}
+
+Status IndexSnapshot::RangeQueryBatch(
+    const RangeQuerySpec* specs, size_t count,
+    std::vector<std::vector<PointId>>* results,
+    std::vector<JoinStats>* stats) const {
+  return tree_.has_value()
+             ? tree_->RangeQueryBatch(specs, count, results, stats)
+             : grid_->RangeQueryBatch(specs, count, results, stats);
 }
 
 Status IndexRegistry::Put(std::shared_ptr<const IndexSnapshot> snapshot,

@@ -25,25 +25,47 @@
 #include "common/dataset.h"
 #include "common/status.h"
 #include "core/ekdb_flat.h"
+#include "core/epsilon_grid.h"
 
 namespace simjoin {
 
 /// One immutable, self-contained index: the dataset (owned, at a stable
-/// heap address) plus the flat eps-k-d-B tree built over it.  Construct via
-/// Build; after that every member is const and safe to share across threads.
+/// heap address) plus the index structure built over it — the flat
+/// eps-k-d-B tree by default, or the epsilon grid when the build request
+/// selects that backend.  Construct via Build; after that every member is
+/// const and safe to share across threads.
 class IndexSnapshot {
  public:
-  /// Builds the pointer tree (parallel when num_threads != 1), flattens it,
-  /// and wraps both with the dataset into an immutable snapshot.  Fails if
-  /// the config is invalid for the data or coordinates leave [0, 1].
+  /// Builds the selected backend over the dataset (for the tree backend:
+  /// pointer tree — parallel when num_threads != 1 — then flattened) and
+  /// wraps it with the dataset into an immutable snapshot.  Fails if the
+  /// config is invalid for the data or coordinates leave [0, 1].
   static Result<std::shared_ptr<const IndexSnapshot>> Build(
       std::string name, Dataset dataset, const EkdbConfig& config,
-      size_t num_threads = 1);
+      size_t num_threads = 1,
+      IndexBackend backend = IndexBackend::kEkdbFlat);
 
   const std::string& name() const { return name_; }
   const Dataset& dataset() const { return *dataset_; }
+  IndexBackend backend() const { return backend_; }
+  /// Valid only when backend() == kEkdbFlat (joins require the tree).
   const FlatEkdbTree& tree() const { return *tree_; }
-  const EkdbConfig& config() const { return tree_->config(); }
+  /// Valid only when backend() == kEpsilonGrid.
+  const EpsilonGrid& grid() const { return *grid_; }
+  const EkdbConfig& config() const {
+    return tree_.has_value() ? tree_->config() : grid_->config();
+  }
+
+  /// Range-query entry points that dispatch to whichever backend this
+  /// snapshot holds; contract (validation, id order, stats tally, fused
+  /// bit-identity) is identical across backends.
+  Status ValidateQueryEpsilon(double eps_query) const;
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out,
+                    JoinStats* stats = nullptr) const;
+  Status RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
+                         std::vector<std::vector<PointId>>* results,
+                         std::vector<JoinStats>* stats = nullptr) const;
 
   /// Heap footprint charged against the registry budget: dataset rows plus
   /// the flat tree's node array, bbox planes, arena, and id remap.
@@ -57,9 +79,12 @@ class IndexSnapshot {
   IndexSnapshot() = default;
 
   std::string name_;
-  // unique_ptr keeps the Dataset at a stable address: tree_ points into it.
+  // unique_ptr keeps the Dataset at a stable address: the index structures
+  // point into it.
   std::unique_ptr<Dataset> dataset_;
-  std::optional<FlatEkdbTree> tree_;
+  IndexBackend backend_ = IndexBackend::kEkdbFlat;
+  std::optional<FlatEkdbTree> tree_;  // engaged iff backend_ == kEkdbFlat
+  std::optional<EpsilonGrid> grid_;   // engaged iff backend_ == kEpsilonGrid
   uint64_t memory_bytes_ = 0;
   double build_seconds_ = 0.0;
 };

@@ -59,6 +59,12 @@ struct ServiceMetrics {
   obs::Counter* decode_errors;
   obs::Counter* pairs_streamed;
   obs::Counter* write_stall_disconnects;
+  obs::Counter* fusion_batches;
+  obs::Counter* fusion_fused_queries;
+  obs::Counter* fusion_batch_full;
+  obs::Counter* fusion_wait_expired;
+  obs::Histogram* fusion_batch_size;
+  obs::Histogram* fusion_wait_us;  ///< admission -> batch execution start
 
   obs::Histogram* LatencyFor(FrameType type) const {
     switch (type) {
@@ -90,6 +96,12 @@ const ServiceMetrics& GetServiceMetrics() {
         reg.GetCounter("service.decode_errors"),
         reg.GetCounter("service.pairs_streamed"),
         reg.GetCounter("service.write_stall_disconnects"),
+        reg.GetCounter("service.fusion.batches"),
+        reg.GetCounter("service.fusion.fused_queries"),
+        reg.GetCounter("service.fusion.batch_full"),
+        reg.GetCounter("service.fusion.wait_expired"),
+        reg.GetHistogram("service.fusion.batch_size"),
+        reg.GetHistogram("service.fusion.wait_us"),
     };
   }();
   return metrics;
@@ -168,6 +180,35 @@ struct Server::Impl {
   std::atomic<uint64_t> decode_errors{0};
   std::atomic<uint64_t> pairs_streamed{0};
   std::atomic<uint64_t> write_stall_disconnects{0};
+  std::atomic<uint64_t> fusion_batches{0};
+  std::atomic<uint64_t> fusion_fused_queries{0};
+  std::atomic<uint64_t> fusion_batch_full{0};
+  std::atomic<uint64_t> fusion_wait_expired{0};
+
+  /// One admitted range query parked in the fusion buffer.  admitted_at is
+  /// the admission-gate timestamp — it anchors both the deadline check and
+  /// the latency histogram, exactly as in the unfused path, so the wait
+  /// spent in the buffer is charged to the request that waited.
+  struct FusionEntry {
+    std::shared_ptr<Conn> conn;
+    Frame frame;
+    Clock::time_point admitted_at;
+  };
+
+  std::mutex fusion_mu;
+  std::condition_variable fusion_cv;            // guarded by fusion_mu
+  std::deque<FusionEntry> fusion_queue;         // guarded by fusion_mu
+  /// Fused batches dispatched but not yet finished.  Group-commit flow
+  /// control: while one is executing, the collector keeps accumulating past
+  /// the wait budget (flushing into a busy pool would only shrink batches),
+  /// so under load the previous batch's execution time becomes the batching
+  /// window and batch sizes track the offered concurrency.
+  std::atomic<size_t> fusion_executing{0};
+  /// Set (under fusion_mu) when the collector thread has drained and exited;
+  /// frames arriving after that fall back to solo dispatch instead of being
+  /// stranded in a buffer nobody will ever flush.
+  bool fusion_exited = false;
+  std::thread fusion_thread;
 
   std::mutex join_mu;
   bool joined = false;
@@ -177,18 +218,25 @@ struct Server::Impl {
 
   // -- response plumbing ----------------------------------------------------
 
+  /// Queue-only half of EnqueueFrame: appends the frame without waking the
+  /// connection's io thread.  The fused batch path uses it to scatter many
+  /// responses and then notify each io thread once, instead of once per
+  /// response.  Callers must wake io[conn->io_index] afterwards.
+  void EnqueueFrameNoWake(const std::shared_ptr<Conn>& conn,
+                          std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->dead) return;
+    conn->queued_bytes += frame.size();
+    conn->write_queue.push_back(std::move(frame));
+  }
+
   /// Queues one encoded frame on the connection and wakes its io thread.
   /// Callable from any thread; silently drops frames for dead connections.
   /// Never blocks — io threads use it too, and an io thread waiting on its
   /// own drain would deadlock.
   void EnqueueFrame(const std::shared_ptr<Conn>& conn,
                     std::vector<uint8_t> frame) {
-    {
-      std::lock_guard<std::mutex> lock(conn->write_mu);
-      if (conn->dead) return;
-      conn->queued_bytes += frame.size();
-      conn->write_queue.push_back(std::move(frame));
-    }
+    EnqueueFrameNoWake(conn, std::move(frame));
     io[conn->io_index]->wake.Notify();
   }
 
@@ -328,7 +376,7 @@ struct Server::Impl {
     SIMJOIN_ASSIGN_OR_RETURN(
         std::shared_ptr<const IndexSnapshot> snapshot,
         IndexSnapshot::Build(req.name, std::move(data), req.config,
-                             ResolveThreads(req.num_threads)));
+                             ResolveThreads(req.num_threads), req.backend));
     size_t evicted = 0;
     SIMJOIN_RETURN_NOT_OK(registry.Put(snapshot, &evicted));
     BuildIndexResponse resp;
@@ -343,26 +391,47 @@ struct Server::Impl {
     return Status::OK();
   }
 
-  Status HandleRangeQuery(const Frame& frame, Terminal* out) {
+  /// Parses and resolves one range-query request up to the point where it
+  /// could execute: snapshot looked up, dims checked, epsilon resolved and
+  /// validated.  Shared by the solo and fused paths so both fail with
+  /// byte-identical errors.
+  struct ResolvedRangeQuery {
     RangeQueryRequest req;
-    SIMJOIN_RETURN_NOT_OK(ParseRangeQueryRequest(frame.payload, &req));
-    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
-                             registry.Get(req.name));
-    const FlatEkdbTree& tree = snapshot->tree();
-    if (req.dims != tree.dims()) {
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    double eps = 0.0;
+    size_t count = 0;  ///< query points in the request
+  };
+
+  Status ResolveRangeQuery(const Frame& frame, ResolvedRangeQuery* out) {
+    SIMJOIN_RETURN_NOT_OK(ParseRangeQueryRequest(frame.payload, &out->req));
+    SIMJOIN_ASSIGN_OR_RETURN(out->snapshot, registry.Get(out->req.name));
+    const size_t index_dims = out->snapshot->dataset().dims();
+    if (out->req.dims != index_dims) {
       return Status::InvalidArgument(
-          "query dims " + std::to_string(req.dims) + " != index dims " +
-          std::to_string(tree.dims()));
+          "query dims " + std::to_string(out->req.dims) + " != index dims " +
+          std::to_string(index_dims));
     }
-    const double eps =
-        req.epsilon == 0.0 ? tree.config().epsilon : req.epsilon;
-    const size_t count = req.queries.size() / req.dims;
+    out->eps = out->req.epsilon == 0.0 ? out->snapshot->config().epsilon
+                                       : out->req.epsilon;
+    out->count = out->req.queries.size() / out->req.dims;
+    // Validate up front (the per-query execution would reject the same way)
+    // so a bad radius in a fused batch fails only its own request, with the
+    // same error text the unfused path produces.
+    if (out->count > 0) {
+      SIMJOIN_RETURN_NOT_OK(out->snapshot->ValidateQueryEpsilon(out->eps));
+    }
+    return Status::OK();
+  }
+
+  Status HandleRangeQuery(const Frame& frame, Terminal* out) {
+    ResolvedRangeQuery rq;
+    SIMJOIN_RETURN_NOT_OK(ResolveRangeQuery(frame, &rq));
     RangeQueryResponse resp;
-    resp.results.resize(count);
-    for (size_t i = 0; i < count; ++i) {
-      SIMJOIN_RETURN_NOT_OK(tree.RangeQuery(req.queries.data() + i * req.dims,
-                                            eps, &resp.results[i],
-                                            &resp.stats));
+    resp.results.resize(rq.count);
+    for (size_t i = 0; i < rq.count; ++i) {
+      SIMJOIN_RETURN_NOT_OK(rq.snapshot->RangeQuery(
+          rq.req.queries.data() + i * rq.req.dims, rq.eps, &resp.results[i],
+          &resp.stats));
     }
     out->type = FrameType::kRangeQueryResult;
     out->payload = EncodeRangeQueryResponse(resp);
@@ -375,9 +444,21 @@ struct Server::Impl {
     SIMJOIN_RETURN_NOT_OK(ParseSimilarityJoinRequest(frame.payload, &req));
     SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> a,
                              registry.Get(req.name_a));
+    if (a->backend() != IndexBackend::kEkdbFlat) {
+      return Status::InvalidArgument(
+          "index '" + req.name_a +
+          "' uses the epsilon-grid backend; similarity joins require the "
+          "flat-tree backend");
+    }
     std::shared_ptr<const IndexSnapshot> b;
     if (!req.name_b.empty() && req.name_b != req.name_a) {
       SIMJOIN_ASSIGN_OR_RETURN(b, registry.Get(req.name_b));
+      if (b->backend() != IndexBackend::kEkdbFlat) {
+        return Status::InvalidArgument(
+            "index '" + req.name_b +
+            "' uses the epsilon-grid backend; similarity joins require the "
+            "flat-tree backend");
+      }
       if (!FlatEkdbTree::JoinCompatible(a->tree(), b->tree())) {
         return Status::InvalidArgument(
             "indexes '" + req.name_a + "' and '" + req.name_b +
@@ -534,6 +615,208 @@ struct Server::Impl {
     EnqueueFrame(conn, std::move(bytes));
   }
 
+  // -- fused range-query execution -------------------------------------------
+
+  /// Runs one fused batch of admitted range queries on a worker thread.
+  ///
+  /// Each entry is resolved exactly as the solo path would (same parse,
+  /// lookup, dims, and epsilon errors); the viable ones are grouped by index
+  /// snapshot and executed through RangeQueryBatch, which plans every
+  /// query's leaf windows, sorts them by arena position, and sweeps the
+  /// coordinate arena once with the strided SIMD kernels.  Responses are
+  /// bit-identical to solo execution: same id order, same per-request
+  /// JoinStats (RangeQueryBatch attributes kernel counters per query).
+  void ExecuteFusedBatch(std::vector<FusionEntry> entries) {
+    if (config.handler_delay_ms_for_testing > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.handler_delay_ms_for_testing));
+    }
+    SIMJOIN_TRACE_SPAN("service.fusion.sweep");
+    const ServiceMetrics& metrics = GetServiceMetrics();
+    fusion_batches.fetch_add(1, std::memory_order_relaxed);
+    fusion_fused_queries.fetch_add(entries.size(), std::memory_order_relaxed);
+    metrics.fusion_batches->Add();
+    metrics.fusion_fused_queries->Add(entries.size());
+    metrics.fusion_batch_size->Record(static_cast<double>(entries.size()));
+    for (const FusionEntry& entry : entries) {
+      metrics.fusion_wait_us->Record(ElapsedUs(entry.admitted_at));
+    }
+
+    const size_t n = entries.size();
+    std::vector<Terminal> terminals(n);
+    std::vector<ResolvedRangeQuery> resolved(n);
+    std::vector<bool> viable(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      const Frame& frame = entries[i].frame;
+      const uint32_t deadline = frame.header.deadline_ms;
+      if (deadline > 0 && ElapsedMs(entries[i].admitted_at) > deadline) {
+        deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        metrics.deadline_expired->Add();
+        terminals[i].payload = EncodeErrorResponse(Status::DeadlineExceeded(
+            "deadline of " + std::to_string(deadline) + " ms expired after " +
+            std::to_string(ElapsedMs(entries[i].admitted_at)) + " ms"));
+        continue;
+      }
+      const Status st = ResolveRangeQuery(frame, &resolved[i]);
+      if (!st.ok()) {
+        terminals[i].payload = EncodeErrorResponse(st);
+        continue;
+      }
+      viable[i] = true;
+    }
+
+    // Group viable requests by snapshot; requests against distinct indexes
+    // fuse among themselves.  Linear scan: batches hold few distinct indexes.
+    struct SnapshotGroup {
+      const IndexSnapshot* snapshot;
+      std::vector<size_t> members;  ///< entry indexes, admission order
+    };
+    std::vector<SnapshotGroup> groups;
+    for (size_t i = 0; i < n; ++i) {
+      if (!viable[i]) continue;
+      const IndexSnapshot* snap = resolved[i].snapshot.get();
+      auto it = std::find_if(
+          groups.begin(), groups.end(),
+          [snap](const SnapshotGroup& g) { return g.snapshot == snap; });
+      if (it == groups.end()) {
+        groups.push_back(SnapshotGroup{snap, {}});
+        it = std::prev(groups.end());
+      }
+      it->members.push_back(i);
+    }
+
+    for (const SnapshotGroup& sg : groups) {
+      std::vector<RangeQuerySpec> specs;
+      for (const size_t i : sg.members) {
+        const ResolvedRangeQuery& rq = resolved[i];
+        for (size_t q = 0; q < rq.count; ++q) {
+          specs.push_back(RangeQuerySpec{
+              rq.req.queries.data() + q * rq.req.dims, rq.eps});
+        }
+      }
+      std::vector<std::vector<PointId>> results;
+      std::vector<JoinStats> stats;
+      Status st;
+      if (!specs.empty()) {
+        st = sg.snapshot->RangeQueryBatch(specs.data(), specs.size(),
+                                             &results, &stats);
+      }
+      size_t cursor = 0;
+      for (const size_t i : sg.members) {
+        if (!st.ok()) {
+          // Cannot happen after per-request validation, but if the batch
+          // engine ever rejects, every member reports the failure rather
+          // than silently dropping.
+          viable[i] = false;
+          terminals[i].payload = EncodeErrorResponse(st);
+          continue;
+        }
+        const ResolvedRangeQuery& rq = resolved[i];
+        RangeQueryResponse resp;
+        resp.results.reserve(rq.count);
+        for (size_t q = 0; q < rq.count; ++q, ++cursor) {
+          resp.results.push_back(std::move(results[cursor]));
+          resp.stats.Merge(stats[cursor]);
+        }
+        terminals[i].type = FrameType::kRangeQueryResult;
+        terminals[i].payload = EncodeRangeQueryResponse(resp);
+      }
+    }
+
+    // Scatter, in admission order, with the same tail the solo path runs:
+    // oversize replacement, slot release before the response is visible,
+    // latency charged from admission (buffer wait included).  Io-thread
+    // wakes are coalesced to one per io thread per batch.
+    std::vector<bool> wake_io(io.size(), false);
+    for (size_t i = 0; i < n; ++i) {
+      Terminal& term = terminals[i];
+      if (term.payload.size() > config.max_frame_payload) {
+        term.type = FrameType::kError;
+        term.payload = EncodeErrorResponse(Status::OutOfRange(
+            "response payload of " + std::to_string(term.payload.size()) +
+            " bytes exceeds the " + std::to_string(config.max_frame_payload) +
+            "-byte frame limit; split the request into smaller batches"));
+      }
+      std::vector<uint8_t> bytes = EncodeFrame(
+          term.type, entries[i].frame.header.request_id, 0, term.payload);
+      inflight.fetch_sub(1, std::memory_order_acq_rel);
+      metrics.inflight->Add(-1);
+      metrics.latency_range_query->Record(ElapsedUs(entries[i].admitted_at));
+      EnqueueFrameNoWake(entries[i].conn, std::move(bytes));
+      wake_io[entries[i].conn->io_index] = true;
+    }
+    // pending drops only after every response of the batch is queued (the
+    // shutdown drain invariant), then each touched io thread is woken once.
+    pending.fetch_sub(n, std::memory_order_acq_rel);
+    for (size_t idx = 0; idx < io.size(); ++idx) {
+      if (wake_io[idx]) io[idx]->wake.Notify();
+    }
+  }
+
+  /// Collector thread: parks admitted range queries until the batch fills
+  /// or the oldest one's wait budget expires, then hands the batch to the
+  /// worker pool.  While a batch executes, the next one accumulates — under
+  /// load that is what grows batch sizes (and amortisation) automatically.
+  void FusionLoop() {
+    std::unique_lock<std::mutex> lock(fusion_mu);
+    while (true) {
+      fusion_cv.wait(lock, [&] {
+        return !fusion_queue.empty() || stop.load(std::memory_order_relaxed);
+      });
+      if (fusion_queue.empty()) break;  // stop requested, fully drained
+      const Clock::time_point flush_at =
+          fusion_queue.front().admitted_at +
+          std::chrono::microseconds(config.fusion_wait_us);
+      fusion_cv.wait_until(lock, flush_at, [&] {
+        return fusion_queue.size() >= config.fusion_max_batch ||
+               stop.load(std::memory_order_relaxed);
+      });
+      // Budget spent but the workers are saturated with fused batches:
+      // keep accumulating until one completes (the worker notifies), the
+      // buffer fills, or stop.  One in-flight batch per worker thread keeps
+      // multicore pools busy without queueing up undersized batches.
+      const size_t max_outstanding = std::max<size_t>(
+          1, config.worker_threads != 0
+                 ? config.worker_threads
+                 : std::thread::hardware_concurrency());
+      fusion_cv.wait(lock, [&] {
+        return fusion_queue.size() >= config.fusion_max_batch ||
+               fusion_executing.load(std::memory_order_acquire) <
+                   max_outstanding ||
+               stop.load(std::memory_order_relaxed);
+      });
+      const bool full = fusion_queue.size() >= config.fusion_max_batch;
+      const size_t take = std::min(fusion_queue.size(), config.fusion_max_batch);
+      std::vector<FusionEntry> batch;
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(fusion_queue.front()));
+        fusion_queue.pop_front();
+      }
+      lock.unlock();
+      if (full) {
+        fusion_batch_full.fetch_add(1, std::memory_order_relaxed);
+        GetServiceMetrics().fusion_batch_full->Add();
+      } else {
+        fusion_wait_expired.fetch_add(1, std::memory_order_relaxed);
+        GetServiceMetrics().fusion_wait_expired->Add();
+      }
+      fusion_executing.fetch_add(1, std::memory_order_acq_rel);
+      group->Run([this, batch = std::move(batch)]() mutable {
+        ExecuteFusedBatch(std::move(batch));
+        fusion_executing.fetch_sub(1, std::memory_order_acq_rel);
+        // Lock/unlock pairs with the collector's predicate so this wakeup
+        // cannot be lost between its check and its wait.
+        { std::lock_guard<std::mutex> relock(fusion_mu); }
+        fusion_cv.notify_one();
+      });
+      lock.lock();
+    }
+    // Frames racing in after this point fall back to solo dispatch; setting
+    // the flag under the lock makes "parked but never flushed" impossible.
+    fusion_exited = true;
+  }
+
   // -- frame routing (io threads) --------------------------------------------
 
   /// Decides what to do with one complete request frame: answer inline
@@ -579,6 +862,30 @@ struct Server::Impl {
     GetServiceMetrics().inflight->Add(1);
     pending.fetch_add(1, std::memory_order_acq_rel);
     const Clock::time_point admitted_at = Clock::now();
+    if (config.fusion_enabled && h.type == FrameType::kRangeQuery) {
+      bool parked = false;
+      bool notify = false;
+      {
+        std::lock_guard<std::mutex> lock(fusion_mu);
+        if (!fusion_exited) {
+          fusion_queue.push_back(FusionEntry{conn, std::move(frame),
+                                             admitted_at});
+          parked = true;
+          // The collector only sleeps on two edges: queue empty (waiting
+          // for a first entry) and batch not yet full (waiting out the
+          // budget).  Notifying on just those transitions spares a futex
+          // wake per request in between.
+          notify = fusion_queue.size() == 1 ||
+                   fusion_queue.size() >= config.fusion_max_batch;
+        }
+      }
+      if (parked) {
+        if (notify) fusion_cv.notify_one();
+        return;
+      }
+      // The collector already drained and exited (shutdown race): fall
+      // through to solo dispatch so the admitted request is still answered.
+    }
     group->Run([this, conn, frame = std::move(frame), admitted_at]() {
       ExecuteRequest(conn, frame, admitted_at);
       // pending drops strictly after the terminal response is queued, so
@@ -662,6 +969,10 @@ struct Server::Impl {
 
   void RequestStop() {
     stop.store(true, std::memory_order_seq_cst);
+    // Lock/unlock pairs the store with the collector's predicate check, so
+    // the wakeup below can never race into a lost notify.
+    { std::lock_guard<std::mutex> lock(fusion_mu); }
+    fusion_cv.notify_all();
     for (auto& t : io) t->wake.Notify();
   }
 
@@ -848,6 +1159,10 @@ Result<std::unique_ptr<Server>> Server::Start(const ServerConfig& config) {
   for (size_t i = 0; i < impl.io.size(); ++i) {
     impl.io[i]->thread = std::thread([&impl, i]() { impl.IoLoop(i); });
   }
+  if (impl.config.fusion_enabled) {
+    if (impl.config.fusion_max_batch == 0) impl.config.fusion_max_batch = 1;
+    impl.fusion_thread = std::thread([&impl]() { impl.FusionLoop(); });
+  }
   return server;
 }
 
@@ -864,6 +1179,7 @@ void Server::Wait() {
   for (auto& t : impl_->io) {
     if (t->thread.joinable()) t->thread.join();
   }
+  if (impl_->fusion_thread.joinable()) impl_->fusion_thread.join();
   // Io threads only exit once inflight hit zero, so this returns promptly.
   // group is null when Start() failed before creating it (e.g. the bind
   // failed) and its partially built Server is being destroyed.
@@ -888,6 +1204,13 @@ ServerCounters Server::counters() const {
   c.pairs_streamed = impl.pairs_streamed.load(std::memory_order_relaxed);
   c.write_stall_disconnects =
       impl.write_stall_disconnects.load(std::memory_order_relaxed);
+  c.fusion_batches = impl.fusion_batches.load(std::memory_order_relaxed);
+  c.fusion_fused_queries =
+      impl.fusion_fused_queries.load(std::memory_order_relaxed);
+  c.fusion_batch_full =
+      impl.fusion_batch_full.load(std::memory_order_relaxed);
+  c.fusion_wait_expired =
+      impl.fusion_wait_expired.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -41,7 +41,7 @@ TEST_P(BatchKernelDifferentialTest, MatchesScalarReferenceOnRandomData) {
   }
 
   const KernelPath paths[] = {KernelPath::kScalar, KernelPath::kPortable,
-                              KernelPath::kAvx2};
+                              KernelPath::kAvx2, KernelPath::kAvx512};
   for (double eps : {0.05, 0.2, 0.7}) {
     for (KernelPath path : paths) {
       BatchDistanceKernel batch(metric, dims, eps, path);
@@ -91,7 +91,7 @@ TEST_P(BatchKernelDifferentialTest, StridedMatchesGatheredExactly) {
 
   for (double eps : {0.05, 0.2, 0.7}) {
     for (KernelPath path : {KernelPath::kScalar, KernelPath::kPortable,
-                            KernelPath::kAvx2}) {
+                            KernelPath::kAvx2, KernelPath::kAvx512}) {
       BatchDistanceKernel gathered(metric, dims, eps, path);
       BatchDistanceKernel strided(metric, dims, eps, path);
       std::vector<uint8_t> gathered_mask(n), strided_mask(n);
@@ -203,8 +203,8 @@ TEST_P(BatchKernelDifferentialTest, ExactBoundaryPointsStayWithin) {
 
   const float* rows[4] = {cands[0].data(), cands[1].data(), cands[2].data(),
                           cands[3].data()};
-  for (KernelPath path :
-       {KernelPath::kScalar, KernelPath::kPortable, KernelPath::kAvx2}) {
+  for (KernelPath path : {KernelPath::kScalar, KernelPath::kPortable,
+                          KernelPath::kAvx2, KernelPath::kAvx512}) {
     BatchDistanceKernel batch(metric, dims, eps, path);
     uint8_t mask[4];
     batch.FilterWithinEpsilon(query.data(), rows, 4, mask);

@@ -3,12 +3,17 @@
 // The decoder is the one component that parses attacker-controlled bytes, so
 // its contract is absolute: any byte stream, fed in any chunking, either
 // yields valid frames or a Status — never a crash, hang, or out-of-bounds
-// read.  This tool soaks that contract four ways per iteration:
+// read.  This tool soaks that contract five ways per iteration:
 //
 //   1. pure noise      — random bytes through the FrameDecoder
 //   2. round-trips     — random valid messages encode -> parse -> compare
 //   3. bit flips       — valid frame streams with random mutations
 //   4. truncations     — valid frames cut off at every kind of boundary
+//   5. interleaving    — pipelined RangeQuery frames from several simulated
+//                        connections, delivered in arbitrarily interleaved
+//                        chunks (the arrival pattern the fusion collector
+//                        batches across), each stream decoding exactly its
+//                        own frames in order
 //
 // Payloads of frames the decoder does produce are handed to the matching
 // Parse* function, which must also only ever return a Status.  Run it under
@@ -53,6 +58,9 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
       req.num_threads = static_cast<uint32_t>(rng->UniformInt(5u));
       req.points = RandomFloats(rng, req.dims * rng->UniformInt(64u));
+      // Half the builds select the non-default backend so the optional
+      // trailing backend byte rides the mutation and truncation passes.
+      if (rng->Bernoulli(0.5)) req.backend = IndexBackend::kEpsilonGrid;
       return EncodeFrame(FrameType::kBuildIndex, id, deadline,
                          EncodeBuildIndexRequest(req));
     }
@@ -246,6 +254,91 @@ void Soak(Rng* rng, std::span<const uint8_t> bytes) {
   }
 }
 
+/// Pass 5: several simulated connections each pipeline a run of RangeQuery
+/// frames; delivery interleaves random-sized chunks across the connections
+/// (each into its own decoder, like the io loop's per-connection buffers).
+/// Every decoder must reproduce exactly its own frames, in order, with the
+/// request ids and query payloads intact — the invariant the fusion
+/// collector's cross-connection batching rests on.
+bool InterleavedPipelines(Rng* rng, uint64_t seed, uint64_t iter) {
+  struct SimConn {
+    std::vector<uint8_t> stream;            // all frames, concatenated
+    size_t sent = 0;                        // delivery cursor
+    std::vector<uint64_t> ids;              // expected request ids, in order
+    std::vector<std::vector<float>> sent_queries;  // per frame
+    FrameDecoder decoder{1u << 20};
+    size_t decoded = 0;
+  };
+  const size_t num_conns = 2 + rng->UniformInt(5u);
+  std::vector<SimConn> conns(num_conns);
+  for (size_t c = 0; c < num_conns; ++c) {
+    const size_t pipelined = 1 + rng->UniformInt(8u);
+    for (size_t f = 0; f < pipelined; ++f) {
+      RangeQueryRequest req;
+      req.name = RandomName(rng);
+      req.epsilon = rng->Uniform(0.0, 0.5);
+      req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
+      req.queries = RandomFloats(rng, req.dims * (1 + rng->UniformInt(8u)));
+      const uint64_t id = (c << 32) | (f + 1);
+      const std::vector<uint8_t> frame = EncodeFrame(
+          FrameType::kRangeQuery, id,
+          static_cast<uint32_t>(rng->UniformInt(1000u)),
+          EncodeRangeQueryRequest(req));
+      conns[c].stream.insert(conns[c].stream.end(), frame.begin(),
+                             frame.end());
+      conns[c].ids.push_back(id);
+      conns[c].sent_queries.push_back(req.queries);
+    }
+  }
+
+  // Deliver chunks from random connections until every stream drains.
+  size_t remaining = num_conns;
+  while (remaining > 0) {
+    SimConn& conn = conns[rng->UniformInt(num_conns)];
+    if (conn.sent == conn.stream.size()) continue;
+    const size_t chunk = std::min<size_t>(1 + rng->UniformInt(97u),
+                                          conn.stream.size() - conn.sent);
+    conn.decoder.Append(conn.stream.data() + conn.sent, chunk);
+    conn.sent += chunk;
+    if (conn.sent == conn.stream.size()) --remaining;
+    while (true) {
+      Frame frame;
+      bool got = false;
+      const Status st = conn.decoder.Next(&frame, &got);
+      if (!st.ok()) {
+        std::cerr << "FAIL: pipelined stream rejected (seed=" << seed
+                  << " iter=" << iter << "): " << st.ToString() << "\n";
+        return false;
+      }
+      if (!got) break;
+      if (conn.decoded >= conn.ids.size() ||
+          frame.header.request_id != conn.ids[conn.decoded] ||
+          frame.header.type != FrameType::kRangeQuery) {
+        std::cerr << "FAIL: pipelined frame out of order (seed=" << seed
+                  << " iter=" << iter << ")\n";
+        return false;
+      }
+      RangeQueryRequest parsed;
+      if (!ParseRangeQueryRequest(frame.payload, &parsed).ok() ||
+          parsed.queries != conn.sent_queries[conn.decoded]) {
+        std::cerr << "FAIL: pipelined payload corrupted (seed=" << seed
+                  << " iter=" << iter << ")\n";
+        return false;
+      }
+      ++conn.decoded;
+    }
+  }
+  for (const SimConn& conn : conns) {
+    if (conn.decoded != conn.ids.size() ||
+        conn.decoder.buffered_bytes() != 0) {
+      std::cerr << "FAIL: pipelined stream incomplete (seed=" << seed
+                << " iter=" << iter << ")\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 int Run(uint64_t iterations, uint64_t seed) {
   Rng rng(seed);
   uint64_t frames_ok = 0;
@@ -303,6 +396,9 @@ int Run(uint64_t iterations, uint64_t seed) {
       Soak(&rng, std::span<const uint8_t>(stream.data(),
                                           rng.UniformInt(stream.size())));
     }
+
+    // 5. Interleaved pipelined RangeQuery streams across connections.
+    if (!InterleavedPipelines(&rng, seed, iter)) return 1;
 
     if ((iter + 1) % 500 == 0) {
       std::cout << "iter " << (iter + 1) << ": " << frames_ok

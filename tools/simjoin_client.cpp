@@ -174,6 +174,13 @@ int Run(const ArgParser& args) {
     req.name = args.GetString("name");
     req.config.epsilon = args.GetDouble("epsilon");
     req.config.metric = *metric;
+    const std::string backend = args.GetString("backend");
+    if (backend == "grid") {
+      req.backend = IndexBackend::kEpsilonGrid;
+    } else if (backend != "tree") {
+      std::cerr << "--backend must be tree or grid\n";
+      return 2;
+    }
     req.num_threads = static_cast<uint32_t>(args.GetInt("threads"));
     req.dims = static_cast<uint32_t>(data->dims());
     req.points = data->flat();
@@ -261,6 +268,9 @@ int main(int argc, char** argv) {
   args.AddFlag("data", "", "binary dataset file (build)");
   args.AddFlag("epsilon", "0", "epsilon; 0 = index build epsilon");
   args.AddFlag("metric", "l2", "metric for build: l2 | l1 | linf");
+  args.AddFlag("backend", "tree",
+               "index backend for build: tree (joins + queries) | grid "
+               "(vectorised epsilon grid, range queries only)");
   args.AddFlag("threads", "0", "build/join parallelism; 0 = server default");
   args.AddFlag("point", "", "comma-separated query point (query)");
   args.AddFlag("limit", "20", "join pairs printed; 0 = all");
