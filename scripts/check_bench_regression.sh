@@ -13,6 +13,7 @@
 #   BENCH_service.json   R19 service QPS + latency percentiles over loopback
 #   BENCH_obs.json       R20 observability primitive costs + trace overhead
 #   BENCH_fused.json     R21 fused vs per-request service QPS + identity bit
+#   BENCH_planner.json   R22 planner routing overhead + LSH-tier speedup
 #
 # and compares them against the checked-in baselines
 # (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json /
@@ -33,6 +34,15 @@
 # otherwise), and fusion must deliver at least
 # SIMJOIN_BENCH_FUSED_MIN_SPEEDUP (default 1.5) times the per-request QPS
 # at the bench's high-concurrency batch=1 configuration.
+#
+# The R22 run gates the cost-based backend planner: planner-routed exact
+# answers must be bit-identical to forced ekdb-flat (the bench exits
+# nonzero otherwise), routed-exact QPS must stay within
+# SIMJOIN_BENCH_PLANNER_EXACT_TOLERANCE (default 0.05) of the legacy path,
+# the recall-0.9 route must deliver at least
+# SIMJOIN_BENCH_PLANNER_MIN_SPEEDUP (default 3.0) times the forced-exact
+# QPS on the high-d clustered workload, and its measured recall must clear
+# the target minus a 0.05 sampling allowance.
 #
 # Usage:
 #   scripts/check_bench_regression.sh [build-dir] [--update-baseline]
@@ -56,6 +66,8 @@ done
 TOLERANCE="${SIMJOIN_BENCH_TOLERANCE:-0.30}"
 OBS_TOLERANCE="${SIMJOIN_BENCH_OBS_TOLERANCE:-0.03}"
 FUSED_MIN_SPEEDUP="${SIMJOIN_BENCH_FUSED_MIN_SPEEDUP:-1.5}"
+PLANNER_MIN_SPEEDUP="${SIMJOIN_BENCH_PLANNER_MIN_SPEEDUP:-3.0}"
+PLANNER_EXACT_TOLERANCE="${SIMJOIN_BENCH_PLANNER_EXACT_TOLERANCE:-0.05}"
 FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
 MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
 ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
@@ -63,9 +75,10 @@ PARALLEL_BIN="$BUILD_DIR/bench/bench_r11_parallel"
 SERVICE_BIN="$BUILD_DIR/bench/bench_r19_service"
 OBS_BIN="$BUILD_DIR/bench/bench_r20_obs_overhead"
 FUSED_BIN="$BUILD_DIR/bench/bench_r21_fused"
+PLANNER_BIN="$BUILD_DIR/bench/bench_r22_planner"
 
 for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN" "$SERVICE_BIN" \
-           "$OBS_BIN" "$FUSED_BIN"; do
+           "$OBS_BIN" "$FUSED_BIN" "$PLANNER_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build with benchmarks first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -183,6 +196,26 @@ json.dump(json.loads(m.group(1)), open("BENCH_fused.json", "w"), indent=2)
 print("wrote BENCH_fused.json")
 PY
 
+# The R22 binary enforces routed-exact bit-identity itself and exits
+# nonzero on divergence or request errors; set -e propagates that here.
+echo ">>> $PLANNER_BIN"
+PLANNER_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT" "$PARALLEL_TXT" "$SERVICE_TXT" "$OBS_TXT" \
+  "$FUSED_TXT" "$PLANNER_TXT"' EXIT
+"$PLANNER_BIN" --seconds 2 | tee "$PLANNER_TXT"
+
+# Extract the machine-readable PLANNER_JSON line into BENCH_planner.json.
+python3 - "$PLANNER_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"^# PLANNER_JSON (\{.*\})$", text, re.M)
+if m is None:
+    sys.exit("error: bench_r22_planner emitted no PLANNER_JSON line")
+json.dump(json.loads(m.group(1)), open("BENCH_planner.json", "w"), indent=2)
+print("wrote BENCH_planner.json")
+PY
+
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_micro.json BENCH_micro.baseline.json
   cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
@@ -190,16 +223,20 @@ if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_service.json BENCH_service.baseline.json
   cp BENCH_obs.json BENCH_obs.baseline.json
   cp BENCH_fused.json BENCH_fused.baseline.json
+  cp BENCH_planner.json BENCH_planner.baseline.json
   echo "baselines updated (BENCH_*.baseline.json)"
   exit 0
 fi
 
-python3 - "$TOLERANCE" "$OBS_TOLERANCE" "$FUSED_MIN_SPEEDUP" <<'PY'
+python3 - "$TOLERANCE" "$OBS_TOLERANCE" "$FUSED_MIN_SPEEDUP" \
+  "$PLANNER_MIN_SPEEDUP" "$PLANNER_EXACT_TOLERANCE" <<'PY'
 import json, os, sys
 
 tol = float(sys.argv[1])
 obs_tol = float(sys.argv[2])
 fused_min_speedup = float(sys.argv[3])
+planner_min_speedup = float(sys.argv[4])
+planner_exact_tol = float(sys.argv[5])
 failures = []
 
 
@@ -298,6 +335,52 @@ if os.path.exists("BENCH_fused.baseline.json"):
         compare("fused/qps_fused", cur["qps_fused"], base["qps_fused"])
     else:
         print("fused baseline from a different core count "
+              f"({base.get('hardware_concurrency')} vs "
+              f"{cur.get('hardware_concurrency')}); skipping comparison")
+
+# R22 planner gates are absolute: routed-exact identity and overhead, the
+# recall tier's minimum speedup, and the recall floor hold on any host.
+cur = json.load(open("BENCH_planner.json"))
+print(f"planner gates (min LSH speedup {planner_min_speedup:.2f}x, "
+      f"exact overhead tolerance {planner_exact_tol:.0%}):")
+if not cur.get("identical", False):
+    failures.append("planner/identical")
+    print("  [FAIL] planner/identical: routed-exact responses diverge from "
+          "forced ekdb-flat")
+else:
+    print("  [ok] planner/identical: routed-exact responses bit-identical")
+exact_ratio = cur.get("exact_ratio", 0.0)
+status = "FAIL" if exact_ratio < 1.0 - planner_exact_tol else "ok"
+print(f"  [{status}] planner/exact_ratio: {exact_ratio:.3f} "
+      f"(minimum {1.0 - planner_exact_tol:.2f})")
+if exact_ratio < 1.0 - planner_exact_tol:
+    failures.append("planner/exact_ratio")
+lsh_speedup = cur.get("lsh_speedup", 0.0)
+status = "FAIL" if lsh_speedup < planner_min_speedup else "ok"
+print(f"  [{status}] planner/lsh_speedup: {lsh_speedup:.3f}x "
+      f"(minimum {planner_min_speedup:.2f}x)")
+if lsh_speedup < planner_min_speedup:
+    failures.append("planner/lsh_speedup")
+recall_floor = cur.get("recall_target", 0.9) - 0.05
+measured_recall = cur.get("measured_recall", 0.0)
+status = "FAIL" if measured_recall < recall_floor else "ok"
+print(f"  [{status}] planner/measured_recall: {measured_recall:.3f} "
+      f"(floor {recall_floor:.2f})")
+if measured_recall < recall_floor:
+    failures.append("planner/measured_recall")
+if cur.get("errors", 0):
+    failures.append("planner/errors")
+    print(f"  [FAIL] planner/errors: {cur['errors']} request errors")
+if os.path.exists("BENCH_planner.baseline.json"):
+    have_baseline = True
+    base = json.load(open("BENCH_planner.baseline.json"))
+    # QPS is host-bound; compare only on the same core count.
+    if cur.get("hardware_concurrency") == base.get("hardware_concurrency"):
+        print("planner throughput vs baseline:")
+        compare("planner/qps_recall", cur["qps_recall"], base["qps_recall"])
+        compare("planner/qps_routed", cur["qps_routed"], base["qps_routed"])
+    else:
+        print("planner baseline from a different core count "
               f"({base.get('hardware_concurrency')} vs "
               f"{cur.get('hardware_concurrency')}); skipping comparison")
 

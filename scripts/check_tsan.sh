@@ -2,11 +2,13 @@
 # Builds the library and tests under ThreadSanitizer and runs the
 # concurrency-sensitive test targets (thread pool, parallel joins, parallel
 # tree construction and flattening, the service's index registry, the
-# loopback server and its cross-connection fusion engine, and the obs
+# loopback server and its cross-connection fusion engine, the cost-based
+# range planner with its lazily built aux/LSH backends, and the obs
 # metrics/trace layer), so the work-stealing deque, the sleep / wake
 # protocol, the sharded pair emission, registry refcounting/eviction, the
-# io-thread <-> fusion-collector <-> worker handoff, and the lock-free
-# metric shards get exercised with full race checking.
+# io-thread <-> fusion-collector <-> worker handoff, the plan/aux-backend
+# caches under concurrent planning, and the lock-free metric shards get
+# exercised with full race checking.
 #
 # Usage: scripts/check_tsan.sh [build-dir] [extra ctest args...]
 set -euo pipefail
@@ -24,4 +26,4 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Counter|Histogram|Snapshot|Trace' "$@"
+  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Planner|Lsh|IndexBackend|Counter|Histogram|Snapshot|Trace' "$@"

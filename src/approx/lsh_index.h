@@ -1,0 +1,162 @@
+// Recall-controlled p-stable LSH range-query index (the approximate tier
+// behind the query service's planner).
+//
+// CPSJoin-style contract (PAPERS.md): LSH buckets generate candidates,
+// the exact batch kernel re-verifies every one, so precision is always 1
+// and only recall is traded for speed.  Hashing follows Datar et al.'s
+// p-stable scheme — h(x) = floor((a.x + b) / w) with Gaussian projections
+// for L2 and Cauchy for L1, K concatenated hashes per table, L tables —
+// which makes the per-point find probability analytically known:
+//
+//   p1(c)   = collision probability of one hash at distance c
+//   P(c)    = 1 - (1 - p1(c)^K)^L     (found in at least one table)
+//
+// Two consequences the service builds on:
+//  * the planner can size L for a recall target r at the worst case
+//    (distance == epsilon): L = ceil(ln(1-r) / ln(1 - p1(eps)^K)), so
+//    E[recall] >= r for every query;
+//  * each query can report an *achieved-recall estimate*: the verified
+//    neighbours' exact distances d_i are known, so the Horvitz-Thompson
+//    estimator  found / sum_i 1/P(d_i)  is an unbiased-denominator
+//    estimate of the true neighbour count, usually much tighter than the
+//    worst-case bound (most neighbours sit well inside epsilon).
+//
+// Tables are sorted (key, id) arrays — binary-searched, cache-friendly,
+// and deterministic for a fixed seed — not hash maps.  Candidate ids are
+// sorted and deduplicated before verification, so results come out in
+// ascending id order.
+
+#ifndef SIMJOIN_APPROX_LSH_INDEX_H_
+#define SIMJOIN_APPROX_LSH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/ekdb_config.h"
+#include "core/index_backend.h"
+
+namespace simjoin {
+
+/// Tuning knobs of one LSH index build.
+struct LshIndexParams {
+  size_t tables = 8;           ///< L: independent hash tables
+  size_t hashes_per_table = 4; ///< K: concatenated hashes per table
+  /// Bucket width w; 0 picks 4 * build-epsilon (the Datar et al. sweet
+  /// spot for radius-epsilon queries).
+  double bucket_width = 0.0;
+  uint64_t seed = 0x51e55;
+
+  Status Validate(Metric metric) const;
+};
+
+/// One p-stable hash's collision probability for two points at the given
+/// distance under the metric (L2: Gaussian projections, L1: Cauchy).
+/// Monotonically decreasing in distance; 1 at distance 0.
+double PStableCollisionProbability(Metric metric, double distance,
+                                   double width);
+
+/// Smallest table count L with 1 - (1 - p_single_table)^L >= recall,
+/// clamped to [1, max_tables].  p_single_table is p1(eps)^K.
+size_t LshTablesForRecall(double recall, double p_single_table,
+                          size_t max_tables);
+
+/// Immutable LSH index over a dataset it does not own; safe for
+/// unsynchronised concurrent const queries.
+class LshIndex {
+ public:
+  static Result<LshIndex> Build(const Dataset& dataset,
+                                const EkdbConfig& config,
+                                const LshIndexParams& params);
+
+  const EkdbConfig& config() const { return config_; }
+  const Dataset& dataset() const { return *dataset_; }
+  size_t tables() const { return tables_; }
+  size_t hashes_per_table() const { return hashes_; }
+  double bucket_width() const { return width_; }
+
+  /// Verified epsilon neighbours of the query (ascending id order; a
+  /// subset of the true neighbourhood — precision 1, recall < 1).
+  /// recall_est (optional) receives the Horvitz-Thompson achieved-recall
+  /// estimate for this query; with zero hits it falls back to the
+  /// worst-case model bound FindProbability(eps_query).
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out, JoinStats* stats = nullptr,
+                    double* recall_est = nullptr) const;
+
+  Status ValidateQueryEpsilon(double eps_query) const;
+
+  /// P(found in >= 1 table) for a neighbour at the given distance.
+  double FindProbability(double distance) const;
+
+  /// Mean candidate rows one query verifies, measured from the built
+  /// tables' bucket loads (sum of squared bucket sizes / n, summed over
+  /// tables) — the planner's data-driven cost term.
+  double expected_candidates_per_query() const { return expected_candidates_; }
+
+  uint64_t total_bytes() const;
+
+ private:
+  LshIndex() = default;
+
+  /// Bucket key of one row in one table.
+  uint64_t KeyOf(const float* row, size_t table) const;
+
+  const Dataset* dataset_ = nullptr;
+  EkdbConfig config_;
+  size_t dims_ = 0;
+  size_t tables_ = 0;
+  size_t hashes_ = 0;
+  double width_ = 0.0;
+
+  std::vector<double> projections_;  ///< tables * hashes * dims
+  std::vector<double> offsets_;      ///< tables * hashes
+  /// Per table: bucket keys sorted ascending, with the parallel id array.
+  std::vector<std::vector<uint64_t>> table_keys_;
+  std::vector<std::vector<PointId>> table_ids_;
+  double expected_candidates_ = 0.0;
+};
+
+/// IndexBackend adapter over LshIndex (the planner's recall < 1 tier).
+class LshBackend final : public IndexBackend {
+ public:
+  static Result<std::unique_ptr<LshBackend>> Build(
+      const Dataset& dataset, const EkdbConfig& config,
+      const LshIndexParams& params);
+
+  BackendKind kind() const override { return BackendKind::kLsh; }
+  const EkdbConfig& config() const override { return index_.config(); }
+  const Dataset& dataset() const override { return index_.dataset(); }
+  uint64_t index_bytes() const override { return index_.total_bytes(); }
+  bool exact() const override { return false; }
+  Status ValidateQueryEpsilon(double eps_query) const override {
+    return index_.ValidateQueryEpsilon(eps_query);
+  }
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out, JoinStats* stats,
+                    double* recall_est) const override {
+    return index_.RangeQuery(query, eps_query, out, stats, recall_est);
+  }
+  Status RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
+                         std::vector<std::vector<PointId>>* results,
+                         std::vector<JoinStats>* stats,
+                         std::vector<double>* recall_ests) const override;
+  double EstimatedQueryCost(double eps_query,
+                            double expected_neighbors) const override;
+  double ExpectedRecall(double eps_query) const override {
+    return index_.FindProbability(eps_query);
+  }
+
+  const LshIndex& index() const { return index_; }
+
+ private:
+  explicit LshBackend(LshIndex index) : index_(std::move(index)) {}
+
+  LshIndex index_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_APPROX_LSH_INDEX_H_

@@ -213,12 +213,14 @@ Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
   BatchDistanceKernel kernel(config_.metric, dims_, eps_query);
   uint8_t mask[BatchDistanceKernel::kTileCapacity];
   uint64_t candidates = 0;
+  uint64_t nodes_visited = 0;
   const size_t emitted_before = out->size();
 
   std::vector<uint32_t> stack = {kRoot};
   while (!stack.empty()) {
     const uint32_t idx = stack.back();
     stack.pop_back();
+    ++nodes_visited;
     const FlatEkdbNode& node = nodes_[idx];
     if (node.arena_begin == node.arena_end) continue;
     if (BoxMinDistanceToPoint(bbox_lo(idx), bbox_hi(idx), query, dims_,
@@ -268,6 +270,9 @@ Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
   if (stats != nullptr) {
     stats->candidate_pairs += candidates;
     stats->distance_calls += candidates;
+    // Traversal work, the planner's probe-cost signal: one tally per node
+    // popped off the stack (the batch planner counts identically).
+    stats->node_pairs_visited += nodes_visited;
     stats->pairs_emitted += out->size() - emitted_before;
     stats->simd_batches += kernel.simd_batches();
     stats->scalar_fallbacks += kernel.scalar_fallbacks();

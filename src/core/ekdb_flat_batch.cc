@@ -79,10 +79,12 @@ Status FlatEkdbTree::RangeQueryBatch(
   for (uint32_t s = 0; s < count; ++s) {
     const float* query = specs[s].query;
     const double eps_query = specs[s].epsilon;
+    uint64_t nodes_visited = 0;
     stack.assign(1, kRoot);
     while (!stack.empty()) {
       const uint32_t idx = stack.back();
       stack.pop_back();
+      ++nodes_visited;
       const FlatEkdbNode& node = nodes_[idx];
       if (node.arena_begin == node.arena_end) continue;
       if (BoxMinDistanceToPoint(bbox_lo(idx), bbox_hi(idx), query, dims_,
@@ -113,6 +115,9 @@ Status FlatEkdbTree::RangeQueryBatch(
         stack.push_back(c);
       }
     }
+    // Same traversal tally the solo path makes (keeps the bit-identity of
+    // per-query stats between fused and solo execution).
+    if (stats != nullptr) (*stats)[s].node_pairs_visited += nodes_visited;
   }
 
   // Sweep: arena order, one kernel.  A stable sort keeps same-window tasks

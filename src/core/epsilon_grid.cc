@@ -9,18 +9,6 @@
 
 namespace simjoin {
 
-Result<IndexBackend> IndexBackendFromWire(uint8_t value) {
-  switch (value) {
-    case 0:
-      return IndexBackend::kEkdbFlat;
-    case 1:
-      return IndexBackend::kEpsilonGrid;
-    default:
-      return Status::InvalidArgument("unknown index backend " +
-                                     std::to_string(value));
-  }
-}
-
 Result<EpsilonGrid> EpsilonGrid::Build(const Dataset& dataset,
                                        const EkdbConfig& config) {
   SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
@@ -182,6 +170,9 @@ Status EpsilonGrid::RangeQuery(const float* query, double eps_query,
   if (stats != nullptr) {
     stats->candidate_pairs += candidates;
     stats->distance_calls += candidates;
+    // Structure-visit tally (coalesced neighbour-cell windows), the grid's
+    // analogue of the tree's node visits — the planner's probe-cost signal.
+    stats->node_pairs_visited += windows.size();
     stats->pairs_emitted += out->size() - emitted_before;
     stats->simd_batches += kernel.simd_batches();
     stats->scalar_fallbacks += kernel.scalar_fallbacks();
@@ -230,6 +221,8 @@ Status EpsilonGrid::RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
     for (const auto& [wb, we] : windows) {
       tasks.push_back(GridSweepTask{wb, we, s, 0, 0});
     }
+    // Same window tally the solo path makes (fused/solo stat bit-identity).
+    if (stats != nullptr) (*stats)[s].node_pairs_visited += windows.size();
   }
 
   // Sweep in arena order with one kernel, counters snapshotted per task.

@@ -32,17 +32,6 @@
 
 namespace simjoin {
 
-/// Which index structure backs a served index.  Wire values (one byte in
-/// BuildIndex requests) — append only.
-enum class IndexBackend : uint8_t {
-  kEkdbFlat = 0,     ///< eps-k-d-B tree flattened to an arena (the default)
-  kEpsilonGrid = 1,  ///< uniform epsilon-cell grid (dense low-d fast path)
-};
-
-/// Returns the backend for a wire byte, or InvalidArgument for unknown
-/// values.
-Result<IndexBackend> IndexBackendFromWire(uint8_t value);
-
 /// Uniform-grid index over a dataset it does not own.  Immutable after
 /// Build; the dataset must stay alive and unmodified for the lifetime of
 /// this object.

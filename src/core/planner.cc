@@ -1,5 +1,9 @@
 #include "core/planner.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
 #include "baselines/grid_join.h"
 #include "baselines/kdtree.h"
 #include "baselines/nested_loop.h"
@@ -132,6 +136,41 @@ Status PlanAndRunSelfJoin(const Dataset& data, double epsilon, Metric metric,
                            PlanSelfJoin(data, epsilon, metric, options));
   if (plan_out != nullptr) *plan_out = plan;
   return ExecuteSelfJoin(data, epsilon, metric, plan, sink, stats);
+}
+
+Result<double> ProbeRangeQueryCost(const IndexBackend& backend,
+                                   double eps_query,
+                                   const RangePlannerOptions& options) {
+  if (options.probe_queries == 0) {
+    return Status::InvalidArgument("probe_queries must be positive");
+  }
+  SIMJOIN_RETURN_NOT_OK(backend.ValidateQueryEpsilon(eps_query));
+  const Dataset& data = backend.dataset();
+  const size_t n = data.size();
+  Rng rng(options.seed);
+  JoinStats stats;
+  std::vector<PointId> scratch;
+  const size_t probes = std::min(options.probe_queries, n);
+  for (size_t i = 0; i < probes; ++i) {
+    const PointId id = static_cast<PointId>(rng.UniformInt(n));
+    scratch.clear();
+    SIMJOIN_RETURN_NOT_OK(
+        backend.RangeQuery(data.Row(id), eps_query, &scratch, &stats));
+  }
+  return (static_cast<double>(stats.candidate_pairs) +
+          options.node_visit_cost *
+              static_cast<double>(stats.node_pairs_visited)) /
+         static_cast<double>(probes);
+}
+
+Result<double> EstimateAvgNeighbors(const Dataset& data, double epsilon,
+                                    Metric metric,
+                                    const RangePlannerOptions& options) {
+  SIMJOIN_ASSIGN_OR_RETURN(
+      auto estimate,
+      EstimatePairsByPairSampling(data, epsilon, metric,
+                                  options.selectivity_samples, options.seed));
+  return 2.0 * estimate.estimated_pairs / static_cast<double>(data.size());
 }
 
 }  // namespace simjoin

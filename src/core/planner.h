@@ -15,6 +15,8 @@
 #include "common/metric.h"
 #include "common/pair_sink.h"
 #include "common/status.h"
+#include "core/epsilon_grid.h"
+#include "core/index_backend.h"
 
 namespace simjoin {
 
@@ -42,8 +44,10 @@ struct PlannerOptions {
   /// Estimated result density (pairs / possible pairs) above which the join
   /// is output-bound and brute force is chosen.
   double output_bound_density = 0.2;
-  /// Dimensionality at or below which the epsilon grid is chosen.
-  size_t grid_max_dims = 3;
+  /// Dimensionality at or below which the epsilon grid is chosen.  Derived
+  /// from the grid's own binning cap so the planner's notion of "low
+  /// dimensionality" can never drift from what EpsilonGrid actually bins.
+  size_t grid_max_dims = EpsilonGrid::kMaxBinnedDims;
   uint64_t seed = 17;
 };
 
@@ -71,6 +75,55 @@ Status PlanAndRunSelfJoin(const Dataset& data, double epsilon, Metric metric,
                           PairSink* sink, JoinPlan* plan_out = nullptr,
                           JoinStats* stats = nullptr,
                           const PlannerOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Serving-path range-query backend planner
+// ---------------------------------------------------------------------------
+
+/// Knobs of the per-request backend planner the query service runs
+/// (sample-based cost decisions in the style of Adaptive MapReduce
+/// Similarity Joins, PAPERS.md).  All signals are deterministic work
+/// counters, never wall time, so a plan for a given (snapshot, epsilon,
+/// recall) is reproducible.
+struct RangePlannerOptions {
+  /// Sampled dataset rows probed through an exact backend to measure its
+  /// real per-query work (candidate rows + structure visits).
+  size_t probe_queries = 16;
+  /// Random pairs sampled for the selectivity (expected-neighbours)
+  /// estimate.
+  size_t selectivity_samples = 512;
+  /// Row-filter-equivalent cost of visiting one structure node/window
+  /// during traversal (bbox test, stack work, window binary search).
+  double node_visit_cost = 4.0;
+  /// A non-primary backend must beat the primary's measured cost by this
+  /// factor before the planner switches — guards against probe noise
+  /// flapping the routing on near-ties.
+  double switch_margin = 1.25;
+  /// K for the LSH tier; L is then sized from the recall target.  Each
+  /// extra concatenated hash cuts a *far* pair's bucket-collision odds by
+  /// its (small) per-hash probability while the recall loss on true
+  /// neighbours is repaid with linearly more tables, so a larger K buys
+  /// precision in the candidate set almost for free — K=8 keeps clustered
+  /// high-d workloads' cross-cluster collisions near zero where K=4 floods
+  /// every bucket probe with them.
+  size_t lsh_hashes_per_table = 8;
+  /// Hard cap on L (memory and hashing cost scale linearly with it).
+  size_t lsh_max_tables = 64;
+  uint64_t seed = 17;
+};
+
+/// Measures an exact backend's per-query cost in row-filter units by
+/// running probe range queries at eps_query over sampled dataset rows:
+/// (candidate rows + node_visit_cost * structure visits) / probes.
+Result<double> ProbeRangeQueryCost(const IndexBackend& backend,
+                                   double eps_query,
+                                   const RangePlannerOptions& options);
+
+/// Expected true epsilon-neighbours per query point, from the sampled
+/// pair-selectivity estimate (2 * estimated_pairs / n).
+Result<double> EstimateAvgNeighbors(const Dataset& data, double epsilon,
+                                    Metric metric,
+                                    const RangePlannerOptions& options);
 
 }  // namespace simjoin
 

@@ -374,7 +374,7 @@ std::vector<uint8_t> EncodeBuildIndexRequest(const BuildIndexRequest& req) {
   w.U32(req.dims == 0 ? 0
                       : static_cast<uint32_t>(req.points.size() / req.dims));
   w.FloatArray(req.points);
-  if (req.backend != IndexBackend::kEkdbFlat) {
+  if (req.backend != BackendKind::kEkdbFlat) {
     w.U8(static_cast<uint8_t>(req.backend));
   }
   return w.Take();
@@ -433,11 +433,11 @@ Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
         std::to_string(float_bytes / 4));
   }
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->points));
-  out->backend = IndexBackend::kEkdbFlat;
+  out->backend = BackendKind::kEkdbFlat;
   if (has_backend_byte) {
     uint8_t backend_byte = 0;
     SIMJOIN_RETURN_NOT_OK(r.U8(&backend_byte));
-    SIMJOIN_ASSIGN_OR_RETURN(out->backend, IndexBackendFromWire(backend_byte));
+    SIMJOIN_ASSIGN_OR_RETURN(out->backend, BackendKindFromWire(backend_byte));
   }
   return r.ExpectEnd();
 }
@@ -469,6 +469,10 @@ Status ParseBuildIndexResponse(std::span<const uint8_t> payload,
 // RangeQuery
 // --------------------------------------------------------------------------
 
+// Trailing planner-extension sizes (see the struct docs in protocol.h).
+constexpr size_t kRangeQueryPlannerExtBytes = 9;    // recall f64 + backend u8
+constexpr size_t kRangeResponsePlannerExtBytes = 10;  // f64 + u8 + u8
+
 std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req) {
   WireWriter w;
   w.String(req.name);
@@ -477,6 +481,10 @@ std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req) {
   w.U32(req.dims == 0 ? 0
                       : static_cast<uint32_t>(req.queries.size() / req.dims));
   w.FloatArray(req.queries);
+  if (req.has_planner) {
+    w.F64(req.recall);
+    w.U8(req.backend);
+  }
   return w.Take();
 }
 
@@ -494,13 +502,27 @@ Status ParseRangeQueryRequest(std::span<const uint8_t> payload,
   if (count == 0) {
     return Status::InvalidArgument("RangeQuery needs at least one query");
   }
+  // The query count is explicit, so the float block's size is known and
+  // any surplus must be exactly the planner extension — anything else is a
+  // framing error.  Semantic checks (recall range, known backend byte)
+  // belong to the server so a kError response can name the field.
   const uint64_t want = static_cast<uint64_t>(count) * out->dims;
-  if (r.remaining() % 4 != 0 || want != r.remaining() / 4) {
+  const uint64_t float_bytes = want * 4;
+  if (r.remaining() != float_bytes &&
+      r.remaining() != float_bytes + kRangeQueryPlannerExtBytes) {
     return Status::InvalidArgument(
         "RangeQuery payload mismatch: header says " + std::to_string(want) +
-        " floats, payload holds " + std::to_string(r.remaining() / 4));
+        " floats, payload holds " + std::to_string(r.remaining()) + " bytes");
   }
+  out->has_planner = r.remaining() == float_bytes + kRangeQueryPlannerExtBytes;
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->queries));
+  if (out->has_planner) {
+    SIMJOIN_RETURN_NOT_OK(r.F64(&out->recall));
+    SIMJOIN_RETURN_NOT_OK(r.U8(&out->backend));
+  } else {
+    out->recall = 1.0;
+    out->backend = kWireBackendAuto;
+  }
   return r.ExpectEnd();
 }
 
@@ -512,6 +534,11 @@ std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp) {
     for (const PointId id : ids) w.U32(id);
   }
   EncodeJoinStats(resp.stats, &w);
+  if (resp.has_planner) {
+    w.F64(resp.achieved_recall);
+    w.U8(resp.backend_used);
+    w.U8(resp.plan_cache_hit ? 1 : 0);
+  }
   return w.Take();
 }
 
@@ -537,6 +564,18 @@ Status ParseRangeQueryResponse(std::span<const uint8_t> payload,
     }
   }
   SIMJOIN_RETURN_NOT_OK(ParseJoinStats(&r, &out->stats));
+  out->has_planner = r.remaining() == kRangeResponsePlannerExtBytes;
+  if (out->has_planner) {
+    SIMJOIN_RETURN_NOT_OK(r.F64(&out->achieved_recall));
+    SIMJOIN_RETURN_NOT_OK(r.U8(&out->backend_used));
+    uint8_t cache_hit = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U8(&cache_hit));
+    out->plan_cache_hit = cache_hit != 0;
+  } else {
+    out->achieved_recall = 1.0;
+    out->backend_used = 0;
+    out->plan_cache_hit = false;
+  }
   return r.ExpectEnd();
 }
 

@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "core/ekdb_config.h"
 #include "core/epsilon_grid.h"
+#include "core/index_backend.h"
 #include "obs/metrics.h"
 
 namespace simjoin {
@@ -201,8 +202,9 @@ struct BuildIndexRequest {
   /// Index structure to build.  Encoded as one trailing byte only when not
   /// the default, so default builds keep the original wire shape (and old
   /// servers keep accepting them); old servers reject grid builds with a
-  /// payload-mismatch error instead of misbuilding them.
-  IndexBackend backend = IndexBackend::kEkdbFlat;
+  /// payload-mismatch error instead of misbuilding them.  Only buildable
+  /// kinds (tree, grid) are valid; the server rejects the rest.
+  BackendKind backend = BackendKind::kEkdbFlat;
 };
 
 struct BuildIndexResponse {
@@ -219,13 +221,35 @@ struct RangeQueryRequest {
   double epsilon = 0.0;  ///< 0 = the index's build epsilon
   uint32_t dims = 0;
   std::vector<float> queries;  ///< row-major, queries.size() == count * dims
+  /// Planner extension, encoded as 9 trailing bytes (recall:f64 backend:u8)
+  /// after the float block only when has_planner — the query count is an
+  /// explicit header field, so old servers reject extended payloads with a
+  /// mismatch error and old clients' frames still parse as legacy.
+  bool has_planner = false;
+  /// Recall target in (0, 1].  1 = exact answer (planner may still switch
+  /// among exact backends); < 1 admits the LSH tier.
+  double recall = 1.0;
+  /// BackendKind wire byte forcing one backend, or kWireBackendAuto to let
+  /// the cost-based planner choose.
+  uint8_t backend = kWireBackendAuto;
 };
 
 struct RangeQueryResponse {
-  /// results[i] = ids within epsilon of query i, in index traversal order
-  /// (identical to FlatEkdbTree::RangeQuery on the same snapshot).
+  /// results[i] = ids within epsilon of query i.  Legacy requests: index
+  /// traversal order (identical to FlatEkdbTree::RangeQuery on the same
+  /// snapshot).  Planner-extension requests: ascending id order — the
+  /// canonical form, so the bytes do not depend on which exact backend the
+  /// planner routed to.
   std::vector<std::vector<PointId>> results;
   JoinStats stats;  ///< summed over the batch
+  /// Planner extension, echoed (10 trailing bytes: achieved_recall:f64
+  /// backend_used:u8 cache_hit:u8) only when the request carried it.
+  bool has_planner = false;
+  /// Estimated recall achieved over the batch (1.0 on exact routes).
+  double achieved_recall = 1.0;
+  /// BackendKind wire byte of the backend that served the batch.
+  uint8_t backend_used = 0;
+  bool plan_cache_hit = false;
 };
 
 struct SimilarityJoinRequest {

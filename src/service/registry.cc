@@ -1,63 +1,356 @@
 #include "service/registry.h"
 
+#include <cmath>
+#include <cstring>
 #include <utility>
 
+#include "approx/lsh_index.h"
 #include "common/timer.h"
-#include "core/ekdb_tree.h"
 
 namespace simjoin {
+namespace {
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+size_t AuxSlot(BackendKind kind) { return static_cast<size_t>(kind); }
+
+}  // namespace
 
 Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
     std::string name, Dataset dataset, const EkdbConfig& config,
-    size_t num_threads, IndexBackend backend) {
+    size_t num_threads, BackendKind backend) {
+  if (!BackendKindBuildable(backend)) {
+    return Status::InvalidArgument(
+        std::string("backend '") + BackendKindName(backend) +
+        "' cannot be built as an index primary; it is a per-query tier the "
+        "planner materialises on demand");
+  }
   Timer timer;
   auto owned = std::make_unique<Dataset>(std::move(dataset));
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   snapshot->name_ = std::move(name);
-  snapshot->backend_ = backend;
-  uint64_t index_bytes = 0;
-  if (backend == IndexBackend::kEpsilonGrid) {
-    SIMJOIN_ASSIGN_OR_RETURN(EpsilonGrid grid,
-                             EpsilonGrid::Build(*owned, config));
-    index_bytes = grid.total_bytes();
-    snapshot->grid_.emplace(std::move(grid));
+  std::shared_ptr<const IndexBackend> primary;
+  if (backend == BackendKind::kEpsilonGrid) {
+    SIMJOIN_ASSIGN_OR_RETURN(auto grid,
+                             EpsilonGridBackend::Build(*owned, config));
+    primary = std::move(grid);
   } else {
     SIMJOIN_ASSIGN_OR_RETURN(
-        EkdbTree tree,
-        num_threads == 1 ? EkdbTree::Build(*owned, config)
-                         : EkdbTree::BuildParallel(*owned, config,
-                                                   num_threads));
-    SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
-                             FlatEkdbTree::FromTree(tree, num_threads));
-    // The pointer tree is build scaffolding; only the flat form is served.
-    index_bytes = flat.total_bytes();
-    snapshot->tree_.emplace(std::move(flat));
+        auto tree, EkdbFlatBackend::Build(*owned, config, num_threads));
+    primary = std::move(tree);
   }
+  snapshot->memory_bytes_ =
+      owned->MemoryUsageBytes() + primary->index_bytes();
+  // The primary doubles as its own aux slot, so Backend(primary kind) and
+  // planner routing back to the primary are lookups, not builds.
+  snapshot->aux_[AuxSlot(primary->kind())] = primary;
+  snapshot->primary_ = std::move(primary);
   snapshot->dataset_ = std::move(owned);
-  snapshot->memory_bytes_ = snapshot->dataset_->MemoryUsageBytes() + index_bytes;
   snapshot->build_seconds_ = timer.Seconds();
   return std::shared_ptr<const IndexSnapshot>(std::move(snapshot));
 }
 
 Status IndexSnapshot::ValidateQueryEpsilon(double eps_query) const {
-  return tree_.has_value() ? tree_->ValidateQueryEpsilon(eps_query)
-                           : grid_->ValidateQueryEpsilon(eps_query);
+  return primary_->ValidateQueryEpsilon(eps_query);
 }
 
 Status IndexSnapshot::RangeQuery(const float* query, double eps_query,
                                  std::vector<PointId>* out,
                                  JoinStats* stats) const {
-  return tree_.has_value() ? tree_->RangeQuery(query, eps_query, out, stats)
-                           : grid_->RangeQuery(query, eps_query, out, stats);
+  return primary_->RangeQuery(query, eps_query, out, stats, nullptr);
 }
 
 Status IndexSnapshot::RangeQueryBatch(
     const RangeQuerySpec* specs, size_t count,
     std::vector<std::vector<PointId>>* results,
     std::vector<JoinStats>* stats) const {
-  return tree_.has_value()
-             ? tree_->RangeQueryBatch(specs, count, results, stats)
-             : grid_->RangeQueryBatch(specs, count, results, stats);
+  return primary_->RangeQueryBatch(specs, count, results, stats, nullptr);
+}
+
+Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::Backend(
+    BackendKind kind, bool* built) const {
+  if (built != nullptr) *built = false;
+  if (kind == BackendKind::kLsh) {
+    return Status::InvalidArgument(
+        "LSH backends are sized from a recall target; route through "
+        "PlanRange");
+  }
+  // The build runs under the lock: it happens at most once per kind per
+  // snapshot lifetime, and holding the lock keeps a second planner thread
+  // from duplicating a multi-second tree build.  Query execution never
+  // takes this lock.
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  std::shared_ptr<const IndexBackend>& slot = aux_[AuxSlot(kind)];
+  if (slot != nullptr) return slot;
+  switch (kind) {
+    case BackendKind::kEkdbFlat: {
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto backend, EkdbFlatBackend::Build(*dataset_, primary_->config(),
+                                               /*num_threads=*/1));
+      slot = std::move(backend);
+      break;
+    }
+    case BackendKind::kEpsilonGrid: {
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto backend,
+          EpsilonGridBackend::Build(*dataset_, primary_->config()));
+      slot = std::move(backend);
+      break;
+    }
+    case BackendKind::kBruteSimd: {
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto backend, BruteSimdBackend::Build(*dataset_,
+                                                primary_->config()));
+      slot = std::move(backend);
+      break;
+    }
+    case BackendKind::kLsh:
+      return Status::Internal("unreachable");
+  }
+  if (built != nullptr) *built = true;
+  return slot;
+}
+
+Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::JoinBackend(
+    bool* built) const {
+  if (built != nullptr) *built = false;
+  if (primary_->supports_self_join()) return primary_;
+  return Backend(BackendKind::kEkdbFlat, built);
+}
+
+Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::LshBackendFor(
+    double eps_query, size_t tables, size_t hashes, uint64_t seed,
+    bool* built) const {
+  if (built != nullptr) *built = false;
+  const uint64_t eps_bits = DoubleBits(eps_query);
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  for (const LshCacheEntry& entry : lsh_cache_) {
+    if (entry.eps_bits == eps_bits && entry.tables == tables &&
+        entry.hashes == hashes) {
+      return entry.backend;
+    }
+  }
+  // The LSH structure is built *at the query epsilon*: bucket width and the
+  // recall bound both key off the radius actually served, not the primary's
+  // build epsilon.
+  EkdbConfig config = primary_->config();
+  config.epsilon = eps_query;
+  LshIndexParams params;
+  params.tables = tables;
+  params.hashes_per_table = hashes;
+  params.seed = seed;
+  SIMJOIN_ASSIGN_OR_RETURN(auto backend,
+                           LshBackend::Build(*dataset_, config, params));
+  if (lsh_cache_.size() >= kMaxCachedLshBackends) lsh_cache_.pop_front();
+  lsh_cache_.push_back(
+      LshCacheEntry{eps_bits, tables, hashes, std::move(backend)});
+  if (built != nullptr) *built = true;
+  return lsh_cache_.back().backend;
+}
+
+Result<PlannedRange> IndexSnapshot::PlanRange(
+    double eps_query, double recall, uint8_t forced_backend,
+    const RangePlannerOptions& options) const {
+  if (!(recall > 0.0) || recall > 1.0 || !std::isfinite(recall)) {
+    return Status::InvalidArgument("recall target must be in (0, 1]");
+  }
+  SIMJOIN_RETURN_NOT_OK(primary_->ValidateQueryEpsilon(eps_query));
+  const Metric metric = primary_->config().metric;
+  const double n = static_cast<double>(dataset_->size());
+
+  // -- forced backend: no costing, no cache ---------------------------------
+  if (forced_backend != kWireBackendAuto) {
+    SIMJOIN_ASSIGN_OR_RETURN(BackendKind kind,
+                             BackendKindFromWire(forced_backend));
+    PlannedRange out;
+    out.plan.kind = kind;
+    out.plan.rationale = "forced by request";
+    if (kind == BackendKind::kLsh) {
+      const double width = 4.0 * eps_query;  // LshIndexParams default
+      const double p1 =
+          PStableCollisionProbability(metric, eps_query, width);
+      const size_t hashes = options.lsh_hashes_per_table;
+      const double p_table = std::pow(p1, static_cast<double>(hashes));
+      const size_t tables =
+          LshTablesForRecall(recall, p_table, options.lsh_max_tables);
+      SIMJOIN_ASSIGN_OR_RETURN(
+          out.backend, LshBackendFor(eps_query, tables, hashes, options.seed,
+                                     &out.built_backend));
+      out.plan.lsh_tables = tables;
+      out.plan.lsh_hashes = hashes;
+    } else {
+      SIMJOIN_ASSIGN_OR_RETURN(out.backend,
+                               Backend(kind, &out.built_backend));
+    }
+    out.plan.expected_recall = out.backend->ExpectedRecall(eps_query);
+    out.plan.est_cost = out.backend->EstimatedQueryCost(eps_query, 0.0);
+    return out;
+  }
+
+  // -- plan cache -----------------------------------------------------------
+  const std::pair<uint64_t, uint64_t> cache_key{DoubleBits(eps_query),
+                                                DoubleBits(recall)};
+  {
+    // Copy the hit out, then resolve the backend with the lock released —
+    // Backend()/LshBackendFor() take plan_mu_ themselves.
+    RangePlan cached;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      auto it = plan_cache_.find(cache_key);
+      if (it != plan_cache_.end()) {
+        cached = it->second;
+        hit = true;
+      }
+    }
+    if (hit) {
+      PlannedRange out;
+      out.plan = cached;
+      out.cache_hit = true;
+      if (cached.kind == BackendKind::kLsh) {
+        SIMJOIN_ASSIGN_OR_RETURN(
+            out.backend,
+            LshBackendFor(eps_query, cached.lsh_tables, cached.lsh_hashes,
+                          options.seed, &out.built_backend));
+      } else {
+        SIMJOIN_ASSIGN_OR_RETURN(out.backend,
+                                 Backend(cached.kind, &out.built_backend));
+      }
+      return out;
+    }
+  }
+
+  // -- cold planning: sampled selectivity + probed primary cost -------------
+  SIMJOIN_ASSIGN_OR_RETURN(
+      const double est_avg,
+      EstimateAvgNeighbors(*dataset_, eps_query, metric, options));
+  SIMJOIN_ASSIGN_OR_RETURN(
+      const double primary_cost,
+      ProbeRangeQueryCost(*primary_, eps_query, options));
+
+  PlannedRange out;
+  out.backend = primary_;
+  out.plan.kind = primary_->kind();
+  out.plan.est_cost = primary_cost;
+  out.plan.est_avg_neighbors = est_avg;
+  out.plan.rationale = std::string("primary ") +
+                       BackendKindName(primary_->kind()) +
+                       " probed cheapest";
+  const double margin = options.switch_margin;
+
+  // Brute scan: free to materialise, pointless to probe (its cost is by
+  // construction one discounted pass over every row).
+  {
+    SIMJOIN_ASSIGN_OR_RETURN(auto brute,
+                             Backend(BackendKind::kBruteSimd, nullptr));
+    const double brute_cost = brute->EstimatedQueryCost(eps_query, est_avg);
+    if (brute_cost * margin < out.plan.est_cost) {
+      out.backend = std::move(brute);
+      out.plan.kind = BackendKind::kBruteSimd;
+      out.plan.est_cost = brute_cost;
+      out.plan.rationale =
+          "brute scan beats structure traversal at this selectivity";
+    }
+  }
+
+  // Exact structured alternative to the primary.  Gate the (possibly
+  // expensive) aux build behind the backend's own static prior so a
+  // clearly-losing candidate is never materialised.
+  const BackendKind alt = primary_->kind() == BackendKind::kEpsilonGrid
+                              ? BackendKind::kEkdbFlat
+                              : BackendKind::kEpsilonGrid;
+  bool alt_plausible;
+  if (alt == BackendKind::kEpsilonGrid) {
+    // The grid only prunes on the dims it bins; past its cap every cell
+    // window degenerates toward a full scan (same rule the join planner
+    // derives its grid_max_dims from).
+    alt_plausible = dataset_->dims() <= EpsilonGrid::kMaxBinnedDims;
+  } else {
+    // Mirrors EkdbFlatBackend::EstimatedQueryCost's prior.
+    const double prior = std::min(n, 64.0 + 8.0 * est_avg);
+    alt_plausible = prior * margin < out.plan.est_cost;
+  }
+  if (alt_plausible) {
+    bool built = false;
+    auto alt_backend = Backend(alt, &built);
+    // A failed aux build (e.g. grid cell cap) just removes the candidate.
+    if (alt_backend.ok()) {
+      out.built_backend = out.built_backend || built;
+      SIMJOIN_ASSIGN_OR_RETURN(
+          const double alt_cost,
+          ProbeRangeQueryCost(**alt_backend, eps_query, options));
+      if (alt_cost * margin < out.plan.est_cost) {
+        out.backend = *alt_backend;
+        out.plan.kind = alt;
+        out.plan.est_cost = alt_cost;
+        out.plan.rationale = std::string(BackendKindName(alt)) +
+                             " probed cheaper than the primary";
+      }
+    }
+  }
+
+  // Approximate tier: only admissible when the request tolerates recall
+  // below 1 and the metric has a p-stable family.
+  if (recall < 1.0 &&
+      (metric == Metric::kL1 || metric == Metric::kL2)) {
+    const double width = 4.0 * eps_query;  // LshIndexParams default
+    const double p1 = PStableCollisionProbability(metric, eps_query, width);
+    const size_t hashes = options.lsh_hashes_per_table;
+    const double p_table = std::pow(p1, static_cast<double>(hashes));
+    const size_t tables =
+        LshTablesForRecall(recall, p_table, options.lsh_max_tables);
+    const double bound =
+        1.0 - std::pow(1.0 - p_table, static_cast<double>(tables));
+    // Most optimistic LSH cost: hashing plus verifying just the true
+    // neighbours.  If even that loses to the exact route, skip the build.
+    const double optimistic =
+        static_cast<double>(tables * hashes) + 1.3 * est_avg + 8.0;
+    if (bound >= recall && optimistic * margin < out.plan.est_cost) {
+      bool built = false;
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto lsh, LshBackendFor(eps_query, tables, hashes, options.seed,
+                                  &built));
+      out.built_backend = out.built_backend || built;
+      const double lsh_cost = lsh->EstimatedQueryCost(eps_query, est_avg);
+      if (lsh_cost * margin < out.plan.est_cost) {
+        out.backend = std::move(lsh);
+        out.plan.kind = BackendKind::kLsh;
+        out.plan.est_cost = lsh_cost;
+        out.plan.lsh_tables = tables;
+        out.plan.lsh_hashes = hashes;
+        out.plan.rationale =
+            "lsh (L=" + std::to_string(tables) +
+            ", K=" + std::to_string(hashes) + ") meets recall " +
+            std::to_string(recall) + " below the exact cost";
+      }
+    }
+  }
+  out.plan.expected_recall = out.backend->ExpectedRecall(eps_query);
+
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plan_cache_.emplace(cache_key, out.plan);
+  }
+  return out;
+}
+
+uint64_t IndexSnapshot::aux_bytes() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  uint64_t total = 0;
+  for (const auto& slot : aux_) {
+    if (slot != nullptr && slot.get() != primary_.get()) {
+      total += slot->index_bytes();
+    }
+  }
+  for (const LshCacheEntry& entry : lsh_cache_) {
+    total += entry.backend->index_bytes();
+  }
+  return total;
 }
 
 Status IndexRegistry::Put(std::shared_ptr<const IndexSnapshot> snapshot,

@@ -7,58 +7,93 @@
 // *new* snapshots (Put replaces the name atomically), and eviction merely
 // drops the registry's own reference — a snapshot stays fully queryable for
 // as long as any in-flight request still holds it.  Concurrent const access
-// to a FlatEkdbTree is safe (it is immutable after construction), so readers
-// never block builders and builders never invalidate readers.
+// to any IndexBackend is safe (all are immutable after construction), so
+// readers never block builders and builders never invalidate readers.
+//
+// Beyond its primary structure, a snapshot lazily materialises *auxiliary*
+// backends on planner demand: the exact alternatives (ekdb-flat, grid,
+// brute-SIMD) are built at most once each and kept for the snapshot's
+// lifetime, while recall-controlled LSH builds are cached per
+// (epsilon, tables, hashes) with a small FIFO cap.  Aux backends are
+// handed out as shared_ptr, so an evicted cache entry stays alive for any
+// request still querying it.
 
 #ifndef SIMJOIN_SERVICE_REGISTRY_H_
 #define SIMJOIN_SERVICE_REGISTRY_H_
 
 #include <cstdint>
+#include <deque>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/dataset.h"
 #include "common/status.h"
 #include "core/ekdb_flat.h"
 #include "core/epsilon_grid.h"
+#include "core/index_backend.h"
+#include "core/planner.h"
 
 namespace simjoin {
 
+/// One planner decision for a (epsilon, recall) pair on one snapshot.
+struct RangePlan {
+  BackendKind kind = BackendKind::kEkdbFlat;
+  /// Row-filter-equivalent cost per query the plan expects (probed for the
+  /// chosen exact backend, model-estimated for LSH).
+  double est_cost = 0.0;
+  /// Model lower bound on per-query recall (1.0 for exact routes).
+  double expected_recall = 1.0;
+  /// Sampled expectation of true epsilon-neighbours per query.
+  double est_avg_neighbors = 0.0;
+  /// Engaged only when kind == kLsh.
+  size_t lsh_tables = 0;
+  size_t lsh_hashes = 0;
+  std::string rationale;
+};
+
+/// A resolved plan plus the backend that executes it.
+struct PlannedRange {
+  std::shared_ptr<const IndexBackend> backend;
+  RangePlan plan;
+  bool cache_hit = false;      ///< decision came from the plan cache
+  bool built_backend = false;  ///< this call materialised a new aux backend
+};
+
 /// One immutable, self-contained index: the dataset (owned, at a stable
-/// heap address) plus the index structure built over it — the flat
+/// heap address) plus the primary index structure built over it — the flat
 /// eps-k-d-B tree by default, or the epsilon grid when the build request
-/// selects that backend.  Construct via Build; after that every member is
-/// const and safe to share across threads.
+/// selects that backend.  Construct via Build; after that the snapshot is
+/// logically const and safe to share across threads (lazy aux-backend and
+/// plan caches are internally synchronised).
 class IndexSnapshot {
  public:
-  /// Builds the selected backend over the dataset (for the tree backend:
-  /// pointer tree — parallel when num_threads != 1 — then flattened) and
-  /// wraps it with the dataset into an immutable snapshot.  Fails if the
-  /// config is invalid for the data or coordinates leave [0, 1].
+  /// Builds the selected primary backend over the dataset (for the tree
+  /// backend: pointer tree — parallel when num_threads != 1 — then
+  /// flattened) and wraps it with the dataset into an immutable snapshot.
+  /// Fails if the config is invalid for the data, coordinates leave
+  /// [0, 1], or the kind is not buildable as a primary (LSH, brute-SIMD).
   static Result<std::shared_ptr<const IndexSnapshot>> Build(
       std::string name, Dataset dataset, const EkdbConfig& config,
-      size_t num_threads = 1,
-      IndexBackend backend = IndexBackend::kEkdbFlat);
+      size_t num_threads = 1, BackendKind backend = BackendKind::kEkdbFlat);
 
   const std::string& name() const { return name_; }
   const Dataset& dataset() const { return *dataset_; }
-  IndexBackend backend() const { return backend_; }
-  /// Valid only when backend() == kEkdbFlat (joins require the tree).
-  const FlatEkdbTree& tree() const { return *tree_; }
-  /// Valid only when backend() == kEpsilonGrid.
-  const EpsilonGrid& grid() const { return *grid_; }
-  const EkdbConfig& config() const {
-    return tree_.has_value() ? tree_->config() : grid_->config();
-  }
+  BackendKind backend() const { return primary_->kind(); }
+  const IndexBackend& primary() const { return *primary_; }
+  /// Valid only when the primary is tree-backed (backend() == kEkdbFlat).
+  const FlatEkdbTree& tree() const { return *primary_->flat_tree(); }
+  const EkdbConfig& config() const { return primary_->config(); }
 
-  /// Range-query entry points that dispatch to whichever backend this
-  /// snapshot holds; contract (validation, id order, stats tally, fused
-  /// bit-identity) is identical across backends.
+  /// Range-query entry points that dispatch to the primary backend; the
+  /// contract (validation, id order, stats tally, fused bit-identity) is
+  /// identical across backends.  These serve the legacy (plannerless)
+  /// request path byte-for-byte unchanged.
   Status ValidateQueryEpsilon(double eps_query) const;
   Status RangeQuery(const float* query, double eps_query,
                     std::vector<PointId>* out,
@@ -67,9 +102,37 @@ class IndexSnapshot {
                          std::vector<std::vector<PointId>>* results,
                          std::vector<JoinStats>* stats = nullptr) const;
 
+  /// Returns (building and caching on first use) the exact auxiliary
+  /// backend of the given kind; the primary is returned directly when the
+  /// kind matches.  Errors for kLsh (use PlanRange, which sizes LSH from
+  /// the recall target) and for kinds the dataset cannot support (e.g.
+  /// grid beyond its binning cap).  *built (optional) is set when this
+  /// call materialised the structure.
+  Result<std::shared_ptr<const IndexBackend>> Backend(
+      BackendKind kind, bool* built = nullptr) const;
+
+  /// The backend similarity joins run on: the primary when it implements
+  /// SelfJoin natively, else a lazily built ekdb-flat auxiliary (this is
+  /// how grid-primary indexes serve joins instead of erroring).
+  Result<std::shared_ptr<const IndexBackend>> JoinBackend(
+      bool* built = nullptr) const;
+
+  /// Cost-based routing for one (epsilon, recall) request.  recall must be
+  /// in (0, 1]; forced_backend is a BackendKind wire byte or
+  /// kWireBackendAuto.  Auto decisions are cached per (epsilon, recall)
+  /// bits, so repeated requests skip the probe/selectivity sampling.
+  /// Deterministic: all cost signals are work counters, never wall time.
+  Result<PlannedRange> PlanRange(double eps_query, double recall,
+                                 uint8_t forced_backend,
+                                 const RangePlannerOptions& options) const;
+
   /// Heap footprint charged against the registry budget: dataset rows plus
-  /// the flat tree's node array, bbox planes, arena, and id remap.
+  /// the primary structure's arrays.  Aux backends are planner working
+  /// state and tracked separately (aux_bytes) — charging them against the
+  /// LRU budget would make eviction depend on query traffic.
   uint64_t memory_bytes() const { return memory_bytes_; }
+  /// Current heap footprint of lazily built aux backends (telemetry).
+  uint64_t aux_bytes() const;
   double build_seconds() const { return build_seconds_; }
 
   IndexSnapshot(const IndexSnapshot&) = delete;
@@ -78,15 +141,38 @@ class IndexSnapshot {
  private:
   IndexSnapshot() = default;
 
+  /// LSH builds cached beyond this count are evicted FIFO (each is
+  /// O(n * L) ids plus keys; in-flight queries keep evictees alive via
+  /// their shared_ptr).
+  static constexpr size_t kMaxCachedLshBackends = 8;
+
+  struct LshCacheEntry {
+    uint64_t eps_bits = 0;
+    size_t tables = 0;
+    size_t hashes = 0;
+    std::shared_ptr<const IndexBackend> backend;
+  };
+
+  /// Returns (building and FIFO-caching) the LSH backend for the given
+  /// query epsilon and table/hash counts.  Requires plan_mu_ NOT held.
+  Result<std::shared_ptr<const IndexBackend>> LshBackendFor(
+      double eps_query, size_t tables, size_t hashes, uint64_t seed,
+      bool* built) const;
+
   std::string name_;
   // unique_ptr keeps the Dataset at a stable address: the index structures
   // point into it.
   std::unique_ptr<Dataset> dataset_;
-  IndexBackend backend_ = IndexBackend::kEkdbFlat;
-  std::optional<FlatEkdbTree> tree_;  // engaged iff backend_ == kEkdbFlat
-  std::optional<EpsilonGrid> grid_;   // engaged iff backend_ == kEpsilonGrid
+  std::shared_ptr<const IndexBackend> primary_;
   uint64_t memory_bytes_ = 0;
   double build_seconds_ = 0.0;
+
+  // Planner state, lazily populated under plan_mu_.  Backends are handed
+  // out as shared_ptr copies, so the lock is never held across a query.
+  mutable std::mutex plan_mu_;
+  mutable std::shared_ptr<const IndexBackend> aux_[kNumBackendKinds];
+  mutable std::deque<LshCacheEntry> lsh_cache_;
+  mutable std::map<std::pair<uint64_t, uint64_t>, RangePlan> plan_cache_;
 };
 
 /// Listing row for one registry entry.

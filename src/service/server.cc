@@ -65,6 +65,26 @@ struct ServiceMetrics {
   obs::Counter* fusion_wait_expired;
   obs::Histogram* fusion_batch_size;
   obs::Histogram* fusion_wait_us;  ///< admission -> batch execution start
+  obs::Counter* planner_requests;       ///< planner-extension range queries
+  obs::Counter* planner_cache_hits;     ///< decision served from plan cache
+  obs::Counter* planner_cache_misses;   ///< cold plans (probe + selectivity)
+  obs::Counter* planner_forced;         ///< request pinned the backend
+  obs::Counter* planner_backend_builds; ///< aux backends materialised
+  obs::Counter* planner_routed_ekdb;
+  obs::Counter* planner_routed_grid;
+  obs::Counter* planner_routed_lsh;
+  obs::Counter* planner_routed_brute;
+  obs::Counter* planner_join_fallbacks; ///< grid-primary joins run on aux tree
+
+  obs::Counter* RoutedCounterFor(BackendKind kind) const {
+    switch (kind) {
+      case BackendKind::kEkdbFlat: return planner_routed_ekdb;
+      case BackendKind::kEpsilonGrid: return planner_routed_grid;
+      case BackendKind::kLsh: return planner_routed_lsh;
+      case BackendKind::kBruteSimd: return planner_routed_brute;
+    }
+    return planner_routed_ekdb;
+  }
 
   obs::Histogram* LatencyFor(FrameType type) const {
     switch (type) {
@@ -102,6 +122,16 @@ const ServiceMetrics& GetServiceMetrics() {
         reg.GetCounter("service.fusion.wait_expired"),
         reg.GetHistogram("service.fusion.batch_size"),
         reg.GetHistogram("service.fusion.wait_us"),
+        reg.GetCounter("service.planner.requests"),
+        reg.GetCounter("service.planner.cache_hits"),
+        reg.GetCounter("service.planner.cache_misses"),
+        reg.GetCounter("service.planner.forced"),
+        reg.GetCounter("service.planner.backend_builds"),
+        reg.GetCounter("service.planner.routed_ekdb_flat"),
+        reg.GetCounter("service.planner.routed_grid"),
+        reg.GetCounter("service.planner.routed_lsh"),
+        reg.GetCounter("service.planner.routed_brute_simd"),
+        reg.GetCounter("service.planner.join_tree_fallbacks"),
     };
   }();
   return metrics;
@@ -400,6 +430,9 @@ struct Server::Impl {
     std::shared_ptr<const IndexSnapshot> snapshot;
     double eps = 0.0;
     size_t count = 0;  ///< query points in the request
+    /// Engaged only for planner-extension requests (req.has_planner); the
+    /// legacy path executes through the snapshot's primary, untouched.
+    PlannedRange planned;
   };
 
   Status ResolveRangeQuery(const Frame& frame, ResolvedRangeQuery* out) {
@@ -420,7 +453,61 @@ struct Server::Impl {
     if (out->count > 0) {
       SIMJOIN_RETURN_NOT_OK(out->snapshot->ValidateQueryEpsilon(out->eps));
     }
+    if (out->req.has_planner) {
+      SIMJOIN_ASSIGN_OR_RETURN(
+          out->planned,
+          out->snapshot->PlanRange(out->eps, out->req.recall,
+                                   out->req.backend, RangePlannerOptions{}));
+      const ServiceMetrics& metrics = GetServiceMetrics();
+      metrics.planner_requests->Add();
+      if (out->req.backend != kWireBackendAuto) {
+        metrics.planner_forced->Add();
+      } else if (out->planned.cache_hit) {
+        metrics.planner_cache_hits->Add();
+      } else {
+        metrics.planner_cache_misses->Add();
+      }
+      if (out->planned.built_backend) metrics.planner_backend_builds->Add();
+      metrics.RoutedCounterFor(out->planned.plan.kind)->Add();
+    }
     return Status::OK();
+  }
+
+  /// The IndexBackend one resolved request executes on: the planner's pick
+  /// for extension requests, the snapshot's primary otherwise.  Lifetime is
+  /// carried by the ResolvedRangeQuery (snapshot / planned.backend).
+  static const IndexBackend* ExecBackend(const ResolvedRangeQuery& rq) {
+    return rq.req.has_planner ? rq.planned.backend.get()
+                              : &rq.snapshot->primary();
+  }
+
+  /// Finishes one planner-extension response: canonicalises each id list to
+  /// ascending order (so answer bytes do not depend on the routed backend)
+  /// and aggregates the per-query recall estimates into one batch figure —
+  /// each query's estimated true neighbour count is found/recall, so the
+  /// batch estimate is total found over the summed estimates.
+  static void FinalizePlannedResponse(const ResolvedRangeQuery& rq,
+                                      const std::vector<double>& recalls,
+                                      size_t recalls_offset,
+                                      RangeQueryResponse* resp) {
+    double est_true = 0.0;
+    uint64_t found = 0;
+    for (size_t q = 0; q < resp->results.size(); ++q) {
+      std::sort(resp->results[q].begin(), resp->results[q].end());
+      const size_t got = resp->results[q].size();
+      const double r = recalls[recalls_offset + q];
+      if (got > 0 && r > 0.0) {
+        found += got;
+        est_true += static_cast<double>(got) / r;
+      }
+    }
+    double achieved =
+        found > 0 ? static_cast<double>(found) / est_true
+                  : rq.planned.backend->ExpectedRecall(rq.eps);
+    resp->has_planner = true;
+    resp->achieved_recall = std::min(1.0, std::max(0.0, achieved));
+    resp->backend_used = static_cast<uint8_t>(rq.planned.plan.kind);
+    resp->plan_cache_hit = rq.planned.cache_hit;
   }
 
   Status HandleRangeQuery(const Frame& frame, Terminal* out) {
@@ -428,10 +515,20 @@ struct Server::Impl {
     SIMJOIN_RETURN_NOT_OK(ResolveRangeQuery(frame, &rq));
     RangeQueryResponse resp;
     resp.results.resize(rq.count);
-    for (size_t i = 0; i < rq.count; ++i) {
-      SIMJOIN_RETURN_NOT_OK(rq.snapshot->RangeQuery(
-          rq.req.queries.data() + i * rq.req.dims, rq.eps, &resp.results[i],
-          &resp.stats));
+    if (!rq.req.has_planner) {
+      for (size_t i = 0; i < rq.count; ++i) {
+        SIMJOIN_RETURN_NOT_OK(rq.snapshot->RangeQuery(
+            rq.req.queries.data() + i * rq.req.dims, rq.eps, &resp.results[i],
+            &resp.stats));
+      }
+    } else {
+      std::vector<double> recalls(rq.count, 1.0);
+      for (size_t i = 0; i < rq.count; ++i) {
+        SIMJOIN_RETURN_NOT_OK(rq.planned.backend->RangeQuery(
+            rq.req.queries.data() + i * rq.req.dims, rq.eps, &resp.results[i],
+            &resp.stats, &recalls[i]));
+      }
+      FinalizePlannedResponse(rq, recalls, 0, &resp);
     }
     out->type = FrameType::kRangeQueryResult;
     out->payload = EncodeRangeQueryResponse(resp);
@@ -444,28 +541,33 @@ struct Server::Impl {
     SIMJOIN_RETURN_NOT_OK(ParseSimilarityJoinRequest(frame.payload, &req));
     SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> a,
                              registry.Get(req.name_a));
-    if (a->backend() != IndexBackend::kEkdbFlat) {
-      return Status::InvalidArgument(
-          "index '" + req.name_a +
-          "' uses the epsilon-grid backend; similarity joins require the "
-          "flat-tree backend");
+    // A primary without a native join (the epsilon grid) no longer rejects:
+    // JoinBackend lazily builds an ekdb-flat auxiliary over the same
+    // dataset and the join streams from that, bit-identical to a
+    // tree-primary index.
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexBackend> a_join,
+                             a->JoinBackend());
+    if (a_join->kind() != a->backend()) {
+      GetServiceMetrics().planner_join_fallbacks->Add();
     }
+    const FlatEkdbTree& a_tree = *a_join->flat_tree();
     std::shared_ptr<const IndexSnapshot> b;
+    std::shared_ptr<const IndexBackend> b_join;
+    const FlatEkdbTree* b_tree = nullptr;
     if (!req.name_b.empty() && req.name_b != req.name_a) {
       SIMJOIN_ASSIGN_OR_RETURN(b, registry.Get(req.name_b));
-      if (b->backend() != IndexBackend::kEkdbFlat) {
-        return Status::InvalidArgument(
-            "index '" + req.name_b +
-            "' uses the epsilon-grid backend; similarity joins require the "
-            "flat-tree backend");
+      SIMJOIN_ASSIGN_OR_RETURN(b_join, b->JoinBackend());
+      if (b_join->kind() != b->backend()) {
+        GetServiceMetrics().planner_join_fallbacks->Add();
       }
-      if (!FlatEkdbTree::JoinCompatible(a->tree(), b->tree())) {
+      b_tree = b_join->flat_tree();
+      if (!FlatEkdbTree::JoinCompatible(a_tree, *b_tree)) {
         return Status::InvalidArgument(
             "indexes '" + req.name_a + "' and '" + req.name_b +
             "' are not join-compatible (epsilon/metric/dims/dim order)");
       }
     }
-    const double build_eps = a->tree().config().epsilon;
+    const double build_eps = a_tree.config().epsilon;
     const double eps = req.epsilon == 0.0 ? build_eps : req.epsilon;
     const size_t threads = ResolveThreads(req.num_threads);
     const size_t chunk = std::min<size_t>(
@@ -482,17 +584,16 @@ struct Server::Impl {
     ParallelJoinConfig pcfg;
     pcfg.num_threads = threads;
     if (b == nullptr) {
-      st = parallel ? ParallelFlatEkdbSelfJoin(a->tree(), pcfg, &sink, &stats)
-           : eps == build_eps ? FlatEkdbSelfJoin(a->tree(), &sink, &stats)
-                              : FlatEkdbSelfJoinWithEpsilon(a->tree(), eps,
+      st = parallel ? ParallelFlatEkdbSelfJoin(a_tree, pcfg, &sink, &stats)
+           : eps == build_eps ? FlatEkdbSelfJoin(a_tree, &sink, &stats)
+                              : FlatEkdbSelfJoinWithEpsilon(a_tree, eps,
                                                             &sink, &stats);
     } else {
       st = parallel
-               ? ParallelFlatEkdbJoin(a->tree(), b->tree(), pcfg, &sink,
-                                      &stats)
+               ? ParallelFlatEkdbJoin(a_tree, *b_tree, pcfg, &sink, &stats)
            : eps == build_eps
-               ? FlatEkdbJoin(a->tree(), b->tree(), &sink, &stats)
-               : FlatEkdbJoinWithEpsilon(a->tree(), b->tree(), eps, &sink,
+               ? FlatEkdbJoin(a_tree, *b_tree, &sink, &stats)
+               : FlatEkdbJoinWithEpsilon(a_tree, *b_tree, eps, &sink,
                                          &stats);
     }
     SIMJOIN_RETURN_NOT_OK(st);
@@ -665,30 +766,37 @@ struct Server::Impl {
       viable[i] = true;
     }
 
-    // Group viable requests by snapshot; requests against distinct indexes
-    // fuse among themselves.  Linear scan: batches hold few distinct indexes.
-    struct SnapshotGroup {
-      const IndexSnapshot* snapshot;
+    // Group viable requests by the backend that executes them (the
+    // planner's pick for extension requests, the snapshot primary
+    // otherwise); requests on the same structure fuse among themselves, so
+    // legacy and planner-routed-to-primary traffic against one index still
+    // share a sweep.  Raw pointers are safe as group keys: each resolved
+    // entry keeps its snapshot (and any planner backend) alive for the
+    // whole batch.  Linear scan: batches hold few distinct backends.
+    struct BackendGroup {
+      const IndexBackend* backend;
       std::vector<size_t> members;  ///< entry indexes, admission order
     };
-    std::vector<SnapshotGroup> groups;
+    std::vector<BackendGroup> groups;
     for (size_t i = 0; i < n; ++i) {
       if (!viable[i]) continue;
-      const IndexSnapshot* snap = resolved[i].snapshot.get();
+      const IndexBackend* backend = ExecBackend(resolved[i]);
       auto it = std::find_if(
           groups.begin(), groups.end(),
-          [snap](const SnapshotGroup& g) { return g.snapshot == snap; });
+          [backend](const BackendGroup& g) { return g.backend == backend; });
       if (it == groups.end()) {
-        groups.push_back(SnapshotGroup{snap, {}});
+        groups.push_back(BackendGroup{backend, {}});
         it = std::prev(groups.end());
       }
       it->members.push_back(i);
     }
 
-    for (const SnapshotGroup& sg : groups) {
+    for (const BackendGroup& bg : groups) {
       std::vector<RangeQuerySpec> specs;
-      for (const size_t i : sg.members) {
+      bool any_planner = false;
+      for (const size_t i : bg.members) {
         const ResolvedRangeQuery& rq = resolved[i];
+        any_planner = any_planner || rq.req.has_planner;
         for (size_t q = 0; q < rq.count; ++q) {
           specs.push_back(RangeQuerySpec{
               rq.req.queries.data() + q * rq.req.dims, rq.eps});
@@ -696,13 +804,15 @@ struct Server::Impl {
       }
       std::vector<std::vector<PointId>> results;
       std::vector<JoinStats> stats;
+      std::vector<double> recalls;
       Status st;
       if (!specs.empty()) {
-        st = sg.snapshot->RangeQueryBatch(specs.data(), specs.size(),
-                                             &results, &stats);
+        st = bg.backend->RangeQueryBatch(specs.data(), specs.size(), &results,
+                                         &stats,
+                                         any_planner ? &recalls : nullptr);
       }
       size_t cursor = 0;
-      for (const size_t i : sg.members) {
+      for (const size_t i : bg.members) {
         if (!st.ok()) {
           // Cannot happen after per-request validation, but if the batch
           // engine ever rejects, every member reports the failure rather
@@ -714,9 +824,13 @@ struct Server::Impl {
         const ResolvedRangeQuery& rq = resolved[i];
         RangeQueryResponse resp;
         resp.results.reserve(rq.count);
+        const size_t first = cursor;
         for (size_t q = 0; q < rq.count; ++q, ++cursor) {
           resp.results.push_back(std::move(results[cursor]));
           resp.stats.Merge(stats[cursor]);
+        }
+        if (rq.req.has_planner) {
+          FinalizePlannedResponse(rq, recalls, first, &resp);
         }
         terminals[i].type = FrameType::kRangeQueryResult;
         terminals[i].payload = EncodeRangeQueryResponse(resp);

@@ -1,0 +1,245 @@
+// Tests of the recall-controlled p-stable LSH range-query index: analytic
+// collision-probability properties, table sizing for a recall target,
+// precision-1/subset semantics against the brute oracle, measured recall
+// against the target, and determinism.
+
+#include "approx/lsh_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/metric.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+EkdbConfig Config(double epsilon, Metric metric = Metric::kL2) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.metric = metric;
+  return config;
+}
+
+std::vector<PointId> OracleNeighbours(const Dataset& data, const float* query,
+                                      double eps, Metric metric) {
+  DistanceKernel kernel(metric);
+  std::vector<PointId> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto id = static_cast<PointId>(i);
+    if (kernel.WithinEpsilon(query, data.Row(id), data.dims(), eps)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+TEST(LshIndexTest, CollisionProbabilityIsMonotoneAndBounded) {
+  for (const Metric metric : {Metric::kL2, Metric::kL1}) {
+    const double width = 0.4;
+    double prev = PStableCollisionProbability(metric, 0.0, width);
+    EXPECT_NEAR(prev, 1.0, 1e-9);
+    for (double d = 0.05; d <= 2.0; d += 0.05) {
+      const double p = PStableCollisionProbability(metric, d, width);
+      EXPECT_GT(p, 0.0) << MetricName(metric) << " d=" << d;
+      EXPECT_LE(p, prev + 1e-12) << MetricName(metric) << " d=" << d;
+      prev = p;
+    }
+    // Wider buckets collide more at the same distance.
+    EXPECT_GT(PStableCollisionProbability(metric, 0.5, 4.0),
+              PStableCollisionProbability(metric, 0.5, 0.5));
+  }
+}
+
+TEST(LshIndexTest, TablesForRecallSatisfiesTheBound) {
+  for (const double p1k : {0.05, 0.2, 0.5, 0.9}) {
+    for (const double recall : {0.5, 0.9, 0.99}) {
+      const size_t tables = LshTablesForRecall(recall, p1k, 256);
+      ASSERT_GE(tables, 1u);
+      const double bound =
+          1.0 - std::pow(1.0 - p1k, static_cast<double>(tables));
+      EXPECT_GE(bound + 1e-12, recall) << "p1^K=" << p1k << " r=" << recall;
+      if (tables > 1) {
+        // Minimality: one fewer table would miss the target.
+        const double below =
+            1.0 - std::pow(1.0 - p1k, static_cast<double>(tables - 1));
+        EXPECT_LT(below, recall);
+      }
+    }
+  }
+  // Clamped at the cap even for unreachable targets, and never zero.
+  EXPECT_EQ(LshTablesForRecall(0.999999, 0.01, 16), 16u);
+  EXPECT_EQ(LshTablesForRecall(0.1, 0.99, 64), 1u);
+}
+
+TEST(LshIndexTest, ResultsAreVerifiedSubsetInAscendingOrder) {
+  for (const Metric metric : {Metric::kL2, Metric::kL1}) {
+    auto data = GenerateClustered(
+        {.n = 900, .dims = 12, .clusters = 8, .sigma = 0.05, .seed = 5});
+    ASSERT_TRUE(data.ok());
+    const double eps = 0.15;
+    LshIndexParams params;
+    params.tables = 6;
+    auto index = LshIndex::Build(*data, Config(eps, metric), params);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t q = 0; q < 32; ++q) {
+      const float* query = data->Row(static_cast<PointId>(q * 27 % 900));
+      std::vector<PointId> got;
+      JoinStats stats;
+      double recall_est = 0.0;
+      ASSERT_TRUE(
+          index->RangeQuery(query, eps, &got, &stats, &recall_est).ok());
+      EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+      const auto truth_vec = OracleNeighbours(*data, query, eps, metric);
+      const std::set<PointId> truth(truth_vec.begin(), truth_vec.end());
+      for (const PointId id : got) {
+        EXPECT_TRUE(truth.count(id))
+            << "false positive id " << id << " (" << MetricName(metric)
+            << " q" << q << ")";
+      }
+      EXPECT_GT(recall_est, 0.0);
+      EXPECT_LE(recall_est, 1.0);
+      EXPECT_EQ(stats.pairs_emitted, got.size());
+      EXPECT_GE(stats.distance_calls, got.size());
+    }
+  }
+}
+
+TEST(LshIndexTest, MeasuredRecallMeetsSizedTarget) {
+  auto data = GenerateClustered(
+      {.n = 1200, .dims = 16, .clusters = 10, .sigma = 0.06, .seed = 7});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.25;
+  const double target = 0.9;
+  LshIndexParams params;
+  const double p1 = PStableCollisionProbability(Metric::kL2, eps, 4 * eps);
+  params.tables = LshTablesForRecall(
+      target, std::pow(p1, static_cast<double>(params.hashes_per_table)),
+      128);
+  auto index = LshIndex::Build(*data, Config(eps), params);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_GE(index->FindProbability(eps), target - 1e-9);
+
+  size_t found = 0;
+  size_t truth_total = 0;
+  double est_sum = 0.0;
+  size_t est_count = 0;
+  for (size_t q = 0; q < 64; ++q) {
+    const float* query = data->Row(static_cast<PointId>(q * 19 % 1200));
+    std::vector<PointId> got;
+    double recall_est = 0.0;
+    ASSERT_TRUE(index->RangeQuery(query, eps, &got, nullptr, &recall_est)
+                    .ok());
+    found += got.size();
+    truth_total += OracleNeighbours(*data, query, eps, Metric::kL2).size();
+    est_sum += recall_est;
+    ++est_count;
+  }
+  ASSERT_GT(truth_total, 0u);
+  const double measured =
+      static_cast<double>(found) / static_cast<double>(truth_total);
+  // The sizing bound holds at the worst case (distance == eps); measured
+  // recall should clear the target with slack since most neighbours are
+  // closer.  Allow a small sampling tolerance.
+  EXPECT_GE(measured, target - 0.05) << "measured recall " << measured;
+  // The Horvitz-Thompson estimate should land in the same neighbourhood as
+  // the measurement, not at either degenerate end.
+  const double est_mean = est_sum / static_cast<double>(est_count);
+  EXPECT_GT(est_mean, 0.5);
+  EXPECT_LE(est_mean, 1.0);
+}
+
+TEST(LshIndexTest, DeterministicForFixedSeed) {
+  auto data = GenerateUniform({.n = 400, .dims = 8, .seed = 3});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.2;
+  LshIndexParams params;
+  params.tables = 5;
+  params.seed = 0xabcdef;
+  auto a = LshIndex::Build(*data, Config(eps), params);
+  auto b = LshIndex::Build(*data, Config(eps), params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t q = 0; q < 16; ++q) {
+    const float* query = data->Row(static_cast<PointId>(q * 11 % 400));
+    std::vector<PointId> ra, rb;
+    ASSERT_TRUE(a->RangeQuery(query, eps, &ra).ok());
+    ASSERT_TRUE(b->RangeQuery(query, eps, &rb).ok());
+    EXPECT_EQ(ra, rb) << "q" << q;
+  }
+  EXPECT_EQ(a->expected_candidates_per_query(),
+            b->expected_candidates_per_query());
+}
+
+TEST(LshIndexTest, ValidatesParamsMetricAndEpsilon) {
+  auto data = GenerateUniform({.n = 100, .dims = 4, .seed = 9});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.1;
+  // Linf has no p-stable family here.
+  EXPECT_FALSE(
+      LshIndex::Build(*data, Config(eps, Metric::kLinf), LshIndexParams{})
+          .ok());
+  LshIndexParams zero_tables;
+  zero_tables.tables = 0;
+  EXPECT_FALSE(LshIndex::Build(*data, Config(eps), zero_tables).ok());
+  LshIndexParams zero_hashes;
+  zero_hashes.hashes_per_table = 0;
+  EXPECT_FALSE(LshIndex::Build(*data, Config(eps), zero_hashes).ok());
+
+  auto index = LshIndex::Build(*data, Config(eps), LshIndexParams{});
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->ValidateQueryEpsilon(eps).ok());
+  EXPECT_FALSE(index->ValidateQueryEpsilon(0.0).ok());
+  EXPECT_FALSE(index->ValidateQueryEpsilon(eps * 2).ok());
+  EXPECT_GT(index->total_bytes(), 0u);
+}
+
+TEST(LshBackendTest, AdapterBatchMatchesSoloAndReportsApproximate) {
+  auto data = GenerateClustered(
+      {.n = 600, .dims = 10, .clusters = 6, .sigma = 0.05, .seed = 13});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.2;
+  LshIndexParams params;
+  params.tables = 6;
+  auto backend = LshBackend::Build(*data, Config(eps), params);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  EXPECT_EQ((*backend)->kind(), BackendKind::kLsh);
+  EXPECT_FALSE((*backend)->exact());
+  EXPECT_FALSE((*backend)->supports_self_join());
+  EXPECT_GT((*backend)->EstimatedQueryCost(eps, 10.0), 0.0);
+  EXPECT_GT((*backend)->ExpectedRecall(eps), 0.0);
+  EXPECT_LT((*backend)->ExpectedRecall(eps), 1.0);
+
+  std::vector<RangeQuerySpec> specs;
+  for (size_t i = 0; i < 24; ++i) {
+    specs.push_back(
+        RangeQuerySpec{data->Row(static_cast<PointId>(i * 17 % 600)), eps});
+  }
+  std::vector<std::vector<PointId>> solo(specs.size());
+  std::vector<double> solo_recalls(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE((*backend)
+                    ->RangeQuery(specs[i].query, specs[i].epsilon, &solo[i],
+                                 nullptr, &solo_recalls[i])
+                    .ok());
+  }
+  std::vector<std::vector<PointId>> fused;
+  std::vector<JoinStats> fused_stats;
+  std::vector<double> fused_recalls;
+  ASSERT_TRUE((*backend)
+                  ->RangeQueryBatch(specs.data(), specs.size(), &fused,
+                                    &fused_stats, &fused_recalls)
+                  .ok());
+  ASSERT_EQ(fused.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(solo[i], fused[i]) << "query " << i;
+    EXPECT_EQ(solo_recalls[i], fused_recalls[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -11,6 +11,7 @@
 #include "common/metric.h"
 #include "common/rng.h"
 #include "core/ekdb_tree.h"
+#include "core/index_backend.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -151,14 +152,26 @@ TEST(EpsilonGridTest, ValidationMatchesTreeContract) {
 }
 
 TEST(EpsilonGridTest, BackendWireCodecRejectsUnknownValues) {
-  auto flat = IndexBackendFromWire(0);
+  auto flat = BackendKindFromWire(0);
   ASSERT_TRUE(flat.ok());
-  EXPECT_EQ(*flat, IndexBackend::kEkdbFlat);
-  auto grid = IndexBackendFromWire(1);
+  EXPECT_EQ(*flat, BackendKind::kEkdbFlat);
+  auto grid = BackendKindFromWire(1);
   ASSERT_TRUE(grid.ok());
-  EXPECT_EQ(*grid, IndexBackend::kEpsilonGrid);
-  EXPECT_FALSE(IndexBackendFromWire(2).ok());
-  EXPECT_FALSE(IndexBackendFromWire(255).ok());
+  EXPECT_EQ(*grid, BackendKind::kEpsilonGrid);
+  auto lsh = BackendKindFromWire(2);
+  ASSERT_TRUE(lsh.ok());
+  EXPECT_EQ(*lsh, BackendKind::kLsh);
+  auto brute = BackendKindFromWire(3);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(*brute, BackendKind::kBruteSimd);
+  EXPECT_FALSE(BackendKindFromWire(4).ok());
+  EXPECT_FALSE(BackendKindFromWire(255).ok());
+  // Only the structural kinds may anchor a build; the rest are per-query
+  // tiers (0xFF is the wire's "auto" marker, never a kind).
+  EXPECT_TRUE(BackendKindBuildable(BackendKind::kEkdbFlat));
+  EXPECT_TRUE(BackendKindBuildable(BackendKind::kEpsilonGrid));
+  EXPECT_FALSE(BackendKindBuildable(BackendKind::kLsh));
+  EXPECT_FALSE(BackendKindBuildable(BackendKind::kBruteSimd));
 }
 
 /// Respects the cell-table cap: a tiny epsilon in 3-d would want millions of

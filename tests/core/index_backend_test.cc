@@ -1,0 +1,232 @@
+// Contract tests of the IndexBackend interface: every exact backend must
+// return the same id *set* for the same query (order is backend-specific),
+// batch execution must be bit-identical to solo, SelfJoin must either work
+// or fail with Unimplemented, and the cost hooks must behave sanely.
+
+#include "core/index_backend.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/rng.h"
+#include "core/ekdb_flat_join.h"
+#include "core/ekdb_tree.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+EkdbConfig Config(double epsilon, Metric metric = Metric::kL2) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.metric = metric;
+  return config;
+}
+
+Dataset UniformData(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = data.MutableRow(static_cast<PointId>(i));
+    for (size_t d = 0; d < dims; ++d) {
+      row[d] = static_cast<float>(rng.Uniform());
+    }
+  }
+  return data;
+}
+
+std::vector<PointId> SortedIds(std::vector<PointId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Builds every exact backend buildable over this dataset/config.
+std::vector<std::unique_ptr<IndexBackend>> BuildExactBackends(
+    const Dataset& data, const EkdbConfig& config) {
+  std::vector<std::unique_ptr<IndexBackend>> backends;
+  auto tree = EkdbFlatBackend::Build(data, config, /*num_threads=*/1);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  backends.push_back(std::move(*tree));
+  if (data.dims() <= EpsilonGrid::kMaxBinnedDims) {
+    auto grid = EpsilonGridBackend::Build(data, config);
+    EXPECT_TRUE(grid.ok()) << grid.status().ToString();
+    backends.push_back(std::move(*grid));
+  }
+  auto brute = BruteSimdBackend::Build(data, config);
+  EXPECT_TRUE(brute.ok()) << brute.status().ToString();
+  backends.push_back(std::move(*brute));
+  return backends;
+}
+
+TEST(IndexBackendTest, ExactBackendsAgreeOnSortedIdSets) {
+  for (const size_t dims : {2, 3, 8, 16}) {
+    for (const Metric metric : {Metric::kL2, Metric::kL1, Metric::kLinf}) {
+      const double eps = 0.15;
+      const Dataset data = UniformData(600, dims, 0xbac0 + dims);
+      const auto backends = BuildExactBackends(data, Config(eps, metric));
+      ASSERT_GE(backends.size(), 2u);
+      Rng rng(0x11 + dims);
+      for (size_t q = 0; q < 24; ++q) {
+        const float* query = data.Row(static_cast<PointId>(q * 23 % 600));
+        const double eps_query =
+            q % 2 == 0 ? eps : eps * (0.3 + 0.6 * rng.Uniform());
+        std::vector<PointId> reference;
+        ASSERT_TRUE(
+            backends[0]->RangeQuery(query, eps_query, &reference).ok());
+        const std::vector<PointId> want = SortedIds(reference);
+        for (size_t b = 1; b < backends.size(); ++b) {
+          std::vector<PointId> got;
+          double recall = 0.0;
+          JoinStats stats;
+          ASSERT_TRUE(backends[b]
+                          ->RangeQuery(query, eps_query, &got, &stats,
+                                       &recall)
+                          .ok());
+          EXPECT_EQ(SortedIds(got), want)
+              << BackendKindName(backends[b]->kind()) << " d" << dims << " "
+              << MetricName(metric) << " q" << q;
+          EXPECT_EQ(recall, 1.0);  // exact backends report certainty
+          EXPECT_GE(stats.candidate_pairs, got.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexBackendTest, BatchIsBitIdenticalToSoloOnEveryBackend) {
+  const double eps = 0.12;
+  const Dataset data = UniformData(700, 3, 0xfeed);
+  const auto backends = BuildExactBackends(data, Config(eps));
+  std::vector<RangeQuerySpec> specs;
+  Rng rng(0x99);
+  for (size_t i = 0; i < 48; ++i) {
+    const double e = i % 4 == 0 ? eps : eps * (0.2 + 0.7 * rng.Uniform());
+    specs.push_back(
+        RangeQuerySpec{data.Row(static_cast<PointId>(i * 13 % 700)), e});
+  }
+  for (const auto& backend : backends) {
+    std::vector<std::vector<PointId>> solo(specs.size());
+    std::vector<JoinStats> solo_stats(specs.size());
+    std::vector<double> solo_recalls(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_TRUE(backend
+                      ->RangeQuery(specs[i].query, specs[i].epsilon, &solo[i],
+                                   &solo_stats[i], &solo_recalls[i])
+                      .ok());
+    }
+    std::vector<std::vector<PointId>> fused;
+    std::vector<JoinStats> fused_stats;
+    std::vector<double> fused_recalls;
+    ASSERT_TRUE(backend
+                    ->RangeQueryBatch(specs.data(), specs.size(), &fused,
+                                      &fused_stats, &fused_recalls)
+                    .ok());
+    ASSERT_EQ(fused.size(), specs.size());
+    ASSERT_EQ(fused_recalls.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(solo[i], fused[i])
+          << BackendKindName(backend->kind()) << " query " << i;
+      EXPECT_EQ(solo_stats[i].candidate_pairs,
+                fused_stats[i].candidate_pairs);
+      EXPECT_EQ(solo_stats[i].distance_calls, fused_stats[i].distance_calls);
+      EXPECT_EQ(solo_recalls[i], fused_recalls[i]);
+    }
+  }
+}
+
+TEST(IndexBackendTest, SelfJoinViaInterfaceMatchesDirectFlatJoin) {
+  const double eps = 0.1;
+  const Dataset data = UniformData(500, 4, 0x50f7);
+  auto backend = EkdbFlatBackend::Build(data, Config(eps), 1);
+  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE((*backend)->supports_self_join());
+
+  VectorSink want;
+  JoinStats want_stats;
+  ASSERT_TRUE(FlatEkdbSelfJoinWithEpsilon(*(*backend)->flat_tree(), eps,
+                                          &want, &want_stats)
+                  .ok());
+  VectorSink got;
+  JoinStats got_stats;
+  ASSERT_TRUE((*backend)->SelfJoin(eps, /*num_threads=*/1, &got, &got_stats)
+                  .ok());
+  EXPECT_EQ(got.pairs(), want.pairs());
+  EXPECT_EQ(got_stats.pairs_emitted, want_stats.pairs_emitted);
+  EXPECT_EQ(got_stats.candidate_pairs, want_stats.candidate_pairs);
+}
+
+TEST(IndexBackendTest, SelfJoinDefaultsToUnimplemented) {
+  const double eps = 0.1;
+  const Dataset data = UniformData(200, 2, 0x7);
+  auto grid = EpsilonGridBackend::Build(data, Config(eps));
+  auto brute = BruteSimdBackend::Build(data, Config(eps));
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(brute.ok());
+  for (const IndexBackend* backend :
+       {static_cast<const IndexBackend*>(grid->get()),
+        static_cast<const IndexBackend*>(brute->get())}) {
+    EXPECT_FALSE(backend->supports_self_join());
+    VectorSink sink;
+    const Status st = backend->SelfJoin(eps, 1, &sink);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kUnimplemented) << st.ToString();
+  }
+}
+
+TEST(IndexBackendTest, BruteSimdValidatesEpsilonAndCountsWork) {
+  const double eps = 0.2;
+  const Dataset data = UniformData(300, 5, 0xb0b);
+  auto brute = BruteSimdBackend::Build(data, Config(eps));
+  ASSERT_TRUE(brute.ok());
+  EXPECT_TRUE((*brute)->ValidateQueryEpsilon(eps).ok());
+  EXPECT_FALSE((*brute)->ValidateQueryEpsilon(0.0).ok());
+  EXPECT_FALSE((*brute)->ValidateQueryEpsilon(eps * 1.5).ok());
+  EXPECT_EQ((*brute)->index_bytes(), 0u);  // no structure at all
+
+  std::vector<PointId> out;
+  JoinStats stats;
+  ASSERT_TRUE(
+      (*brute)->RangeQuery(data.Row(0), eps, &out, &stats, nullptr).ok());
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  // The brute scan streams every row through the kernel, exactly once.
+  EXPECT_EQ(stats.candidate_pairs, data.size());
+  EXPECT_EQ(stats.distance_calls, data.size());
+}
+
+TEST(IndexBackendTest, CostHooksRankStructuresSensibly) {
+  const double eps = 0.1;
+  const Dataset data = UniformData(2000, 4, 0xc057);
+  const auto backends = BuildExactBackends(data, Config(eps));
+  for (const auto& backend : backends) {
+    const double sparse = backend->EstimatedQueryCost(eps, 2.0);
+    const double dense = backend->EstimatedQueryCost(eps, 500.0);
+    EXPECT_GT(sparse, 0.0) << BackendKindName(backend->kind());
+    EXPECT_LE(sparse, dense) << BackendKindName(backend->kind());
+    // No structure can cost more than scanning everything plus overhead.
+    EXPECT_LE(backend->EstimatedQueryCost(eps, 1.0),
+              static_cast<double>(data.size()) + 1.0)
+        << BackendKindName(backend->kind());
+    EXPECT_EQ(backend->ExpectedRecall(eps), 1.0);
+  }
+  // A selective query should make the tree prior beat the brute floor.
+  auto tree = EkdbFlatBackend::Build(data, Config(eps), 1);
+  auto brute = BruteSimdBackend::Build(data, Config(eps));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_LT((*tree)->EstimatedQueryCost(eps, 4.0),
+            (*brute)->EstimatedQueryCost(eps, 4.0));
+}
+
+TEST(IndexBackendTest, WireHelpersNameEveryKind) {
+  EXPECT_STREQ(BackendKindName(BackendKind::kEkdbFlat), "ekdb-flat");
+  EXPECT_STREQ(BackendKindName(BackendKind::kEpsilonGrid), "grid");
+  EXPECT_STREQ(BackendKindName(BackendKind::kLsh), "lsh");
+  EXPECT_STREQ(BackendKindName(BackendKind::kBruteSimd), "brute-simd");
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/ekdb_flat.h"
+#include "core/ekdb_flat_join.h"
 #include "core/ekdb_tree.h"
 #include "core/epsilon_grid.h"
 #include "service/client.h"
@@ -294,9 +295,9 @@ TEST(FusionTest, PerRequestErrorsAreIsolatedWithinABatch) {
 
 // The epsilon-grid backend is a first-class fusion citizen: built over the
 // wire, its fused range queries are bit-identical to the in-process
-// EpsilonGrid, and joins against it are refused with a clear error (the
-// join engine needs the flat-tree layout).
-TEST(FusionTest, GridBackendServesFusedQueriesAndRejectsJoins) {
+// EpsilonGrid, and joins against it fall back to a lazily built flat-tree
+// auxiliary — same pairs as a tree-primary index, no error.
+TEST(FusionTest, GridBackendServesFusedQueriesAndJoinsViaTreeFallback) {
   const Dataset data = MakeData(600, 3, 41);
   const EkdbConfig config = Config(0.15);
   auto ref_grid = EpsilonGrid::Build(data, config);
@@ -304,7 +305,7 @@ TEST(FusionTest, GridBackendServesFusedQueriesAndRejectsJoins) {
 
   LiveServer live = StartWithClient(FusedConfig());
   BuildIndexRequest build = BuildRequestFor("g", data, config);
-  build.backend = IndexBackend::kEpsilonGrid;
+  build.backend = BackendKind::kEpsilonGrid;
   auto built = live.client.BuildIndex(build);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
 
@@ -329,21 +330,38 @@ TEST(FusionTest, GridBackendServesFusedQueriesAndRejectsJoins) {
   }
   ExpectStatsEqual(resp->stats, ref_stats);
 
-  // Self-join on the grid index is refused...
+  // Self-join on the grid index streams the same pairs the flat tree
+  // produces in-process (the server joins on its lazily built tree aux).
+  auto ref_tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(ref_tree.ok());
+  auto ref_flat = FlatEkdbTree::FromTree(*ref_tree);
+  ASSERT_TRUE(ref_flat.ok());
+  VectorSink ref_sink;
+  ASSERT_TRUE(FlatEkdbSelfJoin(*ref_flat, &ref_sink).ok());
+
   SimilarityJoinRequest join;
   join.name_a = "g";
   VectorSink sink;
   auto done = live.client.SimilarityJoin(join, &sink);
-  EXPECT_EQ(done.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(done.status().ToString().find("epsilon-grid"), std::string::npos)
-      << done.status().ToString();
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(sink.pairs(), ref_sink.pairs());
 
-  // ...and so is a cross-join that names it as either side.
+  // A cross-join naming the grid index on either side works the same way
+  // (grid aux tree vs. tree primary over identical data = self-join pairs,
+  // both orientations).
   ASSERT_TRUE(live.client.BuildIndex(BuildRequestFor("t", data, config)).ok());
   join.name_a = "t";
   join.name_b = "g";
-  done = live.client.SimilarityJoin(join, &sink);
-  EXPECT_EQ(done.status().code(), StatusCode::kInvalidArgument);
+  VectorSink cross_sink;
+  done = live.client.SimilarityJoin(join, &cross_sink);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+
+  join.name_a = "g";
+  join.name_b = "t";
+  VectorSink cross_sink2;
+  done = live.client.SimilarityJoin(join, &cross_sink2);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(cross_sink.pairs(), cross_sink2.pairs());
 }
 
 // Shutdown while requests are parked in the fusion buffer: the collector

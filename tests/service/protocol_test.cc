@@ -173,6 +173,100 @@ TEST(ProtocolTest, RangeQueryRoundTrip) {
   EXPECT_EQ(parsed.stats.simd_batches, 3u);
 }
 
+TEST(ProtocolTest, RangeQueryPlannerExtensionRoundTrip) {
+  RangeQueryRequest req;
+  req.name = "idx";
+  req.epsilon = 0.07;
+  req.dims = 2;
+  req.queries = {0.5f, 0.5f, 0.9f, 0.1f};
+  req.has_planner = true;
+  req.recall = 0.85;
+  req.backend = static_cast<uint8_t>(BackendKind::kLsh);
+  RangeQueryRequest out;
+  ASSERT_TRUE(ParseRangeQueryRequest(EncodeRangeQueryRequest(req), &out).ok());
+  EXPECT_TRUE(out.has_planner);
+  EXPECT_EQ(out.recall, 0.85);
+  EXPECT_EQ(out.backend, static_cast<uint8_t>(BackendKind::kLsh));
+  EXPECT_EQ(out.queries, req.queries);
+
+  RangeQueryResponse resp;
+  resp.results = {{1, 5, 9}, {}};
+  resp.has_planner = true;
+  resp.achieved_recall = 0.91;
+  resp.backend_used = static_cast<uint8_t>(BackendKind::kLsh);
+  resp.plan_cache_hit = true;
+  RangeQueryResponse parsed;
+  ASSERT_TRUE(
+      ParseRangeQueryResponse(EncodeRangeQueryResponse(resp), &parsed).ok());
+  EXPECT_TRUE(parsed.has_planner);
+  EXPECT_EQ(parsed.achieved_recall, 0.91);
+  EXPECT_EQ(parsed.backend_used, static_cast<uint8_t>(BackendKind::kLsh));
+  EXPECT_TRUE(parsed.plan_cache_hit);
+  EXPECT_EQ(parsed.results, resp.results);
+}
+
+TEST(ProtocolTest, LegacyRangeQueryFramesParseWithPlannerDefaults) {
+  // A frame without the trailing extension must decode to the exact-path
+  // defaults; a frame with it must not perturb the legacy fields.
+  RangeQueryRequest legacy;
+  legacy.name = "idx";
+  legacy.epsilon = 0.05;
+  legacy.dims = 1;
+  legacy.queries = {0.25f};
+  RangeQueryRequest out;
+  ASSERT_TRUE(
+      ParseRangeQueryRequest(EncodeRangeQueryRequest(legacy), &out).ok());
+  EXPECT_FALSE(out.has_planner);
+  EXPECT_EQ(out.recall, 1.0);
+  EXPECT_EQ(out.backend, kWireBackendAuto);
+
+  RangeQueryResponse legacy_resp;
+  legacy_resp.results = {{3}};
+  RangeQueryResponse parsed;
+  ASSERT_TRUE(
+      ParseRangeQueryResponse(EncodeRangeQueryResponse(legacy_resp), &parsed)
+          .ok());
+  EXPECT_FALSE(parsed.has_planner);
+  EXPECT_EQ(parsed.achieved_recall, 1.0);
+  EXPECT_FALSE(parsed.plan_cache_hit);
+}
+
+TEST(ProtocolTest, RangeQueryExtensionTruncationRejected) {
+  // The extension is exactly 9 bytes after the float block; any partial
+  // suffix is a malformed frame, and stripping all 9 falls back to legacy.
+  RangeQueryRequest req;
+  req.name = "t";
+  req.epsilon = 0.1;
+  req.dims = 2;
+  req.queries = {0.1f, 0.2f};
+  req.has_planner = true;
+  req.recall = 0.5;
+  const std::vector<uint8_t> full = EncodeRangeQueryRequest(req);
+  RangeQueryRequest out;
+  for (size_t drop = 1; drop < 9; ++drop) {
+    std::vector<uint8_t> cut(full.begin(), full.end() - drop);
+    EXPECT_FALSE(ParseRangeQueryRequest(cut, &out).ok()) << "drop " << drop;
+  }
+  std::vector<uint8_t> legacy(full.begin(), full.end() - 9);
+  ASSERT_TRUE(ParseRangeQueryRequest(legacy, &out).ok());
+  EXPECT_FALSE(out.has_planner);
+
+  RangeQueryResponse resp;
+  resp.results = {{1, 2}};
+  resp.has_planner = true;
+  resp.achieved_recall = 0.7;
+  const std::vector<uint8_t> full_resp = EncodeRangeQueryResponse(resp);
+  RangeQueryResponse parsed;
+  for (size_t drop = 1; drop < 10; ++drop) {
+    std::vector<uint8_t> cut(full_resp.begin(), full_resp.end() - drop);
+    EXPECT_FALSE(ParseRangeQueryResponse(cut, &parsed).ok())
+        << "drop " << drop;
+  }
+  std::vector<uint8_t> legacy_resp(full_resp.begin(), full_resp.end() - 10);
+  ASSERT_TRUE(ParseRangeQueryResponse(legacy_resp, &parsed).ok());
+  EXPECT_FALSE(parsed.has_planner);
+}
+
 TEST(ProtocolTest, JoinMessagesRoundTrip) {
   SimilarityJoinRequest req;
   req.name_a = "a";

@@ -60,7 +60,7 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       req.points = RandomFloats(rng, req.dims * rng->UniformInt(64u));
       // Half the builds select the non-default backend so the optional
       // trailing backend byte rides the mutation and truncation passes.
-      if (rng->Bernoulli(0.5)) req.backend = IndexBackend::kEpsilonGrid;
+      if (rng->Bernoulli(0.5)) req.backend = BackendKind::kEpsilonGrid;
       return EncodeFrame(FrameType::kBuildIndex, id, deadline,
                          EncodeBuildIndexRequest(req));
     }
@@ -70,6 +70,19 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       req.epsilon = rng->Uniform(0.0, 0.5);
       req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
       req.queries = RandomFloats(rng, req.dims * rng->UniformInt(16u));
+      // Half the queries carry the planner extension, and the recall field
+      // and backend byte mutate *together*: the parser keys the extension
+      // off an exact 9-byte surplus, so joint corruption is what probes the
+      // legacy/extension boundary (lone-byte flips only perturb one field).
+      if (rng->Bernoulli(0.5)) {
+        req.has_planner = true;
+        req.recall = rng->Bernoulli(0.25) ? rng->Uniform(-2.0, 2.0)
+                                          : rng->Uniform(0.05, 1.0);
+        req.backend = rng->Bernoulli(0.25)
+                          ? static_cast<uint8_t>(rng->UniformInt(256u))
+                          : static_cast<uint8_t>(rng->UniformInt(4u));
+        if (rng->Bernoulli(0.2)) req.backend = kWireBackendAuto;
+      }
       return EncodeFrame(FrameType::kRangeQuery, id, deadline,
                          EncodeRangeQueryRequest(req));
     }
@@ -106,6 +119,12 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       for (auto& ids : resp.results) {
         ids.resize(rng->UniformInt(32u));
         for (PointId& p : ids) p = static_cast<PointId>(rng->Next() >> 40);
+      }
+      if (rng->Bernoulli(0.5)) {
+        resp.has_planner = true;
+        resp.achieved_recall = rng->Uniform(0.0, 1.0);
+        resp.backend_used = static_cast<uint8_t>(rng->UniformInt(4u));
+        resp.plan_cache_hit = rng->Bernoulli(0.5);
       }
       return EncodeFrame(FrameType::kRangeQueryResult, id, deadline,
                          EncodeRangeQueryResponse(resp));

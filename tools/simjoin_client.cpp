@@ -3,6 +3,8 @@
 //   ./tools/simjoin_client ping
 //   ./tools/simjoin_client build --name base --data pts.bin --epsilon 0.1
 //   ./tools/simjoin_client query --name base --point 0.2,0.3,0.4
+//   ./tools/simjoin_client query --name base --point 0.2,0.3 --recall 0.9
+//   ./tools/simjoin_client query --name base --point 0.2,0.3 --plan
 //   ./tools/simjoin_client join --name base --limit 20
 //   ./tools/simjoin_client stats
 //   ./tools/simjoin_client stats --watch --interval-ms 1000
@@ -176,9 +178,11 @@ int Run(const ArgParser& args) {
     req.config.metric = *metric;
     const std::string backend = args.GetString("backend");
     if (backend == "grid") {
-      req.backend = IndexBackend::kEpsilonGrid;
+      req.backend = BackendKind::kEpsilonGrid;
     } else if (backend != "tree") {
-      std::cerr << "--backend must be tree or grid\n";
+      std::cerr << "--backend must be tree or grid: '" << backend
+                << "' is not a buildable index primary (lsh and brute are "
+                   "per-query tiers; select them with --query-backend)\n";
       return 2;
     }
     req.num_threads = static_cast<uint32_t>(args.GetInt("threads"));
@@ -198,13 +202,54 @@ int Run(const ArgParser& args) {
       std::cerr << "--point must be a comma-separated float list\n";
       return 2;
     }
-    auto ids = client->RangeQueryOne(args.GetString("name"), point,
-                                     args.GetDouble("epsilon"));
-    st = ids.status();
-    if (ids.ok()) {
-      std::cout << ids->size() << " neighbours:";
-      for (PointId id : *ids) std::cout << " " << id;
+    const double recall = args.GetDouble("recall");
+    if (!(recall > 0.0) || recall > 1.0) {
+      std::cerr << "--recall must be in (0, 1]: got "
+                << args.GetString("recall")
+                << " (1 = exact; below 1 admits the approximate LSH tier)\n";
+      return 2;
+    }
+    const std::string qb = args.GetString("query-backend");
+    uint8_t backend_byte = kWireBackendAuto;
+    if (qb == "tree") {
+      backend_byte = static_cast<uint8_t>(BackendKind::kEkdbFlat);
+    } else if (qb == "grid") {
+      backend_byte = static_cast<uint8_t>(BackendKind::kEpsilonGrid);
+    } else if (qb == "lsh") {
+      backend_byte = static_cast<uint8_t>(BackendKind::kLsh);
+    } else if (qb == "brute") {
+      backend_byte = static_cast<uint8_t>(BackendKind::kBruteSimd);
+    } else if (qb != "auto") {
+      std::cerr << "--query-backend must be auto, tree, grid, lsh, or "
+                   "brute: got '"
+                << qb << "'\n";
+      return 2;
+    }
+    RangeQueryRequest req;
+    req.name = args.GetString("name");
+    req.epsilon = args.GetDouble("epsilon");
+    req.dims = static_cast<uint32_t>(point.size());
+    req.queries = point;
+    // The planner extension rides along only when asked for: default
+    // queries keep the legacy wire shape (and legacy response ordering).
+    req.has_planner = recall != 1.0 || backend_byte != kWireBackendAuto ||
+                      args.GetBool("plan");
+    req.recall = recall;
+    req.backend = backend_byte;
+    auto resp = client->RangeQuery(req);
+    st = resp.status();
+    if (resp.ok()) {
+      const std::vector<PointId>& ids = resp->results[0];
+      std::cout << ids.size() << " neighbours:";
+      for (PointId id : ids) std::cout << " " << id;
       std::cout << "\n";
+      if (resp->has_planner) {
+        auto used = BackendKindFromWire(resp->backend_used);
+        std::cout << "planner: backend="
+                  << (used.ok() ? BackendKindName(*used) : "unknown")
+                  << " achieved_recall=" << resp->achieved_recall
+                  << (resp->plan_cache_hit ? " (plan cached)" : "") << "\n";
+      }
     }
   } else if (cmd == "join") {
     SimilarityJoinRequest req;
@@ -270,9 +315,19 @@ int main(int argc, char** argv) {
   args.AddFlag("metric", "l2", "metric for build: l2 | l1 | linf");
   args.AddFlag("backend", "tree",
                "index backend for build: tree (joins + queries) | grid "
-               "(vectorised epsilon grid, range queries only)");
+               "(vectorised epsilon grid; joins fall back to a lazily "
+               "built tree)");
   args.AddFlag("threads", "0", "build/join parallelism; 0 = server default");
   args.AddFlag("point", "", "comma-separated query point (query)");
+  args.AddFlag("recall", "1",
+               "query only: recall target in (0, 1]; below 1 lets the "
+               "server route to the recall-controlled LSH tier");
+  args.AddFlag("query-backend", "auto",
+               "query only: force one backend (tree | grid | lsh | brute) "
+               "or auto for cost-based planning");
+  args.AddBoolFlag("plan", false,
+                   "query only: request cost-based planning (and the "
+                   "planner response fields) even at recall 1");
   args.AddFlag("limit", "20", "join pairs printed; 0 = all");
   args.AddBoolFlag("watch", false,
                    "stats only: poll repeatedly, rendering interval deltas");
