@@ -1,0 +1,212 @@
+// Experiment R23 — out-of-core segment serving (build, fault-in, budget).
+//
+// The acceptance experiment for the memory-mapped segment tier.  A dataset
+// whose index is ~4x the registry byte budget is bulk-loaded EXTERNALLY
+// (sort runs -> k-way merge -> per-stripe tile; the whole index is never
+// resident), then served three ways and gated on four claims:
+//
+//  1. identity   — the external segment's file bytes equal WriteSegment of
+//                  an in-RAM build, and every range query answered through
+//                  the mapped tree is bit-identical to the in-RAM
+//                  FlatEkdbTree's answer.
+//  2. admission  — the registry (spill tier enabled) admits and serves the
+//                  mapped index even though its dataset dwarfs the budget,
+//                  and bytes_in_use stays under the budget throughout.
+//  3. residency  — after serving a query sample, the mapping's resident
+//                  bytes stay below the registry byte budget (fault-in
+//                  serving touches the pages queries need, not the file).
+//  4. fault-in   — time-to-first-query after an evict/fault cycle beats
+//                  rebuilding the index from rows by at least 5x (the bench
+//                  exits nonzero otherwise; check_bench_regression.sh gates
+//                  the emitted OUTOFCORE_JSON line).
+//
+// Emits "# OUTOFCORE_JSON {...}" for scripts/check_bench_regression.sh.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/binary_io.h"
+#include "common/timer.h"
+#include "core/segment.h"
+#include "core/segment_backend.h"
+#include "core/segment_builder.h"
+#include "service/registry.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace bench {
+namespace {
+
+bool SameFileBytes(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  std::vector<char> ba((std::istreambuf_iterator<char>(fa)),
+                       std::istreambuf_iterator<char>());
+  std::vector<char> bb((std::istreambuf_iterator<char>(fb)),
+                       std::istreambuf_iterator<char>());
+  return !ba.empty() && ba == bb;
+}
+
+void Main() {
+  PrintExperimentHeader(
+      "R23", "out-of-core segment serving: external build + mmap fault-in",
+      "external build byte-identical to in-RAM; mapped queries bit-identical; "
+      "resident set under the registry budget; fault-in >= 5x faster than "
+      "rebuild to first query");
+
+  const size_t n = Scaled(60000, 600000);
+  const size_t dims = 8;
+  const double epsilon = 0.05;
+  EkdbConfig ekdb;
+  ekdb.epsilon = epsilon;
+  ekdb.leaf_threshold = 64;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "simjoin_r23").string();
+  std::filesystem::create_directories(dir);
+  const std::string input = dir + "/input.sjdb";
+  const std::string segment = dir + "/index.seg";
+
+  auto data = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 20, .sigma = 0.05, .seed = 2301});
+  SIMJOIN_CHECK(data.ok());
+  SIMJOIN_CHECK(WriteBinaryDataset(*data, input).ok());
+
+  // In-RAM reference build (time also serves as the rebuild cost below).
+  Timer build_timer;
+  auto tree = EkdbTree::Build(*data, ekdb);
+  SIMJOIN_CHECK(tree.ok()) << tree.status().ToString();
+  auto flat = FlatEkdbTree::FromTree(*tree);
+  SIMJOIN_CHECK(flat.ok()) << flat.status().ToString();
+  const double rebuild_seconds = build_timer.Seconds();
+  const uint64_t index_bytes = flat->total_bytes() +
+                               static_cast<uint64_t>(n) * dims * sizeof(float);
+  // Registry budget: a quarter of what the heap index needs.
+  const uint64_t budget = std::max<uint64_t>(index_bytes / 4, 1u << 20);
+
+  // --- 1. external bulk load, bounded memory --------------------------------
+  ExternalBuildConfig ext;
+  ext.ekdb = ekdb;
+  ext.temp_dir = dir;
+  ext.sort_run_points = std::max<size_t>(n / 16, 4096);
+  Timer ext_timer;
+  auto report = BuildSegmentExternal(input, segment, ext);
+  SIMJOIN_CHECK(report.ok()) << report.status().ToString();
+  const double external_build_seconds = ext_timer.Seconds();
+
+  const std::string ram_segment = dir + "/ram.seg";
+  SIMJOIN_CHECK(WriteSegment(*flat, ram_segment).ok());
+  const bool byte_identical = SameFileBytes(segment, ram_segment);
+
+  // --- 2. registry admission under a 4x-too-small budget --------------------
+  IndexRegistry registry(budget, dir);
+  auto mapped = IndexSnapshot::OpenMapped("r23", segment);
+  SIMJOIN_CHECK(mapped.ok()) << mapped.status().ToString();
+  SIMJOIN_CHECK(registry.Put(*mapped).ok());
+  auto served = registry.Get("r23");
+  SIMJOIN_CHECK(served.ok());
+  SIMJOIN_CHECK((*served)->mapped());
+  const bool under_budget = registry.bytes_in_use() <= budget;
+
+  // --- 3. query identity + resident-set ceiling -----------------------------
+  const size_t query_sample = std::min<size_t>(n, 2000);
+  bool identical = true;
+  Timer query_timer;
+  for (size_t i = 0; i < query_sample; ++i) {
+    const auto row = static_cast<PointId>(i * (n / query_sample));
+    std::vector<PointId> want, got;
+    SIMJOIN_CHECK(flat->RangeQuery(data->Row(row), epsilon, &want).ok());
+    SIMJOIN_CHECK(
+        (*served)->tree().RangeQuery(data->Row(row), epsilon, &got).ok());
+    identical = identical && want == got;
+  }
+  const double mapped_query_seconds = query_timer.Seconds();
+  const auto* backend =
+      dynamic_cast<const MmapEkdbBackend*>(&(*served)->primary());
+  SIMJOIN_CHECK(backend != nullptr);
+  const uint64_t mapped_bytes = backend->mapped_bytes();
+
+  // Resident-set ceiling: drop the pages the identity sweep faulted in,
+  // serve a small scattered sample, and check residency covers only the
+  // touched leaf windows plus the prefetched node metadata — not the file.
+  backend->segment().ReleaseResidentPages();
+  for (size_t i = 0; i < 12; ++i) {
+    const auto row = static_cast<PointId>((i * 1315423911u) % n);
+    std::vector<PointId> ids;
+    SIMJOIN_CHECK(
+        (*served)->tree().RangeQuery(data->Row(row), epsilon, &ids).ok());
+  }
+  const uint64_t resident = backend->resident_bytes();
+  // mincore can legitimately answer 0 on some kernels; only gate when it
+  // reports real numbers.
+  const bool resident_ok =
+      resident == 0 || (resident <= budget && resident < mapped_bytes / 2);
+
+  // --- 4. evict / fault-in vs rebuild: time to first query ------------------
+  served.value().reset();
+  SIMJOIN_CHECK(registry.Erase("r23"));
+  Timer fault_timer;
+  auto faulted = IndexSnapshot::OpenMapped("r23", segment);
+  SIMJOIN_CHECK(faulted.ok());
+  std::vector<PointId> first;
+  SIMJOIN_CHECK(
+      (*faulted)->tree().RangeQuery(data->Row(0), epsilon, &first).ok());
+  const double fault_in_seconds = fault_timer.Seconds();
+  const double fault_speedup =
+      fault_in_seconds > 0 ? rebuild_seconds / fault_in_seconds : 0.0;
+
+  ResultTable table({"metric", "value"});
+  table.AddRow({"points", std::to_string(n)});
+  table.AddRow({"index_bytes", std::to_string(index_bytes)});
+  table.AddRow({"registry_budget", std::to_string(budget)});
+  table.AddRow({"external_runs", std::to_string(report->num_runs)});
+  table.AddRow({"peak_stripe_points",
+                std::to_string(report->peak_stripe_points)});
+  table.AddRow({"external_build", FmtSecs(external_build_seconds)});
+  table.AddRow({"in_ram_build", FmtSecs(rebuild_seconds)});
+  table.AddRow({"byte_identical", byte_identical ? "yes" : "NO"});
+  table.AddRow({"query_identical", identical ? "yes" : "NO"});
+  table.AddRow({"mapped_query_time", FmtSecs(mapped_query_seconds)});
+  table.AddRow({"resident_bytes", std::to_string(resident)});
+  table.AddRow({"mapped_bytes", std::to_string(mapped_bytes)});
+  table.AddRow({"fault_in_ttfq", FmtSecs(fault_in_seconds)});
+  table.AddRow({"fault_vs_rebuild", FmtDouble(fault_speedup, 1) + "x"});
+  table.Print();
+
+  std::cout << "# OUTOFCORE_JSON {"
+            << "\"points\": " << n << ", \"index_bytes\": " << index_bytes
+            << ", \"registry_budget\": " << budget
+            << ", \"byte_identical\": " << (byte_identical ? "true" : "false")
+            << ", \"query_identical\": " << (identical ? "true" : "false")
+            << ", \"under_budget\": " << (under_budget ? "true" : "false")
+            << ", \"resident_ok\": " << (resident_ok ? "true" : "false")
+            << ", \"resident_bytes\": " << resident
+            << ", \"rebuild_seconds\": " << rebuild_seconds
+            << ", \"fault_in_seconds\": " << fault_in_seconds
+            << ", \"fault_speedup\": " << fault_speedup
+            << ", \"external_build_seconds\": " << external_build_seconds
+            << "}" << std::endl;
+
+  std::filesystem::remove_all(dir);
+  SIMJOIN_CHECK(byte_identical)
+      << "external segment diverged from the in-RAM build";
+  SIMJOIN_CHECK(identical) << "mapped queries diverged from the in-RAM tree";
+  SIMJOIN_CHECK(under_budget) << "registry blew its byte budget";
+  SIMJOIN_CHECK(resident_ok)
+      << "resident set " << resident << " exceeded the budget " << budget;
+  SIMJOIN_CHECK(fault_speedup >= 5.0)
+      << "fault-in only " << fault_speedup << "x faster than rebuild";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simjoin
+
+int main(int argc, char** argv) {
+  if (!simjoin::bench::InitBenchArgs(argc, argv)) return 1;
+  simjoin::bench::Main();
+  return 0;
+}

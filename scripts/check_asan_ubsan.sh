@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Builds the library and tier-1 tests under ASan+UBSan and runs ctest, so the
 # pointer-tiling join hot paths get exercised with full memory/UB checking.
+# The full suite includes the segment-file robustness/fuzz tests (Segment*,
+# Mmap*, RegistrySegment*) — truncated, bit-flipped, and version-skewed
+# segment files go through the mmap loader with ASan watching every read —
+# and the protocol fuzz soak on hostile wire bytes.
 #
 # Usage: scripts/check_asan_ubsan.sh [build-dir] [extra ctest args...]
 set -euo pipefail

@@ -14,6 +14,7 @@
 #   BENCH_obs.json       R20 observability primitive costs + trace overhead
 #   BENCH_fused.json     R21 fused vs per-request service QPS + identity bit
 #   BENCH_planner.json   R22 planner routing overhead + LSH-tier speedup
+#   BENCH_outofcore.json R23 external-build identity + mmap fault-in gates
 #
 # and compares them against the checked-in baselines
 # (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json /
@@ -34,6 +35,16 @@
 # otherwise), and fusion must deliver at least
 # SIMJOIN_BENCH_FUSED_MIN_SPEEDUP (default 1.5) times the per-request QPS
 # at the bench's high-concurrency batch=1 configuration.
+#
+# The R23 run gates the out-of-core segment tier with absolute checks: the
+# externally bulk-loaded segment must be byte-identical to the in-RAM
+# build's WriteSegment output, mapped-tree queries must answer bit-
+# identically to the heap tree, the registry must stay under its byte
+# budget while serving the 4x-budget index, the post-release resident set
+# must stay under the budget, and fault-in time-to-first-query must beat an
+# in-RAM rebuild by at least SIMJOIN_BENCH_OUTOFCORE_MIN_SPEEDUP (default
+# 5.0) times.  The bench binary asserts all of these itself and exits
+# nonzero on breach; the JSON gates re-check them here.
 #
 # The R22 run gates the cost-based backend planner: planner-routed exact
 # answers must be bit-identical to forced ekdb-flat (the bench exits
@@ -68,6 +79,7 @@ OBS_TOLERANCE="${SIMJOIN_BENCH_OBS_TOLERANCE:-0.03}"
 FUSED_MIN_SPEEDUP="${SIMJOIN_BENCH_FUSED_MIN_SPEEDUP:-1.5}"
 PLANNER_MIN_SPEEDUP="${SIMJOIN_BENCH_PLANNER_MIN_SPEEDUP:-3.0}"
 PLANNER_EXACT_TOLERANCE="${SIMJOIN_BENCH_PLANNER_EXACT_TOLERANCE:-0.05}"
+OUTOFCORE_MIN_SPEEDUP="${SIMJOIN_BENCH_OUTOFCORE_MIN_SPEEDUP:-5.0}"
 FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
 MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
 ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
@@ -76,9 +88,10 @@ SERVICE_BIN="$BUILD_DIR/bench/bench_r19_service"
 OBS_BIN="$BUILD_DIR/bench/bench_r20_obs_overhead"
 FUSED_BIN="$BUILD_DIR/bench/bench_r21_fused"
 PLANNER_BIN="$BUILD_DIR/bench/bench_r22_planner"
+OUTOFCORE_BIN="$BUILD_DIR/bench/bench_r23_outofcore"
 
 for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN" "$SERVICE_BIN" \
-           "$OBS_BIN" "$FUSED_BIN" "$PLANNER_BIN"; do
+           "$OBS_BIN" "$FUSED_BIN" "$PLANNER_BIN" "$OUTOFCORE_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build with benchmarks first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -216,6 +229,28 @@ json.dump(json.loads(m.group(1)), open("BENCH_planner.json", "w"), indent=2)
 print("wrote BENCH_planner.json")
 PY
 
+# The R23 binary asserts external-build byte-identity, mapped-query
+# bit-identity, the registry byte budget, the resident-set ceiling, and the
+# minimum fault-in speedup itself, exiting nonzero on breach; set -e
+# propagates that here.
+echo ">>> $OUTOFCORE_BIN"
+OUTOFCORE_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT" "$PARALLEL_TXT" "$SERVICE_TXT" "$OBS_TXT" \
+  "$FUSED_TXT" "$PLANNER_TXT" "$OUTOFCORE_TXT"' EXIT
+"$OUTOFCORE_BIN" | tee "$OUTOFCORE_TXT"
+
+# Extract the machine-readable OUTOFCORE_JSON line into BENCH_outofcore.json.
+python3 - "$OUTOFCORE_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"^# OUTOFCORE_JSON (\{.*\})$", text, re.M)
+if m is None:
+    sys.exit("error: bench_r23_outofcore emitted no OUTOFCORE_JSON line")
+json.dump(json.loads(m.group(1)), open("BENCH_outofcore.json", "w"), indent=2)
+print("wrote BENCH_outofcore.json")
+PY
+
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_micro.json BENCH_micro.baseline.json
   cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
@@ -224,12 +259,14 @@ if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_obs.json BENCH_obs.baseline.json
   cp BENCH_fused.json BENCH_fused.baseline.json
   cp BENCH_planner.json BENCH_planner.baseline.json
+  cp BENCH_outofcore.json BENCH_outofcore.baseline.json
   echo "baselines updated (BENCH_*.baseline.json)"
   exit 0
 fi
 
 python3 - "$TOLERANCE" "$OBS_TOLERANCE" "$FUSED_MIN_SPEEDUP" \
-  "$PLANNER_MIN_SPEEDUP" "$PLANNER_EXACT_TOLERANCE" <<'PY'
+  "$PLANNER_MIN_SPEEDUP" "$PLANNER_EXACT_TOLERANCE" \
+  "$OUTOFCORE_MIN_SPEEDUP" <<'PY'
 import json, os, sys
 
 tol = float(sys.argv[1])
@@ -237,6 +274,7 @@ obs_tol = float(sys.argv[2])
 fused_min_speedup = float(sys.argv[3])
 planner_min_speedup = float(sys.argv[4])
 planner_exact_tol = float(sys.argv[5])
+outofcore_min_speedup = float(sys.argv[6])
 failures = []
 
 
@@ -383,6 +421,26 @@ if os.path.exists("BENCH_planner.baseline.json"):
         print("planner baseline from a different core count "
               f"({base.get('hardware_concurrency')} vs "
               f"{cur.get('hardware_concurrency')}); skipping comparison")
+
+# R23 out-of-core gates are absolute: identity, budget, residency, and the
+# fault-in floor hold on any host (no baseline needed).
+cur = json.load(open("BENCH_outofcore.json"))
+print(f"out-of-core gates (min fault-in speedup "
+      f"{outofcore_min_speedup:.2f}x):")
+for key, label in (("byte_identical", "external build bytes == in-RAM"),
+                   ("query_identical", "mapped queries == in-RAM tree"),
+                   ("under_budget", "registry bytes_in_use <= budget"),
+                   ("resident_ok", "resident set under the budget")):
+    ok = cur.get(key, False)
+    print(f"  [{'ok' if ok else 'FAIL'}] outofcore/{key}: {label}")
+    if not ok:
+        failures.append(f"outofcore/{key}")
+fault_speedup = cur.get("fault_speedup", 0.0)
+status = "FAIL" if fault_speedup < outofcore_min_speedup else "ok"
+print(f"  [{status}] outofcore/fault_speedup: {fault_speedup:.1f}x "
+      f"(minimum {outofcore_min_speedup:.2f}x)")
+if fault_speedup < outofcore_min_speedup:
+    failures.append("outofcore/fault_speedup")
 
 if os.path.exists("BENCH_obs.baseline.json"):
     have_baseline = True

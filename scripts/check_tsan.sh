@@ -26,4 +26,4 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Planner|Lsh|IndexBackend|Counter|Histogram|Snapshot|Trace' "$@"
+  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Planner|Lsh|IndexBackend|Counter|Histogram|Snapshot|Trace|Segment|Mmap|OutOfCore' "$@"

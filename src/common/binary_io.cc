@@ -117,6 +117,41 @@ Status BinaryDatasetReader::Open(const std::string& path) {
   return Status::OK();
 }
 
+Status BinaryDatasetReader::OpenRaw(const std::string& path,
+                                    uint64_t byte_offset, uint64_t num_points,
+                                    size_t dims) {
+  if (dims == 0 || dims > kMaxDims) {
+    return Status::InvalidArgument("raw dataset region dims out of range");
+  }
+  if (num_points > std::numeric_limits<uint64_t>::max() /
+                       (static_cast<uint64_t>(dims) * sizeof(float))) {
+    return Status::InvalidArgument("raw dataset region size overflows");
+  }
+  in_ = std::ifstream();
+  in_.open(path, std::ios::binary);
+  if (!in_) {
+    return Status::IoError("cannot open for reading: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  in_.seekg(0, std::ios::end);
+  const std::streamoff end = in_.tellg();
+  const uint64_t payload_bytes =
+      num_points * static_cast<uint64_t>(dims) * sizeof(float);
+  if (!in_ || end < 0 ||
+      byte_offset + payload_bytes > static_cast<uint64_t>(end)) {
+    return Status::IoError("raw dataset region [" +
+                           std::to_string(byte_offset) + ", +" +
+                           std::to_string(payload_bytes) +
+                           ") extends past end of file: " + path);
+  }
+  in_.seekg(static_cast<std::streamoff>(byte_offset), std::ios::beg);
+  if (!in_) return Status::IoError("cannot seek to raw dataset region");
+  total_points_ = num_points;
+  dims_ = dims;
+  points_read_ = 0;
+  return Status::OK();
+}
+
 Status BinaryDatasetReader::ReadBatch(size_t max_points, Dataset* batch,
                                       PointId* first_id) {
   if (batch == nullptr || first_id == nullptr) {

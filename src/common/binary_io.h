@@ -31,6 +31,14 @@ class BinaryDatasetReader {
   /// Opens the file and parses the header.
   Status Open(const std::string& path);
 
+  /// Opens a headerless row-major float32 region inside an arbitrary file:
+  /// `num_points` rows of `dims` floats starting at byte_offset.  Used to
+  /// stream the dataset section of an index segment file (core/segment.h)
+  /// through the out-of-core join without copying it into a standalone
+  /// dataset file first.  The region must lie fully inside the file.
+  Status OpenRaw(const std::string& path, uint64_t byte_offset,
+                 uint64_t num_points, size_t dims);
+
   /// Total number of points in the file (valid after Open).
   size_t total_points() const { return total_points_; }
   /// Point dimensionality (valid after Open).

@@ -8,6 +8,16 @@ Dataset::Dataset(size_t n, size_t dims) : dims_(dims), values_(n * dims, 0.0f) {
   SIMJOIN_CHECK_GT(dims, 0u) << "Dataset dimensionality must be positive";
 }
 
+Dataset Dataset::Borrowed(const float* data, size_t n, size_t dims) {
+  SIMJOIN_CHECK_GT(dims, 0u) << "Dataset dimensionality must be positive";
+  SIMJOIN_CHECK(data != nullptr || n == 0);
+  Dataset ds;
+  ds.dims_ = dims;
+  ds.borrowed_ = data;
+  ds.borrowed_n_ = n;
+  return ds;
+}
+
 Result<Dataset> Dataset::FromFlat(std::vector<float> values, size_t dims) {
   if (dims == 0) {
     return Status::InvalidArgument("Dataset dimensionality must be positive");
@@ -24,6 +34,7 @@ Result<Dataset> Dataset::FromFlat(std::vector<float> values, size_t dims) {
 }
 
 void Dataset::Append(std::span<const float> row) {
+  SIMJOIN_CHECK(!borrowed()) << "borrowed datasets are read-only";
   if (dims_ == 0) {
     SIMJOIN_CHECK_GT(row.size(), 0u);
     dims_ = row.size();
@@ -35,6 +46,8 @@ void Dataset::Append(std::span<const float> row) {
 void Dataset::Reset(size_t n, size_t dims) {
   SIMJOIN_CHECK_GT(dims, 0u);
   dims_ = dims;
+  borrowed_ = nullptr;
+  borrowed_n_ = 0;
   values_.assign(n * dims, 0.0f);
 }
 
@@ -49,12 +62,14 @@ Dataset Dataset::Select(std::span<const PointId> ids) const {
 }
 
 void Dataset::Concat(const Dataset& other) {
+  SIMJOIN_CHECK(!borrowed()) << "borrowed datasets are read-only";
   if (other.empty()) return;
   if (dims_ == 0) {
     dims_ = other.dims_;
   }
   SIMJOIN_CHECK_EQ(dims_, other.dims_) << "Concat dimensionality mismatch";
-  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  const float* src = other.data();
+  values_.insert(values_.end(), src, src + other.size() * other.dims_);
 }
 
 std::vector<float> Dataset::ColumnMin() const {
@@ -95,7 +110,9 @@ Dataset::NormalizationInfo Dataset::NormalizeToUnitCube() {
 }
 
 bool Dataset::AllWithin(float lo, float hi) const {
-  return std::all_of(values_.begin(), values_.end(),
+  const float* begin = data();
+  const float* end = begin + size() * dims_;
+  return std::all_of(begin, end,
                      [lo, hi](float v) { return v >= lo && v <= hi; });
 }
 

@@ -20,6 +20,14 @@ namespace simjoin {
 using PointId = uint32_t;
 
 /// Dense row-major collection of d-dimensional float points.
+///
+/// Two storage modes share one read interface: an *owning* dataset holds its
+/// rows in a heap vector (the default everywhere), while a *borrowed*
+/// dataset is a zero-copy view over caller-owned storage — typically the
+/// dataset section of a memory-mapped index segment (core/segment.h).
+/// Borrowed datasets are strictly read-only: every mutating operation
+/// check-fails, so an index served straight off a mapping can never be
+/// normalised or appended to by accident.
 class Dataset {
  public:
   /// Empty dataset with zero dimensions; Reset() before use.
@@ -32,20 +40,37 @@ class Dataset {
   /// length is not a multiple of dims or dims is zero.
   static Result<Dataset> FromFlat(std::vector<float> values, size_t dims);
 
+  /// Read-only view over caller-owned row-major storage (n rows of dims
+  /// floats).  The storage must stay alive and unmodified for the lifetime
+  /// of the returned dataset (and of anything built over it).
+  static Dataset Borrowed(const float* data, size_t n, size_t dims);
+
+  /// True when this dataset views storage it does not own.
+  bool borrowed() const { return borrowed_ != nullptr; }
+
   /// Number of points.
-  size_t size() const { return dims_ == 0 ? 0 : values_.size() / dims_; }
+  size_t size() const {
+    if (borrowed_ != nullptr) return borrowed_n_;
+    return dims_ == 0 ? 0 : values_.size() / dims_;
+  }
   /// Dimensionality of each point.
   size_t dims() const { return dims_; }
-  bool empty() const { return values_.empty(); }
+  bool empty() const { return size() == 0; }
+
+  /// Read-only pointer to the flat row-major storage (both modes).
+  const float* data() const {
+    return borrowed_ != nullptr ? borrowed_ : values_.data();
+  }
 
   /// Read-only pointer to the coordinates of point id.
   const float* Row(PointId id) const {
     SIMJOIN_CHECK_LT(static_cast<size_t>(id), size());
-    return values_.data() + static_cast<size_t>(id) * dims_;
+    return data() + static_cast<size_t>(id) * dims_;
   }
 
-  /// Mutable pointer to the coordinates of point id.
+  /// Mutable pointer to the coordinates of point id (owning datasets only).
   float* MutableRow(PointId id) {
+    SIMJOIN_CHECK(!borrowed()) << "borrowed datasets are read-only";
     SIMJOIN_CHECK_LT(static_cast<size_t>(id), size());
     return values_.data() + static_cast<size_t>(id) * dims_;
   }
@@ -60,7 +85,10 @@ class Dataset {
   void Append(std::span<const float> row);
 
   /// Drops all points but keeps the dimensionality.
-  void Clear() { values_.clear(); }
+  void Clear() {
+    SIMJOIN_CHECK(!borrowed()) << "borrowed datasets are read-only";
+    values_.clear();
+  }
 
   /// Reinitialises to n zero points of the given dimensionality.
   void Reset(size_t n, size_t dims);
@@ -73,8 +101,12 @@ class Dataset {
   /// dataset must be empty with unset dims).
   void Concat(const Dataset& other);
 
-  /// Raw flat row-major storage.
-  const std::vector<float>& flat() const { return values_; }
+  /// Raw flat row-major storage (owning datasets only; borrowed views have
+  /// no vector to hand out — use data()/size()/dims()).
+  const std::vector<float>& flat() const {
+    SIMJOIN_CHECK(!borrowed()) << "borrowed datasets have no flat() vector";
+    return values_;
+  }
 
   /// Coordinate-wise minimum over all points; empty if the dataset is empty.
   std::vector<float> ColumnMin() const;
@@ -93,12 +125,16 @@ class Dataset {
   /// True if every coordinate lies within [lo, hi].
   bool AllWithin(float lo, float hi) const;
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate heap footprint in bytes.  Borrowed views own no rows, so
+  /// they report only the object itself — a mapped dataset's bytes are the
+  /// page cache's to account, not the heap's.
   uint64_t MemoryUsageBytes() const;
 
  private:
   size_t dims_ = 0;
   std::vector<float> values_;
+  const float* borrowed_ = nullptr;  ///< non-null = read-only view
+  size_t borrowed_n_ = 0;
 };
 
 }  // namespace simjoin

@@ -82,8 +82,8 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
   std::vector<LeafRef> leaves;
   uint32_t total = 0;
   ComputeArenaRanges(tree.root(), &total, &leaves, &ranges);
-  flat.arena_.resize(static_cast<size_t>(total) * flat.dims_);
-  flat.arena_ids_.resize(total);
+  flat.owned_arena_.resize(static_cast<size_t>(total) * flat.dims_);
+  flat.owned_arena_ids_.resize(total);
 
   // Node layout pass (BFS): when node i is visited, the children of nodes
   // 0..i-1 are already appended, so node i's children start at the current
@@ -103,9 +103,9 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
     return Status::InvalidArgument("tree has too many nodes to flatten");
   }
   const size_t n = order.size();
-  flat.nodes_.resize(n);
-  flat.bbox_lo_.resize(n * flat.dims_);
-  flat.bbox_hi_.resize(n * flat.dims_);
+  flat.owned_nodes_.resize(n);
+  flat.owned_bbox_lo_.resize(n * flat.dims_);
+  flat.owned_bbox_hi_.resize(n * flat.dims_);
 
   // Fill passes.  Every chunk writes a disjoint slice of preallocated
   // arrays at offsets fixed by the passes above, so the parallel fill is
@@ -114,7 +114,7 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
                                                          size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const EkdbNode* pn = order[i].first;
-      FlatEkdbNode& fn = flat.nodes_[i];
+      FlatEkdbNode& fn = flat.owned_nodes_[i];
       fn.children_begin = pn->is_leaf() ? 0 : kid_begin[i];
       fn.children_count = static_cast<uint32_t>(pn->children.size());
       const ArenaRange& range = ranges.at(pn);
@@ -123,9 +123,9 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
       fn.stripe = order[i].second;
       fn.depth = pn->depth;
       fn.sort_dim = pn->sort_dim;
-      std::memcpy(flat.bbox_lo_.data() + i * flat.dims_, pn->bbox.lo().data(),
+      std::memcpy(flat.owned_bbox_lo_.data() + i * flat.dims_, pn->bbox.lo().data(),
                   flat.dims_ * sizeof(float));
-      std::memcpy(flat.bbox_hi_.data() + i * flat.dims_, pn->bbox.hi().data(),
+      std::memcpy(flat.owned_bbox_hi_.data() + i * flat.dims_, pn->bbox.hi().data(),
                   flat.dims_ * sizeof(float));
     }
   };
@@ -134,9 +134,9 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
       const EkdbNode* leaf = leaves[l].leaf;
       size_t pos = leaves[l].arena_begin;
       for (PointId p : leaf->points) {
-        std::memcpy(flat.arena_.data() + pos * flat.dims_, data.Row(p),
+        std::memcpy(flat.owned_arena_.data() + pos * flat.dims_, data.Row(p),
                     flat.dims_ * sizeof(float));
-        flat.arena_ids_[pos] = p;
+        flat.owned_arena_ids_[pos] = p;
         ++pos;
       }
     }
@@ -173,6 +173,155 @@ Result<FlatEkdbTree> FlatEkdbTree::FromTree(const EkdbTree& tree,
     }
     group.Wait();
   }
+  flat.BindOwnedStorage();
+  return flat;
+}
+
+void FlatEkdbTree::BindOwnedStorage() {
+  nodes_ = owned_nodes_.data();
+  num_nodes_ = owned_nodes_.size();
+  bbox_lo_ = owned_bbox_lo_.data();
+  bbox_hi_ = owned_bbox_hi_.data();
+  arena_ = owned_arena_.data();
+  arena_ids_ = owned_arena_ids_.data();
+  arena_count_ = owned_arena_ids_.size();
+}
+
+Status FlatEkdbTree::ValidateStructure(const FlatEkdbStorageView& view,
+                                       size_t dataset_size,
+                                       size_t dataset_dims) {
+  const size_t dims = dataset_dims;
+  SIMJOIN_RETURN_NOT_OK(view.config.Validate(dims));
+  if (view.num_nodes == 0 || view.nodes == nullptr) {
+    return Status::InvalidArgument("flat tree storage has no nodes");
+  }
+  if (view.num_nodes > std::numeric_limits<uint32_t>::max() ||
+      view.arena_count > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("flat tree storage exceeds 32-bit limits");
+  }
+  if (view.arena_count != dataset_size) {
+    return Status::InvalidArgument(
+        "flat tree arena holds " + std::to_string(view.arena_count) +
+        " points but the dataset holds " + std::to_string(dataset_size));
+  }
+  if (view.dim_order.size() != dims) {
+    return Status::InvalidArgument("dim_order length != dims");
+  }
+  std::vector<bool> seen(dims, false);
+  for (const uint32_t d : view.dim_order) {
+    if (d >= dims || seen[d]) {
+      return Status::InvalidArgument("dim_order is not a permutation");
+    }
+    seen[d] = true;
+  }
+  if (view.num_stripes == 0 || view.num_stripes != view.config.NumStripes() ||
+      view.stripe_width != view.config.StripeWidth()) {
+    return Status::InvalidArgument(
+        "stripe grid parameters do not match the stored epsilon");
+  }
+  const FlatEkdbNode& root = view.nodes[0];
+  if (root.arena_begin != 0 || root.arena_end != view.arena_count) {
+    return Status::InvalidArgument("root node does not cover the arena");
+  }
+  for (size_t i = 0; i < view.num_nodes; ++i) {
+    const FlatEkdbNode& node = view.nodes[i];
+    if (node.arena_begin > node.arena_end ||
+        node.arena_end > view.arena_count) {
+      return Status::InvalidArgument("node " + std::to_string(i) +
+                                     " arena range out of bounds");
+    }
+    if (node.is_leaf()) {
+      if (node.sort_dim >= dims) {
+        return Status::InvalidArgument("leaf " + std::to_string(i) +
+                                       " sort_dim out of range");
+      }
+      continue;
+    }
+    // BFS layout puts children strictly after their parent; enforcing it
+    // here is what guarantees every traversal terminates on hostile input.
+    const uint64_t kids_end = static_cast<uint64_t>(node.children_begin) +
+                              node.children_count;
+    if (node.children_begin <= i || kids_end > view.num_nodes) {
+      return Status::InvalidArgument("node " + std::to_string(i) +
+                                     " children range out of bounds");
+    }
+    if (node.depth >= dims) {
+      return Status::InvalidArgument("internal node " + std::to_string(i) +
+                                     " depth exceeds dimensionality");
+    }
+    for (uint64_t c = node.children_begin; c < kids_end; ++c) {
+      if (view.nodes[c].stripe >= view.num_stripes) {
+        return Status::InvalidArgument("node " + std::to_string(c) +
+                                       " stripe index out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FlatEkdbTree> FlatEkdbTree::FromStorage(const Dataset& dataset,
+                                               FlatEkdbStorage storage) {
+  FlatEkdbStorageView view;
+  view.config = storage.config;
+  view.dim_order = storage.dim_order;
+  view.num_stripes = storage.num_stripes;
+  view.stripe_width = storage.stripe_width;
+  view.nodes = storage.nodes.data();
+  view.num_nodes = storage.nodes.size();
+  view.bbox_lo = storage.bbox_lo.data();
+  view.bbox_hi = storage.bbox_hi.data();
+  view.arena = storage.arena.data();
+  view.arena_ids = storage.arena_ids.data();
+  view.arena_count = storage.arena_ids.size();
+  SIMJOIN_RETURN_NOT_OK(
+      ValidateStructure(view, dataset.size(), dataset.dims()));
+  const size_t dims = dataset.dims();
+  if (storage.bbox_lo.size() != storage.nodes.size() * dims ||
+      storage.bbox_hi.size() != storage.nodes.size() * dims ||
+      storage.arena.size() != storage.arena_ids.size() * dims) {
+    return Status::InvalidArgument("flat tree storage array sizes disagree");
+  }
+  FlatEkdbTree flat;
+  flat.dataset_ = &dataset;
+  flat.config_ = std::move(storage.config);
+  flat.dim_order_ = std::move(storage.dim_order);
+  flat.num_stripes_ = storage.num_stripes;
+  flat.stripe_width_ = storage.stripe_width;
+  flat.dims_ = dims;
+  flat.owned_nodes_ = std::move(storage.nodes);
+  flat.owned_bbox_lo_ = std::move(storage.bbox_lo);
+  flat.owned_bbox_hi_ = std::move(storage.bbox_hi);
+  flat.owned_arena_ = std::move(storage.arena);
+  flat.owned_arena_ids_ = std::move(storage.arena_ids);
+  flat.BindOwnedStorage();
+  return flat;
+}
+
+Result<FlatEkdbTree> FlatEkdbTree::FromView(
+    const Dataset& dataset, const FlatEkdbStorageView& view,
+    std::shared_ptr<const void> keepalive) {
+  SIMJOIN_RETURN_NOT_OK(
+      ValidateStructure(view, dataset.size(), dataset.dims()));
+  if (view.bbox_lo == nullptr || view.bbox_hi == nullptr ||
+      (view.arena_count != 0 &&
+       (view.arena == nullptr || view.arena_ids == nullptr))) {
+    return Status::InvalidArgument("flat tree view has null sections");
+  }
+  FlatEkdbTree flat;
+  flat.dataset_ = &dataset;
+  flat.config_ = view.config;
+  flat.dim_order_ = view.dim_order;
+  flat.num_stripes_ = view.num_stripes;
+  flat.stripe_width_ = view.stripe_width;
+  flat.dims_ = dataset.dims();
+  flat.nodes_ = view.nodes;
+  flat.num_nodes_ = view.num_nodes;
+  flat.bbox_lo_ = view.bbox_lo;
+  flat.bbox_hi_ = view.bbox_hi;
+  flat.arena_ = view.arena;
+  flat.arena_ids_ = view.arena_ids;
+  flat.arena_count_ = view.arena_count;
+  flat.keepalive_ = std::move(keepalive);
   return flat;
 }
 
@@ -234,8 +383,8 @@ Status FlatEkdbTree::RangeQuery(const float* query, double eps_query,
       const double lo = static_cast<double>(query[sd]) - eps_query;
       const double hi = static_cast<double>(query[sd]) + eps_query;
       const uint32_t wb = flat_internal::LowerBoundPos(
-          arena_.data(), dims_, node.arena_begin, node.arena_end, sd, lo);
-      const uint32_t we = flat_internal::UpperBoundPos(arena_.data(), dims_,
+          arena_, dims_, node.arena_begin, node.arena_end, sd, lo);
+      const uint32_t we = flat_internal::UpperBoundPos(arena_, dims_,
                                                        wb, node.arena_end, sd,
                                                        hi);
       for (uint32_t pos = wb; pos < we;) {
@@ -284,9 +433,9 @@ void FlatEkdbTree::FillStats(EkdbTreeStats* stats) const {
   stats->flat_node_bytes = node_bytes();
   stats->flat_arena_bytes = arena_bytes();
   stats->flat_bytes_per_point =
-      arena_ids_.empty() ? 0.0
-                         : static_cast<double>(total_bytes()) /
-                               static_cast<double>(arena_ids_.size());
+      arena_count_ == 0 ? 0.0
+                        : static_cast<double>(total_bytes()) /
+                              static_cast<double>(arena_count_);
 }
 
 }  // namespace simjoin

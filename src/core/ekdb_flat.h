@@ -27,6 +27,7 @@
 #define SIMJOIN_CORE_EKDB_FLAT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,10 +65,49 @@ struct RangeQuerySpec {
   double epsilon = 0.0;
 };
 
+/// The complete structural payload of a flat tree as plain arrays — what a
+/// segment loader hands to FromStorage (owned) or what a builder assembles
+/// off-line.  Index semantics are exactly FlatEkdbTree's internal layout:
+/// BFS node array, per-node bbox planes, DFS-leaf-order arena.
+struct FlatEkdbStorage {
+  EkdbConfig config;
+  std::vector<uint32_t> dim_order;
+  size_t num_stripes = 1;
+  double stripe_width = 1.0;
+  std::vector<FlatEkdbNode> nodes;
+  std::vector<float> bbox_lo;
+  std::vector<float> bbox_hi;
+  std::vector<float> arena;
+  std::vector<PointId> arena_ids;
+};
+
+/// Borrowed form of the same payload: raw pointers into storage someone
+/// else keeps alive (a memory-mapped segment).  See FlatEkdbTree::FromView.
+struct FlatEkdbStorageView {
+  EkdbConfig config;
+  std::vector<uint32_t> dim_order;
+  size_t num_stripes = 1;
+  double stripe_width = 1.0;
+  const FlatEkdbNode* nodes = nullptr;
+  size_t num_nodes = 0;
+  const float* bbox_lo = nullptr;
+  const float* bbox_hi = nullptr;
+  const float* arena = nullptr;
+  const PointId* arena_ids = nullptr;
+  size_t arena_count = 0;
+};
+
 /// Pointer-free eps-k-d-B tree over a dataset it does not own.  Immutable:
 /// rebuild (or re-flatten an updated pointer tree) after Insert/Remove
 /// batches.  The dataset must stay alive and unmodified for the lifetime of
 /// this object.
+///
+/// Storage is view-backed: the query paths read raw array pointers that
+/// either alias this object's own heap vectors (FromTree / FromStorage) or
+/// point into an externally owned region such as a memory-mapped segment
+/// file (FromView).  Both construction paths execute the *same* traversal
+/// code, which is what makes mapped serving bit-identical to in-RAM serving
+/// by construction rather than by test.
 class FlatEkdbTree {
  public:
   /// Linearises a built pointer tree.  The flat tree joins against the same
@@ -84,35 +124,58 @@ class FlatEkdbTree {
   static Result<FlatEkdbTree> Load(const Dataset& dataset,
                                    const std::string& path);
 
+  /// Adopts fully assembled storage (segment loads, external builds).  The
+  /// structure is validated (node/children/arena bounds, stripe and
+  /// dimension sanity) so a corrupted segment fails here with a clear error
+  /// instead of crashing a traversal.
+  static Result<FlatEkdbTree> FromStorage(const Dataset& dataset,
+                                          FlatEkdbStorage storage);
+
+  /// Wraps externally owned storage without copying — the mmap serving
+  /// path.  `keepalive` is retained for the tree's lifetime (typically the
+  /// MappedSegment whose pages the view points into).  Validation is
+  /// identical to FromStorage.
+  static Result<FlatEkdbTree> FromView(const Dataset& dataset,
+                                       const FlatEkdbStorageView& view,
+                                       std::shared_ptr<const void> keepalive);
+
+  // Views stay valid across moves (vector moves transfer their heap
+  // buffers), but a copy would alias the source's storage — forbidden.
+  FlatEkdbTree(FlatEkdbTree&&) = default;
+  FlatEkdbTree& operator=(FlatEkdbTree&&) = default;
+  FlatEkdbTree(const FlatEkdbTree&) = delete;
+  FlatEkdbTree& operator=(const FlatEkdbTree&) = delete;
+
   // -- structure ----------------------------------------------------------
 
-  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(num_nodes_); }
   const FlatEkdbNode& node(uint32_t idx) const { return nodes_[idx]; }
-  const std::vector<FlatEkdbNode>& nodes() const { return nodes_; }
+  const FlatEkdbNode* nodes_data() const { return nodes_; }
   static constexpr uint32_t kRoot = 0;
 
   /// Per-node bounding-box planes (dims floats each).
   const float* bbox_lo(uint32_t idx) const {
-    return bbox_lo_.data() + static_cast<size_t>(idx) * dims_;
+    return bbox_lo_ + static_cast<size_t>(idx) * dims_;
   }
   const float* bbox_hi(uint32_t idx) const {
-    return bbox_hi_.data() + static_cast<size_t>(idx) * dims_;
+    return bbox_hi_ + static_cast<size_t>(idx) * dims_;
   }
 
   // -- arena --------------------------------------------------------------
 
   /// Number of points in the arena (== points indexed by the tree).
-  uint32_t arena_size() const {
-    return static_cast<uint32_t>(arena_ids_.size());
-  }
+  uint32_t arena_size() const { return static_cast<uint32_t>(arena_count_); }
   /// Row-major coordinates of arena position pos.
   const float* arena_row(uint32_t pos) const {
-    return arena_.data() + static_cast<size_t>(pos) * dims_;
+    return arena_ + static_cast<size_t>(pos) * dims_;
   }
-  const float* arena_data() const { return arena_.data(); }
+  const float* arena_data() const { return arena_; }
   /// Original dataset id of arena position pos (the emit-time remap).
   PointId arena_id(uint32_t pos) const { return arena_ids_[pos]; }
-  const PointId* arena_ids_data() const { return arena_ids_.data(); }
+  const PointId* arena_ids_data() const { return arena_ids_; }
+
+  /// True when the arrays alias externally owned storage (FromView).
+  bool view_backed() const { return keepalive_ != nullptr; }
 
   // -- configuration ------------------------------------------------------
 
@@ -165,16 +228,18 @@ class FlatEkdbTree {
 
   // -- memory accounting --------------------------------------------------
 
-  /// Bytes of the node array plus the bbox planes.
+  /// Bytes of the node array plus the bbox planes.  View-backed trees own
+  /// no heap arrays (the pages belong to the mapping), so these report the
+  /// *logical* structure size either way; heap accounting belongs to the
+  /// owner of the storage.
   uint64_t node_bytes() const {
-    return static_cast<uint64_t>(nodes_.capacity()) * sizeof(FlatEkdbNode) +
-           static_cast<uint64_t>(bbox_lo_.capacity() + bbox_hi_.capacity()) *
-               sizeof(float);
+    return static_cast<uint64_t>(num_nodes_) * sizeof(FlatEkdbNode) +
+           static_cast<uint64_t>(num_nodes_) * 2 * dims_ * sizeof(float);
   }
   /// Bytes of the coordinate arena plus the id remap.
   uint64_t arena_bytes() const {
-    return static_cast<uint64_t>(arena_.capacity()) * sizeof(float) +
-           static_cast<uint64_t>(arena_ids_.capacity()) * sizeof(PointId);
+    return static_cast<uint64_t>(arena_count_) * dims_ * sizeof(float) +
+           static_cast<uint64_t>(arena_count_) * sizeof(PointId);
   }
   uint64_t total_bytes() const { return node_bytes() + arena_bytes(); }
 
@@ -186,6 +251,17 @@ class FlatEkdbTree {
  private:
   FlatEkdbTree() = default;
 
+  /// Points the query-path views at the owned vectors (after any fill or
+  /// adoption of FlatEkdbStorage).
+  void BindOwnedStorage();
+
+  /// Bounds/sanity validation shared by FromStorage and FromView: every
+  /// node's children range and arena range must lie inside the arrays, the
+  /// root must cover the whole arena, and the grid parameters must be
+  /// coherent.  Returns a descriptive error for corrupted input.
+  static Status ValidateStructure(const FlatEkdbStorageView& view,
+                                  size_t dataset_size, size_t dataset_dims);
+
   const Dataset* dataset_ = nullptr;
   EkdbConfig config_;
   std::vector<uint32_t> dim_order_;
@@ -193,11 +269,23 @@ class FlatEkdbTree {
   double stripe_width_ = 1.0;
   size_t dims_ = 0;
 
-  std::vector<FlatEkdbNode> nodes_;
-  std::vector<float> bbox_lo_;
-  std::vector<float> bbox_hi_;
-  std::vector<float> arena_;
-  std::vector<PointId> arena_ids_;
+  // Owned storage; empty for view-backed trees.
+  std::vector<FlatEkdbNode> owned_nodes_;
+  std::vector<float> owned_bbox_lo_;
+  std::vector<float> owned_bbox_hi_;
+  std::vector<float> owned_arena_;
+  std::vector<PointId> owned_arena_ids_;
+
+  // The views every query path reads — into the owned vectors or into an
+  // externally owned mapping held alive by keepalive_.
+  const FlatEkdbNode* nodes_ = nullptr;
+  size_t num_nodes_ = 0;
+  const float* bbox_lo_ = nullptr;
+  const float* bbox_hi_ = nullptr;
+  const float* arena_ = nullptr;
+  const PointId* arena_ids_ = nullptr;
+  size_t arena_count_ = 0;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace simjoin

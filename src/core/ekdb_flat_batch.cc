@@ -96,9 +96,9 @@ Status FlatEkdbTree::RangeQueryBatch(
         const double lo = static_cast<double>(query[sd]) - eps_query;
         const double hi = static_cast<double>(query[sd]) + eps_query;
         const uint32_t wb = flat_internal::LowerBoundPos(
-            arena_.data(), dims_, node.arena_begin, node.arena_end, sd, lo);
+            arena_, dims_, node.arena_begin, node.arena_end, sd, lo);
         const uint32_t we = flat_internal::UpperBoundPos(
-            arena_.data(), dims_, wb, node.arena_end, sd, hi);
+            arena_, dims_, wb, node.arena_end, sd, hi);
         if (wb != we) {
           tasks.push_back(SweepTask{wb, we, s, 0, 0});
         }

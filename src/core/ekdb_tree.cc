@@ -61,6 +61,27 @@ Result<EkdbTree> EkdbTree::Build(const Dataset& dataset, const EkdbConfig& confi
   return tree;
 }
 
+Result<EkdbTree> EkdbTree::BuildSubtree(const Dataset& dataset,
+                                        const EkdbConfig& config,
+                                        uint32_t start_depth) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build eps-k-d-B tree on empty dataset");
+  }
+  if (start_depth >= dataset.dims()) {
+    return Status::InvalidArgument("subtree start depth must be < dims");
+  }
+  if (!dataset.AllWithin(0.0f, 1.0f)) {
+    return Status::InvalidArgument(
+        "dataset coordinates must lie in [0, 1]; call NormalizeToUnitCube()");
+  }
+  EkdbTree tree(&dataset, config);
+  std::vector<PointId> all(dataset.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
+  tree.root_ = tree.BuildNode(std::move(all), start_depth);
+  return tree;
+}
+
 std::unique_ptr<EkdbNode> EkdbTree::BuildNode(std::vector<PointId> ids,
                                               uint32_t depth) {
   auto node = std::make_unique<EkdbNode>();

@@ -93,6 +93,17 @@ class EkdbTree {
                                         const EkdbConfig& config,
                                         size_t num_threads = 0);
 
+  /// Builds the subtree a full Build over a larger dataset would create at
+  /// `start_depth` for exactly these points: the root starts at that depth,
+  /// so splits consume dim_order[start_depth], dim_order[start_depth+1], …
+  /// and leaf sort dimensions match the full build's.  Used by the external
+  /// bulk loader (core/segment_builder.h), which partitions the top-level
+  /// stripe outside the tree and stitches per-stripe subtrees back together
+  /// bit-identically to an in-memory build.
+  static Result<EkdbTree> BuildSubtree(const Dataset& dataset,
+                                       const EkdbConfig& config,
+                                       uint32_t start_depth);
+
   const EkdbNode* root() const { return root_.get(); }
   const Dataset& dataset() const { return *dataset_; }
   const EkdbConfig& config() const { return config_; }

@@ -64,21 +64,31 @@ struct StripeGrid {
   }
 };
 
-/// Streams a binary dataset accumulating per-stripe counts; also validates
+/// Opens an input reader over either form of join input.
+Status OpenRef(const ExternalDatasetRef& ref, BinaryDatasetReader* reader) {
+  if (ref.raw) {
+    return reader->OpenRaw(ref.path, ref.byte_offset, ref.num_points,
+                           ref.dims);
+  }
+  return reader->Open(ref.path);
+}
+
+/// Streams a dataset input accumulating per-stripe counts; also validates
 /// the [0,1] range.  *dims is set from the file (and checked for equality
 /// when already set).
-Status StripeHistogram(const std::string& path, const ExternalJoinConfig& config,
+Status StripeHistogram(const ExternalDatasetRef& input,
+                       const ExternalJoinConfig& config,
                        const StripeGrid& grid, size_t* dims,
                        std::vector<size_t>* counts) {
   BinaryDatasetReader reader;
-  SIMJOIN_RETURN_NOT_OK(reader.Open(path));
+  SIMJOIN_RETURN_NOT_OK(OpenRef(input, &reader));
   if (*dims == 0) {
     *dims = reader.dims();
   } else if (*dims != reader.dims()) {
     return Status::InvalidArgument("joined inputs have different dims");
   }
   if (reader.total_points() == 0) {
-    return Status::InvalidArgument("input dataset is empty: " + path);
+    return Status::InvalidArgument("input dataset is empty: " + input.path);
   }
   Dataset batch;
   PointId first_id = 0;
@@ -96,9 +106,9 @@ Status StripeHistogram(const std::string& path, const ExternalJoinConfig& config
   return Status::OK();
 }
 
-/// Streams a binary dataset scattering (id, coords) records into one spill
+/// Streams a dataset input scattering (id, coords) records into one spill
 /// file per partition.
-Status ScatterToPartitions(const std::string& path,
+Status ScatterToPartitions(const ExternalDatasetRef& input,
                            const ExternalJoinConfig& config,
                            const StripeGrid& grid, size_t dims,
                            const std::vector<size_t>& stripe_to_partition,
@@ -111,7 +121,7 @@ Status ScatterToPartitions(const std::string& path,
     }
   }
   BinaryDatasetReader reader;
-  SIMJOIN_RETURN_NOT_OK(reader.Open(path));
+  SIMJOIN_RETURN_NOT_OK(OpenRef(input, &reader));
   Dataset batch;
   PointId first_id = 0;
   std::vector<char> record(RecordBytes(dims));
@@ -216,7 +226,7 @@ std::vector<size_t> PartitionCounts(const std::vector<size_t>& stripe_counts,
 
 }  // namespace
 
-Status ExternalSelfJoin(const std::string& input_path,
+Status ExternalSelfJoin(const ExternalDatasetRef& input,
                         const ExternalJoinConfig& config, PairSink* sink,
                         JoinStats* stats, ExternalJoinReport* report) {
   if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
@@ -225,7 +235,7 @@ Status ExternalSelfJoin(const std::string& input_path,
   size_t dims = 0;
   {
     BinaryDatasetReader reader;
-    SIMJOIN_RETURN_NOT_OK(reader.Open(input_path));
+    SIMJOIN_RETURN_NOT_OK(OpenRef(input, &reader));
     dims = reader.dims();
     SIMJOIN_RETURN_NOT_OK(config.ekdb.Validate(dims));
   }
@@ -238,7 +248,7 @@ Status ExternalSelfJoin(const std::string& input_path,
   std::vector<size_t> stripe_counts(grid.num_stripes, 0);
   size_t seen_dims = dims;
   SIMJOIN_RETURN_NOT_OK(
-      StripeHistogram(input_path, config, grid, &seen_dims, &stripe_counts));
+      StripeHistogram(input, config, grid, &seen_dims, &stripe_counts));
 
   // Partition and scatter.
   std::vector<size_t> stripe_to_partition, partition_counts;
@@ -247,7 +257,7 @@ Status ExternalSelfJoin(const std::string& input_path,
   const size_t num_partitions = partition_counts.size();
   const std::vector<std::string> spill_paths =
       SpillPaths(config.temp_dir, "self", num_partitions);
-  Status status = ScatterToPartitions(input_path, config, grid, dims,
+  Status status = ScatterToPartitions(input, config, grid, dims,
                                       stripe_to_partition, spill_paths);
 
   ExternalJoinReport local_report;
@@ -306,7 +316,8 @@ Status ExternalSelfJoin(const std::string& input_path,
   return status;
 }
 
-Status ExternalJoin(const std::string& input_a, const std::string& input_b,
+Status ExternalJoin(const ExternalDatasetRef& input_a,
+                    const ExternalDatasetRef& input_b,
                     const ExternalJoinConfig& config, PairSink* sink,
                     JoinStats* stats, ExternalJoinReport* report) {
   if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
@@ -315,7 +326,7 @@ Status ExternalJoin(const std::string& input_a, const std::string& input_b,
   size_t dims = 0;
   {
     BinaryDatasetReader reader;
-    SIMJOIN_RETURN_NOT_OK(reader.Open(input_a));
+    SIMJOIN_RETURN_NOT_OK(OpenRef(input_a, &reader));
     dims = reader.dims();
     SIMJOIN_RETURN_NOT_OK(config.ekdb.Validate(dims));
   }

@@ -54,10 +54,40 @@ struct ExternalJoinReport {
   uint64_t bytes_spilled = 0;        ///< total spill-file volume
 };
 
-/// Self-join of the binary dataset at input_path.  Pairs are emitted in
-/// canonical (smaller row id, larger row id) order, exactly once, and the
-/// pair set equals the in-memory EkdbSelfJoin on the same data.
-Status ExternalSelfJoin(const std::string& input_path,
+/// One out-of-core join input: either a simjoin binary dataset file, or a
+/// headerless raw row-major float32 region inside an arbitrary file — the
+/// dataset section of an index segment file (core/segment.h), which lets a
+/// memory-mapped index spill-join directly from its own backing file.
+struct ExternalDatasetRef {
+  std::string path;
+
+  /// When false (a plain binary dataset file), the remaining fields are
+  /// ignored and read from the file header.
+  bool raw = false;
+  uint64_t byte_offset = 0;
+  uint64_t num_points = 0;
+  size_t dims = 0;
+
+  ExternalDatasetRef() = default;
+  /*implicit*/ ExternalDatasetRef(std::string p) : path(std::move(p)) {}
+  /*implicit*/ ExternalDatasetRef(const char* p) : path(p) {}
+
+  static ExternalDatasetRef Raw(std::string p, uint64_t offset,
+                                uint64_t points, size_t d) {
+    ExternalDatasetRef ref;
+    ref.path = std::move(p);
+    ref.raw = true;
+    ref.byte_offset = offset;
+    ref.num_points = points;
+    ref.dims = d;
+    return ref;
+  }
+};
+
+/// Self-join of the referenced dataset.  Pairs are emitted in canonical
+/// (smaller row id, larger row id) order, exactly once, and the pair set
+/// equals the in-memory EkdbSelfJoin on the same data.
+Status ExternalSelfJoin(const ExternalDatasetRef& input,
                         const ExternalJoinConfig& config, PairSink* sink,
                         JoinStats* stats = nullptr,
                         ExternalJoinReport* report = nullptr);
@@ -68,7 +98,8 @@ Status ExternalSelfJoin(const std::string& input_path,
 /// joined with partitions p-1, p, p+1 of B — stripe adjacency guarantees no
 /// other combination can hold pairs — with two partitions resident at a
 /// time.  Pairs are (row id in A, row id in B), exactly once.
-Status ExternalJoin(const std::string& input_a, const std::string& input_b,
+Status ExternalJoin(const ExternalDatasetRef& input_a,
+                    const ExternalDatasetRef& input_b,
                     const ExternalJoinConfig& config, PairSink* sink,
                     JoinStats* stats = nullptr,
                     ExternalJoinReport* report = nullptr);

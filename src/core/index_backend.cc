@@ -28,6 +28,8 @@ Result<BackendKind> BackendKindFromWire(uint8_t value) {
       return BackendKind::kLsh;
     case 3:
       return BackendKind::kBruteSimd;
+    case 4:
+      return BackendKind::kRTree;
     default:
       return Status::InvalidArgument("unknown index backend byte " +
                                      std::to_string(value));
@@ -44,6 +46,8 @@ const char* BackendKindName(BackendKind kind) {
       return "lsh";
     case BackendKind::kBruteSimd:
       return "brute-simd";
+    case BackendKind::kRTree:
+      return "rtree";
   }
   return "unknown";
 }

@@ -46,10 +46,11 @@ enum class BackendKind : uint8_t {
   kEpsilonGrid = 1,  ///< uniform epsilon-cell grid (dense low-d fast path)
   kLsh = 2,          ///< p-stable LSH candidates + exact SIMD verification
   kBruteSimd = 3,    ///< strided SIMD scan of the whole dataset
+  kRTree = 4,        ///< bulk-loaded R-tree (src/rtree), exact range search
 };
 
 /// Number of distinct BackendKind values (for fixed-size per-kind tables).
-inline constexpr size_t kNumBackendKinds = 4;
+inline constexpr size_t kNumBackendKinds = 5;
 
 /// Wire byte in the RangeQuery planner extension meaning "no forced
 /// backend — let the planner choose".
@@ -92,6 +93,12 @@ class IndexBackend {
   virtual bool exact() const = 0;
   /// True when SelfJoin is implemented natively.
   virtual bool supports_self_join() const { return false; }
+  /// True when the structure is served out of a memory-mapped segment file
+  /// (fault-in serving) rather than heap storage.  The planner charges
+  /// mapped backends a cold-read penalty until they have served queries,
+  /// and the registry accounts their bytes against the OS page cache, not
+  /// the heap budget.
+  virtual bool mapped() const { return false; }
 
   virtual Status ValidateQueryEpsilon(double eps_query) const = 0;
 

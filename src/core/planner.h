@@ -109,6 +109,12 @@ struct RangePlannerOptions {
   size_t lsh_hashes_per_table = 8;
   /// Hard cap on L (memory and hashing cost scale linearly with it).
   size_t lsh_max_tables = 64;
+  /// Multiplier on a memory-mapped primary's probed cost while it is cold
+  /// (no queries served yet): its first traversals pay page faults against
+  /// the segment file, not just arithmetic.  Captured before the probe —
+  /// probing warms the mapping — so a freshly faulted-in index competes
+  /// honestly with heap-resident alternatives.
+  double cold_read_penalty = 4.0;
   uint64_t seed = 17;
 };
 

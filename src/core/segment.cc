@@ -1,0 +1,639 @@
+#include "core/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "core/segment_internal.h"
+#include "obs/metrics.h"
+
+namespace simjoin {
+
+namespace {
+
+static_assert(sizeof(FlatEkdbNode) == 28,
+              "FlatEkdbNode is the on-disk node record; its layout is part "
+              "of the segment format");
+static_assert(sizeof(PointId) == 4, "segment format stores 32-bit ids");
+
+// Fixed header field offsets within the 4096-byte header page.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffDims = 8;
+constexpr size_t kOffNumNodes = 12;
+constexpr size_t kOffNumPoints = 16;
+constexpr size_t kOffNumStripes = 24;
+constexpr size_t kOffStripeWidth = 32;
+constexpr size_t kOffEpsilon = 40;
+constexpr size_t kOffMetric = 48;
+constexpr size_t kOffLeafThreshold = 52;
+constexpr size_t kOffBboxPruning = 56;
+constexpr size_t kOffSlidingWindow = 57;
+constexpr size_t kOffNumSections = 60;
+constexpr size_t kOffSections = 64;
+constexpr size_t kSectionEntryBytes = 24;  // offset, bytes, checksum
+constexpr size_t kOffHeaderChecksum =
+    kOffSections + kNumSegmentSections * kSectionEntryBytes;  // 232
+static_assert(kOffHeaderChecksum + 8 <= kSegmentPageBytes,
+              "header must fit in one page");
+
+struct SegmentMetrics {
+  obs::Counter* opened;
+  obs::Counter* closed;
+  obs::Counter* open_errors;
+  obs::Gauge* mapped_bytes;
+};
+
+const SegmentMetrics& GetSegmentMetrics() {
+  static const SegmentMetrics metrics = [] {
+    obs::MetricRegistry& reg = obs::GlobalMetrics();
+    SegmentMetrics m;
+    m.opened = reg.GetCounter("mmap.segments_opened");
+    m.closed = reg.GetCounter("mmap.segments_closed");
+    m.open_errors = reg.GetCounter("mmap.open_errors");
+    m.mapped_bytes = reg.GetGauge("mmap.mapped_bytes");
+    return m;
+  }();
+  return metrics;
+}
+
+template <typename T>
+void PutField(uint8_t* page, size_t offset, T value) {
+  std::memcpy(page + offset, &value, sizeof(T));
+}
+template <typename T>
+T GetField(const uint8_t* page, size_t offset) {
+  T value;
+  std::memcpy(&value, page + offset, sizeof(T));
+  return value;
+}
+
+/// RAII fd.
+struct Fd {
+  int fd = -1;
+  explicit Fd(int f) : fd(f) {}
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+};
+
+Status WriteAll(int fd, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t wrote = ::write(fd, p, len);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("segment write failed: ") +
+                             std::strerror(errno));
+    }
+    p += wrote;
+    len -= static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status PreadAll(int fd, void* data, size_t len, uint64_t offset) {
+  auto* p = static_cast<uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t got = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("segment read failed: ") +
+                             std::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::InvalidArgument(
+          "truncated segment file (unexpected end of file)");
+    }
+    p += got;
+    len -= static_cast<size_t>(got);
+    offset += static_cast<uint64_t>(got);
+  }
+  return Status::OK();
+}
+
+Status VerifySection(const char* name, const SegmentInfo::Section& s,
+                     const void* data) {
+  if (segment_internal::Fnv1a64(data, s.bytes, segment_internal::kFnvSeed) !=
+      s.checksum) {
+    return Status::InvalidArgument(
+        std::string("corrupt segment file: ") + name +
+        " section checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace segment_internal {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t state) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state ^= bytes[i];
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+uint64_t PageAlign(uint64_t offset) {
+  return (offset + kSegmentPageBytes - 1) / kSegmentPageBytes *
+         kSegmentPageBytes;
+}
+
+uint64_t ExpectedSectionBytes(SegmentSection section, const SegmentInfo& h) {
+  const uint64_t dims = h.dims;
+  const uint64_t nodes = h.num_nodes;
+  const uint64_t points = h.num_points;
+  switch (section) {
+    case SegmentSection::kDimOrder:
+      return dims * sizeof(uint32_t);
+    case SegmentSection::kNodes:
+      return nodes * sizeof(FlatEkdbNode);
+    case SegmentSection::kBboxLo:
+    case SegmentSection::kBboxHi:
+      return nodes * dims * sizeof(float);
+    case SegmentSection::kArena:
+    case SegmentSection::kDataset:
+      return points * dims * sizeof(float);
+    case SegmentSection::kArenaIds:
+      return points * sizeof(PointId);
+  }
+  return 0;
+}
+
+void ComputeSectionLayout(SegmentInfo* info) {
+  uint64_t offset = kSegmentPageBytes;
+  for (size_t i = 0; i < kNumSegmentSections; ++i) {
+    info->sections[i].offset = offset;
+    info->sections[i].bytes =
+        ExpectedSectionBytes(static_cast<SegmentSection>(i), *info);
+    offset = PageAlign(offset + info->sections[i].bytes);
+  }
+  info->file_bytes = offset;
+}
+
+void SerializeHeaderPage(const SegmentInfo& info, uint8_t* page) {
+  std::memset(page, 0, kSegmentPageBytes);
+  PutField<uint32_t>(page, kOffMagic, kSegmentMagic);
+  PutField<uint32_t>(page, kOffVersion, kSegmentVersion);
+  PutField<uint32_t>(page, kOffDims, info.dims);
+  PutField<uint32_t>(page, kOffNumNodes, info.num_nodes);
+  PutField<uint64_t>(page, kOffNumPoints, info.num_points);
+  PutField<uint64_t>(page, kOffNumStripes, info.num_stripes);
+  PutField<double>(page, kOffStripeWidth, info.stripe_width);
+  PutField<double>(page, kOffEpsilon, info.config.epsilon);
+  PutField<uint32_t>(page, kOffMetric,
+                     static_cast<uint32_t>(info.config.metric));
+  PutField<uint32_t>(page, kOffLeafThreshold,
+                     static_cast<uint32_t>(info.config.leaf_threshold));
+  PutField<uint8_t>(page, kOffBboxPruning, info.config.bbox_pruning ? 1 : 0);
+  PutField<uint8_t>(page, kOffSlidingWindow,
+                    info.config.sliding_window_leaf_join ? 1 : 0);
+  PutField<uint32_t>(page, kOffNumSections, kNumSegmentSections);
+  for (size_t i = 0; i < kNumSegmentSections; ++i) {
+    const size_t base = kOffSections + i * kSectionEntryBytes;
+    PutField<uint64_t>(page, base, info.sections[i].offset);
+    PutField<uint64_t>(page, base + 8, info.sections[i].bytes);
+    PutField<uint64_t>(page, base + 16, info.sections[i].checksum);
+  }
+  PutField<uint64_t>(page, kOffHeaderChecksum,
+                     Fnv1a64(page, kOffHeaderChecksum, kFnvSeed));
+}
+
+Status ParseHeaderPage(const uint8_t* page, uint64_t file_bytes,
+                       SegmentInfo* out) {
+  if (GetField<uint32_t>(page, kOffMagic) != kSegmentMagic) {
+    return Status::InvalidArgument(
+        "corrupt segment file: bad magic (not a simjoin segment)");
+  }
+  out->version = GetField<uint32_t>(page, kOffVersion);
+  if (out->version != kSegmentVersion) {
+    return Status::InvalidArgument(
+        "unsupported segment version " + std::to_string(out->version) +
+        " (this build reads version " + std::to_string(kSegmentVersion) +
+        ")");
+  }
+  const uint64_t stored_checksum =
+      GetField<uint64_t>(page, kOffHeaderChecksum);
+  const uint64_t computed = Fnv1a64(page, kOffHeaderChecksum, kFnvSeed);
+  if (stored_checksum != computed) {
+    return Status::InvalidArgument(
+        "corrupt segment file: header checksum mismatch");
+  }
+  out->dims = GetField<uint32_t>(page, kOffDims);
+  out->num_nodes = GetField<uint32_t>(page, kOffNumNodes);
+  out->num_points = GetField<uint64_t>(page, kOffNumPoints);
+  out->num_stripes = GetField<uint64_t>(page, kOffNumStripes);
+  out->stripe_width = GetField<double>(page, kOffStripeWidth);
+  out->config.epsilon = GetField<double>(page, kOffEpsilon);
+  const uint32_t metric_tag = GetField<uint32_t>(page, kOffMetric);
+  if (metric_tag > static_cast<uint32_t>(Metric::kL2)) {
+    return Status::InvalidArgument("corrupt segment file: unknown metric");
+  }
+  out->config.metric = static_cast<Metric>(metric_tag);
+  out->config.leaf_threshold = GetField<uint32_t>(page, kOffLeafThreshold);
+  out->config.bbox_pruning = GetField<uint8_t>(page, kOffBboxPruning) != 0;
+  out->config.sliding_window_leaf_join =
+      GetField<uint8_t>(page, kOffSlidingWindow) != 0;
+  if (GetField<uint32_t>(page, kOffNumSections) != kNumSegmentSections) {
+    return Status::InvalidArgument(
+        "corrupt segment file: unexpected section count");
+  }
+  if (out->dims == 0 || out->dims > (1u << 16)) {
+    return Status::InvalidArgument(
+        "corrupt segment file: implausible dimensionality");
+  }
+  if (out->num_nodes == 0 ||
+      out->num_points > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "corrupt segment file: node/point counts out of range");
+  }
+  out->file_bytes = file_bytes;
+  for (size_t i = 0; i < kNumSegmentSections; ++i) {
+    SegmentInfo::Section& s = out->sections[i];
+    const size_t base = kOffSections + i * kSectionEntryBytes;
+    s.offset = GetField<uint64_t>(page, base);
+    s.bytes = GetField<uint64_t>(page, base + 8);
+    s.checksum = GetField<uint64_t>(page, base + 16);
+    if (s.offset % kSegmentPageBytes != 0) {
+      return Status::InvalidArgument(
+          "corrupt segment file: section " + std::to_string(i) +
+          " is not page-aligned");
+    }
+    if (s.offset < kSegmentPageBytes || s.offset > file_bytes ||
+        s.bytes > file_bytes - s.offset) {
+      return Status::InvalidArgument(
+          "truncated segment file (section " + std::to_string(i) +
+          " extends past end of file)");
+    }
+    const uint64_t want =
+        ExpectedSectionBytes(static_cast<SegmentSection>(i), *out);
+    if (s.bytes != want) {
+      return Status::InvalidArgument(
+          "corrupt segment file: section " + std::to_string(i) + " holds " +
+          std::to_string(s.bytes) + " bytes, header shape implies " +
+          std::to_string(want));
+    }
+  }
+  // The writer pads every section (including the last) to a page boundary,
+  // so the section table pins the exact file size.  Anything shorter is a
+  // truncation — even one lost padding byte signals an interrupted copy —
+  // and anything longer is not a file we wrote.
+  uint64_t expected_file_bytes = kSegmentPageBytes;
+  for (const SegmentInfo::Section& s : out->sections) {
+    expected_file_bytes =
+        std::max(expected_file_bytes, PageAlign(s.offset + s.bytes));
+  }
+  if (file_bytes != expected_file_bytes) {
+    return Status::InvalidArgument(
+        "truncated segment file (file holds " + std::to_string(file_bytes) +
+        " bytes, section table requires " +
+        std::to_string(expected_file_bytes) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace segment_internal
+
+namespace {
+
+/// Builds the storage view a FlatEkdbTree is constructed from, shared by
+/// the mapped and in-memory open paths.
+FlatEkdbStorageView ViewFromSections(const SegmentInfo& info,
+                                     std::vector<uint32_t> dim_order,
+                                     const FlatEkdbNode* nodes,
+                                     const float* bbox_lo,
+                                     const float* bbox_hi, const float* arena,
+                                     const PointId* arena_ids) {
+  FlatEkdbStorageView view;
+  view.config = info.config;
+  view.config.dim_order = dim_order;
+  view.dim_order = std::move(dim_order);
+  view.num_stripes = info.num_stripes;
+  view.stripe_width = info.stripe_width;
+  view.nodes = nodes;
+  view.num_nodes = info.num_nodes;
+  view.bbox_lo = bbox_lo;
+  view.bbox_hi = bbox_hi;
+  view.arena = arena;
+  view.arena_ids = arena_ids;
+  view.arena_count = info.num_points;
+  return view;
+}
+
+}  // namespace
+
+Status WriteSegment(const FlatEkdbTree& tree, const std::string& path) {
+  namespace si = segment_internal;
+  const Dataset& data = tree.dataset();
+  const uint64_t dims = data.dims();
+  const uint64_t num_nodes = tree.num_nodes();
+  const uint64_t num_points = tree.arena_size();
+  if (data.size() != num_points) {
+    return Status::InvalidArgument(
+        "segment write requires the tree to index every dataset row");
+  }
+
+  SegmentInfo info;
+  info.version = kSegmentVersion;
+  info.dims = static_cast<uint32_t>(dims);
+  info.num_nodes = static_cast<uint32_t>(num_nodes);
+  info.num_points = num_points;
+  info.num_stripes = tree.num_stripes();
+  info.stripe_width = tree.stripe_width();
+  info.config = tree.config();
+  si::ComputeSectionLayout(&info);
+
+  // Section payloads in file order.
+  const std::vector<uint32_t>& order = tree.dim_order();
+  const void* payloads[kNumSegmentSections] = {
+      order.data(),          tree.nodes_data(), tree.bbox_lo(0),
+      tree.bbox_hi(0),       tree.arena_data(), tree.arena_ids_data(),
+      data.data(),
+  };
+  for (size_t i = 0; i < kNumSegmentSections; ++i) {
+    info.sections[i].checksum =
+        si::Fnv1a64(payloads[i], info.sections[i].bytes, si::kFnvSeed);
+  }
+
+  uint8_t page[kSegmentPageBytes];
+  si::SerializeHeaderPage(info, page);
+
+  // Write to a temporary sibling, fsync, rename into place: readers never
+  // see a half-written segment, and a crash leaves only a .tmp to sweep.
+  const std::string tmp = path + ".tmp";
+  Fd fd(::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644));
+  if (fd.fd < 0) {
+    return Status::IoError("cannot create segment file '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  Status st = WriteAll(fd.fd, page, sizeof(page));
+  static constexpr uint8_t kZeros[kSegmentPageBytes] = {};
+  uint64_t written = kSegmentPageBytes;
+  for (size_t i = 0; i < kNumSegmentSections && st.ok(); ++i) {
+    // Pad to the section's page-aligned offset, then stream the payload.
+    while (st.ok() && written < info.sections[i].offset) {
+      const uint64_t pad =
+          std::min<uint64_t>(sizeof(kZeros), info.sections[i].offset - written);
+      st = WriteAll(fd.fd, kZeros, pad);
+      written += pad;
+    }
+    if (st.ok()) {
+      st = WriteAll(fd.fd, payloads[i], info.sections[i].bytes);
+      written += info.sections[i].bytes;
+    }
+  }
+  while (st.ok() && written < info.file_bytes) {
+    const uint64_t pad =
+        std::min<uint64_t>(sizeof(kZeros), info.file_bytes - written);
+    st = WriteAll(fd.fd, kZeros, pad);
+    written += pad;
+  }
+  if (st.ok() && ::fsync(fd.fd) != 0) {
+    st = Status::IoError(std::string("segment fsync failed: ") +
+                         std::strerror(errno));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_st = Status::IoError(
+        "cannot rename segment into place: " + std::string(strerror(errno)));
+    ::unlink(tmp.c_str());
+    return rename_st;
+  }
+  return Status::OK();
+}
+
+Result<SegmentInfo> ReadSegmentInfo(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY));
+  if (fd.fd < 0) {
+    return Status::NotFound("cannot open segment file '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat sb;
+  if (::fstat(fd.fd, &sb) != 0) {
+    return Status::IoError(std::string("segment fstat failed: ") +
+                           std::strerror(errno));
+  }
+  if (static_cast<uint64_t>(sb.st_size) < kSegmentPageBytes) {
+    return Status::InvalidArgument(
+        "truncated segment file (smaller than one header page)");
+  }
+  uint8_t page[kSegmentPageBytes];
+  SIMJOIN_RETURN_NOT_OK(PreadAll(fd.fd, page, sizeof(page), 0));
+  SegmentInfo info;
+  SIMJOIN_RETURN_NOT_OK(segment_internal::ParseHeaderPage(
+      page, static_cast<uint64_t>(sb.st_size), &info));
+  const SegmentInfo::Section& order =
+      info.sections[static_cast<size_t>(SegmentSection::kDimOrder)];
+  std::vector<uint32_t> dim_order(info.dims);
+  SIMJOIN_RETURN_NOT_OK(
+      PreadAll(fd.fd, dim_order.data(), order.bytes, order.offset));
+  SIMJOIN_RETURN_NOT_OK(VerifySection("dim_order", order, dim_order.data()));
+  info.config.dim_order = std::move(dim_order);
+  return info;
+}
+
+Result<std::shared_ptr<MappedSegment>> MappedSegment::Open(
+    const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY));
+  if (fd.fd < 0) {
+    GetSegmentMetrics().open_errors->Add(1);
+    return Status::NotFound("cannot open segment file '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat sb;
+  if (::fstat(fd.fd, &sb) != 0) {
+    GetSegmentMetrics().open_errors->Add(1);
+    return Status::IoError(std::string("segment fstat failed: ") +
+                           std::strerror(errno));
+  }
+  const auto file_bytes = static_cast<uint64_t>(sb.st_size);
+  if (file_bytes < kSegmentPageBytes) {
+    GetSegmentMetrics().open_errors->Add(1);
+    return Status::InvalidArgument(
+        "truncated segment file (smaller than one header page)");
+  }
+  uint8_t page[kSegmentPageBytes];
+  SIMJOIN_RETURN_NOT_OK(PreadAll(fd.fd, page, sizeof(page), 0));
+  SegmentInfo info;
+  if (Status st = segment_internal::ParseHeaderPage(page, file_bytes, &info);
+      !st.ok()) {
+    GetSegmentMetrics().open_errors->Add(1);
+    return st;
+  }
+
+  void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+  if (base == MAP_FAILED) {
+    GetSegmentMetrics().open_errors->Add(1);
+    return Status::IoError(std::string("segment mmap failed: ") +
+                           std::strerror(errno));
+  }
+  auto segment = std::shared_ptr<MappedSegment>(new MappedSegment());
+  segment->path_ = path;
+  segment->base_ = base;
+  segment->length_ = file_bytes;
+  segment->info_ = info;
+
+  // Residency hints: the whole mapping is random-access (point queries
+  // touch scattered leaf windows); the node/bbox metadata is hot — every
+  // traversal walks it — so prefetch it eagerly.
+  ::madvise(base, file_bytes, MADV_RANDOM);
+  const auto& nodes_sec =
+      info.sections[static_cast<size_t>(SegmentSection::kNodes)];
+  const auto& bbox_hi_sec =
+      info.sections[static_cast<size_t>(SegmentSection::kBboxHi)];
+  const uint64_t hot_begin = nodes_sec.offset;
+  const uint64_t hot_end =
+      segment_internal::PageAlign(bbox_hi_sec.offset + bbox_hi_sec.bytes);
+  if (hot_end > hot_begin && hot_end <= file_bytes) {
+    ::madvise(static_cast<uint8_t*>(base) + hot_begin, hot_end - hot_begin,
+              MADV_WILLNEED);
+  }
+
+  // dim_order lives in the mapping; copy it out (it is part of the config,
+  // which outlives any particular view of the mapping).
+  const uint32_t* order = segment->dim_order();
+  SIMJOIN_RETURN_NOT_OK(VerifySection(
+      "dim_order",
+      info.sections[static_cast<size_t>(SegmentSection::kDimOrder)], order));
+  segment->info_.config.dim_order.assign(order, order + info.dims);
+
+  GetSegmentMetrics().opened->Add(1);
+  GetSegmentMetrics().mapped_bytes->Add(static_cast<int64_t>(file_bytes));
+  return segment;
+}
+
+MappedSegment::~MappedSegment() {
+  if (base_ != nullptr) {
+    ::munmap(base_, length_);
+    GetSegmentMetrics().closed->Add(1);
+    GetSegmentMetrics().mapped_bytes->Add(-static_cast<int64_t>(length_));
+  }
+}
+
+uint64_t MappedSegment::ResidentBytes() const {
+  const size_t pages = (length_ + kSegmentPageBytes - 1) / kSegmentPageBytes;
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(base_, length_, vec.data()) != 0) return 0;
+  uint64_t resident = 0;
+  for (const unsigned char v : vec) {
+    if (v & 1) resident += kSegmentPageBytes;
+  }
+  return std::min(resident, length_);
+}
+
+Status MappedSegment::VerifyChecksums() const {
+  static const char* const kNames[kNumSegmentSections] = {
+      "dim_order", "nodes",     "bbox_lo", "bbox_hi",
+      "arena",     "arena_ids", "dataset"};
+  for (size_t i = 0; i < kNumSegmentSections; ++i) {
+    const SegmentInfo::Section& s = info_.sections[i];
+    SIMJOIN_RETURN_NOT_OK(VerifySection(
+        kNames[i], s, static_cast<const uint8_t*>(base_) + s.offset));
+  }
+  return Status::OK();
+}
+
+void MappedSegment::ReleaseResidentPages() const {
+  ::madvise(base_, length_, MADV_DONTNEED);
+  // MADV_DONTNEED drops this mapping's PTEs, but mincore() on a file-backed
+  // mapping answers from the page cache, where a freshly written segment is
+  // still fully resident.  Ask the kernel to drop the (clean) cache pages
+  // too, so ResidentBytes() after a release genuinely restarts from zero —
+  // the property the out-of-core bench measures.
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::posix_fadvise(fd, 0, static_cast<off_t>(length_), POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
+}
+
+Result<SegmentIndex> OpenSegment(const std::string& path,
+                                 SegmentOpenMode mode) {
+  if (mode == SegmentOpenMode::kMmap) {
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<MappedSegment> segment,
+                             MappedSegment::Open(path));
+    const SegmentInfo& info = segment->info();
+    SegmentIndex out;
+    out.dataset = std::make_unique<Dataset>(Dataset::Borrowed(
+        segment->dataset_rows(), info.num_points, info.dims));
+    FlatEkdbStorageView view = ViewFromSections(
+        info, info.config.dim_order, segment->nodes(), segment->bbox_lo(),
+        segment->bbox_hi(), segment->arena(), segment->arena_ids());
+    SIMJOIN_ASSIGN_OR_RETURN(
+        FlatEkdbTree tree,
+        FlatEkdbTree::FromView(*out.dataset, view, segment));
+    out.tree = std::make_unique<FlatEkdbTree>(std::move(tree));
+    out.segment = std::move(segment);
+    return out;
+  }
+
+  // In-memory load: read and checksum-verify every section into owned
+  // storage.
+  SIMJOIN_ASSIGN_OR_RETURN(SegmentInfo info, ReadSegmentInfo(path));
+  Fd fd(::open(path.c_str(), O_RDONLY));
+  if (fd.fd < 0) {
+    return Status::NotFound("cannot open segment file '" + path +
+                            "': " + std::strerror(errno));
+  }
+  auto section = [&](SegmentSection s) -> const SegmentInfo::Section& {
+    return info.sections[static_cast<size_t>(s)];
+  };
+
+  FlatEkdbStorage storage;
+  storage.config = info.config;
+  storage.dim_order = info.config.dim_order;
+  storage.num_stripes = info.num_stripes;
+  storage.stripe_width = info.stripe_width;
+  storage.nodes.resize(info.num_nodes);
+  storage.bbox_lo.resize(static_cast<size_t>(info.num_nodes) * info.dims);
+  storage.bbox_hi.resize(static_cast<size_t>(info.num_nodes) * info.dims);
+  storage.arena.resize(static_cast<size_t>(info.num_points) * info.dims);
+  storage.arena_ids.resize(info.num_points);
+  std::vector<float> rows(static_cast<size_t>(info.num_points) * info.dims);
+
+  struct Load {
+    SegmentSection section;
+    const char* name;
+    void* data;
+  };
+  const Load loads[] = {
+      {SegmentSection::kNodes, "nodes", storage.nodes.data()},
+      {SegmentSection::kBboxLo, "bbox_lo", storage.bbox_lo.data()},
+      {SegmentSection::kBboxHi, "bbox_hi", storage.bbox_hi.data()},
+      {SegmentSection::kArena, "arena", storage.arena.data()},
+      {SegmentSection::kArenaIds, "arena_ids", storage.arena_ids.data()},
+      {SegmentSection::kDataset, "dataset", rows.data()},
+  };
+  for (const Load& load : loads) {
+    const SegmentInfo::Section& s = section(load.section);
+    SIMJOIN_RETURN_NOT_OK(PreadAll(fd.fd, load.data, s.bytes, s.offset));
+    SIMJOIN_RETURN_NOT_OK(VerifySection(load.name, s, load.data));
+  }
+
+  SegmentIndex out;
+  SIMJOIN_ASSIGN_OR_RETURN(Dataset dataset,
+                           Dataset::FromFlat(std::move(rows), info.dims));
+  out.dataset = std::make_unique<Dataset>(std::move(dataset));
+  SIMJOIN_ASSIGN_OR_RETURN(
+      FlatEkdbTree tree,
+      FlatEkdbTree::FromStorage(*out.dataset, std::move(storage)));
+  out.tree = std::make_unique<FlatEkdbTree>(std::move(tree));
+  return out;
+}
+
+}  // namespace simjoin

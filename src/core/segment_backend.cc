@@ -1,0 +1,113 @@
+#include "core/segment_backend.h"
+
+#include <utility>
+
+#include "core/ekdb_flat_join.h"
+#include "core/external_join.h"
+#include "core/parallel_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace simjoin {
+
+namespace {
+
+obs::Counter* SpillJoinsCounter() {
+  static obs::Counter* const counter =
+      obs::GlobalMetrics().GetCounter("mmap.spill_joins");
+  return counter;
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MmapEkdbBackend>> MmapEkdbBackend::Open(
+    const std::string& path, const MmapBackendOptions& options) {
+  SIMJOIN_ASSIGN_OR_RETURN(SegmentIndex index,
+                           OpenSegment(path, SegmentOpenMode::kMmap));
+  return std::unique_ptr<MmapEkdbBackend>(
+      new MmapEkdbBackend(std::move(index), options));
+}
+
+uint64_t MmapEkdbBackend::index_bytes() const {
+  // Heap bookkeeping only: the structure's real bytes live in the mapping
+  // (page cache), reported via mapped_bytes()/resident_bytes().
+  return sizeof(*this) +
+         config().dim_order.capacity() * sizeof(uint32_t) +
+         index_.segment->path().capacity();
+}
+
+Status MmapEkdbBackend::RangeQuery(const float* query, double eps_query,
+                                   std::vector<PointId>* out, JoinStats* stats,
+                                   double* recall_est) const {
+  if (recall_est != nullptr) *recall_est = 1.0;
+  SIMJOIN_RETURN_NOT_OK(index_.tree->RangeQuery(query, eps_query, out, stats));
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MmapEkdbBackend::RangeQueryBatch(
+    const RangeQuerySpec* specs, size_t count,
+    std::vector<std::vector<PointId>>* results, std::vector<JoinStats>* stats,
+    std::vector<double>* recall_ests) const {
+  if (recall_ests != nullptr) recall_ests->assign(count, 1.0);
+  SIMJOIN_RETURN_NOT_OK(
+      index_.tree->RangeQueryBatch(specs, count, results, stats));
+  queries_served_.fetch_add(count, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MmapEkdbBackend::SelfJoin(double eps_query, size_t num_threads,
+                                 PairSink* sink, JoinStats* stats) const {
+  SIMJOIN_RETURN_NOT_OK(ValidateQueryEpsilon(eps_query));
+  const FlatEkdbTree& tree = *index_.tree;
+  if (mapped_bytes() <= options_.spill_join_bytes) {
+    const double build_eps = tree.config().epsilon;
+    if (num_threads > 1 && eps_query == build_eps) {
+      ParallelJoinConfig pcfg;
+      pcfg.num_threads = num_threads;
+      return ParallelFlatEkdbSelfJoin(tree, pcfg, sink, stats);
+    }
+    return eps_query == build_eps
+               ? FlatEkdbSelfJoin(tree, sink, stats)
+               : FlatEkdbSelfJoinWithEpsilon(tree, eps_query, sink, stats);
+  }
+
+  // Operand exceeds the in-core budget: run the out-of-core partition join
+  // over the dataset section of our own segment file (a headerless raw
+  // region — no copy of the data is made).  Resident footprint is bounded
+  // by spill_memory_budget_points; the canonical pair set is identical.
+  SIMJOIN_TRACE_SPAN("mmap.spill_self_join");
+  SpillJoinsCounter()->Add(1);
+  const SegmentInfo& info = index_.segment->info();
+  const SegmentInfo::Section& rows =
+      info.sections[static_cast<size_t>(SegmentSection::kDataset)];
+  ExternalJoinConfig ext;
+  ext.ekdb = tree.config();
+  ext.ekdb.epsilon = eps_query;
+  ext.temp_dir = options_.spill_temp_dir.empty() ? DirOf(segment_path())
+                                                 : options_.spill_temp_dir;
+  ext.memory_budget_points = options_.spill_memory_budget_points;
+  return ExternalSelfJoin(
+      ExternalDatasetRef::Raw(segment_path(), rows.offset, info.num_points,
+                              info.dims),
+      ext, sink, stats);
+}
+
+double MmapEkdbBackend::EstimatedQueryCost(double /*eps_query*/,
+                                           double expected_neighbors) const {
+  // Same prior as the heap-backed flat tree, multiplied by the cold-read
+  // penalty until the mapping has demonstrably faulted its hot pages in.
+  const double n = static_cast<double>(dataset().size());
+  const double warm = std::min(n, 64.0 + 8.0 * expected_neighbors);
+  const bool cold = queries_served_.load(std::memory_order_relaxed) == 0;
+  return cold ? warm * options_.cold_cost_penalty : warm;
+}
+
+}  // namespace simjoin

@@ -1,0 +1,112 @@
+// Fault-in serving backend over a memory-mapped index segment.
+//
+// MmapEkdbBackend is the out-of-core twin of EkdbFlatBackend: it answers the
+// same queries through the same FlatEkdbTree traversal code, but its node
+// array, bbox planes, arena, and dataset rows are views into a MappedSegment
+// rather than heap vectors.  Nothing is loaded eagerly — pages fault in as
+// traversals touch them, and the OS page cache owns residency, so the heap
+// cost of a served index collapses to a few hundred bytes of bookkeeping.
+// That is what lets the registry keep indexes far larger than its byte
+// budget serviceable: eviction unmaps the segment (dropping resident pages),
+// fault-in re-opens it, and neither path rebuilds anything.
+//
+// Self-joins on a mapped backend may exceed memory if run in-core over a
+// huge arena; above spill_join_bytes the backend routes the join through the
+// out-of-core partition join (core/external_join.h), feeding it the dataset
+// section of its own segment file as a raw region — no copy, bounded
+// resident footprint, pair set identical to the in-core join.
+
+#ifndef SIMJOIN_CORE_SEGMENT_BACKEND_H_
+#define SIMJOIN_CORE_SEGMENT_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/index_backend.h"
+#include "core/segment.h"
+
+namespace simjoin {
+
+/// Serving knobs of a mapped backend.
+struct MmapBackendOptions {
+  /// Self-joins on segments mapping more than this many bytes run through
+  /// the out-of-core partition join instead of the in-core flat join.
+  uint64_t spill_join_bytes = uint64_t{512} << 20;
+
+  /// Temp directory for spilled join partitions; empty uses the segment
+  /// file's directory.
+  std::string spill_temp_dir;
+
+  /// Resident point budget handed to the out-of-core join when spilling.
+  size_t spill_memory_budget_points = size_t{1} << 17;
+
+  /// Multiplier the planner applies to this backend's probed query cost
+  /// while the mapping is cold (no queries served yet): the first
+  /// traversals pay page faults, not just arithmetic.
+  double cold_cost_penalty = 4.0;
+};
+
+/// IndexBackend over a memory-mapped segment file.  kind() reports
+/// kEkdbFlat — it IS the flat tree, just view-backed — and mapped() reports
+/// true so the planner and the registry can account for fault-in costs.
+class MmapEkdbBackend final : public IndexBackend {
+ public:
+  /// Maps the segment at `path` and wraps it for serving.
+  static Result<std::unique_ptr<MmapEkdbBackend>> Open(
+      const std::string& path, const MmapBackendOptions& options = {});
+
+  BackendKind kind() const override { return BackendKind::kEkdbFlat; }
+  bool mapped() const override { return true; }
+  const EkdbConfig& config() const override { return index_.tree->config(); }
+  const Dataset& dataset() const override { return *index_.dataset; }
+  /// Heap bytes only: the mapping's bytes live in the page cache and are
+  /// reported separately (mapped_bytes / ResidentBytes).
+  uint64_t index_bytes() const override;
+  bool exact() const override { return true; }
+  bool supports_self_join() const override { return true; }
+  Status ValidateQueryEpsilon(double eps_query) const override {
+    return index_.tree->ValidateQueryEpsilon(eps_query);
+  }
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out, JoinStats* stats,
+                    double* recall_est) const override;
+  Status RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
+                         std::vector<std::vector<PointId>>* results,
+                         std::vector<JoinStats>* stats,
+                         std::vector<double>* recall_ests) const override;
+  /// In-core flat self-join below spill_join_bytes; out-of-core partition
+  /// join over the segment's own dataset section above it.  Both emit the
+  /// identical canonical pair set.
+  Status SelfJoin(double eps_query, size_t num_threads, PairSink* sink,
+                  JoinStats* stats) const override;
+  double EstimatedQueryCost(double eps_query,
+                            double expected_neighbors) const override;
+  const FlatEkdbTree* flat_tree() const override { return index_.tree.get(); }
+
+  // -- segment introspection ----------------------------------------------
+
+  const MappedSegment& segment() const { return *index_.segment; }
+  const std::string& segment_path() const { return index_.segment->path(); }
+  uint64_t mapped_bytes() const { return index_.segment->mapped_bytes(); }
+  /// Pages of the mapping currently resident (mincore sample).
+  uint64_t resident_bytes() const { return index_.segment->ResidentBytes(); }
+  /// Queries served since the mapping was opened; 0 means cold (the
+  /// planner's cold-read penalty applies).
+  uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MmapEkdbBackend(SegmentIndex index, MmapBackendOptions options)
+      : index_(std::move(index)), options_(std::move(options)) {}
+
+  SegmentIndex index_;
+  MmapBackendOptions options_;
+  mutable std::atomic<uint64_t> queries_served_{0};
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_SEGMENT_BACKEND_H_

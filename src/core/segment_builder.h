@@ -1,0 +1,92 @@
+// External (out-of-core) bulk load of eps-k-d-B segment files.
+//
+// The classic STR external build samples the input to pick partition
+// boundaries; the eps-k-d-B tree needs no sampling pass because its
+// top-level partition is the *global* epsilon-stripe grid — boundaries are a
+// pure function of epsilon, identical to the ones an in-memory build would
+// choose.  That determinism is what lets the external build promise more
+// than "equivalent": the segment file it writes is byte-identical to
+// WriteSegment over an in-RAM Build of the same dataset.
+//
+// Pipeline (input is a simjoin binary dataset file, common/binary_io.h):
+//
+//  1. Run formation: stream the input in batches, tag every point with its
+//     top-level stripe (dim_order[0]), stable-sort each memory-sized run by
+//     stripe (stability preserves original row order within a stripe) and
+//     spill it to a temp file.
+//  2. K-way merge: merge the runs on (stripe, row id), which regroups the
+//     input by top-level stripe with rows in original order — exactly the
+//     bucket contents the in-memory build's top-level split produces.
+//  3. Per-stripe tiling: each stripe's points (the only full-width resident
+//     state; peak memory = the largest stripe, recorded in the report) are
+//     built into the subtree a full build would hang under that stripe
+//     (EkdbTree::BuildSubtree at depth 1), flattened, and its arena rows and
+//     translated ids streamed to temp files; node metadata (a few % of the
+//     data) is kept in memory.
+//  4. Assembly: fragments' node arrays are interleaved level by level into
+//     the global BFS layout (child ranges remapped arithmetically), a root
+//     node is synthesised, and the final segment file is written in one
+//     sequential pass — node/bbox sections from memory, arena/id sections
+//     copied from the temp spill, the dataset section re-streamed from the
+//     input.  Checksums are accumulated streaming; layout and header bytes
+//     come from the same helpers WriteSegment uses.
+//
+// Degenerate shapes where the in-memory root would not split (fewer points
+// than the leaf threshold, a one-stripe grid, or 1-d data, whose depth-1
+// subtrees cannot be built in isolation) fall back to an in-memory build +
+// WriteSegment; the report says so.
+
+#ifndef SIMJOIN_CORE_SEGMENT_BUILDER_H_
+#define SIMJOIN_CORE_SEGMENT_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/ekdb_config.h"
+
+namespace simjoin {
+
+/// Parameters of the external segment build.
+struct ExternalBuildConfig {
+  /// Index parameters (epsilon, metric, leaf threshold, dim order...).
+  EkdbConfig ekdb;
+
+  /// Directory for run/arena spill files; must exist and be writable.
+  /// Empty uses the output segment's directory.  Spill files are removed on
+  /// completion (success or failure).
+  std::string temp_dir;
+
+  /// Points per sorted run in pass 1.  Together with the largest stripe this
+  /// bounds the build's resident point count.
+  size_t sort_run_points = size_t{1} << 17;
+
+  /// Batch size (points) for streaming reads of the input.
+  size_t io_batch_points = size_t{1} << 14;
+};
+
+/// What the external build actually did; useful for tests, benches, and the
+/// bounded-memory claims in docs/external.md.
+struct ExternalBuildReport {
+  uint64_t num_points = 0;
+  uint32_t num_nodes = 0;
+  uint32_t dims = 0;
+  size_t num_runs = 0;            ///< sorted runs spilled in pass 1
+  size_t num_fragments = 0;       ///< non-empty top-level stripes
+  uint64_t peak_stripe_points = 0;  ///< resident bound of the tiling phase
+  uint64_t temp_bytes_written = 0;  ///< run + arena spill volume
+  uint64_t segment_bytes = 0;       ///< final segment file size
+  bool fallback_in_memory = false;  ///< degenerate shape, built in RAM
+};
+
+/// Bulk-loads the binary dataset at dataset_path into a segment file at
+/// segment_path without ever materialising the whole index in memory.  The
+/// output is byte-identical to WriteSegment(FlatEkdbTree::FromTree(
+/// EkdbTree::Build(dataset, config.ekdb)), segment_path).
+Result<ExternalBuildReport> BuildSegmentExternal(
+    const std::string& dataset_path, const std::string& segment_path,
+    const ExternalBuildConfig& config);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_SEGMENT_BUILDER_H_

@@ -1,0 +1,55 @@
+// Segment-format internals shared by the in-memory writer (core/segment.cc)
+// and the external bulk loader (core/segment_builder.cc).  Both writers MUST
+// go through ComputeSectionLayout + SerializeHeaderPage so that an external
+// build of a dataset produces a file byte-identical to WriteSegment over the
+// equivalent in-RAM tree — the differential tests compare whole files.
+//
+// Nothing here is part of the public API; include only from core/*.cc and
+// tests that deliberately corrupt segment files.
+
+#ifndef SIMJOIN_CORE_SEGMENT_INTERNAL_H_
+#define SIMJOIN_CORE_SEGMENT_INTERNAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/segment.h"
+
+namespace simjoin {
+namespace segment_internal {
+
+/// FNV-1a 64 streaming seed and step.  Chosen for simplicity and streamable
+/// one-pass computation during external builds (not cryptographic — the
+/// checksums detect corruption and truncation, not tampering).
+inline constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ull;
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t state);
+
+/// Rounds up to the next segment page boundary.
+uint64_t PageAlign(uint64_t offset);
+
+/// Byte size a section must have given the shape fields (dims, num_nodes,
+/// num_points) of the header.
+uint64_t ExpectedSectionBytes(SegmentSection section, const SegmentInfo& info);
+
+/// Fills every section's offset and byte size plus file_bytes from the shape
+/// fields already set in *info (dims, num_nodes, num_points).  Section
+/// checksums are the caller's job.  This is the single source of truth for
+/// file layout: sections in enum order, each starting on a page boundary,
+/// header in page zero.
+void ComputeSectionLayout(SegmentInfo* info);
+
+/// Serialises the fixed header page (including the trailing header checksum)
+/// from a fully populated info.  `page` must hold kSegmentPageBytes and is
+/// zeroed first, so padding bytes are deterministic.
+void SerializeHeaderPage(const SegmentInfo& info, uint8_t* page);
+
+/// Parses and validates a header page against the file size: magic, version,
+/// header checksum, section table bounds and per-section expected sizes.
+/// Fills everything in *out except config.dim_order (stored as a section).
+Status ParseHeaderPage(const uint8_t* page, uint64_t file_bytes,
+                       SegmentInfo* out);
+
+}  // namespace segment_internal
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_SEGMENT_INTERNAL_H_

@@ -1,0 +1,60 @@
+// IndexBackend adapter over the bulk-loaded R-tree.
+//
+// The paper's evaluation pits the eps-k-d-B tree against the R-tree family;
+// this adapter makes that comparison a routing decision instead of a
+// separate code path: an STR bulk-loaded R-tree answers the same epsilon
+// range queries behind the same IndexBackend interface the planner and the
+// service dispatch through.  It is a forced-routing / differential-testing
+// tier — BackendKindBuildable(kRTree) stays false, so it is never an index
+// primary; the planner materialises it on demand exactly like brute-SIMD.
+
+#ifndef SIMJOIN_RTREE_RTREE_BACKEND_H_
+#define SIMJOIN_RTREE_RTREE_BACKEND_H_
+
+#include <memory>
+
+#include "core/index_backend.h"
+#include "rtree/rtree.h"
+
+namespace simjoin {
+
+/// Exact R-tree backend: STR bulk load at construction, best-first MBR
+/// pruning per query.  Ids are emitted in ascending order (sorted after
+/// collection) so differential tests can compare against other exact
+/// backends without a canonicalisation step.
+class RTreeBackend final : public IndexBackend {
+ public:
+  static Result<std::unique_ptr<RTreeBackend>> Build(
+      const Dataset& dataset, const EkdbConfig& config,
+      const RTreeConfig& rtree_config = {});
+
+  BackendKind kind() const override { return BackendKind::kRTree; }
+  const EkdbConfig& config() const override { return config_; }
+  const Dataset& dataset() const override { return tree_.dataset(); }
+  uint64_t index_bytes() const override { return memory_bytes_; }
+  bool exact() const override { return true; }
+  Status ValidateQueryEpsilon(double eps_query) const override;
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out, JoinStats* stats,
+                    double* recall_est) const override;
+  Status RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
+                         std::vector<std::vector<PointId>>* results,
+                         std::vector<JoinStats>* stats,
+                         std::vector<double>* recall_ests) const override;
+  double EstimatedQueryCost(double eps_query,
+                            double expected_neighbors) const override;
+
+  const RTree& rtree() const { return tree_; }
+
+ private:
+  RTreeBackend(RTree tree, const EkdbConfig& config, uint64_t memory_bytes)
+      : tree_(std::move(tree)), config_(config), memory_bytes_(memory_bytes) {}
+
+  RTree tree_;
+  EkdbConfig config_;
+  uint64_t memory_bytes_ = 0;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_RTREE_RTREE_BACKEND_H_

@@ -374,7 +374,13 @@ std::vector<uint8_t> EncodeBuildIndexRequest(const BuildIndexRequest& req) {
   w.U32(req.dims == 0 ? 0
                       : static_cast<uint32_t>(req.points.size() / req.dims));
   w.FloatArray(req.points);
-  if (req.backend != BackendKind::kEkdbFlat) {
+  // Trailing extension bytes: [backend] or [backend, on_disk].  The
+  // on_disk byte requires the backend byte before it so the parser can
+  // distinguish the tails by remaining() % 4.
+  if (req.on_disk) {
+    w.U8(static_cast<uint8_t>(req.backend));
+    w.U8(1);
+  } else if (req.backend != BackendKind::kEkdbFlat) {
     w.U8(static_cast<uint8_t>(req.backend));
   }
   return w.Take();
@@ -420,13 +426,17 @@ Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
     return Status::InvalidArgument("BuildIndex dims must be positive");
   }
   // The float payload must match n * dims exactly (division keeps the
-  // comparison overflow-safe against hostile n / dims fields), modulo one
-  // optional trailing backend byte appended by newer clients for
-  // non-default backends.
-  const bool has_backend_byte = r.remaining() % 4 == 1;
-  const size_t float_bytes = r.remaining() - (has_backend_byte ? 1 : 0);
+  // comparison overflow-safe against hostile n / dims fields), modulo the
+  // optional trailing extension appended by newer clients: one backend
+  // byte, or backend + on_disk bytes.
+  const size_t trailing = r.remaining() % 4;
+  if (trailing == 3) {
+    return Status::InvalidArgument(
+        "BuildIndex payload has an unrecognised trailing-byte extension");
+  }
+  const size_t float_bytes = r.remaining() - trailing;
   const uint64_t want = static_cast<uint64_t>(n) * out->dims;
-  if (float_bytes % 4 != 0 || want != float_bytes / 4) {
+  if (want != float_bytes / 4) {
     return Status::InvalidArgument(
         "BuildIndex point payload mismatch: header says " +
         std::to_string(want) + " floats, payload holds " +
@@ -434,10 +444,16 @@ Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
   }
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->points));
   out->backend = BackendKind::kEkdbFlat;
-  if (has_backend_byte) {
+  out->on_disk = false;
+  if (trailing >= 1) {
     uint8_t backend_byte = 0;
     SIMJOIN_RETURN_NOT_OK(r.U8(&backend_byte));
     SIMJOIN_ASSIGN_OR_RETURN(out->backend, BackendKindFromWire(backend_byte));
+  }
+  if (trailing == 2) {
+    uint8_t on_disk_byte = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U8(&on_disk_byte));
+    out->on_disk = on_disk_byte != 0;
   }
   return r.ExpectEnd();
 }

@@ -205,6 +205,14 @@ struct BuildIndexRequest {
   /// payload-mismatch error instead of misbuilding them.  Only buildable
   /// kinds (tree, grid) are valid; the server rejects the rest.
   BackendKind backend = BackendKind::kEkdbFlat;
+  /// Build the index *externally* (sort runs + merge on disk, core/
+  /// segment_builder.h) and serve it memory-mapped instead of heap-built —
+  /// for datasets larger than the registry budget.  Encoded as a second
+  /// trailing byte after the backend byte (payload tail % 4 == 2), so
+  /// legacy frames keep their shape and old servers reject on-disk builds
+  /// with a payload-mismatch error instead of silently heap-building them.
+  /// Requires the tree backend and a server started with a spill dir.
+  bool on_disk = false;
 };
 
 struct BuildIndexResponse {

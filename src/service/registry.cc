@@ -1,11 +1,16 @@
 #include "service/registry.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "approx/lsh_index.h"
 #include "common/timer.h"
+#include "core/segment.h"
+#include "obs/metrics.h"
+#include "rtree/rtree_backend.h"
 
 namespace simjoin {
 namespace {
@@ -18,6 +23,46 @@ uint64_t DoubleBits(double value) {
 }
 
 size_t AuxSlot(BackendKind kind) { return static_cast<size_t>(kind); }
+
+struct SegmentTierMetrics {
+  obs::Counter* writes;
+  obs::Counter* write_errors;
+  obs::Counter* cold_evictions;
+  obs::Counter* faults_in;
+
+  static SegmentTierMetrics& Get() {
+    static SegmentTierMetrics m{
+        obs::GlobalMetrics().GetCounter("registry.segment.writes"),
+        obs::GlobalMetrics().GetCounter("registry.segment.write_errors"),
+        obs::GlobalMetrics().GetCounter("registry.segment.cold_evictions"),
+        obs::GlobalMetrics().GetCounter("registry.segment.faults_in")};
+    return m;
+  }
+};
+
+/// Spill-file name for an index: the name with every character outside
+/// [A-Za-z0-9._-] replaced (client names are arbitrary bytes and must not
+/// traverse out of the spill directory); the version suffix keeps
+/// replacements from colliding after sanitisation.
+std::string SpillFileName(const std::string& name, uint64_t version) {
+  std::string safe = name;
+  for (char& c : safe) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return safe + ".v" + std::to_string(version) + ".seg";
+}
+
+/// True when the mapped backend has not served a query yet — its first
+/// traversals pay page faults on top of arithmetic, which the planner
+/// prices in before probing (probing itself would warm the mapping and
+/// hide the cost it is trying to measure).
+bool MappedAndCold(const IndexBackend& backend) {
+  if (!backend.mapped()) return false;
+  const auto* mmap_backend = dynamic_cast<const MmapEkdbBackend*>(&backend);
+  return mmap_backend != nullptr && mmap_backend->queries_served() == 0;
+}
 
 }  // namespace
 
@@ -51,8 +96,50 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
   snapshot->aux_[AuxSlot(primary->kind())] = primary;
   snapshot->primary_ = std::move(primary);
   snapshot->dataset_ = std::move(owned);
+  snapshot->data_ = snapshot->dataset_.get();
   snapshot->build_seconds_ = timer.Seconds();
   return std::shared_ptr<const IndexSnapshot>(std::move(snapshot));
+}
+
+Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::OpenMapped(
+    std::string name, const std::string& segment_path,
+    const MmapBackendOptions& options) {
+  Timer timer;
+  SIMJOIN_ASSIGN_OR_RETURN(auto mapped,
+                           MmapEkdbBackend::Open(segment_path, options));
+  auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+  snapshot->name_ = std::move(name);
+  snapshot->segment_path_ = segment_path;
+  std::shared_ptr<const IndexBackend> primary(std::move(mapped));
+  // Heap bookkeeping only: the structure and the dataset live in the
+  // mapping and are accounted to the OS page cache, not the byte budget.
+  snapshot->memory_bytes_ = primary->index_bytes();
+  snapshot->data_ = &primary->dataset();
+  snapshot->aux_[AuxSlot(primary->kind())] = primary;
+  snapshot->primary_ = std::move(primary);
+  snapshot->build_seconds_ = timer.Seconds();
+  return std::shared_ptr<const IndexSnapshot>(std::move(snapshot));
+}
+
+Status IndexSnapshot::WriteSegmentFile(const std::string& path) const {
+  const FlatEkdbTree* tree = primary_->flat_tree();
+  if (tree == nullptr) {
+    return Status::InvalidArgument(
+        "index '" + name_ + "' has a " +
+        std::string(BackendKindName(primary_->kind())) +
+        " primary; only tree-backed indexes can be spilled to a segment");
+  }
+  return WriteSegment(*tree, path);
+}
+
+IndexSnapshot::PlanCache IndexSnapshot::ExportPlanCache() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plan_cache_;
+}
+
+void IndexSnapshot::ImportPlanCache(const PlanCache& cache) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plan_cache_.insert(cache.begin(), cache.end());
 }
 
 Status IndexSnapshot::ValidateQueryEpsilon(double eps_query) const {
@@ -90,7 +177,7 @@ Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::Backend(
   switch (kind) {
     case BackendKind::kEkdbFlat: {
       SIMJOIN_ASSIGN_OR_RETURN(
-          auto backend, EkdbFlatBackend::Build(*dataset_, primary_->config(),
+          auto backend, EkdbFlatBackend::Build(*data_, primary_->config(),
                                                /*num_threads=*/1));
       slot = std::move(backend);
       break;
@@ -98,14 +185,20 @@ Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::Backend(
     case BackendKind::kEpsilonGrid: {
       SIMJOIN_ASSIGN_OR_RETURN(
           auto backend,
-          EpsilonGridBackend::Build(*dataset_, primary_->config()));
+          EpsilonGridBackend::Build(*data_, primary_->config()));
       slot = std::move(backend);
       break;
     }
     case BackendKind::kBruteSimd: {
       SIMJOIN_ASSIGN_OR_RETURN(
-          auto backend, BruteSimdBackend::Build(*dataset_,
+          auto backend, BruteSimdBackend::Build(*data_,
                                                 primary_->config()));
+      slot = std::move(backend);
+      break;
+    }
+    case BackendKind::kRTree: {
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto backend, RTreeBackend::Build(*data_, primary_->config()));
       slot = std::move(backend);
       break;
     }
@@ -145,7 +238,7 @@ Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::LshBackendFor(
   params.hashes_per_table = hashes;
   params.seed = seed;
   SIMJOIN_ASSIGN_OR_RETURN(auto backend,
-                           LshBackend::Build(*dataset_, config, params));
+                           LshBackend::Build(*data_, config, params));
   if (lsh_cache_.size() >= kMaxCachedLshBackends) lsh_cache_.pop_front();
   lsh_cache_.push_back(
       LshCacheEntry{eps_bits, tables, hashes, std::move(backend)});
@@ -161,7 +254,7 @@ Result<PlannedRange> IndexSnapshot::PlanRange(
   }
   SIMJOIN_RETURN_NOT_OK(primary_->ValidateQueryEpsilon(eps_query));
   const Metric metric = primary_->config().metric;
-  const double n = static_cast<double>(dataset_->size());
+  const double n = static_cast<double>(data_->size());
 
   // -- forced backend: no costing, no cache ---------------------------------
   if (forced_backend != kWireBackendAuto) {
@@ -226,12 +319,17 @@ Result<PlannedRange> IndexSnapshot::PlanRange(
   }
 
   // -- cold planning: sampled selectivity + probed primary cost -------------
+  // A mapped primary's coldness must be captured *before* probing: the
+  // probe queries themselves fault pages in and would erase the very
+  // penalty the plan should carry.
+  const bool primary_was_cold = MappedAndCold(*primary_);
   SIMJOIN_ASSIGN_OR_RETURN(
       const double est_avg,
-      EstimateAvgNeighbors(*dataset_, eps_query, metric, options));
+      EstimateAvgNeighbors(*data_, eps_query, metric, options));
   SIMJOIN_ASSIGN_OR_RETURN(
-      const double primary_cost,
+      double primary_cost,
       ProbeRangeQueryCost(*primary_, eps_query, options));
+  if (primary_was_cold) primary_cost *= options.cold_read_penalty;
 
   PlannedRange out;
   out.backend = primary_;
@@ -240,7 +338,8 @@ Result<PlannedRange> IndexSnapshot::PlanRange(
   out.plan.est_avg_neighbors = est_avg;
   out.plan.rationale = std::string("primary ") +
                        BackendKindName(primary_->kind()) +
-                       " probed cheapest";
+                       (primary_was_cold ? " probed cheapest (cold-mapped)"
+                                         : " probed cheapest");
   const double margin = options.switch_margin;
 
   // Brute scan: free to materialise, pointless to probe (its cost is by
@@ -269,7 +368,7 @@ Result<PlannedRange> IndexSnapshot::PlanRange(
     // The grid only prunes on the dims it bins; past its cap every cell
     // window degenerates toward a full scan (same rule the join planner
     // derives its grid_max_dims from).
-    alt_plausible = dataset_->dims() <= EpsilonGrid::kMaxBinnedDims;
+    alt_plausible = data_->dims() <= EpsilonGrid::kMaxBinnedDims;
   } else {
     // Mirrors EkdbFlatBackend::EstimatedQueryCost's prior.
     const double prior = std::min(n, 64.0 + 8.0 * est_avg);
@@ -366,17 +465,51 @@ Status IndexRegistry::Put(std::shared_ptr<const IndexSnapshot> snapshot,
         " bytes) exceeds the registry budget of " +
         std::to_string(byte_budget_) + " bytes");
   }
-  std::lock_guard<std::mutex> lock(mu_);
   const std::string& name = snapshot->name();
+  const uint64_t version = next_version_.fetch_add(1) + 1;
+
+  // Write-through spill happens before the lock: segment writes stream the
+  // whole index to disk and must not stall every other registry operation.
+  // The versioned filename keeps concurrent Puts of the same name from
+  // colliding — whichever insert lands later wins the map, and the loser's
+  // file is unlinked when its entry is replaced below.
+  std::string segment_path;
+  bool owns_file = false;
+  if (snapshot->mapped()) {
+    // Already segment-backed: eviction can demote to the existing file.
+    // The file belongs to whoever built it (an on-disk build artifact);
+    // the registry never unlinks it.
+    segment_path = snapshot->segment_path();
+  } else if (spill_enabled() && snapshot->primary().flat_tree() != nullptr) {
+    std::string path = spill_dir_ + "/" + SpillFileName(name, version);
+    const Status written = snapshot->WriteSegmentFile(path);
+    if (written.ok()) {
+      segment_path = std::move(path);
+      owns_file = true;
+      SegmentTierMetrics::Get().writes->Add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++segment_writes_;
+    } else {
+      // Degrade to the old destroy-on-evict behaviour for this entry; the
+      // index itself is fine.
+      SegmentTierMetrics::Get().write_errors->Add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++segment_write_errors_;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
-  if (it != by_name_.end()) {
-    bytes_in_use_ -= it->second->snapshot->memory_bytes();
-    lru_.erase(it->second);
-    by_name_.erase(it);
+  if (it != by_name_.end()) RemoveHotLocked(it);
+  auto cold_it = cold_.find(name);
+  if (cold_it != cold_.end()) {
+    if (cold_it->second.owns_file) ::unlink(cold_it->second.segment_path.c_str());
+    cold_.erase(cold_it);
   }
   bytes_in_use_ += snapshot->memory_bytes();
   const IndexSnapshot* keep = snapshot.get();
-  lru_.push_front(Entry{std::move(snapshot), 0});
+  lru_.push_front(Entry{std::move(snapshot), 0, version,
+                        std::move(segment_path), owns_file});
   by_name_[name] = lru_.begin();
   EvictLocked(keep, evicted);
   return Status::OK();
@@ -384,37 +517,96 @@ Status IndexRegistry::Put(std::shared_ptr<const IndexSnapshot> snapshot,
 
 Result<std::shared_ptr<const IndexSnapshot>> IndexRegistry::Get(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
-  if (it == by_name_.end()) {
+  if (it != by_name_.end()) {
+    ++it->second->hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // iterator stays valid
+    return it->second->snapshot;
+  }
+  auto cold_it = cold_.find(name);
+  if (cold_it == cold_.end()) {
     return Status::NotFound("no index named '" + name + "'");
   }
-  ++it->second->hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // iterator stays valid
-  return it->second->snapshot;
+
+  // Fault-in: re-open the segment memory-mapped, off-lock (it touches the
+  // filesystem).  No data is read and nothing is rebuilt — the mapping
+  // populates lazily as queries traverse it.
+  ColdEntry cold = cold_it->second;
+  lock.unlock();
+  auto opened = IndexSnapshot::OpenMapped(name, cold.segment_path,
+                                          mmap_options_);
+  if (!opened.ok()) {
+    return Status::IoError("index '" + name +
+                           "' is cold and its segment file could not be "
+                           "faulted back in: " +
+                           opened.status().message());
+  }
+  std::shared_ptr<const IndexSnapshot> snapshot = std::move(*opened);
+  // The plan cache survives the evict/fault cycle: same version, same
+  // build, so every cached (epsilon, recall) decision still holds.
+  snapshot->ImportPlanCache(cold.plan_cache);
+
+  lock.lock();
+  it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    // Raced with another fault-in or a fresh build; theirs is the entry of
+    // record (and if we raced a fault-in, both map the same immutable file).
+    ++it->second->hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->snapshot;
+  }
+  cold_it = cold_.find(name);
+  if (cold_it == cold_.end() || cold_it->second.version != cold.version) {
+    return Status::NotFound("index '" + name +
+                            "' was removed while faulting in");
+  }
+  cold_.erase(cold_it);
+  ++faults_in_;
+  SegmentTierMetrics::Get().faults_in->Add(1);
+  bytes_in_use_ += snapshot->memory_bytes();
+  const IndexSnapshot* keep = snapshot.get();
+  lru_.push_front(Entry{snapshot, cold.hits + 1, cold.version,
+                        cold.segment_path, cold.owns_file});
+  by_name_[name] = lru_.begin();
+  EvictLocked(keep, nullptr);
+  return snapshot;
 }
 
 bool IndexRegistry::Erase(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
-  if (it == by_name_.end()) return false;
-  bytes_in_use_ -= it->second->snapshot->memory_bytes();
-  lru_.erase(it->second);
-  by_name_.erase(it);
+  if (it != by_name_.end()) {
+    RemoveHotLocked(it);
+    return true;
+  }
+  auto cold_it = cold_.find(name);
+  if (cold_it == cold_.end()) return false;
+  if (cold_it->second.owns_file) {
+    ::unlink(cold_it->second.segment_path.c_str());
+  }
+  cold_.erase(cold_it);
   return true;
 }
 
 std::vector<RegistryEntryInfo> IndexRegistry::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<RegistryEntryInfo> out;
-  out.reserve(lru_.size());
+  out.reserve(lru_.size() + cold_.size());
   for (const Entry& entry : lru_) {
     const IndexSnapshot& snap = *entry.snapshot;
     out.push_back(RegistryEntryInfo{snap.name(), snap.memory_bytes(),
                                     entry.hits, snap.dataset().size(),
                                     snap.dataset().dims(),
                                     snap.config().epsilon,
-                                    snap.config().metric});
+                                    snap.config().metric, entry.version,
+                                    snap.mapped(), /*cold=*/false});
+  }
+  for (const auto& [name, cold] : cold_) {
+    out.push_back(RegistryEntryInfo{name, 0, cold.hits, cold.num_points,
+                                    cold.dims, cold.epsilon, cold.metric,
+                                    cold.version, /*mapped=*/false,
+                                    /*cold=*/true});
   }
   return out;
 }
@@ -434,11 +626,64 @@ size_t IndexRegistry::size() const {
   return lru_.size();
 }
 
+size_t IndexRegistry::cold_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cold_.size();
+}
+
+uint64_t IndexRegistry::segment_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_writes_;
+}
+
+uint64_t IndexRegistry::segment_write_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_write_errors_;
+}
+
+uint64_t IndexRegistry::cold_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cold_evictions_;
+}
+
+uint64_t IndexRegistry::faults_in() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_in_;
+}
+
+void IndexRegistry::RemoveHotLocked(
+    std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it) {
+  // This is removal, not demotion: the entry's write-through segment file
+  // (if the registry owns one) would otherwise leak on replace and erase.
+  if (it->second->owns_file) ::unlink(it->second->segment_path.c_str());
+  bytes_in_use_ -= it->second->snapshot->memory_bytes();
+  lru_.erase(it->second);
+  by_name_.erase(it);
+}
+
 void IndexRegistry::EvictLocked(const IndexSnapshot* keep, size_t* evicted) {
   auto it = lru_.end();
   while (bytes_in_use_ > byte_budget_ && it != lru_.begin()) {
     --it;  // back of the list = least recently used
     if (it->snapshot.get() == keep) continue;  // never the new arrival
+    if (!it->segment_path.empty()) {
+      // Demote instead of destroy: keep the path, the version, and the
+      // planner's learned decisions; the data itself is already on disk.
+      const IndexSnapshot& snap = *it->snapshot;
+      ColdEntry cold;
+      cold.segment_path = it->segment_path;
+      cold.version = it->version;
+      cold.owns_file = it->owns_file;
+      cold.hits = it->hits;
+      cold.plan_cache = snap.ExportPlanCache();
+      cold.num_points = snap.dataset().size();
+      cold.dims = snap.dataset().dims();
+      cold.epsilon = snap.config().epsilon;
+      cold.metric = snap.config().metric;
+      cold_[snap.name()] = std::move(cold);
+      ++cold_evictions_;
+      SegmentTierMetrics::Get().cold_evictions->Add(1);
+    }
     bytes_in_use_ -= it->snapshot->memory_bytes();
     by_name_.erase(it->snapshot->name());
     // Dropping the shared_ptr here only releases the registry's reference;

@@ -21,6 +21,7 @@
 #ifndef SIMJOIN_SERVICE_REGISTRY_H_
 #define SIMJOIN_SERVICE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -38,6 +39,7 @@
 #include "core/epsilon_grid.h"
 #include "core/index_backend.h"
 #include "core/planner.h"
+#include "core/segment_backend.h"
 
 namespace simjoin {
 
@@ -82,8 +84,17 @@ class IndexSnapshot {
       std::string name, Dataset dataset, const EkdbConfig& config,
       size_t num_threads = 1, BackendKind backend = BackendKind::kEkdbFlat);
 
+  /// Opens a segment file (core/segment.h) as a mapped snapshot: the
+  /// primary is an MmapEkdbBackend whose structure and dataset are views
+  /// into the mapping.  Nothing is rebuilt and no data pages are read
+  /// eagerly, so this is the fault-in path — memory_bytes() reports only
+  /// the heap bookkeeping, not the mapped file.
+  static Result<std::shared_ptr<const IndexSnapshot>> OpenMapped(
+      std::string name, const std::string& segment_path,
+      const MmapBackendOptions& options = {});
+
   const std::string& name() const { return name_; }
-  const Dataset& dataset() const { return *dataset_; }
+  const Dataset& dataset() const { return *data_; }
   BackendKind backend() const { return primary_->kind(); }
   const IndexBackend& primary() const { return *primary_; }
   /// Valid only when the primary is tree-backed (backend() == kEkdbFlat).
@@ -135,6 +146,25 @@ class IndexSnapshot {
   uint64_t aux_bytes() const;
   double build_seconds() const { return build_seconds_; }
 
+  /// True when the primary serves out of a memory-mapped segment file.
+  bool mapped() const { return primary_->mapped(); }
+  /// The backing segment file of a mapped snapshot; empty otherwise.
+  const std::string& segment_path() const { return segment_path_; }
+
+  /// Writes the primary flat tree (and its dataset) as a segment file —
+  /// how the registry spills a heap-built snapshot to its cold tier.
+  /// InvalidArgument when the primary is not tree-backed.
+  Status WriteSegmentFile(const std::string& path) const;
+
+  /// The plan cache as a value, and its re-import on a replacement
+  /// snapshot.  Both are keyed only by (epsilon, recall) bits, so a cache
+  /// must never migrate across *different* index builds — the registry
+  /// guards that with its per-name version counter.  const because the
+  /// cache is planner working state on a logically immutable snapshot.
+  using PlanCache = std::map<std::pair<uint64_t, uint64_t>, RangePlan>;
+  PlanCache ExportPlanCache() const;
+  void ImportPlanCache(const PlanCache& cache) const;
+
   IndexSnapshot(const IndexSnapshot&) = delete;
   IndexSnapshot& operator=(const IndexSnapshot&) = delete;
 
@@ -161,9 +191,14 @@ class IndexSnapshot {
 
   std::string name_;
   // unique_ptr keeps the Dataset at a stable address: the index structures
-  // point into it.
+  // point into it.  Null for mapped snapshots, whose dataset is a borrowed
+  // view owned by the primary backend's mapping.
   std::unique_ptr<Dataset> dataset_;
+  // The snapshot's dataset regardless of ownership: dataset_.get() for
+  // built snapshots, &primary_->dataset() for mapped ones.
+  const Dataset* data_ = nullptr;
   std::shared_ptr<const IndexBackend> primary_;
+  std::string segment_path_;
   uint64_t memory_bytes_ = 0;
   double build_seconds_ = 0.0;
 
@@ -175,7 +210,7 @@ class IndexSnapshot {
   mutable std::map<std::pair<uint64_t, uint64_t>, RangePlan> plan_cache_;
 };
 
-/// Listing row for one registry entry.
+/// Listing row for one registry entry (hot or cold).
 struct RegistryEntryInfo {
   std::string name;
   uint64_t bytes = 0;
@@ -184,54 +219,131 @@ struct RegistryEntryInfo {
   size_t dims = 0;
   double epsilon = 0.0;
   Metric metric = Metric::kL2;
+  /// Monotone per-registry build generation; a faulted-in snapshot keeps
+  /// the version of the build that wrote its segment file.
+  uint64_t version = 0;
+  /// Served out of a memory-mapped segment file (bytes counts heap
+  /// bookkeeping only).
+  bool mapped = false;
+  /// Evicted to a segment file; the next Get faults it back in.
+  bool cold = false;
 };
 
 /// Thread-safe name -> snapshot map with LRU eviction against a byte
 /// budget.  All operations take one short mutex; nothing blocks while an
 /// index is being built or queried.
+///
+/// With a spill directory configured, eviction demotes instead of
+/// destroys: each admitted tree-backed snapshot is written through to a
+/// versioned segment file (off-lock), EvictLocked moves the entry to a
+/// cold map holding only {path, version, exported plan cache}, and a Get
+/// on a cold name re-opens the segment memory-mapped (IndexSnapshot::
+/// OpenMapped) — fault-in instead of rebuild — and re-imports the plan
+/// cache, which stays valid because the version proves it is the same
+/// build.  Mapped snapshots charge only their heap bookkeeping against
+/// the byte budget (their data lives in the OS page cache), which is what
+/// lets the registry serve indexes far larger than the budget.
 class IndexRegistry {
  public:
-  explicit IndexRegistry(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+  /// spill_dir empty disables the cold tier (eviction destroys, as
+  /// before).  When set, it must be an existing writable directory;
+  /// mmap_options configures snapshots faulted back in from it.
+  explicit IndexRegistry(uint64_t byte_budget, std::string spill_dir = "",
+                         MmapBackendOptions mmap_options = {})
+      : byte_budget_(byte_budget),
+        spill_dir_(std::move(spill_dir)),
+        mmap_options_(std::move(mmap_options)) {}
 
   /// Inserts (or atomically replaces) the snapshot under its name, then
   /// evicts least-recently-used *other* entries until the budget holds.
   /// A snapshot that alone exceeds the whole budget is rejected with
-  /// InvalidArgument.  *evicted (optional) receives how many entries were
+  /// InvalidArgument.  With spilling enabled, a tree-backed snapshot is
+  /// first written through to a versioned segment file so later eviction
+  /// is a demotion; a failed spill write only disables the cold tier for
+  /// this entry.  *evicted (optional) receives how many entries were
   /// dropped to admit it.
   Status Put(std::shared_ptr<const IndexSnapshot> snapshot,
              size_t* evicted = nullptr);
 
-  /// Looks up a snapshot and marks it most-recently-used.  The returned
-  /// reference stays valid after any later eviction or replacement.
+  /// Looks up a snapshot and marks it most-recently-used.  A cold entry is
+  /// faulted back in from its segment file (and re-admitted, possibly
+  /// demoting others).  The returned reference stays valid after any later
+  /// eviction or replacement.
   Result<std::shared_ptr<const IndexSnapshot>> Get(const std::string& name);
 
-  /// Removes one entry; false when the name is unknown.
+  /// Removes one entry, hot or cold (unlinking any registry-written
+  /// segment file); false when the name is unknown.
   bool Erase(const std::string& name);
 
-  /// Entries in most-recently-used-first order.
+  /// Hot entries in most-recently-used-first order, then cold entries.
   std::vector<RegistryEntryInfo> List() const;
 
   uint64_t byte_budget() const { return byte_budget_; }
+  bool spill_enabled() const { return !spill_dir_.empty(); }
   uint64_t bytes_in_use() const;
   uint64_t evictions() const;
   size_t size() const;
+
+  // -- cold-tier telemetry (mirrored in registry.segment.* metrics) --------
+  size_t cold_size() const;
+  uint64_t segment_writes() const;
+  uint64_t segment_write_errors() const;
+  uint64_t cold_evictions() const;
+  uint64_t faults_in() const;
 
  private:
   struct Entry {
     std::shared_ptr<const IndexSnapshot> snapshot;
     uint64_t hits = 0;
+    uint64_t version = 0;
+    /// Segment file backing this entry ("" = not spillable: demotion
+    /// disabled, eviction destroys).
+    std::string segment_path;
+    /// The registry wrote segment_path and owns its lifetime (unlinked on
+    /// erase/replace).  False for externally built segments (on-disk
+    /// builds), which are durable artifacts the registry only borrows.
+    bool owns_file = false;
+  };
+
+  /// An evicted-but-recoverable index: everything needed to fault it back
+  /// in without touching the data, plus the planner state worth keeping.
+  struct ColdEntry {
+    std::string segment_path;
+    uint64_t version = 0;
+    bool owns_file = false;
+    uint64_t hits = 0;
+    IndexSnapshot::PlanCache plan_cache;
+    // Shape for listings (a cold index should still show up in List()).
+    size_t num_points = 0;
+    size_t dims = 0;
+    double epsilon = 0.0;
+    Metric metric = Metric::kL2;
   };
 
   /// Drops LRU entries (back of lru_) until bytes_in_use_ <= byte_budget_,
-  /// never evicting `keep`.  Requires mu_ held.
+  /// never evicting `keep`.  Entries with a segment file demote to cold_;
+  /// the rest are destroyed.  Requires mu_ held.
   void EvictLocked(const IndexSnapshot* keep, size_t* evicted);
 
+  /// Removes a hot entry from lru_/by_name_ and returns its byte charge to
+  /// the budget.  Requires mu_ held.
+  void RemoveHotLocked(std::unordered_map<
+                       std::string, std::list<Entry>::iterator>::iterator it);
+
   const uint64_t byte_budget_;
+  const std::string spill_dir_;
+  const MmapBackendOptions mmap_options_;
+  std::atomic<uint64_t> next_version_{0};
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> by_name_;
+  std::unordered_map<std::string, ColdEntry> cold_;
   uint64_t bytes_in_use_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t segment_writes_ = 0;
+  uint64_t segment_write_errors_ = 0;
+  uint64_t cold_evictions_ = 0;
+  uint64_t faults_in_ = 0;
 };
 
 }  // namespace simjoin

@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -12,11 +13,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/net.h"
 #include "common/thread_pool.h"
 #include "core/ekdb_flat_join.h"
 #include "core/parallel_join.h"
+#include "core/segment_builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -214,6 +217,9 @@ struct Server::Impl {
   std::atomic<uint64_t> fusion_fused_queries{0};
   std::atomic<uint64_t> fusion_batch_full{0};
   std::atomic<uint64_t> fusion_wait_expired{0};
+  /// Sequence for on-disk build artifact names (a rebuilt name must not
+  /// overwrite a segment file the previous snapshot is still mapping).
+  std::atomic<uint64_t> on_disk_builds{0};
 
   /// One admitted range query parked in the fusion buffer.  admitted_at is
   /// the admission-gate timestamp — it anchors both the deadline check and
@@ -244,7 +250,8 @@ struct Server::Impl {
   bool joined = false;
 
   explicit Impl(const ServerConfig& cfg)
-      : config(cfg), registry(cfg.registry_byte_budget) {}
+      : config(cfg),
+        registry(cfg.registry_byte_budget, cfg.segment_spill_dir) {}
 
   // -- response plumbing ----------------------------------------------------
 
@@ -403,10 +410,15 @@ struct Server::Impl {
     SIMJOIN_RETURN_NOT_OK(ParseBuildIndexRequest(frame.payload, &req));
     SIMJOIN_ASSIGN_OR_RETURN(Dataset data,
                              Dataset::FromFlat(std::move(req.points), req.dims));
-    SIMJOIN_ASSIGN_OR_RETURN(
-        std::shared_ptr<const IndexSnapshot> snapshot,
-        IndexSnapshot::Build(req.name, std::move(data), req.config,
-                             ResolveThreads(req.num_threads), req.backend));
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    if (req.on_disk) {
+      SIMJOIN_ASSIGN_OR_RETURN(snapshot, BuildOnDisk(req, data));
+    } else {
+      SIMJOIN_ASSIGN_OR_RETURN(
+          snapshot,
+          IndexSnapshot::Build(req.name, std::move(data), req.config,
+                               ResolveThreads(req.num_threads), req.backend));
+    }
     size_t evicted = 0;
     SIMJOIN_RETURN_NOT_OK(registry.Put(snapshot, &evicted));
     BuildIndexResponse resp;
@@ -419,6 +431,45 @@ struct Server::Impl {
     out->type = FrameType::kBuildIndexOk;
     out->payload = EncodeBuildIndexResponse(resp);
     return Status::OK();
+  }
+
+  /// On-disk build path: stage the uploaded rows as a binary dataset file,
+  /// run the external (sort-runs + merge) segment build, and open the
+  /// result memory-mapped — the snapshot admitted to the registry charges
+  /// only bookkeeping bytes, so indexes far beyond the byte budget serve
+  /// fault-in instead of being rejected.
+  Result<std::shared_ptr<const IndexSnapshot>> BuildOnDisk(
+      const BuildIndexRequest& req, const Dataset& data) {
+    if (config.segment_spill_dir.empty()) {
+      return Status::InvalidArgument(
+          "on-disk builds require a segment spill directory; start the "
+          "server with --spill-dir");
+    }
+    if (req.backend != BackendKind::kEkdbFlat) {
+      return Status::InvalidArgument(
+          "on-disk builds support only the tree backend (segments are "
+          "serialised flat eps-k-d-B trees)");
+    }
+    std::string safe = req.name;
+    for (char& c : safe) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+      if (!ok) c = '_';
+    }
+    const uint64_t seq = on_disk_builds.fetch_add(1) + 1;
+    const std::string base =
+        config.segment_spill_dir + "/" + safe + ".b" + std::to_string(seq);
+    const std::string staged = base + ".sjdb";
+    const std::string segment = base + ".seg";
+    SIMJOIN_RETURN_NOT_OK(WriteBinaryDataset(data, staged));
+    ExternalBuildConfig build;
+    build.ekdb = req.config;
+    build.temp_dir = config.segment_spill_dir;
+    auto built = BuildSegmentExternal(staged, segment, build);
+    ::unlink(staged.c_str());  // the segment embeds the dataset section
+    SIMJOIN_RETURN_NOT_OK(built.status());
+    return IndexSnapshot::OpenMapped(req.name, segment, MmapBackendOptions{});
   }
 
   /// Parses and resolves one range-query request up to the point where it

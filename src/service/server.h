@@ -68,6 +68,13 @@ struct ServerConfig {
   /// Byte budget of the index registry (LRU-evicted beyond it).
   uint64_t registry_byte_budget = 4ull << 30;
 
+  /// Directory for the registry's out-of-core tier: spilled index segment
+  /// files, on-disk build artifacts, and external-sort temporaries.  Must
+  /// be an existing writable directory.  Empty disables the tier: eviction
+  /// destroys instead of demoting, and BuildIndex requests asking for an
+  /// on-disk build are rejected with a clear error.
+  std::string segment_spill_dir;
+
   /// Ceiling on one request frame's payload.  Also enforced on responses:
   /// a terminal response larger than this is replaced by kError/OUT_OF_RANGE
   /// telling the client to split its batch (never a truncated frame).

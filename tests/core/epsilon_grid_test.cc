@@ -164,7 +164,10 @@ TEST(EpsilonGridTest, BackendWireCodecRejectsUnknownValues) {
   auto brute = BackendKindFromWire(3);
   ASSERT_TRUE(brute.ok());
   EXPECT_EQ(*brute, BackendKind::kBruteSimd);
-  EXPECT_FALSE(BackendKindFromWire(4).ok());
+  auto rtree = BackendKindFromWire(4);
+  ASSERT_TRUE(rtree.ok());
+  EXPECT_EQ(*rtree, BackendKind::kRTree);
+  EXPECT_FALSE(BackendKindFromWire(5).ok());
   EXPECT_FALSE(BackendKindFromWire(255).ok());
   // Only the structural kinds may anchor a build; the rest are per-query
   // tiers (0xFF is the wire's "auto" marker, never a kind).
@@ -172,6 +175,7 @@ TEST(EpsilonGridTest, BackendWireCodecRejectsUnknownValues) {
   EXPECT_TRUE(BackendKindBuildable(BackendKind::kEpsilonGrid));
   EXPECT_FALSE(BackendKindBuildable(BackendKind::kLsh));
   EXPECT_FALSE(BackendKindBuildable(BackendKind::kBruteSimd));
+  EXPECT_FALSE(BackendKindBuildable(BackendKind::kRTree));
 }
 
 /// Respects the cell-table cap: a tiny epsilon in 3-d would want millions of

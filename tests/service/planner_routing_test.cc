@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <thread>
@@ -240,6 +241,84 @@ TEST(PlannerRoutingTest, ForcedBackendsEchoAndAgreeOnGridPrimaryToo) {
       EXPECT_EQ(resp->results, reference) << BackendKindName(kind);
     }
   }
+}
+
+TEST(PlannerRoutingTest, ForcedRTreeIsBitIdenticalToRoutedExact) {
+  auto data = GenerateClustered({.n = 1000, .dims = 5, .seed = 0x52});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.1;
+  LiveServer live = StartWithClient();
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("r", *data, Config(eps))).ok());
+
+  for (const double query_eps : {eps, eps * 0.4}) {
+    RangeQueryRequest base = QueriesFor("r", *data, query_eps, 20, 0x717);
+    base.has_planner = true;
+
+    RangeQueryRequest forced_tree = base;
+    forced_tree.backend = static_cast<uint8_t>(BackendKind::kEkdbFlat);
+    auto want = live.client.RangeQuery(forced_tree);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    // The R-tree is an auxiliary (never planner-chosen) backend; forcing it
+    // must echo the choice and return the identical canonical answers.
+    RangeQueryRequest forced_rtree = base;
+    forced_rtree.backend = static_cast<uint8_t>(BackendKind::kRTree);
+    auto got = live.client.RangeQuery(forced_rtree);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(got->has_planner);
+    EXPECT_EQ(got->backend_used, static_cast<uint8_t>(BackendKind::kRTree));
+    EXPECT_EQ(got->achieved_recall, 1.0);
+    EXPECT_EQ(got->results, want->results) << "eps=" << query_eps;
+
+    // Routed traffic must never pick the R-tree on its own.
+    RangeQueryRequest routed = base;
+    routed.backend = kWireBackendAuto;
+    auto auto_resp = live.client.RangeQuery(routed);
+    ASSERT_TRUE(auto_resp.ok());
+    EXPECT_NE(auto_resp->backend_used,
+              static_cast<uint8_t>(BackendKind::kRTree));
+    EXPECT_EQ(auto_resp->results, want->results);
+  }
+}
+
+TEST(PlannerRoutingTest, OnDiskBuildServesIdenticallyToInMemoryBuild) {
+  const std::string spill_dir = ::testing::TempDir() + "/routing_spill";
+  std::filesystem::create_directories(spill_dir);
+  auto data = GenerateUniform({.n = 1200, .dims = 6, .seed = 0x61});
+  ASSERT_TRUE(data.ok());
+  const double eps = 0.1;
+  ServerConfig config;
+  config.segment_spill_dir = spill_dir;
+  LiveServer live = StartWithClient(config);
+
+  ASSERT_TRUE(
+      live.client.BuildIndex(BuildRequestFor("ram", *data, Config(eps)))
+          .ok());
+  BuildIndexRequest on_disk = BuildRequestFor("disk", *data, Config(eps));
+  on_disk.on_disk = true;
+  ASSERT_TRUE(live.client.BuildIndex(on_disk).ok());
+
+  for (size_t round = 0; round < 3; ++round) {
+    RangeQueryRequest ram_req =
+        QueriesFor("ram", *data, eps, 16, 0x8000 + round);
+    RangeQueryRequest disk_req = ram_req;
+    disk_req.name = "disk";
+    auto want = live.client.RangeQuery(ram_req);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    auto got = live.client.RangeQuery(disk_req);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->results, want->results) << "round " << round;
+  }
+
+  // Without a spill dir the server must reject on-disk builds cleanly.
+  LiveServer no_spill = StartWithClient();
+  BuildIndexRequest rejected = BuildRequestFor("d2", *data, Config(eps));
+  rejected.on_disk = true;
+  EXPECT_FALSE(no_spill.client.BuildIndex(rejected).ok());
+
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
 }
 
 TEST(PlannerRoutingTest, LshTierReturnsVerifiedSubsetMeetingTarget) {

@@ -139,6 +139,37 @@ TEST(ProtocolTest, BuildIndexRequestRoundTrip) {
   EXPECT_EQ(out.points, req.points);
 }
 
+TEST(ProtocolTest, BuildIndexOnDiskFlagRoundTrip) {
+  BuildIndexRequest req;
+  req.name = "cold";
+  req.dims = 2;
+  req.points = {0.1f, 0.2f, 0.3f, 0.4f};
+  req.backend = BackendKind::kEkdbFlat;
+  req.on_disk = true;
+  const std::vector<uint8_t> wire = EncodeBuildIndexRequest(req);
+  // The flag travels as a second trailing byte: payload tail % 4 == 2.
+  BuildIndexRequest out;
+  ASSERT_TRUE(ParseBuildIndexRequest(wire, &out).ok());
+  EXPECT_TRUE(out.on_disk);
+  EXPECT_EQ(out.backend, BackendKind::kEkdbFlat);
+  EXPECT_EQ(out.points, req.points);
+
+  // Without the flag the frame stays in the legacy/backend-byte shapes and
+  // parses with on_disk false.
+  req.on_disk = false;
+  BuildIndexRequest legacy;
+  ASSERT_TRUE(
+      ParseBuildIndexRequest(EncodeBuildIndexRequest(req), &legacy).ok());
+  EXPECT_FALSE(legacy.on_disk);
+
+  // A three-byte tail is no extension this codec knows — reject, don't
+  // misread someone's floats.
+  std::vector<uint8_t> mutated = wire;
+  mutated.push_back(0);
+  BuildIndexRequest bad;
+  EXPECT_FALSE(ParseBuildIndexRequest(mutated, &bad).ok());
+}
+
 TEST(ProtocolTest, BuildIndexRequestPointCountMismatchRejected) {
   BuildIndexRequest req;
   req.name = "x";

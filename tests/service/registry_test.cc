@@ -1,9 +1,12 @@
 #include "service/registry.h"
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "core/segment_builder.h"
+#include "common/binary_io.h"
 #include "workload/generators.h"
 #include "gtest/gtest.h"
 
@@ -129,7 +132,232 @@ TEST(RegistryTest, EvictedSnapshotStaysQueryable) {
   EXPECT_TRUE((*held)->tree().RangeQuery(q, 0.05, &out).ok());
 }
 
+// -- out-of-core tier (segment spill + mmap fault-in) ------------------------
+
+class RegistrySegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spill_dir_ = ::testing::TempDir() + "/registry_spill";
+    std::filesystem::create_directories(spill_dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir_, ec);
+  }
+
+  size_t SpillFileCount() const {
+    size_t n = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(spill_dir_)) {
+      if (entry.path().extension() == ".seg") ++n;
+    }
+    return n;
+  }
+
+  std::string spill_dir_;
+};
+
+TEST_F(RegistrySegmentTest, EvictionDemotesToColdAndGetFaultsBackIn) {
+  auto a = MustBuild("a", 400, 1);
+  auto b = MustBuild("b", 400, 2);
+  // Reference answers before "a" is ever evicted.
+  std::vector<PointId> want;
+  ASSERT_TRUE(a->tree().RangeQuery(a->dataset().Row(3), 0.08, &want).ok());
+
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2,
+                         spill_dir_);
+  ASSERT_TRUE(registry.spill_enabled());
+  ASSERT_TRUE(registry.Put(a).ok());
+  ASSERT_TRUE(registry.Put(b).ok());  // evicts "a" -> cold tier
+  EXPECT_EQ(registry.segment_writes(), 2u);
+  EXPECT_EQ(registry.cold_evictions(), 1u);
+  EXPECT_EQ(registry.cold_size(), 1u);
+  EXPECT_EQ(SpillFileCount(), 2u);
+
+  // The cold entry is still listed (zero resident bytes, cold flag set).
+  bool saw_cold = false;
+  for (const RegistryEntryInfo& info : registry.List()) {
+    if (info.name != "a") continue;
+    saw_cold = true;
+    EXPECT_TRUE(info.cold);
+    EXPECT_EQ(info.num_points, 400u);
+  }
+  EXPECT_TRUE(saw_cold);
+
+  // Get faults it back in as a mapped snapshot — no rebuild — and the
+  // answers are bit-identical to the heap build.
+  auto got = registry.Get("a");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE((*got)->mapped());
+  EXPECT_EQ(registry.faults_in(), 1u);
+  EXPECT_EQ(registry.cold_size(), 0u);
+  std::vector<PointId> have;
+  ASSERT_TRUE(
+      (*got)->tree().RangeQuery((*got)->dataset().Row(3), 0.08, &have).ok());
+  EXPECT_EQ(want, have);
+  // Mapped snapshots charge only bookkeeping bytes, far below the heap
+  // snapshot they replace.
+  EXPECT_LT((*got)->memory_bytes(), a->memory_bytes() / 4);
+}
+
+TEST_F(RegistrySegmentTest, MappedSnapshotAdmittedBeyondHeapBudget) {
+  // Build a segment externally and serve a dataset whose heap build would
+  // blow the registry budget several times over.
+  auto data = GenerateUniform({.n = 3000, .dims = 4, .seed = 9});
+  ASSERT_TRUE(data.ok());
+  const std::string input = spill_dir_ + "/big.sjdb";
+  const std::string segment = spill_dir_ + "/big.seg";
+  ASSERT_TRUE(WriteBinaryDataset(*data, input).ok());
+  ExternalBuildConfig ext;
+  ext.ekdb = Config();
+  ext.temp_dir = spill_dir_;
+  ASSERT_TRUE(BuildSegmentExternal(input, segment, ext).ok());
+
+  auto heap = MustBuild("ref", 3000, 9);
+  IndexRegistry registry(heap->memory_bytes() / 4, spill_dir_);
+  EXPECT_FALSE(registry.Put(heap).ok());  // heap build: over budget
+
+  auto mapped = IndexSnapshot::OpenMapped("big", segment);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(registry.Put(*mapped).ok());  // mapped: bookkeeping only
+  auto got = registry.Get("big");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE((*got)->mapped());
+  EXPECT_EQ((*got)->dataset().size(), 3000u);
+}
+
+TEST_F(RegistrySegmentTest, PlanCacheSurvivesEvictFaultCycle) {
+  auto a = MustBuild("a", 400, 1);
+  auto b = MustBuild("b", 400, 2);
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2,
+                         spill_dir_);
+  ASSERT_TRUE(registry.Put(a).ok());
+
+  RangePlannerOptions options;
+  auto first = a->PlanRange(0.05, 1.0, kWireBackendAuto, options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  auto repeat = a->PlanRange(0.05, 1.0, kWireBackendAuto, options);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->cache_hit);
+
+  ASSERT_TRUE(registry.Put(b).ok());  // demotes "a" (plan cache exported)
+  auto got = registry.Get("a");       // faults in (plan cache imported)
+  ASSERT_TRUE(got.ok());
+  auto after = (*got)->PlanRange(0.05, 1.0, kWireBackendAuto, options);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after->cache_hit)
+      << "the (eps, recall) decision should survive the evict/fault cycle";
+  EXPECT_EQ(after->plan.kind, first->plan.kind);
+}
+
+TEST_F(RegistrySegmentTest, EraseRemovesColdEntryAndSpillFile) {
+  auto a = MustBuild("a", 300, 1);
+  auto b = MustBuild("b", 300, 2);
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2,
+                         spill_dir_);
+  ASSERT_TRUE(registry.Put(a).ok());
+  ASSERT_TRUE(registry.Put(b).ok());  // "a" goes cold
+  ASSERT_EQ(registry.cold_size(), 1u);
+  ASSERT_EQ(SpillFileCount(), 2u);
+
+  EXPECT_TRUE(registry.Erase("a"));
+  EXPECT_EQ(registry.cold_size(), 0u);
+  EXPECT_EQ(SpillFileCount(), 1u);  // only "b"'s write-through file remains
+  EXPECT_FALSE(registry.Get("a").ok());
+
+  // Erasing the hot entry unlinks its write-through file too.
+  EXPECT_TRUE(registry.Erase("b"));
+  EXPECT_EQ(SpillFileCount(), 0u);
+}
+
+TEST_F(RegistrySegmentTest, ReplaceDropsStaleSpillFile) {
+  IndexRegistry registry(64 << 20, spill_dir_);
+  ASSERT_TRUE(registry.Put(MustBuild("idx", 200, 1)).ok());
+  ASSERT_TRUE(registry.Put(MustBuild("idx", 300, 2)).ok());
+  // The replaced build's segment must not linger on disk.
+  EXPECT_EQ(SpillFileCount(), 1u);
+  EXPECT_EQ(registry.segment_writes(), 2u);
+}
+
+TEST_F(RegistrySegmentTest, UnwritableSpillDirDegradesToDestroyOnEvict) {
+  auto a = MustBuild("a", 300, 1);
+  auto b = MustBuild("b", 300, 2);
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2,
+                         spill_dir_ + "/does/not/exist");
+  ASSERT_TRUE(registry.Put(a).ok());  // Put still succeeds...
+  EXPECT_GE(registry.segment_write_errors(), 1u);
+  ASSERT_TRUE(registry.Put(b).ok());
+  // ...but the evicted entry has no segment to demote to: destroyed.
+  EXPECT_EQ(registry.cold_size(), 0u);
+  EXPECT_FALSE(registry.Get("a").ok());
+}
+
+TEST_F(RegistrySegmentTest, CorruptSpillFileFailsFaultInCleanly) {
+  auto a = MustBuild("a", 300, 1);
+  auto b = MustBuild("b", 300, 2);
+  IndexRegistry registry(a->memory_bytes() + b->memory_bytes() / 2,
+                         spill_dir_);
+  ASSERT_TRUE(registry.Put(a).ok());
+  ASSERT_TRUE(registry.Put(b).ok());  // "a" goes cold
+  ASSERT_EQ(registry.cold_size(), 1u);
+  // Truncate every spill file; the fault-in must surface a clean error.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(spill_dir_)) {
+    if (entry.path().extension() == ".seg") {
+      std::filesystem::resize_file(entry.path(), 64);
+    }
+  }
+  auto got = registry.Get("a");
+  EXPECT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("faulted back"), std::string::npos)
+      << got.status().ToString();
+}
+
 // -- concurrency (exercised under scripts/check_tsan.sh) --------------------
+
+TEST(RegistryConcurrencyTest, SegmentFaultInWhileEvicting) {
+  const std::string spill_dir =
+      ::testing::TempDir() + "/registry_spill_race";
+  std::filesystem::create_directories(spill_dir);
+  auto first = MustBuild("cold-0", 300, 1);
+  // Budget of ~1.5 indexes over 4 names: every Put demotes someone, and the
+  // readers' Gets keep faulting cold entries back in concurrently.
+  IndexRegistry registry(first->memory_bytes() + first->memory_bytes() / 2,
+                         spill_dir);
+  ASSERT_TRUE(registry.Put(first).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      while (!done.load()) {
+        for (int i = 0; i < 4; ++i) {
+          auto snap = registry.Get("cold-" + std::to_string(i));
+          if (!snap.ok()) continue;  // erased mid-race; fine
+          std::vector<PointId> out;
+          const float* q = (*snap)->dataset().Row(0);
+          ASSERT_TRUE((*snap)->tree().RangeQuery(q, 0.05, &out).ok());
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 1; i < 10; ++i) {
+    ASSERT_TRUE(
+        registry.Put(MustBuild("cold-" + std::to_string(i % 4), 300, 50 + i))
+            .ok());
+  }
+  while (served.load() == 0) std::this_thread::yield();
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(registry.cold_evictions(), 0u);
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
+}
+
 
 TEST(RegistryConcurrencyTest, BuildWhileQuerying) {
   IndexRegistry registry(512 << 20);

@@ -188,10 +188,17 @@ int Run(const ArgParser& args) {
     req.num_threads = static_cast<uint32_t>(args.GetInt("threads"));
     req.dims = static_cast<uint32_t>(data->dims());
     req.points = data->flat();
+    req.on_disk = args.GetBool("on-disk");
+    if (req.on_disk && req.backend != BackendKind::kEkdbFlat) {
+      std::cerr << "--on-disk builds support only --backend tree\n";
+      return 2;
+    }
     auto resp = client->BuildIndex(req);
     st = resp.status();
     if (resp.ok()) {
-      std::cout << "built '" << req.name << "': " << resp->num_points
+      std::cout << "built '" << req.name << "'"
+                << (req.on_disk ? " (on-disk, served memory-mapped)" : "")
+                << ": " << resp->num_points
                 << " points, dims=" << resp->dims << ", "
                 << resp->index_bytes << " bytes, " << resp->build_seconds
                 << " s (evicted " << resp->evicted << ")\n";
@@ -219,9 +226,11 @@ int Run(const ArgParser& args) {
       backend_byte = static_cast<uint8_t>(BackendKind::kLsh);
     } else if (qb == "brute") {
       backend_byte = static_cast<uint8_t>(BackendKind::kBruteSimd);
+    } else if (qb == "rtree") {
+      backend_byte = static_cast<uint8_t>(BackendKind::kRTree);
     } else if (qb != "auto") {
-      std::cerr << "--query-backend must be auto, tree, grid, lsh, or "
-                   "brute: got '"
+      std::cerr << "--query-backend must be auto, tree, grid, lsh, "
+                   "brute, or rtree: got '"
                 << qb << "'\n";
       return 2;
     }
@@ -318,13 +327,17 @@ int main(int argc, char** argv) {
                "(vectorised epsilon grid; joins fall back to a lazily "
                "built tree)");
   args.AddFlag("threads", "0", "build/join parallelism; 0 = server default");
+  args.AddBoolFlag("on-disk", false,
+                   "build only: external (sort-runs + merge) build into a "
+                   "segment file served memory-mapped — for datasets "
+                   "beyond the registry budget; needs a server --spill-dir");
   args.AddFlag("point", "", "comma-separated query point (query)");
   args.AddFlag("recall", "1",
                "query only: recall target in (0, 1]; below 1 lets the "
                "server route to the recall-controlled LSH tier");
   args.AddFlag("query-backend", "auto",
-               "query only: force one backend (tree | grid | lsh | brute) "
-               "or auto for cost-based planning");
+               "query only: force one backend (tree | grid | lsh | brute "
+               "| rtree) or auto for cost-based planning");
   args.AddBoolFlag("plan", false,
                    "query only: request cost-based planning (and the "
                    "planner response fields) even at recall 1");

@@ -82,6 +82,9 @@ int main(int argc, char** argv) {
   args.AddFlag("max-inflight", "256", "admission gate bound");
   args.AddFlag("retry-after-ms", "20", "backpressure retry hint");
   args.AddFlag("registry-mb", "4096", "index registry byte budget in MiB");
+  args.AddFlag("spill-dir", "",
+               "existing writable directory for the registry's out-of-core "
+               "tier (segment spill files, on-disk builds); empty = off");
   args.AddFlag("preload", "", "binary dataset file to index at startup");
   args.AddFlag("preload-name", "base", "registry name for --preload");
   args.AddFlag("epsilon", "0.1", "build epsilon for --preload");
@@ -111,6 +114,7 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(args.GetInt("retry-after-ms"));
   config.registry_byte_budget =
       static_cast<uint64_t>(args.GetInt("registry-mb")) << 20;
+  config.segment_spill_dir = args.GetString("spill-dir");
 
   const std::string trace_out = args.GetString("trace-out");
   if (!trace_out.empty()) {
