@@ -1,0 +1,472 @@
+// R24: live-update service throughput and correctness under churn.
+//
+// The updatable tier's promise is twofold: answers stay exact while the
+// index mutates, and queries stay fast while background compaction folds
+// the delta in.  This bench checks both against in-process loopback
+// servers:
+//
+//   1. identity: a drifting-cluster timeline (workload/drift.h) is replayed
+//      over the wire — Remove, Insert, then the step's cluster-chasing
+//      queries — and every response must be bit-identical to a
+//      stop-the-world oracle that rebuilds a fresh tree over the live rows
+//      after each step.  A final Flush plus requery pins the post-compaction
+//      answers too.
+//   2. steady state: two servers share the same point set, one serving an
+//      immutable snapshot and one an updatable index.  Closed-loop client
+//      threads drive both with the same query mix, except the updatable
+//      side turns one request in `update-interval` (default 100 = 1% update
+//      rate) into an insert/remove pair, so the delta tier keeps churning
+//      and auto-compaction runs in the background while queries flow.
+//
+// Load passes alternate --repeats times; the best pass of each mode is kept
+// so transient host stalls do not skew the ratio.
+//
+//   ./bench/bench_r24_updates
+//   ./bench/bench_r24_updates --seconds 4 --threads 8
+//
+// Emits a `# UPDATES_JSON {...}` line for scripts/check_bench_regression.sh,
+// which gates identical == true and qps_updatable / qps_immutable >= 0.8.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/args.h"
+#include "common/timer.h"
+#include "core/ekdb_tree.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "workload/drift.h"
+#include "workload/generators.h"
+
+namespace simjoin {
+namespace {
+
+/// Stop-the-world oracle: live (logical id, row) pairs in ascending-id
+/// order; every query answer is recomputed from a fresh tree build over the
+/// current live set, remapped to logical ids, and sorted.
+struct Mirror {
+  size_t dims;
+  std::vector<std::pair<PointId, std::vector<float>>> live;
+
+  explicit Mirror(const Dataset& initial) : dims(initial.dims()) {
+    for (size_t i = 0; i < initial.size(); ++i) {
+      const float* row = initial.Row(static_cast<PointId>(i));
+      live.emplace_back(static_cast<PointId>(i),
+                        std::vector<float>(row, row + dims));
+    }
+  }
+
+  void Insert(PointId first_id, const std::vector<float>& rows) {
+    const size_t count = rows.size() / dims;
+    for (size_t i = 0; i < count; ++i) {
+      live.emplace_back(
+          first_id + static_cast<PointId>(i),
+          std::vector<float>(rows.begin() + i * dims,
+                             rows.begin() + (i + 1) * dims));
+    }
+  }
+
+  void Remove(PointId id) {
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->first == id) {
+        live.erase(it);
+        return;
+      }
+    }
+  }
+
+  Result<std::vector<PointId>> OracleRange(const float* query, double eps,
+                                           const EkdbConfig& config) const {
+    std::vector<PointId> out;
+    if (!live.empty()) {
+      std::vector<float> flat;
+      std::vector<PointId> logical;
+      for (const auto& [id, row] : live) {
+        logical.push_back(id);
+        flat.insert(flat.end(), row.begin(), row.end());
+      }
+      SIMJOIN_ASSIGN_OR_RETURN(auto data,
+                               Dataset::FromFlat(std::move(flat), dims));
+      SIMJOIN_ASSIGN_OR_RETURN(auto tree, EkdbTree::Build(data, config));
+      std::vector<PointId> rows;
+      SIMJOIN_RETURN_NOT_OK(tree.RangeQuery(query, eps, &rows));
+      for (PointId r : rows) out.push_back(logical[r]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+/// Replays a drift timeline over the wire and compares every query answer
+/// (including a post-Flush requery of the last step) against the
+/// stop-the-world rebuild oracle.  Returns false on any divergence.
+Result<bool> IdentityCheck(Client* client, const EkdbConfig& config,
+                           const DriftTimeline& timeline) {
+  Mirror mirror(timeline.initial);
+  size_t checked = 0;
+  for (const DriftStep& step : timeline.steps) {
+    if (!step.remove_ids.empty()) {
+      RemoveRequest rem;
+      rem.name = "bench";
+      rem.ids = step.remove_ids;
+      SIMJOIN_RETURN_NOT_OK(client->Remove(rem).status());
+      for (PointId id : step.remove_ids) mirror.Remove(id);
+    }
+    if (!step.insert_rows.empty()) {
+      InsertRequest ins;
+      ins.name = "bench";
+      ins.dims = static_cast<uint32_t>(timeline.dims);
+      ins.rows = step.insert_rows;
+      SIMJOIN_ASSIGN_OR_RETURN(InsertResponse resp, client->Insert(ins));
+      mirror.Insert(resp.first_id, step.insert_rows);
+    }
+    for (size_t q = 0; q < step.queries(timeline.dims); ++q) {
+      const float* query = step.query_rows.data() + q * timeline.dims;
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto got, client->RangeQueryOne(
+                        "bench", std::span<const float>(query, timeline.dims),
+                        config.epsilon));
+      SIMJOIN_ASSIGN_OR_RETURN(
+          auto want, mirror.OracleRange(query, config.epsilon, config));
+      ++checked;
+      if (got != want) {
+        std::cerr << "  MISMATCH mid-timeline: " << got.size() << " ids vs "
+                  << want.size() << " oracle ids\n";
+        return false;
+      }
+    }
+  }
+  // Compaction must not change a single answer: fold the delta in and
+  // re-run the final step's queries against the same oracle.
+  SIMJOIN_RETURN_NOT_OK(client->Flush("bench").status());
+  const DriftStep& last = timeline.steps.back();
+  for (size_t q = 0; q < last.queries(timeline.dims); ++q) {
+    const float* query = last.query_rows.data() + q * timeline.dims;
+    SIMJOIN_ASSIGN_OR_RETURN(
+        auto got, client->RangeQueryOne(
+                      "bench", std::span<const float>(query, timeline.dims),
+                      config.epsilon));
+    SIMJOIN_ASSIGN_OR_RETURN(
+        auto want, mirror.OracleRange(query, config.epsilon, config));
+    ++checked;
+    if (got != want) {
+      std::cerr << "  MISMATCH post-flush: " << got.size() << " ids vs "
+                << want.size() << " oracle ids\n";
+      return false;
+    }
+  }
+  std::cout << "  identity: " << checked
+            << " drift-timeline answers checked against the rebuild oracle\n";
+  return true;
+}
+
+struct PhaseResult {
+  uint64_t requests = 0;  ///< completed range queries (updates not counted)
+  uint64_t updates = 0;
+  uint64_t errors = 0;
+  double qps = 0.0;
+};
+
+/// Closed-loop load phase: `threads` blocking clients cycle range queries
+/// over the dataset rows.  When update_interval > 0, every
+/// update_interval-th operation on a connection becomes an update instead:
+/// alternating an insert of one fresh row and a remove of the previously
+/// inserted id, so the live set stays the same size while the delta tier
+/// and tombstone set keep churning.
+Result<PhaseResult> RunLoadPhase(uint16_t port, const Dataset& data,
+                                 size_t threads, double warmup,
+                                 double seconds, double epsilon,
+                                 size_t update_interval) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::vector<std::thread> workers;
+  std::vector<PhaseResult> results(threads);
+  std::atomic<uint64_t> startup_errors{0};
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      ClientConfig cc;
+      cc.port = port;
+      auto client = Client::Connect(cc);
+      if (!client.ok()) {
+        startup_errors.fetch_add(1);
+        return;
+      }
+      PhaseResult& local = results[t];
+      size_t cursor = (t * 7919) % data.size();
+      uint64_t ops = t;  // stagger update slots across threads
+      std::optional<PointId> pending_remove;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const bool counted = measuring.load(std::memory_order_relaxed);
+        ++ops;
+        if (update_interval > 0 && ops % update_interval == 0) {
+          if (pending_remove) {
+            RemoveRequest rem;
+            rem.name = "bench";
+            rem.ids = {*pending_remove};
+            pending_remove.reset();
+            if (!client->Remove(rem).ok()) ++local.errors;
+          } else {
+            InsertRequest ins;
+            ins.name = "bench";
+            ins.dims = static_cast<uint32_t>(data.dims());
+            const float* row = data.Row(static_cast<PointId>(cursor));
+            ins.rows.assign(row, row + data.dims());
+            auto resp = client->Insert(ins);
+            if (resp.ok()) {
+              pending_remove = resp->first_id;
+            } else {
+              ++local.errors;
+            }
+          }
+          if (counted) ++local.updates;
+          continue;
+        }
+        const float* row = data.Row(static_cast<PointId>(cursor));
+        cursor = (cursor + 1) % data.size();
+        auto resp = client->RangeQueryOne(
+            "bench", std::span<const float>(row, data.dims()), epsilon);
+        if (!resp.ok()) ++local.errors;
+        if (counted) ++local.requests;
+      }
+      // Leave the live set exactly as found so later phases see the same
+      // index size.
+      if (pending_remove) {
+        RemoveRequest rem;
+        rem.name = "bench";
+        rem.ids = {*pending_remove};
+        (void)client->Remove(rem);
+      }
+    });
+  }
+
+  Timer wall;
+  while (wall.Seconds() < warmup) std::this_thread::yield();
+  measuring.store(true);
+  Timer window;
+  while (window.Seconds() < seconds) std::this_thread::yield();
+  const double elapsed = window.Seconds();
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  if (startup_errors.load() > 0) {
+    return Status::Internal("load-phase client connect failed");
+  }
+
+  PhaseResult total;
+  for (const PhaseResult& r : results) {
+    total.requests += r.requests;
+    total.updates += r.updates;
+    total.errors += r.errors;
+  }
+  total.qps = static_cast<double>(total.requests) / elapsed;
+  return total;
+}
+
+uint64_t CounterValue(const StatsResponse& stats, const std::string& name) {
+  for (const obs::CounterSample& c : stats.metrics.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+int Run(const ArgParser& args) {
+  const size_t n = static_cast<size_t>(args.GetInt("n"));
+  const size_t dims = static_cast<size_t>(args.GetInt("dims"));
+  const size_t threads = static_cast<size_t>(args.GetInt("threads"));
+  const double seconds = args.GetDouble("seconds");
+  const double warmup = args.GetDouble("warmup");
+  const double epsilon = args.GetDouble("epsilon");
+  const size_t update_interval =
+      static_cast<size_t>(args.GetInt("update-interval"));
+  const size_t repeats =
+      std::max<size_t>(1, static_cast<size_t>(args.GetInt("repeats")));
+
+  std::cout << "R24: updatable vs immutable service throughput (n=" << n
+            << ", d=" << dims << ", L2, eps=" << epsilon << ", threads="
+            << threads << ", 1 update per " << update_interval
+            << " requests)\n"
+            << "  cores detected: " << std::thread::hardware_concurrency()
+            << " (driver and server share them)\n";
+
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.metric = Metric::kL2;
+
+  // --- Pass 1: drift-timeline identity against the rebuild oracle. ------
+  DriftConfig drift;
+  drift.dims = 8;
+  drift.clusters = 4;
+  drift.points_per_cluster = 48;
+  drift.steps = 8;
+  drift.queries_per_step = 8;
+  drift.seed = 24;
+  auto timeline = GenerateDrift(drift);
+  if (!timeline.ok()) {
+    std::cerr << timeline.status().ToString() << "\n";
+    return 1;
+  }
+  bool identical = false;
+  {
+    auto server = Server::Start({});
+    if (!server.ok()) {
+      std::cerr << "server start failed\n";
+      return 1;
+    }
+    ClientConfig cc;
+    cc.port = (*server)->port();
+    auto client = Client::Connect(cc);
+    if (!client.ok()) {
+      std::cerr << client.status().ToString() << "\n";
+      return 1;
+    }
+    EkdbConfig drift_config = config;
+    drift_config.epsilon = 0.1;
+    BuildIndexRequest build;
+    build.name = "bench";
+    build.config = drift_config;
+    build.dims = static_cast<uint32_t>(timeline->dims);
+    build.points = timeline->initial.flat();
+    build.backend = BackendKind::kUpdatable;
+    if (!client->BuildIndex(build).ok()) {
+      std::cerr << "updatable build failed\n";
+      return 1;
+    }
+    auto id_ok = IdentityCheck(&*client, drift_config, *timeline);
+    if (!id_ok.ok()) {
+      std::cerr << id_ok.status().ToString() << "\n";
+      return 1;
+    }
+    identical = *id_ok;
+    (*server)->Shutdown();
+    (*server)->Wait();
+  }
+
+  // --- Pass 2: steady-state throughput, immutable vs 1%-update churn. ---
+  auto data = GenerateUniform({.n = n, .dims = dims, .seed = 24});
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  ServerConfig server_config;
+  server_config.max_inflight = std::max<size_t>(threads * 2, 64);
+  auto solo_server = Server::Start(server_config);
+  auto upd_server = Server::Start(server_config);
+  if (!solo_server.ok() || !upd_server.ok()) {
+    std::cerr << "server start failed\n";
+    return 1;
+  }
+  Timer build_timer;
+  auto snapshot = IndexSnapshot::Build("bench", *data, config);
+  auto updatable =
+      IndexSnapshot::Build("bench", *data, config,
+                           /*num_threads=*/1, BackendKind::kUpdatable);
+  if (!snapshot.ok() || !updatable.ok()) {
+    std::cerr << "index build failed\n";
+    return 1;
+  }
+  if (!(*solo_server)->registry().Put(*snapshot).ok() ||
+      !(*upd_server)->registry().Put(*updatable).ok()) {
+    std::cerr << "registry preload failed\n";
+    return 1;
+  }
+  std::cout << "  indexes built in " << build_timer.Seconds() << " s\n";
+
+  std::optional<PhaseResult> immutable, churn;
+  uint64_t phase_errors = 0;
+  for (size_t pass = 0; pass < repeats; ++pass) {
+    auto im = RunLoadPhase((*solo_server)->port(), *data, threads, warmup,
+                           seconds, epsilon, /*update_interval=*/0);
+    if (!im.ok()) {
+      std::cerr << "immutable phase: " << im.status().ToString() << "\n";
+      return 1;
+    }
+    auto ch = RunLoadPhase((*upd_server)->port(), *data, threads, warmup,
+                           seconds, epsilon, update_interval);
+    if (!ch.ok()) {
+      std::cerr << "updatable phase: " << ch.status().ToString() << "\n";
+      return 1;
+    }
+    phase_errors += im->errors + ch->errors;
+    std::cout << "  pass " << pass + 1 << "/" << repeats << ": immutable "
+              << static_cast<uint64_t>(im->qps) << " qps, updatable "
+              << static_cast<uint64_t>(ch->qps) << " qps (" << ch->updates
+              << " updates)\n";
+    if (!immutable || im->qps > immutable->qps) immutable = *im;
+    if (!churn || ch->qps > churn->qps) churn = *ch;
+  }
+
+  uint64_t compactions = 0;
+  {
+    ClientConfig cc;
+    cc.port = (*upd_server)->port();
+    auto client = Client::Connect(cc);
+    if (client.ok()) {
+      auto stats = client->GetStats();
+      if (stats.ok()) compactions = CounterValue(*stats, "compaction.count");
+    }
+  }
+
+  const double ratio =
+      immutable->qps > 0.0 ? churn->qps / immutable->qps : 0.0;
+  std::cout << "  immutable: " << static_cast<uint64_t>(immutable->qps)
+            << " qps (" << immutable->requests << " requests)\n"
+            << "  updatable: " << static_cast<uint64_t>(churn->qps)
+            << " qps (" << churn->requests << " requests, " << churn->updates
+            << " updates, " << compactions << " compactions)\n"
+            << "  steady-state ratio: " << ratio << "x of immutable\n";
+
+  std::ostringstream json;
+  json << "{\"bench\":\"r24_updates\",\"n\":" << n << ",\"dims\":" << dims
+       << ",\"threads\":" << threads << ",\"seconds\":" << seconds
+       << ",\"epsilon\":" << epsilon
+       << ",\"update_interval\":" << update_interval
+       << ",\"qps_immutable\":" << immutable->qps
+       << ",\"qps_updatable\":" << churn->qps << ",\"ratio\":" << ratio
+       << ",\"updates\":" << churn->updates
+       << ",\"compactions\":" << compactions
+       << ",\"errors\":" << phase_errors
+       << ",\"identical\":" << (identical ? "true" : "false")
+       << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+       << "}";
+  std::cout << "# UPDATES_JSON " << json.str() << "\n";
+
+  (*solo_server)->Shutdown();
+  (*solo_server)->Wait();
+  (*upd_server)->Shutdown();
+  (*upd_server)->Wait();
+  return identical && phase_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace simjoin
+
+int main(int argc, char** argv) {
+  simjoin::ArgParser args(
+      "R24: live-update service identity + steady-state throughput");
+  args.AddFlag("n", "50000", "indexed points for the throughput phases");
+  args.AddFlag("dims", "16", "dimensionality");
+  args.AddFlag("epsilon", "0.2", "build + query epsilon (L2)");
+  args.AddFlag("threads", "8", "closed-loop client threads per phase");
+  args.AddFlag("seconds", "2", "measurement window per phase");
+  args.AddFlag("warmup", "0.5", "uncounted warmup prefix per phase (seconds)");
+  args.AddFlag("repeats", "2", "alternating passes per mode; best is kept");
+  args.AddFlag("update-interval", "100",
+               "one op in this many becomes an insert/remove (0 = never)");
+  const simjoin::Status st = args.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << args.Help();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.Help();
+    return 0;
+  }
+  return simjoin::Run(args);
+}

@@ -4,7 +4,9 @@
 # The full suite includes the segment-file robustness/fuzz tests (Segment*,
 # Mmap*, RegistrySegment*) — truncated, bit-flipped, and version-skewed
 # segment files go through the mmap loader with ASan watching every read —
-# and the protocol fuzz soak on hostile wire bytes.
+# the updatable-tier suites (Delta*, Updatable*, Compaction*) exercising
+# insert/remove/compaction memory churn, and the protocol fuzz soak on
+# hostile wire bytes (malformed Insert/Remove/Flush frames included).
 #
 # Usage: scripts/check_asan_ubsan.sh [build-dir] [extra ctest args...]
 set -euo pipefail

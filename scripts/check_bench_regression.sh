@@ -15,6 +15,7 @@
 #   BENCH_fused.json     R21 fused vs per-request service QPS + identity bit
 #   BENCH_planner.json   R22 planner routing overhead + LSH-tier speedup
 #   BENCH_outofcore.json R23 external-build identity + mmap fault-in gates
+#   BENCH_updates.json   R24 live-update identity + steady-state churn ratio
 #
 # and compares them against the checked-in baselines
 # (BENCH_micro.baseline.json / BENCH_leafjoin.baseline.json /
@@ -45,6 +46,13 @@
 # in-RAM rebuild by at least SIMJOIN_BENCH_OUTOFCORE_MIN_SPEEDUP (default
 # 5.0) times.  The bench binary asserts all of these itself and exits
 # nonzero on breach; the JSON gates re-check them here.
+#
+# The R24 run gates the live-updatable tier: every drift-timeline answer
+# (and the post-Flush requeries) must be bit-identical to a stop-the-world
+# rebuild oracle (the bench exits nonzero otherwise), and steady-state
+# query throughput at a 1% update rate — background compaction included —
+# must stay within SIMJOIN_BENCH_UPDATES_TOLERANCE (default 0.20) of the
+# immutable snapshot serving the same point set.
 #
 # The R22 run gates the cost-based backend planner: planner-routed exact
 # answers must be bit-identical to forced ekdb-flat (the bench exits
@@ -80,6 +88,7 @@ FUSED_MIN_SPEEDUP="${SIMJOIN_BENCH_FUSED_MIN_SPEEDUP:-1.5}"
 PLANNER_MIN_SPEEDUP="${SIMJOIN_BENCH_PLANNER_MIN_SPEEDUP:-3.0}"
 PLANNER_EXACT_TOLERANCE="${SIMJOIN_BENCH_PLANNER_EXACT_TOLERANCE:-0.05}"
 OUTOFCORE_MIN_SPEEDUP="${SIMJOIN_BENCH_OUTOFCORE_MIN_SPEEDUP:-5.0}"
+UPDATES_TOLERANCE="${SIMJOIN_BENCH_UPDATES_TOLERANCE:-0.20}"
 FILTER="${SIMJOIN_BENCH_FILTER:-BM_KernelFilter}"
 MICRO_BIN="$BUILD_DIR/bench/bench_r12_micro"
 ABLATION_BIN="$BUILD_DIR/bench/bench_r10_ablation_leafjoin"
@@ -89,9 +98,11 @@ OBS_BIN="$BUILD_DIR/bench/bench_r20_obs_overhead"
 FUSED_BIN="$BUILD_DIR/bench/bench_r21_fused"
 PLANNER_BIN="$BUILD_DIR/bench/bench_r22_planner"
 OUTOFCORE_BIN="$BUILD_DIR/bench/bench_r23_outofcore"
+UPDATES_BIN="$BUILD_DIR/bench/bench_r24_updates"
 
 for bin in "$MICRO_BIN" "$ABLATION_BIN" "$PARALLEL_BIN" "$SERVICE_BIN" \
-           "$OBS_BIN" "$FUSED_BIN" "$PLANNER_BIN" "$OUTOFCORE_BIN"; do
+           "$OBS_BIN" "$FUSED_BIN" "$PLANNER_BIN" "$OUTOFCORE_BIN" \
+           "$UPDATES_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build with benchmarks first:" >&2
     echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -251,6 +262,27 @@ json.dump(json.loads(m.group(1)), open("BENCH_outofcore.json", "w"), indent=2)
 print("wrote BENCH_outofcore.json")
 PY
 
+# The R24 binary asserts drift-timeline bit-identity against the
+# stop-the-world rebuild oracle itself and exits nonzero on divergence or
+# request errors; set -e propagates that here.
+echo ">>> $UPDATES_BIN"
+UPDATES_TXT="$(mktemp)"
+trap 'rm -f "$ABLATION_TXT" "$PARALLEL_TXT" "$SERVICE_TXT" "$OBS_TXT" \
+  "$FUSED_TXT" "$PLANNER_TXT" "$OUTOFCORE_TXT" "$UPDATES_TXT"' EXIT
+"$UPDATES_BIN" --seconds 2 | tee "$UPDATES_TXT"
+
+# Extract the machine-readable UPDATES_JSON line into BENCH_updates.json.
+python3 - "$UPDATES_TXT" <<'PY'
+import json, re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"^# UPDATES_JSON (\{.*\})$", text, re.M)
+if m is None:
+    sys.exit("error: bench_r24_updates emitted no UPDATES_JSON line")
+json.dump(json.loads(m.group(1)), open("BENCH_updates.json", "w"), indent=2)
+print("wrote BENCH_updates.json")
+PY
+
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_micro.json BENCH_micro.baseline.json
   cp BENCH_leafjoin.json BENCH_leafjoin.baseline.json
@@ -260,13 +292,14 @@ if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp BENCH_fused.json BENCH_fused.baseline.json
   cp BENCH_planner.json BENCH_planner.baseline.json
   cp BENCH_outofcore.json BENCH_outofcore.baseline.json
+  cp BENCH_updates.json BENCH_updates.baseline.json
   echo "baselines updated (BENCH_*.baseline.json)"
   exit 0
 fi
 
 python3 - "$TOLERANCE" "$OBS_TOLERANCE" "$FUSED_MIN_SPEEDUP" \
   "$PLANNER_MIN_SPEEDUP" "$PLANNER_EXACT_TOLERANCE" \
-  "$OUTOFCORE_MIN_SPEEDUP" <<'PY'
+  "$OUTOFCORE_MIN_SPEEDUP" "$UPDATES_TOLERANCE" <<'PY'
 import json, os, sys
 
 tol = float(sys.argv[1])
@@ -275,6 +308,7 @@ fused_min_speedup = float(sys.argv[3])
 planner_min_speedup = float(sys.argv[4])
 planner_exact_tol = float(sys.argv[5])
 outofcore_min_speedup = float(sys.argv[6])
+updates_tol = float(sys.argv[7])
 failures = []
 
 
@@ -441,6 +475,39 @@ print(f"  [{status}] outofcore/fault_speedup: {fault_speedup:.1f}x "
       f"(minimum {outofcore_min_speedup:.2f}x)")
 if fault_speedup < outofcore_min_speedup:
     failures.append("outofcore/fault_speedup")
+
+# R24 update gates are absolute: drift-timeline identity and the
+# steady-state churn ratio hold on any host.
+cur = json.load(open("BENCH_updates.json"))
+print(f"live-update gates (churn ratio floor {1.0 - updates_tol:.2f}):")
+if not cur.get("identical", False):
+    failures.append("updates/identical")
+    print("  [FAIL] updates/identical: drift-timeline answers diverge from "
+          "the rebuild oracle")
+else:
+    print("  [ok] updates/identical: answers bit-identical to the rebuild "
+          "oracle")
+ratio = cur.get("ratio", 0.0)
+status = "FAIL" if ratio < 1.0 - updates_tol else "ok"
+print(f"  [{status}] updates/ratio: {ratio:.3f} "
+      f"(floor {1.0 - updates_tol:.2f})")
+if ratio < 1.0 - updates_tol:
+    failures.append("updates/ratio")
+if cur.get("errors", 0):
+    failures.append("updates/errors")
+    print(f"  [FAIL] updates/errors: {cur['errors']} request errors")
+if os.path.exists("BENCH_updates.baseline.json"):
+    have_baseline = True
+    base = json.load(open("BENCH_updates.baseline.json"))
+    # QPS is host-bound; compare only on the same core count.
+    if cur.get("hardware_concurrency") == base.get("hardware_concurrency"):
+        print("live-update throughput vs baseline:")
+        compare("updates/qps_updatable", cur["qps_updatable"],
+                base["qps_updatable"])
+    else:
+        print("updates baseline from a different core count "
+              f"({base.get('hardware_concurrency')} vs "
+              f"{cur.get('hardware_concurrency')}); skipping comparison")
 
 if os.path.exists("BENCH_obs.baseline.json"):
     have_baseline = True

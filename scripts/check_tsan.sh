@@ -3,11 +3,13 @@
 # concurrency-sensitive test targets (thread pool, parallel joins, parallel
 # tree construction and flattening, the service's index registry, the
 # loopback server and its cross-connection fusion engine, the cost-based
-# range planner with its lazily built aux/LSH backends, and the obs
-# metrics/trace layer), so the work-stealing deque, the sleep / wake
+# range planner with its lazily built aux/LSH backends, the obs
+# metrics/trace layer, and the live-updatable delta tier with its
+# background compaction), so the work-stealing deque, the sleep / wake
 # protocol, the sharded pair emission, registry refcounting/eviction, the
 # io-thread <-> fusion-collector <-> worker handoff, the plan/aux-backend
-# caches under concurrent planning, and the lock-free metric shards get
+# caches under concurrent planning, the lock-free metric shards, and the
+# delta-memtable swap under concurrent updates/queries/compactions get
 # exercised with full race checking.
 #
 # Usage: scripts/check_tsan.sh [build-dir] [extra ctest args...]
@@ -26,4 +28,4 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Planner|Lsh|IndexBackend|Counter|Histogram|Snapshot|Trace|Segment|Mmap|OutOfCore' "$@"
+  -R 'ThreadPool|TaskGroup|Parallel|Registry|Server|Fusion|Planner|Lsh|IndexBackend|Counter|Histogram|Snapshot|Trace|Segment|Mmap|OutOfCore|Delta|Updatable|Compaction' "$@"

@@ -1,0 +1,554 @@
+#include "core/delta_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/metric.h"
+#include "common/pair_sink.h"
+#include "common/thread_pool.h"
+#include "core/ekdb_flat_join.h"
+#include "core/parallel_join.h"
+
+namespace simjoin {
+namespace {
+
+// Rough per-point heap cost of the delta pointer tree (node amortisation +
+// id storage).  The memtable is bounded by the compaction thresholds, so an
+// estimate is enough for budget accounting; walking the tree per Stats RPC
+// would make accounting O(delta).
+constexpr uint64_t kDeltaTreeBytesPerPoint = 48;
+
+bool Dead(const std::vector<PointId>& tombstones, PointId id) {
+  return std::binary_search(tombstones.begin(), tombstones.end(), id);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<UpdatableIndex>> UpdatableIndex::Build(
+    const Dataset& dataset, const EkdbConfig& config, size_t num_threads,
+    const UpdatableConfig& update_config) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset must not be empty");
+  }
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
+  if (dataset.size() >= static_cast<size_t>(UINT32_MAX)) {
+    return Status::InvalidArgument("dataset exhausts the 32-bit id space");
+  }
+  SIMJOIN_ASSIGN_OR_RETURN(
+      EkdbTree tree, num_threads == 1
+                         ? EkdbTree::Build(dataset, config)
+                         : EkdbTree::BuildParallel(dataset, config,
+                                                   num_threads));
+  SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
+                           FlatEkdbTree::FromTree(tree, num_threads));
+
+  auto index = std::shared_ptr<UpdatableIndex>(new UpdatableIndex());
+  index->config_ = config;
+  index->update_config_ = update_config;
+  index->base_data_ = &dataset;
+
+  auto tier = std::make_shared<Tier>();
+  tier->data = &dataset;
+  tier->tree.emplace(std::move(flat));
+  tier->logical.resize(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    tier->logical[i] = static_cast<PointId>(i);
+  }
+  tier->bytes = tier->tree->total_bytes() +
+                tier->logical.size() * sizeof(PointId);
+  index->tier_ = std::move(tier);
+  index->tombstones_ = std::make_shared<const TombstoneSet>();
+  index->next_logical_ = static_cast<PointId>(dataset.size());
+  return index;
+}
+
+uint64_t UpdatableIndex::index_bytes() const {
+  std::shared_lock lock(mu_);
+  uint64_t bytes = tier_->bytes;
+  if (delta_rows_ != nullptr) bytes += delta_rows_->MemoryUsageBytes();
+  bytes += delta_logical_.size() *
+           (sizeof(PointId) + kDeltaTreeBytesPerPoint);
+  bytes += tombstones_->size() * sizeof(PointId);
+  return bytes;
+}
+
+Status UpdatableIndex::ValidateQueryEpsilon(double eps_query) const {
+  if (!(eps_query > 0.0) || eps_query > config_.epsilon) {
+    return Status::InvalidArgument(
+        "eps_query must be in (0, built epsilon]; the stripe grid only "
+        "supports radii up to the build epsilon");
+  }
+  return Status::OK();
+}
+
+Status UpdatableIndex::DeltaMatchesLocked(const float* query, double eps_query,
+                                          const TombstoneSet& tombstones,
+                                          std::vector<PointId>* out,
+                                          JoinStats* stats) const {
+  if (!delta_tree_.has_value()) return Status::OK();
+  std::vector<PointId> rows;
+  SIMJOIN_RETURN_NOT_OK(delta_tree_->RangeQuery(query, eps_query, &rows,
+                                                stats));
+  for (PointId row : rows) {
+    const PointId id = delta_logical_[row];
+    if (!Dead(tombstones, id)) out->push_back(id);
+  }
+  return Status::OK();
+}
+
+Status UpdatableIndex::RangeQuery(const float* query, double eps_query,
+                                  std::vector<PointId>* out, JoinStats* stats,
+                                  double* recall_est) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (query == nullptr) {
+    return Status::InvalidArgument("query must not be null");
+  }
+  SIMJOIN_RETURN_NOT_OK(ValidateQueryEpsilon(eps_query));
+  if (recall_est != nullptr) *recall_est = 1.0;
+
+  std::shared_ptr<const Tier> tier;
+  std::shared_ptr<const TombstoneSet> tombstones;
+  std::vector<PointId> merged;
+  {
+    std::shared_lock lock(mu_);
+    tier = tier_;
+    tombstones = tombstones_;
+    SIMJOIN_RETURN_NOT_OK(
+        DeltaMatchesLocked(query, eps_query, *tombstones, &merged, stats));
+  }
+  if (tier->tree.has_value()) {
+    std::vector<PointId> rows;
+    SIMJOIN_RETURN_NOT_OK(
+        tier->tree->RangeQuery(query, eps_query, &rows, stats));
+    for (PointId row : rows) {
+      const PointId id = tier->logical[row];
+      if (!Dead(*tombstones, id)) merged.push_back(id);
+    }
+  }
+  // Canonical order: ascending logical id, whatever mix of tiers matched.
+  std::sort(merged.begin(), merged.end());
+  out->insert(out->end(), merged.begin(), merged.end());
+  return Status::OK();
+}
+
+Status UpdatableIndex::RangeQueryBatch(const RangeQuerySpec* specs,
+                                       size_t count,
+                                       std::vector<std::vector<PointId>>* results,
+                                       std::vector<JoinStats>* stats,
+                                       std::vector<double>* recall_ests) const {
+  if (results == nullptr) {
+    return Status::InvalidArgument("results must not be null");
+  }
+  if (count != 0 && specs == nullptr) {
+    return Status::InvalidArgument("specs must not be null");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (specs[i].query == nullptr) {
+      return Status::InvalidArgument("spec query must not be null");
+    }
+    SIMJOIN_RETURN_NOT_OK(ValidateQueryEpsilon(specs[i].epsilon));
+  }
+  results->assign(count, {});
+  if (stats != nullptr) stats->assign(count, JoinStats{});
+  if (recall_ests != nullptr) recall_ests->assign(count, 1.0);
+
+  std::shared_ptr<const Tier> tier;
+  std::shared_ptr<const TombstoneSet> tombstones;
+  std::vector<std::vector<PointId>> delta_hits(count);
+  {
+    std::shared_lock lock(mu_);
+    tier = tier_;
+    tombstones = tombstones_;
+    for (size_t i = 0; i < count; ++i) {
+      SIMJOIN_RETURN_NOT_OK(DeltaMatchesLocked(
+          specs[i].query, specs[i].epsilon, *tombstones, &delta_hits[i],
+          stats != nullptr ? &(*stats)[i] : nullptr));
+    }
+  }
+  std::vector<std::vector<PointId>> base_rows;
+  std::vector<JoinStats> base_stats;
+  if (tier->tree.has_value()) {
+    SIMJOIN_RETURN_NOT_OK(tier->tree->RangeQueryBatch(
+        specs, count, &base_rows, stats != nullptr ? &base_stats : nullptr));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<PointId>& merged = (*results)[i];
+    merged = std::move(delta_hits[i]);
+    if (!base_rows.empty()) {
+      for (PointId row : base_rows[i]) {
+        const PointId id = tier->logical[row];
+        if (!Dead(*tombstones, id)) merged.push_back(id);
+      }
+      if (stats != nullptr) (*stats)[i].Merge(base_stats[i]);
+    }
+    std::sort(merged.begin(), merged.end());
+  }
+  return Status::OK();
+}
+
+Status UpdatableIndex::SelfJoin(double eps_query, size_t num_threads,
+                                PairSink* sink, JoinStats* stats) const {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  SIMJOIN_RETURN_NOT_OK(ValidateQueryEpsilon(eps_query));
+
+  // Point-in-time view: tier + tombstones by shared_ptr, the (small) delta
+  // rows by copy, so the join never races a concurrent append.
+  std::shared_ptr<const Tier> tier;
+  std::shared_ptr<const TombstoneSet> tombstones;
+  Dataset delta_copy;
+  std::vector<PointId> delta_logical;
+  {
+    std::shared_lock lock(mu_);
+    tier = tier_;
+    tombstones = tombstones_;
+    if (delta_rows_ != nullptr) delta_copy = *delta_rows_;
+    delta_logical = delta_logical_;
+  }
+
+  JoinStats local;
+  std::vector<IdPair> pairs;
+
+  // Base x base: the flat tier joins natively, then pairs are remapped to
+  // logical ids and filtered through the tombstones.
+  if (tier->tree.has_value()) {
+    VectorSink base_pairs;
+    const double build_eps = config_.epsilon;
+    if (num_threads > 1 && eps_query == build_eps) {
+      ParallelJoinConfig pcfg;
+      pcfg.num_threads = num_threads;
+      SIMJOIN_RETURN_NOT_OK(
+          ParallelFlatEkdbSelfJoin(*tier->tree, pcfg, &base_pairs, &local));
+    } else if (eps_query == build_eps) {
+      SIMJOIN_RETURN_NOT_OK(FlatEkdbSelfJoin(*tier->tree, &base_pairs,
+                                             &local));
+    } else {
+      SIMJOIN_RETURN_NOT_OK(FlatEkdbSelfJoinWithEpsilon(
+          *tier->tree, eps_query, &base_pairs, &local));
+    }
+    for (const IdPair& p : base_pairs.pairs()) {
+      const PointId a = tier->logical[p.first];
+      const PointId b = tier->logical[p.second];
+      if (Dead(*tombstones, a) || Dead(*tombstones, b)) continue;
+      pairs.emplace_back(std::min(a, b), std::max(a, b));
+    }
+  }
+
+  // Base x delta: one base range query per live delta point.
+  const size_t delta_n = delta_logical.size();
+  if (tier->tree.has_value()) {
+    std::vector<PointId> rows;
+    for (size_t i = 0; i < delta_n; ++i) {
+      const PointId delta_id = delta_logical[i];
+      if (Dead(*tombstones, delta_id)) continue;
+      rows.clear();
+      SIMJOIN_RETURN_NOT_OK(tier->tree->RangeQuery(
+          delta_copy.Row(static_cast<PointId>(i)), eps_query, &rows, &local));
+      for (PointId row : rows) {
+        const PointId base_id = tier->logical[row];
+        if (Dead(*tombstones, base_id)) continue;
+        pairs.emplace_back(std::min(base_id, delta_id),
+                           std::max(base_id, delta_id));
+      }
+    }
+  }
+
+  // Delta x delta: the memtable is small by construction, so an exact
+  // pairwise sweep is cheaper than building join structure over it.
+  const DistanceKernel kernel(config_.metric);
+  const size_t dims = delta_copy.dims();
+  for (size_t i = 0; i < delta_n; ++i) {
+    const PointId a = delta_logical[i];
+    if (Dead(*tombstones, a)) continue;
+    for (size_t j = i + 1; j < delta_n; ++j) {
+      const PointId b = delta_logical[j];
+      if (Dead(*tombstones, b)) continue;
+      ++local.candidate_pairs;
+      ++local.distance_calls;
+      if (kernel.WithinEpsilon(delta_copy.Row(static_cast<PointId>(i)),
+                               delta_copy.Row(static_cast<PointId>(j)), dims,
+                               eps_query)) {
+        pairs.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+
+  std::sort(pairs.begin(), pairs.end());
+  sink->EmitBatch(pairs);
+  local.pairs_emitted = pairs.size();
+  if (stats != nullptr) stats->Merge(local);
+  return Status::OK();
+}
+
+double UpdatableIndex::EstimatedQueryCost(double /*eps_query*/,
+                                          double expected_neighbors) const {
+  uint64_t base_points;
+  uint64_t delta_points;
+  {
+    std::shared_lock lock(mu_);
+    base_points = tier_->logical.size();
+    delta_points = delta_logical_.size();
+  }
+  // The flat-tier prior of EkdbFlatBackend, plus one memtable walk: the
+  // pointer tree's scattered nodes cost roughly a candidate row each, so a
+  // query gets linearly more expensive as the delta grows — which is
+  // exactly the signal that makes the planner's routing stay honest
+  // mid-burst, and what compaction resets.
+  const double n = static_cast<double>(base_points + delta_points);
+  const double base_cost = std::min(n, 64.0 + 8.0 * expected_neighbors);
+  return base_cost + static_cast<double>(delta_points);
+}
+
+Result<PointId> UpdatableIndex::InsertBatch(const float* rows,
+                                            size_t count) const {
+  if (count != 0 && rows == nullptr) {
+    return Status::InvalidArgument("rows must not be null");
+  }
+  const size_t dims = base_data_->dims();
+  for (size_t i = 0; i < count * dims; ++i) {
+    if (!(rows[i] >= 0.0f && rows[i] <= 1.0f)) {
+      return Status::InvalidArgument(
+          "coordinates must lie in [0, 1] (normalise before inserting)");
+    }
+  }
+  std::unique_lock lock(mu_);
+  if (static_cast<uint64_t>(next_logical_) + count >=
+      static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::InvalidArgument("insert would exhaust the 32-bit id space");
+  }
+  const PointId first = next_logical_;
+  if (count == 0) return first;
+  if (delta_rows_ == nullptr) {
+    delta_rows_ = std::make_unique<Dataset>(0, dims);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const PointId row = static_cast<PointId>(delta_rows_->size());
+    delta_rows_->Append(std::span<const float>(rows + i * dims, dims));
+    if (!delta_tree_.has_value()) {
+      SIMJOIN_ASSIGN_OR_RETURN(EkdbTree tree,
+                               EkdbTree::Build(*delta_rows_, config_));
+      delta_tree_.emplace(std::move(tree));
+    } else {
+      SIMJOIN_RETURN_NOT_OK(delta_tree_->Insert(row));
+    }
+    delta_logical_.push_back(next_logical_++);
+  }
+  MaybeScheduleCompactionLocked();
+  return first;
+}
+
+void UpdatableIndex::RemoveBatch(const PointId* ids, size_t count,
+                                 uint32_t* removed, uint32_t* missing) const {
+  uint32_t n_removed = 0;
+  uint32_t n_missing = 0;
+  std::unique_lock lock(mu_);
+  // One copy-on-write clone serves the whole batch; readers holding the old
+  // set keep their consistent view.
+  TombstoneSet next = *tombstones_;
+  for (size_t i = 0; i < count; ++i) {
+    const PointId id = ids[i];
+    const bool live =
+        !Dead(next, id) &&
+        (std::binary_search(tier_->logical.begin(), tier_->logical.end(),
+                            id) ||
+         std::binary_search(delta_logical_.begin(), delta_logical_.end(),
+                            id));
+    if (!live) {
+      ++n_missing;
+      continue;
+    }
+    next.insert(std::upper_bound(next.begin(), next.end(), id), id);
+    ++n_removed;
+  }
+  if (n_removed > 0) {
+    tombstones_ = std::make_shared<const TombstoneSet>(std::move(next));
+    MaybeScheduleCompactionLocked();
+  }
+  if (removed != nullptr) *removed = n_removed;
+  if (missing != nullptr) *missing = n_missing;
+}
+
+Status UpdatableIndex::Remove(PointId id) const {
+  uint32_t removed = 0;
+  RemoveBatch(&id, 1, &removed, nullptr);
+  if (removed == 0) {
+    return Status::NotFound("point id " + std::to_string(id) +
+                            " is not live in this index");
+  }
+  return Status::OK();
+}
+
+void UpdatableIndex::MaybeScheduleCompactionLocked() const {
+  if (!update_config_.auto_compact || compact_scheduled_) return;
+  const size_t base_points = tier_->logical.size();
+  const size_t delta_points = delta_logical_.size();
+  const size_t tombstones = tombstones_->size();
+  const size_t total = base_points + delta_points;
+  const bool delta_full =
+      delta_points >= update_config_.compact_min_delta_points ||
+      (update_config_.compact_delta_fraction > 0.0 && delta_points >= 64 &&
+       static_cast<double>(delta_points) >=
+           update_config_.compact_delta_fraction *
+               static_cast<double>(base_points));
+  const bool tombstone_heavy =
+      update_config_.compact_tombstone_ratio > 0.0 && tombstones >= 64 &&
+      static_cast<double>(tombstones) >=
+          update_config_.compact_tombstone_ratio *
+              static_cast<double>(std::max<size_t>(total, 1));
+  if (!delta_full && !tombstone_heavy) return;
+  compact_scheduled_ = true;
+  auto self = shared_from_this();
+  ThreadPool::Shared().Submit([self] {
+    {
+      std::lock_guard<std::mutex> compact_lock(self->compact_mu_);
+      bool ran = false;
+      // A failed merge (e.g. allocation pressure) leaves the old view
+      // serving; the next mutation re-arms the trigger.
+      (void)self->CompactLocked(&ran);
+    }
+    std::unique_lock lock(self->mu_);
+    self->compact_scheduled_ = false;
+    // Heavy ingest during the merge may already warrant another round.
+    self->MaybeScheduleCompactionLocked();
+  });
+}
+
+Result<bool> UpdatableIndex::Flush() const {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  bool ran = false;
+  SIMJOIN_RETURN_NOT_OK(CompactLocked(&ran));
+  return ran;
+}
+
+Status UpdatableIndex::CompactLocked(bool* ran) const {
+  *ran = false;
+  const double start = NowSeconds();
+
+  // Snapshot the state to merge.  Rows appended after this point stay in
+  // the delta; tombstones added after this point survive the swap.
+  std::shared_ptr<const Tier> tier;
+  std::shared_ptr<const TombstoneSet> applied;
+  Dataset delta_copy;
+  std::vector<PointId> delta_logical;
+  std::function<void(double)> observer;
+  {
+    std::shared_lock lock(mu_);
+    tier = tier_;
+    applied = tombstones_;
+    if (delta_rows_ != nullptr) delta_copy = *delta_rows_;
+    delta_logical = delta_logical_;
+    observer = compaction_observer_;
+  }
+  const size_t merged_rows = delta_logical.size();
+  if (merged_rows == 0 && applied->empty()) return Status::OK();
+
+  // Build the merged tier off-lock.  Base logicals all precede delta
+  // logicals, so appending base-then-delta keeps the row->logical map
+  // sorted — the invariant every membership check and the canonical result
+  // order rely on.
+  const size_t dims = base_data_->dims();
+  auto owned = std::make_unique<Dataset>(0, dims);
+  std::vector<PointId> logical;
+  for (size_t i = 0; i < tier->logical.size(); ++i) {
+    const PointId id = tier->logical[i];
+    if (Dead(*applied, id)) continue;
+    owned->Append(tier->data->RowSpan(static_cast<PointId>(i)));
+    logical.push_back(id);
+  }
+  for (size_t i = 0; i < merged_rows; ++i) {
+    const PointId id = delta_logical[i];
+    if (Dead(*applied, id)) continue;
+    owned->Append(delta_copy.RowSpan(static_cast<PointId>(i)));
+    logical.push_back(id);
+  }
+
+  auto next = std::make_shared<Tier>();
+  if (!owned->empty()) {
+    const size_t threads = update_config_.compact_threads;
+    SIMJOIN_ASSIGN_OR_RETURN(
+        EkdbTree tree, threads == 1
+                           ? EkdbTree::Build(*owned, config_)
+                           : EkdbTree::BuildParallel(*owned, config_,
+                                                     threads));
+    SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
+                             FlatEkdbTree::FromTree(tree, threads));
+    next->tree.emplace(std::move(flat));
+  }
+  next->data = owned.get();
+  next->logical = std::move(logical);
+  next->bytes = owned->MemoryUsageBytes() +
+                (next->tree.has_value() ? next->tree->total_bytes() : 0) +
+                next->logical.size() * sizeof(PointId);
+  next->owned = std::move(owned);
+
+  // Swap: rebuild the (tiny) residual delta from rows appended during the
+  // merge and drop the tombstones the merge applied.
+  {
+    std::unique_lock lock(mu_);
+    std::unique_ptr<Dataset> residual_rows;
+    std::optional<EkdbTree> residual_tree;
+    std::vector<PointId> residual_logical;
+    for (size_t i = merged_rows; i < delta_logical_.size(); ++i) {
+      if (residual_rows == nullptr) {
+        residual_rows = std::make_unique<Dataset>(0, dims);
+      }
+      const PointId row = static_cast<PointId>(residual_rows->size());
+      residual_rows->Append(
+          delta_rows_->RowSpan(static_cast<PointId>(i)));
+      if (!residual_tree.has_value()) {
+        SIMJOIN_ASSIGN_OR_RETURN(EkdbTree tree,
+                                 EkdbTree::Build(*residual_rows, config_));
+        residual_tree.emplace(std::move(tree));
+      } else {
+        SIMJOIN_RETURN_NOT_OK(residual_tree->Insert(row));
+      }
+      residual_logical.push_back(delta_logical_[i]);
+    }
+    auto surviving = std::make_shared<TombstoneSet>();
+    std::set_difference(tombstones_->begin(), tombstones_->end(),
+                        applied->begin(), applied->end(),
+                        std::back_inserter(*surviving));
+    tier_ = std::move(next);
+    delta_rows_ = std::move(residual_rows);
+    delta_tree_ = std::move(residual_tree);
+    delta_logical_ = std::move(residual_logical);
+    tombstones_ = std::move(surviving);
+    ++compactions_;
+  }
+  *ran = true;
+  if (observer) observer(NowSeconds() - start);
+  return Status::OK();
+}
+
+bool UpdatableIndex::compaction_inflight() const {
+  std::shared_lock lock(mu_);
+  return compact_scheduled_;
+}
+
+UpdatableStats UpdatableIndex::Stats() const {
+  std::shared_lock lock(mu_);
+  UpdatableStats stats;
+  stats.base_points = tier_->logical.size();
+  stats.delta_points = delta_logical_.size();
+  stats.tombstones = tombstones_->size();
+  stats.live_points =
+      stats.base_points + stats.delta_points - stats.tombstones;
+  stats.compactions = compactions_;
+  stats.next_id = next_logical_;
+  return stats;
+}
+
+void UpdatableIndex::SetCompactionObserver(
+    std::function<void(double)> observer) const {
+  std::unique_lock lock(mu_);
+  compaction_observer_ = std::move(observer);
+}
+
+}  // namespace simjoin

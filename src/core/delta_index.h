@@ -1,0 +1,220 @@
+// Live-updatable index: an LSM-style mutable delta tier in front of an
+// immutable flat eps-k-d-B snapshot.
+//
+// The structure is two tiers plus a tombstone set:
+//   * the *base tier* — a FlatEkdbTree over a point-in-time dataset, shared
+//     out as an immutable shared_ptr so readers never block on it;
+//   * the *delta memtable* — a pointer EkdbTree grown one point at a time
+//     with EkdbTree::Insert over a small owned dataset;
+//   * the *tombstones* — a copy-on-write set of removed logical ids (both
+//     base and delta points die by tombstone; EkdbTree::Remove is not on
+//     this path, so a remove is O(tombstones) worst case, never a tree
+//     restructure).
+//
+// Points carry stable *logical ids*: the initial build keeps its row ids
+// 0..n-1, every insert gets the next fresh id, and ids are never reused.
+// Because compaction rebuilds the base from live points in ascending
+// logical order, every tier's row->logical map stays sorted — which is what
+// makes membership checks a binary search and lets merged query results be
+// emitted in one canonical order (ascending logical id).  That canonical
+// order is the determinism contract: a query against an UpdatableIndex is
+// bit-identical to sorting the remapped result of a fresh immutable build
+// over the current live point set.
+//
+// Concurrency: one shared_mutex guards the mutable state.  Queries take a
+// shared lock just long enough to pin the base tier/tombstone shared_ptrs
+// and run the (small) delta-tree lookup, then scan the immutable base tier
+// with no lock held.  Writers take the exclusive lock for O(1)-ish delta
+// appends.  Background compaction (ThreadPool::Shared) builds the merged
+// flat tree entirely off-lock from a snapshot of the state and swaps it in
+// under one brief exclusive lock — readers either see the old view or the
+// new one, never a half-merged hybrid.
+//
+// Unlike the other IndexBackend implementations this one is *not* frozen
+// after construction; instead it is internally synchronised, so the
+// interface-wide "safe for unsynchronised concurrent const access" contract
+// still holds.  Mutators are const for the same reason the plan caches on
+// IndexSnapshot are: callers hold shared_ptr<const ...> snapshots, and
+// mutation is part of this type's logically-const serving behaviour.
+
+#ifndef SIMJOIN_CORE_DELTA_INDEX_H_
+#define SIMJOIN_CORE_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "core/ekdb_tree.h"
+#include "core/index_backend.h"
+
+namespace simjoin {
+
+/// Compaction policy of an UpdatableIndex.
+struct UpdatableConfig {
+  /// A delta this large always triggers compaction.
+  size_t compact_min_delta_points = 4096;
+  /// ... or a delta holding this fraction of the base tier's rows.
+  double compact_delta_fraction = 0.25;
+  /// ... or tombstones covering this fraction of all indexed rows.
+  double compact_tombstone_ratio = 0.25;
+  /// Schedule compaction on ThreadPool::Shared when a mutation crosses a
+  /// threshold.  Disable for deterministic tests that drive Flush() by
+  /// hand.
+  bool auto_compact = true;
+  /// Threads for the compaction rebuild (0 = hardware concurrency).
+  size_t compact_threads = 1;
+};
+
+/// Point-in-time shape of an UpdatableIndex (Stats RPC / tests).
+struct UpdatableStats {
+  uint64_t base_points = 0;   ///< rows in the flat tier (tombstoned included)
+  uint64_t delta_points = 0;  ///< rows in the memtable (tombstoned included)
+  uint64_t tombstones = 0;    ///< removed-but-not-yet-compacted logical ids
+  uint64_t live_points = 0;   ///< base + delta - tombstones
+  uint64_t compactions = 0;   ///< merges completed since construction
+  uint64_t next_id = 0;       ///< logical id the next insert will get
+};
+
+/// The updatable backend (BackendKind::kUpdatable).  Construct via Build —
+/// always through std::shared_ptr, because background compaction keeps the
+/// index alive with shared_from_this while it rebuilds.
+class UpdatableIndex final
+    : public IndexBackend,
+      public std::enable_shared_from_this<UpdatableIndex> {
+ public:
+  /// Builds the initial base tier over the dataset (parallel when
+  /// num_threads != 1).  The dataset must outlive the index; points
+  /// inserted later live in storage the index owns.
+  static Result<std::shared_ptr<UpdatableIndex>> Build(
+      const Dataset& dataset, const EkdbConfig& config, size_t num_threads,
+      const UpdatableConfig& update_config = {});
+
+  // -- IndexBackend -------------------------------------------------------
+
+  BackendKind kind() const override { return BackendKind::kUpdatable; }
+  const EkdbConfig& config() const override { return config_; }
+  /// The *initial build* dataset (the rows the snapshot owns).  Live points
+  /// may differ after updates; use Stats().live_points for current counts.
+  const Dataset& dataset() const override { return *base_data_; }
+  /// Current heap footprint of base tier + delta + tombstones (the delta
+  /// pointer-tree portion is estimated, not walked).  Dynamic — grows with
+  /// inserts, shrinks on compaction.
+  uint64_t index_bytes() const override;
+  bool exact() const override { return true; }
+  bool supports_self_join() const override { return true; }
+
+  Status ValidateQueryEpsilon(double eps_query) const override;
+  Status RangeQuery(const float* query, double eps_query,
+                    std::vector<PointId>* out, JoinStats* stats,
+                    double* recall_est) const override;
+  Status RangeQueryBatch(const RangeQuerySpec* specs, size_t count,
+                         std::vector<std::vector<PointId>>* results,
+                         std::vector<JoinStats>* stats,
+                         std::vector<double>* recall_ests) const override;
+  /// Self-join over the current live point set, pairs in canonical sorted
+  /// order ((min, max) logical, ascending).  num_threads parallelises the
+  /// base-base portion.
+  Status SelfJoin(double eps_query, size_t num_threads, PairSink* sink,
+                  JoinStats* stats) const override;
+  /// Base-tier prior plus one delta-scan term: a query additionally pays
+  /// for walking the memtable, so the planner's cost for this index rises
+  /// with delta size until compaction folds it in.
+  double EstimatedQueryCost(double eps_query,
+                            double expected_neighbors) const override;
+
+  // -- updates ------------------------------------------------------------
+
+  /// Appends `count` points (row-major, dims() floats each) to the delta
+  /// memtable and returns the logical id assigned to the first one (the
+  /// rest are consecutive).  Fails — without inserting anything — when a
+  /// coordinate leaves [0, 1] or the id space would overflow.
+  Result<PointId> InsertBatch(const float* rows, size_t count) const;
+
+  /// Tombstones one live point.  NotFound when the id was never assigned
+  /// or is already removed.
+  Status Remove(PointId id) const;
+
+  /// Tombstones a batch; unknown/dead ids are counted in *missing rather
+  /// than failing the batch (one copy-on-write clone for the whole call).
+  void RemoveBatch(const PointId* ids, size_t count, uint32_t* removed,
+                   uint32_t* missing) const;
+
+  /// Synchronous compaction: merges base + delta minus tombstones into a
+  /// fresh flat tier and swaps it in.  Returns true when a merge ran
+  /// (false when there was nothing to fold in).  Serialised against the
+  /// background compactor.
+  Result<bool> Flush() const;
+
+  /// True while a background compaction is scheduled or running.
+  bool compaction_inflight() const;
+
+  UpdatableStats Stats() const;
+  const UpdatableConfig& update_config() const { return update_config_; }
+
+  /// Observer invoked after every completed compaction with its duration
+  /// in seconds (the service layer hangs the compaction.* metrics here;
+  /// called from the compacting thread).  Set once, before serving.
+  void SetCompactionObserver(std::function<void(double)> observer) const;
+
+ private:
+  /// One immutable base tier: the flat tree, the rows it indexes, and the
+  /// sorted row->logical-id map.  `owned` is null only for tier zero,
+  /// whose rows are the caller's build dataset.  `tree` is disengaged when
+  /// the tier is empty (every point removed, then compacted).
+  struct Tier {
+    std::unique_ptr<Dataset> owned;
+    const Dataset* data = nullptr;
+    std::optional<FlatEkdbTree> tree;
+    std::vector<PointId> logical;
+    uint64_t bytes = 0;
+  };
+
+  using TombstoneSet = std::vector<PointId>;  // sorted ascending
+
+  UpdatableIndex() = default;
+
+  /// Appends delta matches for one query to *out (remapped to logical ids,
+  /// tombstones applied).  Requires mu_ held (shared is enough).
+  Status DeltaMatchesLocked(const float* query, double eps_query,
+                            const TombstoneSet& tombstones,
+                            std::vector<PointId>* out,
+                            JoinStats* stats) const;
+
+  /// Runs one merge if there is anything to fold in; *ran reports whether
+  /// a swap happened.  Requires compact_mu_ held.
+  Status CompactLocked(bool* ran) const;
+
+  /// Schedules a background compaction when a threshold is crossed and
+  /// none is in flight.  Requires mu_ held exclusively.
+  void MaybeScheduleCompactionLocked() const;
+
+  EkdbConfig config_;
+  UpdatableConfig update_config_;
+  const Dataset* base_data_ = nullptr;  // initial build rows (caller-owned)
+
+  // Guards all mutable state below.  Writers exclusive, queries shared.
+  mutable std::shared_mutex mu_;
+  mutable std::shared_ptr<const Tier> tier_;
+  mutable std::unique_ptr<Dataset> delta_rows_;
+  mutable std::optional<EkdbTree> delta_tree_;
+  mutable std::vector<PointId> delta_logical_;  // sorted (ids ascend)
+  mutable std::shared_ptr<const TombstoneSet> tombstones_;
+  mutable PointId next_logical_ = 0;
+  mutable uint64_t compactions_ = 0;
+  mutable bool compact_scheduled_ = false;
+
+  // Serialises compaction bodies (Flush vs the background task).
+  mutable std::mutex compact_mu_;
+
+  mutable std::function<void(double)> compaction_observer_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_CORE_DELTA_INDEX_H_

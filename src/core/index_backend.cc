@@ -30,6 +30,8 @@ Result<BackendKind> BackendKindFromWire(uint8_t value) {
       return BackendKind::kBruteSimd;
     case 4:
       return BackendKind::kRTree;
+    case 5:
+      return BackendKind::kUpdatable;
     default:
       return Status::InvalidArgument("unknown index backend byte " +
                                      std::to_string(value));
@@ -48,12 +50,15 @@ const char* BackendKindName(BackendKind kind) {
       return "brute-simd";
     case BackendKind::kRTree:
       return "rtree";
+    case BackendKind::kUpdatable:
+      return "updatable";
   }
   return "unknown";
 }
 
 bool BackendKindBuildable(BackendKind kind) {
-  return kind == BackendKind::kEkdbFlat || kind == BackendKind::kEpsilonGrid;
+  return kind == BackendKind::kEkdbFlat || kind == BackendKind::kEpsilonGrid ||
+         kind == BackendKind::kUpdatable;
 }
 
 Status IndexBackend::SelfJoin(double /*eps_query*/, size_t /*num_threads*/,

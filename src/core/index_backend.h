@@ -47,10 +47,11 @@ enum class BackendKind : uint8_t {
   kLsh = 2,          ///< p-stable LSH candidates + exact SIMD verification
   kBruteSimd = 3,    ///< strided SIMD scan of the whole dataset
   kRTree = 4,        ///< bulk-loaded R-tree (src/rtree), exact range search
+  kUpdatable = 5,    ///< LSM-style delta memtable + flat snapshot (updatable)
 };
 
 /// Number of distinct BackendKind values (for fixed-size per-kind tables).
-inline constexpr size_t kNumBackendKinds = 5;
+inline constexpr size_t kNumBackendKinds = 6;
 
 /// Wire byte in the RangeQuery planner extension meaning "no forced
 /// backend — let the planner choose".

@@ -163,6 +163,44 @@ Result<JoinDone> Client::SimilarityJoin(const SimilarityJoinRequest& request,
                              " retries");
 }
 
+Result<InsertResponse> Client::Insert(const InsertRequest& request) {
+  SIMJOIN_ASSIGN_OR_RETURN(
+      Frame frame, Roundtrip(FrameType::kInsert, EncodeInsertRequest(request)));
+  if (frame.header.type != FrameType::kInsertOk) {
+    return Status::IoError("unexpected response frame type " +
+                           std::to_string(uint8_t(frame.header.type)));
+  }
+  InsertResponse resp;
+  SIMJOIN_RETURN_NOT_OK(ParseInsertResponse(frame.payload, &resp));
+  return resp;
+}
+
+Result<RemoveResponse> Client::Remove(const RemoveRequest& request) {
+  SIMJOIN_ASSIGN_OR_RETURN(
+      Frame frame, Roundtrip(FrameType::kRemove, EncodeRemoveRequest(request)));
+  if (frame.header.type != FrameType::kRemoveOk) {
+    return Status::IoError("unexpected response frame type " +
+                           std::to_string(uint8_t(frame.header.type)));
+  }
+  RemoveResponse resp;
+  SIMJOIN_RETURN_NOT_OK(ParseRemoveResponse(frame.payload, &resp));
+  return resp;
+}
+
+Result<FlushResponse> Client::Flush(const std::string& name) {
+  FlushRequest req;
+  req.name = name;
+  SIMJOIN_ASSIGN_OR_RETURN(
+      Frame frame, Roundtrip(FrameType::kFlush, EncodeFlushRequest(req)));
+  if (frame.header.type != FrameType::kFlushOk) {
+    return Status::IoError("unexpected response frame type " +
+                           std::to_string(uint8_t(frame.header.type)));
+  }
+  FlushResponse resp;
+  SIMJOIN_RETURN_NOT_OK(ParseFlushResponse(frame.payload, &resp));
+  return resp;
+}
+
 Result<DropIndexResponse> Client::DropIndex(const std::string& name) {
   DropIndexRequest req;
   req.name = name;

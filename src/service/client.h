@@ -69,6 +69,17 @@ class Client {
   Result<JoinDone> SimilarityJoin(const SimilarityJoinRequest& request,
                                   PairSink* sink);
 
+  /// Appends rows to an updatable index's delta tier; the response carries
+  /// the contiguous id range the server assigned.
+  Result<InsertResponse> Insert(const InsertRequest& request);
+
+  /// Tombstones ids in an updatable index.  Unknown or already-removed ids
+  /// are counted as missing, not errors.
+  Result<RemoveResponse> Remove(const RemoveRequest& request);
+
+  /// Forces a synchronous compaction of an updatable index's delta tier.
+  Result<FlushResponse> Flush(const std::string& name);
+
   Result<DropIndexResponse> DropIndex(const std::string& name);
   Result<StatsResponse> GetStats();
   Status Ping();

@@ -57,6 +57,9 @@ bool IsKnownFrameType(uint8_t tag) {
     case FrameType::kShutdown:
     case FrameType::kDropIndex:
     case FrameType::kPing:
+    case FrameType::kInsert:
+    case FrameType::kRemove:
+    case FrameType::kFlush:
     case FrameType::kBuildIndexOk:
     case FrameType::kRangeQueryResult:
     case FrameType::kJoinChunk:
@@ -65,6 +68,9 @@ bool IsKnownFrameType(uint8_t tag) {
     case FrameType::kShutdownOk:
     case FrameType::kDropIndexOk:
     case FrameType::kPong:
+    case FrameType::kInsertOk:
+    case FrameType::kRemoveOk:
+    case FrameType::kFlushOk:
     case FrameType::kError:
     case FrameType::kRetryAfter:
       return true;
@@ -661,6 +667,154 @@ Status ParseJoinDone(std::span<const uint8_t> payload, JoinDone* out) {
   WireReader r(payload);
   SIMJOIN_RETURN_NOT_OK(r.U64(&out->total_pairs));
   SIMJOIN_RETURN_NOT_OK(ParseJoinStats(&r, &out->stats));
+  return r.ExpectEnd();
+}
+
+// --------------------------------------------------------------------------
+// Insert / Remove / Flush (live-update RPCs, docs/updates.md)
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeInsertRequest(const InsertRequest& req) {
+  WireWriter w;
+  w.String(req.name);
+  w.U32(req.dims);
+  w.U32(req.dims == 0 ? 0
+                      : static_cast<uint32_t>(req.rows.size() / req.dims));
+  w.FloatArray(req.rows);
+  return w.Take();
+}
+
+Status ParseInsertRequest(std::span<const uint8_t> payload,
+                          InsertRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
+  if (out->name.empty()) {
+    return Status::InvalidArgument("index name must not be empty");
+  }
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->dims));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&count));
+  if (out->dims == 0) {
+    return Status::InvalidArgument("Insert dims must be positive");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("Insert needs at least one row");
+  }
+  // Division keeps the comparison overflow-safe against hostile fields.
+  const uint64_t want = static_cast<uint64_t>(count) * out->dims;
+  if (want != r.remaining() / 4 || r.remaining() % 4 != 0) {
+    return Status::InvalidArgument(
+        "Insert row payload mismatch: header says " + std::to_string(want) +
+        " floats, payload holds " + std::to_string(r.remaining()) + " bytes");
+  }
+  SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->rows));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeInsertResponse(const InsertResponse& resp) {
+  WireWriter w;
+  w.U32(resp.first_id);
+  w.U32(resp.count);
+  w.U64(resp.delta_points);
+  w.U64(resp.tombstones);
+  return w.Take();
+}
+
+Status ParseInsertResponse(std::span<const uint8_t> payload,
+                           InsertResponse* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->first_id));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->count));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->delta_points));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->tombstones));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeRemoveRequest(const RemoveRequest& req) {
+  WireWriter w;
+  w.String(req.name);
+  w.U32(static_cast<uint32_t>(req.ids.size()));
+  for (const PointId id : req.ids) w.U32(id);
+  return w.Take();
+}
+
+Status ParseRemoveRequest(std::span<const uint8_t> payload,
+                          RemoveRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
+  if (out->name.empty()) {
+    return Status::InvalidArgument("index name must not be empty");
+  }
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U32(&count));
+  if (count == 0) {
+    return Status::InvalidArgument("Remove needs at least one id");
+  }
+  if (r.remaining() % 4 != 0 ||
+      static_cast<uint64_t>(count) != r.remaining() / 4) {
+    return Status::InvalidArgument("Remove id count/payload mismatch");
+  }
+  out->ids.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SIMJOIN_RETURN_NOT_OK(r.U32(&out->ids[i]));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeRemoveResponse(const RemoveResponse& resp) {
+  WireWriter w;
+  w.U32(resp.removed);
+  w.U32(resp.missing);
+  w.U64(resp.delta_points);
+  w.U64(resp.tombstones);
+  return w.Take();
+}
+
+Status ParseRemoveResponse(std::span<const uint8_t> payload,
+                           RemoveResponse* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->removed));
+  SIMJOIN_RETURN_NOT_OK(r.U32(&out->missing));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->delta_points));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->tombstones));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeFlushRequest(const FlushRequest& req) {
+  WireWriter w;
+  w.String(req.name);
+  return w.Take();
+}
+
+Status ParseFlushRequest(std::span<const uint8_t> payload, FlushRequest* out) {
+  WireReader r(payload);
+  SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
+  if (out->name.empty()) {
+    return Status::InvalidArgument("index name must not be empty");
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeFlushResponse(const FlushResponse& resp) {
+  WireWriter w;
+  w.U8(resp.compacted ? 1 : 0);
+  w.U64(resp.base_points);
+  w.U64(resp.delta_points);
+  w.U64(resp.tombstones);
+  w.U64(resp.index_bytes);
+  return w.Take();
+}
+
+Status ParseFlushResponse(std::span<const uint8_t> payload,
+                          FlushResponse* out) {
+  WireReader r(payload);
+  uint8_t compacted = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U8(&compacted));
+  out->compacted = compacted != 0;
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->base_points));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->delta_points));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->tombstones));
+  SIMJOIN_RETURN_NOT_OK(r.U64(&out->index_bytes));
   return r.ExpectEnd();
 }
 

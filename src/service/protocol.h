@@ -59,6 +59,9 @@ enum class FrameType : uint8_t {
   kShutdown = 5,        ///< orderly server stop
   kDropIndex = 6,       ///< evict one named index
   kPing = 7,            ///< liveness probe
+  kInsert = 8,          ///< append points to an updatable index's delta tier
+  kRemove = 9,          ///< tombstone points in an updatable index
+  kFlush = 10,          ///< force a synchronous compaction of the delta tier
 
   // Responses (server -> client).
   kBuildIndexOk = 64,
@@ -69,6 +72,9 @@ enum class FrameType : uint8_t {
   kShutdownOk = 69,
   kDropIndexOk = 70,
   kPong = 71,
+  kInsertOk = 72,
+  kRemoveOk = 73,
+  kFlushOk = 74,
   kError = 126,      ///< terminal failure: wire StatusCode + message
   kRetryAfter = 127, ///< admission queue full; retry after the given delay
 };
@@ -277,6 +283,47 @@ struct JoinDone {
   JoinStats stats;
 };
 
+// Live-update messages (docs/updates.md).  All three target an index built
+// with the updatable backend; the server answers updates against any other
+// backend (or an unknown name) with kError, never by mutating a snapshot.
+
+struct InsertRequest {
+  std::string name;
+  uint32_t dims = 0;
+  std::vector<float> rows;  ///< row-major, rows.size() == count * dims
+};
+
+struct InsertResponse {
+  PointId first_id = 0;      ///< ids assigned are [first_id, first_id+count)
+  uint32_t count = 0;
+  uint64_t delta_points = 0;  ///< delta-tier size after the insert
+  uint64_t tombstones = 0;
+};
+
+struct RemoveRequest {
+  std::string name;
+  std::vector<PointId> ids;
+};
+
+struct RemoveResponse {
+  uint32_t removed = 0;  ///< ids that were live and are now tombstoned
+  uint32_t missing = 0;  ///< ids unknown or already removed (not an error)
+  uint64_t delta_points = 0;
+  uint64_t tombstones = 0;
+};
+
+struct FlushRequest {
+  std::string name;
+};
+
+struct FlushResponse {
+  bool compacted = false;  ///< false when there was nothing to fold in
+  uint64_t base_points = 0;
+  uint64_t delta_points = 0;  ///< 0 unless concurrent inserts raced the flush
+  uint64_t tombstones = 0;
+  uint64_t index_bytes = 0;
+};
+
 struct DropIndexRequest {
   std::string name;
 };
@@ -355,6 +402,29 @@ Status ParseJoinChunk(std::span<const uint8_t> payload, JoinChunk* out);
 
 std::vector<uint8_t> EncodeJoinDone(const JoinDone& done);
 Status ParseJoinDone(std::span<const uint8_t> payload, JoinDone* out);
+
+std::vector<uint8_t> EncodeInsertRequest(const InsertRequest& req);
+Status ParseInsertRequest(std::span<const uint8_t> payload,
+                          InsertRequest* out);
+
+std::vector<uint8_t> EncodeInsertResponse(const InsertResponse& resp);
+Status ParseInsertResponse(std::span<const uint8_t> payload,
+                           InsertResponse* out);
+
+std::vector<uint8_t> EncodeRemoveRequest(const RemoveRequest& req);
+Status ParseRemoveRequest(std::span<const uint8_t> payload,
+                          RemoveRequest* out);
+
+std::vector<uint8_t> EncodeRemoveResponse(const RemoveResponse& resp);
+Status ParseRemoveResponse(std::span<const uint8_t> payload,
+                           RemoveResponse* out);
+
+std::vector<uint8_t> EncodeFlushRequest(const FlushRequest& req);
+Status ParseFlushRequest(std::span<const uint8_t> payload, FlushRequest* out);
+
+std::vector<uint8_t> EncodeFlushResponse(const FlushResponse& resp);
+Status ParseFlushResponse(std::span<const uint8_t> payload,
+                          FlushResponse* out);
 
 std::vector<uint8_t> EncodeDropIndexRequest(const DropIndexRequest& req);
 Status ParseDropIndexRequest(std::span<const uint8_t> payload,

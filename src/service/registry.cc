@@ -8,6 +8,7 @@
 
 #include "approx/lsh_index.h"
 #include "common/timer.h"
+#include "core/delta_index.h"
 #include "core/segment.h"
 #include "obs/metrics.h"
 #include "rtree/rtree_backend.h"
@@ -84,11 +85,16 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
     SIMJOIN_ASSIGN_OR_RETURN(auto grid,
                              EpsilonGridBackend::Build(*owned, config));
     primary = std::move(grid);
+  } else if (backend == BackendKind::kUpdatable) {
+    SIMJOIN_ASSIGN_OR_RETURN(
+        auto updatable, UpdatableIndex::Build(*owned, config, num_threads));
+    primary = std::move(updatable);
   } else {
     SIMJOIN_ASSIGN_OR_RETURN(
         auto tree, EkdbFlatBackend::Build(*owned, config, num_threads));
     primary = std::move(tree);
   }
+  snapshot->data_bytes_ = owned->MemoryUsageBytes();
   snapshot->memory_bytes_ =
       owned->MemoryUsageBytes() + primary->index_bytes();
   // The primary doubles as its own aux slot, so Backend(primary kind) and
@@ -119,6 +125,11 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::OpenMapped(
   snapshot->primary_ = std::move(primary);
   snapshot->build_seconds_ = timer.Seconds();
   return std::shared_ptr<const IndexSnapshot>(std::move(snapshot));
+}
+
+const UpdatableIndex* IndexSnapshot::updatable() const {
+  if (primary_->kind() != BackendKind::kUpdatable) return nullptr;
+  return static_cast<const UpdatableIndex*>(primary_.get());
 }
 
 Status IndexSnapshot::WriteSegmentFile(const std::string& path) const {
@@ -202,6 +213,12 @@ Result<std::shared_ptr<const IndexBackend>> IndexSnapshot::Backend(
       slot = std::move(backend);
       break;
     }
+    case BackendKind::kUpdatable:
+      // Reached only when the primary is NOT updatable (an updatable
+      // primary sits in its own aux slot): a static mutable tier over an
+      // immutable snapshot cannot be conjured after the fact.
+      return Status::InvalidArgument(
+          "updatable is a primary-only backend; build the index with it");
     case BackendKind::kLsh:
       return Status::Internal("unreachable");
   }
@@ -255,6 +272,33 @@ Result<PlannedRange> IndexSnapshot::PlanRange(
   SIMJOIN_RETURN_NOT_OK(primary_->ValidateQueryEpsilon(eps_query));
   const Metric metric = primary_->config().metric;
   const double n = static_cast<double>(data_->size());
+
+  // -- updatable primary: always the merged delta+base view -----------------
+  // Aux backends and LSH tiers are built over the *initial* dataset and
+  // would answer a stale point set, so routing away from the primary is
+  // never sound here.  No plan cache either: the cost moves with every
+  // insert (the delta-size term), and caching it would freeze a transient.
+  if (primary_->kind() == BackendKind::kUpdatable) {
+    if (forced_backend != kWireBackendAuto) {
+      SIMJOIN_ASSIGN_OR_RETURN(BackendKind kind,
+                               BackendKindFromWire(forced_backend));
+      if (kind != BackendKind::kUpdatable) {
+        return Status::InvalidArgument(
+            std::string("index is updatable; backend '") +
+            BackendKindName(kind) +
+            "' would serve a stale point set (use auto or updatable)");
+      }
+    }
+    PlannedRange out;
+    out.backend = primary_;
+    out.plan.kind = BackendKind::kUpdatable;
+    out.plan.est_cost = primary_->EstimatedQueryCost(eps_query, 0.0);
+    out.plan.expected_recall = 1.0;
+    out.plan.rationale =
+        "updatable primary: merged delta+base view (cost carries the "
+        "delta-size term)";
+    return out;
+  }
 
   // -- forced backend: no costing, no cache ---------------------------------
   if (forced_backend != kWireBackendAuto) {
@@ -506,9 +550,10 @@ Status IndexRegistry::Put(std::shared_ptr<const IndexSnapshot> snapshot,
     if (cold_it->second.owns_file) ::unlink(cold_it->second.segment_path.c_str());
     cold_.erase(cold_it);
   }
-  bytes_in_use_ += snapshot->memory_bytes();
+  const uint64_t charge = snapshot->memory_bytes();
+  bytes_in_use_ += charge;
   const IndexSnapshot* keep = snapshot.get();
-  lru_.push_front(Entry{std::move(snapshot), 0, version,
+  lru_.push_front(Entry{std::move(snapshot), 0, version, charge,
                         std::move(segment_path), owns_file});
   by_name_[name] = lru_.begin();
   EvictLocked(keep, evicted);
@@ -564,9 +609,10 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexRegistry::Get(
   cold_.erase(cold_it);
   ++faults_in_;
   SegmentTierMetrics::Get().faults_in->Add(1);
-  bytes_in_use_ += snapshot->memory_bytes();
+  const uint64_t charge = snapshot->memory_bytes();
+  bytes_in_use_ += charge;
   const IndexSnapshot* keep = snapshot.get();
-  lru_.push_front(Entry{snapshot, cold.hits + 1, cold.version,
+  lru_.push_front(Entry{snapshot, cold.hits + 1, cold.version, charge,
                         cold.segment_path, cold.owns_file});
   by_name_[name] = lru_.begin();
   EvictLocked(keep, nullptr);
@@ -587,6 +633,17 @@ bool IndexRegistry::Erase(const std::string& name) {
   }
   cold_.erase(cold_it);
   return true;
+}
+
+void IndexRegistry::RefreshCharge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return;
+  Entry& entry = *it->second;
+  const uint64_t now = entry.snapshot->memory_bytes();
+  bytes_in_use_ = bytes_in_use_ - entry.charged + now;
+  entry.charged = now;
+  EvictLocked(entry.snapshot.get(), nullptr);
 }
 
 std::vector<RegistryEntryInfo> IndexRegistry::List() const {
@@ -656,7 +713,7 @@ void IndexRegistry::RemoveHotLocked(
   // This is removal, not demotion: the entry's write-through segment file
   // (if the registry owns one) would otherwise leak on replace and erase.
   if (it->second->owns_file) ::unlink(it->second->segment_path.c_str());
-  bytes_in_use_ -= it->second->snapshot->memory_bytes();
+  bytes_in_use_ -= it->second->charged;
   lru_.erase(it->second);
   by_name_.erase(it);
 }
@@ -684,7 +741,7 @@ void IndexRegistry::EvictLocked(const IndexSnapshot* keep, size_t* evicted) {
       ++cold_evictions_;
       SegmentTierMetrics::Get().cold_evictions->Add(1);
     }
-    bytes_in_use_ -= it->snapshot->memory_bytes();
+    bytes_in_use_ -= it->charged;
     by_name_.erase(it->snapshot->name());
     // Dropping the shared_ptr here only releases the registry's reference;
     // requests still holding the snapshot keep it alive and queryable.

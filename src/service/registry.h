@@ -43,6 +43,8 @@
 
 namespace simjoin {
 
+class UpdatableIndex;
+
 /// One planner decision for a (epsilon, recall) pair on one snapshot.
 struct RangePlan {
   BackendKind kind = BackendKind::kEkdbFlat;
@@ -97,6 +99,10 @@ class IndexSnapshot {
   const Dataset& dataset() const { return *data_; }
   BackendKind backend() const { return primary_->kind(); }
   const IndexBackend& primary() const { return *primary_; }
+  /// The primary as the updatable index when backend() == kUpdatable
+  /// (the Insert/Remove/Flush RPCs mutate through this); nullptr for every
+  /// other backend.
+  const UpdatableIndex* updatable() const;
   /// Valid only when the primary is tree-backed (backend() == kEkdbFlat).
   const FlatEkdbTree& tree() const { return *primary_->flat_tree(); }
   const EkdbConfig& config() const { return primary_->config(); }
@@ -140,8 +146,16 @@ class IndexSnapshot {
   /// Heap footprint charged against the registry budget: dataset rows plus
   /// the primary structure's arrays.  Aux backends are planner working
   /// state and tracked separately (aux_bytes) — charging them against the
-  /// LRU budget would make eviction depend on query traffic.
-  uint64_t memory_bytes() const { return memory_bytes_; }
+  /// LRU budget would make eviction depend on query traffic.  For an
+  /// updatable primary this is *dynamic* (the delta memtable and
+  /// tombstones grow with updates and fold away on compaction); the
+  /// registry re-reads it via RefreshCharge after every update RPC.
+  uint64_t memory_bytes() const {
+    if (backend() == BackendKind::kUpdatable) {
+      return data_bytes_ + primary_->index_bytes();
+    }
+    return memory_bytes_;
+  }
   /// Current heap footprint of lazily built aux backends (telemetry).
   uint64_t aux_bytes() const;
   double build_seconds() const { return build_seconds_; }
@@ -200,6 +214,7 @@ class IndexSnapshot {
   std::shared_ptr<const IndexBackend> primary_;
   std::string segment_path_;
   uint64_t memory_bytes_ = 0;
+  uint64_t data_bytes_ = 0;  ///< initial dataset rows (updatable accounting)
   double build_seconds_ = 0.0;
 
   // Planner state, lazily populated under plan_mu_.  Backends are handed
@@ -275,6 +290,14 @@ class IndexRegistry {
   /// segment file); false when the name is unknown.
   bool Erase(const std::string& name);
 
+  /// Re-reads a hot entry's current memory_bytes() and adjusts the budget
+  /// accounting by the difference — the hook the update RPCs call after
+  /// mutating an updatable index, whose delta/tombstone footprint moves
+  /// under the entry.  Growth past the budget evicts LRU *other* entries
+  /// (the refreshed index itself is never evicted by its own growth).
+  /// No-op for unknown or cold names.
+  void RefreshCharge(const std::string& name);
+
   /// Hot entries in most-recently-used-first order, then cold entries.
   std::vector<RegistryEntryInfo> List() const;
 
@@ -296,6 +319,11 @@ class IndexRegistry {
     std::shared_ptr<const IndexSnapshot> snapshot;
     uint64_t hits = 0;
     uint64_t version = 0;
+    /// Bytes this entry currently holds against bytes_in_use_.  Captured at
+    /// admission and moved by RefreshCharge; eviction returns exactly this
+    /// amount, so accounting stays balanced even when memory_bytes() is
+    /// dynamic (updatable indexes).
+    uint64_t charged = 0;
     /// Segment file backing this entry ("" = not spillable: demotion
     /// disabled, eviction destroys).
     std::string segment_path;

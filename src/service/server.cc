@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/net.h"
 #include "common/thread_pool.h"
+#include "core/delta_index.h"
 #include "core/ekdb_flat_join.h"
 #include "core/parallel_join.h"
 #include "core/segment_builder.h"
@@ -78,6 +79,19 @@ struct ServiceMetrics {
   obs::Counter* planner_routed_lsh;
   obs::Counter* planner_routed_brute;
   obs::Counter* planner_join_fallbacks; ///< grid-primary joins run on aux tree
+  obs::Histogram* latency_insert;
+  obs::Histogram* latency_remove;
+  obs::Histogram* latency_flush;
+  obs::Counter* updates_inserts;        ///< Insert RPCs served
+  obs::Counter* updates_removes;        ///< Remove RPCs served
+  obs::Counter* updates_flushes;        ///< Flush RPCs served
+  obs::Counter* updates_rows_inserted;  ///< rows appended across all inserts
+  obs::Counter* updates_rows_removed;   ///< ids tombstoned across all removes
+  obs::Gauge* delta_points;             ///< delta-tier rows (last updated index)
+  obs::Gauge* delta_tombstones;         ///< live tombstones
+  obs::Gauge* delta_bytes;              ///< delta memtable + tombstone bytes
+  obs::Counter* compactions;            ///< delta tiers folded into the base
+  obs::Histogram* compaction_us;        ///< per-compaction duration
 
   obs::Counter* RoutedCounterFor(BackendKind kind) const {
     switch (kind) {
@@ -96,6 +110,9 @@ struct ServiceMetrics {
       case FrameType::kSimilarityJoin: return latency_similarity_join;
       case FrameType::kStats: return latency_stats;
       case FrameType::kDropIndex: return latency_drop_index;
+      case FrameType::kInsert: return latency_insert;
+      case FrameType::kRemove: return latency_remove;
+      case FrameType::kFlush: return latency_flush;
       default: return nullptr;
     }
   }
@@ -135,6 +152,19 @@ const ServiceMetrics& GetServiceMetrics() {
         reg.GetCounter("service.planner.routed_lsh"),
         reg.GetCounter("service.planner.routed_brute_simd"),
         reg.GetCounter("service.planner.join_tree_fallbacks"),
+        reg.GetHistogram("service.latency_us.insert"),
+        reg.GetHistogram("service.latency_us.remove"),
+        reg.GetHistogram("service.latency_us.flush"),
+        reg.GetCounter("service.updates.inserts"),
+        reg.GetCounter("service.updates.removes"),
+        reg.GetCounter("service.updates.flushes"),
+        reg.GetCounter("service.updates.rows_inserted"),
+        reg.GetCounter("service.updates.rows_removed"),
+        reg.GetGauge("delta.points"),
+        reg.GetGauge("delta.tombstones"),
+        reg.GetGauge("delta.bytes"),
+        reg.GetCounter("compaction.count"),
+        reg.GetHistogram("compaction.duration_us"),
     };
   }();
   return metrics;
@@ -149,6 +179,9 @@ const char* RequestSpanName(FrameType type) {
     case FrameType::kSimilarityJoin: return "service.similarity_join";
     case FrameType::kStats: return "service.stats";
     case FrameType::kDropIndex: return "service.drop_index";
+    case FrameType::kInsert: return "service.insert";
+    case FrameType::kRemove: return "service.remove";
+    case FrameType::kFlush: return "service.flush";
     default: return "service.request";
   }
 }
@@ -419,6 +452,17 @@ struct Server::Impl {
           IndexSnapshot::Build(req.name, std::move(data), req.config,
                                ResolveThreads(req.num_threads), req.backend));
     }
+    // Compaction metrics hook: the observer touches only process-lifetime
+    // globals (never the registry or Impl), because a background compaction
+    // submitted to the shared pool can outlive both — its task holds the
+    // index alive via shared_ptr, not the server.
+    if (const UpdatableIndex* upd = snapshot->updatable()) {
+      upd->SetCompactionObserver([](double seconds) {
+        const ServiceMetrics& m = GetServiceMetrics();
+        m.compactions->Add();
+        m.compaction_us->Record(seconds * 1e6);
+      });
+    }
     size_t evicted = 0;
     SIMJOIN_RETURN_NOT_OK(registry.Put(snapshot, &evicted));
     BuildIndexResponse resp;
@@ -601,6 +645,36 @@ struct Server::Impl {
     if (a_join->kind() != a->backend()) {
       GetServiceMetrics().planner_join_fallbacks->Add();
     }
+    // An updatable primary has no flat tree to hand the join drivers — its
+    // SelfJoin merges the base tier, the delta memtable, and the tombstone
+    // set itself (canonical ascending-id pairs, bit-identical to a fresh
+    // rebuild over the live rows).  Cross-joins are rejected: the other
+    // side would be joined against a moving point set.
+    if (a_join->flat_tree() == nullptr) {
+      if (!req.name_b.empty() && req.name_b != req.name_a) {
+        return Status::InvalidArgument(
+            "index '" + req.name_a + "' is updatable; cross-index joins "
+            "require immutable indexes (flush and rebuild to join)");
+      }
+      const double upd_build_eps = a_join->config().epsilon;
+      const double upd_eps = req.epsilon == 0.0 ? upd_build_eps : req.epsilon;
+      SIMJOIN_RETURN_NOT_OK(a_join->ValidateQueryEpsilon(upd_eps));
+      ChunkSink sink(this, conn, frame.header.request_id,
+                     std::min<size_t>(req.chunk_pairs != 0
+                                          ? req.chunk_pairs
+                                          : config.join_chunk_pairs,
+                                      kMaxJoinChunkPairs));
+      JoinStats stats;
+      SIMJOIN_RETURN_NOT_OK(a_join->SelfJoin(
+          upd_eps, ResolveThreads(req.num_threads), &sink, &stats));
+      sink.FlushChunk();
+      JoinDone done;
+      done.total_pairs = sink.total_pairs();
+      done.stats = stats;
+      out->type = FrameType::kJoinDone;
+      out->payload = EncodeJoinDone(done);
+      return Status::OK();
+    }
     const FlatEkdbTree& a_tree = *a_join->flat_tree();
     std::shared_ptr<const IndexSnapshot> b;
     std::shared_ptr<const IndexBackend> b_join;
@@ -612,6 +686,11 @@ struct Server::Impl {
         GetServiceMetrics().planner_join_fallbacks->Add();
       }
       b_tree = b_join->flat_tree();
+      if (b_tree == nullptr) {
+        return Status::InvalidArgument(
+            "index '" + req.name_b + "' is updatable; cross-index joins "
+            "require immutable indexes (flush and rebuild to join)");
+      }
       if (!FlatEkdbTree::JoinCompatible(a_tree, *b_tree)) {
         return Status::InvalidArgument(
             "indexes '" + req.name_a + "' and '" + req.name_b +
@@ -700,6 +779,118 @@ struct Server::Impl {
     return Status::OK();
   }
 
+  // -- live-update RPCs (docs/updates.md) ------------------------------------
+
+  /// Looks up one index for a live-update RPC.  Updates against an index
+  /// whose primary is not the updatable backend fail here — every other
+  /// snapshot's structures are immutable by contract and must stay that way.
+  Result<std::shared_ptr<const IndexSnapshot>> ResolveUpdatable(
+      const std::string& name, const UpdatableIndex** upd) {
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
+                             registry.Get(name));
+    *upd = snapshot->updatable();
+    if (*upd == nullptr) {
+      return Status::InvalidArgument(
+          "index '" + name + "' uses the " +
+          std::string(BackendKindName(snapshot->backend())) +
+          " backend; live updates need an index built with the updatable "
+          "backend");
+    }
+    return snapshot;
+  }
+
+  /// Publishes the delta-tier gauges after an update RPC.  Gauges reflect
+  /// the most recently updated index; the per-index breakdown lives in the
+  /// Stats index list (bytes are the dynamic registry charge).
+  void PublishDeltaGauges(const UpdatableIndex& upd, size_t dims) {
+    const UpdatableStats s = upd.Stats();
+    const ServiceMetrics& m = GetServiceMetrics();
+    m.delta_points->Set(static_cast<int64_t>(s.delta_points));
+    m.delta_tombstones->Set(static_cast<int64_t>(s.tombstones));
+    // Estimate mirroring the core's accounting: delta rows + pointer-tree
+    // nodes + the tombstone vector.
+    m.delta_bytes->Set(static_cast<int64_t>(
+        s.delta_points * (dims * sizeof(float) + 48) +
+        s.tombstones * sizeof(PointId)));
+  }
+
+  Status HandleInsert(const Frame& frame, Terminal* out) {
+    InsertRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseInsertRequest(frame.payload, &req));
+    const UpdatableIndex* upd = nullptr;
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
+                             ResolveUpdatable(req.name, &upd));
+    const size_t index_dims = snapshot->dataset().dims();
+    if (req.dims != index_dims) {
+      return Status::InvalidArgument(
+          "insert dims " + std::to_string(req.dims) + " != index dims " +
+          std::to_string(index_dims));
+    }
+    const size_t count = req.rows.size() / req.dims;
+    SIMJOIN_ASSIGN_OR_RETURN(PointId first,
+                             upd->InsertBatch(req.rows.data(), count));
+    // The delta grew: re-read this index's dynamic footprint into the LRU
+    // accounting (evicting colder entries if the budget is now exceeded).
+    registry.RefreshCharge(req.name);
+    const UpdatableStats s = upd->Stats();
+    const ServiceMetrics& metrics = GetServiceMetrics();
+    metrics.updates_inserts->Add();
+    metrics.updates_rows_inserted->Add(count);
+    PublishDeltaGauges(*upd, index_dims);
+    InsertResponse resp;
+    resp.first_id = first;
+    resp.count = static_cast<uint32_t>(count);
+    resp.delta_points = s.delta_points;
+    resp.tombstones = s.tombstones;
+    out->type = FrameType::kInsertOk;
+    out->payload = EncodeInsertResponse(resp);
+    return Status::OK();
+  }
+
+  Status HandleRemove(const Frame& frame, Terminal* out) {
+    RemoveRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseRemoveRequest(frame.payload, &req));
+    const UpdatableIndex* upd = nullptr;
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
+                             ResolveUpdatable(req.name, &upd));
+    RemoveResponse resp;
+    upd->RemoveBatch(req.ids.data(), req.ids.size(), &resp.removed,
+                     &resp.missing);
+    registry.RefreshCharge(req.name);
+    const UpdatableStats s = upd->Stats();
+    const ServiceMetrics& metrics = GetServiceMetrics();
+    metrics.updates_removes->Add();
+    metrics.updates_rows_removed->Add(resp.removed);
+    PublishDeltaGauges(*upd, snapshot->dataset().dims());
+    resp.delta_points = s.delta_points;
+    resp.tombstones = s.tombstones;
+    out->type = FrameType::kRemoveOk;
+    out->payload = EncodeRemoveResponse(resp);
+    return Status::OK();
+  }
+
+  Status HandleFlush(const Frame& frame, Terminal* out) {
+    FlushRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseFlushRequest(frame.payload, &req));
+    const UpdatableIndex* upd = nullptr;
+    SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
+                             ResolveUpdatable(req.name, &upd));
+    SIMJOIN_ASSIGN_OR_RETURN(bool compacted, upd->Flush());
+    registry.RefreshCharge(req.name);
+    const UpdatableStats s = upd->Stats();
+    GetServiceMetrics().updates_flushes->Add();
+    PublishDeltaGauges(*upd, snapshot->dataset().dims());
+    FlushResponse resp;
+    resp.compacted = compacted;
+    resp.base_points = s.base_points;
+    resp.delta_points = s.delta_points;
+    resp.tombstones = s.tombstones;
+    resp.index_bytes = snapshot->memory_bytes();
+    out->type = FrameType::kFlushOk;
+    out->payload = EncodeFlushResponse(resp);
+    return Status::OK();
+  }
+
   /// Runs one admitted request on a worker thread.
   void ExecuteRequest(const std::shared_ptr<Conn>& conn, const Frame& frame,
                       Clock::time_point admitted_at) {
@@ -733,6 +924,15 @@ struct Server::Impl {
           break;
         case FrameType::kDropIndex:
           st = HandleDropIndex(frame, &term);
+          break;
+        case FrameType::kInsert:
+          st = HandleInsert(frame, &term);
+          break;
+        case FrameType::kRemove:
+          st = HandleRemove(frame, &term);
+          break;
+        case FrameType::kFlush:
+          st = HandleFlush(frame, &term);
           break;
         default:
           st = Status::Internal("request type routed to worker unexpectedly");

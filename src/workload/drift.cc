@@ -1,0 +1,169 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace simjoin {
+namespace {
+
+inline float Clamp01(double v) {
+  return static_cast<float>(std::min(1.0, std::max(0.0, v)));
+}
+
+/// One live cluster: its centre migrates along the shared drift line
+/// (sign-alternated so the cloud spreads both ways) and remembers the
+/// insertion-order indices of its member rows for the expiry step.
+struct Cluster {
+  std::vector<double> centre;
+  double direction = 1.0;  ///< +1 / -1 along the line
+  std::vector<PointId> members;
+};
+
+class Generator {
+ public:
+  explicit Generator(const DriftConfig& config)
+      : config_(config), rng_(config.seed), line_dir_(config.dims) {
+    // Random unit direction for the drift line.  Clusters are born near a
+    // random anchor and all migrate parallel to this line (movingTarget
+    // style), so drifting density stays spatially coherent.
+    double norm = 0.0;
+    for (size_t d = 0; d < config_.dims; ++d) {
+      line_dir_[d] = rng_.Gaussian();
+      norm += line_dir_[d] * line_dir_[d];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (double& v : line_dir_) v /= norm;
+  }
+
+  Result<DriftTimeline> Run() {
+    DriftTimeline timeline;
+    timeline.dims = config_.dims;
+
+    std::vector<float> initial_rows;
+    for (size_t c = 0; c < config_.clusters; ++c) {
+      BirthCluster(&initial_rows);
+    }
+    SIMJOIN_ASSIGN_OR_RETURN(
+        timeline.initial,
+        Dataset::FromFlat(std::move(initial_rows), config_.dims));
+
+    timeline.steps.resize(config_.steps);
+    for (size_t s = 0; s < config_.steps; ++s) {
+      DriftStep& step = timeline.steps[s];
+      Migrate();
+      // Expire the oldest clusters first (birth order), but never the last
+      // live one — an empty cloud would make the chasing queries moot.
+      for (size_t k = 0; k < config_.deaths_per_step && live_.size() > 1;
+           ++k) {
+        Cluster& dying = live_.front();
+        step.remove_ids.insert(step.remove_ids.end(), dying.members.begin(),
+                               dying.members.end());
+        live_.pop_front();
+      }
+      for (size_t k = 0; k < config_.births_per_step; ++k) {
+        BirthCluster(&step.insert_rows);
+      }
+      for (size_t q = 0; q < config_.queries_per_step; ++q) {
+        const Cluster& target =
+            live_[static_cast<size_t>(rng_.UniformInt(live_.size()))];
+        SamplePoint(target, &step.query_rows);
+      }
+    }
+    return timeline;
+  }
+
+ private:
+  void BirthCluster(std::vector<float>* rows) {
+    Cluster cluster;
+    cluster.centre.resize(config_.dims);
+    cluster.direction = rng_.Bernoulli(0.5) ? 1.0 : -1.0;
+    // Anchor on the line through the cube centre, jittered off it by at
+    // most the margin per coordinate.
+    const double t = rng_.Uniform(-0.5, 0.5);
+    for (size_t d = 0; d < config_.dims; ++d) {
+      cluster.centre[d] = 0.5 + t * line_dir_[d] +
+                          rng_.Uniform(-config_.margin, config_.margin);
+      cluster.centre[d] = std::min(1.0, std::max(0.0, cluster.centre[d]));
+    }
+    for (size_t i = 0; i < config_.points_per_cluster; ++i) {
+      cluster.members.push_back(next_id_++);
+      SamplePoint(cluster, rows);
+    }
+    live_.push_back(std::move(cluster));
+  }
+
+  void Migrate() {
+    for (Cluster& cluster : live_) {
+      for (size_t d = 0; d < config_.dims; ++d) {
+        cluster.centre[d] +=
+            cluster.direction * config_.drift_step * line_dir_[d];
+      }
+      // Reflect at the cube faces so long timelines keep their clusters
+      // inside the domain instead of pinning them flat against a wall.
+      for (size_t d = 0; d < config_.dims; ++d) {
+        if (cluster.centre[d] < 0.0 || cluster.centre[d] > 1.0) {
+          cluster.direction = -cluster.direction;
+          for (size_t e = 0; e < config_.dims; ++e) {
+            cluster.centre[e] = std::min(1.0, std::max(0.0, cluster.centre[e]));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void SamplePoint(const Cluster& cluster, std::vector<float>* rows) {
+    for (size_t d = 0; d < config_.dims; ++d) {
+      rows->push_back(
+          Clamp01(cluster.centre[d] + rng_.Gaussian(0.0, config_.sigma)));
+    }
+  }
+
+  const DriftConfig& config_;
+  Rng rng_;
+  std::vector<double> line_dir_;
+  std::deque<Cluster> live_;  ///< birth order; front expires first
+  PointId next_id_ = 0;
+};
+
+}  // namespace
+
+Status DriftConfig::Validate() const {
+  if (dims == 0) return Status::InvalidArgument("drift requires dims > 0");
+  if (clusters == 0) {
+    return Status::InvalidArgument("drift requires clusters > 0");
+  }
+  if (points_per_cluster == 0) {
+    return Status::InvalidArgument("drift requires points_per_cluster > 0");
+  }
+  if (sigma < 0.0) return Status::InvalidArgument("sigma must be >= 0");
+  if (margin < 0.0 || margin > 0.5) {
+    return Status::InvalidArgument("margin must be in [0, 0.5]");
+  }
+  if (drift_step < 0.0) {
+    return Status::InvalidArgument("drift_step must be >= 0");
+  }
+  return Status::OK();
+}
+
+size_t DriftTimeline::total_inserts() const {
+  size_t n = 0;
+  for (const DriftStep& step : steps) n += step.inserts(dims);
+  return n;
+}
+
+size_t DriftTimeline::total_removes() const {
+  size_t n = 0;
+  for (const DriftStep& step : steps) n += step.remove_ids.size();
+  return n;
+}
+
+Result<DriftTimeline> GenerateDrift(const DriftConfig& config) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate());
+  return Generator(config).Run();
+}
+
+}  // namespace simjoin

@@ -1,0 +1,76 @@
+// Drifting-cluster update workload for the live-updatable index tier.
+//
+// Models the regime the static generators cannot: a clustered point cloud
+// whose structure changes over time.  Clusters are born along a random line
+// through the unit cube (margin-jittered off it), migrate a fixed step per
+// tick, and expire in birth order; every tick also emits cluster-chasing
+// range queries, so query traffic follows the dense regions as they move.
+// The output is a scripted timeline — an initial build set plus, per step,
+// the rows to insert, the ids to remove, and the queries to run — ready to
+// replay against UpdatableIndex or the service's Insert/Remove RPCs
+// (tools/simjoin_client drift, bench_r24_updates).
+//
+// Ids in remove_ids are insertion-order indices: the initial dataset's rows
+// are 0..initial.size()-1 and every inserted row takes the next index in
+// timeline order.  That matches the contiguous id assignment of both
+// UpdatableIndex::InsertBatch and the Insert RPC, so a replayer needs no id
+// translation as long as it applies steps in order.  Deterministic in the
+// seed; every coordinate lies in [0, 1].
+
+#ifndef SIMJOIN_WORKLOAD_DRIFT_H_
+#define SIMJOIN_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace simjoin {
+
+/// Parameters of one drifting-cluster timeline.
+struct DriftConfig {
+  size_t dims = 8;
+  size_t clusters = 4;           ///< clusters alive at step 0
+  size_t points_per_cluster = 64;
+  size_t steps = 16;
+  size_t births_per_step = 1;    ///< new clusters appearing per step
+  size_t deaths_per_step = 1;    ///< oldest clusters expiring per step
+  size_t queries_per_step = 8;   ///< cluster-chasing queries per step
+  double sigma = 0.01;           ///< per-coordinate std-dev inside a cluster
+  double margin = 0.1;           ///< birth jitter off the drift line
+  double drift_step = 0.02;      ///< centre migration per step
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// One timeline tick: apply the removals and inserts, then run the queries.
+struct DriftStep {
+  std::vector<float> insert_rows;   ///< row-major, inserts() * dims floats
+  std::vector<PointId> remove_ids;  ///< insertion-order indices (see header)
+  std::vector<float> query_rows;    ///< row-major, queries_per_step * dims
+
+  size_t inserts(size_t dims) const { return insert_rows.size() / dims; }
+  size_t queries(size_t dims) const { return query_rows.size() / dims; }
+};
+
+/// A full scripted workload: the step-0 build set plus per-step deltas.
+struct DriftTimeline {
+  size_t dims = 0;
+  Dataset initial;
+  std::vector<DriftStep> steps;
+
+  /// Rows inserted across every step (excluding the initial build).
+  size_t total_inserts() const;
+  /// Ids removed across every step.
+  size_t total_removes() const;
+};
+
+/// Generates the timeline.  At least one cluster always stays alive: deaths
+/// are skipped while the live set would otherwise empty out.
+Result<DriftTimeline> GenerateDrift(const DriftConfig& config);
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_WORKLOAD_DRIFT_H_

@@ -1,0 +1,608 @@
+// Tests for the live-updatable index tier (core/delta_index.h): the
+// determinism contract is that every query against an UpdatableIndex is
+// bit-identical to the sorted, id-remapped result of a fresh immutable
+// build over the current live point set — before, during, and after
+// compaction.  A Mirror model applies every mutation twice (index + plain
+// vector) so the rebuild oracle is always available.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/delta_index.h"
+#include "core/ekdb_flat.h"
+#include "core/ekdb_flat_join.h"
+#include "core/ekdb_tree.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simjoin {
+namespace {
+
+EkdbConfig Config(double epsilon, size_t leaf_threshold = 16) {
+  EkdbConfig config;
+  config.epsilon = epsilon;
+  config.leaf_threshold = leaf_threshold;
+  return config;
+}
+
+UpdatableConfig ManualCompaction() {
+  UpdatableConfig uc;
+  uc.auto_compact = false;
+  return uc;
+}
+
+/// The rebuild oracle's model of the index: every live point with its
+/// logical id, kept in ascending-id order (inserts always append fresh
+/// ids, so order is preserved by construction).
+struct Mirror {
+  size_t dims = 0;
+  std::vector<std::pair<PointId, std::vector<float>>> live;
+
+  explicit Mirror(const Dataset& initial) : dims(initial.dims()) {
+    for (size_t i = 0; i < initial.size(); ++i) {
+      const float* row = initial.Row(static_cast<PointId>(i));
+      live.emplace_back(static_cast<PointId>(i),
+                        std::vector<float>(row, row + dims));
+    }
+  }
+
+  void Insert(PointId first_id, const std::vector<float>& rows) {
+    const size_t count = rows.size() / dims;
+    for (size_t i = 0; i < count; ++i) {
+      live.emplace_back(
+          first_id + static_cast<PointId>(i),
+          std::vector<float>(rows.begin() + i * dims,
+                             rows.begin() + (i + 1) * dims));
+    }
+  }
+
+  bool Remove(PointId id) {
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->first == id) {
+        live.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Live rows in ascending logical order plus the row->logical map —
+  /// exactly what a stop-the-world rebuild would index.
+  Dataset LiveDataset(std::vector<PointId>* logical) const {
+    std::vector<float> flat;
+    flat.reserve(live.size() * dims);
+    logical->clear();
+    for (const auto& [id, row] : live) {
+      logical->push_back(id);
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    auto data = Dataset::FromFlat(std::move(flat), dims);
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    return std::move(*data);
+  }
+};
+
+/// Sorted logical ids a fresh flat rebuild over the live set returns for
+/// one query — the canonical expected answer.
+std::vector<PointId> OracleRange(const Mirror& mirror, const float* query,
+                                 double eps, const EkdbConfig& config) {
+  std::vector<PointId> logical;
+  const Dataset data = mirror.LiveDataset(&logical);
+  std::vector<PointId> out;
+  if (!data.empty()) {
+    auto tree = EkdbTree::Build(data, config);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    auto flat = FlatEkdbTree::FromTree(*tree);
+    EXPECT_TRUE(flat.ok()) << flat.status().ToString();
+    std::vector<PointId> rows;
+    EXPECT_TRUE(flat->RangeQuery(query, eps, &rows).ok());
+    for (PointId r : rows) out.push_back(logical[r]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Canonical (min, max)-normalised, sorted pair list a rebuild's self-join
+/// produces, remapped to logical ids.
+std::vector<IdPair> OracleSelfJoinPairs(const Mirror& mirror, double eps,
+                                        EkdbConfig config) {
+  std::vector<PointId> logical;
+  const Dataset data = mirror.LiveDataset(&logical);
+  std::vector<IdPair> out;
+  if (!data.empty()) {
+    config.epsilon = std::max(config.epsilon, eps);
+    auto tree = EkdbTree::Build(data, config);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    auto flat = FlatEkdbTree::FromTree(*tree);
+    EXPECT_TRUE(flat.ok()) << flat.status().ToString();
+    VectorSink sink;
+    EXPECT_TRUE(FlatEkdbSelfJoinWithEpsilon(*flat, eps, &sink).ok());
+    for (const IdPair& p : sink.pairs()) {
+      const PointId a = logical[p.first];
+      const PointId b = logical[p.second];
+      out.push_back({std::min(a, b), std::max(a, b)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const IdPair& a, const IdPair& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  });
+  return out;
+}
+
+void ExpectRangeMatchesOracle(const UpdatableIndex& index,
+                              const Mirror& mirror, const float* query,
+                              double eps, const EkdbConfig& config,
+                              const char* label) {
+  std::vector<PointId> got;
+  ASSERT_TRUE(index.RangeQuery(query, eps, &got, nullptr, nullptr).ok())
+      << label;
+  EXPECT_EQ(got, OracleRange(mirror, query, eps, config)) << label;
+}
+
+void ExpectSelfJoinMatchesOracle(const UpdatableIndex& index,
+                                 const Mirror& mirror, double eps,
+                                 size_t num_threads, const EkdbConfig& config,
+                                 const char* label) {
+  VectorSink got;
+  JoinStats stats;
+  ASSERT_TRUE(index.SelfJoin(eps, num_threads, &got, &stats).ok()) << label;
+  EXPECT_EQ(got.pairs(), OracleSelfJoinPairs(mirror, eps, config))
+      << label << " threads=" << num_threads;
+  EXPECT_EQ(stats.pairs_emitted, got.pairs().size()) << label;
+}
+
+Dataset MakeClustered(size_t n, size_t dims, uint64_t seed) {
+  auto data = GenerateClustered(
+      {.n = n, .dims = dims, .clusters = 5, .sigma = 0.05, .seed = seed});
+  EXPECT_TRUE(data.ok());
+  return std::move(*data);
+}
+
+std::vector<float> RandomRows(Rng* rng, size_t count, size_t dims) {
+  std::vector<float> rows(count * dims);
+  for (float& f : rows) f = rng->UniformFloat();
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Fresh build (no updates yet).
+// ---------------------------------------------------------------------------
+
+TEST(UpdatableIndexTest, FreshBuildMatchesRebuildOracle) {
+  const Dataset data = MakeClustered(500, 4, 1);
+  const EkdbConfig config = Config(0.1);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const Mirror mirror(data);
+
+  const UpdatableStats stats = (*index)->Stats();
+  EXPECT_EQ(stats.base_points, 500u);
+  EXPECT_EQ(stats.delta_points, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.live_points, 500u);
+  EXPECT_EQ(stats.next_id, 500u);
+
+  for (PointId q = 0; q < 20; ++q) {
+    ExpectRangeMatchesOracle(**index, mirror, data.Row(q), 0.08, config,
+                             "fresh");
+  }
+  ExpectSelfJoinMatchesOracle(**index, mirror, 0.08, 1, config, "fresh");
+}
+
+TEST(UpdatableIndexTest, ValidatesQueryEpsilonLikeOtherBackends) {
+  const Dataset data = MakeClustered(100, 3, 2);
+  auto index = UpdatableIndex::Build(data, Config(0.1), 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE((*index)->ValidateQueryEpsilon(0.1).ok());
+  EXPECT_FALSE((*index)->ValidateQueryEpsilon(0.0).ok());
+  EXPECT_FALSE((*index)->ValidateQueryEpsilon(0.2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Inserts and removes against the rebuild oracle.
+// ---------------------------------------------------------------------------
+
+TEST(UpdatableIndexTest, InsertsMatchRebuildOracle) {
+  const Dataset data = MakeClustered(300, 4, 3);
+  const EkdbConfig config = Config(0.12);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  Mirror mirror(data);
+  Rng rng(7);
+
+  for (int batch = 0; batch < 5; ++batch) {
+    const std::vector<float> rows = RandomRows(&rng, 40, 4);
+    auto first = (*index)->InsertBatch(rows.data(), 40);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(*first, static_cast<PointId>(300 + batch * 40));
+    mirror.Insert(*first, rows);
+
+    const std::vector<float> probe = RandomRows(&rng, 1, 4);
+    ExpectRangeMatchesOracle(**index, mirror, probe.data(), 0.1, config,
+                             "insert probe");
+    ExpectRangeMatchesOracle(**index, mirror, rows.data(), 0.1, config,
+                             "insert row");
+  }
+  EXPECT_EQ((*index)->Stats().delta_points, 200u);
+  ExpectSelfJoinMatchesOracle(**index, mirror, 0.1, 1, config, "inserts");
+}
+
+TEST(UpdatableIndexTest, RemovesMatchRebuildOracleAndCountMisses) {
+  const Dataset data = MakeClustered(400, 4, 4);
+  const EkdbConfig config = Config(0.12);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  Mirror mirror(data);
+  Rng rng(11);
+
+  // Some delta rows too, so removes hit both tiers.
+  const std::vector<float> rows = RandomRows(&rng, 50, 4);
+  auto first = (*index)->InsertBatch(rows.data(), 50);
+  ASSERT_TRUE(first.ok());
+  mirror.Insert(*first, rows);
+
+  // Single removes: one base id, one delta id, then the same ids again
+  // (NotFound) and a never-assigned id (NotFound).
+  ASSERT_TRUE((*index)->Remove(10).ok());
+  ASSERT_TRUE(mirror.Remove(10));
+  ASSERT_TRUE((*index)->Remove(*first + 3).ok());
+  ASSERT_TRUE(mirror.Remove(*first + 3));
+  EXPECT_EQ((*index)->Remove(10).code(), StatusCode::kNotFound);
+  EXPECT_EQ((*index)->Remove(100000).code(), StatusCode::kNotFound);
+
+  // Batch remove with duplicates and dead ids mixed in.
+  const std::vector<PointId> ids = {1, 2, 2, 10, *first + 7, 99999};
+  uint32_t removed = 0, missing = 0;
+  (*index)->RemoveBatch(ids.data(), ids.size(), &removed, &missing);
+  EXPECT_EQ(removed, 3u);  // 1, 2, and the delta id
+  EXPECT_EQ(missing, 3u);  // duplicate 2, dead 10, unknown 99999
+  ASSERT_TRUE(mirror.Remove(1));
+  ASSERT_TRUE(mirror.Remove(2));
+  ASSERT_TRUE(mirror.Remove(*first + 7));
+
+  const UpdatableStats stats = (*index)->Stats();
+  EXPECT_EQ(stats.tombstones, 5u);
+  EXPECT_EQ(stats.live_points, 400u + 50u - 5u);
+
+  for (PointId q = 0; q < 15; ++q) {
+    ExpectRangeMatchesOracle(**index, mirror, data.Row(q), 0.1, config,
+                             "post-remove");
+  }
+  ExpectSelfJoinMatchesOracle(**index, mirror, 0.1, 1, config, "removes");
+}
+
+TEST(UpdatableIndexTest, InsertRejectsOutOfDomainWithoutSideEffects) {
+  const Dataset data = MakeClustered(50, 3, 5);
+  auto index = UpdatableIndex::Build(data, Config(0.1), 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  const UpdatableStats before = (*index)->Stats();
+  const std::vector<float> bad = {0.5f, 0.5f, 1.5f};
+  EXPECT_EQ((*index)->InsertBatch(bad.data(), 1).status().code(),
+            StatusCode::kInvalidArgument);
+  const UpdatableStats after = (*index)->Stats();
+  EXPECT_EQ(after.delta_points, before.delta_points);
+  EXPECT_EQ(after.next_id, before.next_id);
+}
+
+TEST(UpdatableIndexTest, BatchQueriesAreBitIdenticalToSoloQueries) {
+  const Dataset data = MakeClustered(300, 4, 6);
+  const EkdbConfig config = Config(0.15);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  Rng rng(13);
+  const std::vector<float> rows = RandomRows(&rng, 80, 4);
+  ASSERT_TRUE((*index)->InsertBatch(rows.data(), 80).ok());
+  uint32_t removed = 0, missing = 0;
+  const std::vector<PointId> dead = {5, 6, 305};
+  (*index)->RemoveBatch(dead.data(), dead.size(), &removed, &missing);
+  ASSERT_EQ(removed, 3u);
+
+  const size_t batch = 32;
+  std::vector<RangeQuerySpec> specs(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    specs[i] = {data.Row(i), 0.1 + 0.001 * static_cast<double>(i % 5)};
+  }
+  std::vector<std::vector<PointId>> fused;
+  std::vector<JoinStats> fused_stats;
+  ASSERT_TRUE((*index)
+                  ->RangeQueryBatch(specs.data(), batch, &fused, &fused_stats,
+                                    nullptr)
+                  .ok());
+  ASSERT_EQ(fused.size(), batch);
+  ASSERT_EQ(fused_stats.size(), batch);
+  for (size_t i = 0; i < batch; ++i) {
+    std::vector<PointId> solo;
+    JoinStats solo_stats;
+    ASSERT_TRUE((*index)
+                    ->RangeQuery(specs[i].query, specs[i].epsilon, &solo,
+                                 &solo_stats, nullptr)
+                    .ok());
+    EXPECT_EQ(fused[i], solo) << "query " << i;
+    EXPECT_EQ(fused_stats[i].distance_calls, solo_stats.distance_calls)
+        << "query " << i;
+  }
+}
+
+TEST(UpdatableIndexTest, EstimatedQueryCostRisesWithDeltaAndFallsOnFlush) {
+  const Dataset data = MakeClustered(1000, 4, 7);
+  auto index = UpdatableIndex::Build(data, Config(0.1), 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  const double fresh = (*index)->EstimatedQueryCost(0.05, 8.0);
+  Rng rng(17);
+  const std::vector<float> rows = RandomRows(&rng, 500, 4);
+  ASSERT_TRUE((*index)->InsertBatch(rows.data(), 500).ok());
+  const double with_delta = (*index)->EstimatedQueryCost(0.05, 8.0);
+  EXPECT_GT(with_delta, fresh)
+      << "planner must see the per-query delta-scan term";
+  auto ran = (*index)->Flush();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  EXPECT_LT((*index)->EstimatedQueryCost(0.05, 8.0), with_delta)
+      << "compaction folds the delta term away";
+}
+
+// ---------------------------------------------------------------------------
+// Randomised interleaving, checked against the oracle at every stage.
+// ---------------------------------------------------------------------------
+
+TEST(UpdatableIndexTest, RandomisedInterleavingMatchesRebuildOracle) {
+  const Dataset data = MakeClustered(250, 4, 8);
+  const EkdbConfig config = Config(0.12, 8);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  Mirror mirror(data);
+  Rng rng(23);
+
+  for (int op = 0; op < 120; ++op) {
+    const uint64_t kind = rng.UniformInt(10u);
+    if (kind < 4) {
+      const size_t count = 1 + rng.UniformInt(8u);
+      const std::vector<float> rows = RandomRows(&rng, count, 4);
+      auto first = (*index)->InsertBatch(rows.data(), count);
+      ASSERT_TRUE(first.ok());
+      mirror.Insert(*first, rows);
+    } else if (kind < 8 && mirror.live.size() > 1) {
+      const size_t victim = rng.UniformInt(mirror.live.size());
+      const PointId id = mirror.live[victim].first;
+      ASSERT_TRUE((*index)->Remove(id).ok()) << "id " << id;
+      ASSERT_TRUE(mirror.Remove(id));
+    } else if (kind == 8) {
+      ASSERT_TRUE((*index)->Flush().ok());
+    } else {
+      const std::vector<float> probe = RandomRows(&rng, 1, 4);
+      ExpectRangeMatchesOracle(**index, mirror, probe.data(), 0.1, config,
+                               "interleaved probe");
+    }
+  }
+  for (size_t threads : {1u, 2u, 4u}) {
+    ExpectSelfJoinMatchesOracle(**index, mirror, 0.1, threads, config,
+                                "interleaved");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction.
+// ---------------------------------------------------------------------------
+
+TEST(UpdatableCompactionTest, FlushFoldsDeltaWithoutChangingAnswers) {
+  const Dataset data = MakeClustered(300, 4, 9);
+  const EkdbConfig config = Config(0.12);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+  Mirror mirror(data);
+  Rng rng(29);
+
+  const std::vector<float> rows = RandomRows(&rng, 100, 4);
+  auto first = (*index)->InsertBatch(rows.data(), 100);
+  ASSERT_TRUE(first.ok());
+  mirror.Insert(*first, rows);
+  uint32_t removed = 0, missing = 0;
+  const std::vector<PointId> dead = {0, 50, 310, 399};
+  (*index)->RemoveBatch(dead.data(), dead.size(), &removed, &missing);
+  ASSERT_EQ(removed, 4u);
+  for (PointId id : dead) ASSERT_TRUE(mirror.Remove(id));
+
+  std::vector<std::vector<PointId>> before(20);
+  for (PointId q = 0; q < 20; ++q) {
+    ASSERT_TRUE(
+        (*index)->RangeQuery(data.Row(q), 0.1, &before[q], nullptr, nullptr)
+            .ok());
+  }
+
+  auto ran = (*index)->Flush();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  const UpdatableStats stats = (*index)->Stats();
+  EXPECT_EQ(stats.delta_points, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.base_points, 300u + 100u - 4u);
+  EXPECT_EQ(stats.live_points, stats.base_points);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.next_id, 400u) << "compaction must not reuse ids";
+
+  for (PointId q = 0; q < 20; ++q) {
+    std::vector<PointId> after;
+    ASSERT_TRUE(
+        (*index)->RangeQuery(data.Row(q), 0.1, &after, nullptr, nullptr).ok());
+    EXPECT_EQ(after, before[q]) << "query " << q;
+    EXPECT_EQ(after, OracleRange(mirror, data.Row(q), 0.1, config))
+        << "query " << q;
+  }
+  ExpectSelfJoinMatchesOracle(**index, mirror, 0.1, 2, config, "post-flush");
+
+  // Nothing left to fold: Flush reports it did not run.
+  auto again = (*index)->Flush();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ((*index)->Stats().compactions, 1u);
+}
+
+TEST(UpdatableCompactionTest, CompactsToEmptyAndServesAgainAfterReinsert) {
+  const Dataset data = MakeClustered(64, 3, 10);
+  const EkdbConfig config = Config(0.15);
+  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  ASSERT_TRUE(index.ok());
+
+  std::vector<PointId> all(64);
+  for (PointId i = 0; i < 64; ++i) all[i] = i;
+  uint32_t removed = 0, missing = 0;
+  (*index)->RemoveBatch(all.data(), all.size(), &removed, &missing);
+  ASSERT_EQ(removed, 64u);
+
+  auto ran = (*index)->Flush();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  UpdatableStats stats = (*index)->Stats();
+  EXPECT_EQ(stats.live_points, 0u);
+  EXPECT_EQ(stats.base_points, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+
+  // Queries and joins against the empty index return nothing, not errors.
+  std::vector<PointId> out;
+  ASSERT_TRUE(
+      (*index)->RangeQuery(data.Row(0), 0.1, &out, nullptr, nullptr).ok());
+  EXPECT_TRUE(out.empty());
+  VectorSink sink;
+  ASSERT_TRUE((*index)->SelfJoin(0.1, 1, &sink, nullptr).ok());
+  EXPECT_TRUE(sink.pairs().empty());
+
+  // The tier is reusable: new inserts land at fresh ids and are found.
+  const std::vector<float> row = {0.5f, 0.5f, 0.5f};
+  auto first = (*index)->InsertBatch(row.data(), 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 64u);
+  ASSERT_TRUE(
+      (*index)->RangeQuery(row.data(), 0.1, &out, nullptr, nullptr).ok());
+  EXPECT_EQ(out, std::vector<PointId>{64});
+  ASSERT_TRUE((*index)->Flush().ok());
+  EXPECT_EQ((*index)->Stats().base_points, 1u);
+}
+
+TEST(UpdatableCompactionTest, BackgroundCompactionTriggersAndNotifies) {
+  const Dataset data = MakeClustered(256, 4, 11);
+  const EkdbConfig config = Config(0.1);
+  UpdatableConfig uc;
+  uc.auto_compact = true;
+  uc.compact_min_delta_points = 64;
+  auto index = UpdatableIndex::Build(data, config, 1, uc);
+  ASSERT_TRUE(index.ok());
+  std::atomic<int> notified{0};
+  std::atomic<bool> positive_duration{true};
+  (*index)->SetCompactionObserver([&](double seconds) {
+    notified.fetch_add(1);
+    if (seconds < 0.0) positive_duration.store(false);
+  });
+
+  Mirror mirror(data);
+  Rng rng(31);
+  const std::vector<float> rows = RandomRows(&rng, 128, 4);
+  auto first = (*index)->InsertBatch(rows.data(), 128);
+  ASSERT_TRUE(first.ok());
+  mirror.Insert(*first, rows);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (((*index)->Stats().compactions == 0 ||
+          (*index)->compaction_inflight()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const UpdatableStats stats = (*index)->Stats();
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_GE(notified.load(), 1);
+  EXPECT_TRUE(positive_duration.load());
+  EXPECT_EQ(stats.live_points, 256u + 128u);
+
+  for (PointId q = 0; q < 10; ++q) {
+    ExpectRangeMatchesOracle(**index, mirror, data.Row(q), 0.08, config,
+                             "post-background-compaction");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (exercised under TSan by scripts/check_tsan.sh).
+// ---------------------------------------------------------------------------
+
+TEST(UpdatableConcurrencyTest, ConcurrentUpdatesQueriesAndCompactions) {
+  const Dataset data = MakeClustered(400, 4, 12);
+  const EkdbConfig config = Config(0.1, 8);
+  UpdatableConfig uc;
+  uc.auto_compact = true;
+  uc.compact_min_delta_points = 128;  // several background merges per run
+  auto index = UpdatableIndex::Build(data, config, 2, uc);
+  ASSERT_TRUE(index.ok());
+
+  // One writer owns the id space; readers run solo queries, fused batches,
+  // joins, and stats against whatever state they observe.  Correctness
+  // here is "no data race, no crash, internally consistent results" — the
+  // exact-answer check happens after the threads join.
+  Mirror mirror(data);
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    Rng rng(37);
+    for (int op = 0; op < 400; ++op) {
+      if (rng.Bernoulli(0.6)) {
+        const size_t count = 1 + rng.UniformInt(16u);
+        const std::vector<float> rows = RandomRows(&rng, count, 4);
+        auto first = (*index)->InsertBatch(rows.data(), count);
+        ASSERT_TRUE(first.ok());
+        mirror.Insert(*first, rows);
+      } else if (mirror.live.size() > 1) {
+        const PointId id =
+            mirror.live[rng.UniformInt(mirror.live.size())].first;
+        ASSERT_TRUE((*index)->Remove(id).ok());
+        ASSERT_TRUE(mirror.Remove(id));
+      }
+      if (op % 97 == 0) ASSERT_TRUE((*index)->Flush().ok());
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t]() {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      while (!stop.load()) {
+        const std::vector<float> probe = RandomRows(&rng, 4, 4);
+        std::vector<PointId> out;
+        ASSERT_TRUE(
+            (*index)->RangeQuery(probe.data(), 0.08, &out, nullptr, nullptr)
+                .ok());
+        ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+        ASSERT_TRUE(std::adjacent_find(out.begin(), out.end()) == out.end());
+        RangeQuerySpec specs[4];
+        for (int i = 0; i < 4; ++i) specs[i] = {probe.data() + i * 4, 0.08};
+        std::vector<std::vector<PointId>> fused;
+        ASSERT_TRUE(
+            (*index)->RangeQueryBatch(specs, 4, &fused, nullptr, nullptr)
+                .ok());
+        if (t == 0) {
+          CountingSink sink;
+          ASSERT_TRUE((*index)->SelfJoin(0.05, 2, &sink, nullptr).ok());
+        }
+        const UpdatableStats s = (*index)->Stats();
+        ASSERT_LE(s.live_points, s.base_points + s.delta_points);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  // Quiesce and verify the final state exactly.
+  ASSERT_TRUE((*index)->Flush().ok());
+  for (PointId q = 0; q < 10; ++q) {
+    ExpectRangeMatchesOracle(**index, mirror, data.Row(q), 0.08, config,
+                             "post-concurrency");
+  }
+  ExpectSelfJoinMatchesOracle(**index, mirror, 0.08, 4, config,
+                              "post-concurrency");
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -2,6 +2,7 @@
 // queries, and radius-override joins on the eps-k-d-B tree.
 
 #include <algorithm>
+#include <optional>
 
 #include "core/ekdb_join.h"
 #include "core/ekdb_tree.h"
@@ -188,6 +189,146 @@ TEST(EkdbEpsilonOverrideTest, RejectsRadiusAboveBuildEpsilon) {
   EXPECT_FALSE(EkdbSelfJoinWithEpsilon(*tree, 0.3, &sink).ok());
   EXPECT_FALSE(EkdbSelfJoinWithEpsilon(*tree, 0.0, &sink).ok());
   EXPECT_FALSE(EkdbSelfJoinWithEpsilon(*tree, 0.05, nullptr).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Remove, and randomized Insert/Remove differential against fresh rebuilds.
+// ---------------------------------------------------------------------------
+
+/// Rebuild oracle for a tree whose live rows are `live` (ascending row ids
+/// into `data`): fresh build over just those rows, results remapped back to
+/// the original row ids and sorted — the canonical expected answer.
+struct RebuildOracle {
+  Dataset data;
+  std::vector<PointId> live;
+
+  RebuildOracle(const Dataset& full, const std::vector<PointId>& live_ids,
+                const EkdbConfig& config)
+      : live(live_ids) {
+    std::sort(live.begin(), live.end());
+    std::vector<float> flat;
+    for (PointId id : live) {
+      const float* row = full.Row(id);
+      flat.insert(flat.end(), row, row + full.dims());
+    }
+    auto made = Dataset::FromFlat(std::move(flat), full.dims());
+    EXPECT_TRUE(made.ok());
+    data = std::move(*made);
+    auto tree = EkdbTree::Build(data, config);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    tree_.emplace(std::move(*tree));
+  }
+
+  std::vector<PointId> Range(const float* query, double eps) const {
+    std::vector<PointId> rows;
+    EXPECT_TRUE(tree_->RangeQuery(query, eps, &rows).ok());
+    std::vector<PointId> out;
+    for (PointId r : rows) out.push_back(live[r]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<IdPair> SelfJoin() const {
+    VectorSink sink;
+    EXPECT_TRUE(EkdbSelfJoin(*tree_, &sink).ok());
+    std::vector<IdPair> out;
+    for (const IdPair& p : sink.pairs()) {
+      const PointId a = live[p.first];
+      const PointId b = live[p.second];
+      out.push_back({std::min(a, b), std::max(a, b)});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::optional<EkdbTree> tree_;
+};
+
+TEST(EkdbRemoveTest, RemoveThenResultsMatchFreshRebuild) {
+  auto data = GenerateClustered(
+      {.n = 500, .dims = 4, .clusters = 5, .sigma = 0.05, .seed = 21});
+  ASSERT_TRUE(data.ok());
+  const EkdbConfig config = Config(0.1, 8);
+  auto tree = EkdbTree::Build(*data, config);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<PointId> live(data->size());
+  for (size_t i = 0; i < live.size(); ++i) live[i] = static_cast<PointId>(i);
+  Rng rng(22);
+  for (int k = 0; k < 150; ++k) {
+    const size_t victim = static_cast<size_t>(rng.UniformInt(live.size()));
+    ASSERT_TRUE(tree->Remove(live[victim]).ok());
+    live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+  }
+
+  const RebuildOracle oracle(*data, live, config);
+  for (PointId q = 0; q < 20; ++q) {
+    std::vector<PointId> got;
+    ASSERT_TRUE(tree->RangeQuery(data->Row(q), 0.08, &got).ok());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, oracle.Range(data->Row(q), 0.08)) << "query " << q;
+  }
+  VectorSink sink;
+  ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+  EXPECT_EQ(sink.Sorted(), oracle.SelfJoin());
+}
+
+TEST(EkdbRemoveTest, RemoveUnknownOrRepeatedIdIsNotFound) {
+  auto data = GenerateUniform({.n = 100, .dims = 3, .seed = 23});
+  ASSERT_TRUE(data.ok());
+  auto tree = EkdbTree::Build(*data, Config(0.1));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Remove(7).ok());
+  EXPECT_EQ(tree->Remove(7).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree->Remove(100).code(), StatusCode::kOutOfRange);
+}
+
+TEST(EkdbDynamicDifferentialTest, InterleavedInsertRemoveMatchesRebuild) {
+  // The satellite contract: any interleaving of Insert and Remove leaves
+  // the tree answering range queries and self-joins bit-identically (after
+  // canonical sorting) to a from-scratch build over the surviving points.
+  auto seeded = GenerateClustered(
+      {.n = 200, .dims = 4, .clusters = 4, .sigma = 0.05, .seed = 24});
+  ASSERT_TRUE(seeded.ok());
+  Dataset data = *seeded;
+  const EkdbConfig config = Config(0.12, 8);
+  auto tree = EkdbTree::Build(data, config);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<PointId> live(data.size());
+  for (size_t i = 0; i < live.size(); ++i) live[i] = static_cast<PointId>(i);
+
+  Rng rng(25);
+  for (int op = 0; op < 300; ++op) {
+    if (rng.Bernoulli(0.55) || live.size() <= 1) {
+      data.Append(std::vector<float>{rng.UniformFloat(), rng.UniformFloat(),
+                                     rng.UniformFloat(), rng.UniformFloat()});
+      const PointId id = static_cast<PointId>(data.size() - 1);
+      ASSERT_TRUE(tree->Insert(id).ok());
+      live.push_back(id);
+    } else {
+      const size_t victim = static_cast<size_t>(rng.UniformInt(live.size()));
+      ASSERT_TRUE(tree->Remove(live[victim]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    if (op % 60 == 59) {
+      const RebuildOracle oracle(data, live, config);
+      for (int probe = 0; probe < 5; ++probe) {
+        const float query[4] = {rng.UniformFloat(), rng.UniformFloat(),
+                                rng.UniformFloat(), rng.UniformFloat()};
+        std::vector<PointId> got;
+        ASSERT_TRUE(tree->RangeQuery(query, 0.1, &got).ok());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, oracle.Range(query, 0.1)) << "op " << op;
+      }
+      VectorSink sink;
+      ASSERT_TRUE(EkdbSelfJoin(*tree, &sink).ok());
+      EXPECT_EQ(sink.Sorted(), oracle.SelfJoin()) << "op " << op;
+    }
+  }
+  const auto stats = tree->ComputeStats();
+  EXPECT_EQ(stats.total_points, live.size());
 }
 
 TEST(EkdbEpsilonOverrideTest, SmallerRadiusDoesLessWork) {

@@ -167,12 +167,16 @@ TEST(EpsilonGridTest, BackendWireCodecRejectsUnknownValues) {
   auto rtree = BackendKindFromWire(4);
   ASSERT_TRUE(rtree.ok());
   EXPECT_EQ(*rtree, BackendKind::kRTree);
-  EXPECT_FALSE(BackendKindFromWire(5).ok());
+  auto updatable = BackendKindFromWire(5);
+  ASSERT_TRUE(updatable.ok());
+  EXPECT_EQ(*updatable, BackendKind::kUpdatable);
+  EXPECT_FALSE(BackendKindFromWire(6).ok());
   EXPECT_FALSE(BackendKindFromWire(255).ok());
   // Only the structural kinds may anchor a build; the rest are per-query
   // tiers (0xFF is the wire's "auto" marker, never a kind).
   EXPECT_TRUE(BackendKindBuildable(BackendKind::kEkdbFlat));
   EXPECT_TRUE(BackendKindBuildable(BackendKind::kEpsilonGrid));
+  EXPECT_TRUE(BackendKindBuildable(BackendKind::kUpdatable));
   EXPECT_FALSE(BackendKindBuildable(BackendKind::kLsh));
   EXPECT_FALSE(BackendKindBuildable(BackendKind::kBruteSimd));
   EXPECT_FALSE(BackendKindBuildable(BackendKind::kRTree));

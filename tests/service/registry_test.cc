@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/delta_index.h"
 #include "core/segment_builder.h"
 #include "common/binary_io.h"
 #include "workload/generators.h"
@@ -130,6 +131,91 @@ TEST(RegistryTest, EvictedSnapshotStaysQueryable) {
   std::vector<PointId> out;
   const float* q = (*held)->dataset().Row(0);
   EXPECT_TRUE((*held)->tree().RangeQuery(q, 0.05, &out).ok());
+}
+
+// -- updatable entries: dynamic byte accounting via RefreshCharge ------------
+
+std::shared_ptr<const IndexSnapshot> MustBuildUpdatable(
+    const std::string& name, size_t n, uint64_t seed) {
+  auto data = GenerateUniform({.n = n, .dims = 4, .seed = seed});
+  EXPECT_TRUE(data.ok());
+  auto snapshot = IndexSnapshot::Build(name, std::move(*data), Config(), 1,
+                                       BackendKind::kUpdatable);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return *snapshot;
+}
+
+/// Grows the delta memtable by `count` points (valid in-domain rows).
+void GrowDelta(const IndexSnapshot& snapshot, size_t count, uint64_t seed) {
+  auto rows = GenerateUniform({.n = count, .dims = 4, .seed = seed});
+  ASSERT_TRUE(rows.ok());
+  auto first = snapshot.updatable()->InsertBatch(rows->flat().data(), count);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+}
+
+TEST(RegistryUpdatableTest, RefreshChargeFollowsDeltaGrowthAndCompaction) {
+  IndexRegistry registry(64 << 20);
+  // A base large enough that the delta below stays under the snapshot's
+  // auto-compaction thresholds — the footprint only moves when this test
+  // says so.
+  auto snap = MustBuildUpdatable("u", 2000, 5);
+  ASSERT_TRUE(registry.Put(snap).ok());
+  const uint64_t admitted = registry.bytes_in_use();
+  EXPECT_EQ(admitted, snap->memory_bytes());
+
+  // Mutations move memory_bytes() under the entry; the ledger only moves
+  // when RefreshCharge folds the new reading in.
+  GrowDelta(*snap, 400, 6);
+  const uint64_t grown = snap->memory_bytes();
+  EXPECT_GT(grown, admitted);
+  EXPECT_EQ(registry.bytes_in_use(), admitted);
+  registry.RefreshCharge("u");
+  EXPECT_EQ(registry.bytes_in_use(), grown);
+
+  // Compaction moves the footprint again (the delta estimate folds away;
+  // the merged tier now owns its row storage); the next refresh trues the
+  // ledger up to whatever memory_bytes() reads now.
+  auto ran = snap->updatable()->Flush();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  EXPECT_NE(snap->memory_bytes(), grown);
+  registry.RefreshCharge("u");
+  EXPECT_EQ(registry.bytes_in_use(), snap->memory_bytes());
+
+  // Erase returns exactly the refreshed charge: the ledger lands on zero
+  // even though the footprint moved repeatedly since admission.
+  EXPECT_TRUE(registry.Erase("u"));
+  EXPECT_EQ(registry.bytes_in_use(), 0u);
+}
+
+TEST(RegistryUpdatableTest, RefreshChargeIsNoOpForUnknownName) {
+  IndexRegistry registry(64 << 20);
+  auto snap = MustBuildUpdatable("u", 100, 7);
+  ASSERT_TRUE(registry.Put(snap).ok());
+  const uint64_t before = registry.bytes_in_use();
+  registry.RefreshCharge("ghost");
+  EXPECT_EQ(registry.bytes_in_use(), before);
+}
+
+TEST(RegistryUpdatableTest, DeltaGrowthEvictsOthersNeverItself) {
+  auto u = MustBuildUpdatable("u", 2000, 8);
+  auto other = MustBuild("other", 200, 9);
+  // Roomy enough for both at admission, but not for a grown delta.
+  IndexRegistry registry(u->memory_bytes() + other->memory_bytes() +
+                         (4 << 10));
+  ASSERT_TRUE(registry.Put(u).ok());
+  ASSERT_TRUE(registry.Put(other).ok());
+  ASSERT_EQ(registry.size(), 2u);
+
+  // ~84 bytes per delta point: 400 points blows the 4 KiB headroom while
+  // staying under the snapshot's auto-compaction thresholds.
+  GrowDelta(*u, 400, 10);
+  registry.RefreshCharge("u");
+  EXPECT_TRUE(registry.Get("u").ok())
+      << "an index must not be evicted by its own growth";
+  EXPECT_FALSE(registry.Get("other").ok());
+  EXPECT_GE(registry.evictions(), 1u);
+  EXPECT_EQ(registry.bytes_in_use(), u->memory_bytes());
 }
 
 // -- out-of-core tier (segment spill + mmap fault-in) ------------------------

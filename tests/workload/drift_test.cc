@@ -1,0 +1,152 @@
+// Tests for the drifting-cluster update workload (workload/drift.h): the
+// timeline must be deterministic in the seed, stay inside the unit cube,
+// and keep its id bookkeeping replayable — every removed id refers to a
+// previously materialised row, nothing is removed twice, and the live set
+// never empties out.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "workload/drift.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+DriftConfig SmallConfig(uint64_t seed = 42) {
+  DriftConfig config;
+  config.dims = 4;
+  config.clusters = 3;
+  config.points_per_cluster = 16;
+  config.steps = 12;
+  config.births_per_step = 2;
+  config.deaths_per_step = 1;
+  config.queries_per_step = 5;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DriftWorkloadTest, ShapeMatchesConfig) {
+  const DriftConfig config = SmallConfig();
+  auto timeline = GenerateDrift(config);
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  EXPECT_EQ(timeline->dims, 4u);
+  EXPECT_EQ(timeline->initial.size(), 3u * 16u);
+  EXPECT_EQ(timeline->initial.dims(), 4u);
+  ASSERT_EQ(timeline->steps.size(), 12u);
+  for (const DriftStep& step : timeline->steps) {
+    EXPECT_EQ(step.inserts(config.dims), 2u * 16u);
+    EXPECT_EQ(step.queries(config.dims), 5u);
+    EXPECT_EQ(step.insert_rows.size() % config.dims, 0u);
+    EXPECT_EQ(step.query_rows.size() % config.dims, 0u);
+  }
+  EXPECT_EQ(timeline->total_inserts(), 12u * 2u * 16u);
+}
+
+TEST(DriftWorkloadTest, DeterministicInSeedAndSensitiveToIt) {
+  auto a = GenerateDrift(SmallConfig(7));
+  auto b = GenerateDrift(SmallConfig(7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->initial.flat(), b->initial.flat());
+  ASSERT_EQ(a->steps.size(), b->steps.size());
+  for (size_t s = 0; s < a->steps.size(); ++s) {
+    EXPECT_EQ(a->steps[s].insert_rows, b->steps[s].insert_rows) << s;
+    EXPECT_EQ(a->steps[s].remove_ids, b->steps[s].remove_ids) << s;
+    EXPECT_EQ(a->steps[s].query_rows, b->steps[s].query_rows) << s;
+  }
+  auto c = GenerateDrift(SmallConfig(8));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->initial.flat(), c->initial.flat());
+}
+
+TEST(DriftWorkloadTest, AllCoordinatesStayInUnitCube) {
+  DriftConfig config = SmallConfig(3);
+  config.steps = 40;          // long enough to hit the cube faces
+  config.drift_step = 0.08;   // ... quickly
+  config.sigma = 0.05;
+  auto timeline = GenerateDrift(config);
+  ASSERT_TRUE(timeline.ok());
+  auto check = [](const std::vector<float>& rows, const char* what) {
+    for (float v : rows) {
+      ASSERT_GE(v, 0.0f) << what;
+      ASSERT_LE(v, 1.0f) << what;
+    }
+  };
+  check(timeline->initial.flat(), "initial");
+  for (const DriftStep& step : timeline->steps) {
+    check(step.insert_rows, "insert");
+    check(step.query_rows, "query");
+  }
+}
+
+TEST(DriftWorkloadTest, RemoveIdsAreReplayableInsertionOrderIndices) {
+  DriftConfig config = SmallConfig(11);
+  config.steps = 30;
+  config.deaths_per_step = 2;
+  auto timeline = GenerateDrift(config);
+  ASSERT_TRUE(timeline.ok());
+
+  // Replay the id bookkeeping: ids are assigned contiguously (initial rows
+  // first, then inserts in timeline order); every removed id must have been
+  // materialised by an earlier step and never removed before.
+  PointId next_id = static_cast<PointId>(timeline->initial.size());
+  std::set<PointId> removed;
+  size_t live = timeline->initial.size();
+  for (size_t s = 0; s < timeline->steps.size(); ++s) {
+    const DriftStep& step = timeline->steps[s];
+    for (PointId id : step.remove_ids) {
+      ASSERT_LT(id, next_id) << "step " << s << " removes a future id";
+      ASSERT_TRUE(removed.insert(id).second)
+          << "step " << s << " removes id " << id << " twice";
+    }
+    ASSERT_GE(live, step.remove_ids.size());
+    live -= step.remove_ids.size();
+    EXPECT_GT(live, 0u) << "live set emptied at step " << s;
+    next_id += static_cast<PointId>(step.inserts(config.dims));
+    live += step.inserts(config.dims);
+  }
+  EXPECT_EQ(removed.size(), timeline->total_removes());
+}
+
+TEST(DriftWorkloadTest, NeverExpiresTheLastLiveCluster) {
+  // More deaths than births: the generator must keep at least one cluster
+  // alive rather than draining the cloud.
+  DriftConfig config = SmallConfig(13);
+  config.clusters = 2;
+  config.births_per_step = 1;
+  config.deaths_per_step = 5;
+  config.steps = 20;
+  auto timeline = GenerateDrift(config);
+  ASSERT_TRUE(timeline.ok());
+  size_t live_points = timeline->initial.size();
+  for (const DriftStep& step : timeline->steps) {
+    live_points -= step.remove_ids.size();
+    live_points += step.inserts(config.dims);
+    EXPECT_GE(live_points, config.points_per_cluster);
+  }
+}
+
+TEST(DriftWorkloadTest, ValidatesConfig) {
+  DriftConfig config = SmallConfig();
+  config.dims = 0;
+  EXPECT_FALSE(GenerateDrift(config).ok());
+  config = SmallConfig();
+  config.clusters = 0;
+  EXPECT_FALSE(GenerateDrift(config).ok());
+  config = SmallConfig();
+  config.points_per_cluster = 0;
+  EXPECT_FALSE(GenerateDrift(config).ok());
+  config = SmallConfig();
+  config.margin = 0.7;
+  EXPECT_FALSE(GenerateDrift(config).ok());
+  config = SmallConfig();
+  config.sigma = -0.1;
+  EXPECT_FALSE(GenerateDrift(config).ok());
+  config = SmallConfig();
+  config.drift_step = -0.01;
+  EXPECT_FALSE(GenerateDrift(config).ok());
+}
+
+}  // namespace
+}  // namespace simjoin

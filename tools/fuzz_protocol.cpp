@@ -3,7 +3,7 @@
 // The decoder is the one component that parses attacker-controlled bytes, so
 // its contract is absolute: any byte stream, fed in any chunking, either
 // yields valid frames or a Status — never a crash, hang, or out-of-bounds
-// read.  This tool soaks that contract five ways per iteration:
+// read.  This tool soaks that contract six ways per iteration:
 //
 //   1. pure noise      — random bytes through the FrameDecoder
 //   2. round-trips     — random valid messages encode -> parse -> compare
@@ -14,6 +14,8 @@
 //                        chunks (the arrival pattern the fusion collector
 //                        batches across), each stream decoding exactly its
 //                        own frames in order
+//   6. malformed updates — Insert/Remove/Flush payloads truncated at every
+//                        byte and with count/dims fields patched to extremes
 //
 // Payloads of frames the decoder does produce are handed to the matching
 // Parse* function, which must also only ever return a Status.  Run it under
@@ -50,7 +52,7 @@ std::vector<float> RandomFloats(Rng* rng, size_t count) {
 std::vector<uint8_t> RandomValidFrame(Rng* rng) {
   const uint64_t id = rng->Next();
   const uint32_t deadline = static_cast<uint32_t>(rng->UniformInt(1000u));
-  switch (rng->UniformInt(10u)) {
+  switch (rng->UniformInt(14u)) {
     case 0: {
       BuildIndexRequest req;
       req.name = RandomName(rng);
@@ -178,10 +180,129 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       return EncodeFrame(FrameType::kDropIndex, id, deadline,
                          EncodeDropIndexRequest(req));
     }
+    case 9: {
+      InsertRequest req;
+      req.name = RandomName(rng);
+      req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
+      req.rows = RandomFloats(rng, req.dims * (1 + rng->UniformInt(32u)));
+      return EncodeFrame(FrameType::kInsert, id, deadline,
+                         EncodeInsertRequest(req));
+    }
+    case 10: {
+      RemoveRequest req;
+      req.name = RandomName(rng);
+      req.ids.resize(1 + rng->UniformInt(64u));
+      // Mix plausible ids with extremes so mutated frames probe the
+      // decoder's id handling, not just small integers.
+      for (PointId& p : req.ids) {
+        p = rng->Bernoulli(0.25)
+                ? static_cast<PointId>(rng->Next())
+                : static_cast<PointId>(rng->UniformInt(1u << 16));
+      }
+      return EncodeFrame(FrameType::kRemove, id, deadline,
+                         EncodeRemoveRequest(req));
+    }
+    case 11: {
+      FlushRequest req;
+      req.name = RandomName(rng);
+      return EncodeFrame(FrameType::kFlush, id, deadline,
+                         EncodeFlushRequest(req));
+    }
+    case 12: {
+      // Update responses ride the same mutation/truncation passes.
+      switch (rng->UniformInt(3u)) {
+        case 0: {
+          InsertResponse resp;
+          resp.first_id = static_cast<PointId>(rng->Next());
+          resp.count = static_cast<uint32_t>(rng->UniformInt(1u << 20));
+          resp.delta_points = rng->Next();
+          resp.tombstones = rng->Next();
+          return EncodeFrame(FrameType::kInsertOk, id, deadline,
+                             EncodeInsertResponse(resp));
+        }
+        case 1: {
+          RemoveResponse resp;
+          resp.removed = static_cast<uint32_t>(rng->UniformInt(1u << 20));
+          resp.missing = static_cast<uint32_t>(rng->UniformInt(1u << 20));
+          resp.delta_points = rng->Next();
+          resp.tombstones = rng->Next();
+          return EncodeFrame(FrameType::kRemoveOk, id, deadline,
+                             EncodeRemoveResponse(resp));
+        }
+        default: {
+          FlushResponse resp;
+          resp.compacted = rng->Bernoulli(0.5);
+          resp.base_points = rng->Next();
+          resp.delta_points = rng->Next();
+          resp.tombstones = rng->Next();
+          resp.index_bytes = rng->Next();
+          return EncodeFrame(FrameType::kFlushOk, id, deadline,
+                             EncodeFlushResponse(resp));
+        }
+      }
+    }
     default:
       return EncodeFrame(rng->Bernoulli(0.5) ? FrameType::kPing
                                              : FrameType::kStats,
                          id, deadline, {});
+  }
+}
+
+/// Pass 6: hand-crafted malformed update payloads — the shapes a buggy or
+/// hostile client is most likely to send.  Every parse must return a
+/// Status (usually !ok); only a crash or sanitizer report fails the pass.
+void MalformedUpdateFrames(Rng* rng) {
+  InsertRequest ins;
+  ins.name = RandomName(rng, 12);
+  ins.dims = 4;
+  ins.rows = RandomFloats(rng, 4 * (1 + rng->UniformInt(8u)));
+  const std::vector<uint8_t> ins_payload = EncodeInsertRequest(ins);
+  RemoveRequest rem;
+  rem.name = RandomName(rng, 12);
+  rem.ids.resize(1 + rng->UniformInt(16u));
+  for (PointId& p : rem.ids) p = static_cast<PointId>(rng->Next());
+  const std::vector<uint8_t> rem_payload = EncodeRemoveRequest(rem);
+
+  // Short payloads: every truncation point of both request shapes.
+  for (size_t cut = 0; cut < ins_payload.size(); ++cut) {
+    InsertRequest out;
+    (void)ParseInsertRequest(
+        std::span<const uint8_t>(ins_payload.data(), cut), &out);
+  }
+  for (size_t cut = 0; cut < rem_payload.size(); ++cut) {
+    RemoveRequest out;
+    (void)ParseRemoveRequest(
+        std::span<const uint8_t>(rem_payload.data(), cut), &out);
+  }
+
+  // Count fields inflated to extremes (overflow probes): patch the u32
+  // immediately after the length-prefixed name.
+  auto patch_count = [&](std::vector<uint8_t> bytes, size_t offset,
+                         uint32_t value) {
+    if (offset + 4 <= bytes.size()) {
+      std::memcpy(bytes.data() + offset, &value, sizeof(value));
+    }
+    return bytes;
+  };
+  const size_t ins_count_off = 4 + ins.name.size() + 4;  // name, dims
+  for (uint32_t v : {0u, 1u, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
+    InsertRequest out;
+    (void)ParseInsertRequest(patch_count(ins_payload, ins_count_off, v),
+                             &out);
+    RemoveRequest rout;
+    (void)ParseRemoveRequest(patch_count(rem_payload, 4 + rem.name.size(), v),
+                             &rout);
+  }
+
+  // Zero-dims insert and empty-name updates must be rejected, not crash.
+  {
+    InsertRequest out;
+    (void)ParseInsertRequest(patch_count(ins_payload, 4 + ins.name.size(), 0),
+                             &out);
+    FlushRequest empty;
+    empty.name = "";
+    FlushRequest fout;
+    (void)ParseFlushRequest(EncodeFlushRequest(empty), &fout);
   }
 }
 
@@ -247,6 +368,36 @@ void ParseByType(const Frame& frame) {
     case FrameType::kRetryAfter: {
       RetryAfterResponse m;
       (void)ParseRetryAfterResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kInsert: {
+      InsertRequest m;
+      (void)ParseInsertRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kRemove: {
+      RemoveRequest m;
+      (void)ParseRemoveRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kFlush: {
+      FlushRequest m;
+      (void)ParseFlushRequest(frame.payload, &m);
+      break;
+    }
+    case FrameType::kInsertOk: {
+      InsertResponse m;
+      (void)ParseInsertResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kRemoveOk: {
+      RemoveResponse m;
+      (void)ParseRemoveResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kFlushOk: {
+      FlushResponse m;
+      (void)ParseFlushResponse(frame.payload, &m);
       break;
     }
     default:
@@ -418,6 +569,9 @@ int Run(uint64_t iterations, uint64_t seed) {
 
     // 5. Interleaved pipelined RangeQuery streams across connections.
     if (!InterleavedPipelines(&rng, seed, iter)) return 1;
+
+    // 6. Hand-crafted malformed update (insert/remove/flush) payloads.
+    MalformedUpdateFrames(&rng);
 
     if ((iter + 1) % 500 == 0) {
       std::cout << "iter " << (iter + 1) << ": " << frames_ok

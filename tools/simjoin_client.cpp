@@ -6,6 +6,10 @@
 //   ./tools/simjoin_client query --name base --point 0.2,0.3 --recall 0.9
 //   ./tools/simjoin_client query --name base --point 0.2,0.3 --plan
 //   ./tools/simjoin_client join --name base --limit 20
+//   ./tools/simjoin_client insert --name live --point 0.2,0.3,0.4
+//   ./tools/simjoin_client remove --name live --ids 17,42
+//   ./tools/simjoin_client flush --name live
+//   ./tools/simjoin_client drift --name live --dims 8 --steps 16
 //   ./tools/simjoin_client stats
 //   ./tools/simjoin_client stats --watch --interval-ms 1000
 //   ./tools/simjoin_client drop --name base
@@ -13,6 +17,10 @@
 //
 // One subcommand per invocation; --host/--port select the server.  join
 // streams its result pairs to stdout (capped by --limit; 0 = all).
+// insert/remove/flush target an index built with --backend updatable;
+// drift builds such an index and replays a drifting-cluster update +
+// query timeline against it (workload/drift.h) — a service-level chaos /
+// soak driver for the live-update path.
 
 #include <chrono>
 #include <iomanip>
@@ -24,6 +32,7 @@
 #include "common/args.h"
 #include "common/binary_io.h"
 #include "service/client.h"
+#include "workload/drift.h"
 #include "workload/profile.h"
 
 namespace simjoin {
@@ -37,6 +46,99 @@ std::vector<float> ParsePoint(const std::string& csv) {
     if (!tok.empty()) out.push_back(std::stof(tok));
   }
   return out;
+}
+
+std::vector<PointId> ParseIds(const std::string& csv) {
+  std::vector<PointId> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<PointId>(std::stoul(tok)));
+  }
+  return out;
+}
+
+/// `drift`: builds an updatable index from a drifting-cluster timeline and
+/// replays its update + query schedule through the live-update RPCs.  The
+/// timeline's insertion-order ids line up with the server's contiguous id
+/// assignment, so removals need no translation.
+int RunDrift(Client& client, const ArgParser& args) {
+  DriftConfig cfg;
+  cfg.dims = static_cast<size_t>(args.GetInt("dims"));
+  cfg.steps = static_cast<size_t>(args.GetInt("steps"));
+  cfg.clusters = static_cast<size_t>(args.GetInt("drift-clusters"));
+  cfg.points_per_cluster =
+      static_cast<size_t>(args.GetInt("points-per-cluster"));
+  cfg.queries_per_step = static_cast<size_t>(args.GetInt("queries-per-step"));
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  auto timeline = GenerateDrift(cfg);
+  if (!timeline.ok()) {
+    std::cerr << timeline.status().ToString() << "\n";
+    return 1;
+  }
+  BuildIndexRequest build;
+  build.name = args.GetString("name");
+  build.config.epsilon = args.GetDouble("epsilon") != 0.0
+                             ? args.GetDouble("epsilon")
+                             : 0.1;
+  build.backend = BackendKind::kUpdatable;
+  build.dims = static_cast<uint32_t>(cfg.dims);
+  build.points = timeline->initial.flat();
+  auto built = client.BuildIndex(build);
+  if (!built.ok()) {
+    std::cerr << built.status().ToString() << "\n";
+    return 1;
+  }
+  uint64_t inserted = 0, removed = 0, neighbours = 0;
+  for (const DriftStep& step : timeline->steps) {
+    if (!step.remove_ids.empty()) {
+      RemoveRequest req;
+      req.name = build.name;
+      req.ids = step.remove_ids;
+      auto resp = client.Remove(req);
+      if (!resp.ok()) {
+        std::cerr << resp.status().ToString() << "\n";
+        return 1;
+      }
+      removed += resp->removed;
+    }
+    if (!step.insert_rows.empty()) {
+      InsertRequest req;
+      req.name = build.name;
+      req.dims = static_cast<uint32_t>(cfg.dims);
+      req.rows = step.insert_rows;
+      auto resp = client.Insert(req);
+      if (!resp.ok()) {
+        std::cerr << resp.status().ToString() << "\n";
+        return 1;
+      }
+      inserted += resp->count;
+    }
+    for (size_t q = 0; q < step.queries(cfg.dims); ++q) {
+      auto ids = client.RangeQueryOne(
+          build.name,
+          std::span<const float>(step.query_rows.data() + q * cfg.dims,
+                                 cfg.dims));
+      if (!ids.ok()) {
+        std::cerr << ids.status().ToString() << "\n";
+        return 1;
+      }
+      neighbours += ids->size();
+    }
+  }
+  auto flushed = client.Flush(build.name);
+  if (!flushed.ok()) {
+    std::cerr << flushed.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "drift replay: " << timeline->initial.size()
+            << " initial points, " << timeline->steps.size() << " steps, "
+            << inserted << " inserted, " << removed << " removed, "
+            << neighbours << " neighbours found; final base "
+            << flushed->base_points << " points ("
+            << (flushed->compacted ? "compacted" : "nothing to compact")
+            << ")\n";
+  return 0;
 }
 
 /// PairSink that prints up to `limit` pairs and counts the rest.
@@ -142,7 +244,8 @@ int WatchStats(Client& client, int64_t interval_ms, int64_t count) {
 int Run(const ArgParser& args) {
   if (args.positional().size() != 1) {
     std::cerr << "exactly one subcommand expected: ping | build | query | "
-                 "join | stats | drop | shutdown\n";
+                 "join | insert | remove | flush | drift | stats | drop | "
+                 "shutdown\n";
     return 2;
   }
   const std::string& cmd = args.positional()[0];
@@ -179,8 +282,10 @@ int Run(const ArgParser& args) {
     const std::string backend = args.GetString("backend");
     if (backend == "grid") {
       req.backend = BackendKind::kEpsilonGrid;
+    } else if (backend == "updatable") {
+      req.backend = BackendKind::kUpdatable;
     } else if (backend != "tree") {
-      std::cerr << "--backend must be tree or grid: '" << backend
+      std::cerr << "--backend must be tree, grid, or updatable: '" << backend
                 << "' is not a buildable index primary (lsh and brute are "
                    "per-query tiers; select them with --query-backend)\n";
       return 2;
@@ -274,6 +379,52 @@ int Run(const ArgParser& args) {
                 << done->stats.distance_calls << " distance calls, "
                 << done->stats.node_pairs_pruned << " node pairs pruned)\n";
     }
+  } else if (cmd == "insert") {
+    const std::vector<float> point = ParsePoint(args.GetString("point"));
+    if (point.empty()) {
+      std::cerr << "--point must be a comma-separated float list\n";
+      return 2;
+    }
+    InsertRequest req;
+    req.name = args.GetString("name");
+    req.dims = static_cast<uint32_t>(point.size());
+    req.rows = point;
+    auto resp = client->Insert(req);
+    st = resp.status();
+    if (resp.ok()) {
+      std::cout << "inserted " << resp->count << " point(s), ids "
+                << resp->first_id << ".."
+                << resp->first_id + resp->count - 1 << " (delta "
+                << resp->delta_points << " points, " << resp->tombstones
+                << " tombstones)\n";
+    }
+  } else if (cmd == "remove") {
+    const std::vector<PointId> ids = ParseIds(args.GetString("ids"));
+    if (ids.empty()) {
+      std::cerr << "--ids must be a comma-separated id list\n";
+      return 2;
+    }
+    RemoveRequest req;
+    req.name = args.GetString("name");
+    req.ids = ids;
+    auto resp = client->Remove(req);
+    st = resp.status();
+    if (resp.ok()) {
+      std::cout << "removed " << resp->removed << ", missing "
+                << resp->missing << " (delta " << resp->delta_points
+                << " points, " << resp->tombstones << " tombstones)\n";
+    }
+  } else if (cmd == "flush") {
+    auto resp = client->Flush(args.GetString("name"));
+    st = resp.status();
+    if (resp.ok()) {
+      std::cout << (resp->compacted ? "compacted" : "nothing to compact")
+                << ": base " << resp->base_points << " points, delta "
+                << resp->delta_points << ", " << resp->tombstones
+                << " tombstones, " << resp->index_bytes << " bytes\n";
+    }
+  } else if (cmd == "drift") {
+    return RunDrift(*client, args);
   } else if (cmd == "stats") {
     if (args.GetBool("watch")) {
       return WatchStats(*client, args.GetInt("interval-ms"),
@@ -342,6 +493,13 @@ int main(int argc, char** argv) {
                    "query only: request cost-based planning (and the "
                    "planner response fields) even at recall 1");
   args.AddFlag("limit", "20", "join pairs printed; 0 = all");
+  args.AddFlag("ids", "", "comma-separated point ids (remove)");
+  args.AddFlag("dims", "8", "drift only: dimensionality");
+  args.AddFlag("steps", "16", "drift only: timeline steps");
+  args.AddFlag("drift-clusters", "4", "drift only: initial live clusters");
+  args.AddFlag("points-per-cluster", "64", "drift only: points per cluster");
+  args.AddFlag("queries-per-step", "8", "drift only: chasing queries");
+  args.AddFlag("seed", "42", "drift only: RNG seed");
   args.AddBoolFlag("watch", false,
                    "stats only: poll repeatedly, rendering interval deltas");
   args.AddFlag("interval-ms", "1000", "polling interval for --watch");
