@@ -90,6 +90,13 @@ class Dataset {
     values_.clear();
   }
 
+  /// Drops all but the first n points (owning datasets only).
+  void Truncate(size_t n) {
+    SIMJOIN_CHECK(!borrowed()) << "borrowed datasets are read-only";
+    SIMJOIN_CHECK_LE(n, size());
+    values_.resize(n * dims_);
+  }
+
   /// Reinitialises to n zero points of the given dimensionality.
   void Reset(size_t n, size_t dims);
 

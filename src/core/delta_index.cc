@@ -33,19 +33,19 @@ double NowSeconds() {
 }  // namespace
 
 Result<std::shared_ptr<UpdatableIndex>> UpdatableIndex::Build(
-    const Dataset& dataset, const EkdbConfig& config, size_t num_threads,
-    const UpdatableConfig& update_config) {
-  if (dataset.empty()) {
+    std::shared_ptr<const Dataset> dataset, const EkdbConfig& config,
+    size_t num_threads, const UpdatableConfig& update_config) {
+  if (dataset == nullptr || dataset->empty()) {
     return Status::InvalidArgument("dataset must not be empty");
   }
-  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset.dims()));
-  if (dataset.size() >= static_cast<size_t>(UINT32_MAX)) {
+  SIMJOIN_RETURN_NOT_OK(config.Validate(dataset->dims()));
+  if (dataset->size() >= static_cast<size_t>(UINT32_MAX)) {
     return Status::InvalidArgument("dataset exhausts the 32-bit id space");
   }
   SIMJOIN_ASSIGN_OR_RETURN(
       EkdbTree tree, num_threads == 1
-                         ? EkdbTree::Build(dataset, config)
-                         : EkdbTree::BuildParallel(dataset, config,
+                         ? EkdbTree::Build(*dataset, config)
+                         : EkdbTree::BuildParallel(*dataset, config,
                                                    num_threads));
   SIMJOIN_ASSIGN_OR_RETURN(FlatEkdbTree flat,
                            FlatEkdbTree::FromTree(tree, num_threads));
@@ -53,31 +53,36 @@ Result<std::shared_ptr<UpdatableIndex>> UpdatableIndex::Build(
   auto index = std::shared_ptr<UpdatableIndex>(new UpdatableIndex());
   index->config_ = config;
   index->update_config_ = update_config;
-  index->base_data_ = &dataset;
+  index->base_data_ = std::move(dataset);
+  const Dataset& data = *index->base_data_;
 
   auto tier = std::make_shared<Tier>();
-  tier->data = &dataset;
+  tier->data = &data;
   tier->tree.emplace(std::move(flat));
-  tier->logical.resize(dataset.size());
-  for (size_t i = 0; i < dataset.size(); ++i) {
+  tier->logical.resize(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
     tier->logical[i] = static_cast<PointId>(i);
   }
   tier->bytes = tier->tree->total_bytes() +
                 tier->logical.size() * sizeof(PointId);
   index->tier_ = std::move(tier);
   index->tombstones_ = std::make_shared<const TombstoneSet>();
-  index->next_logical_ = static_cast<PointId>(dataset.size());
+  index->next_logical_ = static_cast<PointId>(data.size());
   return index;
 }
 
-uint64_t UpdatableIndex::index_bytes() const {
-  std::shared_lock lock(mu_);
-  uint64_t bytes = tier_->bytes;
+uint64_t UpdatableIndex::DeltaBytesLocked() const {
+  uint64_t bytes = 0;
   if (delta_rows_ != nullptr) bytes += delta_rows_->MemoryUsageBytes();
   bytes += delta_logical_.size() *
            (sizeof(PointId) + kDeltaTreeBytesPerPoint);
   bytes += tombstones_->size() * sizeof(PointId);
   return bytes;
+}
+
+uint64_t UpdatableIndex::index_bytes() const {
+  std::shared_lock lock(mu_);
+  return tier_->bytes + DeltaBytesLocked();
 }
 
 Status UpdatableIndex::ValidateQueryEpsilon(double eps_query) const {
@@ -328,20 +333,48 @@ Result<PointId> UpdatableIndex::InsertBatch(const float* rows,
   if (delta_rows_ == nullptr) {
     delta_rows_ = std::make_unique<Dataset>(0, dims);
   }
+  const size_t rows_before = delta_rows_->size();
   for (size_t i = 0; i < count; ++i) {
     const PointId row = static_cast<PointId>(delta_rows_->size());
     delta_rows_->Append(std::span<const float>(rows + i * dims, dims));
+    Status tree_status;
     if (!delta_tree_.has_value()) {
-      SIMJOIN_ASSIGN_OR_RETURN(EkdbTree tree,
-                               EkdbTree::Build(*delta_rows_, config_));
-      delta_tree_.emplace(std::move(tree));
+      auto tree = EkdbTree::Build(*delta_rows_, config_);
+      if (tree.ok()) {
+        delta_tree_.emplace(std::move(tree).value());
+      } else {
+        tree_status = tree.status();
+      }
     } else {
-      SIMJOIN_RETURN_NOT_OK(delta_tree_->Insert(row));
+      tree_status = delta_tree_->Insert(row);
+    }
+    if (!tree_status.ok()) {
+      RollbackInsertsLocked(rows_before, first);
+      return tree_status;
     }
     delta_logical_.push_back(next_logical_++);
   }
   MaybeScheduleCompactionLocked();
   return first;
+}
+
+void UpdatableIndex::RollbackInsertsLocked(size_t rows_before,
+                                           PointId next_before) const {
+  delta_logical_.resize(rows_before);
+  next_logical_ = next_before;
+  if (rows_before == 0) {
+    delta_rows_.reset();
+    delta_tree_.reset();
+    return;
+  }
+  delta_rows_->Truncate(rows_before);
+  // The surviving prefix held a valid tree moments ago, so rebuilding it
+  // can only fail on resource exhaustion — where a crash beats serving a
+  // delta whose row->logical map no longer matches its tree.
+  auto rebuilt = EkdbTree::Build(*delta_rows_, config_);
+  SIMJOIN_CHECK(rebuilt.ok()) << "delta rollback rebuild failed: "
+                              << rebuilt.status().ToString();
+  delta_tree_.emplace(std::move(rebuilt).value());
 }
 
 void UpdatableIndex::RemoveBatch(const PointId* ids, size_t count,
@@ -542,6 +575,7 @@ UpdatableStats UpdatableIndex::Stats() const {
       stats.base_points + stats.delta_points - stats.tombstones;
   stats.compactions = compactions_;
   stats.next_id = next_logical_;
+  stats.delta_bytes = DeltaBytesLocked();
   return stats;
 }
 

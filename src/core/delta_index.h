@@ -79,6 +79,10 @@ struct UpdatableStats {
   uint64_t live_points = 0;   ///< base + delta - tombstones
   uint64_t compactions = 0;   ///< merges completed since construction
   uint64_t next_id = 0;       ///< logical id the next insert will get
+  /// Heap estimate of the mutable state: delta rows + memtable tree +
+  /// tombstones (the same accounting index_bytes() charges on top of the
+  /// base tier — service gauges must report this, not re-derive it).
+  uint64_t delta_bytes = 0;
 };
 
 /// The updatable backend (BackendKind::kUpdatable).  Construct via Build —
@@ -89,17 +93,19 @@ class UpdatableIndex final
       public std::enable_shared_from_this<UpdatableIndex> {
  public:
   /// Builds the initial base tier over the dataset (parallel when
-  /// num_threads != 1).  The dataset must outlive the index; points
-  /// inserted later live in storage the index owns.
+  /// num_threads != 1).  The index takes shared ownership of the dataset:
+  /// background compaction reads tier-zero rows off-lock and may outlive
+  /// the caller's snapshot, so the rows must not be tied to the caller's
+  /// lifetime.  Points inserted later live in storage the index owns.
   static Result<std::shared_ptr<UpdatableIndex>> Build(
-      const Dataset& dataset, const EkdbConfig& config, size_t num_threads,
-      const UpdatableConfig& update_config = {});
+      std::shared_ptr<const Dataset> dataset, const EkdbConfig& config,
+      size_t num_threads, const UpdatableConfig& update_config = {});
 
   // -- IndexBackend -------------------------------------------------------
 
   BackendKind kind() const override { return BackendKind::kUpdatable; }
   const EkdbConfig& config() const override { return config_; }
-  /// The *initial build* dataset (the rows the snapshot owns).  Live points
+  /// The *initial build* dataset (rows the index co-owns).  Live points
   /// may differ after updates; use Stats().live_points for current counts.
   const Dataset& dataset() const override { return *base_data_; }
   /// Current heap footprint of base tier + delta + tombstones (the delta
@@ -165,8 +171,9 @@ class UpdatableIndex final
  private:
   /// One immutable base tier: the flat tree, the rows it indexes, and the
   /// sorted row->logical-id map.  `owned` is null only for tier zero,
-  /// whose rows are the caller's build dataset.  `tree` is disengaged when
-  /// the tier is empty (every point removed, then compacted).
+  /// whose rows are the build dataset the index co-owns (base_data_).
+  /// `tree` is disengaged when the tier is empty (every point removed,
+  /// then compacted).
   struct Tier {
     std::unique_ptr<Dataset> owned;
     const Dataset* data = nullptr;
@@ -186,6 +193,16 @@ class UpdatableIndex final
                             std::vector<PointId>* out,
                             JoinStats* stats) const;
 
+  /// Heap estimate of delta rows + memtable tree + tombstones.  Requires
+  /// mu_ held (shared is enough).
+  uint64_t DeltaBytesLocked() const;
+
+  /// Restores the delta to its pre-InsertBatch shape after a mid-batch
+  /// failure (truncates rows/logical map, rebuilds the memtable tree over
+  /// the surviving prefix) so a failed call inserts nothing.  Requires mu_
+  /// held exclusively.
+  void RollbackInsertsLocked(size_t rows_before, PointId next_before) const;
+
   /// Runs one merge if there is anything to fold in; *ran reports whether
   /// a swap happened.  Requires compact_mu_ held.
   Status CompactLocked(bool* ran) const;
@@ -196,7 +213,10 @@ class UpdatableIndex final
 
   EkdbConfig config_;
   UpdatableConfig update_config_;
-  const Dataset* base_data_ = nullptr;  // initial build rows (caller-owned)
+  // Initial build rows.  Shared ownership, not borrowed: background
+  // compaction reads tier-zero rows off-lock and holds the index alive via
+  // shared_from_this, so the rows must survive the caller's snapshot.
+  std::shared_ptr<const Dataset> base_data_;
 
   // Guards all mutable state below.  Writers exclusive, queries shared.
   mutable std::shared_mutex mu_;

@@ -77,7 +77,7 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
         "planner materialises on demand");
   }
   Timer timer;
-  auto owned = std::make_unique<Dataset>(std::move(dataset));
+  auto owned = std::make_shared<const Dataset>(std::move(dataset));
   auto snapshot = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
   snapshot->name_ = std::move(name);
   std::shared_ptr<const IndexBackend> primary;
@@ -86,8 +86,10 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
                              EpsilonGridBackend::Build(*owned, config));
     primary = std::move(grid);
   } else if (backend == BackendKind::kUpdatable) {
+    // The updatable index co-owns the dataset: its background compaction
+    // can outlive this snapshot and still read the build rows.
     SIMJOIN_ASSIGN_OR_RETURN(
-        auto updatable, UpdatableIndex::Build(*owned, config, num_threads));
+        auto updatable, UpdatableIndex::Build(owned, config, num_threads));
     primary = std::move(updatable);
   } else {
     SIMJOIN_ASSIGN_OR_RETURN(

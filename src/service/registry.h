@@ -204,10 +204,12 @@ class IndexSnapshot {
       bool* built) const;
 
   std::string name_;
-  // unique_ptr keeps the Dataset at a stable address: the index structures
-  // point into it.  Null for mapped snapshots, whose dataset is a borrowed
-  // view owned by the primary backend's mapping.
-  std::unique_ptr<Dataset> dataset_;
+  // shared_ptr keeps the Dataset at a stable address (the index structures
+  // point into it) and lets an updatable primary co-own it: background
+  // compaction reads the build rows after this snapshot may already be
+  // dead (DropIndex, LRU eviction).  Null for mapped snapshots, whose
+  // dataset is a borrowed view owned by the primary backend's mapping.
+  std::shared_ptr<const Dataset> dataset_;
   // The snapshot's dataset regardless of ownership: dataset_.get() for
   // built snapshots, &primary_->dataset() for mapped ones.
   const Dataset* data_ = nullptr;

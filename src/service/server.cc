@@ -802,16 +802,12 @@ struct Server::Impl {
   /// Publishes the delta-tier gauges after an update RPC.  Gauges reflect
   /// the most recently updated index; the per-index breakdown lives in the
   /// Stats index list (bytes are the dynamic registry charge).
-  void PublishDeltaGauges(const UpdatableIndex& upd, size_t dims) {
+  void PublishDeltaGauges(const UpdatableIndex& upd) {
     const UpdatableStats s = upd.Stats();
     const ServiceMetrics& m = GetServiceMetrics();
     m.delta_points->Set(static_cast<int64_t>(s.delta_points));
     m.delta_tombstones->Set(static_cast<int64_t>(s.tombstones));
-    // Estimate mirroring the core's accounting: delta rows + pointer-tree
-    // nodes + the tombstone vector.
-    m.delta_bytes->Set(static_cast<int64_t>(
-        s.delta_points * (dims * sizeof(float) + 48) +
-        s.tombstones * sizeof(PointId)));
+    m.delta_bytes->Set(static_cast<int64_t>(s.delta_bytes));
   }
 
   Status HandleInsert(const Frame& frame, Terminal* out) {
@@ -836,7 +832,7 @@ struct Server::Impl {
     const ServiceMetrics& metrics = GetServiceMetrics();
     metrics.updates_inserts->Add();
     metrics.updates_rows_inserted->Add(count);
-    PublishDeltaGauges(*upd, index_dims);
+    PublishDeltaGauges(*upd);
     InsertResponse resp;
     resp.first_id = first;
     resp.count = static_cast<uint32_t>(count);
@@ -861,7 +857,7 @@ struct Server::Impl {
     const ServiceMetrics& metrics = GetServiceMetrics();
     metrics.updates_removes->Add();
     metrics.updates_rows_removed->Add(resp.removed);
-    PublishDeltaGauges(*upd, snapshot->dataset().dims());
+    PublishDeltaGauges(*upd);
     resp.delta_points = s.delta_points;
     resp.tombstones = s.tombstones;
     out->type = FrameType::kRemoveOk;
@@ -879,7 +875,7 @@ struct Server::Impl {
     registry.RefreshCharge(req.name);
     const UpdatableStats s = upd->Stats();
     GetServiceMetrics().updates_flushes->Add();
-    PublishDeltaGauges(*upd, snapshot->dataset().dims());
+    PublishDeltaGauges(*upd);
     FlushResponse resp;
     resp.compacted = compacted;
     resp.base_points = s.base_points;

@@ -118,6 +118,20 @@ TEST(DatasetTest, ClearKeepsDims) {
   EXPECT_EQ(ds.dims(), 3u);
 }
 
+TEST(DatasetTest, TruncateDropsTrailingRows) {
+  Dataset ds;
+  ds.Append(std::vector<float>{1.0f, 2.0f});
+  ds.Append(std::vector<float>{3.0f, 4.0f});
+  ds.Append(std::vector<float>{5.0f, 6.0f});
+  ds.Truncate(2);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_EQ(ds.Row(1)[0], 3.0f);
+  ds.Truncate(0);
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.dims(), 2u);
+}
+
 TEST(DatasetTest, SelectCopiesRowsInOrder) {
   Dataset ds;
   ds.Append(std::vector<float>{1.0f, 2.0f});

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -177,7 +178,8 @@ std::vector<float> RandomRows(Rng* rng, size_t count, size_t dims) {
 TEST(UpdatableIndexTest, FreshBuildMatchesRebuildOracle) {
   const Dataset data = MakeClustered(500, 4, 1);
   const EkdbConfig config = Config(0.1);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok()) << index.status().ToString();
   const Mirror mirror(data);
 
@@ -197,7 +199,9 @@ TEST(UpdatableIndexTest, FreshBuildMatchesRebuildOracle) {
 
 TEST(UpdatableIndexTest, ValidatesQueryEpsilonLikeOtherBackends) {
   const Dataset data = MakeClustered(100, 3, 2);
-  auto index = UpdatableIndex::Build(data, Config(0.1), 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data),
+      Config(0.1), 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   EXPECT_TRUE((*index)->ValidateQueryEpsilon(0.1).ok());
   EXPECT_FALSE((*index)->ValidateQueryEpsilon(0.0).ok());
@@ -211,7 +215,8 @@ TEST(UpdatableIndexTest, ValidatesQueryEpsilonLikeOtherBackends) {
 TEST(UpdatableIndexTest, InsertsMatchRebuildOracle) {
   const Dataset data = MakeClustered(300, 4, 3);
   const EkdbConfig config = Config(0.12);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   Mirror mirror(data);
   Rng rng(7);
@@ -236,7 +241,8 @@ TEST(UpdatableIndexTest, InsertsMatchRebuildOracle) {
 TEST(UpdatableIndexTest, RemovesMatchRebuildOracleAndCountMisses) {
   const Dataset data = MakeClustered(400, 4, 4);
   const EkdbConfig config = Config(0.12);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   Mirror mirror(data);
   Rng rng(11);
@@ -279,7 +285,9 @@ TEST(UpdatableIndexTest, RemovesMatchRebuildOracleAndCountMisses) {
 
 TEST(UpdatableIndexTest, InsertRejectsOutOfDomainWithoutSideEffects) {
   const Dataset data = MakeClustered(50, 3, 5);
-  auto index = UpdatableIndex::Build(data, Config(0.1), 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data),
+      Config(0.1), 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   const UpdatableStats before = (*index)->Stats();
   const std::vector<float> bad = {0.5f, 0.5f, 1.5f};
@@ -293,7 +301,8 @@ TEST(UpdatableIndexTest, InsertRejectsOutOfDomainWithoutSideEffects) {
 TEST(UpdatableIndexTest, BatchQueriesAreBitIdenticalToSoloQueries) {
   const Dataset data = MakeClustered(300, 4, 6);
   const EkdbConfig config = Config(0.15);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   Rng rng(13);
   const std::vector<float> rows = RandomRows(&rng, 80, 4);
@@ -331,7 +340,9 @@ TEST(UpdatableIndexTest, BatchQueriesAreBitIdenticalToSoloQueries) {
 
 TEST(UpdatableIndexTest, EstimatedQueryCostRisesWithDeltaAndFallsOnFlush) {
   const Dataset data = MakeClustered(1000, 4, 7);
-  auto index = UpdatableIndex::Build(data, Config(0.1), 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data),
+      Config(0.1), 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   const double fresh = (*index)->EstimatedQueryCost(0.05, 8.0);
   Rng rng(17);
@@ -354,7 +365,8 @@ TEST(UpdatableIndexTest, EstimatedQueryCostRisesWithDeltaAndFallsOnFlush) {
 TEST(UpdatableIndexTest, RandomisedInterleavingMatchesRebuildOracle) {
   const Dataset data = MakeClustered(250, 4, 8);
   const EkdbConfig config = Config(0.12, 8);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   Mirror mirror(data);
   Rng rng(23);
@@ -390,10 +402,45 @@ TEST(UpdatableIndexTest, RandomisedInterleavingMatchesRebuildOracle) {
 // Compaction.
 // ---------------------------------------------------------------------------
 
+// Lifetime contract: the index co-owns the build dataset, so queries and
+// compaction (which reads tier-zero rows off-lock) stay valid after every
+// other owner of the dataset is gone — the DropIndex-during-compaction
+// scenario.  Under ASan a regression here is a use-after-free.
+TEST(UpdatableCompactionTest, SurvivesBuildDatasetOwnerDeath) {
+  const EkdbConfig config = Config(0.12);
+  std::shared_ptr<UpdatableIndex> index;
+  Dataset data = MakeClustered(300, 4, 19);
+  Mirror mirror(data);
+  {
+    auto shared = std::make_shared<const Dataset>(std::move(data));
+    auto built = UpdatableIndex::Build(shared, config, 1, ManualCompaction());
+    ASSERT_TRUE(built.ok());
+    index = *built;
+  }
+  // The shared_ptr above was the only external reference to the rows.
+  Rng rng(37);
+  const std::vector<float> rows = RandomRows(&rng, 50, 4);
+  auto first = index->InsertBatch(rows.data(), 50);
+  ASSERT_TRUE(first.ok());
+  mirror.Insert(*first, rows);
+  ASSERT_TRUE(index->Remove(7).ok());
+  ASSERT_TRUE(mirror.Remove(7));
+
+  auto ran = index->Flush();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  const std::vector<float> probe = RandomRows(&rng, 1, 4);
+  ExpectRangeMatchesOracle(*index, mirror, probe.data(), 0.1, config,
+                           "after owner death");
+  ExpectSelfJoinMatchesOracle(*index, mirror, 0.1, 1, config,
+                              "after owner death");
+}
+
 TEST(UpdatableCompactionTest, FlushFoldsDeltaWithoutChangingAnswers) {
   const Dataset data = MakeClustered(300, 4, 9);
   const EkdbConfig config = Config(0.12);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
   Mirror mirror(data);
   Rng rng(29);
@@ -415,12 +462,16 @@ TEST(UpdatableCompactionTest, FlushFoldsDeltaWithoutChangingAnswers) {
             .ok());
   }
 
+  EXPECT_GT((*index)->Stats().delta_bytes, 0u)
+      << "a populated memtable must report a byte estimate";
+
   auto ran = (*index)->Flush();
   ASSERT_TRUE(ran.ok());
   EXPECT_TRUE(*ran);
   const UpdatableStats stats = (*index)->Stats();
   EXPECT_EQ(stats.delta_points, 0u);
   EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.delta_bytes, 0u);
   EXPECT_EQ(stats.base_points, 300u + 100u - 4u);
   EXPECT_EQ(stats.live_points, stats.base_points);
   EXPECT_EQ(stats.compactions, 1u);
@@ -446,7 +497,8 @@ TEST(UpdatableCompactionTest, FlushFoldsDeltaWithoutChangingAnswers) {
 TEST(UpdatableCompactionTest, CompactsToEmptyAndServesAgainAfterReinsert) {
   const Dataset data = MakeClustered(64, 3, 10);
   const EkdbConfig config = Config(0.15);
-  auto index = UpdatableIndex::Build(data, config, 1, ManualCompaction());
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, ManualCompaction());
   ASSERT_TRUE(index.ok());
 
   std::vector<PointId> all(64);
@@ -490,7 +542,8 @@ TEST(UpdatableCompactionTest, BackgroundCompactionTriggersAndNotifies) {
   UpdatableConfig uc;
   uc.auto_compact = true;
   uc.compact_min_delta_points = 64;
-  auto index = UpdatableIndex::Build(data, config, 1, uc);
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1, uc);
   ASSERT_TRUE(index.ok());
   std::atomic<int> notified{0};
   std::atomic<bool> positive_duration{true};
@@ -535,7 +588,8 @@ TEST(UpdatableConcurrencyTest, ConcurrentUpdatesQueriesAndCompactions) {
   UpdatableConfig uc;
   uc.auto_compact = true;
   uc.compact_min_delta_points = 128;  // several background merges per run
-  auto index = UpdatableIndex::Build(data, config, 2, uc);
+  auto index = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 2, uc);
   ASSERT_TRUE(index.ok());
 
   // One writer owns the id space; readers run solo queries, fused batches,

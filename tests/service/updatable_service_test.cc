@@ -211,7 +211,8 @@ TEST(UpdatableServiceTest, SelfJoinMatchesInProcessAtEveryThreadCount) {
   ASSERT_TRUE(live.client.Remove(rem).ok());
 
   // In-process reference over the same mutation sequence.
-  auto ref = UpdatableIndex::Build(data, config, 1,
+  auto ref = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data), config, 1,
                                    {.auto_compact = false});
   ASSERT_TRUE(ref.ok());
   ASSERT_TRUE((*ref)->InsertBatch(ins.rows.data(), 80).ok());
@@ -300,7 +301,9 @@ TEST(UpdatableServiceTest, ConcurrentClientsUpdateAndQueryConsistently) {
 
   // Quiesced: the server's answer equals a fresh rebuild of the live set.
   ASSERT_TRUE(live.client.Flush("u").ok());
-  auto ref = UpdatableIndex::Build(data, config, 1, {.auto_compact = false});
+  auto ref = UpdatableIndex::Build(
+      std::make_shared<const Dataset>(data),
+      config, 1, {.auto_compact = false});
   ASSERT_TRUE(ref.ok());
   Rng replay(63);
   for (int op = 0; op < 30; ++op) {
