@@ -11,7 +11,9 @@
 //      hot path is caught mechanically, not by eyeballing numbers;
 //   2. end-to-end: the flat eps-k-d-B self-join with tracing disabled
 //      (the production default — metric histograms still live) vs the
-//      same join with a trace being collected.
+//      same join with a trace being collected, vs the same join with a
+//      request-profile collector installed (the EXPLAIN ANALYZE /
+//      slow-query-log capture path, docs/observability.md).
 //
 // Emits a trailing "# OBS_JSON {...}" line consumed by
 // scripts/check_bench_regression.sh, which snapshots it into
@@ -26,6 +28,7 @@
 #include "bench_util.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "workload/generators.h"
 
@@ -110,13 +113,46 @@ void Main() {
   }
   std::remove(trace_path.c_str());
 
+  // Per-request profiling path: a collector raises the shared capture gate
+  // and every span records a tree node — the cost one profiled (or
+  // slow-logged) request pays while the rest of the fleet stays on the
+  // disabled path.
+  double join_profiled = 1e100;
+  uint64_t profile_nodes = 0;
+  uint64_t profile_dropped = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    obs::RequestProfileCollector collector(/*trace_id=*/1,
+                                           obs::internal::TraceNowNanos());
+    const uint32_t root = collector.BeginPhase("bench.join",
+                                               obs::kProfileNoParent,
+                                               collector.epoch_ns());
+    {
+      obs::ScopedRequestContext scope(obs::RequestContext{1, &collector, root});
+      join_profiled =
+          std::min(join_profiled, RunEkdbFlatSelf(*data, config).join_seconds);
+    }
+    collector.EndPhase(root, obs::internal::TraceNowNanos(), 0);
+    const obs::RequestProfile profile =
+        collector.Finish(obs::internal::TraceNowNanos());
+    profile_nodes = profile.nodes.size();
+    profile_dropped = profile.dropped_nodes;
+  }
+
   const double trace_ratio = join_traced < 1e99 ? join_traced / join_plain : 0.0;
+  const double profile_ratio =
+      join_profiled < 1e99 ? join_profiled / join_plain : 0.0;
   ResultTable e2e({"mode", "join", "ratio", "events"});
   e2e.AddRow({"tracing off", FmtSecs(join_plain), "1.00", "0"});
   e2e.AddRow({"tracing on", FmtSecs(join_traced), FmtDouble(trace_ratio, 2),
               std::to_string(trace_events) +
                   (trace_dropped != 0
                        ? " (+" + std::to_string(trace_dropped) + " dropped)"
+                       : "")});
+  e2e.AddRow({"profiled request", FmtSecs(join_profiled),
+              FmtDouble(profile_ratio, 2),
+              std::to_string(profile_nodes) + " nodes" +
+                  (profile_dropped != 0
+                       ? " (+" + std::to_string(profile_dropped) + " dropped)"
                        : "")});
   e2e.Print();
 
@@ -132,7 +168,11 @@ void Main() {
             << ", \"join_seconds_traced\": " << FmtDouble(join_traced, 5)
             << ", \"traced_over_plain_ratio\": " << FmtDouble(trace_ratio, 3)
             << ", \"trace_events\": " << trace_events
-            << ", \"trace_dropped\": " << trace_dropped << "}\n";
+            << ", \"trace_dropped\": " << trace_dropped
+            << ", \"join_seconds_profiled\": " << FmtDouble(join_profiled, 5)
+            << ", \"profiled_over_plain_ratio\": " << FmtDouble(profile_ratio, 3)
+            << ", \"profile_nodes\": " << profile_nodes
+            << ", \"profile_dropped\": " << profile_dropped << "}\n";
 
   // --- 3. Hard assertion: disabled instrumentation is near-zero ----------
   // Generous ceilings (a contended mutex or shared-line bounce costs far

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 
 namespace simjoin {
 
@@ -144,6 +146,22 @@ size_t ThreadPool::CurrentWorkerIndex() const {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Propagate the submitting thread's request context (trace id + profile
+  // collector) across the task boundary, so spans recorded inside pool
+  // tasks — parallel joins, fused sweeps — attribute to the request that
+  // spawned them.  The capture-gate check keeps the common case (no
+  // tracing, no profiled request in flight) at one relaxed load; the
+  // caller guarantees the collector outlives its tasks (request handlers
+  // join their TaskGroup before finishing the profile).
+  if (obs::internal::CaptureEnabled()) {
+    const obs::RequestContext ctx = obs::CurrentRequestContext();
+    if (ctx.active()) {
+      task = [ctx, inner = std::move(task)] {
+        obs::ScopedRequestContext scope(ctx);
+        inner();
+      };
+    }
+  }
   auto* t = new std::function<void()>(std::move(task));
   pending_.fetch_add(1, std::memory_order_seq_cst);
   const size_t self = CurrentWorkerIndex();

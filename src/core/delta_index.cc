@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "core/ekdb_flat_join.h"
 #include "core/parallel_join.h"
+#include "obs/request_context.h"
 
 namespace simjoin {
 namespace {
@@ -438,6 +439,11 @@ void UpdatableIndex::MaybeScheduleCompactionLocked() const {
   if (!delta_full && !tombstone_heavy) return;
   compact_scheduled_ = true;
   auto self = shared_from_this();
+  // Submitted from a request-handler thread, but the compaction belongs to
+  // no request: blank the thread's request context so Submit does not
+  // capture a profile collector that dies when the triggering request
+  // finishes (the compaction can easily outlive it).
+  obs::ScopedRequestContext detach{obs::RequestContext{}};
   ThreadPool::Shared().Submit([self] {
     {
       std::lock_guard<std::mutex> compact_lock(self->compact_mu_);

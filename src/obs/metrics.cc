@@ -167,6 +167,7 @@ std::string MetricsSnapshot::RenderText() const {
     if (h.count > 0) {
       os << " mean=" << h.mean() << " p50=" << h.Quantile(0.50)
          << " p95=" << h.Quantile(0.95) << " p99=" << h.Quantile(0.99);
+      if (h.overflow_count() > 0) os << " overflow=" << h.overflow_count();
     }
     os << "\n";
   }

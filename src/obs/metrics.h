@@ -153,6 +153,11 @@ struct HistogramSample {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
 
+  /// Observations past the last finite boundary.  Quantile() clamps ranks
+  /// landing there to the last bound, so a nonzero overflow count is the
+  /// signal that the reported quantiles are understated.
+  uint64_t overflow_count() const { return counts.empty() ? 0 : counts.back(); }
+
   /// q-quantile (q in [0,1]) by linear interpolation inside the bucket that
   /// holds the target rank — the histogram analogue of Percentile() in
   /// common/stats.h.  The overflow bucket has no upper bound, so ranks that

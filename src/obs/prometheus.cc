@@ -1,0 +1,62 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace simjoin {
+namespace obs {
+
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = "simjoin_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void FmtDouble(std::ostringstream& os, double v) {
+  // Prometheus accepts plain decimal or scientific notation; the default
+  // ostream formatting of a double satisfies both.
+  os << v;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = Sanitize(c.name) + "_total";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = Sanitize(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << g.value << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = Sanitize(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.boundaries.size() && i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      os << name << "_bucket{le=\"";
+      FmtDouble(os, h.boundaries[i]);
+      os << "\"} " << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << name << "_sum ";
+    FmtDouble(os, h.sum);
+    os << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace simjoin

@@ -1,0 +1,28 @@
+// Prometheus text exposition (version 0.0.4) rendering of a
+// MetricsSnapshot.  Pure formatting — the HTTP endpoint that serves it
+// lives in src/service/prom_exporter.h.
+//
+// Mapping: every metric name is prefixed "simjoin_" and sanitised (any
+// character outside [a-zA-Z0-9_] becomes '_', so "service.latency_us.x"
+// -> "simjoin_service_latency_us_x").  Counters gain the conventional
+// "_total" suffix.  Histograms render the native cumulative form:
+// le-labelled buckets (the internal overflow bucket becomes le="+Inf"),
+// plus _sum and _count series.
+
+#ifndef SIMJOIN_OBS_PROMETHEUS_H_
+#define SIMJOIN_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace simjoin {
+namespace obs {
+
+/// Renders the snapshot as a complete /metrics response body.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace simjoin
+
+#endif  // SIMJOIN_OBS_PROMETHEUS_H_

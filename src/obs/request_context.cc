@@ -1,0 +1,144 @@
+#include "obs/request_context.h"
+
+#include <ctime>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace simjoin {
+namespace obs {
+
+uint64_t RequestProfile::ChildWallNanos(uint32_t parent) const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent == parent) total += nodes[i].wall_ns;
+  }
+  return total;
+}
+
+RequestProfileCollector::RequestProfileCollector(uint64_t trace_id,
+                                                 uint64_t epoch_ns)
+    : trace_id_(trace_id), epoch_ns_(epoch_ns) {
+  nodes_.reserve(16);
+  internal::AddProfileCapture(+1);
+}
+
+RequestProfileCollector::~RequestProfileCollector() {
+  internal::AddProfileCapture(-1);
+}
+
+uint32_t RequestProfileCollector::BeginPhase(const char* name, uint32_t parent,
+                                             uint64_t start_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.size() >= kMaxProfileNodes) {
+    ++dropped_nodes_;
+    return kProfileNoParent;
+  }
+  ProfileNode node;
+  node.parent = parent;
+  node.name = name;
+  node.start_ns = start_ns > epoch_ns_ ? start_ns - epoch_ns_ : 0;
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void RequestProfileCollector::EndPhase(uint32_t node, uint64_t end_ns,
+                                       uint64_t cpu_ns) {
+  if (node == kProfileNoParent) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node >= nodes_.size()) return;
+  ProfileNode& n = nodes_[node];
+  const uint64_t end_rel = end_ns > epoch_ns_ ? end_ns - epoch_ns_ : 0;
+  n.wall_ns = end_rel > n.start_ns ? end_rel - n.start_ns : 0;
+  n.cpu_ns = cpu_ns;
+}
+
+uint32_t RequestProfileCollector::AddPhase(const char* name, uint32_t parent,
+                                           uint64_t start_ns, uint64_t wall_ns,
+                                           uint64_t cpu_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.size() >= kMaxProfileNodes) {
+    ++dropped_nodes_;
+    return kProfileNoParent;
+  }
+  ProfileNode node;
+  node.parent = parent;
+  node.name = name;
+  node.start_ns = start_ns > epoch_ns_ ? start_ns - epoch_ns_ : 0;
+  node.wall_ns = wall_ns;
+  node.cpu_ns = cpu_ns;
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void RequestProfileCollector::AddCounter(std::string_view name,
+                                         uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ProfileCounter& c : counters_) {
+    if (c.name == name) {
+      c.value += delta;
+      return;
+    }
+  }
+  if (counters_.size() >= kMaxProfileCounters) return;
+  counters_.push_back({std::string(name), delta});
+}
+
+void RequestProfileCollector::SetPlan(std::string plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+}
+
+RequestProfile RequestProfileCollector::Finish(uint64_t end_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequestProfile profile;
+  profile.trace_id = trace_id_;
+  profile.total_wall_ns = end_ns > epoch_ns_ ? end_ns - epoch_ns_ : 0;
+  profile.plan = plan_;
+  profile.nodes = nodes_;
+  profile.counters = counters_;
+  profile.dropped_nodes = dropped_nodes_;
+  return profile;
+}
+
+namespace internal {
+
+RequestContext& MutableRequestContext() {
+  thread_local RequestContext ctx;
+  return ctx;
+}
+
+}  // namespace internal
+
+RequestContext CurrentRequestContext() {
+  return internal::MutableRequestContext();
+}
+
+ScopedRequestContext::ScopedRequestContext(const RequestContext& ctx) {
+  RequestContext& slot = internal::MutableRequestContext();
+  prev_ = slot;
+  slot = ctx;
+}
+
+ScopedRequestContext::~ScopedRequestContext() {
+  internal::MutableRequestContext() = prev_;
+}
+
+void AddRequestCounter(std::string_view name, uint64_t delta) {
+  const RequestContext& ctx = internal::MutableRequestContext();
+  if (ctx.collector != nullptr) ctx.collector->AddCounter(name, delta);
+}
+
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace obs
+}  // namespace simjoin

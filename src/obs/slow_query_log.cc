@@ -1,0 +1,159 @@
+#include "obs/slow_query_log.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace simjoin {
+namespace obs {
+
+namespace {
+
+uint64_t NowUnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(std::move(options)) {}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  if (entry.unix_micros == 0) entry.unix_micros = NowUnixMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (!options_.jsonl_path.empty()) WriteSinkLocked(entry);
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+void SlowQueryLog::WriteSinkLocked(const SlowQueryEntry& entry) {
+  // Token window: at most sink_max_per_sec writes per wall-clock second.
+  const uint64_t second = entry.unix_micros / 1'000'000;
+  if (second != window_start_us_) {
+    window_start_us_ = second;
+    window_writes_ = 0;
+  }
+  if (window_writes_ >= options_.sink_max_per_sec) {
+    ++sink_suppressed_;
+    return;
+  }
+  ++window_writes_;
+  // Open-append-close per entry: slow queries are rare by definition, and
+  // reopening by path is what makes external log rotation safe.
+  std::ofstream out(options_.jsonl_path, std::ios::app);
+  if (!out) {
+    ++sink_errors_;
+    return;
+  }
+  out << ToJsonLine(entry) << "\n";
+  out.flush();
+  if (!out) ++sink_errors_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Drain(size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out;
+  const size_t take = ring_.size() < max ? ring_.size() : max;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(ring_.front()));
+    ring_.pop_front();
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t SlowQueryLog::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+uint64_t SlowQueryLog::sink_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_suppressed_;
+}
+
+uint64_t SlowQueryLog::sink_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_errors_;
+}
+
+std::string SlowQueryLog::ToJsonLine(const SlowQueryEntry& entry) {
+  std::ostringstream os;
+  os << "{\"ts_us\":" << entry.unix_micros
+     << ",\"trace_id\":" << entry.trace_id
+     << ",\"request_id\":" << entry.request_id
+     << ",\"op\":" << static_cast<unsigned>(entry.op) << ",\"index\":";
+  AppendJsonString(os, entry.index);
+  os << ",\"wall_us\":" << entry.wall_us
+     << ",\"status_code\":" << entry.status_code;
+  if (!entry.status_message.empty()) {
+    os << ",\"status\":";
+    AppendJsonString(os, entry.status_message);
+  }
+  if (!entry.profile.plan.empty()) {
+    os << ",\"plan\":";
+    AppendJsonString(os, entry.profile.plan);
+  }
+  if (!entry.profile.nodes.empty()) {
+    os << ",\"phases\":[";
+    for (size_t i = 0; i < entry.profile.nodes.size(); ++i) {
+      const ProfileNode& n = entry.profile.nodes[i];
+      if (i > 0) os << ",";
+      os << "{\"name\":";
+      AppendJsonString(os, n.name);
+      os << ",\"parent\":"
+         << (n.parent == kProfileNoParent ? -1
+                                          : static_cast<int64_t>(n.parent))
+         << ",\"start_ns\":" << n.start_ns << ",\"wall_ns\":" << n.wall_ns
+         << ",\"cpu_ns\":" << n.cpu_ns << "}";
+    }
+    os << "]";
+  }
+  if (!entry.profile.counters.empty()) {
+    os << ",\"counters\":{";
+    for (size_t i = 0; i < entry.profile.counters.size(); ++i) {
+      if (i > 0) os << ",";
+      AppendJsonString(os, entry.profile.counters[i].name);
+      os << ":" << entry.profile.counters[i].value;
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace simjoin

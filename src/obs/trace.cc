@@ -9,13 +9,19 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 
 namespace simjoin {
 namespace obs {
 
 namespace internal {
 
-std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint32_t> g_capture_flags{0};
+
+void AddProfileCapture(int delta) {
+  g_capture_flags.fetch_add(static_cast<uint32_t>(delta * 2),
+                            std::memory_order_relaxed);
+}
 
 uint64_t TraceNowNanos() {
   return static_cast<uint64_t>(
@@ -33,6 +39,7 @@ struct TraceEvent {
   uint64_t start_ns;
   uint64_t end_ns;
   uint32_t tid;
+  uint64_t trace_id;  ///< request trace context, 0 when none
 };
 
 /// Bounds memory for runaway traces: ~1M events/thread ≈ 24 MB/thread.
@@ -96,7 +103,8 @@ void JsonEscape(std::ostream& os, const char* s) {
 
 namespace internal {
 
-void AppendTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns) {
+void AppendTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns,
+                      uint64_t trace_id) {
   EventBuffer& buffer = ThreadBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
@@ -105,15 +113,49 @@ void AppendTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns) {
   }
   buffer.events.push_back(
       {name, start_ns, end_ns,
-       static_cast<uint32_t>(internal::ThreadShardSlot())});
+       static_cast<uint32_t>(internal::ThreadShardSlot()), trace_id});
 }
 
 }  // namespace internal
 
+void TraceSpan::Begin(const char* name) {
+  const uint64_t now = internal::TraceNowNanos();
+  const RequestContext& ctx = internal::MutableRequestContext();
+  name_ = TracingEnabled() ? name : nullptr;
+  trace_id_ = ctx.trace_id;
+  start_ns_ = now;
+  collector_ = nullptr;
+  node_ = kProfileNoParent;
+  prev_node_ = kProfileNoParent;
+  cpu_start_ns_ = 0;
+  if (ctx.collector != nullptr) {
+    collector_ = ctx.collector;
+    prev_node_ = ctx.node;
+    node_ = ctx.collector->BeginPhase(name, ctx.node, now);
+    internal::MutableRequestContext().node = node_;
+    cpu_start_ns_ = ThreadCpuNanos();
+  }
+  armed_ = name_ != nullptr || collector_ != nullptr;
+}
+
+void TraceSpan::End() {
+  const uint64_t now = internal::TraceNowNanos();
+  if (name_ != nullptr) {
+    internal::AppendTraceEvent(name_, start_ns_, now, trace_id_);
+  }
+  if (collector_ != nullptr) {
+    auto* collector = static_cast<RequestProfileCollector*>(collector_);
+    const uint64_t cpu = ThreadCpuNanos();
+    collector->EndPhase(node_, now,
+                        cpu > cpu_start_ns_ ? cpu - cpu_start_ns_ : 0);
+    internal::MutableRequestContext().node = prev_node_;
+  }
+}
+
 Status StartTracing(const std::string& path) {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
-  if (internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+  if (TracingEnabled()) {
     return Status::InvalidArgument("tracing already active (writing to '" +
                                    state.out_path + "')");
   }
@@ -126,7 +168,8 @@ Status StartTracing(const std::string& path) {
     buffer->dropped = 0;
   }
   state.out_path = path;
-  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+  internal::g_capture_flags.fetch_or(internal::kCaptureTracingBit,
+                                     std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -147,17 +190,22 @@ void WriteTraceJson(std::ostream& os) {
       os << "\",\"cat\":\"simjoin\",\"ph\":\"X\",\"ts\":"
          << static_cast<double>(ev.start_ns) * 1e-3
          << ",\"dur\":" << static_cast<double>(ev.end_ns - ev.start_ns) * 1e-3
-         << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+         << ",\"pid\":1,\"tid\":" << ev.tid;
+      if (ev.trace_id != 0) {
+        os << ",\"args\":{\"trace_id\":" << ev.trace_id << "}";
+      }
+      os << "}";
     }
   }
   os << "\n]}\n";
 }
 
 Status StopTracing() {
-  if (!internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+  if (!TracingEnabled()) {
     return Status::OK();
   }
-  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+  internal::g_capture_flags.fetch_and(~internal::kCaptureTracingBit,
+                                      std::memory_order_relaxed);
   TraceState& state = State();
   std::string path;
   {

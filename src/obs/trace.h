@@ -36,14 +36,30 @@ namespace simjoin {
 namespace obs {
 
 namespace internal {
-extern std::atomic<bool> g_tracing_enabled;
+/// Combined capture gate: bit 0 is "global tracing active"; the remaining
+/// bits count live RequestProfileCollectors (each adds 2).  TraceSpan's
+/// disabled path is one relaxed load of this word — folding both capture
+/// modes into a single atomic keeps that invariant as profiling rides the
+/// same spans.
+extern std::atomic<uint32_t> g_capture_flags;
+inline constexpr uint32_t kCaptureTracingBit = 1u;
+
+inline bool CaptureEnabled() {
+  return g_capture_flags.load(std::memory_order_relaxed) != 0;
+}
+
+/// Raises/lowers the profile-collector refcount (request_context.cc).
+void AddProfileCapture(int delta);
+
 uint64_t TraceNowNanos();
-void AppendTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns);
+void AppendTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns,
+                      uint64_t trace_id);
 }  // namespace internal
 
 /// True while a trace is being collected (one relaxed load).
 inline bool TracingEnabled() {
-  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+  return (internal::g_capture_flags.load(std::memory_order_relaxed) &
+          internal::kCaptureTracingBit) != 0;
 }
 
 /// Starts collecting trace events; StopTracing() will write them to
@@ -64,26 +80,39 @@ uint64_t TraceDroppedEventCount();
 /// stopping.  Exposed for tests; StopTracing() is the normal path.
 void WriteTraceJson(std::ostream& os);
 
-/// RAII span: captures the start time if tracing is enabled at
-/// construction and appends one complete event at destruction.
+/// RAII span: captures the start time if any capture mode is active at
+/// construction and, at destruction, appends one complete event to the
+/// global trace buffers (when tracing) and/or one phase node to the
+/// current request's profile collector (when the thread is working for a
+/// profiled request — see obs/request_context.h).  Inactive cost is one
+/// relaxed atomic load and one store.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name)
-      : name_(TracingEnabled() ? name : nullptr),
-        start_ns_(name_ != nullptr ? internal::TraceNowNanos() : 0) {}
+  explicit TraceSpan(const char* name) : armed_(false) {
+    if (internal::CaptureEnabled()) Begin(name);
+  }
 
   ~TraceSpan() {
-    if (name_ != nullptr) {
-      internal::AppendTraceEvent(name_, start_ns_, internal::TraceNowNanos());
-    }
+    if (armed_) End();
   }
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  const char* name_;
+  // Out of line: the armed path touches thread-locals and clocks that
+  // would bloat every call site if inlined.
+  void Begin(const char* name);
+  void End();
+
+  const char* name_;        ///< non-null -> emit a global trace event
+  void* collector_;         ///< RequestProfileCollector* when profiling
+  uint64_t trace_id_;
   uint64_t start_ns_;
+  uint64_t cpu_start_ns_;
+  uint32_t node_;           ///< profile node opened by this span
+  uint32_t prev_node_;      ///< parent restored when the span closes
+  bool armed_;
 };
 
 #define SIMJOIN_TRACE_CONCAT_INNER(a, b) a##b

@@ -6,6 +6,25 @@
 
 namespace simjoin {
 
+namespace {
+
+/// Ensures an encoded request carries a trace context: when the caller did
+/// not set one, a generated id is appended.  Appending after encoding is
+/// sound because the trace suffix is defined as the final bytes of every
+/// request payload that supports it.
+std::vector<uint8_t> WithTrace(const TraceContext& trace,
+                               std::vector<uint8_t> payload) {
+  if (!trace.present) {
+    TraceContext generated;
+    generated.present = true;
+    generated.trace_id = GenerateTraceId();
+    AppendTraceContext(generated, &payload);
+  }
+  return payload;
+}
+
+}  // namespace
+
 Result<Client> Client::Connect(const ClientConfig& config) {
   Client client(config);
   SIMJOIN_ASSIGN_OR_RETURN(client.sock_,
@@ -71,7 +90,8 @@ Result<BuildIndexResponse> Client::BuildIndex(
     const BuildIndexRequest& request) {
   SIMJOIN_ASSIGN_OR_RETURN(
       Frame frame,
-      Roundtrip(FrameType::kBuildIndex, EncodeBuildIndexRequest(request)));
+      Roundtrip(FrameType::kBuildIndex,
+                WithTrace(request.trace, EncodeBuildIndexRequest(request))));
   if (frame.header.type != FrameType::kBuildIndexOk) {
     return Status::IoError("unexpected response frame type " +
                            std::to_string(uint8_t(frame.header.type)));
@@ -85,7 +105,8 @@ Result<RangeQueryResponse> Client::RangeQuery(
     const RangeQueryRequest& request) {
   SIMJOIN_ASSIGN_OR_RETURN(
       Frame frame,
-      Roundtrip(FrameType::kRangeQuery, EncodeRangeQueryRequest(request)));
+      Roundtrip(FrameType::kRangeQuery,
+                WithTrace(request.trace, EncodeRangeQueryRequest(request))));
   if (frame.header.type != FrameType::kRangeQueryResult) {
     return Status::IoError("unexpected response frame type " +
                            std::to_string(uint8_t(frame.header.type)));
@@ -112,7 +133,8 @@ Result<std::vector<PointId>> Client::RangeQueryOne(
 
 Result<JoinDone> Client::SimilarityJoin(const SimilarityJoinRequest& request,
                                         PairSink* sink) {
-  const std::vector<uint8_t> payload = EncodeSimilarityJoinRequest(request);
+  const std::vector<uint8_t> payload =
+      WithTrace(request.trace, EncodeSimilarityJoinRequest(request));
   for (size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     const uint64_t id = next_request_id_++;
     SIMJOIN_RETURN_NOT_OK(SendRequest(FrameType::kSimilarityJoin, id, payload));
@@ -165,7 +187,9 @@ Result<JoinDone> Client::SimilarityJoin(const SimilarityJoinRequest& request,
 
 Result<InsertResponse> Client::Insert(const InsertRequest& request) {
   SIMJOIN_ASSIGN_OR_RETURN(
-      Frame frame, Roundtrip(FrameType::kInsert, EncodeInsertRequest(request)));
+      Frame frame,
+      Roundtrip(FrameType::kInsert,
+                WithTrace(request.trace, EncodeInsertRequest(request))));
   if (frame.header.type != FrameType::kInsertOk) {
     return Status::IoError("unexpected response frame type " +
                            std::to_string(uint8_t(frame.header.type)));
@@ -177,7 +201,9 @@ Result<InsertResponse> Client::Insert(const InsertRequest& request) {
 
 Result<RemoveResponse> Client::Remove(const RemoveRequest& request) {
   SIMJOIN_ASSIGN_OR_RETURN(
-      Frame frame, Roundtrip(FrameType::kRemove, EncodeRemoveRequest(request)));
+      Frame frame,
+      Roundtrip(FrameType::kRemove,
+                WithTrace(request.trace, EncodeRemoveRequest(request))));
   if (frame.header.type != FrameType::kRemoveOk) {
     return Status::IoError("unexpected response frame type " +
                            std::to_string(uint8_t(frame.header.type)));
@@ -191,7 +217,9 @@ Result<FlushResponse> Client::Flush(const std::string& name) {
   FlushRequest req;
   req.name = name;
   SIMJOIN_ASSIGN_OR_RETURN(
-      Frame frame, Roundtrip(FrameType::kFlush, EncodeFlushRequest(req)));
+      Frame frame,
+      Roundtrip(FrameType::kFlush,
+                WithTrace(req.trace, EncodeFlushRequest(req))));
   if (frame.header.type != FrameType::kFlushOk) {
     return Status::IoError("unexpected response frame type " +
                            std::to_string(uint8_t(frame.header.type)));
@@ -216,8 +244,11 @@ Result<DropIndexResponse> Client::DropIndex(const std::string& name) {
   return resp;
 }
 
-Result<StatsResponse> Client::GetStats() {
-  SIMJOIN_ASSIGN_OR_RETURN(Frame frame, Roundtrip(FrameType::kStats, {}));
+Result<StatsResponse> Client::GetStats(bool drain_slowlog) {
+  StatsRequest req;
+  req.drain_slowlog = drain_slowlog;
+  SIMJOIN_ASSIGN_OR_RETURN(
+      Frame frame, Roundtrip(FrameType::kStats, EncodeStatsRequest(req)));
   if (frame.header.type != FrameType::kStatsResult) {
     return Status::IoError("unexpected response frame type " +
                            std::to_string(uint8_t(frame.header.type)));

@@ -44,6 +44,13 @@ struct ClientConfig {
 
 /// Blocking, single-connection service client.  Not thread-safe: wrap in a
 /// mutex or give each thread its own Client (connections are cheap).
+///
+/// Every request that supports the trace-context extension leaves the
+/// client with one attached: the caller's (request.trace) when set, a
+/// freshly generated trace id otherwise — so server-side spans, slow-query
+/// entries, and EXPLAIN ANALYZE profiles always correlate back to a
+/// client-visible id.  Set request.trace.flags |= kTraceFlagProfile to get
+/// the phase tree back in the response (docs/observability.md).
 class Client {
  public:
   static Result<Client> Connect(const ClientConfig& config);
@@ -81,7 +88,9 @@ class Client {
   Result<FlushResponse> Flush(const std::string& name);
 
   Result<DropIndexResponse> DropIndex(const std::string& name);
-  Result<StatsResponse> GetStats();
+  /// With drain_slowlog the response also carries (and removes) the
+  /// server's slow-query ring entries (`simjoin_client slowlog`).
+  Result<StatsResponse> GetStats(bool drain_slowlog = false);
   Status Ping();
   /// Asks the server to stop (it still flushes every pending response).
   Status Shutdown();

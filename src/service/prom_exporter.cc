@@ -1,0 +1,136 @@
+#include "service/prom_exporter.h"
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/net.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace simjoin {
+namespace {
+
+/// A scraper that trickles its request slower than this is dropped; the
+/// endpoint is for local Prometheus scrapes, not arbitrary HTTP clients.
+constexpr int kReadTimeoutMs = 2'000;
+/// More request bytes than any sane "GET /metrics HTTP/1.1" + headers.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+/// Reads until a blank line ends the header block (or timeout/overflow).
+/// Returns false when the request never completed; the caller just closes.
+bool ReadRequest(TcpSocket* sock, std::string* request) {
+  request->clear();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kReadTimeoutMs);
+  char buf[1024];
+  while (request->find("\r\n\r\n") == std::string::npos &&
+         request->find("\n\n") == std::string::npos) {
+    if (request->size() > kMaxRequestBytes) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{sock->fd(), POLLIN, 0};
+    const int timeout = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    if (::poll(&pfd, 1, timeout) <= 0) return false;
+    size_t n = 0;
+    bool eof = false;
+    if (!sock->RecvSome(buf, sizeof(buf), &n, &eof).ok()) return false;
+    if (eof) return false;
+    request->append(buf, n);
+  }
+  return true;
+}
+
+std::string HttpResponse(const char* status_line, const std::string& body,
+                         const char* content_type) {
+  std::string resp = "HTTP/1.1 ";
+  resp += status_line;
+  resp += "\r\nContent-Type: ";
+  resp += content_type;
+  resp += "\r\nContent-Length: " + std::to_string(body.size());
+  resp += "\r\nConnection: close\r\n\r\n";
+  resp += body;
+  return resp;
+}
+
+void ServeOne(TcpSocket sock) {
+  std::string request;
+  if (!ReadRequest(&sock, &request)) return;
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::string response;
+  if (line == "GET /metrics HTTP/1.1" || line == "GET /metrics HTTP/1.0" ||
+      line == "GET /metrics") {
+    response = HttpResponse(
+        "200 OK", obs::RenderPrometheusText(obs::GlobalMetrics().Snapshot()),
+        "text/plain; version=0.0.4; charset=utf-8");
+  } else {
+    response = HttpResponse("404 Not Found", "only GET /metrics is served\n",
+                            "text/plain; charset=utf-8");
+  }
+  // Best effort: a scraper that hung up mid-response is its own problem.
+  sock.SetNonBlocking(false);
+  (void)sock.SendAll(response.data(), response.size());
+}
+
+}  // namespace
+
+struct PromExporter::Impl {
+  TcpListener listener;
+  WakePipe wake;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+
+  void Loop() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      pollfd pfds[2] = {{listener.fd(), POLLIN, 0},
+                        {wake.read_fd(), POLLIN, 0}};
+      if (::poll(pfds, 2, -1) < 0) continue;
+      if (pfds[1].revents != 0) wake.Drain();
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (pfds[0].revents == 0) continue;
+      // Accept everything pending; each scrape is served synchronously on
+      // this thread (responses are one snapshot render, milliseconds at
+      // most, and Prometheus scrapes are sequential anyway).
+      while (true) {
+        auto accepted = listener.Accept();
+        if (!accepted.ok() || !accepted.value().valid()) break;
+        ServeOne(std::move(accepted.value()));
+      }
+    }
+  }
+};
+
+PromExporter::PromExporter() : impl_(new Impl) {}
+
+PromExporter::~PromExporter() { Shutdown(); }
+
+Result<std::unique_ptr<PromExporter>> PromExporter::Start(
+    const std::string& host, uint16_t port) {
+  std::unique_ptr<PromExporter> exporter(new PromExporter());
+  SIMJOIN_RETURN_NOT_OK(exporter->impl_->listener.Listen(host, port));
+  SIMJOIN_RETURN_NOT_OK(exporter->impl_->wake.Open());
+  Impl* impl = exporter->impl_.get();
+  impl->thread = std::thread([impl] { impl->Loop(); });
+  return exporter;
+}
+
+uint16_t PromExporter::port() const { return impl_->listener.port(); }
+
+void PromExporter::Shutdown() {
+  if (impl_ == nullptr || !impl_->thread.joinable()) return;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->wake.Notify();
+  impl_->thread.join();
+  impl_->listener.Close();
+}
+
+}  // namespace simjoin

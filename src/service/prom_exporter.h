@@ -1,0 +1,52 @@
+// Read-only HTTP endpoint serving the global metric registry in Prometheus
+// text exposition format.
+//
+// `simjoin_server --prom-port N` starts one of these next to the wire
+// server: a single poll thread accepts connections, reads one HTTP request
+// line, and answers GET /metrics with RenderPrometheusText over a fresh
+// MetricsSnapshot (anything else gets 404).  Connections are closed after
+// each response — scrapers reconnect per scrape, and keeping the endpoint
+// connectionless means a stuck scraper can never pin server memory.
+//
+// The exporter shares nothing with the wire server except the process-wide
+// metric registry, so it can be scraped mid-load without touching request
+// paths (Snapshot takes the registry mutex briefly; handlers never hold it
+// across work).
+
+#ifndef SIMJOIN_SERVICE_PROM_EXPORTER_H_
+#define SIMJOIN_SERVICE_PROM_EXPORTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace simjoin {
+
+class PromExporter {
+ public:
+  /// Binds host:port (port 0 = ephemeral, read back via port()) and starts
+  /// the serving thread.
+  static Result<std::unique_ptr<PromExporter>> Start(const std::string& host,
+                                                     uint16_t port);
+
+  ~PromExporter();
+  PromExporter(const PromExporter&) = delete;
+  PromExporter& operator=(const PromExporter&) = delete;
+
+  uint16_t port() const;
+
+  /// Stops the serving thread and closes the listener.  Idempotent; also
+  /// run by the destructor.
+  void Shutdown();
+
+ private:
+  PromExporter();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace simjoin
+
+#endif  // SIMJOIN_SERVICE_PROM_EXPORTER_H_

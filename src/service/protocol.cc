@@ -1,7 +1,9 @@
 #include "service/protocol.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <random>
 
 #include "common/logging.h"
 
@@ -362,6 +364,62 @@ Status ParseJoinStats(WireReader* r, JoinStats* out) {
 }
 
 // --------------------------------------------------------------------------
+// Trace-context extension
+// --------------------------------------------------------------------------
+
+uint64_t GenerateTraceId() {
+  // Random process base plus a counter, finalised with a splitmix64 mix so
+  // concurrent ids from the same process are well spread.  Zero is the
+  // "no trace" sentinel, so it is remapped.
+  static const uint64_t base = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x = base + counter.fetch_add(1, std::memory_order_relaxed);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+namespace {
+
+/// Appends the trace suffix to a request payload under construction.
+void EncodeTraceContext(const TraceContext& ctx, WireWriter* w) {
+  if (!ctx.present) return;
+  w->U64(ctx.trace_id);
+  w->U8(ctx.flags);
+  w->U8(kWireTraceMagic);
+}
+
+/// Consumes the kWireTraceExtBytes suffix the caller has size-detected at
+/// the cursor, validating the trailing magic byte.
+Status ParseTraceSuffix(WireReader* r, TraceContext* out) {
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->trace_id));
+  SIMJOIN_RETURN_NOT_OK(r->U8(&out->flags));
+  uint8_t magic = 0;
+  SIMJOIN_RETURN_NOT_OK(r->U8(&magic));
+  if (magic != kWireTraceMagic) {
+    return Status::InvalidArgument("trace-context suffix magic mismatch");
+  }
+  out->present = true;
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendTraceContext(const TraceContext& ctx,
+                        std::vector<uint8_t>* payload) {
+  if (!ctx.present) return;
+  WireWriter w;
+  EncodeTraceContext(ctx, &w);
+  payload->insert(payload->end(), w.buffer().begin(), w.buffer().end());
+}
+
+// --------------------------------------------------------------------------
 // BuildIndex
 // --------------------------------------------------------------------------
 
@@ -389,6 +447,7 @@ std::vector<uint8_t> EncodeBuildIndexRequest(const BuildIndexRequest& req) {
   } else if (req.backend != BackendKind::kEkdbFlat) {
     w.U8(static_cast<uint8_t>(req.backend));
   }
+  EncodeTraceContext(req.trace, &w);
   return w.Take();
 }
 
@@ -431,26 +490,35 @@ Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
   if (out->dims == 0) {
     return Status::InvalidArgument("BuildIndex dims must be positive");
   }
-  // The float payload must match n * dims exactly (division keeps the
-  // comparison overflow-safe against hostile n / dims fields), modulo the
-  // optional trailing extension appended by newer clients: one backend
-  // byte, or backend + on_disk bytes.
-  const size_t trailing = r.remaining() % 4;
-  if (trailing == 3) {
-    return Status::InvalidArgument(
-        "BuildIndex payload has an unrecognised trailing-byte extension");
-  }
-  const size_t float_bytes = r.remaining() - trailing;
+  // The float payload must match n * dims exactly, modulo the optional
+  // trailing extensions appended by newer clients: backend byte, backend +
+  // on_disk bytes, each optionally followed by the trace-context suffix.
+  // The surplus candidates are distinct values of (remaining - 4 * want),
+  // so at most one matches; dividing instead of multiplying `want` keeps
+  // the arithmetic overflow-safe against hostile n / dims fields.
   const uint64_t want = static_cast<uint64_t>(n) * out->dims;
-  if (want != float_bytes / 4) {
+  size_t surplus = SIZE_MAX;
+  for (const size_t s :
+       {size_t{0}, size_t{1}, size_t{2}, kWireTraceExtBytes,
+        kWireTraceExtBytes + 1, kWireTraceExtBytes + 2}) {
+    if (r.remaining() >= s && (r.remaining() - s) % 4 == 0 &&
+        (r.remaining() - s) / 4 == want) {
+      surplus = s;
+      break;
+    }
+  }
+  if (surplus == SIZE_MAX) {
     return Status::InvalidArgument(
         "BuildIndex point payload mismatch: header says " +
         std::to_string(want) + " floats, payload holds " +
-        std::to_string(float_bytes / 4));
+        std::to_string(r.remaining()) + " bytes");
   }
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->points));
   out->backend = BackendKind::kEkdbFlat;
   out->on_disk = false;
+  out->trace = TraceContext{};
+  const bool has_trace = surplus >= kWireTraceExtBytes;
+  const size_t trailing = has_trace ? surplus - kWireTraceExtBytes : surplus;
   if (trailing >= 1) {
     uint8_t backend_byte = 0;
     SIMJOIN_RETURN_NOT_OK(r.U8(&backend_byte));
@@ -460,6 +528,9 @@ Status ParseBuildIndexRequest(std::span<const uint8_t> payload,
     uint8_t on_disk_byte = 0;
     SIMJOIN_RETURN_NOT_OK(r.U8(&on_disk_byte));
     out->on_disk = on_disk_byte != 0;
+  }
+  if (has_trace) {
+    SIMJOIN_RETURN_NOT_OK(ParseTraceSuffix(&r, &out->trace));
   }
   return r.ExpectEnd();
 }
@@ -507,6 +578,7 @@ std::vector<uint8_t> EncodeRangeQueryRequest(const RangeQueryRequest& req) {
     w.F64(req.recall);
     w.U8(req.backend);
   }
+  EncodeTraceContext(req.trace, &w);
   return w.Take();
 }
 
@@ -525,18 +597,33 @@ Status ParseRangeQueryRequest(std::span<const uint8_t> payload,
     return Status::InvalidArgument("RangeQuery needs at least one query");
   }
   // The query count is explicit, so the float block's size is known and
-  // any surplus must be exactly the planner extension — anything else is a
-  // framing error.  Semantic checks (recall range, known backend byte)
-  // belong to the server so a kError response can name the field.
+  // any surplus must be exactly the planner extension, the trace suffix,
+  // or both — the sizes {0, 9, 10, 19} are pairwise distinct, so the tail
+  // shape is unambiguous; anything else is a framing error.  Semantic
+  // checks (recall range, known backend byte) belong to the server so a
+  // kError response can name the field.  Dividing remaining() instead of
+  // multiplying `want` keeps hostile count / dims fields overflow-safe.
   const uint64_t want = static_cast<uint64_t>(count) * out->dims;
-  const uint64_t float_bytes = want * 4;
-  if (r.remaining() != float_bytes &&
-      r.remaining() != float_bytes + kRangeQueryPlannerExtBytes) {
+  const size_t surplus =
+      want <= r.remaining() / 4
+          ? r.remaining() - static_cast<size_t>(want) * 4
+          : SIZE_MAX;
+  bool has_trace = false;
+  if (surplus == 0) {
+    out->has_planner = false;
+  } else if (surplus == kRangeQueryPlannerExtBytes) {
+    out->has_planner = true;
+  } else if (surplus == kWireTraceExtBytes) {
+    out->has_planner = false;
+    has_trace = true;
+  } else if (surplus == kRangeQueryPlannerExtBytes + kWireTraceExtBytes) {
+    out->has_planner = true;
+    has_trace = true;
+  } else {
     return Status::InvalidArgument(
         "RangeQuery payload mismatch: header says " + std::to_string(want) +
         " floats, payload holds " + std::to_string(r.remaining()) + " bytes");
   }
-  out->has_planner = r.remaining() == float_bytes + kRangeQueryPlannerExtBytes;
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->queries));
   if (out->has_planner) {
     SIMJOIN_RETURN_NOT_OK(r.F64(&out->recall));
@@ -544,6 +631,10 @@ Status ParseRangeQueryRequest(std::span<const uint8_t> payload,
   } else {
     out->recall = 1.0;
     out->backend = kWireBackendAuto;
+  }
+  out->trace = TraceContext{};
+  if (has_trace) {
+    SIMJOIN_RETURN_NOT_OK(ParseTraceSuffix(&r, &out->trace));
   }
   return r.ExpectEnd();
 }
@@ -560,6 +651,12 @@ std::vector<uint8_t> EncodeRangeQueryResponse(const RangeQueryResponse& resp) {
     w.F64(resp.achieved_recall);
     w.U8(resp.backend_used);
     w.U8(resp.plan_cache_hit ? 1 : 0);
+  }
+  if (resp.has_profile) {
+    const size_t profile_start = w.buffer().size();
+    EncodeRequestProfile(resp.profile, &w);
+    w.U32(static_cast<uint32_t>(w.buffer().size() - profile_start));
+    w.U8(kWireProfileMagic);
   }
   return w.Take();
 }
@@ -586,17 +683,54 @@ Status ParseRangeQueryResponse(std::span<const uint8_t> payload,
     }
   }
   SIMJOIN_RETURN_NOT_OK(ParseJoinStats(&r, &out->stats));
-  out->has_planner = r.remaining() == kRangeResponsePlannerExtBytes;
+  // Extension region: what remains after the stats is [planner ext?]
+  // [profile ext?].  The profile is detected from the payload *tail*
+  // (trailing magic byte + the u32 length before it); the planner
+  // extension's final byte is a 0/1 cache-hit flag, never the magic, so a
+  // trailing 'P' can only mean a profile block.
+  size_t profile_total = 0;  // bytes of [profile][len:u32][magic]
+  if (r.remaining() >= kWireProfileFrameBytes &&
+      payload[payload.size() - 1] == kWireProfileMagic) {
+    const size_t len_off = payload.size() - kWireProfileFrameBytes;
+    const uint32_t profile_len =
+        static_cast<uint32_t>(payload[len_off]) |
+        (static_cast<uint32_t>(payload[len_off + 1]) << 8) |
+        (static_cast<uint32_t>(payload[len_off + 2]) << 16) |
+        (static_cast<uint32_t>(payload[len_off + 3]) << 24);
+    profile_total = static_cast<size_t>(profile_len) + kWireProfileFrameBytes;
+    if (profile_total > r.remaining()) {
+      return Status::InvalidArgument(
+          "profile extension length exceeds payload");
+    }
+  }
+  const size_t rest = r.remaining() - profile_total;
+  out->has_planner = rest == kRangeResponsePlannerExtBytes;
   if (out->has_planner) {
     SIMJOIN_RETURN_NOT_OK(r.F64(&out->achieved_recall));
     SIMJOIN_RETURN_NOT_OK(r.U8(&out->backend_used));
     uint8_t cache_hit = 0;
     SIMJOIN_RETURN_NOT_OK(r.U8(&cache_hit));
     out->plan_cache_hit = cache_hit != 0;
+  } else if (rest != 0) {
+    return Status::InvalidArgument(
+        "RangeQueryResult has unrecognised trailing bytes");
   } else {
     out->achieved_recall = 1.0;
     out->backend_used = 0;
     out->plan_cache_hit = false;
+  }
+  out->has_profile = profile_total != 0;
+  if (out->has_profile) {
+    SIMJOIN_RETURN_NOT_OK(ParseRequestProfile(&r, &out->profile));
+    if (r.remaining() != kWireProfileFrameBytes) {
+      return Status::InvalidArgument("profile extension length mismatch");
+    }
+    uint32_t profile_len = 0;
+    uint8_t magic = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U32(&profile_len));
+    SIMJOIN_RETURN_NOT_OK(r.U8(&magic));
+  } else {
+    out->profile = obs::RequestProfile{};
   }
   return r.ExpectEnd();
 }
@@ -613,6 +747,7 @@ std::vector<uint8_t> EncodeSimilarityJoinRequest(
   w.F64(req.epsilon);
   w.U32(req.num_threads);
   w.U32(req.chunk_pairs);
+  EncodeTraceContext(req.trace, &w);
   return w.Take();
 }
 
@@ -627,6 +762,10 @@ Status ParseSimilarityJoinRequest(std::span<const uint8_t> payload,
   SIMJOIN_RETURN_NOT_OK(r.F64(&out->epsilon));
   SIMJOIN_RETURN_NOT_OK(r.U32(&out->num_threads));
   SIMJOIN_RETURN_NOT_OK(r.U32(&out->chunk_pairs));
+  out->trace = TraceContext{};
+  if (r.remaining() == kWireTraceExtBytes) {
+    SIMJOIN_RETURN_NOT_OK(ParseTraceSuffix(&r, &out->trace));
+  }
   return r.ExpectEnd();
 }
 
@@ -681,6 +820,7 @@ std::vector<uint8_t> EncodeInsertRequest(const InsertRequest& req) {
   w.U32(req.dims == 0 ? 0
                       : static_cast<uint32_t>(req.rows.size() / req.dims));
   w.FloatArray(req.rows);
+  EncodeTraceContext(req.trace, &w);
   return w.Take();
 }
 
@@ -700,14 +840,28 @@ Status ParseInsertRequest(std::span<const uint8_t> payload,
   if (count == 0) {
     return Status::InvalidArgument("Insert needs at least one row");
   }
-  // Division keeps the comparison overflow-safe against hostile fields.
+  // Division keeps the comparison overflow-safe against hostile fields;
+  // the float block is a multiple of 4 bytes and the trace suffix is not,
+  // so the two surplus candidates cannot collide.
   const uint64_t want = static_cast<uint64_t>(count) * out->dims;
-  if (want != r.remaining() / 4 || r.remaining() % 4 != 0) {
+  size_t surplus = SIZE_MAX;
+  for (const size_t s : {size_t{0}, kWireTraceExtBytes}) {
+    if (r.remaining() >= s && (r.remaining() - s) % 4 == 0 &&
+        (r.remaining() - s) / 4 == want) {
+      surplus = s;
+      break;
+    }
+  }
+  if (surplus == SIZE_MAX) {
     return Status::InvalidArgument(
         "Insert row payload mismatch: header says " + std::to_string(want) +
         " floats, payload holds " + std::to_string(r.remaining()) + " bytes");
   }
   SIMJOIN_RETURN_NOT_OK(r.FloatArray(want, &out->rows));
+  out->trace = TraceContext{};
+  if (surplus == kWireTraceExtBytes) {
+    SIMJOIN_RETURN_NOT_OK(ParseTraceSuffix(&r, &out->trace));
+  }
   return r.ExpectEnd();
 }
 
@@ -735,6 +889,7 @@ std::vector<uint8_t> EncodeRemoveRequest(const RemoveRequest& req) {
   w.String(req.name);
   w.U32(static_cast<uint32_t>(req.ids.size()));
   for (const PointId id : req.ids) w.U32(id);
+  EncodeTraceContext(req.trace, &w);
   return w.Take();
 }
 
@@ -750,13 +905,26 @@ Status ParseRemoveRequest(std::span<const uint8_t> payload,
   if (count == 0) {
     return Status::InvalidArgument("Remove needs at least one id");
   }
-  if (r.remaining() % 4 != 0 ||
-      static_cast<uint64_t>(count) != r.remaining() / 4) {
+  // The id block is a multiple of 4 bytes and the trace suffix is not, so
+  // the two surplus candidates cannot collide.
+  size_t surplus = SIZE_MAX;
+  for (const size_t s : {size_t{0}, kWireTraceExtBytes}) {
+    if (r.remaining() >= s && (r.remaining() - s) % 4 == 0 &&
+        (r.remaining() - s) / 4 == count) {
+      surplus = s;
+      break;
+    }
+  }
+  if (surplus == SIZE_MAX) {
     return Status::InvalidArgument("Remove id count/payload mismatch");
   }
   out->ids.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     SIMJOIN_RETURN_NOT_OK(r.U32(&out->ids[i]));
+  }
+  out->trace = TraceContext{};
+  if (surplus == kWireTraceExtBytes) {
+    SIMJOIN_RETURN_NOT_OK(ParseTraceSuffix(&r, &out->trace));
   }
   return r.ExpectEnd();
 }
@@ -783,6 +951,7 @@ Status ParseRemoveResponse(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodeFlushRequest(const FlushRequest& req) {
   WireWriter w;
   w.String(req.name);
+  EncodeTraceContext(req.trace, &w);
   return w.Take();
 }
 
@@ -791,6 +960,10 @@ Status ParseFlushRequest(std::span<const uint8_t> payload, FlushRequest* out) {
   SIMJOIN_RETURN_NOT_OK(r.String(&out->name, kMaxIndexNameLen));
   if (out->name.empty()) {
     return Status::InvalidArgument("index name must not be empty");
+  }
+  out->trace = TraceContext{};
+  if (r.remaining() == kWireTraceExtBytes) {
+    SIMJOIN_RETURN_NOT_OK(ParseTraceSuffix(&r, &out->trace));
   }
   return r.ExpectEnd();
 }
@@ -853,6 +1026,24 @@ Status ParseDropIndexResponse(std::span<const uint8_t> payload,
   return r.ExpectEnd();
 }
 
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& req) {
+  WireWriter w;
+  // Legacy shape is an empty payload; the flags byte appears only when a
+  // flag is set, so old servers keep accepting plain stats requests.
+  if (req.drain_slowlog) w.U8(0x01);
+  return w.Take();
+}
+
+Status ParseStatsRequest(std::span<const uint8_t> payload, StatsRequest* out) {
+  *out = StatsRequest{};
+  if (payload.empty()) return Status::OK();  // legacy request
+  WireReader r(payload);
+  uint8_t flags = 0;
+  SIMJOIN_RETURN_NOT_OK(r.U8(&flags));
+  out->drain_slowlog = (flags & 0x01) != 0;
+  return r.ExpectEnd();
+}
+
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
   WireWriter w;
   w.U64(resp.accepted_connections);
@@ -878,6 +1069,16 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
   // Rev 2: metrics block appended after the index list (rev-1 parsers stop
   // at ExpectEnd and treat its absence as legacy; see StatsResponse).
   EncodeMetricsSnapshot(resp.metrics, &w);
+  // Rev 3: slow-query drain block, only when the request asked for it
+  // (absent block == legacy, same rule as the metrics block).
+  if (resp.has_slowlog) {
+    w.U32(static_cast<uint32_t>(resp.slowlog.size()));
+    for (const obs::SlowQueryEntry& e : resp.slowlog) {
+      EncodeSlowQueryEntry(e, &w);
+    }
+    w.U64(resp.slowlog_recorded);
+    w.U64(resp.slowlog_evicted);
+  }
   return w.Take();
 }
 
@@ -1000,6 +1201,28 @@ Status ParseStatsResponse(std::span<const uint8_t> payload,
   } else {
     out->metrics = obs::MetricsSnapshot{};
   }
+  // Rev 2 payloads end here; rev 3 appends the slow-query drain block.
+  out->has_slowlog = r.remaining() > 0;
+  if (out->has_slowlog) {
+    uint32_t n = 0;
+    SIMJOIN_RETURN_NOT_OK(r.U32(&n));
+    // Every entry is at least 8 bytes on the wire (far more in practice);
+    // the cap stops hostile counts before the per-entry parses would.
+    if (n > 65536 || static_cast<uint64_t>(n) * 8 > r.remaining()) {
+      return Status::OutOfRange("slowlog entry count exceeds payload");
+    }
+    out->slowlog.clear();
+    out->slowlog.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      SIMJOIN_RETURN_NOT_OK(ParseSlowQueryEntry(&r, &out->slowlog[i]));
+    }
+    SIMJOIN_RETURN_NOT_OK(r.U64(&out->slowlog_recorded));
+    SIMJOIN_RETURN_NOT_OK(r.U64(&out->slowlog_evicted));
+  } else {
+    out->slowlog.clear();
+    out->slowlog_recorded = 0;
+    out->slowlog_evicted = 0;
+  }
   return r.ExpectEnd();
 }
 
@@ -1034,6 +1257,90 @@ Status ParseRetryAfterResponse(std::span<const uint8_t> payload,
   WireReader r(payload);
   SIMJOIN_RETURN_NOT_OK(r.U32(&out->retry_after_ms));
   return r.ExpectEnd();
+}
+
+// --------------------------------------------------------------------------
+// EXPLAIN ANALYZE profile / slow-query entries
+// --------------------------------------------------------------------------
+
+void EncodeRequestProfile(const obs::RequestProfile& profile, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(profile.nodes.size()));
+  for (const obs::ProfileNode& n : profile.nodes) {
+    w->U32(n.parent);
+    w->String(n.name);
+    w->U64(n.start_ns);
+    w->U64(n.wall_ns);
+    w->U64(n.cpu_ns);
+  }
+  w->U32(static_cast<uint32_t>(profile.counters.size()));
+  for (const obs::ProfileCounter& c : profile.counters) {
+    w->String(c.name);
+    w->U64(c.value);
+  }
+  w->U64(profile.trace_id);
+  w->U64(profile.total_wall_ns);
+  w->String(profile.plan);
+  w->U64(profile.dropped_nodes);
+}
+
+Status ParseRequestProfile(WireReader* r, obs::RequestProfile* out) {
+  *out = obs::RequestProfile{};
+  uint32_t count = 0;
+  SIMJOIN_RETURN_NOT_OK(r->U32(&count));
+  // A node is at least 32 wire bytes (parent + empty name + three u64s).
+  if (count > obs::kMaxProfileNodes ||
+      static_cast<uint64_t>(count) * 32 > r->remaining()) {
+    return Status::OutOfRange("profile node count exceeds payload");
+  }
+  out->nodes.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::ProfileNode& n = out->nodes[i];
+    SIMJOIN_RETURN_NOT_OK(r->U32(&n.parent));
+    SIMJOIN_RETURN_NOT_OK(r->String(&n.name, kMaxProfileNameLen));
+    SIMJOIN_RETURN_NOT_OK(r->U64(&n.start_ns));
+    SIMJOIN_RETURN_NOT_OK(r->U64(&n.wall_ns));
+    SIMJOIN_RETURN_NOT_OK(r->U64(&n.cpu_ns));
+  }
+  SIMJOIN_RETURN_NOT_OK(r->U32(&count));
+  if (count > obs::kMaxProfileCounters ||
+      static_cast<uint64_t>(count) * 12 > r->remaining()) {
+    return Status::OutOfRange("profile counter count exceeds payload");
+  }
+  out->counters.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SIMJOIN_RETURN_NOT_OK(
+        r->String(&out->counters[i].name, kMaxProfileNameLen));
+    SIMJOIN_RETURN_NOT_OK(r->U64(&out->counters[i].value));
+  }
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->trace_id));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->total_wall_ns));
+  SIMJOIN_RETURN_NOT_OK(r->String(&out->plan, kMaxProfilePlanLen));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->dropped_nodes));
+  return Status::OK();
+}
+
+void EncodeSlowQueryEntry(const obs::SlowQueryEntry& entry, WireWriter* w) {
+  w->U64(entry.unix_micros);
+  w->U64(entry.trace_id);
+  w->U64(entry.request_id);
+  w->U8(entry.op);
+  w->String(entry.index);
+  w->U64(entry.wall_us);
+  w->U32(entry.status_code);
+  w->String(entry.status_message);
+  EncodeRequestProfile(entry.profile, w);
+}
+
+Status ParseSlowQueryEntry(WireReader* r, obs::SlowQueryEntry* out) {
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->unix_micros));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->trace_id));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->request_id));
+  SIMJOIN_RETURN_NOT_OK(r->U8(&out->op));
+  SIMJOIN_RETURN_NOT_OK(r->String(&out->index, kMaxIndexNameLen));
+  SIMJOIN_RETURN_NOT_OK(r->U64(&out->wall_us));
+  SIMJOIN_RETURN_NOT_OK(r->U32(&out->status_code));
+  SIMJOIN_RETURN_NOT_OK(r->String(&out->status_message, 64 << 10));
+  return ParseRequestProfile(r, &out->profile);
 }
 
 }  // namespace simjoin

@@ -35,6 +35,8 @@
 #include "core/epsilon_grid.h"
 #include "core/index_backend.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/slow_query_log.h"
 
 namespace simjoin {
 
@@ -199,6 +201,45 @@ class FrameDecoder {
 /// Longest accepted index name.
 inline constexpr uint32_t kMaxIndexNameLen = 256;
 
+// ---------------------------------------------------------------------------
+// Trace-context request extension
+// ---------------------------------------------------------------------------
+
+/// Trailing magic byte of the trace-context suffix ('T').  The suffix is
+/// appended *after* every other optional extension, so parsers detect it
+/// by exact surplus size plus this byte — a legacy payload whose natural
+/// tail happens to be 10 bytes longer is impossible by construction on
+/// every frame that carries the extension (see each parser's size
+/// arithmetic), and the magic catches stream corruption.
+inline constexpr uint8_t kWireTraceMagic = 0x54;
+/// Suffix layout: trace_id:u64 flags:u8 magic:u8.
+inline constexpr size_t kWireTraceExtBytes = 10;
+/// flags bit 0: request an EXPLAIN ANALYZE profile in the response.
+inline constexpr uint8_t kTraceFlagProfile = 0x01;
+
+/// Optional per-request trace context (docs/observability.md).  Legacy
+/// frames (present == false) are byte-identical to the pre-extension wire
+/// shape.  The client attaches a generated context to every request that
+/// does not already carry one, so server logs and traces can always name
+/// the request they belong to.
+struct TraceContext {
+  bool present = false;
+  uint64_t trace_id = 0;
+  uint8_t flags = 0;
+
+  bool profile() const { return (flags & kTraceFlagProfile) != 0; }
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// Process-unique nonzero trace id (random base + counter).
+uint64_t GenerateTraceId();
+
+/// Appends the 10-byte trace suffix to an already encoded request payload
+/// (no-op when ctx.present is false).  The client uses this to stamp
+/// requests without re-encoding them.
+void AppendTraceContext(const TraceContext& ctx, std::vector<uint8_t>* payload);
+
 struct BuildIndexRequest {
   std::string name;
   EkdbConfig config;
@@ -219,6 +260,8 @@ struct BuildIndexRequest {
   /// with a payload-mismatch error instead of silently heap-building them.
   /// Requires the tree backend and a server started with a spill dir.
   bool on_disk = false;
+  /// Optional trace context, appended after the backend/on_disk tail.
+  TraceContext trace;
 };
 
 struct BuildIndexResponse {
@@ -246,6 +289,9 @@ struct RangeQueryRequest {
   /// BackendKind wire byte forcing one backend, or kWireBackendAuto to let
   /// the cost-based planner choose.
   uint8_t backend = kWireBackendAuto;
+  /// Optional trace context, appended after the planner extension.  The
+  /// profile flag asks for the EXPLAIN ANALYZE response extension.
+  TraceContext trace;
 };
 
 struct RangeQueryResponse {
@@ -264,6 +310,12 @@ struct RangeQueryResponse {
   /// BackendKind wire byte of the backend that served the batch.
   uint8_t backend_used = 0;
   bool plan_cache_hit = false;
+  /// EXPLAIN ANALYZE extension: the request's phase tree, appended after
+  /// the planner extension as [profile][len:u32][magic 'P'] and detected
+  /// from the payload tail — only present when the request set the
+  /// profile flag in its trace context.
+  bool has_profile = false;
+  obs::RequestProfile profile;
 };
 
 struct SimilarityJoinRequest {
@@ -272,6 +324,7 @@ struct SimilarityJoinRequest {
   double epsilon = 0.0;      ///< 0 = build epsilon
   uint32_t num_threads = 1;  ///< join parallelism; 0 = server default
   uint32_t chunk_pairs = 0;  ///< pairs per kJoinChunk frame; 0 = server default
+  TraceContext trace;
 };
 
 struct JoinChunk {
@@ -291,6 +344,7 @@ struct InsertRequest {
   std::string name;
   uint32_t dims = 0;
   std::vector<float> rows;  ///< row-major, rows.size() == count * dims
+  TraceContext trace;
 };
 
 struct InsertResponse {
@@ -303,6 +357,7 @@ struct InsertResponse {
 struct RemoveRequest {
   std::string name;
   std::vector<PointId> ids;
+  TraceContext trace;
 };
 
 struct RemoveResponse {
@@ -314,6 +369,7 @@ struct RemoveResponse {
 
 struct FlushRequest {
   std::string name;
+  TraceContext trace;
 };
 
 struct FlushResponse {
@@ -343,6 +399,13 @@ struct IndexInfo {
   Metric metric = Metric::kL2;
 };
 
+/// kStats payload.  A legacy (empty) payload behaves as all-false flags.
+struct StatsRequest {
+  /// Drain the server's slow-query ring into the response (entries are
+  /// removed server-side — repeated drains return only new entries).
+  bool drain_slowlog = false;
+};
+
 struct StatsResponse {
   uint64_t accepted_connections = 0;
   uint64_t active_connections = 0;
@@ -361,6 +424,12 @@ struct StatsResponse {
   /// has_metrics == false — no frame-version bump needed.
   bool has_metrics = false;
   obs::MetricsSnapshot metrics;
+  /// Payload rev 3, appended after the metrics block only when the request
+  /// asked for a slow-query drain (same absent-block backwards rule).
+  bool has_slowlog = false;
+  std::vector<obs::SlowQueryEntry> slowlog;
+  uint64_t slowlog_recorded = 0;  ///< entries ever recorded server-side
+  uint64_t slowlog_evicted = 0;   ///< entries lost to the ring bound
 };
 
 struct ErrorResponse {
@@ -434,6 +503,9 @@ std::vector<uint8_t> EncodeDropIndexResponse(const DropIndexResponse& resp);
 Status ParseDropIndexResponse(std::span<const uint8_t> payload,
                               DropIndexResponse* out);
 
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& req);
+Status ParseStatsRequest(std::span<const uint8_t> payload, StatsRequest* out);
+
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp);
 Status ParseStatsResponse(std::span<const uint8_t> payload,
                           StatsResponse* out);
@@ -461,6 +533,32 @@ inline constexpr uint32_t kMaxHistogramBoundaries = 512;
 void EncodeMetricsSnapshot(const obs::MetricsSnapshot& snapshot,
                            WireWriter* w);
 Status ParseMetricsSnapshot(WireReader* r, obs::MetricsSnapshot* out);
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE profile block
+// ---------------------------------------------------------------------------
+
+/// Trailing magic byte of the profile response extension ('P').  Layout on
+/// kRangeQueryResult, after the optional planner extension:
+/// [profile bytes][profile_len:u32][magic:u8].  Detected from the payload
+/// tail; the planner extension's last byte (a 0/1 cache-hit flag) can
+/// never equal the magic, so the two tails stay distinguishable.
+inline constexpr uint8_t kWireProfileMagic = 0x50;
+/// Length + magic framing bytes past the profile body.
+inline constexpr size_t kWireProfileFrameBytes = 5;
+/// Longest accepted phase/counter name and plan string on the parse side.
+inline constexpr uint32_t kMaxProfileNameLen = 256;
+inline constexpr uint32_t kMaxProfilePlanLen = 1024;
+
+/// RequestProfile body (trace id, plan, node tree, counters).  The parser
+/// enforces obs::kMaxProfileNodes / kMaxProfileCounters and the name
+/// bounds above before allocating.
+void EncodeRequestProfile(const obs::RequestProfile& profile, WireWriter* w);
+Status ParseRequestProfile(WireReader* r, obs::RequestProfile* out);
+
+/// Slow-query entries as the rev-3 Stats block.
+void EncodeSlowQueryEntry(const obs::SlowQueryEntry& entry, WireWriter* w);
+Status ParseSlowQueryEntry(WireReader* r, obs::SlowQueryEntry* out);
 
 }  // namespace simjoin
 

@@ -22,6 +22,8 @@
 #include "core/parallel_join.h"
 #include "core/segment_builder.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
 
 namespace simjoin {
@@ -92,6 +94,8 @@ struct ServiceMetrics {
   obs::Gauge* delta_bytes;              ///< delta memtable + tombstone bytes
   obs::Counter* compactions;            ///< delta tiers folded into the base
   obs::Histogram* compaction_us;        ///< per-compaction duration
+  obs::Counter* profiled_requests;      ///< requests carrying the profile flag
+  obs::Counter* slowlog_recorded;       ///< entries recorded to the slow log
 
   obs::Counter* RoutedCounterFor(BackendKind kind) const {
     switch (kind) {
@@ -165,6 +169,8 @@ const ServiceMetrics& GetServiceMetrics() {
         reg.GetGauge("delta.bytes"),
         reg.GetCounter("compaction.count"),
         reg.GetHistogram("compaction.duration_us"),
+        reg.GetCounter("service.trace.profiled_requests"),
+        reg.GetCounter("service.slowlog.recorded"),
     };
   }();
   return metrics;
@@ -282,9 +288,21 @@ struct Server::Impl {
   std::mutex join_mu;
   bool joined = false;
 
+  /// Present iff config.slow_query_us > 0; with it absent no request ever
+  /// allocates a profile collector unless it asked for one on the wire.
+  std::unique_ptr<obs::SlowQueryLog> slow_log;
+
   explicit Impl(const ServerConfig& cfg)
       : config(cfg),
-        registry(cfg.registry_byte_budget, cfg.segment_spill_dir) {}
+        registry(cfg.registry_byte_budget, cfg.segment_spill_dir) {
+    if (config.slow_query_us > 0) {
+      obs::SlowQueryLog::Options opts;
+      opts.capacity = config.slow_query_capacity;
+      opts.jsonl_path = config.slow_query_log_path;
+      opts.sink_max_per_sec = config.slow_query_sink_per_sec;
+      slow_log = std::make_unique<obs::SlowQueryLog>(opts);
+    }
+  }
 
   // -- response plumbing ----------------------------------------------------
 
@@ -438,9 +456,116 @@ struct Server::Impl {
     return std::min<size_t>(requested, ceiling);
   }
 
-  Status HandleBuildIndex(const Frame& frame, Terminal* out) {
+  // -- per-request observability (docs/observability.md) ---------------------
+
+  /// Clock::time_point -> the trace/profile epoch.  Both Clock and
+  /// obs::internal::TraceNowNanos() read std::chrono::steady_clock, so the
+  /// admission stamp converts to profile-epoch nanoseconds directly.
+  static uint64_t TraceStamp(Clock::time_point tp) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+  }
+
+  /// Observability state of one in-flight request.  ExecuteRequest stamps
+  /// the timing fields; the handler calls ArmObs once its request has
+  /// parsed (the trace context rides the payload tail, so it is only known
+  /// post-parse).  When the request asked for a profile — or the slow-query
+  /// log wants one for every over-threshold request — ArmObs opens the
+  /// phase tree (queue | parse | execute, contiguous by construction) and
+  /// installs the collector into the worker thread's request context, so
+  /// every TraceSpan below lands in the tree and ThreadPool::Submit carries
+  /// it into parallel-join tasks.
+  struct RequestObs {
+    const char* span_name = "service.request";
+    uint64_t epoch_ns = 0;          ///< admission stamp (profile epoch)
+    uint64_t handler_start_ns = 0;  ///< worker picked the request up
+    uint64_t cpu_start_ns = 0;      ///< worker thread CPU at pickup
+    TraceContext trace;
+    std::string index;              ///< for the slow-query log
+    std::unique_ptr<obs::RequestProfileCollector> collector;
+    uint32_t root = obs::kProfileNoParent;
+    uint32_t execute_node = obs::kProfileNoParent;
+    bool phases_closed = false;
+  };
+
+  void ArmObs(RequestObs* ro, const TraceContext& trace, std::string index) {
+    ro->trace = trace;
+    ro->index = std::move(index);
+    const bool collect = trace.profile() || slow_log != nullptr;
+    if (!collect) {
+      if (trace.present && trace.trace_id != 0 &&
+          obs::internal::CaptureEnabled()) {
+        // No tree wanted, but global tracing is on: tag this thread's
+        // spans with the request's trace id so the Chrome trace can be
+        // filtered per request.  ExecuteRequest resets the slot.
+        obs::internal::MutableRequestContext().trace_id = trace.trace_id;
+      }
+      return;
+    }
+    if (trace.profile()) GetServiceMetrics().profiled_requests->Add();
+    ro->collector = std::make_unique<obs::RequestProfileCollector>(
+        trace.trace_id, ro->epoch_ns);
+    const uint64_t now = obs::internal::TraceNowNanos();
+    ro->root =
+        ro->collector->BeginPhase(ro->span_name, obs::kProfileNoParent,
+                                  ro->epoch_ns);
+    ro->collector->AddPhase("queue", ro->root, ro->epoch_ns,
+                            ro->handler_start_ns - ro->epoch_ns, 0);
+    ro->collector->AddPhase("parse", ro->root, ro->handler_start_ns,
+                            now - ro->handler_start_ns, 0);
+    ro->execute_node = ro->collector->BeginPhase("execute", ro->root, now);
+    obs::RequestContext& tls = obs::internal::MutableRequestContext();
+    tls.trace_id = trace.trace_id;
+    tls.collector = ro->collector.get();
+    tls.node = ro->execute_node;
+  }
+
+  /// Closes the execute phase and the root (idempotent); returns the stamp
+  /// used, so Finish(stamp) yields a tree whose root ends exactly where
+  /// total_wall_ns does.
+  uint64_t CloseObsPhases(RequestObs* ro) {
+    const uint64_t now = obs::internal::TraceNowNanos();
+    if (ro->collector == nullptr || ro->phases_closed) return now;
+    ro->phases_closed = true;
+    const uint64_t cpu = obs::ThreadCpuNanos();
+    ro->collector->EndPhase(
+        ro->execute_node, now,
+        cpu >= ro->cpu_start_ns ? cpu - ro->cpu_start_ns : 0);
+    ro->collector->EndPhase(ro->root, now, 0);
+    return now;
+  }
+
+  /// Records one finished request into the slow-query log when it is over
+  /// the latency threshold or failed.  `collector` may be null (request
+  /// parsed too little to arm) — the entry then carries an empty profile.
+  void RecordSlowQuery(const TraceContext& trace, const std::string& index,
+                       uint64_t request_id, FrameType op, const Status& status,
+                       double wall_us, obs::RequestProfileCollector* collector,
+                       uint64_t end_ns) {
+    if (slow_log == nullptr) return;
+    if (status.ok() &&
+        wall_us < static_cast<double>(config.slow_query_us)) {
+      return;
+    }
+    obs::SlowQueryEntry entry;
+    entry.trace_id = trace.trace_id;
+    entry.request_id = request_id;
+    entry.op = static_cast<uint8_t>(op);
+    entry.index = index;
+    entry.wall_us = static_cast<uint64_t>(wall_us);
+    entry.status_code = static_cast<uint32_t>(status.code());
+    entry.status_message = status.message();
+    if (collector != nullptr) entry.profile = collector->Finish(end_ns);
+    slow_log->Record(std::move(entry));
+    GetServiceMetrics().slowlog_recorded->Add();
+  }
+
+  Status HandleBuildIndex(const Frame& frame, RequestObs* ro, Terminal* out) {
     BuildIndexRequest req;
     SIMJOIN_RETURN_NOT_OK(ParseBuildIndexRequest(frame.payload, &req));
+    ArmObs(ro, req.trace, req.name);
     SIMJOIN_ASSIGN_OR_RETURN(Dataset data,
                              Dataset::FromFlat(std::move(req.points), req.dims));
     std::shared_ptr<const IndexSnapshot> snapshot;
@@ -530,8 +655,10 @@ struct Server::Impl {
     PlannedRange planned;
   };
 
-  Status ResolveRangeQuery(const Frame& frame, ResolvedRangeQuery* out) {
-    SIMJOIN_RETURN_NOT_OK(ParseRangeQueryRequest(frame.payload, &out->req));
+  /// Precondition: out->req is already parsed (the solo and fused paths
+  /// both parse first, so the trace context can be armed before resolution
+  /// work is attributed to the request).
+  Status ResolveRangeQuery(ResolvedRangeQuery* out) {
     SIMJOIN_ASSIGN_OR_RETURN(out->snapshot, registry.Get(out->req.name));
     const size_t index_dims = out->snapshot->dataset().dims();
     if (out->req.dims != index_dims) {
@@ -576,6 +703,23 @@ struct Server::Impl {
                               : &rq.snapshot->primary();
   }
 
+  /// Human-readable planner decision carried in profiles and slow-log
+  /// entries: which backend executed, at what radius, and (for planner
+  /// requests) whether the decision came from the plan cache.
+  static std::string RangePlanString(const ResolvedRangeQuery& rq) {
+    std::string plan = "backend=";
+    plan += BackendKindName(rq.req.has_planner ? rq.planned.plan.kind
+                                               : rq.snapshot->backend());
+    plan += " eps=" + std::to_string(rq.eps);
+    if (rq.req.has_planner) {
+      plan += " recall_target=" + std::to_string(rq.req.recall);
+      plan += rq.planned.cache_hit ? " cache=hit" : " cache=miss";
+    } else {
+      plan += " route=primary";
+    }
+    return plan;
+  }
+
   /// Finishes one planner-extension response: canonicalises each id list to
   /// ascending order (so answer bytes do not depend on the routed backend)
   /// and aggregates the per-query recall estimates into one batch figure —
@@ -605,25 +749,47 @@ struct Server::Impl {
     resp->plan_cache_hit = rq.planned.cache_hit;
   }
 
-  Status HandleRangeQuery(const Frame& frame, Terminal* out) {
+  Status HandleRangeQuery(const Frame& frame, RequestObs* ro, Terminal* out) {
     ResolvedRangeQuery rq;
-    SIMJOIN_RETURN_NOT_OK(ResolveRangeQuery(frame, &rq));
+    SIMJOIN_RETURN_NOT_OK(ParseRangeQueryRequest(frame.payload, &rq.req));
+    ArmObs(ro, rq.req.trace, rq.req.name);
+    {
+      SIMJOIN_TRACE_SPAN("service.phase.resolve");
+      SIMJOIN_RETURN_NOT_OK(ResolveRangeQuery(&rq));
+    }
+    if (ro->collector != nullptr) ro->collector->SetPlan(RangePlanString(rq));
     RangeQueryResponse resp;
     resp.results.resize(rq.count);
-    if (!rq.req.has_planner) {
-      for (size_t i = 0; i < rq.count; ++i) {
-        SIMJOIN_RETURN_NOT_OK(rq.snapshot->RangeQuery(
-            rq.req.queries.data() + i * rq.req.dims, rq.eps, &resp.results[i],
-            &resp.stats));
+    {
+      SIMJOIN_TRACE_SPAN("service.phase.query");
+      if (!rq.req.has_planner) {
+        for (size_t i = 0; i < rq.count; ++i) {
+          SIMJOIN_RETURN_NOT_OK(rq.snapshot->RangeQuery(
+              rq.req.queries.data() + i * rq.req.dims, rq.eps,
+              &resp.results[i], &resp.stats));
+        }
+      } else {
+        std::vector<double> recalls(rq.count, 1.0);
+        for (size_t i = 0; i < rq.count; ++i) {
+          SIMJOIN_RETURN_NOT_OK(rq.planned.backend->RangeQuery(
+              rq.req.queries.data() + i * rq.req.dims, rq.eps,
+              &resp.results[i], &resp.stats, &recalls[i]));
+        }
+        FinalizePlannedResponse(rq, recalls, 0, &resp);
       }
-    } else {
-      std::vector<double> recalls(rq.count, 1.0);
-      for (size_t i = 0; i < rq.count; ++i) {
-        SIMJOIN_RETURN_NOT_OK(rq.planned.backend->RangeQuery(
-            rq.req.queries.data() + i * rq.req.dims, rq.eps, &resp.results[i],
-            &resp.stats, &recalls[i]));
+    }
+    if (ro->collector != nullptr) {
+      obs::AddRequestCounter("query_points", rq.count);
+      obs::AddRequestCounter("candidates", resp.stats.candidate_pairs);
+      obs::AddRequestCounter("distance_calls", resp.stats.distance_calls);
+      obs::AddRequestCounter("results", resp.stats.pairs_emitted);
+      if (ro->trace.profile()) {
+        // Finish the tree BEFORE encoding: the profile rides inside this
+        // very payload, so its root must close here (the sliver spent
+        // encoding afterwards is the only uncovered wall time).
+        resp.has_profile = true;
+        resp.profile = ro->collector->Finish(CloseObsPhases(ro));
       }
-      FinalizePlannedResponse(rq, recalls, 0, &resp);
     }
     out->type = FrameType::kRangeQueryResult;
     out->payload = EncodeRangeQueryResponse(resp);
@@ -631,9 +797,11 @@ struct Server::Impl {
   }
 
   Status HandleSimilarityJoin(const std::shared_ptr<Conn>& conn,
-                              const Frame& frame, Terminal* out) {
+                              const Frame& frame, RequestObs* ro,
+                              Terminal* out) {
     SimilarityJoinRequest req;
     SIMJOIN_RETURN_NOT_OK(ParseSimilarityJoinRequest(frame.payload, &req));
+    ArmObs(ro, req.trace, req.name_a);
     SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> a,
                              registry.Get(req.name_a));
     // A primary without a native join (the epsilon grid) no longer rejects:
@@ -736,7 +904,10 @@ struct Server::Impl {
     return Status::OK();
   }
 
-  Status HandleStats(Terminal* out) {
+  Status HandleStats(const Frame& frame, RequestObs* ro, Terminal* out) {
+    StatsRequest req;
+    SIMJOIN_RETURN_NOT_OK(ParseStatsRequest(frame.payload, &req));
+    ArmObs(ro, TraceContext{}, "");
     StatsResponse resp;
     resp.accepted_connections =
         accepted_connections.load(std::memory_order_relaxed);
@@ -764,14 +935,26 @@ struct Server::Impl {
     // Rev 2: the full registry snapshot (pool, join-phase, and service
     // metrics) rides along after the index list.
     resp.metrics = obs::GlobalMetrics().Snapshot();
+    // Rev 3: drain the slow-query ring on request.  With no log configured
+    // the block still answers (present, empty) so `simjoin_client slowlog`
+    // can tell "nothing recorded" from "server predates the extension".
+    if (req.drain_slowlog) {
+      resp.has_slowlog = true;
+      if (slow_log != nullptr) {
+        resp.slowlog = slow_log->Drain(config.slow_query_capacity);
+        resp.slowlog_recorded = slow_log->recorded();
+        resp.slowlog_evicted = slow_log->evicted();
+      }
+    }
     out->type = FrameType::kStatsResult;
     out->payload = EncodeStatsResponse(resp);
     return Status::OK();
   }
 
-  Status HandleDropIndex(const Frame& frame, Terminal* out) {
+  Status HandleDropIndex(const Frame& frame, RequestObs* ro, Terminal* out) {
     DropIndexRequest req;
     SIMJOIN_RETURN_NOT_OK(ParseDropIndexRequest(frame.payload, &req));
+    ArmObs(ro, TraceContext{}, req.name);
     DropIndexResponse resp;
     resp.found = registry.Erase(req.name);
     out->type = FrameType::kDropIndexOk;
@@ -810,9 +993,10 @@ struct Server::Impl {
     m.delta_bytes->Set(static_cast<int64_t>(s.delta_bytes));
   }
 
-  Status HandleInsert(const Frame& frame, Terminal* out) {
+  Status HandleInsert(const Frame& frame, RequestObs* ro, Terminal* out) {
     InsertRequest req;
     SIMJOIN_RETURN_NOT_OK(ParseInsertRequest(frame.payload, &req));
+    ArmObs(ro, req.trace, req.name);
     const UpdatableIndex* upd = nullptr;
     SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
                              ResolveUpdatable(req.name, &upd));
@@ -843,9 +1027,10 @@ struct Server::Impl {
     return Status::OK();
   }
 
-  Status HandleRemove(const Frame& frame, Terminal* out) {
+  Status HandleRemove(const Frame& frame, RequestObs* ro, Terminal* out) {
     RemoveRequest req;
     SIMJOIN_RETURN_NOT_OK(ParseRemoveRequest(frame.payload, &req));
+    ArmObs(ro, req.trace, req.name);
     const UpdatableIndex* upd = nullptr;
     SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
                              ResolveUpdatable(req.name, &upd));
@@ -865,9 +1050,10 @@ struct Server::Impl {
     return Status::OK();
   }
 
-  Status HandleFlush(const Frame& frame, Terminal* out) {
+  Status HandleFlush(const Frame& frame, RequestObs* ro, Terminal* out) {
     FlushRequest req;
     SIMJOIN_RETURN_NOT_OK(ParseFlushRequest(frame.payload, &req));
+    ArmObs(ro, req.trace, req.name);
     const UpdatableIndex* upd = nullptr;
     SIMJOIN_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> snapshot,
                              ResolveUpdatable(req.name, &upd));
@@ -895,40 +1081,47 @@ struct Server::Impl {
           std::chrono::milliseconds(config.handler_delay_ms_for_testing));
     }
     SIMJOIN_TRACE_SPAN(RequestSpanName(frame.header.type));
+    RequestObs ro;
+    ro.span_name = RequestSpanName(frame.header.type);
+    ro.epoch_ns = TraceStamp(admitted_at);
+    ro.handler_start_ns = obs::internal::TraceNowNanos();
+    ro.cpu_start_ns = obs::ThreadCpuNanos();
     Terminal term;
+    Status request_status;
     const uint32_t deadline = frame.header.deadline_ms;
     if (deadline > 0 && ElapsedMs(admitted_at) > deadline) {
       deadline_expired.fetch_add(1, std::memory_order_relaxed);
       GetServiceMetrics().deadline_expired->Add();
-      term.payload = EncodeErrorResponse(Status::DeadlineExceeded(
+      request_status = Status::DeadlineExceeded(
           "deadline of " + std::to_string(deadline) + " ms expired after " +
-          std::to_string(ElapsedMs(admitted_at)) + " ms"));
+          std::to_string(ElapsedMs(admitted_at)) + " ms");
+      term.payload = EncodeErrorResponse(request_status);
     } else {
       Status st;
       switch (frame.header.type) {
         case FrameType::kBuildIndex:
-          st = HandleBuildIndex(frame, &term);
+          st = HandleBuildIndex(frame, &ro, &term);
           break;
         case FrameType::kRangeQuery:
-          st = HandleRangeQuery(frame, &term);
+          st = HandleRangeQuery(frame, &ro, &term);
           break;
         case FrameType::kSimilarityJoin:
-          st = HandleSimilarityJoin(conn, frame, &term);
+          st = HandleSimilarityJoin(conn, frame, &ro, &term);
           break;
         case FrameType::kStats:
-          st = HandleStats(&term);
+          st = HandleStats(frame, &ro, &term);
           break;
         case FrameType::kDropIndex:
-          st = HandleDropIndex(frame, &term);
+          st = HandleDropIndex(frame, &ro, &term);
           break;
         case FrameType::kInsert:
-          st = HandleInsert(frame, &term);
+          st = HandleInsert(frame, &ro, &term);
           break;
         case FrameType::kRemove:
-          st = HandleRemove(frame, &term);
+          st = HandleRemove(frame, &ro, &term);
           break;
         case FrameType::kFlush:
-          st = HandleFlush(frame, &term);
+          st = HandleFlush(frame, &ro, &term);
           break;
         default:
           st = Status::Internal("request type routed to worker unexpectedly");
@@ -938,7 +1131,12 @@ struct Server::Impl {
         term.type = FrameType::kError;
         term.payload = EncodeErrorResponse(st);
       }
+      request_status = std::move(st);
     }
+    // The worker thread is about to move on: whatever the handler (or
+    // ArmObs) left in the request context must not leak into the next
+    // request — or into a background task submitted later from this thread.
+    obs::internal::MutableRequestContext() = obs::RequestContext{};
     // A response the peer would reject (or that would overflow the u32
     // size field) must fail loudly here, not desync the stream: replace it
     // with an error telling the client to split its batch.
@@ -957,9 +1155,13 @@ struct Server::Impl {
     inflight.fetch_sub(1, std::memory_order_acq_rel);
     const ServiceMetrics& metrics = GetServiceMetrics();
     metrics.inflight->Add(-1);
+    const double wall_us = ElapsedUs(admitted_at);
     if (obs::Histogram* hist = metrics.LatencyFor(frame.header.type)) {
-      hist->Record(ElapsedUs(admitted_at));
+      hist->Record(wall_us);
     }
+    RecordSlowQuery(ro.trace, ro.index, frame.header.request_id,
+                    frame.header.type, request_status, wall_us,
+                    ro.collector.get(), CloseObsPhases(&ro));
     EnqueueFrame(conn, std::move(bytes));
   }
 
@@ -994,19 +1196,63 @@ struct Server::Impl {
     std::vector<Terminal> terminals(n);
     std::vector<ResolvedRangeQuery> resolved(n);
     std::vector<bool> viable(n, false);
+    // Per-member observability: a member that asked for a profile (or that
+    // the slow-query log will want) gets its own collector, and the shared
+    // sweep is attributed retroactively to every member — each profile
+    // shows the full batch sweep interval, because that IS the wall time
+    // the member spent executing.  Phases stay contiguous per member:
+    // queue | resolve | wait (grouping + other members) | sweep | finalize.
+    struct EntryObs {
+      TraceContext trace;
+      std::string index;
+      std::unique_ptr<obs::RequestProfileCollector> collector;
+      uint32_t root = obs::kProfileNoParent;
+      uint64_t epoch_ns = 0;
+      uint64_t resolve_end_ns = 0;
+      Status status;
+      bool closed = false;
+    };
+    std::vector<EntryObs> eobs(n);
     for (size_t i = 0; i < n; ++i) {
       const Frame& frame = entries[i].frame;
+      eobs[i].epoch_ns = TraceStamp(entries[i].admitted_at);
       const uint32_t deadline = frame.header.deadline_ms;
       if (deadline > 0 && ElapsedMs(entries[i].admitted_at) > deadline) {
         deadline_expired.fetch_add(1, std::memory_order_relaxed);
         metrics.deadline_expired->Add();
-        terminals[i].payload = EncodeErrorResponse(Status::DeadlineExceeded(
+        eobs[i].status = Status::DeadlineExceeded(
             "deadline of " + std::to_string(deadline) + " ms expired after " +
-            std::to_string(ElapsedMs(entries[i].admitted_at)) + " ms"));
+            std::to_string(ElapsedMs(entries[i].admitted_at)) + " ms");
+        terminals[i].payload = EncodeErrorResponse(eobs[i].status);
         continue;
       }
-      const Status st = ResolveRangeQuery(frame, &resolved[i]);
+      const uint64_t resolve_start = obs::internal::TraceNowNanos();
+      Status st = ParseRangeQueryRequest(frame.payload, &resolved[i].req);
+      if (st.ok()) {
+        eobs[i].trace = resolved[i].req.trace;
+        eobs[i].index = resolved[i].req.name;
+        if (eobs[i].trace.profile() || slow_log != nullptr) {
+          if (eobs[i].trace.profile()) metrics.profiled_requests->Add();
+          eobs[i].collector =
+              std::make_unique<obs::RequestProfileCollector>(
+                  eobs[i].trace.trace_id, eobs[i].epoch_ns);
+          eobs[i].root = eobs[i].collector->BeginPhase(
+              "service.range_query", obs::kProfileNoParent, eobs[i].epoch_ns);
+          eobs[i].collector->AddPhase("queue", eobs[i].root, eobs[i].epoch_ns,
+                                      resolve_start - eobs[i].epoch_ns, 0);
+        }
+        st = ResolveRangeQuery(&resolved[i]);
+      }
+      if (eobs[i].collector != nullptr) {
+        eobs[i].resolve_end_ns = obs::internal::TraceNowNanos();
+        eobs[i].collector->AddPhase("resolve", eobs[i].root, resolve_start,
+                                    eobs[i].resolve_end_ns - resolve_start,
+                                    0);
+        eobs[i].collector->SetPlan(st.ok() ? RangePlanString(resolved[i])
+                                           : "unresolved");
+      }
       if (!st.ok()) {
+        eobs[i].status = st;
         terminals[i].payload = EncodeErrorResponse(st);
         continue;
       }
@@ -1053,11 +1299,15 @@ struct Server::Impl {
       std::vector<JoinStats> stats;
       std::vector<double> recalls;
       Status st;
+      const uint64_t sweep_start_ns = obs::internal::TraceNowNanos();
+      const uint64_t sweep_cpu_start = obs::ThreadCpuNanos();
       if (!specs.empty()) {
         st = bg.backend->RangeQueryBatch(specs.data(), specs.size(), &results,
                                          &stats,
                                          any_planner ? &recalls : nullptr);
       }
+      const uint64_t sweep_end_ns = obs::internal::TraceNowNanos();
+      const uint64_t sweep_cpu = obs::ThreadCpuNanos() - sweep_cpu_start;
       size_t cursor = 0;
       for (const size_t i : bg.members) {
         if (!st.ok()) {
@@ -1065,6 +1315,7 @@ struct Server::Impl {
           // engine ever rejects, every member reports the failure rather
           // than silently dropping.
           viable[i] = false;
+          eobs[i].status = st;
           terminals[i].payload = EncodeErrorResponse(st);
           continue;
         }
@@ -1078,6 +1329,28 @@ struct Server::Impl {
         }
         if (rq.req.has_planner) {
           FinalizePlannedResponse(rq, recalls, first, &resp);
+        }
+        if (obs::RequestProfileCollector* col = eobs[i].collector.get()) {
+          // The group sweep is one shared interval; every member's tree
+          // carries it whole (the member really did wait for all of it).
+          col->AddPhase("wait", eobs[i].root, eobs[i].resolve_end_ns,
+                        sweep_start_ns - eobs[i].resolve_end_ns, 0);
+          col->AddPhase("fused_sweep", eobs[i].root, sweep_start_ns,
+                        sweep_end_ns - sweep_start_ns, sweep_cpu);
+          col->AddCounter("fused_batch_requests", bg.members.size());
+          col->AddCounter("query_points", rq.count);
+          col->AddCounter("candidates", resp.stats.candidate_pairs);
+          col->AddCounter("distance_calls", resp.stats.distance_calls);
+          col->AddCounter("results", resp.stats.pairs_emitted);
+          const uint64_t fin = obs::internal::TraceNowNanos();
+          col->AddPhase("finalize", eobs[i].root, sweep_end_ns,
+                        fin - sweep_end_ns, 0);
+          col->EndPhase(eobs[i].root, fin, 0);
+          eobs[i].closed = true;
+          if (eobs[i].trace.profile()) {
+            resp.has_profile = true;
+            resp.profile = col->Finish(fin);
+          }
         }
         terminals[i].type = FrameType::kRangeQueryResult;
         terminals[i].payload = EncodeRangeQueryResponse(resp);
@@ -1102,7 +1375,19 @@ struct Server::Impl {
           term.type, entries[i].frame.header.request_id, 0, term.payload);
       inflight.fetch_sub(1, std::memory_order_acq_rel);
       metrics.inflight->Add(-1);
-      metrics.latency_range_query->Record(ElapsedUs(entries[i].admitted_at));
+      const double wall_us = ElapsedUs(entries[i].admitted_at);
+      metrics.latency_range_query->Record(wall_us);
+      uint64_t end_ns = obs::internal::TraceNowNanos();
+      if (eobs[i].collector != nullptr && !eobs[i].closed) {
+        // Deadline-expired / unresolvable member: its tree never reached
+        // the sweep, close the root here so the slow-log profile is whole.
+        eobs[i].collector->EndPhase(eobs[i].root, end_ns, 0);
+        eobs[i].closed = true;
+      }
+      RecordSlowQuery(eobs[i].trace, eobs[i].index,
+                      entries[i].frame.header.request_id,
+                      FrameType::kRangeQuery, eobs[i].status, wall_us,
+                      eobs[i].collector.get(), end_ns);
       EnqueueFrameNoWake(entries[i].conn, std::move(bytes));
       wake_io[entries[i].conn->io_index] = true;
     }

@@ -111,6 +111,22 @@ struct ServerConfig {
   /// Flush when the oldest buffered request has waited this long (µs).
   uint32_t fusion_wait_us = 120;
 
+  /// Slow-query log (docs/observability.md).  A request whose wall time
+  /// (admission to response built) reaches this many microseconds — or that
+  /// fails with any error — is recorded with its full phase profile into a
+  /// bounded ring, drainable via the Stats RPC (`simjoin_client slowlog`).
+  /// 0 disables recording entirely (the default: no per-request collector
+  /// is ever allocated).
+  uint64_t slow_query_us = 0;
+  /// JSONL sink for slow-query entries (one JSON object per line); empty
+  /// keeps them in the in-memory ring only.  Writes are rotation-safe
+  /// (open-append-close per entry) and rate-limited.
+  std::string slow_query_log_path;
+  /// Ring capacity for drainable slow-query entries.
+  size_t slow_query_capacity = 512;
+  /// Ceiling on JSONL sink writes per second (ring recording is unlimited).
+  uint64_t slow_query_sink_per_sec = 100;
+
   /// Test hook: sleep this long at the start of every worker-side request,
   /// so deadline and backpressure paths can be exercised deterministically.
   uint32_t handler_delay_ms_for_testing = 0;

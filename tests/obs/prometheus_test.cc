@@ -1,0 +1,102 @@
+// Tests for the Prometheus text exposition renderer: naming, type lines,
+// cumulative histogram form, and general line-level parseability.
+
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusTest, CountersGainPrefixSanitisationAndTotalSuffix) {
+  MetricRegistry reg;
+  reg.GetCounter("service.requests_admitted")->Add(42);
+  const std::string text = RenderPrometheusText(reg.Snapshot());
+  EXPECT_NE(
+      text.find("# TYPE simjoin_service_requests_admitted_total counter\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("simjoin_service_requests_admitted_total 42\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, GaugesRenderSignedValues) {
+  MetricRegistry reg;
+  reg.GetGauge("pool.depth")->Set(-3);
+  const std::string text = RenderPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE simjoin_pool_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("simjoin_pool_depth -3\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramsRenderCumulativeBucketsSumAndCount) {
+  MetricRegistry reg;
+  Histogram* h =
+      reg.GetHistogram("latency.us", std::vector<double>{10, 100});
+  h->Record(5);    // bucket le=10
+  h->Record(50);   // bucket le=100
+  h->Record(500);  // overflow
+  h->Record(600);  // overflow
+  const std::string text = RenderPrometheusText(reg.Snapshot());
+  // Buckets are cumulative and the overflow bucket becomes le="+Inf".
+  EXPECT_NE(text.find("simjoin_latency_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("simjoin_latency_us_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("simjoin_latency_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("simjoin_latency_us_sum 1155\n"), std::string::npos);
+  EXPECT_NE(text.find("simjoin_latency_us_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE simjoin_latency_us histogram\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, EverySampleLineIsNameSpaceValue) {
+  MetricRegistry reg;
+  reg.GetCounter("a.b-c")->Add(1);
+  reg.GetGauge("g")->Set(2);
+  reg.GetHistogram("h")->Record(3.5);
+  for (const std::string& line : Lines(RenderPrometheusText(reg.Snapshot()))) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE simjoin_", 0), 0u) << line;
+      continue;
+    }
+    // metric_name[{labels}] <space> value — exactly one space outside
+    // braces, and the name uses only legal characters.
+    const size_t brace = line.find('{');
+    const size_t space = line.find(
+        ' ', brace == std::string::npos ? 0 : line.find('}', brace));
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, std::min(space, brace));
+    EXPECT_EQ(name.rfind("simjoin_", 0), 0u) << line;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      EXPECT_TRUE(ok) << "bad metric char '" << c << "' in " << line;
+    }
+    EXPECT_NE(line.substr(space + 1), "") << line;
+  }
+}
+
+TEST(PrometheusTest, EmptySnapshotRendersEmptyBody) {
+  EXPECT_EQ(RenderPrometheusText(MetricsSnapshot{}), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simjoin

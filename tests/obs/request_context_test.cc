@@ -1,0 +1,239 @@
+// Tests for request-scoped profiling: collector tree construction, the
+// shared capture gate, TraceSpan recording under an installed context,
+// propagation across ThreadPool task boundaries, and thread-safety of the
+// whole path under a multi-thread span hammer with a concurrent exporter.
+
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace obs {
+namespace {
+
+/// Index of the first node with `name`, or kProfileNoParent.
+uint32_t FindNode(const RequestProfile& p, const std::string& name) {
+  for (uint32_t i = 0; i < p.nodes.size(); ++i) {
+    if (p.nodes[i].name == name) return i;
+  }
+  return kProfileNoParent;
+}
+
+TEST(RequestContextTest, CollectorBuildsParentLinkedTree) {
+  RequestProfileCollector c(/*trace_id=*/7, /*epoch_ns=*/1000);
+  const uint32_t root = c.BeginPhase("request", kProfileNoParent, 1000);
+  const uint32_t child = c.BeginPhase("execute", root, 1200);
+  c.EndPhase(child, 1700, /*cpu_ns=*/300);
+  c.EndPhase(root, 2000, /*cpu_ns=*/0);
+  const uint32_t retro = c.AddPhase("queue", root, 1000, 200, 0);
+  c.AddCounter("candidates", 5);
+  c.AddCounter("candidates", 6);
+  c.SetPlan("backend=test");
+
+  const RequestProfile p = c.Finish(/*end_ns=*/2500);
+  EXPECT_EQ(p.trace_id, 7u);
+  EXPECT_EQ(p.total_wall_ns, 1500u);
+  EXPECT_EQ(p.plan, "backend=test");
+  ASSERT_EQ(p.nodes.size(), 3u);
+  EXPECT_EQ(p.nodes[root].parent, kProfileNoParent);
+  EXPECT_EQ(p.nodes[root].start_ns, 0u);  // relative to the epoch
+  EXPECT_EQ(p.nodes[root].wall_ns, 1000u);
+  EXPECT_EQ(p.nodes[child].parent, root);
+  EXPECT_EQ(p.nodes[child].start_ns, 200u);
+  EXPECT_EQ(p.nodes[child].wall_ns, 500u);
+  EXPECT_EQ(p.nodes[child].cpu_ns, 300u);
+  EXPECT_EQ(p.nodes[retro].parent, root);
+  EXPECT_EQ(p.nodes[retro].wall_ns, 200u);
+  ASSERT_EQ(p.counters.size(), 1u);
+  EXPECT_EQ(p.counters[0].name, "candidates");
+  EXPECT_EQ(p.counters[0].value, 11u);
+  EXPECT_EQ(p.dropped_nodes, 0u);
+}
+
+TEST(RequestContextTest, ChildWallNanosSumsDirectChildrenOnly) {
+  RequestProfileCollector c(1, 0);
+  const uint32_t root = c.AddPhase("root", kProfileNoParent, 0, 100, 0);
+  c.AddPhase("a", root, 0, 40, 0);
+  const uint32_t b = c.AddPhase("b", root, 40, 50, 0);
+  c.AddPhase("b.inner", b, 45, 10, 0);  // grandchild: not counted
+  const RequestProfile p = c.Finish(100);
+  EXPECT_EQ(p.ChildWallNanos(root), 90u);
+  EXPECT_EQ(p.ChildWallNanos(b), 10u);
+  EXPECT_EQ(p.ChildWallNanos(kProfileNoParent), 100u);  // roots
+}
+
+TEST(RequestContextTest, CollectorLifetimeDrivesCaptureGate) {
+  ASSERT_FALSE(internal::CaptureEnabled());
+  {
+    RequestProfileCollector a(1, 0);
+    EXPECT_TRUE(internal::CaptureEnabled());
+    {
+      RequestProfileCollector b(2, 0);  // refcounted, not boolean
+      EXPECT_TRUE(internal::CaptureEnabled());
+    }
+    EXPECT_TRUE(internal::CaptureEnabled());
+  }
+  EXPECT_FALSE(internal::CaptureEnabled());
+}
+
+TEST(RequestContextTest, NodeCapCountsDropsInsteadOfGrowing) {
+  RequestProfileCollector c(1, 0);
+  for (uint32_t i = 0; i < kMaxProfileNodes + 10; ++i) {
+    c.AddPhase("p", kProfileNoParent, i, 1, 0);
+  }
+  // BeginPhase past the cap returns the sentinel; EndPhase on it is a no-op.
+  const uint32_t overflow = c.BeginPhase("late", kProfileNoParent, 0);
+  EXPECT_EQ(overflow, kProfileNoParent);
+  c.EndPhase(overflow, 5, 0);
+
+  const RequestProfile p = c.Finish(1);
+  EXPECT_EQ(p.nodes.size(), kMaxProfileNodes);
+  EXPECT_EQ(p.dropped_nodes, 11u);
+}
+
+TEST(RequestContextTest, TraceSpanRecordsIntoInstalledContext) {
+  RequestProfileCollector c(42, internal::TraceNowNanos());
+  const uint32_t root = c.BeginPhase("root", kProfileNoParent, c.epoch_ns());
+  {
+    ScopedRequestContext scope(RequestContext{42, &c, root});
+    SIMJOIN_TRACE_SPAN("outer");
+    { SIMJOIN_TRACE_SPAN("inner"); }
+  }
+  c.EndPhase(root, internal::TraceNowNanos(), 0);
+  const RequestProfile p = c.Finish(internal::TraceNowNanos());
+
+  const uint32_t outer = FindNode(p, "outer");
+  const uint32_t inner = FindNode(p, "inner");
+  ASSERT_NE(outer, kProfileNoParent);
+  ASSERT_NE(inner, kProfileNoParent);
+  EXPECT_EQ(p.nodes[outer].parent, root);
+  EXPECT_EQ(p.nodes[inner].parent, outer);  // nesting follows scope
+}
+
+TEST(RequestContextTest, SpansOutsideAnyContextRecordNothing) {
+  RequestProfileCollector c(1, 0);  // raises the gate, but is not installed
+  { SIMJOIN_TRACE_SPAN("orphan"); }
+  const RequestProfile p = c.Finish(1);
+  EXPECT_EQ(FindNode(p, "orphan"), kProfileNoParent);
+  EXPECT_TRUE(p.nodes.empty());
+}
+
+TEST(RequestContextTest, AddRequestCounterIsNoOpWithoutContext) {
+  AddRequestCounter("ignored", 3);  // must not crash or leak anywhere
+  RequestProfileCollector c(9, 0);
+  {
+    ScopedRequestContext scope(RequestContext{9, &c, kProfileNoParent});
+    AddRequestCounter("seen", 4);
+  }
+  AddRequestCounter("after", 5);  // context restored: dropped again
+  const RequestProfile p = c.Finish(1);
+  ASSERT_EQ(p.counters.size(), 1u);
+  EXPECT_EQ(p.counters[0].name, "seen");
+  EXPECT_EQ(p.counters[0].value, 4u);
+}
+
+TEST(RequestContextTest, ThreadPoolPropagatesContextIntoTasks) {
+  ThreadPool pool(2);
+  RequestProfileCollector c(11, internal::TraceNowNanos());
+  const uint32_t root = c.BeginPhase("root", kProfileNoParent, c.epoch_ns());
+  {
+    ScopedRequestContext scope(RequestContext{11, &c, root});
+    TaskGroup group(&pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Run([] { SIMJOIN_TRACE_SPAN("pool.task"); });
+    }
+    group.Wait();
+  }
+  c.EndPhase(root, internal::TraceNowNanos(), 0);
+  const RequestProfile p = c.Finish(internal::TraceNowNanos());
+
+  size_t recorded = 0;
+  for (const ProfileNode& n : p.nodes) {
+    if (n.name != "pool.task") continue;
+    ++recorded;
+    EXPECT_EQ(n.parent, root);  // attaches under the submitting span
+  }
+  EXPECT_EQ(recorded, 8u);
+}
+
+TEST(RequestContextTest, PoolTasksWithoutContextStayUnattributed) {
+  ThreadPool pool(2);
+  RequestProfileCollector c(1, 0);  // gate up so spans are armed
+  {
+    TaskGroup group(&pool);
+    group.Run([] { SIMJOIN_TRACE_SPAN("free.task"); });
+    group.Wait();
+  }
+  EXPECT_TRUE(c.Finish(1).nodes.empty());
+}
+
+// 8 threads hammer spans into one collector while another thread snapshots
+// and renders the metrics registry — the concurrent-exporter shape the
+// Prometheus endpoint produces in the live server.  Run under TSan by
+// scripts/check_tsan.sh; correctness check is the exact node count.
+TEST(RequestContextTest, ConcurrentSpanHammerWithExporter) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2000;  // kThreads * kSpans > node cap
+  MetricRegistry reg;
+  Counter* spans_done = reg.GetCounter("hammer.spans");
+  RequestProfileCollector c(99, internal::TraceNowNanos());
+  const uint32_t root = c.BeginPhase("root", kProfileNoParent, c.epoch_ns());
+
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string text = RenderPrometheusText(reg.Snapshot());
+      EXPECT_NE(text.find("simjoin_hammer_spans_total"), std::string::npos);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ScopedRequestContext scope(RequestContext{99, &c, root});
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SIMJOIN_TRACE_SPAN("hammer.phase");
+        c.AddCounter("hammer", 1);
+        AddRequestCounter("hammer.via_tls", 1);
+        spans_done->Add();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
+
+  c.EndPhase(root, internal::TraceNowNanos(), 0);
+  const RequestProfile p = c.Finish(internal::TraceNowNanos());
+  const uint64_t total =
+      static_cast<uint64_t>(kThreads) * kSpansPerThread;
+  // Every span either became a node or was counted as dropped — none lost.
+  EXPECT_EQ((p.nodes.size() - 1) + p.dropped_nodes, total);
+  EXPECT_EQ(p.nodes.size(), kMaxProfileNodes);
+  ASSERT_EQ(p.counters.size(), 2u);
+  EXPECT_EQ(p.counters[0].value, total);
+  EXPECT_EQ(p.counters[1].value, total);
+  EXPECT_EQ(spans_done->Value(), total);
+}
+
+TEST(RequestContextTest, ThreadCpuNanosIsMonotonicWhenSupported) {
+  const uint64_t a = ThreadCpuNanos();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<uint64_t>(i);
+  const uint64_t b = ThreadCpuNanos();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simjoin

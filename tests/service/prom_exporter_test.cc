@@ -1,0 +1,147 @@
+// Tests for the Prometheus HTTP endpoint: request forms, the 404 path,
+// response well-formedness, and serving /metrics while the service is
+// under concurrent query load.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/prom_exporter.h"
+#include "service/server.h"
+#include "workload/generators.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+/// One blocking HTTP exchange: send `request` verbatim, read to close.
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  auto sock = TcpSocket::Connect("127.0.0.1", port);
+  EXPECT_TRUE(sock.ok()) << sock.status().ToString();
+  if (!sock.ok()) return "";
+  EXPECT_TRUE(sock->SendAll(request.data(), request.size()).ok());
+  std::string response;
+  char buf[4096];
+  // The exporter closes the connection after each response; a failed
+  // RecvAll tail read is the natural end-of-stream signal.
+  while (true) {
+    const size_t want = 1;
+    if (!sock->RecvAll(buf, want).ok()) break;
+    response.push_back(buf[0]);
+    if (response.size() > (4u << 20)) break;  // runaway guard
+  }
+  return response;
+}
+
+TEST(PromExporterTest, ServesMetricsForEveryAcceptedRequestForm) {
+  auto exporter = PromExporter::Start("127.0.0.1", 0);
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const uint16_t port = (*exporter)->port();
+  obs::GlobalMetrics().GetCounter("prom_test.marker")->Add(7);
+
+  for (const std::string request :
+       {std::string("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+        std::string("GET /metrics HTTP/1.0\r\n\r\n"),
+        std::string("GET /metrics\r\n\r\n")}) {
+    const std::string response = HttpExchange(port, request);
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << request;
+    EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(response.find("simjoin_prom_test_marker_total 7"),
+              std::string::npos)
+        << request;
+  }
+}
+
+TEST(PromExporterTest, NonMetricsPathsGet404) {
+  auto exporter = PromExporter::Start("127.0.0.1", 0);
+  ASSERT_TRUE(exporter.ok());
+  const uint16_t port = (*exporter)->port();
+  for (const std::string request :
+       {std::string("GET / HTTP/1.1\r\n\r\n"),
+        std::string("GET /metricsss HTTP/1.1\r\n\r\n"),
+        std::string("POST /metrics HTTP/1.1\r\n\r\n")}) {
+    const std::string response = HttpExchange(port, request);
+    EXPECT_NE(response.find("404"), std::string::npos) << request;
+    EXPECT_EQ(response.find("simjoin_"), std::string::npos) << request;
+  }
+}
+
+TEST(PromExporterTest, ShutdownIsPromptAndIdempotent) {
+  auto exporter = PromExporter::Start("127.0.0.1", 0);
+  ASSERT_TRUE(exporter.ok());
+  (*exporter)->Shutdown();
+  (*exporter)->Shutdown();  // second call is a no-op
+}
+
+TEST(PromExporterTest, ServesParseableBodyMidQueryLoad) {
+  auto data = GenerateUniform({.n = 300, .dims = 4, .seed = 23});
+  ASSERT_TRUE(data.ok());
+  ServerConfig config;
+  auto server = Server::Start(config);
+  ASSERT_TRUE(server.ok());
+  auto exporter = PromExporter::Start("127.0.0.1", 0);
+  ASSERT_TRUE(exporter.ok());
+  const uint16_t prom_port = (*exporter)->port();
+
+  ClientConfig cc;
+  cc.port = (*server)->port();
+  auto client = Client::Connect(cc);
+  ASSERT_TRUE(client.ok());
+  BuildIndexRequest build;
+  build.name = "idx";
+  build.config.epsilon = 0.2;
+  build.dims = 4;
+  build.points = data->flat();
+  ASSERT_TRUE(client->BuildIndex(build).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    RangeQueryRequest req;
+    req.name = "idx";
+    req.epsilon = 0.2;
+    req.dims = 4;
+    req.queries = {data->flat().begin(), data->flat().begin() + 4};
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(client->RangeQuery(req).ok());
+    }
+  });
+
+  for (int i = 0; i < 5; ++i) {
+    const std::string response =
+        HttpExchange(prom_port, "GET /metrics HTTP/1.1\r\n\r\n");
+    ASSERT_NE(response.find("200 OK"), std::string::npos);
+    const std::string body =
+        response.substr(response.find("\r\n\r\n") + 4);
+    ASSERT_FALSE(body.empty());
+    // Every line is a comment or "name[{labels}] value" — the contract a
+    // Prometheus scraper needs.
+    size_t start = 0;
+    while (start < body.size()) {
+      size_t end = body.find('\n', start);
+      if (end == std::string::npos) end = body.size();
+      const std::string line = body.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        EXPECT_EQ(line.rfind("# TYPE simjoin_", 0), 0u) << line;
+      } else {
+        EXPECT_EQ(line.rfind("simjoin_", 0), 0u) << line;
+        EXPECT_NE(line.find(' '), std::string::npos) << line;
+      }
+    }
+    EXPECT_NE(body.find("simjoin_service_requests_admitted_total"),
+              std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+  ASSERT_TRUE(client->Shutdown().ok());
+  (*server)->Wait();
+}
+
+}  // namespace
+}  // namespace simjoin

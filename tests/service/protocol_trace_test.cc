@@ -1,0 +1,368 @@
+// Wire tests for the observability extensions: the trace-context request
+// suffix (round trip on every request type, legacy byte-identity,
+// truncation at every byte), the EXPLAIN ANALYZE profile response
+// extension, and the Stats slow-query drain blocks.
+
+#include <set>
+#include <vector>
+
+#include "service/protocol.h"
+#include "gtest/gtest.h"
+
+namespace simjoin {
+namespace {
+
+TraceContext MakeTrace(uint64_t id = 0x1122334455667788ull,
+                       uint8_t flags = kTraceFlagProfile) {
+  TraceContext t;
+  t.present = true;
+  t.trace_id = id;
+  t.flags = flags;
+  return t;
+}
+
+obs::RequestProfile MakeProfile() {
+  obs::RequestProfile p;
+  p.trace_id = 0xfeed;
+  p.total_wall_ns = 123456;
+  p.plan = "backend=ekdb-flat eps=0.1";
+  p.nodes.push_back({obs::kProfileNoParent, "service.range_query", 0, 123456, 0});
+  p.nodes.push_back({0, "queue", 0, 1000, 0});
+  p.nodes.push_back({0, "execute", 1000, 122456, 98765});
+  p.counters.push_back({"candidates", 88});
+  p.counters.push_back({"distance_calls", 88});
+  p.dropped_nodes = 2;
+  return p;
+}
+
+TEST(ProtocolTraceTest, GeneratedIdsAreNonzeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = GenerateTraceId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ProtocolTraceTest, AbsentContextLeavesPayloadByteIdentical) {
+  RangeQueryRequest req;
+  req.name = "idx";
+  req.epsilon = 0.1;
+  req.dims = 1;
+  req.queries = {0.5f};
+  const std::vector<uint8_t> legacy = EncodeRangeQueryRequest(req);
+  req.trace = MakeTrace();
+  const std::vector<uint8_t> traced = EncodeRangeQueryRequest(req);
+  // The extension is purely additive: strip the 10-byte suffix and the
+  // remaining bytes are exactly the legacy frame.
+  ASSERT_EQ(traced.size(), legacy.size() + kWireTraceExtBytes);
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), traced.begin()));
+  EXPECT_EQ(traced.back(), kWireTraceMagic);
+
+  std::vector<uint8_t> via_append = legacy;
+  AppendTraceContext(req.trace, &via_append);
+  EXPECT_EQ(via_append, traced);
+  // present == false makes AppendTraceContext a no-op.
+  std::vector<uint8_t> untouched = legacy;
+  AppendTraceContext(TraceContext{}, &untouched);
+  EXPECT_EQ(untouched, legacy);
+}
+
+TEST(ProtocolTraceTest, RangeQueryTraceRoundTripsWithAndWithoutPlanner) {
+  RangeQueryRequest req;
+  req.name = "idx";
+  req.epsilon = 0.07;
+  req.dims = 2;
+  req.queries = {0.5f, 0.5f, 0.9f, 0.1f};
+  req.trace = MakeTrace(42, kTraceFlagProfile);
+  RangeQueryRequest out;
+  ASSERT_TRUE(ParseRangeQueryRequest(EncodeRangeQueryRequest(req), &out).ok());
+  EXPECT_EQ(out.trace, req.trace);
+  EXPECT_TRUE(out.trace.profile());
+  EXPECT_FALSE(out.has_planner);
+  EXPECT_EQ(out.queries, req.queries);
+
+  // The trace suffix stacks after the planner extension.
+  req.has_planner = true;
+  req.recall = 0.8;
+  RangeQueryRequest both;
+  ASSERT_TRUE(
+      ParseRangeQueryRequest(EncodeRangeQueryRequest(req), &both).ok());
+  EXPECT_TRUE(both.has_planner);
+  EXPECT_EQ(both.recall, 0.8);
+  EXPECT_EQ(both.trace, req.trace);
+}
+
+TEST(ProtocolTraceTest, EveryRequestTypeCarriesTheSuffix) {
+  const TraceContext trace = MakeTrace(7, 0);
+
+  BuildIndexRequest build;
+  build.name = "b";
+  build.dims = 1;
+  build.points = {0.5f};
+  build.trace = trace;
+  BuildIndexRequest build_out;
+  ASSERT_TRUE(
+      ParseBuildIndexRequest(EncodeBuildIndexRequest(build), &build_out).ok());
+  EXPECT_EQ(build_out.trace, trace);
+
+  // ... including stacked on BuildIndex's backend/on_disk tail bytes.
+  build.on_disk = true;
+  ASSERT_TRUE(
+      ParseBuildIndexRequest(EncodeBuildIndexRequest(build), &build_out).ok());
+  EXPECT_EQ(build_out.trace, trace);
+  EXPECT_TRUE(build_out.on_disk);
+
+  SimilarityJoinRequest join;
+  join.name_a = "a";
+  join.trace = trace;
+  SimilarityJoinRequest join_out;
+  ASSERT_TRUE(
+      ParseSimilarityJoinRequest(EncodeSimilarityJoinRequest(join), &join_out)
+          .ok());
+  EXPECT_EQ(join_out.trace, trace);
+
+  InsertRequest ins;
+  ins.name = "u";
+  ins.dims = 1;
+  ins.rows = {0.25f};
+  ins.trace = trace;
+  InsertRequest ins_out;
+  ASSERT_TRUE(ParseInsertRequest(EncodeInsertRequest(ins), &ins_out).ok());
+  EXPECT_EQ(ins_out.trace, trace);
+
+  RemoveRequest rem;
+  rem.name = "u";
+  rem.ids = {1, 2, 3};
+  rem.trace = trace;
+  RemoveRequest rem_out;
+  ASSERT_TRUE(ParseRemoveRequest(EncodeRemoveRequest(rem), &rem_out).ok());
+  EXPECT_EQ(rem_out.trace, trace);
+
+  FlushRequest flush;
+  flush.name = "u";
+  flush.trace = trace;
+  FlushRequest flush_out;
+  ASSERT_TRUE(ParseFlushRequest(EncodeFlushRequest(flush), &flush_out).ok());
+  EXPECT_EQ(flush_out.trace, trace);
+}
+
+TEST(ProtocolTraceTest, TruncatedSuffixRejectedAtEveryByte) {
+  // The valid tail shapes after the float block are exactly {0, 9, 10, 19}
+  // bytes (legacy / planner / trace / both).  Truncating a trace suffix can
+  // therefore only land on "rejected" or on a *different valid shape* —
+  // never on a silently half-read trace.
+  RangeQueryRequest req;
+  req.name = "t";
+  req.epsilon = 0.1;
+  req.dims = 2;
+  req.queries = {0.1f, 0.2f};
+  req.trace = MakeTrace();
+  const std::vector<uint8_t> full = EncodeRangeQueryRequest(req);
+  RangeQueryRequest out;
+  // Surplus 10 -> drop 1 leaves surplus 9: structurally the planner
+  // extension (recall/backend get trace bytes; the server's semantic
+  // validation is what rejects the garbage recall).  The parse must not
+  // report a trace.
+  {
+    std::vector<uint8_t> cut(full.begin(), full.end() - 1);
+    ASSERT_TRUE(ParseRangeQueryRequest(cut, &out).ok());
+    EXPECT_FALSE(out.trace.present);
+    EXPECT_TRUE(out.has_planner);
+  }
+  // Every other partial suffix is a framing error.
+  for (size_t drop = 2; drop < kWireTraceExtBytes; ++drop) {
+    std::vector<uint8_t> cut(full.begin(), full.end() - drop);
+    EXPECT_FALSE(ParseRangeQueryRequest(cut, &out).ok()) << "drop " << drop;
+  }
+  // Stripping the whole suffix falls back to a legacy frame.
+  std::vector<uint8_t> legacy(full.begin(),
+                              full.end() - kWireTraceExtBytes);
+  ASSERT_TRUE(ParseRangeQueryRequest(legacy, &out).ok());
+  EXPECT_FALSE(out.trace.present);
+
+  // A corrupted magic byte is rejected, not misread as point data.
+  std::vector<uint8_t> bad_magic = full;
+  bad_magic.back() = 0x00;
+  EXPECT_FALSE(ParseRangeQueryRequest(bad_magic, &out).ok());
+
+  // With both extensions stacked (surplus 19), partial truncations down to
+  // the next valid shape are rejected: surplus 11..18 are not shapes, and
+  // surplus 10 (drop 9) fails the trace magic check because the tail byte
+  // is trace_id payload, not 'T'.
+  req.has_planner = true;
+  req.recall = 0.5;
+  const std::vector<uint8_t> both = EncodeRangeQueryRequest(req);
+  for (size_t drop = 1; drop <= 9; ++drop) {
+    std::vector<uint8_t> cut(both.begin(), both.end() - drop);
+    EXPECT_FALSE(ParseRangeQueryRequest(cut, &out).ok()) << "drop " << drop;
+  }
+  // Dropping the full 10-byte suffix leaves the intact planner frame.
+  std::vector<uint8_t> planner_only(both.begin(),
+                                    both.end() - kWireTraceExtBytes);
+  ASSERT_TRUE(ParseRangeQueryRequest(planner_only, &out).ok());
+  EXPECT_TRUE(out.has_planner);
+  EXPECT_EQ(out.recall, 0.5);
+  EXPECT_FALSE(out.trace.present);
+}
+
+TEST(ProtocolTraceTest, ProfileResponseExtensionRoundTrips) {
+  RangeQueryResponse resp;
+  resp.results = {{1, 5}, {}};
+  resp.stats.distance_calls = 9;
+  resp.has_profile = true;
+  resp.profile = MakeProfile();
+  RangeQueryResponse parsed;
+  ASSERT_TRUE(
+      ParseRangeQueryResponse(EncodeRangeQueryResponse(resp), &parsed).ok());
+  ASSERT_TRUE(parsed.has_profile);
+  EXPECT_EQ(parsed.profile, resp.profile);
+  EXPECT_EQ(parsed.results, resp.results);
+  EXPECT_FALSE(parsed.has_planner);
+
+  // Stacked after the planner echo.
+  resp.has_planner = true;
+  resp.achieved_recall = 0.93;
+  resp.backend_used = 3;
+  RangeQueryResponse both;
+  ASSERT_TRUE(
+      ParseRangeQueryResponse(EncodeRangeQueryResponse(resp), &both).ok());
+  ASSERT_TRUE(both.has_planner);
+  ASSERT_TRUE(both.has_profile);
+  EXPECT_EQ(both.achieved_recall, 0.93);
+  EXPECT_EQ(both.profile, resp.profile);
+}
+
+TEST(ProtocolTraceTest, ProfileExtensionTruncationRejected) {
+  RangeQueryResponse resp;
+  resp.results = {{2}};
+  resp.has_profile = true;
+  resp.profile = MakeProfile();
+  const std::vector<uint8_t> full = EncodeRangeQueryResponse(resp);
+  const std::vector<uint8_t> legacy_bytes =
+      EncodeRangeQueryResponse([&] {
+        RangeQueryResponse r = resp;
+        r.has_profile = false;
+        return r;
+      }());
+  RangeQueryResponse out;
+  // The profile is detected from the tail magic + length field.  Nearly
+  // every truncation breaks that pairing and is rejected; in the rare case
+  // where a profile byte happens to be the magic AND the four bytes before
+  // it happen to spell a consistent length AND that prefix parses as a
+  // profile, the parse may succeed — but it can only ever misread the
+  // telemetry tail, never the result ids (the parser is bounds-checked and
+  // the results block is consumed before extension detection).
+  size_t accidental = 0;
+  for (size_t drop = 1; drop < full.size() - legacy_bytes.size(); ++drop) {
+    std::vector<uint8_t> cut(full.begin(), full.end() - drop);
+    const Status st = ParseRangeQueryResponse(cut, &out);
+    if (st.ok()) {
+      ++accidental;
+      EXPECT_EQ(out.results, resp.results) << "drop " << drop;
+    }
+  }
+  // Deterministic bytes: at most a couple of alignments exist in this
+  // encoding, and the overwhelming majority of truncations are rejected.
+  EXPECT_LE(accidental, 2u);
+  ASSERT_TRUE(ParseRangeQueryResponse(legacy_bytes, &out).ok());
+  EXPECT_FALSE(out.has_profile);
+
+  // A profile length field pointing outside the payload is rejected.
+  std::vector<uint8_t> bad_len = full;
+  const size_t len_at = bad_len.size() - kWireProfileFrameBytes;
+  bad_len[len_at] = 0xff;
+  bad_len[len_at + 1] = 0xff;
+  EXPECT_FALSE(ParseRangeQueryResponse(bad_len, &out).ok());
+}
+
+TEST(ProtocolTraceTest, ProfileParserRejectsHostileCounts) {
+  // Hand-crafted body claiming more nodes than kMaxProfileNodes.
+  WireWriter w;
+  w.U32(obs::kMaxProfileNodes + 1);
+  WireReader r(w.buffer());
+  obs::RequestProfile out;
+  EXPECT_FALSE(ParseRequestProfile(&r, &out).ok());
+
+  // And a node count whose minimum encoding exceeds the remaining bytes.
+  WireWriter w2;
+  w2.U32(100);
+  w2.U32(0);  // far fewer bytes than 100 nodes need
+  WireReader r2(w2.buffer());
+  EXPECT_FALSE(ParseRequestProfile(&r2, &out).ok());
+}
+
+TEST(ProtocolTraceTest, StatsRequestLegacyAndDrainShapes) {
+  StatsRequest legacy;
+  EXPECT_TRUE(EncodeStatsRequest(legacy).empty());  // old servers accept it
+  StatsRequest out;
+  ASSERT_TRUE(ParseStatsRequest({}, &out).ok());
+  EXPECT_FALSE(out.drain_slowlog);
+
+  StatsRequest drain;
+  drain.drain_slowlog = true;
+  const std::vector<uint8_t> bytes = EncodeStatsRequest(drain);
+  ASSERT_EQ(bytes.size(), 1u);
+  ASSERT_TRUE(ParseStatsRequest(bytes, &out).ok());
+  EXPECT_TRUE(out.drain_slowlog);
+}
+
+TEST(ProtocolTraceTest, StatsResponseSlowlogBlockRoundTrips) {
+  StatsResponse resp;
+  resp.requests_admitted = 10;
+  resp.has_metrics = true;
+  resp.has_slowlog = true;
+  resp.slowlog_recorded = 5;
+  resp.slowlog_evicted = 2;
+  obs::SlowQueryEntry e;
+  e.unix_micros = 1'700'000'000'000'000ull;
+  e.trace_id = 0xabc;
+  e.request_id = 9;
+  e.op = 2;
+  e.index = "base";
+  e.wall_us = 1500;
+  e.status_code = 4;
+  e.status_message = "deadline exceeded";
+  e.profile = MakeProfile();
+  resp.slowlog.push_back(e);
+  resp.slowlog.push_back(obs::SlowQueryEntry{});  // minimal entry
+
+  StatsResponse parsed;
+  ASSERT_TRUE(ParseStatsResponse(EncodeStatsResponse(resp), &parsed).ok());
+  ASSERT_TRUE(parsed.has_slowlog);
+  EXPECT_EQ(parsed.slowlog, resp.slowlog);
+  EXPECT_EQ(parsed.slowlog_recorded, 5u);
+  EXPECT_EQ(parsed.slowlog_evicted, 2u);
+
+  // A rev-2 response (no slowlog block) still parses, flag off.
+  resp.has_slowlog = false;
+  ASSERT_TRUE(ParseStatsResponse(EncodeStatsResponse(resp), &parsed).ok());
+  EXPECT_FALSE(parsed.has_slowlog);
+  EXPECT_TRUE(parsed.slowlog.empty());
+}
+
+TEST(ProtocolTraceTest, StatsSlowlogTruncationRejected) {
+  StatsResponse resp;
+  resp.has_metrics = true;
+  resp.has_slowlog = true;
+  obs::SlowQueryEntry e;
+  e.index = "x";
+  e.profile = MakeProfile();
+  resp.slowlog.push_back(e);
+  const std::vector<uint8_t> full = EncodeStatsResponse(resp);
+  const size_t legacy_size = EncodeStatsResponse([&] {
+                               StatsResponse r = resp;
+                               r.has_slowlog = false;
+                               return r;
+                             }())
+                                 .size();
+  StatsResponse out;
+  for (size_t drop = 1; drop < full.size() - legacy_size; ++drop) {
+    std::vector<uint8_t> cut(full.begin(), full.end() - drop);
+    EXPECT_FALSE(ParseStatsResponse(cut, &out).ok()) << "drop " << drop;
+  }
+}
+
+}  // namespace
+}  // namespace simjoin

@@ -16,6 +16,14 @@
 //                        own frames in order
 //   6. malformed updates — Insert/Remove/Flush payloads truncated at every
 //                        byte and with count/dims fields patched to extremes
+//   7. telemetry suffixes — trace-context request suffixes, the EXPLAIN
+//                        ANALYZE profile response extension, and the Stats
+//                        slow-log block truncated at every byte and with
+//                        magic/length/count fields patched to extremes
+//
+// Random valid frames also attach trace contexts, response profiles, and
+// slow-log blocks with coin-flip probability, so every generic pass
+// (round-trip, bit flips, truncation) soaks the extended shapes too.
 //
 // Payloads of frames the decoder does produce are handed to the matching
 // Parse* function, which must also only ever return a Status.  Run it under
@@ -48,11 +56,65 @@ std::vector<float> RandomFloats(Rng* rng, size_t count) {
   return v;
 }
 
+/// Half the request frames carry a trace context so the 10-byte suffix
+/// rides every generic pass; a quarter of those ask for a profile, and a
+/// few get hostile flag bytes (unknown bits must parse, not reject).
+TraceContext MaybeTrace(Rng* rng) {
+  TraceContext ctx;
+  if (!rng->Bernoulli(0.5)) return ctx;
+  ctx.present = true;
+  ctx.trace_id = rng->Next();
+  ctx.flags = rng->Bernoulli(0.25)
+                  ? static_cast<uint8_t>(rng->UniformInt(256u))
+                  : (rng->Bernoulli(0.5) ? kTraceFlagProfile : 0);
+  return ctx;
+}
+
+/// Small random phase tree + counters for response-profile fuzzing.
+obs::RequestProfile RandomProfile(Rng* rng) {
+  obs::RequestProfile p;
+  p.trace_id = rng->Next();
+  p.total_wall_ns = rng->Next();
+  p.plan = RandomName(rng, 48);
+  p.nodes.resize(rng->UniformInt(6u));
+  for (size_t i = 0; i < p.nodes.size(); ++i) {
+    obs::ProfileNode& n = p.nodes[i];
+    n.name = RandomName(rng, 16);
+    n.parent = (i == 0 || rng->Bernoulli(0.3))
+                   ? obs::kProfileNoParent
+                   : static_cast<uint32_t>(rng->UniformInt(i));
+    n.start_ns = rng->UniformInt(1u << 20);
+    n.wall_ns = rng->UniformInt(1u << 20);
+    n.cpu_ns = rng->UniformInt(1u << 20);
+  }
+  p.counters.resize(rng->UniformInt(4u));
+  for (obs::ProfileCounter& c : p.counters) {
+    c.name = RandomName(rng, 16);
+    c.value = rng->Next();
+  }
+  p.dropped_nodes = rng->UniformInt(8u);
+  return p;
+}
+
+obs::SlowQueryEntry RandomSlowEntry(Rng* rng) {
+  obs::SlowQueryEntry e;
+  e.unix_micros = rng->Next();
+  e.trace_id = rng->Next();
+  e.request_id = rng->Next();
+  e.op = static_cast<uint8_t>(rng->UniformInt(256u));
+  e.index = RandomName(rng, 16);
+  e.wall_us = rng->Next();
+  e.status_code = static_cast<uint32_t>(rng->UniformInt(16u));
+  if (rng->Bernoulli(0.5)) e.status_message = RandomName(rng, 32);
+  if (rng->Bernoulli(0.5)) e.profile = RandomProfile(rng);
+  return e;
+}
+
 /// Encodes one random, structurally valid frame.
 std::vector<uint8_t> RandomValidFrame(Rng* rng) {
   const uint64_t id = rng->Next();
   const uint32_t deadline = static_cast<uint32_t>(rng->UniformInt(1000u));
-  switch (rng->UniformInt(14u)) {
+  switch (rng->UniformInt(15u)) {
     case 0: {
       BuildIndexRequest req;
       req.name = RandomName(rng);
@@ -63,6 +125,7 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       // Half the builds select the non-default backend so the optional
       // trailing backend byte rides the mutation and truncation passes.
       if (rng->Bernoulli(0.5)) req.backend = BackendKind::kEpsilonGrid;
+      req.trace = MaybeTrace(rng);
       return EncodeFrame(FrameType::kBuildIndex, id, deadline,
                          EncodeBuildIndexRequest(req));
     }
@@ -85,6 +148,9 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
                           : static_cast<uint8_t>(rng->UniformInt(4u));
         if (rng->Bernoulli(0.2)) req.backend = kWireBackendAuto;
       }
+      // The trace suffix stacks after the planner tail, so mutated frames
+      // probe the {0, 9, 10, 19}-byte surplus disambiguation directly.
+      req.trace = MaybeTrace(rng);
       return EncodeFrame(FrameType::kRangeQuery, id, deadline,
                          EncodeRangeQueryRequest(req));
     }
@@ -95,6 +161,7 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       req.epsilon = rng->Uniform(0.0, 0.5);
       req.num_threads = static_cast<uint32_t>(rng->UniformInt(9u));
       req.chunk_pairs = static_cast<uint32_t>(rng->UniformInt(10000u));
+      req.trace = MaybeTrace(rng);
       return EncodeFrame(FrameType::kSimilarityJoin, id, deadline,
                          EncodeSimilarityJoinRequest(req));
     }
@@ -127,6 +194,11 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
         resp.achieved_recall = rng->Uniform(0.0, 1.0);
         resp.backend_used = static_cast<uint8_t>(rng->UniformInt(4u));
         resp.plan_cache_hit = rng->Bernoulli(0.5);
+      }
+      // EXPLAIN ANALYZE extension, solo and stacked on the planner echo.
+      if (rng->Bernoulli(0.5)) {
+        resp.has_profile = true;
+        resp.profile = RandomProfile(rng);
       }
       return EncodeFrame(FrameType::kRangeQueryResult, id, deadline,
                          EncodeRangeQueryResponse(resp));
@@ -167,6 +239,15 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
         }
         h.sum = rng->Uniform(0.0, 1e6);
       }
+      // Rev-3 slow-log drain block, including the has_slowlog-but-empty
+      // answer a server without a configured log returns.
+      if (rng->Bernoulli(0.5)) {
+        resp.has_slowlog = true;
+        resp.slowlog.resize(rng->UniformInt(4u));
+        for (obs::SlowQueryEntry& e : resp.slowlog) e = RandomSlowEntry(rng);
+        resp.slowlog_recorded = rng->Next();
+        resp.slowlog_evicted = rng->Next();
+      }
       return EncodeFrame(FrameType::kStatsResult, id, deadline,
                          EncodeStatsResponse(resp));
     }
@@ -185,6 +266,7 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
       req.name = RandomName(rng);
       req.dims = 1 + static_cast<uint32_t>(rng->UniformInt(8u));
       req.rows = RandomFloats(rng, req.dims * (1 + rng->UniformInt(32u)));
+      req.trace = MaybeTrace(rng);
       return EncodeFrame(FrameType::kInsert, id, deadline,
                          EncodeInsertRequest(req));
     }
@@ -199,12 +281,14 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
                 ? static_cast<PointId>(rng->Next())
                 : static_cast<PointId>(rng->UniformInt(1u << 16));
       }
+      req.trace = MaybeTrace(rng);
       return EncodeFrame(FrameType::kRemove, id, deadline,
                          EncodeRemoveRequest(req));
     }
     case 11: {
       FlushRequest req;
       req.name = RandomName(rng);
+      req.trace = MaybeTrace(rng);
       return EncodeFrame(FrameType::kFlush, id, deadline,
                          EncodeFlushRequest(req));
     }
@@ -240,6 +324,14 @@ std::vector<uint8_t> RandomValidFrame(Rng* rng) {
                              EncodeFlushResponse(resp));
         }
       }
+    }
+    case 13: {
+      // Stats with the drain-slowlog flag byte (legacy empty payload is
+      // exercised by the default case below).
+      StatsRequest req;
+      req.drain_slowlog = rng->Bernoulli(0.75);
+      return EncodeFrame(FrameType::kStats, id, deadline,
+                         EncodeStatsRequest(req));
     }
     default:
       return EncodeFrame(rng->Bernoulli(0.5) ? FrameType::kPing
@@ -303,6 +395,111 @@ void MalformedUpdateFrames(Rng* rng) {
     empty.name = "";
     FlushRequest fout;
     (void)ParseFlushRequest(EncodeFlushRequest(empty), &fout);
+  }
+}
+
+/// Pass 7: hand-crafted hostile telemetry suffixes.  Trace-context request
+/// suffixes, the profile response extension, and the Stats slow-log block
+/// are all tail-detected, so truncation at every byte and patched
+/// magic/length/count fields are exactly the shapes a confused proxy or a
+/// hostile client produces.  Every parse must return a Status; a crash or
+/// sanitizer report is the only failure.
+void HostileTelemetrySuffixes(Rng* rng) {
+  auto truncate_all = [](const std::vector<uint8_t>& payload, auto parse) {
+    for (size_t cut = 0; cut <= payload.size(); ++cut) {
+      parse(std::span<const uint8_t>(payload.data(), cut));
+    }
+  };
+  auto patch = [](std::vector<uint8_t> bytes, size_t off, uint8_t v) {
+    if (off < bytes.size()) bytes[off] = v;
+    return bytes;
+  };
+
+  // Traced RangeQuery, with and without the planner tail stacked under it.
+  for (const bool planner : {false, true}) {
+    RangeQueryRequest req;
+    req.name = RandomName(rng, 12);
+    req.epsilon = rng->Uniform(0.0, 0.5);
+    req.dims = 2;
+    req.queries = RandomFloats(rng, 2 * (1 + rng->UniformInt(4u)));
+    req.has_planner = planner;
+    req.trace.present = true;
+    req.trace.trace_id = rng->Next();
+    req.trace.flags = kTraceFlagProfile;
+    const std::vector<uint8_t> payload = EncodeRangeQueryRequest(req);
+    truncate_all(payload, [](std::span<const uint8_t> bytes) {
+      RangeQueryRequest out;
+      (void)ParseRangeQueryRequest(bytes, &out);
+    });
+    // Corrupt every byte of the 10-byte suffix, magic included.
+    for (size_t i = 1; i <= kWireTraceExtBytes; ++i) {
+      RangeQueryRequest out;
+      (void)ParseRangeQueryRequest(
+          patch(payload, payload.size() - i,
+                static_cast<uint8_t>(rng->Next())),
+          &out);
+    }
+  }
+
+  // Traced updates: the suffix rides payloads whose body length is
+  // name-driven rather than count*dims-driven.
+  {
+    FlushRequest req;
+    req.name = RandomName(rng, 12);
+    req.trace.present = true;
+    req.trace.trace_id = rng->Next();
+    truncate_all(EncodeFlushRequest(req), [](std::span<const uint8_t> bytes) {
+      FlushRequest out;
+      (void)ParseFlushRequest(bytes, &out);
+    });
+  }
+
+  // Profile response extension, solo and stacked on the planner echo.
+  for (const bool planner : {false, true}) {
+    RangeQueryResponse resp;
+    resp.results.resize(1 + rng->UniformInt(4u));
+    for (auto& ids : resp.results) ids.resize(rng->UniformInt(8u));
+    resp.has_planner = planner;
+    resp.has_profile = true;
+    resp.profile = RandomProfile(rng);
+    const std::vector<uint8_t> payload = EncodeRangeQueryResponse(resp);
+    truncate_all(payload, [](std::span<const uint8_t> bytes) {
+      RangeQueryResponse out;
+      (void)ParseRangeQueryResponse(bytes, &out);
+    });
+    // Patch the trailing magic and each byte of the length field.
+    for (size_t i = 1; i <= kWireProfileFrameBytes; ++i) {
+      RangeQueryResponse out;
+      (void)ParseRangeQueryResponse(
+          patch(payload, payload.size() - i,
+                static_cast<uint8_t>(rng->Next())),
+          &out);
+    }
+  }
+
+  // Slow-log drain block: truncate everywhere, then inflate the entry
+  // count to extremes against a short body (hostile-cap probe).
+  {
+    StatsResponse resp;
+    resp.requests_admitted = rng->Next();
+    resp.has_metrics = true;
+    resp.has_slowlog = true;
+    resp.slowlog.resize(1 + rng->UniformInt(3u));
+    for (obs::SlowQueryEntry& e : resp.slowlog) e = RandomSlowEntry(rng);
+    resp.slowlog_recorded = rng->Next();
+    resp.slowlog_evicted = rng->Next();
+    const std::vector<uint8_t> payload = EncodeStatsResponse(resp);
+    truncate_all(payload, [](std::span<const uint8_t> bytes) {
+      StatsResponse out;
+      (void)ParseStatsResponse(bytes, &out);
+    });
+    for (size_t i = 0; i < 32 && i < payload.size(); ++i) {
+      StatsResponse out;
+      (void)ParseStatsResponse(
+          patch(payload, payload.size() - 1 - i,
+                static_cast<uint8_t>(rng->Next())),
+          &out);
+    }
   }
 }
 
@@ -398,6 +595,11 @@ void ParseByType(const Frame& frame) {
     case FrameType::kFlushOk: {
       FlushResponse m;
       (void)ParseFlushResponse(frame.payload, &m);
+      break;
+    }
+    case FrameType::kStats: {
+      StatsRequest m;
+      (void)ParseStatsRequest(frame.payload, &m);
       break;
     }
     default:
@@ -572,6 +774,9 @@ int Run(uint64_t iterations, uint64_t seed) {
 
     // 6. Hand-crafted malformed update (insert/remove/flush) payloads.
     MalformedUpdateFrames(&rng);
+
+    // 7. Hostile trace/profile/slow-log suffixes.
+    HostileTelemetrySuffixes(&rng);
 
     if ((iter + 1) % 500 == 0) {
       std::cout << "iter " << (iter + 1) << ": " << frames_ok

@@ -5,6 +5,7 @@
 //   ./tools/simjoin_client query --name base --point 0.2,0.3,0.4
 //   ./tools/simjoin_client query --name base --point 0.2,0.3 --recall 0.9
 //   ./tools/simjoin_client query --name base --point 0.2,0.3 --plan
+//   ./tools/simjoin_client query --name base --point 0.2,0.3 --explain
 //   ./tools/simjoin_client join --name base --limit 20
 //   ./tools/simjoin_client insert --name live --point 0.2,0.3,0.4
 //   ./tools/simjoin_client remove --name live --ids 17,42
@@ -12,6 +13,8 @@
 //   ./tools/simjoin_client drift --name live --dims 8 --steps 16
 //   ./tools/simjoin_client stats
 //   ./tools/simjoin_client stats --watch --interval-ms 1000
+//   ./tools/simjoin_client stats --watch --filter service.latency
+//   ./tools/simjoin_client slowlog
 //   ./tools/simjoin_client drop --name base
 //   ./tools/simjoin_client shutdown
 //
@@ -23,6 +26,7 @@
 // soak driver for the live-update path.
 
 #include <chrono>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <limits>
@@ -31,6 +35,7 @@
 
 #include "common/args.h"
 #include "common/binary_io.h"
+#include "obs/slow_query_log.h"
 #include "service/client.h"
 #include "workload/drift.h"
 #include "workload/profile.h"
@@ -181,14 +186,22 @@ void PrintServerCounters(const StatsResponse& resp) {
 
 /// Renders one metrics snapshot (absolute or interval delta): counters and
 /// gauges one per line, histograms with quantiles and a bucket sparkline.
-void PrintMetrics(const obs::MetricsSnapshot& snap) {
+/// A non-empty `filter` keeps only metrics whose name starts with it.
+void PrintMetrics(const obs::MetricsSnapshot& snap,
+                  const std::string& filter = "") {
+  const auto keep = [&filter](const std::string& name) {
+    return filter.empty() || name.rfind(filter, 0) == 0;
+  };
   for (const obs::CounterSample& c : snap.counters) {
+    if (!keep(c.name)) continue;
     std::cout << "  " << c.name << " " << c.value << "\n";
   }
   for (const obs::GaugeSample& g : snap.gauges) {
+    if (!keep(g.name)) continue;
     std::cout << "  " << g.name << " " << g.value << "\n";
   }
   for (const obs::HistogramSample& h : snap.histograms) {
+    if (!keep(h.name)) continue;
     std::vector<uint32_t> bins;
     bins.reserve(h.counts.size());
     for (const uint64_t c : h.counts) {
@@ -203,14 +216,68 @@ void PrintMetrics(const obs::MetricsSnapshot& snap) {
                 << " p99=" << h.Quantile(0.99)
                 << std::defaultfloat << std::setprecision(6);
     }
+    // Samples past the last bucket bound clamp into the overflow bucket;
+    // a nonzero count here means the quantiles above are floors.
+    if (h.overflow_count() > 0) {
+      std::cout << " overflow=" << h.overflow_count();
+    }
     std::cout << "  " << HistogramSparkline(bins) << "\n";
+  }
+}
+
+/// `query --explain`: renders the server's phase tree, one line per phase,
+/// indented by depth, with each phase's share of the request's wall time.
+void PrintProfile(const obs::RequestProfile& profile) {
+  std::cout << "explain analyze: trace_id=" << std::hex << profile.trace_id
+            << std::dec << " total=" << std::fixed << std::setprecision(1)
+            << static_cast<double>(profile.total_wall_ns) / 1e3 << " us\n";
+  if (!profile.plan.empty()) {
+    std::cout << "  plan: " << profile.plan << "\n";
+  }
+  const double total = profile.total_wall_ns > 0
+                           ? static_cast<double>(profile.total_wall_ns)
+                           : 1.0;
+  std::vector<std::vector<uint32_t>> children(profile.nodes.size());
+  std::vector<uint32_t> roots;
+  for (uint32_t i = 0; i < profile.nodes.size(); ++i) {
+    const uint32_t parent = profile.nodes[i].parent;
+    if (parent == obs::kProfileNoParent) {
+      roots.push_back(i);
+    } else if (parent < profile.nodes.size()) {
+      children[parent].push_back(i);
+    }
+  }
+  const std::function<void(uint32_t, size_t)> print_node =
+      [&](uint32_t i, size_t depth) {
+        const obs::ProfileNode& node = profile.nodes[i];
+        std::cout << "  " << std::string(depth * 2, ' ') << node.name << "  "
+                  << static_cast<double>(node.wall_ns) / 1e3 << " us ("
+                  << std::setprecision(1)
+                  << 100.0 * static_cast<double>(node.wall_ns) / total
+                  << "%)";
+        if (node.cpu_ns > 0) {
+          std::cout << " cpu=" << static_cast<double>(node.cpu_ns) / 1e3
+                    << " us";
+        }
+        std::cout << "\n";
+        for (const uint32_t child : children[i]) print_node(child, depth + 1);
+      };
+  for (const uint32_t root : roots) print_node(root, 0);
+  std::cout << std::defaultfloat << std::setprecision(6);
+  for (const obs::ProfileCounter& c : profile.counters) {
+    std::cout << "  counter " << c.name << " = " << c.value << "\n";
+  }
+  if (profile.dropped_nodes > 0) {
+    std::cout << "  (" << profile.dropped_nodes
+              << " phases dropped past the node cap)\n";
   }
 }
 
 /// `stats --watch`: polls GetStats every interval and renders per-interval
 /// counter/histogram deltas (gauges stay levels), so latency quantiles
 /// reflect only the traffic of the last window.
-int WatchStats(Client& client, int64_t interval_ms, int64_t count) {
+int WatchStats(Client& client, int64_t interval_ms, int64_t count,
+               const std::string& filter) {
   obs::MetricsSnapshot prev;
   bool have_prev = false;
   for (int64_t tick = 0; count == 0 || tick < count; ++tick) {
@@ -230,7 +297,8 @@ int WatchStats(Client& client, int64_t interval_ms, int64_t count) {
                       : " (absolute)")
               << " ===\n";
     PrintServerCounters(*resp);
-    PrintMetrics(have_prev ? resp->metrics.DeltaSince(prev) : resp->metrics);
+    PrintMetrics(have_prev ? resp->metrics.DeltaSince(prev) : resp->metrics,
+                 filter);
     std::cout << std::flush;
     prev = std::move(resp->metrics);
     have_prev = true;
@@ -244,8 +312,8 @@ int WatchStats(Client& client, int64_t interval_ms, int64_t count) {
 int Run(const ArgParser& args) {
   if (args.positional().size() != 1) {
     std::cerr << "exactly one subcommand expected: ping | build | query | "
-                 "join | insert | remove | flush | drift | stats | drop | "
-                 "shutdown\n";
+                 "join | insert | remove | flush | drift | stats | slowlog "
+                 "| drop | shutdown\n";
     return 2;
   }
   const std::string& cmd = args.positional()[0];
@@ -350,6 +418,12 @@ int Run(const ArgParser& args) {
                       args.GetBool("plan");
     req.recall = recall;
     req.backend = backend_byte;
+    const bool explain = args.GetBool("explain");
+    if (explain) {
+      req.trace.present = true;
+      req.trace.trace_id = GenerateTraceId();
+      req.trace.flags = kTraceFlagProfile;
+    }
     auto resp = client->RangeQuery(req);
     st = resp.status();
     if (resp.ok()) {
@@ -363,6 +437,12 @@ int Run(const ArgParser& args) {
                   << (used.ok() ? BackendKindName(*used) : "unknown")
                   << " achieved_recall=" << resp->achieved_recall
                   << (resp->plan_cache_hit ? " (plan cached)" : "") << "\n";
+      }
+      if (resp->has_profile) {
+        PrintProfile(resp->profile);
+      } else if (explain) {
+        std::cerr << "server returned no profile (pre-observability "
+                     "server?)\n";
       }
     }
   } else if (cmd == "join") {
@@ -428,7 +508,7 @@ int Run(const ArgParser& args) {
   } else if (cmd == "stats") {
     if (args.GetBool("watch")) {
       return WatchStats(*client, args.GetInt("interval-ms"),
-                        args.GetInt("count"));
+                        args.GetInt("count"), args.GetString("filter"));
     }
     auto resp = client->GetStats();
     st = resp.status();
@@ -436,7 +516,23 @@ int Run(const ArgParser& args) {
       PrintServerCounters(*resp);
       if (resp->has_metrics) {
         std::cout << "metrics:\n";
-        PrintMetrics(resp->metrics);
+        PrintMetrics(resp->metrics, args.GetString("filter"));
+      }
+    }
+  } else if (cmd == "slowlog") {
+    auto resp = client->GetStats(/*drain_slowlog=*/true);
+    st = resp.status();
+    if (resp.ok()) {
+      if (!resp->has_slowlog) {
+        std::cerr << "server does not answer the slow-query extension "
+                     "(pre-observability Stats payload)\n";
+        return 1;
+      }
+      std::cout << resp->slowlog.size() << " entries drained ("
+                << resp->slowlog_recorded << " recorded, "
+                << resp->slowlog_evicted << " evicted before draining)\n";
+      for (const obs::SlowQueryEntry& entry : resp->slowlog) {
+        std::cout << obs::SlowQueryLog::ToJsonLine(entry) << "\n";
       }
     }
   } else if (cmd == "drop") {
@@ -492,6 +588,9 @@ int main(int argc, char** argv) {
   args.AddBoolFlag("plan", false,
                    "query only: request cost-based planning (and the "
                    "planner response fields) even at recall 1");
+  args.AddBoolFlag("explain", false,
+                   "query only: EXPLAIN ANALYZE — run the query profiled "
+                   "and print the server's per-phase breakdown");
   args.AddFlag("limit", "20", "join pairs printed; 0 = all");
   args.AddFlag("ids", "", "comma-separated point ids (remove)");
   args.AddFlag("dims", "8", "drift only: dimensionality");
@@ -504,6 +603,9 @@ int main(int argc, char** argv) {
                    "stats only: poll repeatedly, rendering interval deltas");
   args.AddFlag("interval-ms", "1000", "polling interval for --watch");
   args.AddFlag("count", "0", "number of --watch ticks; 0 = until killed");
+  args.AddFlag("filter", "",
+               "stats only: print just the metrics whose name starts with "
+               "this prefix (e.g. service.latency)");
   const simjoin::Status st = args.Parse(argc, argv);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n" << args.Help();

@@ -21,6 +21,7 @@
 #include "common/binary_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/prom_exporter.h"
 #include "service/server.h"
 
 namespace {
@@ -94,6 +95,17 @@ int main(int argc, char** argv) {
   args.AddFlag("trace-out", "",
                "collect phase trace spans and write Chrome/Perfetto JSON "
                "here on shutdown");
+  args.AddFlag("prom-port", "-1",
+               "serve Prometheus text metrics on this HTTP port "
+               "(GET /metrics); 0 = ephemeral (printed), -1 = off");
+  args.AddFlag("slow-query-us", "0",
+               "record requests slower than N microseconds (or failed) "
+               "into the slow-query log; 0 = off");
+  args.AddFlag("slow-query-log", "",
+               "JSONL sink for slow-query entries (rotation-safe append); "
+               "empty = in-memory ring only");
+  args.AddFlag("slow-query-capacity", "512",
+               "slow-query ring entries kept for `simjoin_client slowlog`");
   const Status parse = args.Parse(argc, argv);
   if (!parse.ok()) {
     std::cerr << parse.ToString() << "\n" << args.Help();
@@ -115,6 +127,11 @@ int main(int argc, char** argv) {
   config.registry_byte_budget =
       static_cast<uint64_t>(args.GetInt("registry-mb")) << 20;
   config.segment_spill_dir = args.GetString("spill-dir");
+  config.slow_query_us =
+      static_cast<uint64_t>(args.GetInt("slow-query-us"));
+  config.slow_query_log_path = args.GetString("slow-query-log");
+  config.slow_query_capacity =
+      static_cast<size_t>(args.GetInt("slow-query-capacity"));
 
   const std::string trace_out = args.GetString("trace-out");
   if (!trace_out.empty()) {
@@ -166,6 +183,20 @@ int main(int argc, char** argv) {
   g_server = server->get();
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  std::unique_ptr<simjoin::PromExporter> prom;
+  const long prom_port = args.GetInt("prom-port");
+  if (prom_port >= 0) {
+    auto started = simjoin::PromExporter::Start(
+        config.host, static_cast<uint16_t>(prom_port));
+    if (!started.ok()) {
+      std::cerr << "prom exporter: " << started.status().ToString() << "\n";
+      return 1;
+    }
+    prom = std::move(*started);
+    std::cout << "prometheus metrics on http://" << config.host << ":"
+              << prom->port() << "/metrics\n";
+  }
 
   std::cout << "serving on " << config.host << ":" << (*server)->port()
             << " (io=" << config.io_threads
